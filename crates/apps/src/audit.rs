@@ -1,0 +1,279 @@
+//! The leak audit: regenerating Table 1.
+//!
+//! After an app processes target data, this module scans the device for
+//! traces of it: private state of the processing app, public external
+//! storage, and system providers. Running the audit after the same
+//! operation in (a) stock-Android mode and (b) Maxoid-delegate mode shows
+//! the confinement: the same traces exist, but under Maxoid they are
+//! invisible outside the initiator's volatile state.
+
+use maxoid::{AppId, MaxoidSystem, QueryArgs, SystemResult, Uri};
+
+/// Where a trace of the sensitive operation was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceLocation {
+    /// A file in the processing app's private internal state.
+    PrivateFile(String),
+    /// A file on public external storage (visible to every app).
+    PublicFile(String),
+    /// A row in a public system-provider table.
+    ProviderRow {
+        /// The provider authority.
+        authority: String,
+        /// The matching row rendered as text.
+        row: String,
+    },
+    /// A file in the initiator's volatile state (confined, discardable).
+    VolatileFile(String),
+}
+
+/// A full audit report for one marker string.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// Traces found, in scan order.
+    pub traces: Vec<TraceLocation>,
+}
+
+impl AuditReport {
+    /// Traces visible to arbitrary third-party apps (the leak surface).
+    pub fn public_leaks(&self) -> Vec<&TraceLocation> {
+        self.traces
+            .iter()
+            .filter(|t| matches!(t, TraceLocation::PublicFile(_) | TraceLocation::ProviderRow { .. }))
+            .collect()
+    }
+
+    /// Traces confined to an initiator's volatile state.
+    pub fn confined(&self) -> Vec<&TraceLocation> {
+        self.traces.iter().filter(|t| matches!(t, TraceLocation::VolatileFile(_))).collect()
+    }
+}
+
+/// Scans the device for `marker` (file-name or content substring).
+///
+/// `observer_pkg` must be an installed app with no special privileges; its
+/// view defines what "public" means. `suspect_pkg` is the data-processing
+/// app whose private state is inspected (with root, as a forensic tool
+/// would). `initiator` — when given — additionally scans that app's
+/// volatile state.
+pub fn audit(
+    sys: &mut MaxoidSystem,
+    observer_pkg: &str,
+    suspect_pkg: &str,
+    initiator: Option<&str>,
+    marker: &str,
+) -> SystemResult<AuditReport> {
+    let mut report = AuditReport::default();
+
+    // 1. The suspect's private internal state (root inspection of the
+    //    backing store — what Table 1's "private state" column records).
+    let suspect_priv = maxoid::layout::back_internal(suspect_pkg)?;
+    scan_backing(sys, &suspect_priv, marker, &mut |p| {
+        report.traces.push(TraceLocation::PrivateFile(p));
+    });
+
+    // 2. Public external storage, as seen by the unprivileged observer.
+    let observer = sys.launch(observer_pkg)?;
+    scan_visible(sys, observer, "/storage/sdcard", marker, &mut |p| {
+        report.traces.push(TraceLocation::PublicFile(p));
+    });
+
+    // 3. Public rows of the system providers.
+    for (authority, collection) in
+        [("media", "files"), ("downloads", "my_downloads"), ("user_dictionary", "words")]
+    {
+        let uri = Uri::parse(&format!("content://{authority}/{collection}"))
+            .expect("static uri");
+        if let Ok(rs) = sys.cp_query(observer, &uri, &QueryArgs::default()) {
+            for row in &rs.rows {
+                let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                let line = rendered.join("|");
+                if line.contains(marker) {
+                    report.traces.push(TraceLocation::ProviderRow {
+                        authority: authority.to_string(),
+                        row: line,
+                    });
+                }
+            }
+        }
+    }
+    sys.kernel.kill(sys.kernel.find_processes(&AppId::new(observer_pkg))[0])?;
+
+    // 4. The initiator's volatile state, when asked.
+    if let Some(init) = initiator {
+        for entry in sys.volatile_files(init)? {
+            if entry.rel.contains(marker) {
+                report.traces.push(TraceLocation::VolatileFile(entry.rel.clone()));
+                continue;
+            }
+            let host = if entry.internal {
+                maxoid::layout::back_internal_tmp(init)?.join(&entry.rel)?
+            } else {
+                maxoid::layout::back_ext_tmp(init)?.join(&entry.rel)?
+            };
+            let content =
+                sys.kernel.vfs().with_store(|s| s.read(&host)).unwrap_or_default();
+            if contains_bytes(&content, marker.as_bytes()) {
+                report.traces.push(TraceLocation::VolatileFile(entry.rel.clone()));
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Scans a backing-store tree for the marker (name or content).
+fn scan_backing(
+    sys: &MaxoidSystem,
+    root: &maxoid_vfs::VPath,
+    marker: &str,
+    found: &mut impl FnMut(String),
+) {
+    sys.kernel.vfs().with_store(|s| {
+        fn rec(
+            s: &maxoid_vfs::Store,
+            p: &maxoid_vfs::VPath,
+            marker: &str,
+            found: &mut impl FnMut(String),
+        ) {
+            let Ok(meta) = s.stat(p) else { return };
+            if meta.is_dir {
+                if let Ok(entries) = s.read_dir(p) {
+                    for e in entries {
+                        if let Ok(c) = p.join(&e.name) {
+                            rec(s, &c, marker, found);
+                        }
+                    }
+                }
+            } else {
+                let name_hit = p.as_str().contains(marker);
+                let content_hit = s
+                    .read(p)
+                    .map(|d| contains_bytes(&d, marker.as_bytes()))
+                    .unwrap_or(false);
+                if name_hit || content_hit {
+                    found(p.as_str().to_string());
+                }
+            }
+        }
+        rec(s, root, marker, found);
+    });
+}
+
+/// Scans what a given process can actually see under `root`.
+fn scan_visible(
+    sys: &MaxoidSystem,
+    pid: maxoid::Pid,
+    root: &str,
+    marker: &str,
+    found: &mut impl FnMut(String),
+) {
+    let Ok(root) = maxoid_vfs::VPath::new(root) else { return };
+    let mut stack = vec![root];
+    while let Some(p) = stack.pop() {
+        let Ok(meta) = sys.kernel.stat(pid, &p) else { continue };
+        if meta.is_dir {
+            if let Ok(entries) = sys.kernel.read_dir(pid, &p) {
+                for e in entries {
+                    if let Ok(c) = p.join(&e.name) {
+                        stack.push(c);
+                    }
+                }
+            }
+        } else {
+            let name_hit = p.as_str().contains(marker);
+            let content_hit = sys
+                .kernel
+                .read(pid, &p)
+                .map(|d| contains_bytes(&d, marker.as_bytes()))
+                .unwrap_or(false);
+            if name_hit || content_hit {
+                found(p.as_str().to_string());
+            }
+        }
+    }
+}
+
+fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
+    !needle.is_empty() && haystack.windows(needle.len()).any(|w| w == needle)
+}
+
+/// Convenience: the standard observer app used by the leak study.
+pub fn install_observer(sys: &mut MaxoidSystem) -> SystemResult<String> {
+    let pkg = "org.maxoid.observer";
+    if !sys.kernel.is_installed(&AppId::new(pkg)) {
+        sys.install(pkg, vec![], maxoid::MaxoidManifest::new())?;
+    }
+    Ok(pkg.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataproc::{AdobeReader, FileRef};
+    use crate::initiators::{install_viewer, Email};
+    use maxoid::manifest::MaxoidManifest;
+
+    #[test]
+    fn audit_detects_stock_leak_and_maxoid_confinement() {
+        let reader = AdobeReader::default();
+        let email = Email::default();
+        let marker = "quarterly_report";
+
+        // Stock behaviour: the reader opens the attachment as a normal
+        // app and copies it to the SD card.
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.install(&email.pkg, vec![], MaxoidManifest::new()).unwrap();
+        install_viewer(&mut sys, &reader.pkg).unwrap();
+        install_observer(&mut sys).unwrap();
+        let rpid = sys.launch(&reader.pkg).unwrap();
+        reader
+            .open(
+                &mut sys,
+                rpid,
+                &FileRef::Content {
+                    name: format!("{marker}.pdf"),
+                    data: b"numbers".to_vec(),
+                },
+            )
+            .unwrap();
+        let report =
+            audit(&mut sys, "org.maxoid.observer", &reader.pkg, None, marker).unwrap();
+        assert!(!report.public_leaks().is_empty(), "stock Android must leak");
+        assert!(report
+            .traces
+            .iter()
+            .any(|t| matches!(t, TraceLocation::PrivateFile(_))));
+
+        // Maxoid: the same reader code runs as Email's delegate.
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.install(&email.pkg, vec![], email.maxoid_manifest()).unwrap();
+        install_viewer(&mut sys, &reader.pkg).unwrap();
+        install_observer(&mut sys).unwrap();
+        let epid = sys.launch(&email.pkg).unwrap();
+        let att = email
+            .receive_attachment(&mut sys, epid, &format!("{marker}.pdf"), b"numbers")
+            .unwrap();
+        let vpid = email.view_attachment(&mut sys, epid, &att).unwrap().pid();
+        reader
+            .open(
+                &mut sys,
+                vpid,
+                &FileRef::Content {
+                    name: format!("{marker}.pdf"),
+                    data: b"numbers".to_vec(),
+                },
+            )
+            .unwrap();
+        let report =
+            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker)
+                .unwrap();
+        assert!(report.public_leaks().is_empty(), "Maxoid must not leak publicly");
+        assert!(!report.confined().is_empty(), "the trace must exist in Vol");
+        // Clear-Vol removes even the confined trace.
+        sys.clear_vol(&email.pkg).unwrap();
+        let report =
+            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker)
+                .unwrap();
+        assert!(report.confined().is_empty());
+    }
+}

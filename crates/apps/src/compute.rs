@@ -1,0 +1,134 @@
+//! Deterministic compute kernels standing in for app CPU work.
+//!
+//! The paper's Table 3 includes a CPU-bound microbenchmark (matrix
+//! multiplication) and Table 5 measures user-perceivable task latency
+//! dominated by rendering and image processing. These kernels provide the
+//! same cost structure — pure CPU work whose running time is independent
+//! of Maxoid confinement — without real codecs.
+
+/// Multiplies two `n × n` matrices derived deterministically from a seed;
+/// returns a checksum. The Table 3 CPU-bound microbenchmark.
+pub fn matmul_checksum(n: usize, seed: u64) -> u64 {
+    let mut a = vec![0u64; n * n];
+    let mut b = vec![0u64; n * n];
+    // Golden-ratio mixing keeps adjacent seeds distinct after the `| 1`.
+    let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+    for v in a.iter_mut().chain(b.iter_mut()) {
+        // Xorshift64: cheap deterministic fill.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *v = x & 0xff;
+    }
+    let mut c = vec![0u64; n * n];
+    for i in 0..n {
+        for k in 0..n {
+            let aik = a[i * n + k];
+            for j in 0..n {
+                c[i * n + j] = c[i * n + j].wrapping_add(aik.wrapping_mul(b[k * n + j]));
+            }
+        }
+    }
+    c.iter().fold(0u64, |acc, v| acc.wrapping_add(*v))
+}
+
+/// "Renders" a document: a byte-mixing pass over the content repeated
+/// `passes` times. Stands in for PDF rasterization (Table 5, Adobe
+/// Reader open).
+pub fn render_document(data: &[u8], passes: usize) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for _ in 0..passes {
+        for &b in data {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+/// Searches for a needle across a document repeatedly (Table 5, in-file
+/// search). Returns the number of matches found.
+pub fn in_file_search(data: &[u8], needle: &[u8], passes: usize) -> usize {
+    if needle.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    for _ in 0..passes {
+        count += data.windows(needle.len()).filter(|w| *w == needle).count();
+    }
+    count
+}
+
+/// "Processes" a scanned page: per-pixel transform emulating CamScanner's
+/// de-skew/contrast pipeline.
+pub fn process_scanned_page(pixels: &[u8], rounds: usize) -> Vec<u8> {
+    let mut out = pixels.to_vec();
+    for r in 0..rounds {
+        for (i, p) in out.iter_mut().enumerate() {
+            *p = p.wrapping_mul(31).wrapping_add((i as u8) ^ (r as u8));
+        }
+    }
+    out
+}
+
+/// Synthesizes a "photo" of the requested size from a seed (CameraMX
+/// capture path).
+pub fn capture_photo(bytes: usize, seed: u64) -> Vec<u8> {
+    let mut x = seed | 1;
+    (0..bytes)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x & 0xff) as u8
+        })
+        .collect()
+}
+
+/// Generates a deterministic QR payload for the scanner models.
+pub fn qr_payload(id: u64) -> String {
+    format!("http://links.example/item/{id}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_is_deterministic() {
+        assert_eq!(matmul_checksum(16, 42), matmul_checksum(16, 42));
+        assert_ne!(matmul_checksum(16, 42), matmul_checksum(16, 43));
+    }
+
+    #[test]
+    fn render_depends_on_content_and_passes() {
+        let d1 = b"document one";
+        assert_eq!(render_document(d1, 3), render_document(d1, 3));
+        assert_ne!(render_document(d1, 3), render_document(d1, 4));
+        assert_ne!(render_document(d1, 3), render_document(b"other", 3));
+    }
+
+    #[test]
+    fn search_counts_matches() {
+        let data = b"abc needle abc needle abc";
+        assert_eq!(in_file_search(data, b"needle", 1), 2);
+        assert_eq!(in_file_search(data, b"needle", 3), 6);
+        assert_eq!(in_file_search(data, b"", 5), 0);
+        assert_eq!(in_file_search(data, b"zzz", 2), 0);
+    }
+
+    #[test]
+    fn photo_capture_sized_and_seeded() {
+        let p = capture_photo(1024, 7);
+        assert_eq!(p.len(), 1024);
+        assert_eq!(p, capture_photo(1024, 7));
+        assert_ne!(p, capture_photo(1024, 8));
+    }
+
+    #[test]
+    fn page_processing_roundtrips_deterministically() {
+        let px = capture_photo(256, 1);
+        assert_eq!(process_scanned_page(&px, 2), process_scanned_page(&px, 2));
+        assert_ne!(process_scanned_page(&px, 2), process_scanned_page(&px, 3));
+    }
+}

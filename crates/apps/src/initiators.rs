@@ -1,0 +1,523 @@
+//! The four initiator case-study apps (§2.2, §7.1): Dropbox, Google
+//! Drive, Email, and Browser.
+
+use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+use maxoid::{
+    AppId, ContentValues, DownloadRequest, Intent, MaxoidSystem, Pid, QueryArgs, StartOutcome,
+    SystemResult, Uri,
+};
+use maxoid_vfs::{vpath, Mode, VPath};
+
+/// The VIEW action used throughout the case studies.
+pub const ACTION_VIEW: &str = "android.intent.action.VIEW";
+
+/// Dropbox model (§7.1 "Securing Dropbox").
+///
+/// Stores the user's files in a directory on external storage. Under
+/// Maxoid its manifest declares that directory private and marks VIEW
+/// intents as private, so viewers run as delegates without any code
+/// change. Its sync loop uploads every changed file it can see —
+/// faithfully reproducing the integrity problem of stock Android.
+#[derive(Debug, Clone)]
+pub struct Dropbox {
+    /// Package name.
+    pub pkg: String,
+    /// EXTDIR-relative storage directory.
+    pub dir: String,
+}
+
+impl Default for Dropbox {
+    fn default() -> Self {
+        Dropbox { pkg: "com.dropbox.android".into(), dir: "Dropbox".into() }
+    }
+}
+
+impl Dropbox {
+    /// The Maxoid manifest from the paper's case study: the storage dir is
+    /// private and VIEW invocations are delegated. Shipped as the XML file
+    /// the paper describes (§6.1) and parsed here.
+    pub fn maxoid_manifest(&self) -> MaxoidManifest {
+        let xml = format!(
+            r#"<maxoid-manifest>
+                 <private-external-dir path="{dir}"/>
+                 <invocation-filters mode="whitelist">
+                   <filter action="{ACTION_VIEW}"/>
+                 </invocation-filters>
+               </maxoid-manifest>"#,
+            dir = self.dir,
+        );
+        MaxoidManifest::from_xml(&xml).expect("static manifest XML is valid")
+    }
+
+    /// App-visible path of a synced file.
+    pub fn file_path(&self, name: &str) -> VPath {
+        vpath("/storage/sdcard")
+            .join(&self.dir)
+            .and_then(|d| d.join(name))
+            .expect("file names are valid components")
+    }
+
+    /// Simulates a sync-down: fetches a file from the Dropbox server and
+    /// stores it in the storage directory.
+    pub fn sync_down(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+    ) -> SystemResult<VPath> {
+        let data = sys.kernel.http_get(pid, &format!("dropbox.example/{name}"))?;
+        let path = self.file_path(name);
+        sys.kernel.mkdir_all(pid, &path.parent().expect("file has parent"), Mode::PUBLIC)?;
+        sys.kernel.write(pid, &path, &data, Mode::PUBLIC)?;
+        Ok(path)
+    }
+
+    /// The user taps a file: Dropbox sends a VIEW intent with the path.
+    pub fn open_file(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+    ) -> SystemResult<StartOutcome> {
+        let intent = Intent::new(ACTION_VIEW)
+            .with_data(self.file_path(name).as_str())
+            .with_mime(guess_mime(name));
+        sys.start_activity(Some(pid), &intent)
+    }
+
+    /// The sync loop: uploads every file in the storage dir whose content
+    /// differs from the server copy. Returns uploaded names. On stock
+    /// Android this silently uploads a delegate's corruption; under Maxoid
+    /// delegate edits live in `Vol` and are never picked up here.
+    pub fn sync_up(&self, sys: &mut MaxoidSystem, pid: Pid) -> SystemResult<Vec<String>> {
+        let dir = vpath("/storage/sdcard").join(&self.dir).expect("valid dir");
+        let mut uploaded = Vec::new();
+        let entries = sys.kernel.read_dir(pid, &dir).unwrap_or_default();
+        for e in entries {
+            if e.is_dir {
+                continue;
+            }
+            let local = sys.kernel.read(pid, &dir.join(&e.name)?)?;
+            let remote = sys
+                .kernel
+                .http_get(pid, &format!("dropbox.example/{}", e.name))
+                .unwrap_or_default();
+            if local != remote {
+                // "Upload": publish the new content to the server.
+                sys.kernel.net.publish("dropbox.example", &e.name, local);
+                uploaded.push(e.name);
+            }
+        }
+        Ok(uploaded)
+    }
+
+    /// Manual commit flow (§7.1): the user picks an edited file from
+    /// `EXTDIR/tmp` and uploads it, then clears `Vol(Dropbox)`.
+    pub fn upload_from_tmp(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+    ) -> SystemResult<()> {
+        let tmp = vpath("/storage/sdcard/tmp")
+            .join(&self.dir)
+            .and_then(|d| d.join(name))?;
+        let data = sys.kernel.read(pid, &tmp)?;
+        sys.kernel.net.publish("dropbox.example", name, data);
+        Ok(())
+    }
+}
+
+/// Google Drive model (§2.2 case II): caches downloads in private
+/// internal storage; world-readable cache files with random-string names.
+#[derive(Debug, Clone)]
+pub struct GoogleDrive {
+    /// Package name.
+    pub pkg: String,
+}
+
+impl Default for GoogleDrive {
+    fn default() -> Self {
+        GoogleDrive { pkg: "com.google.android.apps.docs".into() }
+    }
+}
+
+impl GoogleDrive {
+    /// Downloads a file into the private cache with an unguessable name;
+    /// the file itself is world-readable so a disclosed path can be
+    /// opened by another app.
+    pub fn cache_file(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+    ) -> SystemResult<VPath> {
+        let data = sys.kernel.http_get(pid, &format!("drive.example/{name}"))?;
+        // "Random" component: derived from the name deterministically.
+        let token: String = name
+            .bytes()
+            .map(|b| char::from(b'a' + (b.wrapping_mul(17) % 26)))
+            .collect();
+        let dir = vpath("/data/data").join(&self.pkg)?.join("cache")?;
+        sys.kernel.mkdir_all(pid, &dir, Mode::PRIVATE)?;
+        let path = dir.join(&format!("{token}-{name}"))?;
+        sys.kernel.write(pid, &path, &data, Mode::WORLD_READABLE)?;
+        Ok(path)
+    }
+
+    /// Opens a cached file with a viewer, disclosing its path.
+    pub fn open_cached(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        cached: &VPath,
+        delegate: bool,
+    ) -> SystemResult<StartOutcome> {
+        let mut intent = Intent::new(ACTION_VIEW)
+            .with_data(cached.as_str())
+            .with_mime("application/pdf");
+        if delegate {
+            intent = intent.as_delegate();
+        }
+        sys.start_activity(Some(pid), &intent)
+    }
+}
+
+/// Email model (§2.2 case III, §7.1 "Securing Email attachments").
+#[derive(Debug, Clone)]
+pub struct Email {
+    /// Package name.
+    pub pkg: String,
+}
+
+impl Default for Email {
+    fn default() -> Self {
+        Email { pkg: "com.android.email".into() }
+    }
+}
+
+impl Email {
+    /// The Maxoid manifest: VIEW intents are private (§7.1).
+    pub fn maxoid_manifest(&self) -> MaxoidManifest {
+        MaxoidManifest::new().filter(InvocationFilter::action(ACTION_VIEW))
+    }
+
+    /// Receives a message, storing the attachment in private internal
+    /// storage.
+    pub fn receive_attachment(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+        data: &[u8],
+    ) -> SystemResult<VPath> {
+        let dir = vpath("/data/data").join(&self.pkg)?.join("attachments")?;
+        sys.kernel.mkdir_all(pid, &dir, Mode::PRIVATE)?;
+        let path = dir.join(name)?;
+        sys.kernel.write(pid, &path, data, Mode::PRIVATE)?;
+        Ok(path)
+    }
+
+    /// The user clicks VIEW on the attachment: Email discloses the private
+    /// path via the intent (under Maxoid the viewer becomes a delegate and
+    /// reads it through its confined view of `Priv(Email)`).
+    pub fn view_attachment(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        attachment: &VPath,
+    ) -> SystemResult<StartOutcome> {
+        let intent = Intent::new(ACTION_VIEW)
+            .with_data(attachment.as_str())
+            .with_mime(guess_mime(attachment.as_str()))
+            .grant_read();
+        sys.start_activity(Some(pid), &intent)
+    }
+
+    /// The explicit SAVE button: exports the attachment to public storage
+    /// and the Downloads provider — deliberate declassification.
+    pub fn save_attachment(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        attachment: &VPath,
+    ) -> SystemResult<VPath> {
+        let data = sys.kernel.read(pid, attachment)?;
+        let name = attachment.file_name().unwrap_or("attachment").to_string();
+        sys.kernel.mkdir_all(pid, &vpath("/storage/sdcard/Download"), Mode::PUBLIC)?;
+        let out = vpath("/storage/sdcard/Download").join(&name)?;
+        sys.kernel.write(pid, &out, &data, Mode::PUBLIC)?;
+        let uri = Uri::parse("content://downloads/my_downloads").expect("static uri");
+        sys.cp_insert(
+            pid,
+            &uri,
+            &ContentValues::new()
+                .put("dest", out.as_str())
+                .put("title", name.as_str())
+                .put("status", maxoid_providers::downloads::status::SUCCESS),
+        )?;
+        Ok(out)
+    }
+}
+
+/// Browser model (§7.1 "Enhancing Browser's incognito mode").
+///
+/// The paper adds **one line** to Browser: downloads from an incognito
+/// tab set the volatile flag on the `DownloadManager` request.
+#[derive(Debug, Clone)]
+pub struct Browser {
+    /// Package name.
+    pub pkg: String,
+}
+
+impl Default for Browser {
+    fn default() -> Self {
+        Browser { pkg: "com.android.browser".into() }
+    }
+}
+
+impl Browser {
+    /// Downloads a URL; `incognito` is the one-line change routing the
+    /// request to volatile state.
+    pub fn download(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        url: &str,
+        filename: &str,
+        incognito: bool,
+    ) -> SystemResult<i64> {
+        let req = DownloadRequest {
+            url: url.to_string(),
+            dest: vpath("/storage/sdcard/Download").join(filename)?,
+            title: filename.to_string(),
+            headers: vec![],
+            volatile: incognito, // The 1-line Browser patch.
+        };
+        sys.enqueue_download(pid, &req)
+    }
+
+    /// The user taps a completed download's notification: a proper app is
+    /// started — as Browser's delegate when the download was incognito.
+    pub fn open_download_notification(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        note: &maxoid_providers::DownloadNotification,
+    ) -> SystemResult<StartOutcome> {
+        let mut intent = Intent::new(ACTION_VIEW)
+            .with_data(
+                vpath("/storage/sdcard/Download")
+                    .join(&note.title)?
+                    .as_str(),
+            )
+            .with_mime(guess_mime(&note.title));
+        if note.initiator.is_some() {
+            intent = intent.as_delegate();
+        }
+        sys.start_activity(Some(pid), &intent)
+    }
+
+    /// Queries the browser's own download list, merging public and
+    /// volatile records (the incognito tab's view).
+    pub fn downloads_list(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+    ) -> SystemResult<(usize, usize)> {
+        let pub_uri = Uri::parse("content://downloads/my_downloads").expect("static uri");
+        let public = sys.cp_query(pid, &pub_uri, &QueryArgs::default())?.rows.len();
+        let volatile = sys
+            .cp_query(pid, &pub_uri.as_volatile(), &QueryArgs::default())
+            .map(|rs| rs.rows.len())
+            .unwrap_or(0);
+        Ok((public, volatile))
+    }
+}
+
+/// Picks a MIME type from a file name (enough for intent resolution).
+pub fn guess_mime(name: &str) -> &'static str {
+    if name.ends_with(".pdf") {
+        "application/pdf"
+    } else if name.ends_with(".doc") || name.ends_with(".txt") {
+        "application/msword"
+    } else if name.ends_with(".jpg") || name.ends_with(".png") {
+        "image/jpeg"
+    } else if name.ends_with(".mp4") {
+        "video/mp4"
+    } else {
+        "application/octet-stream"
+    }
+}
+
+/// Installs an app model package with a VIEW receiver (viewer-style apps).
+pub fn install_viewer(sys: &mut MaxoidSystem, pkg: &str) -> SystemResult<AppId> {
+    sys.install(
+        pkg,
+        vec![maxoid::AppIntentFilter::new(ACTION_VIEW, None)],
+        MaxoidManifest::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataproc::AdobeReader;
+
+    #[test]
+    fn dropbox_stock_android_has_no_integrity() {
+        // Without the Maxoid manifest, any app can corrupt Dropbox's files
+        // and the sync loop uploads the corruption.
+        let db = Dropbox::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.kernel.net.publish("dropbox.example", "notes.txt", b"clean".to_vec());
+        sys.install(&db.pkg, vec![], MaxoidManifest::new()).unwrap();
+        sys.install("com.evil", vec![], MaxoidManifest::new()).unwrap();
+        let dpid = sys.launch(&db.pkg).unwrap();
+        db.sync_down(&mut sys, dpid, "notes.txt").unwrap();
+        // Another (normal) app overwrites the file on public storage.
+        let evil = sys.launch("com.evil").unwrap();
+        sys.kernel
+            .write(evil, &db.file_path("notes.txt"), b"corrupted", Mode::PUBLIC)
+            .unwrap();
+        let uploaded = db.sync_up(&mut sys, dpid).unwrap();
+        assert_eq!(uploaded, vec!["notes.txt"]);
+        assert_eq!(
+            sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(),
+            b"corrupted"
+        );
+    }
+
+    #[test]
+    fn dropbox_with_maxoid_manifest_keeps_integrity() {
+        let db = Dropbox::default();
+        let reader = AdobeReader::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.kernel.net.publish("dropbox.example", "notes.txt", b"clean".to_vec());
+        sys.install(&db.pkg, vec![], db.maxoid_manifest()).unwrap();
+        install_viewer(&mut sys, &reader.pkg).unwrap();
+        sys.install("com.evil", vec![], MaxoidManifest::new()).unwrap();
+
+        let dpid = sys.launch(&db.pkg).unwrap();
+        db.sync_down(&mut sys, dpid, "notes.txt").unwrap();
+
+        // The evil normal app cannot even see the private dir's file.
+        let evil = sys.launch("com.evil").unwrap();
+        assert!(!sys.kernel.exists(evil, &db.file_path("notes.txt")));
+
+        // A viewer invoked via VIEW becomes a delegate; its edit is
+        // confined to Vol(Dropbox).
+        let viewer = db.open_file(&mut sys, dpid, "notes.txt").unwrap().pid();
+        sys.kernel
+            .write(viewer, &db.file_path("notes.txt"), b"edited", Mode::PUBLIC)
+            .unwrap();
+        // The sync loop still sees the clean copy: no silent upload.
+        assert!(db.sync_up(&mut sys, dpid).unwrap().is_empty());
+        // The user explicitly uploads the edit from tmp, then clears Vol.
+        db.upload_from_tmp(&mut sys, dpid, "notes.txt").unwrap();
+        assert_eq!(
+            sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(),
+            b"edited"
+        );
+        sys.clear_vol(&db.pkg).unwrap();
+        assert!(sys.volatile_files(&db.pkg).unwrap().is_empty());
+    }
+
+    #[test]
+    fn email_attachment_viewer_is_confined() {
+        let email = Email::default();
+        let reader = AdobeReader::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.install(&email.pkg, vec![], email.maxoid_manifest()).unwrap();
+        install_viewer(&mut sys, &reader.pkg).unwrap();
+        let epid = sys.launch(&email.pkg).unwrap();
+        let att = email
+            .receive_attachment(&mut sys, epid, "report.pdf", b"confidential PDF")
+            .unwrap();
+        let vpid = email.view_attachment(&mut sys, epid, &att).unwrap().pid();
+        // The viewer is a delegate and reads the private attachment.
+        let viewer_proc = sys.kernel.process(vpid).unwrap();
+        assert!(viewer_proc.ctx.is_delegate());
+        assert_eq!(sys.kernel.read(vpid, &att).unwrap(), b"confidential PDF");
+        // Its Table 1 leak (SD-card copy) is confined to Vol(email).
+        let r = AdobeReader::default();
+        r.open(
+            &mut sys,
+            vpid,
+            &crate::dataproc::FileRef::Content {
+                name: "report.pdf".into(),
+                data: b"confidential PDF".to_vec(),
+            },
+        )
+        .unwrap();
+        // Email (the initiator) sees the copy under EXTDIR/tmp.
+        assert!(sys
+            .kernel
+            .exists(epid, &vpath("/storage/sdcard/tmp/Download/report.pdf")));
+        // A normal app does not see it on the public SD card.
+        sys.install("com.other", vec![], MaxoidManifest::new()).unwrap();
+        let other = sys.launch("com.other").unwrap();
+        assert!(!sys
+            .kernel
+            .exists(other, &vpath("/storage/sdcard/Download/report.pdf")));
+    }
+
+    #[test]
+    fn email_save_button_declassifies() {
+        let email = Email::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.install(&email.pkg, vec![], email.maxoid_manifest()).unwrap();
+        let epid = sys.launch(&email.pkg).unwrap();
+        let att = email.receive_attachment(&mut sys, epid, "pub.pdf", b"data").unwrap();
+        let out = email.save_attachment(&mut sys, epid, &att).unwrap();
+        sys.install("com.other", vec![], MaxoidManifest::new()).unwrap();
+        let other = sys.launch("com.other").unwrap();
+        assert_eq!(sys.kernel.read(other, &out).unwrap(), b"data");
+    }
+
+    #[test]
+    fn incognito_download_is_volatile() {
+        let browser = Browser::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.kernel.net.publish("files.example", "page.pdf", b"pdf".to_vec());
+        sys.install(&browser.pkg, vec![], MaxoidManifest::new()).unwrap();
+        let bpid = sys.launch(&browser.pkg).unwrap();
+        browser
+            .download(&mut sys, bpid, "files.example/page.pdf", "page.pdf", true)
+            .unwrap();
+        sys.pump_downloads().unwrap();
+        let notes = sys.download_notifications();
+        assert_eq!(notes.len(), 1);
+        assert_eq!(notes[0].initiator.as_deref(), Some(browser.pkg.as_str()));
+        // The browser sees one volatile download, zero public.
+        let (public, volatile) = browser.downloads_list(&mut sys, bpid).unwrap();
+        assert_eq!((public, volatile), (0, 1));
+        // Clear-Vol wipes the incognito trace: file, record, everything.
+        sys.clear_vol(&browser.pkg).unwrap();
+        assert!(sys
+            .open_download(
+                Some(&browser.pkg),
+                &vpath("/storage/sdcard/Download/page.pdf")
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn gdrive_cache_discloses_only_by_path() {
+        let gd = GoogleDrive::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.kernel.net.publish("drive.example", "doc.pdf", b"drive doc".to_vec());
+        sys.install(&gd.pkg, vec![], MaxoidManifest::new()).unwrap();
+        sys.install("com.other", vec![], MaxoidManifest::new()).unwrap();
+        let gpid = sys.launch(&gd.pkg).unwrap();
+        let cached = gd.cache_file(&mut sys, gpid, "doc.pdf").unwrap();
+        // Another app cannot *list* the cache dir (it's in Drive's private
+        // namespace entirely — our model is even stricter than stock
+        // Android's world-readable trick).
+        let other = sys.launch("com.other").unwrap();
+        assert!(sys
+            .kernel
+            .read_dir(other, &cached.parent().unwrap())
+            .is_err());
+    }
+}

@@ -1,0 +1,33 @@
+//! Behavioural models of the apps in the Maxoid paper's case studies.
+//!
+//! Two families:
+//!
+//! - **Data-processing apps** (Table 1): Adobe Reader, Kingsoft Office,
+//!   Barcode Scanner, CamScanner, CameraMX, VPlayer — legacy apps that
+//!   leave traces of processed data in private and public state. They are
+//!   plain path/URI users and run unmodified as Maxoid delegates (U3).
+//! - **Initiator apps** (§2.2, §7.1): Dropbox, Google Drive, Email,
+//!   Browser — apps that need help from the processing apps, each
+//!   demonstrating one use case from the evaluation. Plus EBookDroid, the
+//!   Maxoid-aware delegate using persistent private state, and the
+//!   wrapper app providing system-wide incognito mode.
+//!
+//! [`audit`] regenerates the Table 1 leak study and verifies Maxoid's
+//! confinement of the same behaviours.
+
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod compute;
+pub mod dataproc;
+pub mod ebookdroid;
+pub mod initiators;
+pub mod wrapper;
+
+pub use audit::{audit, install_observer, AuditReport, TraceLocation};
+pub use dataproc::{
+    AdobeReader, BarcodeScanner, CamScanner, CameraMx, FileRef, KingsoftOffice, VPlayer,
+};
+pub use ebookdroid::EBookDroid;
+pub use initiators::{install_viewer, Browser, Dropbox, Email, GoogleDrive, ACTION_VIEW};
+pub use wrapper::WrapperApp;

@@ -1,0 +1,110 @@
+//! The wrapper app (§7.1): an app that does nothing but hold sensitive
+//! documents, used as an initiator to force "real apps" into a
+//! system-wide incognito mode. After the delegates finish, clearing the
+//! volatile state removes every trace they left anywhere.
+
+use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+use maxoid::{Intent, MaxoidSystem, Pid, StartOutcome, SystemResult};
+use maxoid_vfs::{vpath, Mode, VPath};
+
+/// The document-holding wrapper app.
+#[derive(Debug, Clone)]
+pub struct WrapperApp {
+    /// Package name.
+    pub pkg: String,
+}
+
+impl Default for WrapperApp {
+    fn default() -> Self {
+        WrapperApp { pkg: "org.maxoid.wrapper".into() }
+    }
+}
+
+impl WrapperApp {
+    /// Manifest: every outgoing intent invokes a delegate (an empty
+    /// blacklist matches nothing, so everything is private).
+    pub fn maxoid_manifest(&self) -> MaxoidManifest {
+        MaxoidManifest::new()
+            .filter(InvocationFilter::default())
+            // A default filter matches every intent; whitelist mode makes
+            // every invocation private.
+    }
+
+    /// Stores a sensitive document in the wrapper's private storage.
+    pub fn hold_document(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        name: &str,
+        data: &[u8],
+    ) -> SystemResult<VPath> {
+        let dir = vpath("/data/data").join(&self.pkg)?.join("docs")?;
+        sys.kernel.mkdir_all(pid, &dir, Mode::PRIVATE)?;
+        let path = dir.join(name)?;
+        sys.kernel.write(pid, &path, data, Mode::PRIVATE)?;
+        Ok(path)
+    }
+
+    /// Opens a held document with a real app, which runs incognito (as
+    /// the wrapper's delegate).
+    pub fn open_with(
+        &self,
+        sys: &mut MaxoidSystem,
+        pid: Pid,
+        doc: &VPath,
+        viewer_pkg: &str,
+    ) -> SystemResult<StartOutcome> {
+        let intent = Intent::new(crate::initiators::ACTION_VIEW)
+            .with_data(doc.as_str())
+            .with_target(viewer_pkg);
+        sys.start_activity(Some(pid), &intent)
+    }
+
+    /// Ends the incognito session: clears volatile state and delegate
+    /// private forks, removing all traces.
+    pub fn end_session(&self, sys: &mut MaxoidSystem) -> SystemResult<()> {
+        sys.clear_vol(&self.pkg)?;
+        sys.clear_priv(&self.pkg)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataproc::{read_private_lines, AdobeReader, FileRef};
+    use crate::initiators::install_viewer;
+
+    #[test]
+    fn system_wide_incognito_mode() {
+        let wrapper = WrapperApp::default();
+        let reader = AdobeReader::default();
+        let mut sys = MaxoidSystem::boot().unwrap();
+        sys.install(&wrapper.pkg, vec![], wrapper.maxoid_manifest()).unwrap();
+        install_viewer(&mut sys, &reader.pkg).unwrap();
+
+        let wpid = sys.launch(&wrapper.pkg).unwrap();
+        let doc = wrapper
+            .hold_document(&mut sys, wpid, "tax_return.pdf", b"sensitive")
+            .unwrap();
+        let vpid = wrapper.open_with(&mut sys, wpid, &doc, &reader.pkg).unwrap().pid();
+        assert!(sys.kernel.process(vpid).unwrap().ctx.is_delegate());
+        // The reader leaves its usual traces while confined.
+        reader.open(&mut sys, vpid, &FileRef::Path(doc.clone())).unwrap();
+        assert_eq!(
+            read_private_lines(&sys, vpid, &reader.pkg, "recent_files.xml").len(),
+            1
+        );
+
+        // End the session: every trace disappears.
+        wrapper.end_session(&mut sys).unwrap();
+        assert!(sys.volatile_files(&wrapper.pkg).unwrap().is_empty());
+        // A fresh delegate run sees an empty recents list...
+        let v2 = sys.launch_as_delegate(&reader.pkg, &wrapper.pkg).unwrap();
+        assert!(read_private_lines(&sys, v2, &reader.pkg, "recent_files.xml").is_empty());
+        // ...and a normal run of the reader never saw anything.
+        // (Kill the delegate first so the normal instance may start.)
+        let normal = sys.launch(&reader.pkg).unwrap();
+        assert!(read_private_lines(&sys, normal, &reader.pkg, "recent_files.xml").is_empty());
+    }
+}

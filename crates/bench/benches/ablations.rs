@@ -1,0 +1,193 @@
+//! Ablation benchmarks for the design decisions DESIGN.md calls out:
+//!
+//! 1. **Subquery flattening** (paper §5.2 footnote 5): point queries on a
+//!    COW view under every planner policy, showing the cliff the authors
+//!    engineered around (Off materializes the whole view; 3.7.11 refuses
+//!    to flatten under ORDER BY; 3.8.6 flattens with the proxy's
+//!    column-append workaround).
+//! 2. **Unilateral COW vs full snapshot** (paper §3.3): delegate start-up
+//!    cost with lazy branch creation vs eagerly snapshotting public state.
+//! 3. **File- vs block-granularity copy-up** (paper §7.2.1): append cost
+//!    as a function of file size, showing the O(file size) behaviour that
+//!    makes append the worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxoid::manifest::MaxoidManifest;
+use maxoid::MaxoidSystem;
+use maxoid_bench::{cow_point_query, cow_table, FsMode, FsWorkload};
+use maxoid_cowproxy::{DbView, QueryOpts};
+use maxoid_sqldb::{FlattenPolicy, Value};
+use maxoid_vfs::{vpath, Mode, Uid};
+
+fn bench_flattening(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/flattening_point_query");
+    g.sample_size(20);
+    let policies = [
+        ("off", FlattenPolicy::Off),
+        ("sqlite_3_7_11", FlattenPolicy::Sqlite3711),
+        ("sqlite_3_8_6", FlattenPolicy::Sqlite386),
+        ("always", FlattenPolicy::Always),
+    ];
+    for (name, policy) in policies {
+        // 5000 public rows, 100 volatile rows: big enough that a
+        // materialize-then-filter plan visibly loses.
+        let p = cow_table(policy, 5000, 100);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut id = 0i64;
+            b.iter(|| {
+                id = id % 5000 + 1;
+                std::hint::black_box(cow_point_query(&p, id));
+            });
+        });
+    }
+    g.finish();
+
+    // The ORDER BY variant that separates 3.7.11 from 3.8.6: named
+    // columns + ORDER BY (the proxy's workaround appends the column).
+    let mut g = c.benchmark_group("ablation/flattening_order_by");
+    g.sample_size(20);
+    for (name, policy) in policies {
+        let p = cow_table(policy, 5000, 100);
+        let delegate = DbView::Delegate { initiator: "A".into() };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let rs = p
+                    .query(
+                        &delegate,
+                        "tab1",
+                        &QueryOpts {
+                            columns: vec!["data".into()],
+                            where_clause: Some("_id <= ?".into()),
+                            order_by: Some("_id DESC".into()),
+                            limit: Some(10),
+                        },
+                        &[Value::Integer(50)],
+                    )
+                    .expect("query");
+                std::hint::black_box(rs.rows.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_snapshot_vs_unilateral(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/delegate_start");
+    g.sample_size(10);
+    // Seed a public external storage with many files.
+    let seed = |sys: &mut MaxoidSystem, files: usize| {
+        let pid = sys.launch("seeder").expect("launch");
+        for i in 0..files {
+            sys.kernel
+                .write(
+                    pid,
+                    &vpath("/storage/sdcard").join(&format!("f{i}.dat")).unwrap(),
+                    &vec![0u8; 4096],
+                    Mode::PUBLIC,
+                )
+                .expect("seed");
+        }
+    };
+    for files in [50usize, 500] {
+        // Unilateral per-name COW (Maxoid): delegate start only builds
+        // mounts; no copying.
+        g.bench_function(BenchmarkId::new("unilateral_cow", files), |b| {
+            b.iter(|| {
+                let mut sys = MaxoidSystem::boot().expect("boot");
+                sys.install("seeder", vec![], MaxoidManifest::new()).expect("install");
+                sys.install("init", vec![], MaxoidManifest::new()).expect("install");
+                sys.install("worker", vec![], MaxoidManifest::new()).expect("install");
+                seed(&mut sys, files);
+                std::hint::black_box(
+                    sys.launch_as_delegate("worker", "init").expect("delegate"),
+                );
+            });
+        });
+        // Full snapshot (the rejected design): copy all of Pub(all) into
+        // a per-delegate area before starting.
+        g.bench_function(BenchmarkId::new("full_snapshot", files), |b| {
+            b.iter(|| {
+                let mut sys = MaxoidSystem::boot().expect("boot");
+                sys.install("seeder", vec![], MaxoidManifest::new()).expect("install");
+                sys.install("init", vec![], MaxoidManifest::new()).expect("install");
+                sys.install("worker", vec![], MaxoidManifest::new()).expect("install");
+                seed(&mut sys, files);
+                // Eager snapshot of the public branch.
+                sys.kernel.vfs().with_store_mut(|s| {
+                    s.mkdir_all(&vpath("/backing/snapshots"), Uid::ROOT, Mode::PUBLIC)
+                        .expect("mkdir");
+                    s.copy_all(&vpath("/backing/ext/pub"), &vpath("/backing/snapshots/worker"))
+                        .expect("snapshot");
+                });
+                std::hint::black_box(
+                    sys.launch_as_delegate("worker", "init").expect("delegate"),
+                );
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_copyup_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/append_copyup_scaling");
+    g.sample_size(15);
+    for size in [4 * 1024usize, 64 * 1024, 1024 * 1024] {
+        g.bench_function(BenchmarkId::from_parameter(size), |b| {
+            let w = FsWorkload::new(FsMode::Delegate, 1, size);
+            b.iter(|| {
+                w.reset_seeded(0, size);
+                w.append(0, 64);
+            });
+        });
+    }
+    g.finish();
+}
+
+/// File- vs block-granularity copy-up at the union layer: the paper's
+/// §7.2.1 suggestion implemented. Block mode makes append O(appended
+/// bytes) instead of O(file size).
+fn bench_granularity(c: &mut Criterion) {
+    use maxoid_vfs::{vpath, Branch, CopyUpGranularity, Store, Union};
+    let mut g = c.benchmark_group("ablation/copyup_granularity_1MB_append");
+    g.sample_size(15);
+    for (name, granularity) in [
+        ("file_level_aufs", CopyUpGranularity::File),
+        ("block_level", CopyUpGranularity::Block),
+    ] {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut store = Store::new();
+            store
+                .mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC)
+                .expect("mkdir");
+            store
+                .mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC)
+                .expect("mkdir");
+            let payload = vec![0u8; 1024 * 1024];
+            store
+                .write(&vpath("/low/big.dat"), &payload, Uid::ROOT, Mode::PUBLIC)
+                .expect("seed");
+            let union = Union::new(
+                vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))],
+                false,
+            )
+            .with_granularity(granularity);
+            b.iter(|| {
+                // Reset to the pre-copy-up state so every iteration pays
+                // the first-touch cost.
+                let _ = store.unlink(&vpath("/up/big.dat"));
+                let _ = store.unlink(&vpath("/up/.ad.big.dat"));
+                union.append(&mut store, "big.dat", b"tail").expect("append");
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_flattening,
+    bench_snapshot_vs_unilateral,
+    bench_copyup_scaling,
+    bench_granularity
+);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Criterion version of the Table 3 microbenchmarks: CPU, internal file
+//! system (read/write/append × 4KB/1MB) and User Dictionary operations,
+//! each in android/initiator/delegate mode.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxoid_apps::compute;
+use maxoid_bench::{DictMode, DictWorkload, FsMode, FsWorkload};
+
+fn bench_cpu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table3/cpu");
+    g.sample_size(20);
+    for mode in FsMode::ALL {
+        // The CPU benchmark is mode-independent by construction; measuring
+        // it per mode documents that Maxoid adds nothing.
+        g.bench_function(BenchmarkId::from_parameter(mode.label()), |b| {
+            b.iter(|| std::hint::black_box(compute::matmul_checksum(48, 7)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_fs(c: &mut Criterion) {
+    for (label, size) in [("4KB", 4 * 1024usize), ("1MB", 1024 * 1024)] {
+        let mut g = c.benchmark_group(format!("table3/fs_{label}"));
+        g.sample_size(20);
+        for mode in FsMode::ALL {
+            g.bench_function(BenchmarkId::new("read", mode.label()), |b| {
+                let w = FsWorkload::new(mode, 8, size);
+                let mut i = 0;
+                b.iter(|| {
+                    w.read(i % 8);
+                    i += 1;
+                });
+            });
+            g.bench_function(BenchmarkId::new("write", mode.label()), |b| {
+                let mut w = FsWorkload::new(mode, 1, size);
+                b.iter(|| w.write_new(size));
+            });
+            g.bench_function(BenchmarkId::new("append", mode.label()), |b| {
+                let w = FsWorkload::new(mode, 1, size);
+                b.iter(|| {
+                    // Reset is part of the loop; it keeps the copy-up on
+                    // the measured path (the paper's worst case).
+                    w.reset_seeded(0, size);
+                    w.append(0, size);
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_dict(c: &mut Criterion) {
+    let rows = 1000;
+    let mut g = c.benchmark_group("table3/user_dictionary");
+    g.sample_size(20);
+    for mode in DictMode::ALL {
+        g.bench_function(BenchmarkId::new("insert", mode.label()), |b| {
+            let mut w = DictWorkload::new(mode, rows);
+            let mut i = 0;
+            b.iter(|| {
+                w.insert(i);
+                i += 1;
+            });
+        });
+        g.bench_function(BenchmarkId::new("update", mode.label()), |b| {
+            let mut w = DictWorkload::new(mode, rows);
+            b.iter(|| w.update());
+        });
+        g.bench_function(BenchmarkId::new("query_1_word", mode.label()), |b| {
+            let mut w = DictWorkload::new(mode, rows);
+            for _ in 0..50 {
+                w.update();
+            }
+            let mut id = 0i64;
+            b.iter(|| {
+                id = id % rows as i64 + 1;
+                std::hint::black_box(w.query_one(id));
+            });
+        });
+        g.bench_function(BenchmarkId::new("query_1k_words", mode.label()), |b| {
+            let mut w = DictWorkload::new(mode, rows);
+            for _ in 0..50 {
+                w.update();
+            }
+            b.iter(|| std::hint::black_box(w.query_all()));
+        });
+        g.bench_function(BenchmarkId::new("delete", mode.label()), |b| {
+            let mut w = DictWorkload::new(mode, rows);
+            let mut id = 0i64;
+            b.iter(|| {
+                id = id % rows as i64 + 1;
+                w.delete(id);
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu, bench_fs, bench_dict);
+criterion_main!(benches);

@@ -1,0 +1,192 @@
+//! Regenerates Table 3 of the paper: microbenchmark overheads of Maxoid
+//! (initiator / delegate) relative to unmodified Android.
+//!
+//! Run with: `cargo run --release -p maxoid-bench --bin table3`
+
+use maxoid_apps::compute;
+use maxoid_bench::report::fmt_overhead;
+use maxoid_bench::{
+    measure_interleaved, Case, DictMode, DictWorkload, FsMode, FsWorkload, Measurement,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const TRIALS: usize = 200;
+
+fn main() {
+    println!("Table 3 — microbenchmark overheads vs unmodified Android");
+    println!("(paper shape: initiator ~0 everywhere; delegate pays only on I/O,");
+    println!(" with append the worst case; {TRIALS} interleaved trials per cell)\n");
+
+    // --- CPU-bound operations -----------------------------------------
+    let cpu = measure_interleaved(
+        20,
+        (0..3)
+            .map(|_| {
+                let case: Case = (
+                    Box::new(|| {}),
+                    Box::new(|| {
+                        std::hint::black_box(compute::matmul_checksum(48, 7));
+                    }),
+                );
+                case
+            })
+            .collect(),
+    );
+    println!("CPU-bound (48x48 matmul):");
+    print_row("cpu", &cpu);
+
+    // --- Internal file system -----------------------------------------
+    for (label, size) in [("4KB", 4 * 1024usize), ("1MB", 1024 * 1024)] {
+        let trials = if size > 64 * 1024 { 40 } else { TRIALS };
+        println!("\nInternal file system, {label} files:");
+
+        // read
+        let reads = measure_interleaved(
+            trials,
+            FsMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let w = FsWorkload::new(mode, 8, size);
+                    let i = Rc::new(RefCell::new(0usize));
+                    let case: Case = (
+                        Box::new(|| {}),
+                        Box::new(move || {
+                            let mut k = i.borrow_mut();
+                            w.read(*k % 8);
+                            *k += 1;
+                        }),
+                    );
+                    case
+                })
+                .collect(),
+        );
+        print_row("read", &reads);
+
+        // write (create new files)
+        let writes = measure_interleaved(
+            trials,
+            FsMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let w = Rc::new(RefCell::new(FsWorkload::new(mode, 1, size)));
+                    let case: Case = (
+                        Box::new(|| {}),
+                        Box::new(move || w.borrow_mut().write_new(size)),
+                    );
+                    case
+                })
+                .collect(),
+        );
+        print_row("write", &writes);
+
+        // append (copy-up path for delegates; reset between trials)
+        let appends = measure_interleaved(
+            trials,
+            FsMode::ALL
+                .iter()
+                .map(|&mode| {
+                    let w = Rc::new(FsWorkload::new(mode, 1, size));
+                    let w2 = w.clone();
+                    let case: Case = (
+                        Box::new(move || w.reset_seeded(0, size)),
+                        Box::new(move || w2.append(0, size)),
+                    );
+                    case
+                })
+                .collect(),
+        );
+        print_row("append", &appends);
+    }
+
+    // --- User Dictionary provider ---------------------------------------
+    println!("\nUser Dictionary provider (1000 rows):");
+    let rows = 1000;
+
+    let inserts = dict_cases(rows, 0, |w, i| w.insert(i));
+    print_row("insert", &inserts);
+
+    let updates = dict_cases(rows, 0, |w, _| w.update());
+    print_row("update", &updates);
+
+    // Queries run after updates so primary + delta are both involved.
+    let query1 = dict_cases(rows, 50, move |w, i| {
+        std::hint::black_box(w.query_one((i % rows) as i64 + 1));
+    });
+    print_row("query 1 word", &query1);
+
+    let query1k = dict_cases_n(40, rows, 50, |w, _| {
+        std::hint::black_box(w.query_all());
+    });
+    print_row("query 1k words", &query1k);
+
+    let deletes = dict_cases(rows, 0, move |w, i| w.delete((i % rows) as i64 + 1));
+    print_row("delete", &deletes);
+
+    println!("\n(percentages are relative to the android column; the in-memory");
+    println!(" baseline is far faster than device SQLite/ext4, which inflates");
+    println!(" relative overheads — compare the absolute added microseconds and");
+    println!(" their ordering with the paper's percentages; see EXPERIMENTS.md)");
+}
+
+/// Builds the three dictionary-mode cases with `warm_updates` pre-applied
+/// and runs `op` with a per-case iteration counter.
+fn dict_cases(
+    rows: usize,
+    warm_updates: usize,
+    op: impl Fn(&mut DictWorkload, usize) + Copy + 'static,
+) -> Vec<Measurement> {
+    dict_cases_n(TRIALS, rows, warm_updates, op)
+}
+
+fn dict_cases_n(
+    trials: usize,
+    rows: usize,
+    warm_updates: usize,
+    op: impl Fn(&mut DictWorkload, usize) + Copy + 'static,
+) -> Vec<Measurement> {
+    measure_interleaved(
+        trials,
+        DictMode::ALL
+            .iter()
+            .map(|&mode| {
+                let mut w = DictWorkload::new(mode, rows);
+                for _ in 0..warm_updates {
+                    w.update();
+                }
+                let w = Rc::new(RefCell::new(w));
+                let i = Rc::new(RefCell::new(0usize));
+                let case: Case = (
+                    Box::new(|| {}),
+                    Box::new(move || {
+                        let mut k = i.borrow_mut();
+                        op(&mut w.borrow_mut(), *k);
+                        *k += 1;
+                    }),
+                );
+                case
+            })
+            .collect(),
+    )
+}
+
+/// Prints one benchmark row: absolute times plus overhead columns.
+///
+/// Note on interpretation: the paper reports overheads against SQLite and
+/// ext4 on 2012-era flash, whose per-op baseline costs are orders of
+/// magnitude above this in-memory substrate's. The *absolute* extra work
+/// Maxoid adds and its ordering across workloads are the comparable
+/// quantities; percentages against a sub-µs baseline overstate relative
+/// cost. See EXPERIMENTS.md.
+fn print_row(label: &str, ms: &[Measurement]) {
+    let base = &ms[0];
+    println!(
+        "  {:<16} android {:>9.1} us | initiator {:>9.1} us ({:>6}) | delegate {:>9.1} us ({:>6})",
+        label,
+        base.mean_us(),
+        ms[1].mean_us(),
+        fmt_overhead(ms[1].overhead_pct(base)),
+        ms[2].mean_us(),
+        fmt_overhead(ms[2].overhead_pct(base)),
+    );
+}

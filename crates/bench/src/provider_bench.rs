@@ -1,0 +1,317 @@
+//! User Dictionary provider workloads for the Table 3 microbenchmarks.
+//!
+//! Matches the paper's parameters: a 1000-row table; delegate updates run
+//! before any delta entries exist (so the copy-on-write path is paid);
+//! queries run after updates (so both primary and delta tables are
+//! involved); query-1-word addresses a specific id, query-1k selects all.
+
+use maxoid_cowproxy::{CowProxy, DbView, QueryOpts};
+use maxoid_providers::provider::ContentProvider;
+use maxoid_providers::{Caller, ContentValues, QueryArgs, Uri, UserDictionaryProvider};
+use maxoid_sqldb::{Database, FlattenPolicy, Value};
+
+/// Which setup a dictionary workload runs in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DictMode {
+    /// Raw SQL against a plain table — the unmodified-Android baseline
+    /// (no proxy in the call path at all).
+    Android,
+    /// Through the provider as an initiator (proxy present, primary
+    /// tables).
+    Initiator,
+    /// Through the provider as a delegate (COW views + delta tables).
+    Delegate,
+}
+
+impl DictMode {
+    /// All three modes, baseline first.
+    pub const ALL: [DictMode; 3] = [DictMode::Android, DictMode::Initiator, DictMode::Delegate];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DictMode::Android => "android",
+            DictMode::Initiator => "initiator",
+            DictMode::Delegate => "delegate",
+        }
+    }
+}
+
+/// A User Dictionary instance pre-populated with `rows` words, plus the
+/// caller identity for the selected mode.
+pub struct DictWorkload {
+    mode: DictMode,
+    /// Raw database for the Android baseline.
+    raw: Option<Database>,
+    /// Provider for the Maxoid modes.
+    provider: Option<UserDictionaryProvider>,
+    caller: Caller,
+    uri: Uri,
+    rows: usize,
+    next_update: usize,
+}
+
+impl DictWorkload {
+    /// Builds the workload with `rows` pre-seeded words.
+    pub fn new(mode: DictMode, rows: usize) -> DictWorkload {
+        let uri = Uri::parse("content://user_dictionary/words").expect("static uri");
+        let caller = match mode {
+            DictMode::Delegate => Caller::delegate("bench.app", "bench.initiator"),
+            _ => Caller::normal("bench.app"),
+        };
+        let mut w = DictWorkload {
+            mode,
+            raw: None,
+            provider: None,
+            caller,
+            uri,
+            rows,
+            next_update: 0,
+        };
+        match mode {
+            DictMode::Android => {
+                let mut db = Database::with_policy(FlattenPolicy::Sqlite386);
+                db.execute_batch(
+                    "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT NOT NULL, \
+                     frequency INTEGER, locale TEXT, appid INTEGER);",
+                )
+                .expect("schema");
+                for i in 0..rows {
+                    db.execute(
+                        "INSERT INTO words (word, frequency) VALUES (?, ?)",
+                        &[Value::Text(format!("word{i}")), Value::Integer(i as i64)],
+                    )
+                    .expect("seed");
+                }
+                w.raw = Some(db);
+            }
+            DictMode::Initiator | DictMode::Delegate => {
+                let mut p = UserDictionaryProvider::new();
+                let seeder = Caller::normal("bench.seeder");
+                for i in 0..rows {
+                    p.insert(
+                        &seeder,
+                        &w.uri,
+                        &ContentValues::new()
+                            .put("word", format!("word{i}"))
+                            .put("frequency", i as i64),
+                    )
+                    .expect("seed");
+                }
+                w.provider = Some(p);
+            }
+        }
+        w
+    }
+
+    /// Access to the proxy stats (None in Android mode).
+    pub fn proxy(&self) -> Option<&CowProxy> {
+        self.provider.as_ref().map(|p| p.proxy())
+    }
+
+    /// insert: one new word.
+    pub fn insert(&mut self, i: usize) {
+        match self.mode {
+            DictMode::Android => {
+                self.raw
+                    .as_mut()
+                    .expect("android mode has raw db")
+                    .execute(
+                        "INSERT INTO words (word, frequency) VALUES (?, ?)",
+                        &[Value::Text(format!("new{i}")), Value::Integer(0)],
+                    )
+                    .expect("insert");
+            }
+            _ => {
+                self.provider
+                    .as_mut()
+                    .expect("maxoid modes have provider")
+                    .insert(
+                        &self.caller,
+                        &self.uri,
+                        &ContentValues::new().put("word", format!("new{i}")).put("frequency", 0),
+                    )
+                    .expect("insert");
+            }
+        }
+    }
+
+    /// update: bumps one seeded word by id, cycling through the table so
+    /// delegate-mode updates keep hitting rows without delta entries
+    /// (first-touch copy-on-write, as in the paper).
+    pub fn update(&mut self) {
+        self.next_update = self.next_update % self.rows + 1;
+        let id = self.next_update as i64;
+        match self.mode {
+            DictMode::Android => {
+                self.raw
+                    .as_mut()
+                    .expect("android mode has raw db")
+                    .execute(
+                        "UPDATE words SET frequency = frequency + 1 WHERE _id = ?",
+                        &[Value::Integer(id)],
+                    )
+                    .expect("update");
+            }
+            _ => {
+                self.provider
+                    .as_mut()
+                    .expect("maxoid modes have provider")
+                    .update(
+                        &self.caller,
+                        &self.uri.with_id(id),
+                        &ContentValues::new().put("frequency", id),
+                        &QueryArgs::default(),
+                    )
+                    .expect("update");
+            }
+        }
+    }
+
+    /// query 1 word: by id in the URI.
+    pub fn query_one(&mut self, id: i64) -> usize {
+        match self.mode {
+            DictMode::Android => self
+                .raw
+                .as_ref()
+                .expect("android mode has raw db")
+                .query("SELECT * FROM words WHERE _id = ?", &[Value::Integer(id)])
+                .expect("query")
+                .rows
+                .len(),
+            _ => self
+                .provider
+                .as_mut()
+                .expect("maxoid modes have provider")
+                .query(&self.caller, &self.uri.with_id(id), &QueryArgs::default())
+                .expect("query")
+                .rows
+                .len(),
+        }
+    }
+
+    /// query 1k words: selects every word.
+    pub fn query_all(&mut self) -> usize {
+        match self.mode {
+            DictMode::Android => self
+                .raw
+                .as_ref()
+                .expect("android mode has raw db")
+                .query("SELECT * FROM words", &[])
+                .expect("query")
+                .rows
+                .len(),
+            _ => self
+                .provider
+                .as_mut()
+                .expect("maxoid modes have provider")
+                .query(&self.caller, &self.uri, &QueryArgs::default())
+                .expect("query")
+                .rows
+                .len(),
+        }
+    }
+
+    /// delete: removes one seeded word (whiteout for delegates).
+    pub fn delete(&mut self, id: i64) {
+        match self.mode {
+            DictMode::Android => {
+                self.raw
+                    .as_mut()
+                    .expect("android mode has raw db")
+                    .execute("DELETE FROM words WHERE _id = ?", &[Value::Integer(id)])
+                    .expect("delete");
+            }
+            _ => {
+                self.provider
+                    .as_mut()
+                    .expect("maxoid modes have provider")
+                    .delete(&self.caller, &self.uri.with_id(id), &QueryArgs::default())
+                    .expect("delete");
+            }
+        }
+    }
+}
+
+/// Builds a CowProxy with `rows` public rows and `delta_rows` volatile
+/// rows for initiator `A` — used by the flattening ablation bench.
+pub fn cow_table(policy: FlattenPolicy, rows: usize, delta_rows: usize) -> CowProxy {
+    let mut p = CowProxy::with_policy(policy);
+    p.execute_batch("CREATE TABLE tab1 (_id INTEGER PRIMARY KEY, data TEXT);").expect("schema");
+    for i in 0..rows {
+        p.insert(&DbView::Primary, "tab1", &[("data", format!("d{i}").into())]).expect("seed");
+    }
+    let delegate = DbView::Delegate { initiator: "A".into() };
+    for i in 0..delta_rows {
+        p.update(
+            &delegate,
+            "tab1",
+            &[("data", format!("v{i}").into())],
+            Some("_id = ?"),
+            &[Value::Integer((i + 1) as i64)],
+        )
+        .expect("delta seed");
+    }
+    p
+}
+
+/// Runs a point query through the COW view (the flattening-sensitive
+/// query shape).
+pub fn cow_point_query(p: &CowProxy, id: i64) -> usize {
+    let delegate = DbView::Delegate { initiator: "A".into() };
+    p.query(
+        &delegate,
+        "tab1",
+        &QueryOpts {
+            columns: vec!["data".into()],
+            where_clause: Some("_id = ?".into()),
+            ..Default::default()
+        },
+        &[Value::Integer(id)],
+    )
+    .expect("query")
+    .rows
+    .len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_modes_agree_on_results() {
+        for mode in DictMode::ALL {
+            let mut w = DictWorkload::new(mode, 50);
+            assert_eq!(w.query_all(), 50, "mode {}", mode.label());
+            assert_eq!(w.query_one(10), 1);
+            w.insert(0);
+            w.update();
+            assert_eq!(w.query_all(), 51);
+            w.delete(5);
+            assert_eq!(w.query_all(), 50);
+            assert_eq!(w.query_one(5), 0);
+        }
+    }
+
+    #[test]
+    fn delegate_mode_uses_cow_machinery() {
+        let mut w = DictWorkload::new(DictMode::Delegate, 20);
+        w.update();
+        let proxy = w.proxy().expect("delegate mode has proxy");
+        assert!(proxy.has_delta("words", "bench.initiator"));
+    }
+
+    #[test]
+    fn cow_table_builder_shapes() {
+        let p = cow_table(FlattenPolicy::Sqlite386, 100, 10);
+        assert_eq!(cow_point_query(&p, 1), 1);
+        assert_eq!(cow_point_query(&p, 100), 1);
+        p.db().stats.reset();
+        cow_point_query(&p, 50);
+        assert!(p.db().stats.flattened_queries.get() > 0);
+        let off = cow_table(FlattenPolicy::Off, 100, 10);
+        off.db().stats.reset();
+        cow_point_query(&off, 50);
+        assert_eq!(off.db().stats.flattened_queries.get(), 0);
+    }
+}

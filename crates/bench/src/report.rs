@@ -1,0 +1,153 @@
+//! Tiny measurement helpers for the table-printing binaries.
+
+use std::time::Instant;
+
+/// A set of timed trials.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Per-trial wall times in nanoseconds.
+    pub trials_ns: Vec<u64>,
+}
+
+impl Measurement {
+    /// Mean time in nanoseconds.
+    pub fn mean_ns(&self) -> f64 {
+        if self.trials_ns.is_empty() {
+            return 0.0;
+        }
+        self.trials_ns.iter().sum::<u64>() as f64 / self.trials_ns.len() as f64
+    }
+
+    /// Sample standard deviation in nanoseconds.
+    pub fn stddev_ns(&self) -> f64 {
+        let n = self.trials_ns.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean_ns();
+        let var = self
+            .trials_ns
+            .iter()
+            .map(|&t| {
+                let d = t as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+
+    /// Mean time in microseconds.
+    pub fn mean_us(&self) -> f64 {
+        self.mean_ns() / 1_000.0
+    }
+
+    /// Overhead of `self` relative to a baseline measurement, in percent
+    /// (negative means faster than baseline).
+    pub fn overhead_pct(&self, baseline: &Measurement) -> f64 {
+        let b = baseline.mean_ns();
+        if b == 0.0 {
+            return 0.0;
+        }
+        (self.mean_ns() - b) / b * 100.0
+    }
+}
+
+/// Runs `op` for `trials` timed iterations, invoking `setup` before each
+/// (untimed) to reset state.
+pub fn measure<S, O>(trials: usize, mut setup: S, mut op: O) -> Measurement
+where
+    S: FnMut(),
+    O: FnMut(),
+{
+    // Untimed warmup to absorb allocator and cache effects, so the first
+    // mode benchmarked is not penalized.
+    for _ in 0..3.min(trials) {
+        setup();
+        op();
+    }
+    let mut trials_ns = Vec::with_capacity(trials);
+    for _ in 0..trials {
+        setup();
+        let start = Instant::now();
+        op();
+        trials_ns.push(start.elapsed().as_nanos() as u64);
+    }
+    Measurement { trials_ns }
+}
+
+
+/// One interleaved-measurement case: (per-trial setup, timed operation).
+pub type Case = (Box<dyn FnMut()>, Box<dyn FnMut()>);
+
+/// Measures several alternatives with interleaved trials (round-robin),
+/// so allocator warm-up and cache effects spread evenly across modes
+/// instead of favouring whichever runs last.
+pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measurement> {
+    // Warmup round.
+    for (setup, op) in cases.iter_mut() {
+        for _ in 0..3.min(trials) {
+            setup();
+            op();
+        }
+    }
+    let mut out: Vec<Measurement> =
+        cases.iter().map(|_| Measurement { trials_ns: Vec::with_capacity(trials) }).collect();
+    for _ in 0..trials {
+        for (i, (setup, op)) in cases.iter_mut().enumerate() {
+            setup();
+            let start = Instant::now();
+            op();
+            out[i].trials_ns.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    out
+}
+
+/// Formats an overhead percentage the way the paper's Table 3 does.
+pub fn fmt_overhead(pct: f64) -> String {
+    if pct.abs() < 0.5 {
+        "0".to_string()
+    } else {
+        format!("{pct:.1}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let m = Measurement { trials_ns: vec![100, 200, 300] };
+        assert!((m.mean_ns() - 200.0).abs() < 1e-9);
+        assert!(m.stddev_ns() > 0.0);
+        let b = Measurement { trials_ns: vec![100, 100, 100] };
+        assert!((m.overhead_pct(&b) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_runs_trials() {
+        let mut count = 0;
+        let m = measure(5, || {}, || count += 1);
+        assert_eq!(m.trials_ns.len(), 5);
+        // Trials plus the three untimed warmup iterations.
+        assert_eq!(count, 8);
+    }
+
+    #[test]
+    fn degenerate_stats_are_zero() {
+        let empty = Measurement { trials_ns: vec![] };
+        assert_eq!(empty.mean_ns(), 0.0);
+        assert_eq!(empty.stddev_ns(), 0.0);
+        let single = Measurement { trials_ns: vec![7] };
+        assert_eq!(single.stddev_ns(), 0.0);
+    }
+
+    #[test]
+    fn overhead_formatting() {
+        assert_eq!(fmt_overhead(0.2), "0");
+        assert_eq!(fmt_overhead(7.5), "7.5%");
+        assert_eq!(fmt_overhead(-3.0), "-3.0%");
+    }
+}

@@ -1,0 +1,414 @@
+//! Activity Manager Service (§3.4, §6.2 item 1).
+//!
+//! Tracks which apps exist, their intent filters, and routes invocations:
+//!
+//! - decides whether the invoked instance runs normally or as a delegate
+//!   (the intent's Maxoid flag, or the sender's manifest filters);
+//! - enforces **invocation-transitivity**: an invocation from `B^A` always
+//!   yields `C^A`, broadcasts from `B^A` reach only `A` and `A`'s
+//!   delegates, and **nested delegation fails**;
+//! - applies the kill rules: starting `B^A` kills a running normal `B`
+//!   (§4.2), and an instance running for a different initiator is killed
+//!   before the new context starts (§6.2);
+//! - models `ResolverActivity` as an intent channel: when several apps
+//!   match, candidates are returned for the user to choose from, and the
+//!   chosen target starts in the context computed from the *original*
+//!   sender.
+
+use crate::intent::{AppIntentFilter, Intent};
+use crate::manifest::MaxoidManifest;
+use maxoid_kernel::{AppId, ExecContext, Pid};
+use std::collections::BTreeMap;
+
+/// Errors from invocation routing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AmsError {
+    /// No installed app accepts the intent.
+    NoMatch(String),
+    /// A delegate attempted nested delegation (§3.4: unsupported).
+    NestedDelegation,
+    /// The named target is not installed.
+    NoSuchApp(String),
+}
+
+impl std::fmt::Display for AmsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AmsError::NoMatch(a) => write!(f, "no activity found to handle {a}"),
+            AmsError::NestedDelegation => f.write_str("nested delegation is not supported"),
+            AmsError::NoSuchApp(a) => write!(f, "no such app: {a}"),
+        }
+    }
+}
+
+impl std::error::Error for AmsError {}
+
+/// The routing decision for one invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// A single target resolved; start it in this context.
+    Start {
+        /// The app to start.
+        target: AppId,
+        /// The context it must run in.
+        ctx: ExecContext,
+        /// Instances that must be killed first (conflicting contexts).
+        kill_first: Vec<Pid>,
+    },
+    /// Several candidates match: the ResolverActivity intent channel. The
+    /// chooser is *not* an app instance; re-route with an explicit target
+    /// once the user picks (the computed context already sticks).
+    Chooser {
+        /// Matching apps, in registration order.
+        candidates: Vec<AppId>,
+        /// The context the eventual choice will run in.
+        ctx: ExecContext,
+    },
+}
+
+/// Registration record for one installed app.
+#[derive(Debug, Clone, Default)]
+struct AppRecord {
+    filters: Vec<AppIntentFilter>,
+    manifest: MaxoidManifest,
+}
+
+/// The Activity Manager: app registry and invocation routing.
+///
+/// Process bookkeeping (which pids run which contexts) is supplied by the
+/// caller at routing time, keeping this module free of kernel state.
+#[derive(Debug, Default)]
+pub struct ActivityManager {
+    apps: BTreeMap<AppId, AppRecord>,
+}
+
+impl ActivityManager {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        ActivityManager::default()
+    }
+
+    /// Registers an app with its intent filters and Maxoid manifest.
+    pub fn register_app(
+        &mut self,
+        app: &AppId,
+        filters: Vec<AppIntentFilter>,
+        manifest: MaxoidManifest,
+    ) {
+        self.apps.insert(app.clone(), AppRecord { filters, manifest });
+    }
+
+    /// Returns an app's Maxoid manifest.
+    pub fn manifest(&self, app: &AppId) -> Option<&MaxoidManifest> {
+        self.apps.get(app).map(|r| &r.manifest)
+    }
+
+    /// Returns installed apps accepting the intent (ResolverActivity's
+    /// candidate list).
+    pub fn resolve_candidates(&self, intent: &Intent) -> Vec<AppId> {
+        if let Some(t) = &intent.target {
+            return if self.apps.contains_key(t) { vec![t.clone()] } else { Vec::new() };
+        }
+        self.apps
+            .iter()
+            .filter(|(_, r)| r.filters.iter().any(|f| f.accepts(intent)))
+            .map(|(a, _)| a.clone())
+            .collect()
+    }
+
+    /// Computes the context the invoked instance must run in, given the
+    /// sender's context (§3.4).
+    ///
+    /// - A delegate's invocations are forced into its initiator's context
+    ///   (invocation-transitivity); a delegate asking for its own delegate
+    ///   is nested delegation and fails.
+    /// - An initiator invokes a delegate when the intent flag is set or
+    ///   its manifest filters say so; otherwise the target runs normally.
+    pub fn invocation_context(
+        &self,
+        sender: Option<(&AppId, &ExecContext)>,
+        intent: &Intent,
+    ) -> Result<ExecContext, AmsError> {
+        match sender {
+            None => Ok(ExecContext::Normal),
+            Some((app, ExecContext::Normal)) => {
+                let manifest_wants = self
+                    .apps
+                    .get(app)
+                    .map(|r| r.manifest.wants_delegate(intent))
+                    .unwrap_or(false);
+                if intent.delegate_requested() || manifest_wants {
+                    Ok(ExecContext::OnBehalfOf(app.clone()))
+                } else {
+                    Ok(ExecContext::Normal)
+                }
+            }
+            Some((_, ExecContext::OnBehalfOf(init))) => {
+                if intent.delegate_requested() {
+                    // B^A asking to invoke C as *B's* delegate: refused.
+                    return Err(AmsError::NestedDelegation);
+                }
+                Ok(ExecContext::OnBehalfOf(init.clone()))
+            }
+        }
+    }
+
+    /// Routes an invocation: resolves the target, computes the context,
+    /// and lists conflicting instances to kill.
+    ///
+    /// `running` enumerates live processes as (pid, app, context); the
+    /// caller (the system facade) owns the process table.
+    pub fn route(
+        &self,
+        sender: Option<(&AppId, &ExecContext)>,
+        intent: &Intent,
+        running: &[(Pid, AppId, ExecContext)],
+    ) -> Result<Route, AmsError> {
+        let ctx = self.invocation_context(sender, intent)?;
+        let candidates = self.resolve_candidates(intent);
+        if candidates.is_empty() {
+            return Err(match &intent.target {
+                Some(t) => AmsError::NoSuchApp(t.pkg().to_string()),
+                None => AmsError::NoMatch(intent.action.clone()),
+            });
+        }
+        if candidates.len() > 1 {
+            return Ok(Route::Chooser { candidates, ctx });
+        }
+        let target = candidates.into_iter().next().expect("len checked above");
+        // Kill rule: any live instance of the target in a *different*
+        // context must die before this one starts (§4.2, §6.2).
+        let kill_first = running
+            .iter()
+            .filter(|(_, app, rctx)| app == &target && rctx != &ctx)
+            .map(|(pid, _, _)| *pid)
+            .collect();
+        Ok(Route::Start { target, ctx, kill_first })
+    }
+
+    /// Computes the delivery set for a broadcast from `sender`: normal
+    /// senders reach everyone with a matching receiver; a delegate of `A`
+    /// reaches only `A` and delegates of `A` (§3.4).
+    pub fn broadcast_targets(
+        &self,
+        sender: Option<(&AppId, &ExecContext)>,
+        intent: &Intent,
+        running: &[(Pid, AppId, ExecContext)],
+    ) -> Vec<Pid> {
+        let matches_filter = |app: &AppId| {
+            self.apps
+                .get(app)
+                .map(|r| r.filters.iter().any(|f| f.accepts(intent)))
+                .unwrap_or(false)
+        };
+        match sender {
+            Some((_, ExecContext::OnBehalfOf(init))) => running
+                .iter()
+                .filter(|(_, app, ctx)| {
+                    matches_filter(app)
+                        && match ctx {
+                            ExecContext::Normal => app == init,
+                            ExecContext::OnBehalfOf(i) => i == init,
+                        }
+                })
+                .map(|(pid, _, _)| *pid)
+                .collect(),
+            _ => running
+                .iter()
+                .filter(|(_, app, _)| matches_filter(app))
+                .map(|(pid, _, _)| *pid)
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::InvocationFilter;
+
+    const VIEW: &str = "android.intent.action.VIEW";
+
+    fn ams() -> ActivityManager {
+        let mut a = ActivityManager::new();
+        a.register_app(
+            &AppId::new("email"),
+            vec![AppIntentFilter::new("android.intent.action.SENDTO", None)],
+            MaxoidManifest::new().filter(InvocationFilter::action(VIEW)),
+        );
+        a.register_app(
+            &AppId::new("viewer"),
+            vec![AppIntentFilter::new(VIEW, Some("application/pdf"))],
+            MaxoidManifest::new(),
+        );
+        a.register_app(
+            &AppId::new("viewer2"),
+            vec![AppIntentFilter::new(VIEW, Some("application/pdf"))],
+            MaxoidManifest::new(),
+        );
+        a.register_app(&AppId::new("scanner"), vec![], MaxoidManifest::new());
+        a
+    }
+
+    fn view_pdf() -> Intent {
+        Intent::new(VIEW).with_mime("application/pdf")
+    }
+
+    #[test]
+    fn manifest_filter_makes_invocation_private() {
+        let a = ams();
+        let email = AppId::new("email");
+        // Email's manifest marks VIEW intents private: delegate context.
+        let ctx = a
+            .invocation_context(Some((&email, &ExecContext::Normal)), &view_pdf())
+            .unwrap();
+        assert_eq!(ctx, ExecContext::OnBehalfOf(email.clone()));
+        // A SEND intent is not filtered: normal context.
+        let ctx = a
+            .invocation_context(
+                Some((&email, &ExecContext::Normal)),
+                &Intent::new("android.intent.action.SEND"),
+            )
+            .unwrap();
+        assert_eq!(ctx, ExecContext::Normal);
+    }
+
+    #[test]
+    fn intent_flag_forces_delegate() {
+        let a = ams();
+        let scanner = AppId::new("scanner");
+        let ctx = a
+            .invocation_context(
+                Some((&scanner, &ExecContext::Normal)),
+                &view_pdf().as_delegate(),
+            )
+            .unwrap();
+        assert_eq!(ctx, ExecContext::OnBehalfOf(scanner));
+    }
+
+    #[test]
+    fn invocation_transitivity() {
+        let a = ams();
+        let viewer = AppId::new("viewer");
+        let del_ctx = ExecContext::OnBehalfOf(AppId::new("email"));
+        // B^A invoking anything yields a delegate of A.
+        let ctx = a.invocation_context(Some((&viewer, &del_ctx)), &view_pdf()).unwrap();
+        assert_eq!(ctx, ExecContext::OnBehalfOf(AppId::new("email")));
+        // Nested delegation fails.
+        assert_eq!(
+            a.invocation_context(Some((&viewer, &del_ctx)), &view_pdf().as_delegate()),
+            Err(AmsError::NestedDelegation)
+        );
+    }
+
+    #[test]
+    fn chooser_for_multiple_candidates() {
+        let a = ams();
+        let email = AppId::new("email");
+        let route = a
+            .route(Some((&email, &ExecContext::Normal)), &view_pdf(), &[])
+            .unwrap();
+        match route {
+            Route::Chooser { candidates, ctx } => {
+                assert_eq!(candidates.len(), 2);
+                // The context was computed from the original sender.
+                assert_eq!(ctx, ExecContext::OnBehalfOf(email.clone()));
+            }
+            other => panic!("expected chooser, got {other:?}"),
+        }
+        // Explicit target resolves uniquely.
+        let route = a
+            .route(
+                Some((&email, &ExecContext::Normal)),
+                &view_pdf().with_target("viewer"),
+                &[],
+            )
+            .unwrap();
+        assert!(matches!(route, Route::Start { target, .. } if target == AppId::new("viewer")));
+    }
+
+    #[test]
+    fn kill_rules() {
+        let a = ams();
+        let email = AppId::new("email");
+        let running = vec![
+            (Pid(1), AppId::new("viewer"), ExecContext::Normal),
+            (Pid(2), AppId::new("viewer"), ExecContext::OnBehalfOf(AppId::new("dropbox"))),
+            (Pid(3), AppId::new("email"), ExecContext::Normal),
+        ];
+        let route = a
+            .route(
+                Some((&email, &ExecContext::Normal)),
+                &view_pdf().with_target("viewer"),
+                &running,
+            )
+            .unwrap();
+        match route {
+            Route::Start { ctx, kill_first, .. } => {
+                assert_eq!(ctx, ExecContext::OnBehalfOf(email));
+                // Both the normal instance and the dropbox-delegate die.
+                assert_eq!(kill_first, vec![Pid(1), Pid(2)]);
+            }
+            other => panic!("expected start, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_context_instance_not_killed() {
+        let a = ams();
+        let email = AppId::new("email");
+        let running =
+            vec![(Pid(1), AppId::new("viewer"), ExecContext::OnBehalfOf(email.clone()))];
+        let route = a
+            .route(
+                Some((&email, &ExecContext::Normal)),
+                &view_pdf().with_target("viewer"),
+                &running,
+            )
+            .unwrap();
+        assert!(matches!(route, Route::Start { kill_first, .. } if kill_first.is_empty()));
+    }
+
+    #[test]
+    fn no_match_errors() {
+        let a = ams();
+        assert!(matches!(
+            a.route(None, &Intent::new("bogus.ACTION"), &[]),
+            Err(AmsError::NoMatch(_))
+        ));
+        assert!(matches!(
+            a.route(None, &Intent::new("x").with_target("ghost"), &[]),
+            Err(AmsError::NoSuchApp(_))
+        ));
+    }
+
+    #[test]
+    fn broadcast_confinement() {
+        let mut a = ams();
+        // Give everyone a receiver for the broadcast action.
+        for app in ["email", "viewer", "scanner"] {
+            a.register_app(
+                &AppId::new(app),
+                vec![AppIntentFilter::new("BROADCAST", None)],
+                MaxoidManifest::new(),
+            );
+        }
+        let running = vec![
+            (Pid(1), AppId::new("email"), ExecContext::Normal),
+            (Pid(2), AppId::new("viewer"), ExecContext::OnBehalfOf(AppId::new("email"))),
+            (Pid(3), AppId::new("scanner"), ExecContext::Normal),
+            (Pid(4), AppId::new("scanner"), ExecContext::OnBehalfOf(AppId::new("other"))),
+        ];
+        let bcast = Intent::new("BROADCAST");
+        // From a delegate of email: only email + its delegates.
+        let viewer = AppId::new("viewer");
+        let del_ctx = ExecContext::OnBehalfOf(AppId::new("email"));
+        let targets = a.broadcast_targets(Some((&viewer, &del_ctx)), &bcast, &running);
+        assert_eq!(targets, vec![Pid(1), Pid(2)]);
+        // From a normal app: everyone with a receiver.
+        let scanner = AppId::new("scanner");
+        let targets =
+            a.broadcast_targets(Some((&scanner, &ExecContext::Normal)), &bcast, &running);
+        assert_eq!(targets, vec![Pid(1), Pid(2), Pid(3), Pid(4)]);
+    }
+}

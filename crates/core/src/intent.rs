@@ -1,0 +1,145 @@
+//! Intents: Android's high-level inter-app invocation messages (§3.4).
+
+use maxoid_kernel::AppId;
+use std::collections::BTreeMap;
+
+/// Maxoid's new intent flag (§6.1): the invoked app becomes a delegate of
+/// the sender.
+pub const FLAG_START_AS_DELEGATE: u32 = 1 << 0;
+/// Android's one-shot URI read grant.
+pub const FLAG_GRANT_READ_URI_PERMISSION: u32 = 1 << 1;
+
+/// An intent describing an invocation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Intent {
+    /// The action, e.g. `android.intent.action.VIEW`.
+    pub action: String,
+    /// Data reference: a file path or a `content://` URI.
+    pub data: Option<String>,
+    /// MIME type of the data.
+    pub mime: Option<String>,
+    /// String extras.
+    pub extras: BTreeMap<String, String>,
+    /// Flags (see the `FLAG_*` constants).
+    pub flags: u32,
+    /// Explicit target component, when the sender names one.
+    pub target: Option<AppId>,
+}
+
+impl Intent {
+    /// Creates an intent with an action.
+    pub fn new(action: &str) -> Self {
+        Intent { action: action.to_string(), ..Default::default() }
+    }
+
+    /// Sets the data reference (builder style).
+    pub fn with_data(mut self, data: &str) -> Self {
+        self.data = Some(data.to_string());
+        self
+    }
+
+    /// Sets the MIME type (builder style).
+    pub fn with_mime(mut self, mime: &str) -> Self {
+        self.mime = Some(mime.to_string());
+        self
+    }
+
+    /// Adds an extra (builder style).
+    pub fn with_extra(mut self, key: &str, value: &str) -> Self {
+        self.extras.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// Sets an explicit target (builder style).
+    pub fn with_target(mut self, app: &str) -> Self {
+        self.target = Some(AppId::new(app));
+        self
+    }
+
+    /// Sets the Maxoid delegate flag (builder style).
+    pub fn as_delegate(mut self) -> Self {
+        self.flags |= FLAG_START_AS_DELEGATE;
+        self
+    }
+
+    /// Sets the read-grant flag (builder style).
+    pub fn grant_read(mut self) -> Self {
+        self.flags |= FLAG_GRANT_READ_URI_PERMISSION;
+        self
+    }
+
+    /// True when the Maxoid delegate flag is set.
+    pub fn delegate_requested(&self) -> bool {
+        self.flags & FLAG_START_AS_DELEGATE != 0
+    }
+
+    /// True when the sender grants one-shot read on the data URI.
+    pub fn read_granted(&self) -> bool {
+        self.flags & FLAG_GRANT_READ_URI_PERMISSION != 0
+    }
+}
+
+/// An intent filter an app registers at install time (for resolution; not
+/// to be confused with the Maxoid manifest's invocation filters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppIntentFilter {
+    /// Accepted action.
+    pub action: String,
+    /// Accepted MIME prefix; `None` accepts any.
+    pub mime_prefix: Option<String>,
+}
+
+impl AppIntentFilter {
+    /// Creates a filter for an action and optional MIME prefix.
+    pub fn new(action: &str, mime_prefix: Option<&str>) -> Self {
+        AppIntentFilter {
+            action: action.to_string(),
+            mime_prefix: mime_prefix.map(|s| s.to_string()),
+        }
+    }
+
+    /// Returns true if this filter accepts the intent.
+    pub fn accepts(&self, intent: &Intent) -> bool {
+        if self.action != intent.action {
+            return false;
+        }
+        match (&self.mime_prefix, &intent.mime) {
+            (None, _) => true,
+            (Some(p), Some(m)) => m.starts_with(p.as_str()),
+            (Some(_), None) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_flags() {
+        let i = Intent::new("android.intent.action.VIEW")
+            .with_data("content://x/1")
+            .with_mime("application/pdf")
+            .with_extra("k", "v")
+            .as_delegate()
+            .grant_read();
+        assert!(i.delegate_requested());
+        assert!(i.read_granted());
+        assert_eq!(i.extras.get("k").map(String::as_str), Some("v"));
+        let plain = Intent::new("a");
+        assert!(!plain.delegate_requested());
+        assert!(!plain.read_granted());
+    }
+
+    #[test]
+    fn filter_accepts_by_action_and_mime() {
+        let f = AppIntentFilter::new("android.intent.action.VIEW", Some("application/"));
+        assert!(f.accepts(
+            &Intent::new("android.intent.action.VIEW").with_mime("application/pdf")
+        ));
+        assert!(!f.accepts(&Intent::new("android.intent.action.VIEW").with_mime("image/png")));
+        assert!(!f.accepts(&Intent::new("android.intent.action.VIEW")));
+        let any = AppIntentFilter::new("android.intent.action.VIEW", None);
+        assert!(any.accepts(&Intent::new("android.intent.action.VIEW")));
+    }
+}

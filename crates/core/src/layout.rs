@@ -1,0 +1,127 @@
+//! Canonical storage layout: app-visible mount points and the
+//! root-only backing-store locations that branches live in.
+//!
+//! App-visible paths (inside mount namespaces):
+//!
+//! - `/data/data/<pkg>` — internal private storage (Priv, or nPriv view).
+//! - `/data/data/ppriv/<pkg>` — persistent private state (pPriv, §3.2).
+//! - `/storage/sdcard` (`EXTDIR`) — external storage.
+//! - `EXTDIR/tmp` — the initiator's view of its volatile files (Vol).
+//!
+//! Backing-store host paths (only root / Zygote's branch manager touches
+//! these; apps cannot reach them because no mount exposes them):
+//!
+//! - `/backing/internal/<pkg>` — Priv(pkg).
+//! - `/backing/internal_tmp/<init>` — volatile copies of Priv(init) made
+//!   by its delegates.
+//! - `/backing/npriv/<init>/<pkg>` — writable overlay of nPriv(pkg^init).
+//! - `/backing/ppriv/<init>/<pkg>` — pPriv(pkg^init).
+//! - `/backing/ext/pub` — the public external-storage branch.
+//! - `/backing/ext/apps/<pkg>` — private external-storage branches.
+//! - `/backing/ext/apps/<pkg>/tmp` — Vol(pkg) external files.
+//! - `/backing/ext/deleg/<pkg>--<init>` — a delegate's writes to its own
+//!   private external dirs (the paper's `B-A` branch).
+
+use maxoid_vfs::{vpath, VPath, VfsResult};
+
+/// The external storage mount point (the paper's `EXTDIR`).
+pub fn extdir() -> VPath {
+    vpath("/storage/sdcard")
+}
+
+/// App-visible internal private directory of `pkg`.
+pub fn internal_dir(pkg: &str) -> VfsResult<VPath> {
+    vpath("/data/data").join(pkg)
+}
+
+/// App-visible persistent private state directory of `pkg` (§6.1).
+pub fn ppriv_dir(pkg: &str) -> VfsResult<VPath> {
+    vpath("/data/data/ppriv").join(pkg)
+}
+
+/// App-visible volatile files directory for an initiator (`EXTDIR/tmp`).
+pub fn ext_tmp_dir() -> VPath {
+    vpath("/storage/sdcard/tmp")
+}
+
+/// Backing: Priv(pkg) internal storage.
+pub fn back_internal(pkg: &str) -> VfsResult<VPath> {
+    vpath("/backing/internal").join(pkg)
+}
+
+/// Backing: volatile copies of initiator-internal files written by
+/// delegates (part of Vol(init)).
+pub fn back_internal_tmp(init: &str) -> VfsResult<VPath> {
+    vpath("/backing/internal_tmp").join(init)
+}
+
+/// Backing: writable overlay for nPriv(pkg^init).
+pub fn back_npriv(init: &str, pkg: &str) -> VfsResult<VPath> {
+    vpath("/backing/npriv").join(init)?.join(pkg)
+}
+
+/// Backing: pPriv(pkg^init).
+pub fn back_ppriv(init: &str, pkg: &str) -> VfsResult<VPath> {
+    vpath("/backing/ppriv").join(init)?.join(pkg)
+}
+
+/// Backing: the shared public external-storage branch.
+pub fn back_ext_pub() -> VPath {
+    vpath("/backing/ext/pub")
+}
+
+/// Backing: an app's private external-storage branch root. Its declared
+/// private dirs live below it at their EXTDIR-relative paths.
+pub fn back_ext_app(pkg: &str) -> VfsResult<VPath> {
+    vpath("/backing/ext/apps").join(pkg)
+}
+
+/// Backing: Vol(init) external files (`init/tmp` in Table 2).
+pub fn back_ext_tmp(init: &str) -> VfsResult<VPath> {
+    back_ext_app(init)?.join("tmp")
+}
+
+/// Backing: the `B-A` branch — delegate `pkg` (running for `init`) writes
+/// to its own private external dirs land here, visible to neither `init`
+/// nor normal `pkg` (Table 2).
+pub fn back_ext_delegate(pkg: &str, init: &str) -> VfsResult<VPath> {
+    vpath("/backing/ext/deleg").join(&format!("{pkg}--{init}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn app_visible_paths() {
+        assert_eq!(internal_dir("com.app").unwrap().as_str(), "/data/data/com.app");
+        assert_eq!(ppriv_dir("com.app").unwrap().as_str(), "/data/data/ppriv/com.app");
+        assert_eq!(ext_tmp_dir().as_str(), "/storage/sdcard/tmp");
+        assert!(ext_tmp_dir().starts_with(&extdir()));
+    }
+
+    #[test]
+    fn backing_paths_are_disjoint_per_principal() {
+        let a = back_npriv("init", "app").unwrap();
+        let b = back_npriv("other", "app").unwrap();
+        assert_ne!(a, b);
+        assert_ne!(back_ppriv("i", "x").unwrap(), back_npriv("i", "x").unwrap());
+        assert_eq!(
+            back_ext_delegate("B", "A").unwrap().as_str(),
+            "/backing/ext/deleg/B--A"
+        );
+        assert_eq!(back_ext_tmp("A").unwrap().as_str(), "/backing/ext/apps/A/tmp");
+    }
+
+    #[test]
+    fn backing_is_not_under_app_visible_roots() {
+        for p in [
+            back_internal("x").unwrap(),
+            back_ext_pub(),
+            back_ext_tmp("x").unwrap(),
+        ] {
+            assert!(!p.starts_with(&extdir()));
+            assert!(!p.starts_with(&vpath("/data/data")));
+        }
+    }
+}

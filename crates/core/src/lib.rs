@@ -1,0 +1,83 @@
+//! Maxoid: transparently confining mobile applications with custom views
+//! of state (EuroSys 2015) — a full-system reproduction in Rust.
+//!
+//! Maxoid lets an app (the **initiator**, `A`) invoke another, untrusted
+//! app (the **delegate**, `B^A`) on its sensitive data while guaranteeing
+//! secrecy and integrity for both sides. Rather than taint tracking, it
+//! presents delegates *custom views of state*:
+//!
+//! - **Files** (§4): per-process mount namespaces with Aufs-style union
+//!   mounts. A delegate's private writes are confined to a copy-on-write
+//!   overlay (`nPriv`), its public writes are redirected into the
+//!   initiator's volatile state (`Vol(A)`), and whiteouts/copy-up make it
+//!   all transparent.
+//! - **System content providers** (§5): a copy-on-write SQL proxy with
+//!   per-initiator delta tables, `UNION ALL` COW views and `INSTEAD OF`
+//!   triggers (see [`maxoid_cowproxy`]).
+//! - **IPC** (§3.4): invocation-transitivity (everything a delegate starts
+//!   is a delegate of the same initiator), Binder endpoint restrictions,
+//!   confined broadcasts, and no nested delegation.
+//! - **Network** (§2.4): delegates see `ENETUNREACH`.
+//!
+//! The crate wires the substrate crates into a bootable [`MaxoidSystem`]
+//! that behaves like a device: install apps, send intents, run delegates,
+//! inspect and commit volatile state, and use the launcher gestures
+//! (start-as-delegate, Clear-Vol, Clear-Priv).
+//!
+//! # Examples
+//!
+//! ```
+//! use maxoid::{Intent, MaxoidSystem};
+//! use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+//! use maxoid::intent::AppIntentFilter;
+//! use maxoid_vfs::{vpath, Mode};
+//!
+//! let mut sys = MaxoidSystem::boot().unwrap();
+//! // Email marks VIEW intents private via its Maxoid manifest.
+//! sys.install(
+//!     "email",
+//!     vec![],
+//!     MaxoidManifest::new().filter(InvocationFilter::action("VIEW")),
+//! )
+//! .unwrap();
+//! sys.install("viewer", vec![AppIntentFilter::new("VIEW", None)], MaxoidManifest::new())
+//!     .unwrap();
+//!
+//! let email = sys.launch("email").unwrap();
+//! sys.kernel.write(email, &vpath("/data/data/email/att.pdf"), b"secret", Mode::PRIVATE)
+//!     .unwrap();
+//!
+//! // Viewing the attachment starts the viewer as email's delegate...
+//! let viewer = sys
+//!     .start_activity(Some(email), &Intent::new("VIEW").with_data("/data/data/email/att.pdf"))
+//!     .unwrap()
+//!     .pid();
+//! // ...which can read the private file, but cannot reach the network.
+//! assert_eq!(sys.kernel.read(viewer, &vpath("/data/data/email/att.pdf")).unwrap(), b"secret");
+//! assert!(sys.kernel.connect(viewer, "evil.example").is_err());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ams;
+pub mod branch_manager;
+pub mod intent;
+pub mod layout;
+pub mod manifest;
+pub mod private_state;
+pub mod services;
+pub mod system;
+pub mod volatile;
+
+pub use ams::{ActivityManager, AmsError, Route};
+pub use branch_manager::{BranchLocator, BranchManager};
+pub use intent::{AppIntentFilter, Intent, FLAG_GRANT_READ_URI_PERMISSION, FLAG_START_AS_DELEGATE};
+pub use manifest::{FilterMode, InvocationFilter, ManifestError, MaxoidManifest};
+pub use private_state::{ForkOutcome, PrivateStateManager};
+pub use services::{BluetoothService, ClipboardService, SmsService};
+pub use system::{MaxoidSystem, StartOutcome, SystemError, SystemResult};
+pub use volatile::{VolatileEntry, VolatileState};
+
+// Re-export the substrate types users need at the API boundary.
+pub use maxoid_kernel::{AppId, ExecContext, Pid};
+pub use maxoid_providers::{Caller, ContentValues, DownloadRequest, MediaKind, QueryArgs, Uri};

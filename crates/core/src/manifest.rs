@@ -1,0 +1,348 @@
+//! The Maxoid manifest (§6.1).
+//!
+//! An app ships a manifest declaring, without code changes:
+//!
+//! 1. **Private directories on external storage** (§4.2): EXTDIR-relative
+//!    directories that become part of the app's private state while other
+//!    apps keep seeing (their own view of) the same path as public.
+//! 2. **Intent filters for invokers**: a whitelist or blacklist deciding
+//!    which outgoing intents invoke their target *as a delegate*, so
+//!    legacy initiators get Maxoid protection without modification.
+
+use crate::intent::Intent;
+
+/// How manifest filters map onto the delegate decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FilterMode {
+    /// Intents matching a filter invoke delegates; others are normal.
+    #[default]
+    Whitelist,
+    /// Intents matching a filter are normal; all others invoke delegates.
+    Blacklist,
+}
+
+/// One invocation filter: all present fields must match the intent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InvocationFilter {
+    /// Intent action to match (e.g. `android.intent.action.VIEW`).
+    pub action: Option<String>,
+    /// MIME type prefix to match (e.g. `application/`).
+    pub mime_prefix: Option<String>,
+}
+
+impl InvocationFilter {
+    /// A filter matching one action, any data type.
+    pub fn action(action: &str) -> Self {
+        InvocationFilter { action: Some(action.to_string()), mime_prefix: None }
+    }
+
+    /// Returns true if the intent matches this filter.
+    pub fn matches(&self, intent: &Intent) -> bool {
+        if let Some(a) = &self.action {
+            if &intent.action != a {
+                return false;
+            }
+        }
+        if let Some(p) = &self.mime_prefix {
+            match &intent.mime {
+                Some(m) if m.starts_with(p.as_str()) => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// An app's Maxoid manifest.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaxoidManifest {
+    /// EXTDIR-relative private directories (e.g. `data/com.dropbox`).
+    pub private_ext_dirs: Vec<String>,
+    /// Invocation filters.
+    pub filters: Vec<InvocationFilter>,
+    /// Whitelist or blacklist interpretation of `filters`.
+    pub filter_mode: FilterMode,
+}
+
+impl MaxoidManifest {
+    /// An empty manifest (stock Android behaviour).
+    pub fn new() -> Self {
+        MaxoidManifest::default()
+    }
+
+    /// Declares a private external directory (builder style).
+    pub fn private_ext_dir(mut self, rel: &str) -> Self {
+        self.private_ext_dirs.push(rel.trim_matches('/').to_string());
+        self
+    }
+
+    /// Adds a filter (builder style).
+    pub fn filter(mut self, f: InvocationFilter) -> Self {
+        self.filters.push(f);
+        self
+    }
+
+    /// Sets blacklist interpretation (builder style).
+    pub fn blacklist(mut self) -> Self {
+        self.filter_mode = FilterMode::Blacklist;
+        self
+    }
+
+    /// Decides whether an outgoing intent should invoke a delegate, per
+    /// the manifest filters. The intent's explicit Maxoid flag (checked by
+    /// the Activity Manager) takes precedence over this.
+    pub fn wants_delegate(&self, intent: &Intent) -> bool {
+        if self.filters.is_empty() {
+            return false;
+        }
+        let matched = self.filters.iter().any(|f| f.matches(intent));
+        match self.filter_mode {
+            FilterMode::Whitelist => matched,
+            FilterMode::Blacklist => !matched,
+        }
+    }
+}
+
+
+/// Error from Maxoid-manifest XML parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestError(pub String);
+
+impl std::fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed Maxoid manifest: {}", self.0)
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl MaxoidManifest {
+    /// Parses the XML Maxoid manifest an app ships (§6.1):
+    ///
+    /// ```xml
+    /// <maxoid-manifest>
+    ///   <private-external-dir path="Dropbox"/>
+    ///   <invocation-filters mode="whitelist">
+    ///     <filter action="android.intent.action.VIEW" mime="application/"/>
+    ///   </invocation-filters>
+    /// </maxoid-manifest>
+    /// ```
+    ///
+    /// The accepted grammar is deliberately small: empty-element tags with
+    /// double-quoted attributes, comments ignored.
+    pub fn from_xml(xml: &str) -> Result<MaxoidManifest, ManifestError> {
+        let mut manifest = MaxoidManifest::new();
+        let mut saw_root = false;
+        for tag in iter_tags(xml) {
+            let (name, attrs) = parse_tag(tag)?;
+            match name.as_str() {
+                "maxoid-manifest" | "/maxoid-manifest" | "/invocation-filters" => {
+                    saw_root = true;
+                }
+                "private-external-dir" => {
+                    let path = attr(&attrs, "path").ok_or_else(|| {
+                        ManifestError("private-external-dir requires path".into())
+                    })?;
+                    manifest.private_ext_dirs.push(path.trim_matches('/').to_string());
+                }
+                "invocation-filters" => {
+                    if let Some(mode) = attr(&attrs, "mode") {
+                        manifest.filter_mode = match mode.as_str() {
+                            "whitelist" => FilterMode::Whitelist,
+                            "blacklist" => FilterMode::Blacklist,
+                            other => {
+                                return Err(ManifestError(format!(
+                                    "unknown filter mode {other:?}"
+                                )))
+                            }
+                        };
+                    }
+                }
+                "filter" => {
+                    manifest.filters.push(InvocationFilter {
+                        action: attr(&attrs, "action"),
+                        mime_prefix: attr(&attrs, "mime"),
+                    });
+                }
+                other => {
+                    return Err(ManifestError(format!("unknown element <{other}>")));
+                }
+            }
+        }
+        if !saw_root {
+            return Err(ManifestError("missing <maxoid-manifest> root".into()));
+        }
+        Ok(manifest)
+    }
+}
+
+/// Yields the contents of each `<...>` tag, skipping comments.
+fn iter_tags(xml: &str) -> impl Iterator<Item = &str> {
+    let mut rest = xml;
+    std::iter::from_fn(move || loop {
+        let start = rest.find('<')?;
+        let after = &rest[start + 1..];
+        if let Some(comment) = after.strip_prefix("!--") {
+            let end = comment.find("-->")?;
+            rest = &comment[end + 3..];
+            continue;
+        }
+        let end = after.find('>')?;
+        let tag = &after[..end];
+        rest = &after[end + 1..];
+        return Some(tag.trim().trim_end_matches('/').trim_end());
+    })
+}
+
+/// Splits a tag body into (name, attributes).
+fn parse_tag(tag: &str) -> Result<(String, Vec<(String, String)>), ManifestError> {
+    let mut parts = tag.splitn(2, char::is_whitespace);
+    let name = parts.next().unwrap_or("").to_string();
+    let mut attrs = Vec::new();
+    if let Some(attr_str) = parts.next() {
+        let mut rest = attr_str.trim();
+        while !rest.is_empty() {
+            let eq = rest
+                .find('=')
+                .ok_or_else(|| ManifestError(format!("attribute without value in <{tag}>")))?;
+            let key = rest[..eq].trim().to_string();
+            let after = rest[eq + 1..].trim_start();
+            let quoted = after
+                .strip_prefix('"')
+                .ok_or_else(|| ManifestError(format!("unquoted attribute in <{tag}>")))?;
+            let close = quoted
+                .find('"')
+                .ok_or_else(|| ManifestError(format!("unterminated attribute in <{tag}>")))?;
+            attrs.push((key, quoted[..close].to_string()));
+            rest = quoted[close + 1..].trim_start();
+        }
+    }
+    Ok((name, attrs))
+}
+
+fn attr(attrs: &[(String, String)], key: &str) -> Option<String> {
+    attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intent::Intent;
+
+    fn view_pdf() -> Intent {
+        Intent::new("android.intent.action.VIEW").with_mime("application/pdf")
+    }
+
+    #[test]
+    fn whitelist_matches_invoke_delegates() {
+        // The paper's Email case: "a filter saying that any intent from
+        // Email with VIEW action ... is private".
+        let m = MaxoidManifest::new()
+            .filter(InvocationFilter::action("android.intent.action.VIEW"));
+        assert!(m.wants_delegate(&view_pdf()));
+        assert!(!m.wants_delegate(&Intent::new("android.intent.action.SEND")));
+    }
+
+    #[test]
+    fn blacklist_inverts() {
+        let m = MaxoidManifest::new()
+            .filter(InvocationFilter::action("android.intent.action.SEND"))
+            .blacklist();
+        assert!(!m.wants_delegate(&Intent::new("android.intent.action.SEND")));
+        assert!(m.wants_delegate(&view_pdf()));
+    }
+
+    #[test]
+    fn empty_manifest_never_delegates() {
+        let m = MaxoidManifest::new();
+        assert!(!m.wants_delegate(&view_pdf()));
+        let m2 = MaxoidManifest::new().blacklist();
+        assert!(!m2.wants_delegate(&view_pdf()));
+    }
+
+    #[test]
+    fn mime_prefix_filters() {
+        let f = InvocationFilter {
+            action: Some("android.intent.action.VIEW".into()),
+            mime_prefix: Some("application/".into()),
+        };
+        assert!(f.matches(&view_pdf()));
+        let image =
+            Intent::new("android.intent.action.VIEW").with_mime("image/png");
+        assert!(!f.matches(&image));
+        // Missing MIME never matches a MIME-constrained filter.
+        assert!(!f.matches(&Intent::new("android.intent.action.VIEW")));
+    }
+
+    #[test]
+    fn private_dirs_normalized() {
+        let m = MaxoidManifest::new().private_ext_dir("/data/com.dropbox/");
+        assert_eq!(m.private_ext_dirs, vec!["data/com.dropbox"]);
+    }
+    #[test]
+    fn xml_manifest_dropbox_case() {
+        // The §7.1 Dropbox manifest, as the paper describes it.
+        let m = MaxoidManifest::from_xml(
+            r#"<maxoid-manifest>
+                 <!-- the sync directory is private -->
+                 <private-external-dir path="/Dropbox/"/>
+                 <invocation-filters mode="whitelist">
+                   <filter action="android.intent.action.VIEW"/>
+                 </invocation-filters>
+               </maxoid-manifest>"#,
+        )
+        .unwrap();
+        assert_eq!(m.private_ext_dirs, vec!["Dropbox"]);
+        assert_eq!(m.filter_mode, FilterMode::Whitelist);
+        assert!(m.wants_delegate(&Intent::new("android.intent.action.VIEW")));
+        assert!(!m.wants_delegate(&Intent::new("android.intent.action.SEND")));
+    }
+
+    #[test]
+    fn xml_manifest_blacklist_and_mime() {
+        let m = MaxoidManifest::from_xml(
+            r#"<maxoid-manifest>
+                 <invocation-filters mode="blacklist">
+                   <filter action="android.intent.action.SEND" mime="text/"/>
+                 </invocation-filters>
+               </maxoid-manifest>"#,
+        )
+        .unwrap();
+        assert_eq!(m.filter_mode, FilterMode::Blacklist);
+        let send_text =
+            Intent::new("android.intent.action.SEND").with_mime("text/plain");
+        assert!(!m.wants_delegate(&send_text));
+        assert!(m.wants_delegate(&view_pdf()));
+    }
+
+    #[test]
+    fn xml_manifest_rejects_garbage() {
+        assert!(MaxoidManifest::from_xml("not xml at all").is_err());
+        assert!(MaxoidManifest::from_xml("<maxoid-manifest><wat/></maxoid-manifest>").is_err());
+        assert!(MaxoidManifest::from_xml(
+            "<maxoid-manifest><private-external-dir/></maxoid-manifest>"
+        )
+        .is_err());
+        assert!(MaxoidManifest::from_xml(
+            r#"<maxoid-manifest><invocation-filters mode="sideways"/></maxoid-manifest>"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn xml_manifest_equivalent_to_builder() {
+        let xml = MaxoidManifest::from_xml(
+            r#"<maxoid-manifest>
+                 <private-external-dir path="data/A"/>
+                 <invocation-filters>
+                   <filter action="VIEW"/>
+                 </invocation-filters>
+               </maxoid-manifest>"#,
+        )
+        .unwrap();
+        let built = MaxoidManifest::new()
+            .private_ext_dir("data/A")
+            .filter(InvocationFilter::action("VIEW"));
+        assert_eq!(xml, built);
+    }
+}

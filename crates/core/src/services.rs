@@ -1,0 +1,148 @@
+//! Policy-enforcing system services (§6.2 item 5).
+//!
+//! Bluetooth Manager and Telephony (SMS) refuse to transmit for delegates
+//! — both are network-equivalent exfiltration channels. The Clipboard
+//! Service keeps **separate clipboard instances** per delegate context, so
+//! a delegate cannot leak `Priv(A)`-derived text to the global clipboard
+//! and neither can it read another initiator's confined clips.
+
+use maxoid_kernel::{ExecContext, KernelError, KernelResult};
+use std::collections::BTreeMap;
+
+/// Clipboard service with per-context instances.
+#[derive(Debug, Default)]
+pub struct ClipboardService {
+    global: Option<String>,
+    /// Keyed by initiator: the clipboard shared by that initiator's
+    /// delegates.
+    confined: BTreeMap<String, String>,
+}
+
+impl ClipboardService {
+    /// Creates an empty clipboard service.
+    pub fn new() -> Self {
+        ClipboardService::default()
+    }
+
+    /// Sets the clip for a caller in the given context.
+    pub fn set(&mut self, ctx: &ExecContext, text: &str) {
+        match ctx {
+            ExecContext::Normal => self.global = Some(text.to_string()),
+            ExecContext::OnBehalfOf(init) => {
+                self.confined.insert(init.pkg().to_string(), text.to_string());
+            }
+        }
+    }
+
+    /// Gets the clip visible to a caller in the given context.
+    ///
+    /// Delegates see their confined instance if one exists, otherwise the
+    /// global clip (initial state availability, U1 — data copied before
+    /// confinement began remains usable).
+    pub fn get(&self, ctx: &ExecContext) -> Option<&str> {
+        match ctx {
+            ExecContext::Normal => self.global.as_deref(),
+            ExecContext::OnBehalfOf(init) => self
+                .confined
+                .get(init.pkg())
+                .map(String::as_str)
+                .or(self.global.as_deref()),
+        }
+    }
+
+    /// Discards the confined clipboard of an initiator (Clear-Vol).
+    pub fn clear_confined(&mut self, init: &str) {
+        self.confined.remove(init);
+    }
+}
+
+/// Bluetooth Manager Service: transmission policy only.
+#[derive(Debug, Default)]
+pub struct BluetoothService {
+    /// Payloads "sent" over Bluetooth, for tests.
+    pub sent: Vec<Vec<u8>>,
+}
+
+impl BluetoothService {
+    /// Sends data over Bluetooth; denied for delegates.
+    pub fn send(&mut self, ctx: &ExecContext, data: &[u8]) -> KernelResult<()> {
+        if ctx.is_delegate() {
+            return Err(KernelError::PermissionDenied);
+        }
+        self.sent.push(data.to_vec());
+        Ok(())
+    }
+}
+
+/// Telephony provider: SMS sending policy only.
+#[derive(Debug, Default)]
+pub struct SmsService {
+    /// Messages "sent", for tests.
+    pub sent: Vec<(String, String)>,
+}
+
+impl SmsService {
+    /// Sends an SMS; denied for delegates.
+    pub fn send(&mut self, ctx: &ExecContext, to: &str, body: &str) -> KernelResult<()> {
+        if ctx.is_delegate() {
+            return Err(KernelError::PermissionDenied);
+        }
+        self.sent.push((to.to_string(), body.to_string()));
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxoid_kernel::AppId;
+
+    fn delegate_of(init: &str) -> ExecContext {
+        ExecContext::OnBehalfOf(AppId::new(init))
+    }
+
+    #[test]
+    fn clipboard_is_confined_per_initiator() {
+        let mut cb = ClipboardService::new();
+        cb.set(&ExecContext::Normal, "global");
+        // A delegate of email copies sensitive text.
+        cb.set(&delegate_of("email"), "secret from Priv(email)");
+        // The global clipboard is unchanged; normal apps cannot see it.
+        assert_eq!(cb.get(&ExecContext::Normal), Some("global"));
+        // The delegate (and co-delegates of email) read the confined clip.
+        assert_eq!(cb.get(&delegate_of("email")), Some("secret from Priv(email)"));
+        // Delegates of a different initiator see only the global clip.
+        assert_eq!(cb.get(&delegate_of("dropbox")), Some("global"));
+        cb.clear_confined("email");
+        assert_eq!(cb.get(&delegate_of("email")), Some("global"));
+    }
+
+    #[test]
+    fn delegates_inherit_global_clip_initially() {
+        let mut cb = ClipboardService::new();
+        cb.set(&ExecContext::Normal, "public text");
+        assert_eq!(cb.get(&delegate_of("email")), Some("public text"));
+    }
+
+    #[test]
+    fn bluetooth_denied_for_delegates() {
+        let mut bt = BluetoothService::default();
+        bt.send(&ExecContext::Normal, b"ok").unwrap();
+        assert_eq!(
+            bt.send(&delegate_of("email"), b"leak").unwrap_err(),
+            KernelError::PermissionDenied
+        );
+        assert_eq!(bt.sent.len(), 1);
+    }
+
+    #[test]
+    fn sms_denied_for_delegates() {
+        let mut sms = SmsService::default();
+        sms.send(&ExecContext::Normal, "+1555", "hi").unwrap();
+        assert_eq!(
+            sms.send(&delegate_of("email"), "+1555", "leak").unwrap_err(),
+            KernelError::PermissionDenied
+        );
+        assert_eq!(sms.sent.len(), 1);
+    }
+}

@@ -1,0 +1,529 @@
+//! The Maxoid system facade: everything wired together.
+//!
+//! [`MaxoidSystem`] owns the kernel (processes, VFS, network), the branch
+//! manager, the Activity Manager, the content resolver with the three
+//! ported system providers, the private-state manager, volatile-state
+//! management, and the policy services. It is the single object examples,
+//! tests and the app models drive — the analogue of a booted device.
+
+use crate::ams::{ActivityManager, AmsError, Route};
+use crate::branch_manager::{BranchLocator, BranchManager};
+use crate::intent::{AppIntentFilter, Intent};
+use crate::manifest::MaxoidManifest;
+use crate::private_state::{ForkOutcome, PrivateStateManager};
+use crate::services::{BluetoothService, ClipboardService, SmsService};
+use crate::volatile::{VolatileEntry, VolatileState};
+use maxoid_kernel::{AppId, ExecContext, Kernel, KernelError, Pid};
+use maxoid_providers::provider::ContentProvider;
+use maxoid_providers::{
+    Caller, ContentResolver, ContentValues, DownloadRequest, DownloadsProvider, MediaKind,
+    MediaProvider, ProviderError, ProviderResult, ProviderScope, QueryArgs, SystemFiles, Uri,
+    UserDictionaryProvider,
+};
+use maxoid_sqldb::ResultSet;
+use maxoid_vfs::VfsResult;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Top-level error for system operations.
+#[derive(Debug)]
+pub enum SystemError {
+    /// Invocation routing failed.
+    Ams(AmsError),
+    /// A kernel operation failed.
+    Kernel(KernelError),
+    /// A filesystem operation failed.
+    Fs(maxoid_vfs::VfsError),
+    /// A provider operation failed.
+    Provider(ProviderError),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SystemError::Ams(e) => write!(f, "ams: {e}"),
+            SystemError::Kernel(e) => write!(f, "kernel: {e}"),
+            SystemError::Fs(e) => write!(f, "fs: {e}"),
+            SystemError::Provider(e) => write!(f, "provider: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
+
+impl From<AmsError> for SystemError {
+    fn from(e: AmsError) -> Self {
+        SystemError::Ams(e)
+    }
+}
+
+impl From<KernelError> for SystemError {
+    fn from(e: KernelError) -> Self {
+        SystemError::Kernel(e)
+    }
+}
+
+impl From<maxoid_vfs::VfsError> for SystemError {
+    fn from(e: maxoid_vfs::VfsError) -> Self {
+        SystemError::Fs(e)
+    }
+}
+
+impl From<ProviderError> for SystemError {
+    fn from(e: ProviderError) -> Self {
+        SystemError::Provider(e)
+    }
+}
+
+/// Result alias for system operations.
+pub type SystemResult<T> = Result<T, SystemError>;
+
+/// Adapter registering a shared provider instance in the resolver while
+/// the system keeps a handle for direct service APIs (download pump,
+/// media scans). The authority is cached because a `&str` cannot be
+/// returned through the lock guard.
+struct SharedProvider<P> {
+    authority: &'static str,
+    inner: Arc<Mutex<P>>,
+}
+
+impl<P: ContentProvider + Send> SharedProvider<P> {
+    fn new(authority: &'static str, inner: Arc<Mutex<P>>) -> Self {
+        SharedProvider { authority, inner }
+    }
+}
+
+impl<P: ContentProvider + Send> ContentProvider for SharedProvider<P> {
+    fn authority(&self) -> &str {
+        self.authority
+    }
+
+    fn insert(&mut self, caller: &Caller, uri: &Uri, values: &ContentValues) -> ProviderResult<Uri> {
+        self.inner.lock().insert(caller, uri, values)
+    }
+
+    fn update(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+        args: &QueryArgs,
+    ) -> ProviderResult<usize> {
+        self.inner.lock().update(caller, uri, values, args)
+    }
+
+    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
+        self.inner.lock().query(caller, uri, args)
+    }
+
+    fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+        self.inner.lock().delete(caller, uri, args)
+    }
+
+    fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
+        self.inner.lock().clear_volatile(initiator)
+    }
+}
+
+/// A booted Maxoid device: kernel + system services + providers.
+pub struct MaxoidSystem {
+    /// The kernel (process table, VFS, network).
+    pub kernel: Kernel,
+    /// The Activity Manager (intent routing).
+    pub ams: ActivityManager,
+    /// The content resolver with all system providers registered.
+    pub resolver: ContentResolver,
+    /// Clipboard service (per-context instances).
+    pub clipboard: ClipboardService,
+    /// Bluetooth policy service.
+    pub bluetooth: BluetoothService,
+    /// SMS policy service.
+    pub sms: SmsService,
+    branch_mgr: BranchManager,
+    priv_mgr: PrivateStateManager,
+    volatile: VolatileState,
+    downloads: Arc<Mutex<DownloadsProvider<BranchLocator>>>,
+    media: Arc<Mutex<MediaProvider<BranchLocator>>>,
+    downloads_pid: Pid,
+}
+
+impl std::fmt::Debug for MaxoidSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaxoidSystem").finish()
+    }
+}
+
+impl MaxoidSystem {
+    /// Boots a Maxoid device: kernel, branch manager, system providers.
+    pub fn boot() -> SystemResult<Self> {
+        let mut kernel = Kernel::new();
+        let branch_mgr = BranchManager::new(kernel.vfs().clone())?;
+        let volatile = VolatileState::new(kernel.vfs().clone());
+        let files = SystemFiles::new(kernel.vfs().clone(), BranchLocator);
+
+        // The Downloads service's own process: a trusted system app with
+        // network access.
+        let dl_app = AppId::new("android.providers.downloads");
+        kernel.install_app(&dl_app);
+        let downloads_pid =
+            kernel.spawn(&dl_app, ExecContext::Normal, maxoid_vfs::MountNamespace::new())?;
+
+        let downloads = Arc::new(Mutex::new(DownloadsProvider::new(files.clone())));
+        let media = Arc::new(Mutex::new(MediaProvider::new(files)));
+
+        let mut resolver = ContentResolver::new();
+        resolver.register(
+            ProviderScope::System,
+            Box::new(SharedProvider::new(
+                maxoid_providers::userdict::AUTHORITY,
+                Arc::new(Mutex::new(UserDictionaryProvider::new())),
+            )),
+        );
+        resolver.register(
+            ProviderScope::System,
+            Box::new(SharedProvider::new(
+                maxoid_providers::downloads::AUTHORITY,
+                downloads.clone(),
+            )),
+        );
+        resolver.register(
+            ProviderScope::System,
+            Box::new(SharedProvider::new(maxoid_providers::media::AUTHORITY, media.clone())),
+        );
+
+        Ok(MaxoidSystem {
+            kernel,
+            ams: ActivityManager::new(),
+            resolver,
+            clipboard: ClipboardService::new(),
+            bluetooth: BluetoothService::default(),
+            sms: SmsService::default(),
+            branch_mgr,
+            priv_mgr: PrivateStateManager::new(),
+            volatile,
+            downloads,
+            media,
+            downloads_pid,
+        })
+    }
+
+    /// Returns the branch manager (examples render mount tables from it).
+    pub fn branch_manager(&self) -> &BranchManager {
+        &self.branch_mgr
+    }
+
+    /// Installs an app: uid assignment, backing directories, intent
+    /// filters and Maxoid manifest registration.
+    pub fn install(
+        &mut self,
+        pkg: &str,
+        filters: Vec<AppIntentFilter>,
+        manifest: MaxoidManifest,
+    ) -> SystemResult<AppId> {
+        let app = AppId::new(pkg);
+        let uid = self.kernel.install_app(&app);
+        self.branch_mgr.prepare_app(pkg, uid, &manifest)?;
+        self.ams.register_app(&app, filters, manifest);
+        Ok(app)
+    }
+
+    /// Launches an app normally (tapping its icon): no sender context.
+    /// Any live instance running in a different context is killed first
+    /// (the §6.2 rule applies regardless of how the app starts).
+    pub fn launch(&mut self, pkg: &str) -> SystemResult<Pid> {
+        let app = AppId::new(pkg);
+        self.kill_conflicting(&app, &ExecContext::Normal)?;
+        self.spawn_in_context(&app, ExecContext::Normal)
+    }
+
+    /// The launcher's "start as delegate" gesture (§6.3): the user drags
+    /// the initiator's icon onto the Initiator target, then taps the app.
+    pub fn launch_as_delegate(&mut self, pkg: &str, initiator: &str) -> SystemResult<Pid> {
+        let route = self.ams.route(
+            None,
+            &Intent::new("android.intent.action.MAIN").with_target(pkg),
+            &self.running(),
+        )?;
+        // The launcher overrides the computed (normal) context.
+        let Route::Start { target, .. } = route else {
+            unreachable!("explicit target cannot produce a chooser")
+        };
+        let ctx = ExecContext::OnBehalfOf(AppId::new(initiator));
+        self.kill_conflicting(&target, &ctx)?;
+        self.spawn_in_context(&target, ctx)
+    }
+
+    fn running(&self) -> Vec<(Pid, AppId, ExecContext)> {
+        self.kernel
+            .processes()
+            .map(|p| (p.pid, p.app.clone(), p.ctx.clone()))
+            .collect()
+    }
+
+    fn kill_conflicting(&mut self, app: &AppId, ctx: &ExecContext) -> SystemResult<()> {
+        let doomed: Vec<Pid> = self
+            .kernel
+            .processes()
+            .filter(|p| &p.app == app && &p.ctx != ctx)
+            .map(|p| p.pid)
+            .collect();
+        for pid in doomed {
+            self.kernel.kill(pid)?;
+        }
+        Ok(())
+    }
+
+    fn spawn_in_context(&mut self, app: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
+        let manifest =
+            self.ams.manifest(app).cloned().unwrap_or_default();
+        let ns = match &ctx {
+            ExecContext::Normal => {
+                self.branch_mgr.initiator_namespace(app.pkg(), &manifest)?
+            }
+            ExecContext::OnBehalfOf(init) => {
+                let init_manifest =
+                    self.ams.manifest(init).cloned().unwrap_or_default();
+                // Figure 2 lifecycle: fork / keep / discard nPriv.
+                self.priv_mgr.on_delegate_start(
+                    self.kernel.vfs(),
+                    init.pkg(),
+                    app.pkg(),
+                )?;
+                self.branch_mgr.delegate_namespace(
+                    app.pkg(),
+                    &manifest,
+                    init.pkg(),
+                    &init_manifest,
+                )?
+            }
+        };
+        Ok(self.kernel.spawn(app, ctx, ns)?)
+    }
+
+    /// Sends an intent from `sender` (None = the user via the launcher),
+    /// starting the resolved target. Returns the new process or the
+    /// chooser candidates.
+    pub fn start_activity(
+        &mut self,
+        sender: Option<Pid>,
+        intent: &Intent,
+    ) -> SystemResult<StartOutcome> {
+        let sender_info = match sender {
+            Some(pid) => {
+                let p = self.kernel.process(pid)?;
+                Some((p.app.clone(), p.ctx.clone()))
+            }
+            None => None,
+        };
+        let sender_ref = sender_info.as_ref().map(|(a, c)| (a, c));
+        let route = self.ams.route(sender_ref, intent, &self.running())?;
+        match route {
+            Route::Chooser { candidates, ctx } => {
+                Ok(StartOutcome::Chooser { candidates, ctx })
+            }
+            Route::Start { target, ctx, kill_first } => {
+                for pid in kill_first {
+                    self.kernel.kill(pid)?;
+                }
+                // Per-URI grant plumbing for content data with the grant
+                // flag (the Email attachment pattern).
+                if intent.read_granted() {
+                    if let Some(data) = &intent.data {
+                        if let Ok(uri) = Uri::parse(data) {
+                            self.resolver.grant_uri_permission(
+                                target.pkg(),
+                                &uri,
+                                false,
+                                true,
+                            );
+                        }
+                    }
+                }
+                let pid = self.spawn_in_context(&target, ctx)?;
+                Ok(StartOutcome::Started(pid))
+            }
+        }
+    }
+
+    /// Completes a chooser: starts `choice` in the already-computed
+    /// context (ResolverActivity is an intent channel, not an instance).
+    pub fn start_chosen(
+        &mut self,
+        choice: &AppId,
+        ctx: ExecContext,
+    ) -> SystemResult<Pid> {
+        self.kill_conflicting(choice, &ctx)?;
+        self.spawn_in_context(choice, ctx)
+    }
+
+    /// Returns the provider-facing caller identity of a process.
+    pub fn caller(&self, pid: Pid) -> SystemResult<Caller> {
+        let p = self.kernel.process(pid)?;
+        Ok(Caller { app: p.app.clone(), ctx: p.ctx.clone() })
+    }
+
+    // -----------------------------------------------------------------
+    // Provider conveniences bound to a calling process.
+    // -----------------------------------------------------------------
+
+    /// Provider insert on behalf of `pid`.
+    pub fn cp_insert(
+        &mut self,
+        pid: Pid,
+        uri: &Uri,
+        values: &ContentValues,
+    ) -> SystemResult<Uri> {
+        let caller = self.caller(pid)?;
+        Ok(self.resolver.insert(&caller, uri, values)?)
+    }
+
+    /// Provider update on behalf of `pid`.
+    pub fn cp_update(
+        &mut self,
+        pid: Pid,
+        uri: &Uri,
+        values: &ContentValues,
+        args: &QueryArgs,
+    ) -> SystemResult<usize> {
+        let caller = self.caller(pid)?;
+        Ok(self.resolver.update(&caller, uri, values, args)?)
+    }
+
+    /// Provider query on behalf of `pid`.
+    pub fn cp_query(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<ResultSet> {
+        let caller = self.caller(pid)?;
+        Ok(self.resolver.query(&caller, uri, args)?)
+    }
+
+    /// Provider delete on behalf of `pid`.
+    pub fn cp_delete(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<usize> {
+        let caller = self.caller(pid)?;
+        Ok(self.resolver.delete(&caller, uri, args)?)
+    }
+
+    // -----------------------------------------------------------------
+    // Download manager and media scanner service APIs.
+    // -----------------------------------------------------------------
+
+    /// `DownloadManager.enqueue` on behalf of `pid`.
+    pub fn enqueue_download(&mut self, pid: Pid, req: &DownloadRequest) -> SystemResult<i64> {
+        let caller = self.caller(pid)?;
+        Ok(self.downloads.lock().enqueue(&caller, req)?)
+    }
+
+    /// Pumps the Downloads background worker once.
+    pub fn pump_downloads(&mut self) -> SystemResult<usize> {
+        let pid = self.downloads_pid;
+        let dl = self.downloads.clone();
+        let mut guard = dl.lock();
+        Ok(guard.process_pending(&mut self.kernel, pid)?)
+    }
+
+    /// Drains download notifications.
+    pub fn download_notifications(&mut self) -> Vec<maxoid_providers::DownloadNotification> {
+        self.downloads.lock().take_notifications()
+    }
+
+    /// Opens a completed download's bytes (provenance-aware).
+    pub fn open_download(
+        &self,
+        initiator: Option<&str>,
+        dest: &maxoid_vfs::VPath,
+    ) -> SystemResult<Vec<u8>> {
+        Ok(self.downloads.lock().open_download(initiator, dest)?)
+    }
+
+    /// Media scanner service: scan a file on behalf of `pid`.
+    pub fn scan_media(
+        &mut self,
+        pid: Pid,
+        path: &maxoid_vfs::VPath,
+        kind: MediaKind,
+        title: &str,
+        size: usize,
+    ) -> SystemResult<i64> {
+        let caller = self.caller(pid)?;
+        Ok(self.media.lock().scan_file(&caller, path, kind, title, size)?)
+    }
+
+    /// Opens a thumbnail generated by the media scanner.
+    pub fn open_thumbnail(
+        &self,
+        initiator: Option<&str>,
+        media_path: &maxoid_vfs::VPath,
+    ) -> SystemResult<Vec<u8>> {
+        Ok(self.media.lock().open_thumbnail(initiator, media_path)?)
+    }
+
+    // -----------------------------------------------------------------
+    // Volatile state: list, commit, and the launcher gestures.
+    // -----------------------------------------------------------------
+
+    /// Lists the volatile files of an initiator.
+    pub fn volatile_files(&self, init: &str) -> SystemResult<Vec<VolatileEntry>> {
+        Ok(self.volatile.list(init)?)
+    }
+
+    /// Commits a volatile external file to its non-volatile place (§3.3).
+    pub fn commit_volatile_file(&mut self, init: &str, rel: &str) -> SystemResult<()> {
+        let manifest = self
+            .ams
+            .manifest(&AppId::new(init))
+            .cloned()
+            .unwrap_or_default();
+        Ok(self.volatile.commit_external(init, &manifest, rel)?)
+    }
+
+    /// Commits a volatile internal file into `Priv(init)`.
+    pub fn commit_volatile_internal(&mut self, init: &str, rel: &str) -> SystemResult<()> {
+        Ok(self.volatile.commit_internal(init, rel)?)
+    }
+
+    /// The launcher's Clear-Vol gesture (§6.3): discards `Vol(init)` —
+    /// volatile files, provider delta tables, and the confined clipboard.
+    pub fn clear_vol(&mut self, init: &str) -> SystemResult<usize> {
+        let removed = self.volatile.clear(init)?;
+        self.resolver.clear_volatile(init)?;
+        self.clipboard.clear_confined(init);
+        Ok(removed)
+    }
+
+    /// The launcher's Clear-Priv gesture (§6.3): clears `Priv(x^init)`
+    /// for every app `x` (delegate forks and persistent private state).
+    pub fn clear_priv(&mut self, init: &str) -> SystemResult<usize> {
+        Ok(self.priv_mgr.clear_initiator(self.kernel.vfs(), init)?)
+    }
+
+    /// Exposes the fork decision for tests (Figure 2 assertions).
+    pub fn fork_outcome_probe(&mut self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
+        self.priv_mgr.on_delegate_start(self.kernel.vfs(), init, pkg)
+    }
+}
+
+/// What `start_activity` produced.
+#[derive(Debug)]
+pub enum StartOutcome {
+    /// The target started with this pid.
+    Started(Pid),
+    /// Several candidates: the user must choose (ResolverActivity).
+    Chooser {
+        /// The matching apps.
+        candidates: Vec<AppId>,
+        /// The context the choice will run in.
+        ctx: ExecContext,
+    },
+}
+
+impl StartOutcome {
+    /// Unwraps the started pid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chooser was returned instead.
+    pub fn pid(self) -> Pid {
+        match self {
+            StartOutcome::Started(pid) => pid,
+            StartOutcome::Chooser { .. } => panic!("expected a started activity, got chooser"),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Naming scheme for proxy-managed objects.
+//!
+//! The proxy derives delta-table, COW-view and trigger names from the
+//! primary table and the initiator, matching the paper's Figure 6
+//! (`tab1_delta_A`, `tab1_view_A`, `tab1_A_update`).
+
+/// Primary keys of rows inserted by delegates start at this offset so they
+/// never collide with public rows (paper §5.2: "the delta table's primary
+/// key starts at a large number N"). Figure 6 shows the first delegate
+/// insert as 10000001.
+pub const DELTA_PK_START: i64 = 10_000_001;
+
+/// Sanitizes an initiator identity (Android package name) into an SQL
+/// identifier fragment.
+pub fn sanitize(initiator: &str) -> String {
+    initiator
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect()
+}
+
+/// Name of the per-initiator delta table for a primary table.
+pub fn delta_table(table: &str, initiator: &str) -> String {
+    format!("{table}_delta_{}", sanitize(initiator))
+}
+
+/// Name of the per-initiator COW view for a table or user-defined view.
+pub fn cow_view(table: &str, initiator: &str) -> String {
+    format!("{table}_view_{}", sanitize(initiator))
+}
+
+/// Name of an INSTEAD OF trigger on a COW view.
+pub fn trigger(table: &str, initiator: &str, event: &str) -> String {
+    format!("{table}_{}_{event}", sanitize(initiator))
+}
+
+/// The whiteout marker column added to every delta table.
+pub const WHITEOUT_COL: &str = "_whiteout";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure6_names() {
+        assert_eq!(delta_table("tab1", "A"), "tab1_delta_A");
+        assert_eq!(cow_view("tab1", "A"), "tab1_view_A");
+        assert_eq!(trigger("tab1", "A", "update"), "tab1_A_update");
+    }
+
+    #[test]
+    fn package_names_sanitized() {
+        assert_eq!(sanitize("com.dropbox.android"), "com_dropbox_android");
+        assert_eq!(
+            delta_table("downloads", "com.android.browser"),
+            "downloads_delta_com_android_browser"
+        );
+    }
+}

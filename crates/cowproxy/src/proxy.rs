@@ -1,0 +1,862 @@
+//! The copy-on-write proxy layer (paper §5.2).
+//!
+//! Content providers talk to [`CowProxy`] exactly as they would to SQLite:
+//! they create primary tables and user-defined views, then issue
+//! insert/update/query/delete calls. The extra input is a [`DbView`]
+//! describing *whose* view of the data the call operates on; the proxy
+//! routes the operation to primary tables, per-initiator COW views, delta
+//! tables, or the administrative view accordingly, creating delta tables,
+//! COW views and INSTEAD OF triggers on demand.
+
+use crate::hierarchy::ViewHierarchy;
+use crate::names::{cow_view, delta_table, sanitize, trigger, DELTA_PK_START, WHITEOUT_COL};
+use crate::sqlgen;
+use maxoid_sqldb::{
+    Affinity, Database, FlattenPolicy, ResultSet, SqlError, SqlResult, Value,
+};
+
+/// Which Maxoid view of provider state an operation targets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbView {
+    /// Primary tables: initiators using normal URIs, and all apps when no
+    /// confinement is active.
+    Primary,
+    /// The merged copy-on-write view for delegates of `initiator`.
+    Delegate {
+        /// The initiator the calling delegate runs on behalf of.
+        initiator: String,
+    },
+    /// Only the volatile records of `initiator` (the provider's `tmp`
+    /// URIs), excluding whiteouts.
+    Volatile {
+        /// The initiator whose volatile state is addressed.
+        initiator: String,
+    },
+    /// The administrative view: all public and volatile records, with
+    /// provenance columns. Used by providers with active background work
+    /// (Downloads, Media) that must track every record.
+    Admin,
+}
+
+/// Options for a proxy query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryOpts {
+    /// Columns to project; empty means `*`.
+    pub columns: Vec<String>,
+    /// WHERE clause text (without the keyword), e.g. `"_id = ?"`.
+    pub where_clause: Option<String>,
+    /// ORDER BY text (without the keyword), e.g. `"word DESC"`.
+    pub order_by: Option<String>,
+    /// LIMIT row count.
+    pub limit: Option<i64>,
+}
+
+/// Provenance column added by [`CowProxy::admin_query`].
+pub const ADMIN_STATE_COL: &str = "_maxoid_state";
+/// Initiator column added by [`CowProxy::admin_query`] (NULL for public).
+pub const ADMIN_INITIATOR_COL: &str = "_maxoid_initiator";
+
+/// The COW proxy: an embedded database plus per-initiator volatile state.
+#[derive(Debug)]
+pub struct CowProxy {
+    db: Database,
+    hierarchy: ViewHierarchy,
+    /// Initiators that currently have at least one delta table.
+    initiators: Vec<String>,
+}
+
+impl Default for CowProxy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CowProxy {
+    /// Creates a proxy over an empty database with the default planner
+    /// policy (SQLite 3.8.6 flattening, as ported by the paper's authors).
+    pub fn new() -> Self {
+        CowProxy {
+            db: Database::with_policy(FlattenPolicy::Sqlite386),
+            hierarchy: ViewHierarchy::default(),
+            initiators: Vec::new(),
+        }
+    }
+
+    /// Creates a proxy with a specific planner policy (for ablations).
+    pub fn with_policy(policy: FlattenPolicy) -> Self {
+        CowProxy {
+            db: Database::with_policy(policy),
+            hierarchy: ViewHierarchy::default(),
+            initiators: Vec::new(),
+        }
+    }
+
+    /// Direct access to the underlying database (administrative escape
+    /// hatch for providers and tests).
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database.
+    pub fn db_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Runs provider schema DDL (CREATE TABLE statements) directly.
+    pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
+        self.db.execute_batch(sql)
+    }
+
+    /// Registers a user-defined SQL view (e.g. Media's `images` over
+    /// `files`). The proxy records its dependencies so per-initiator COW
+    /// views can be built for the whole hierarchy (paper Figure 5).
+    pub fn register_user_view(&mut self, sql: &str) -> SqlResult<()> {
+        self.hierarchy.register(&mut self.db, sql)
+    }
+
+    /// Lists initiators that currently hold volatile records.
+    pub fn initiators_with_volatile(&self) -> &[String] {
+        &self.initiators
+    }
+
+    // -----------------------------------------------------------------
+    // View plumbing.
+    // -----------------------------------------------------------------
+
+    /// Returns true if `initiator` has a delta table for `table`.
+    pub fn has_delta(&self, table: &str, initiator: &str) -> bool {
+        self.db.has_table(&delta_table(table, initiator))
+    }
+
+    /// Ensures delta table, COW view and triggers exist for
+    /// `(table, initiator)`; created on demand at the first volatile write
+    /// (paper: "Delta tables and COW views are created on demand").
+    pub fn ensure_cow(&mut self, table: &str, initiator: &str) -> SqlResult<()> {
+        if self.has_delta(table, initiator) {
+            return Ok(());
+        }
+        if !self.db.has_table(table) {
+            // User-defined view: ensure COW views exist for its bases.
+            if self.db.has_view(table) {
+                return self.hierarchy.ensure_cow_views(&mut self.db, table, initiator);
+            }
+            return Err(SqlError::NoSuchTable(table.to_string()));
+        }
+        let (columns, column_defs, pk) = {
+            let t = self.db.table(table)?;
+            let columns = t.schema.column_names();
+            let defs: Vec<String> = t
+                .schema
+                .columns
+                .iter()
+                .map(|c| {
+                    let ty = match c.affinity {
+                        Affinity::Integer => "INTEGER",
+                        Affinity::Real => "REAL",
+                        Affinity::Text => "TEXT",
+                        Affinity::Blob => "BLOB",
+                        Affinity::Numeric => "NUMERIC",
+                    };
+                    let mut d = format!("{} {ty}", c.name);
+                    if c.primary_key {
+                        d.push_str(" PRIMARY KEY");
+                    }
+                    d
+                })
+                .collect();
+            let pk = t
+                .schema
+                .pk_column
+                .map(|i| t.schema.columns[i].name.clone())
+                .ok_or_else(|| {
+                    SqlError::Unsupported(format!(
+                        "COW proxy requires an INTEGER PRIMARY KEY on {table}"
+                    ))
+                })?;
+            (columns, defs, pk)
+        };
+        // The five DDL objects must appear atomically: a half-built COW
+        // structure would route delegate writes into a view without its
+        // confinement triggers.
+        self.db.begin()?;
+        let build = (|| -> SqlResult<()> {
+            self.db
+                .execute_batch(&sqlgen::delta_table_sql(table, initiator, &column_defs))?;
+            self.db
+                .table_mut(&delta_table(table, initiator))?
+                .set_pk_start(DELTA_PK_START);
+            self.db.execute_batch(&sqlgen::cow_view_sql(table, initiator, &columns, &pk))?;
+            self.db
+                .execute_batch(&sqlgen::insert_trigger_sql(table, initiator, &columns))?;
+            self.db
+                .execute_batch(&sqlgen::update_trigger_sql(table, initiator, &columns))?;
+            self.db
+                .execute_batch(&sqlgen::delete_trigger_sql(table, initiator, &columns))
+        })();
+        match build {
+            Ok(()) => self.db.commit()?,
+            Err(e) => {
+                self.db.rollback()?;
+                return Err(e);
+            }
+        }
+        if !self.initiators.iter().any(|i| i == initiator) {
+            self.initiators.push(initiator.to_string());
+        }
+        Ok(())
+    }
+
+    /// Resolves the relation name an operation should target for a read.
+    ///
+    /// Reads before the first volatile write see the primary table
+    /// unchanged (unilateral copy-on-write: the fork happens on first
+    /// write, not on delegate start).
+    pub fn read_relation(&self, table: &str, view: &DbView) -> SqlResult<String> {
+        match view {
+            DbView::Primary | DbView::Admin => Ok(table.to_string()),
+            DbView::Delegate { initiator } => {
+                if self.db.has_table(&delta_table(table, initiator))
+                    || (self.db.has_view(table)
+                        && self.db.has_view(&cow_view(table, initiator)))
+                {
+                    Ok(cow_view(table, initiator))
+                } else {
+                    Ok(table.to_string())
+                }
+            }
+            DbView::Volatile { initiator } => {
+                let delta = delta_table(table, initiator);
+                if self.db.has_table(&delta) {
+                    Ok(delta)
+                } else {
+                    Err(SqlError::NoSuchTable(delta))
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // The SQLite-shaped data API.
+    // -----------------------------------------------------------------
+
+    /// Inserts a row; returns the new row's id.
+    ///
+    /// For delegates the row lands in the initiator's delta table via the
+    /// INSTEAD OF INSERT trigger, keyed from the offset `N`. For
+    /// `DbView::Volatile` (an initiator's `isVolatile` insert, §6.1 API 4)
+    /// the row is written to the initiator's own delta table directly.
+    pub fn insert(
+        &mut self,
+        view: &DbView,
+        table: &str,
+        values: &[(&str, Value)],
+    ) -> SqlResult<i64> {
+        match view {
+            DbView::Primary | DbView::Admin => {
+                let (cols, params) = split_values(values);
+                let sql = insert_sql(table, &cols);
+                let out = self.db.execute(&sql, &params)?;
+                out.last_insert_id.ok_or_else(|| {
+                    SqlError::Unsupported(format!("insert into {table} produced no rowid"))
+                })
+            }
+            DbView::Delegate { initiator } => {
+                let initiator = initiator.clone();
+                self.ensure_cow(table, &initiator)?;
+                let delta = delta_table(table, &initiator);
+                let before = self.db.table(&delta)?.next_rowid();
+                let (cols, params) = split_values(values);
+                let sql = insert_sql(&cow_view(table, &initiator), &cols);
+                self.db.execute(&sql, &params)?;
+                // The trigger inserted into the delta table; recover the id.
+                let after = self.db.table(&delta)?.next_rowid();
+                Ok(if after > before { after - 1 } else { before })
+            }
+            DbView::Volatile { initiator } => {
+                let initiator = initiator.clone();
+                self.ensure_cow(table, &initiator)?;
+                let delta = delta_table(table, &initiator);
+                let mut cols: Vec<&str> = values.iter().map(|(c, _)| *c).collect();
+                cols.push(WHITEOUT_COL);
+                let mut params: Vec<Value> =
+                    values.iter().map(|(_, v)| v.clone()).collect();
+                params.push(Value::Integer(0));
+                let sql = insert_sql(&delta, &cols);
+                let out = self.db.execute(&sql, &params)?;
+                out.last_insert_id.ok_or_else(|| {
+                    SqlError::Unsupported(format!("insert into {delta} produced no rowid"))
+                })
+            }
+        }
+    }
+
+    /// Updates rows matching `where_clause`; returns the affected count.
+    pub fn update(
+        &mut self,
+        view: &DbView,
+        table: &str,
+        sets: &[(&str, Value)],
+        where_clause: Option<&str>,
+        where_params: &[Value],
+    ) -> SqlResult<usize> {
+        let target = match view {
+            DbView::Primary | DbView::Admin => table.to_string(),
+            DbView::Delegate { initiator } => {
+                let initiator = initiator.clone();
+                self.ensure_cow(table, &initiator)?;
+                cow_view(table, &initiator)
+            }
+            DbView::Volatile { initiator } => delta_table(table, initiator),
+        };
+        if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
+            return Ok(0);
+        }
+        // SET parameters come first, then WHERE parameters; build one
+        // parameter list with explicit indices.
+        let mut sql = format!("UPDATE {target} SET ");
+        let mut params: Vec<Value> = Vec::new();
+        for (i, (c, v)) in sets.iter().enumerate() {
+            if i > 0 {
+                sql.push_str(", ");
+            }
+            params.push(v.clone());
+            sql.push_str(&format!("{c} = ?{}", params.len()));
+        }
+        if let Some(w) = where_clause {
+            sql.push_str(" WHERE ");
+            sql.push_str(&renumber_params(w, params.len()));
+            params.extend(where_params.iter().cloned());
+        }
+        Ok(self.db.execute(&sql, &params)?.rows_affected)
+    }
+
+    /// Deletes rows matching `where_clause`; returns the affected count.
+    ///
+    /// Through a delegate view this creates whiteout records rather than
+    /// touching public rows.
+    pub fn delete(
+        &mut self,
+        view: &DbView,
+        table: &str,
+        where_clause: Option<&str>,
+        where_params: &[Value],
+    ) -> SqlResult<usize> {
+        let target = match view {
+            DbView::Primary | DbView::Admin => table.to_string(),
+            DbView::Delegate { initiator } => {
+                let initiator = initiator.clone();
+                self.ensure_cow(table, &initiator)?;
+                cow_view(table, &initiator)
+            }
+            DbView::Volatile { initiator } => delta_table(table, initiator),
+        };
+        if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
+            return Ok(0);
+        }
+        let mut sql = format!("DELETE FROM {target}");
+        if let Some(w) = where_clause {
+            sql.push_str(" WHERE ");
+            sql.push_str(w);
+        }
+        Ok(self.db.execute(&sql, where_params)?.rows_affected)
+    }
+
+    /// Queries the selected view of a table (or user-defined view).
+    ///
+    /// Reproduces the paper's footnote-5 workaround: when the planner
+    /// requires ORDER BY columns to be part of the selection for
+    /// flattening, the proxy appends them to the projection and strips the
+    /// extra columns from the result.
+    pub fn query(
+        &self,
+        view: &DbView,
+        table: &str,
+        opts: &QueryOpts,
+        params: &[Value],
+    ) -> SqlResult<ResultSet> {
+        let target = self.read_relation(table, view)?;
+        let mut columns = opts.columns.clone();
+        let explicit = !columns.is_empty();
+        let mut appended = 0usize;
+        if explicit {
+            if let Some(order) = &opts.order_by {
+                // Footnote 5: add ORDER BY columns to query columns when
+                // necessary so flattening can fire.
+                for term in order.split(',') {
+                    let col = term.split_whitespace().next().unwrap_or("");
+                    if !col.is_empty()
+                        && col.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                        && !col.chars().all(|c| c.is_ascii_digit())
+                        && !columns.iter().any(|c| c.eq_ignore_ascii_case(col))
+                    {
+                        columns.push(col.to_string());
+                        appended += 1;
+                    }
+                }
+            }
+        }
+        let mut sql = String::from("SELECT ");
+        if explicit {
+            sql.push_str(&columns.join(", "));
+        } else {
+            sql.push('*');
+        }
+        sql.push_str(&format!(" FROM {target}"));
+        let mut where_parts: Vec<String> = Vec::new();
+        if let Some(w) = &opts.where_clause {
+            where_parts.push(format!("({w})"));
+        }
+        if matches!(view, DbView::Volatile { .. }) {
+            // Volatile reads exclude whiteout records.
+            where_parts.push(format!("{WHITEOUT_COL} = 0"));
+        }
+        if !where_parts.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&where_parts.join(" AND "));
+        }
+        if let Some(order) = &opts.order_by {
+            sql.push_str(" ORDER BY ");
+            sql.push_str(order);
+        }
+        if let Some(limit) = opts.limit {
+            sql.push_str(&format!(" LIMIT {limit}"));
+        }
+        let mut rs = self.db.query(&sql, params)?;
+        if appended > 0 {
+            let keep = rs.columns.len() - appended;
+            rs.columns.truncate(keep);
+            for row in &mut rs.rows {
+                row.truncate(keep);
+            }
+        }
+        Ok(rs)
+    }
+
+    /// The administrative view (paper §5.2): every public and volatile
+    /// record of `table` with provenance columns appended
+    /// ([`ADMIN_STATE_COL`], [`ADMIN_INITIATOR_COL`], and `_whiteout`).
+    pub fn admin_query(&self, table: &str) -> SqlResult<ResultSet> {
+        let base = self.db.query(&format!("SELECT * FROM {table}"), &[])?;
+        let mut columns = base.columns.clone();
+        columns.push(ADMIN_STATE_COL.to_string());
+        columns.push(ADMIN_INITIATOR_COL.to_string());
+        columns.push(WHITEOUT_COL.to_string());
+        let mut rows: Vec<Vec<Value>> = base
+            .rows
+            .into_iter()
+            .map(|mut r| {
+                r.push(Value::Text("public".into()));
+                r.push(Value::Null);
+                r.push(Value::Integer(0));
+                r
+            })
+            .collect();
+        for initiator in &self.initiators {
+            let delta = delta_table(table, initiator);
+            if !self.db.has_table(&delta) {
+                continue;
+            }
+            let drs = self.db.query(&format!("SELECT * FROM {delta}"), &[])?;
+            let wh_idx = drs
+                .column_index(WHITEOUT_COL)
+                .ok_or_else(|| SqlError::NoSuchColumn(WHITEOUT_COL.into()))?;
+            for mut r in drs.rows {
+                let wh = r.remove(wh_idx);
+                r.push(Value::Text("volatile".into()));
+                r.push(Value::Text(initiator.clone()));
+                r.push(wh);
+                rows.push(r);
+            }
+        }
+        Ok(ResultSet { columns, rows })
+    }
+
+    /// Discards all volatile state of `initiator` across every table:
+    /// drops its delta tables, COW views and triggers. This implements the
+    /// initiator's "discard the entire Vol(A)" clean-up (§3.3) for
+    /// provider state.
+    pub fn clear_volatile(&mut self, initiator: &str) -> SqlResult<usize> {
+        let suffix = format!("_delta_{}", sanitize(initiator));
+        let doomed: Vec<String> = self
+            .db
+            .table_names()
+            .into_iter()
+            .filter(|t| t.ends_with(&suffix.to_ascii_lowercase()))
+            .collect();
+        let mut dropped = 0;
+        for delta in &doomed {
+            let table = delta
+                .strip_suffix(&suffix.to_ascii_lowercase())
+                .unwrap_or(delta)
+                .to_string();
+            // Dropping the view drops its triggers too.
+            self.db.execute_batch(&format!(
+                "DROP VIEW IF EXISTS {}; DROP TABLE IF EXISTS {delta};",
+                cow_view(&table, initiator)
+            ))?;
+            // Defensive: drop triggers individually in case the view name
+            // was never created.
+            for ev in ["insert", "update", "delete"] {
+                self.db.execute_batch(&format!(
+                    "DROP TRIGGER IF EXISTS {};",
+                    trigger(&table, initiator, ev)
+                ))?;
+            }
+            dropped += 1;
+        }
+        self.hierarchy.drop_initiator(&mut self.db, initiator)?;
+        self.initiators.retain(|i| i != initiator);
+        Ok(dropped)
+    }
+
+    /// Commits one volatile row of `initiator` into the public table,
+    /// replacing any public row with the same key. Returns true if a row
+    /// was committed. This is the provider-side half of the initiator's
+    /// selective commit (§3.3).
+    pub fn commit_volatile_row(
+        &mut self,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> SqlResult<bool> {
+        let delta = delta_table(table, initiator);
+        if !self.db.has_table(&delta) {
+            return Ok(false);
+        }
+        let rs = self.db.query(
+            &format!("SELECT * FROM {delta} WHERE _id = ? AND {WHITEOUT_COL} = 0"),
+            &[Value::Integer(id)],
+        )?;
+        let Some(row) = rs.rows.first() else { return Ok(false) };
+        let public_cols = self.db.table(table)?.schema.column_names();
+        let mut cols = Vec::new();
+        let mut params = Vec::new();
+        for (c, v) in rs.columns.iter().zip(row) {
+            if public_cols.iter().any(|p| p.eq_ignore_ascii_case(c)) {
+                cols.push(c.as_str());
+                params.push(v.clone());
+            }
+        }
+        let sql = format!(
+            "INSERT OR REPLACE INTO {table} ({}) VALUES ({})",
+            cols.join(", "),
+            (1..=params.len()).map(|i| format!("?{i}")).collect::<Vec<_>>().join(", ")
+        );
+        self.db.execute(&sql, &params)?;
+        Ok(true)
+    }
+}
+
+fn split_values<'a>(values: &'a [(&'a str, Value)]) -> (Vec<&'a str>, Vec<Value>) {
+    (
+        values.iter().map(|(c, _)| *c).collect(),
+        values.iter().map(|(_, v)| v.clone()).collect(),
+    )
+}
+
+fn insert_sql(table: &str, cols: &[&str]) -> String {
+    format!(
+        "INSERT INTO {table} ({}) VALUES ({})",
+        cols.join(", "),
+        (1..=cols.len()).map(|i| format!("?{i}")).collect::<Vec<_>>().join(", ")
+    )
+}
+
+/// Shifts positional `?` parameters in a WHERE fragment by `offset`.
+/// Only bare `?` markers are rewritten; explicit `?N` are left alone.
+fn renumber_params(where_clause: &str, offset: usize) -> String {
+    let mut out = String::with_capacity(where_clause.len() + 4);
+    let mut n = offset;
+    let mut chars = where_clause.chars().peekable();
+    let mut in_string = false;
+    while let Some(c) = chars.next() {
+        if c == '\'' {
+            in_string = !in_string;
+            out.push(c);
+            continue;
+        }
+        if c == '?' && !in_string && !chars.peek().map(|d| d.is_ascii_digit()).unwrap_or(false)
+        {
+            n += 1;
+            out.push_str(&format!("?{n}"));
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn proxy_with_words() -> CowProxy {
+        let mut p = CowProxy::new();
+        p.execute_batch(
+            "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER);",
+        )
+        .unwrap();
+        for (w, f) in [("alpha", 10), ("beta", 20), ("gamma", 30)] {
+            p.insert(
+                &DbView::Primary,
+                "words",
+                &[("word", w.into()), ("frequency", f.into())],
+            )
+            .unwrap();
+        }
+        p
+    }
+
+    fn delegate() -> DbView {
+        DbView::Delegate { initiator: "A".into() }
+    }
+
+    #[test]
+    fn delegate_reads_primary_before_first_write() {
+        let p = proxy_with_words();
+        assert_eq!(p.read_relation("words", &delegate()).unwrap(), "words");
+        let rs = p.query(&delegate(), "words", &QueryOpts::default(), &[]).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn delegate_update_is_copy_on_write() {
+        let mut p = proxy_with_words();
+        let n = p
+            .update(
+                &delegate(),
+                "words",
+                &[("word", "ALPHA".into())],
+                Some("_id = ?"),
+                &[Value::Integer(1)],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        // Delegate sees its own write.
+        let rs = p
+            .query(
+                &delegate(),
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    where_clause: Some("_id = ?".into()),
+                    ..Default::default()
+                },
+                &[Value::Integer(1)],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Text("ALPHA".into())]]);
+        // The public record is untouched.
+        let pubrs = p
+            .query(
+                &DbView::Primary,
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    where_clause: Some("_id = 1".into()),
+                    ..Default::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert_eq!(pubrs.rows, vec![vec![Value::Text("alpha".into())]]);
+    }
+
+    #[test]
+    fn delegate_insert_keys_from_offset() {
+        let mut p = proxy_with_words();
+        let id = p
+            .insert(&delegate(), "words", &[("word", "delta".into()), ("frequency", 1.into())])
+            .unwrap();
+        assert_eq!(id, DELTA_PK_START);
+        let id2 = p
+            .insert(&delegate(), "words", &[("word", "eps".into()), ("frequency", 2.into())])
+            .unwrap();
+        assert_eq!(id2, DELTA_PK_START + 1);
+        // Visible to the delegate, invisible publicly.
+        let rs = p.query(&delegate(), "words", &QueryOpts::default(), &[]).unwrap();
+        assert_eq!(rs.rows.len(), 5);
+        let pubrs = p.query(&DbView::Primary, "words", &QueryOpts::default(), &[]).unwrap();
+        assert_eq!(pubrs.rows.len(), 3);
+    }
+
+    #[test]
+    fn delegate_delete_is_whiteout() {
+        let mut p = proxy_with_words();
+        let n = p.delete(&delegate(), "words", Some("_id = 2"), &[]).unwrap();
+        assert_eq!(n, 1);
+        let rs = p.query(&delegate(), "words", &QueryOpts::default(), &[]).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // Public record survives.
+        let pubrs = p.query(&DbView::Primary, "words", &QueryOpts::default(), &[]).unwrap();
+        assert_eq!(pubrs.rows.len(), 3);
+        // The whiteout appears in the admin view.
+        let admin = p.admin_query("words").unwrap();
+        let wh_idx = admin.column_index(WHITEOUT_COL).unwrap();
+        assert!(admin.rows.iter().any(|r| r[wh_idx] == Value::Integer(1)));
+    }
+
+    #[test]
+    fn volatile_view_shows_only_deltas() {
+        let mut p = proxy_with_words();
+        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 3"), &[])
+            .unwrap();
+        p.delete(&delegate(), "words", Some("_id = 1"), &[]).unwrap();
+        let vol = DbView::Volatile { initiator: "A".into() };
+        let rs = p.query(&vol, "words", &QueryOpts::default(), &[]).unwrap();
+        // Only the non-whiteout volatile record.
+        assert_eq!(rs.rows.len(), 1);
+        let widx = rs.column_index("word").unwrap();
+        assert_eq!(rs.rows[0][widx], Value::Text("X".into()));
+    }
+
+    #[test]
+    fn initiator_isvolatile_insert() {
+        let mut p = proxy_with_words();
+        let vol = DbView::Volatile { initiator: "browser".into() };
+        let id = p
+            .insert(&vol, "words", &[("word", "incog".into()), ("frequency", 0.into())])
+            .unwrap();
+        assert!(id >= DELTA_PK_START);
+        // Public view unchanged; browser's delegates see it.
+        assert_eq!(
+            p.query(&DbView::Primary, "words", &QueryOpts::default(), &[]).unwrap().rows.len(),
+            3
+        );
+        let del = DbView::Delegate { initiator: "browser".into() };
+        assert_eq!(p.query(&del, "words", &QueryOpts::default(), &[]).unwrap().rows.len(), 4);
+    }
+
+    #[test]
+    fn clear_volatile_restores_pristine_state() {
+        let mut p = proxy_with_words();
+        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[])
+            .unwrap();
+        assert!(p.has_delta("words", "A"));
+        let dropped = p.clear_volatile("A").unwrap();
+        assert_eq!(dropped, 1);
+        assert!(!p.has_delta("words", "A"));
+        assert!(p.initiators_with_volatile().is_empty());
+        // Delegate reads fall back to primary.
+        let rs = p.query(&delegate(), "words", &QueryOpts::default(), &[]).unwrap();
+        let widx = rs.column_index("word").unwrap();
+        assert_eq!(rs.rows[0][widx], Value::Text("alpha".into()));
+    }
+
+    #[test]
+    fn commit_volatile_row_publishes() {
+        let mut p = proxy_with_words();
+        p.update(&delegate(), "words", &[("word", "edited".into())], Some("_id = 2"), &[])
+            .unwrap();
+        assert!(p.commit_volatile_row("A", "words", 2).unwrap());
+        let rs = p
+            .query(
+                &DbView::Primary,
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    where_clause: Some("_id = 2".into()),
+                    ..Default::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Text("edited".into())]]);
+        // Committing a missing row is a no-op.
+        assert!(!p.commit_volatile_row("A", "words", 999).unwrap());
+    }
+
+    #[test]
+    fn isolation_between_initiators() {
+        let mut p = proxy_with_words();
+        let da = DbView::Delegate { initiator: "A".into() };
+        let db_ = DbView::Delegate { initiator: "B".into() };
+        p.update(&da, "words", &[("word", "forA".into())], Some("_id = 1"), &[]).unwrap();
+        p.update(&db_, "words", &[("word", "forB".into())], Some("_id = 1"), &[]).unwrap();
+        let qa = p
+            .query(
+                &da,
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    where_clause: Some("_id = 1".into()),
+                    ..Default::default()
+                },
+                &[],
+            )
+            .unwrap();
+        let qb = p
+            .query(
+                &db_,
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    where_clause: Some("_id = 1".into()),
+                    ..Default::default()
+                },
+                &[],
+            )
+            .unwrap();
+        assert_eq!(qa.rows, vec![vec![Value::Text("forA".into())]]);
+        assert_eq!(qb.rows, vec![vec![Value::Text("forB".into())]]);
+    }
+
+    #[test]
+    fn update_visibility_u2_for_unforked_rows() {
+        // Delegates observe initiator updates to rows they have not touched.
+        let mut p = proxy_with_words();
+        p.update(&delegate(), "words", &[("word", "mine".into())], Some("_id = 1"), &[])
+            .unwrap();
+        // An initiator updates row 2 after the fork of row 1.
+        p.update(&DbView::Primary, "words", &[("word", "pub2".into())], Some("_id = 2"), &[])
+            .unwrap();
+        let rs = p
+            .query(
+                &delegate(),
+                "words",
+                &QueryOpts { columns: vec!["_id".into(), "word".into()], ..Default::default() },
+                &[],
+            )
+            .unwrap();
+        let find = |id: i64| -> Value {
+            rs.rows.iter().find(|r| r[0] == Value::Integer(id)).unwrap()[1].clone()
+        };
+        // Row 1: delegate's own version. Row 2: initiator's fresh update.
+        assert_eq!(find(1), Value::Text("mine".into()));
+        assert_eq!(find(2), Value::Text("pub2".into()));
+    }
+
+    #[test]
+    fn query_appends_order_columns_for_flattening() {
+        let p = {
+            let mut p = proxy_with_words();
+            p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[])
+                .unwrap();
+            p
+        };
+        p.db().stats.reset();
+        let rs = p
+            .query(
+                &delegate(),
+                "words",
+                &QueryOpts {
+                    columns: vec!["word".into()],
+                    order_by: Some("_id DESC".into()),
+                    ..Default::default()
+                },
+                &[],
+            )
+            .unwrap();
+        // The workaround keeps the projection narrow for the caller...
+        assert_eq!(rs.columns, vec!["word"]);
+        // ...while the planner still flattened the view.
+        assert_eq!(p.db().stats.flattened_queries.get(), 1);
+        assert_eq!(rs.rows.first().unwrap()[0], Value::Text("gamma".into()));
+    }
+
+    #[test]
+    fn renumber_only_bare_params() {
+        assert_eq!(renumber_params("a = ? AND b = ?2 AND c = ?", 3), "a = ?4 AND b = ?2 AND c = ?5");
+        assert_eq!(renumber_params("name = '?' AND x = ?", 1), "name = '?' AND x = ?2");
+    }
+}

@@ -1,0 +1,111 @@
+//! Binder IPC endpoint checks (paper §3.4, §6.2 item 3).
+//!
+//! Maxoid restricts *direct* Binder IPC for delegates: a delegate may only
+//! talk to trusted system services (including system content providers),
+//! its initiator, and other delegates of the same initiator. Initiators
+//! keep stock Android behaviour. Higher-level intent routing (invocation
+//! transitivity) is enforced separately in the Activity Manager; this
+//! module is the kernel's last line of defence under it.
+
+use crate::process::{ExecContext, Process};
+
+/// The destination of a Binder transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinderEndpoint {
+    /// A trusted system service or system content provider.
+    SystemService,
+    /// Another app process.
+    App {
+        /// The destination's execution context.
+        ctx: ExecContext,
+        /// The destination's package.
+        app: crate::process::AppId,
+    },
+}
+
+/// Decides whether a Binder transaction from `from` to `to` is permitted.
+pub fn binder_allowed(from: &Process, to: &BinderEndpoint) -> bool {
+    match &from.ctx {
+        // Initiators keep stock Android behaviour.
+        ExecContext::Normal => true,
+        ExecContext::OnBehalfOf(initiator) => match to {
+            BinderEndpoint::SystemService => true,
+            BinderEndpoint::App { ctx, app } => match ctx {
+                // The initiator itself, running normally.
+                ExecContext::Normal => app == initiator,
+                // A co-delegate of the same initiator (including another
+                // process of this very app).
+                ExecContext::OnBehalfOf(other) => other == initiator,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::process::{AppId, Pid};
+    use maxoid_vfs::{MountNamespace, Uid};
+
+    fn proc(app: &str, ctx: ExecContext) -> Process {
+        Process {
+            pid: Pid(1),
+            app: AppId::new(app),
+            uid: Uid(10_001),
+            ctx,
+            ns: MountNamespace::new(),
+        }
+    }
+
+    #[test]
+    fn initiators_are_unrestricted() {
+        let p = proc("any", ExecContext::Normal);
+        assert!(binder_allowed(&p, &BinderEndpoint::SystemService));
+        assert!(binder_allowed(
+            &p,
+            &BinderEndpoint::App { ctx: ExecContext::Normal, app: AppId::new("x") }
+        ));
+    }
+
+    #[test]
+    fn delegate_may_reach_system_initiator_and_codelegates() {
+        let d = proc("viewer", ExecContext::OnBehalfOf(AppId::new("email")));
+        assert!(binder_allowed(&d, &BinderEndpoint::SystemService));
+        // Its initiator.
+        assert!(binder_allowed(
+            &d,
+            &BinderEndpoint::App { ctx: ExecContext::Normal, app: AppId::new("email") }
+        ));
+        // A co-delegate of the same initiator.
+        assert!(binder_allowed(
+            &d,
+            &BinderEndpoint::App {
+                ctx: ExecContext::OnBehalfOf(AppId::new("email")),
+                app: AppId::new("scanner"),
+            }
+        ));
+    }
+
+    #[test]
+    fn delegate_cannot_reach_outsiders() {
+        let d = proc("viewer", ExecContext::OnBehalfOf(AppId::new("email")));
+        // A normal app that is not the initiator: S1 would be violated.
+        assert!(!binder_allowed(
+            &d,
+            &BinderEndpoint::App { ctx: ExecContext::Normal, app: AppId::new("evil") }
+        ));
+        // A delegate of a different initiator.
+        assert!(!binder_allowed(
+            &d,
+            &BinderEndpoint::App {
+                ctx: ExecContext::OnBehalfOf(AppId::new("dropbox")),
+                app: AppId::new("viewer"),
+            }
+        ));
+        // Even a normal instance of itself (it could leak to Priv(B)).
+        assert!(!binder_allowed(
+            &d,
+            &BinderEndpoint::App { ctx: ExecContext::Normal, app: AppId::new("viewer") }
+        ));
+    }
+}

@@ -1,0 +1,65 @@
+//! Kernel error codes.
+
+use std::fmt;
+
+/// Errors surfaced by kernel operations, errno-style.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KernelError {
+    /// `ESRCH`: no such process.
+    NoSuchProcess,
+    /// `ENETUNREACH`: the network is unreachable. This is exactly the code
+    /// Maxoid returns from `connect()` for delegates (§6.2), chosen because
+    /// apps already tolerate it as ordinary mobile-network loss.
+    NetworkUnreachable,
+    /// `EPERM`: the operation is not permitted (Binder endpoint denied,
+    /// service policy).
+    PermissionDenied,
+    /// `EHOSTUNREACH`: the remote host does not exist in the simulated
+    /// network.
+    NoSuchHost,
+    /// `ENOENT`: the remote resource does not exist.
+    NoSuchResource,
+    /// The referenced app package is not installed.
+    NoSuchApp(String),
+    /// A filesystem error propagated through a syscall.
+    Fs(maxoid_vfs::VfsError),
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NoSuchProcess => f.write_str("ESRCH"),
+            KernelError::NetworkUnreachable => f.write_str("ENETUNREACH"),
+            KernelError::PermissionDenied => f.write_str("EPERM"),
+            KernelError::NoSuchHost => f.write_str("EHOSTUNREACH"),
+            KernelError::NoSuchResource => f.write_str("ENOENT (remote)"),
+            KernelError::NoSuchApp(a) => write!(f, "no such app: {a}"),
+            KernelError::Fs(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<maxoid_vfs::VfsError> for KernelError {
+    fn from(e: maxoid_vfs::VfsError) -> Self {
+        KernelError::Fs(e)
+    }
+}
+
+/// Result alias for kernel operations.
+pub type KernelResult<T> = Result<T, KernelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_errno_names() {
+        assert_eq!(KernelError::NetworkUnreachable.to_string(), "ENETUNREACH");
+        assert_eq!(
+            KernelError::Fs(maxoid_vfs::VfsError::NotFound).to_string(),
+            "ENOENT"
+        );
+    }
+}

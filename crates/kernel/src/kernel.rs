@@ -1,0 +1,394 @@
+//! The kernel: process table, Zygote forking, syscall surface.
+
+use crate::binder::{binder_allowed, BinderEndpoint};
+use crate::error::{KernelError, KernelResult};
+use crate::net::Network;
+use crate::process::{AppId, ExecContext, Pid, Process};
+use maxoid_vfs::{
+    Cred, FileHandle, Metadata, Mode, MountNamespace, OpenMode, Uid, VPath, Vfs,
+};
+
+/// The simulated kernel: owns the VFS, the network device, the app
+/// registry (installed packages and their UIDs) and the process table.
+#[derive(Debug)]
+pub struct Kernel {
+    vfs: Vfs,
+    /// The simulated network device.
+    pub net: Network,
+    apps: std::collections::BTreeMap<AppId, Uid>,
+    procs: std::collections::BTreeMap<Pid, Process>,
+    next_pid: u64,
+    next_uid: u32,
+    /// The πBox-style trusted-cloud extension (paper §2.4): when enabled,
+    /// delegates may connect to hosts on this list instead of losing the
+    /// network entirely. Empty + disabled by default (the paper's actual
+    /// design cuts all delegate network).
+    trusted_cloud: Option<std::collections::BTreeSet<String>>,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Kernel {
+    /// Boots a kernel with an empty VFS and network.
+    pub fn new() -> Self {
+        Kernel {
+            vfs: Vfs::new(),
+            net: Network::new(),
+            apps: std::collections::BTreeMap::new(),
+            procs: std::collections::BTreeMap::new(),
+            next_pid: 1,
+            next_uid: Uid::FIRST_APP,
+            trusted_cloud: None,
+        }
+    }
+
+    /// Enables the πBox-style trusted-cloud extension (§2.4): delegates
+    /// may reach the listed hosts, on the assumption that those backends
+    /// are themselves confined (as in πBox). Everything else stays
+    /// `ENETUNREACH`.
+    pub fn enable_trusted_cloud(&mut self, hosts: impl IntoIterator<Item = String>) {
+        self.trusted_cloud = Some(hosts.into_iter().collect());
+    }
+
+    /// Disables the trusted-cloud extension (back to the paper's default).
+    pub fn disable_trusted_cloud(&mut self) {
+        self.trusted_cloud = None;
+    }
+
+    /// Returns the kernel's VFS (shared handle).
+    pub fn vfs(&self) -> &Vfs {
+        &self.vfs
+    }
+
+    /// Installs an app, assigning it a dedicated uid (Android's app
+    /// sandbox model, §2.1). Reinstalling returns the existing uid.
+    pub fn install_app(&mut self, app: &AppId) -> Uid {
+        if let Some(uid) = self.apps.get(app) {
+            return *uid;
+        }
+        let uid = Uid(self.next_uid);
+        self.next_uid += 1;
+        self.apps.insert(app.clone(), uid);
+        uid
+    }
+
+    /// Returns the uid of an installed app.
+    pub fn uid_of(&self, app: &AppId) -> KernelResult<Uid> {
+        self.apps.get(app).copied().ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))
+    }
+
+    /// Returns true if the app is installed.
+    pub fn is_installed(&self, app: &AppId) -> bool {
+        self.apps.contains_key(app)
+    }
+
+    /// Lists installed apps.
+    pub fn installed_apps(&self) -> Vec<AppId> {
+        self.apps.keys().cloned().collect()
+    }
+
+    /// Zygote fork: creates a process for `app` with the given execution
+    /// context and mount namespace (prepared by the branch manager).
+    ///
+    /// The (app, initiator) pair is recorded in the task struct exactly as
+    /// Zygote passes it to the kernel through sysfs in the paper (§6.2).
+    pub fn spawn(
+        &mut self,
+        app: &AppId,
+        ctx: ExecContext,
+        ns: MountNamespace,
+    ) -> KernelResult<Pid> {
+        let uid = self.uid_of(app)?;
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(pid, Process { pid, app: app.clone(), uid, ctx, ns });
+        Ok(pid)
+    }
+
+    /// Terminates a process.
+    pub fn kill(&mut self, pid: Pid) -> KernelResult<()> {
+        self.procs.remove(&pid).map(|_| ()).ok_or(KernelError::NoSuchProcess)
+    }
+
+    /// Returns a process' task struct.
+    pub fn process(&self, pid: Pid) -> KernelResult<&Process> {
+        self.procs.get(&pid).ok_or(KernelError::NoSuchProcess)
+    }
+
+    /// Iterates over all live processes.
+    pub fn processes(&self) -> impl Iterator<Item = &Process> {
+        self.procs.values()
+    }
+
+    /// Finds live processes of an app, optionally filtered by context.
+    pub fn find_processes(&self, app: &AppId) -> Vec<Pid> {
+        self.procs.values().filter(|p| &p.app == app).map(|p| p.pid).collect()
+    }
+
+    // -----------------------------------------------------------------
+    // Syscall surface (all namespace- and uid-checked through the VFS).
+    // -----------------------------------------------------------------
+
+    fn task(&self, pid: Pid) -> KernelResult<(Cred, &MountNamespace)> {
+        let p = self.process(pid)?;
+        Ok((p.cred(), &p.ns))
+    }
+
+    /// `read()`: reads a whole file.
+    pub fn read(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<u8>> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.read(cred, ns, path)?)
+    }
+
+    /// `write()`: creates or truncates a file.
+    pub fn write(&self, pid: Pid, path: &VPath, data: &[u8], mode: Mode) -> KernelResult<()> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.write(cred, ns, path, data, mode)?)
+    }
+
+    /// `write()` with `O_APPEND`.
+    pub fn append(&self, pid: Pid, path: &VPath, data: &[u8]) -> KernelResult<()> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.append(cred, ns, path, data)?)
+    }
+
+    /// `unlink()`.
+    pub fn unlink(&self, pid: Pid, path: &VPath) -> KernelResult<()> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.unlink(cred, ns, path)?)
+    }
+
+    /// `mkdir -p`.
+    pub fn mkdir_all(&self, pid: Pid, path: &VPath, mode: Mode) -> KernelResult<()> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.mkdir_all(cred, ns, path, mode)?)
+    }
+
+    /// `readdir()`.
+    pub fn read_dir(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<maxoid_vfs::DirEntry>> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.read_dir(cred, ns, path)?)
+    }
+
+    /// `stat()`.
+    pub fn stat(&self, pid: Pid, path: &VPath) -> KernelResult<Metadata> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.stat(cred, ns, path)?)
+    }
+
+    /// Returns true when the path is visible to the process.
+    pub fn exists(&self, pid: Pid, path: &VPath) -> bool {
+        self.task(pid)
+            .map(|(cred, ns)| self.vfs.exists(cred, ns, path))
+            .unwrap_or(false)
+    }
+
+    /// `rename()` within a mount.
+    pub fn rename(&self, pid: Pid, from: &VPath, to: &VPath) -> KernelResult<()> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.rename(cred, ns, from, to)?)
+    }
+
+    /// `open()`: returns a handle that can be passed across processes
+    /// (the ParcelFileDescriptor mechanism).
+    pub fn open(&self, pid: Pid, path: &VPath, mode: OpenMode) -> KernelResult<FileHandle> {
+        let (cred, ns) = self.task(pid)?;
+        Ok(self.vfs.open(cred, ns, path, mode)?)
+    }
+
+    /// Reads through an open handle.
+    pub fn read_handle(&self, handle: FileHandle) -> KernelResult<Vec<u8>> {
+        Ok(self.vfs.read_handle(handle)?)
+    }
+
+    /// Writes through an open handle.
+    pub fn write_handle(&self, handle: FileHandle, data: &[u8]) -> KernelResult<()> {
+        Ok(self.vfs.write_handle(handle, data)?)
+    }
+
+    /// `connect()`: Maxoid emulates loss of network connection for
+    /// delegates by returning `ENETUNREACH` (§6.2 item 3.2).
+    pub fn connect(&self, pid: Pid, host: &str) -> KernelResult<()> {
+        let p = self.process(pid)?;
+        if p.ctx.is_delegate() {
+            let trusted = self
+                .trusted_cloud
+                .as_ref()
+                .map(|hosts| hosts.contains(host))
+                .unwrap_or(false);
+            if !trusted {
+                return Err(KernelError::NetworkUnreachable);
+            }
+        }
+        if !self.net.has_host(host) {
+            return Err(KernelError::NoSuchHost);
+        }
+        Ok(())
+    }
+
+    /// Fetches a URL: `connect()` check plus transfer.
+    pub fn http_get(&mut self, pid: Pid, url: &str) -> KernelResult<Vec<u8>> {
+        let (host, path) = Network::split_url(url)?;
+        self.connect(pid, host)?;
+        self.net.fetch(host, path)
+    }
+
+    /// Binder transaction check (§3.4): delegates may only reach system
+    /// services, their initiator, and co-delegates of the same initiator.
+    pub fn binder_check(&self, from: Pid, to: &BinderEndpoint) -> KernelResult<()> {
+        let p = self.process(from)?;
+        if binder_allowed(p, to) {
+            Ok(())
+        } else {
+            Err(KernelError::PermissionDenied)
+        }
+    }
+
+    /// Binder transaction check between two live processes.
+    pub fn binder_check_pid(&self, from: Pid, to: Pid) -> KernelResult<()> {
+        let target = self.process(to)?;
+        let endpoint =
+            BinderEndpoint::App { ctx: target.ctx.clone(), app: target.app.clone() };
+        self.binder_check(from, &endpoint)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxoid_vfs::{vpath, Mount};
+
+    fn kernel_with_app(pkg: &str) -> (Kernel, AppId, Pid) {
+        let mut k = Kernel::new();
+        let app = AppId::new(pkg);
+        k.install_app(&app);
+        k.vfs().with_store_mut(|s| {
+            s.mkdir_all(&vpath("/back/pub"), Uid::ROOT, Mode::PUBLIC).unwrap()
+        });
+        let mut ns = MountNamespace::new();
+        ns.add(Mount::bind(vpath("/sdcard"), vpath("/back/pub")).with_forced_mode(Mode::PUBLIC));
+        let pid = k.spawn(&app, ExecContext::Normal, ns).unwrap();
+        (k, app, pid)
+    }
+
+    #[test]
+    fn uid_assignment_is_stable() {
+        let mut k = Kernel::new();
+        let a = AppId::new("a");
+        let uid1 = k.install_app(&a);
+        let uid2 = k.install_app(&a);
+        assert_eq!(uid1, uid2);
+        assert!(uid1.0 >= Uid::FIRST_APP);
+        let b = k.install_app(&AppId::new("b"));
+        assert_ne!(uid1, b);
+    }
+
+    #[test]
+    fn spawn_requires_installed_app() {
+        let mut k = Kernel::new();
+        let err = k
+            .spawn(&AppId::new("ghost"), ExecContext::Normal, MountNamespace::new())
+            .unwrap_err();
+        assert!(matches!(err, KernelError::NoSuchApp(_)));
+    }
+
+    #[test]
+    fn syscalls_round_trip() {
+        let (k, _, pid) = kernel_with_app("com.test");
+        k.write(pid, &vpath("/sdcard/f.txt"), b"data", Mode::PUBLIC).unwrap();
+        assert_eq!(k.read(pid, &vpath("/sdcard/f.txt")).unwrap(), b"data");
+        assert!(k.exists(pid, &vpath("/sdcard/f.txt")));
+        k.unlink(pid, &vpath("/sdcard/f.txt")).unwrap();
+        assert!(!k.exists(pid, &vpath("/sdcard/f.txt")));
+    }
+
+    #[test]
+    fn delegate_connect_is_enetunreach() {
+        let (mut k, app, _) = kernel_with_app("com.viewer");
+        k.net.publish("files.example", "x", b"data".to_vec());
+        let email = AppId::new("com.email");
+        k.install_app(&email);
+        let del = k
+            .spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new())
+            .unwrap();
+        assert_eq!(
+            k.connect(del, "files.example").err(),
+            Some(KernelError::NetworkUnreachable)
+        );
+        assert!(k.http_get(del, "files.example/x").is_err());
+    }
+
+    #[test]
+    fn initiator_network_works() {
+        let (mut k, _, pid) = kernel_with_app("com.browser");
+        k.net.publish("files.example", "x", b"data".to_vec());
+        assert_eq!(k.http_get(pid, "files.example/x").unwrap(), b"data");
+        assert_eq!(k.connect(pid, "unknown.host").err(), Some(KernelError::NoSuchHost));
+    }
+
+    #[test]
+    fn kill_removes_process() {
+        let (mut k, _, pid) = kernel_with_app("com.test");
+        k.kill(pid).unwrap();
+        assert_eq!(k.kill(pid).err(), Some(KernelError::NoSuchProcess));
+        assert!(k.process(pid).is_err());
+    }
+
+    #[test]
+    fn trusted_cloud_extension_scopes_delegate_network() {
+        let (mut k, app, _) = kernel_with_app("com.viewer");
+        k.net.publish("trusted.cloud", "api", b"ok".to_vec());
+        k.net.publish("evil.example", "exfil", b"".to_vec());
+        let email = AppId::new("com.email");
+        k.install_app(&email);
+        let del = k
+            .spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new())
+            .unwrap();
+        // Default: everything unreachable.
+        assert_eq!(
+            k.connect(del, "trusted.cloud").err(),
+            Some(KernelError::NetworkUnreachable)
+        );
+        // With the extension, only the trusted host opens up.
+        k.enable_trusted_cloud(["trusted.cloud".to_string()]);
+        assert_eq!(k.http_get(del, "trusted.cloud/api").unwrap(), b"ok");
+        assert_eq!(
+            k.connect(del, "evil.example").err(),
+            Some(KernelError::NetworkUnreachable)
+        );
+        // Disabling restores the paper's default.
+        k.disable_trusted_cloud();
+        assert_eq!(
+            k.connect(del, "trusted.cloud").err(),
+            Some(KernelError::NetworkUnreachable)
+        );
+    }
+
+    #[test]
+    fn binder_check_between_pids() {
+        let (mut k, viewer, _) = kernel_with_app("com.viewer");
+        let email = AppId::new("com.email");
+        k.install_app(&email);
+        let email_pid = k.spawn(&email, ExecContext::Normal, MountNamespace::new()).unwrap();
+        let del = k
+            .spawn(&viewer, ExecContext::OnBehalfOf(email.clone()), MountNamespace::new())
+            .unwrap();
+        // Delegate -> its initiator: allowed.
+        k.binder_check_pid(del, email_pid).unwrap();
+        // Delegate -> unrelated normal app: denied.
+        let other = AppId::new("com.other");
+        k.install_app(&other);
+        let other_pid = k.spawn(&other, ExecContext::Normal, MountNamespace::new()).unwrap();
+        assert_eq!(
+            k.binder_check_pid(del, other_pid).err(),
+            Some(KernelError::PermissionDenied)
+        );
+        // Unrelated app -> delegate: the *sender* is unrestricted at the
+        // Binder layer (AMS-level rules prevent invoking B^A; see core).
+        k.binder_check_pid(other_pid, del).unwrap();
+    }
+}

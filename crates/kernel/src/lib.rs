@@ -1,0 +1,42 @@
+//! The simulated kernel substrate for the Maxoid reproduction.
+//!
+//! Plays the role of the Linux kernel pieces the paper modifies (§6.2):
+//! per-task Maxoid contexts communicated by Zygote through a sysfs-like
+//! interface, `connect()` returning `ENETUNREACH` for delegates, and
+//! Binder IPC endpoint restrictions. It also owns the VFS and a
+//! deterministic in-process network.
+//!
+//! # Examples
+//!
+//! ```
+//! use maxoid_kernel::{AppId, ExecContext, Kernel, KernelError};
+//! use maxoid_vfs::MountNamespace;
+//!
+//! let mut kernel = Kernel::new();
+//! let viewer = AppId::new("com.viewer");
+//! let email = AppId::new("com.email");
+//! kernel.install_app(&viewer);
+//! kernel.install_app(&email);
+//! kernel.net.publish("evil.example", "exfil", vec![]);
+//!
+//! // A delegate of email cannot reach the network.
+//! let pid = kernel
+//!     .spawn(&viewer, ExecContext::OnBehalfOf(email), MountNamespace::new())
+//!     .unwrap();
+//! assert_eq!(kernel.connect(pid, "evil.example"), Err(KernelError::NetworkUnreachable));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod binder;
+pub mod error;
+#[allow(clippy::module_inception)]
+pub mod kernel;
+pub mod net;
+pub mod process;
+
+pub use binder::{binder_allowed, BinderEndpoint};
+pub use error::{KernelError, KernelResult};
+pub use kernel::Kernel;
+pub use net::Network;
+pub use process::{AppId, ExecContext, Pid, Process};

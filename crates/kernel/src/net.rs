@@ -1,0 +1,83 @@
+//! Simulated network.
+//!
+//! The paper's prototype ran against real servers; the reproduction uses a
+//! deterministic in-process network so the Downloads provider and the
+//! delegate network cut-off can be exercised on a laptop. Hosts map URLs
+//! to byte payloads; a configurable per-kilobyte latency knob lets benches
+//! model transfer time without real sockets.
+
+use crate::error::{KernelError, KernelResult};
+use std::collections::BTreeMap;
+
+/// An in-process network of named hosts serving static resources.
+#[derive(Debug, Default)]
+pub struct Network {
+    hosts: BTreeMap<String, BTreeMap<String, Vec<u8>>>,
+    /// Count of successful fetches (for tests asserting traffic).
+    pub fetch_count: u64,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Publishes a resource at `host` / `path`.
+    pub fn publish(&mut self, host: &str, path: &str, data: Vec<u8>) {
+        self.hosts.entry(host.to_string()).or_default().insert(path.to_string(), data);
+    }
+
+    /// Returns true if the host exists.
+    pub fn has_host(&self, host: &str) -> bool {
+        self.hosts.contains_key(host)
+    }
+
+    /// Fetches a resource. The caller must have passed the kernel's
+    /// `connect()` check first.
+    pub fn fetch(&mut self, host: &str, path: &str) -> KernelResult<Vec<u8>> {
+        let h = self.hosts.get(host).ok_or(KernelError::NoSuchHost)?;
+        let data = h.get(path).ok_or(KernelError::NoSuchResource)?.clone();
+        self.fetch_count += 1;
+        Ok(data)
+    }
+
+    /// Parses a `host/path` URL into its components.
+    pub fn split_url(url: &str) -> KernelResult<(&str, &str)> {
+        let trimmed = url.strip_prefix("http://").unwrap_or(url);
+        let trimmed = trimmed.strip_prefix("https://").unwrap_or(trimmed);
+        match trimmed.split_once('/') {
+            Some((host, path)) if !host.is_empty() => Ok((host, path)),
+            _ => Err(KernelError::NoSuchHost),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch() {
+        let mut net = Network::new();
+        net.publish("files.example.com", "a.txt", b"hello".to_vec());
+        assert_eq!(net.fetch("files.example.com", "a.txt").unwrap(), b"hello");
+        assert_eq!(net.fetch_count, 1);
+        assert_eq!(
+            net.fetch("files.example.com", "missing").err(),
+            Some(KernelError::NoSuchResource)
+        );
+        assert_eq!(net.fetch("nope", "a").err(), Some(KernelError::NoSuchHost));
+    }
+
+    #[test]
+    fn url_splitting() {
+        assert_eq!(
+            Network::split_url("http://h.example/a/b.pdf").unwrap(),
+            ("h.example", "a/b.pdf")
+        );
+        assert_eq!(Network::split_url("h/x").unwrap(), ("h", "x"));
+        assert!(Network::split_url("nohost").is_err());
+        assert!(Network::split_url("/abs").is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! The process model: apps, execution contexts and task structs.
+
+use maxoid_vfs::{Cred, MountNamespace, Uid};
+use std::fmt;
+
+/// An installed application, identified by its package name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AppId(pub String);
+
+impl AppId {
+    /// Creates an app id from a package name.
+    pub fn new(pkg: &str) -> Self {
+        AppId(pkg.to_string())
+    }
+
+    /// Returns the package name.
+    pub fn pkg(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for AppId {
+    fn from(s: &str) -> Self {
+        AppId::new(s)
+    }
+}
+
+/// The Maxoid execution context stored in each task struct (§6.2).
+///
+/// This is the piece of state Zygote communicates to the kernel through
+/// the sysfs interface when forking an app process: whether the app runs
+/// normally (as an initiator / on behalf of itself) or on behalf of
+/// another app.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ExecContext {
+    /// The app runs on behalf of itself; identical to stock Android.
+    Normal,
+    /// The app is a delegate of the named initiator (`B^A`).
+    OnBehalfOf(AppId),
+}
+
+impl ExecContext {
+    /// Returns the initiator if this is a delegate context.
+    pub fn initiator(&self) -> Option<&AppId> {
+        match self {
+            ExecContext::Normal => None,
+            ExecContext::OnBehalfOf(a) => Some(a),
+        }
+    }
+
+    /// Returns true for delegate contexts.
+    pub fn is_delegate(&self) -> bool {
+        matches!(self, ExecContext::OnBehalfOf(_))
+    }
+}
+
+impl fmt::Display for ExecContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecContext::Normal => f.write_str("normal"),
+            ExecContext::OnBehalfOf(a) => write!(f, "on behalf of {a}"),
+        }
+    }
+}
+
+/// Process identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Pid(pub u64);
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid {}", self.0)
+    }
+}
+
+/// A running app process (the kernel's task struct).
+#[derive(Debug, Clone)]
+pub struct Process {
+    /// Process id.
+    pub pid: Pid,
+    /// The app this process belongs to.
+    pub app: AppId,
+    /// The app's Unix uid.
+    pub uid: Uid,
+    /// Maxoid execution context (set via the sysfs interface at fork).
+    pub ctx: ExecContext,
+    /// The process' private mount namespace (built by Zygote's branch
+    /// manager before dropping root).
+    pub ns: MountNamespace,
+}
+
+impl Process {
+    /// Returns the credentials syscalls run with.
+    pub fn cred(&self) -> Cred {
+        Cred::new(self.uid)
+    }
+
+    /// Returns true when this process is a delegate of `initiator`.
+    pub fn is_delegate_of(&self, initiator: &AppId) -> bool {
+        self.ctx.initiator() == Some(initiator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_accessors() {
+        let normal = ExecContext::Normal;
+        assert!(!normal.is_delegate());
+        assert_eq!(normal.initiator(), None);
+        let del = ExecContext::OnBehalfOf(AppId::new("com.email"));
+        assert!(del.is_delegate());
+        assert_eq!(del.initiator().unwrap().pkg(), "com.email");
+        assert_eq!(del.to_string(), "on behalf of com.email");
+    }
+
+    #[test]
+    fn delegate_of_checks_initiator() {
+        let p = Process {
+            pid: Pid(7),
+            app: AppId::new("com.viewer"),
+            uid: Uid(10_002),
+            ctx: ExecContext::OnBehalfOf(AppId::new("com.email")),
+            ns: MountNamespace::new(),
+        };
+        assert!(p.is_delegate_of(&AppId::new("com.email")));
+        assert!(!p.is_delegate_of(&AppId::new("com.other")));
+    }
+}

@@ -1,0 +1,420 @@
+//! The Media provider.
+//!
+//! Media "defines multiple SQL tables and views ... it stores data for
+//! different types of media files in a single base table called `files`;
+//! `images`, `audio_meta` and `video` are views defined as selections over
+//! `files`. `audio` is a view defined on ... `audio_meta`" (§5.3). The COW
+//! proxy manages the hierarchy of per-initiator COW views. Media also runs
+//! extra services — thumbnail generation — and, like Downloads, tracks
+//! which state a record/request belongs to so a delegate's thumbnails land
+//! in the initiator's volatile storage.
+
+use crate::locator::{FileLocator, SystemFiles};
+use crate::provider::{
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+};
+use crate::uri::Uri;
+use maxoid_cowproxy::{CowProxy, DbView, QueryOpts};
+use maxoid_kernel::ExecContext;
+use maxoid_sqldb::{ResultSet, Value};
+use maxoid_vfs::VPath;
+
+/// Authority of the Media provider.
+pub const AUTHORITY: &str = "media";
+
+/// Media types stored in the `files` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MediaKind {
+    /// Still image.
+    Image,
+    /// Audio track.
+    Audio,
+    /// Video clip.
+    Video,
+}
+
+impl MediaKind {
+    /// The `media_type` column value.
+    pub fn type_code(self) -> i64 {
+        match self {
+            MediaKind::Image => 1,
+            MediaKind::Audio => 2,
+            MediaKind::Video => 3,
+        }
+    }
+}
+
+/// The Media system content provider with its view hierarchy and thumbnail
+/// service.
+pub struct MediaProvider<L: FileLocator> {
+    proxy: CowProxy,
+    files: SystemFiles<L>,
+}
+
+impl<L: FileLocator> std::fmt::Debug for MediaProvider<L> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MediaProvider").finish()
+    }
+}
+
+impl<L: FileLocator> MediaProvider<L> {
+    /// Creates the provider: the `files` base table, the thumbnails table,
+    /// and the user-defined view hierarchy registered with the proxy.
+    pub fn new(files: SystemFiles<L>) -> Self {
+        let mut proxy = CowProxy::new();
+        proxy
+            .execute_batch(
+                "CREATE TABLE files (_id INTEGER PRIMARY KEY, _data TEXT, \
+                 media_type INTEGER, title TEXT, _size INTEGER, date_added INTEGER);
+                 CREATE TABLE thumbnails (_id INTEGER PRIMARY KEY, file_id INTEGER, \
+                 _data TEXT);",
+            )
+            .expect("static schema is valid");
+        proxy
+            .register_user_view(
+                "CREATE VIEW images AS SELECT _id, _data, title, _size, date_added \
+                 FROM files WHERE media_type = 1",
+            )
+            .expect("static view is valid");
+        proxy
+            .register_user_view(
+                "CREATE VIEW audio_meta AS SELECT _id, _data, title, _size, date_added \
+                 FROM files WHERE media_type = 2",
+            )
+            .expect("static view is valid");
+        proxy
+            .register_user_view(
+                "CREATE VIEW video AS SELECT _id, _data, title, _size, date_added \
+                 FROM files WHERE media_type = 3",
+            )
+            .expect("static view is valid");
+        // `audio` is defined over `audio_meta` — a second hierarchy level.
+        proxy
+            .register_user_view("CREATE VIEW audio AS SELECT _id, _data, title FROM audio_meta")
+            .expect("static view is valid");
+        MediaProvider { proxy, files }
+    }
+
+    /// Access to the proxy (tests, benches).
+    pub fn proxy(&self) -> &CowProxy {
+        &self.proxy
+    }
+
+    /// Scans a media file: inserts its metadata and generates a thumbnail
+    /// (Media's background service). The record and the thumbnail follow
+    /// the caller's state: a delegate's scan is confined to its
+    /// initiator's volatile state.
+    pub fn scan_file(
+        &mut self,
+        caller: &Caller,
+        path: &VPath,
+        kind: MediaKind,
+        title: &str,
+        data_len: usize,
+    ) -> ProviderResult<i64> {
+        let view = match &caller.ctx {
+            ExecContext::Normal => DbView::Primary,
+            ExecContext::OnBehalfOf(init) => {
+                DbView::Delegate { initiator: init.pkg().to_string() }
+            }
+        };
+        let id = self.proxy.insert(
+            &view,
+            "files",
+            &[
+                ("_data", path.as_str().into()),
+                ("media_type", kind.type_code().into()),
+                ("title", title.into()),
+                ("_size", (data_len as i64).into()),
+                ("date_added", 0.into()),
+            ],
+        )?;
+        // Thumbnail generation: a small derived file, written to public or
+        // volatile storage according to the record's state.
+        let thumb_path = thumbnail_path(path)?;
+        let thumb_bytes = synth_thumbnail(path, data_len);
+        let initiator = caller.ctx.initiator().map(|a| a.pkg().to_string());
+        self.files
+            .write(initiator.as_deref(), &thumb_path, &thumb_bytes)
+            .map_err(maxoid_kernel::KernelError::Fs)?;
+        self.proxy.insert(
+            &view,
+            "thumbnails",
+            &[("file_id", id.into()), ("_data", thumb_path.as_str().into())],
+        )?;
+        Ok(id)
+    }
+
+    /// Reads a thumbnail, resolving provenance like the Downloads
+    /// provider's file wrapper.
+    pub fn open_thumbnail(
+        &self,
+        initiator: Option<&str>,
+        media_path: &VPath,
+    ) -> ProviderResult<Vec<u8>> {
+        let thumb = thumbnail_path(media_path)
+            .map_err(ProviderError::Kernel)?;
+        self.files
+            .read(initiator, &thumb)
+            .map_err(|e| ProviderError::Kernel(maxoid_kernel::KernelError::Fs(e)))
+    }
+
+    fn relation_for(&self, uri: &Uri) -> ProviderResult<&'static str> {
+        match uri.collection() {
+            Some("files") => Ok("files"),
+            Some("images") => Ok("images"),
+            Some("audio") => Ok("audio"),
+            Some("audio_meta") => Ok("audio_meta"),
+            Some("video") => Ok("video"),
+            Some("thumbnails") => Ok("thumbnails"),
+            _ => Err(ProviderError::UnknownUri(uri.to_string())),
+        }
+    }
+
+    fn is_user_view(rel: &str) -> bool {
+        matches!(rel, "images" | "audio" | "audio_meta" | "video")
+    }
+
+    fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
+        let mut clauses = Vec::new();
+        let mut params = Vec::new();
+        if let Some(id) = uri.id() {
+            clauses.push("_id = ?".to_string());
+            params.push(Value::Integer(id));
+        }
+        if let Some(sel) = &args.selection {
+            clauses.push(format!("({sel})"));
+            params.extend(args.selection_args.iter().cloned());
+        }
+        if clauses.is_empty() {
+            (None, params)
+        } else {
+            (Some(clauses.join(" AND ")), params)
+        }
+    }
+}
+
+/// Thumbnail location convention: `<dir>/.thumbnails/<name>.thumb`.
+fn thumbnail_path(media: &VPath) -> Result<VPath, maxoid_kernel::KernelError> {
+    let parent = media.parent().ok_or(maxoid_kernel::KernelError::Fs(
+        maxoid_vfs::VfsError::InvalidArgument,
+    ))?;
+    let name = media.file_name().ok_or(maxoid_kernel::KernelError::Fs(
+        maxoid_vfs::VfsError::InvalidArgument,
+    ))?;
+    parent
+        .join(".thumbnails")
+        .and_then(|d| d.join(&format!("{name}.thumb")))
+        .map_err(maxoid_kernel::KernelError::Fs)
+}
+
+/// Deterministic fake thumbnail bytes derived from the source.
+fn synth_thumbnail(path: &VPath, data_len: usize) -> Vec<u8> {
+    let mut bytes = format!("THUMB:{}:{data_len}", path.as_str()).into_bytes();
+    bytes.truncate(64);
+    bytes
+}
+
+impl<L: FileLocator> ContentProvider for MediaProvider<L> {
+    fn authority(&self) -> &str {
+        AUTHORITY
+    }
+
+    fn insert(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+    ) -> ProviderResult<Uri> {
+        let rel = self.relation_for(uri)?;
+        if Self::is_user_view(rel) {
+            return Err(ProviderError::Denied(format!(
+                "insert through view {rel} not supported; insert into files"
+            )));
+        }
+        let mut view = caller.db_view(uri)?;
+        if values.is_volatile && view == DbView::Primary {
+            view = DbView::Volatile { initiator: caller.app.pkg().to_string() };
+        }
+        let vals = values.as_proxy_values();
+        let id = self.proxy.insert(&view, rel, &vals)?;
+        let base = match &view {
+            DbView::Volatile { .. } => uri.without_tmp().as_volatile(),
+            _ => uri.without_tmp(),
+        };
+        Ok(base.with_id(id))
+    }
+
+    fn update(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+        args: &QueryArgs,
+    ) -> ProviderResult<usize> {
+        let rel = self.relation_for(uri)?;
+        if Self::is_user_view(rel) {
+            return Err(ProviderError::Denied(format!(
+                "update through view {rel} not supported; update files"
+            )));
+        }
+        let view = caller.db_view(uri)?;
+        let (where_clause, params) = Self::build_where(uri, args);
+        let sets = values.as_proxy_values();
+        Ok(self.proxy.update(&view, rel, &sets, where_clause.as_deref(), &params)?)
+    }
+
+    fn query(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> ProviderResult<ResultSet> {
+        let rel = self.relation_for(uri)?;
+        let view = caller.db_view(uri)?;
+        // User-view COW instances are built on demand when a delegate with
+        // volatile state queries through the hierarchy.
+        if let DbView::Delegate { initiator } = &view {
+            if Self::is_user_view(rel) && self.proxy.has_delta("files", initiator) {
+                let initiator = initiator.clone();
+                self.proxy.ensure_cow(rel, &initiator)?;
+            }
+        }
+        let (where_clause, params) = Self::build_where(uri, args);
+        let opts = QueryOpts {
+            columns: args.projection.clone(),
+            where_clause,
+            order_by: args.sort_order.clone(),
+            limit: None,
+        };
+        Ok(self.proxy.query(&view, rel, &opts, &params)?)
+    }
+
+    fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+        let rel = self.relation_for(uri)?;
+        if Self::is_user_view(rel) {
+            return Err(ProviderError::Denied(format!(
+                "delete through view {rel} not supported; delete from files"
+            )));
+        }
+        let view = caller.db_view(uri)?;
+        let (where_clause, params) = Self::build_where(uri, args);
+        Ok(self.proxy.delete(&view, rel, where_clause.as_deref(), &params)?)
+    }
+
+    fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
+        self.proxy.clear_volatile(initiator)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::locator::SimpleLocator;
+    use maxoid_vfs::{vpath, Vfs};
+
+    fn provider() -> MediaProvider<SimpleLocator> {
+        MediaProvider::new(SystemFiles::new(Vfs::new(), SimpleLocator))
+    }
+
+    fn images_uri() -> Uri {
+        Uri::parse("content://media/images").unwrap()
+    }
+
+    #[test]
+    fn scan_inserts_row_and_thumbnail() {
+        let mut p = provider();
+        let cam = Caller::normal("com.camera");
+        let id = p
+            .scan_file(&cam, &vpath("/sdcard/DCIM/p1.jpg"), MediaKind::Image, "p1", 1000)
+            .unwrap();
+        assert_eq!(id, 1);
+        let rs = p.query(&cam, &images_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let thumb = p.open_thumbnail(None, &vpath("/sdcard/DCIM/p1.jpg")).unwrap();
+        assert!(thumb.starts_with(b"THUMB:"));
+    }
+
+    #[test]
+    fn delegate_scan_is_confined() {
+        let mut p = provider();
+        // Seed a public image.
+        p.scan_file(
+            &Caller::normal("com.camera"),
+            &vpath("/sdcard/DCIM/pub.jpg"),
+            MediaKind::Image,
+            "pub",
+            10,
+        )
+        .unwrap();
+        // A camera app running on behalf of Dropbox takes a photo.
+        let del = Caller::delegate("com.camera", "com.dropbox");
+        p.scan_file(&del, &vpath("/sdcard/DCIM/secret.jpg"), MediaKind::Image, "secret", 20)
+            .unwrap();
+        // The delegate sees both records through the images view.
+        let rs = p.query(&del, &images_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        // The public world sees only the public one.
+        let rs = p.query(&Caller::normal("x"), &images_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        // The thumbnail lives in Dropbox's volatile storage, not public.
+        assert!(p.open_thumbnail(None, &vpath("/sdcard/DCIM/secret.jpg")).is_err());
+        assert!(p
+            .open_thumbnail(Some("com.dropbox"), &vpath("/sdcard/DCIM/secret.jpg"))
+            .is_ok());
+    }
+
+    #[test]
+    fn audio_hierarchy_spans_two_levels() {
+        let mut p = provider();
+        p.scan_file(
+            &Caller::normal("com.music"),
+            &vpath("/sdcard/Music/pub.mp3"),
+            MediaKind::Audio,
+            "pub",
+            10,
+        )
+        .unwrap();
+        let del = Caller::delegate("com.player", "com.email");
+        p.scan_file(&del, &vpath("/sdcard/Music/att.mp3"), MediaKind::Audio, "att", 20)
+            .unwrap();
+        let audio = Uri::parse("content://media/audio").unwrap();
+        let rs = p.query(&del, &audio, &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        let rs = p.query(&Caller::normal("x"), &audio, &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn writes_through_views_are_rejected() {
+        let mut p = provider();
+        let cam = Caller::normal("com.camera");
+        let err = p
+            .insert(&cam, &images_uri(), &ContentValues::new().put("title", "x"))
+            .unwrap_err();
+        assert!(matches!(err, ProviderError::Denied(_)));
+    }
+
+    #[test]
+    fn clear_volatile_removes_delegate_media() {
+        let mut p = provider();
+        let del = Caller::delegate("com.camera", "com.dropbox");
+        p.scan_file(&del, &vpath("/sdcard/DCIM/s.jpg"), MediaKind::Image, "s", 5).unwrap();
+        p.clear_volatile("com.dropbox").unwrap();
+        let rs = p.query(&del, &images_uri(), &QueryArgs::default()).unwrap();
+        assert!(rs.rows.is_empty());
+    }
+
+    #[test]
+    fn video_kind_routes_to_video_view() {
+        let mut p = provider();
+        let cam = Caller::normal("com.camera");
+        p.scan_file(&cam, &vpath("/sdcard/v.mp4"), MediaKind::Video, "v", 99).unwrap();
+        let video = Uri::parse("content://media/video").unwrap();
+        let rs = p.query(&cam, &video, &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let rs = p.query(&cam, &images_uri(), &QueryArgs::default()).unwrap();
+        assert!(rs.rows.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Content resolver: URI routing and per-URI permission grants.
+//!
+//! Android resolves `content://` URIs to providers by authority. System
+//! content providers are world-reachable (subject to install-time
+//! permissions, which we treat as granted); app-defined providers are
+//! private to their owner unless the owner issues a per-URI grant
+//! (`FLAG_GRANT_READ_URI_PERMISSION`), the mechanism Email uses to let a
+//! viewer open one attachment (§2.2).
+
+use crate::provider::{
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+};
+use crate::uri::Uri;
+use maxoid_sqldb::ResultSet;
+use std::collections::BTreeMap;
+
+/// Who may reach a provider.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProviderScope {
+    /// A system content provider: reachable by every app.
+    System,
+    /// An app-defined provider owned by `owner`: reachable only by the
+    /// owner and per-URI grantees.
+    AppDefined {
+        /// The owning package.
+        owner: String,
+    },
+}
+
+/// A per-URI permission grant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct UriGrant {
+    grantee: String,
+    uri: Uri,
+    write: bool,
+    /// One-shot grants are revoked after first use (Email's behaviour).
+    one_shot: bool,
+}
+
+/// Routes content URIs to registered providers and enforces reachability.
+#[derive(Default)]
+pub struct ContentResolver {
+    providers: BTreeMap<String, (ProviderScope, Box<dyn ContentProvider + Send>)>,
+    grants: Vec<UriGrant>,
+}
+
+impl std::fmt::Debug for ContentResolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContentResolver")
+            .field("authorities", &self.providers.keys().collect::<Vec<_>>())
+            .field("grants", &self.grants.len())
+            .finish()
+    }
+}
+
+impl ContentResolver {
+    /// Creates an empty resolver.
+    pub fn new() -> Self {
+        ContentResolver::default()
+    }
+
+    /// Registers a provider under its authority.
+    pub fn register(
+        &mut self,
+        scope: ProviderScope,
+        provider: Box<dyn ContentProvider + Send>,
+    ) {
+        self.providers.insert(provider.authority().to_string(), (scope, provider));
+    }
+
+    /// Returns the registered authorities.
+    pub fn authorities(&self) -> Vec<String> {
+        self.providers.keys().cloned().collect()
+    }
+
+    /// Issues a per-URI grant (the `FLAG_GRANT_*_URI_PERMISSION` analogue).
+    pub fn grant_uri_permission(&mut self, grantee: &str, uri: &Uri, write: bool, one_shot: bool) {
+        self.grants.push(UriGrant {
+            grantee: grantee.to_string(),
+            uri: uri.clone(),
+            write,
+            one_shot,
+        });
+    }
+
+    /// Revokes all grants for a URI.
+    pub fn revoke_uri_permission(&mut self, uri: &Uri) {
+        self.grants.retain(|g| &g.uri != uri);
+    }
+
+    /// Checks reachability; consumes one-shot grants on success.
+    fn check_access(&mut self, caller: &Caller, uri: &Uri, write: bool) -> ProviderResult<()> {
+        let (scope, _) = self
+            .providers
+            .get(&uri.authority)
+            .ok_or_else(|| ProviderError::UnknownUri(uri.to_string()))?;
+        match scope {
+            ProviderScope::System => Ok(()),
+            ProviderScope::AppDefined { owner } => {
+                if caller.app.pkg() == owner {
+                    return Ok(());
+                }
+                let idx = self.grants.iter().position(|g| {
+                    g.grantee == caller.app.pkg() && &g.uri == uri && (!write || g.write)
+                });
+                match idx {
+                    Some(i) => {
+                        if self.grants[i].one_shot {
+                            self.grants.remove(i);
+                        }
+                        Ok(())
+                    }
+                    None => Err(ProviderError::Denied(format!(
+                        "{} has no grant for {uri}",
+                        caller.app.pkg()
+                    ))),
+                }
+            }
+        }
+    }
+
+    fn provider_mut(
+        &mut self,
+        authority: &str,
+    ) -> ProviderResult<&mut Box<dyn ContentProvider + Send>> {
+        self.providers
+            .get_mut(authority)
+            .map(|(_, p)| p)
+            .ok_or_else(|| ProviderError::UnknownUri(authority.to_string()))
+    }
+
+    /// Routed insert.
+    pub fn insert(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+    ) -> ProviderResult<Uri> {
+        self.check_access(caller, uri, true)?;
+        let authority = uri.authority.clone();
+        self.provider_mut(&authority)?.insert(caller, uri, values)
+    }
+
+    /// Routed update.
+    pub fn update(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+        args: &QueryArgs,
+    ) -> ProviderResult<usize> {
+        self.check_access(caller, uri, true)?;
+        let authority = uri.authority.clone();
+        self.provider_mut(&authority)?.update(caller, uri, values, args)
+    }
+
+    /// Routed query.
+    pub fn query(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> ProviderResult<ResultSet> {
+        self.check_access(caller, uri, false)?;
+        let authority = uri.authority.clone();
+        self.provider_mut(&authority)?.query(caller, uri, args)
+    }
+
+    /// Routed delete.
+    pub fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+        self.check_access(caller, uri, true)?;
+        let authority = uri.authority.clone();
+        self.provider_mut(&authority)?.delete(caller, uri, args)
+    }
+
+    /// Clears the volatile state every registered provider holds for
+    /// `initiator` (the provider half of Clear-Vol).
+    pub fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
+        for (_, p) in self.providers.values_mut() {
+            p.clear_volatile(initiator)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::userdict::UserDictionaryProvider;
+    use maxoid_sqldb::SqlResult;
+
+    /// A minimal app-defined provider (Email's attachment provider shape).
+    #[derive(Debug, Default)]
+    struct AttachmentProvider {
+        rows: Vec<String>,
+    }
+
+    impl ContentProvider for AttachmentProvider {
+        fn authority(&self) -> &str {
+            "com.email.attachmentprovider"
+        }
+
+        fn insert(&mut self, _: &Caller, uri: &Uri, values: &ContentValues) -> ProviderResult<Uri> {
+            self.rows.push(values.get("name").map(|v| v.to_string()).unwrap_or_default());
+            Ok(uri.with_id(self.rows.len() as i64))
+        }
+
+        fn update(
+            &mut self,
+            _: &Caller,
+            _: &Uri,
+            _: &ContentValues,
+            _: &QueryArgs,
+        ) -> ProviderResult<usize> {
+            Ok(0)
+        }
+
+        fn query(&mut self, _: &Caller, uri: &Uri, _: &QueryArgs) -> ProviderResult<ResultSet> {
+            let id = uri.id().unwrap_or(0) as usize;
+            let rows: SqlResult<Vec<Vec<maxoid_sqldb::Value>>> = Ok(self
+                .rows
+                .get(id.wrapping_sub(1))
+                .map(|n| vec![vec![maxoid_sqldb::Value::Text(n.clone())]])
+                .unwrap_or_default());
+            Ok(ResultSet { columns: vec!["name".into()], rows: rows? })
+        }
+
+        fn delete(&mut self, _: &Caller, _: &Uri, _: &QueryArgs) -> ProviderResult<usize> {
+            Ok(0)
+        }
+
+        fn clear_volatile(&mut self, _: &str) -> ProviderResult<()> {
+            Ok(())
+        }
+    }
+
+    fn resolver_with_attachments() -> (ContentResolver, Uri) {
+        let mut r = ContentResolver::new();
+        r.register(
+            ProviderScope::AppDefined { owner: "com.email".into() },
+            Box::new(AttachmentProvider::default()),
+        );
+        let base = Uri::parse("content://com.email.attachmentprovider/attachments").unwrap();
+        let email = Caller::normal("com.email");
+        let item = r
+            .insert(&email, &base, &ContentValues::new().put("name", "report.pdf"))
+            .unwrap();
+        (r, item)
+    }
+
+    #[test]
+    fn system_providers_are_world_reachable() {
+        let mut r = ContentResolver::new();
+        r.register(ProviderScope::System, Box::new(UserDictionaryProvider::new()));
+        let uri = Uri::parse("content://user_dictionary/words").unwrap();
+        let any = Caller::normal("com.random");
+        r.insert(&any, &uri, &ContentValues::new().put("word", "ok")).unwrap();
+        assert_eq!(r.query(&any, &uri, &QueryArgs::default()).unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn app_defined_requires_grant() {
+        let (mut r, item) = resolver_with_attachments();
+        let viewer = Caller::normal("com.viewer");
+        // No grant: denied.
+        assert!(matches!(
+            r.query(&viewer, &item, &QueryArgs::default()),
+            Err(ProviderError::Denied(_))
+        ));
+        // Owner grants one-time read on the single item.
+        r.grant_uri_permission("com.viewer", &item, false, true);
+        let rs = r.query(&viewer, &item, &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        // The one-shot grant is consumed.
+        assert!(matches!(
+            r.query(&viewer, &item, &QueryArgs::default()),
+            Err(ProviderError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn read_grant_does_not_allow_write() {
+        let (mut r, item) = resolver_with_attachments();
+        r.grant_uri_permission("com.viewer", &item, false, false);
+        let viewer = Caller::normal("com.viewer");
+        assert!(matches!(
+            r.update(&viewer, &item, &ContentValues::new(), &QueryArgs::default()),
+            Err(ProviderError::Denied(_))
+        ));
+        // Reads keep working (persistent grant).
+        r.query(&viewer, &item, &QueryArgs::default()).unwrap();
+        r.query(&viewer, &item, &QueryArgs::default()).unwrap();
+    }
+
+    #[test]
+    fn grants_are_per_exact_uri() {
+        let (mut r, item) = resolver_with_attachments();
+        r.grant_uri_permission("com.viewer", &item, false, false);
+        let viewer = Caller::normal("com.viewer");
+        let other = item.with_id(999);
+        assert!(matches!(
+            r.query(&viewer, &other, &QueryArgs::default()),
+            Err(ProviderError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn revoke_removes_grants() {
+        let (mut r, item) = resolver_with_attachments();
+        r.grant_uri_permission("com.viewer", &item, false, false);
+        r.revoke_uri_permission(&item);
+        let viewer = Caller::normal("com.viewer");
+        assert!(matches!(
+            r.query(&viewer, &item, &QueryArgs::default()),
+            Err(ProviderError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_authority_is_error() {
+        let mut r = ContentResolver::new();
+        let uri = Uri::parse("content://nope/x").unwrap();
+        assert!(matches!(
+            r.query(&Caller::normal("a"), &uri, &QueryArgs::default()),
+            Err(ProviderError::UnknownUri(_))
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Content URIs.
+//!
+//! Android content providers map `content://authority/path` URIs to data.
+//! Maxoid adds **volatile URIs** with a `tmp` component (§5.1), through
+//! which an initiator addresses the volatile records its delegates
+//! produced, e.g. `content://user_dictionary/tmp/words/5`.
+
+use std::fmt;
+
+/// A parsed content URI.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Uri {
+    /// The provider authority, e.g. `user_dictionary`.
+    pub authority: String,
+    /// Path segments after the authority.
+    pub segments: Vec<String>,
+}
+
+/// Errors from URI parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UriError(pub String);
+
+impl fmt::Display for UriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed content URI: {}", self.0)
+    }
+}
+
+impl std::error::Error for UriError {}
+
+impl Uri {
+    /// Parses a `content://authority/segments...` URI.
+    pub fn parse(s: &str) -> Result<Uri, UriError> {
+        let rest = s.strip_prefix("content://").ok_or_else(|| UriError(s.to_string()))?;
+        let mut parts = rest.split('/');
+        let authority = parts.next().unwrap_or("").to_string();
+        if authority.is_empty() {
+            return Err(UriError(s.to_string()));
+        }
+        let segments: Vec<String> =
+            parts.filter(|p| !p.is_empty()).map(|p| p.to_string()).collect();
+        Ok(Uri { authority, segments })
+    }
+
+    /// Builds a URI from an authority and segments.
+    pub fn build(authority: &str, segments: &[&str]) -> Uri {
+        Uri {
+            authority: authority.to_string(),
+            segments: segments.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Returns the trailing numeric id, if the URI addresses a single row.
+    pub fn id(&self) -> Option<i64> {
+        self.segments.last().and_then(|s| s.parse().ok())
+    }
+
+    /// Appends an id segment.
+    pub fn with_id(&self, id: i64) -> Uri {
+        let mut u = self.clone();
+        u.segments.push(id.to_string());
+        u
+    }
+
+    /// True when the URI addresses volatile state (`tmp` component, §5.1).
+    pub fn is_volatile(&self) -> bool {
+        self.segments.first().map(|s| s == "tmp").unwrap_or(false)
+    }
+
+    /// Returns the URI with a leading `tmp` segment added.
+    pub fn as_volatile(&self) -> Uri {
+        if self.is_volatile() {
+            return self.clone();
+        }
+        let mut segments = vec!["tmp".to_string()];
+        segments.extend(self.segments.iter().cloned());
+        Uri { authority: self.authority.clone(), segments }
+    }
+
+    /// Returns the URI with any leading `tmp` segment removed.
+    pub fn without_tmp(&self) -> Uri {
+        if !self.is_volatile() {
+            return self.clone();
+        }
+        Uri { authority: self.authority.clone(), segments: self.segments[1..].to_vec() }
+    }
+
+    /// The first non-`tmp` segment: the table/collection addressed.
+    pub fn collection(&self) -> Option<&str> {
+        let segs = if self.is_volatile() { &self.segments[1..] } else { &self.segments[..] };
+        segs.first().map(|s| s.as_str())
+    }
+
+    /// True when the URI addresses a single row (trailing numeric id).
+    pub fn is_item(&self) -> bool {
+        self.id().is_some()
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "content://{}", self.authority)?;
+        for s in &self.segments {
+            write!(f, "/{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Uri {
+    type Err = UriError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Uri::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let u = Uri::parse("content://user_dictionary/words/5").unwrap();
+        assert_eq!(u.authority, "user_dictionary");
+        assert_eq!(u.segments, vec!["words", "5"]);
+        assert_eq!(u.to_string(), "content://user_dictionary/words/5");
+        assert_eq!(u.id(), Some(5));
+        assert!(u.is_item());
+        assert!(!u.is_volatile());
+    }
+
+    #[test]
+    fn volatile_uris() {
+        let u = Uri::parse("content://user_dictionary/tmp/words/7").unwrap();
+        assert!(u.is_volatile());
+        assert_eq!(u.collection(), Some("words"));
+        assert_eq!(u.id(), Some(7));
+        assert_eq!(u.without_tmp().to_string(), "content://user_dictionary/words/7");
+        let v = Uri::parse("content://user_dictionary/words").unwrap().as_volatile();
+        assert_eq!(v.to_string(), "content://user_dictionary/tmp/words");
+        // as_volatile is idempotent.
+        assert_eq!(v.as_volatile(), v);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(Uri::parse("http://x/y").is_err());
+        assert!(Uri::parse("content://").is_err());
+        assert!(Uri::parse("words/5").is_err());
+    }
+
+    #[test]
+    fn collection_and_non_numeric_tail() {
+        let u = Uri::parse("content://downloads/all_downloads").unwrap();
+        assert_eq!(u.collection(), Some("all_downloads"));
+        assert_eq!(u.id(), None);
+        assert!(!u.is_item());
+    }
+
+    #[test]
+    fn build_and_with_id() {
+        let u = Uri::build("media", &["images"]).with_id(3);
+        assert_eq!(u.to_string(), "content://media/images/3");
+    }
+}

@@ -1,0 +1,313 @@
+//! The User Dictionary provider.
+//!
+//! "User Dictionary is purely a passive storage service ... porting is
+//! trivial, though we add new URIs for volatile state" (§5.3). It maps
+//! `content://user_dictionary/words[/id]` to rows of the `words` table and
+//! `content://user_dictionary/tmp/words[/id]` to the caller's volatile
+//! records.
+
+use crate::provider::{
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+};
+use crate::uri::Uri;
+use maxoid_cowproxy::{CowProxy, DbView, QueryOpts};
+use maxoid_sqldb::{FlattenPolicy, ResultSet, Value};
+
+/// Authority of the User Dictionary provider.
+pub const AUTHORITY: &str = "user_dictionary";
+
+/// The `words` table served by this provider.
+pub const WORDS_TABLE: &str = "words";
+
+/// The User Dictionary system content provider.
+#[derive(Debug)]
+pub struct UserDictionaryProvider {
+    proxy: CowProxy,
+}
+
+impl Default for UserDictionaryProvider {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UserDictionaryProvider {
+    /// Creates the provider with its schema.
+    pub fn new() -> Self {
+        Self::with_policy(FlattenPolicy::Sqlite386)
+    }
+
+    /// Creates the provider with a specific planner policy (ablations).
+    pub fn with_policy(policy: FlattenPolicy) -> Self {
+        let mut proxy = CowProxy::with_policy(policy);
+        proxy
+            .execute_batch(
+                "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT NOT NULL, \
+                 frequency INTEGER, locale TEXT, appid INTEGER);",
+            )
+            .expect("static schema is valid");
+        UserDictionaryProvider { proxy }
+    }
+
+    /// Access to the underlying proxy (tests, benches).
+    pub fn proxy(&self) -> &CowProxy {
+        &self.proxy
+    }
+
+    /// Mutable access to the underlying proxy.
+    pub fn proxy_mut(&mut self) -> &mut CowProxy {
+        &mut self.proxy
+    }
+
+    fn check_uri(&self, uri: &Uri) -> ProviderResult<()> {
+        if uri.authority != AUTHORITY || uri.collection() != Some(WORDS_TABLE) {
+            return Err(ProviderError::UnknownUri(uri.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Combines a URI item id with caller selection into proxy arguments.
+    fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
+        let mut clauses = Vec::new();
+        let mut params = Vec::new();
+        if let Some(id) = uri.id() {
+            clauses.push("_id = ?".to_string());
+            params.push(Value::Integer(id));
+        }
+        if let Some(sel) = &args.selection {
+            clauses.push(format!("({sel})"));
+            params.extend(args.selection_args.iter().cloned());
+        }
+        if clauses.is_empty() {
+            (None, params)
+        } else {
+            (Some(clauses.join(" AND ")), params)
+        }
+    }
+}
+
+impl ContentProvider for UserDictionaryProvider {
+    fn authority(&self) -> &str {
+        AUTHORITY
+    }
+
+    fn insert(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+    ) -> ProviderResult<Uri> {
+        self.check_uri(uri)?;
+        let mut view = caller.db_view(uri)?;
+        // The initiator isVolatile API (§6.1 item 4).
+        if values.is_volatile && view == DbView::Primary {
+            view = DbView::Volatile { initiator: caller.app.pkg().to_string() };
+        }
+        let vals = values.as_proxy_values();
+        let id = self.proxy.insert(&view, WORDS_TABLE, &vals)?;
+        let base = match &view {
+            DbView::Volatile { .. } => uri.without_tmp().as_volatile(),
+            _ => uri.without_tmp(),
+        };
+        Ok(base.with_id(id))
+    }
+
+    fn update(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+        args: &QueryArgs,
+    ) -> ProviderResult<usize> {
+        self.check_uri(uri)?;
+        let view = caller.db_view(uri)?;
+        let (where_clause, params) = Self::build_where(uri, args);
+        let sets = values.as_proxy_values();
+        Ok(self.proxy.update(&view, WORDS_TABLE, &sets, where_clause.as_deref(), &params)?)
+    }
+
+    fn query(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> ProviderResult<ResultSet> {
+        self.check_uri(uri)?;
+        let view = caller.db_view(uri)?;
+        let (where_clause, params) = Self::build_where(uri, args);
+        let opts = QueryOpts {
+            columns: args.projection.clone(),
+            where_clause,
+            order_by: args.sort_order.clone(),
+            limit: None,
+        };
+        Ok(self.proxy.query(&view, WORDS_TABLE, &opts, &params)?)
+    }
+
+    fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+        self.check_uri(uri)?;
+        let view = caller.db_view(uri)?;
+        let (where_clause, params) = Self::build_where(uri, args);
+        Ok(self.proxy.delete(&view, WORDS_TABLE, where_clause.as_deref(), &params)?)
+    }
+
+    fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
+        self.proxy.clear_volatile(initiator)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words_uri() -> Uri {
+        Uri::parse("content://user_dictionary/words").unwrap()
+    }
+
+    fn seeded() -> UserDictionaryProvider {
+        let mut p = UserDictionaryProvider::new();
+        let kb = Caller::normal("com.keyboard");
+        for (w, f) in [("hello", 10), ("world", 20), ("maxoid", 30)] {
+            p.insert(&kb, &words_uri(), &ContentValues::new().put("word", w).put("frequency", f))
+                .unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn insert_returns_item_uri() {
+        let mut p = UserDictionaryProvider::new();
+        let uri = p
+            .insert(
+                &Caller::normal("kb"),
+                &words_uri(),
+                &ContentValues::new().put("word", "a"),
+            )
+            .unwrap();
+        assert_eq!(uri.to_string(), "content://user_dictionary/words/1");
+    }
+
+    #[test]
+    fn item_uri_addresses_single_row() {
+        let mut p = seeded();
+        let kb = Caller::normal("com.keyboard");
+        let rs = p
+            .query(&kb, &words_uri().with_id(2), &QueryArgs::default())
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        let w = rs.column_index("word").unwrap();
+        assert_eq!(rs.rows[0][w], Value::Text("world".into()));
+    }
+
+    #[test]
+    fn delegate_updates_are_confined() {
+        let mut p = seeded();
+        let del = Caller::delegate("com.viewer", "com.email");
+        let n = p
+            .update(
+                &del,
+                &words_uri().with_id(1),
+                &ContentValues::new().put("word", "HELLO"),
+                &QueryArgs::default(),
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        // Delegate reads its write through a normal URI.
+        let rs = p.query(&del, &words_uri().with_id(1), &QueryArgs::default()).unwrap();
+        let w = rs.column_index("word").unwrap();
+        assert_eq!(rs.rows[0][w], Value::Text("HELLO".into()));
+        // Other apps see the public record.
+        let other = Caller::normal("com.other");
+        let rs = p.query(&other, &words_uri().with_id(1), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows[0][w], Value::Text("hello".into()));
+        // The initiator retrieves the volatile copy via the tmp URI.
+        let email = Caller::normal("com.email");
+        let tmp = words_uri().as_volatile();
+        let rs = p.query(&email, &tmp, &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][rs.column_index("word").unwrap()], Value::Text("HELLO".into()));
+    }
+
+    #[test]
+    fn delegate_delete_hides_but_preserves_public() {
+        let mut p = seeded();
+        let del = Caller::delegate("com.viewer", "com.email");
+        assert_eq!(
+            p.delete(&del, &words_uri().with_id(2), &QueryArgs::default()).unwrap(),
+            1
+        );
+        assert!(p.query(&del, &words_uri().with_id(2), &QueryArgs::default()).unwrap().rows.is_empty());
+        let pub_rs = p
+            .query(&Caller::normal("x"), &words_uri().with_id(2), &QueryArgs::default())
+            .unwrap();
+        assert_eq!(pub_rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn is_volatile_insert_via_flag() {
+        let mut p = seeded();
+        let browser = Caller::normal("com.browser");
+        let uri = p
+            .insert(
+                &browser,
+                &words_uri(),
+                &ContentValues::new().put("word", "incognito").volatile(),
+            )
+            .unwrap();
+        assert!(uri.is_volatile());
+        // Not visible publicly.
+        let rs = p.query(&Caller::normal("x"), &words_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        // Visible to browser's delegates.
+        let del = Caller::delegate("com.pdf", "com.browser");
+        let rs = p.query(&del, &words_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 4);
+    }
+
+    #[test]
+    fn selection_and_sort() {
+        let mut p = seeded();
+        let kb = Caller::normal("com.keyboard");
+        let rs = p
+            .query(
+                &kb,
+                &words_uri(),
+                &QueryArgs {
+                    projection: vec!["word".into()],
+                    selection: Some("frequency >= ?".into()),
+                    selection_args: vec![Value::Integer(20)],
+                    sort_order: Some("frequency DESC".into()),
+                },
+            )
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Text("maxoid".into())], vec![Value::Text("world".into())]]
+        );
+    }
+
+    #[test]
+    fn clear_volatile_erases_delegate_traces() {
+        let mut p = seeded();
+        let del = Caller::delegate("com.viewer", "com.email");
+        p.insert(&del, &words_uri(), &ContentValues::new().put("word", "trace")).unwrap();
+        p.clear_volatile("com.email").unwrap();
+        let rs = p.query(&del, &words_uri(), &QueryArgs::default()).unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert!(!rs
+            .rows
+            .iter()
+            .any(|r| r[rs.column_index("word").unwrap()] == Value::Text("trace".into())));
+    }
+
+    #[test]
+    fn unknown_collection_rejected() {
+        let mut p = UserDictionaryProvider::new();
+        let bad = Uri::parse("content://user_dictionary/nope").unwrap();
+        assert!(matches!(
+            p.query(&Caller::normal("x"), &bad, &QueryArgs::default()),
+            Err(ProviderError::UnknownUri(_))
+        ));
+    }
+}

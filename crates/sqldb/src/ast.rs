@@ -1,0 +1,477 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! The subset is exactly what Android's system content providers and
+//! Maxoid's COW proxy need (Figure 6 of the paper): tables, views over
+//! `UNION ALL` compound selects with `IN (SELECT ...)` subqueries, INSTEAD
+//! OF triggers, and the four data operations with WHERE / ORDER BY / LIMIT.
+
+use crate::value::Value;
+
+/// A complete SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `CREATE TABLE`.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Skip if the table exists.
+        if_not_exists: bool,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `CREATE VIEW name AS select`.
+    CreateView {
+        /// View name.
+        name: String,
+        /// Skip if the view exists.
+        if_not_exists: bool,
+        /// Defining query.
+        select: SelectStmt,
+    },
+    /// `CREATE TRIGGER name INSTEAD OF event ON view BEGIN body END`.
+    CreateTrigger {
+        /// Trigger name.
+        name: String,
+        /// Skip if the trigger exists.
+        if_not_exists: bool,
+        /// Triggering event.
+        event: TriggerEvent,
+        /// View the trigger is attached to.
+        on: String,
+        /// Statements executed per affected row.
+        body: Vec<Stmt>,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Table name.
+        name: String,
+        /// Ignore a missing table.
+        if_exists: bool,
+    },
+    /// `DROP VIEW`.
+    DropView {
+        /// View name.
+        name: String,
+        /// Ignore a missing view.
+        if_exists: bool,
+    },
+    /// `DROP TRIGGER`.
+    DropTrigger {
+        /// Trigger name.
+        name: String,
+        /// Ignore a missing trigger.
+        if_exists: bool,
+    },
+    /// `INSERT [OR REPLACE] INTO table (cols) VALUES ... | select`.
+    Insert {
+        /// Target table or view.
+        table: String,
+        /// Named columns (empty = all, in schema order).
+        columns: Vec<String>,
+        /// Row source.
+        source: InsertSource,
+        /// True for `INSERT OR REPLACE`.
+        or_replace: bool,
+    },
+    /// `UPDATE table SET col = expr, ... [WHERE ...]`.
+    Update {
+        /// Target table or view.
+        table: String,
+        /// Assignments.
+        sets: Vec<(String, Expr)>,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// `DELETE FROM table [WHERE ...]`.
+    Delete {
+        /// Target table or view.
+        table: String,
+        /// Row filter.
+        where_clause: Option<Expr>,
+    },
+    /// A `SELECT` query.
+    Select(SelectStmt),
+    /// `BEGIN [TRANSACTION]`.
+    Begin,
+    /// `COMMIT` (or `END`).
+    Commit,
+    /// `ROLLBACK`.
+    Rollback,
+}
+
+/// Source of rows for an INSERT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InsertSource {
+    /// Explicit `VALUES (..), (..)` tuples.
+    Values(Vec<Vec<Expr>>),
+    /// `INSERT INTO t SELECT ...`.
+    Select(Box<SelectStmt>),
+}
+
+/// Trigger events; only INSTEAD OF triggers on views are supported, which
+/// is all the COW proxy requires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriggerEvent {
+    /// `INSTEAD OF INSERT`.
+    Insert,
+    /// `INSTEAD OF UPDATE`.
+    Update,
+    /// `INSTEAD OF DELETE`.
+    Delete,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Declared type affinity.
+    pub affinity: Affinity,
+    /// True when declared `PRIMARY KEY` (must be INTEGER).
+    pub primary_key: bool,
+    /// True when declared `NOT NULL` (advisory; enforced on insert).
+    pub not_null: bool,
+}
+
+/// SQLite-style type affinity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affinity {
+    /// INTEGER / BOOLEAN.
+    Integer,
+    /// REAL / FLOAT / DOUBLE.
+    Real,
+    /// TEXT / VARCHAR / CHAR.
+    Text,
+    /// BLOB or untyped.
+    Blob,
+    /// NUMERIC.
+    Numeric,
+}
+
+impl Affinity {
+    /// Maps a declared type name to an affinity, per SQLite's rules
+    /// (substring matching on the type name).
+    pub fn from_type_name(name: &str) -> Affinity {
+        let up = name.to_ascii_uppercase();
+        if up.contains("INT") || up.contains("BOOL") {
+            Affinity::Integer
+        } else if up.contains("CHAR") || up.contains("CLOB") || up.contains("TEXT") {
+            Affinity::Text
+        } else if up.contains("BLOB") || up.is_empty() {
+            Affinity::Blob
+        } else if up.contains("REAL") || up.contains("FLOA") || up.contains("DOUB") {
+            Affinity::Real
+        } else {
+            Affinity::Numeric
+        }
+    }
+
+    /// Applies this affinity to a value on storage.
+    pub fn apply(self, v: Value) -> Value {
+        match (self, &v) {
+            (Affinity::Integer | Affinity::Numeric, Value::Text(t)) => {
+                if let Ok(i) = t.trim().parse::<i64>() {
+                    Value::Integer(i)
+                } else if let Ok(r) = t.trim().parse::<f64>() {
+                    Value::Real(r)
+                } else {
+                    v
+                }
+            }
+            (Affinity::Integer, Value::Real(r)) if r.fract() == 0.0 => {
+                Value::Integer(*r as i64)
+            }
+            (Affinity::Real, Value::Integer(i)) => Value::Real(*i as f64),
+            (Affinity::Text, Value::Integer(i)) => Value::Text(i.to_string()),
+            (Affinity::Text, Value::Real(r)) => Value::Text(r.to_string()),
+            _ => v,
+        }
+    }
+}
+
+/// A full SELECT statement: one or more cores combined with UNION ALL,
+/// with trailing ORDER BY / LIMIT applying to the combined result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    /// Cores combined with `UNION ALL` (in order).
+    pub cores: Vec<SelectCore>,
+    /// ORDER BY terms.
+    pub order_by: Vec<OrderTerm>,
+    /// LIMIT expression.
+    pub limit: Option<Expr>,
+    /// OFFSET expression (rows skipped before LIMIT applies).
+    pub offset: Option<Expr>,
+}
+
+/// One `SELECT ... FROM ... WHERE ...` core.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectCore {
+    /// True for `SELECT DISTINCT`.
+    pub distinct: bool,
+    /// Result columns.
+    pub columns: Vec<ResultColumn>,
+    /// FROM sources (implicit cross join with WHERE as join filter).
+    pub from: Vec<TableRef>,
+    /// WHERE filter.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+    /// HAVING filter over groups.
+    pub having: Option<Expr>,
+}
+
+/// A result column in a SELECT.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResultColumn {
+    /// `*`.
+    Star,
+    /// `table.*`.
+    TableStar(String),
+    /// An expression with optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS alias`.
+        alias: Option<String>,
+    },
+}
+
+/// A table or view reference in FROM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table or view name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this source binds in the row scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One ORDER BY term.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderTerm {
+    /// Sort key expression.
+    pub expr: Expr,
+    /// True for ascending (default).
+    pub ascending: bool,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Logical AND.
+    And,
+    /// Logical OR.
+    Or,
+    /// `=`.
+    Eq,
+    /// `!=` / `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+    /// `+`.
+    Add,
+    /// `-`.
+    Sub,
+    /// `*`.
+    Mul,
+    /// `/`.
+    Div,
+    /// `%`.
+    Rem,
+    /// `||`.
+    Concat,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical NOT.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified (`t.col`, `NEW.col`).
+    Column {
+        /// Qualifier (table alias, `NEW`, or `OLD`).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Positional parameter (1-based).
+    Param(usize),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `expr IS [NOT] NULL`.
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// True for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (list)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate values.
+        list: Vec<Expr>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] IN (SELECT ...)`.
+    InSelect {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Subquery (uncorrelated; evaluated once per statement).
+        select: Box<SelectStmt>,
+        /// True for `NOT IN`.
+        negated: bool,
+    },
+    /// `expr [NOT] LIKE pattern`.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: Box<Expr>,
+        /// True for `NOT LIKE`.
+        negated: bool,
+    },
+    /// `expr [NOT] BETWEEN low AND high`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        low: Box<Expr>,
+        /// Upper bound (inclusive).
+        high: Box<Expr>,
+        /// True for `NOT BETWEEN`.
+        negated: bool,
+    },
+    /// Function call; `star` marks `count(*)`.
+    Call {
+        /// Lowercased function name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// True for `f(*)`.
+        star: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unqualified column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_string() }
+    }
+
+    /// Convenience constructor for an integer literal.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Integer(v))
+    }
+
+    /// Splits a conjunction into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary(BinOp::And, l, r) => {
+                let mut v = l.conjuncts();
+                v.extend(r.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Returns true if the expression contains an aggregate function call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Call { name, args, star } => {
+                *star
+                    || matches!(name.as_str(), "count" | "max" | "min" | "sum" | "avg" | "total")
+                    || args.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Unary(_, e) => e.contains_aggregate(),
+            Expr::Binary(_, l, r) => l.contains_aggregate() || r.contains_aggregate(),
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::InSelect { expr, .. } => expr.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate()
+                    || low.contains_aggregate()
+                    || high.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_mapping() {
+        assert_eq!(Affinity::from_type_name("INTEGER"), Affinity::Integer);
+        assert_eq!(Affinity::from_type_name("BOOLEAN"), Affinity::Integer);
+        assert_eq!(Affinity::from_type_name("VARCHAR(40)"), Affinity::Text);
+        assert_eq!(Affinity::from_type_name("DOUBLE"), Affinity::Real);
+        assert_eq!(Affinity::from_type_name("BLOB"), Affinity::Blob);
+        assert_eq!(Affinity::from_type_name("DECIMAL"), Affinity::Numeric);
+    }
+
+    #[test]
+    fn affinity_coercion() {
+        assert_eq!(Affinity::Integer.apply(Value::Text("7".into())), Value::Integer(7));
+        assert_eq!(Affinity::Integer.apply(Value::Real(3.0)), Value::Integer(3));
+        assert_eq!(Affinity::Text.apply(Value::Integer(7)), Value::Text("7".into()));
+        assert_eq!(
+            Affinity::Integer.apply(Value::Text("abc".into())),
+            Value::Text("abc".into())
+        );
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::Binary(
+            BinOp::And,
+            Box::new(Expr::Binary(BinOp::And, Box::new(Expr::col("a")), Box::new(Expr::col("b")))),
+            Box::new(Expr::col("c")),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        assert_eq!(Expr::col("x").conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Call { name: "max".into(), args: vec![Expr::col("x")], star: false };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Binary(BinOp::Add, Box::new(agg), Box::new(Expr::int(1)));
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+        let scalar = Expr::Call { name: "length".into(), args: vec![Expr::col("x")], star: false };
+        assert!(!scalar.contains_aggregate());
+    }
+}

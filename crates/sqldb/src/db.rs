@@ -1,0 +1,375 @@
+//! The database: schema registry and public execution API.
+
+use crate::ast::{SelectStmt, Stmt, TriggerEvent};
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{SubqueryCache, TriggerCtx};
+use crate::parser::{parse_statement, parse_statements};
+use crate::planner::FlattenPolicy;
+use crate::table::Table;
+use crate::value::Value;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
+
+/// A stored view definition.
+#[derive(Debug, Clone)]
+pub struct ViewDef {
+    /// View name (original casing).
+    pub name: String,
+    /// Defining query.
+    pub select: SelectStmt,
+    /// Output column names, resolved at creation time.
+    pub columns: Vec<String>,
+}
+
+/// A stored trigger definition.
+#[derive(Debug, Clone)]
+pub struct TriggerDef {
+    /// Trigger name.
+    pub name: String,
+    /// Event (INSTEAD OF insert/update/delete).
+    pub event: TriggerEvent,
+    /// View the trigger is attached to (lowercased key form).
+    pub on: String,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Execution counters, used by tests and the flattening ablation bench.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Rows visited by table scans.
+    pub rows_scanned: Cell<u64>,
+    /// Primary-key point lookups taken instead of scans.
+    pub point_lookups: Cell<u64>,
+    /// Queries rewritten by UNION ALL subquery flattening.
+    pub flattened_queries: Cell<u64>,
+    /// Queries that materialized a view (no flattening).
+    pub materialized_views: Cell<u64>,
+}
+
+impl Stats {
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.rows_scanned.set(0);
+        self.point_lookups.set(0);
+        self.flattened_queries.set(0);
+        self.materialized_views.set(0);
+    }
+}
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Rows in result order.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Returns the single value of a 1×1 result, if it has that shape.
+    pub fn scalar(&self) -> Option<&Value> {
+        match (self.rows.len(), self.columns.len()) {
+            (1, 1) => Some(&self.rows[0][0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.eq_ignore_ascii_case(name))
+    }
+}
+
+/// Outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecOutcome {
+    /// Result rows for SELECT statements.
+    pub rows: Option<ResultSet>,
+    /// Rows affected for INSERT/UPDATE/DELETE.
+    pub rows_affected: usize,
+    /// Rowid of the last inserted row, when the statement inserted one.
+    pub last_insert_id: Option<i64>,
+}
+
+impl ExecOutcome {
+    pub(crate) fn ddl() -> Self {
+        ExecOutcome { rows: None, rows_affected: 0, last_insert_id: None }
+    }
+}
+
+/// Maximum view-expansion depth, guarding against cyclic view definitions.
+pub(crate) const MAX_DEPTH: usize = 32;
+
+/// An embedded SQL database.
+///
+/// Implements the subset of SQLite that Android's system content providers
+/// and Maxoid's COW proxy rely on: base tables with integer primary keys,
+/// SQL views (including `UNION ALL` compound views), INSTEAD OF triggers,
+/// and a planner that performs the subquery-flattening optimization the
+/// paper's COW views depend on for performance (§5.2).
+///
+/// # Examples
+///
+/// ```
+/// use maxoid_sqldb::{Database, Value};
+///
+/// let mut db = Database::new();
+/// db.execute_batch(
+///     "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT);
+///      INSERT INTO words (word) VALUES ('hello'), ('world');",
+/// )
+/// .unwrap();
+/// let rs = db
+///     .query("SELECT word FROM words WHERE _id = ?", &[Value::Integer(2)])
+///     .unwrap();
+/// assert_eq!(rs.rows[0][0], Value::Text("world".into()));
+/// ```
+#[derive(Debug, Default)]
+pub struct Database {
+    pub(crate) tables: BTreeMap<String, Table>,
+    pub(crate) views: BTreeMap<String, ViewDef>,
+    pub(crate) triggers: BTreeMap<String, TriggerDef>,
+    /// Planner policy for UNION ALL view flattening.
+    pub flatten_policy: FlattenPolicy,
+    /// Execution counters.
+    pub stats: Stats,
+    /// Prepared-statement cache: SQL text -> parsed AST. Providers issue
+    /// the same statement shapes repeatedly; SQLite's compiled-statement
+    /// cache plays the same role on Android.
+    stmt_cache: RefCell<HashMap<String, Stmt>>,
+    /// Snapshot taken at BEGIN, restored on ROLLBACK. `None` = autocommit.
+    tx_snapshot: Option<TxSnapshot>,
+}
+
+/// Schema + data snapshot for transaction rollback.
+#[derive(Debug)]
+pub(crate) struct TxSnapshot {
+    tables: BTreeMap<String, Table>,
+    views: BTreeMap<String, ViewDef>,
+    triggers: BTreeMap<String, TriggerDef>,
+}
+
+impl Database {
+    /// Creates an empty database with the default (modern) planner policy.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a database with a specific flattening policy.
+    pub fn with_policy(policy: FlattenPolicy) -> Self {
+        Database { flatten_policy: policy, ..Database::default() }
+    }
+
+    /// Executes a single statement with positional parameters.
+    pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecOutcome> {
+        let stmt = self.prepare(sql)?;
+        self.exec_stmt(&stmt, params, None)
+    }
+
+    /// Parses a statement through the prepared-statement cache.
+    fn prepare(&self, sql: &str) -> SqlResult<Stmt> {
+        if let Some(stmt) = self.stmt_cache.borrow().get(sql) {
+            return Ok(stmt.clone());
+        }
+        let stmt = parse_statement(sql)?;
+        let mut cache = self.stmt_cache.borrow_mut();
+        if cache.len() >= 512 {
+            cache.clear();
+        }
+        cache.insert(sql.to_string(), stmt.clone());
+        Ok(stmt)
+    }
+
+    /// Executes multiple `;`-separated statements without parameters.
+    pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
+        for stmt in parse_statements(sql)? {
+            self.exec_stmt(&stmt, &[], None)?;
+        }
+        Ok(())
+    }
+
+    /// Runs a query and returns its rows.
+    ///
+    /// Unlike [`Database::execute`] this takes `&self`: SELECT cannot
+    /// mutate, so concurrent readers can share the database.
+    pub fn query(&self, sql: &str, params: &[Value]) -> SqlResult<ResultSet> {
+        let stmt = self.prepare(sql)?;
+        match stmt {
+            Stmt::Select(s) => {
+                let cache: SubqueryCache = SubqueryCache::default();
+                self.exec_select(&s, params, None, &cache, 0)
+            }
+            _ => Err(SqlError::Unsupported("query() requires a SELECT".into())),
+        }
+    }
+
+    /// Executes a pre-parsed statement (used by the COW proxy and trigger
+    /// bodies).
+    pub fn exec_stmt(
+        &mut self,
+        stmt: &Stmt,
+        params: &[Value],
+        trigger: Option<&TriggerCtx>,
+    ) -> SqlResult<ExecOutcome> {
+        crate::exec::exec_stmt(self, stmt, params, trigger)
+    }
+
+    /// Executes a pre-parsed SELECT.
+    pub(crate) fn exec_select(
+        &self,
+        stmt: &SelectStmt,
+        params: &[Value],
+        trigger: Option<&TriggerCtx>,
+        cache: &SubqueryCache,
+        depth: usize,
+    ) -> SqlResult<ResultSet> {
+        crate::exec::exec_select(self, stmt, params, trigger, cache, depth)
+    }
+
+    /// Starts a transaction (snapshot isolation by full copy; the engine
+    /// is in-memory, so BEGIN is O(data) instead of journalled).
+    pub fn begin(&mut self) -> SqlResult<()> {
+        if self.tx_snapshot.is_some() {
+            return Err(SqlError::Unsupported(
+                "cannot start a transaction within a transaction".into(),
+            ));
+        }
+        self.tx_snapshot = Some(TxSnapshot {
+            tables: self.tables.clone(),
+            views: self.views.clone(),
+            triggers: self.triggers.clone(),
+        });
+        Ok(())
+    }
+
+    /// Commits the open transaction.
+    pub fn commit(&mut self) -> SqlResult<()> {
+        self.tx_snapshot
+            .take()
+            .map(|_| ())
+            .ok_or_else(|| SqlError::Unsupported("cannot commit - no transaction is active".into()))
+    }
+
+    /// Rolls back the open transaction, restoring the BEGIN snapshot.
+    pub fn rollback(&mut self) -> SqlResult<()> {
+        match self.tx_snapshot.take() {
+            Some(snap) => {
+                self.tables = snap.tables;
+                self.views = snap.views;
+                self.triggers = snap.triggers;
+                Ok(())
+            }
+            None => Err(SqlError::Unsupported(
+                "cannot rollback - no transaction is active".into(),
+            )),
+        }
+    }
+
+    /// Returns true while a transaction is open.
+    pub fn in_transaction(&self) -> bool {
+        self.tx_snapshot.is_some()
+    }
+
+    /// Returns true if a base table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(&key(name))
+    }
+
+    /// Returns true if a view with this name exists.
+    pub fn has_view(&self, name: &str) -> bool {
+        self.views.contains_key(&key(name))
+    }
+
+    /// Returns true if a trigger with this name exists.
+    pub fn has_trigger(&self, name: &str) -> bool {
+        self.triggers.contains_key(&key(name))
+    }
+
+    /// Returns a base table by name.
+    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+        self.tables.get(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Returns a mutable base table by name.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        self.tables
+            .get_mut(&key(name))
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Returns a view definition by name.
+    pub fn view(&self, name: &str) -> SqlResult<&ViewDef> {
+        self.views.get(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Returns the trigger attached to `view_name` for `event`, if any.
+    pub fn trigger_for(&self, view_name: &str, event: TriggerEvent) -> Option<&TriggerDef> {
+        self.triggers
+            .values()
+            .find(|t| t.on == key(view_name) && t.event == event)
+    }
+
+    /// Lists base table names (lowercased keys).
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Lists view names (lowercased keys).
+    pub fn view_names(&self) -> Vec<String> {
+        self.views.keys().cloned().collect()
+    }
+
+    /// Returns output column names for a table or view.
+    pub fn relation_columns(&self, name: &str) -> SqlResult<Vec<String>> {
+        if let Some(t) = self.tables.get(&key(name)) {
+            return Ok(t.schema.column_names());
+        }
+        if let Some(v) = self.views.get(&key(name)) {
+            return Ok(v.columns.clone());
+        }
+        Err(SqlError::NoSuchTable(name.to_string()))
+    }
+}
+
+/// Normalizes an object name to its registry key.
+pub(crate) fn key(name: &str) -> String {
+    name.to_ascii_lowercase()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_insert_query_roundtrip() {
+        let mut db = Database::new();
+        db.execute_batch(
+            "CREATE TABLE t (_id INTEGER PRIMARY KEY, data TEXT);
+             INSERT INTO t (data) VALUES ('a'), ('b'), ('c');",
+        )
+        .unwrap();
+        let rs = db.query("SELECT * FROM t ORDER BY _id", &[]).unwrap();
+        assert_eq!(rs.columns, vec!["_id", "data"]);
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[2], vec![Value::Integer(3), Value::Text("c".into())]);
+    }
+
+    #[test]
+    fn query_rejects_non_select() {
+        let db = Database::new();
+        assert!(db.query("DELETE FROM t", &[]).is_err());
+    }
+
+    #[test]
+    fn scalar_helper() {
+        let mut db = Database::new();
+        db.execute_batch(
+            "CREATE TABLE t (_id INTEGER PRIMARY KEY);
+             INSERT INTO t VALUES (1),(2),(3);",
+        )
+        .unwrap();
+        let rs = db.query("SELECT count(*) FROM t", &[]).unwrap();
+        assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for the SQL engine.
+
+use std::fmt;
+
+/// Errors produced while parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// Lexical error at a byte offset.
+    Lex {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Syntax error with a description of what was expected.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A referenced table or view does not exist.
+    NoSuchTable(String),
+    /// A referenced column does not exist (or is ambiguous).
+    NoSuchColumn(String),
+    /// A referenced trigger does not exist.
+    NoSuchTrigger(String),
+    /// An object with this name already exists.
+    AlreadyExists(String),
+    /// Uniqueness violation on the primary key.
+    ConstraintPrimaryKey {
+        /// Table whose constraint was violated.
+        table: String,
+        /// The conflicting key.
+        key: i64,
+    },
+    /// Attempted to modify a view with no INSTEAD OF trigger for the event.
+    ViewNotWritable(String),
+    /// A positional parameter was not supplied.
+    MissingParam(usize),
+    /// Type error during expression evaluation.
+    Type(String),
+    /// An unsupported SQL feature was used.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { offset, message } => {
+                write!(f, "lex error at byte {offset}: {message}")
+            }
+            SqlError::Parse { message } => write!(f, "syntax error: {message}"),
+            SqlError::NoSuchTable(n) => write!(f, "no such table: {n}"),
+            SqlError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
+            SqlError::NoSuchTrigger(n) => write!(f, "no such trigger: {n}"),
+            SqlError::AlreadyExists(n) => write!(f, "object already exists: {n}"),
+            SqlError::ConstraintPrimaryKey { table, key } => {
+                write!(f, "UNIQUE constraint failed: {table} primary key {key}")
+            }
+            SqlError::ViewNotWritable(n) => {
+                write!(f, "cannot modify view without INSTEAD OF trigger: {n}")
+            }
+            SqlError::MissingParam(i) => write!(f, "missing value for parameter ?{i}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            SqlError::NoSuchTable("t".into()).to_string(),
+            "no such table: t"
+        );
+        assert_eq!(
+            SqlError::ConstraintPrimaryKey { table: "t".into(), key: 3 }.to_string(),
+            "UNIQUE constraint failed: t primary key 3"
+        );
+    }
+}

@@ -1,0 +1,1179 @@
+//! Statement execution: SELECT pipeline, mutations, DDL and triggers.
+
+use crate::ast::{
+    Expr, InsertSource, OrderTerm, ResultColumn, SelectCore, SelectStmt, Stmt, TriggerEvent,
+};
+use crate::db::{key, Database, ExecOutcome, ResultSet, TriggerDef, ViewDef, MAX_DEPTH};
+use crate::error::{SqlError, SqlResult};
+use crate::expr::{eval, EvalEnv, RowScope, SubqueryCache, TriggerCtx};
+use crate::planner::try_flatten;
+use crate::table::{Table, TableSchema};
+use crate::value::Value;
+
+/// Output rows paired with optional pre-computed sort keys.
+type KeyedRows = Vec<(Vec<Value>, Option<Vec<Value>>)>;
+
+/// Executes one statement against the database.
+pub fn exec_stmt(
+    db: &mut Database,
+    stmt: &Stmt,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+) -> SqlResult<ExecOutcome> {
+    match stmt {
+        Stmt::CreateTable { name, if_not_exists, columns } => {
+            if db.tables.contains_key(&key(name)) || db.views.contains_key(&key(name)) {
+                if *if_not_exists {
+                    return Ok(ExecOutcome::ddl());
+                }
+                return Err(SqlError::AlreadyExists(name.clone()));
+            }
+            let schema = TableSchema::new(name.clone(), columns.clone())?;
+            db.tables.insert(key(name), Table::new(schema));
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::CreateView { name, if_not_exists, select } => {
+            if db.tables.contains_key(&key(name)) || db.views.contains_key(&key(name)) {
+                if *if_not_exists {
+                    return Ok(ExecOutcome::ddl());
+                }
+                return Err(SqlError::AlreadyExists(name.clone()));
+            }
+            let columns = view_output_columns(db, select)?;
+            db.views.insert(
+                key(name),
+                ViewDef { name: name.clone(), select: select.clone(), columns },
+            );
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::CreateTrigger { name, if_not_exists, event, on, body } => {
+            if db.triggers.contains_key(&key(name)) {
+                if *if_not_exists {
+                    return Ok(ExecOutcome::ddl());
+                }
+                return Err(SqlError::AlreadyExists(name.clone()));
+            }
+            if !db.views.contains_key(&key(on)) {
+                return Err(SqlError::Unsupported(format!(
+                    "INSTEAD OF trigger requires a view, {on} is not one"
+                )));
+            }
+            db.triggers.insert(
+                key(name),
+                TriggerDef {
+                    name: name.clone(),
+                    event: *event,
+                    on: key(on),
+                    body: body.clone(),
+                },
+            );
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::DropTable { name, if_exists } => {
+            if db.tables.remove(&key(name)).is_none() && !*if_exists {
+                return Err(SqlError::NoSuchTable(name.clone()));
+            }
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::DropView { name, if_exists } => {
+            if db.views.remove(&key(name)).is_none() && !*if_exists {
+                return Err(SqlError::NoSuchTable(name.clone()));
+            }
+            // Triggers on the view are dropped with it, like SQLite.
+            db.triggers.retain(|_, t| t.on != key(name));
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::DropTrigger { name, if_exists } => {
+            if db.triggers.remove(&key(name)).is_none() && !*if_exists {
+                return Err(SqlError::NoSuchTrigger(name.clone()));
+            }
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::Insert { table, columns, source, or_replace } => {
+            exec_insert(db, table, columns, source, *or_replace, params, trigger)
+        }
+        Stmt::Update { table, sets, where_clause } => {
+            exec_update(db, table, sets, where_clause.as_ref(), params, trigger)
+        }
+        Stmt::Delete { table, where_clause } => {
+            exec_delete(db, table, where_clause.as_ref(), params, trigger)
+        }
+        Stmt::Select(select) => {
+            let cache = SubqueryCache::default();
+            let rs = exec_select(db, select, params, trigger, &cache, 0)?;
+            Ok(ExecOutcome { rows: Some(rs), rows_affected: 0, last_insert_id: None })
+        }
+        Stmt::Begin => {
+            db.begin()?;
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::Commit => {
+            db.commit()?;
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::Rollback => {
+            db.rollback()?;
+            Ok(ExecOutcome::ddl())
+        }
+    }
+}
+
+/// Resolves a view's output column names at creation time.
+fn view_output_columns(db: &Database, select: &SelectStmt) -> SqlResult<Vec<String>> {
+    let core = &select.cores[0];
+    let mut names = Vec::new();
+    for rc in &core.columns {
+        match rc {
+            ResultColumn::Star => {
+                for tref in &core.from {
+                    names.extend(db.relation_columns(&tref.name)?);
+                }
+            }
+            ResultColumn::TableStar(t) => {
+                let tref = core
+                    .from
+                    .iter()
+                    .find(|r| r.binding().eq_ignore_ascii_case(t))
+                    .ok_or_else(|| SqlError::NoSuchTable(t.clone()))?;
+                names.extend(db.relation_columns(&tref.name)?);
+            }
+            ResultColumn::Expr { expr, alias } => names.push(output_name(expr, alias.as_deref())),
+        }
+    }
+    Ok(names)
+}
+
+/// Chooses the output column name for a projected expression.
+pub(crate) fn output_name(expr: &Expr, alias: Option<&str>) -> String {
+    if let Some(a) = alias {
+        return a.to_string();
+    }
+    match expr {
+        Expr::Column { name, .. } => name.clone(),
+        other => other.to_string(),
+    }
+}
+
+/// Executes a SELECT, returning its result set.
+pub fn exec_select(
+    db: &Database,
+    stmt: &SelectStmt,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+    cache: &SubqueryCache,
+    depth: usize,
+) -> SqlResult<ResultSet> {
+    if depth > MAX_DEPTH {
+        return Err(SqlError::Unsupported(
+            "view nesting too deep (cyclic view definition?)".into(),
+        ));
+    }
+    // Planner: try UNION ALL view flattening first.
+    if let Some(flat) = try_flatten(db, stmt) {
+        db.stats.flattened_queries.set(db.stats.flattened_queries.get() + 1);
+        return exec_select_plain(db, &flat, params, trigger, cache, depth);
+    }
+    exec_select_plain(db, stmt, params, trigger, cache, depth)
+}
+
+fn exec_select_plain(
+    db: &Database,
+    stmt: &SelectStmt,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+    cache: &SubqueryCache,
+    depth: usize,
+) -> SqlResult<ResultSet> {
+    let env = EvalEnv { db, params, trigger, cache, depth };
+    let compound = stmt.cores.len() > 1;
+    let mut columns: Vec<String> = Vec::new();
+    // Each entry: (output row, optional pre-computed sort keys).
+    let mut rows: Vec<(Vec<Value>, Option<Vec<Value>>)> = Vec::new();
+    for (i, core) in stmt.cores.iter().enumerate() {
+        // For single-core queries, sort keys are computed against the
+        // source scope so ORDER BY can reference unprojected columns. For
+        // compounds, keys come from the output row (SQL rule).
+        let order = if compound { &[][..] } else { &stmt.order_by[..] };
+        let (cols, mut core_rows) = exec_core(db, core, order, &env)?;
+        if i == 0 {
+            columns = cols;
+        } else if cols.len() != columns.len() {
+            return Err(SqlError::Parse {
+                message: "SELECTs to the left and right of UNION ALL do not have the same number of result columns".into(),
+            });
+        }
+        rows.append(&mut core_rows);
+    }
+    // Sorting.
+    if !stmt.order_by.is_empty() {
+        if compound {
+            // Resolve terms against output columns (name or position).
+            let mut key_idx = Vec::new();
+            let mut dirs = Vec::new();
+            for term in &stmt.order_by {
+                let idx = resolve_output_order_term(&term.expr, &columns, &env)?;
+                key_idx.push(idx);
+                dirs.push(term.ascending);
+            }
+            rows.sort_by(|a, b| {
+                for (k, asc) in key_idx.iter().zip(&dirs) {
+                    let ord = a.0[*k].total_cmp(&b.0[*k]);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        } else {
+            let dirs: Vec<bool> = stmt.order_by.iter().map(|t| t.ascending).collect();
+            rows.sort_by(|a, b| {
+                let (ka, kb) = (
+                    a.1.as_ref().expect("single-core rows carry sort keys"),
+                    b.1.as_ref().expect("single-core rows carry sort keys"),
+                );
+                for ((x, y), asc) in ka.iter().zip(kb.iter()).zip(&dirs) {
+                    let ord = x.total_cmp(y);
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+    }
+    // OFFSET, then LIMIT.
+    if let Some(offset) = &stmt.offset {
+        let n = eval(offset, &RowScope::empty(), &env)?
+            .as_integer()
+            .ok_or_else(|| SqlError::Type("OFFSET must be an integer".into()))?;
+        let n = (n.max(0) as usize).min(rows.len());
+        rows.drain(..n);
+    }
+    if let Some(limit) = &stmt.limit {
+        let n = eval(limit, &RowScope::empty(), &env)?
+            .as_integer()
+            .ok_or_else(|| SqlError::Type("LIMIT must be an integer".into()))?;
+        rows.truncate(n.max(0) as usize);
+    }
+    Ok(ResultSet { columns, rows: rows.into_iter().map(|(r, _)| r).collect() })
+}
+
+/// Resolves a compound-query ORDER BY term to an output column index.
+fn resolve_output_order_term(
+    expr: &Expr,
+    columns: &[String],
+    env: &EvalEnv<'_>,
+) -> SqlResult<usize> {
+    match expr {
+        Expr::Literal(Value::Integer(k)) if *k >= 1 && (*k as usize) <= columns.len() => {
+            Ok(*k as usize - 1)
+        }
+        Expr::Column { table: None, name } => columns
+            .iter()
+            .position(|c| c.eq_ignore_ascii_case(name))
+            .ok_or_else(|| SqlError::NoSuchColumn(name.clone())),
+        Expr::Param(_) => {
+            let v = eval(expr, &RowScope::empty(), env)?;
+            let k = v
+                .as_integer()
+                .ok_or_else(|| SqlError::Type("ORDER BY position must be integer".into()))?;
+            if k >= 1 && (k as usize) <= columns.len() {
+                Ok(k as usize - 1)
+            } else {
+                Err(SqlError::Type(format!("ORDER BY position {k} out of range")))
+            }
+        }
+        other => Err(SqlError::Unsupported(format!(
+            "ORDER BY term {other} on a compound SELECT (use a column name or position)"
+        ))),
+    }
+}
+
+/// A materialized FROM source.
+struct Source {
+    binding: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Executes one SELECT core, returning output columns and rows (with sort
+/// keys computed from `order_by` against the source scope).
+fn exec_core(
+    db: &Database,
+    core: &SelectCore,
+    order_by: &[OrderTerm],
+    env: &EvalEnv<'_>,
+) -> SqlResult<(Vec<String>, KeyedRows)> {
+    let aggregate = !core.group_by.is_empty()
+        || core.columns.iter().any(|rc| match rc {
+            ResultColumn::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        });
+
+    // FROM-less SELECT (e.g. `SELECT 1`).
+    if core.from.is_empty() {
+        let scope = RowScope::empty();
+        if let Some(w) = &core.where_clause {
+            if eval(w, &scope, env)?.truthiness() != Some(true) {
+                return Ok((project_names(core, &scope)?, Vec::new()));
+            }
+        }
+        let (names, row) = project(core, &scope, env)?;
+        let keys = sort_keys(order_by, &scope, &row, &names, env)?;
+        return Ok((names, vec![(row, keys)]));
+    }
+
+    // Fast path: single base table, no aggregate — stream rows without
+    // materializing the whole table, using pk point lookups when possible.
+    if core.from.len() == 1 && db.tables.contains_key(&key(&core.from[0].name)) {
+        return exec_core_single_table(db, core, order_by, aggregate, env);
+    }
+
+    // General path: materialize every source (tables and views), then
+    // nested-loop join.
+    let mut sources = Vec::new();
+    for tref in &core.from {
+        let k = key(&tref.name);
+        if let Some(t) = db.tables.get(&k) {
+            let rows: Vec<Vec<Value>> = t.iter().map(|(_, r)| r.clone()).collect();
+            db.stats.rows_scanned.set(db.stats.rows_scanned.get() + rows.len() as u64);
+            sources.push(Source {
+                binding: tref.binding().to_string(),
+                columns: t.schema.column_names(),
+                rows,
+            });
+        } else if let Some(v) = db.views.get(&k) {
+            db.stats.materialized_views.set(db.stats.materialized_views.get() + 1);
+            let rs = exec_select(db, &v.select, env.params, env.trigger, env.cache, env.depth + 1)?;
+            sources.push(Source {
+                binding: tref.binding().to_string(),
+                columns: v.columns.clone(),
+                rows: rs.rows,
+            });
+        } else {
+            return Err(SqlError::NoSuchTable(tref.name.clone()));
+        }
+    }
+
+    let mut out: Vec<(Vec<Value>, Option<Vec<Value>>)> = Vec::new();
+    let mut matched_scopes: Vec<RowScope> = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    let mut index = vec![0usize; sources.len()];
+    // Odometer-style nested loop over the cartesian product.
+    'outer: loop {
+        if sources.iter().any(|s| s.rows.is_empty()) {
+            break;
+        }
+        let mut scope = RowScope::empty();
+        for (si, s) in sources.iter().enumerate() {
+            scope.push(&s.binding, s.columns.clone(), s.rows[index[si]].clone());
+        }
+        let pass = match &core.where_clause {
+            Some(w) => eval(w, &scope, env)?.truthiness() == Some(true),
+            None => true,
+        };
+        if pass {
+            if aggregate {
+                matched_scopes.push(scope);
+            } else {
+                let (n, row) = project(core, &scope, env)?;
+                let keys = sort_keys(order_by, &scope, &row, &n, env)?;
+                if names.is_none() {
+                    names = Some(n);
+                }
+                out.push((row, keys));
+            }
+        }
+        // Advance odometer.
+        let mut pos = sources.len();
+        loop {
+            if pos == 0 {
+                break 'outer;
+            }
+            pos -= 1;
+            index[pos] += 1;
+            if index[pos] < sources[pos].rows.len() {
+                break;
+            }
+            index[pos] = 0;
+        }
+    }
+
+    if aggregate {
+        let template = {
+            let mut scope = RowScope::empty();
+            for s in &sources {
+                scope.push(
+                    &s.binding,
+                    s.columns.clone(),
+                    vec![Value::Null; s.columns.len()],
+                );
+            }
+            scope
+        };
+        return grouped_rows(core, order_by, matched_scopes, &template, env);
+    }
+
+    let names = match names {
+        Some(n) => n,
+        None => {
+            // No rows matched; compute names from an all-NULL scope.
+            let mut scope = RowScope::empty();
+            for s in &sources {
+                scope.push(&s.binding, s.columns.clone(), vec![Value::Null; s.columns.len()]);
+            }
+            project_names(core, &scope)?
+        }
+    };
+    if core.distinct {
+        dedupe_rows(&mut out);
+    }
+    Ok((names, out))
+}
+
+/// Single-table core execution with pk-lookup fast path.
+fn exec_core_single_table(
+    db: &Database,
+    core: &SelectCore,
+    order_by: &[OrderTerm],
+    aggregate: bool,
+    env: &EvalEnv<'_>,
+) -> SqlResult<(Vec<String>, KeyedRows)> {
+    let tref = &core.from[0];
+    let table = db.tables.get(&key(&tref.name)).expect("checked by caller");
+    let binding = tref.binding().to_string();
+    let columns = table.schema.column_names();
+
+    // Try to extract a pk equality from the WHERE conjuncts.
+    let pk_rowids: Option<Vec<i64>> = match (&core.where_clause, table.schema.pk_column) {
+        (Some(w), Some(pk_idx)) => {
+            extract_pk_lookup(w, &table.schema.columns[pk_idx].name, env)?
+        }
+        _ => None,
+    };
+
+    let candidate_rows: Vec<&Vec<Value>> = match &pk_rowids {
+        Some(ids) => {
+            db.stats.point_lookups.set(db.stats.point_lookups.get() + 1);
+            ids.iter().filter_map(|id| table.get(*id)).collect()
+        }
+        None => {
+            db.stats.rows_scanned.set(db.stats.rows_scanned.get() + table.len() as u64);
+            table.iter().map(|(_, r)| r).collect()
+        }
+    };
+
+    let mut out = Vec::new();
+    let mut matched_scopes = Vec::new();
+    let mut names: Option<Vec<String>> = None;
+    for row in candidate_rows {
+        let scope = RowScope::single(&binding, columns.clone(), row.clone());
+        let pass = match &core.where_clause {
+            Some(w) => eval(w, &scope, env)?.truthiness() == Some(true),
+            None => true,
+        };
+        if !pass {
+            continue;
+        }
+        if aggregate {
+            matched_scopes.push(scope);
+        } else {
+            let (n, out_row) = project(core, &scope, env)?;
+            let keys = sort_keys(order_by, &scope, &out_row, &n, env)?;
+            if names.is_none() {
+                names = Some(n);
+            }
+            out.push((out_row, keys));
+        }
+    }
+
+    if aggregate {
+        let template =
+            RowScope::single(&binding, columns.clone(), vec![Value::Null; columns.len()]);
+        return grouped_rows(core, order_by, matched_scopes, &template, env);
+    }
+    let names = match names {
+        Some(n) => n,
+        None => {
+            let scope =
+                RowScope::single(&binding, columns.clone(), vec![Value::Null; columns.len()]);
+            project_names(core, &scope)?
+        }
+    };
+    if core.distinct {
+        dedupe_rows(&mut out);
+    }
+    Ok((names, out))
+}
+
+/// Detects `pk = <const>` or `pk IN (<consts>)` conjuncts; returns the
+/// rowids to probe, or `None` when the WHERE is not index-friendly.
+fn extract_pk_lookup(
+    where_clause: &Expr,
+    pk_name: &str,
+    env: &EvalEnv<'_>,
+) -> SqlResult<Option<Vec<i64>>> {
+    for conj in where_clause.conjuncts() {
+        match conj {
+            Expr::Binary(crate::ast::BinOp::Eq, l, r) => {
+                for (col, other) in [(l, r), (r, l)] {
+                    if let Expr::Column { name, .. } = col.as_ref() {
+                        if name.eq_ignore_ascii_case(pk_name) && is_const(other) {
+                            let v = eval(other, &RowScope::empty(), env)?;
+                            return Ok(Some(v.as_integer().map(|i| vec![i]).unwrap_or_default()));
+                        }
+                    }
+                }
+            }
+            Expr::InList { expr, list, negated: false } => {
+                if let Expr::Column { name, .. } = expr.as_ref() {
+                    if name.eq_ignore_ascii_case(pk_name) && list.iter().all(is_const) {
+                        let mut ids = Vec::new();
+                        for item in list {
+                            if let Some(i) =
+                                eval(item, &RowScope::empty(), env)?.as_integer()
+                            {
+                                ids.push(i);
+                            }
+                        }
+                        return Ok(Some(ids));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(None)
+}
+
+/// True when an expression references no columns of the current scope
+/// (parameters and NEW/OLD are constant within one row's evaluation).
+fn is_const(expr: &Expr) -> bool {
+    match expr {
+        Expr::Literal(_) | Expr::Param(_) => true,
+        Expr::Column { table: Some(t), .. } => TriggerCtx::is_pseudo_table(t),
+        Expr::Column { .. } => false,
+        Expr::Unary(_, e) => is_const(e),
+        Expr::Binary(_, l, r) => is_const(l) && is_const(r),
+        _ => false,
+    }
+}
+
+/// Projects one row through the result columns.
+fn project(
+    core: &SelectCore,
+    scope: &RowScope,
+    env: &EvalEnv<'_>,
+) -> SqlResult<(Vec<String>, Vec<Value>)> {
+    let mut names = Vec::new();
+    let mut row = Vec::new();
+    for rc in &core.columns {
+        match rc {
+            ResultColumn::Star => {
+                names.extend(scope.all_columns());
+                row.extend(scope.all_values());
+            }
+            ResultColumn::TableStar(t) => {
+                names.extend(scope.binding_columns(t)?);
+                row.extend(scope.binding_values(t)?);
+            }
+            ResultColumn::Expr { expr, alias } => {
+                names.push(output_name(expr, alias.as_deref()));
+                row.push(eval(expr, scope, env)?);
+            }
+        }
+    }
+    Ok((names, row))
+}
+
+/// Computes just the output column names (for empty results).
+fn project_names(core: &SelectCore, scope: &RowScope) -> SqlResult<Vec<String>> {
+    let mut names = Vec::new();
+    for rc in &core.columns {
+        match rc {
+            ResultColumn::Star => names.extend(scope.all_columns()),
+            ResultColumn::TableStar(t) => names.extend(scope.binding_columns(t)?),
+            ResultColumn::Expr { expr, alias } => names.push(output_name(expr, alias.as_deref())),
+        }
+    }
+    Ok(names)
+}
+
+/// Computes ORDER BY sort keys for one row against its source scope,
+/// falling back to output columns for alias references.
+fn sort_keys(
+    order_by: &[OrderTerm],
+    scope: &RowScope,
+    out_row: &[Value],
+    out_names: &[String],
+    env: &EvalEnv<'_>,
+) -> SqlResult<Option<Vec<Value>>> {
+    if order_by.is_empty() {
+        return Ok(None);
+    }
+    let mut keys = Vec::with_capacity(order_by.len());
+    for term in order_by {
+        // Positional reference?
+        if let Expr::Literal(Value::Integer(k)) = &term.expr {
+            if *k >= 1 && (*k as usize) <= out_row.len() {
+                keys.push(out_row[*k as usize - 1].clone());
+                continue;
+            }
+        }
+        match eval(&term.expr, scope, env) {
+            Ok(v) => keys.push(v),
+            Err(SqlError::NoSuchColumn(_)) => {
+                // Try output aliases.
+                if let Expr::Column { table: None, name } = &term.expr {
+                    if let Some(i) =
+                        out_names.iter().position(|c| c.eq_ignore_ascii_case(name))
+                    {
+                        keys.push(out_row[i].clone());
+                        continue;
+                    }
+                }
+                return Err(SqlError::NoSuchColumn(term.expr.to_string()));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(Some(keys))
+}
+
+
+/// Deduplicates output rows (SELECT DISTINCT), keeping first occurrences.
+fn dedupe_rows(rows: &mut KeyedRows) {
+    let mut seen: std::collections::BTreeSet<Vec<crate::expr::OrdValue>> =
+        std::collections::BTreeSet::new();
+    rows.retain(|(row, _)| {
+        seen.insert(row.iter().cloned().map(crate::expr::OrdValue).collect())
+    });
+}
+
+/// Produces the output rows of an aggregate / GROUP BY core: one row per
+/// group, HAVING-filtered, with ORDER BY keys resolved against the output
+/// columns (the SQL rule for grouped queries).
+fn grouped_rows(
+    core: &SelectCore,
+    order_by: &[OrderTerm],
+    matched: Vec<RowScope>,
+    template: &RowScope,
+    env: &EvalEnv<'_>,
+) -> SqlResult<(Vec<String>, KeyedRows)> {
+    use crate::expr::OrdValue;
+    // Partition into groups by the GROUP BY key (one group when absent).
+    let groups: Vec<Vec<RowScope>> = if core.group_by.is_empty() {
+        vec![matched]
+    } else {
+        let mut map: std::collections::BTreeMap<Vec<OrdValue>, Vec<RowScope>> =
+            std::collections::BTreeMap::new();
+        for scope in matched {
+            let mut key = Vec::with_capacity(core.group_by.len());
+            for e in &core.group_by {
+                key.push(OrdValue(eval(e, &scope, env)?));
+            }
+            map.entry(key).or_default().push(scope);
+        }
+        map.into_values().collect()
+    };
+    let mut names: Option<Vec<String>> = None;
+    let mut rows: KeyedRows = Vec::new();
+    for group in &groups {
+        if let Some(h) = &core.having {
+            let verdict = eval_aggregate(h, group, template, env)?;
+            if verdict.truthiness() != Some(true) {
+                continue;
+            }
+        }
+        let (n, row) = project_aggregate(core, group, template, env)?;
+        let keys = if order_by.is_empty() {
+            None
+        } else {
+            let mut ks = Vec::with_capacity(order_by.len());
+            for term in order_by {
+                let idx = resolve_output_order_term(&term.expr, &n, env)?;
+                ks.push(row[idx].clone());
+            }
+            Some(ks)
+        };
+        if names.is_none() {
+            names = Some(n);
+        }
+        rows.push((row, keys));
+    }
+    // A grouped query over zero groups still needs names; a plain
+    // aggregate over zero rows yields one all-over-nothing row.
+    let names = match names {
+        Some(n) => n,
+        // HAVING filtered everything (or there were no groups): emit no
+        // rows but keep the column names.
+        None => project_names_for_aggregate(core)?,
+    };
+    if core.distinct {
+        dedupe_rows(&mut rows);
+    }
+    Ok((names, rows))
+}
+
+/// Output names for an aggregate core with no groups.
+fn project_names_for_aggregate(core: &SelectCore) -> SqlResult<Vec<String>> {
+    core.columns
+        .iter()
+        .map(|rc| match rc {
+            ResultColumn::Expr { expr, alias } => Ok(output_name(expr, alias.as_deref())),
+            _ => Err(SqlError::Unsupported("* projection mixed with aggregates".into())),
+        })
+        .collect()
+}
+
+/// Projects the single aggregate output row.
+fn project_aggregate(
+    core: &SelectCore,
+    matched: &[RowScope],
+    template: &RowScope,
+    env: &EvalEnv<'_>,
+) -> SqlResult<(Vec<String>, Vec<Value>)> {
+    let mut names = Vec::new();
+    let mut row = Vec::new();
+    for rc in &core.columns {
+        match rc {
+            ResultColumn::Expr { expr, alias } => {
+                names.push(output_name(expr, alias.as_deref()));
+                row.push(eval_aggregate(expr, matched, template, env)?);
+            }
+            _ => {
+                return Err(SqlError::Unsupported(
+                    "* projection mixed with aggregates".into(),
+                ))
+            }
+        }
+    }
+    Ok((names, row))
+}
+
+/// Evaluates an expression in aggregate context: aggregate calls compute
+/// over all matched rows, everything else evaluates against the first
+/// matched row (SQLite's bare-column rule) or NULL when no rows matched.
+fn eval_aggregate(
+    expr: &Expr,
+    matched: &[RowScope],
+    template: &RowScope,
+    env: &EvalEnv<'_>,
+) -> SqlResult<Value> {
+    match expr {
+        Expr::Call { name, args, star } if *star || is_agg_name(name, args.len()) => {
+            match name.as_str() {
+                "count" => {
+                    if *star || args.is_empty() {
+                        Ok(Value::Integer(matched.len() as i64))
+                    } else {
+                        let mut n = 0i64;
+                        for scope in matched {
+                            if !eval(&args[0], scope, env)?.is_null() {
+                                n += 1;
+                            }
+                        }
+                        Ok(Value::Integer(n))
+                    }
+                }
+                "max" | "min" => {
+                    let mut best: Option<Value> = None;
+                    for scope in matched {
+                        let v = eval(&args[0], scope, env)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        best = Some(match best {
+                            None => v,
+                            Some(b) => {
+                                let take = if name == "max" {
+                                    v.total_cmp(&b) == std::cmp::Ordering::Greater
+                                } else {
+                                    v.total_cmp(&b) == std::cmp::Ordering::Less
+                                };
+                                if take {
+                                    v
+                                } else {
+                                    b
+                                }
+                            }
+                        });
+                    }
+                    Ok(best.unwrap_or(Value::Null))
+                }
+                "sum" | "total" | "avg" => {
+                    let mut acc = 0.0f64;
+                    let mut all_int = true;
+                    let mut count = 0i64;
+                    for scope in matched {
+                        let v = eval(&args[0], scope, env)?;
+                        if v.is_null() {
+                            continue;
+                        }
+                        if !matches!(v, Value::Integer(_)) {
+                            all_int = false;
+                        }
+                        acc += v.as_real().unwrap_or(0.0);
+                        count += 1;
+                    }
+                    match name.as_str() {
+                        "sum" if count == 0 => Ok(Value::Null),
+                        "sum" if all_int => Ok(Value::Integer(acc as i64)),
+                        "sum" | "total" => Ok(Value::Real(acc)),
+                        "avg" if count == 0 => Ok(Value::Null),
+                        _ => Ok(Value::Real(acc / count as f64)),
+                    }
+                }
+                other => Err(SqlError::Unsupported(format!("aggregate {other}()"))),
+            }
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = eval_aggregate(l, matched, template, env)?;
+            let rv = eval_aggregate(r, matched, template, env)?;
+            // Re-evaluate as a constant binary over computed values.
+            let synth = Expr::Binary(
+                *op,
+                Box::new(Expr::Literal(lv)),
+                Box::new(Expr::Literal(rv)),
+            );
+            eval(&synth, template, env)
+        }
+        Expr::Unary(op, e) => {
+            let v = eval_aggregate(e, matched, template, env)?;
+            eval(&Expr::Unary(*op, Box::new(Expr::Literal(v))), template, env)
+        }
+        other => {
+            // Bare expression: evaluate on the first matched row.
+            match matched.first() {
+                Some(scope) => eval(other, scope, env),
+                None => Ok(Value::Null),
+            }
+        }
+    }
+}
+
+fn is_agg_name(name: &str, nargs: usize) -> bool {
+    match name {
+        "count" | "sum" | "avg" | "total" => true,
+        "max" | "min" => nargs == 1,
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Mutations.
+// ---------------------------------------------------------------------
+
+fn exec_insert(
+    db: &mut Database,
+    table: &str,
+    columns: &[String],
+    source: &InsertSource,
+    or_replace: bool,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+) -> SqlResult<ExecOutcome> {
+    // Compute the rows to insert first (immutable phase).
+    let value_rows: Vec<Vec<Value>> = {
+        let cache = SubqueryCache::default();
+        let env = EvalEnv { db, params, trigger, cache: &cache, depth: 0 };
+        match source {
+            InsertSource::Values(rows) => {
+                let mut out = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut vals = Vec::with_capacity(row.len());
+                    for e in row {
+                        vals.push(eval(e, &RowScope::empty(), &env)?);
+                    }
+                    out.push(vals);
+                }
+                out
+            }
+            InsertSource::Select(sel) => {
+                exec_select(db, sel, params, trigger, &cache, 0)?.rows
+            }
+        }
+    };
+
+    let tkey = key(table);
+    if db.tables.contains_key(&tkey) {
+        // Map provided columns to schema positions.
+        let (schema_len, col_map): (usize, Vec<usize>) = {
+            let t = db.table(table)?;
+            let map: SqlResult<Vec<usize>> = if columns.is_empty() {
+                Ok((0..t.schema.columns.len()).collect())
+            } else {
+                columns
+                    .iter()
+                    .map(|c| {
+                        t.schema
+                            .column_index(c)
+                            .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
+                    })
+                    .collect()
+            };
+            (t.schema.columns.len(), map?)
+        };
+        let mut last_id = None;
+        let mut affected = 0;
+        for vals in value_rows {
+            if vals.len() != col_map.len() {
+                return Err(SqlError::Parse {
+                    message: format!(
+                        "table {table} has {} target columns but {} values were supplied",
+                        col_map.len(),
+                        vals.len()
+                    ),
+                });
+            }
+            let mut full = vec![Value::Null; schema_len];
+            for (v, idx) in vals.into_iter().zip(&col_map) {
+                full[*idx] = v;
+            }
+            let id = db.table_mut(table)?.insert(full, or_replace)?;
+            last_id = Some(id);
+            affected += 1;
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: last_id });
+    }
+
+    // INSERT into a view: fire its INSTEAD OF INSERT trigger per row.
+    if db.views.contains_key(&tkey) {
+        let (view_cols, body) = {
+            let v = db.view(table)?;
+            let trig = db
+                .trigger_for(table, TriggerEvent::Insert)
+                .ok_or_else(|| SqlError::ViewNotWritable(table.to_string()))?;
+            (v.columns.clone(), trig.body.clone())
+        };
+        let mut affected = 0;
+        for vals in value_rows {
+            let mut new_row = vec![Value::Null; view_cols.len()];
+            if columns.is_empty() {
+                if vals.len() != view_cols.len() {
+                    return Err(SqlError::Parse {
+                        message: format!(
+                            "view {table} has {} columns but {} values were supplied",
+                            view_cols.len(),
+                            vals.len()
+                        ),
+                    });
+                }
+                new_row = vals;
+            } else {
+                for (c, v) in columns.iter().zip(vals) {
+                    let idx = view_cols
+                        .iter()
+                        .position(|vc| vc.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))?;
+                    new_row[idx] = v;
+                }
+            }
+            let ctx =
+                TriggerCtx { columns: view_cols.clone(), new: Some(new_row), old: None };
+            for stmt in &body {
+                exec_stmt(db, stmt, &[], Some(&ctx))?;
+            }
+            affected += 1;
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: None });
+    }
+
+    Err(SqlError::NoSuchTable(table.to_string()))
+}
+
+/// Returns the rows UPDATE/DELETE must consider: a pk point probe when
+/// the WHERE clause pins the primary key, otherwise a full scan.
+fn candidate_rows<'a>(
+    db: &Database,
+    t: &'a crate::table::Table,
+    where_clause: Option<&Expr>,
+    env: &EvalEnv<'_>,
+) -> SqlResult<Vec<(i64, &'a Vec<Value>)>> {
+    if let (Some(w), Some(pk_idx)) = (where_clause, t.schema.pk_column) {
+        if let Some(ids) = extract_pk_lookup(w, &t.schema.columns[pk_idx].name, env)? {
+            db.stats.point_lookups.set(db.stats.point_lookups.get() + 1);
+            return Ok(ids.into_iter().filter_map(|id| t.get(id).map(|r| (id, r))).collect());
+        }
+    }
+    db.stats.rows_scanned.set(db.stats.rows_scanned.get() + t.len() as u64);
+    Ok(t.iter().map(|(id, r)| (*id, r)).collect())
+}
+
+/// Materializes the view rows matching `where_clause` by running a
+/// filtered `SELECT * FROM view WHERE ...` — this lets the planner flatten
+/// UNION ALL views and use pk probes, exactly like SQLite's INSTEAD OF
+/// trigger path. Returns the matching rows in view-column order.
+fn view_rows_matching(
+    db: &Database,
+    view_name: &str,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+) -> SqlResult<Vec<Vec<Value>>> {
+    let filtered = SelectStmt {
+        cores: vec![SelectCore {
+            distinct: false,
+            columns: vec![ResultColumn::Star],
+            from: vec![crate::ast::TableRef { name: view_name.to_string(), alias: None }],
+            where_clause: where_clause.cloned(),
+            group_by: Vec::new(),
+            having: None,
+        }],
+        order_by: Vec::new(),
+        limit: None,
+        offset: None,
+    };
+    let cache = SubqueryCache::default();
+    Ok(exec_select(db, &filtered, params, trigger, &cache, 0)?.rows)
+}
+
+fn exec_update(
+    db: &mut Database,
+    table: &str,
+    sets: &[(String, Expr)],
+    where_clause: Option<&Expr>,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+) -> SqlResult<ExecOutcome> {
+    let tkey = key(table);
+    if db.tables.contains_key(&tkey) {
+        // Phase 1 (immutable): find matching rows and compute new values.
+        let updates: Vec<(i64, Vec<Value>)> = {
+            let cache = SubqueryCache::default();
+            let env = EvalEnv { db, params, trigger, cache: &cache, depth: 0 };
+            let t = db.table(table)?;
+            let cols = t.schema.column_names();
+            let set_idx: SqlResult<Vec<usize>> = sets
+                .iter()
+                .map(|(c, _)| {
+                    t.schema.column_index(c).ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
+                })
+                .collect();
+            let set_idx = set_idx?;
+            let mut ups = Vec::new();
+            let candidates = candidate_rows(db, t, where_clause, &env)?;
+            for (rowid, row) in candidates {
+                let scope = RowScope::single(table, cols.clone(), row.clone());
+                let pass = match where_clause {
+                    Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
+                    None => true,
+                };
+                if !pass {
+                    continue;
+                }
+                let mut new_row = row.clone();
+                for ((_, e), idx) in sets.iter().zip(&set_idx) {
+                    new_row[*idx] = eval(e, &scope, &env)?;
+                }
+                ups.push((rowid, new_row));
+            }
+            ups
+        };
+        let affected = updates.len();
+        let t = db.table_mut(table)?;
+        for (rowid, new_row) in updates {
+            t.update_row(rowid, new_row)?;
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: None });
+    }
+
+    if db.views.contains_key(&tkey) {
+        // INSTEAD OF UPDATE: materialize matching view rows, fire trigger
+        // with OLD = row, NEW = row + sets.
+        let (view_cols, body, matches) = {
+            let v = db.view(table)?;
+            let trig = db
+                .trigger_for(table, TriggerEvent::Update)
+                .ok_or_else(|| SqlError::ViewNotWritable(table.to_string()))?;
+            let rows = view_rows_matching(db, table, where_clause, params, trigger)?;
+            let cache = SubqueryCache::default();
+            let env = EvalEnv { db, params, trigger, cache: &cache, depth: 0 };
+            let mut matched = Vec::new();
+            for row in rows {
+                let scope = RowScope::single(table, v.columns.clone(), row.clone());
+                let mut new_row = row.clone();
+                for (c, e) in sets {
+                    let idx = v
+                        .columns
+                        .iter()
+                        .position(|vc| vc.eq_ignore_ascii_case(c))
+                        .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))?;
+                    new_row[idx] = eval(e, &scope, &env)?;
+                }
+                matched.push((row, new_row));
+            }
+            (v.columns.clone(), trig.body.clone(), matched)
+        };
+        let affected = matches.len();
+        for (old, new) in matches {
+            let ctx = TriggerCtx { columns: view_cols.clone(), new: Some(new), old: Some(old) };
+            for stmt in &body {
+                exec_stmt(db, stmt, &[], Some(&ctx))?;
+            }
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: None });
+    }
+
+    Err(SqlError::NoSuchTable(table.to_string()))
+}
+
+fn exec_delete(
+    db: &mut Database,
+    table: &str,
+    where_clause: Option<&Expr>,
+    params: &[Value],
+    trigger: Option<&TriggerCtx>,
+) -> SqlResult<ExecOutcome> {
+    let tkey = key(table);
+    if db.tables.contains_key(&tkey) {
+        let doomed: Vec<i64> = {
+            let cache = SubqueryCache::default();
+            let env = EvalEnv { db, params, trigger, cache: &cache, depth: 0 };
+            let t = db.table(table)?;
+            let cols = t.schema.column_names();
+            let mut ids = Vec::new();
+            let candidates = candidate_rows(db, t, where_clause, &env)?;
+            for (rowid, row) in candidates {
+                let scope = RowScope::single(table, cols.clone(), row.clone());
+                let pass = match where_clause {
+                    Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
+                    None => true,
+                };
+                if pass {
+                    ids.push(rowid);
+                }
+            }
+            ids
+        };
+        let affected = doomed.len();
+        let t = db.table_mut(table)?;
+        for id in doomed {
+            t.delete_row(id);
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: None });
+    }
+
+    if db.views.contains_key(&tkey) {
+        let (view_cols, body, matches) = {
+            let v = db.view(table)?;
+            let trig = db
+                .trigger_for(table, TriggerEvent::Delete)
+                .ok_or_else(|| SqlError::ViewNotWritable(table.to_string()))?;
+            let matched = view_rows_matching(db, table, where_clause, params, trigger)?;
+            (v.columns.clone(), trig.body.clone(), matched)
+        };
+        let affected = matches.len();
+        for old in matches {
+            let ctx = TriggerCtx { columns: view_cols.clone(), new: None, old: Some(old) };
+            for stmt in &body {
+                exec_stmt(db, stmt, &[], Some(&ctx))?;
+            }
+        }
+        return Ok(ExecOutcome { rows: None, rows_affected: affected, last_insert_id: None });
+    }
+
+    Err(SqlError::NoSuchTable(table.to_string()))
+}

@@ -1,0 +1,435 @@
+//! SQL tokenizer.
+
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (stored uppercased for keywords at parse time;
+    /// the lexer preserves the original spelling).
+    Ident(String),
+    /// A `"quoted"` or `` `quoted` `` identifier (never a keyword).
+    QuotedIdent(String),
+    /// Literal value (integer, real, string, blob).
+    Literal(Value),
+    /// Positional parameter `?` or `?NNN` (1-based index; 0 = next).
+    Param(usize),
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+    /// `,`.
+    Comma,
+    /// `;`.
+    Semicolon,
+    /// `.`.
+    Dot,
+    /// `*`.
+    Star,
+    /// `+`.
+    Plus,
+    /// `-`.
+    Minus,
+    /// `/`.
+    Slash,
+    /// `%`.
+    Percent,
+    /// `||` string concatenation.
+    Concat,
+    /// `=` or `==`.
+    Eq,
+    /// `!=` or `<>`.
+    NotEq,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    LtEq,
+    /// `>`.
+    Gt,
+    /// `>=`.
+    GtEq,
+}
+
+impl Token {
+    /// Returns the identifier text if this token is a plain identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Token::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns true if this is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn lex(sql: &str) -> SqlResult<Vec<Token>> {
+    let bytes = sql.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut next_param = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '-' if bytes.get(i + 1) == Some(&b'-') => {
+                // Line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                // Block comment.
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            offset: start,
+                            message: "unterminated block comment".into(),
+                        });
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '|' if bytes.get(i + 1) == Some(&b'|') => {
+                tokens.push(Token::Concat);
+                i += 2;
+            }
+            '=' => {
+                i += if bytes.get(i + 1) == Some(&b'=') { 2 } else { 1 };
+                tokens.push(Token::Eq);
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '?' => {
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                if i > start {
+                    let idx: usize = sql[start..i].parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: "bad parameter number".into(),
+                    })?;
+                    tokens.push(Token::Param(idx));
+                    next_param = next_param.max(idx + 1);
+                } else {
+                    tokens.push(Token::Param(next_param));
+                    next_param += 1;
+                }
+            }
+            '\'' => {
+                let (text, len) = lex_string(sql, i)?;
+                tokens.push(Token::Literal(Value::Text(text)));
+                i += len;
+            }
+            '"' | '`' => {
+                let quote = c;
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(SqlError::Lex {
+                            offset: start,
+                            message: "unterminated quoted identifier".into(),
+                        });
+                    }
+                    let ch = bytes[i] as char;
+                    if ch == quote {
+                        i += 1;
+                        break;
+                    }
+                    s.push(ch);
+                    i += 1;
+                }
+                tokens.push(Token::QuotedIdent(s));
+            }
+            'x' | 'X' if bytes.get(i + 1) == Some(&b'\'') => {
+                let start = i;
+                i += 2;
+                let hex_start = i;
+                while i < bytes.len() && bytes[i] != b'\'' {
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(SqlError::Lex {
+                        offset: start,
+                        message: "unterminated blob literal".into(),
+                    });
+                }
+                let hex = &sql[hex_start..i];
+                i += 1;
+                if !hex.len().is_multiple_of(2) || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    return Err(SqlError::Lex {
+                        offset: start,
+                        message: "malformed blob literal".into(),
+                    });
+                }
+                let blob: Vec<u8> = (0..hex.len())
+                    .step_by(2)
+                    .map(|k| u8::from_str_radix(&hex[k..k + 2], 16).unwrap_or(0))
+                    .collect();
+                tokens.push(Token::Literal(Value::Blob(blob)));
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let mut is_real = false;
+                if i < bytes.len() && bytes[i] == b'.' {
+                    is_real = true;
+                    i += 1;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                if i < bytes.len() && (bytes[i] == b'e' || bytes[i] == b'E') {
+                    is_real = true;
+                    i += 1;
+                    if i < bytes.len() && (bytes[i] == b'+' || bytes[i] == b'-') {
+                        i += 1;
+                    }
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+                let text = &sql[start..i];
+                let value = if is_real {
+                    Value::Real(text.parse().map_err(|_| SqlError::Lex {
+                        offset: start,
+                        message: format!("bad number {text:?}"),
+                    })?)
+                } else {
+                    match text.parse::<i64>() {
+                        Ok(v) => Value::Integer(v),
+                        Err(_) => Value::Real(text.parse().map_err(|_| SqlError::Lex {
+                            offset: start,
+                            message: format!("bad number {text:?}"),
+                        })?),
+                    }
+                };
+                tokens.push(Token::Literal(value));
+            }
+            _ if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(sql[start..i].to_string()));
+            }
+            _ => {
+                return Err(SqlError::Lex {
+                    offset: i,
+                    message: format!("unexpected character {c:?}"),
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+/// Lexes a single-quoted string starting at `start`; returns the unescaped
+/// text and total consumed length.
+fn lex_string(sql: &str, start: usize) -> SqlResult<(String, usize)> {
+    let bytes = sql.as_bytes();
+    debug_assert_eq!(bytes[start], b'\'');
+    let mut i = start + 1;
+    let mut s = String::new();
+    loop {
+        if i >= bytes.len() {
+            return Err(SqlError::Lex { offset: start, message: "unterminated string".into() });
+        }
+        if bytes[i] == b'\'' {
+            if bytes.get(i + 1) == Some(&b'\'') {
+                s.push('\'');
+                i += 2;
+                continue;
+            }
+            i += 1;
+            break;
+        }
+        // Strings are UTF-8; copy char-wise to stay on boundaries.
+        let ch_len = utf8_len(bytes[i]);
+        s.push_str(&sql[i..i + ch_len]);
+        i += ch_len;
+    }
+    Ok((s, i - start))
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_basic_statement() {
+        let toks = lex("SELECT _id, data FROM tab1 WHERE _id = 3;").unwrap();
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Literal(Value::Integer(3))));
+        assert!(toks.contains(&Token::Semicolon));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = lex("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Literal(Value::Text("it's".into()))]);
+        assert!(lex("'open").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(lex("42").unwrap(), vec![Token::Literal(Value::Integer(42))]);
+        assert_eq!(lex("4.5").unwrap(), vec![Token::Literal(Value::Real(4.5))]);
+        assert_eq!(lex("1e3").unwrap(), vec![Token::Literal(Value::Real(1000.0))]);
+    }
+
+    #[test]
+    fn params_auto_number() {
+        let toks = lex("? ?5 ?").unwrap();
+        assert_eq!(toks, vec![Token::Param(1), Token::Param(5), Token::Param(6)]);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT -- comment\n 1 /* block */ ;").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert!(lex("/* open").is_err());
+    }
+
+    #[test]
+    fn operators() {
+        let toks = lex("<> != <= >= == || <").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::NotEq,
+                Token::NotEq,
+                Token::LtEq,
+                Token::GtEq,
+                Token::Eq,
+                Token::Concat,
+                Token::Lt
+            ]
+        );
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let toks = lex("\"weird name\" `select`").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::QuotedIdent("weird name".into()),
+                Token::QuotedIdent("select".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn blob_literals() {
+        assert_eq!(
+            lex("x'0aff'").unwrap(),
+            vec![Token::Literal(Value::Blob(vec![0x0a, 0xff]))]
+        );
+        assert!(lex("x'0a0'").is_err());
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let toks = lex("'héllo 世界'").unwrap();
+        assert_eq!(toks, vec![Token::Literal(Value::Text("héllo 世界".into()))]);
+    }
+
+    #[test]
+    fn rejects_stray_chars() {
+        assert!(lex("SELECT @x").is_err());
+    }
+}

@@ -1,0 +1,378 @@
+//! Row storage for base tables.
+//!
+//! Every table is keyed by a 64-bit integer rowid held in a `BTreeMap`,
+//! which doubles as the primary-key index. When a column is declared
+//! `INTEGER PRIMARY KEY` it aliases the rowid, exactly like SQLite; tables
+//! without one get a hidden rowid that auto-assigns on insert.
+//!
+//! The COW proxy sets a *primary-key start* on delta tables so that rows a
+//! delegate inserts get ids from a large offset `N` and never collide with
+//! public rows (paper §5.2).
+
+use crate::ast::ColumnDef;
+use crate::error::{SqlError, SqlResult};
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// Schema of a base table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableSchema {
+    /// Table name.
+    pub name: String,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Index of the `INTEGER PRIMARY KEY` column, if declared.
+    pub pk_column: Option<usize>,
+}
+
+impl TableSchema {
+    /// Builds a schema from CREATE TABLE column definitions.
+    pub fn new(name: String, columns: Vec<ColumnDef>) -> SqlResult<Self> {
+        let pks: Vec<usize> = columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.primary_key)
+            .map(|(i, _)| i)
+            .collect();
+        if pks.len() > 1 {
+            return Err(SqlError::Unsupported(format!(
+                "table {name} declares a composite primary key"
+            )));
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for c in &columns {
+            if seen.iter().any(|s| s.eq_ignore_ascii_case(&c.name)) {
+                return Err(SqlError::AlreadyExists(format!("column {} in {name}", c.name)));
+            }
+            seen.push(&c.name);
+        }
+        Ok(TableSchema { name, columns, pk_column: pks.first().copied() })
+    }
+
+    /// Returns the position of a column by (case-insensitive) name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Returns the column names in order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+}
+
+/// A base table: schema plus rows indexed by rowid.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// The table's schema.
+    pub schema: TableSchema,
+    rows: BTreeMap<i64, Vec<Value>>,
+    /// Minimum rowid for auto-assigned keys (the COW proxy's offset `N`).
+    pk_start: i64,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: BTreeMap::new(), pk_start: 1 }
+    }
+
+    /// Sets the first auto-assigned rowid. Used by the COW proxy to start
+    /// delta-table keys at a large offset.
+    pub fn set_pk_start(&mut self, start: i64) {
+        self.pk_start = start;
+    }
+
+    /// Returns the configured auto-assignment start.
+    pub fn pk_start(&self) -> i64 {
+        self.pk_start
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Returns the next rowid that auto-assignment would produce.
+    pub fn next_rowid(&self) -> i64 {
+        match self.rows.keys().next_back() {
+            Some(max) => (*max + 1).max(self.pk_start),
+            None => self.pk_start,
+        }
+    }
+
+    /// Inserts a row given values aligned with the schema columns.
+    ///
+    /// A NULL (or absent) primary key auto-assigns the next rowid. With
+    /// `replace` set, an existing row with the same key is overwritten
+    /// (INSERT OR REPLACE); otherwise a duplicate key is a constraint
+    /// error. Returns the rowid of the inserted row.
+    pub fn insert(&mut self, mut values: Vec<Value>, replace: bool) -> SqlResult<i64> {
+        debug_assert_eq!(values.len(), self.schema.columns.len());
+        // Apply column affinities.
+        for (i, v) in values.iter_mut().enumerate() {
+            let owned = std::mem::replace(v, Value::Null);
+            *v = self.schema.columns[i].affinity.apply(owned);
+        }
+        let rowid = match self.schema.pk_column {
+            Some(pk) => match &values[pk] {
+                Value::Null => {
+                    let id = self.next_rowid();
+                    values[pk] = Value::Integer(id);
+                    id
+                }
+                Value::Integer(i) => *i,
+                other => {
+                    return Err(SqlError::Type(format!(
+                        "primary key of {} must be an integer, got {other:?}",
+                        self.schema.name
+                    )))
+                }
+            },
+            None => self.next_rowid(),
+        };
+        for (i, c) in self.schema.columns.iter().enumerate() {
+            if c.not_null && values[i].is_null() {
+                return Err(SqlError::Type(format!(
+                    "NOT NULL constraint failed: {}.{}",
+                    self.schema.name, c.name
+                )));
+            }
+        }
+        if !replace && self.rows.contains_key(&rowid) {
+            return Err(SqlError::ConstraintPrimaryKey {
+                table: self.schema.name.clone(),
+                key: rowid,
+            });
+        }
+        self.rows.insert(rowid, values);
+        Ok(rowid)
+    }
+
+    /// Point lookup by rowid.
+    pub fn get(&self, rowid: i64) -> Option<&Vec<Value>> {
+        self.rows.get(&rowid)
+    }
+
+    /// Iterates rows in rowid order.
+    pub fn iter(&self) -> impl Iterator<Item = (&i64, &Vec<Value>)> {
+        self.rows.iter()
+    }
+
+    /// Replaces the row at `rowid` (which must exist). If the new values
+    /// change the primary key the row is re-keyed.
+    pub fn update_row(&mut self, rowid: i64, mut values: Vec<Value>) -> SqlResult<()> {
+        for (i, v) in values.iter_mut().enumerate() {
+            let owned = std::mem::replace(v, Value::Null);
+            *v = self.schema.columns[i].affinity.apply(owned);
+        }
+        let new_rowid = match self.schema.pk_column {
+            Some(pk) => match &values[pk] {
+                Value::Integer(i) => *i,
+                Value::Null => {
+                    return Err(SqlError::Type(format!(
+                        "cannot set primary key of {} to NULL",
+                        self.schema.name
+                    )))
+                }
+                other => {
+                    return Err(SqlError::Type(format!(
+                        "primary key of {} must be an integer, got {other:?}",
+                        self.schema.name
+                    )))
+                }
+            },
+            None => rowid,
+        };
+        if new_rowid != rowid {
+            if self.rows.contains_key(&new_rowid) {
+                return Err(SqlError::ConstraintPrimaryKey {
+                    table: self.schema.name.clone(),
+                    key: new_rowid,
+                });
+            }
+            self.rows.remove(&rowid);
+        }
+        self.rows.insert(new_rowid, values);
+        Ok(())
+    }
+
+    /// Deletes a row by rowid; returns true if it existed.
+    pub fn delete_row(&mut self, rowid: i64) -> bool {
+        self.rows.remove(&rowid).is_some()
+    }
+
+    /// Removes all rows.
+    pub fn clear(&mut self) {
+        self.rows.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Affinity;
+
+    fn schema() -> TableSchema {
+        TableSchema::new(
+            "t".into(),
+            vec![
+                ColumnDef {
+                    name: "_id".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: true,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "data".into(),
+                    affinity: Affinity::Text,
+                    primary_key: false,
+                    not_null: false,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn auto_assigns_pk() {
+        let mut t = Table::new(schema());
+        let id1 = t.insert(vec![Value::Null, "a".into()], false).unwrap();
+        let id2 = t.insert(vec![Value::Null, "b".into()], false).unwrap();
+        assert_eq!((id1, id2), (1, 2));
+        assert_eq!(t.get(1).unwrap()[0], Value::Integer(1));
+    }
+
+    #[test]
+    fn pk_start_offsets_new_rows() {
+        let mut t = Table::new(schema());
+        t.set_pk_start(10_000_001);
+        let id = t.insert(vec![Value::Null, "e".into()], false).unwrap();
+        assert_eq!(id, 10_000_001);
+        // Explicit low keys are still allowed (copy-on-write of row 2).
+        let id2 = t.insert(vec![Value::Integer(2), "b".into()], false).unwrap();
+        assert_eq!(id2, 2);
+        // But the next auto key continues above the offset.
+        assert_eq!(t.insert(vec![Value::Null, "f".into()], false).unwrap(), 10_000_002);
+    }
+
+    #[test]
+    fn duplicate_pk_is_constraint_error() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        let err = t.insert(vec![Value::Integer(1), "b".into()], false).unwrap_err();
+        assert!(matches!(err, SqlError::ConstraintPrimaryKey { key: 1, .. }));
+        // OR REPLACE overwrites.
+        t.insert(vec![Value::Integer(1), "b".into()], true).unwrap();
+        assert_eq!(t.get(1).unwrap()[1], Value::Text("b".into()));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn affinity_applied_on_insert() {
+        let mut t = Table::new(schema());
+        let id = t.insert(vec![Value::Text("7".into()), Value::Integer(42)], false).unwrap();
+        assert_eq!(id, 7);
+        assert_eq!(t.get(7).unwrap()[1], Value::Text("42".into()));
+    }
+
+    #[test]
+    fn update_rekeys_on_pk_change() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        t.update_row(1, vec![Value::Integer(5), "a".into()]).unwrap();
+        assert!(t.get(1).is_none());
+        assert_eq!(t.get(5).unwrap()[1], Value::Text("a".into()));
+    }
+
+    #[test]
+    fn not_null_enforced() {
+        let s = TableSchema::new(
+            "t".into(),
+            vec![
+                ColumnDef {
+                    name: "_id".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: true,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "w".into(),
+                    affinity: Affinity::Text,
+                    primary_key: false,
+                    not_null: true,
+                },
+            ],
+        )
+        .unwrap();
+        let mut t = Table::new(s);
+        assert!(t.insert(vec![Value::Null, Value::Null], false).is_err());
+    }
+
+    #[test]
+    fn composite_pk_rejected() {
+        let err = TableSchema::new(
+            "t".into(),
+            vec![
+                ColumnDef {
+                    name: "a".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: true,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "b".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: true,
+                    not_null: false,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported(_)));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = TableSchema::new(
+            "t".into(),
+            vec![
+                ColumnDef {
+                    name: "a".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: false,
+                    not_null: false,
+                },
+                ColumnDef {
+                    name: "A".into(),
+                    affinity: Affinity::Integer,
+                    primary_key: false,
+                    not_null: false,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, SqlError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn hidden_rowid_without_pk() {
+        let s = TableSchema::new(
+            "t".into(),
+            vec![ColumnDef {
+                name: "x".into(),
+                affinity: Affinity::Text,
+                primary_key: false,
+                not_null: false,
+            }],
+        )
+        .unwrap();
+        let mut t = Table::new(s);
+        assert_eq!(t.insert(vec!["a".into()], false).unwrap(), 1);
+        assert_eq!(t.insert(vec!["b".into()], false).unwrap(), 2);
+    }
+}

@@ -1,0 +1,419 @@
+//! Engine-level integration tests: SELECT semantics, joins, aggregates,
+//! NULL handling, views, triggers and planner behaviour through the public
+//! `Database` API.
+
+use maxoid_sqldb::{Database, FlattenPolicy, SqlError, Value};
+
+fn db_with_people() -> Database {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE people (_id INTEGER PRIMARY KEY, name TEXT, age INTEGER, city TEXT);
+         INSERT INTO people (name, age, city) VALUES
+           ('ana', 30, 'austin'), ('bob', 25, 'boston'),
+           ('cat', 35, 'austin'), ('dan', NULL, 'denver');",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn where_with_three_valued_logic() {
+    let db = db_with_people();
+    // dan's NULL age fails both branches of the comparison.
+    let rs = db.query("SELECT name FROM people WHERE age > 26", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    let rs = db.query("SELECT name FROM people WHERE NOT (age > 26)", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 1);
+    // IS NULL picks him up.
+    let rs = db.query("SELECT name FROM people WHERE age IS NULL", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("dan".into())]]);
+    let rs = db.query("SELECT count(*) FROM people WHERE age IS NOT NULL", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+}
+
+#[test]
+fn order_by_variants() {
+    let db = db_with_people();
+    // By name, descending.
+    let rs = db.query("SELECT name FROM people ORDER BY name DESC LIMIT 2", &[]).unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![vec![Value::Text("dan".into())], vec![Value::Text("cat".into())]]
+    );
+    // By unprojected column.
+    let rs = db.query("SELECT name FROM people ORDER BY age DESC LIMIT 1", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("cat".into())]]);
+    // By position.
+    let rs = db.query("SELECT name, age FROM people ORDER BY 2 DESC LIMIT 1", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Text("cat".into()));
+    // NULLs sort first ascending (SQLite behaviour).
+    let rs = db.query("SELECT name FROM people ORDER BY age LIMIT 1", &[]).unwrap();
+    assert_eq!(rs.rows[0][0], Value::Text("dan".into()));
+    // Multi-key sort.
+    let rs = db
+        .query("SELECT name FROM people ORDER BY city, name DESC", &[])
+        .unwrap();
+    let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(names, vec!["cat", "ana", "bob", "dan"]);
+}
+
+#[test]
+fn aggregates() {
+    let db = db_with_people();
+    let rs = db
+        .query("SELECT count(*), count(age), max(age), min(age), sum(age), avg(age) FROM people", &[])
+        .unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Integer(4),
+            Value::Integer(3),
+            Value::Integer(35),
+            Value::Integer(25),
+            Value::Integer(90),
+            Value::Real(30.0),
+        ]
+    );
+    // Aggregates over an empty selection.
+    let rs = db
+        .query("SELECT count(*), max(age), sum(age) FROM people WHERE age > 99", &[])
+        .unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Integer(0), Value::Null, Value::Null]);
+    // Aggregate arithmetic.
+    let rs = db.query("SELECT max(age) - min(age) FROM people", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(10)));
+}
+
+#[test]
+fn joins_with_qualified_columns() {
+    let mut db = db_with_people();
+    db.execute_batch(
+        "CREATE TABLE pets (_id INTEGER PRIMARY KEY, owner_id INTEGER, pet TEXT);
+         INSERT INTO pets (owner_id, pet) VALUES (1, 'rex'), (1, 'tom'), (3, 'blu');",
+    )
+    .unwrap();
+    let rs = db
+        .query(
+            "SELECT p.name, q.pet FROM people p, pets q \
+             WHERE p._id = q.owner_id ORDER BY q.pet",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    assert_eq!(rs.rows[0], vec![Value::Text("cat".into()), Value::Text("blu".into())]);
+    // Unqualified ambiguous column errors.
+    let err = db.query("SELECT _id FROM people p, pets q", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::NoSuchColumn(_)));
+}
+
+#[test]
+fn like_between_in() {
+    let db = db_with_people();
+    let rs = db.query("SELECT name FROM people WHERE name LIKE '%a%' ORDER BY name", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 3); // ana, cat, dan
+    let rs = db
+        .query("SELECT name FROM people WHERE age BETWEEN 25 AND 30 ORDER BY name", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    let rs = db
+        .query("SELECT name FROM people WHERE city IN ('austin', 'denver') ORDER BY name", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 3);
+    let rs = db
+        .query("SELECT name FROM people WHERE city NOT IN ('austin')", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn in_subquery_with_nulls() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE a (_id INTEGER PRIMARY KEY, v INTEGER);
+         CREATE TABLE b (_id INTEGER PRIMARY KEY, v INTEGER);
+         INSERT INTO a (v) VALUES (1), (2), (3);
+         INSERT INTO b (v) VALUES (2), (NULL);",
+    )
+    .unwrap();
+    // x IN (2, NULL): true for 2, NULL (not true) otherwise.
+    let rs = db.query("SELECT v FROM a WHERE v IN (SELECT v FROM b)", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(2)]]);
+    // x NOT IN (2, NULL): never true because of the NULL.
+    let rs = db.query("SELECT v FROM a WHERE v NOT IN (SELECT v FROM b)", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+    // Without the NULL, NOT IN behaves normally.
+    db.execute("DELETE FROM b WHERE v IS NULL", &[]).unwrap();
+    let rs = db.query("SELECT v FROM a WHERE v NOT IN (SELECT v FROM b) ORDER BY v", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(1)], vec![Value::Integer(3)]]);
+}
+
+#[test]
+fn scalar_functions() {
+    let db = Database::new();
+    let rs = db
+        .query(
+            "SELECT length('héllo'), upper('ab'), lower('AB'), abs(-5), \
+             coalesce(NULL, NULL, 7), substr('abcdef', 2, 3), typeof(1.5)",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Integer(5),
+            Value::Text("AB".into()),
+            Value::Text("ab".into()),
+            Value::Integer(5),
+            Value::Integer(7),
+            Value::Text("bcd".into()),
+            Value::Text("real".into()),
+        ]
+    );
+    // Scalar max/min with multiple args vs aggregate forms.
+    let rs = db.query("SELECT max(3, 9, 1), min(3, 9, 1)", &[]).unwrap();
+    assert_eq!(rs.rows[0], vec![Value::Integer(9), Value::Integer(1)]);
+}
+
+#[test]
+fn concat_and_arithmetic() {
+    let db = Database::new();
+    let rs = db.query("SELECT 'a' || 'b' || 1, 7 / 2, 7 % 3, 7.0 / 2, 1 / 0", &[]).unwrap();
+    assert_eq!(
+        rs.rows[0],
+        vec![
+            Value::Text("ab1".into()),
+            Value::Integer(3),
+            Value::Integer(1),
+            Value::Real(3.5),
+            Value::Null,
+        ]
+    );
+}
+
+#[test]
+fn update_with_expressions() {
+    let mut db = db_with_people();
+    let n = db
+        .execute("UPDATE people SET age = age + 1 WHERE city = 'austin'", &[])
+        .unwrap()
+        .rows_affected;
+    assert_eq!(n, 2);
+    let rs = db.query("SELECT age FROM people WHERE name = 'ana'", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(31)]]);
+    // Updating with NULL arithmetic keeps NULL.
+    db.execute("UPDATE people SET age = age + 1", &[]).unwrap();
+    let rs = db.query("SELECT age FROM people WHERE name = 'dan'", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Null]]);
+}
+
+#[test]
+fn insert_select_copies_rows() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE TABLE adults (_id INTEGER PRIMARY KEY, name TEXT);").unwrap();
+    let out = db
+        .execute(
+            "INSERT INTO adults (name) SELECT name FROM people WHERE age >= 30",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(out.rows_affected, 2);
+    let rs = db.query("SELECT count(*) FROM adults", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(2)));
+}
+
+#[test]
+fn view_over_view_and_triggers() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE base (_id INTEGER PRIMARY KEY, v INTEGER, kind TEXT);
+         INSERT INTO base (v, kind) VALUES (1, 'x'), (2, 'y'), (3, 'x');
+         CREATE VIEW xs AS SELECT _id, v FROM base WHERE kind = 'x';
+         CREATE VIEW big_xs AS SELECT _id, v FROM xs WHERE v > 1;",
+    )
+    .unwrap();
+    let rs = db.query("SELECT v FROM big_xs", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(3)]]);
+    // A view without a trigger rejects writes.
+    let err = db.execute("DELETE FROM xs WHERE _id = 1", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::ViewNotWritable(_)));
+    // An INSTEAD OF DELETE trigger makes it writable.
+    db.execute_batch(
+        "CREATE TRIGGER xs_del INSTEAD OF DELETE ON xs BEGIN \
+         DELETE FROM base WHERE _id = OLD._id; END;",
+    )
+    .unwrap();
+    db.execute("DELETE FROM xs WHERE _id = 1", &[]).unwrap();
+    let rs = db.query("SELECT count(*) FROM base", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(2)));
+}
+
+#[test]
+fn trigger_body_with_multiple_statements() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE data (_id INTEGER PRIMARY KEY, v TEXT);
+         CREATE TABLE log (_id INTEGER PRIMARY KEY, what TEXT);
+         CREATE VIEW vw AS SELECT _id, v FROM data;
+         CREATE TRIGGER vw_ins INSTEAD OF INSERT ON vw BEGIN
+           INSERT INTO data (v) VALUES (NEW.v);
+           INSERT INTO log (what) VALUES ('inserted ' || NEW.v);
+         END;",
+    )
+    .unwrap();
+    db.execute("INSERT INTO vw (v) VALUES ('hello')", &[]).unwrap();
+    let rs = db.query("SELECT what FROM log", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("inserted hello".into())]]);
+}
+
+#[test]
+fn cyclic_views_are_rejected_at_query_time() {
+    let mut db = Database::new();
+    db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY);").unwrap();
+    db.execute_batch("CREATE VIEW v1 AS SELECT _id FROM t;").unwrap();
+    // Redefine v1's base out from under it to form a cycle via v2.
+    db.execute_batch("CREATE VIEW v2 AS SELECT _id FROM v1;").unwrap();
+    db.execute_batch("DROP VIEW v1;").unwrap();
+    db.execute_batch("CREATE VIEW v1 AS SELECT _id FROM v2;").unwrap();
+    let err = db.query("SELECT * FROM v1", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::Unsupported(_)));
+}
+
+#[test]
+fn union_all_column_count_mismatch() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE t (_id INTEGER PRIMARY KEY, a TEXT, b TEXT);
+         INSERT INTO t (a, b) VALUES ('x', 'y');",
+    )
+    .unwrap();
+    let err = db.query("SELECT a FROM t UNION ALL SELECT a, b FROM t", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::Parse { .. }));
+    // Matching arity works and stacks rows.
+    let rs = db.query("SELECT a FROM t UNION ALL SELECT b FROM t", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 2);
+}
+
+#[test]
+fn params_by_position_and_number() {
+    let db = db_with_people();
+    let rs = db
+        .query(
+            "SELECT name FROM people WHERE age > ?1 AND city = ?2",
+            &[Value::Integer(20), Value::Text("austin".into())],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    // Missing parameter errors cleanly.
+    let err = db.query("SELECT name FROM people WHERE age > ?", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::MissingParam(1)));
+}
+
+#[test]
+fn point_lookup_fast_path_is_taken() {
+    let db = db_with_people();
+    db.stats.reset();
+    db.query("SELECT name FROM people WHERE _id = 2", &[]).unwrap();
+    assert_eq!(db.stats.point_lookups.get(), 1);
+    assert_eq!(db.stats.rows_scanned.get(), 0);
+    // IN-list of pks also probes.
+    db.stats.reset();
+    let rs = db.query("SELECT name FROM people WHERE _id IN (1, 3)", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(db.stats.point_lookups.get(), 1);
+    // A non-pk filter scans.
+    db.stats.reset();
+    db.query("SELECT name FROM people WHERE age = 30", &[]).unwrap();
+    assert!(db.stats.rows_scanned.get() >= 4);
+}
+
+#[test]
+fn update_delete_fast_path() {
+    let mut db = db_with_people();
+    db.stats.reset();
+    db.execute("UPDATE people SET age = 99 WHERE _id = ?", &[Value::Integer(1)]).unwrap();
+    assert_eq!(db.stats.point_lookups.get(), 1);
+    assert_eq!(db.stats.rows_scanned.get(), 0);
+    db.stats.reset();
+    db.execute("DELETE FROM people WHERE _id = 4", &[]).unwrap();
+    assert_eq!(db.stats.point_lookups.get(), 1);
+    let rs = db.query("SELECT count(*) FROM people", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+}
+
+#[test]
+fn drop_table_and_view_cleanup() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE VIEW v AS SELECT name FROM people;").unwrap();
+    db.execute_batch(
+        "CREATE TRIGGER v_ins INSTEAD OF INSERT ON v BEGIN \
+         INSERT INTO people (name) VALUES (NEW.name); END;",
+    )
+    .unwrap();
+    assert!(db.has_trigger("v_ins"));
+    // Dropping the view drops its triggers.
+    db.execute_batch("DROP VIEW v;").unwrap();
+    assert!(!db.has_trigger("v_ins"));
+    db.execute_batch("DROP TABLE people;").unwrap();
+    assert!(!db.has_table("people"));
+    // IF EXISTS tolerates absence; plain DROP errors.
+    db.execute_batch("DROP TABLE IF EXISTS people;").unwrap();
+    assert!(db.execute_batch("DROP TABLE people;").is_err());
+}
+
+#[test]
+fn empty_results_keep_column_names() {
+    let db = db_with_people();
+    let rs = db.query("SELECT name, age FROM people WHERE _id = 999", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+    assert_eq!(rs.columns, vec!["name", "age"]);
+    let rs = db.query("SELECT * FROM people WHERE 0", &[]).unwrap();
+    assert_eq!(rs.columns, vec!["_id", "name", "age", "city"]);
+}
+
+#[test]
+fn from_less_selects() {
+    let db = Database::new();
+    let rs = db.query("SELECT 1 + 1 AS two, 'x'", &[]).unwrap();
+    assert_eq!(rs.columns[0], "two");
+    assert_eq!(rs.rows, vec![vec![Value::Integer(2), Value::Text("x".into())]]);
+    let rs = db.query("SELECT 1 WHERE 0", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn flattening_policy_counts_match_across_large_table() {
+    // Sanity at scale: the flattened plan touches far fewer rows.
+    let make = |policy| {
+        let mut db = Database::with_policy(policy);
+        db.execute_batch(
+            "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);
+             CREATE TABLE t_delta (_id INTEGER PRIMARY KEY, v TEXT, _whiteout BOOLEAN);",
+        )
+        .unwrap();
+        for i in 0..500 {
+            db.execute("INSERT INTO t (v) VALUES (?)", &[Value::Text(format!("v{i}"))])
+                .unwrap();
+        }
+        db.execute_batch(
+            "CREATE VIEW tv AS SELECT _id, v FROM t \
+             WHERE _id NOT IN (SELECT _id FROM t_delta) \
+             UNION ALL SELECT _id, v FROM t_delta WHERE _whiteout = 0;",
+        )
+        .unwrap();
+        db
+    };
+    let flat = make(FlattenPolicy::Sqlite386);
+    flat.stats.reset();
+    flat.query("SELECT v FROM tv WHERE _id = 250", &[]).unwrap();
+    let flat_scanned = flat.stats.rows_scanned.get();
+
+    let off = make(FlattenPolicy::Off);
+    off.stats.reset();
+    off.query("SELECT v FROM tv WHERE _id = 250", &[]).unwrap();
+    let off_scanned = off.stats.rows_scanned.get();
+
+    assert!(
+        flat_scanned * 10 < off_scanned,
+        "flattened plan should scan far fewer rows: {flat_scanned} vs {off_scanned}"
+    );
+}

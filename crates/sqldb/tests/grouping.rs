@@ -1,0 +1,162 @@
+//! Tests for DISTINCT, GROUP BY / HAVING and LIMIT ... OFFSET.
+
+use maxoid_sqldb::{Database, Value};
+
+fn sales_db() -> Database {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE sales (_id INTEGER PRIMARY KEY, city TEXT, item TEXT, amount INTEGER);
+         INSERT INTO sales (city, item, amount) VALUES
+           ('austin', 'pen',    5),
+           ('austin', 'book',  20),
+           ('boston', 'pen',    7),
+           ('austin', 'pen',    3),
+           ('boston', 'book',  15),
+           ('denver', 'book',  40);",
+    )
+    .unwrap();
+    db
+}
+
+#[test]
+fn distinct_removes_duplicates() {
+    let db = sales_db();
+    let rs = db.query("SELECT DISTINCT city FROM sales ORDER BY city", &[]).unwrap();
+    let cities: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(cities, vec!["austin", "boston", "denver"]);
+    // Multi-column DISTINCT dedupes tuples, not columns.
+    let rs = db
+        .query("SELECT DISTINCT city, item FROM sales ORDER BY city, item", &[])
+        .unwrap();
+    assert_eq!(rs.rows.len(), 5);
+    // Without DISTINCT all six rows come back.
+    let rs = db.query("SELECT city FROM sales", &[]).unwrap();
+    assert_eq!(rs.rows.len(), 6);
+}
+
+#[test]
+fn group_by_with_aggregates() {
+    let db = sales_db();
+    let rs = db
+        .query(
+            "SELECT city, count(*), sum(amount) FROM sales GROUP BY city ORDER BY city",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Text("austin".into()), Value::Integer(3), Value::Integer(28)],
+            vec![Value::Text("boston".into()), Value::Integer(2), Value::Integer(22)],
+            vec![Value::Text("denver".into()), Value::Integer(1), Value::Integer(40)],
+        ]
+    );
+}
+
+#[test]
+fn group_by_multiple_keys() {
+    let db = sales_db();
+    let rs = db
+        .query(
+            "SELECT city, item, sum(amount) AS total FROM sales \
+             GROUP BY city, item ORDER BY total DESC LIMIT 2",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 2);
+    assert_eq!(rs.rows[0][2], Value::Integer(40)); // denver/book
+    assert_eq!(rs.rows[1][2], Value::Integer(20)); // austin/book
+}
+
+#[test]
+fn having_filters_groups() {
+    let db = sales_db();
+    let rs = db
+        .query(
+            "SELECT city, sum(amount) FROM sales GROUP BY city \
+             HAVING sum(amount) > 25 ORDER BY city",
+            &[],
+        )
+        .unwrap();
+    let cities: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(cities, vec!["austin", "denver"]);
+    // HAVING that filters everything keeps the column names.
+    let rs = db
+        .query("SELECT city FROM sales GROUP BY city HAVING count(*) > 99", &[])
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    assert_eq!(rs.columns, vec!["city"]);
+}
+
+#[test]
+fn group_by_over_empty_selection() {
+    let db = sales_db();
+    let rs = db
+        .query("SELECT city, count(*) FROM sales WHERE amount > 999 GROUP BY city", &[])
+        .unwrap();
+    assert!(rs.rows.is_empty());
+    // Plain aggregates (no GROUP BY) still yield their single row.
+    let rs = db.query("SELECT count(*) FROM sales WHERE amount > 999", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(0)));
+}
+
+#[test]
+fn limit_offset_both_forms() {
+    let db = sales_db();
+    // LIMIT n OFFSET m.
+    let rs = db
+        .query("SELECT _id FROM sales ORDER BY _id LIMIT 2 OFFSET 3", &[])
+        .unwrap();
+    let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+    assert_eq!(ids, vec![4, 5]);
+    // SQLite's `LIMIT offset, count` form.
+    let rs = db.query("SELECT _id FROM sales ORDER BY _id LIMIT 3, 2", &[]).unwrap();
+    let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
+    assert_eq!(ids, vec![4, 5]);
+    // Offset past the end yields nothing.
+    let rs = db.query("SELECT _id FROM sales LIMIT 5 OFFSET 100", &[]).unwrap();
+    assert!(rs.rows.is_empty());
+}
+
+#[test]
+fn group_by_through_cow_view_materializes() {
+    // Grouping over a COW view must not be flattened, and must aggregate
+    // the merged rows.
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE t (_id INTEGER PRIMARY KEY, kind TEXT, n INTEGER);
+         CREATE TABLE t_delta (_id INTEGER PRIMARY KEY, kind TEXT, n INTEGER, _whiteout BOOLEAN);
+         INSERT INTO t VALUES (1,'a',10),(2,'a',20),(3,'b',30);
+         INSERT INTO t_delta VALUES (2,'a',99,0),(3,'b',0,1),(10000001,'c',5,0);
+         CREATE VIEW tv AS SELECT _id, kind, n FROM t \
+           WHERE _id NOT IN (SELECT _id FROM t_delta) \
+           UNION ALL SELECT _id, kind, n FROM t_delta WHERE _whiteout = 0;",
+    )
+    .unwrap();
+    db.stats.reset();
+    let rs = db
+        .query("SELECT kind, sum(n) FROM tv GROUP BY kind ORDER BY kind", &[])
+        .unwrap();
+    // Merged view: (1,a,10), (2,a,99), (10000001,c,5); row 3 whited out.
+    assert_eq!(
+        rs.rows,
+        vec![
+            vec![Value::Text("a".into()), Value::Integer(109)],
+            vec![Value::Text("c".into()), Value::Integer(5)],
+        ]
+    );
+    assert_eq!(db.stats.flattened_queries.get(), 0);
+}
+
+#[test]
+fn distinct_interacts_with_union_all() {
+    let db = sales_db();
+    // DISTINCT applies per core; UNION ALL keeps cross-core duplicates.
+    let rs = db
+        .query(
+            "SELECT DISTINCT city FROM sales UNION ALL SELECT DISTINCT city FROM sales",
+            &[],
+        )
+        .unwrap();
+    assert_eq!(rs.rows.len(), 6);
+}

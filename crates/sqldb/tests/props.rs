@@ -1,0 +1,228 @@
+//! Property-based tests for the SQL engine: random mutation sequences
+//! against a map model, and COW-view equivalence under random data.
+
+use maxoid_sqldb::{Database, FlattenPolicy, Value};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(String),
+    InsertWithId(i64, String),
+    Update(i64, String),
+    Delete(i64),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        "[a-z]{1,6}".prop_map(Op::Insert),
+        (1..40i64, "[a-z]{1,6}").prop_map(|(id, v)| Op::InsertWithId(id, v)),
+        (1..40i64, "[a-z]{1,6}").prop_map(|(id, v)| Op::Update(id, v)),
+        (1..40i64).prop_map(Op::Delete),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The table behaves like BTreeMap<i64, String> with max+1 key
+    /// auto-assignment.
+    #[test]
+    fn table_matches_map_model(ops in proptest::collection::vec(op(), 1..40)) {
+        let mut db = Database::new();
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);").unwrap();
+        let mut model: BTreeMap<i64, String> = BTreeMap::new();
+        for o in &ops {
+            match o {
+                Op::Insert(v) => {
+                    let out = db
+                        .execute("INSERT INTO t (v) VALUES (?)", &[Value::Text(v.clone())])
+                        .unwrap();
+                    let id = out.last_insert_id.unwrap();
+                    let expect = model.keys().next_back().map(|k| k + 1).unwrap_or(1).max(1);
+                    prop_assert_eq!(id, expect);
+                    model.insert(id, v.clone());
+                }
+                Op::InsertWithId(id, v) => {
+                    let out = db.execute(
+                        "INSERT INTO t (_id, v) VALUES (?, ?)",
+                        &[Value::Integer(*id), Value::Text(v.clone())],
+                    );
+                    if model.contains_key(id) {
+                        prop_assert!(out.is_err(), "duplicate pk must fail");
+                    } else {
+                        prop_assert!(out.is_ok());
+                        model.insert(*id, v.clone());
+                    }
+                }
+                Op::Update(id, v) => {
+                    let n = db
+                        .execute(
+                            "UPDATE t SET v = ? WHERE _id = ?",
+                            &[Value::Text(v.clone()), Value::Integer(*id)],
+                        )
+                        .unwrap()
+                        .rows_affected;
+                    if let Some(slot) = model.get_mut(id) {
+                        prop_assert_eq!(n, 1);
+                        *slot = v.clone();
+                    } else {
+                        prop_assert_eq!(n, 0);
+                    }
+                }
+                Op::Delete(id) => {
+                    let n = db
+                        .execute("DELETE FROM t WHERE _id = ?", &[Value::Integer(*id)])
+                        .unwrap()
+                        .rows_affected;
+                    prop_assert_eq!(n, usize::from(model.remove(id).is_some()));
+                }
+            }
+        }
+        // Final state equivalence.
+        let rs = db.query("SELECT _id, v FROM t ORDER BY _id", &[]).unwrap();
+        let got: Vec<(i64, String)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_integer().unwrap(), r[1].to_string()))
+            .collect();
+        let want: Vec<(i64, String)> = model.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Every flattening policy computes identical results for point and
+    /// range queries over randomly populated COW-view shapes.
+    #[test]
+    fn flattening_is_semantics_preserving(
+        primary in proptest::collection::btree_map(1..30i64, "[a-z]{1,5}", 1..20),
+        deltas in proptest::collection::btree_map(1..40i64, ("[a-z]{1,5}", any::<bool>()), 0..12),
+        probe in 1..40i64,
+        bound in 1..40i64,
+    ) {
+        let build = |policy| {
+            let mut db = Database::with_policy(policy);
+            db.execute_batch(
+                "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);
+                 CREATE TABLE t_delta (_id INTEGER PRIMARY KEY, v TEXT, _whiteout BOOLEAN);
+                 CREATE VIEW tv AS SELECT _id, v FROM t \
+                 WHERE _id NOT IN (SELECT _id FROM t_delta) \
+                 UNION ALL SELECT _id, v FROM t_delta WHERE _whiteout = 0;",
+            )
+            .unwrap();
+            for (id, v) in &primary {
+                db.execute(
+                    "INSERT INTO t (_id, v) VALUES (?, ?)",
+                    &[Value::Integer(*id), Value::Text(v.clone())],
+                )
+                .unwrap();
+            }
+            for (id, (v, wh)) in &deltas {
+                db.execute(
+                    "INSERT INTO t_delta (_id, v, _whiteout) VALUES (?, ?, ?)",
+                    &[Value::Integer(*id), Value::Text(v.clone()), Value::Integer(*wh as i64)],
+                )
+                .unwrap();
+            }
+            db
+        };
+        let reference = build(FlattenPolicy::Off);
+        for policy in [FlattenPolicy::Sqlite3711, FlattenPolicy::Sqlite386, FlattenPolicy::Always] {
+            let db = build(policy);
+            for sql in [
+                format!("SELECT _id, v FROM tv WHERE _id = {probe}"),
+                format!("SELECT _id, v FROM tv WHERE _id <= {bound} ORDER BY _id"),
+                "SELECT _id, v FROM tv ORDER BY _id".to_string(),
+                format!("SELECT v, _id FROM tv WHERE _id > {bound} ORDER BY _id DESC LIMIT 5"),
+            ] {
+                let want = reference.query(&sql, &[]).unwrap();
+                let got = db.query(&sql, &[]).unwrap();
+                prop_assert_eq!(got.rows, want.rows, "policy {:?}, sql {}", policy, sql);
+            }
+        }
+        // And the view agrees with a hand-computed merge.
+        let mut merged: BTreeMap<i64, String> = primary.clone();
+        for (id, (v, wh)) in &deltas {
+            if *wh {
+                merged.remove(id);
+            } else {
+                merged.insert(*id, v.clone());
+            }
+        }
+        let rs = reference.query("SELECT _id, v FROM tv ORDER BY _id", &[]).unwrap();
+        let got: Vec<(i64, String)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].as_integer().unwrap(), r[1].to_string()))
+            .collect();
+        prop_assert_eq!(got, merged.into_iter().collect::<Vec<_>>());
+    }
+
+    /// ORDER BY through the engine sorts exactly like the model sort.
+    #[test]
+    fn order_by_matches_model(
+        rows in proptest::collection::vec(("[a-z]{1,4}", -50..50i64), 1..25)
+    ) {
+        let mut db = Database::new();
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, name TEXT, score INTEGER);")
+            .unwrap();
+        for (name, score) in &rows {
+            db.execute(
+                "INSERT INTO t (name, score) VALUES (?, ?)",
+                &[Value::Text(name.clone()), Value::Integer(*score)],
+            )
+            .unwrap();
+        }
+        let rs = db
+            .query("SELECT name, score FROM t ORDER BY score DESC, name", &[])
+            .unwrap();
+        let got: Vec<(String, i64)> = rs
+            .rows
+            .iter()
+            .map(|r| (r[0].to_string(), r[1].as_integer().unwrap()))
+            .collect();
+        let mut want = rows.clone();
+        want.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let want: Vec<(String, i64)> = want.into_iter().collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Aggregates match fold-based models, including NULL exclusion.
+    #[test]
+    fn aggregates_match_model(values in proptest::collection::vec(proptest::option::of(-100..100i64), 0..25)) {
+        let mut db = Database::new();
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER);").unwrap();
+        for v in &values {
+            let val = v.map(Value::Integer).unwrap_or(Value::Null);
+            db.execute("INSERT INTO t (v) VALUES (?)", &[val]).unwrap();
+        }
+        let rs = db.query("SELECT count(*), count(v), sum(v), max(v), min(v) FROM t", &[]).unwrap();
+        let present: Vec<i64> = values.iter().flatten().copied().collect();
+        prop_assert_eq!(&rs.rows[0][0], &Value::Integer(values.len() as i64));
+        prop_assert_eq!(&rs.rows[0][1], &Value::Integer(present.len() as i64));
+        let want_sum = if present.is_empty() {
+            Value::Null
+        } else {
+            Value::Integer(present.iter().sum())
+        };
+        prop_assert_eq!(&rs.rows[0][2], &want_sum);
+        let want_max = present.iter().max().map(|v| Value::Integer(*v)).unwrap_or(Value::Null);
+        let want_min = present.iter().min().map(|v| Value::Integer(*v)).unwrap_or(Value::Null);
+        prop_assert_eq!(&rs.rows[0][3], &want_max);
+        prop_assert_eq!(&rs.rows[0][4], &want_min);
+    }
+
+    /// LIKE agrees with a simple regex-free reference matcher.
+    #[test]
+    fn like_matches_reference(text in "[ab_%]{0,8}", pattern in "[ab_%]{0,6}") {
+        fn reference(p: &[u8], t: &[u8]) -> bool {
+            match p.first() {
+                None => t.is_empty(),
+                Some(b'%') => (0..=t.len()).any(|k| reference(&p[1..], &t[k..])),
+                Some(b'_') => !t.is_empty() && reference(&p[1..], &t[1..]),
+                Some(c) => !t.is_empty() && t[0] == *c && reference(&p[1..], &t[1..]),
+            }
+        }
+        let got = maxoid_sqldb::like_match(&pattern, &text);
+        prop_assert_eq!(got, reference(pattern.as_bytes(), text.as_bytes()));
+    }
+}

@@ -1,0 +1,122 @@
+//! Transaction tests: BEGIN/COMMIT/ROLLBACK through SQL and the API.
+
+use maxoid_sqldb::{Database, SqlError, Value};
+
+fn seeded() -> Database {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);
+         INSERT INTO t (v) VALUES ('a'), ('b');",
+    )
+    .unwrap();
+    db
+}
+
+fn count(db: &Database) -> i64 {
+    db.query("SELECT count(*) FROM t", &[])
+        .unwrap()
+        .scalar()
+        .unwrap()
+        .as_integer()
+        .unwrap()
+}
+
+#[test]
+fn commit_keeps_changes() {
+    let mut db = seeded();
+    db.execute_batch("BEGIN; INSERT INTO t (v) VALUES ('c'); COMMIT;").unwrap();
+    assert_eq!(count(&db), 3);
+    assert!(!db.in_transaction());
+}
+
+#[test]
+fn rollback_restores_data_and_schema() {
+    let mut db = seeded();
+    db.execute_batch(
+        "BEGIN TRANSACTION;
+         INSERT INTO t (v) VALUES ('c');
+         UPDATE t SET v = 'zzz' WHERE _id = 1;
+         DELETE FROM t WHERE _id = 2;
+         CREATE TABLE extra (_id INTEGER PRIMARY KEY);
+         CREATE VIEW tv AS SELECT v FROM t;
+         ROLLBACK;",
+    )
+    .unwrap();
+    assert_eq!(count(&db), 2);
+    let rs = db.query("SELECT v FROM t WHERE _id = 1", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("a".into())]]);
+    assert!(!db.has_table("extra"));
+    assert!(!db.has_view("tv"));
+}
+
+#[test]
+fn end_is_commit_alias() {
+    let mut db = seeded();
+    db.execute_batch("BEGIN; DELETE FROM t; END;").unwrap();
+    assert_eq!(count(&db), 0);
+}
+
+#[test]
+fn nested_begin_rejected() {
+    let mut db = seeded();
+    db.execute("BEGIN", &[]).unwrap();
+    let err = db.execute("BEGIN", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::Unsupported(_)));
+    db.execute("ROLLBACK", &[]).unwrap();
+}
+
+#[test]
+fn commit_rollback_without_tx_rejected() {
+    let mut db = seeded();
+    assert!(db.execute("COMMIT", &[]).is_err());
+    assert!(db.execute("ROLLBACK", &[]).is_err());
+}
+
+#[test]
+fn queries_inside_tx_see_uncommitted_writes() {
+    let mut db = seeded();
+    db.execute("BEGIN", &[]).unwrap();
+    db.execute("INSERT INTO t (v) VALUES ('c')", &[]).unwrap();
+    assert_eq!(count(&db), 3);
+    db.execute("ROLLBACK", &[]).unwrap();
+    assert_eq!(count(&db), 2);
+}
+
+#[test]
+fn rollback_restores_auto_increment_state() {
+    let mut db = seeded();
+    db.execute("BEGIN", &[]).unwrap();
+    let id = db
+        .execute("INSERT INTO t (v) VALUES ('c')", &[])
+        .unwrap()
+        .last_insert_id
+        .unwrap();
+    assert_eq!(id, 3);
+    db.execute("ROLLBACK", &[]).unwrap();
+    // After rollback the same id is handed out again (SQLite behaviour
+    // without AUTOINCREMENT).
+    let id = db
+        .execute("INSERT INTO t (v) VALUES ('d')", &[])
+        .unwrap()
+        .last_insert_id
+        .unwrap();
+    assert_eq!(id, 3);
+}
+
+#[test]
+fn trigger_effects_roll_back_too() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE base (_id INTEGER PRIMARY KEY, v TEXT);
+         CREATE TABLE audit (_id INTEGER PRIMARY KEY, what TEXT);
+         CREATE VIEW bv AS SELECT _id, v FROM base;
+         CREATE TRIGGER bv_ins INSTEAD OF INSERT ON bv BEGIN
+           INSERT INTO base (v) VALUES (NEW.v);
+           INSERT INTO audit (what) VALUES (NEW.v);
+         END;",
+    )
+    .unwrap();
+    db.execute_batch("BEGIN; INSERT INTO bv (v) VALUES ('x'); ROLLBACK;").unwrap();
+    let n = db.query("SELECT count(*) FROM audit", &[]).unwrap();
+    assert_eq!(n.scalar(), Some(&Value::Integer(0)));
+}

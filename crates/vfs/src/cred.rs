@@ -1,0 +1,133 @@
+//! Credentials and permission bits.
+//!
+//! Android assigns every installed app a dedicated Unix UID; the VFS checks
+//! accesses against a simplified mode model (owner and world read/write
+//! bits). This is the mechanism Maxoid relies on to keep `Priv(A)` private:
+//! files under an app's internal data directory are owned by the app's UID
+//! with no world bits set.
+
+/// A Unix-style user id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Uid(pub u32);
+
+impl Uid {
+    /// The superuser id; bypasses all permission checks.
+    pub const ROOT: Uid = Uid(0);
+
+    /// The system server uid (Android's `system`, 1000).
+    pub const SYSTEM: Uid = Uid(1000);
+
+    /// The first uid assigned to installed apps (Android's
+    /// `FIRST_APPLICATION_UID`).
+    pub const FIRST_APP: u32 = 10_000;
+
+    /// Returns true for the superuser.
+    pub fn is_root(self) -> bool {
+        self == Uid::ROOT
+    }
+}
+
+/// Simplified permission bits for a node.
+///
+/// Only owner and world read/write are modelled; Android's app sandboxes
+/// never rely on the group triad for the state Maxoid cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mode {
+    /// Owner may read.
+    pub owner_read: bool,
+    /// Owner may write.
+    pub owner_write: bool,
+    /// Any uid may read.
+    pub world_read: bool,
+    /// Any uid may write.
+    pub world_write: bool,
+}
+
+impl Mode {
+    /// Owner read/write only (`0600`/`0700`) — app-private data.
+    pub const PRIVATE: Mode = Mode {
+        owner_read: true,
+        owner_write: true,
+        world_read: false,
+        world_write: false,
+    };
+
+    /// Owner read/write, world read (`0644`) — world-readable files like
+    /// Google Drive's disclosed cache entries.
+    pub const WORLD_READABLE: Mode = Mode {
+        owner_read: true,
+        owner_write: true,
+        world_read: true,
+        world_write: false,
+    };
+
+    /// World read/write (`0666`/`0777`) — external storage semantics.
+    pub const PUBLIC: Mode = Mode {
+        owner_read: true,
+        owner_write: true,
+        world_read: true,
+        world_write: true,
+    };
+
+    /// Returns true if `uid` may read under this mode for a node owned by
+    /// `owner`.
+    pub fn allows_read(self, owner: Uid, uid: Uid) -> bool {
+        uid.is_root() || self.world_read || (uid == owner && self.owner_read)
+    }
+
+    /// Returns true if `uid` may write under this mode for a node owned by
+    /// `owner`.
+    pub fn allows_write(self, owner: Uid, uid: Uid) -> bool {
+        uid.is_root() || self.world_write || (uid == owner && self.owner_write)
+    }
+}
+
+/// The credentials a VFS operation runs with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cred {
+    /// The effective uid of the calling process.
+    pub uid: Uid,
+}
+
+impl Cred {
+    /// Credentials for the superuser.
+    pub const ROOT: Cred = Cred { uid: Uid::ROOT };
+
+    /// Credentials for the system server.
+    pub const SYSTEM: Cred = Cred { uid: Uid::SYSTEM };
+
+    /// Creates credentials for an arbitrary uid.
+    pub fn new(uid: Uid) -> Self {
+        Cred { uid }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn private_mode_excludes_others() {
+        let owner = Uid(10_001);
+        let other = Uid(10_002);
+        assert!(Mode::PRIVATE.allows_read(owner, owner));
+        assert!(!Mode::PRIVATE.allows_read(owner, other));
+        assert!(Mode::PRIVATE.allows_read(owner, Uid::ROOT));
+        assert!(!Mode::PRIVATE.allows_write(owner, other));
+    }
+
+    #[test]
+    fn world_readable_mode() {
+        let owner = Uid(10_001);
+        let other = Uid(10_002);
+        assert!(Mode::WORLD_READABLE.allows_read(owner, other));
+        assert!(!Mode::WORLD_READABLE.allows_write(owner, other));
+    }
+
+    #[test]
+    fn public_mode_allows_all() {
+        let owner = Uid(10_001);
+        let other = Uid(10_002);
+        assert!(Mode::PUBLIC.allows_write(owner, other));
+    }
+}

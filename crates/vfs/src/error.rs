@@ -1,0 +1,79 @@
+//! Error type for VFS operations, modelled after POSIX errno values.
+
+use std::fmt;
+
+/// Errors returned by VFS operations.
+///
+/// The variants mirror the POSIX errno values an Android app would observe
+/// from the kernel, because Maxoid's transparency argument (U3) depends on
+/// confined apps seeing exactly the error surface they would see on stock
+/// Android.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VfsError {
+    /// `ENOENT`: the path (or one of its ancestors) does not exist.
+    NotFound,
+    /// `EACCES`: the caller lacks permission for the requested access.
+    PermissionDenied,
+    /// `EEXIST`: the target already exists.
+    AlreadyExists,
+    /// `ENOTDIR`: a non-directory was used where a directory was required.
+    NotADirectory,
+    /// `EISDIR`: a directory was used where a file was required.
+    IsADirectory,
+    /// `ENOTEMPTY`: attempted to remove a non-empty directory.
+    NotEmpty,
+    /// `EROFS`: attempted to write through a read-only mount or branch.
+    ReadOnly,
+    /// `EBADF`: the file handle is stale or was opened without the
+    /// requested access mode.
+    BadHandle,
+    /// `EXDEV`: a rename crossed a mount boundary.
+    CrossDevice,
+    /// `EINVAL`: the argument is malformed (e.g. a relative path where an
+    /// absolute one is required).
+    InvalidArgument,
+    /// `ENAMETOOLONG`: a path component exceeds the component length limit.
+    NameTooLong,
+}
+
+impl VfsError {
+    /// Returns the conventional errno name for this error.
+    pub fn errno_name(self) -> &'static str {
+        match self {
+            VfsError::NotFound => "ENOENT",
+            VfsError::PermissionDenied => "EACCES",
+            VfsError::AlreadyExists => "EEXIST",
+            VfsError::NotADirectory => "ENOTDIR",
+            VfsError::IsADirectory => "EISDIR",
+            VfsError::NotEmpty => "ENOTEMPTY",
+            VfsError::ReadOnly => "EROFS",
+            VfsError::BadHandle => "EBADF",
+            VfsError::CrossDevice => "EXDEV",
+            VfsError::InvalidArgument => "EINVAL",
+            VfsError::NameTooLong => "ENAMETOOLONG",
+        }
+    }
+}
+
+impl fmt::Display for VfsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.errno_name())
+    }
+}
+
+impl std::error::Error for VfsError {}
+
+/// Result alias used throughout the VFS.
+pub type VfsResult<T> = Result<T, VfsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errno_names_are_posix() {
+        assert_eq!(VfsError::NotFound.errno_name(), "ENOENT");
+        assert_eq!(VfsError::ReadOnly.errno_name(), "EROFS");
+        assert_eq!(format!("{}", VfsError::PermissionDenied), "EACCES");
+    }
+}

@@ -1,0 +1,199 @@
+//! Mount namespaces: the per-process view-selection mechanism.
+//!
+//! Maxoid gives every app process a private Linux mount namespace (via
+//! `unshare()` in Zygote) and mounts a different set of branches depending
+//! on whether the process runs as an initiator or a delegate (§4.2,
+//! Table 2). Here a [`MountNamespace`] is an ordered set of mount points;
+//! path resolution picks the deepest mount whose point is a prefix of the
+//! requested path, exactly like the kernel's mount table.
+//!
+//! Crucially, an app can only reach backing-store data through its
+//! namespace: host paths that no mount exposes are unreachable, which is
+//! how branch directories stay "accessible only to root".
+
+use crate::cred::Mode;
+use crate::error::{VfsError, VfsResult};
+use crate::path::VPath;
+use crate::union::Union;
+
+/// What backs a mount point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MountKind {
+    /// A plain bind of a backing-store directory (single branch, no COW).
+    Bind {
+        /// Host directory backing this mount.
+        host: VPath,
+        /// When set, all writes through the mount fail with `EROFS`.
+        read_only: bool,
+    },
+    /// An Aufs-style union of branches.
+    Union(Union),
+}
+
+/// A mounted filesystem visible at `point` inside a namespace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mount {
+    /// The path inside the namespace where this mount appears.
+    pub point: VPath,
+    /// The backing filesystem.
+    pub kind: MountKind,
+    /// When set, files created through this mount get this mode regardless
+    /// of what the caller asked for. Used to model external storage (FAT),
+    /// where everything is world-accessible.
+    pub forced_mode: Option<Mode>,
+}
+
+impl Mount {
+    /// Creates a read-write bind mount.
+    pub fn bind(point: VPath, host: VPath) -> Self {
+        Mount { point, kind: MountKind::Bind { host, read_only: false }, forced_mode: None }
+    }
+
+    /// Creates a read-only bind mount.
+    pub fn bind_ro(point: VPath, host: VPath) -> Self {
+        Mount { point, kind: MountKind::Bind { host, read_only: true }, forced_mode: None }
+    }
+
+    /// Creates a union mount.
+    pub fn union(point: VPath, union: Union) -> Self {
+        Mount { point, kind: MountKind::Union(union), forced_mode: None }
+    }
+
+    /// Sets the forced creation mode (builder style).
+    pub fn with_forced_mode(mut self, mode: Mode) -> Self {
+        self.forced_mode = Some(mode);
+        self
+    }
+}
+
+/// A per-process mount table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MountNamespace {
+    mounts: Vec<Mount>,
+}
+
+impl MountNamespace {
+    /// Creates an empty namespace (nothing is reachable).
+    pub fn new() -> Self {
+        MountNamespace::default()
+    }
+
+    /// Adds a mount; deeper mounts shadow shallower ones for their subtree.
+    ///
+    /// Mounting twice at the same point replaces the previous mount, like
+    /// remounting over it.
+    pub fn add(&mut self, mount: Mount) {
+        self.mounts.retain(|m| m.point != mount.point);
+        self.mounts.push(mount);
+        // Keep sorted by depth descending so resolution can take the first
+        // prefix match.
+        self.mounts.sort_by_key(|m| std::cmp::Reverse(m.point.depth()));
+    }
+
+    /// Removes the mount at `point`, if any.
+    pub fn remove(&mut self, point: &VPath) -> bool {
+        let before = self.mounts.len();
+        self.mounts.retain(|m| &m.point != point);
+        self.mounts.len() != before
+    }
+
+    /// Returns all mounts, deepest first.
+    pub fn mounts(&self) -> &[Mount] {
+        &self.mounts
+    }
+
+    /// Resolves a namespace path to its governing mount and the path
+    /// relative to the mount point (empty string for the point itself).
+    pub fn resolve<'a>(&'a self, path: &VPath) -> VfsResult<(&'a Mount, String)> {
+        for m in &self.mounts {
+            if path.starts_with(&m.point) {
+                let rel = path
+                    .strip_prefix(&m.point)
+                    .expect("starts_with implies strip_prefix succeeds")
+                    .to_string();
+                return Ok((m, rel));
+            }
+        }
+        Err(VfsError::NotFound)
+    }
+
+    /// Returns the mount points that are direct or indirect children of
+    /// `path` (used so `read_dir` can surface nested mount points).
+    pub fn child_mount_names(&self, path: &VPath) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .mounts
+            .iter()
+            .filter(|m| m.point.starts_with(path) && &m.point != path)
+            .filter_map(|m| {
+                m.point
+                    .strip_prefix(path)
+                    .map(|rest| rest.split('/').next().unwrap_or("").to_string())
+            })
+            .filter(|n| !n.is_empty())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::vpath;
+    use crate::union::{Branch, Union};
+
+    #[test]
+    fn deepest_mount_wins() {
+        let mut ns = MountNamespace::new();
+        ns.add(Mount::bind(vpath("/sdcard"), vpath("/back/pub")));
+        ns.add(Mount::bind(vpath("/sdcard/data/A"), vpath("/back/A")));
+        let (m, rel) = ns.resolve(&vpath("/sdcard/data/A/f")).unwrap();
+        assert_eq!(m.point, vpath("/sdcard/data/A"));
+        assert_eq!(rel, "f");
+        let (m, rel) = ns.resolve(&vpath("/sdcard/data/B/f")).unwrap();
+        assert_eq!(m.point, vpath("/sdcard"));
+        assert_eq!(rel, "data/B/f");
+    }
+
+    #[test]
+    fn unmounted_paths_are_unreachable() {
+        let ns = MountNamespace::new();
+        assert_eq!(ns.resolve(&vpath("/anything")).err(), Some(VfsError::NotFound));
+    }
+
+    #[test]
+    fn remount_replaces() {
+        let mut ns = MountNamespace::new();
+        ns.add(Mount::bind(vpath("/p"), vpath("/h1")));
+        ns.add(Mount::bind_ro(vpath("/p"), vpath("/h2")));
+        assert_eq!(ns.mounts().len(), 1);
+        let (m, _) = ns.resolve(&vpath("/p/x")).unwrap();
+        assert_eq!(m.kind, MountKind::Bind { host: vpath("/h2"), read_only: true });
+        assert!(ns.remove(&vpath("/p")));
+        assert!(!ns.remove(&vpath("/p")));
+    }
+
+    #[test]
+    fn child_mounts_enumerated() {
+        let mut ns = MountNamespace::new();
+        ns.add(Mount::bind(vpath("/sdcard"), vpath("/pub")));
+        ns.add(Mount::bind(vpath("/sdcard/data/A"), vpath("/a")));
+        ns.add(Mount::bind(vpath("/sdcard/tmp"), vpath("/t")));
+        assert_eq!(
+            ns.child_mount_names(&vpath("/sdcard")),
+            vec!["data".to_string(), "tmp".to_string()]
+        );
+        assert!(ns.child_mount_names(&vpath("/sdcard/data/A")).is_empty());
+    }
+
+    #[test]
+    fn union_mount_resolves() {
+        let mut ns = MountNamespace::new();
+        let u = Union::new(vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))], false);
+        ns.add(Mount::union(vpath("/m"), u));
+        let (m, rel) = ns.resolve(&vpath("/m/a/b")).unwrap();
+        assert!(matches!(m.kind, MountKind::Union(_)));
+        assert_eq!(rel, "a/b");
+    }
+}

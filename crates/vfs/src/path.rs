@@ -1,0 +1,274 @@
+//! Normalized absolute path type used by the VFS.
+//!
+//! All paths in the VFS are absolute and stored in normalized form: no `.`
+//! or `..` components, no repeated or trailing slashes. Normalization at
+//! construction time means path comparison, prefix matching (used for mount
+//! resolution), and component iteration are all simple and allocation-free.
+
+use crate::error::{VfsError, VfsResult};
+use std::fmt;
+
+/// Maximum length of a single path component, mirroring `NAME_MAX`.
+pub const NAME_MAX: usize = 255;
+
+/// A normalized absolute path.
+///
+/// `VPath` is the only path representation accepted by VFS entry points.
+/// Construct one with [`VPath::new`], which rejects relative paths and
+/// resolves `.` and `..` lexically (the VFS has no symlinks, so lexical
+/// resolution is exact).
+///
+/// # Examples
+///
+/// ```
+/// use maxoid_vfs::VPath;
+/// let p = VPath::new("/storage/sdcard/../sdcard/data//A/").unwrap();
+/// assert_eq!(p.as_str(), "/storage/sdcard/data/A");
+/// assert!(p.starts_with(&VPath::new("/storage/sdcard").unwrap()));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VPath(String);
+
+impl VPath {
+    /// Creates a normalized absolute path.
+    ///
+    /// Returns [`VfsError::InvalidArgument`] for relative paths or paths
+    /// that escape the root via `..`, and [`VfsError::NameTooLong`] when a
+    /// component exceeds [`NAME_MAX`].
+    pub fn new(raw: &str) -> VfsResult<Self> {
+        if !raw.starts_with('/') {
+            return Err(VfsError::InvalidArgument);
+        }
+        let mut parts: Vec<&str> = Vec::new();
+        for comp in raw.split('/') {
+            match comp {
+                "" | "." => {}
+                ".." => {
+                    if parts.pop().is_none() {
+                        return Err(VfsError::InvalidArgument);
+                    }
+                }
+                name => {
+                    if name.len() > NAME_MAX {
+                        return Err(VfsError::NameTooLong);
+                    }
+                    parts.push(name);
+                }
+            }
+        }
+        let mut s = String::with_capacity(raw.len());
+        for p in &parts {
+            s.push('/');
+            s.push_str(p);
+        }
+        if s.is_empty() {
+            s.push('/');
+        }
+        Ok(VPath(s))
+    }
+
+    /// Returns the root path `/`.
+    pub fn root() -> Self {
+        VPath("/".to_string())
+    }
+
+    /// Returns the path as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Returns true if this is the root path.
+    pub fn is_root(&self) -> bool {
+        self.0 == "/"
+    }
+
+    /// Iterates over the path components (excluding the root).
+    pub fn components(&self) -> impl Iterator<Item = &str> {
+        self.0.split('/').filter(|c| !c.is_empty())
+    }
+
+    /// Returns the number of components.
+    pub fn depth(&self) -> usize {
+        self.components().count()
+    }
+
+    /// Returns the final component, or `None` for the root.
+    pub fn file_name(&self) -> Option<&str> {
+        if self.is_root() {
+            None
+        } else {
+            self.0.rsplit('/').next()
+        }
+    }
+
+    /// Returns the parent path, or `None` for the root.
+    pub fn parent(&self) -> Option<VPath> {
+        if self.is_root() {
+            return None;
+        }
+        match self.0.rfind('/') {
+            Some(0) => Some(VPath::root()),
+            Some(idx) => Some(VPath(self.0[..idx].to_string())),
+            None => None,
+        }
+    }
+
+    /// Appends a single component or a relative multi-component suffix.
+    ///
+    /// Returns [`VfsError::InvalidArgument`] if `comp` contains `.`/`..`
+    /// components or is absolute.
+    pub fn join(&self, comp: &str) -> VfsResult<VPath> {
+        if comp.is_empty() || comp.starts_with('/') {
+            return Err(VfsError::InvalidArgument);
+        }
+        let mut s = if self.is_root() { String::new() } else { self.0.clone() };
+        for part in comp.split('/') {
+            if part.is_empty() || part == "." || part == ".." {
+                return Err(VfsError::InvalidArgument);
+            }
+            if part.len() > NAME_MAX {
+                return Err(VfsError::NameTooLong);
+            }
+            s.push('/');
+            s.push_str(part);
+        }
+        Ok(VPath(s))
+    }
+
+    /// Returns true if `self` equals `prefix` or is beneath it.
+    pub fn starts_with(&self, prefix: &VPath) -> bool {
+        if prefix.is_root() {
+            return true;
+        }
+        self.0 == prefix.0
+            || (self.0.starts_with(&prefix.0)
+                && self.0.as_bytes().get(prefix.0.len()) == Some(&b'/'))
+    }
+
+    /// Returns the part of `self` below `prefix` as a relative string.
+    ///
+    /// Returns `None` when `self` is not under `prefix`. For `self ==
+    /// prefix` the result is the empty string.
+    pub fn strip_prefix(&self, prefix: &VPath) -> Option<&str> {
+        if !self.starts_with(prefix) {
+            return None;
+        }
+        if prefix.is_root() {
+            return Some(self.0.trim_start_matches('/'));
+        }
+        let rest = &self.0[prefix.0.len()..];
+        Some(rest.trim_start_matches('/'))
+    }
+
+    /// Rebases `self` from `from` onto `onto`.
+    ///
+    /// For example, rebasing `/sdcard/data/f` from `/sdcard` onto
+    /// `/branches/tmp` yields `/branches/tmp/data/f`. Returns `None` when
+    /// `self` is not under `from`.
+    pub fn rebase(&self, from: &VPath, onto: &VPath) -> Option<VPath> {
+        let rest = self.strip_prefix(from)?;
+        if rest.is_empty() {
+            Some(onto.clone())
+        } else {
+            onto.join(rest).ok()
+        }
+    }
+}
+
+impl fmt::Display for VPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for VPath {
+    type Err = VfsError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        VPath::new(s)
+    }
+}
+
+/// Convenience constructor that panics on malformed paths.
+///
+/// Intended for statically known paths in tests, examples and internal
+/// constants.
+///
+/// # Panics
+///
+/// Panics when `raw` is not a valid absolute path.
+pub fn vpath(raw: &str) -> VPath {
+    VPath::new(raw).unwrap_or_else(|e| panic!("invalid static path {raw:?}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_dots_and_slashes() {
+        assert_eq!(VPath::new("/a/./b//c/").unwrap().as_str(), "/a/b/c");
+        assert_eq!(VPath::new("/a/b/../c").unwrap().as_str(), "/a/c");
+        assert_eq!(VPath::new("/").unwrap().as_str(), "/");
+        assert_eq!(VPath::new("/..//").err(), Some(VfsError::InvalidArgument));
+    }
+
+    #[test]
+    fn rejects_relative() {
+        assert_eq!(VPath::new("a/b").err(), Some(VfsError::InvalidArgument));
+        assert_eq!(VPath::new("").err(), Some(VfsError::InvalidArgument));
+    }
+
+    #[test]
+    fn parent_and_file_name() {
+        let p = vpath("/a/b/c");
+        assert_eq!(p.file_name(), Some("c"));
+        assert_eq!(p.parent().unwrap().as_str(), "/a/b");
+        assert_eq!(vpath("/a").parent().unwrap().as_str(), "/");
+        assert!(VPath::root().parent().is_none());
+        assert!(VPath::root().file_name().is_none());
+    }
+
+    #[test]
+    fn join_multi_component() {
+        let p = vpath("/data").join("data/com.app").unwrap();
+        assert_eq!(p.as_str(), "/data/data/com.app");
+        assert!(vpath("/data").join("../etc").is_err());
+        assert!(vpath("/data").join("/abs").is_err());
+        assert!(vpath("/data").join("").is_err());
+    }
+
+    #[test]
+    fn prefix_matching_is_component_wise() {
+        let sdcard = vpath("/storage/sdcard");
+        assert!(vpath("/storage/sdcard/x").starts_with(&sdcard));
+        assert!(vpath("/storage/sdcard").starts_with(&sdcard));
+        assert!(!vpath("/storage/sdcard2/x").starts_with(&sdcard));
+        assert!(vpath("/anything").starts_with(&VPath::root()));
+    }
+
+    #[test]
+    fn strip_and_rebase() {
+        let p = vpath("/sdcard/data/A/f.txt");
+        assert_eq!(p.strip_prefix(&vpath("/sdcard")), Some("data/A/f.txt"));
+        assert_eq!(p.strip_prefix(&vpath("/other")), None);
+        let rebased = p.rebase(&vpath("/sdcard"), &vpath("/branches/tmp")).unwrap();
+        assert_eq!(rebased.as_str(), "/branches/tmp/data/A/f.txt");
+        let same = vpath("/sdcard").rebase(&vpath("/sdcard"), &vpath("/b")).unwrap();
+        assert_eq!(same.as_str(), "/b");
+        assert_eq!(p.strip_prefix(&VPath::root()), Some("sdcard/data/A/f.txt"));
+    }
+
+    #[test]
+    fn component_limits() {
+        let long = "x".repeat(NAME_MAX + 1);
+        assert_eq!(VPath::new(&format!("/{long}")).err(), Some(VfsError::NameTooLong));
+        assert_eq!(vpath("/a").join(&long).err(), Some(VfsError::NameTooLong));
+    }
+
+    #[test]
+    fn depth_counts_components() {
+        assert_eq!(VPath::root().depth(), 0);
+        assert_eq!(vpath("/a/b/c").depth(), 3);
+    }
+}

@@ -1,0 +1,588 @@
+//! The backing store: a single in-memory inode tree playing the role of the
+//! device's flash storage.
+//!
+//! The store knows nothing about mounts, namespaces, or union views — it is
+//! the "raw disk" that branches and bind mounts reference by *host path*.
+//! All higher-level policy (Maxoid views, permissions at the app-facing
+//! layer) is built on top in [`crate::union`] and [`crate::fs`].
+
+use crate::cred::{Mode, Uid};
+use crate::error::{VfsError, VfsResult};
+use crate::path::VPath;
+use std::collections::BTreeMap;
+
+/// Identifier of an inode within the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InodeId(pub u64);
+
+/// Metadata common to files and directories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metadata {
+    /// Owning uid.
+    pub owner: Uid,
+    /// Permission bits.
+    pub mode: Mode,
+    /// Logical modification counter (monotonic store-wide clock).
+    pub mtime: u64,
+    /// Size in bytes (0 for directories).
+    pub size: u64,
+    /// True when the node is a directory.
+    pub is_dir: bool,
+}
+
+/// A node in the backing store.
+#[derive(Debug, Clone)]
+pub enum Inode {
+    /// A regular file with its contents.
+    File {
+        /// File bytes.
+        data: Vec<u8>,
+        /// Owner uid.
+        owner: Uid,
+        /// Permission bits.
+        mode: Mode,
+        /// Logical mtime.
+        mtime: u64,
+    },
+    /// A directory mapping names to child inodes.
+    Dir {
+        /// Sorted child map.
+        entries: BTreeMap<String, InodeId>,
+        /// Owner uid.
+        owner: Uid,
+        /// Permission bits.
+        mode: Mode,
+        /// Logical mtime.
+        mtime: u64,
+    },
+}
+
+impl Inode {
+    fn meta(&self) -> Metadata {
+        match self {
+            Inode::File { data, owner, mode, mtime } => Metadata {
+                owner: *owner,
+                mode: *mode,
+                mtime: *mtime,
+                size: data.len() as u64,
+                is_dir: false,
+            },
+            Inode::Dir { owner, mode, mtime, .. } => Metadata {
+                owner: *owner,
+                mode: *mode,
+                mtime: *mtime,
+                size: 0,
+                is_dir: true,
+            },
+        }
+    }
+}
+
+/// A directory entry returned by [`Store::read_dir`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Entry name within its directory.
+    pub name: String,
+    /// True when the entry is a directory.
+    pub is_dir: bool,
+}
+
+/// The in-memory backing store.
+///
+/// Host paths are plain [`VPath`]s resolved from the store root; the store
+/// performs **no permission checks** — it is below the layer where Android
+/// UIDs matter. Callers that need checks use [`crate::fs::Vfs`].
+#[derive(Debug)]
+pub struct Store {
+    inodes: Vec<Option<Inode>>,
+    free: Vec<InodeId>,
+    root: InodeId,
+    clock: u64,
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Store {
+    /// Creates a store containing only an empty root directory.
+    pub fn new() -> Self {
+        let root = Inode::Dir {
+            entries: BTreeMap::new(),
+            owner: Uid::ROOT,
+            mode: Mode::PUBLIC,
+            mtime: 0,
+        };
+        Store { inodes: vec![Some(root)], free: Vec::new(), root: InodeId(0), clock: 0 }
+    }
+
+    /// Returns the root inode id.
+    pub fn root(&self) -> InodeId {
+        self.root
+    }
+
+    /// Advances and returns the logical clock.
+    pub fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Returns the current logical clock without advancing it.
+    pub fn now(&self) -> u64 {
+        self.clock
+    }
+
+    fn get(&self, id: InodeId) -> VfsResult<&Inode> {
+        self.inodes
+            .get(id.0 as usize)
+            .and_then(|slot| slot.as_ref())
+            .ok_or(VfsError::NotFound)
+    }
+
+    fn get_mut(&mut self, id: InodeId) -> VfsResult<&mut Inode> {
+        self.inodes
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.as_mut())
+            .ok_or(VfsError::NotFound)
+    }
+
+    fn alloc(&mut self, inode: Inode) -> InodeId {
+        if let Some(id) = self.free.pop() {
+            self.inodes[id.0 as usize] = Some(inode);
+            id
+        } else {
+            let id = InodeId(self.inodes.len() as u64);
+            self.inodes.push(Some(inode));
+            id
+        }
+    }
+
+    fn dealloc(&mut self, id: InodeId) {
+        if let Some(slot) = self.inodes.get_mut(id.0 as usize) {
+            *slot = None;
+            self.free.push(id);
+        }
+    }
+
+    /// Resolves a host path to an inode id.
+    pub fn resolve(&self, path: &VPath) -> VfsResult<InodeId> {
+        let mut cur = self.root;
+        for comp in path.components() {
+            match self.get(cur)? {
+                Inode::Dir { entries, .. } => {
+                    cur = *entries.get(comp).ok_or(VfsError::NotFound)?;
+                }
+                Inode::File { .. } => return Err(VfsError::NotADirectory),
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Returns true if the host path exists.
+    pub fn exists(&self, path: &VPath) -> bool {
+        self.resolve(path).is_ok()
+    }
+
+    /// Returns metadata for a host path.
+    pub fn stat(&self, path: &VPath) -> VfsResult<Metadata> {
+        let id = self.resolve(path)?;
+        Ok(self.get(id)?.meta())
+    }
+
+    /// Returns metadata for an inode id (used by open file handles).
+    pub fn stat_inode(&self, id: InodeId) -> VfsResult<Metadata> {
+        Ok(self.get(id)?.meta())
+    }
+
+    /// Reads the full contents of a file.
+    pub fn read(&self, path: &VPath) -> VfsResult<Vec<u8>> {
+        let id = self.resolve(path)?;
+        self.read_inode(id)
+    }
+
+    /// Reads a file by inode id.
+    pub fn read_inode(&self, id: InodeId) -> VfsResult<Vec<u8>> {
+        match self.get(id)? {
+            Inode::File { data, .. } => Ok(data.clone()),
+            Inode::Dir { .. } => Err(VfsError::IsADirectory),
+        }
+    }
+
+    /// Creates a directory; parent must exist.
+    pub fn mkdir(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<InodeId> {
+        let parent_path = path.parent().ok_or(VfsError::AlreadyExists)?;
+        let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let parent = self.resolve(&parent_path)?;
+        let mtime = self.tick();
+        let existing = match self.get(parent)? {
+            Inode::Dir { entries, .. } => entries.get(&name).copied(),
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        };
+        if existing.is_some() {
+            return Err(VfsError::AlreadyExists);
+        }
+        let child =
+            self.alloc(Inode::Dir { entries: BTreeMap::new(), owner, mode, mtime });
+        match self.get_mut(parent)? {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.insert(name, child);
+                *pm = mtime;
+            }
+            Inode::File { .. } => unreachable!("parent checked to be a directory"),
+        }
+        Ok(child)
+    }
+
+    /// Creates all missing ancestors of `path` and `path` itself as
+    /// directories. Existing directories are left untouched.
+    pub fn mkdir_all(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
+        let mut cur = VPath::root();
+        for comp in path.components() {
+            cur = cur.join(comp)?;
+            match self.stat(&cur) {
+                Ok(meta) if meta.is_dir => {}
+                Ok(_) => return Err(VfsError::NotADirectory),
+                Err(VfsError::NotFound) => {
+                    self.mkdir(&cur, owner, mode)?;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates or truncates a file with the given contents.
+    pub fn write(
+        &mut self,
+        path: &VPath,
+        data: &[u8],
+        owner: Uid,
+        mode: Mode,
+    ) -> VfsResult<InodeId> {
+        let parent_path = path.parent().ok_or(VfsError::IsADirectory)?;
+        let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let parent = self.resolve(&parent_path)?;
+        let mtime = self.tick();
+        let existing = match self.get(parent)? {
+            Inode::Dir { entries, .. } => entries.get(&name).copied(),
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        };
+        if let Some(id) = existing {
+            match self.get_mut(id)? {
+                Inode::File { data: d, mtime: m, .. } => {
+                    *d = data.to_vec();
+                    *m = mtime;
+                    Ok(id)
+                }
+                Inode::Dir { .. } => Err(VfsError::IsADirectory),
+            }
+        } else {
+            let id = self.alloc(Inode::File { data: data.to_vec(), owner, mode, mtime });
+            match self.get_mut(parent)? {
+                Inode::Dir { entries, mtime: pm, .. } => {
+                    entries.insert(name, id);
+                    *pm = mtime;
+                }
+                Inode::File { .. } => unreachable!("parent checked to be a directory"),
+            }
+            Ok(id)
+        }
+    }
+
+    /// Appends bytes to an existing file.
+    pub fn append(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        let id = self.resolve(path)?;
+        let mtime = self.tick();
+        match self.get_mut(id)? {
+            Inode::File { data: d, mtime: m, .. } => {
+                d.extend_from_slice(data);
+                *m = mtime;
+                Ok(())
+            }
+            Inode::Dir { .. } => Err(VfsError::IsADirectory),
+        }
+    }
+
+    /// Overwrites a file's contents by inode id (used by file handles).
+    pub fn write_inode(&mut self, id: InodeId, data: &[u8]) -> VfsResult<()> {
+        let mtime = self.tick();
+        match self.get_mut(id)? {
+            Inode::File { data: d, mtime: m, .. } => {
+                *d = data.to_vec();
+                *m = mtime;
+                Ok(())
+            }
+            Inode::Dir { .. } => Err(VfsError::IsADirectory),
+        }
+    }
+
+    /// Removes a file.
+    pub fn unlink(&mut self, path: &VPath) -> VfsResult<()> {
+        let parent_path = path.parent().ok_or(VfsError::IsADirectory)?;
+        let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let parent = self.resolve(&parent_path)?;
+        let child = self.resolve(path)?;
+        if self.get(child)?.meta().is_dir {
+            return Err(VfsError::IsADirectory);
+        }
+        let mtime = self.tick();
+        match self.get_mut(parent)? {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.remove(&name);
+                *pm = mtime;
+            }
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        }
+        self.dealloc(child);
+        Ok(())
+    }
+
+    /// Removes an empty directory.
+    pub fn rmdir(&mut self, path: &VPath) -> VfsResult<()> {
+        let parent_path = path.parent().ok_or(VfsError::InvalidArgument)?;
+        let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let child = self.resolve(path)?;
+        match self.get(child)? {
+            Inode::Dir { entries, .. } if entries.is_empty() => {}
+            Inode::Dir { .. } => return Err(VfsError::NotEmpty),
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        }
+        let parent = self.resolve(&parent_path)?;
+        let mtime = self.tick();
+        match self.get_mut(parent)? {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.remove(&name);
+                *pm = mtime;
+            }
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        }
+        self.dealloc(child);
+        Ok(())
+    }
+
+    /// Recursively removes a directory tree (or a single file).
+    pub fn remove_all(&mut self, path: &VPath) -> VfsResult<()> {
+        let id = self.resolve(path)?;
+        let is_dir = self.get(id)?.meta().is_dir;
+        if !is_dir {
+            return self.unlink(path);
+        }
+        let names: Vec<String> = match self.get(id)? {
+            Inode::Dir { entries, .. } => entries.keys().cloned().collect(),
+            Inode::File { .. } => unreachable!("checked is_dir above"),
+        };
+        for name in names {
+            self.remove_all(&path.join(&name)?)?;
+        }
+        if path.is_root() {
+            Ok(())
+        } else {
+            self.rmdir(path)
+        }
+    }
+
+    /// Lists a directory's entries in name order.
+    pub fn read_dir(&self, path: &VPath) -> VfsResult<Vec<DirEntry>> {
+        let id = self.resolve(path)?;
+        match self.get(id)? {
+            Inode::Dir { entries, .. } => entries
+                .iter()
+                .map(|(name, id)| {
+                    Ok(DirEntry { name: name.clone(), is_dir: self.get(*id)?.meta().is_dir })
+                })
+                .collect(),
+            Inode::File { .. } => Err(VfsError::NotADirectory),
+        }
+    }
+
+    /// Renames a file or directory within the store.
+    pub fn rename(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+        if to.starts_with(from) && from != to {
+            return Err(VfsError::InvalidArgument);
+        }
+        let from_parent = self.resolve(&from.parent().ok_or(VfsError::InvalidArgument)?)?;
+        let to_parent = self.resolve(&to.parent().ok_or(VfsError::InvalidArgument)?)?;
+        let from_name = from.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let to_name = to.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
+        let moved = self.resolve(from)?;
+        if let Ok(existing) = self.resolve(to) {
+            if self.get(existing)?.meta().is_dir {
+                return Err(VfsError::IsADirectory);
+            }
+            self.unlink(to)?;
+        }
+        let mtime = self.tick();
+        match self.get_mut(from_parent)? {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.remove(&from_name);
+                *pm = mtime;
+            }
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        }
+        match self.get_mut(to_parent)? {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.insert(to_name, moved);
+                *pm = mtime;
+            }
+            Inode::File { .. } => return Err(VfsError::NotADirectory),
+        }
+        Ok(())
+    }
+
+    /// Copies a single file, preserving owner and mode.
+    pub fn copy_file(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+        let meta = self.stat(from)?;
+        if meta.is_dir {
+            return Err(VfsError::IsADirectory);
+        }
+        let data = self.read(from)?;
+        self.write(to, &data, meta.owner, meta.mode)?;
+        Ok(())
+    }
+
+    /// Recursively copies a tree, creating `to` and all descendants.
+    pub fn copy_all(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+        let meta = self.stat(from)?;
+        if !meta.is_dir {
+            if let Some(parent) = to.parent() {
+                self.mkdir_all(&parent, meta.owner, Mode::PUBLIC)?;
+            }
+            return self.copy_file(from, to);
+        }
+        self.mkdir_all(to, meta.owner, meta.mode)?;
+        for entry in self.read_dir(from)? {
+            self.copy_all(&from.join(&entry.name)?, &to.join(&entry.name)?)?;
+        }
+        Ok(())
+    }
+
+    /// Changes owner and mode of a node.
+    pub fn chown_chmod(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
+        let id = self.resolve(path)?;
+        match self.get_mut(id)? {
+            Inode::File { owner: o, mode: m, .. } | Inode::Dir { owner: o, mode: m, .. } => {
+                *o = owner;
+                *m = mode;
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the total number of live inodes (for leak tests).
+    pub fn inode_count(&self) -> usize {
+        self.inodes.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::vpath;
+
+    fn store_with(paths: &[(&str, &str)]) -> Store {
+        let mut s = Store::new();
+        for (p, content) in paths {
+            let vp = vpath(p);
+            s.mkdir_all(&vp.parent().unwrap(), Uid::ROOT, Mode::PUBLIC).unwrap();
+            s.write(&vp, content.as_bytes(), Uid::ROOT, Mode::PUBLIC).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let s = store_with(&[("/a/b/c.txt", "hello")]);
+        assert_eq!(s.read(&vpath("/a/b/c.txt")).unwrap(), b"hello");
+        assert_eq!(s.read(&vpath("/a/b/missing")).err(), Some(VfsError::NotFound));
+    }
+
+    #[test]
+    fn append_extends() {
+        let mut s = store_with(&[("/f", "ab")]);
+        s.append(&vpath("/f"), b"cd").unwrap();
+        assert_eq!(s.read(&vpath("/f")).unwrap(), b"abcd");
+        assert_eq!(s.append(&vpath("/g"), b"x").err(), Some(VfsError::NotFound));
+    }
+
+    #[test]
+    fn mkdir_semantics() {
+        let mut s = Store::new();
+        s.mkdir(&vpath("/d"), Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(
+            s.mkdir(&vpath("/d"), Uid::ROOT, Mode::PUBLIC).err(),
+            Some(VfsError::AlreadyExists)
+        );
+        assert_eq!(
+            s.mkdir(&vpath("/x/y"), Uid::ROOT, Mode::PUBLIC).err(),
+            Some(VfsError::NotFound)
+        );
+        s.mkdir_all(&vpath("/x/y/z"), Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert!(s.stat(&vpath("/x/y/z")).unwrap().is_dir);
+    }
+
+    #[test]
+    fn unlink_and_rmdir() {
+        let mut s = store_with(&[("/d/f", "x")]);
+        assert_eq!(s.rmdir(&vpath("/d")).err(), Some(VfsError::NotEmpty));
+        assert_eq!(s.unlink(&vpath("/d")).err(), Some(VfsError::IsADirectory));
+        s.unlink(&vpath("/d/f")).unwrap();
+        s.rmdir(&vpath("/d")).unwrap();
+        assert!(!s.exists(&vpath("/d")));
+    }
+
+    #[test]
+    fn remove_all_recurses() {
+        let mut s = store_with(&[("/t/a/f1", "1"), ("/t/a/b/f2", "2"), ("/t/f3", "3")]);
+        let before = s.inode_count();
+        s.remove_all(&vpath("/t")).unwrap();
+        assert!(!s.exists(&vpath("/t")));
+        assert!(s.inode_count() < before);
+    }
+
+    #[test]
+    fn rename_moves_and_replaces() {
+        let mut s = store_with(&[("/a/f", "new"), ("/b/g", "old")]);
+        s.rename(&vpath("/a/f"), &vpath("/b/g")).unwrap();
+        assert_eq!(s.read(&vpath("/b/g")).unwrap(), b"new");
+        assert!(!s.exists(&vpath("/a/f")));
+        // Renaming a directory into itself is rejected.
+        assert_eq!(
+            s.rename(&vpath("/b"), &vpath("/b/sub")).err(),
+            Some(VfsError::InvalidArgument)
+        );
+    }
+
+    #[test]
+    fn copy_all_preserves_tree() {
+        let mut s = store_with(&[("/src/a/f", "1"), ("/src/g", "2")]);
+        s.copy_all(&vpath("/src"), &vpath("/dst")).unwrap();
+        assert_eq!(s.read(&vpath("/dst/a/f")).unwrap(), b"1");
+        assert_eq!(s.read(&vpath("/dst/g")).unwrap(), b"2");
+        // Source unchanged.
+        assert_eq!(s.read(&vpath("/src/a/f")).unwrap(), b"1");
+    }
+
+    #[test]
+    fn stat_reports_size_and_mtime_order() {
+        let mut s = Store::new();
+        s.write(&vpath("/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let m1 = s.stat(&vpath("/f")).unwrap();
+        assert_eq!(m1.size, 3);
+        s.append(&vpath("/f"), b"d").unwrap();
+        let m2 = s.stat(&vpath("/f")).unwrap();
+        assert_eq!(m2.size, 4);
+        assert!(m2.mtime > m1.mtime);
+    }
+
+    #[test]
+    fn inode_reuse_after_dealloc() {
+        let mut s = Store::new();
+        s.write(&vpath("/f"), b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let count = s.inode_count();
+        s.unlink(&vpath("/f")).unwrap();
+        s.write(&vpath("/g"), b"y", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(s.inode_count(), count);
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests for the union filesystem: arbitrary operation
+//! sequences behave exactly like a two-layer overlay model, and the lower
+//! branch is never mutated.
+
+use maxoid_vfs::{vpath, Branch, Mode, Store, Uid, Union, VfsError};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Operations the fuzzer drives through the union.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, Vec<u8>),
+    Append(u8, Vec<u8>),
+    Unlink(u8),
+    Read(u8),
+    Stat(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    let name = 0..6u8;
+    let data = proptest::collection::vec(any::<u8>(), 0..20);
+    prop_oneof![
+        (name.clone(), data.clone()).prop_map(|(n, d)| Op::Write(n, d)),
+        (name.clone(), proptest::collection::vec(any::<u8>(), 1..12))
+            .prop_map(|(n, d)| Op::Append(n, d)),
+        name.clone().prop_map(Op::Unlink),
+        name.clone().prop_map(Op::Read),
+        name.prop_map(Op::Stat),
+    ]
+}
+
+fn fname(n: u8) -> String {
+    format!("f{n}.dat")
+}
+
+/// Builds a store with `lower_seed` files in the lower branch and an
+/// empty writable upper branch.
+fn setup(lower_seed: &[(u8, Vec<u8>)]) -> (Store, Union, BTreeMap<u8, Vec<u8>>) {
+    let mut store = Store::new();
+    store.mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC).unwrap();
+    store.mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC).unwrap();
+    let mut model = BTreeMap::new();
+    for (n, data) in lower_seed {
+        store
+            .write(&vpath("/low").join(&fname(*n)).unwrap(), data, Uid::ROOT, Mode::PUBLIC)
+            .unwrap();
+        model.insert(*n, data.clone());
+    }
+    let union = Union::new(vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))], false);
+    (store, union, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The union view always equals the model; the lower branch is
+    /// byte-identical before and after any operation sequence.
+    #[test]
+    fn union_matches_overlay_model(
+        seed in proptest::collection::vec((0..6u8, proptest::collection::vec(any::<u8>(), 0..16)), 0..4),
+        ops in proptest::collection::vec(op(), 1..40),
+    ) {
+        let (mut store, union, mut model) = setup(&seed);
+        let lower_before: Vec<(String, Vec<u8>)> = store
+            .read_dir(&vpath("/low"))
+            .unwrap()
+            .into_iter()
+            .map(|e| {
+                let p = vpath("/low").join(&e.name).unwrap();
+                (e.name, store.read(&p).unwrap())
+            })
+            .collect();
+
+        for o in &ops {
+            match o {
+                Op::Write(n, data) => {
+                    union.write(&mut store, &fname(*n), data, Uid::ROOT, Mode::PUBLIC).unwrap();
+                    model.insert(*n, data.clone());
+                }
+                Op::Append(n, data) => {
+                    let result = union.append(&mut store, &fname(*n), data);
+                    match model.get_mut(n) {
+                        Some(cur) => {
+                            prop_assert!(result.is_ok());
+                            cur.extend_from_slice(data);
+                        }
+                        None => prop_assert_eq!(result.err(), Some(VfsError::NotFound)),
+                    }
+                }
+                Op::Unlink(n) => {
+                    let result = union.unlink(&mut store, &fname(*n));
+                    if model.remove(n).is_some() {
+                        prop_assert!(result.is_ok());
+                    } else {
+                        prop_assert_eq!(result.err(), Some(VfsError::NotFound));
+                    }
+                }
+                Op::Read(n) => {
+                    let got = union.read(&store, &fname(*n)).ok();
+                    prop_assert_eq!(got.as_ref(), model.get(n));
+                }
+                Op::Stat(n) => {
+                    let got = union.stat(&store, &fname(*n)).ok();
+                    match model.get(n) {
+                        Some(data) => {
+                            let meta = got.expect("model has the file");
+                            prop_assert_eq!(meta.size, data.len() as u64);
+                            prop_assert!(!meta.is_dir);
+                        }
+                        None => prop_assert!(got.is_none()),
+                    }
+                }
+            }
+            // Full-view check after each op: read every name.
+            for n in 0..6u8 {
+                let got = union.read(&store, &fname(n)).ok();
+                prop_assert_eq!(
+                    got.as_ref(),
+                    model.get(&n),
+                    "view mismatch at {} after {:?}",
+                    fname(n),
+                    o
+                );
+            }
+            // Readdir equals the model's live set.
+            let listed: Vec<String> = union
+                .read_dir(&store, "")
+                .unwrap()
+                .into_iter()
+                .map(|e| e.name)
+                .collect();
+            let expect: Vec<String> = model.keys().map(|n| fname(*n)).collect();
+            prop_assert_eq!(listed, expect);
+        }
+
+        // The lower branch never changed (S4 at the mechanism level).
+        let lower_after: Vec<(String, Vec<u8>)> = store
+            .read_dir(&vpath("/low"))
+            .unwrap()
+            .into_iter()
+            .map(|e| {
+                let p = vpath("/low").join(&e.name).unwrap();
+                (e.name, store.read(&p).unwrap())
+            })
+            .collect();
+        prop_assert_eq!(lower_before, lower_after);
+    }
+
+    /// Whiteouts + re-creation never resurrect stale lower content.
+    #[test]
+    fn delete_then_create_is_fresh(
+        content in proptest::collection::vec(any::<u8>(), 1..16),
+        recreated in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let (mut store, union, _) = setup(&[(0, content.clone())]);
+        union.unlink(&mut store, "f0.dat").unwrap();
+        prop_assert!(union.read(&store, "f0.dat").is_err());
+        union.write(&mut store, "f0.dat", &recreated, Uid::ROOT, Mode::PUBLIC).unwrap();
+        prop_assert_eq!(union.read(&store, "f0.dat").unwrap(), recreated);
+        // The lower copy still holds the original.
+        prop_assert_eq!(store.read(&vpath("/low/f0.dat")).unwrap(), content);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Paths normalize idempotently and joins compose with parents.
+    #[test]
+    fn path_normalization_props(parts in proptest::collection::vec("[a-z]{1,6}", 1..6)) {
+        let raw = format!("/{}", parts.join("/"));
+        let p = maxoid_vfs::VPath::new(&raw).unwrap();
+        // Normalization is idempotent.
+        let renorm = maxoid_vfs::VPath::new(p.as_str()).unwrap();
+        prop_assert_eq!(renorm.as_str(), p.as_str());
+        // depth == component count.
+        prop_assert_eq!(p.depth(), parts.len());
+        // parent/join round-trip.
+        if let Some(parent) = p.parent() {
+            let name = p.file_name().unwrap();
+            let rejoined = parent.join(name).unwrap();
+            prop_assert_eq!(rejoined.as_str(), p.as_str());
+        }
+        // Doubling slashes or inserting dots does not change the result.
+        let messy = format!("/{}/.", parts.join("//"));
+        let messy_norm = maxoid_vfs::VPath::new(&messy).unwrap();
+        prop_assert_eq!(messy_norm.as_str(), p.as_str());
+    }
+}

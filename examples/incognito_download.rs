@@ -1,0 +1,94 @@
+//! The "Enhancing Browser's incognito mode" use case (paper §7.1).
+//!
+//! Stock browsers keep incognito *browsing* off the disk, but a download
+//! from an incognito tab still lands on external storage and in the
+//! Downloads provider. Maxoid's one-line patch routes incognito downloads
+//! to the browser's volatile state; viewing the file starts the viewer as
+//! a delegate; Clear-Vol plus Clear-Priv erase every trace — including
+//! the traces *other apps* left while handling the download, which no
+//! browser-only fix could do.
+//!
+//! Run with: `cargo run -p maxoid-examples --bin incognito_download`
+
+use maxoid::manifest::MaxoidManifest;
+use maxoid::{MaxoidSystem, QueryArgs, Uri};
+use maxoid_apps::{install_observer, install_viewer, AdobeReader, Browser, FileRef};
+use maxoid_vfs::vpath;
+
+fn main() {
+    let browser = Browser::default();
+    let reader = AdobeReader::default();
+    let mut sys = MaxoidSystem::boot().expect("boot");
+    sys.kernel.net.publish("files.example", "leaked_memo.pdf", b"internal memo".to_vec());
+    sys.install(&browser.pkg, vec![], MaxoidManifest::new()).expect("install browser");
+    install_viewer(&mut sys, &reader.pkg).expect("install viewer");
+    let observer = install_observer(&mut sys).expect("install observer");
+
+    let bpid = sys.launch(&browser.pkg).expect("launch");
+
+    // --- An incognito-tab download ------------------------------------
+    let id = browser
+        .download(&mut sys, bpid, "files.example/leaked_memo.pdf", "leaked_memo.pdf", true)
+        .expect("enqueue");
+    println!("incognito download #{id} enqueued (volatile=true — the 1-line patch)");
+    sys.pump_downloads().expect("worker");
+    let note = sys.download_notifications().remove(0);
+    println!(
+        "download complete: {} (volatile for {:?})",
+        note.title, note.initiator
+    );
+
+    // Publicly invisible: no file, no provider record.
+    let opid = sys.launch(&observer).expect("observer");
+    assert!(!sys.kernel.exists(opid, &vpath("/storage/sdcard/Download/leaked_memo.pdf")));
+    let dl_uri = Uri::parse("content://downloads/my_downloads").unwrap();
+    let public_rows = sys.cp_query(opid, &dl_uri, &QueryArgs::default()).unwrap().rows.len();
+    println!("observer sees {public_rows} download records and no file");
+    assert_eq!(public_rows, 0);
+
+    // The browser itself sees it through its volatile view.
+    let (pub_n, vol_n) = browser.downloads_list(&mut sys, bpid).expect("list");
+    println!("browser's download list: {pub_n} public + {vol_n} incognito");
+
+    // --- Tapping the notification opens the viewer as a delegate ------
+    let viewer = browser
+        .open_download_notification(&mut sys, bpid, &note)
+        .expect("open")
+        .pid();
+    println!("viewer runs {}", sys.kernel.process(viewer).unwrap().ctx);
+    // The viewer can open the downloaded file through its view (the
+    // volatile file appears at the normal path for delegates).
+    let data = sys
+        .kernel
+        .read(viewer, &vpath("/storage/sdcard/Download/leaked_memo.pdf"))
+        .expect("delegate reads the incognito download");
+    // And it leaves its usual traces (recent list, SD copy) — confined.
+    reader
+        .open(
+            &mut sys,
+            viewer,
+            &FileRef::Content { name: "leaked_memo.pdf".into(), data },
+        )
+        .expect("view");
+    println!("viewer processed the file, leaving its usual traces (confined)");
+
+    // --- Closing the incognito session erases everything --------------
+    let removed = sys.clear_vol(&browser.pkg).expect("clear-vol");
+    let forks = sys.clear_priv(&browser.pkg).expect("clear-priv");
+    println!("Clear-Vol removed {removed} files; Clear-Priv dropped {forks} delegate forks");
+    assert!(sys
+        .open_download(Some(&browser.pkg), &vpath("/storage/sdcard/Download/leaked_memo.pdf"))
+        .is_err());
+    let (pub_n, vol_n) = browser.downloads_list(&mut sys, bpid).expect("list");
+    assert_eq!((pub_n, vol_n), (0, 0));
+    println!("no trace of the incognito download remains anywhere");
+
+    // --- Contrast: a normal download is public ------------------------
+    browser
+        .download(&mut sys, bpid, "files.example/leaked_memo.pdf", "normal.pdf", false)
+        .expect("enqueue");
+    sys.pump_downloads().expect("worker");
+    let opid = sys.launch(&observer).expect("observer");
+    assert!(sys.kernel.exists(opid, &vpath("/storage/sdcard/Download/normal.pdf")));
+    println!("a normal-tab download is public, as on stock Android");
+}

@@ -1,0 +1,176 @@
+//! Regenerates Table 1 of the paper: state left after apps process their
+//! target data — then re-runs every operation under Maxoid and shows the
+//! confinement.
+//!
+//! Run with: `cargo run -p maxoid-examples --bin leak_study`
+
+use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+use maxoid::MaxoidSystem;
+use maxoid_apps::{
+    audit, compute, install_observer, install_viewer, AdobeReader, BarcodeScanner, CamScanner,
+    CameraMx, FileRef, KingsoftOffice, TraceLocation, VPlayer, ACTION_VIEW,
+};
+use maxoid_vfs::{vpath, Mode};
+
+/// One Table 1 row: run the operation, audit, print traces.
+struct Row {
+    category: &'static str,
+    app: &'static str,
+    operation: &'static str,
+}
+
+fn main() {
+    println!("Reproducing Table 1: state left after apps process their target data\n");
+    println!(
+        "{:<10} {:<18} {:<22} {:>8} {:>8}",
+        "Category", "App", "Operation", "private", "public"
+    );
+    println!("{}", "-".repeat(72));
+
+    let rows = [
+        Row { category: "Document", app: "Adobe Reader", operation: "open a file" },
+        Row { category: "Document", app: "Kingsoft Office", operation: "open a file" },
+        Row { category: "Scanner", app: "Barcode Scanner", operation: "scan a QR code" },
+        Row { category: "Scanner", app: "CamScanner", operation: "scan a file" },
+        Row { category: "Photo", app: "CameraMX", operation: "take+edit a photo" },
+        Row { category: "Media", app: "VPlayer", operation: "play a video" },
+    ];
+
+    let mut stock_results = Vec::new();
+    let mut maxoid_results = Vec::new();
+    for row in &rows {
+        let (priv_n, pub_n) = run_stock(row.app);
+        stock_results.push((row, priv_n, pub_n));
+        println!(
+            "{:<10} {:<18} {:<22} {:>8} {:>8}",
+            row.category, row.app, row.operation, priv_n, pub_n
+        );
+        maxoid_results.push((row.app, run_maxoid(row.app)));
+    }
+
+    println!("\nUnder stock Android, every app leaves traces other apps can read.");
+    println!("\nThe same operations run as Maxoid delegates of 'secrets-app':\n");
+    println!("{:<18} {:>8} {:>10}", "App", "public", "confined");
+    println!("{}", "-".repeat(40));
+    for (app, (pub_n, vol_n)) in &maxoid_results {
+        println!("{:<18} {:>8} {:>10}", app, pub_n, vol_n);
+        assert_eq!(*pub_n, 0, "{app} must not leak publicly under Maxoid");
+    }
+    println!("\nZero public traces; everything is confined to Vol(secrets-app),");
+    println!("which one Clear-Vol gesture discards.");
+}
+
+const MARKER: &str = "xzqv_secret";
+
+/// Runs the app's Table 1 operation as a normal app; returns the number
+/// of (private, public) traces found.
+fn run_stock(app: &str) -> (usize, usize) {
+    let mut sys = MaxoidSystem::boot().expect("boot");
+    let observer = install_observer(&mut sys).expect("observer");
+    let suspect = run_operation(&mut sys, app, false);
+    let report = audit(&mut sys, &observer, &suspect, None, MARKER).expect("audit");
+    let priv_n = report
+        .traces
+        .iter()
+        .filter(|t| matches!(t, TraceLocation::PrivateFile(_)))
+        .count();
+    (priv_n, report.public_leaks().len())
+}
+
+/// Runs the same operation as a delegate of `secrets-app`; returns
+/// (public traces, confined traces).
+fn run_maxoid(app: &str) -> (usize, usize) {
+    let mut sys = MaxoidSystem::boot().expect("boot");
+    let observer = install_observer(&mut sys).expect("observer");
+    sys.install(
+        "secrets-app",
+        vec![],
+        MaxoidManifest::new().filter(InvocationFilter::action(ACTION_VIEW)),
+    )
+    .expect("install initiator");
+    let _ = sys.launch("secrets-app").expect("launch initiator");
+    let suspect = run_operation(&mut sys, app, true);
+    let report =
+        audit(&mut sys, &observer, &suspect, Some("secrets-app"), MARKER).expect("audit");
+    (report.public_leaks().len(), report.confined().len())
+}
+
+/// Performs one app's operation; `confined` runs it as a delegate of
+/// `secrets-app` via the launcher gesture. Returns the app's package.
+fn run_operation(sys: &mut MaxoidSystem, app: &str, confined: bool) -> String {
+    let launch = |sys: &mut MaxoidSystem, pkg: &str| {
+        if confined {
+            sys.launch_as_delegate(pkg, "secrets-app").expect("delegate launch")
+        } else {
+            sys.launch(pkg).expect("launch")
+        }
+    };
+    match app {
+        "Adobe Reader" => {
+            let a = AdobeReader::default();
+            install_viewer(sys, &a.pkg).expect("install");
+            let pid = launch(sys, &a.pkg);
+            a.open(
+                sys,
+                pid,
+                &FileRef::Content {
+                    name: format!("{MARKER}.pdf"),
+                    data: format!("{MARKER} body").into_bytes(),
+                },
+            )
+            .expect("open");
+            a.pkg
+        }
+        "Kingsoft Office" => {
+            let k = KingsoftOffice::default();
+            install_viewer(sys, &k.pkg).expect("install");
+            let pid = launch(sys, &k.pkg);
+            let doc = vpath("/storage/sdcard").join(&format!("{MARKER}.doc")).unwrap();
+            sys.kernel.write(pid, &doc, format!("{MARKER} doc").as_bytes(), Mode::PUBLIC)
+                .expect("seed doc");
+            k.open(sys, pid, &doc).expect("open");
+            k.pkg
+        }
+        "Barcode Scanner" => {
+            let b = BarcodeScanner::default();
+            install_viewer(sys, &b.pkg).expect("install");
+            let pid = launch(sys, &b.pkg);
+            // The QR payload is the sensitive datum; embed the marker.
+            let payload = b.scan(sys, pid, 99).expect("scan");
+            // Store a note with the marker in the scanner's history too.
+            let hist = vpath("/data/data").join(&b.pkg).unwrap().join("scans.db").unwrap();
+            let mut data = sys.kernel.read(pid, &hist).unwrap_or_default();
+            data.extend_from_slice(format!("{MARKER} {payload}\n").as_bytes());
+            sys.kernel.write(pid, &hist, &data, Mode::PRIVATE).expect("hist");
+            b.pkg
+        }
+        "CamScanner" => {
+            let c = CamScanner::default();
+            install_viewer(sys, &c.pkg).expect("install");
+            let pid = launch(sys, &c.pkg);
+            let px = compute::capture_photo(64, 5);
+            c.scan_page(sys, pid, MARKER, &px).expect("scan");
+            c.pkg
+        }
+        "CameraMX" => {
+            let c = CameraMx::default();
+            install_viewer(sys, &c.pkg).expect("install");
+            let pid = launch(sys, &c.pkg);
+            let photo = c.take_photo(sys, pid, MARKER, 128).expect("photo");
+            c.save_edited(sys, pid, &photo).expect("edit");
+            c.pkg
+        }
+        "VPlayer" => {
+            let v = VPlayer::default();
+            install_viewer(sys, &v.pkg).expect("install");
+            let pid = launch(sys, &v.pkg);
+            let video = vpath("/storage/sdcard").join(&format!("{MARKER}.mp4")).unwrap();
+            sys.kernel
+                .write(pid, &video, b"video bytes", Mode::PUBLIC)
+                .expect("seed video");
+            v.play(sys, pid, &video).expect("play");
+            v.pkg
+        }
+        other => panic!("unknown app {other}"),
+    }
+}

@@ -1,0 +1,90 @@
+//! Quickstart: the Maxoid model in one run.
+//!
+//! Boots a device, installs an initiator (Email) and an untrusted viewer,
+//! opens a private attachment with the viewer running as a delegate, and
+//! walks through every guarantee: S1-S4, the volatile state, commit, and
+//! Clear-Vol.
+//!
+//! Run with: `cargo run -p maxoid-examples --bin quickstart`
+
+use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+use maxoid::{AppIntentFilter, Intent, MaxoidSystem};
+use maxoid_vfs::{vpath, Mode};
+
+const VIEW: &str = "android.intent.action.VIEW";
+
+fn main() {
+    let mut sys = MaxoidSystem::boot().expect("boot");
+
+    // --- Install apps -------------------------------------------------
+    // Email's Maxoid manifest: VIEW intents invoke delegates. No code
+    // change to Email is needed for this.
+    sys.install("email", vec![], MaxoidManifest::new().filter(InvocationFilter::action(VIEW)))
+        .expect("install email");
+    sys.install("viewer", vec![AppIntentFilter::new(VIEW, None)], MaxoidManifest::new())
+        .expect("install viewer");
+    sys.install("spy", vec![], MaxoidManifest::new()).expect("install spy");
+    println!("installed: email (initiator), viewer (untrusted), spy (observer)");
+
+    // --- Email receives a private attachment --------------------------
+    let email = sys.launch("email").expect("launch email");
+    let att = vpath("/data/data/email/attachments/q3_report.pdf");
+    sys.kernel
+        .mkdir_all(email, &vpath("/data/data/email/attachments"), Mode::PRIVATE)
+        .expect("mkdir");
+    sys.kernel.write(email, &att, b"CONFIDENTIAL Q3 numbers", Mode::PRIVATE).expect("write");
+    println!("email stored private attachment at {att}");
+
+    // --- The user taps VIEW: the viewer becomes email's delegate ------
+    let viewer = sys
+        .start_activity(Some(email), &Intent::new(VIEW).with_data(att.as_str()))
+        .expect("start viewer")
+        .pid();
+    let ctx = sys.kernel.process(viewer).expect("proc").ctx.clone();
+    println!("viewer started: {ctx}");
+
+    // The delegate reads the private attachment (augmented access)...
+    let content = sys.kernel.read(viewer, &att).expect("delegate read");
+    println!("viewer read {} bytes of Priv(email)", content.len());
+
+    // ...but cannot exfiltrate: network is cut (ENETUNREACH)...
+    sys.kernel.net.publish("evil.example", "exfil", vec![]);
+    let err = sys.kernel.connect(viewer, "evil.example").expect_err("must fail");
+    println!("viewer connect() -> {err}   (S1: no network for delegates)");
+
+    // ...and its public writes are transparently redirected to Vol(email).
+    sys.kernel
+        .write(viewer, &vpath("/storage/sdcard/copy.pdf"), &content, Mode::PUBLIC)
+        .expect("delegate write");
+    println!("viewer copied the attachment to /storage/sdcard/copy.pdf (it thinks)");
+
+    // The viewer reads its own write (U2)...
+    assert_eq!(sys.kernel.read(viewer, &vpath("/storage/sdcard/copy.pdf")).unwrap(), content);
+    // ...the spy sees nothing (S1)...
+    let spy = sys.launch("spy").expect("launch spy");
+    assert!(!sys.kernel.exists(spy, &vpath("/storage/sdcard/copy.pdf")));
+    println!("spy cannot see the copy        (S1: secrecy of the initiator)");
+    // ...and email finds it in its volatile state (S2: revertible).
+    let vol = sys.volatile_files("email").expect("vol");
+    println!("Vol(email) = {:?}", vol.iter().map(|e| e.rel.as_str()).collect::<Vec<_>>());
+
+    // The viewer also modified the attachment in place; email sees both
+    // versions (integrity, S2).
+    sys.kernel.write(viewer, &att, b"tampered!", Mode::PUBLIC).expect("delegate modify");
+    assert_eq!(sys.kernel.read(email, &att).unwrap(), b"CONFIDENTIAL Q3 numbers");
+    let tmp_att = vpath("/data/data/email/tmp/attachments/q3_report.pdf");
+    assert_eq!(sys.kernel.read(email, &tmp_att).unwrap(), b"tampered!");
+    println!("email still sees the original; the edit sits in {tmp_att}");
+
+    // Email commits nothing and discards the delegate's side effects.
+    let removed = sys.clear_vol("email").expect("clear-vol");
+    println!("Clear-Vol(email) discarded {removed} volatile files");
+    assert!(sys.volatile_files("email").unwrap().is_empty());
+
+    // S3/S4: email cannot read or write the viewer's private state.
+    let viewer_priv = vpath("/data/data/viewer/secrets.db");
+    assert!(sys.kernel.read(email, &viewer_priv).is_err());
+    println!("email cannot touch Priv(viewer)  (S3/S4: delegate protection)");
+
+    println!("\nquickstart OK — all guarantees held");
+}

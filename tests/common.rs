@@ -1,0 +1,38 @@
+//! Shared helpers for the Maxoid integration tests.
+
+use maxoid::manifest::{InvocationFilter, MaxoidManifest};
+use maxoid::{AppIntentFilter, MaxoidSystem, Pid};
+use maxoid_vfs::{vpath, Mode, VPath};
+
+/// The VIEW action used across the tests.
+pub const VIEW: &str = "android.intent.action.VIEW";
+
+/// Boots a system with a standard cast: `initiator` (VIEW intents are
+/// private), `viewer` (accepts VIEW), and `bystander` (no relation).
+pub fn standard_cast() -> MaxoidSystem {
+    let mut sys = MaxoidSystem::boot().expect("boot");
+    sys.install(
+        "initiator",
+        vec![],
+        MaxoidManifest::new().filter(InvocationFilter::action(VIEW)),
+    )
+    .expect("install initiator");
+    sys.install("viewer", vec![AppIntentFilter::new(VIEW, None)], MaxoidManifest::new())
+        .expect("install viewer");
+    sys.install("bystander", vec![], MaxoidManifest::new()).expect("install bystander");
+    sys
+}
+
+/// Writes a private file for a launched app and returns its path.
+pub fn write_private(sys: &MaxoidSystem, pid: Pid, pkg: &str, name: &str, data: &[u8]) -> VPath {
+    let path = vpath("/data/data").join(pkg).unwrap().join(name).unwrap();
+    sys.kernel.write(pid, &path, data, Mode::PRIVATE).expect("private write");
+    path
+}
+
+/// Writes a public external-storage file and returns its path.
+pub fn write_public(sys: &MaxoidSystem, pid: Pid, name: &str, data: &[u8]) -> VPath {
+    let path = vpath("/storage/sdcard").join(name).unwrap();
+    sys.kernel.write(pid, &path, data, Mode::PUBLIC).expect("public write");
+    path
+}

@@ -1,0 +1,116 @@
+//! Concurrency tests: the shared backing store behind `parking_lot`
+//! locks serves parallel apps without losing Maxoid's isolation, and the
+//! kernel's syscall surface is safe to drive from multiple threads.
+
+use crossbeam::thread;
+use maxoid::manifest::MaxoidManifest;
+use maxoid::MaxoidSystem;
+use maxoid_vfs::{vpath, Cred, Mode, Mount, MountNamespace, Uid, Vfs};
+
+/// Parallel writers in disjoint namespaces never observe each other's
+/// data; every thread reads back exactly what it wrote.
+#[test]
+fn parallel_writers_in_disjoint_namespaces() {
+    let vfs = Vfs::new();
+    const THREADS: usize = 8;
+    const FILES: usize = 40;
+    // Give each "app" its own backing dir + namespace.
+    let setups: Vec<(Cred, MountNamespace)> = (0..THREADS)
+        .map(|i| {
+            let host = vpath("/backing").join(&format!("app{i}")).unwrap();
+            vfs.with_store_mut(|s| s.mkdir_all(&host, Uid::ROOT, Mode::PUBLIC)).unwrap();
+            let mut ns = MountNamespace::new();
+            ns.add(Mount::bind(vpath("/data"), host));
+            (Cred::new(Uid(10_000 + i as u32)), ns)
+        })
+        .collect();
+
+    thread::scope(|scope| {
+        for (i, (cred, ns)) in setups.iter().enumerate() {
+            let vfs = vfs.clone();
+            scope.spawn(move |_| {
+                for f in 0..FILES {
+                    let p = vpath("/data").join(&format!("f{f}.dat")).unwrap();
+                    let payload = format!("thread{i}-file{f}");
+                    vfs.write(*cred, ns, &p, payload.as_bytes(), Mode::PRIVATE).unwrap();
+                    assert_eq!(vfs.read(*cred, ns, &p).unwrap(), payload.as_bytes());
+                }
+            });
+        }
+    })
+    .expect("threads join");
+
+    // Cross-check after the fact: every thread's files are intact and
+    // contain only that thread's data.
+    for (i, (cred, ns)) in setups.iter().enumerate() {
+        for f in 0..FILES {
+            let p = vpath("/data").join(&format!("f{f}.dat")).unwrap();
+            let got = vfs.read(*cred, ns, &p).unwrap();
+            assert_eq!(got, format!("thread{i}-file{f}").as_bytes());
+        }
+    }
+}
+
+/// Concurrent readers over one namespace see a consistent snapshot while
+/// a writer mutates other files (RwLock semantics, no torn reads).
+#[test]
+fn readers_are_consistent_under_writes() {
+    let vfs = Vfs::new();
+    vfs.with_store_mut(|s| s.mkdir_all(&vpath("/pub"), Uid::ROOT, Mode::PUBLIC)).unwrap();
+    let mut ns = MountNamespace::new();
+    ns.add(Mount::bind(vpath("/shared"), vpath("/pub")).with_forced_mode(Mode::PUBLIC));
+    let cred = Cred::new(Uid(10_001));
+    let stable = vpath("/shared/stable.dat");
+    vfs.write(cred, &ns, &stable, b"immutable content", Mode::PUBLIC).unwrap();
+
+    thread::scope(|scope| {
+        // One writer hammers a different file.
+        {
+            let vfs = vfs.clone();
+            let ns = ns.clone();
+            scope.spawn(move |_| {
+                for i in 0..500 {
+                    let p = vpath("/shared/hot.dat");
+                    vfs.write(cred, &ns, &p, format!("v{i}").as_bytes(), Mode::PUBLIC)
+                        .unwrap();
+                }
+            });
+        }
+        // Readers must always see the stable file whole.
+        for _ in 0..4 {
+            let vfs = vfs.clone();
+            let ns = ns.clone();
+            let stable = stable.clone();
+            scope.spawn(move |_| {
+                for _ in 0..500 {
+                    assert_eq!(vfs.read(cred, &ns, &stable).unwrap(), b"immutable content");
+                }
+            });
+        }
+    })
+    .expect("threads join");
+}
+
+/// The πBox-style trusted-cloud extension end to end: a delegate reaches
+/// only the whitelisted backend.
+#[test]
+fn trusted_cloud_extension_end_to_end() {
+    let mut sys = MaxoidSystem::boot().unwrap();
+    sys.kernel.net.publish("converter.cloud", "convert", b"converted".to_vec());
+    sys.kernel.net.publish("attacker.example", "drop", vec![]);
+    sys.install("docs", vec![], MaxoidManifest::new()).unwrap();
+    sys.install("converter", vec![], MaxoidManifest::new()).unwrap();
+
+    let d = sys.launch_as_delegate("converter", "docs").unwrap();
+    // Paper default: no network at all.
+    assert!(sys.kernel.connect(d, "converter.cloud").is_err());
+
+    // Opt in to the §2.4 extension for the converter's own backend.
+    sys.kernel.enable_trusted_cloud(["converter.cloud".to_string()]);
+    assert_eq!(sys.kernel.http_get(d, "converter.cloud/convert").unwrap(), b"converted");
+    // Arbitrary exfiltration targets stay blocked.
+    assert!(sys.kernel.connect(d, "attacker.example").is_err());
+    // Initiators are unaffected either way.
+    let a = sys.launch("docs").unwrap();
+    assert!(sys.kernel.connect(a, "attacker.example").is_ok());
+}

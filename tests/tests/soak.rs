@@ -1,0 +1,191 @@
+//! Randomized soak test: a seeded RNG drives hundreds of arbitrary system
+//! operations (launches, delegate launches, file and provider writes in
+//! every context, clears) while the S1/S2 invariants are re-checked after
+//! every step. Deterministic seeds keep failures reproducible.
+
+use maxoid::manifest::MaxoidManifest;
+use maxoid::{ContentValues, MaxoidSystem, Pid, QueryArgs, Uri};
+use maxoid_vfs::{vpath, Mode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+const APPS: usize = 4;
+const STEPS: usize = 250;
+
+fn pkg(i: usize) -> String {
+    format!("app{i}")
+}
+
+/// Tracked ground truth: which public files exist with what content, and
+/// which public words exist.
+#[derive(Default)]
+struct PublicModel {
+    files: BTreeMap<String, Vec<u8>>,
+    words: Vec<String>,
+}
+
+fn run_soak(seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sys = MaxoidSystem::boot().unwrap();
+    for i in 0..APPS {
+        sys.install(&pkg(i), vec![], MaxoidManifest::new()).unwrap();
+    }
+    sys.install("probe", vec![], MaxoidManifest::new()).unwrap();
+    let words_uri = Uri::parse("content://user_dictionary/words").unwrap();
+
+    let mut model = PublicModel::default();
+    // Live process handles: (pid, Some(initiator index) when delegate).
+    let mut procs: Vec<(Pid, usize, Option<usize>)> = Vec::new();
+
+    for step in 0..STEPS {
+        match rng.gen_range(0..10u32) {
+            // Launch an app normally.
+            0 | 1 => {
+                let a = rng.gen_range(0..APPS);
+                let pid = sys.launch(&pkg(a)).unwrap();
+                procs.retain(|(_, app, _)| *app != a);
+                procs.push((pid, a, None));
+            }
+            // Launch a delegate pair.
+            2 | 3 => {
+                let a = rng.gen_range(0..APPS);
+                let mut b = rng.gen_range(0..APPS);
+                if b == a {
+                    b = (b + 1) % APPS;
+                }
+                let pid = sys.launch_as_delegate(&pkg(b), &pkg(a)).unwrap();
+                procs.retain(|(_, app, _)| *app != b);
+                procs.push((pid, b, Some(a)));
+            }
+            // A live process writes a public file.
+            4 | 5 => {
+                if let Some(&(pid, _, init)) = pick(&mut rng, &procs) {
+                    let name = format!("file{}.dat", rng.gen_range(0..8u32));
+                    let data = format!("step{step}").into_bytes();
+                    let path = vpath("/storage/sdcard").join(&name).unwrap();
+                    if sys.kernel.write(pid, &path, &data, Mode::PUBLIC).is_ok()
+                        && init.is_none()
+                    {
+                        // Only initiator writes change public truth.
+                        model.files.insert(name, data);
+                    }
+                }
+            }
+            // A live process inserts a word.
+            6 => {
+                if let Some(&(pid, _, init)) = pick(&mut rng, &procs) {
+                    let w = format!("word{step}");
+                    if sys
+                        .cp_insert(
+                            pid,
+                            &words_uri,
+                            &ContentValues::new().put("word", w.as_str()),
+                        )
+                        .is_ok()
+                        && init.is_none()
+                    {
+                        model.words.push(w);
+                    }
+                }
+            }
+            // A live process deletes a public file (delegates whiteout).
+            7 => {
+                if let Some(&(pid, _, init)) = pick(&mut rng, &procs) {
+                    let name = format!("file{}.dat", rng.gen_range(0..8u32));
+                    let path = vpath("/storage/sdcard").join(&name).unwrap();
+                    if sys.kernel.unlink(pid, &path).is_ok() && init.is_none() {
+                        model.files.remove(&name);
+                    }
+                }
+            }
+            // Clear an initiator's volatile state.
+            8 => {
+                let a = rng.gen_range(0..APPS);
+                sys.clear_vol(&pkg(a)).unwrap();
+            }
+            // Clear an initiator's delegate private forks.
+            _ => {
+                let a = rng.gen_range(0..APPS);
+                sys.clear_priv(&pkg(a)).unwrap();
+            }
+        }
+        procs.retain(|(pid, _, _)| sys.kernel.process(*pid).is_ok());
+
+        // Invariant: the probe (fresh normal app) sees exactly the model.
+        if step % 25 == 24 {
+            check_public_view(&mut sys, &model, &words_uri, seed, step);
+        }
+    }
+    check_public_view(&mut sys, &model, &words_uri, seed, STEPS);
+}
+
+fn pick<'a>(
+    rng: &mut StdRng,
+    procs: &'a [(Pid, usize, Option<usize>)],
+) -> Option<&'a (Pid, usize, Option<usize>)> {
+    if procs.is_empty() {
+        None
+    } else {
+        let idx = rng.gen_range(0..procs.len());
+        Some(&procs[idx])
+    }
+}
+
+fn check_public_view(
+    sys: &mut MaxoidSystem,
+    model: &PublicModel,
+    words_uri: &Uri,
+    seed: u64,
+    step: usize,
+) {
+    let probe = sys.launch("probe").unwrap();
+    // Files: exactly the model's set (plus the tmp window).
+    let listed: BTreeMap<String, Vec<u8>> = sys
+        .kernel
+        .read_dir(probe, &vpath("/storage/sdcard"))
+        .unwrap()
+        .into_iter()
+        .filter(|e| !e.is_dir)
+        .map(|e| {
+            let p = vpath("/storage/sdcard").join(&e.name).unwrap();
+            (e.name, sys.kernel.read(probe, &p).unwrap())
+        })
+        .collect();
+    assert_eq!(
+        listed, model.files,
+        "public files diverged from model (seed {seed}, step {step})"
+    );
+    // Words: exactly the initiator-inserted set.
+    let rs = sys
+        .cp_query(
+            probe,
+            words_uri,
+            &QueryArgs {
+                projection: vec!["word".into()],
+                sort_order: Some("_id".into()),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    let got: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
+    assert_eq!(got, model.words, "public words diverged (seed {seed}, step {step})");
+    sys.kernel
+        .kill(sys.kernel.find_processes(&maxoid::AppId::new("probe"))[0])
+        .unwrap();
+}
+
+#[test]
+fn soak_seed_1() {
+    run_soak(0xC0FFEE);
+}
+
+#[test]
+fn soak_seed_2() {
+    run_soak(0xBADF00D);
+}
+
+#[test]
+fn soak_seed_3() {
+    run_soak(42);
+}
