@@ -39,7 +39,9 @@ impl AuditReport {
     pub fn public_leaks(&self) -> Vec<&TraceLocation> {
         self.traces
             .iter()
-            .filter(|t| matches!(t, TraceLocation::PublicFile(_) | TraceLocation::ProviderRow { .. }))
+            .filter(|t| {
+                matches!(t, TraceLocation::PublicFile(_) | TraceLocation::ProviderRow { .. })
+            })
             .collect()
     }
 
@@ -82,8 +84,7 @@ pub fn audit(
     for (authority, collection) in
         [("media", "files"), ("downloads", "my_downloads"), ("user_dictionary", "words")]
     {
-        let uri = Uri::parse(&format!("content://{authority}/{collection}"))
-            .expect("static uri");
+        let uri = Uri::parse(&format!("content://{authority}/{collection}")).expect("static uri");
         if let Ok(rs) = sys.cp_query(observer, &uri, &QueryArgs::default()) {
             for row in &rs.rows {
                 let rendered: Vec<String> = row.iter().map(|v| v.to_string()).collect();
@@ -111,8 +112,7 @@ pub fn audit(
             } else {
                 maxoid::layout::back_ext_tmp(init)?.join(&entry.rel)?
             };
-            let content =
-                sys.kernel.vfs().with_store(|s| s.read(&host)).unwrap_or_default();
+            let content = sys.kernel.vfs().with_store(|s| s.read(&host)).unwrap_or_default();
             if contains_bytes(&content, marker.as_bytes()) {
                 report.traces.push(TraceLocation::VolatileFile(entry.rel.clone()));
             }
@@ -146,10 +146,8 @@ fn scan_backing(
                 }
             } else {
                 let name_hit = p.as_str().contains(marker);
-                let content_hit = s
-                    .read(p)
-                    .map(|d| contains_bytes(&d, marker.as_bytes()))
-                    .unwrap_or(false);
+                let content_hit =
+                    s.read(p).map(|d| contains_bytes(&d, marker.as_bytes())).unwrap_or(false);
                 if name_hit || content_hit {
                     found(p.as_str().to_string());
                 }
@@ -230,19 +228,12 @@ mod tests {
             .open(
                 &mut sys,
                 rpid,
-                &FileRef::Content {
-                    name: format!("{marker}.pdf"),
-                    data: b"numbers".to_vec(),
-                },
+                &FileRef::Content { name: format!("{marker}.pdf"), data: b"numbers".to_vec() },
             )
             .unwrap();
-        let report =
-            audit(&mut sys, "org.maxoid.observer", &reader.pkg, None, marker).unwrap();
+        let report = audit(&mut sys, "org.maxoid.observer", &reader.pkg, None, marker).unwrap();
         assert!(!report.public_leaks().is_empty(), "stock Android must leak");
-        assert!(report
-            .traces
-            .iter()
-            .any(|t| matches!(t, TraceLocation::PrivateFile(_))));
+        assert!(report.traces.iter().any(|t| matches!(t, TraceLocation::PrivateFile(_))));
 
         // Maxoid: the same reader code runs as Email's delegate.
         let mut sys = MaxoidSystem::boot().unwrap();
@@ -250,30 +241,24 @@ mod tests {
         install_viewer(&mut sys, &reader.pkg).unwrap();
         install_observer(&mut sys).unwrap();
         let epid = sys.launch(&email.pkg).unwrap();
-        let att = email
-            .receive_attachment(&mut sys, epid, &format!("{marker}.pdf"), b"numbers")
-            .unwrap();
+        let att =
+            email.receive_attachment(&mut sys, epid, &format!("{marker}.pdf"), b"numbers").unwrap();
         let vpid = email.view_attachment(&mut sys, epid, &att).unwrap().pid();
         reader
             .open(
                 &mut sys,
                 vpid,
-                &FileRef::Content {
-                    name: format!("{marker}.pdf"),
-                    data: b"numbers".to_vec(),
-                },
+                &FileRef::Content { name: format!("{marker}.pdf"), data: b"numbers".to_vec() },
             )
             .unwrap();
         let report =
-            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker)
-                .unwrap();
+            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker).unwrap();
         assert!(report.public_leaks().is_empty(), "Maxoid must not leak publicly");
         assert!(!report.confined().is_empty(), "the trace must exist in Vol");
         // Clear-Vol removes even the confined trace.
         sys.clear_vol(&email.pkg).unwrap();
         let report =
-            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker)
-                .unwrap();
+            audit(&mut sys, "org.maxoid.observer", &reader.pkg, Some(&email.pkg), marker).unwrap();
         assert!(report.confined().is_empty());
     }
 }

@@ -60,21 +60,13 @@ fn append_private_line(
 }
 
 /// Reads the lines of a private app file (empty when absent).
-pub fn read_private_lines(
-    sys: &MaxoidSystem,
-    pid: Pid,
-    pkg: &str,
-    file: &str,
-) -> Vec<String> {
+pub fn read_private_lines(sys: &MaxoidSystem, pid: Pid, pkg: &str, file: &str) -> Vec<String> {
     let path = match private_dir(pkg).join(file) {
         Ok(p) => p,
         Err(_) => return Vec::new(),
     };
     match sys.kernel.read(pid, &path) {
-        Ok(data) => String::from_utf8_lossy(&data)
-            .lines()
-            .map(|l| l.to_string())
-            .collect(),
+        Ok(data) => String::from_utf8_lossy(&data).lines().map(|l| l.to_string()).collect(),
         Err(_) => Vec::new(),
     }
 }
@@ -98,19 +90,13 @@ impl Default for AdobeReader {
 
 impl AdobeReader {
     /// Result of opening a document.
-    pub fn open(
-        &self,
-        sys: &mut MaxoidSystem,
-        pid: Pid,
-        file: &FileRef,
-    ) -> SystemResult<u64> {
+    pub fn open(&self, sys: &mut MaxoidSystem, pid: Pid, file: &FileRef) -> SystemResult<u64> {
         let (name, data) = match file {
             FileRef::Path(p) => (file.name(), sys.kernel.read(pid, p)?),
             FileRef::Content { name, data } => {
                 // A content-URI open: Reader saves a copy on the SD card.
                 let copy = vpath("/storage/sdcard/Download").join(name)?;
-                sys.kernel
-                    .mkdir_all(pid, &vpath("/storage/sdcard/Download"), Mode::PUBLIC)?;
+                sys.kernel.mkdir_all(pid, &vpath("/storage/sdcard/Download"), Mode::PUBLIC)?;
                 sys.kernel.write(pid, &copy, data, Mode::PUBLIC)?;
                 (name.clone(), data.clone())
             }
@@ -351,9 +337,7 @@ mod tests {
         sys2.install(other_pkg, vec![], MaxoidManifest::new()).unwrap();
         let other = sys2.launch(other_pkg).unwrap();
         assert_eq!(
-            sys2.kernel
-                .read(other, &vpath("/storage/sdcard/Download/secret.pdf"))
-                .unwrap(),
+            sys2.kernel.read(other, &vpath("/storage/sdcard/Download/secret.pdf")).unwrap(),
             b"PDF secret"
         );
     }
@@ -415,8 +399,6 @@ mod tests {
             .unwrap();
         ks.open(&mut sys, kpid, &vpath("/storage/sdcard/report.doc")).unwrap();
         assert!(sys.kernel.exists(kpid, &vpath("/storage/sdcard/.office_db")));
-        assert!(sys
-            .kernel
-            .exists(kpid, &vpath("/storage/sdcard/.office_thumbs/report.doc.png")));
+        assert!(sys.kernel.exists(kpid, &vpath("/storage/sdcard/.office_thumbs/report.doc.png")));
     }
 }

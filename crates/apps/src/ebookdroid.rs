@@ -27,10 +27,7 @@ impl Default for EBookDroid {
 
 impl EBookDroid {
     fn npriv_db(&self) -> VPath {
-        vpath("/data/data")
-            .join(&self.pkg)
-            .and_then(|d| d.join("recent.db"))
-            .expect("static path")
+        vpath("/data/data").join(&self.pkg).and_then(|d| d.join("recent.db")).expect("static path")
     }
 
     fn ppriv_db(&self) -> VPath {

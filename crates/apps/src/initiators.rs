@@ -59,12 +59,7 @@ impl Dropbox {
 
     /// Simulates a sync-down: fetches a file from the Dropbox server and
     /// stores it in the storage directory.
-    pub fn sync_down(
-        &self,
-        sys: &mut MaxoidSystem,
-        pid: Pid,
-        name: &str,
-    ) -> SystemResult<VPath> {
+    pub fn sync_down(&self, sys: &mut MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
         let data = sys.kernel.http_get(pid, &format!("dropbox.example/{name}"))?;
         let path = self.file_path(name);
         sys.kernel.mkdir_all(pid, &path.parent().expect("file has parent"), Mode::PUBLIC)?;
@@ -119,9 +114,7 @@ impl Dropbox {
         pid: Pid,
         name: &str,
     ) -> SystemResult<()> {
-        let tmp = vpath("/storage/sdcard/tmp")
-            .join(&self.dir)
-            .and_then(|d| d.join(name))?;
+        let tmp = vpath("/storage/sdcard/tmp").join(&self.dir).and_then(|d| d.join(name))?;
         let data = sys.kernel.read(pid, &tmp)?;
         sys.kernel.net.publish("dropbox.example", name, data);
         Ok(())
@@ -146,18 +139,11 @@ impl GoogleDrive {
     /// Downloads a file into the private cache with an unguessable name;
     /// the file itself is world-readable so a disclosed path can be
     /// opened by another app.
-    pub fn cache_file(
-        &self,
-        sys: &mut MaxoidSystem,
-        pid: Pid,
-        name: &str,
-    ) -> SystemResult<VPath> {
+    pub fn cache_file(&self, sys: &mut MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
         let data = sys.kernel.http_get(pid, &format!("drive.example/{name}"))?;
         // "Random" component: derived from the name deterministically.
-        let token: String = name
-            .bytes()
-            .map(|b| char::from(b'a' + (b.wrapping_mul(17) % 26)))
-            .collect();
+        let token: String =
+            name.bytes().map(|b| char::from(b'a' + (b.wrapping_mul(17) % 26))).collect();
         let dir = vpath("/data/data").join(&self.pkg)?.join("cache")?;
         sys.kernel.mkdir_all(pid, &dir, Mode::PRIVATE)?;
         let path = dir.join(&format!("{token}-{name}"))?;
@@ -173,9 +159,8 @@ impl GoogleDrive {
         cached: &VPath,
         delegate: bool,
     ) -> SystemResult<StartOutcome> {
-        let mut intent = Intent::new(ACTION_VIEW)
-            .with_data(cached.as_str())
-            .with_mime("application/pdf");
+        let mut intent =
+            Intent::new(ACTION_VIEW).with_data(cached.as_str()).with_mime("application/pdf");
         if delegate {
             intent = intent.as_delegate();
         }
@@ -306,11 +291,7 @@ impl Browser {
         note: &maxoid_providers::DownloadNotification,
     ) -> SystemResult<StartOutcome> {
         let mut intent = Intent::new(ACTION_VIEW)
-            .with_data(
-                vpath("/storage/sdcard/Download")
-                    .join(&note.title)?
-                    .as_str(),
-            )
+            .with_data(vpath("/storage/sdcard/Download").join(&note.title)?.as_str())
             .with_mime(guess_mime(&note.title));
         if note.initiator.is_some() {
             intent = intent.as_delegate();
@@ -320,11 +301,7 @@ impl Browser {
 
     /// Queries the browser's own download list, merging public and
     /// volatile records (the incognito tab's view).
-    pub fn downloads_list(
-        &self,
-        sys: &mut MaxoidSystem,
-        pid: Pid,
-    ) -> SystemResult<(usize, usize)> {
+    pub fn downloads_list(&self, sys: &mut MaxoidSystem, pid: Pid) -> SystemResult<(usize, usize)> {
         let pub_uri = Uri::parse("content://downloads/my_downloads").expect("static uri");
         let public = sys.cp_query(pid, &pub_uri, &QueryArgs::default())?.rows.len();
         let volatile = sys
@@ -352,11 +329,7 @@ pub fn guess_mime(name: &str) -> &'static str {
 
 /// Installs an app model package with a VIEW receiver (viewer-style apps).
 pub fn install_viewer(sys: &mut MaxoidSystem, pkg: &str) -> SystemResult<AppId> {
-    sys.install(
-        pkg,
-        vec![maxoid::AppIntentFilter::new(ACTION_VIEW, None)],
-        MaxoidManifest::new(),
-    )
+    sys.install(pkg, vec![maxoid::AppIntentFilter::new(ACTION_VIEW, None)], MaxoidManifest::new())
 }
 
 #[cfg(test)]
@@ -377,15 +350,10 @@ mod tests {
         db.sync_down(&mut sys, dpid, "notes.txt").unwrap();
         // Another (normal) app overwrites the file on public storage.
         let evil = sys.launch("com.evil").unwrap();
-        sys.kernel
-            .write(evil, &db.file_path("notes.txt"), b"corrupted", Mode::PUBLIC)
-            .unwrap();
+        sys.kernel.write(evil, &db.file_path("notes.txt"), b"corrupted", Mode::PUBLIC).unwrap();
         let uploaded = db.sync_up(&mut sys, dpid).unwrap();
         assert_eq!(uploaded, vec!["notes.txt"]);
-        assert_eq!(
-            sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(),
-            b"corrupted"
-        );
+        assert_eq!(sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(), b"corrupted");
     }
 
     #[test]
@@ -408,17 +376,12 @@ mod tests {
         // A viewer invoked via VIEW becomes a delegate; its edit is
         // confined to Vol(Dropbox).
         let viewer = db.open_file(&mut sys, dpid, "notes.txt").unwrap().pid();
-        sys.kernel
-            .write(viewer, &db.file_path("notes.txt"), b"edited", Mode::PUBLIC)
-            .unwrap();
+        sys.kernel.write(viewer, &db.file_path("notes.txt"), b"edited", Mode::PUBLIC).unwrap();
         // The sync loop still sees the clean copy: no silent upload.
         assert!(db.sync_up(&mut sys, dpid).unwrap().is_empty());
         // The user explicitly uploads the edit from tmp, then clears Vol.
         db.upload_from_tmp(&mut sys, dpid, "notes.txt").unwrap();
-        assert_eq!(
-            sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(),
-            b"edited"
-        );
+        assert_eq!(sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(), b"edited");
         sys.clear_vol(&db.pkg).unwrap();
         assert!(sys.volatile_files(&db.pkg).unwrap().is_empty());
     }
@@ -431,9 +394,8 @@ mod tests {
         sys.install(&email.pkg, vec![], email.maxoid_manifest()).unwrap();
         install_viewer(&mut sys, &reader.pkg).unwrap();
         let epid = sys.launch(&email.pkg).unwrap();
-        let att = email
-            .receive_attachment(&mut sys, epid, "report.pdf", b"confidential PDF")
-            .unwrap();
+        let att =
+            email.receive_attachment(&mut sys, epid, "report.pdf", b"confidential PDF").unwrap();
         let vpid = email.view_attachment(&mut sys, epid, &att).unwrap().pid();
         // The viewer is a delegate and reads the private attachment.
         let viewer_proc = sys.kernel.process(vpid).unwrap();
@@ -451,15 +413,11 @@ mod tests {
         )
         .unwrap();
         // Email (the initiator) sees the copy under EXTDIR/tmp.
-        assert!(sys
-            .kernel
-            .exists(epid, &vpath("/storage/sdcard/tmp/Download/report.pdf")));
+        assert!(sys.kernel.exists(epid, &vpath("/storage/sdcard/tmp/Download/report.pdf")));
         // A normal app does not see it on the public SD card.
         sys.install("com.other", vec![], MaxoidManifest::new()).unwrap();
         let other = sys.launch("com.other").unwrap();
-        assert!(!sys
-            .kernel
-            .exists(other, &vpath("/storage/sdcard/Download/report.pdf")));
+        assert!(!sys.kernel.exists(other, &vpath("/storage/sdcard/Download/report.pdf")));
     }
 
     #[test]
@@ -482,9 +440,7 @@ mod tests {
         sys.kernel.net.publish("files.example", "page.pdf", b"pdf".to_vec());
         sys.install(&browser.pkg, vec![], MaxoidManifest::new()).unwrap();
         let bpid = sys.launch(&browser.pkg).unwrap();
-        browser
-            .download(&mut sys, bpid, "files.example/page.pdf", "page.pdf", true)
-            .unwrap();
+        browser.download(&mut sys, bpid, "files.example/page.pdf", "page.pdf", true).unwrap();
         sys.pump_downloads().unwrap();
         let notes = sys.download_notifications();
         assert_eq!(notes.len(), 1);
@@ -495,10 +451,7 @@ mod tests {
         // Clear-Vol wipes the incognito trace: file, record, everything.
         sys.clear_vol(&browser.pkg).unwrap();
         assert!(sys
-            .open_download(
-                Some(&browser.pkg),
-                &vpath("/storage/sdcard/Download/page.pdf")
-            )
+            .open_download(Some(&browser.pkg), &vpath("/storage/sdcard/Download/page.pdf"))
             .is_err());
     }
 
@@ -515,9 +468,6 @@ mod tests {
         // namespace entirely — our model is even stricter than stock
         // Android's world-readable trick).
         let other = sys.launch("com.other").unwrap();
-        assert!(sys
-            .kernel
-            .read_dir(other, &cached.parent().unwrap())
-            .is_err());
+        assert!(sys.kernel.read_dir(other, &cached.parent().unwrap()).is_err());
     }
 }

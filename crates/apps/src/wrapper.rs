@@ -24,10 +24,9 @@ impl WrapperApp {
     /// Manifest: every outgoing intent invokes a delegate (an empty
     /// blacklist matches nothing, so everything is private).
     pub fn maxoid_manifest(&self) -> MaxoidManifest {
-        MaxoidManifest::new()
-            .filter(InvocationFilter::default())
-            // A default filter matches every intent; whitelist mode makes
-            // every invocation private.
+        MaxoidManifest::new().filter(InvocationFilter::default())
+        // A default filter matches every intent; whitelist mode makes
+        // every invocation private.
     }
 
     /// Stores a sensitive document in the wrapper's private storage.
@@ -84,17 +83,12 @@ mod tests {
         install_viewer(&mut sys, &reader.pkg).unwrap();
 
         let wpid = sys.launch(&wrapper.pkg).unwrap();
-        let doc = wrapper
-            .hold_document(&mut sys, wpid, "tax_return.pdf", b"sensitive")
-            .unwrap();
+        let doc = wrapper.hold_document(&mut sys, wpid, "tax_return.pdf", b"sensitive").unwrap();
         let vpid = wrapper.open_with(&mut sys, wpid, &doc, &reader.pkg).unwrap().pid();
         assert!(sys.kernel.process(vpid).unwrap().ctx.is_delegate());
         // The reader leaves its usual traces while confined.
         reader.open(&mut sys, vpid, &FileRef::Path(doc.clone())).unwrap();
-        assert_eq!(
-            read_private_lines(&sys, vpid, &reader.pkg, "recent_files.xml").len(),
-            1
-        );
+        assert_eq!(read_private_lines(&sys, vpid, &reader.pkg, "recent_files.xml").len(), 1);
 
         // End the session: every trace disappears.
         wrapper.end_session(&mut sys).unwrap();

@@ -10,6 +10,9 @@
 //! 3. **File- vs block-granularity copy-up** (paper §7.2.1): append cost
 //!    as a function of file size, showing the O(file size) behaviour that
 //!    makes append the worst case.
+//! 4. **Secondary indexes vs full scans**: point queries on a 1000-row
+//!    table with and without an index, plain and through a COW view whose
+//!    delta table mirrors the index on both UNION ALL arms.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maxoid::manifest::MaxoidManifest;
@@ -71,6 +74,69 @@ fn bench_flattening(c: &mut Criterion) {
     g.finish();
 }
 
+/// Secondary indexes vs full scans: a point query on a 1000-row table,
+/// and the same predicate through a flattened COW view where both UNION
+/// ALL arms carry the index.
+fn bench_index_vs_fullscan(c: &mut Criterion) {
+    use maxoid_sqldb::Database;
+    let mut g = c.benchmark_group("ablation/index_vs_fullscan");
+    g.sample_size(20);
+    let build = |indexed: bool| {
+        let mut db = Database::new();
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, data TEXT);").expect("schema");
+        for i in 0..1000 {
+            db.execute("INSERT INTO t (data) VALUES (?)", &[Value::Text(format!("row{i:04}"))])
+                .expect("seed");
+        }
+        if indexed {
+            db.execute_batch("CREATE INDEX idx_t_data ON t (data);").expect("index");
+        }
+        db
+    };
+    for (name, indexed) in [("full_scan", false), ("indexed", true)] {
+        let db = build(indexed);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 1) % 1000;
+                let rs = db
+                    .query("SELECT _id FROM t WHERE data = ?", &[Value::Text(format!("row{i:04}"))])
+                    .expect("query");
+                std::hint::black_box(rs.rows.len());
+            });
+        });
+    }
+    // COW view on top: the proxy mirrors the index onto the delta table,
+    // so the flattened point query probes on both arms.
+    for (name, indexed) in [("cow_full_scan", false), ("cow_indexed", true)] {
+        let mut p = cow_table(FlattenPolicy::Sqlite386, 1000, 50);
+        if indexed {
+            // The fork predates the index here, so mirror it by hand the
+            // way ensure_cow would for a post-index fork.
+            p.execute_batch("CREATE INDEX idx_tab1_data ON tab1 (data);").expect("index");
+            p.execute_batch("CREATE INDEX idx_tab1_data_delta_A ON tab1_delta_A (data);")
+                .expect("index");
+        }
+        let delegate = DbView::Delegate { initiator: "A".into() };
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = (i + 1) % 1000;
+                let rs = p
+                    .query(
+                        &delegate,
+                        "tab1",
+                        &QueryOpts { where_clause: Some("data = ?".into()), ..Default::default() },
+                        &[Value::Text(format!("d{i}"))],
+                    )
+                    .expect("query");
+                std::hint::black_box(rs.rows.len());
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_snapshot_vs_unilateral(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/delegate_start");
     g.sample_size(10);
@@ -98,9 +164,7 @@ fn bench_snapshot_vs_unilateral(c: &mut Criterion) {
                 sys.install("init", vec![], MaxoidManifest::new()).expect("install");
                 sys.install("worker", vec![], MaxoidManifest::new()).expect("install");
                 seed(&mut sys, files);
-                std::hint::black_box(
-                    sys.launch_as_delegate("worker", "init").expect("delegate"),
-                );
+                std::hint::black_box(sys.launch_as_delegate("worker", "init").expect("delegate"));
             });
         });
         // Full snapshot (the rejected design): copy all of Pub(all) into
@@ -119,9 +183,7 @@ fn bench_snapshot_vs_unilateral(c: &mut Criterion) {
                     s.copy_all(&vpath("/backing/ext/pub"), &vpath("/backing/snapshots/worker"))
                         .expect("snapshot");
                 });
-                std::hint::black_box(
-                    sys.launch_as_delegate("worker", "init").expect("delegate"),
-                );
+                std::hint::black_box(sys.launch_as_delegate("worker", "init").expect("delegate"));
             });
         });
     }
@@ -150,27 +212,18 @@ fn bench_granularity(c: &mut Criterion) {
     use maxoid_vfs::{vpath, Branch, CopyUpGranularity, Store, Union};
     let mut g = c.benchmark_group("ablation/copyup_granularity_1MB_append");
     g.sample_size(15);
-    for (name, granularity) in [
-        ("file_level_aufs", CopyUpGranularity::File),
-        ("block_level", CopyUpGranularity::Block),
-    ] {
+    for (name, granularity) in
+        [("file_level_aufs", CopyUpGranularity::File), ("block_level", CopyUpGranularity::Block)]
+    {
         g.bench_function(BenchmarkId::from_parameter(name), |b| {
             let mut store = Store::new();
-            store
-                .mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC)
-                .expect("mkdir");
-            store
-                .mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC)
-                .expect("mkdir");
+            store.mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC).expect("mkdir");
+            store.mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC).expect("mkdir");
             let payload = vec![0u8; 1024 * 1024];
-            store
-                .write(&vpath("/low/big.dat"), &payload, Uid::ROOT, Mode::PUBLIC)
-                .expect("seed");
-            let union = Union::new(
-                vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))],
-                false,
-            )
-            .with_granularity(granularity);
+            store.write(&vpath("/low/big.dat"), &payload, Uid::ROOT, Mode::PUBLIC).expect("seed");
+            let union =
+                Union::new(vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))], false)
+                    .with_granularity(granularity);
             b.iter(|| {
                 // Reset to the pre-copy-up state so every iteration pays
                 // the first-touch cost.
@@ -186,6 +239,7 @@ fn bench_granularity(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_flattening,
+    bench_index_vs_fullscan,
     bench_snapshot_vs_unilateral,
     bench_copyup_scaling,
     bench_granularity

@@ -92,8 +92,7 @@ fn bench_media_scan(c: &mut Criterion) {
                     .mkdir_all(pid, &vpath("/storage/sdcard/DCIM"), Mode::PUBLIC)
                     .expect("mkdir");
                 for i in 0..FILES {
-                    let path =
-                        vpath("/storage/sdcard/DCIM").join(&format!("img{i}.jpg")).unwrap();
+                    let path = vpath("/storage/sdcard/DCIM").join(&format!("img{i}.jpg")).unwrap();
                     sys.kernel.write(pid, &path, &image, Mode::PUBLIC).expect("img");
                     sys.scan_media(pid, &path, MediaKind::Image, &format!("img{i}"), IMAGE_SIZE)
                         .expect("scan");

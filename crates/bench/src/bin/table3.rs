@@ -6,14 +6,18 @@
 use maxoid_apps::compute;
 use maxoid_bench::report::fmt_overhead;
 use maxoid_bench::{
-    measure_interleaved, Case, DictMode, DictWorkload, FsMode, FsWorkload, Measurement,
+    measure_interleaved, BenchJson, Case, DictMode, DictWorkload, FsMode, FsWorkload, Measurement,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
 
 const TRIALS: usize = 200;
 
+/// The three columns of every Table 3 row, in measurement order.
+const MODES: [&str; 3] = ["android", "initiator", "delegate"];
+
 fn main() {
+    let mut json = BenchJson::new();
     println!("Table 3 — microbenchmark overheads vs unmodified Android");
     println!("(paper shape: initiator ~0 everywhere; delegate pays only on I/O,");
     println!(" with append the worst case; {TRIALS} interleaved trials per cell)\n");
@@ -34,7 +38,7 @@ fn main() {
             .collect(),
     );
     println!("CPU-bound (48x48 matmul):");
-    print_row("cpu", &cpu);
+    print_row(&mut json, "cpu", "matmul", &cpu);
 
     // --- Internal file system -----------------------------------------
     for (label, size) in [("4KB", 4 * 1024usize), ("1MB", 1024 * 1024)] {
@@ -61,7 +65,7 @@ fn main() {
                 })
                 .collect(),
         );
-        print_row("read", &reads);
+        print_row(&mut json, &format!("fs_{label}"), "read", &reads);
 
         // write (create new files)
         let writes = measure_interleaved(
@@ -70,15 +74,13 @@ fn main() {
                 .iter()
                 .map(|&mode| {
                     let w = Rc::new(RefCell::new(FsWorkload::new(mode, 1, size)));
-                    let case: Case = (
-                        Box::new(|| {}),
-                        Box::new(move || w.borrow_mut().write_new(size)),
-                    );
+                    let case: Case =
+                        (Box::new(|| {}), Box::new(move || w.borrow_mut().write_new(size)));
                     case
                 })
                 .collect(),
         );
-        print_row("write", &writes);
+        print_row(&mut json, &format!("fs_{label}"), "write", &writes);
 
         // append (copy-up path for delegates; reset between trials)
         let appends = measure_interleaved(
@@ -96,7 +98,7 @@ fn main() {
                 })
                 .collect(),
         );
-        print_row("append", &appends);
+        print_row(&mut json, &format!("fs_{label}"), "append", &appends);
     }
 
     // --- User Dictionary provider ---------------------------------------
@@ -104,25 +106,27 @@ fn main() {
     let rows = 1000;
 
     let inserts = dict_cases(rows, 0, |w, i| w.insert(i));
-    print_row("insert", &inserts);
+    print_row(&mut json, "dict", "insert", &inserts);
 
     let updates = dict_cases(rows, 0, |w, _| w.update());
-    print_row("update", &updates);
+    print_row(&mut json, "dict", "update", &updates);
 
     // Queries run after updates so primary + delta are both involved.
     let query1 = dict_cases(rows, 50, move |w, i| {
         std::hint::black_box(w.query_one((i % rows) as i64 + 1));
     });
-    print_row("query 1 word", &query1);
+    print_row(&mut json, "dict", "query 1 word", &query1);
 
     let query1k = dict_cases_n(40, rows, 50, |w, _| {
         std::hint::black_box(w.query_all());
     });
-    print_row("query 1k words", &query1k);
+    print_row(&mut json, "dict", "query 1k words", &query1k);
 
     let deletes = dict_cases(rows, 0, move |w, i| w.delete((i % rows) as i64 + 1));
-    print_row("delete", &deletes);
+    print_row(&mut json, "dict", "delete", &deletes);
 
+    json.write("BENCH_table3.json").expect("write BENCH_table3.json");
+    println!("\n(wrote BENCH_table3.json)");
     println!("\n(percentages are relative to the android column; the in-memory");
     println!(" baseline is far faster than device SQLite/ext4, which inflates");
     println!(" relative overheads — compare the absolute added microseconds and");
@@ -178,7 +182,10 @@ fn dict_cases_n(
 /// Maxoid adds and its ordering across workloads are the comparable
 /// quantities; percentages against a sub-µs baseline overstate relative
 /// cost. See EXPERIMENTS.md.
-fn print_row(label: &str, ms: &[Measurement]) {
+fn print_row(json: &mut BenchJson, section: &str, label: &str, ms: &[Measurement]) {
+    for (mode, m) in MODES.iter().zip(ms) {
+        json.push(&format!("{section}/{label}/{mode}"), m);
+    }
     let base = &ms[0];
     println!(
         "  {:<16} android {:>9.1} us | initiator {:>9.1} us ({:>6}) | delegate {:>9.1} us ({:>6})",

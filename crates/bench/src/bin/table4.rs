@@ -7,7 +7,7 @@
 
 use maxoid::manifest::MaxoidManifest;
 use maxoid::{DownloadRequest, MaxoidSystem, MediaKind};
-use maxoid_bench::{measure, Measurement};
+use maxoid_bench::{measure, BenchJson, Measurement};
 use maxoid_vfs::vpath;
 
 const FILES: usize = 100;
@@ -16,6 +16,7 @@ const IMAGE_SIZE: usize = 780 * 1024; // 780 KB images.
 const TRIALS: usize = 5;
 
 fn main() {
+    let mut json = BenchJson::new();
     println!("Table 4 — provider task times ({TRIALS} trials)");
     println!("(paper: ~equal across all three columns)\n");
 
@@ -24,17 +25,31 @@ fn main() {
     let dl_public = bench_downloads(DlMode::Public);
     let dl_volatile = bench_downloads(DlMode::Volatile);
     println!("download 100 x 1KB files:");
-    print_row(&dl_android, &dl_public, &dl_volatile);
+    print_row(&mut json, "download_100x1KB", &dl_android, &dl_public, &dl_volatile);
 
     // --- Scan 100 images into Media ------------------------------------
     let sc_android = bench_media_scan(ScanMode::Baseline);
     let sc_public = bench_media_scan(ScanMode::Public);
     let sc_volatile = bench_media_scan(ScanMode::Volatile);
     println!("\nscan 100 x 780KB images (metadata into Media):");
-    print_row(&sc_android, &sc_public, &sc_volatile);
+    print_row(&mut json, "media_scan_100x780KB", &sc_android, &sc_public, &sc_volatile);
+
+    json.write("BENCH_table4.json").expect("write BENCH_table4.json");
+    println!("\n(wrote BENCH_table4.json)");
 }
 
-fn print_row(android: &Measurement, public: &Measurement, volatile: &Measurement) {
+fn print_row(
+    json: &mut BenchJson,
+    task: &str,
+    android: &Measurement,
+    public: &Measurement,
+    volatile: &Measurement,
+) {
+    for (mode, m) in
+        [("android", android), ("maxoid_public", public), ("maxoid_volatile", volatile)]
+    {
+        json.push(&format!("{task}/{mode}"), m);
+    }
     println!(
         "  android {:>10.2} ms | maxoid->public {:>10.2} ms | maxoid->volatile {:>10.2} ms",
         android.mean_ns() / 1e6,
@@ -62,11 +77,7 @@ fn bench_downloads(mode: DlMode) -> Measurement {
         || {
             let mut sys = MaxoidSystem::boot().expect("boot");
             for i in 0..FILES {
-                sys.kernel.net.publish(
-                    "files.example",
-                    &format!("f{i}.bin"),
-                    vec![0u8; FILE_SIZE],
-                );
+                sys.kernel.net.publish("files.example", &format!("f{i}.bin"), vec![0u8; FILE_SIZE]);
             }
             sys.install("bench.app", vec![], MaxoidManifest::new()).expect("install");
             let pid = sys.launch("bench.app").expect("launch");
@@ -143,8 +154,7 @@ fn bench_media_scan(mode: ScanMode) -> Measurement {
             };
             let image = vec![0u8; IMAGE_SIZE];
             for i in 0..FILES {
-                let path =
-                    vpath("/storage/sdcard/DCIM").join(&format!("img{i}.jpg")).unwrap();
+                let path = vpath("/storage/sdcard/DCIM").join(&format!("img{i}.jpg")).unwrap();
                 sys.kernel
                     .mkdir_all(pid, &vpath("/storage/sdcard/DCIM"), maxoid_vfs::Mode::PUBLIC)
                     .expect("mkdir");
@@ -167,8 +177,14 @@ fn bench_media_scan(mode: ScanMode) -> Measurement {
                             .expect("meta");
                     }
                     _ => {
-                        sys.scan_media(pid, &path, MediaKind::Image, &format!("img{i}"), IMAGE_SIZE)
-                            .expect("scan");
+                        sys.scan_media(
+                            pid,
+                            &path,
+                            MediaKind::Image,
+                            &format!("img{i}"),
+                            IMAGE_SIZE,
+                        )
+                        .expect("scan");
                     }
                 }
             }

@@ -70,13 +70,18 @@ impl FsWorkload {
         let payload = vec![0xabu8; size];
         for i in 0..nfiles {
             sys.kernel
-                .write(seed_pid, &dir.join(&format!("orig{i}.dat")).unwrap(), &payload, Mode::PRIVATE)
+                .write(
+                    seed_pid,
+                    &dir.join(&format!("orig{i}.dat")).unwrap(),
+                    &payload,
+                    Mode::PRIVATE,
+                )
                 .expect("seed");
         }
         let pid = match mode {
-            FsMode::Delegate => sys
-                .launch_as_delegate("bench.app", "bench.initiator")
-                .expect("delegate launch"),
+            FsMode::Delegate => {
+                sys.launch_as_delegate("bench.app", "bench.initiator").expect("delegate launch")
+            }
             _ => seed_pid,
         };
         FsWorkload { sys, pid, dir, counter: 0 }
@@ -96,20 +101,14 @@ impl FsWorkload {
     pub fn write_new(&mut self, size: usize) {
         self.counter += 1;
         let p = self.dir.join(&format!("new{}.dat", self.counter)).expect("valid name");
-        self.sys
-            .kernel
-            .write(self.pid, &p, &vec![0x5au8; size], Mode::PRIVATE)
-            .expect("write");
+        self.sys.kernel.write(self.pid, &p, &vec![0x5au8; size], Mode::PRIVATE).expect("write");
     }
 
     /// Appends `size` bytes to seeded file `i`, doubling it the first
     /// time (the paper's append workload). In Delegate mode the first
     /// append pays whole-file copy-up.
     pub fn append(&self, i: usize, size: usize) {
-        self.sys
-            .kernel
-            .append(self.pid, &self.seeded(i), &vec![0x77u8; size])
-            .expect("append");
+        self.sys.kernel.append(self.pid, &self.seeded(i), &vec![0x77u8; size]).expect("append");
     }
 
     /// Re-seeds file `i` (restores its original content in the branch it

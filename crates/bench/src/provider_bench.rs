@@ -59,15 +59,8 @@ impl DictWorkload {
             DictMode::Delegate => Caller::delegate("bench.app", "bench.initiator"),
             _ => Caller::normal("bench.app"),
         };
-        let mut w = DictWorkload {
-            mode,
-            raw: None,
-            provider: None,
-            caller,
-            uri,
-            rows,
-            next_update: 0,
-        };
+        let mut w =
+            DictWorkload { mode, raw: None, provider: None, caller, uri, rows, next_update: 0 };
         match mode {
             DictMode::Android => {
                 let mut db = Database::with_policy(FlattenPolicy::Sqlite386);

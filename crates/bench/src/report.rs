@@ -76,7 +76,6 @@ where
     Measurement { trials_ns }
 }
 
-
 /// One interleaved-measurement case: (per-trial setup, timed operation).
 pub type Case = (Box<dyn FnMut()>, Box<dyn FnMut()>);
 
@@ -99,6 +98,66 @@ pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measureme
             let start = Instant::now();
             op();
             out[i].trials_ns.push(start.elapsed().as_nanos() as u64);
+        }
+    }
+    out
+}
+
+/// Accumulates named measurements and serialises them as a small JSON
+/// document for CI artifacts (`BENCH_table3.json`, `BENCH_table4.json`).
+///
+/// Hand-rolled on purpose: the workspace carries no JSON dependency and
+/// the schema is flat enough not to need one.
+#[derive(Debug, Default)]
+pub struct BenchJson {
+    rows: Vec<(String, f64, f64)>,
+}
+
+impl BenchJson {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        BenchJson::default()
+    }
+
+    /// Records one benchmark cell under `name`.
+    pub fn push(&mut self, name: &str, m: &Measurement) {
+        self.rows.push((name.to_string(), m.mean_us(), m.stddev_ns() / 1_000.0));
+    }
+
+    /// Renders the report as a JSON string:
+    /// `{"benchmarks": [{"name": ..., "mean_us": ..., "stddev_us": ...}, ...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmarks\": [\n");
+        for (i, (name, mean, stddev)) in self.rows.iter().enumerate() {
+            let comma = if i + 1 < self.rows.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"mean_us\": {:.3}, \"stddev_us\": {:.3}}}{comma}\n",
+                json_escape(name),
+                mean,
+                stddev,
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path`.
+    pub fn write(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
         }
     }
     out
@@ -149,5 +208,29 @@ mod tests {
         assert_eq!(fmt_overhead(0.2), "0");
         assert_eq!(fmt_overhead(7.5), "7.5%");
         assert_eq!(fmt_overhead(-3.0), "-3.0%");
+    }
+
+    #[test]
+    fn bench_json_shape() {
+        let mut j = BenchJson::new();
+        j.push("dict/insert/android", &Measurement { trials_ns: vec![1_000, 3_000] });
+        j.push("dict/insert/delegate", &Measurement { trials_ns: vec![2_000] });
+        let s = j.to_json();
+        assert!(s.starts_with("{\n  \"benchmarks\": [\n"));
+        assert!(s.contains("\"name\": \"dict/insert/android\", \"mean_us\": 2.000"));
+        assert!(s.contains(
+            "\"name\": \"dict/insert/delegate\", \"mean_us\": 2.000, \"stddev_us\": 0.000}"
+        ));
+        // Exactly one separating comma between the two entries.
+        assert_eq!(s.matches("},").count(), 1);
+        assert!(s.trim_end().ends_with("]\n}"));
+    }
+
+    #[test]
+    fn bench_json_escapes_names() {
+        let mut j = BenchJson::new();
+        j.push("a\"b\\c\nd", &Measurement { trials_ns: vec![1] });
+        let s = j.to_json();
+        assert!(s.contains(r#""name": "a\"b\\c\nd""#));
     }
 }

@@ -132,11 +132,8 @@ impl ActivityManager {
         match sender {
             None => Ok(ExecContext::Normal),
             Some((app, ExecContext::Normal)) => {
-                let manifest_wants = self
-                    .apps
-                    .get(app)
-                    .map(|r| r.manifest.wants_delegate(intent))
-                    .unwrap_or(false);
+                let manifest_wants =
+                    self.apps.get(app).map(|r| r.manifest.wants_delegate(intent)).unwrap_or(false);
                 if intent.delegate_requested() || manifest_wants {
                     Ok(ExecContext::OnBehalfOf(app.clone()))
                 } else {
@@ -196,10 +193,7 @@ impl ActivityManager {
         running: &[(Pid, AppId, ExecContext)],
     ) -> Vec<Pid> {
         let matches_filter = |app: &AppId| {
-            self.apps
-                .get(app)
-                .map(|r| r.filters.iter().any(|f| f.accepts(intent)))
-                .unwrap_or(false)
+            self.apps.get(app).map(|r| r.filters.iter().any(|f| f.accepts(intent))).unwrap_or(false)
         };
         match sender {
             Some((_, ExecContext::OnBehalfOf(init))) => running
@@ -259,9 +253,7 @@ mod tests {
         let a = ams();
         let email = AppId::new("email");
         // Email's manifest marks VIEW intents private: delegate context.
-        let ctx = a
-            .invocation_context(Some((&email, &ExecContext::Normal)), &view_pdf())
-            .unwrap();
+        let ctx = a.invocation_context(Some((&email, &ExecContext::Normal)), &view_pdf()).unwrap();
         assert_eq!(ctx, ExecContext::OnBehalfOf(email.clone()));
         // A SEND intent is not filtered: normal context.
         let ctx = a
@@ -278,10 +270,7 @@ mod tests {
         let a = ams();
         let scanner = AppId::new("scanner");
         let ctx = a
-            .invocation_context(
-                Some((&scanner, &ExecContext::Normal)),
-                &view_pdf().as_delegate(),
-            )
+            .invocation_context(Some((&scanner, &ExecContext::Normal)), &view_pdf().as_delegate())
             .unwrap();
         assert_eq!(ctx, ExecContext::OnBehalfOf(scanner));
     }
@@ -305,9 +294,7 @@ mod tests {
     fn chooser_for_multiple_candidates() {
         let a = ams();
         let email = AppId::new("email");
-        let route = a
-            .route(Some((&email, &ExecContext::Normal)), &view_pdf(), &[])
-            .unwrap();
+        let route = a.route(Some((&email, &ExecContext::Normal)), &view_pdf(), &[]).unwrap();
         match route {
             Route::Chooser { candidates, ctx } => {
                 assert_eq!(candidates.len(), 2);
@@ -318,11 +305,7 @@ mod tests {
         }
         // Explicit target resolves uniquely.
         let route = a
-            .route(
-                Some((&email, &ExecContext::Normal)),
-                &view_pdf().with_target("viewer"),
-                &[],
-            )
+            .route(Some((&email, &ExecContext::Normal)), &view_pdf().with_target("viewer"), &[])
             .unwrap();
         assert!(matches!(route, Route::Start { target, .. } if target == AppId::new("viewer")));
     }
@@ -357,8 +340,7 @@ mod tests {
     fn same_context_instance_not_killed() {
         let a = ams();
         let email = AppId::new("email");
-        let running =
-            vec![(Pid(1), AppId::new("viewer"), ExecContext::OnBehalfOf(email.clone()))];
+        let running = vec![(Pid(1), AppId::new("viewer"), ExecContext::OnBehalfOf(email.clone()))];
         let route = a
             .route(
                 Some((&email, &ExecContext::Normal)),
@@ -407,8 +389,7 @@ mod tests {
         assert_eq!(targets, vec![Pid(1), Pid(2)]);
         // From a normal app: everyone with a receiver.
         let scanner = AppId::new("scanner");
-        let targets =
-            a.broadcast_targets(Some((&scanner, &ExecContext::Normal)), &bcast, &running);
+        let targets = a.broadcast_targets(Some((&scanner, &ExecContext::Normal)), &bcast, &running);
         assert_eq!(targets, vec![Pid(1), Pid(2), Pid(3), Pid(4)]);
     }
 }

@@ -52,12 +52,7 @@ impl BranchManager {
     /// Creates an app's backing directories at install time: its internal
     /// private dir (owned by its uid) and its declared private
     /// external-storage branches.
-    pub fn prepare_app(
-        &self,
-        pkg: &str,
-        uid: Uid,
-        manifest: &MaxoidManifest,
-    ) -> VfsResult<()> {
+    pub fn prepare_app(&self, pkg: &str, uid: Uid, manifest: &MaxoidManifest) -> VfsResult<()> {
         self.vfs.with_store_mut(|s| {
             s.mkdir_all(&layout::back_internal(pkg)?, uid, Mode::PRIVATE)?;
             for rel in &manifest.private_ext_dirs {
@@ -95,16 +90,13 @@ impl BranchManager {
         );
         // EXTDIR: the public branch, read-write.
         ns.add(
-            Mount::bind(layout::extdir(), layout::back_ext_pub())
-                .with_forced_mode(Mode::PUBLIC),
+            Mount::bind(layout::extdir(), layout::back_ext_pub()).with_forced_mode(Mode::PUBLIC),
         );
         // Declared private external dirs are backed by the app's branch.
         for rel in &manifest.private_ext_dirs {
             let host = layout::back_ext_app(pkg)?.join(rel)?;
             self.ensure_dir(&host)?;
-            ns.add(
-                Mount::bind(layout::extdir().join(rel)?, host).with_forced_mode(Mode::PUBLIC),
-            );
+            ns.add(Mount::bind(layout::extdir().join(rel)?, host).with_forced_mode(Mode::PUBLIC));
         }
         // EXTDIR/tmp: the initiator's view of Vol(pkg) files.
         let ext_tmp = layout::back_ext_tmp(pkg)?;
@@ -131,10 +123,8 @@ impl BranchManager {
         // Priv(B).
         let overlay = layout::back_npriv(init, pkg)?;
         self.ensure_dir(&overlay)?;
-        let npriv = Union::new(
-            vec![Branch::rw(overlay), Branch::ro(layout::back_internal(pkg)?)],
-            false,
-        );
+        let npriv =
+            Union::new(vec![Branch::rw(overlay), Branch::ro(layout::back_internal(pkg)?)], false);
         ns.add(Mount::union(layout::internal_dir(pkg)?, npriv));
 
         // pPriv(B^A): persistent, per-initiator, a plain writable bind.
@@ -147,22 +137,15 @@ impl BranchManager {
         // paper's "modify Aufs to always allow read" change.
         let itmp = layout::back_internal_tmp(init)?;
         self.ensure_dir(&itmp)?;
-        let init_priv = Union::new(
-            vec![Branch::rw(itmp), Branch::ro(layout::back_internal(init)?)],
-            true,
-        );
-        ns.add(
-            Mount::union(layout::internal_dir(init)?, init_priv)
-                .with_forced_mode(Mode::PUBLIC),
-        );
+        let init_priv =
+            Union::new(vec![Branch::rw(itmp), Branch::ro(layout::back_internal(init)?)], true);
+        ns.add(Mount::union(layout::internal_dir(init)?, init_priv).with_forced_mode(Mode::PUBLIC));
 
         // EXTDIR: A/tmp (rw) over pub (Table 2 row 1).
         let a_tmp = layout::back_ext_tmp(init)?;
         self.ensure_dir(&a_tmp)?;
-        let ext = Union::new(
-            vec![Branch::rw(a_tmp.clone()), Branch::ro(layout::back_ext_pub())],
-            false,
-        );
+        let ext =
+            Union::new(vec![Branch::rw(a_tmp.clone()), Branch::ro(layout::back_ext_pub())], false);
         ns.add(Mount::union(layout::extdir(), ext).with_forced_mode(Mode::PUBLIC));
 
         // The initiator's private external dirs: A/tmp/<rel> (rw) over
@@ -174,9 +157,7 @@ impl BranchManager {
             let lower = layout::back_ext_app(init)?.join(rel)?;
             self.ensure_dir(&lower)?;
             let u = Union::new(vec![Branch::rw(upper), Branch::ro(lower)], true);
-            ns.add(
-                Mount::union(layout::extdir().join(rel)?, u).with_forced_mode(Mode::PUBLIC),
-            );
+            ns.add(Mount::union(layout::extdir().join(rel)?, u).with_forced_mode(Mode::PUBLIC));
         }
 
         // The delegate's own private external dirs: B-A/<rel> (rw) over
@@ -187,9 +168,7 @@ impl BranchManager {
             let lower = layout::back_ext_app(pkg)?.join(rel)?;
             self.ensure_dir(&lower)?;
             let u = Union::new(vec![Branch::rw(upper), Branch::ro(lower)], false);
-            ns.add(
-                Mount::union(layout::extdir().join(rel)?, u).with_forced_mode(Mode::PUBLIC),
-            );
+            ns.add(Mount::union(layout::extdir().join(rel)?, u).with_forced_mode(Mode::PUBLIC));
         }
 
         // No EXTDIR/tmp for delegates (Table 2 row 4: N/A).
@@ -228,8 +207,7 @@ pub struct BranchLocator;
 
 impl FileLocator for BranchLocator {
     fn public_host(&self, path: &VPath) -> VfsResult<VPath> {
-        path.rebase(&layout::extdir(), &layout::back_ext_pub())
-            .ok_or(VfsError::InvalidArgument)
+        path.rebase(&layout::extdir(), &layout::back_ext_pub()).ok_or(VfsError::InvalidArgument)
     }
 
     fn volatile_host(&self, initiator: &str, path: &VPath) -> VfsResult<VPath> {
@@ -315,36 +293,22 @@ mod tests {
         let x = Cred::new(Uid(10_003));
 
         // A puts file b in its private external dir; public file c exists.
-        vfs.write(a, &a_ns, &vpath("/storage/sdcard/data/A/b"), b"v1", Mode::PUBLIC)
-            .unwrap();
+        vfs.write(a, &a_ns, &vpath("/storage/sdcard/data/A/b"), b"v1", Mode::PUBLIC).unwrap();
         vfs.write(x, &x_ns, &vpath("/storage/sdcard/c"), b"c1", Mode::PUBLIC).unwrap();
 
         // B^A reads and edits b (allowed via A's exposed view).
-        assert_eq!(
-            vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(),
-            b"v1"
-        );
-        vfs.write(b, &del_ns, &vpath("/storage/sdcard/data/A/b"), b"v2", Mode::PUBLIC)
-            .unwrap();
+        assert_eq!(vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(), b"v1");
+        vfs.write(b, &del_ns, &vpath("/storage/sdcard/data/A/b"), b"v2", Mode::PUBLIC).unwrap();
         // Side change on c.
         vfs.write(b, &del_ns, &vpath("/storage/sdcard/c"), b"c2", Mode::PUBLIC).unwrap();
 
         // B^A reads its own writes (U2).
-        assert_eq!(
-            vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(),
-            b"v2"
-        );
+        assert_eq!(vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(), b"v2");
         assert_eq!(vfs.read(b, &del_ns, &vpath("/storage/sdcard/c")).unwrap(), b"c2");
 
         // A sees the original b, and the updated version under tmp.
-        assert_eq!(
-            vfs.read(a, &a_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(),
-            b"v1"
-        );
-        assert_eq!(
-            vfs.read(a, &a_ns, &vpath("/storage/sdcard/tmp/data/A/b")).unwrap(),
-            b"v2"
-        );
+        assert_eq!(vfs.read(a, &a_ns, &vpath("/storage/sdcard/data/A/b")).unwrap(), b"v1");
+        assert_eq!(vfs.read(a, &a_ns, &vpath("/storage/sdcard/tmp/data/A/b")).unwrap(), b"v2");
         assert_eq!(vfs.read(a, &a_ns, &vpath("/storage/sdcard/tmp/c")).unwrap(), b"c2");
 
         // X sees neither A's private file nor any of B^A's updates (S1).
@@ -366,15 +330,10 @@ mod tests {
         let b = Cred::new(UID_B);
 
         // Normal B has a file in its private external dir.
-        vfs.write(b, &b_ns, &vpath("/storage/sdcard/data/B/base"), b"base", Mode::PUBLIC)
-            .unwrap();
+        vfs.write(b, &b_ns, &vpath("/storage/sdcard/data/B/base"), b"base", Mode::PUBLIC).unwrap();
         // B^A sees it (U1) and writes a new file there.
-        assert_eq!(
-            vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/B/base")).unwrap(),
-            b"base"
-        );
-        vfs.write(b, &del_ns, &vpath("/storage/sdcard/data/B/leak"), b"x", Mode::PUBLIC)
-            .unwrap();
+        assert_eq!(vfs.read(b, &del_ns, &vpath("/storage/sdcard/data/B/base")).unwrap(), b"base");
+        vfs.write(b, &del_ns, &vpath("/storage/sdcard/data/B/leak"), b"x", Mode::PUBLIC).unwrap();
         // Invisible to normal B (S4) and to A (S3).
         assert!(!vfs.exists(b, &b_ns, &vpath("/storage/sdcard/data/B/leak")));
         assert!(!vfs.exists(a, &a_ns, &vpath("/storage/sdcard/data/B/leak")));
@@ -393,18 +352,13 @@ mod tests {
         let b = Cred::new(UID_B);
 
         // A stores a private internal attachment.
-        vfs.write(a, &a_ns, &vpath("/data/data/A/att.pdf"), b"secret", Mode::PRIVATE)
-            .unwrap();
+        vfs.write(a, &a_ns, &vpath("/data/data/A/att.pdf"), b"secret", Mode::PRIVATE).unwrap();
         // B^A reads it despite the uid mismatch (always-allow-read Aufs).
         assert_eq!(vfs.read(b, &del_ns, &vpath("/data/data/A/att.pdf")).unwrap(), b"secret");
         // B^A modifies it: redirected, A sees original + tmp copy.
-        vfs.write(b, &del_ns, &vpath("/data/data/A/att.pdf"), b"edited", Mode::PUBLIC)
-            .unwrap();
+        vfs.write(b, &del_ns, &vpath("/data/data/A/att.pdf"), b"edited", Mode::PUBLIC).unwrap();
         assert_eq!(vfs.read(a, &a_ns, &vpath("/data/data/A/att.pdf")).unwrap(), b"secret");
-        assert_eq!(
-            vfs.read(a, &a_ns, &vpath("/data/data/A/tmp/att.pdf")).unwrap(),
-            b"edited"
-        );
+        assert_eq!(vfs.read(a, &a_ns, &vpath("/data/data/A/tmp/att.pdf")).unwrap(), b"edited");
     }
 
     #[test]
@@ -417,13 +371,11 @@ mod tests {
         let del_ns = bm.delegate_namespace("B", &mb, "A", &ma).unwrap();
         let b = Cred::new(UID_B);
 
-        vfs.write(b, &b_ns, &vpath("/data/data/B/prefs.xml"), b"p1", Mode::PRIVATE)
-            .unwrap();
+        vfs.write(b, &b_ns, &vpath("/data/data/B/prefs.xml"), b"p1", Mode::PRIVATE).unwrap();
         // Delegate sees B's prefs (U1)...
         assert_eq!(vfs.read(b, &del_ns, &vpath("/data/data/B/prefs.xml")).unwrap(), b"p1");
         // ...its update is confined to the overlay (S4).
-        vfs.write(b, &del_ns, &vpath("/data/data/B/prefs.xml"), b"p2", Mode::PRIVATE)
-            .unwrap();
+        vfs.write(b, &del_ns, &vpath("/data/data/B/prefs.xml"), b"p2", Mode::PRIVATE).unwrap();
         assert_eq!(vfs.read(b, &b_ns, &vpath("/data/data/B/prefs.xml")).unwrap(), b"p1");
         assert_eq!(vfs.read(b, &del_ns, &vpath("/data/data/B/prefs.xml")).unwrap(), b"p2");
     }

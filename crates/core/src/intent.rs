@@ -134,9 +134,7 @@ mod tests {
     #[test]
     fn filter_accepts_by_action_and_mime() {
         let f = AppIntentFilter::new("android.intent.action.VIEW", Some("application/"));
-        assert!(f.accepts(
-            &Intent::new("android.intent.action.VIEW").with_mime("application/pdf")
-        ));
+        assert!(f.accepts(&Intent::new("android.intent.action.VIEW").with_mime("application/pdf")));
         assert!(!f.accepts(&Intent::new("android.intent.action.VIEW").with_mime("image/png")));
         assert!(!f.accepts(&Intent::new("android.intent.action.VIEW")));
         let any = AppIntentFilter::new("android.intent.action.VIEW", None);

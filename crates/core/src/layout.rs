@@ -106,20 +106,13 @@ mod tests {
         let b = back_npriv("other", "app").unwrap();
         assert_ne!(a, b);
         assert_ne!(back_ppriv("i", "x").unwrap(), back_npriv("i", "x").unwrap());
-        assert_eq!(
-            back_ext_delegate("B", "A").unwrap().as_str(),
-            "/backing/ext/deleg/B--A"
-        );
+        assert_eq!(back_ext_delegate("B", "A").unwrap().as_str(), "/backing/ext/deleg/B--A");
         assert_eq!(back_ext_tmp("A").unwrap().as_str(), "/backing/ext/apps/A/tmp");
     }
 
     #[test]
     fn backing_is_not_under_app_visible_roots() {
-        for p in [
-            back_internal("x").unwrap(),
-            back_ext_pub(),
-            back_ext_tmp("x").unwrap(),
-        ] {
+        for p in [back_internal("x").unwrap(), back_ext_pub(), back_ext_tmp("x").unwrap()] {
             assert!(!p.starts_with(&extdir()));
             assert!(!p.starts_with(&vpath("/data/data")));
         }

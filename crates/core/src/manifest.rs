@@ -103,7 +103,6 @@ impl MaxoidManifest {
     }
 }
 
-
 /// Error from Maxoid-manifest XML parsing.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ManifestError(pub String);
@@ -151,9 +150,7 @@ impl MaxoidManifest {
                             "whitelist" => FilterMode::Whitelist,
                             "blacklist" => FilterMode::Blacklist,
                             other => {
-                                return Err(ManifestError(format!(
-                                    "unknown filter mode {other:?}"
-                                )))
+                                return Err(ManifestError(format!("unknown filter mode {other:?}")))
                             }
                         };
                     }
@@ -237,8 +234,8 @@ mod tests {
     fn whitelist_matches_invoke_delegates() {
         // The paper's Email case: "a filter saying that any intent from
         // Email with VIEW action ... is private".
-        let m = MaxoidManifest::new()
-            .filter(InvocationFilter::action("android.intent.action.VIEW"));
+        let m =
+            MaxoidManifest::new().filter(InvocationFilter::action("android.intent.action.VIEW"));
         assert!(m.wants_delegate(&view_pdf()));
         assert!(!m.wants_delegate(&Intent::new("android.intent.action.SEND")));
     }
@@ -267,8 +264,7 @@ mod tests {
             mime_prefix: Some("application/".into()),
         };
         assert!(f.matches(&view_pdf()));
-        let image =
-            Intent::new("android.intent.action.VIEW").with_mime("image/png");
+        let image = Intent::new("android.intent.action.VIEW").with_mime("image/png");
         assert!(!f.matches(&image));
         // Missing MIME never matches a MIME-constrained filter.
         assert!(!f.matches(&Intent::new("android.intent.action.VIEW")));
@@ -309,8 +305,7 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.filter_mode, FilterMode::Blacklist);
-        let send_text =
-            Intent::new("android.intent.action.SEND").with_mime("text/plain");
+        let send_text = Intent::new("android.intent.action.SEND").with_mime("text/plain");
         assert!(!m.wants_delegate(&send_text));
         assert!(m.wants_delegate(&view_pdf()));
     }

@@ -145,8 +145,7 @@ mod tests {
     fn setup(pkg: &str) -> Vfs {
         let vfs = Vfs::new();
         vfs.with_store_mut(|s| {
-            s.mkdir_all(&layout::back_internal(pkg).unwrap(), Uid(10_001), Mode::PRIVATE)
-                .unwrap();
+            s.mkdir_all(&layout::back_internal(pkg).unwrap(), Uid(10_001), Mode::PRIVATE).unwrap();
             s.write(
                 &layout::back_internal(pkg).unwrap().join("db").unwrap(),
                 b"v0",
@@ -180,8 +179,7 @@ mod tests {
 
         // B runs normally and updates Priv(B): divergence.
         vfs.with_store_mut(|s| {
-            s.write(&vpath("/backing/internal/B/db"), b"v1", Uid(10_001), Mode::PRIVATE)
-                .unwrap();
+            s.write(&vpath("/backing/internal/B/db"), b"v1", Uid(10_001), Mode::PRIVATE).unwrap();
         });
 
         // Next delegate run: old overlay discarded, re-forked.
@@ -202,8 +200,7 @@ mod tests {
         assert!(mgr.has_fork("C", "B"));
         // A divergence discards both independently at their next start.
         vfs.with_store_mut(|s| {
-            s.write(&vpath("/backing/internal/B/db"), b"v1", Uid(10_001), Mode::PRIVATE)
-                .unwrap();
+            s.write(&vpath("/backing/internal/B/db"), b"v1", Uid(10_001), Mode::PRIVATE).unwrap();
         });
         assert_eq!(
             mgr.on_delegate_start(&vfs, "A", "B").unwrap(),
@@ -240,8 +237,7 @@ mod tests {
         mgr.on_delegate_start(&vfs, "A", "B").unwrap();
         vfs.with_store_mut(|s| {
             s.mkdir_all(&vpath("/backing/npriv/A/B"), Uid::ROOT, Mode::PUBLIC).unwrap();
-            s.write(&vpath("/backing/npriv/A/B/x"), b"1", Uid(10_001), Mode::PRIVATE)
-                .unwrap();
+            s.write(&vpath("/backing/npriv/A/B/x"), b"1", Uid(10_001), Mode::PRIVATE).unwrap();
         });
         assert_eq!(mgr.on_delegate_start(&vfs, "A", "B").unwrap(), ForkOutcome::Kept);
     }

@@ -42,11 +42,9 @@ impl ClipboardService {
     pub fn get(&self, ctx: &ExecContext) -> Option<&str> {
         match ctx {
             ExecContext::Normal => self.global.as_deref(),
-            ExecContext::OnBehalfOf(init) => self
-                .confined
-                .get(init.pkg())
-                .map(String::as_str)
-                .or(self.global.as_deref()),
+            ExecContext::OnBehalfOf(init) => {
+                self.confined.get(init.pkg()).map(String::as_str).or(self.global.as_deref())
+            }
         }
     }
 

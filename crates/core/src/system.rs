@@ -98,7 +98,12 @@ impl<P: ContentProvider + Send> ContentProvider for SharedProvider<P> {
         self.authority
     }
 
-    fn insert(&mut self, caller: &Caller, uri: &Uri, values: &ContentValues) -> ProviderResult<Uri> {
+    fn insert(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        values: &ContentValues,
+    ) -> ProviderResult<Uri> {
         self.inner.lock().insert(caller, uri, values)
     }
 
@@ -254,10 +259,7 @@ impl MaxoidSystem {
     }
 
     fn running(&self) -> Vec<(Pid, AppId, ExecContext)> {
-        self.kernel
-            .processes()
-            .map(|p| (p.pid, p.app.clone(), p.ctx.clone()))
-            .collect()
+        self.kernel.processes().map(|p| (p.pid, p.app.clone(), p.ctx.clone())).collect()
     }
 
     fn kill_conflicting(&mut self, app: &AppId, ctx: &ExecContext) -> SystemResult<()> {
@@ -274,21 +276,13 @@ impl MaxoidSystem {
     }
 
     fn spawn_in_context(&mut self, app: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
-        let manifest =
-            self.ams.manifest(app).cloned().unwrap_or_default();
+        let manifest = self.ams.manifest(app).cloned().unwrap_or_default();
         let ns = match &ctx {
-            ExecContext::Normal => {
-                self.branch_mgr.initiator_namespace(app.pkg(), &manifest)?
-            }
+            ExecContext::Normal => self.branch_mgr.initiator_namespace(app.pkg(), &manifest)?,
             ExecContext::OnBehalfOf(init) => {
-                let init_manifest =
-                    self.ams.manifest(init).cloned().unwrap_or_default();
+                let init_manifest = self.ams.manifest(init).cloned().unwrap_or_default();
                 // Figure 2 lifecycle: fork / keep / discard nPriv.
-                self.priv_mgr.on_delegate_start(
-                    self.kernel.vfs(),
-                    init.pkg(),
-                    app.pkg(),
-                )?;
+                self.priv_mgr.on_delegate_start(self.kernel.vfs(), init.pkg(), app.pkg())?;
                 self.branch_mgr.delegate_namespace(
                     app.pkg(),
                     &manifest,
@@ -318,9 +312,7 @@ impl MaxoidSystem {
         let sender_ref = sender_info.as_ref().map(|(a, c)| (a, c));
         let route = self.ams.route(sender_ref, intent, &self.running())?;
         match route {
-            Route::Chooser { candidates, ctx } => {
-                Ok(StartOutcome::Chooser { candidates, ctx })
-            }
+            Route::Chooser { candidates, ctx } => Ok(StartOutcome::Chooser { candidates, ctx }),
             Route::Start { target, ctx, kill_first } => {
                 for pid in kill_first {
                     self.kernel.kill(pid)?;
@@ -330,12 +322,7 @@ impl MaxoidSystem {
                 if intent.read_granted() {
                     if let Some(data) = &intent.data {
                         if let Ok(uri) = Uri::parse(data) {
-                            self.resolver.grant_uri_permission(
-                                target.pkg(),
-                                &uri,
-                                false,
-                                true,
-                            );
+                            self.resolver.grant_uri_permission(target.pkg(), &uri, false, true);
                         }
                     }
                 }
@@ -347,11 +334,7 @@ impl MaxoidSystem {
 
     /// Completes a chooser: starts `choice` in the already-computed
     /// context (ResolverActivity is an intent channel, not an instance).
-    pub fn start_chosen(
-        &mut self,
-        choice: &AppId,
-        ctx: ExecContext,
-    ) -> SystemResult<Pid> {
+    pub fn start_chosen(&mut self, choice: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
         self.kill_conflicting(choice, &ctx)?;
         self.spawn_in_context(choice, ctx)
     }
@@ -367,12 +350,7 @@ impl MaxoidSystem {
     // -----------------------------------------------------------------
 
     /// Provider insert on behalf of `pid`.
-    pub fn cp_insert(
-        &mut self,
-        pid: Pid,
-        uri: &Uri,
-        values: &ContentValues,
-    ) -> SystemResult<Uri> {
+    pub fn cp_insert(&mut self, pid: Pid, uri: &Uri, values: &ContentValues) -> SystemResult<Uri> {
         let caller = self.caller(pid)?;
         Ok(self.resolver.insert(&caller, uri, values)?)
     }
@@ -466,11 +444,7 @@ impl MaxoidSystem {
 
     /// Commits a volatile external file to its non-volatile place (§3.3).
     pub fn commit_volatile_file(&mut self, init: &str, rel: &str) -> SystemResult<()> {
-        let manifest = self
-            .ams
-            .manifest(&AppId::new(init))
-            .cloned()
-            .unwrap_or_default();
+        let manifest = self.ams.manifest(&AppId::new(init)).cloned().unwrap_or_default();
         Ok(self.volatile.commit_external(init, &manifest, rel)?)
     }
 

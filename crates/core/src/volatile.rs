@@ -149,8 +149,7 @@ mod tests {
             ] {
                 s.mkdir_all(&vpath(d), Uid::ROOT, Mode::PUBLIC).unwrap();
             }
-            s.chown_chmod(&vpath("/backing/internal/A"), Uid(10_001), Mode::PRIVATE)
-                .unwrap();
+            s.chown_chmod(&vpath("/backing/internal/A"), Uid(10_001), Mode::PRIVATE).unwrap();
         });
         let v = VolatileState::new(vfs.clone());
         (vfs, v)
@@ -158,8 +157,7 @@ mod tests {
 
     fn seed_volatile(vfs: &Vfs) {
         vfs.with_store_mut(|s| {
-            s.mkdir_all(&vpath("/backing/ext/apps/A/tmp/data/A"), Uid::ROOT, Mode::PUBLIC)
-                .unwrap();
+            s.mkdir_all(&vpath("/backing/ext/apps/A/tmp/data/A"), Uid::ROOT, Mode::PUBLIC).unwrap();
             s.write(
                 &vpath("/backing/ext/apps/A/tmp/data/A/edited.txt"),
                 b"edited",
@@ -167,13 +165,8 @@ mod tests {
                 Mode::PUBLIC,
             )
             .unwrap();
-            s.write(
-                &vpath("/backing/ext/apps/A/tmp/side.log"),
-                b"side",
-                Uid(10_002),
-                Mode::PUBLIC,
-            )
-            .unwrap();
+            s.write(&vpath("/backing/ext/apps/A/tmp/side.log"), b"side", Uid(10_002), Mode::PUBLIC)
+                .unwrap();
             s.write(
                 &vpath("/backing/internal_tmp/A/att.pdf"),
                 b"modified",
@@ -194,11 +187,7 @@ mod tests {
             entries.iter().map(|e| (e.rel.as_str(), e.internal)).collect();
         assert_eq!(
             rels,
-            vec![
-                ("att.pdf", true),
-                ("data/A/edited.txt", false),
-                ("side.log", false)
-            ]
+            vec![("att.pdf", true), ("data/A/edited.txt", false), ("side.log", false)]
         );
     }
 
@@ -210,10 +199,7 @@ mod tests {
         // A file under the declared private dir commits into A's branch.
         v.commit_external("A", &manifest, "data/A/edited.txt").unwrap();
         vfs.with_store(|s| {
-            assert_eq!(
-                s.read(&vpath("/backing/ext/apps/A/data/A/edited.txt")).unwrap(),
-                b"edited"
-            );
+            assert_eq!(s.read(&vpath("/backing/ext/apps/A/data/A/edited.txt")).unwrap(), b"edited");
             assert!(!s.exists(&vpath("/backing/ext/pub/data/A/edited.txt")));
         });
         // A file outside commits to public.
@@ -222,10 +208,7 @@ mod tests {
             assert_eq!(s.read(&vpath("/backing/ext/pub/side.log")).unwrap(), b"side");
         });
         // Missing files error.
-        assert_eq!(
-            v.commit_external("A", &manifest, "nope").err(),
-            Some(VfsError::NotFound)
-        );
+        assert_eq!(v.commit_external("A", &manifest, "nope").err(), Some(VfsError::NotFound));
     }
 
     #[test]

@@ -37,9 +37,7 @@ impl ViewHierarchy {
     pub fn register(&mut self, db: &mut Database, sql: &str) -> SqlResult<()> {
         let stmt = parse_statement(sql)?;
         let Stmt::CreateView { name, select, .. } = &stmt else {
-            return Err(SqlError::Unsupported(
-                "register_user_view requires CREATE VIEW".into(),
-            ));
+            return Err(SqlError::Unsupported("register_user_view requires CREATE VIEW".into()));
         };
         let mut bases = Vec::new();
         collect_bases(select, &mut bases);
@@ -161,15 +159,10 @@ mod tests {
             "CREATE VIEW audio_meta AS SELECT _id, path, title FROM files WHERE media_type = 2",
         )
         .unwrap();
-        p.register_user_view(
-            "CREATE VIEW audio AS SELECT _id, title FROM audio_meta",
-        )
-        .unwrap();
-        for (path, ty, title) in [
-            ("/sdcard/a.jpg", 1, "a"),
-            ("/sdcard/b.mp3", 2, "b"),
-            ("/sdcard/c.jpg", 1, "c"),
-        ] {
+        p.register_user_view("CREATE VIEW audio AS SELECT _id, title FROM audio_meta").unwrap();
+        for (path, ty, title) in
+            [("/sdcard/a.jpg", 1, "a"), ("/sdcard/b.mp3", 2, "b"), ("/sdcard/c.jpg", 1, "c")]
+        {
             p.insert(
                 &DbView::Primary,
                 "files",
@@ -220,11 +213,7 @@ mod tests {
         p.insert(
             &del,
             "files",
-            &[
-                ("path", "/sdcard/s.mp3".into()),
-                ("media_type", 2.into()),
-                ("title", "song".into()),
-            ],
+            &[("path", "/sdcard/s.mp3".into()), ("media_type", 2.into()), ("title", "song".into())],
         )
         .unwrap();
         // `audio` depends on `audio_meta`, which depends on `files`.
@@ -272,8 +261,7 @@ mod tests {
     fn qualified_columns_keep_resolving_after_rewrite() {
         let mut p = CowProxy::new();
         p.execute_batch("CREATE TABLE base (_id INTEGER PRIMARY KEY, v TEXT);").unwrap();
-        p.register_user_view("CREATE VIEW qual AS SELECT base._id, base.v FROM base")
-            .unwrap();
+        p.register_user_view("CREATE VIEW qual AS SELECT base._id, base.v FROM base").unwrap();
         p.insert(&DbView::Primary, "base", &[("v", "x".into())]).unwrap();
         let del = DbView::Delegate { initiator: "D".into() };
         p.insert(&del, "base", &[("v", "y".into())]).unwrap();

@@ -13,10 +13,7 @@ pub const DELTA_PK_START: i64 = 10_000_001;
 /// Sanitizes an initiator identity (Android package name) into an SQL
 /// identifier fragment.
 pub fn sanitize(initiator: &str) -> String {
-    initiator
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
-        .collect()
+    initiator.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
 }
 
 /// Name of the per-initiator delta table for a primary table.
@@ -34,6 +31,14 @@ pub fn trigger(table: &str, initiator: &str, event: &str) -> String {
     format!("{table}_{}_{event}", sanitize(initiator))
 }
 
+/// Name of the mirrored secondary index on a per-initiator delta table.
+///
+/// Index names share one namespace, so the base index name is suffixed the
+/// same way delta tables are (`idx_word` -> `idx_word_delta_A`).
+pub fn delta_index(index: &str, initiator: &str) -> String {
+    format!("{index}_delta_{}", sanitize(initiator))
+}
+
 /// The whiteout marker column added to every delta table.
 pub const WHITEOUT_COL: &str = "_whiteout";
 
@@ -46,6 +51,15 @@ mod tests {
         assert_eq!(delta_table("tab1", "A"), "tab1_delta_A");
         assert_eq!(cow_view("tab1", "A"), "tab1_view_A");
         assert_eq!(trigger("tab1", "A", "update"), "tab1_A_update");
+    }
+
+    #[test]
+    fn delta_index_names_follow_delta_tables() {
+        assert_eq!(delta_index("idx_word", "A"), "idx_word_delta_A");
+        assert_eq!(
+            delta_index("idx_status", "com.android.browser"),
+            "idx_status_delta_com_android_browser"
+        );
     }
 
     #[test]

@@ -11,9 +11,7 @@
 use crate::hierarchy::ViewHierarchy;
 use crate::names::{cow_view, delta_table, sanitize, trigger, DELTA_PK_START, WHITEOUT_COL};
 use crate::sqlgen;
-use maxoid_sqldb::{
-    Affinity, Database, FlattenPolicy, ResultSet, SqlError, SqlResult, Value,
-};
+use maxoid_sqldb::{Affinity, Database, FlattenPolicy, ResultSet, SqlError, SqlResult, Value};
 
 /// Which Maxoid view of provider state an operation targets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,9 +140,16 @@ impl CowProxy {
             }
             return Err(SqlError::NoSuchTable(table.to_string()));
         }
-        let (columns, column_defs, pk) = {
+        let (columns, column_defs, pk, base_indexes) = {
             let t = self.db.table(table)?;
             let columns = t.schema.column_names();
+            // Mirror every base-table secondary index onto the delta table
+            // so index access paths work on both arms of the COW view.
+            let base_indexes: Vec<(String, String)> = t
+                .indexes()
+                .iter()
+                .map(|ix| (ix.name().to_string(), t.schema.columns[ix.column()].name.clone()))
+                .collect();
             let defs: Vec<String> = t
                 .schema
                 .columns
@@ -164,34 +169,28 @@ impl CowProxy {
                     d
                 })
                 .collect();
-            let pk = t
-                .schema
-                .pk_column
-                .map(|i| t.schema.columns[i].name.clone())
-                .ok_or_else(|| {
+            let pk =
+                t.schema.pk_column.map(|i| t.schema.columns[i].name.clone()).ok_or_else(|| {
                     SqlError::Unsupported(format!(
                         "COW proxy requires an INTEGER PRIMARY KEY on {table}"
                     ))
                 })?;
-            (columns, defs, pk)
+            (columns, defs, pk, base_indexes)
         };
         // The five DDL objects must appear atomically: a half-built COW
         // structure would route delegate writes into a view without its
         // confinement triggers.
         self.db.begin()?;
         let build = (|| -> SqlResult<()> {
-            self.db
-                .execute_batch(&sqlgen::delta_table_sql(table, initiator, &column_defs))?;
-            self.db
-                .table_mut(&delta_table(table, initiator))?
-                .set_pk_start(DELTA_PK_START);
+            self.db.execute_batch(&sqlgen::delta_table_sql(table, initiator, &column_defs))?;
+            self.db.table_mut(&delta_table(table, initiator))?.set_pk_start(DELTA_PK_START);
+            for (index, column) in &base_indexes {
+                self.db.execute_batch(&sqlgen::delta_index_sql(index, table, initiator, column))?;
+            }
             self.db.execute_batch(&sqlgen::cow_view_sql(table, initiator, &columns, &pk))?;
-            self.db
-                .execute_batch(&sqlgen::insert_trigger_sql(table, initiator, &columns))?;
-            self.db
-                .execute_batch(&sqlgen::update_trigger_sql(table, initiator, &columns))?;
-            self.db
-                .execute_batch(&sqlgen::delete_trigger_sql(table, initiator, &columns))
+            self.db.execute_batch(&sqlgen::insert_trigger_sql(table, initiator, &columns))?;
+            self.db.execute_batch(&sqlgen::update_trigger_sql(table, initiator, &columns))?;
+            self.db.execute_batch(&sqlgen::delete_trigger_sql(table, initiator, &columns))
         })();
         match build {
             Ok(()) => self.db.commit()?,
@@ -216,8 +215,7 @@ impl CowProxy {
             DbView::Primary | DbView::Admin => Ok(table.to_string()),
             DbView::Delegate { initiator } => {
                 if self.db.has_table(&delta_table(table, initiator))
-                    || (self.db.has_view(table)
-                        && self.db.has_view(&cow_view(table, initiator)))
+                    || (self.db.has_view(table) && self.db.has_view(&cow_view(table, initiator)))
                 {
                     Ok(cow_view(table, initiator))
                 } else {
@@ -278,8 +276,7 @@ impl CowProxy {
                 let delta = delta_table(table, &initiator);
                 let mut cols: Vec<&str> = values.iter().map(|(c, _)| *c).collect();
                 cols.push(WHITEOUT_COL);
-                let mut params: Vec<Value> =
-                    values.iter().map(|(_, v)| v.clone()).collect();
+                let mut params: Vec<Value> = values.iter().map(|(_, v)| v.clone()).collect();
                 params.push(Value::Integer(0));
                 let sql = insert_sql(&delta, &cols);
                 let out = self.db.execute(&sql, &params)?;
@@ -485,10 +482,8 @@ impl CowProxy {
             .collect();
         let mut dropped = 0;
         for delta in &doomed {
-            let table = delta
-                .strip_suffix(&suffix.to_ascii_lowercase())
-                .unwrap_or(delta)
-                .to_string();
+            let table =
+                delta.strip_suffix(&suffix.to_ascii_lowercase()).unwrap_or(delta).to_string();
             // Dropping the view drops its triggers too.
             self.db.execute_batch(&format!(
                 "DROP VIEW IF EXISTS {}; DROP TABLE IF EXISTS {delta};",
@@ -548,10 +543,7 @@ impl CowProxy {
 }
 
 fn split_values<'a>(values: &'a [(&'a str, Value)]) -> (Vec<&'a str>, Vec<Value>) {
-    (
-        values.iter().map(|(c, _)| *c).collect(),
-        values.iter().map(|(_, v)| v.clone()).collect(),
-    )
+    (values.iter().map(|(c, _)| *c).collect(), values.iter().map(|(_, v)| v.clone()).collect())
 }
 
 fn insert_sql(table: &str, cols: &[&str]) -> String {
@@ -575,8 +567,7 @@ fn renumber_params(where_clause: &str, offset: usize) -> String {
             out.push(c);
             continue;
         }
-        if c == '?' && !in_string && !chars.peek().map(|d| d.is_ascii_digit()).unwrap_or(false)
-        {
+        if c == '?' && !in_string && !chars.peek().map(|d| d.is_ascii_digit()).unwrap_or(false) {
             n += 1;
             out.push_str(&format!("?{n}"));
         } else {
@@ -597,12 +588,8 @@ mod tests {
         )
         .unwrap();
         for (w, f) in [("alpha", 10), ("beta", 20), ("gamma", 30)] {
-            p.insert(
-                &DbView::Primary,
-                "words",
-                &[("word", w.into()), ("frequency", f.into())],
-            )
-            .unwrap();
+            p.insert(&DbView::Primary, "words", &[("word", w.into()), ("frequency", f.into())])
+                .unwrap();
         }
         p
     }
@@ -699,8 +686,7 @@ mod tests {
     #[test]
     fn volatile_view_shows_only_deltas() {
         let mut p = proxy_with_words();
-        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 3"), &[])
-            .unwrap();
+        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 3"), &[]).unwrap();
         p.delete(&delegate(), "words", Some("_id = 1"), &[]).unwrap();
         let vol = DbView::Volatile { initiator: "A".into() };
         let rs = p.query(&vol, "words", &QueryOpts::default(), &[]).unwrap();
@@ -714,9 +700,8 @@ mod tests {
     fn initiator_isvolatile_insert() {
         let mut p = proxy_with_words();
         let vol = DbView::Volatile { initiator: "browser".into() };
-        let id = p
-            .insert(&vol, "words", &[("word", "incog".into()), ("frequency", 0.into())])
-            .unwrap();
+        let id =
+            p.insert(&vol, "words", &[("word", "incog".into()), ("frequency", 0.into())]).unwrap();
         assert!(id >= DELTA_PK_START);
         // Public view unchanged; browser's delegates see it.
         assert_eq!(
@@ -730,8 +715,7 @@ mod tests {
     #[test]
     fn clear_volatile_restores_pristine_state() {
         let mut p = proxy_with_words();
-        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[])
-            .unwrap();
+        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[]).unwrap();
         assert!(p.has_delta("words", "A"));
         let dropped = p.clear_volatile("A").unwrap();
         assert_eq!(dropped, 1);
@@ -746,8 +730,7 @@ mod tests {
     #[test]
     fn commit_volatile_row_publishes() {
         let mut p = proxy_with_words();
-        p.update(&delegate(), "words", &[("word", "edited".into())], Some("_id = 2"), &[])
-            .unwrap();
+        p.update(&delegate(), "words", &[("word", "edited".into())], Some("_id = 2"), &[]).unwrap();
         assert!(p.commit_volatile_row("A", "words", 2).unwrap());
         let rs = p
             .query(
@@ -805,8 +788,7 @@ mod tests {
     fn update_visibility_u2_for_unforked_rows() {
         // Delegates observe initiator updates to rows they have not touched.
         let mut p = proxy_with_words();
-        p.update(&delegate(), "words", &[("word", "mine".into())], Some("_id = 1"), &[])
-            .unwrap();
+        p.update(&delegate(), "words", &[("word", "mine".into())], Some("_id = 1"), &[]).unwrap();
         // An initiator updates row 2 after the fork of row 1.
         p.update(&DbView::Primary, "words", &[("word", "pub2".into())], Some("_id = 2"), &[])
             .unwrap();
@@ -830,8 +812,7 @@ mod tests {
     fn query_appends_order_columns_for_flattening() {
         let p = {
             let mut p = proxy_with_words();
-            p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[])
-                .unwrap();
+            p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[]).unwrap();
             p
         };
         p.db().stats.reset();
@@ -855,8 +836,46 @@ mod tests {
     }
 
     #[test]
+    fn cow_point_query_probes_indexes_on_both_arms() {
+        let mut p = proxy_with_words();
+        p.execute_batch("CREATE INDEX idx_words_word ON words (word);").unwrap();
+        // First volatile write forks the table; the delta table must come
+        // up with a mirror of the base index.
+        p.update(&delegate(), "words", &[("word", "X".into())], Some("_id = 1"), &[]).unwrap();
+        assert!(p.db().table("words_delta_A").unwrap().has_index("idx_words_word_delta_A"));
+
+        p.db().stats.reset();
+        let rs = p
+            .query(
+                &delegate(),
+                "words",
+                &QueryOpts { where_clause: Some("word = 'gamma'".into()), ..Default::default() },
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+        // The query flattened into two single-table arms, and each arm
+        // resolved `word = 'gamma'` with an index probe instead of a scan.
+        assert_eq!(p.db().stats.flattened_queries.get(), 1);
+        assert!(
+            p.db().stats.index_probes.get() >= 2,
+            "expected an index probe per UNION ALL arm, got {}",
+            p.db().stats.index_probes.get()
+        );
+        // The only scan left is the 1-row NOT IN delta subquery — neither
+        // arm walks the base table.
+        assert!(p.db().stats.rows_scanned.get() <= 1);
+        let paths = p.db().stats.take_access_paths();
+        assert!(paths.iter().any(|l| l.contains("INDEX idx_words_word EQ")), "{paths:?}");
+        assert!(paths.iter().any(|l| l.contains("INDEX idx_words_word_delta_A EQ")), "{paths:?}");
+    }
+
+    #[test]
     fn renumber_only_bare_params() {
-        assert_eq!(renumber_params("a = ? AND b = ?2 AND c = ?", 3), "a = ?4 AND b = ?2 AND c = ?5");
+        assert_eq!(
+            renumber_params("a = ? AND b = ?2 AND c = ?", 3),
+            "a = ?4 AND b = ?2 AND c = ?5"
+        );
         assert_eq!(renumber_params("name = '?' AND x = ?", 1), "name = '?' AND x = ?2");
     }
 }

@@ -6,7 +6,7 @@
 //! copy-on-write. These strings are executed against [`maxoid_sqldb`] and
 //! also serve as golden-test artefacts.
 
-use crate::names::{cow_view, delta_table, trigger, WHITEOUT_COL};
+use crate::names::{cow_view, delta_index, delta_table, trigger, WHITEOUT_COL};
 
 /// Generates `CREATE TABLE` for a delta table given the primary table's
 /// column definitions rendered as `name TYPE [PRIMARY KEY]` fragments.
@@ -14,6 +14,19 @@ pub fn delta_table_sql(table: &str, initiator: &str, column_defs: &[String]) -> 
     let mut cols = column_defs.join(", ");
     cols.push_str(&format!(", {WHITEOUT_COL} BOOLEAN"));
     format!("CREATE TABLE {} ({cols})", delta_table(table, initiator))
+}
+
+/// Generates `CREATE INDEX` mirroring a base-table secondary index onto
+/// the delta table, so a flattened COW query can probe an index on both
+/// arms of the `UNION ALL`. Mirrors are always non-unique: uniqueness is a
+/// base-table constraint and is enforced when a volatile row is committed,
+/// not inside an initiator's private copy.
+pub fn delta_index_sql(index: &str, table: &str, initiator: &str, column: &str) -> String {
+    format!(
+        "CREATE INDEX {} ON {} ({column})",
+        delta_index(index, initiator),
+        delta_table(table, initiator),
+    )
 }
 
 /// Generates the COW view for a primary table (Figure 6):
@@ -120,6 +133,12 @@ mod tests {
         let sql = delete_trigger_sql("tab1", "A", &cols());
         assert!(sql.contains("VALUES (OLD._id, OLD.data, 1)"));
         assert!(sql.contains("INSTEAD OF DELETE"));
+    }
+
+    #[test]
+    fn delta_index_mirrors_base_index() {
+        let sql = delta_index_sql("idx_word", "tab1", "A", "data");
+        assert_eq!(sql, "CREATE INDEX idx_word_delta_A ON tab1_delta_A (data)");
     }
 
     #[test]

@@ -57,9 +57,6 @@ mod tests {
     #[test]
     fn display_matches_errno_names() {
         assert_eq!(KernelError::NetworkUnreachable.to_string(), "ENETUNREACH");
-        assert_eq!(
-            KernelError::Fs(maxoid_vfs::VfsError::NotFound).to_string(),
-            "ENOENT"
-        );
+        assert_eq!(KernelError::Fs(maxoid_vfs::VfsError::NotFound).to_string(), "ENOENT");
     }
 }

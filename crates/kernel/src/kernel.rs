@@ -4,9 +4,7 @@ use crate::binder::{binder_allowed, BinderEndpoint};
 use crate::error::{KernelError, KernelResult};
 use crate::net::Network;
 use crate::process::{AppId, ExecContext, Pid, Process};
-use maxoid_vfs::{
-    Cred, FileHandle, Metadata, Mode, MountNamespace, OpenMode, Uid, VPath, Vfs,
-};
+use maxoid_vfs::{Cred, FileHandle, Metadata, Mode, MountNamespace, OpenMode, Uid, VPath, Vfs};
 
 /// The simulated kernel: owns the VFS, the network device, the app
 /// registry (installed packages and their UIDs) and the process table.
@@ -182,9 +180,7 @@ impl Kernel {
 
     /// Returns true when the path is visible to the process.
     pub fn exists(&self, pid: Pid, path: &VPath) -> bool {
-        self.task(pid)
-            .map(|(cred, ns)| self.vfs.exists(cred, ns, path))
-            .unwrap_or(false)
+        self.task(pid).map(|(cred, ns)| self.vfs.exists(cred, ns, path)).unwrap_or(false)
     }
 
     /// `rename()` within a mount.
@@ -215,11 +211,8 @@ impl Kernel {
     pub fn connect(&self, pid: Pid, host: &str) -> KernelResult<()> {
         let p = self.process(pid)?;
         if p.ctx.is_delegate() {
-            let trusted = self
-                .trusted_cloud
-                .as_ref()
-                .map(|hosts| hosts.contains(host))
-                .unwrap_or(false);
+            let trusted =
+                self.trusted_cloud.as_ref().map(|hosts| hosts.contains(host)).unwrap_or(false);
             if !trusted {
                 return Err(KernelError::NetworkUnreachable);
             }
@@ -251,8 +244,7 @@ impl Kernel {
     /// Binder transaction check between two live processes.
     pub fn binder_check_pid(&self, from: Pid, to: Pid) -> KernelResult<()> {
         let target = self.process(to)?;
-        let endpoint =
-            BinderEndpoint::App { ctx: target.ctx.clone(), app: target.app.clone() };
+        let endpoint = BinderEndpoint::App { ctx: target.ctx.clone(), app: target.app.clone() };
         self.binder_check(from, &endpoint)
     }
 }
@@ -266,9 +258,8 @@ mod tests {
         let mut k = Kernel::new();
         let app = AppId::new(pkg);
         k.install_app(&app);
-        k.vfs().with_store_mut(|s| {
-            s.mkdir_all(&vpath("/back/pub"), Uid::ROOT, Mode::PUBLIC).unwrap()
-        });
+        k.vfs()
+            .with_store_mut(|s| s.mkdir_all(&vpath("/back/pub"), Uid::ROOT, Mode::PUBLIC).unwrap());
         let mut ns = MountNamespace::new();
         ns.add(Mount::bind(vpath("/sdcard"), vpath("/back/pub")).with_forced_mode(Mode::PUBLIC));
         let pid = k.spawn(&app, ExecContext::Normal, ns).unwrap();
@@ -290,9 +281,8 @@ mod tests {
     #[test]
     fn spawn_requires_installed_app() {
         let mut k = Kernel::new();
-        let err = k
-            .spawn(&AppId::new("ghost"), ExecContext::Normal, MountNamespace::new())
-            .unwrap_err();
+        let err =
+            k.spawn(&AppId::new("ghost"), ExecContext::Normal, MountNamespace::new()).unwrap_err();
         assert!(matches!(err, KernelError::NoSuchApp(_)));
     }
 
@@ -312,13 +302,8 @@ mod tests {
         k.net.publish("files.example", "x", b"data".to_vec());
         let email = AppId::new("com.email");
         k.install_app(&email);
-        let del = k
-            .spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new())
-            .unwrap();
-        assert_eq!(
-            k.connect(del, "files.example").err(),
-            Some(KernelError::NetworkUnreachable)
-        );
+        let del = k.spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new()).unwrap();
+        assert_eq!(k.connect(del, "files.example").err(), Some(KernelError::NetworkUnreachable));
         assert!(k.http_get(del, "files.example/x").is_err());
     }
 
@@ -345,27 +330,16 @@ mod tests {
         k.net.publish("evil.example", "exfil", b"".to_vec());
         let email = AppId::new("com.email");
         k.install_app(&email);
-        let del = k
-            .spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new())
-            .unwrap();
+        let del = k.spawn(&app, ExecContext::OnBehalfOf(email), MountNamespace::new()).unwrap();
         // Default: everything unreachable.
-        assert_eq!(
-            k.connect(del, "trusted.cloud").err(),
-            Some(KernelError::NetworkUnreachable)
-        );
+        assert_eq!(k.connect(del, "trusted.cloud").err(), Some(KernelError::NetworkUnreachable));
         // With the extension, only the trusted host opens up.
         k.enable_trusted_cloud(["trusted.cloud".to_string()]);
         assert_eq!(k.http_get(del, "trusted.cloud/api").unwrap(), b"ok");
-        assert_eq!(
-            k.connect(del, "evil.example").err(),
-            Some(KernelError::NetworkUnreachable)
-        );
+        assert_eq!(k.connect(del, "evil.example").err(), Some(KernelError::NetworkUnreachable));
         // Disabling restores the paper's default.
         k.disable_trusted_cloud();
-        assert_eq!(
-            k.connect(del, "trusted.cloud").err(),
-            Some(KernelError::NetworkUnreachable)
-        );
+        assert_eq!(k.connect(del, "trusted.cloud").err(), Some(KernelError::NetworkUnreachable));
     }
 
     #[test]
@@ -383,10 +357,7 @@ mod tests {
         let other = AppId::new("com.other");
         k.install_app(&other);
         let other_pid = k.spawn(&other, ExecContext::Normal, MountNamespace::new()).unwrap();
-        assert_eq!(
-            k.binder_check_pid(del, other_pid).err(),
-            Some(KernelError::PermissionDenied)
-        );
+        assert_eq!(k.binder_check_pid(del, other_pid).err(), Some(KernelError::PermissionDenied));
         // Unrelated app -> delegate: the *sender* is unrestricted at the
         // Binder layer (AMS-level rules prevent invoking B^A; see core).
         k.binder_check_pid(other_pid, del).unwrap();

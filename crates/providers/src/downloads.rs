@@ -91,6 +91,8 @@ impl<L: FileLocator> DownloadsProvider<L> {
             .execute_batch(
                 "CREATE TABLE downloads (_id INTEGER PRIMARY KEY, uri TEXT, \
                  dest TEXT, title TEXT, status INTEGER, total_bytes INTEGER);
+                 CREATE INDEX idx_downloads_status ON downloads (status);
+                 CREATE INDEX idx_downloads_uri ON downloads (uri);
                  CREATE TABLE request_headers (_id INTEGER PRIMARY KEY, \
                  download_id INTEGER, header TEXT, value TEXT);",
             )
@@ -160,13 +162,9 @@ impl<L: FileLocator> DownloadsProvider<L> {
     ) -> ProviderResult<usize> {
         let admin = self.proxy.admin_query("downloads")?;
         let idx = |name: &str| admin.column_index(name);
-        let (Some(id_i), Some(uri_i), Some(dest_i), Some(title_i), Some(status_i)) = (
-            idx("_id"),
-            idx("uri"),
-            idx("dest"),
-            idx("title"),
-            idx("status"),
-        ) else {
+        let (Some(id_i), Some(uri_i), Some(dest_i), Some(title_i), Some(status_i)) =
+            (idx("_id"), idx("uri"), idx("dest"), idx("title"), idx("status"))
+        else {
             return Err(ProviderError::UnknownUri("downloads schema".into()));
         };
         let state_i = idx(ADMIN_STATE_COL).expect("admin view has state column");
@@ -178,9 +176,7 @@ impl<L: FileLocator> DownloadsProvider<L> {
             .filter(|r| r[status_i] == Value::Integer(status::PENDING))
             .map(|r| {
                 let initiator = match (&r[state_i], &r[init_i]) {
-                    (Value::Text(s), Value::Text(init)) if s == "volatile" => {
-                        Some(init.clone())
-                    }
+                    (Value::Text(s), Value::Text(init)) if s == "volatile" => Some(init.clone()),
                     _ => None,
                 };
                 (
@@ -210,8 +206,7 @@ impl<L: FileLocator> DownloadsProvider<L> {
             let result = kernel.http_get(service_pid, &url);
             match result {
                 Ok(data) => {
-                    let dest_path = VPath::new(&dest)
-                        .map_err(maxoid_kernel::KernelError::Fs)?;
+                    let dest_path = VPath::new(&dest).map_err(maxoid_kernel::KernelError::Fs)?;
                     self.files
                         .write(initiator.as_deref(), &dest_path, &data)
                         .map_err(maxoid_kernel::KernelError::Fs)?;
@@ -255,11 +250,7 @@ impl<L: FileLocator> DownloadsProvider<L> {
 
     /// Reads a completed download's bytes, resolving volatile files to the
     /// requesting initiator's tmp storage (the `File`-wrapper behaviour).
-    pub fn open_download(
-        &self,
-        initiator: Option<&str>,
-        dest: &VPath,
-    ) -> ProviderResult<Vec<u8>> {
+    pub fn open_download(&self, initiator: Option<&str>, dest: &VPath) -> ProviderResult<Vec<u8>> {
         self.files
             .read(initiator, dest)
             .map_err(|e| ProviderError::Kernel(maxoid_kernel::KernelError::Fs(e)))
@@ -267,9 +258,7 @@ impl<L: FileLocator> DownloadsProvider<L> {
 
     fn table_for(&self, uri: &Uri) -> ProviderResult<&'static str> {
         match uri.collection() {
-            Some("my_downloads") | Some("all_downloads") | Some("downloads") => {
-                Ok("downloads")
-            }
+            Some("my_downloads") | Some("all_downloads") | Some("downloads") => Ok("downloads"),
             Some("headers") | Some("request_headers") => Ok("request_headers"),
             _ => Err(ProviderError::UnknownUri(uri.to_string())),
         }
@@ -335,12 +324,7 @@ impl<L: FileLocator> ContentProvider for DownloadsProvider<L> {
         Ok(self.proxy.update(&view, table, &sets, where_clause.as_deref(), &params)?)
     }
 
-    fn query(
-        &mut self,
-        caller: &Caller,
-        uri: &Uri,
-        args: &QueryArgs,
-    ) -> ProviderResult<ResultSet> {
+    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
         let table = self.table_for(uri)?;
         let view = caller.db_view(uri)?;
         let (where_clause, params) = Self::build_where(uri, args);
@@ -406,10 +390,7 @@ mod tests {
         assert_eq!(notes[0].initiator, None);
         assert_eq!(notes[0].id, id);
         // File is in public storage; record is public.
-        assert_eq!(
-            p.open_download(None, &vpath("/sdcard/Download/doc.pdf")).unwrap(),
-            b"PDFDATA"
-        );
+        assert_eq!(p.open_download(None, &vpath("/sdcard/Download/doc.pdf")).unwrap(), b"PDFDATA");
         let uri = Uri::parse("content://downloads/my_downloads").unwrap();
         let rs = p.query(&Caller::normal("other.app"), &uri, &QueryArgs::default()).unwrap();
         assert_eq!(rs.rows.len(), 1);

@@ -47,12 +47,7 @@ impl<L: FileLocator> SystemFiles<L> {
     }
 
     /// Writes a file into public (initiator `None`) or volatile storage.
-    pub fn write(
-        &self,
-        initiator: Option<&str>,
-        path: &VPath,
-        data: &[u8],
-    ) -> VfsResult<()> {
+    pub fn write(&self, initiator: Option<&str>, path: &VPath, data: &[u8]) -> VfsResult<()> {
         let host = self.host(initiator, path)?;
         self.vfs.with_store_mut(|s| {
             if let Some(parent) = host.parent() {
@@ -78,9 +73,7 @@ impl<L: FileLocator> SystemFiles<L> {
 
     /// Returns true when the file exists in the selected storage.
     pub fn exists(&self, initiator: Option<&str>, path: &VPath) -> bool {
-        self.host(initiator, path)
-            .map(|h| self.vfs.with_store(|s| s.exists(&h)))
-            .unwrap_or(false)
+        self.host(initiator, path).map(|h| self.vfs.with_store(|s| s.exists(&h))).unwrap_or(false)
     }
 }
 

@@ -65,7 +65,9 @@ impl<L: FileLocator> MediaProvider<L> {
         proxy
             .execute_batch(
                 "CREATE TABLE files (_id INTEGER PRIMARY KEY, _data TEXT, \
-                 media_type INTEGER, title TEXT, _size INTEGER, date_added INTEGER);
+                 media_type INTEGER, title TEXT, _size INTEGER, date_added INTEGER, \
+                 bucket_id INTEGER);
+                 CREATE INDEX idx_files_bucket_id ON files (bucket_id);
                  CREATE TABLE thumbnails (_id INTEGER PRIMARY KEY, file_id INTEGER, \
                  _data TEXT);",
             )
@@ -114,9 +116,7 @@ impl<L: FileLocator> MediaProvider<L> {
     ) -> ProviderResult<i64> {
         let view = match &caller.ctx {
             ExecContext::Normal => DbView::Primary,
-            ExecContext::OnBehalfOf(init) => {
-                DbView::Delegate { initiator: init.pkg().to_string() }
-            }
+            ExecContext::OnBehalfOf(init) => DbView::Delegate { initiator: init.pkg().to_string() },
         };
         let id = self.proxy.insert(
             &view,
@@ -127,6 +127,7 @@ impl<L: FileLocator> MediaProvider<L> {
                 ("title", title.into()),
                 ("_size", (data_len as i64).into()),
                 ("date_added", 0.into()),
+                ("bucket_id", bucket_id(path).into()),
             ],
         )?;
         // Thumbnail generation: a small derived file, written to public or
@@ -152,8 +153,7 @@ impl<L: FileLocator> MediaProvider<L> {
         initiator: Option<&str>,
         media_path: &VPath,
     ) -> ProviderResult<Vec<u8>> {
-        let thumb = thumbnail_path(media_path)
-            .map_err(ProviderError::Kernel)?;
+        let thumb = thumbnail_path(media_path).map_err(ProviderError::Kernel)?;
         self.files
             .read(initiator, &thumb)
             .map_err(|e| ProviderError::Kernel(maxoid_kernel::KernelError::Fs(e)))
@@ -196,16 +196,30 @@ impl<L: FileLocator> MediaProvider<L> {
 
 /// Thumbnail location convention: `<dir>/.thumbnails/<name>.thumb`.
 fn thumbnail_path(media: &VPath) -> Result<VPath, maxoid_kernel::KernelError> {
-    let parent = media.parent().ok_or(maxoid_kernel::KernelError::Fs(
-        maxoid_vfs::VfsError::InvalidArgument,
-    ))?;
-    let name = media.file_name().ok_or(maxoid_kernel::KernelError::Fs(
-        maxoid_vfs::VfsError::InvalidArgument,
-    ))?;
+    let parent = media
+        .parent()
+        .ok_or(maxoid_kernel::KernelError::Fs(maxoid_vfs::VfsError::InvalidArgument))?;
+    let name = media
+        .file_name()
+        .ok_or(maxoid_kernel::KernelError::Fs(maxoid_vfs::VfsError::InvalidArgument))?;
     parent
         .join(".thumbnails")
         .and_then(|d| d.join(&format!("{name}.thumb")))
         .map_err(maxoid_kernel::KernelError::Fs)
+}
+
+/// Android's bucket id: a hash of the lowercased parent directory, so all
+/// files in one folder (e.g. `/sdcard/DCIM/Camera`) share a bucket. Gallery
+/// apps query `bucket_id = ?`, which the indexed `files` table serves with
+/// an index probe.
+fn bucket_id(media: &VPath) -> i64 {
+    let dir = media.parent().map(|p| p.as_str().to_ascii_lowercase()).unwrap_or_default();
+    // djb2, truncated to i32 like Android's String.hashCode-based bucket.
+    let mut h: u32 = 5381;
+    for b in dir.bytes() {
+        h = h.wrapping_mul(33).wrapping_add(b as u32);
+    }
+    h as i32 as i64
 }
 
 /// Deterministic fake thumbnail bytes derived from the source.
@@ -264,12 +278,7 @@ impl<L: FileLocator> ContentProvider for MediaProvider<L> {
         Ok(self.proxy.update(&view, rel, &sets, where_clause.as_deref(), &params)?)
     }
 
-    fn query(
-        &mut self,
-        caller: &Caller,
-        uri: &Uri,
-        args: &QueryArgs,
-    ) -> ProviderResult<ResultSet> {
+    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
         let rel = self.relation_for(uri)?;
         let view = caller.db_view(uri)?;
         // User-view COW instances are built on demand when a delegate with
@@ -326,14 +335,35 @@ mod tests {
     fn scan_inserts_row_and_thumbnail() {
         let mut p = provider();
         let cam = Caller::normal("com.camera");
-        let id = p
-            .scan_file(&cam, &vpath("/sdcard/DCIM/p1.jpg"), MediaKind::Image, "p1", 1000)
-            .unwrap();
+        let id =
+            p.scan_file(&cam, &vpath("/sdcard/DCIM/p1.jpg"), MediaKind::Image, "p1", 1000).unwrap();
         assert_eq!(id, 1);
         let rs = p.query(&cam, &images_uri(), &QueryArgs::default()).unwrap();
         assert_eq!(rs.rows.len(), 1);
         let thumb = p.open_thumbnail(None, &vpath("/sdcard/DCIM/p1.jpg")).unwrap();
         assert!(thumb.starts_with(b"THUMB:"));
+    }
+
+    #[test]
+    fn bucket_queries_use_the_index() {
+        let mut p = provider();
+        let cam = Caller::normal("com.camera");
+        for (dir, n) in [("/sdcard/DCIM/Camera", 3), ("/sdcard/Download", 2)] {
+            for i in 0..n {
+                p.scan_file(&cam, &vpath(&format!("{dir}/f{i}.jpg")), MediaKind::Image, "f", 10)
+                    .unwrap();
+            }
+        }
+        let camera_bucket = bucket_id(&vpath("/sdcard/DCIM/Camera/f0.jpg"));
+        p.proxy().db().stats.reset();
+        let rs = p
+            .proxy()
+            .db()
+            .query("SELECT _id FROM files WHERE bucket_id = ?", &[Value::Integer(camera_bucket)])
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(p.proxy().db().stats.index_probes.get(), 1);
+        assert_eq!(p.proxy().db().stats.rows_scanned.get(), 0);
     }
 
     #[test]
@@ -360,9 +390,7 @@ mod tests {
         assert_eq!(rs.rows.len(), 1);
         // The thumbnail lives in Dropbox's volatile storage, not public.
         assert!(p.open_thumbnail(None, &vpath("/sdcard/DCIM/secret.jpg")).is_err());
-        assert!(p
-            .open_thumbnail(Some("com.dropbox"), &vpath("/sdcard/DCIM/secret.jpg"))
-            .is_ok());
+        assert!(p.open_thumbnail(Some("com.dropbox"), &vpath("/sdcard/DCIM/secret.jpg")).is_ok());
     }
 
     #[test]
@@ -377,8 +405,7 @@ mod tests {
         )
         .unwrap();
         let del = Caller::delegate("com.player", "com.email");
-        p.scan_file(&del, &vpath("/sdcard/Music/att.mp3"), MediaKind::Audio, "att", 20)
-            .unwrap();
+        p.scan_file(&del, &vpath("/sdcard/Music/att.mp3"), MediaKind::Audio, "att", 20).unwrap();
         let audio = Uri::parse("content://media/audio").unwrap();
         let rs = p.query(&del, &audio, &QueryArgs::default()).unwrap();
         assert_eq!(rs.rows.len(), 2);
@@ -390,9 +417,8 @@ mod tests {
     fn writes_through_views_are_rejected() {
         let mut p = provider();
         let cam = Caller::normal("com.camera");
-        let err = p
-            .insert(&cam, &images_uri(), &ContentValues::new().put("title", "x"))
-            .unwrap_err();
+        let err =
+            p.insert(&cam, &images_uri(), &ContentValues::new().put("title", "x")).unwrap_err();
         assert!(matches!(err, ProviderError::Denied(_)));
     }
 

@@ -44,9 +44,9 @@ impl Caller {
             (ExecContext::OnBehalfOf(init), false) => {
                 Ok(DbView::Delegate { initiator: init.pkg().to_string() })
             }
-            (ExecContext::OnBehalfOf(_), true) => Err(ProviderError::Denied(
-                "delegates cannot address volatile (tmp) URIs".into(),
-            )),
+            (ExecContext::OnBehalfOf(_), true) => {
+                Err(ProviderError::Denied("delegates cannot address volatile (tmp) URIs".into()))
+            }
             (ExecContext::Normal, true) => {
                 Ok(DbView::Volatile { initiator: self.app.pkg().to_string() })
             }
@@ -91,10 +91,7 @@ impl ContentValues {
 
     /// Returns the value for a column, if present.
     pub fn get(&self, column: &str) -> Option<&Value> {
-        self.pairs
-            .iter()
-            .find(|(c, _)| c.eq_ignore_ascii_case(column))
-            .map(|(_, v)| v)
+        self.pairs.iter().find(|(c, _)| c.eq_ignore_ascii_case(column)).map(|(_, v)| v)
     }
 
     /// Returns pairs as the `(&str, Value)` slices the proxy consumes.
@@ -180,12 +177,10 @@ pub trait ContentProvider {
     ) -> ProviderResult<usize>;
 
     /// Queries rows.
-    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs)
-        -> ProviderResult<ResultSet>;
+    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet>;
 
     /// Deletes matching rows; returns the affected count.
-    fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs)
-        -> ProviderResult<usize>;
+    fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize>;
 
     /// Maxoid administrative hook: discards the volatile state this
     /// provider holds for `initiator` (Clear-Vol, §6.3).
@@ -203,10 +198,7 @@ mod tests {
 
         let init = Caller::normal("com.email");
         assert_eq!(init.db_view(&words).unwrap(), DbView::Primary);
-        assert_eq!(
-            init.db_view(&tmp).unwrap(),
-            DbView::Volatile { initiator: "com.email".into() }
-        );
+        assert_eq!(init.db_view(&tmp).unwrap(), DbView::Volatile { initiator: "com.email".into() });
 
         let del = Caller::delegate("com.viewer", "com.email");
         assert_eq!(

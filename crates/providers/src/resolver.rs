@@ -60,11 +60,7 @@ impl ContentResolver {
     }
 
     /// Registers a provider under its authority.
-    pub fn register(
-        &mut self,
-        scope: ProviderScope,
-        provider: Box<dyn ContentProvider + Send>,
-    ) {
+    pub fn register(&mut self, scope: ProviderScope, provider: Box<dyn ContentProvider + Send>) {
         self.providers.insert(provider.authority().to_string(), (scope, provider));
     }
 
@@ -167,7 +163,12 @@ impl ContentResolver {
     }
 
     /// Routed delete.
-    pub fn delete(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+    pub fn delete(
+        &mut self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> ProviderResult<usize> {
         self.check_access(caller, uri, true)?;
         let authority = uri.authority.clone();
         self.provider_mut(&authority)?.delete(caller, uri, args)
@@ -242,9 +243,8 @@ mod tests {
         );
         let base = Uri::parse("content://com.email.attachmentprovider/attachments").unwrap();
         let email = Caller::normal("com.email");
-        let item = r
-            .insert(&email, &base, &ContentValues::new().put("name", "report.pdf"))
-            .unwrap();
+        let item =
+            r.insert(&email, &base, &ContentValues::new().put("name", "report.pdf")).unwrap();
         (r, item)
     }
 

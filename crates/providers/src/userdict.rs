@@ -43,7 +43,8 @@ impl UserDictionaryProvider {
         proxy
             .execute_batch(
                 "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT NOT NULL, \
-                 frequency INTEGER, locale TEXT, appid INTEGER);",
+                 frequency INTEGER, locale TEXT, appid INTEGER);
+                 CREATE INDEX idx_words_word ON words (word);",
             )
             .expect("static schema is valid");
         UserDictionaryProvider { proxy }
@@ -126,12 +127,7 @@ impl ContentProvider for UserDictionaryProvider {
         Ok(self.proxy.update(&view, WORDS_TABLE, &sets, where_clause.as_deref(), &params)?)
     }
 
-    fn query(
-        &mut self,
-        caller: &Caller,
-        uri: &Uri,
-        args: &QueryArgs,
-    ) -> ProviderResult<ResultSet> {
+    fn query(&mut self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
         self.check_uri(uri)?;
         let view = caller.db_view(uri)?;
         let (where_clause, params) = Self::build_where(uri, args);
@@ -179,11 +175,7 @@ mod tests {
     fn insert_returns_item_uri() {
         let mut p = UserDictionaryProvider::new();
         let uri = p
-            .insert(
-                &Caller::normal("kb"),
-                &words_uri(),
-                &ContentValues::new().put("word", "a"),
-            )
+            .insert(&Caller::normal("kb"), &words_uri(), &ContentValues::new().put("word", "a"))
             .unwrap();
         assert_eq!(uri.to_string(), "content://user_dictionary/words/1");
     }
@@ -192,9 +184,7 @@ mod tests {
     fn item_uri_addresses_single_row() {
         let mut p = seeded();
         let kb = Caller::normal("com.keyboard");
-        let rs = p
-            .query(&kb, &words_uri().with_id(2), &QueryArgs::default())
-            .unwrap();
+        let rs = p.query(&kb, &words_uri().with_id(2), &QueryArgs::default()).unwrap();
         assert_eq!(rs.rows.len(), 1);
         let w = rs.column_index("word").unwrap();
         assert_eq!(rs.rows[0][w], Value::Text("world".into()));
@@ -233,14 +223,14 @@ mod tests {
     fn delegate_delete_hides_but_preserves_public() {
         let mut p = seeded();
         let del = Caller::delegate("com.viewer", "com.email");
-        assert_eq!(
-            p.delete(&del, &words_uri().with_id(2), &QueryArgs::default()).unwrap(),
-            1
-        );
-        assert!(p.query(&del, &words_uri().with_id(2), &QueryArgs::default()).unwrap().rows.is_empty());
-        let pub_rs = p
-            .query(&Caller::normal("x"), &words_uri().with_id(2), &QueryArgs::default())
-            .unwrap();
+        assert_eq!(p.delete(&del, &words_uri().with_id(2), &QueryArgs::default()).unwrap(), 1);
+        assert!(p
+            .query(&del, &words_uri().with_id(2), &QueryArgs::default())
+            .unwrap()
+            .rows
+            .is_empty());
+        let pub_rs =
+            p.query(&Caller::normal("x"), &words_uri().with_id(2), &QueryArgs::default()).unwrap();
         assert_eq!(pub_rs.rows.len(), 1);
     }
 

@@ -72,8 +72,7 @@ fn volatile_download_readable_by_same_initiators_delegates() {
     kernel.net.publish("files.example", "doc.pdf", b"DOC".to_vec());
     let svc = AppId::new("downloads.svc");
     kernel.install_app(&svc);
-    let svc_pid: Pid =
-        kernel.spawn(&svc, ExecContext::Normal, MountNamespace::new()).unwrap();
+    let svc_pid: Pid = kernel.spawn(&svc, ExecContext::Normal, MountNamespace::new()).unwrap();
     let files = SystemFiles::new(kernel.vfs().clone(), SimpleLocator);
     let mut p = DownloadsProvider::new(files);
 
@@ -123,14 +122,16 @@ fn resolver_clear_volatile_spans_providers() {
 fn projection_and_empty_projection_consistency() {
     let mut p = UserDictionaryProvider::new();
     let kb = Caller::normal("kb");
-    p.insert(&kb, &words(), &ContentValues::new().put("word", "w").put("frequency", 9))
-        .unwrap();
+    p.insert(&kb, &words(), &ContentValues::new().put("word", "w").put("frequency", 9)).unwrap();
     // Narrow projection returns exactly the asked columns in order.
     let rs = p
         .query(
             &kb,
             &words(),
-            &QueryArgs { projection: vec!["frequency".into(), "word".into()], ..Default::default() },
+            &QueryArgs {
+                projection: vec!["frequency".into(), "word".into()],
+                ..Default::default()
+            },
         )
         .unwrap();
     assert_eq!(rs.columns, vec!["frequency", "word"]);
@@ -145,8 +146,7 @@ fn update_with_both_set_and_where_params() {
     let mut p = UserDictionaryProvider::new();
     let kb = Caller::normal("kb");
     for w in ["a", "b", "c"] {
-        p.insert(&kb, &words(), &ContentValues::new().put("word", w).put("frequency", 1))
-            .unwrap();
+        p.insert(&kb, &words(), &ContentValues::new().put("word", w).put("frequency", 1)).unwrap();
     }
     // The proxy renumbers `?` in WHERE after the SET params.
     let n = p

@@ -41,6 +41,19 @@ pub enum Stmt {
         /// Statements executed per affected row.
         body: Vec<Stmt>,
     },
+    /// `CREATE [UNIQUE] INDEX name ON table (column)`.
+    CreateIndex {
+        /// Index name.
+        name: String,
+        /// Skip if the index exists.
+        if_not_exists: bool,
+        /// True for `CREATE UNIQUE INDEX`.
+        unique: bool,
+        /// Table the index is on.
+        table: String,
+        /// The single indexed column.
+        column: String,
+    },
     /// `DROP TABLE`.
     DropTable {
         /// Table name.
@@ -60,6 +73,13 @@ pub enum Stmt {
         /// Trigger name.
         name: String,
         /// Ignore a missing trigger.
+        if_exists: bool,
+    },
+    /// `DROP INDEX`.
+    DropIndex {
+        /// Index name.
+        name: String,
+        /// Ignore a missing index.
         if_exists: bool,
     },
     /// `INSERT [OR REPLACE] INTO table (cols) VALUES ... | select`.
@@ -178,9 +198,7 @@ impl Affinity {
                     v
                 }
             }
-            (Affinity::Integer, Value::Real(r)) if r.fract() == 0.0 => {
-                Value::Integer(*r as i64)
-            }
+            (Affinity::Integer, Value::Real(r)) if r.fract() == 0.0 => Value::Integer(*r as i64),
             (Affinity::Real, Value::Integer(i)) => Value::Real(*i as f64),
             (Affinity::Text, Value::Integer(i)) => Value::Text(i.to_string()),
             (Affinity::Text, Value::Real(r)) => Value::Text(r.to_string()),
@@ -419,9 +437,7 @@ impl Expr {
                 expr.contains_aggregate() || pattern.contains_aggregate()
             }
             Expr::Between { expr, low, high, .. } => {
-                expr.contains_aggregate()
-                    || low.contains_aggregate()
-                    || high.contains_aggregate()
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
             }
             _ => false,
         }
@@ -447,10 +463,7 @@ mod tests {
         assert_eq!(Affinity::Integer.apply(Value::Text("7".into())), Value::Integer(7));
         assert_eq!(Affinity::Integer.apply(Value::Real(3.0)), Value::Integer(3));
         assert_eq!(Affinity::Text.apply(Value::Integer(7)), Value::Text("7".into()));
-        assert_eq!(
-            Affinity::Integer.apply(Value::Text("abc".into())),
-            Value::Text("abc".into())
-        );
+        assert_eq!(Affinity::Integer.apply(Value::Text("abc".into())), Value::Text("abc".into()));
     }
 
     #[test]

@@ -41,19 +41,47 @@ pub struct Stats {
     pub rows_scanned: Cell<u64>,
     /// Primary-key point lookups taken instead of scans.
     pub point_lookups: Cell<u64>,
+    /// Secondary-index probes (equality or range) taken instead of scans.
+    pub index_probes: Cell<u64>,
+    /// Rows materialized (cloned) out of storage by scans — rows that
+    /// passed the filter. Filtered-out rows are visited borrowed and never
+    /// counted here.
+    pub rows_cloned: Cell<u64>,
     /// Queries rewritten by UNION ALL subquery flattening.
     pub flattened_queries: Cell<u64>,
     /// Queries that materialized a view (no flattening).
     pub materialized_views: Cell<u64>,
+    /// EXPLAIN-style access-path notes, one per table access, capped at
+    /// [`ACCESS_PATH_LOG_CAP`] entries.
+    pub access_paths: RefCell<Vec<String>>,
 }
+
+/// Maximum retained entries in [`Stats::access_paths`].
+pub const ACCESS_PATH_LOG_CAP: usize = 64;
 
 impl Stats {
     /// Resets all counters.
     pub fn reset(&self) {
         self.rows_scanned.set(0);
         self.point_lookups.set(0);
+        self.index_probes.set(0);
+        self.rows_cloned.set(0);
         self.flattened_queries.set(0);
         self.materialized_views.set(0);
+        self.access_paths.borrow_mut().clear();
+    }
+
+    /// Records one EXPLAIN-style access-path line (dropped past the cap).
+    pub fn note_access_path(&self, line: String) {
+        let mut log = self.access_paths.borrow_mut();
+        if log.len() < ACCESS_PATH_LOG_CAP {
+            log.push(line);
+        }
+    }
+
+    /// Drains and returns the recorded access-path lines.
+    pub fn take_access_paths(&self) -> Vec<String> {
+        std::mem::take(&mut *self.access_paths.borrow_mut())
     }
 }
 
@@ -260,9 +288,7 @@ impl Database {
                 self.triggers = snap.triggers;
                 Ok(())
             }
-            None => Err(SqlError::Unsupported(
-                "cannot rollback - no transaction is active".into(),
-            )),
+            None => Err(SqlError::Unsupported("cannot rollback - no transaction is active".into())),
         }
     }
 
@@ -293,9 +319,7 @@ impl Database {
 
     /// Returns a mutable base table by name.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
-        self.tables
-            .get_mut(&key(name))
-            .ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+        self.tables.get_mut(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
     /// Returns a view definition by name.
@@ -305,9 +329,7 @@ impl Database {
 
     /// Returns the trigger attached to `view_name` for `event`, if any.
     pub fn trigger_for(&self, view_name: &str, event: TriggerEvent) -> Option<&TriggerDef> {
-        self.triggers
-            .values()
-            .find(|t| t.on == key(view_name) && t.event == event)
+        self.triggers.values().find(|t| t.on == key(view_name) && t.event == event)
     }
 
     /// Lists base table names (lowercased keys).

@@ -23,6 +23,8 @@ pub enum SqlError {
     NoSuchColumn(String),
     /// A referenced trigger does not exist.
     NoSuchTrigger(String),
+    /// A referenced secondary index does not exist.
+    NoSuchIndex(String),
     /// An object with this name already exists.
     AlreadyExists(String),
     /// Uniqueness violation on the primary key.
@@ -31,6 +33,11 @@ pub enum SqlError {
         table: String,
         /// The conflicting key.
         key: i64,
+    },
+    /// Uniqueness violation on a `UNIQUE` secondary index.
+    ConstraintUnique {
+        /// Name of the violated index.
+        index: String,
     },
     /// Attempted to modify a view with no INSTEAD OF trigger for the event.
     ViewNotWritable(String),
@@ -52,9 +59,13 @@ impl fmt::Display for SqlError {
             SqlError::NoSuchTable(n) => write!(f, "no such table: {n}"),
             SqlError::NoSuchColumn(n) => write!(f, "no such column: {n}"),
             SqlError::NoSuchTrigger(n) => write!(f, "no such trigger: {n}"),
+            SqlError::NoSuchIndex(n) => write!(f, "no such index: {n}"),
             SqlError::AlreadyExists(n) => write!(f, "object already exists: {n}"),
             SqlError::ConstraintPrimaryKey { table, key } => {
                 write!(f, "UNIQUE constraint failed: {table} primary key {key}")
+            }
+            SqlError::ConstraintUnique { index } => {
+                write!(f, "UNIQUE constraint failed: index {index}")
             }
             SqlError::ViewNotWritable(n) => {
                 write!(f, "cannot modify view without INSTEAD OF trigger: {n}")
@@ -77,10 +88,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(
-            SqlError::NoSuchTable("t".into()).to_string(),
-            "no such table: t"
-        );
+        assert_eq!(SqlError::NoSuchTable("t".into()).to_string(), "no such table: t");
         assert_eq!(
             SqlError::ConstraintPrimaryKey { table: "t".into(), key: 3 }.to_string(),
             "UNIQUE constraint failed: t primary key 3"

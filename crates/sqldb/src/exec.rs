@@ -6,9 +6,10 @@ use crate::ast::{
 use crate::db::{key, Database, ExecOutcome, ResultSet, TriggerDef, ViewDef, MAX_DEPTH};
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{eval, EvalEnv, RowScope, SubqueryCache, TriggerCtx};
-use crate::planner::try_flatten;
+use crate::planner::{choose_access_path, try_flatten, AccessPath};
 use crate::table::{Table, TableSchema};
 use crate::value::Value;
+use std::borrow::Cow;
 
 /// Output rows paired with optional pre-computed sort keys.
 type KeyedRows = Vec<(Vec<Value>, Option<Vec<Value>>)>;
@@ -40,10 +41,8 @@ pub fn exec_stmt(
                 return Err(SqlError::AlreadyExists(name.clone()));
             }
             let columns = view_output_columns(db, select)?;
-            db.views.insert(
-                key(name),
-                ViewDef { name: name.clone(), select: select.clone(), columns },
-            );
+            db.views
+                .insert(key(name), ViewDef { name: name.clone(), select: select.clone(), columns });
             Ok(ExecOutcome::ddl())
         }
         Stmt::CreateTrigger { name, if_not_exists, event, on, body } => {
@@ -60,14 +59,29 @@ pub fn exec_stmt(
             }
             db.triggers.insert(
                 key(name),
-                TriggerDef {
-                    name: name.clone(),
-                    event: *event,
-                    on: key(on),
-                    body: body.clone(),
-                },
+                TriggerDef { name: name.clone(), event: *event, on: key(on), body: body.clone() },
             );
             Ok(ExecOutcome::ddl())
+        }
+        Stmt::CreateIndex { name, if_not_exists, unique, table, column } => {
+            // Index names share one namespace across all tables, like SQLite.
+            if db.tables.values().any(|t| t.has_index(name)) {
+                if *if_not_exists {
+                    return Ok(ExecOutcome::ddl());
+                }
+                return Err(SqlError::AlreadyExists(format!("index {name}")));
+            }
+            if !db.tables.contains_key(&key(table)) {
+                return Err(SqlError::NoSuchTable(table.clone()));
+            }
+            db.table_mut(table)?.create_index(name, column, *unique)?;
+            Ok(ExecOutcome::ddl())
+        }
+        Stmt::DropIndex { name, if_exists } => {
+            if db.tables.values_mut().any(|t| t.drop_index(name)) || *if_exists {
+                return Ok(ExecOutcome::ddl());
+            }
+            Err(SqlError::NoSuchIndex(name.clone()))
         }
         Stmt::DropTable { name, if_exists } => {
             if db.tables.remove(&key(name)).is_none() && !*if_exists {
@@ -291,11 +305,12 @@ fn resolve_output_order_term(
     }
 }
 
-/// A materialized FROM source.
-struct Source {
+/// A FROM source bound for the nested-loop join. Base-table rows are
+/// borrowed straight out of storage; only view results are owned.
+struct Source<'a> {
     binding: String,
     columns: Vec<String>,
-    rows: Vec<Vec<Value>>,
+    rows: Vec<Cow<'a, [Value]>>,
 }
 
 /// Executes one SELECT core, returning output columns and rows (with sort
@@ -337,7 +352,9 @@ fn exec_core(
     for tref in &core.from {
         let k = key(&tref.name);
         if let Some(t) = db.tables.get(&k) {
-            let rows: Vec<Vec<Value>> = t.iter().map(|(_, r)| r.clone()).collect();
+            // Borrow rows from storage — nothing is cloned up front.
+            let rows: Vec<Cow<'_, [Value]>> =
+                t.iter().map(|(_, r)| Cow::Borrowed(r.as_slice())).collect();
             db.stats.rows_scanned.set(db.stats.rows_scanned.get() + rows.len() as u64);
             sources.push(Source {
                 binding: tref.binding().to_string(),
@@ -350,7 +367,7 @@ fn exec_core(
             sources.push(Source {
                 binding: tref.binding().to_string(),
                 columns: v.columns.clone(),
-                rows: rs.rows,
+                rows: rs.rows.into_iter().map(Cow::Owned).collect(),
             });
         } else {
             return Err(SqlError::NoSuchTable(tref.name.clone()));
@@ -368,13 +385,14 @@ fn exec_core(
         }
         let mut scope = RowScope::empty();
         for (si, s) in sources.iter().enumerate() {
-            scope.push(&s.binding, s.columns.clone(), s.rows[index[si]].clone());
+            scope.push_ref(&s.binding, &s.columns, &s.rows[index[si]]);
         }
         let pass = match &core.where_clause {
             Some(w) => eval(w, &scope, env)?.truthiness() == Some(true),
             None => true,
         };
         if pass {
+            db.stats.rows_cloned.set(db.stats.rows_cloned.get() + 1);
             if aggregate {
                 matched_scopes.push(scope);
             } else {
@@ -405,11 +423,7 @@ fn exec_core(
         let template = {
             let mut scope = RowScope::empty();
             for s in &sources {
-                scope.push(
-                    &s.binding,
-                    s.columns.clone(),
-                    vec![Value::Null; s.columns.len()],
-                );
+                scope.push(&s.binding, s.columns.clone(), vec![Value::Null; s.columns.len()]);
             }
             scope
         };
@@ -433,7 +447,10 @@ fn exec_core(
     Ok((names, out))
 }
 
-/// Single-table core execution with pk-lookup fast path.
+/// Single-table core execution with access-path selection: rowid point
+/// probes, secondary-index probes, or a full scan as a last resort. Rows
+/// are bound by reference; only rows surviving the WHERE filter are
+/// materialized (counted by `db.stats.rows_cloned`).
 fn exec_core_single_table(
     db: &Database,
     core: &SelectCore,
@@ -446,30 +463,17 @@ fn exec_core_single_table(
     let binding = tref.binding().to_string();
     let columns = table.schema.column_names();
 
-    // Try to extract a pk equality from the WHERE conjuncts.
-    let pk_rowids: Option<Vec<i64>> = match (&core.where_clause, table.schema.pk_column) {
-        (Some(w), Some(pk_idx)) => {
-            extract_pk_lookup(w, &table.schema.columns[pk_idx].name, env)?
-        }
-        _ => None,
-    };
-
-    let candidate_rows: Vec<&Vec<Value>> = match &pk_rowids {
-        Some(ids) => {
-            db.stats.point_lookups.set(db.stats.point_lookups.get() + 1);
-            ids.iter().filter_map(|id| table.get(*id)).collect()
-        }
-        None => {
-            db.stats.rows_scanned.set(db.stats.rows_scanned.get() + table.len() as u64);
-            table.iter().map(|(_, r)| r).collect()
-        }
+    let probed = probe_access_path(db, table, &binding, core.where_clause.as_ref(), env)?;
+    let candidate_rows: Vec<&Vec<Value>> = match &probed {
+        Some(ids) => ids.iter().filter_map(|id| table.get(*id)).collect(),
+        None => table.iter().map(|(_, r)| r).collect(),
     };
 
     let mut out = Vec::new();
     let mut matched_scopes = Vec::new();
     let mut names: Option<Vec<String>> = None;
     for row in candidate_rows {
-        let scope = RowScope::single(&binding, columns.clone(), row.clone());
+        let scope = RowScope::single_ref(&binding, &columns, row);
         let pass = match &core.where_clause {
             Some(w) => eval(w, &scope, env)?.truthiness() == Some(true),
             None => true,
@@ -477,6 +481,7 @@ fn exec_core_single_table(
         if !pass {
             continue;
         }
+        db.stats.rows_cloned.set(db.stats.rows_cloned.get() + 1);
         if aggregate {
             matched_scopes.push(scope);
         } else {
@@ -508,44 +513,73 @@ fn exec_core_single_table(
     Ok((names, out))
 }
 
-/// Detects `pk = <const>` or `pk IN (<consts>)` conjuncts; returns the
-/// rowids to probe, or `None` when the WHERE is not index-friendly.
-fn extract_pk_lookup(
-    where_clause: &Expr,
-    pk_name: &str,
+/// Chooses and executes an access path for one table scan: returns
+/// `Some(rowids)` for point/index probes (stats and the EXPLAIN log are
+/// updated), or `None` to signal a full scan (`rows_scanned` is charged
+/// here so callers just iterate).
+fn probe_access_path(
+    db: &Database,
+    t: &Table,
+    binding: &str,
+    where_clause: Option<&Expr>,
     env: &EvalEnv<'_>,
 ) -> SqlResult<Option<Vec<i64>>> {
-    for conj in where_clause.conjuncts() {
-        match conj {
-            Expr::Binary(crate::ast::BinOp::Eq, l, r) => {
-                for (col, other) in [(l, r), (r, l)] {
-                    if let Expr::Column { name, .. } = col.as_ref() {
-                        if name.eq_ignore_ascii_case(pk_name) && is_const(other) {
-                            let v = eval(other, &RowScope::empty(), env)?;
-                            return Ok(Some(v.as_integer().map(|i| vec![i]).unwrap_or_default()));
-                        }
-                    }
-                }
+    // The planner probes constant conjuncts through this closure; an
+    // evaluation error (e.g. a missing parameter) is deferred so it still
+    // surfaces instead of silently degrading to a full scan.
+    let deferred: std::cell::RefCell<Option<SqlError>> = std::cell::RefCell::new(None);
+    let eval_const = |e: &Expr| -> Option<Value> {
+        if !is_const(e) {
+            return None;
+        }
+        match eval(e, &RowScope::empty(), env) {
+            Ok(v) => Some(v),
+            Err(err) => {
+                deferred.borrow_mut().get_or_insert(err);
+                None
             }
-            Expr::InList { expr, list, negated: false } => {
-                if let Expr::Column { name, .. } = expr.as_ref() {
-                    if name.eq_ignore_ascii_case(pk_name) && list.iter().all(is_const) {
-                        let mut ids = Vec::new();
-                        for item in list {
-                            if let Some(i) =
-                                eval(item, &RowScope::empty(), env)?.as_integer()
-                            {
-                                ids.push(i);
-                            }
-                        }
-                        return Ok(Some(ids));
-                    }
-                }
+        }
+    };
+    let path = choose_access_path(t, binding, where_clause, &eval_const);
+    if let Some(err) = deferred.into_inner() {
+        return Err(err);
+    }
+    db.stats.note_access_path(format!("{binding}: {path}"));
+    match path {
+        AccessPath::FullScan => {
+            db.stats.rows_scanned.set(db.stats.rows_scanned.get() + t.len() as u64);
+            Ok(None)
+        }
+        AccessPath::RowidPoint(ids) => {
+            db.stats.point_lookups.set(db.stats.point_lookups.get() + 1);
+            Ok(Some(ids))
+        }
+        AccessPath::IndexEq { index, keys } => {
+            db.stats.index_probes.set(db.stats.index_probes.get() + keys.len() as u64);
+            let ix = t
+                .indexes()
+                .iter()
+                .find(|ix| ix.name().eq_ignore_ascii_case(&index))
+                .ok_or_else(|| SqlError::NoSuchIndex(index.clone()))?;
+            let mut ids: Vec<i64> = Vec::new();
+            for k in &keys {
+                ids.extend(ix.probe_eq(k));
             }
-            _ => {}
+            // Keep rowid order and drop duplicates from repeated IN keys.
+            ids.sort_unstable();
+            ids.dedup();
+            Ok(Some(ids))
+        }
+        AccessPath::IndexRange { index, lower, upper } => {
+            db.stats.index_probes.set(db.stats.index_probes.get() + 1);
+            let ix = t
+                .indexes()
+                .iter()
+                .find(|ix| ix.name().eq_ignore_ascii_case(&index))
+                .ok_or_else(|| SqlError::NoSuchIndex(index.clone()))?;
+            Ok(Some(ix.probe_range(lower.as_ref(), upper.as_ref())))
         }
     }
-    Ok(None)
 }
 
 /// True when an expression references no columns of the current scope
@@ -627,9 +661,7 @@ fn sort_keys(
             Err(SqlError::NoSuchColumn(_)) => {
                 // Try output aliases.
                 if let Expr::Column { table: None, name } = &term.expr {
-                    if let Some(i) =
-                        out_names.iter().position(|c| c.eq_ignore_ascii_case(name))
-                    {
+                    if let Some(i) = out_names.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                         keys.push(out_row[i].clone());
                         continue;
                     }
@@ -642,14 +674,11 @@ fn sort_keys(
     Ok(Some(keys))
 }
 
-
 /// Deduplicates output rows (SELECT DISTINCT), keeping first occurrences.
 fn dedupe_rows(rows: &mut KeyedRows) {
     let mut seen: std::collections::BTreeSet<Vec<crate::expr::OrdValue>> =
         std::collections::BTreeSet::new();
-    rows.retain(|(row, _)| {
-        seen.insert(row.iter().cloned().map(crate::expr::OrdValue).collect())
-    });
+    rows.retain(|(row, _)| seen.insert(row.iter().cloned().map(crate::expr::OrdValue).collect()));
 }
 
 /// Produces the output rows of an aggregate / GROUP BY core: one row per
@@ -743,11 +772,7 @@ fn project_aggregate(
                 names.push(output_name(expr, alias.as_deref()));
                 row.push(eval_aggregate(expr, matched, template, env)?);
             }
-            _ => {
-                return Err(SqlError::Unsupported(
-                    "* projection mixed with aggregates".into(),
-                ))
-            }
+            _ => return Err(SqlError::Unsupported("* projection mixed with aggregates".into())),
         }
     }
     Ok((names, row))
@@ -833,11 +858,7 @@ fn eval_aggregate(
             let lv = eval_aggregate(l, matched, template, env)?;
             let rv = eval_aggregate(r, matched, template, env)?;
             // Re-evaluate as a constant binary over computed values.
-            let synth = Expr::Binary(
-                *op,
-                Box::new(Expr::Literal(lv)),
-                Box::new(Expr::Literal(rv)),
-            );
+            let synth = Expr::Binary(*op, Box::new(Expr::Literal(lv)), Box::new(Expr::Literal(rv)));
             eval(&synth, template, env)
         }
         Expr::Unary(op, e) => {
@@ -891,9 +912,7 @@ fn exec_insert(
                 }
                 out
             }
-            InsertSource::Select(sel) => {
-                exec_select(db, sel, params, trigger, &cache, 0)?.rows
-            }
+            InsertSource::Select(sel) => exec_select(db, sel, params, trigger, &cache, 0)?.rows,
         }
     };
 
@@ -908,9 +927,7 @@ fn exec_insert(
                 columns
                     .iter()
                     .map(|c| {
-                        t.schema
-                            .column_index(c)
-                            .ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
+                        t.schema.column_index(c).ok_or_else(|| SqlError::NoSuchColumn(c.clone()))
                     })
                     .collect()
             };
@@ -971,8 +988,7 @@ fn exec_insert(
                     new_row[idx] = v;
                 }
             }
-            let ctx =
-                TriggerCtx { columns: view_cols.clone(), new: Some(new_row), old: None };
+            let ctx = TriggerCtx { columns: view_cols.clone(), new: Some(new_row), old: None };
             for stmt in &body {
                 exec_stmt(db, stmt, &[], Some(&ctx))?;
             }
@@ -984,21 +1000,19 @@ fn exec_insert(
     Err(SqlError::NoSuchTable(table.to_string()))
 }
 
-/// Returns the rows UPDATE/DELETE must consider: a pk point probe when
-/// the WHERE clause pins the primary key, otherwise a full scan.
+/// Returns the rows UPDATE/DELETE must consider: a rowid point probe or
+/// secondary-index probe when the WHERE clause allows it, otherwise a
+/// full scan. Rows are borrowed, not cloned.
 fn candidate_rows<'a>(
     db: &Database,
     t: &'a crate::table::Table,
+    binding: &str,
     where_clause: Option<&Expr>,
     env: &EvalEnv<'_>,
 ) -> SqlResult<Vec<(i64, &'a Vec<Value>)>> {
-    if let (Some(w), Some(pk_idx)) = (where_clause, t.schema.pk_column) {
-        if let Some(ids) = extract_pk_lookup(w, &t.schema.columns[pk_idx].name, env)? {
-            db.stats.point_lookups.set(db.stats.point_lookups.get() + 1);
-            return Ok(ids.into_iter().filter_map(|id| t.get(id).map(|r| (id, r))).collect());
-        }
+    if let Some(ids) = probe_access_path(db, t, binding, where_clause, env)? {
+        return Ok(ids.into_iter().filter_map(|id| t.get(id).map(|r| (id, r))).collect());
     }
-    db.stats.rows_scanned.set(db.stats.rows_scanned.get() + t.len() as u64);
     Ok(t.iter().map(|(id, r)| (*id, r)).collect())
 }
 
@@ -1054,9 +1068,9 @@ fn exec_update(
                 .collect();
             let set_idx = set_idx?;
             let mut ups = Vec::new();
-            let candidates = candidate_rows(db, t, where_clause, &env)?;
+            let candidates = candidate_rows(db, t, table, where_clause, &env)?;
             for (rowid, row) in candidates {
-                let scope = RowScope::single(table, cols.clone(), row.clone());
+                let scope = RowScope::single_ref(table, &cols, row);
                 let pass = match where_clause {
                     Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
                     None => true,
@@ -1093,7 +1107,7 @@ fn exec_update(
             let env = EvalEnv { db, params, trigger, cache: &cache, depth: 0 };
             let mut matched = Vec::new();
             for row in rows {
-                let scope = RowScope::single(table, v.columns.clone(), row.clone());
+                let scope = RowScope::single_ref(table, &v.columns, &row);
                 let mut new_row = row.clone();
                 for (c, e) in sets {
                     let idx = v
@@ -1135,9 +1149,9 @@ fn exec_delete(
             let t = db.table(table)?;
             let cols = t.schema.column_names();
             let mut ids = Vec::new();
-            let candidates = candidate_rows(db, t, where_clause, &env)?;
+            let candidates = candidate_rows(db, t, table, where_clause, &env)?;
             for (rowid, row) in candidates {
-                let scope = RowScope::single(table, cols.clone(), row.clone());
+                let scope = RowScope::single_ref(table, &cols, row);
                 let pass = match where_clause {
                     Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
                     None => true,

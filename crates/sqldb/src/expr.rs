@@ -4,6 +4,7 @@ use crate::ast::{BinOp, Expr, SelectStmt, UnOp};
 use crate::db::Database;
 use crate::error::{SqlError, SqlResult};
 use crate::value::Value;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::cmp::Ordering;
 use std::collections::BTreeSet;
@@ -75,27 +76,48 @@ impl TriggerCtx {
 
 /// The row scope an expression is evaluated against: one or more bound
 /// sources, each contributing named columns.
+///
+/// Column names and row values are held as [`Cow`] slices so scan loops can
+/// bind rows straight out of table storage without cloning them first; only
+/// rows that survive the WHERE filter are ever materialized.
 #[derive(Debug, Clone, Default)]
-pub struct RowScope {
-    bindings: Vec<(String, Vec<String>)>,
-    values: Vec<Vec<Value>>,
+pub struct RowScope<'a> {
+    bindings: Vec<(String, Cow<'a, [String]>)>,
+    values: Vec<Cow<'a, [Value]>>,
 }
 
-impl RowScope {
+impl<'a> RowScope<'a> {
     /// Creates an empty scope (for constant expressions).
     pub fn empty() -> Self {
         RowScope::default()
     }
 
-    /// Creates a scope with a single source.
+    /// Creates a scope with a single owned source.
     pub fn single(binding: &str, columns: Vec<String>, row: Vec<Value>) -> Self {
-        RowScope { bindings: vec![(binding.to_string(), columns)], values: vec![row] }
+        RowScope {
+            bindings: vec![(binding.to_string(), Cow::Owned(columns))],
+            values: vec![Cow::Owned(row)],
+        }
     }
 
-    /// Adds a source to the scope.
+    /// Creates a scope with a single borrowed source (zero-copy scan path).
+    pub fn single_ref(binding: &str, columns: &'a [String], row: &'a [Value]) -> RowScope<'a> {
+        RowScope {
+            bindings: vec![(binding.to_string(), Cow::Borrowed(columns))],
+            values: vec![Cow::Borrowed(row)],
+        }
+    }
+
+    /// Adds an owned source to the scope.
     pub fn push(&mut self, binding: &str, columns: Vec<String>, row: Vec<Value>) {
-        self.bindings.push((binding.to_string(), columns));
-        self.values.push(row);
+        self.bindings.push((binding.to_string(), Cow::Owned(columns)));
+        self.values.push(Cow::Owned(row));
+    }
+
+    /// Adds a borrowed source to the scope (zero-copy scan path).
+    pub fn push_ref(&mut self, binding: &str, columns: &'a [String], row: &'a [Value]) {
+        self.bindings.push((binding.to_string(), Cow::Borrowed(columns)));
+        self.values.push(Cow::Borrowed(row));
     }
 
     /// Resolves a (possibly qualified) column reference.
@@ -104,9 +126,7 @@ impl RowScope {
             Some(t) => {
                 for (i, (binding, cols)) in self.bindings.iter().enumerate() {
                     if binding.eq_ignore_ascii_case(t) {
-                        if let Some(ci) =
-                            cols.iter().position(|c| c.eq_ignore_ascii_case(name))
-                        {
+                        if let Some(ci) = cols.iter().position(|c| c.eq_ignore_ascii_case(name)) {
                             return Ok(self.values[i][ci].clone());
                         }
                         return Err(SqlError::NoSuchColumn(format!("{t}.{name}")));
@@ -133,12 +153,12 @@ impl RowScope {
 
     /// Returns all column values in binding order (for `*` expansion).
     pub fn all_values(&self) -> Vec<Value> {
-        self.values.iter().flatten().cloned().collect()
+        self.values.iter().flat_map(|v| v.iter().cloned()).collect()
     }
 
     /// Returns all column names in binding order.
     pub fn all_columns(&self) -> Vec<String> {
-        self.bindings.iter().flat_map(|(_, c)| c.clone()).collect()
+        self.bindings.iter().flat_map(|(_, c)| c.iter().cloned()).collect()
     }
 
     /// Returns column names for one binding.
@@ -146,7 +166,7 @@ impl RowScope {
         self.bindings
             .iter()
             .find(|(b, _)| b.eq_ignore_ascii_case(binding))
-            .map(|(_, c)| c.clone())
+            .map(|(_, c)| c.to_vec())
             .ok_or_else(|| SqlError::NoSuchTable(binding.to_string()))
     }
 
@@ -155,7 +175,7 @@ impl RowScope {
         self.bindings
             .iter()
             .position(|(b, _)| b.eq_ignore_ascii_case(binding))
-            .map(|i| self.values[i].clone())
+            .map(|i| self.values[i].to_vec())
             .ok_or_else(|| SqlError::NoSuchTable(binding.to_string()))
     }
 }
@@ -178,9 +198,11 @@ pub struct EvalEnv<'a> {
 pub fn eval(expr: &Expr, scope: &RowScope, env: &EvalEnv<'_>) -> SqlResult<Value> {
     match expr {
         Expr::Literal(v) => Ok(v.clone()),
-        Expr::Param(i) => {
-            env.params.get(i.checked_sub(1).ok_or(SqlError::MissingParam(0))?).cloned().ok_or(SqlError::MissingParam(*i))
-        }
+        Expr::Param(i) => env
+            .params
+            .get(i.checked_sub(1).ok_or(SqlError::MissingParam(0))?)
+            .cloned()
+            .ok_or(SqlError::MissingParam(*i)),
         Expr::Column { table, name } => {
             if let (Some(t), Some(trig)) = (table.as_deref(), env.trigger) {
                 if TriggerCtx::is_pseudo_table(t) {
@@ -345,9 +367,7 @@ fn eval_binary(
                 Ok(Value::Text(format!("{lv}{rv}")))
             }
         }
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
-            arith(op, &lv, &rv)
-        }
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => arith(op, &lv, &rv),
         BinOp::And | BinOp::Or => unreachable!("handled above"),
     }
 }
@@ -421,7 +441,10 @@ fn eval_scalar_fn(
     scope: &RowScope,
     env: &EvalEnv<'_>,
 ) -> SqlResult<Value> {
-    if star || matches!(name, "count" | "max" | "min" | "sum" | "avg" | "total") && is_aggregate_position(name, args) {
+    if star
+        || matches!(name, "count" | "max" | "min" | "sum" | "avg" | "total")
+            && is_aggregate_position(name, args)
+    {
         // Aggregates outside aggregate context: max/min with 2+ args are
         // the scalar forms; count/sum/avg never are.
         if (name == "max" || name == "min") && args.len() >= 2 {
@@ -451,9 +474,7 @@ fn eval_scalar_fn(
             Some(Value::Real(r)) => Value::Real(r.abs()),
             _ => Value::Null,
         }),
-        "coalesce" | "ifnull" => {
-            Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null))
-        }
+        "coalesce" | "ifnull" => Ok(vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)),
         "nullif" => {
             if vals.len() == 2 && vals[0].sql_eq(&vals[1]) == Some(true) {
                 Ok(Value::Null)
@@ -488,17 +509,13 @@ fn eval_scalar_fn(
             };
             let start = vals.get(1).and_then(|v| v.as_integer()).unwrap_or(1);
             let chars: Vec<char> = text.chars().collect();
-            let len = vals
-                .get(2)
-                .and_then(|v| v.as_integer())
-                .unwrap_or(chars.len() as i64);
+            let len = vals.get(2).and_then(|v| v.as_integer()).unwrap_or(chars.len() as i64);
             let begin = if start > 0 {
                 (start - 1) as usize
             } else {
                 chars.len().saturating_sub(start.unsigned_abs() as usize)
             };
-            let out: String =
-                chars.iter().skip(begin).take(len.max(0) as usize).collect();
+            let out: String = chars.iter().skip(begin).take(len.max(0) as usize).collect();
             Ok(Value::Text(out))
         }
         other => Err(SqlError::Unsupported(format!("function {other}()"))),
@@ -528,15 +545,9 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
     fn rec(p: &[char], t: &[char]) -> bool {
         match p.first() {
             None => t.is_empty(),
-            Some('%') => {
-                (0..=t.len()).any(|k| rec(&p[1..], &t[k..]))
-            }
+            Some('%') => (0..=t.len()).any(|k| rec(&p[1..], &t[k..])),
             Some('_') => !t.is_empty() && rec(&p[1..], &t[1..]),
-            Some(c) => {
-                !t.is_empty()
-                    && t[0].eq_ignore_ascii_case(c)
-                    && rec(&p[1..], &t[1..])
-            }
+            Some(c) => !t.is_empty() && t[0].eq_ignore_ascii_case(c) && rec(&p[1..], &t[1..]),
         }
     }
     let p: Vec<char> = pattern.chars().collect();
@@ -577,12 +588,7 @@ impl fmt::Display for Expr {
             }
             Expr::InList { expr, list, negated } => {
                 let items: Vec<String> = list.iter().map(|e| e.to_string()).collect();
-                write!(
-                    f,
-                    "{expr} {}IN ({})",
-                    if *negated { "NOT " } else { "" },
-                    items.join(",")
-                )
+                write!(f, "{expr} {}IN ({})", if *negated { "NOT " } else { "" }, items.join(","))
             }
             Expr::InSelect { expr, negated, .. } => {
                 write!(f, "{expr} {}IN (SELECT ...)", if *negated { "NOT " } else { "" })
@@ -590,11 +596,9 @@ impl fmt::Display for Expr {
             Expr::Like { expr, pattern, negated } => {
                 write!(f, "{expr} {}LIKE {pattern}", if *negated { "NOT " } else { "" })
             }
-            Expr::Between { expr, low, high, negated } => write!(
-                f,
-                "{expr} {}BETWEEN {low} AND {high}",
-                if *negated { "NOT " } else { "" }
-            ),
+            Expr::Between { expr, low, high, negated } => {
+                write!(f, "{expr} {}BETWEEN {low} AND {high}", if *negated { "NOT " } else { "" })
+            }
             Expr::Call { name, args, star } => {
                 if *star {
                     write!(f, "{name}(*)")

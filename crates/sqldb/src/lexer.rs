@@ -406,19 +406,13 @@ mod tests {
         let toks = lex("\"weird name\" `select`").unwrap();
         assert_eq!(
             toks,
-            vec![
-                Token::QuotedIdent("weird name".into()),
-                Token::QuotedIdent("select".into())
-            ]
+            vec![Token::QuotedIdent("weird name".into()), Token::QuotedIdent("select".into())]
         );
     }
 
     #[test]
     fn blob_literals() {
-        assert_eq!(
-            lex("x'0aff'").unwrap(),
-            vec![Token::Literal(Value::Blob(vec![0x0a, 0xff]))]
-        );
+        assert_eq!(lex("x'0aff'").unwrap(), vec![Token::Literal(Value::Blob(vec![0x0a, 0xff]))]);
         assert!(lex("x'0a0'").is_err());
     }
 

@@ -44,6 +44,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod index;
 pub mod lexer;
 pub mod parser;
 pub mod planner;
@@ -54,6 +55,7 @@ pub use ast::{Affinity, ColumnDef, Expr, SelectStmt, Stmt, TriggerEvent};
 pub use db::{Database, ExecOutcome, ResultSet, Stats, TriggerDef, ViewDef};
 pub use error::{SqlError, SqlResult};
 pub use expr::{like_match, MemberSet, OrdValue, RowScope, TriggerCtx};
-pub use planner::FlattenPolicy;
+pub use index::{RowIdSet, SecondaryIndex};
+pub use planner::{AccessPath, FlattenPolicy};
 pub use table::{Table, TableSchema};
 pub use value::Value;

@@ -74,9 +74,7 @@ impl Parser {
         if self.eat_kw(kw) {
             Ok(())
         } else {
-            Err(SqlError::Parse {
-                message: format!("expected {kw}, found {:?}", self.peek()),
-            })
+            Err(SqlError::Parse { message: format!("expected {kw}, found {:?}", self.peek()) })
         }
     }
 
@@ -93,9 +91,7 @@ impl Parser {
         if self.eat_token(tok) {
             Ok(())
         } else {
-            Err(SqlError::Parse {
-                message: format!("expected {tok:?}, found {:?}", self.peek()),
-            })
+            Err(SqlError::Parse { message: format!("expected {tok:?}, found {:?}", self.peek()) })
         }
     }
 
@@ -103,7 +99,9 @@ impl Parser {
         match self.next()? {
             Token::Ident(s) => Ok(s),
             Token::QuotedIdent(s) => Ok(s),
-            other => Err(SqlError::Parse { message: format!("expected identifier, found {other:?}") }),
+            other => {
+                Err(SqlError::Parse { message: format!("expected identifier, found {other:?}") })
+            }
         }
     }
 
@@ -213,8 +211,24 @@ impl Parser {
                 body.push(stmt);
             }
             Ok(Stmt::CreateTrigger { name, if_not_exists, event, on, body })
+        } else if self.peek_is_kw("unique") || self.peek_is_kw("index") {
+            let unique = self.eat_kw("unique");
+            self.expect_kw("index")?;
+            let if_not_exists = self.if_not_exists()?;
+            let name = self.identifier()?;
+            self.expect_kw("on")?;
+            let table = self.identifier()?;
+            self.expect_token(&Token::LParen)?;
+            let column = self.identifier()?;
+            if self.eat_token(&Token::Comma) {
+                return Err(SqlError::Parse {
+                    message: "multi-column indexes are not supported".into(),
+                });
+            }
+            self.expect_token(&Token::RParen)?;
+            Ok(Stmt::CreateIndex { name, if_not_exists, unique, table, column })
         } else {
-            Err(SqlError::Parse { message: "expected TABLE, VIEW or TRIGGER".into() })
+            Err(SqlError::Parse { message: "expected TABLE, VIEW, TRIGGER or INDEX".into() })
         }
     }
 
@@ -228,8 +242,11 @@ impl Parser {
         } else if self.eat_kw("trigger") {
             let if_exists = self.if_exists();
             Ok(Stmt::DropTrigger { name: self.identifier()?, if_exists })
+        } else if self.eat_kw("index") {
+            let if_exists = self.if_exists();
+            Ok(Stmt::DropIndex { name: self.identifier()?, if_exists })
         } else {
-            Err(SqlError::Parse { message: "expected TABLE, VIEW or TRIGGER".into() })
+            Err(SqlError::Parse { message: "expected TABLE, VIEW, TRIGGER or INDEX".into() })
         }
     }
 
@@ -430,12 +447,9 @@ impl Parser {
         Ok(SelectCore { distinct, columns, from, where_clause, group_by, having })
     }
 
-
     /// Parses an optional `AS alias` or bare-identifier alias.
     fn optional_alias(&mut self) -> SqlResult<Option<String>> {
-        if self.eat_kw("as")
-            || matches!(self.peek(), Some(Token::Ident(w)) if !is_clause_kw(w))
-        {
+        if self.eat_kw("as") || matches!(self.peek(), Some(Token::Ident(w)) if !is_clause_kw(w)) {
             Ok(Some(self.identifier()?))
         } else {
             Ok(None)
@@ -540,7 +554,9 @@ impl Parser {
             });
         }
         if negated {
-            return Err(SqlError::Parse { message: "expected IN, LIKE or BETWEEN after NOT".into() });
+            return Err(SqlError::Parse {
+                message: "expected IN, LIKE or BETWEEN after NOT".into(),
+            });
         }
         let op = match self.peek() {
             Some(Token::Eq) => Some(BinOp::Eq),
@@ -642,11 +658,7 @@ impl Parser {
                         }
                         self.expect_token(&Token::RParen)?;
                     }
-                    return Ok(Expr::Call {
-                        name: first.to_ascii_lowercase(),
-                        args,
-                        star: false,
-                    });
+                    return Ok(Expr::Call { name: first.to_ascii_lowercase(), args, star: false });
                 }
                 // Qualified column?
                 if self.eat_token(&Token::Dot) {
@@ -735,10 +747,7 @@ mod tests {
                 assert_eq!(name, "tab1_view_A");
                 assert_eq!(select.cores.len(), 2);
                 let first = &select.cores[0];
-                assert!(matches!(
-                    first.where_clause,
-                    Some(Expr::InSelect { negated: true, .. })
-                ));
+                assert!(matches!(first.where_clause, Some(Expr::InSelect { negated: true, .. })));
             }
             other => panic!("wrong statement: {other:?}"),
         }
@@ -799,10 +808,7 @@ mod tests {
     #[test]
     fn parses_insert_select() {
         let stmt = parse_statement("INSERT INTO dst (a, b) SELECT a, b FROM src").unwrap();
-        assert!(matches!(
-            stmt,
-            Stmt::Insert { source: InsertSource::Select(_), .. }
-        ));
+        assert!(matches!(stmt, Stmt::Insert { source: InsertSource::Select(_), .. }));
     }
 
     #[test]
@@ -850,7 +856,9 @@ mod tests {
         let stmt = parse_statement("SELECT t.*, u.x FROM t, u WHERE t.id = u.tid").unwrap();
         match stmt {
             Stmt::Select(s) => {
-                assert!(matches!(s.cores[0].columns[0], ResultColumn::TableStar(ref n) if n == "t"));
+                assert!(
+                    matches!(s.cores[0].columns[0], ResultColumn::TableStar(ref n) if n == "t")
+                );
                 assert_eq!(s.cores[0].from.len(), 2);
             }
             other => panic!("wrong statement: {other:?}"),
@@ -860,5 +868,26 @@ mod tests {
     #[test]
     fn rejects_plain_union() {
         assert!(parse_statement("SELECT 1 UNION SELECT 2").is_err());
+    }
+
+    #[test]
+    fn parses_create_and_drop_index() {
+        let stmt = parse_statement("CREATE INDEX IF NOT EXISTS idx_word ON words(word)").unwrap();
+        assert_eq!(
+            stmt,
+            Stmt::CreateIndex {
+                name: "idx_word".into(),
+                if_not_exists: true,
+                unique: false,
+                table: "words".into(),
+                column: "word".into(),
+            }
+        );
+        let stmt = parse_statement("CREATE UNIQUE INDEX u_uri ON downloads (uri)").unwrap();
+        assert!(matches!(stmt, Stmt::CreateIndex { unique: true, .. }));
+        let stmt = parse_statement("DROP INDEX IF EXISTS idx_word").unwrap();
+        assert_eq!(stmt, Stmt::DropIndex { name: "idx_word".into(), if_exists: true });
+        // Single-column only.
+        assert!(parse_statement("CREATE INDEX ix ON t(a, b)").is_err());
     }
 }

@@ -15,9 +15,13 @@
 //! [`FlattenPolicy`] reproduces all of those behaviours so the ablation
 //! bench can show the performance cliff the authors engineered around.
 
-use crate::ast::{Expr, OrderTerm, ResultColumn, SelectCore, SelectStmt};
+use crate::ast::{BinOp, Expr, OrderTerm, ResultColumn, SelectCore, SelectStmt};
 use crate::db::{key, Database};
+use crate::expr::OrdValue;
+use crate::table::Table;
 use crate::value::Value;
+use std::fmt;
+use std::ops::Bound;
 
 /// When the planner may flatten an outer query over a UNION ALL view.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +40,236 @@ pub enum FlattenPolicy {
     /// output by appending hidden sort keys is *not* implemented; terms
     /// must still be selected columns or positions).
     Always,
+}
+
+/// How the executor fetches candidate rows for one table access.
+///
+/// Chosen per table access from the conjunctive terms of the WHERE clause.
+/// Every path yields a *superset-safe* candidate set: the full WHERE is
+/// still re-evaluated per candidate, so a path only has to guarantee it
+/// returns every row the predicate could accept. Because secondary indexes
+/// are keyed by [`OrdValue`]'s total order — the same comparison the
+/// evaluator uses — equality and range probes return exactly the rows the
+/// corresponding conjunct accepts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Visit every row of the table.
+    FullScan,
+    /// Primary-key (rowid) point lookups for these keys.
+    RowidPoint(Vec<i64>),
+    /// Equality probes of a secondary index, one per key (`=` or `IN`).
+    IndexEq {
+        /// Name of the probed index.
+        index: String,
+        /// Probe keys.
+        keys: Vec<Value>,
+    },
+    /// A range probe of a secondary index (`<`, `<=`, `>`, `>=`, BETWEEN).
+    IndexRange {
+        /// Name of the probed index.
+        index: String,
+        /// Lower bound on the indexed value.
+        lower: Bound<Value>,
+        /// Upper bound on the indexed value.
+        upper: Bound<Value>,
+    },
+}
+
+impl fmt::Display for AccessPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPath::FullScan => write!(f, "SCAN"),
+            AccessPath::RowidPoint(ids) => write!(f, "PK POINT ({} keys)", ids.len()),
+            AccessPath::IndexEq { index, keys } => {
+                write!(f, "INDEX {index} EQ ({} keys)", keys.len())
+            }
+            AccessPath::IndexRange { index, .. } => write!(f, "INDEX {index} RANGE"),
+        }
+    }
+}
+
+/// Picks the access path for one single-table access given its WHERE
+/// clause.
+///
+/// `eval_const` must return `Some(value)` only for expressions that are
+/// constant in this scope (literals, parameters, NEW/OLD references) and
+/// evaluate cleanly. Preference order: rowid point lookup, then index
+/// equality, then index range, then full scan.
+pub fn choose_access_path(
+    table: &Table,
+    binding: &str,
+    where_clause: Option<&Expr>,
+    eval_const: &dyn Fn(&Expr) -> Option<Value>,
+) -> AccessPath {
+    let Some(w) = where_clause else {
+        return AccessPath::FullScan;
+    };
+    let pk = table.schema.pk_column;
+    let mut index_eq: Option<(String, Vec<Value>)> = None;
+    // Combined range bounds per indexed column: (column, lower, upper).
+    let mut ranges: Vec<(usize, Bound<Value>, Bound<Value>)> = Vec::new();
+
+    for conj in w.conjuncts() {
+        match conj {
+            Expr::Binary(
+                op @ (BinOp::Eq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq),
+                l,
+                r,
+            ) => {
+                // Normalize to (column op constant), flipping the operator
+                // when the constant is on the left.
+                let (col, val, op) = if let (Some(c), Some(v)) =
+                    (own_column(l, binding, table), eval_const(r))
+                {
+                    (c, v, *op)
+                } else if let (Some(c), Some(v)) = (own_column(r, binding, table), eval_const(l)) {
+                    let flipped = match op {
+                        BinOp::Lt => BinOp::Gt,
+                        BinOp::LtEq => BinOp::GtEq,
+                        BinOp::Gt => BinOp::Lt,
+                        BinOp::GtEq => BinOp::LtEq,
+                        other => *other,
+                    };
+                    (c, v, flipped)
+                } else {
+                    continue;
+                };
+                match op {
+                    BinOp::Eq => {
+                        if Some(col) == pk {
+                            return AccessPath::RowidPoint(match val.as_integer() {
+                                Some(i) => vec![i],
+                                None => Vec::new(),
+                            });
+                        }
+                        if index_eq.is_none() {
+                            if let Some(ix) = table.index_on(col) {
+                                index_eq = Some((ix.name().to_string(), vec![val]));
+                            }
+                        }
+                    }
+                    BinOp::Lt => add_upper(&mut ranges, col, Bound::Excluded(val)),
+                    BinOp::LtEq => add_upper(&mut ranges, col, Bound::Included(val)),
+                    BinOp::Gt => add_lower(&mut ranges, col, Bound::Excluded(val)),
+                    BinOp::GtEq => add_lower(&mut ranges, col, Bound::Included(val)),
+                    _ => {}
+                }
+            }
+            Expr::InList { expr, list, negated: false } => {
+                let Some(col) = own_column(expr, binding, table) else { continue };
+                let vals: Option<Vec<Value>> = list.iter().map(eval_const).collect();
+                let Some(vals) = vals else { continue };
+                if Some(col) == pk {
+                    return AccessPath::RowidPoint(
+                        vals.iter().filter_map(Value::as_integer).collect(),
+                    );
+                }
+                if index_eq.is_none() {
+                    if let Some(ix) = table.index_on(col) {
+                        index_eq = Some((ix.name().to_string(), vals));
+                    }
+                }
+            }
+            Expr::Between { expr, low, high, negated: false } => {
+                let Some(col) = own_column(expr, binding, table) else { continue };
+                if let Some(v) = eval_const(low) {
+                    add_lower(&mut ranges, col, Bound::Included(v));
+                }
+                if let Some(v) = eval_const(high) {
+                    add_upper(&mut ranges, col, Bound::Included(v));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    if let Some((index, keys)) = index_eq {
+        return AccessPath::IndexEq { index, keys };
+    }
+    for (col, lower, upper) in ranges {
+        if let Some(ix) = table.index_on(col) {
+            return AccessPath::IndexRange { index: ix.name().to_string(), lower, upper };
+        }
+    }
+    AccessPath::FullScan
+}
+
+/// Resolves `expr` as a reference to one of `table`'s own columns within
+/// `binding`'s scope, returning its schema position.
+fn own_column(expr: &Expr, binding: &str, table: &Table) -> Option<usize> {
+    match expr {
+        Expr::Column { table: qual, name } => {
+            if let Some(q) = qual {
+                if crate::expr::TriggerCtx::is_pseudo_table(q) || !q.eq_ignore_ascii_case(binding) {
+                    return None;
+                }
+            }
+            table.schema.column_index(name)
+        }
+        _ => None,
+    }
+}
+
+/// Tightens the lower bound recorded for `col` (keeps the greater one).
+fn add_lower(ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>, col: usize, b: Bound<Value>) {
+    let entry = range_entry(ranges, col);
+    if bound_tighter_lower(&entry.1, &b) {
+        entry.1 = b;
+    }
+}
+
+/// Tightens the upper bound recorded for `col` (keeps the lesser one).
+fn add_upper(ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>, col: usize, b: Bound<Value>) {
+    let entry = range_entry(ranges, col);
+    if bound_tighter_upper(&entry.2, &b) {
+        entry.2 = b;
+    }
+}
+
+fn range_entry(
+    ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>,
+    col: usize,
+) -> &mut (usize, Bound<Value>, Bound<Value>) {
+    if let Some(i) = ranges.iter().position(|(c, _, _)| *c == col) {
+        &mut ranges[i]
+    } else {
+        ranges.push((col, Bound::Unbounded, Bound::Unbounded));
+        ranges.last_mut().unwrap()
+    }
+}
+
+/// True when `new` is a strictly tighter lower bound than `current`.
+fn bound_tighter_lower(current: &Bound<Value>, new: &Bound<Value>) -> bool {
+    match (current, new) {
+        (_, Bound::Unbounded) => false,
+        (Bound::Unbounded, _) => true,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            match OrdValue(b.clone()).cmp(&OrdValue(a.clone())) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Equal => {
+                    matches!(new, Bound::Excluded(_)) && matches!(current, Bound::Included(_))
+                }
+                std::cmp::Ordering::Less => false,
+            }
+        }
+    }
+}
+
+/// True when `new` is a strictly tighter upper bound than `current`.
+fn bound_tighter_upper(current: &Bound<Value>, new: &Bound<Value>) -> bool {
+    match (current, new) {
+        (_, Bound::Unbounded) => false,
+        (Bound::Unbounded, _) => true,
+        (Bound::Included(a) | Bound::Excluded(a), Bound::Included(b) | Bound::Excluded(b)) => {
+            match OrdValue(b.clone()).cmp(&OrdValue(a.clone())) {
+                std::cmp::Ordering::Less => true,
+                std::cmp::Ordering::Equal => {
+                    matches!(new, Bound::Excluded(_)) && matches!(current, Bound::Included(_))
+                }
+                std::cmp::Ordering::Greater => false,
+            }
+        }
+    }
 }
 
 /// Attempts to flatten `stmt` (an outer query over a single UNION ALL
@@ -166,9 +400,7 @@ fn order_terms_in_selection(order_by: &[OrderTerm], columns: &[ResultColumn]) ->
         .collect();
     order_by.iter().all(|t| match &t.expr {
         Expr::Literal(Value::Integer(k)) => *k >= 1 && (*k as usize) <= columns.len(),
-        Expr::Column { table: None, name } => {
-            names.iter().any(|n| n.eq_ignore_ascii_case(name))
-        }
+        Expr::Column { table: None, name } => names.iter().any(|n| n.eq_ignore_ascii_case(name)),
         _ => false,
     })
 }
@@ -195,10 +427,7 @@ fn core_output_mapping(
                 }
             }
             ResultColumn::TableStar(t) => {
-                let tref = vcore
-                    .from
-                    .iter()
-                    .find(|r| r.binding().eq_ignore_ascii_case(t))?;
+                let tref = vcore.from.iter().find(|r| r.binding().eq_ignore_ascii_case(t))?;
                 let cols = db.relation_columns(&tref.name).ok()?;
                 for c in cols {
                     exprs.push(Expr::Column { table: None, name: c });
@@ -324,9 +553,8 @@ mod tests {
     fn flattening_fires_and_uses_point_lookups() {
         let db = figure6_db(FlattenPolicy::Sqlite386);
         db.stats.reset();
-        let rs = db
-            .query("SELECT data FROM tab1_view_A WHERE _id = ?", &[Value::Integer(1)])
-            .unwrap();
+        let rs =
+            db.query("SELECT data FROM tab1_view_A WHERE _id = ?", &[Value::Integer(1)]).unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Text("a".into())]]);
         assert!(db.stats.flattened_queries.get() >= 1);
         assert!(db.stats.point_lookups.get() >= 1);
@@ -338,9 +566,8 @@ mod tests {
     fn off_policy_materializes() {
         let db = figure6_db(FlattenPolicy::Off);
         db.stats.reset();
-        let rs = db
-            .query("SELECT data FROM tab1_view_A WHERE _id = ?", &[Value::Integer(1)])
-            .unwrap();
+        let rs =
+            db.query("SELECT data FROM tab1_view_A WHERE _id = ?", &[Value::Integer(1)]).unwrap();
         assert_eq!(rs.rows, vec![vec![Value::Text("a".into())]]);
         assert_eq!(db.stats.flattened_queries.get(), 0);
         assert!(db.stats.materialized_views.get() >= 1);
@@ -355,16 +582,9 @@ mod tests {
             FlattenPolicy::Always,
         ] {
             let db = figure6_db(policy);
-            let rs = db
-                .query("SELECT _id, data FROM tab1_view_A ORDER BY _id", &[])
-                .unwrap();
+            let rs = db.query("SELECT _id, data FROM tab1_view_A ORDER BY _id", &[]).unwrap();
             assert_eq!(rs.rows.len(), 3, "policy {policy:?}");
-            let rs2 = db
-                .query(
-                    "SELECT data FROM tab1_view_A WHERE _id = 10000001",
-                    &[],
-                )
-                .unwrap();
+            let rs2 = db.query("SELECT data FROM tab1_view_A WHERE _id = 10000001", &[]).unwrap();
             assert_eq!(rs2.rows, vec![vec![Value::Text("e".into())]], "policy {policy:?}");
         }
     }
@@ -407,6 +627,75 @@ mod tests {
         let rs = db.query("SELECT count(*) FROM tab1_view_A", &[]).unwrap();
         assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
         assert_eq!(db.stats.flattened_queries.get(), 0);
+    }
+
+    #[test]
+    fn access_path_selection_prefers_pk_then_index() {
+        use crate::parser::parse_statement;
+        use crate::Stmt;
+        let mut db = Database::new();
+        db.execute_batch(
+            "CREATE TABLE t (_id INTEGER PRIMARY KEY, word TEXT, freq INTEGER);
+             CREATE INDEX ix_word ON t(word);
+             CREATE INDEX ix_freq ON t(freq);",
+        )
+        .unwrap();
+        let table = db.table("t").unwrap();
+        let eval = |e: &Expr| match e {
+            Expr::Literal(v) => Some(v.clone()),
+            _ => None,
+        };
+        let path_for = |sql: &str| {
+            let Stmt::Select(s) = parse_statement(sql).unwrap() else { unreachable!() };
+            let w = s.cores[0].where_clause.clone();
+            choose_access_path(table, "t", w.as_ref(), &eval)
+        };
+        // pk equality wins even with an indexed term present.
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE word = 'a' AND _id = 3"),
+            AccessPath::RowidPoint(vec![3])
+        );
+        // Index equality, both operand orders.
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE word = 'a'"),
+            AccessPath::IndexEq { index: "ix_word".into(), keys: vec!["a".into()] }
+        );
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE 'a' = word"),
+            AccessPath::IndexEq { index: "ix_word".into(), keys: vec!["a".into()] }
+        );
+        // IN list becomes multi-key equality.
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE word IN ('a','b')"),
+            AccessPath::IndexEq { index: "ix_word".into(), keys: vec!["a".into(), "b".into()] }
+        );
+        // Ranges combine conjuncts on the same column; flipped constants
+        // flip the operator.
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE freq > 5 AND 100 >= freq"),
+            AccessPath::IndexRange {
+                index: "ix_freq".into(),
+                lower: Bound::Excluded(5.into()),
+                upper: Bound::Included(100.into()),
+            }
+        );
+        assert_eq!(
+            path_for("SELECT * FROM t WHERE freq BETWEEN 2 AND 9"),
+            AccessPath::IndexRange {
+                index: "ix_freq".into(),
+                lower: Bound::Included(2.into()),
+                upper: Bound::Included(9.into()),
+            }
+        );
+        // Equality beats range; unindexed or non-constant terms scan.
+        assert!(matches!(
+            path_for("SELECT * FROM t WHERE freq > 5 AND word = 'a'"),
+            AccessPath::IndexEq { .. }
+        ));
+        assert_eq!(path_for("SELECT * FROM t WHERE freq = word"), AccessPath::FullScan);
+        assert_eq!(path_for("SELECT * FROM t"), AccessPath::FullScan);
+        // Negated IN cannot use the index.
+        assert_eq!(path_for("SELECT * FROM t WHERE word NOT IN ('a')"), AccessPath::FullScan);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 
 use crate::ast::ColumnDef;
 use crate::error::{SqlError, SqlResult};
+use crate::index::SecondaryIndex;
 use crate::value::Value;
 use std::collections::BTreeMap;
 
@@ -28,12 +29,8 @@ pub struct TableSchema {
 impl TableSchema {
     /// Builds a schema from CREATE TABLE column definitions.
     pub fn new(name: String, columns: Vec<ColumnDef>) -> SqlResult<Self> {
-        let pks: Vec<usize> = columns
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.primary_key)
-            .map(|(i, _)| i)
-            .collect();
+        let pks: Vec<usize> =
+            columns.iter().enumerate().filter(|(_, c)| c.primary_key).map(|(i, _)| i).collect();
         if pks.len() > 1 {
             return Err(SqlError::Unsupported(format!(
                 "table {name} declares a composite primary key"
@@ -68,12 +65,58 @@ pub struct Table {
     rows: BTreeMap<i64, Vec<Value>>,
     /// Minimum rowid for auto-assigned keys (the COW proxy's offset `N`).
     pk_start: i64,
+    /// Secondary indexes, maintained incrementally by every row mutation.
+    /// Living inside the table means transaction snapshots (which clone
+    /// tables) and `DROP TABLE` handle indexes with no extra bookkeeping.
+    indexes: Vec<SecondaryIndex>,
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: BTreeMap::new(), pk_start: 1 }
+        Table { schema, rows: BTreeMap::new(), pk_start: 1, indexes: Vec::new() }
+    }
+
+    /// Creates a secondary index named `name` over `column`, populating it
+    /// from the existing rows. Fails (leaving the table unchanged) on an
+    /// unknown column, a duplicate index name on this table, or — for
+    /// `unique` — existing duplicate non-NULL values.
+    pub fn create_index(&mut self, name: &str, column: &str, unique: bool) -> SqlResult<()> {
+        let Some(col) = self.schema.column_index(column) else {
+            return Err(SqlError::NoSuchColumn(format!("{}.{column}", self.schema.name)));
+        };
+        if self.has_index(name) {
+            return Err(SqlError::AlreadyExists(format!("index {name}")));
+        }
+        let mut ix = SecondaryIndex::new(name, col, unique);
+        for (&id, row) in &self.rows {
+            ix.check_unique(&row[col], id)?;
+            ix.insert_entry(row, id);
+        }
+        self.indexes.push(ix);
+        Ok(())
+    }
+
+    /// Drops the index named `name`; returns true if it existed.
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|ix| !ix.name().eq_ignore_ascii_case(name));
+        self.indexes.len() != before
+    }
+
+    /// True when this table has an index named `name`.
+    pub fn has_index(&self, name: &str) -> bool {
+        self.indexes.iter().any(|ix| ix.name().eq_ignore_ascii_case(name))
+    }
+
+    /// The index over the column at schema position `column`, if any.
+    pub fn index_on(&self, column: usize) -> Option<&SecondaryIndex> {
+        self.indexes.iter().find(|ix| ix.column() == column)
+    }
+
+    /// All secondary indexes on this table.
+    pub fn indexes(&self) -> &[SecondaryIndex] {
+        &self.indexes
     }
 
     /// Sets the first auto-assigned rowid. Used by the COW proxy to start
@@ -149,6 +192,21 @@ impl Table {
                 key: rowid,
             });
         }
+        // Unique-index checks before any mutation. A row displaced by OR
+        // REPLACE shares this rowid, so check_unique's self-exemption
+        // already discounts its entries.
+        for ix in &self.indexes {
+            ix.check_unique(&values[ix.column()], rowid)?;
+        }
+        if let Some(old) = self.rows.get(&rowid) {
+            let old = old.clone();
+            for ix in &mut self.indexes {
+                ix.remove_entry(&old, rowid);
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.insert_entry(&values, rowid);
+        }
         self.rows.insert(rowid, values);
         Ok(rowid)
     }
@@ -188,13 +246,35 @@ impl Table {
             },
             None => rowid,
         };
-        if new_rowid != rowid {
-            if self.rows.contains_key(&new_rowid) {
-                return Err(SqlError::ConstraintPrimaryKey {
-                    table: self.schema.name.clone(),
-                    key: new_rowid,
-                });
+        if new_rowid != rowid && self.rows.contains_key(&new_rowid) {
+            return Err(SqlError::ConstraintPrimaryKey {
+                table: self.schema.name.clone(),
+                key: new_rowid,
+            });
+        }
+        // Drop the old row's index entries, then check uniqueness of the
+        // new values; restore on failure so a rejected UPDATE leaves the
+        // indexes untouched.
+        let old = self.rows.get(&rowid).cloned();
+        if let Some(old) = &old {
+            for ix in &mut self.indexes {
+                ix.remove_entry(old, rowid);
             }
+        }
+        for ix in &self.indexes {
+            if let Err(e) = ix.check_unique(&values[ix.column()], new_rowid) {
+                if let Some(old) = &old {
+                    for ix in &mut self.indexes {
+                        ix.insert_entry(old, rowid);
+                    }
+                }
+                return Err(e);
+            }
+        }
+        for ix in &mut self.indexes {
+            ix.insert_entry(&values, new_rowid);
+        }
+        if new_rowid != rowid {
             self.rows.remove(&rowid);
         }
         self.rows.insert(new_rowid, values);
@@ -203,12 +283,23 @@ impl Table {
 
     /// Deletes a row by rowid; returns true if it existed.
     pub fn delete_row(&mut self, rowid: i64) -> bool {
-        self.rows.remove(&rowid).is_some()
+        match self.rows.remove(&rowid) {
+            Some(old) => {
+                for ix in &mut self.indexes {
+                    ix.remove_entry(&old, rowid);
+                }
+                true
+            }
+            None => false,
+        }
     }
 
     /// Removes all rows.
     pub fn clear(&mut self) {
         self.rows.clear();
+        for ix in &mut self.indexes {
+            ix.clear();
+        }
     }
 }
 
@@ -357,6 +448,73 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SqlError::AlreadyExists(_)));
+    }
+
+    #[test]
+    fn index_follows_update_of_indexed_column() {
+        let mut t = Table::new(schema());
+        t.create_index("ix_data", "data", false).unwrap();
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        t.insert(vec![Value::Integer(2), "b".into()], false).unwrap();
+        t.update_row(1, vec![Value::Integer(1), "b".into()]).unwrap();
+        let ix = t.index_on(1).unwrap();
+        assert_eq!(ix.probe_eq(&"a".into()), Vec::<i64>::new());
+        assert_eq!(ix.probe_eq(&"b".into()), vec![1, 2]);
+        // Re-keying the pk moves the index entry to the new rowid.
+        t.update_row(1, vec![Value::Integer(9), "b".into()]).unwrap();
+        assert_eq!(t.index_on(1).unwrap().probe_eq(&"b".into()), vec![2, 9]);
+    }
+
+    #[test]
+    fn index_follows_insert_or_replace() {
+        let mut t = Table::new(schema());
+        t.create_index("ix_data", "data", false).unwrap();
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        t.insert(vec![Value::Integer(1), "z".into()], true).unwrap();
+        let ix = t.index_on(1).unwrap();
+        assert_eq!(ix.probe_eq(&"a".into()), Vec::<i64>::new());
+        assert_eq!(ix.probe_eq(&"z".into()), vec![1]);
+    }
+
+    #[test]
+    fn index_follows_delete_and_clear() {
+        let mut t = Table::new(schema());
+        t.create_index("ix_data", "data", false).unwrap();
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        t.insert(vec![Value::Integer(2), "a".into()], false).unwrap();
+        t.delete_row(1);
+        assert_eq!(t.index_on(1).unwrap().probe_eq(&"a".into()), vec![2]);
+        t.clear();
+        assert_eq!(t.index_on(1).unwrap().key_count(), 0);
+    }
+
+    #[test]
+    fn unique_index_rejects_duplicates_but_not_replace_or_nulls() {
+        let mut t = Table::new(schema());
+        t.create_index("u_data", "data", true).unwrap();
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        let err = t.insert(vec![Value::Integer(2), "a".into()], false).unwrap_err();
+        assert!(matches!(err, SqlError::ConstraintUnique { .. }));
+        // Same pk via OR REPLACE displaces the old row: no conflict.
+        t.insert(vec![Value::Integer(1), "a".into()], true).unwrap();
+        // NULLs never conflict.
+        t.insert(vec![Value::Integer(3), Value::Null], false).unwrap();
+        t.insert(vec![Value::Integer(4), Value::Null], false).unwrap();
+        // A rejected UPDATE leaves the index untouched.
+        t.insert(vec![Value::Integer(5), "b".into()], false).unwrap();
+        assert!(t.update_row(5, vec![Value::Integer(5), "a".into()]).is_err());
+        assert_eq!(t.index_on(1).unwrap().probe_eq(&"b".into()), vec![5]);
+    }
+
+    #[test]
+    fn create_unique_index_rejects_existing_duplicates() {
+        let mut t = Table::new(schema());
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        t.insert(vec![Value::Integer(2), "a".into()], false).unwrap();
+        assert!(t.create_index("u_data", "data", true).is_err());
+        // Failed creation leaves no partial index behind.
+        assert!(t.index_on(1).is_none());
+        assert!(t.create_index("ix", "data", false).is_ok());
     }
 
     #[test]

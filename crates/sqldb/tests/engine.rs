@@ -36,10 +36,7 @@ fn order_by_variants() {
     let db = db_with_people();
     // By name, descending.
     let rs = db.query("SELECT name FROM people ORDER BY name DESC LIMIT 2", &[]).unwrap();
-    assert_eq!(
-        rs.rows,
-        vec![vec![Value::Text("dan".into())], vec![Value::Text("cat".into())]]
-    );
+    assert_eq!(rs.rows, vec![vec![Value::Text("dan".into())], vec![Value::Text("cat".into())]]);
     // By unprojected column.
     let rs = db.query("SELECT name FROM people ORDER BY age DESC LIMIT 1", &[]).unwrap();
     assert_eq!(rs.rows, vec![vec![Value::Text("cat".into())]]);
@@ -50,9 +47,7 @@ fn order_by_variants() {
     let rs = db.query("SELECT name FROM people ORDER BY age LIMIT 1", &[]).unwrap();
     assert_eq!(rs.rows[0][0], Value::Text("dan".into()));
     // Multi-key sort.
-    let rs = db
-        .query("SELECT name FROM people ORDER BY city, name DESC", &[])
-        .unwrap();
+    let rs = db.query("SELECT name FROM people ORDER BY city, name DESC", &[]).unwrap();
     let names: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(names, vec!["cat", "ana", "bob", "dan"]);
 }
@@ -61,7 +56,10 @@ fn order_by_variants() {
 fn aggregates() {
     let db = db_with_people();
     let rs = db
-        .query("SELECT count(*), count(age), max(age), min(age), sum(age), avg(age) FROM people", &[])
+        .query(
+            "SELECT count(*), count(age), max(age), min(age), sum(age), avg(age) FROM people",
+            &[],
+        )
         .unwrap();
     assert_eq!(
         rs.rows[0],
@@ -75,9 +73,8 @@ fn aggregates() {
         ]
     );
     // Aggregates over an empty selection.
-    let rs = db
-        .query("SELECT count(*), max(age), sum(age) FROM people WHERE age > 99", &[])
-        .unwrap();
+    let rs =
+        db.query("SELECT count(*), max(age), sum(age) FROM people WHERE age > 99", &[]).unwrap();
     assert_eq!(rs.rows[0], vec![Value::Integer(0), Value::Null, Value::Null]);
     // Aggregate arithmetic.
     let rs = db.query("SELECT max(age) - min(age) FROM people", &[]).unwrap();
@@ -111,17 +108,14 @@ fn like_between_in() {
     let db = db_with_people();
     let rs = db.query("SELECT name FROM people WHERE name LIKE '%a%' ORDER BY name", &[]).unwrap();
     assert_eq!(rs.rows.len(), 3); // ana, cat, dan
-    let rs = db
-        .query("SELECT name FROM people WHERE age BETWEEN 25 AND 30 ORDER BY name", &[])
-        .unwrap();
+    let rs =
+        db.query("SELECT name FROM people WHERE age BETWEEN 25 AND 30 ORDER BY name", &[]).unwrap();
     assert_eq!(rs.rows.len(), 2);
     let rs = db
         .query("SELECT name FROM people WHERE city IN ('austin', 'denver') ORDER BY name", &[])
         .unwrap();
     assert_eq!(rs.rows.len(), 3);
-    let rs = db
-        .query("SELECT name FROM people WHERE city NOT IN ('austin')", &[])
-        .unwrap();
+    let rs = db.query("SELECT name FROM people WHERE city NOT IN ('austin')", &[]).unwrap();
     assert_eq!(rs.rows.len(), 2);
 }
 
@@ -211,10 +205,7 @@ fn insert_select_copies_rows() {
     let mut db = db_with_people();
     db.execute_batch("CREATE TABLE adults (_id INTEGER PRIMARY KEY, name TEXT);").unwrap();
     let out = db
-        .execute(
-            "INSERT INTO adults (name) SELECT name FROM people WHERE age >= 30",
-            &[],
-        )
+        .execute("INSERT INTO adults (name) SELECT name FROM people WHERE age >= 30", &[])
         .unwrap();
     assert_eq!(out.rows_affected, 2);
     let rs = db.query("SELECT count(*) FROM adults", &[]).unwrap();
@@ -391,8 +382,7 @@ fn flattening_policy_counts_match_across_large_table() {
         )
         .unwrap();
         for i in 0..500 {
-            db.execute("INSERT INTO t (v) VALUES (?)", &[Value::Text(format!("v{i}"))])
-                .unwrap();
+            db.execute("INSERT INTO t (v) VALUES (?)", &[Value::Text(format!("v{i}"))]).unwrap();
         }
         db.execute_batch(
             "CREATE VIEW tv AS SELECT _id, v FROM t \
@@ -416,4 +406,141 @@ fn flattening_policy_counts_match_across_large_table() {
         flat_scanned * 10 < off_scanned,
         "flattened plan should scan far fewer rows: {flat_scanned} vs {off_scanned}"
     );
+}
+
+#[test]
+fn secondary_index_point_and_range_queries() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE INDEX idx_people_city ON people (city);").unwrap();
+    db.execute_batch("CREATE INDEX idx_people_age ON people (age);").unwrap();
+
+    db.stats.reset();
+    let rs = db.query("SELECT name FROM people WHERE city = 'austin' ORDER BY name", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("ana".into())], vec![Value::Text("cat".into())]]);
+    assert_eq!(db.stats.index_probes.get(), 1);
+    assert_eq!(db.stats.rows_scanned.get(), 0);
+
+    // IN probes once per key; operand order doesn't matter.
+    db.stats.reset();
+    let rs =
+        db.query("SELECT count(*) FROM people WHERE city IN ('austin', 'boston')", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+    assert_eq!(db.stats.index_probes.get(), 2);
+    let rs = db.query("SELECT name FROM people WHERE 'denver' = city", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("dan".into())]]);
+
+    // Range probe; NULL ages must never surface from the index.
+    db.stats.reset();
+    let rs = db.query("SELECT name FROM people WHERE age >= 30 ORDER BY age", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Text("ana".into())], vec![Value::Text("cat".into())]]);
+    assert_eq!(db.stats.index_probes.get(), 1);
+    assert_eq!(db.stats.rows_scanned.get(), 0);
+    let rs = db.query("SELECT count(*) FROM people WHERE age BETWEEN 20 AND 26", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(1)));
+
+    // The index tracks later mutations.
+    db.execute("UPDATE people SET city = 'boston' WHERE name = 'ana'", &[]).unwrap();
+    db.execute("DELETE FROM people WHERE name = 'cat'", &[]).unwrap();
+    let rs = db.query("SELECT count(*) FROM people WHERE city = 'austin'", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(0)));
+    let rs = db.query("SELECT count(*) FROM people WHERE city = 'boston'", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(2)));
+}
+
+#[test]
+fn rows_cloned_counts_only_matching_rows() {
+    let db = db_with_people();
+    db.stats.reset();
+    db.query("SELECT name FROM people WHERE city = 'austin'", &[]).unwrap();
+    // All four rows are visited, but only the two matches are materialized.
+    assert_eq!(db.stats.rows_scanned.get(), 4);
+    assert_eq!(db.stats.rows_cloned.get(), 2);
+
+    db.stats.reset();
+    db.query("SELECT name FROM people WHERE city = 'nowhere'", &[]).unwrap();
+    assert_eq!(db.stats.rows_cloned.get(), 0);
+}
+
+#[test]
+fn access_path_log_reads_like_explain() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE INDEX idx_people_city ON people (city);").unwrap();
+    db.stats.reset();
+    db.query("SELECT name FROM people WHERE _id = 2", &[]).unwrap();
+    db.query("SELECT name FROM people WHERE city = 'austin'", &[]).unwrap();
+    db.query("SELECT name FROM people", &[]).unwrap();
+    let paths = db.stats.take_access_paths();
+    assert_eq!(
+        paths,
+        vec![
+            "people: PK POINT (1 keys)".to_string(),
+            "people: INDEX idx_people_city EQ (1 keys)".to_string(),
+            "people: SCAN".to_string(),
+        ]
+    );
+    // Taking the log drains it.
+    assert!(db.stats.take_access_paths().is_empty());
+}
+
+#[test]
+fn index_ddl_lifecycle_and_errors() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE INDEX idx_city ON people (city);").unwrap();
+    // Names are global: a second index with the same name fails anywhere.
+    let err = db.execute_batch("CREATE INDEX idx_city ON people (age);").unwrap_err();
+    assert!(matches!(err, SqlError::AlreadyExists(_)), "{err:?}");
+    db.execute_batch("CREATE INDEX IF NOT EXISTS idx_city ON people (age);").unwrap();
+
+    let err = db.execute_batch("CREATE INDEX idx_x ON nope (c);").unwrap_err();
+    assert!(matches!(err, SqlError::NoSuchTable(_)), "{err:?}");
+    let err = db.execute_batch("CREATE INDEX idx_x ON people (salary);").unwrap_err();
+    assert!(matches!(err, SqlError::NoSuchColumn(_)), "{err:?}");
+
+    db.execute_batch("DROP INDEX idx_city;").unwrap();
+    let err = db.execute_batch("DROP INDEX idx_city;").unwrap_err();
+    assert!(matches!(err, SqlError::NoSuchIndex(_)), "{err:?}");
+    db.execute_batch("DROP INDEX IF EXISTS idx_city;").unwrap();
+
+    // Dropping the table frees its index names.
+    db.execute_batch("CREATE INDEX idx_age ON people (age);").unwrap();
+    db.execute_batch("DROP TABLE people;").unwrap();
+    db.execute_batch("CREATE TABLE people (_id INTEGER PRIMARY KEY, age INTEGER);").unwrap();
+    db.execute_batch("CREATE INDEX idx_age ON people (age);").unwrap();
+}
+
+#[test]
+fn unique_index_enforced_through_sql() {
+    let mut db = Database::new();
+    db.execute_batch(
+        "CREATE TABLE users (_id INTEGER PRIMARY KEY, email TEXT);
+         CREATE UNIQUE INDEX idx_email ON users (email);
+         INSERT INTO users (email) VALUES ('a@x'), (NULL), (NULL);",
+    )
+    .unwrap();
+    let err = db.execute("INSERT INTO users (email) VALUES ('a@x')", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::ConstraintUnique { .. }), "{err:?}");
+    let err = db.execute("UPDATE users SET email = 'a@x' WHERE _id = 2", &[]).unwrap_err();
+    assert!(matches!(err, SqlError::ConstraintUnique { .. }), "{err:?}");
+    // REPLACE of the same row keeps the value without a false conflict.
+    db.execute("INSERT OR REPLACE INTO users (_id, email) VALUES (1, 'a@x')", &[]).unwrap();
+    // A failed unique UPDATE must leave the index usable.
+    let rs = db.query("SELECT _id FROM users WHERE email = 'a@x'", &[]).unwrap();
+    assert_eq!(rs.rows, vec![vec![Value::Integer(1)]]);
+}
+
+#[test]
+fn indexes_respect_transaction_rollback() {
+    let mut db = db_with_people();
+    db.execute_batch("CREATE INDEX idx_city ON people (city);").unwrap();
+    db.execute_batch("BEGIN;").unwrap();
+    db.execute("INSERT INTO people (name, age, city) VALUES ('eve', 28, 'austin')", &[]).unwrap();
+    let rs = db.query("SELECT count(*) FROM people WHERE city = 'austin'", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(3)));
+    db.execute_batch("ROLLBACK;").unwrap();
+    let rs = db.query("SELECT count(*) FROM people WHERE city = 'austin'", &[]).unwrap();
+    assert_eq!(rs.scalar(), Some(&Value::Integer(2)));
+    // Index results agree with a forced scan after rollback.
+    let scan = db.query("SELECT name FROM people WHERE city || '' = 'austin'", &[]).unwrap();
+    let probed = db.query("SELECT name FROM people WHERE city = 'austin'", &[]).unwrap();
+    assert_eq!(probed.rows, scan.rows);
 }

@@ -25,9 +25,7 @@ fn distinct_removes_duplicates() {
     let cities: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(cities, vec!["austin", "boston", "denver"]);
     // Multi-column DISTINCT dedupes tuples, not columns.
-    let rs = db
-        .query("SELECT DISTINCT city, item FROM sales ORDER BY city, item", &[])
-        .unwrap();
+    let rs = db.query("SELECT DISTINCT city, item FROM sales ORDER BY city, item", &[]).unwrap();
     assert_eq!(rs.rows.len(), 5);
     // Without DISTINCT all six rows come back.
     let rs = db.query("SELECT city FROM sales", &[]).unwrap();
@@ -38,10 +36,7 @@ fn distinct_removes_duplicates() {
 fn group_by_with_aggregates() {
     let db = sales_db();
     let rs = db
-        .query(
-            "SELECT city, count(*), sum(amount) FROM sales GROUP BY city ORDER BY city",
-            &[],
-        )
+        .query("SELECT city, count(*), sum(amount) FROM sales GROUP BY city ORDER BY city", &[])
         .unwrap();
     assert_eq!(
         rs.rows,
@@ -81,9 +76,7 @@ fn having_filters_groups() {
     let cities: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(cities, vec!["austin", "denver"]);
     // HAVING that filters everything keeps the column names.
-    let rs = db
-        .query("SELECT city FROM sales GROUP BY city HAVING count(*) > 99", &[])
-        .unwrap();
+    let rs = db.query("SELECT city FROM sales GROUP BY city HAVING count(*) > 99", &[]).unwrap();
     assert!(rs.rows.is_empty());
     assert_eq!(rs.columns, vec!["city"]);
 }
@@ -91,9 +84,8 @@ fn having_filters_groups() {
 #[test]
 fn group_by_over_empty_selection() {
     let db = sales_db();
-    let rs = db
-        .query("SELECT city, count(*) FROM sales WHERE amount > 999 GROUP BY city", &[])
-        .unwrap();
+    let rs =
+        db.query("SELECT city, count(*) FROM sales WHERE amount > 999 GROUP BY city", &[]).unwrap();
     assert!(rs.rows.is_empty());
     // Plain aggregates (no GROUP BY) still yield their single row.
     let rs = db.query("SELECT count(*) FROM sales WHERE amount > 999", &[]).unwrap();
@@ -104,9 +96,7 @@ fn group_by_over_empty_selection() {
 fn limit_offset_both_forms() {
     let db = sales_db();
     // LIMIT n OFFSET m.
-    let rs = db
-        .query("SELECT _id FROM sales ORDER BY _id LIMIT 2 OFFSET 3", &[])
-        .unwrap();
+    let rs = db.query("SELECT _id FROM sales ORDER BY _id LIMIT 2 OFFSET 3", &[]).unwrap();
     let ids: Vec<i64> = rs.rows.iter().map(|r| r[0].as_integer().unwrap()).collect();
     assert_eq!(ids, vec![4, 5]);
     // SQLite's `LIMIT offset, count` form.
@@ -134,9 +124,7 @@ fn group_by_through_cow_view_materializes() {
     )
     .unwrap();
     db.stats.reset();
-    let rs = db
-        .query("SELECT kind, sum(n) FROM tv GROUP BY kind ORDER BY kind", &[])
-        .unwrap();
+    let rs = db.query("SELECT kind, sum(n) FROM tv GROUP BY kind ORDER BY kind", &[]).unwrap();
     // Merged view: (1,a,10), (2,a,99), (10000001,c,5); row 3 whited out.
     assert_eq!(
         rs.rows,
@@ -153,10 +141,7 @@ fn distinct_interacts_with_union_all() {
     let db = sales_db();
     // DISTINCT applies per core; UNION ALL keeps cross-core duplicates.
     let rs = db
-        .query(
-            "SELECT DISTINCT city FROM sales UNION ALL SELECT DISTINCT city FROM sales",
-            &[],
-        )
+        .query("SELECT DISTINCT city FROM sales UNION ALL SELECT DISTINCT city FROM sales", &[])
         .unwrap();
     assert_eq!(rs.rows.len(), 6);
 }

@@ -157,6 +157,79 @@ proptest! {
         prop_assert_eq!(got, merged.into_iter().collect::<Vec<_>>());
     }
 
+    /// Secondary-index access paths are invisible to query semantics: for
+    /// random COW-shaped data and random point/range/IN predicates, an
+    /// indexed database returns exactly what an unindexed one does, under
+    /// every flattening policy.
+    #[test]
+    fn index_paths_match_full_scans(
+        primary in proptest::collection::btree_map(1..30i64, ("[a-c]{1,3}", 0..8i64), 1..20),
+        deltas in proptest::collection::btree_map(
+            1..40i64,
+            ("[a-c]{1,3}", 0..8i64, any::<bool>()),
+            0..12,
+        ),
+        needle in "[a-c]{1,3}",
+        lo in 0..8i64,
+        hi in 0..8i64,
+    ) {
+        let build = |policy, indexed: bool| {
+            let mut db = Database::with_policy(policy);
+            db.execute_batch(
+                "CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT, n INTEGER);
+                 CREATE TABLE t_delta (_id INTEGER PRIMARY KEY, v TEXT, n INTEGER, _whiteout BOOLEAN);
+                 CREATE VIEW tv AS SELECT _id, v, n FROM t \
+                 WHERE _id NOT IN (SELECT _id FROM t_delta) \
+                 UNION ALL SELECT _id, v, n FROM t_delta WHERE _whiteout = 0;",
+            )
+            .unwrap();
+            if indexed {
+                db.execute_batch(
+                    "CREATE INDEX ix_v ON t (v); CREATE INDEX ix_n ON t (n);
+                     CREATE INDEX ix_dv ON t_delta (v); CREATE INDEX ix_dn ON t_delta (n);",
+                )
+                .unwrap();
+            }
+            for (id, (v, n)) in &primary {
+                db.execute(
+                    "INSERT INTO t (_id, v, n) VALUES (?, ?, ?)",
+                    &[Value::Integer(*id), Value::Text(v.clone()), Value::Integer(*n)],
+                )
+                .unwrap();
+            }
+            for (id, (v, n, wh)) in &deltas {
+                db.execute(
+                    "INSERT INTO t_delta (_id, v, n, _whiteout) VALUES (?, ?, ?, ?)",
+                    &[
+                        Value::Integer(*id),
+                        Value::Text(v.clone()),
+                        Value::Integer(*n),
+                        Value::Integer(*wh as i64),
+                    ],
+                )
+                .unwrap();
+            }
+            db
+        };
+        let queries = [
+            format!("SELECT _id, v, n FROM tv WHERE v = '{needle}' ORDER BY _id"),
+            format!("SELECT _id, v FROM tv WHERE v IN ('{needle}', 'aa') ORDER BY _id"),
+            format!("SELECT _id, n FROM tv WHERE n >= {lo} AND n < {hi} ORDER BY _id"),
+            format!("SELECT _id, n FROM tv WHERE n BETWEEN {lo} AND {hi} ORDER BY _id"),
+            format!("SELECT _id FROM t WHERE v = '{needle}' AND n > {lo} ORDER BY _id"),
+            format!("SELECT _id FROM t WHERE {hi} >= n ORDER BY _id"),
+        ];
+        for policy in [FlattenPolicy::Off, FlattenPolicy::Sqlite3711, FlattenPolicy::Sqlite386, FlattenPolicy::Always] {
+            let plain = build(policy, false);
+            let fast = build(policy, true);
+            for sql in &queries {
+                let want = plain.query(sql, &[]).unwrap();
+                let got = fast.query(sql, &[]).unwrap();
+                prop_assert_eq!(&got.rows, &want.rows, "policy {:?}, sql {}", policy, sql);
+            }
+        }
+    }
+
     /// ORDER BY through the engine sorts exactly like the model sort.
     #[test]
     fn order_by_matches_model(

@@ -13,12 +13,7 @@ fn seeded() -> Database {
 }
 
 fn count(db: &Database) -> i64 {
-    db.query("SELECT count(*) FROM t", &[])
-        .unwrap()
-        .scalar()
-        .unwrap()
-        .as_integer()
-        .unwrap()
+    db.query("SELECT count(*) FROM t", &[]).unwrap().scalar().unwrap().as_integer().unwrap()
 }
 
 #[test]
@@ -86,20 +81,12 @@ fn queries_inside_tx_see_uncommitted_writes() {
 fn rollback_restores_auto_increment_state() {
     let mut db = seeded();
     db.execute("BEGIN", &[]).unwrap();
-    let id = db
-        .execute("INSERT INTO t (v) VALUES ('c')", &[])
-        .unwrap()
-        .last_insert_id
-        .unwrap();
+    let id = db.execute("INSERT INTO t (v) VALUES ('c')", &[]).unwrap().last_insert_id.unwrap();
     assert_eq!(id, 3);
     db.execute("ROLLBACK", &[]).unwrap();
     // After rollback the same id is handed out again (SQLite behaviour
     // without AUTOINCREMENT).
-    let id = db
-        .execute("INSERT INTO t (v) VALUES ('d')", &[])
-        .unwrap()
-        .last_insert_id
-        .unwrap();
+    let id = db.execute("INSERT INTO t (v) VALUES ('d')", &[]).unwrap().last_insert_id.unwrap();
     assert_eq!(id, 3);
 }
 

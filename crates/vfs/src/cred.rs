@@ -45,29 +45,17 @@ pub struct Mode {
 
 impl Mode {
     /// Owner read/write only (`0600`/`0700`) — app-private data.
-    pub const PRIVATE: Mode = Mode {
-        owner_read: true,
-        owner_write: true,
-        world_read: false,
-        world_write: false,
-    };
+    pub const PRIVATE: Mode =
+        Mode { owner_read: true, owner_write: true, world_read: false, world_write: false };
 
     /// Owner read/write, world read (`0644`) — world-readable files like
     /// Google Drive's disclosed cache entries.
-    pub const WORLD_READABLE: Mode = Mode {
-        owner_read: true,
-        owner_write: true,
-        world_read: true,
-        world_write: false,
-    };
+    pub const WORLD_READABLE: Mode =
+        Mode { owner_read: true, owner_write: true, world_read: true, world_write: false };
 
     /// World read/write (`0666`/`0777`) — external storage semantics.
-    pub const PUBLIC: Mode = Mode {
-        owner_read: true,
-        owner_write: true,
-        world_read: true,
-        world_write: true,
-    };
+    pub const PUBLIC: Mode =
+        Mode { owner_read: true, owner_write: true, world_read: true, world_write: true };
 
     /// Returns true if `uid` may read under this mode for a node owned by
     /// `owner`.

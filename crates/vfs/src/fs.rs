@@ -413,10 +413,7 @@ mod tests {
             s.mkdir_all(&vpath("/back/privA"), Uid::ROOT, Mode::PUBLIC).unwrap();
         });
         let mut ns = MountNamespace::new();
-        ns.add(
-            Mount::bind(vpath("/sdcard"), vpath("/back/pub"))
-                .with_forced_mode(Mode::PUBLIC),
-        );
+        ns.add(Mount::bind(vpath("/sdcard"), vpath("/back/pub")).with_forced_mode(Mode::PUBLIC));
         ns.add(Mount::bind(vpath("/data/data/A"), vpath("/back/privA")));
         (vfs, ns)
     }
@@ -449,9 +446,7 @@ mod tests {
         let (vfs, mut ns) = setup();
         vfs.write(APP_A, &ns, &vpath("/data/data/A/secret"), b"s", Mode::PRIVATE).unwrap();
         // Mount A's private dir for B with maxoid_access, tmp writable branch.
-        vfs.with_store_mut(|s| {
-            s.mkdir_all(&vpath("/back/tmpA"), Uid::ROOT, Mode::PUBLIC).unwrap()
-        });
+        vfs.with_store_mut(|s| s.mkdir_all(&vpath("/back/tmpA"), Uid::ROOT, Mode::PUBLIC).unwrap());
         let u = Union::new(
             vec![Branch::rw(vpath("/back/tmpA")), Branch::ro(vpath("/back/privA"))],
             true,
@@ -484,8 +479,7 @@ mod tests {
     #[test]
     fn handles_bypass_path_checks() {
         let (vfs, ns) = setup();
-        vfs.write(APP_A, &ns, &vpath("/data/data/A/att.pdf"), b"pdf", Mode::PRIVATE)
-            .unwrap();
+        vfs.write(APP_A, &ns, &vpath("/data/data/A/att.pdf"), b"pdf", Mode::PRIVATE).unwrap();
         // A opens its private file and passes the handle to B.
         let h = vfs.open(APP_A, &ns, &vpath("/data/data/A/att.pdf"), OpenMode::Read).unwrap();
         assert_eq!(vfs.read_handle(h).unwrap(), b"pdf");
@@ -501,9 +495,7 @@ mod tests {
     #[test]
     fn readdir_includes_nested_mount_points() {
         let (vfs, mut ns) = setup();
-        vfs.with_store_mut(|s| {
-            s.mkdir_all(&vpath("/back/tmpA"), Uid::ROOT, Mode::PUBLIC).unwrap()
-        });
+        vfs.with_store_mut(|s| s.mkdir_all(&vpath("/back/tmpA"), Uid::ROOT, Mode::PUBLIC).unwrap());
         ns.add(Mount::bind(vpath("/sdcard/tmp"), vpath("/back/tmpA")));
         vfs.write(APP_A, &ns, &vpath("/sdcard/f"), b"x", Mode::PUBLIC).unwrap();
         let names: Vec<String> = vfs
@@ -533,10 +525,8 @@ mod tests {
             s.mkdir_all(&vpath("/back/low"), Uid::ROOT, Mode::PUBLIC).unwrap();
             s.write(&vpath("/back/low/f"), b"orig", Uid::ROOT, Mode::PUBLIC).unwrap();
         });
-        let u = Union::new(
-            vec![Branch::rw(vpath("/back/up")), Branch::ro(vpath("/back/low"))],
-            false,
-        );
+        let u =
+            Union::new(vec![Branch::rw(vpath("/back/up")), Branch::ro(vpath("/back/low"))], false);
         ns.add(Mount::union(vpath("/m"), u));
         let h = vfs.open(APP_A, &ns, &vpath("/m/f"), OpenMode::ReadWrite).unwrap();
         vfs.write_handle(h, b"edited").unwrap();
@@ -550,9 +540,6 @@ mod tests {
     fn empty_namespace_hides_everything() {
         let vfs = Vfs::new();
         let ns = MountNamespace::new();
-        assert_eq!(
-            vfs.read(APP_A, &ns, &vpath("/anything")).err(),
-            Some(VfsError::NotFound)
-        );
+        assert_eq!(vfs.read(APP_A, &ns, &vpath("/anything")).err(), Some(VfsError::NotFound));
     }
 }

@@ -43,6 +43,4 @@ pub use fs::{FileHandle, OpenMode, Vfs};
 pub use mount::{Mount, MountKind, MountNamespace};
 pub use path::{vpath, VPath};
 pub use store::{DirEntry, InodeId, Metadata, Store};
-pub use union::{
-    Branch, CopyUpGranularity, Located, Union, APPEND_DELTA_PREFIX, WHITEOUT_PREFIX,
-};
+pub use union::{Branch, CopyUpGranularity, Located, Union, APPEND_DELTA_PREFIX, WHITEOUT_PREFIX};

@@ -67,13 +67,9 @@ impl Inode {
                 size: data.len() as u64,
                 is_dir: false,
             },
-            Inode::Dir { owner, mode, mtime, .. } => Metadata {
-                owner: *owner,
-                mode: *mode,
-                mtime: *mtime,
-                size: 0,
-                is_dir: true,
-            },
+            Inode::Dir { owner, mode, mtime, .. } => {
+                Metadata { owner: *owner, mode: *mode, mtime: *mtime, size: 0, is_dir: true }
+            }
         }
     }
 }
@@ -109,12 +105,8 @@ impl Default for Store {
 impl Store {
     /// Creates a store containing only an empty root directory.
     pub fn new() -> Self {
-        let root = Inode::Dir {
-            entries: BTreeMap::new(),
-            owner: Uid::ROOT,
-            mode: Mode::PUBLIC,
-            mtime: 0,
-        };
+        let root =
+            Inode::Dir { entries: BTreeMap::new(), owner: Uid::ROOT, mode: Mode::PUBLIC, mtime: 0 };
         Store { inodes: vec![Some(root)], free: Vec::new(), root: InodeId(0), clock: 0 }
     }
 
@@ -135,17 +127,11 @@ impl Store {
     }
 
     fn get(&self, id: InodeId) -> VfsResult<&Inode> {
-        self.inodes
-            .get(id.0 as usize)
-            .and_then(|slot| slot.as_ref())
-            .ok_or(VfsError::NotFound)
+        self.inodes.get(id.0 as usize).and_then(|slot| slot.as_ref()).ok_or(VfsError::NotFound)
     }
 
     fn get_mut(&mut self, id: InodeId) -> VfsResult<&mut Inode> {
-        self.inodes
-            .get_mut(id.0 as usize)
-            .and_then(|slot| slot.as_mut())
-            .ok_or(VfsError::NotFound)
+        self.inodes.get_mut(id.0 as usize).and_then(|slot| slot.as_mut()).ok_or(VfsError::NotFound)
     }
 
     fn alloc(&mut self, inode: Inode) -> InodeId {
@@ -223,8 +209,7 @@ impl Store {
         if existing.is_some() {
             return Err(VfsError::AlreadyExists);
         }
-        let child =
-            self.alloc(Inode::Dir { entries: BTreeMap::new(), owner, mode, mtime });
+        let child = self.alloc(Inode::Dir { entries: BTreeMap::new(), owner, mode, mtime });
         match self.get_mut(parent)? {
             Inode::Dir { entries, mtime: pm, .. } => {
                 entries.insert(name, child);
@@ -548,10 +533,7 @@ mod tests {
         assert_eq!(s.read(&vpath("/b/g")).unwrap(), b"new");
         assert!(!s.exists(&vpath("/a/f")));
         // Renaming a directory into itself is rejected.
-        assert_eq!(
-            s.rename(&vpath("/b"), &vpath("/b/sub")).err(),
-            Some(VfsError::InvalidArgument)
-        );
+        assert_eq!(s.rename(&vpath("/b"), &vpath("/b/sub")).err(), Some(VfsError::InvalidArgument));
     }
 
     #[test]

@@ -429,13 +429,7 @@ impl Union {
     }
 
     /// Creates a directory and all missing ancestors in the top branch.
-    pub fn mkdir_all(
-        &self,
-        store: &mut Store,
-        rel: &str,
-        owner: Uid,
-        mode: Mode,
-    ) -> VfsResult<()> {
+    pub fn mkdir_all(&self, store: &mut Store, rel: &str, owner: Uid, mode: Mode) -> VfsResult<()> {
         if rel.is_empty() {
             return Ok(());
         }
@@ -546,13 +540,11 @@ impl Union {
     /// Returns true if `name` inside directory `rel` is whited out by a
     /// branch that shadows the branch where the entry is found.
     fn name_whited_out_above(&self, store: &Store, rel: &str, name: &str) -> bool {
-        let child_rel =
-            if rel.is_empty() { name.to_string() } else { format!("{rel}/{name}") };
+        let child_rel = if rel.is_empty() { name.to_string() } else { format!("{rel}/{name}") };
         // Find the branch that provides the entry.
-        let provider = self
-            .branches
-            .iter()
-            .position(|br| join_rel(&br.host, &child_rel).map(|h| store.exists(&h)).unwrap_or(false));
+        let provider = self.branches.iter().position(|br| {
+            join_rel(&br.host, &child_rel).map(|h| store.exists(&h)).unwrap_or(false)
+        });
         let Some(provider) = provider else { return true };
         // Any whiteout strictly above it hides it.
         (0..provider).any(|i| {
@@ -592,15 +584,11 @@ mod tests {
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         for (p, c) in lower_files {
             let host = vpath("/b/lower").join(p).unwrap();
-            store
-                .mkdir_all(&host.parent().unwrap(), Uid::ROOT, Mode::PUBLIC)
-                .unwrap();
+            store.mkdir_all(&host.parent().unwrap(), Uid::ROOT, Mode::PUBLIC).unwrap();
             store.write(&host, c.as_bytes(), Uid::ROOT, Mode::PUBLIC).unwrap();
         }
-        let union = Union::new(
-            vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))],
-            false,
-        );
+        let union =
+            Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false);
         (store, union)
     }
 
@@ -729,13 +717,9 @@ mod tests {
         let mut store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
-        store
-            .write(&vpath("/b/lower/f"), b"secret", Uid(10_050), Mode::PRIVATE)
-            .unwrap();
-        let u = Union::new(
-            vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))],
-            true,
-        );
+        store.write(&vpath("/b/lower/f"), b"secret", Uid(10_050), Mode::PRIVATE).unwrap();
+        let u =
+            Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], true);
         let host = u.copy_up(&mut store, "f").unwrap();
         let meta = store.stat(&host).unwrap();
         assert_eq!(meta.owner, Uid(10_050));
@@ -745,10 +729,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "only the top branch may be writable")]
     fn lower_writable_branch_panics() {
-        let _ = Union::new(
-            vec![Branch::ro(vpath("/a")), Branch::rw(vpath("/b"))],
-            false,
-        );
+        let _ = Union::new(vec![Branch::ro(vpath("/a")), Branch::rw(vpath("/b"))], false);
     }
 
     #[test]
@@ -760,11 +741,7 @@ mod tests {
         store.write(&vpath("/b1/f"), b"mid", Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b2/f"), b"low", Uid::ROOT, Mode::PUBLIC).unwrap();
         let u = Union::new(
-            vec![
-                Branch::rw(vpath("/b0")),
-                Branch::ro(vpath("/b1")),
-                Branch::ro(vpath("/b2")),
-            ],
+            vec![Branch::rw(vpath("/b0")), Branch::ro(vpath("/b1")), Branch::ro(vpath("/b2"))],
             false,
         );
         assert_eq!(u.read(&store, "f").unwrap(), b"mid");
@@ -777,11 +754,9 @@ mod tests {
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/log"), b"base|", Uid::ROOT, Mode::PUBLIC).unwrap();
-        let u = Union::new(
-            vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))],
-            false,
-        )
-        .with_granularity(CopyUpGranularity::Block);
+        let u =
+            Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
+                .with_granularity(CopyUpGranularity::Block);
         u.append(&mut store, "log", b"l1").unwrap();
         u.append(&mut store, "log", b"|l2").unwrap();
         // Reads and stat merge base + delta.
@@ -804,11 +779,9 @@ mod tests {
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
-        let u = Union::new(
-            vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))],
-            false,
-        )
-        .with_granularity(CopyUpGranularity::Block);
+        let u =
+            Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
+                .with_granularity(CopyUpGranularity::Block);
         u.append(&mut store, "f", b"def").unwrap();
         // A truncating write replaces everything, delta included.
         u.write(&mut store, "f", b"xyz", Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -827,11 +800,9 @@ mod tests {
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
-        let u = Union::new(
-            vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))],
-            false,
-        )
-        .with_granularity(CopyUpGranularity::Block);
+        let u =
+            Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
+                .with_granularity(CopyUpGranularity::Block);
         u.append(&mut store, "f", b"def").unwrap();
         let host = u.copy_up(&mut store, "f").unwrap();
         assert_eq!(store.read(&host).unwrap(), b"abcdef");

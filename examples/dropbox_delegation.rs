@@ -85,9 +85,6 @@ fn maxoid_mode() {
     // Then discards everything else.
     let removed = sys.clear_vol(&dropbox.pkg).expect("clear");
     println!("Clear-Vol removed {removed} leftover volatile files");
-    assert_eq!(
-        sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(),
-        b"edited notes v2"
-    );
+    assert_eq!(sys.kernel.http_get(dpid, "dropbox.example/notes.txt").unwrap(), b"edited notes v2");
     println!("server now holds the user-approved edit — and only that");
 }

@@ -32,9 +32,7 @@ fn main() {
     // The viewer runs normally in between (and changes its own state)...
     let normal = sys.launch(&viewer.pkg).expect("normal run");
     let own = vpath("/data/data/org.ebookdroid/my_book.pdf");
-    sys.kernel
-        .write(normal, &own, b"own book", maxoid_vfs::Mode::PRIVATE)
-        .expect("write own");
+    sys.kernel.write(normal, &own, b"own book", maxoid_vfs::Mode::PRIVATE).expect("write own");
     viewer.open(&mut sys, normal, &own).expect("open own");
     let normal_recents = viewer.recent_files(&sys, normal).expect("recents");
     println!("normal-run recents: {normal_recents:?}  (no email attachments: S1)");
@@ -52,12 +50,7 @@ fn main() {
     println!("launcher started camera {}", sys.kernel.process(cam).unwrap().ctx);
     // A photo it takes lands in Vol(email), not on the public SD card.
     sys.kernel
-        .write(
-            cam,
-            &vpath("/storage/sdcard/DCIM/for_email.jpg"),
-            b"jpeg",
-            maxoid_vfs::Mode::PUBLIC,
-        )
+        .write(cam, &vpath("/storage/sdcard/DCIM/for_email.jpg"), b"jpeg", maxoid_vfs::Mode::PUBLIC)
         .expect("photo");
     let opid = sys.launch(&observer).expect("observer");
     assert!(!sys.kernel.exists(opid, &vpath("/storage/sdcard/DCIM/for_email.jpg")));

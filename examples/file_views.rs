@@ -9,10 +9,8 @@ use maxoid_vfs::{vpath, Mode, VPath};
 
 fn main() {
     let mut sys = MaxoidSystem::boot().expect("boot");
-    sys.install("A", vec![], MaxoidManifest::new().private_ext_dir("data/A"))
-        .expect("install A");
-    sys.install("B", vec![], MaxoidManifest::new().private_ext_dir("data/B"))
-        .expect("install B");
+    sys.install("A", vec![], MaxoidManifest::new().private_ext_dir("data/A")).expect("install A");
+    sys.install("B", vec![], MaxoidManifest::new().private_ext_dir("data/B")).expect("install B");
     sys.install("X", vec![], MaxoidManifest::new()).expect("install X");
 
     let a = sys.launch("A").expect("launch A");
@@ -47,13 +45,17 @@ fn main() {
     let mb = sys.ams.manifest(&maxoid::AppId::new("B")).unwrap().clone();
     let bm = sys.branch_manager();
     println!("\nMount table for A (initiator):");
-    print!("{}", maxoid::BranchManager::render_mount_table(
-        &bm.initiator_namespace("A", &ma).unwrap()
-    ));
+    print!(
+        "{}",
+        maxoid::BranchManager::render_mount_table(&bm.initiator_namespace("A", &ma).unwrap())
+    );
     println!("\nMount table for B^A (delegate) — compare with the paper's Table 2:");
-    print!("{}", maxoid::BranchManager::render_mount_table(
-        &bm.delegate_namespace("B", &mb, "A", &ma).unwrap()
-    ));
+    print!(
+        "{}",
+        maxoid::BranchManager::render_mount_table(
+            &bm.delegate_namespace("B", &mb, "A", &ma).unwrap()
+        )
+    );
 }
 
 fn dump(sys: &MaxoidSystem, label: &str, who: &[(maxoid::Pid, &str)], files: &[&VPath]) {

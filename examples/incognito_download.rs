@@ -33,10 +33,7 @@ fn main() {
     println!("incognito download #{id} enqueued (volatile=true — the 1-line patch)");
     sys.pump_downloads().expect("worker");
     let note = sys.download_notifications().remove(0);
-    println!(
-        "download complete: {} (volatile for {:?})",
-        note.title, note.initiator
-    );
+    println!("download complete: {} (volatile for {:?})", note.title, note.initiator);
 
     // Publicly invisible: no file, no provider record.
     let opid = sys.launch(&observer).expect("observer");
@@ -51,10 +48,7 @@ fn main() {
     println!("browser's download list: {pub_n} public + {vol_n} incognito");
 
     // --- Tapping the notification opens the viewer as a delegate ------
-    let viewer = browser
-        .open_download_notification(&mut sys, bpid, &note)
-        .expect("open")
-        .pid();
+    let viewer = browser.open_download_notification(&mut sys, bpid, &note).expect("open").pid();
     println!("viewer runs {}", sys.kernel.process(viewer).unwrap().ctx);
     // The viewer can open the downloaded file through its view (the
     // volatile file appears at the normal path for delegates).
@@ -64,11 +58,7 @@ fn main() {
         .expect("delegate reads the incognito download");
     // And it leaves its usual traces (recent list, SD copy) — confined.
     reader
-        .open(
-            &mut sys,
-            viewer,
-            &FileRef::Content { name: "leaked_memo.pdf".into(), data },
-        )
+        .open(&mut sys, viewer, &FileRef::Content { name: "leaked_memo.pdf".into(), data })
         .expect("view");
     println!("viewer processed the file, leaving its usual traces (confined)");
 

@@ -69,11 +69,8 @@ fn run_stock(app: &str) -> (usize, usize) {
     let observer = install_observer(&mut sys).expect("observer");
     let suspect = run_operation(&mut sys, app, false);
     let report = audit(&mut sys, &observer, &suspect, None, MARKER).expect("audit");
-    let priv_n = report
-        .traces
-        .iter()
-        .filter(|t| matches!(t, TraceLocation::PrivateFile(_)))
-        .count();
+    let priv_n =
+        report.traces.iter().filter(|t| matches!(t, TraceLocation::PrivateFile(_))).count();
     (priv_n, report.public_leaks().len())
 }
 
@@ -90,8 +87,7 @@ fn run_maxoid(app: &str) -> (usize, usize) {
     .expect("install initiator");
     let _ = sys.launch("secrets-app").expect("launch initiator");
     let suspect = run_operation(&mut sys, app, true);
-    let report =
-        audit(&mut sys, &observer, &suspect, Some("secrets-app"), MARKER).expect("audit");
+    let report = audit(&mut sys, &observer, &suspect, Some("secrets-app"), MARKER).expect("audit");
     (report.public_leaks().len(), report.confined().len())
 }
 
@@ -126,7 +122,8 @@ fn run_operation(sys: &mut MaxoidSystem, app: &str, confined: bool) -> String {
             install_viewer(sys, &k.pkg).expect("install");
             let pid = launch(sys, &k.pkg);
             let doc = vpath("/storage/sdcard").join(&format!("{MARKER}.doc")).unwrap();
-            sys.kernel.write(pid, &doc, format!("{MARKER} doc").as_bytes(), Mode::PUBLIC)
+            sys.kernel
+                .write(pid, &doc, format!("{MARKER} doc").as_bytes(), Mode::PUBLIC)
                 .expect("seed doc");
             k.open(sys, pid, &doc).expect("open");
             k.pkg
@@ -165,9 +162,7 @@ fn run_operation(sys: &mut MaxoidSystem, app: &str, confined: bool) -> String {
             install_viewer(sys, &v.pkg).expect("install");
             let pid = launch(sys, &v.pkg);
             let video = vpath("/storage/sdcard").join(&format!("{MARKER}.mp4")).unwrap();
-            sys.kernel
-                .write(pid, &video, b"video bytes", Mode::PUBLIC)
-                .expect("seed video");
+            sys.kernel.write(pid, &video, b"video bytes", Mode::PUBLIC).expect("seed video");
             v.play(sys, pid, &video).expect("play");
             v.pkg
         }

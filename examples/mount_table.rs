@@ -21,18 +21,13 @@ fn main() {
 
     println!("Mount table for initiator A:");
     println!("{:-<70}", "");
-    print!(
-        "{}",
-        BranchManager::render_mount_table(&bm.initiator_namespace("A", &ma).expect("ns"))
-    );
+    print!("{}", BranchManager::render_mount_table(&bm.initiator_namespace("A", &ma).expect("ns")));
 
     println!("\nMount table for delegate B^A:");
     println!("{:-<70}", "");
     print!(
         "{}",
-        BranchManager::render_mount_table(
-            &bm.delegate_namespace("B", &mb, "A", &ma).expect("ns")
-        )
+        BranchManager::render_mount_table(&bm.delegate_namespace("B", &mb, "A", &ma).expect("ns"))
     );
 
     println!("\nPaper mapping (backing dir -> Table 2 branch name):");

@@ -1,0 +1,83 @@
+//! Deterministic case runner support: RNG, config, and failure type.
+
+use std::hash::{Hash, Hasher};
+use std::ops::Range;
+
+/// Runner configuration (`ProptestConfig` in the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        // Real proptest defaults to 256; tests here drive whole databases
+        // per case, so the shim keeps unannotated blocks cheaper.
+        Config { cases: 64 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assert*` failure: the property is violated.
+    Fail(String),
+    /// `prop_assume!` rejection: skip this case, try the next.
+    Reject,
+}
+
+/// Deterministic splitmix64 stream, seeded from test name + case index so
+/// every run regenerates identical inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// RNG for case `case` of test `name`.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        name.hash(&mut hasher);
+        case.hash(&mut hasher);
+        TestRng { state: hasher.finish() | 1 }
+    }
+
+    /// Next raw 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform usize in `range` (empty ranges yield `range.start`).
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        if range.end <= range.start {
+            return range.start;
+        }
+        range.start + (self.next_u64() as usize) % (range.end - range.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+}

@@ -11,12 +11,8 @@ pub const VIEW: &str = "android.intent.action.VIEW";
 /// private), `viewer` (accepts VIEW), and `bystander` (no relation).
 pub fn standard_cast() -> MaxoidSystem {
     let mut sys = MaxoidSystem::boot().expect("boot");
-    sys.install(
-        "initiator",
-        vec![],
-        MaxoidManifest::new().filter(InvocationFilter::action(VIEW)),
-    )
-    .expect("install initiator");
+    sys.install("initiator", vec![], MaxoidManifest::new().filter(InvocationFilter::action(VIEW)))
+        .expect("install initiator");
     sys.install("viewer", vec![AppIntentFilter::new(VIEW, None)], MaxoidManifest::new())
         .expect("install viewer");
     sys.install("bystander", vec![], MaxoidManifest::new()).expect("install bystander");

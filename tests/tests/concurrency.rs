@@ -71,8 +71,7 @@ fn readers_are_consistent_under_writes() {
             scope.spawn(move |_| {
                 for i in 0..500 {
                     let p = vpath("/shared/hot.dat");
-                    vfs.write(cred, &ns, &p, format!("v{i}").as_bytes(), Mode::PUBLIC)
-                        .unwrap();
+                    vfs.write(cred, &ns, &p, format!("v{i}").as_bytes(), Mode::PUBLIC).unwrap();
                 }
             });
         }

@@ -12,16 +12,12 @@ fn rename_does_not_escape() {
     let mut sys = standard_cast();
     let a = sys.launch("initiator").unwrap();
     let secret = write_private(&sys, a, "initiator", "s.txt", b"secret");
-    let d = sys
-        .start_activity(Some(a), &Intent::new(VIEW).with_data(secret.as_str()))
-        .unwrap()
-        .pid();
+    let d =
+        sys.start_activity(Some(a), &Intent::new(VIEW).with_data(secret.as_str())).unwrap().pid();
     // Copy into its view of public storage, then rename around.
     let data = sys.kernel.read(d, &secret).unwrap();
     sys.kernel.write(d, &vpath("/storage/sdcard/a.txt"), &data, Mode::PUBLIC).unwrap();
-    sys.kernel
-        .rename(d, &vpath("/storage/sdcard/a.txt"), &vpath("/storage/sdcard/b.txt"))
-        .unwrap();
+    sys.kernel.rename(d, &vpath("/storage/sdcard/a.txt"), &vpath("/storage/sdcard/b.txt")).unwrap();
     let x = sys.launch("bystander").unwrap();
     assert!(!sys.kernel.exists(x, &vpath("/storage/sdcard/a.txt")));
     assert!(!sys.kernel.exists(x, &vpath("/storage/sdcard/b.txt")));
@@ -32,12 +28,8 @@ fn rename_does_not_escape() {
 fn mkdir_is_confined() {
     let mut sys = standard_cast();
     let d = sys.launch_as_delegate("viewer", "initiator").unwrap();
-    sys.kernel
-        .mkdir_all(d, &vpath("/storage/sdcard/exfil/deep/dir"), Mode::PUBLIC)
-        .unwrap();
-    sys.kernel
-        .write(d, &vpath("/storage/sdcard/exfil/deep/dir/x"), b"data", Mode::PUBLIC)
-        .unwrap();
+    sys.kernel.mkdir_all(d, &vpath("/storage/sdcard/exfil/deep/dir"), Mode::PUBLIC).unwrap();
+    sys.kernel.write(d, &vpath("/storage/sdcard/exfil/deep/dir/x"), b"data", Mode::PUBLIC).unwrap();
     let x = sys.launch("bystander").unwrap();
     assert!(!sys.kernel.exists(x, &vpath("/storage/sdcard/exfil")));
 }
@@ -91,9 +83,8 @@ fn chooser_keeps_computed_context() {
     )
     .unwrap();
     let a = sys.launch("initiator").unwrap();
-    let outcome = sys
-        .start_activity(Some(a), &Intent::new(VIEW).with_data("/storage/sdcard/x"))
-        .unwrap();
+    let outcome =
+        sys.start_activity(Some(a), &Intent::new(VIEW).with_data("/storage/sdcard/x")).unwrap();
     let (candidates, ctx) = match outcome {
         maxoid::StartOutcome::Chooser { candidates, ctx } => (candidates, ctx),
         other => panic!("expected chooser, got {other:?}"),
@@ -177,10 +168,7 @@ fn per_uri_grants_are_one_shot() {
     let item = Uri::parse("content://initiator.attachments/att/7").unwrap();
     // Sending a VIEW intent with the grant flag issues the one-shot grant.
     let d = sys
-        .start_activity(
-            Some(a),
-            &Intent::new(VIEW).with_data(&item.to_string()).grant_read(),
-        )
+        .start_activity(Some(a), &Intent::new(VIEW).with_data(&item.to_string()).grant_read())
         .unwrap()
         .pid();
     // First read succeeds; the second is denied (grant consumed).

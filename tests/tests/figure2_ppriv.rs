@@ -73,10 +73,7 @@ fn fork_outcomes_match_policy() {
     let mut sys = standard_cast();
     let b = sys.launch("viewer").unwrap();
     sys.kernel.write(b, &npriv_file(), b"v0", Mode::PRIVATE).unwrap();
-    assert_eq!(
-        sys.fork_outcome_probe("initiator", "viewer").unwrap(),
-        ForkOutcome::FreshFork
-    );
+    assert_eq!(sys.fork_outcome_probe("initiator", "viewer").unwrap(), ForkOutcome::FreshFork);
     assert_eq!(sys.fork_outcome_probe("initiator", "viewer").unwrap(), ForkOutcome::Kept);
     // B updates Priv(B): next delegate start discards.
     let b2 = sys.launch("viewer").unwrap();
@@ -97,9 +94,7 @@ fn s4_restore_after_delegate_runs() {
     for _ in 0..3 {
         let d = sys.launch_as_delegate("viewer", "initiator").unwrap();
         sys.kernel.write(d, &npriv_file(), b"scribbled", Mode::PRIVATE).unwrap();
-        sys.kernel
-            .write(d, &vpath("/data/data/viewer/junk.tmp"), b"junk", Mode::PRIVATE)
-            .unwrap();
+        sys.kernel.write(d, &vpath("/data/data/viewer/junk.tmp"), b"junk", Mode::PRIVATE).unwrap();
     }
     let b2 = sys.launch("viewer").unwrap();
     assert_eq!(read(&sys, b2, &npriv_file()).unwrap(), "pristine");

@@ -59,9 +59,7 @@ fn commit_makes_edit_durable_then_discard_cleans() {
     sys.kernel.write(a, &file_b, b"b0", Mode::PUBLIC).unwrap();
     let d = sys.launch_as_delegate("B", "A").unwrap();
     sys.kernel.write(d, &file_b, b"b1", Mode::PUBLIC).unwrap();
-    sys.kernel
-        .write(d, &vpath("/storage/sdcard/junk.log"), b"side effect", Mode::PUBLIC)
-        .unwrap();
+    sys.kernel.write(d, &vpath("/storage/sdcard/junk.log"), b"side effect", Mode::PUBLIC).unwrap();
 
     // A commits the edit it wants: b moves into its private branch.
     sys.commit_volatile_file("A", "data/A/b").unwrap();

@@ -41,8 +41,7 @@ fn figure6_worked_example() {
     let mut p = CowProxy::new();
     p.execute_batch("CREATE TABLE tab1 (_id INTEGER PRIMARY KEY, data TEXT);").unwrap();
     for (id, d) in [(1, "a"), (2, "b"), (3, "c")] {
-        p.insert(&DbView::Primary, "tab1", &[("_id", id.into()), ("data", d.into())])
-            .unwrap();
+        p.insert(&DbView::Primary, "tab1", &[("_id", id.into()), ("data", d.into())]).unwrap();
     }
     let delegate = DbView::Delegate { initiator: "A".into() };
     // The three delegate operations from the figure.
@@ -71,10 +70,8 @@ fn figure6_worked_example() {
     );
 
     // The delta table (Vol(A)) holds the figure's rows exactly.
-    let delta = p
-        .db()
-        .query("SELECT _id, data, _whiteout FROM tab1_delta_A ORDER BY _id", &[])
-        .unwrap();
+    let delta =
+        p.db().query("SELECT _id, data, _whiteout FROM tab1_delta_A ORDER BY _id", &[]).unwrap();
     assert_eq!(
         delta.rows,
         vec![

@@ -12,10 +12,8 @@ fn edge_priv_a_to_delegate() {
     let mut sys = standard_cast();
     let a = sys.launch("initiator").unwrap();
     let secret = write_private(&sys, a, "initiator", "secret.txt", b"priv(A)");
-    let d = sys
-        .start_activity(Some(a), &Intent::new(VIEW).with_data(secret.as_str()))
-        .unwrap()
-        .pid();
+    let d =
+        sys.start_activity(Some(a), &Intent::new(VIEW).with_data(secret.as_str())).unwrap().pid();
     assert_eq!(sys.kernel.read(d, &secret).unwrap(), b"priv(A)");
 }
 
@@ -26,14 +24,9 @@ fn edge_delegate_to_vol_a() {
     let mut sys = standard_cast();
     let a = sys.launch("initiator").unwrap();
     let d = sys.launch_as_delegate("viewer", "initiator").unwrap();
-    sys.kernel
-        .write(d, &vpath("/storage/sdcard/out.txt"), b"tainted", Mode::PUBLIC)
-        .unwrap();
+    sys.kernel.write(d, &vpath("/storage/sdcard/out.txt"), b"tainted", Mode::PUBLIC).unwrap();
     // A observes it (Vol(A) <-> A).
-    assert_eq!(
-        sys.kernel.read(a, &vpath("/storage/sdcard/tmp/out.txt")).unwrap(),
-        b"tainted"
-    );
+    assert_eq!(sys.kernel.read(a, &vpath("/storage/sdcard/tmp/out.txt")).unwrap(), b"tainted");
     // A co-delegate of A sees it at the original name (Pub(x^A)).
     sys.install("scanner", vec![], maxoid::MaxoidManifest::new()).unwrap();
     let d2 = sys.launch_as_delegate("scanner", "initiator").unwrap();
@@ -179,16 +172,10 @@ fn ipc_transitivity_and_broadcast() {
     );
     // Nested delegation is refused.
     let err = sys.start_activity(Some(d), &Intent::new("EDIT").as_delegate());
-    assert!(matches!(
-        err,
-        Err(maxoid::SystemError::Ams(maxoid::AmsError::NestedDelegation))
-    ));
+    assert!(matches!(err, Err(maxoid::SystemError::Ams(maxoid::AmsError::NestedDelegation))));
     // Broadcast from the delegate reaches only A and A's delegates.
-    let running: Vec<_> = sys
-        .kernel
-        .processes()
-        .map(|p| (p.pid, p.app.clone(), p.ctx.clone()))
-        .collect();
+    let running: Vec<_> =
+        sys.kernel.processes().map(|p| (p.pid, p.app.clone(), p.ctx.clone())).collect();
     let sender = sys.kernel.process(d).unwrap();
     let targets = sys.ams.broadcast_targets(
         Some((&sender.app.clone(), &sender.ctx.clone())),

@@ -24,16 +24,16 @@ enum FileOp {
 
 fn file_op() -> impl Strategy<Value = FileOp> {
     prop_oneof![
-        (0..4usize, proptest::collection::vec(any::<u8>(), 0..24)).prop_map(|(i, d)| FileOp::Write(i, d)),
-        (0..4usize, proptest::collection::vec(any::<u8>(), 1..16)).prop_map(|(i, d)| FileOp::Append(i, d)),
+        (0..4usize, proptest::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(i, d)| FileOp::Write(i, d)),
+        (0..4usize, proptest::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(i, d)| FileOp::Append(i, d)),
         (0..4usize).prop_map(FileOp::Delete),
     ]
 }
 
 fn paths() -> Vec<VPath> {
-    (0..4)
-        .map(|i| vpath("/storage/sdcard").join(&format!("f{i}.dat")).unwrap())
-        .collect()
+    (0..4).map(|i| vpath("/storage/sdcard").join(&format!("f{i}.dat")).unwrap()).collect()
 }
 
 proptest! {

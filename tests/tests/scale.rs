@@ -22,8 +22,7 @@ fn worker_pkg(j: usize) -> String {
 fn many_initiators_stay_pairwise_isolated() {
     let mut sys = MaxoidSystem::boot().unwrap();
     for i in 0..INITIATORS {
-        sys.install(&init_pkg(i), vec![], MaxoidManifest::new().private_ext_dir("data"))
-            .unwrap();
+        sys.install(&init_pkg(i), vec![], MaxoidManifest::new().private_ext_dir("data")).unwrap();
     }
     for j in 0..DELEGATES_PER {
         sys.install(&worker_pkg(j), vec![], MaxoidManifest::new()).unwrap();
@@ -49,12 +48,8 @@ fn many_initiators_stay_pairwise_isolated() {
                 )
                 .unwrap();
             // Provider write -> delta table of init_i.
-            sys.cp_insert(
-                d,
-                &words,
-                &ContentValues::new().put("word", format!("w_{i}_{j}")),
-            )
-            .unwrap();
+            sys.cp_insert(d, &words, &ContentValues::new().put("word", format!("w_{i}_{j}")))
+                .unwrap();
             // Private fork write.
             sys.kernel
                 .write(
@@ -70,30 +65,20 @@ fn many_initiators_stay_pairwise_isolated() {
     // Pairwise checks: initiator i sees exactly its own volatile traces.
     for (i, ip) in init_pids.iter().enumerate() {
         let vol = sys.volatile_files(&init_pkg(i)).unwrap();
-        let file_traces: Vec<&str> = vol
-            .iter()
-            .filter(|e| e.rel.starts_with("trace_"))
-            .map(|e| e.rel.as_str())
-            .collect();
+        let file_traces: Vec<&str> =
+            vol.iter().filter(|e| e.rel.starts_with("trace_")).map(|e| e.rel.as_str()).collect();
         assert_eq!(file_traces.len(), DELEGATES_PER, "initiator {i}");
         assert!(file_traces.iter().all(|t| t.contains(&format!("trace_{i}_"))));
         // Its tmp view resolves the same files.
         for j in 0..DELEGATES_PER {
-            let tmp =
-                vpath("/storage/sdcard/tmp").join(&format!("trace_{i}_{j}.txt")).unwrap();
-            assert_eq!(
-                sys.kernel.read(*ip, &tmp).unwrap(),
-                format!("i{i}j{j}").as_bytes()
-            );
+            let tmp = vpath("/storage/sdcard/tmp").join(&format!("trace_{i}_{j}.txt")).unwrap();
+            assert_eq!(sys.kernel.read(*ip, &tmp).unwrap(), format!("i{i}j{j}").as_bytes());
         }
         // Provider volatile rows: exactly its own.
         let rs = sys.cp_query(*ip, &words.as_volatile(), &QueryArgs::default()).unwrap();
         assert_eq!(rs.rows.len(), DELEGATES_PER, "initiator {i} volatile rows");
         let w = rs.column_index("word").unwrap();
-        assert!(rs
-            .rows
-            .iter()
-            .all(|r| r[w].to_string().starts_with(&format!("w_{i}_"))));
+        assert!(rs.rows.iter().all(|r| r[w].to_string().starts_with(&format!("w_{i}_"))));
     }
 
     // The observer sees no trace at all.

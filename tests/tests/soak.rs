@@ -64,9 +64,7 @@ fn run_soak(seed: u64) {
                     let name = format!("file{}.dat", rng.gen_range(0..8u32));
                     let data = format!("step{step}").into_bytes();
                     let path = vpath("/storage/sdcard").join(&name).unwrap();
-                    if sys.kernel.write(pid, &path, &data, Mode::PUBLIC).is_ok()
-                        && init.is_none()
-                    {
+                    if sys.kernel.write(pid, &path, &data, Mode::PUBLIC).is_ok() && init.is_none() {
                         // Only initiator writes change public truth.
                         model.files.insert(name, data);
                     }
@@ -77,11 +75,7 @@ fn run_soak(seed: u64) {
                 if let Some(&(pid, _, init)) = pick(&mut rng, &procs) {
                     let w = format!("word{step}");
                     if sys
-                        .cp_insert(
-                            pid,
-                            &words_uri,
-                            &ContentValues::new().put("word", w.as_str()),
-                        )
+                        .cp_insert(pid, &words_uri, &ContentValues::new().put("word", w.as_str()))
                         .is_ok()
                         && init.is_none()
                     {
@@ -152,10 +146,7 @@ fn check_public_view(
             (e.name, sys.kernel.read(probe, &p).unwrap())
         })
         .collect();
-    assert_eq!(
-        listed, model.files,
-        "public files diverged from model (seed {seed}, step {step})"
-    );
+    assert_eq!(listed, model.files, "public files diverged from model (seed {seed}, step {step})");
     // Words: exactly the initiator-inserted set.
     let rs = sys
         .cp_query(
@@ -170,9 +161,7 @@ fn check_public_view(
         .unwrap();
     let got: Vec<String> = rs.rows.iter().map(|r| r[0].to_string()).collect();
     assert_eq!(got, model.words, "public words diverged (seed {seed}, step {step})");
-    sys.kernel
-        .kill(sys.kernel.find_processes(&maxoid::AppId::new("probe"))[0])
-        .unwrap();
+    sys.kernel.kill(sys.kernel.find_processes(&maxoid::AppId::new("probe"))[0]).unwrap();
 }
 
 #[test]

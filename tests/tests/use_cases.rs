@@ -3,8 +3,8 @@
 use maxoid::manifest::MaxoidManifest;
 use maxoid::{MaxoidSystem, QueryArgs, Uri};
 use maxoid_apps::{
-    install_observer, install_viewer, AdobeReader, Browser, CamScanner, Dropbox, EBookDroid,
-    Email, FileRef, GoogleDrive, WrapperApp,
+    install_observer, install_viewer, AdobeReader, Browser, CamScanner, Dropbox, EBookDroid, Email,
+    FileRef, GoogleDrive, WrapperApp,
 };
 use maxoid_vfs::{vpath, Mode};
 
@@ -34,10 +34,7 @@ fn use_case_dropbox() {
 
     // Manual commit path: upload from tmp, then clear Vol.
     dropbox.upload_from_tmp(&mut sys, dpid, "contract.pdf").unwrap();
-    assert_eq!(
-        sys.kernel.http_get(dpid, "dropbox.example/contract.pdf").unwrap(),
-        b"signed v2"
-    );
+    assert_eq!(sys.kernel.http_get(dpid, "dropbox.example/contract.pdf").unwrap(), b"signed v2");
     sys.clear_vol(&dropbox.pkg).unwrap();
 
     // The launcher gesture: a camera app as Dropbox's delegate takes a
@@ -49,9 +46,7 @@ fn use_case_dropbox() {
         .unwrap();
     let opid2 = sys.launch(&obs).unwrap();
     assert!(!sys.kernel.exists(opid2, &vpath("/storage/sdcard/DCIM/receipt.jpg")));
-    assert!(sys
-        .kernel
-        .exists(dpid, &vpath("/storage/sdcard/tmp/DCIM/receipt.jpg")));
+    assert!(sys.kernel.exists(dpid, &vpath("/storage/sdcard/tmp/DCIM/receipt.jpg")));
 }
 
 /// Use case 2: securing Email attachments (VIEW is private; SAVE is an
@@ -66,16 +61,12 @@ fn use_case_email() {
     let obs = install_observer(&mut sys).unwrap();
 
     let epid = sys.launch(&email.pkg).unwrap();
-    let att = email
-        .receive_attachment(&mut sys, epid, "salary.pdf", b"offer details")
-        .unwrap();
+    let att = email.receive_attachment(&mut sys, epid, "salary.pdf", b"offer details").unwrap();
 
     // VIEW: the reader runs confined and leaves its copy in Vol only.
     let vpid = email.view_attachment(&mut sys, epid, &att).unwrap().pid();
     let data = sys.kernel.read(vpid, &att).unwrap();
-    reader
-        .open(&mut sys, vpid, &FileRef::Content { name: "salary.pdf".into(), data })
-        .unwrap();
+    reader.open(&mut sys, vpid, &FileRef::Content { name: "salary.pdf".into(), data }).unwrap();
     let opid = sys.launch(&obs).unwrap();
     assert!(!sys.kernel.exists(opid, &vpath("/storage/sdcard/Download/salary.pdf")));
 
@@ -141,8 +132,9 @@ fn use_case_wrapper() {
     assert!(sys.volatile_files(&wrapper.pkg).unwrap().is_empty());
     // Even the scanner's private recent-scans DB from the session is gone.
     let s2 = sys.launch_as_delegate(&scanner.pkg, &wrapper.pkg).unwrap();
-    assert!(maxoid_apps::dataproc::read_private_lines(&sys, s2, &scanner.pkg, "scans.db")
-        .is_empty());
+    assert!(
+        maxoid_apps::dataproc::read_private_lines(&sys, s2, &scanner.pkg, "scans.db").is_empty()
+    );
 }
 
 /// Use case 5: EBookDroid's persistent private state (the 45-line-style
@@ -170,13 +162,8 @@ fn use_case_ebookdroid_cross_initiator() {
 
     // Back on behalf of email: the attachment is in the merged list.
     let d_email2 = sys.launch_as_delegate(&viewer.pkg, &email.pkg).unwrap();
-    assert!(viewer
-        .recent_files(&sys, d_email2)
-        .unwrap()
-        .iter()
-        .any(|r| r.contains("a.pdf")));
+    assert!(viewer.recent_files(&sys, d_email2).unwrap().iter().any(|r| r.contains("a.pdf")));
 }
-
 
 /// §2.2 case II: Google Drive disclosed-path opens. On stock Android the
 /// invoked viewer "can leak information about the files that have been
@@ -202,20 +189,10 @@ fn use_case_google_drive() {
     let data = sys.kernel.read(vpid, &cached).unwrap();
     assert_eq!(data, b"drive secret");
     // It leaves its usual SD-card copy — confined to Vol(drive).
-    reader
-        .open(
-            &mut sys,
-            vpid,
-            &FileRef::Content { name: "contract.pdf".into(), data },
-        )
-        .unwrap();
+    reader.open(&mut sys, vpid, &FileRef::Content { name: "contract.pdf".into(), data }).unwrap();
     let opid = sys.launch(&obs).unwrap();
-    assert!(!sys
-        .kernel
-        .exists(opid, &vpath("/storage/sdcard/Download/contract.pdf")));
-    assert!(sys
-        .kernel
-        .exists(gpid, &vpath("/storage/sdcard/tmp/Download/contract.pdf")));
+    assert!(!sys.kernel.exists(opid, &vpath("/storage/sdcard/Download/contract.pdf")));
+    assert!(sys.kernel.exists(gpid, &vpath("/storage/sdcard/tmp/Download/contract.pdf")));
     // One gesture erases the session's traces.
     sys.clear_vol(&gdrive.pkg).unwrap();
     sys.clear_priv(&gdrive.pkg).unwrap();
