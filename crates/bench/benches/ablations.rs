@@ -137,6 +137,37 @@ fn bench_index_vs_fullscan(c: &mut Criterion) {
     g.finish();
 }
 
+/// Write-ahead logging cost: the same insert loop with the journal
+/// detached vs group-commit batch sizes 1/16/128. Batch 1 flushes every
+/// record (crash window of zero records); larger batches amortise the
+/// flush toward the logging-off floor. The JSON-emitting variant plus
+/// the recovery-time-vs-log-size experiment live in `src/bin/journal.rs`.
+fn bench_journal_overhead(c: &mut Criterion) {
+    use maxoid_journal::JournalHandle;
+    use maxoid_sqldb::Database;
+    let mut g = c.benchmark_group("ablation/journal_overhead_insert");
+    g.sample_size(20);
+    for (name, batch) in
+        [("off", None), ("batch1", Some(1usize)), ("batch16", Some(16)), ("batch128", Some(128))]
+    {
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut db = Database::new();
+            if let Some(n) = batch {
+                db.set_journal(JournalHandle::with_batch(n).sink(), "db.bench");
+            }
+            db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, data TEXT);")
+                .expect("schema");
+            let mut i = 0i64;
+            b.iter(|| {
+                i += 1;
+                db.execute("INSERT INTO t (data) VALUES (?)", &[Value::Text(format!("d{i}"))])
+                    .expect("insert");
+            });
+        });
+    }
+    g.finish();
+}
+
 fn bench_snapshot_vs_unilateral(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation/delegate_start");
     g.sample_size(10);
@@ -240,6 +271,7 @@ criterion_group!(
     benches,
     bench_flattening,
     bench_index_vs_fullscan,
+    bench_journal_overhead,
     bench_snapshot_vs_unilateral,
     bench_copyup_scaling,
     bench_granularity

@@ -1,0 +1,176 @@
+//! Journal ablations: what write-ahead logging costs, and what recovery
+//! buys.
+//!
+//! Two experiment families, emitted to `BENCH_journal.json`:
+//!
+//! - **journal_overhead** — the same SQL-insert and file-write loops with
+//!   logging off vs group-commit batch sizes 1/16/128. Batch 1 is the
+//!   worst case (every record pays a flush); larger batches amortise it
+//!   toward the logging-off floor.
+//! - **recovery** — replay time of `maxoid::recover` as a function of log
+//!   size (100/1000/5000 committed records), the quantity that bounds
+//!   crash-restart latency and motivates snapshot checkpoints.
+//!
+//! Run with: `cargo run --release -p maxoid-bench --bin journal`
+
+use maxoid::durability::recover;
+use maxoid_bench::{measure, measure_interleaved, BenchJson, Case, Measurement};
+use maxoid_journal::JournalHandle;
+use maxoid_sqldb::{Database, Value};
+use maxoid_vfs::{vpath, Mode, Store, Uid};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const TRIALS: usize = 300;
+
+/// The ablation axis: no journal, then group-commit batch sizes.
+const MODES: [(&str, Option<usize>); 4] =
+    [("off", None), ("batch1", Some(1)), ("batch16", Some(16)), ("batch128", Some(128))];
+
+fn main() {
+    let mut json = BenchJson::new();
+    println!("Journal ablations — logging overhead and recovery scaling");
+    println!("({TRIALS} interleaved trials per cell)\n");
+
+    // --- journal_overhead: logical SQL records ------------------------
+    let sql = measure_interleaved(
+        TRIALS,
+        MODES
+            .iter()
+            .map(|&(_, batch)| {
+                let mut db = Database::new();
+                if let Some(b) = batch {
+                    db.set_journal(JournalHandle::with_batch(b).sink(), "db.bench");
+                }
+                db.execute_batch(
+                    "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER);",
+                )
+                .expect("schema");
+                let db = Rc::new(RefCell::new(db));
+                let i = Rc::new(RefCell::new(0i64));
+                let case: Case = (
+                    Box::new(|| {}),
+                    Box::new(move || {
+                        let mut k = i.borrow_mut();
+                        *k += 1;
+                        db.borrow_mut()
+                            .execute(
+                                "INSERT INTO words (word, frequency) VALUES (?, ?)",
+                                &[Value::Text(format!("w{k}")), Value::Integer(*k)],
+                            )
+                            .expect("insert");
+                    }),
+                );
+                case
+            })
+            .collect(),
+    );
+    println!("journal_overhead, SQL insert:");
+    print_row(&mut json, "journal_overhead/sql_insert", &sql);
+
+    // --- journal_overhead: physical file-write records ----------------
+    let fs = measure_interleaved(
+        TRIALS,
+        MODES
+            .iter()
+            .map(|&(_, batch)| {
+                let mut store = Store::new();
+                store.mkdir_all(&vpath("/data"), Uid::ROOT, Mode::PUBLIC).expect("mkdir");
+                if let Some(b) = batch {
+                    store.set_journal(JournalHandle::with_batch(b).sink());
+                }
+                let store = Rc::new(RefCell::new(store));
+                let i = Rc::new(RefCell::new(0u64));
+                let payload = vec![0xabu8; 4096];
+                let case: Case = (
+                    Box::new(|| {}),
+                    Box::new(move || {
+                        let mut k = i.borrow_mut();
+                        *k += 1;
+                        store
+                            .borrow_mut()
+                            .write(
+                                &vpath("/data").join(&format!("f{k}.dat")).unwrap(),
+                                &payload,
+                                Uid::ROOT,
+                                Mode::PUBLIC,
+                            )
+                            .expect("write");
+                    }),
+                );
+                case
+            })
+            .collect(),
+    );
+    println!("\njournal_overhead, 4KB file write:");
+    print_row(&mut json, "journal_overhead/fs_write_4k", &fs);
+
+    // --- recovery time vs log size ------------------------------------
+    println!("\nrecovery time vs committed log size:");
+    for n in [100usize, 1000, 5000] {
+        let log = build_log(n);
+        let m = measure(
+            30.min(TRIALS),
+            || {},
+            || {
+                std::hint::black_box(recover(&log).expect("recover"));
+            },
+        );
+        json.push(&format!("recovery/replay/n{n}"), &m);
+        println!(
+            "  {:>5} records ({:>8} bytes): {:>10.1} us  ({:.3} us/record)",
+            n,
+            log.len(),
+            m.mean_us(),
+            m.mean_us() / n as f64,
+        );
+    }
+
+    json.write("BENCH_journal.json").expect("write BENCH_journal.json");
+    println!("\n(wrote BENCH_journal.json)");
+}
+
+/// Builds a flushed log of `n` committed records, half logical SQL
+/// inserts and half physical 1KB file writes — the mix `recover` sees
+/// after real use.
+fn build_log(n: usize) -> Vec<u8> {
+    let j = JournalHandle::with_batch(64);
+    let mut db = Database::new();
+    db.set_journal(j.sink(), "db.bench");
+    db.execute_batch("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER);")
+        .expect("schema");
+    let mut store = Store::new();
+    store.set_journal(j.sink());
+    store.mkdir_all(&vpath("/data"), Uid::ROOT, Mode::PUBLIC).expect("mkdir");
+    let payload = vec![0x5au8; 1024];
+    for i in 0..n / 2 {
+        db.execute(
+            "INSERT INTO words (word, frequency) VALUES (?, ?)",
+            &[Value::Text(format!("w{i}")), Value::Integer(i as i64)],
+        )
+        .expect("insert");
+        store
+            .write(
+                &vpath("/data").join(&format!("f{i}.dat")).unwrap(),
+                &payload,
+                Uid::ROOT,
+                Mode::PUBLIC,
+            )
+            .expect("write");
+    }
+    j.flush().expect("flush");
+    j.bytes()
+}
+
+fn print_row(json: &mut BenchJson, section: &str, ms: &[Measurement]) {
+    let base = &ms[0];
+    for ((mode, _), m) in MODES.iter().zip(ms) {
+        json.push(&format!("{section}/{mode}"), m);
+        println!(
+            "  {:<10} {:>9.2} us  (+{:.1}% vs off)",
+            mode,
+            m.mean_us(),
+            m.overhead_pct(base).max(0.0),
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Crash recovery: rebuilding the substrate from a journal.
+//!
+//! A journaled system ([`crate::MaxoidSystem::boot_journaled`]) logs two
+//! kinds of state mutation:
+//!
+//! - **physical VFS records** under the [`VFS_COMPONENT`] component —
+//!   every leaf store primitive (mkdir, write, unlink, ...) that
+//!   succeeded on the live store;
+//! - **logical SQL records** under `db.<authority>` components — the
+//!   statement text and parameters of every successful mutating
+//!   statement a provider database executed, which on replay rebuilds
+//!   the full catalog (tables, indexes, views, triggers) and rows.
+//!
+//! [`recover`] replays the *committed* prefix of a log against a fresh
+//! substrate. Records inside a journal transaction apply only if every
+//! enclosing transaction committed before the crash, so a volatile-state
+//! commit interrupted at any record boundary lands all-committed or
+//! all-volatile — never between (the S2 invariant exercised by the crash
+//! fault-injection tests). Snapshot records written by checkpointing
+//! reset their component wholesale before later records re-apply.
+
+use maxoid_journal::{committed_records, read_records, Record, TailState};
+use maxoid_sqldb::{Database, FlattenPolicy};
+use maxoid_vfs::Vfs;
+use std::collections::BTreeMap;
+
+/// Component name under which the VFS store journals itself.
+pub const VFS_COMPONENT: &str = "vfs.store";
+
+/// Prefix of provider-database component names (`db.<authority>`).
+pub const DB_COMPONENT_PREFIX: &str = "db.";
+
+/// Why replaying a log failed. A well-formed log produced by a journaled
+/// system replays cleanly; these errors indicate a corrupted or
+/// foreign log (torn tails are *not* errors — they truncate the log at
+/// the last valid frame instead).
+#[derive(Debug)]
+pub enum RecoveryError {
+    /// A VFS record failed to apply.
+    Vfs(maxoid_vfs::VfsError),
+    /// A SQL record failed to apply against the named component.
+    Sql {
+        /// The database component (`db.<authority>`).
+        db: String,
+        /// The underlying SQL error.
+        error: maxoid_sqldb::SqlError,
+    },
+    /// A snapshot record named a component this version cannot restore.
+    UnknownComponent(String),
+}
+
+impl std::fmt::Display for RecoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoveryError::Vfs(e) => write!(f, "vfs replay: {e}"),
+            RecoveryError::Sql { db, error } => write!(f, "sql replay into {db}: {error}"),
+            RecoveryError::UnknownComponent(c) => write!(f, "unknown snapshot component: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoveryError {}
+
+/// The substrate rebuilt from a journal.
+#[derive(Debug)]
+pub struct RecoveredSubstrate {
+    /// The file store, rebuilt record by record (or from a snapshot).
+    pub vfs: Vfs,
+    /// Provider databases keyed by full component name
+    /// (`db.<authority>`).
+    pub dbs: BTreeMap<String, Database>,
+    /// Whether the log ended cleanly or with a torn (truncated) frame.
+    pub tail: TailState,
+    /// Number of committed records applied.
+    pub applied: usize,
+}
+
+impl RecoveredSubstrate {
+    /// Removes and returns the recovered database for a provider
+    /// authority, or a fresh database if the journal never mentioned it
+    /// (a crash before the provider's first flushed statement).
+    pub fn take_db(&mut self, authority: &str) -> Database {
+        self.dbs
+            .remove(&format!("{DB_COMPONENT_PREFIX}{authority}"))
+            .unwrap_or_else(|| Database::with_policy(FlattenPolicy::Sqlite386))
+    }
+}
+
+/// Replays the committed prefix of `log_bytes` into a fresh substrate.
+///
+/// The log is scanned up to the first invalid frame (short header, bad
+/// magic, CRC mismatch, undecodable payload) — everything after a torn
+/// tail is discarded, mirroring what a crashed append leaves on disk.
+/// Recovered databases use the default planner policy; the policy is an
+/// execution-time setting, not journaled state.
+pub fn recover(log_bytes: &[u8]) -> Result<RecoveredSubstrate, RecoveryError> {
+    let log = read_records(log_bytes);
+    let tail = log.tail.clone();
+    let records = committed_records(&log);
+    let vfs = Vfs::new();
+    let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
+    let mut applied = 0;
+    for rec in &records {
+        match rec {
+            Record::Vfs(v) => {
+                vfs.with_store_mut(|s| s.apply_journal_record(v)).map_err(RecoveryError::Vfs)?;
+            }
+            Record::Sql { db, sql, params } => {
+                let database = dbs
+                    .entry(db.clone())
+                    .or_insert_with(|| Database::with_policy(FlattenPolicy::Sqlite386));
+                database
+                    .apply_journal_sql(sql, params)
+                    .map_err(|error| RecoveryError::Sql { db: db.clone(), error })?;
+            }
+            Record::Snapshot { component, payload } => {
+                if component == VFS_COMPONENT {
+                    vfs.with_store_mut(|s| s.restore_image(payload)).map_err(RecoveryError::Vfs)?;
+                } else {
+                    return Err(RecoveryError::UnknownComponent(component.clone()));
+                }
+            }
+            // committed_records consumes transaction markers.
+            Record::TxnBegin { .. } | Record::TxnCommit { .. } | Record::TxnRollback { .. } => {}
+        }
+        applied += 1;
+    }
+    Ok(RecoveredSubstrate { vfs, dbs, tail, applied })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxoid_journal::JournalHandle;
+    use maxoid_vfs::{vpath, Mode, Uid};
+
+    #[test]
+    fn recover_rebuilds_vfs_and_db() {
+        let j = JournalHandle::with_batch(1);
+        let vfs = Vfs::new();
+        vfs.attach_journal(j.sink());
+        vfs.with_store_mut(|s| {
+            s.mkdir_all(&vpath("/data"), Uid::ROOT, Mode::PUBLIC).unwrap();
+            s.write(&vpath("/data/f"), b"hello", Uid(10_001), Mode::PRIVATE).unwrap();
+        });
+        let mut db = Database::new();
+        db.set_journal(j.sink(), "db.test");
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);").unwrap();
+        db.execute("INSERT INTO t (v) VALUES (?)", &[maxoid_sqldb::Value::Text("x".into())])
+            .unwrap();
+        j.flush().unwrap();
+
+        let mut rec = recover(&j.bytes()).unwrap();
+        assert_eq!(rec.tail, TailState::Clean);
+        let want = vfs.with_store(|s| s.dump_tree());
+        let got = rec.vfs.with_store(|s| s.dump_tree());
+        assert_eq!(want, got);
+        let rdb = rec.take_db("test");
+        let rs = rdb.query("SELECT v FROM t", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![maxoid_sqldb::Value::Text("x".into())]]);
+        // An authority the log never mentioned comes back empty.
+        assert!(rec.take_db("ghost").table_names().is_empty());
+    }
+
+    #[test]
+    fn uncommitted_txn_is_discarded() {
+        let j = JournalHandle::with_batch(1);
+        let vfs = Vfs::new();
+        vfs.attach_journal(j.sink());
+        vfs.with_store_mut(|s| {
+            s.write(&vpath("/keep"), b"k", Uid::ROOT, Mode::PUBLIC).unwrap();
+        });
+        let txn = j.begin_txn().unwrap();
+        vfs.with_store_mut(|s| {
+            s.write(&vpath("/lost"), b"l", Uid::ROOT, Mode::PUBLIC).unwrap();
+        });
+        // Crash before commit_txn: the flush makes TxnBegin + the write
+        // durable, but without a commit record they must not replay.
+        let _ = txn;
+        j.flush().unwrap();
+        let rec = recover(&j.bytes()).unwrap();
+        rec.vfs.with_store(|s| {
+            assert!(s.exists(&vpath("/keep")));
+            assert!(!s.exists(&vpath("/lost")));
+        });
+    }
+}

@@ -61,6 +61,7 @@
 
 pub mod ams;
 pub mod branch_manager;
+pub mod durability;
 pub mod intent;
 pub mod layout;
 pub mod manifest;
@@ -71,11 +72,14 @@ pub mod volatile;
 
 pub use ams::{ActivityManager, AmsError, Route};
 pub use branch_manager::{BranchLocator, BranchManager};
+pub use durability::{recover, RecoveredSubstrate, RecoveryError, VFS_COMPONENT};
 pub use intent::{AppIntentFilter, Intent, FLAG_GRANT_READ_URI_PERMISSION, FLAG_START_AS_DELEGATE};
 pub use manifest::{FilterMode, InvocationFilter, ManifestError, MaxoidManifest};
 pub use private_state::{ForkOutcome, PrivateStateManager};
 pub use services::{BluetoothService, ClipboardService, SmsService};
-pub use system::{MaxoidSystem, StartOutcome, SystemError, SystemResult};
+pub use system::{
+    MaxoidSystem, StartOutcome, SystemError, SystemResult, VolCommitOutcome, VolCommitPlan,
+};
 pub use volatile::{VolatileEntry, VolatileState};
 
 // Re-export the substrate types users need at the API boundary.

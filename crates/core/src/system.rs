@@ -13,6 +13,7 @@ use crate::manifest::MaxoidManifest;
 use crate::private_state::{ForkOutcome, PrivateStateManager};
 use crate::services::{BluetoothService, ClipboardService, SmsService};
 use crate::volatile::{VolatileEntry, VolatileState};
+use maxoid_journal::JournalHandle;
 use maxoid_kernel::{AppId, ExecContext, Kernel, KernelError, Pid};
 use maxoid_providers::provider::ContentProvider;
 use maxoid_providers::{
@@ -36,6 +37,8 @@ pub enum SystemError {
     Fs(maxoid_vfs::VfsError),
     /// A provider operation failed.
     Provider(ProviderError),
+    /// A journal operation failed.
+    Journal(maxoid_journal::JournalError),
 }
 
 impl std::fmt::Display for SystemError {
@@ -45,6 +48,7 @@ impl std::fmt::Display for SystemError {
             SystemError::Kernel(e) => write!(f, "kernel: {e}"),
             SystemError::Fs(e) => write!(f, "fs: {e}"),
             SystemError::Provider(e) => write!(f, "provider: {e}"),
+            SystemError::Journal(e) => write!(f, "journal: {e}"),
         }
     }
 }
@@ -72,6 +76,12 @@ impl From<maxoid_vfs::VfsError> for SystemError {
 impl From<ProviderError> for SystemError {
     fn from(e: ProviderError) -> Self {
         SystemError::Provider(e)
+    }
+}
+
+impl From<maxoid_journal::JournalError> for SystemError {
+    fn from(e: maxoid_journal::JournalError) -> Self {
+        SystemError::Journal(e)
     }
 }
 
@@ -128,6 +138,15 @@ impl<P: ContentProvider + Send> ContentProvider for SharedProvider<P> {
     fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
         self.inner.lock().clear_volatile(initiator)
     }
+
+    fn commit_volatile_row(
+        &mut self,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> ProviderResult<bool> {
+        self.inner.lock().commit_volatile_row(initiator, table, id)
+    }
 }
 
 /// A booted Maxoid device: kernel + system services + providers.
@@ -150,6 +169,7 @@ pub struct MaxoidSystem {
     downloads: Arc<Mutex<DownloadsProvider<BranchLocator>>>,
     media: Arc<Mutex<MediaProvider<BranchLocator>>>,
     downloads_pid: Pid,
+    journal: Option<JournalHandle>,
 }
 
 impl std::fmt::Debug for MaxoidSystem {
@@ -161,7 +181,27 @@ impl std::fmt::Debug for MaxoidSystem {
 impl MaxoidSystem {
     /// Boots a Maxoid device: kernel, branch manager, system providers.
     pub fn boot() -> SystemResult<Self> {
+        Self::boot_inner(None)
+    }
+
+    /// Boots a Maxoid device with a write-ahead journal attached.
+    ///
+    /// The journal sink is wired into the VFS store *before* the branch
+    /// manager creates the backing layout and into each provider database
+    /// *before* its schema DDL runs, so replaying the log from an empty
+    /// substrate ([`crate::durability::recover`]) rebuilds everything —
+    /// directory layout, catalogs (tables, indexes, user views) and rows.
+    /// The boot-time records are flushed before returning; afterwards
+    /// durability follows the journal's group-commit batching.
+    pub fn boot_journaled(journal: JournalHandle) -> SystemResult<Self> {
+        Self::boot_inner(Some(journal))
+    }
+
+    fn boot_inner(journal: Option<JournalHandle>) -> SystemResult<Self> {
         let mut kernel = Kernel::new();
+        if let Some(j) = &journal {
+            kernel.vfs().attach_journal(j.sink());
+        }
         let branch_mgr = BranchManager::new(kernel.vfs().clone())?;
         let volatile = VolatileState::new(kernel.vfs().clone());
         let files = SystemFiles::new(kernel.vfs().clone(), BranchLocator);
@@ -173,15 +213,25 @@ impl MaxoidSystem {
         let downloads_pid =
             kernel.spawn(&dl_app, ExecContext::Normal, maxoid_vfs::MountNamespace::new())?;
 
-        let downloads = Arc::new(Mutex::new(DownloadsProvider::new(files.clone())));
-        let media = Arc::new(Mutex::new(MediaProvider::new(files)));
+        let downloads = Arc::new(Mutex::new(match &journal {
+            Some(j) => DownloadsProvider::with_journal(files.clone(), j.sink()),
+            None => DownloadsProvider::new(files.clone()),
+        }));
+        let media = Arc::new(Mutex::new(match &journal {
+            Some(j) => MediaProvider::with_journal(files, j.sink()),
+            None => MediaProvider::new(files),
+        }));
+        let userdict = match &journal {
+            Some(j) => UserDictionaryProvider::with_journal(j.sink()),
+            None => UserDictionaryProvider::new(),
+        };
 
         let mut resolver = ContentResolver::new();
         resolver.register(
             ProviderScope::System,
             Box::new(SharedProvider::new(
                 maxoid_providers::userdict::AUTHORITY,
-                Arc::new(Mutex::new(UserDictionaryProvider::new())),
+                Arc::new(Mutex::new(userdict)),
             )),
         );
         resolver.register(
@@ -196,6 +246,12 @@ impl MaxoidSystem {
             Box::new(SharedProvider::new(maxoid_providers::media::AUTHORITY, media.clone())),
         );
 
+        // Make the boot-time records (layout mkdirs, schema DDL) durable:
+        // a crash immediately after boot must still recover the catalogs.
+        if let Some(j) = &journal {
+            j.flush()?;
+        }
+
         Ok(MaxoidSystem {
             kernel,
             ams: ActivityManager::new(),
@@ -209,7 +265,24 @@ impl MaxoidSystem {
             downloads,
             media,
             downloads_pid,
+            journal,
         })
+    }
+
+    /// Returns the attached journal, if this system was booted with one.
+    pub fn journal(&self) -> Option<&JournalHandle> {
+        self.journal.as_ref()
+    }
+
+    /// Checkpoints the journal: the current file store is written as a
+    /// snapshot record and already-applied physical records are pruned,
+    /// bounding recovery time. Provider SQL history stays logical.
+    pub fn checkpoint(&self) -> SystemResult<()> {
+        if let Some(j) = &self.journal {
+            let image = self.kernel.vfs().with_store(|s| s.snapshot_image());
+            j.checkpoint(&[(crate::durability::VFS_COMPONENT.to_string(), image)])?;
+        }
+        Ok(())
     }
 
     /// Returns the branch manager (examples render mount tables from it).
@@ -455,11 +528,78 @@ impl MaxoidSystem {
 
     /// The launcher's Clear-Vol gesture (§6.3): discards `Vol(init)` —
     /// volatile files, provider delta tables, and the confined clipboard.
+    ///
+    /// On a journaled system the whole discard is one journal
+    /// transaction; a crash mid-way recovers to the pre-gesture state.
     pub fn clear_vol(&mut self, init: &str) -> SystemResult<usize> {
-        let removed = self.volatile.clear(init)?;
-        self.resolver.clear_volatile(init)?;
-        self.clipboard.clear_confined(init);
-        Ok(removed)
+        let outcome =
+            self.commit_vol(init, &VolCommitPlan { discard_rest: true, ..Default::default() })?;
+        Ok(outcome.files_removed)
+    }
+
+    /// The initiator's selective Commit gesture (§3.3) as a single atomic
+    /// step: promotes the chosen volatile files and provider delta rows
+    /// to non-volatile state and (optionally) discards the rest of
+    /// `Vol(init)`.
+    ///
+    /// On a journaled system the entire plan — external and internal
+    /// file copies, provider row commits across authorities, and the
+    /// trailing Clear-Vol — is bracketed in one journal transaction. A
+    /// crash at *any* record boundary recovers to either the full
+    /// post-commit state or the untouched all-volatile state, never
+    /// between. If a step fails, the journal transaction is rolled back:
+    /// the live system may be part-way through (the in-memory mutations
+    /// already happened), but a crash-and-recover lands back at the
+    /// all-volatile side.
+    pub fn commit_vol(
+        &mut self,
+        init: &str,
+        plan: &VolCommitPlan,
+    ) -> SystemResult<VolCommitOutcome> {
+        let txn = match &self.journal {
+            Some(j) => Some(j.begin_txn()?),
+            None => None,
+        };
+        let result = self.commit_vol_inner(init, plan);
+        if let (Some(j), Some(txn)) = (&self.journal, txn) {
+            match &result {
+                Ok(_) => j.commit_txn(txn)?,
+                // Best effort: the rollback record only narrows the torn
+                // window; an open transaction is discarded on recovery
+                // anyway.
+                Err(_) => {
+                    let _ = j.rollback_txn(txn);
+                }
+            }
+        }
+        result
+    }
+
+    fn commit_vol_inner(
+        &mut self,
+        init: &str,
+        plan: &VolCommitPlan,
+    ) -> SystemResult<VolCommitOutcome> {
+        let manifest = self.ams.manifest(&AppId::new(init)).cloned().unwrap_or_default();
+        for rel in &plan.external {
+            self.volatile.commit_external(init, &manifest, rel)?;
+        }
+        for rel in &plan.internal {
+            self.volatile.commit_internal(init, rel)?;
+        }
+        let mut rows_committed = 0;
+        for (authority, table, id) in &plan.provider_rows {
+            if self.resolver.commit_volatile_row(authority, init, table, *id)? {
+                rows_committed += 1;
+            }
+        }
+        let mut files_removed = 0;
+        if plan.discard_rest {
+            files_removed = self.volatile.clear(init)?;
+            self.resolver.clear_volatile(init)?;
+            self.clipboard.clear_confined(init);
+        }
+        Ok(VolCommitOutcome { rows_committed, files_removed })
     }
 
     /// The launcher's Clear-Priv gesture (§6.3): clears `Priv(x^init)`
@@ -472,6 +612,31 @@ impl MaxoidSystem {
     pub fn fork_outcome_probe(&mut self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
         self.priv_mgr.on_delegate_start(self.kernel.vfs(), init, pkg)
     }
+}
+
+/// A selective volatile-commit plan (§3.3): which parts of `Vol(init)`
+/// to promote to non-volatile state, and whether to discard the rest.
+#[derive(Debug, Clone, Default)]
+pub struct VolCommitPlan {
+    /// External tmp files to commit (paths relative to EXTDIR).
+    pub external: Vec<String>,
+    /// Internal tmp files to commit into `Priv(init)`.
+    pub internal: Vec<String>,
+    /// Provider delta rows to commit: `(authority, table, delta row id)`.
+    pub provider_rows: Vec<(String, String, i64)>,
+    /// Discard the remaining volatile state afterwards (Clear-Vol), in
+    /// the same journal transaction.
+    pub discard_rest: bool,
+}
+
+/// What [`MaxoidSystem::commit_vol`] accomplished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VolCommitOutcome {
+    /// Provider delta rows promoted into public tables.
+    pub rows_committed: usize,
+    /// Volatile files removed by the trailing discard (0 when
+    /// `discard_rest` was false).
+    pub files_removed: usize,
 }
 
 /// What `start_activity` produced.

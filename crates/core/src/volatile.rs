@@ -36,35 +36,46 @@ impl VolatileState {
         VolatileState { vfs }
     }
 
-    fn walk(vfs: &Vfs, root: &VPath, internal: bool, out: &mut Vec<VolatileEntry>) {
+    fn walk(
+        vfs: &Vfs,
+        root: &VPath,
+        internal: bool,
+        out: &mut Vec<VolatileEntry>,
+    ) -> VfsResult<()> {
         fn rec(
             s: &maxoid_vfs::Store,
             root: &VPath,
             p: &VPath,
             internal: bool,
             out: &mut Vec<VolatileEntry>,
-        ) {
-            let Ok(meta) = s.stat(p) else { return };
+        ) -> VfsResult<()> {
+            let meta = s.stat(p)?;
             if meta.is_dir {
-                if let Ok(entries) = s.read_dir(p) {
-                    for e in entries {
-                        if let Ok(child) = p.join(&e.name) {
-                            rec(s, root, &child, internal, out);
-                        }
-                    }
+                for e in s.read_dir(p)? {
+                    let child = p.join(&e.name)?;
+                    rec(s, root, &child, internal, out)?;
                 }
             } else if let Some(rel) = p.strip_prefix(root) {
                 out.push(VolatileEntry { rel: rel.to_string(), internal, size: meta.size });
             }
+            Ok(())
         }
-        vfs.with_store(|s| rec(s, root, root, internal, out));
+        vfs.with_store(|s| match s.stat(root) {
+            // A tmp root that was never created is legitimately empty;
+            // every other error (a file where a directory should be, a
+            // vanished child mid-walk) must reach the caller rather than
+            // silently shortening the Vol(A) listing.
+            Err(VfsError::NotFound) => Ok(()),
+            Err(e) => Err(e),
+            Ok(_) => rec(s, root, root, internal, out),
+        })
     }
 
     /// Enumerates all volatile files of `init`.
     pub fn list(&self, init: &str) -> VfsResult<Vec<VolatileEntry>> {
         let mut out = Vec::new();
-        Self::walk(&self.vfs, &layout::back_ext_tmp(init)?, false, &mut out);
-        Self::walk(&self.vfs, &layout::back_internal_tmp(init)?, true, &mut out);
+        Self::walk(&self.vfs, &layout::back_ext_tmp(init)?, false, &mut out)?;
+        Self::walk(&self.vfs, &layout::back_internal_tmp(init)?, true, &mut out)?;
         Ok(out)
     }
 

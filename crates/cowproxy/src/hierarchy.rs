@@ -34,6 +34,10 @@ pub struct ViewHierarchy {
 impl ViewHierarchy {
     /// Registers a user-defined view from its CREATE VIEW statement,
     /// creating it in the database and recording its dependencies.
+    ///
+    /// If a view of the same name already exists (e.g. the database was
+    /// rebuilt from a journal, which replays the CREATE VIEW) the existing
+    /// definition is adopted and only the hierarchy metadata is recorded.
     pub fn register(&mut self, db: &mut Database, sql: &str) -> SqlResult<()> {
         let stmt = parse_statement(sql)?;
         let Stmt::CreateView { name, select, .. } = &stmt else {
@@ -41,7 +45,11 @@ impl ViewHierarchy {
         };
         let mut bases = Vec::new();
         collect_bases(select, &mut bases);
-        db.exec_stmt(&stmt, &[], None)?;
+        if !db.has_view(name) {
+            // Run the original text through `execute` so the statement
+            // lands in the logical journal verbatim.
+            db.execute(sql, &[])?;
+        }
         self.views.insert(
             name.to_ascii_lowercase(),
             UserView { name: name.clone(), select: select.clone(), bases },
@@ -95,6 +103,10 @@ impl ViewHierarchy {
                 None
             }
         });
+        // Executed as an AST (no SQL text), so this CREATE VIEW never
+        // reaches the journal. That is deliberate: COW view instances are
+        // derived state, and recovery rebuilds them from the registered
+        // user views (`CowProxy::rebuild_cow_views`).
         let create = Stmt::CreateView { name: target, if_not_exists: false, select };
         db.exec_stmt(&create, &[], None)?;
         Ok(())

@@ -117,6 +117,56 @@ impl CowProxy {
         &self.initiators
     }
 
+    /// Attaches a journal sink: every mutation executed through the
+    /// proxy's database is recorded as a logical SQL record attributed to
+    /// component `name` (conventionally `db.<authority>`).
+    pub fn attach_journal(&mut self, sink: maxoid_journal::SinkRef, name: &str) {
+        self.db.set_journal(sink, name);
+    }
+
+    /// Wraps a database rebuilt by journal replay, rediscovering which
+    /// initiators hold volatile state from the `<table>_delta_<initiator>`
+    /// naming convention.
+    ///
+    /// Initiator identities recovered this way are the *sanitized*,
+    /// lowercased forms (sanitization is lossy). Those re-sanitize to
+    /// themselves, so every proxy operation keeps addressing the same
+    /// delta tables. After adopting, re-register the provider's
+    /// user-defined views (existing replayed definitions are adopted, not
+    /// recreated) and then call [`CowProxy::rebuild_cow_views`].
+    pub fn adopt(db: Database) -> Self {
+        let mut initiators: Vec<String> = Vec::new();
+        for table in db.table_names() {
+            if let Some(pos) = table.rfind("_delta_") {
+                let initiator = &table[pos + "_delta_".len()..];
+                if !initiator.is_empty() && !initiators.iter().any(|i| i == initiator) {
+                    initiators.push(initiator.to_string());
+                }
+            }
+        }
+        CowProxy { db, hierarchy: ViewHierarchy::default(), initiators }
+    }
+
+    /// Rebuilds the per-initiator COW instances of registered user views.
+    ///
+    /// Those views are created from rewritten ASTs and deliberately never
+    /// journaled (they are derived state); after recovery they are missing
+    /// and `read_relation` would silently fall back to the plain user
+    /// view, hiding an initiator's delta rows. This rebuilds them eagerly
+    /// for every initiator with volatile state — a superset of the
+    /// on-demand set that existed before the crash, which is harmless: a
+    /// COW view whose bases carry no deltas reads identically to the
+    /// plain view, and `clear_volatile` drops them all the same way.
+    pub fn rebuild_cow_views(&mut self) -> SqlResult<()> {
+        let initiators = self.initiators.clone();
+        for initiator in &initiators {
+            for view in self.hierarchy.view_names() {
+                self.hierarchy.ensure_cow_views(&mut self.db, &view, initiator)?;
+            }
+        }
+        Ok(())
+    }
+
     // -----------------------------------------------------------------
     // View plumbing.
     // -----------------------------------------------------------------
@@ -183,7 +233,16 @@ impl CowProxy {
         self.db.begin()?;
         let build = (|| -> SqlResult<()> {
             self.db.execute_batch(&sqlgen::delta_table_sql(table, initiator, &column_defs))?;
-            self.db.table_mut(&delta_table(table, initiator))?.set_pk_start(DELTA_PK_START);
+            // Expressed as SQL (rather than a direct `set_pk_start` call) so
+            // the mutation lands in the logical journal and replayed delta
+            // tables key from the same offset.
+            self.db.execute(
+                &format!(
+                    "ALTER TABLE {} ROWID START {DELTA_PK_START}",
+                    delta_table(table, initiator)
+                ),
+                &[],
+            )?;
             for (index, column) in &base_indexes {
                 self.db.execute_batch(&sqlgen::delta_index_sql(index, table, initiator, column))?;
             }

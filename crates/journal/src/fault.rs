@@ -1,0 +1,180 @@
+//! Fault injection: crash the system at any record boundary, or mid-frame
+//! for a torn tail.
+//!
+//! Two complementary tools:
+//!
+//! * post-hoc surgery on a captured log — [`record_boundaries`] +
+//!   [`crash_prefix`] / [`torn_log`] build the byte image a crash at a
+//!   chosen point would have left behind, which the crash-point sweep tests
+//!   then feed to recovery;
+//! * [`FaultStorage`], a [`Storage`] with a byte budget that cuts a live
+//!   journal's writes short, modelling power loss during a group-commit
+//!   flush itself.
+
+use crate::wal::{Storage, FRAME_HEADER, FRAME_MAGIC};
+use crate::{JournalError, JournalResult};
+
+/// Returns every crash point of a log: byte offsets at record boundaries,
+/// starting with 0 (crash before anything durable) and ending at
+/// `bytes.len()` (no loss). Stops at the first invalid frame.
+pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+    let mut out = vec![0];
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_HEADER || bytes[pos] != FRAME_MAGIC {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().unwrap()) as usize;
+        if bytes.len() - pos - FRAME_HEADER < len {
+            break;
+        }
+        pos += FRAME_HEADER + len;
+        out.push(pos);
+    }
+    out
+}
+
+/// The log a crash at `boundary` bytes would leave: a clean prefix.
+pub fn crash_prefix(bytes: &[u8], boundary: usize) -> Vec<u8> {
+    bytes[..boundary.min(bytes.len())].to_vec()
+}
+
+/// The log a *torn* write would leave: everything up to `boundary` plus
+/// `extra` bytes of the following frame. Recovery must treat the partial
+/// frame as if it were never written.
+pub fn torn_log(bytes: &[u8], boundary: usize, extra: usize) -> Vec<u8> {
+    let end = (boundary + extra).min(bytes.len());
+    bytes[..end].to_vec()
+}
+
+/// Storage that stops persisting after a byte budget is exhausted,
+/// simulating a crash during a flush. The first write that would exceed
+/// the budget is truncated at the budget (a torn write) and the storage
+/// reports [`JournalError::Crashed`] for it and everything after.
+#[derive(Debug)]
+pub struct FaultStorage {
+    buf: Vec<u8>,
+    budget: usize,
+    crashed: bool,
+}
+
+impl FaultStorage {
+    /// Storage that accepts exactly `budget` bytes before "losing power".
+    pub fn with_budget(budget: usize) -> Self {
+        FaultStorage { buf: Vec::new(), budget, crashed: false }
+    }
+
+    /// True once the budget has been exceeded.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
+impl Storage for FaultStorage {
+    fn append(&mut self, bytes: &[u8]) -> JournalResult<()> {
+        if self.crashed {
+            return Err(JournalError::Crashed);
+        }
+        let room = self.budget - self.buf.len();
+        if bytes.len() <= room {
+            self.buf.extend_from_slice(bytes);
+            Ok(())
+        } else {
+            self.buf.extend_from_slice(&bytes[..room]);
+            self.crashed = true;
+            Err(JournalError::Crashed)
+        }
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn reset(&mut self) -> JournalResult<()> {
+        if self.crashed {
+            return Err(JournalError::Crashed);
+        }
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, VfsRecord};
+    use crate::replay::{committed_records, read_records, TailState};
+    use crate::wal::Journal;
+
+    fn rec(path: &str) -> Record {
+        Record::Vfs(VfsRecord::Unlink { path: path.into() })
+    }
+
+    fn sample_log(n: usize) -> Vec<u8> {
+        let mut j = Journal::in_memory(1);
+        for i in 0..n {
+            j.append(&rec(&format!("/f{i}"))).unwrap();
+        }
+        j.bytes()
+    }
+
+    #[test]
+    fn boundaries_cover_every_record() {
+        let bytes = sample_log(4);
+        let b = record_boundaries(&bytes);
+        assert_eq!(b.len(), 5); // 0 plus one per record
+        assert_eq!(*b.last().unwrap(), bytes.len());
+        for (i, &off) in b.iter().enumerate() {
+            let log = read_records(&crash_prefix(&bytes, off));
+            assert_eq!(log.records.len(), i);
+            assert_eq!(log.tail, TailState::Clean);
+        }
+    }
+
+    #[test]
+    fn torn_log_recovers_prefix_only() {
+        let bytes = sample_log(3);
+        let b = record_boundaries(&bytes);
+        // Tear 5 bytes into the second record.
+        let torn = torn_log(&bytes, b[1], 5);
+        let log = read_records(&torn);
+        assert_eq!(log.records.len(), 1);
+        assert!(matches!(log.tail, TailState::Torn { offset } if offset == b[1]));
+    }
+
+    #[test]
+    fn fault_storage_truncates_at_budget() {
+        let full = sample_log(10);
+        // Allow roughly half the log through.
+        let budget = full.len() / 2;
+        let mut j = Journal::new(Box::new(FaultStorage::with_budget(budget)), 1);
+        for i in 0..10 {
+            let _ = j.append(&rec(&format!("/f{i}")));
+        }
+        let bytes = j.bytes();
+        assert!(bytes.len() <= budget);
+        let log = read_records(&bytes);
+        assert!(log.records.len() < 10);
+        assert!(j.stats().io_errors > 0);
+        // The surviving prefix still replays.
+        let recs = committed_records(&log);
+        assert_eq!(recs.len(), log.records.len());
+    }
+
+    #[test]
+    fn fault_storage_loses_uncommitted_txn() {
+        // Budget admits the begin + one record but not the commit.
+        let mut probe = Journal::in_memory(1);
+        let t = probe.begin_txn().unwrap();
+        probe.append(&rec("/x")).unwrap();
+        let before_commit = probe.bytes().len();
+        probe.commit_txn(t).unwrap();
+
+        let mut j = Journal::new(Box::new(FaultStorage::with_budget(before_commit)), 1);
+        let t = j.begin_txn().unwrap();
+        j.append(&rec("/x")).unwrap();
+        assert!(j.commit_txn(t).is_err());
+        let recs = committed_records(&read_records(&j.bytes()));
+        assert!(recs.is_empty(), "uncommitted txn must not apply");
+    }
+}

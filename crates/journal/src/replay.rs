@@ -1,0 +1,208 @@
+//! Reading a log back: frame parsing with torn-tail tolerance, and the
+//! redo filter that decides which records take effect.
+//!
+//! Recovery is redo-only: a record inside a journal transaction applies iff
+//! *every* enclosing transaction has a durable `TxnCommit`. Transactions
+//! left open at end-of-log (the crash window of a two-phase `Vol(A)`
+//! commit) are discarded wholesale, which is exactly the "all-volatile"
+//! half of the S2 atomicity argument — the delegate's output stays in
+//! `Vol(A)` until the commit record itself is durable.
+
+use crate::codec::crc32;
+use crate::record::Record;
+use crate::wal::{FRAME_HEADER, FRAME_MAGIC};
+
+/// How the log ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// The last frame was complete and valid.
+    Clean,
+    /// Trailing bytes at `offset` did not form a valid frame (torn write,
+    /// bad magic, or CRC mismatch). Everything before `offset` was intact.
+    Torn { offset: usize },
+}
+
+/// A parsed log: LSN-stamped records plus the tail verdict.
+#[derive(Debug, Clone)]
+pub struct ReadLog {
+    pub records: Vec<(u64, Record)>,
+    pub tail: TailState,
+}
+
+impl ReadLog {
+    /// Highest LSN seen, or 0 for an empty log.
+    pub fn last_lsn(&self) -> u64 {
+        self.records.last().map(|(l, _)| *l).unwrap_or(0)
+    }
+}
+
+/// Parses frames until end-of-log or the first invalid frame. An invalid
+/// frame (short header, wrong magic, short payload, or CRC mismatch) marks
+/// the tail as torn; valid prefix records are still returned.
+pub fn read_records(bytes: &[u8]) -> ReadLog {
+    let mut records = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_HEADER || bytes[pos] != FRAME_MAGIC {
+            return ReadLog { records, tail: TailState::Torn { offset: pos } };
+        }
+        let lsn = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap());
+        let len = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 13..pos + 17].try_into().unwrap());
+        let start = pos + FRAME_HEADER;
+        if bytes.len() - start < len {
+            return ReadLog { records, tail: TailState::Torn { offset: pos } };
+        }
+        let payload = &bytes[start..start + len];
+        if crc32(payload) != crc {
+            return ReadLog { records, tail: TailState::Torn { offset: pos } };
+        }
+        match Record::decode(payload) {
+            Ok(rec) => records.push((lsn, rec)),
+            Err(_) => return ReadLog { records, tail: TailState::Torn { offset: pos } },
+        }
+        pos = start + len;
+    }
+    ReadLog { records, tail: TailState::Clean }
+}
+
+/// Applies the redo filter: returns the records that take effect, in log
+/// order, with transaction markers stripped.
+///
+/// Nested transactions are handled with a frame stack — a record applies
+/// only if all enclosing transactions committed. A rollback or an open
+/// transaction at end-of-log discards its records (and any committed inner
+/// transactions, which is the correct nesting semantics: an inner commit
+/// is provisional until the outermost transaction commits).
+pub fn committed_records(log: &ReadLog) -> Vec<Record> {
+    let mut out: Vec<Record> = Vec::new();
+    // Stack of (txn id, buffered records) for open transactions.
+    let mut open: Vec<(u64, Vec<Record>)> = Vec::new();
+    for (_, rec) in &log.records {
+        match rec {
+            Record::TxnBegin { txn } => open.push((*txn, Vec::new())),
+            Record::TxnCommit { txn } => {
+                // Pop the matching frame; tolerate a stray commit by
+                // ignoring it (nothing was buffered under it).
+                if open.last().map(|(t, _)| *t == *txn).unwrap_or(false) {
+                    let (_, recs) = open.pop().unwrap();
+                    match open.last_mut() {
+                        Some((_, parent)) => parent.extend(recs),
+                        None => out.extend(recs),
+                    }
+                }
+            }
+            Record::TxnRollback { txn } => {
+                if open.last().map(|(t, _)| *t == *txn).unwrap_or(false) {
+                    open.pop();
+                }
+            }
+            other => match open.last_mut() {
+                Some((_, buf)) => buf.push(other.clone()),
+                None => out.push(other.clone()),
+            },
+        }
+    }
+    // Transactions still open at end-of-log are discarded: the crash
+    // happened before their commit record was durable.
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::VfsRecord;
+    use crate::wal::Journal;
+
+    fn rec(path: &str) -> Record {
+        Record::Vfs(VfsRecord::Unlink { path: path.into() })
+    }
+
+    fn paths(recs: &[Record]) -> Vec<String> {
+        recs.iter()
+            .filter_map(|r| match r {
+                Record::Vfs(VfsRecord::Unlink { path }) => Some(path.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_log_is_clean() {
+        let log = read_records(&[]);
+        assert!(log.records.is_empty());
+        assert_eq!(log.tail, TailState::Clean);
+        assert_eq!(log.last_lsn(), 0);
+    }
+
+    #[test]
+    fn torn_tail_keeps_valid_prefix() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        let mut bytes = j.bytes();
+        let cut = bytes.len() - 3;
+        bytes.truncate(cut);
+        let log = read_records(&bytes);
+        assert_eq!(log.records.len(), 1);
+        assert!(matches!(log.tail, TailState::Torn { .. }));
+    }
+
+    #[test]
+    fn crc_corruption_stops_parse() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        let mut bytes = j.bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a payload byte of the second frame
+        let log = read_records(&bytes);
+        assert_eq!(log.records.len(), 1);
+        assert!(matches!(log.tail, TailState::Torn { .. }));
+    }
+
+    #[test]
+    fn bad_magic_is_torn() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        let mut bytes = j.bytes();
+        bytes.push(0x00); // garbage after a valid frame
+        let log = read_records(&bytes);
+        assert_eq!(log.records.len(), 1);
+        assert!(matches!(log.tail, TailState::Torn { .. }));
+    }
+
+    #[test]
+    fn committed_filter_basic() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/outside")).unwrap();
+        let t = j.begin_txn().unwrap();
+        j.append(&rec("/in-committed")).unwrap();
+        j.commit_txn(t).unwrap();
+        let t2 = j.begin_txn().unwrap();
+        j.append(&rec("/in-rolled-back")).unwrap();
+        j.rollback_txn(t2).unwrap();
+        j.begin_txn().unwrap();
+        j.append(&rec("/in-open")).unwrap();
+        j.flush().unwrap();
+        let recs = committed_records(&read_records(&j.bytes()));
+        assert_eq!(paths(&recs), vec!["/outside", "/in-committed"]);
+    }
+
+    #[test]
+    fn nested_inner_commit_is_provisional() {
+        let mut j = Journal::in_memory(1);
+        let outer = j.begin_txn().unwrap();
+        let inner = j.begin_txn().unwrap();
+        j.append(&rec("/inner")).unwrap();
+        j.commit_txn(inner).unwrap();
+        j.append(&rec("/outer")).unwrap();
+        // Crash before outer commit: nothing applies.
+        let recs = committed_records(&read_records(&j.bytes()));
+        assert!(paths(&recs).is_empty());
+        // Outer commit lands: both apply, in order.
+        j.commit_txn(outer).unwrap();
+        let recs = committed_records(&read_records(&j.bytes()));
+        assert_eq!(paths(&recs), vec!["/inner", "/outer"]);
+    }
+}

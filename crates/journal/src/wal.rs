@@ -1,0 +1,474 @@
+//! The write-ahead log: frame format, group commit, transactions, and the
+//! `JournalSink` trait the rest of the stack emits through.
+//!
+//! Frame layout (little-endian):
+//!
+//! ```text
+//! +------+---------+---------+---------+------------------+
+//! | 0xA7 | lsn u64 | len u32 | crc u32 | payload (len B)  |
+//! +------+---------+---------+---------+------------------+
+//! ```
+//!
+//! `crc` is the IEEE CRC-32 of the payload. Records are buffered and
+//! flushed to storage in groups of `batch` records (group commit);
+//! transaction commit/rollback and snapshot records force a flush so the
+//! commit decision is always durable. Only flushed bytes survive a crash —
+//! [`Journal::bytes`] deliberately exposes the durable prefix, not the
+//! pending buffer, which is what makes the group-commit batch size a real
+//! durability/throughput trade-off in the `journal_overhead` ablation.
+
+use crate::record::Record;
+use crate::JournalResult;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Magic byte opening every frame.
+pub const FRAME_MAGIC: u8 = 0xA7;
+
+/// Fixed frame header size: magic + lsn + len + crc.
+pub const FRAME_HEADER: usize = 1 + 8 + 4 + 4;
+
+/// Default group-commit batch size (records per flush).
+pub const DEFAULT_BATCH: usize = 16;
+
+/// Byte-level log storage. The in-memory implementation stands in for an
+/// append-only file; the fault harness wraps one to cut writes short.
+pub trait Storage: Send {
+    /// Appends bytes to the durable log.
+    fn append(&mut self, bytes: &[u8]) -> JournalResult<()>;
+    /// Returns the durable log contents.
+    fn bytes(&self) -> &[u8];
+    /// Truncates the log (used by checkpointing).
+    fn reset(&mut self) -> JournalResult<()>;
+}
+
+/// Plain in-memory storage.
+#[derive(Debug, Default)]
+pub struct MemStorage {
+    buf: Vec<u8>,
+}
+
+impl MemStorage {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Storage for MemStorage {
+    fn append(&mut self, bytes: &[u8]) -> JournalResult<()> {
+        self.buf.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    fn reset(&mut self) -> JournalResult<()> {
+        self.buf.clear();
+        Ok(())
+    }
+}
+
+/// Counters exposed for tests and the overhead benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Records appended (including buffered ones).
+    pub records: u64,
+    /// Group-commit flushes performed.
+    pub flushes: u64,
+    /// Bytes made durable.
+    pub bytes_flushed: u64,
+    /// Storage errors swallowed on emit (the op already happened in
+    /// memory; we can only count the lost durability).
+    pub io_errors: u64,
+}
+
+/// The write-ahead log.
+pub struct Journal {
+    storage: Box<dyn Storage>,
+    next_lsn: u64,
+    next_txn: u64,
+    batch: usize,
+    pending: Vec<u8>,
+    pending_records: usize,
+    stats: JournalStats,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal")
+            .field("next_lsn", &self.next_lsn)
+            .field("next_txn", &self.next_txn)
+            .field("batch", &self.batch)
+            .field("pending_records", &self.pending_records)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Journal {
+    /// Creates a journal over the given storage with a group-commit batch
+    /// size (records per flush; 1 = flush every record).
+    pub fn new(storage: Box<dyn Storage>, batch: usize) -> Self {
+        Journal {
+            storage,
+            next_lsn: 1,
+            next_txn: 1,
+            batch: batch.max(1),
+            pending: Vec::new(),
+            pending_records: 0,
+            stats: JournalStats::default(),
+        }
+    }
+
+    /// Creates an in-memory journal.
+    pub fn in_memory(batch: usize) -> Self {
+        Journal::new(Box::new(MemStorage::new()), batch)
+    }
+
+    /// Returns the configured group-commit batch size.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Returns the emit/flush counters.
+    pub fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    /// Appends a record, returning its LSN. Buffered until the batch fills
+    /// or a flush-forcing record (commit/rollback/snapshot) arrives.
+    pub fn append(&mut self, rec: &Record) -> JournalResult<u64> {
+        let lsn = self.next_lsn;
+        self.next_lsn += 1;
+        let payload = rec.encode();
+        self.pending.push(FRAME_MAGIC);
+        self.pending.extend_from_slice(&lsn.to_le_bytes());
+        self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.pending.extend_from_slice(&crate::codec::crc32(&payload).to_le_bytes());
+        self.pending.extend_from_slice(&payload);
+        self.pending_records += 1;
+        self.stats.records += 1;
+        if rec.forces_flush() || self.pending_records >= self.batch {
+            self.flush()?;
+        }
+        Ok(lsn)
+    }
+
+    /// Forces buffered frames to storage.
+    pub fn flush(&mut self) -> JournalResult<()> {
+        if self.pending.is_empty() {
+            return Ok(());
+        }
+        let n = self.pending.len() as u64;
+        let res = self.storage.append(&self.pending);
+        self.pending.clear();
+        self.pending_records = 0;
+        match res {
+            Ok(()) => {
+                self.stats.flushes += 1;
+                self.stats.bytes_flushed += n;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.io_errors += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Opens a journal transaction and returns its id.
+    pub fn begin_txn(&mut self) -> JournalResult<u64> {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        self.append(&Record::TxnBegin { txn })?;
+        Ok(txn)
+    }
+
+    /// Commits a journal transaction (forces a flush).
+    pub fn commit_txn(&mut self, txn: u64) -> JournalResult<()> {
+        self.append(&Record::TxnCommit { txn })?;
+        Ok(())
+    }
+
+    /// Rolls back a journal transaction (forces a flush).
+    pub fn rollback_txn(&mut self, txn: u64) -> JournalResult<()> {
+        self.append(&Record::TxnRollback { txn })?;
+        Ok(())
+    }
+
+    /// Returns the durable log bytes (NOT including the pending buffer —
+    /// what a crash right now would leave behind).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.storage.bytes().to_vec()
+    }
+
+    /// Durable log size in bytes.
+    pub fn len(&self) -> usize {
+        self.storage.bytes().len()
+    }
+
+    /// True when nothing has been made durable yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Compacts the log: replaces its contents with the given component
+    /// snapshots plus the already-durable committed `Sql` records (logical
+    /// SQL history is retained so databases replay from scratch; physical
+    /// VFS records are subsumed by the store snapshot). Prior snapshots for
+    /// components *not* being replaced are kept.
+    pub fn checkpoint(&mut self, snapshots: &[(String, Vec<u8>)]) -> JournalResult<()> {
+        self.flush()?;
+        let log = crate::replay::read_records(self.storage.bytes());
+        let committed = crate::replay::committed_records(&log);
+        let mut retained: Vec<Record> = Vec::new();
+        for rec in committed {
+            match rec {
+                Record::Snapshot { ref component, .. } => {
+                    if !snapshots.iter().any(|(c, _)| c == component) {
+                        retained.push(rec);
+                    }
+                }
+                Record::Sql { .. } => retained.push(rec),
+                _ => {}
+            }
+        }
+        self.storage.reset()?;
+        for (component, payload) in snapshots {
+            self.append(&Record::Snapshot {
+                component: component.clone(),
+                payload: payload.clone(),
+            })?;
+        }
+        for rec in &retained {
+            self.append(rec)?;
+        }
+        self.flush()
+    }
+}
+
+/// The trait the rest of the stack emits records through.
+///
+/// Emission is infallible by design: the in-memory mutation has already
+/// happened when the record is emitted, so a storage failure can only be
+/// counted (see [`JournalStats::io_errors`]), never unwound.
+pub trait JournalSink: Send + Sync {
+    /// Appends a record to the log.
+    fn emit(&self, rec: Record);
+
+    /// Allocates a transaction id and emits its `TxnBegin`. Emitters close
+    /// the transaction with an explicit `TxnCommit`/`TxnRollback` record.
+    fn begin_txn(&self) -> u64;
+}
+
+/// A cloneable, lockable handle to a shared journal.
+#[derive(Debug, Clone)]
+pub struct JournalHandle(Arc<Mutex<Journal>>);
+
+impl JournalHandle {
+    pub fn new(journal: Journal) -> Self {
+        JournalHandle(Arc::new(Mutex::new(journal)))
+    }
+
+    /// In-memory journal with the default batch size.
+    pub fn in_memory() -> Self {
+        JournalHandle::new(Journal::in_memory(DEFAULT_BATCH))
+    }
+
+    /// In-memory journal with an explicit group-commit batch size.
+    pub fn with_batch(batch: usize) -> Self {
+        JournalHandle::new(Journal::in_memory(batch))
+    }
+
+    /// Runs `f` with the journal locked.
+    pub fn with<R>(&self, f: impl FnOnce(&mut Journal) -> R) -> R {
+        f(&mut self.0.lock())
+    }
+
+    pub fn begin_txn(&self) -> JournalResult<u64> {
+        self.with(|j| j.begin_txn())
+    }
+
+    pub fn commit_txn(&self, txn: u64) -> JournalResult<()> {
+        self.with(|j| j.commit_txn(txn))
+    }
+
+    pub fn rollback_txn(&self, txn: u64) -> JournalResult<()> {
+        self.with(|j| j.rollback_txn(txn))
+    }
+
+    pub fn flush(&self) -> JournalResult<()> {
+        self.with(|j| j.flush())
+    }
+
+    /// Durable log bytes (a crash right now loses only the pending batch).
+    pub fn bytes(&self) -> Vec<u8> {
+        self.with(|j| j.bytes())
+    }
+
+    pub fn stats(&self) -> JournalStats {
+        self.with(|j| j.stats())
+    }
+
+    pub fn checkpoint(&self, snapshots: &[(String, Vec<u8>)]) -> JournalResult<()> {
+        self.with(|j| j.checkpoint(snapshots))
+    }
+
+    /// Wraps the handle as a [`SinkRef`] for embedding in other crates'
+    /// structs.
+    pub fn sink(&self) -> SinkRef {
+        SinkRef::new(self.clone())
+    }
+}
+
+impl JournalSink for JournalHandle {
+    fn emit(&self, rec: Record) {
+        // Storage errors are counted in stats by flush(); emit itself
+        // cannot unwind the in-memory mutation it records.
+        let _ = self.with(|j| j.append(&rec));
+    }
+
+    fn begin_txn(&self) -> u64 {
+        self.with(|j| {
+            let txn = j.next_txn;
+            j.next_txn += 1;
+            let _ = j.append(&Record::TxnBegin { txn });
+            txn
+        })
+    }
+}
+
+/// A shared sink reference that keeps `#[derive(Debug)]` working on the
+/// structs that embed it (a bare `Arc<dyn JournalSink>` would not).
+#[derive(Clone)]
+pub struct SinkRef(Arc<dyn JournalSink>);
+
+impl SinkRef {
+    pub fn new(sink: impl JournalSink + 'static) -> Self {
+        SinkRef(Arc::new(sink))
+    }
+
+    pub fn emit(&self, rec: Record) {
+        self.0.emit(rec);
+    }
+
+    pub fn begin_txn(&self) -> u64 {
+        self.0.begin_txn()
+    }
+}
+
+impl std::fmt::Debug for SinkRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkRef(..)")
+    }
+}
+
+impl From<JournalHandle> for SinkRef {
+    fn from(h: JournalHandle) -> Self {
+        SinkRef::new(h)
+    }
+}
+
+/// A sink that drops every record — the "logging off" arm of the
+/// `journal_overhead` ablation, isolating the cost of record construction
+/// from the cost of framing + flushing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl JournalSink for NullSink {
+    fn emit(&self, _rec: Record) {}
+
+    fn begin_txn(&self) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::VfsRecord;
+    use crate::replay::{read_records, TailState};
+
+    fn rec(path: &str) -> Record {
+        Record::Vfs(VfsRecord::Unlink { path: path.into() })
+    }
+
+    #[test]
+    fn batch_buffers_until_full() {
+        let mut j = Journal::in_memory(3);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        assert_eq!(j.stats().flushes, 0);
+        assert!(j.bytes().is_empty(), "unflushed records are not durable");
+        j.append(&rec("/c")).unwrap();
+        assert_eq!(j.stats().flushes, 1);
+        let log = read_records(&j.bytes());
+        assert_eq!(log.records.len(), 3);
+        assert_eq!(log.tail, TailState::Clean);
+    }
+
+    #[test]
+    fn commit_forces_flush() {
+        let mut j = Journal::in_memory(100);
+        let txn = j.begin_txn().unwrap();
+        j.append(&rec("/a")).unwrap();
+        assert_eq!(j.stats().flushes, 0);
+        j.commit_txn(txn).unwrap();
+        assert_eq!(j.stats().flushes, 1);
+        assert_eq!(read_records(&j.bytes()).records.len(), 3);
+    }
+
+    #[test]
+    fn lsns_are_monotonic_and_stamped() {
+        let mut j = Journal::in_memory(1);
+        let l1 = j.append(&rec("/a")).unwrap();
+        let l2 = j.append(&rec("/b")).unwrap();
+        assert!(l2 > l1);
+        let log = read_records(&j.bytes());
+        assert_eq!(log.records[0].0, l1);
+        assert_eq!(log.records[1].0, l2);
+    }
+
+    #[test]
+    fn checkpoint_keeps_sql_and_replaces_vfs() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&Record::Sql { db: "d".into(), sql: "CREATE TABLE t (x)".into(), params: vec![] })
+            .unwrap();
+        j.checkpoint(&[("vfs.store".to_string(), vec![1, 2, 3])]).unwrap();
+        let log = read_records(&j.bytes());
+        let recs: Vec<&Record> = log.records.iter().map(|(_, r)| r).collect();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0], Record::Snapshot { component, payload }
+            if component == "vfs.store" && payload == &vec![1, 2, 3]));
+        assert!(matches!(recs[1], Record::Sql { .. }));
+    }
+
+    #[test]
+    fn checkpoint_drops_uncommitted_sql() {
+        let mut j = Journal::in_memory(1);
+        let txn = j.begin_txn().unwrap();
+        j.append(&Record::Sql { db: "d".into(), sql: "INSERT ...".into(), params: vec![] })
+            .unwrap();
+        j.rollback_txn(txn).unwrap();
+        j.checkpoint(&[]).unwrap();
+        assert_eq!(read_records(&j.bytes()).records.len(), 0);
+    }
+
+    #[test]
+    fn null_sink_discards() {
+        let s = NullSink;
+        s.emit(rec("/a"));
+    }
+
+    #[test]
+    fn handle_is_shared() {
+        let h = JournalHandle::with_batch(1);
+        let h2 = h.clone();
+        h.emit(rec("/a"));
+        h2.emit(rec("/b"));
+        assert_eq!(read_records(&h.bytes()).records.len(), 2);
+    }
+}

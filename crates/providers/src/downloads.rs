@@ -26,6 +26,14 @@ use maxoid_vfs::VPath;
 /// Authority of the Downloads provider.
 pub const AUTHORITY: &str = "downloads";
 
+/// The provider's schema DDL.
+const SCHEMA: &str = "CREATE TABLE downloads (_id INTEGER PRIMARY KEY, uri TEXT, \
+     dest TEXT, title TEXT, status INTEGER, total_bytes INTEGER);
+     CREATE INDEX idx_downloads_status ON downloads (status);
+     CREATE INDEX idx_downloads_uri ON downloads (uri);
+     CREATE TABLE request_headers (_id INTEGER PRIMARY KEY, \
+     download_id INTEGER, header TEXT, value TEXT);";
+
 /// Download status values (Android's `DownloadManager` constants).
 pub mod status {
     /// Queued, not yet started.
@@ -87,16 +95,27 @@ impl<L: FileLocator> DownloadsProvider<L> {
     /// request_headers, as in Android).
     pub fn new(files: SystemFiles<L>) -> Self {
         let mut proxy = CowProxy::new();
-        proxy
-            .execute_batch(
-                "CREATE TABLE downloads (_id INTEGER PRIMARY KEY, uri TEXT, \
-                 dest TEXT, title TEXT, status INTEGER, total_bytes INTEGER);
-                 CREATE INDEX idx_downloads_status ON downloads (status);
-                 CREATE INDEX idx_downloads_uri ON downloads (uri);
-                 CREATE TABLE request_headers (_id INTEGER PRIMARY KEY, \
-                 download_id INTEGER, header TEXT, value TEXT);",
-            )
-            .expect("static schema is valid");
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        DownloadsProvider { proxy, files, notifications: Vec::new() }
+    }
+
+    /// Creates the provider with a journal sink attached *before* the
+    /// schema DDL runs, so replaying the log rebuilds the catalog
+    /// (tables and indexes) as well as the rows.
+    pub fn with_journal(files: SystemFiles<L>, sink: maxoid_journal::SinkRef) -> Self {
+        let mut proxy = CowProxy::new();
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        DownloadsProvider { proxy, files, notifications: Vec::new() }
+    }
+
+    /// Rebuilds the provider around a database recovered from a journal.
+    /// In-flight notifications are not durable state and start empty.
+    pub fn from_recovered(db: maxoid_sqldb::Database, files: SystemFiles<L>) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        if !proxy.db().has_table("downloads") {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
         DownloadsProvider { proxy, files, notifications: Vec::new() }
     }
 
@@ -347,6 +366,15 @@ impl<L: FileLocator> ContentProvider for DownloadsProvider<L> {
     fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
         self.proxy.clear_volatile(initiator)?;
         Ok(())
+    }
+
+    fn commit_volatile_row(
+        &mut self,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> ProviderResult<bool> {
+        Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
     }
 }
 

@@ -57,43 +57,76 @@ impl<L: FileLocator> std::fmt::Debug for MediaProvider<L> {
     }
 }
 
+/// The provider's schema DDL.
+const SCHEMA: &str = "CREATE TABLE files (_id INTEGER PRIMARY KEY, _data TEXT, \
+     media_type INTEGER, title TEXT, _size INTEGER, date_added INTEGER, \
+     bucket_id INTEGER);
+     CREATE INDEX idx_files_bucket_id ON files (bucket_id);
+     CREATE TABLE thumbnails (_id INTEGER PRIMARY KEY, file_id INTEGER, \
+     _data TEXT);";
+
+/// Registers Media's user-defined view hierarchy with the proxy. On an
+/// adopted (journal-recovered) database the replayed view definitions are
+/// adopted rather than recreated.
+fn register_views(proxy: &mut CowProxy) {
+    proxy
+        .register_user_view(
+            "CREATE VIEW images AS SELECT _id, _data, title, _size, date_added \
+             FROM files WHERE media_type = 1",
+        )
+        .expect("static view is valid");
+    proxy
+        .register_user_view(
+            "CREATE VIEW audio_meta AS SELECT _id, _data, title, _size, date_added \
+             FROM files WHERE media_type = 2",
+        )
+        .expect("static view is valid");
+    proxy
+        .register_user_view(
+            "CREATE VIEW video AS SELECT _id, _data, title, _size, date_added \
+             FROM files WHERE media_type = 3",
+        )
+        .expect("static view is valid");
+    // `audio` is defined over `audio_meta` — a second hierarchy level.
+    proxy
+        .register_user_view("CREATE VIEW audio AS SELECT _id, _data, title FROM audio_meta")
+        .expect("static view is valid");
+}
+
 impl<L: FileLocator> MediaProvider<L> {
     /// Creates the provider: the `files` base table, the thumbnails table,
     /// and the user-defined view hierarchy registered with the proxy.
     pub fn new(files: SystemFiles<L>) -> Self {
         let mut proxy = CowProxy::new();
-        proxy
-            .execute_batch(
-                "CREATE TABLE files (_id INTEGER PRIMARY KEY, _data TEXT, \
-                 media_type INTEGER, title TEXT, _size INTEGER, date_added INTEGER, \
-                 bucket_id INTEGER);
-                 CREATE INDEX idx_files_bucket_id ON files (bucket_id);
-                 CREATE TABLE thumbnails (_id INTEGER PRIMARY KEY, file_id INTEGER, \
-                 _data TEXT);",
-            )
-            .expect("static schema is valid");
-        proxy
-            .register_user_view(
-                "CREATE VIEW images AS SELECT _id, _data, title, _size, date_added \
-                 FROM files WHERE media_type = 1",
-            )
-            .expect("static view is valid");
-        proxy
-            .register_user_view(
-                "CREATE VIEW audio_meta AS SELECT _id, _data, title, _size, date_added \
-                 FROM files WHERE media_type = 2",
-            )
-            .expect("static view is valid");
-        proxy
-            .register_user_view(
-                "CREATE VIEW video AS SELECT _id, _data, title, _size, date_added \
-                 FROM files WHERE media_type = 3",
-            )
-            .expect("static view is valid");
-        // `audio` is defined over `audio_meta` — a second hierarchy level.
-        proxy
-            .register_user_view("CREATE VIEW audio AS SELECT _id, _data, title FROM audio_meta")
-            .expect("static view is valid");
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        register_views(&mut proxy);
+        MediaProvider { proxy, files }
+    }
+
+    /// Creates the provider with a journal sink attached *before* the
+    /// schema DDL and view registration run, so replaying the log
+    /// rebuilds the catalog (tables, indexes, user views) as well as the
+    /// rows.
+    pub fn with_journal(files: SystemFiles<L>, sink: maxoid_journal::SinkRef) -> Self {
+        let mut proxy = CowProxy::new();
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        register_views(&mut proxy);
+        MediaProvider { proxy, files }
+    }
+
+    /// Rebuilds the provider around a database recovered from a journal.
+    /// Replayed user-view definitions are adopted, and the per-initiator
+    /// COW instances of those views (derived state that is never
+    /// journaled) are rebuilt eagerly so delegate reads do not fall back
+    /// to the plain views.
+    pub fn from_recovered(db: maxoid_sqldb::Database, files: SystemFiles<L>) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        if !proxy.db().has_table("files") {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
+        register_views(&mut proxy);
+        proxy.rebuild_cow_views().expect("registered views rebuild cleanly");
         MediaProvider { proxy, files }
     }
 
@@ -314,6 +347,15 @@ impl<L: FileLocator> ContentProvider for MediaProvider<L> {
     fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
         self.proxy.clear_volatile(initiator)?;
         Ok(())
+    }
+
+    fn commit_volatile_row(
+        &mut self,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> ProviderResult<bool> {
+        Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
     }
 }
 

@@ -185,6 +185,19 @@ pub trait ContentProvider {
     /// Maxoid administrative hook: discards the volatile state this
     /// provider holds for `initiator` (Clear-Vol, §6.3).
     fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()>;
+
+    /// Maxoid administrative hook: selectively commits one volatile row
+    /// of `initiator` (identified by delta-table row id) into the
+    /// provider's public state (§3.3). Returns true if a row was
+    /// committed. Providers without proxy-managed row state ignore it.
+    fn commit_volatile_row(
+        &mut self,
+        _initiator: &str,
+        _table: &str,
+        _id: i64,
+    ) -> ProviderResult<bool> {
+        Ok(false)
+    }
 }
 
 #[cfg(test)]

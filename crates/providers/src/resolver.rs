@@ -182,6 +182,19 @@ impl ContentResolver {
         }
         Ok(())
     }
+
+    /// Selectively commits one volatile row of `initiator` held by the
+    /// provider serving `authority` (the resolver half of the
+    /// initiator's Commit gesture, §3.3). Returns true if a row moved.
+    pub fn commit_volatile_row(
+        &mut self,
+        authority: &str,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> ProviderResult<bool> {
+        self.provider_mut(authority)?.commit_volatile_row(initiator, table, id)
+    }
 }
 
 #[cfg(test)]

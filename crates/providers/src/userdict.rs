@@ -19,6 +19,11 @@ pub const AUTHORITY: &str = "user_dictionary";
 /// The `words` table served by this provider.
 pub const WORDS_TABLE: &str = "words";
 
+/// The provider's schema DDL.
+const SCHEMA: &str = "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT NOT NULL, \
+     frequency INTEGER, locale TEXT, appid INTEGER);
+     CREATE INDEX idx_words_word ON words (word);";
+
 /// The User Dictionary system content provider.
 #[derive(Debug)]
 pub struct UserDictionaryProvider {
@@ -40,13 +45,28 @@ impl UserDictionaryProvider {
     /// Creates the provider with a specific planner policy (ablations).
     pub fn with_policy(policy: FlattenPolicy) -> Self {
         let mut proxy = CowProxy::with_policy(policy);
-        proxy
-            .execute_batch(
-                "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT NOT NULL, \
-                 frequency INTEGER, locale TEXT, appid INTEGER);
-                 CREATE INDEX idx_words_word ON words (word);",
-            )
-            .expect("static schema is valid");
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        UserDictionaryProvider { proxy }
+    }
+
+    /// Creates the provider with a journal sink attached *before* the
+    /// schema DDL runs, so replaying the log rebuilds the catalog
+    /// (tables and indexes) as well as the rows.
+    pub fn with_journal(sink: maxoid_journal::SinkRef) -> Self {
+        let mut proxy = CowProxy::new();
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        UserDictionaryProvider { proxy }
+    }
+
+    /// Rebuilds the provider around a database recovered from a journal.
+    /// The schema is installed only if replay did not already create it
+    /// (a crash before the first flush leaves an empty log).
+    pub fn from_recovered(db: maxoid_sqldb::Database) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        if !proxy.db().has_table(WORDS_TABLE) {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
         UserDictionaryProvider { proxy }
     }
 
@@ -150,6 +170,15 @@ impl ContentProvider for UserDictionaryProvider {
     fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
         self.proxy.clear_volatile(initiator)?;
         Ok(())
+    }
+
+    fn commit_volatile_row(
+        &mut self,
+        initiator: &str,
+        table: &str,
+        id: i64,
+    ) -> ProviderResult<bool> {
+        Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
     }
 }
 

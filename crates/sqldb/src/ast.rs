@@ -117,6 +117,16 @@ pub enum Stmt {
     Commit,
     /// `ROLLBACK`.
     Rollback,
+    /// `ALTER TABLE table ROWID START n` — engine extension setting the
+    /// floor for auto-assigned rowids. The COW proxy keys delta tables
+    /// from an offset with it; expressing the mutation as SQL keeps it in
+    /// the journal's logical log, so replay reproduces delta row ids.
+    AlterRowidStart {
+        /// Table whose rowid floor is set.
+        table: String,
+        /// First rowid to auto-assign.
+        start: i64,
+    },
 }
 
 /// Source of rows for an INSERT.

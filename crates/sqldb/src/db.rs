@@ -35,7 +35,7 @@ pub struct TriggerDef {
 }
 
 /// Execution counters, used by tests and the flattening ablation bench.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Stats {
     /// Rows visited by table scans.
     pub rows_scanned: Cell<u64>,
@@ -52,15 +52,38 @@ pub struct Stats {
     /// Queries that materialized a view (no flattening).
     pub materialized_views: Cell<u64>,
     /// EXPLAIN-style access-path notes, one per table access, capped at
-    /// [`ACCESS_PATH_LOG_CAP`] entries.
+    /// [`Stats::access_path_cap`] entries (default
+    /// [`ACCESS_PATH_LOG_CAP`]).
     pub access_paths: RefCell<Vec<String>>,
+    /// Retention cap for [`Stats::access_paths`]; configurable so long
+    /// journaled replays can keep their full EXPLAIN output.
+    pub access_path_cap: Cell<usize>,
+    /// Access-path lines dropped because the cap was reached. Non-zero
+    /// means [`Stats::access_paths`] is an incomplete record.
+    pub access_paths_dropped: Cell<u64>,
 }
 
-/// Maximum retained entries in [`Stats::access_paths`].
+/// Default retention cap for [`Stats::access_paths`].
 pub const ACCESS_PATH_LOG_CAP: usize = 64;
 
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            rows_scanned: Cell::new(0),
+            point_lookups: Cell::new(0),
+            index_probes: Cell::new(0),
+            rows_cloned: Cell::new(0),
+            flattened_queries: Cell::new(0),
+            materialized_views: Cell::new(0),
+            access_paths: RefCell::new(Vec::new()),
+            access_path_cap: Cell::new(ACCESS_PATH_LOG_CAP),
+            access_paths_dropped: Cell::new(0),
+        }
+    }
+}
+
 impl Stats {
-    /// Resets all counters.
+    /// Resets all counters. The configured cap is preserved.
     pub fn reset(&self) {
         self.rows_scanned.set(0);
         self.point_lookups.set(0);
@@ -69,13 +92,24 @@ impl Stats {
         self.flattened_queries.set(0);
         self.materialized_views.set(0);
         self.access_paths.borrow_mut().clear();
+        self.access_paths_dropped.set(0);
     }
 
-    /// Records one EXPLAIN-style access-path line (dropped past the cap).
+    /// Sets the access-path retention cap. Does not truncate lines already
+    /// retained.
+    pub fn set_access_path_cap(&self, cap: usize) {
+        self.access_path_cap.set(cap);
+    }
+
+    /// Records one EXPLAIN-style access-path line. Past the cap the line
+    /// is dropped and [`Stats::access_paths_dropped`] is incremented, so
+    /// truncation is always detectable.
     pub fn note_access_path(&self, line: String) {
         let mut log = self.access_paths.borrow_mut();
-        if log.len() < ACCESS_PATH_LOG_CAP {
+        if log.len() < self.access_path_cap.get() {
             log.push(line);
+        } else {
+            self.access_paths_dropped.set(self.access_paths_dropped.get() + 1);
         }
     }
 
@@ -168,6 +202,15 @@ pub struct Database {
     stmt_cache: RefCell<HashMap<String, Stmt>>,
     /// Snapshot taken at BEGIN, restored on ROLLBACK. `None` = autocommit.
     tx_snapshot: Option<TxSnapshot>,
+    /// Optional journal sink; when attached, successful mutations are
+    /// logged logically (statement text + parameters) under
+    /// `journal_name`.
+    journal: Option<maxoid_journal::SinkRef>,
+    /// Component name used in emitted `Sql` records (e.g.
+    /// `db.user_dictionary`).
+    journal_name: String,
+    /// Open journal transaction id mirroring `tx_snapshot`.
+    journal_txn: Option<u64>,
 }
 
 /// Schema + data snapshot for transaction rollback.
@@ -189,10 +232,48 @@ impl Database {
         Database { flatten_policy: policy, ..Database::default() }
     }
 
+    /// Attaches a journal sink. `name` identifies this database in `Sql`
+    /// records so recovery can route them back (e.g. `db.media`).
+    pub fn set_journal(&mut self, sink: maxoid_journal::SinkRef, name: &str) {
+        self.journal = Some(sink);
+        self.journal_name = name.to_string();
+    }
+
+    /// Detaches the journal sink, returning it if one was attached.
+    pub fn take_journal(&mut self) -> Option<maxoid_journal::SinkRef> {
+        self.journal.take()
+    }
+
+    /// Returns the journal component name set by [`Database::set_journal`].
+    pub fn journal_name(&self) -> &str {
+        &self.journal_name
+    }
+
+    /// True for statements that must be journaled: anything that can
+    /// mutate state. SELECT is read-only; BEGIN/COMMIT/ROLLBACK are
+    /// covered by dedicated transaction records.
+    fn loggable(stmt: &Stmt) -> bool {
+        !matches!(stmt, Stmt::Select(_) | Stmt::Begin | Stmt::Commit | Stmt::Rollback)
+    }
+
+    fn emit_sql(&self, sql: &str, params: &[Value]) {
+        if let Some(j) = &self.journal {
+            j.emit(maxoid_journal::Record::Sql {
+                db: self.journal_name.clone(),
+                sql: sql.to_string(),
+                params: params.iter().map(value_to_param).collect(),
+            });
+        }
+    }
+
     /// Executes a single statement with positional parameters.
     pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecOutcome> {
         let stmt = self.prepare(sql)?;
-        self.exec_stmt(&stmt, params, None)
+        let out = self.exec_stmt(&stmt, params, None)?;
+        if self.journal.is_some() && Self::loggable(&stmt) {
+            self.emit_sql(sql, params);
+        }
+        Ok(out)
     }
 
     /// Parses a statement through the prepared-statement cache.
@@ -210,9 +291,20 @@ impl Database {
     }
 
     /// Executes multiple `;`-separated statements without parameters.
+    ///
+    /// When a journal is attached the whole batch text is logged as one
+    /// `Sql` record after every statement succeeds (the lexer does not
+    /// track source spans, so per-statement text is unavailable). A batch
+    /// that fails midway is therefore not journaled — callers that need
+    /// crash consistency across fallible batches bracket them in a
+    /// transaction, whose rollback discards the partial work anyway.
     pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
-        for stmt in parse_statements(sql)? {
-            self.exec_stmt(&stmt, &[], None)?;
+        let stmts = parse_statements(sql)?;
+        for stmt in &stmts {
+            self.exec_stmt(stmt, &[], None)?;
+        }
+        if self.journal.is_some() && stmts.iter().any(Self::loggable) {
+            self.emit_sql(sql, &[]);
         }
         Ok(())
     }
@@ -268,15 +360,21 @@ impl Database {
             views: self.views.clone(),
             triggers: self.triggers.clone(),
         });
+        if let Some(j) = &self.journal {
+            self.journal_txn = Some(j.begin_txn());
+        }
         Ok(())
     }
 
     /// Commits the open transaction.
     pub fn commit(&mut self) -> SqlResult<()> {
-        self.tx_snapshot
-            .take()
-            .map(|_| ())
-            .ok_or_else(|| SqlError::Unsupported("cannot commit - no transaction is active".into()))
+        self.tx_snapshot.take().map(|_| ()).ok_or_else(|| {
+            SqlError::Unsupported("cannot commit - no transaction is active".into())
+        })?;
+        if let (Some(j), Some(txn)) = (&self.journal, self.journal_txn.take()) {
+            j.emit(maxoid_journal::Record::TxnCommit { txn });
+        }
+        Ok(())
     }
 
     /// Rolls back the open transaction, restoring the BEGIN snapshot.
@@ -286,9 +384,29 @@ impl Database {
                 self.tables = snap.tables;
                 self.views = snap.views;
                 self.triggers = snap.triggers;
+                if let (Some(j), Some(txn)) = (&self.journal, self.journal_txn.take()) {
+                    j.emit(maxoid_journal::Record::TxnRollback { txn });
+                }
                 Ok(())
             }
             None => Err(SqlError::Unsupported("cannot rollback - no transaction is active".into())),
+        }
+    }
+
+    /// Applies a recovered `Sql` journal record. Batch records (no
+    /// parameters) replay through [`Database::execute_batch`]; everything
+    /// else through [`Database::execute`]. Recovery databases have no
+    /// journal attached, so replay does not re-log.
+    pub fn apply_journal_sql(
+        &mut self,
+        sql: &str,
+        params: &[maxoid_journal::ParamValue],
+    ) -> SqlResult<()> {
+        if params.is_empty() {
+            self.execute_batch(sql)
+        } else {
+            let values: Vec<Value> = params.iter().map(param_to_value).collect();
+            self.execute(sql, &values).map(|_| ())
         }
     }
 
@@ -359,6 +477,30 @@ pub(crate) fn key(name: &str) -> String {
     name.to_ascii_lowercase()
 }
 
+/// Lowers a [`Value`] into its journal-record form.
+pub fn value_to_param(v: &Value) -> maxoid_journal::ParamValue {
+    use maxoid_journal::ParamValue as P;
+    match v {
+        Value::Null => P::Null,
+        Value::Integer(i) => P::Int(*i),
+        Value::Real(r) => P::Real(*r),
+        Value::Text(s) => P::Text(s.clone()),
+        Value::Blob(b) => P::Blob(b.clone()),
+    }
+}
+
+/// Raises a journal-record parameter back into a [`Value`].
+pub fn param_to_value(p: &maxoid_journal::ParamValue) -> Value {
+    use maxoid_journal::ParamValue as P;
+    match p {
+        P::Null => Value::Null,
+        P::Int(i) => Value::Integer(*i),
+        P::Real(r) => Value::Real(*r),
+        P::Text(s) => Value::Text(s.clone()),
+        P::Blob(b) => Value::Blob(b.clone()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +523,80 @@ mod tests {
     fn query_rejects_non_select() {
         let db = Database::new();
         assert!(db.query("DELETE FROM t", &[]).is_err());
+    }
+
+    #[test]
+    fn journal_replay_rebuilds_catalog_and_rows() {
+        use maxoid_journal::{committed_records, read_records, JournalHandle, Record};
+        let h = JournalHandle::with_batch(1);
+        let mut db = Database::new();
+        db.set_journal(h.sink(), "db.test");
+        db.execute_batch(
+            "CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, freq INTEGER);
+             CREATE INDEX idx_words_word ON words (word);
+             CREATE VIEW frequent AS SELECT word FROM words WHERE freq > 10;",
+        )
+        .unwrap();
+        db.execute(
+            "INSERT INTO words (word, freq) VALUES (?1, ?2)",
+            &[Value::Text("hello".into()), Value::Integer(40)],
+        )
+        .unwrap();
+        // A rolled-back transaction must leave no trace in the replay.
+        db.begin().unwrap();
+        db.execute("INSERT INTO words (word, freq) VALUES ('ghost', 1)", &[]).unwrap();
+        db.rollback().unwrap();
+        db.begin().unwrap();
+        db.execute("INSERT INTO words (word, freq) VALUES ('kept', 99)", &[]).unwrap();
+        db.commit().unwrap();
+        // SELECTs must not be journaled.
+        db.query("SELECT * FROM words", &[]).unwrap();
+
+        let mut replayed = Database::new();
+        for rec in committed_records(&read_records(&h.bytes())) {
+            if let Record::Sql { db: name, sql, params } = rec {
+                assert_eq!(name, "db.test");
+                replayed.apply_journal_sql(&sql, &params).unwrap();
+            }
+        }
+        assert!(replayed.has_table("words"));
+        assert!(replayed.has_view("frequent"));
+        assert!(replayed
+            .table("words")
+            .unwrap()
+            .indexes()
+            .iter()
+            .any(|ix| ix.name().eq_ignore_ascii_case("idx_words_word")));
+        let orig = db.query("SELECT _id, word, freq FROM words ORDER BY _id", &[]).unwrap();
+        let got = replayed.query("SELECT _id, word, freq FROM words ORDER BY _id", &[]).unwrap();
+        assert_eq!(got, orig);
+        assert_eq!(got.rows.len(), 2);
+        assert!(!got.rows.iter().any(|r| r[1] == Value::Text("ghost".into())));
+        // The index works in the replayed catalog, not just exists.
+        replayed.stats.reset();
+        replayed.query("SELECT freq FROM words WHERE word = 'kept'", &[]).unwrap();
+        assert!(replayed.stats.index_probes.get() > 0);
+    }
+
+    #[test]
+    fn access_path_cap_is_configurable_and_drops_are_counted() {
+        let mut db = Database::new();
+        db.execute_batch(
+            "CREATE TABLE t (_id INTEGER PRIMARY KEY, v INTEGER);
+             INSERT INTO t (v) VALUES (1);",
+        )
+        .unwrap();
+        db.stats.reset();
+        db.stats.set_access_path_cap(3);
+        for _ in 0..10 {
+            db.query("SELECT v FROM t", &[]).unwrap();
+        }
+        assert_eq!(db.stats.access_paths.borrow().len(), 3);
+        assert_eq!(db.stats.access_paths_dropped.get(), 7);
+        // reset clears the drop counter but keeps the configured cap.
+        db.stats.reset();
+        assert_eq!(db.stats.access_paths_dropped.get(), 0);
+        assert_eq!(db.stats.access_path_cap.get(), 3);
     }
 
     #[test]

@@ -129,6 +129,10 @@ pub fn exec_stmt(
             db.rollback()?;
             Ok(ExecOutcome::ddl())
         }
+        Stmt::AlterRowidStart { table, start } => {
+            db.table_mut(table)?.set_pk_start(*start);
+            Ok(ExecOutcome::ddl())
+        }
     }
 }
 

@@ -52,7 +52,10 @@ pub mod table;
 pub mod value;
 
 pub use ast::{Affinity, ColumnDef, Expr, SelectStmt, Stmt, TriggerEvent};
-pub use db::{Database, ExecOutcome, ResultSet, Stats, TriggerDef, ViewDef};
+pub use db::{
+    param_to_value, value_to_param, Database, ExecOutcome, ResultSet, Stats, TriggerDef, ViewDef,
+    ACCESS_PATH_LOG_CAP,
+};
 pub use error::{SqlError, SqlResult};
 pub use expr::{like_match, MemberSet, OrdValue, RowScope, TriggerCtx};
 pub use index::{RowIdSet, SecondaryIndex};

@@ -140,6 +140,21 @@ impl Parser {
             let _ = self.eat_kw("transaction");
             return Ok(Stmt::Rollback);
         }
+        if self.eat_kw("alter") {
+            self.expect_kw("table")?;
+            let table = self.identifier()?;
+            self.expect_kw("rowid")?;
+            self.expect_kw("start")?;
+            let start = match self.next()? {
+                Token::Literal(Value::Integer(n)) => n,
+                other => {
+                    return Err(SqlError::Parse {
+                        message: format!("expected integer rowid start, found {other:?}"),
+                    })
+                }
+            };
+            return Ok(Stmt::AlterRowidStart { table, start });
+        }
         Err(SqlError::Parse { message: format!("unexpected token {:?}", self.peek()) })
     }
 

@@ -57,6 +57,24 @@ impl Mode {
     pub const PUBLIC: Mode =
         Mode { owner_read: true, owner_write: true, world_read: true, world_write: true };
 
+    /// Packs the four permission bits into a byte for journal records.
+    pub fn to_bits(self) -> u8 {
+        (self.owner_read as u8)
+            | (self.owner_write as u8) << 1
+            | (self.world_read as u8) << 2
+            | (self.world_write as u8) << 3
+    }
+
+    /// Unpacks a journal-record permission byte.
+    pub fn from_bits(bits: u8) -> Mode {
+        Mode {
+            owner_read: bits & 1 != 0,
+            owner_write: bits & 2 != 0,
+            world_read: bits & 4 != 0,
+            world_write: bits & 8 != 0,
+        }
+    }
+
     /// Returns true if `uid` may read under this mode for a node owned by
     /// `owner`.
     pub fn allows_read(self, owner: Uid, uid: Uid) -> bool {

@@ -69,6 +69,12 @@ impl Vfs {
         f(&mut self.store.write())
     }
 
+    /// Attaches a journal sink to the backing store: every successful
+    /// store mutation from here on emits a physical journal record.
+    pub fn attach_journal(&self, sink: maxoid_journal::SinkRef) {
+        self.with_store_mut(|s| s.set_journal(sink));
+    }
+
     fn creation_mode(mount: &Mount, requested: Mode) -> Mode {
         mount.forced_mode.unwrap_or(requested)
     }

@@ -9,6 +9,8 @@
 use crate::cred::{Mode, Uid};
 use crate::error::{VfsError, VfsResult};
 use crate::path::VPath;
+use maxoid_journal::codec::{ByteReader, ByteWriter};
+use maxoid_journal::{Record, SinkRef, VfsRecord};
 use std::collections::BTreeMap;
 
 /// Identifier of an inode within the store.
@@ -94,6 +96,9 @@ pub struct Store {
     free: Vec<InodeId>,
     root: InodeId,
     clock: u64,
+    /// Optional journal sink; when attached, every successful leaf
+    /// mutation emits a physical [`VfsRecord`].
+    journal: Option<SinkRef>,
 }
 
 impl Default for Store {
@@ -107,7 +112,29 @@ impl Store {
     pub fn new() -> Self {
         let root =
             Inode::Dir { entries: BTreeMap::new(), owner: Uid::ROOT, mode: Mode::PUBLIC, mtime: 0 };
-        Store { inodes: vec![Some(root)], free: Vec::new(), root: InodeId(0), clock: 0 }
+        Store {
+            inodes: vec![Some(root)],
+            free: Vec::new(),
+            root: InodeId(0),
+            clock: 0,
+            journal: None,
+        }
+    }
+
+    /// Attaches a journal sink; subsequent successful mutations are logged.
+    pub fn set_journal(&mut self, sink: SinkRef) {
+        self.journal = Some(sink);
+    }
+
+    /// Detaches the journal sink, returning it if one was attached.
+    pub fn take_journal(&mut self) -> Option<SinkRef> {
+        self.journal.take()
+    }
+
+    fn emit(&self, rec: VfsRecord) {
+        if let Some(j) = &self.journal {
+            j.emit(Record::Vfs(rec));
+        }
     }
 
     /// Returns the root inode id.
@@ -217,6 +244,11 @@ impl Store {
             }
             Inode::File { .. } => unreachable!("parent checked to be a directory"),
         }
+        self.emit(VfsRecord::Mkdir {
+            path: path.as_str().to_string(),
+            owner: owner.0,
+            mode: mode.to_bits(),
+        });
         Ok(child)
     }
 
@@ -254,14 +286,14 @@ impl Store {
             Inode::Dir { entries, .. } => entries.get(&name).copied(),
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         };
-        if let Some(id) = existing {
+        let id = if let Some(id) = existing {
             match self.get_mut(id)? {
                 Inode::File { data: d, mtime: m, .. } => {
                     *d = data.to_vec();
                     *m = mtime;
-                    Ok(id)
+                    id
                 }
-                Inode::Dir { .. } => Err(VfsError::IsADirectory),
+                Inode::Dir { .. } => return Err(VfsError::IsADirectory),
             }
         } else {
             let id = self.alloc(Inode::File { data: data.to_vec(), owner, mode, mtime });
@@ -272,8 +304,15 @@ impl Store {
                 }
                 Inode::File { .. } => unreachable!("parent checked to be a directory"),
             }
-            Ok(id)
-        }
+            id
+        };
+        self.emit(VfsRecord::Write {
+            path: path.as_str().to_string(),
+            data: data.to_vec(),
+            owner: owner.0,
+            mode: mode.to_bits(),
+        });
+        Ok(id)
     }
 
     /// Appends bytes to an existing file.
@@ -284,10 +323,11 @@ impl Store {
             Inode::File { data: d, mtime: m, .. } => {
                 d.extend_from_slice(data);
                 *m = mtime;
-                Ok(())
             }
-            Inode::Dir { .. } => Err(VfsError::IsADirectory),
+            Inode::Dir { .. } => return Err(VfsError::IsADirectory),
         }
+        self.emit(VfsRecord::Append { path: path.as_str().to_string(), data: data.to_vec() });
+        Ok(())
     }
 
     /// Overwrites a file's contents by inode id (used by file handles).
@@ -297,10 +337,11 @@ impl Store {
             Inode::File { data: d, mtime: m, .. } => {
                 *d = data.to_vec();
                 *m = mtime;
-                Ok(())
             }
-            Inode::Dir { .. } => Err(VfsError::IsADirectory),
+            Inode::Dir { .. } => return Err(VfsError::IsADirectory),
         }
+        self.emit(VfsRecord::WriteInode { inode: id.0, data: data.to_vec() });
+        Ok(())
     }
 
     /// Removes a file.
@@ -321,6 +362,7 @@ impl Store {
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
         self.dealloc(child);
+        self.emit(VfsRecord::Unlink { path: path.as_str().to_string() });
         Ok(())
     }
 
@@ -344,6 +386,7 @@ impl Store {
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
         self.dealloc(child);
+        self.emit(VfsRecord::Rmdir { path: path.as_str().to_string() });
         Ok(())
     }
 
@@ -413,6 +456,10 @@ impl Store {
             }
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
+        self.emit(VfsRecord::Rename {
+            from: from.as_str().to_string(),
+            to: to.as_str().to_string(),
+        });
         Ok(())
     }
 
@@ -452,12 +499,168 @@ impl Store {
                 *m = mode;
             }
         }
+        self.emit(VfsRecord::ChownChmod {
+            path: path.as_str().to_string(),
+            owner: owner.0,
+            mode: mode.to_bits(),
+        });
         Ok(())
     }
 
     /// Returns the total number of live inodes (for leak tests).
     pub fn inode_count(&self) -> usize {
         self.inodes.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Applies a journal record during recovery by routing it through the
+    /// same leaf primitives that produced it. The journal sink is detached
+    /// for the duration so replay does not re-log.
+    pub fn apply_journal_record(&mut self, rec: &VfsRecord) -> VfsResult<()> {
+        let saved = self.journal.take();
+        let res = self.apply_inner(rec);
+        self.journal = saved;
+        res
+    }
+
+    fn apply_inner(&mut self, rec: &VfsRecord) -> VfsResult<()> {
+        match rec {
+            VfsRecord::Mkdir { path, owner, mode } => {
+                self.mkdir(&VPath::new(path)?, Uid(*owner), Mode::from_bits(*mode))?;
+            }
+            VfsRecord::Write { path, data, owner, mode } => {
+                self.write(&VPath::new(path)?, data, Uid(*owner), Mode::from_bits(*mode))?;
+            }
+            VfsRecord::Append { path, data } => self.append(&VPath::new(path)?, data)?,
+            VfsRecord::WriteInode { inode, data } => self.write_inode(InodeId(*inode), data)?,
+            VfsRecord::Unlink { path } => self.unlink(&VPath::new(path)?)?,
+            VfsRecord::Rmdir { path } => self.rmdir(&VPath::new(path)?)?,
+            VfsRecord::Rename { from, to } => self.rename(&VPath::new(from)?, &VPath::new(to)?)?,
+            VfsRecord::ChownChmod { path, owner, mode } => {
+                self.chown_chmod(&VPath::new(path)?, Uid(*owner), Mode::from_bits(*mode))?
+            }
+        }
+        Ok(())
+    }
+
+    /// Serializes the exact store image — every inode slot (including
+    /// free ones), the free list, root id, and clock — for a journal
+    /// snapshot record. Exactness matters: replayed `WriteInode` records
+    /// address inodes by id, so the image must preserve allocation state.
+    pub fn snapshot_image(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u64(self.root.0);
+        w.put_u64(self.clock);
+        w.put_u32(self.inodes.len() as u32);
+        for slot in &self.inodes {
+            match slot {
+                None => w.put_u8(0),
+                Some(Inode::File { data, owner, mode, mtime }) => {
+                    w.put_u8(1);
+                    w.put_bytes(data);
+                    w.put_u32(owner.0);
+                    w.put_u8(mode.to_bits());
+                    w.put_u64(*mtime);
+                }
+                Some(Inode::Dir { entries, owner, mode, mtime }) => {
+                    w.put_u8(2);
+                    w.put_u32(entries.len() as u32);
+                    for (name, id) in entries {
+                        w.put_str(name);
+                        w.put_u64(id.0);
+                    }
+                    w.put_u32(owner.0);
+                    w.put_u8(mode.to_bits());
+                    w.put_u64(*mtime);
+                }
+            }
+        }
+        w.put_u32(self.free.len() as u32);
+        for id in &self.free {
+            w.put_u64(id.0);
+        }
+        w.into_bytes()
+    }
+
+    /// Restores the store from a [`Store::snapshot_image`] payload,
+    /// replacing all current contents. The journal sink is preserved.
+    pub fn restore_image(&mut self, image: &[u8]) -> VfsResult<()> {
+        let mut r = ByteReader::new(image);
+        let bad = |_| VfsError::InvalidArgument;
+        let root = InodeId(r.get_u64().map_err(bad)?);
+        let clock = r.get_u64().map_err(bad)?;
+        let n = r.get_u32().map_err(bad)? as usize;
+        let mut inodes = Vec::with_capacity(n);
+        for _ in 0..n {
+            match r.get_u8().map_err(bad)? {
+                0 => inodes.push(None),
+                1 => {
+                    let data = r.get_bytes().map_err(bad)?;
+                    let owner = Uid(r.get_u32().map_err(bad)?);
+                    let mode = Mode::from_bits(r.get_u8().map_err(bad)?);
+                    let mtime = r.get_u64().map_err(bad)?;
+                    inodes.push(Some(Inode::File { data, owner, mode, mtime }));
+                }
+                2 => {
+                    let count = r.get_u32().map_err(bad)? as usize;
+                    let mut entries = BTreeMap::new();
+                    for _ in 0..count {
+                        let name = r.get_str().map_err(bad)?;
+                        let id = InodeId(r.get_u64().map_err(bad)?);
+                        entries.insert(name, id);
+                    }
+                    let owner = Uid(r.get_u32().map_err(bad)?);
+                    let mode = Mode::from_bits(r.get_u8().map_err(bad)?);
+                    let mtime = r.get_u64().map_err(bad)?;
+                    inodes.push(Some(Inode::Dir { entries, owner, mode, mtime }));
+                }
+                _ => return Err(VfsError::InvalidArgument),
+            }
+        }
+        let fcount = r.get_u32().map_err(bad)? as usize;
+        let mut free = Vec::with_capacity(fcount);
+        for _ in 0..fcount {
+            free.push(InodeId(r.get_u64().map_err(bad)?));
+        }
+        self.inodes = inodes;
+        self.free = free;
+        self.root = root;
+        self.clock = clock;
+        Ok(())
+    }
+
+    /// Dumps the whole tree as `path -> (is_dir, data, owner, mode bits)`
+    /// for state-equivalence checks. Mtimes are deliberately excluded:
+    /// failed operations advance the clock but are not journaled, so a
+    /// replayed store matches on contents and metadata, not on clock.
+    pub fn dump_tree(&self) -> BTreeMap<String, (bool, Vec<u8>, u32, u8)> {
+        let mut out = BTreeMap::new();
+        self.dump_into(self.root, &VPath::root(), &mut out);
+        out
+    }
+
+    fn dump_into(
+        &self,
+        id: InodeId,
+        path: &VPath,
+        out: &mut BTreeMap<String, (bool, Vec<u8>, u32, u8)>,
+    ) {
+        match self.get(id) {
+            Ok(Inode::File { data, owner, mode, .. }) => {
+                out.insert(
+                    path.as_str().to_string(),
+                    (false, data.clone(), owner.0, mode.to_bits()),
+                );
+            }
+            Ok(Inode::Dir { entries, owner, mode, .. }) => {
+                out.insert(path.as_str().to_string(), (true, Vec::new(), owner.0, mode.to_bits()));
+                for (name, child) in entries {
+                    if let Ok(p) = path.join(name) {
+                        self.dump_into(*child, &p, out);
+                    }
+                }
+            }
+            Err(_) => {}
+        }
     }
 }
 
@@ -556,6 +759,56 @@ mod tests {
         let m2 = s.stat(&vpath("/f")).unwrap();
         assert_eq!(m2.size, 4);
         assert!(m2.mtime > m1.mtime);
+    }
+
+    #[test]
+    fn journal_replay_rebuilds_identical_tree() {
+        use maxoid_journal::{committed_records, read_records, JournalHandle, Record};
+        let h = JournalHandle::with_batch(1);
+        let mut s = Store::new();
+        s.set_journal(h.sink());
+        s.mkdir_all(&vpath("/data/app"), Uid(10_001), Mode::PRIVATE).unwrap();
+        s.write(&vpath("/data/app/f"), b"v1", Uid(10_001), Mode::PRIVATE).unwrap();
+        s.append(&vpath("/data/app/f"), b"+2").unwrap();
+        let id = s.resolve(&vpath("/data/app/f")).unwrap();
+        s.write_inode(id, b"handle-write").unwrap();
+        s.write(&vpath("/data/app/g"), b"x", Uid(10_001), Mode::PRIVATE).unwrap();
+        s.rename(&vpath("/data/app/g"), &vpath("/data/app/h")).unwrap();
+        s.chown_chmod(&vpath("/data/app/h"), Uid::SYSTEM, Mode::WORLD_READABLE).unwrap();
+        s.unlink(&vpath("/data/app/h")).unwrap();
+        // Failed ops advance the clock but must not be journaled.
+        assert!(s.mkdir(&vpath("/data/app"), Uid::ROOT, Mode::PUBLIC).is_err());
+
+        let mut replayed = Store::new();
+        for rec in committed_records(&read_records(&h.bytes())) {
+            if let Record::Vfs(v) = rec {
+                replayed.apply_journal_record(&v).unwrap();
+            }
+        }
+        assert_eq!(replayed.dump_tree(), s.dump_tree());
+        assert_eq!(replayed.inode_count(), s.inode_count());
+    }
+
+    #[test]
+    fn snapshot_image_roundtrip_is_exact() {
+        let mut s = store_with(&[("/a/f", "1"), ("/b/g", "2")]);
+        s.unlink(&vpath("/a/f")).unwrap(); // leave a hole in the inode table
+        let image = s.snapshot_image();
+        let mut restored = Store::new();
+        restored.restore_image(&image).unwrap();
+        assert_eq!(restored.dump_tree(), s.dump_tree());
+        // Allocation state is preserved: the next alloc reuses the hole in
+        // both stores, keeping later WriteInode replay valid.
+        let a = s.write(&vpath("/n"), b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let b = restored.write(&vpath("/n"), b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(restored.now(), s.now());
+    }
+
+    #[test]
+    fn restore_image_rejects_garbage() {
+        let mut s = Store::new();
+        assert_eq!(s.restore_image(&[1, 2, 3]).err(), Some(VfsError::InvalidArgument));
     }
 
     #[test]

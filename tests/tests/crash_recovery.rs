@@ -1,0 +1,375 @@
+//! Crash-point sweep: the journal's all-or-nothing guarantee.
+//!
+//! A journaled system is crashed at **every record boundary** of its log
+//! (plus torn tails mid-frame), recovered onto a fresh substrate, and the
+//! recovered state compared against reference fingerprints:
+//!
+//! - **S2 (atomic volatile commit)**: a crash anywhere inside the
+//!   `commit_vol` journal transaction recovers to the untouched
+//!   all-volatile state; only a log containing the commit record recovers
+//!   to the all-committed state. Nothing in between is reachable.
+//! - **Equivalence**: replaying the full log reproduces the live
+//!   system's file tree (modulo mtimes) and provider query results,
+//!   including the COW proxy's delta tables, rowid offsets and views.
+//!
+//! Initiator/delegate package names are lowercase identifiers on purpose:
+//! adoption after recovery rediscovers initiators from sanitized
+//! (lowercased) delta-table names.
+
+use maxoid::durability::recover;
+use maxoid::manifest::MaxoidManifest;
+use maxoid::{Caller, ContentValues, MaxoidSystem, QueryArgs, Uri, VolCommitPlan};
+use maxoid_journal::{crash_prefix, record_boundaries, torn_log, JournalHandle, TailState};
+use maxoid_providers::provider::ContentProvider;
+use maxoid_providers::UserDictionaryProvider;
+use maxoid_sqldb::Value;
+use maxoid_vfs::{vpath, Mode};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const INITIATOR: &str = "initiator";
+const DELEGATE: &str = "viewer";
+const AUTHORITY: &str = "user_dictionary";
+
+fn words_uri() -> Uri {
+    Uri::parse("content://user_dictionary/words").unwrap()
+}
+
+fn query_args() -> QueryArgs {
+    QueryArgs {
+        projection: vec!["word".into(), "frequency".into()],
+        sort_order: Some("_id".into()),
+        ..QueryArgs::default()
+    }
+}
+
+/// Semantic state: the full file tree (mtime-free) and the user
+/// dictionary as seen publicly, by the delegate, and through the
+/// initiator's volatile (tmp) URI. Queries that fail (e.g. tmp after the
+/// delta table was dropped) record `None` so both sides must fail alike.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    files: BTreeMap<String, (bool, Vec<u8>, u32, u8)>,
+    public_words: Option<Vec<Vec<Value>>>,
+    delegate_words: Option<Vec<Vec<Value>>>,
+    volatile_words: Option<Vec<Vec<Value>>>,
+}
+
+fn live_fingerprint(sys: &mut MaxoidSystem) -> Fingerprint {
+    let files = sys.kernel.vfs().with_store(|s| s.dump_tree());
+    let mut q = |caller: &Caller, uri: &Uri| {
+        sys.resolver.query(caller, uri, &query_args()).ok().map(|rs| rs.rows)
+    };
+    Fingerprint {
+        public_words: q(&Caller::normal("bystander"), &words_uri()),
+        delegate_words: q(&Caller::delegate(DELEGATE, INITIATOR), &words_uri()),
+        volatile_words: q(&Caller::normal(INITIATOR), &words_uri().as_volatile()),
+        files,
+    }
+}
+
+fn recovered_fingerprint(log: &[u8]) -> Fingerprint {
+    let mut rec = recover(log).expect("recovery must succeed on any committed prefix");
+    let files = rec.vfs.with_store(|s| s.dump_tree());
+    let mut dict = UserDictionaryProvider::from_recovered(rec.take_db(AUTHORITY));
+    let mut q =
+        |caller: &Caller, uri: &Uri| dict.query(caller, uri, &query_args()).ok().map(|rs| rs.rows);
+    Fingerprint {
+        public_words: q(&Caller::normal("bystander"), &words_uri()),
+        delegate_words: q(&Caller::delegate(DELEGATE, INITIATOR), &words_uri()),
+        volatile_words: q(&Caller::normal(INITIATOR), &words_uri().as_volatile()),
+        files,
+    }
+}
+
+/// Boots a journaled system (batch size 1: every record durable at its
+/// own boundary) with the initiator/delegate cast installed.
+fn journaled_system() -> MaxoidSystem {
+    let j = JournalHandle::with_batch(1);
+    let mut sys = MaxoidSystem::boot_journaled(j).expect("boot");
+    sys.install(INITIATOR, vec![], MaxoidManifest::new()).expect("install initiator");
+    sys.install(DELEGATE, vec![], MaxoidManifest::new()).expect("install delegate");
+    sys
+}
+
+/// Builds the canonical pre-commit situation: public rows, a delegate's
+/// confined row edits, and a delegate file write redirected into
+/// `Vol(initiator)`. Returns the delta row id of the delegate's insert.
+fn seed_volatile_state(sys: &mut MaxoidSystem) -> i64 {
+    let public = Caller::normal(INITIATOR);
+    for (w, f) in [("hello", 10), ("world", 20)] {
+        sys.resolver
+            .insert(&public, &words_uri(), &ContentValues::new().put("word", w).put("frequency", f))
+            .expect("public insert");
+    }
+    let delegate = Caller::delegate(DELEGATE, INITIATOR);
+    let uri = sys
+        .resolver
+        .insert(
+            &delegate,
+            &words_uri(),
+            &ContentValues::new().put("word", "draft").put("frequency", 1),
+        )
+        .expect("delegate insert");
+    let delta_id = uri.id().expect("row uri");
+    sys.resolver
+        .update(
+            &delegate,
+            &words_uri().with_id(1),
+            &ContentValues::new().put("word", "HELLO"),
+            &QueryArgs::default(),
+        )
+        .expect("delegate update");
+
+    let del_pid = sys.launch_as_delegate(DELEGATE, INITIATOR).expect("launch delegate");
+    sys.kernel
+        .write(del_pid, &vpath("/storage/sdcard/report.txt"), b"edited", Mode::PUBLIC)
+        .expect("delegate file write lands in Vol");
+    delta_id
+}
+
+#[test]
+fn crash_at_every_boundary_is_all_or_nothing() {
+    let mut sys = journaled_system();
+    let delta_id = seed_volatile_state(&mut sys);
+    let journal = sys.journal().expect("journaled").clone();
+    journal.flush().unwrap();
+
+    let pre = live_fingerprint(&mut sys);
+    let base_len = journal.bytes().len();
+    assert!(!pre.files.is_empty());
+    assert_eq!(pre.volatile_words.as_ref().map(|r| r.len()), Some(2));
+
+    // The initiator commits everything volatile — the external file and
+    // the delegate's inserted row — and discards the rest, atomically.
+    let external: Vec<String> = sys
+        .volatile_files(INITIATOR)
+        .unwrap()
+        .into_iter()
+        .filter(|e| !e.internal)
+        .map(|e| e.rel)
+        .collect();
+    assert!(!external.is_empty(), "the delegate file write must be volatile");
+    let plan = VolCommitPlan {
+        external,
+        internal: vec![],
+        provider_rows: vec![(AUTHORITY.into(), "words".into(), delta_id)],
+        discard_rest: true,
+    };
+    let outcome = sys.commit_vol(INITIATOR, &plan).expect("commit_vol");
+    assert_eq!(outcome.rows_committed, 1);
+    let post = live_fingerprint(&mut sys);
+    assert_ne!(pre, post);
+    // The committed row is now public.
+    assert!(post
+        .public_words
+        .as_ref()
+        .unwrap()
+        .iter()
+        .any(|r| r[0] == Value::Text("draft".into())));
+
+    let log = journal.bytes();
+    let boundaries = record_boundaries(&log);
+    assert_eq!(*boundaries.last().unwrap(), log.len(), "log must parse to its end");
+    assert!(boundaries.iter().any(|&b| b == base_len), "pre-commit point is a boundary");
+
+    let mut pre_count = 0;
+    for &b in &boundaries {
+        let prefix = crash_prefix(&log, b);
+        if b < base_len {
+            // Mid-setup crashes: recovery must simply succeed (the
+            // dichotomy below only holds around the commit txn).
+            let _ = recover(&prefix).expect("prefix recovers");
+            continue;
+        }
+        let fp = recovered_fingerprint(&prefix);
+        if b == log.len() {
+            assert_eq!(fp, post, "full log must recover the committed state");
+        } else {
+            assert_eq!(fp, pre, "crash inside the commit txn must recover all-volatile (b={b})");
+            pre_count += 1;
+        }
+    }
+    assert!(pre_count > 3, "the commit txn spans several records");
+}
+
+#[test]
+fn torn_tail_recovers_like_clean_boundary() {
+    let mut sys = journaled_system();
+    let delta_id = seed_volatile_state(&mut sys);
+    let journal = sys.journal().expect("journaled").clone();
+    journal.flush().unwrap();
+    let pre = live_fingerprint(&mut sys);
+    let base_len = journal.bytes().len();
+
+    let plan = VolCommitPlan {
+        provider_rows: vec![(AUTHORITY.into(), "words".into(), delta_id)],
+        discard_rest: true,
+        ..VolCommitPlan::default()
+    };
+    sys.commit_vol(INITIATOR, &plan).expect("commit_vol");
+    let post = live_fingerprint(&mut sys);
+
+    let log = journal.bytes();
+    let boundaries = record_boundaries(&log);
+    for &b in boundaries.iter().filter(|&&b| b >= base_len && b < log.len()) {
+        for extra in [1, 7, 16] {
+            let torn = torn_log(&log, b, extra);
+            if torn.len() == log.len() {
+                continue; // tearing past the end reproduced the full log
+            }
+            let rec = recover(&torn).expect("torn log recovers");
+            assert!(
+                matches!(rec.tail, TailState::Torn { offset } if offset == b),
+                "tail must be detected torn at {b}"
+            );
+            let fp = recovered_fingerprint(&torn);
+            assert_eq!(fp, pre, "torn frame must be treated as never written");
+        }
+    }
+    // Sanity: the clean full log still lands on the committed side.
+    assert_eq!(recovered_fingerprint(&log), post);
+}
+
+#[test]
+fn group_commit_batching_loses_only_the_pending_tail() {
+    // With a large batch, records sit in the pending buffer until a
+    // flush-forcing record arrives. bytes() models the crash image: the
+    // pending tail is lost, but what is durable is a valid prefix.
+    let j = JournalHandle::with_batch(64);
+    let mut sys = MaxoidSystem::boot_journaled(j).expect("boot");
+    sys.install(INITIATOR, vec![], MaxoidManifest::new()).unwrap();
+    let public = Caller::normal(INITIATOR);
+    for i in 0..5 {
+        sys.resolver
+            .insert(&public, &words_uri(), &ContentValues::new().put("word", format!("w{i}")))
+            .unwrap();
+    }
+    let journal = sys.journal().unwrap().clone();
+    let durable = journal.bytes();
+    // Boot flushed; the five inserts are still pending.
+    let rec_fp = recovered_fingerprint(&durable);
+    assert_eq!(rec_fp.public_words.as_ref().map(|r| r.len()), Some(0));
+    // After an explicit flush they become durable and replay.
+    journal.flush().unwrap();
+    let rec_fp = recovered_fingerprint(&journal.bytes());
+    assert_eq!(rec_fp.public_words.as_ref().map(|r| r.len()), Some(5));
+}
+
+/// A random workload step driven through the resolver / kernel.
+#[derive(Debug, Clone)]
+enum Op {
+    PublicInsert(u8),
+    DelegateInsert(u8),
+    DelegateUpdate(u8),
+    VolatileInsert(u8),
+    DelegateFileWrite(u8, Vec<u8>),
+    ClearVol,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..200u8).prop_map(Op::PublicInsert),
+        (0..200u8).prop_map(Op::DelegateInsert),
+        (0..200u8).prop_map(Op::DelegateUpdate),
+        (0..200u8).prop_map(Op::VolatileInsert),
+        (0..4u8, proptest::collection::vec(any::<u8>(), 1..16))
+            .prop_map(|(i, d)| Op::DelegateFileWrite(i, d)),
+        Just(Op::ClearVol),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Sweep every post-setup crash point of a random workload:
+    /// recovery always succeeds, the public view recovered from any
+    /// prefix is a state the live public view actually passed through
+    /// (delegate activity never leaks via a crash), and the full log
+    /// reproduces the live state exactly.
+    #[test]
+    fn random_workload_crash_sweep(ops in proptest::collection::vec(op(), 1..12)) {
+        let mut sys = journaled_system();
+        let del_pid = sys.launch_as_delegate(DELEGATE, INITIATOR).unwrap();
+        let journal = sys.journal().unwrap().clone();
+        journal.flush().unwrap();
+        let base_len = journal.bytes().len();
+
+        let public = Caller::normal(INITIATOR);
+        let delegate = Caller::delegate(DELEGATE, INITIATOR);
+        // Every public-view state the live system passed through.
+        let mut public_history: Vec<Option<Vec<Vec<Value>>>> = Vec::new();
+        let snap = |sys: &mut MaxoidSystem| {
+            let rows = sys
+                .resolver
+                .query(&Caller::normal("bystander"), &words_uri(), &query_args())
+                .ok()
+                .map(|rs| rs.rows);
+            rows
+        };
+        public_history.push(snap(&mut sys));
+        for o in &ops {
+            match o {
+                Op::PublicInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &public,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("p{n}")).put("frequency", *n as i64),
+                    );
+                }
+                Op::DelegateInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &delegate,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("d{n}")),
+                    );
+                }
+                Op::DelegateUpdate(n) => {
+                    let _ = sys.resolver.update(
+                        &delegate,
+                        &words_uri().with_id((*n % 4) as i64 + 1),
+                        &ContentValues::new().put("frequency", *n as i64),
+                        &QueryArgs::default(),
+                    );
+                }
+                Op::VolatileInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &public,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("v{n}")).volatile(),
+                    );
+                }
+                Op::DelegateFileWrite(i, data) => {
+                    let path = vpath("/storage/sdcard").join(&format!("f{i}.dat")).unwrap();
+                    let _ = sys.kernel.write(del_pid, &path, data, Mode::PUBLIC);
+                }
+                Op::ClearVol => {
+                    let _ = sys.clear_vol(INITIATOR);
+                }
+            }
+            public_history.push(snap(&mut sys));
+        }
+        journal.flush().unwrap();
+        let live = live_fingerprint(&mut sys);
+
+        let log = journal.bytes();
+        let boundaries = record_boundaries(&log);
+        prop_assert_eq!(*boundaries.last().unwrap(), log.len());
+        for &b in boundaries.iter().filter(|&&b| b >= base_len) {
+            let fp = recovered_fingerprint(&crash_prefix(&log, b));
+            prop_assert!(
+                public_history.contains(&fp.public_words),
+                "crash at {} recovered a public state never observed live: {:?}",
+                b,
+                fp.public_words
+            );
+            // A torn continuation of the same prefix recovers identically.
+            if b < log.len() {
+                let fp_torn = recovered_fingerprint(&torn_log(&log, b, 3));
+                prop_assert_eq!(&fp_torn, &fp, "torn tail at {} diverged", b);
+            }
+        }
+        let full = recovered_fingerprint(&log);
+        prop_assert_eq!(&full, &live, "full-log replay must equal the live state");
+    }
+}
