@@ -47,6 +47,14 @@ pub enum RecoveryError {
     },
     /// A snapshot record named a component this version cannot restore.
     UnknownComponent(String),
+    /// The log carries damage a torn write cannot explain (mid-log bit
+    /// rot, bad magic, checksum failure on a complete frame). Committed
+    /// history past `offset` may exist but cannot be trusted; recovering
+    /// a silent prefix would violate S2, so recovery refuses.
+    Corrupted {
+        /// Byte offset of the damaged frame.
+        offset: usize,
+    },
 }
 
 impl std::fmt::Display for RecoveryError {
@@ -55,6 +63,9 @@ impl std::fmt::Display for RecoveryError {
             RecoveryError::Vfs(e) => write!(f, "vfs replay: {e}"),
             RecoveryError::Sql { db, error } => write!(f, "sql replay into {db}: {error}"),
             RecoveryError::UnknownComponent(c) => write!(f, "unknown snapshot component: {c}"),
+            RecoveryError::Corrupted { offset } => {
+                write!(f, "journal corrupted at byte {offset}: committed history unrecoverable")
+            }
         }
     }
 }
@@ -88,13 +99,19 @@ impl RecoveredSubstrate {
 
 /// Replays the committed prefix of `log_bytes` into a fresh substrate.
 ///
-/// The log is scanned up to the first invalid frame (short header, bad
-/// magic, CRC mismatch, undecodable payload) — everything after a torn
-/// tail is discarded, mirroring what a crashed append leaves on disk.
+/// A *torn* tail — a truncated final frame, the only shape a crashed
+/// append can leave — is tolerated: everything after it was never durable
+/// and is discarded. Any other damage (bad magic, a checksum or decode
+/// failure on a complete frame, valid frames beyond the bad region) is
+/// corruption: committed history may lie past it, so recovery returns
+/// [`RecoveryError::Corrupted`] instead of silently replaying a prefix.
 /// Recovered databases use the default planner policy; the policy is an
 /// execution-time setting, not journaled state.
 pub fn recover(log_bytes: &[u8]) -> Result<RecoveredSubstrate, RecoveryError> {
     let log = read_records(log_bytes);
+    if let TailState::Corrupted { offset } = log.tail {
+        return Err(RecoveryError::Corrupted { offset });
+    }
     let tail = log.tail.clone();
     let records = committed_records(&log);
     let vfs = Vfs::new();

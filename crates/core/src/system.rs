@@ -198,6 +198,8 @@ impl MaxoidSystem {
     }
 
     fn boot_inner(journal: Option<JournalHandle>) -> SystemResult<Self> {
+        let mut sp = maxoid_obs::span("system.boot");
+        sp.field("journaled", if journal.is_some() { "true" } else { "false" });
         let mut kernel = Kernel::new();
         if let Some(j) = &journal {
             kernel.vfs().attach_journal(j.sink());
@@ -279,8 +281,10 @@ impl MaxoidSystem {
     /// bounding recovery time. Provider SQL history stays logical.
     pub fn checkpoint(&self) -> SystemResult<()> {
         if let Some(j) = &self.journal {
+            let _sp = maxoid_obs::span("system.checkpoint");
             let image = self.kernel.vfs().with_store(|s| s.snapshot_image());
             j.checkpoint(&[(crate::durability::VFS_COMPONENT.to_string(), image)])?;
+            maxoid_obs::counter_add("system.checkpoints", 1);
         }
         Ok(())
     }
@@ -349,13 +353,29 @@ impl MaxoidSystem {
     }
 
     fn spawn_in_context(&mut self, app: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
+        // The root of the delegation lifecycle: invoke → COW fork → spawn.
+        // (Commit/discard arrive later via `commit_vol` / `clear_vol`.)
+        let _inv = match &ctx {
+            ExecContext::OnBehalfOf(init) => {
+                let mut sp = maxoid_obs::span("delegation.invoke");
+                sp.field_with("delegate", || app.pkg().to_string());
+                sp.field_with("initiator", || init.pkg().to_string());
+                Some(sp)
+            }
+            _ => None,
+        };
         let manifest = self.ams.manifest(app).cloned().unwrap_or_default();
         let ns = match &ctx {
             ExecContext::Normal => self.branch_mgr.initiator_namespace(app.pkg(), &manifest)?,
             ExecContext::OnBehalfOf(init) => {
+                let mut sp = maxoid_obs::span("delegation.cow_fork");
+                sp.field_with("delegate", || app.pkg().to_string());
+                sp.field_with("initiator", || init.pkg().to_string());
                 let init_manifest = self.ams.manifest(init).cloned().unwrap_or_default();
                 // Figure 2 lifecycle: fork / keep / discard nPriv.
-                self.priv_mgr.on_delegate_start(self.kernel.vfs(), init.pkg(), app.pkg())?;
+                let outcome =
+                    self.priv_mgr.on_delegate_start(self.kernel.vfs(), init.pkg(), app.pkg())?;
+                sp.field_with("priv_fork", || format!("{outcome:?}"));
                 self.branch_mgr.delegate_namespace(
                     app.pkg(),
                     &manifest,
@@ -422,8 +442,16 @@ impl MaxoidSystem {
     // Provider conveniences bound to a calling process.
     // -----------------------------------------------------------------
 
+    /// Opens a resolver-call span carrying the target URI.
+    fn cp_span(name: &'static str, uri: &Uri) -> maxoid_obs::SpanGuard {
+        let mut sp = maxoid_obs::span(name);
+        sp.field_with("uri", || uri.to_string());
+        sp
+    }
+
     /// Provider insert on behalf of `pid`.
     pub fn cp_insert(&mut self, pid: Pid, uri: &Uri, values: &ContentValues) -> SystemResult<Uri> {
+        let _sp = Self::cp_span("system.cp_insert", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.insert(&caller, uri, values)?)
     }
@@ -436,18 +464,21 @@ impl MaxoidSystem {
         values: &ContentValues,
         args: &QueryArgs,
     ) -> SystemResult<usize> {
+        let _sp = Self::cp_span("system.cp_update", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.update(&caller, uri, values, args)?)
     }
 
     /// Provider query on behalf of `pid`.
     pub fn cp_query(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<ResultSet> {
+        let _sp = Self::cp_span("system.cp_query", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.query(&caller, uri, args)?)
     }
 
     /// Provider delete on behalf of `pid`.
     pub fn cp_delete(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<usize> {
+        let _sp = Self::cp_span("system.cp_delete", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.delete(&caller, uri, args)?)
     }
@@ -532,6 +563,8 @@ impl MaxoidSystem {
     /// On a journaled system the whole discard is one journal
     /// transaction; a crash mid-way recovers to the pre-gesture state.
     pub fn clear_vol(&mut self, init: &str) -> SystemResult<usize> {
+        let mut sp = maxoid_obs::span("delegation.clear_vol");
+        sp.field_with("initiator", || init.to_string());
         let outcome =
             self.commit_vol(init, &VolCommitPlan { discard_rest: true, ..Default::default() })?;
         Ok(outcome.files_removed)
@@ -556,6 +589,9 @@ impl MaxoidSystem {
         init: &str,
         plan: &VolCommitPlan,
     ) -> SystemResult<VolCommitOutcome> {
+        let mut sp = maxoid_obs::span("delegation.commit_vol");
+        sp.field_with("initiator", || init.to_string());
+        sp.field_with("discard_rest", || plan.discard_rest.to_string());
         let txn = match &self.journal {
             Some(j) => Some(j.begin_txn()?),
             None => None,
@@ -570,6 +606,17 @@ impl MaxoidSystem {
                 Err(_) => {
                     let _ = j.rollback_txn(txn);
                 }
+            }
+        }
+        match &result {
+            Ok(out) => {
+                sp.field_with("rows_committed", || out.rows_committed.to_string());
+                sp.field_with("files_removed", || out.files_removed.to_string());
+                maxoid_obs::counter_add("delegation.commits", 1);
+            }
+            Err(_) => {
+                sp.field("outcome", "rolled_back");
+                maxoid_obs::counter_add("delegation.rollbacks", 1);
             }
         }
         result

@@ -190,6 +190,10 @@ impl CowProxy {
             }
             return Err(SqlError::NoSuchTable(table.to_string()));
         }
+        let mut sp = maxoid_obs::span("cowproxy.cow_fork");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("initiator", || initiator.to_string());
+        maxoid_obs::counter_add("cowproxy.cow_forks", 1);
         let (columns, column_defs, pk, base_indexes) = {
             let t = self.db.table(table)?;
             let columns = t.schema.column_names();
@@ -276,6 +280,7 @@ impl CowProxy {
                 if self.db.has_table(&delta_table(table, initiator))
                     || (self.db.has_view(table) && self.db.has_view(&cow_view(table, initiator)))
                 {
+                    maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
                     Ok(cow_view(table, initiator))
                 } else {
                     Ok(table.to_string())
@@ -308,6 +313,9 @@ impl CowProxy {
         table: &str,
         values: &[(&str, Value)],
     ) -> SqlResult<i64> {
+        let mut sp = maxoid_obs::span("cowproxy.insert");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("view", || format!("{view:?}"));
         match view {
             DbView::Primary | DbView::Admin => {
                 let (cols, params) = split_values(values);
@@ -355,6 +363,9 @@ impl CowProxy {
         where_clause: Option<&str>,
         where_params: &[Value],
     ) -> SqlResult<usize> {
+        let mut sp = maxoid_obs::span("cowproxy.update");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("view", || format!("{view:?}"));
         let target = match view {
             DbView::Primary | DbView::Admin => table.to_string(),
             DbView::Delegate { initiator } => {
@@ -397,6 +408,9 @@ impl CowProxy {
         where_clause: Option<&str>,
         where_params: &[Value],
     ) -> SqlResult<usize> {
+        let mut sp = maxoid_obs::span("cowproxy.delete");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("view", || format!("{view:?}"));
         let target = match view {
             DbView::Primary | DbView::Admin => table.to_string(),
             DbView::Delegate { initiator } => {
@@ -430,7 +444,11 @@ impl CowProxy {
         opts: &QueryOpts,
         params: &[Value],
     ) -> SqlResult<ResultSet> {
+        let mut sp = maxoid_obs::span("cowproxy.query");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("view", || format!("{view:?}"));
         let target = self.read_relation(table, view)?;
+        sp.field_with("relation", || target.clone());
         let mut columns = opts.columns.clone();
         let explicit = !columns.is_empty();
         let mut appended = 0usize;
@@ -532,6 +550,8 @@ impl CowProxy {
     /// initiator's "discard the entire Vol(A)" clean-up (§3.3) for
     /// provider state.
     pub fn clear_volatile(&mut self, initiator: &str) -> SqlResult<usize> {
+        let mut sp = maxoid_obs::span("cowproxy.clear_volatile");
+        sp.field_with("initiator", || initiator.to_string());
         let suffix = format!("_delta_{}", sanitize(initiator));
         let doomed: Vec<String> = self
             .db
@@ -573,6 +593,9 @@ impl CowProxy {
         table: &str,
         id: i64,
     ) -> SqlResult<bool> {
+        let mut sp = maxoid_obs::span("cowproxy.commit_volatile_row");
+        sp.field_with("table", || table.to_string());
+        sp.field_with("id", || id.to_string());
         let delta = delta_table(table, initiator);
         if !self.db.has_table(&delta) {
             return Ok(false);

@@ -138,10 +138,9 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-/// IEEE CRC-32 (the polynomial used by zlib/ethernet), table-driven.
-pub fn crc32(data: &[u8]) -> u32 {
+fn crc_table() -> &'static [u32; 256] {
     static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    let table = TABLE.get_or_init(|| {
+    TABLE.get_or_init(|| {
         let mut t = [0u32; 256];
         for (i, slot) in t.iter_mut().enumerate() {
             let mut c = i as u32;
@@ -151,10 +150,23 @@ pub fn crc32(data: &[u8]) -> u32 {
             *slot = c;
         }
         t
-    });
+    })
+}
+
+/// IEEE CRC-32 (the polynomial used by zlib/ethernet), table-driven.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_parts(&[data])
+}
+
+/// CRC-32 over the concatenation of `parts` without materialising it —
+/// used by the WAL to checksum header fields together with the payload.
+pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
+    let table = crc_table();
     let mut crc = !0u32;
-    for &b in data {
-        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    for part in parts {
+        for &b in *part {
+            crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+        }
     }
     !crc
 }
@@ -196,5 +208,12 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_parts_matches_concatenation() {
+        assert_eq!(crc32_parts(&[b"1234", b"56789"]), crc32(b"123456789"));
+        assert_eq!(crc32_parts(&[b"", b"abc", b""]), crc32(b"abc"));
+        assert_eq!(crc32_parts(&[]), 0);
     }
 }

@@ -47,6 +47,18 @@ pub fn torn_log(bytes: &[u8], boundary: usize, extra: usize) -> Vec<u8> {
     bytes[..end].to_vec()
 }
 
+/// The log a media/bit-rot fault would leave: a copy with the byte at
+/// `offset` XORed by `mask`. Unlike [`torn_log`], the damage can land
+/// anywhere — including under committed history — which recovery must
+/// report as `Corrupted`, never absorb as a shorter-but-plausible log.
+pub fn flip_byte(bytes: &[u8], offset: usize, mask: u8) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if let Some(b) = out.get_mut(offset) {
+        *b ^= mask;
+    }
+    out
+}
+
 /// Storage that stops persisting after a byte budget is exhausted,
 /// simulating a crash during a flush. The first write that would exceed
 /// the budget is truncated at the budget (a torn write) and the storage
@@ -159,6 +171,26 @@ mod tests {
         // The surviving prefix still replays.
         let recs = committed_records(&log);
         assert_eq!(recs.len(), log.records.len());
+    }
+
+    #[test]
+    fn flip_byte_sweep_never_shortens_history() {
+        let bytes = sample_log(3);
+        let clean = read_records(&bytes);
+        for off in 0..bytes.len() {
+            for mask in [0x01, 0x80, 0xFF] {
+                let log = read_records(&flip_byte(&bytes, off, mask));
+                match log.tail {
+                    TailState::Clean => {
+                        assert_eq!(log.records.len(), clean.records.len(), "flip {off}/{mask:#x}")
+                    }
+                    TailState::Corrupted { .. } => {}
+                    TailState::Torn { offset } => {
+                        panic!("flip {off}/{mask:#x} misread as torn at {offset}")
+                    }
+                }
+            }
+        }
     }
 
     #[test]

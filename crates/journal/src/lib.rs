@@ -24,7 +24,7 @@ pub mod replay;
 pub mod wal;
 
 pub use codec::CodecError;
-pub use fault::{crash_prefix, record_boundaries, torn_log, FaultStorage};
+pub use fault::{crash_prefix, flip_byte, record_boundaries, torn_log, FaultStorage};
 pub use record::{ParamValue, Record, VfsRecord};
 pub use replay::{committed_records, read_records, ReadLog, TailState};
 pub use wal::{

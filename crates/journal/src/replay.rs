@@ -8,18 +8,26 @@
 //! half of the S2 atomicity argument — the delegate's output stays in
 //! `Vol(A)` until the commit record itself is durable.
 
-use crate::codec::crc32;
 use crate::record::Record;
-use crate::wal::{FRAME_HEADER, FRAME_MAGIC};
+use crate::wal::{frame_crc, FRAME_HEADER, FRAME_MAGIC};
 
 /// How the log ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TailState {
     /// The last frame was complete and valid.
     Clean,
-    /// Trailing bytes at `offset` did not form a valid frame (torn write,
-    /// bad magic, or CRC mismatch). Everything before `offset` was intact.
+    /// The log ends in a truncated frame at `offset`: the crash signature
+    /// of a torn group-commit write. Everything before `offset` was
+    /// intact, and nothing after it was ever durable, so recovering the
+    /// prefix loses no committed history.
     Torn { offset: usize },
+    /// The frame at `offset` is damaged but the log does NOT end there —
+    /// bad magic, a failed checksum or decode on a fully-present frame, a
+    /// non-monotonic LSN, or valid frames found past the bad region. A
+    /// torn write cannot produce this shape; it means committed history
+    /// after `offset` may exist but cannot be trusted, so recovery must
+    /// fail loudly instead of silently replaying a shortened prefix.
+    Corrupted { offset: usize },
 }
 
 /// A parsed log: LSN-stamped records plus the tail verdict.
@@ -36,34 +44,88 @@ impl ReadLog {
     }
 }
 
-/// Parses frames until end-of-log or the first invalid frame. An invalid
-/// frame (short header, wrong magic, short payload, or CRC mismatch) marks
-/// the tail as torn; valid prefix records are still returned.
+/// Parses frames until end-of-log or the first invalid frame, classifying
+/// the invalid frame as [`TailState::Torn`] (a truncated final frame — the
+/// only shape a torn append can leave) or [`TailState::Corrupted`]
+/// (anything a truncation cannot explain). Valid prefix records are
+/// returned either way; on `Corrupted` the caller must not treat them as
+/// the whole history.
+///
+/// Classification at the first bad frame:
+///
+/// * wrong magic byte — `Corrupted`. Torn writes truncate; they never
+///   rewrite the byte at a frame boundary.
+/// * header runs past end-of-log — `Torn` (truncated header).
+/// * payload runs past end-of-log — usually `Torn`, with two exceptions
+///   that prove the frame was fully written: the stored CRC matches the
+///   bytes actually present (so the `len` field itself is what got
+///   corrupted), or a fully valid frame exists later in the log (resync
+///   scan) — both are `Corrupted`.
+/// * complete frame failing its CRC, failing decode, or carrying a
+///   non-monotonic LSN — `Corrupted`. A fully-present frame cannot be a
+///   truncation artifact.
 pub fn read_records(bytes: &[u8]) -> ReadLog {
     let mut records = Vec::new();
     let mut pos = 0usize;
+    let mut last_lsn = 0u64;
     while pos < bytes.len() {
-        if bytes.len() - pos < FRAME_HEADER || bytes[pos] != FRAME_MAGIC {
+        let rem = bytes.len() - pos;
+        if bytes[pos] != FRAME_MAGIC {
+            return ReadLog { records, tail: TailState::Corrupted { offset: pos } };
+        }
+        if rem < FRAME_HEADER {
             return ReadLog { records, tail: TailState::Torn { offset: pos } };
         }
         let lsn = u64::from_le_bytes(bytes[pos + 1..pos + 9].try_into().unwrap());
         let len = u32::from_le_bytes(bytes[pos + 9..pos + 13].try_into().unwrap()) as usize;
         let crc = u32::from_le_bytes(bytes[pos + 13..pos + 17].try_into().unwrap());
         let start = pos + FRAME_HEADER;
-        if bytes.len() - start < len {
-            return ReadLog { records, tail: TailState::Torn { offset: pos } };
+        let avail = bytes.len() - start;
+        if avail < len {
+            let frame_was_complete = frame_crc(lsn, avail as u32, &bytes[start..]) == crc;
+            let tail = if frame_was_complete || any_valid_frame_after(bytes, pos + 1) {
+                TailState::Corrupted { offset: pos }
+            } else {
+                TailState::Torn { offset: pos }
+            };
+            return ReadLog { records, tail };
         }
         let payload = &bytes[start..start + len];
-        if crc32(payload) != crc {
-            return ReadLog { records, tail: TailState::Torn { offset: pos } };
+        if frame_crc(lsn, len as u32, payload) != crc || lsn <= last_lsn {
+            return ReadLog { records, tail: TailState::Corrupted { offset: pos } };
         }
         match Record::decode(payload) {
             Ok(rec) => records.push((lsn, rec)),
-            Err(_) => return ReadLog { records, tail: TailState::Torn { offset: pos } },
+            Err(_) => return ReadLog { records, tail: TailState::Corrupted { offset: pos } },
         }
+        last_lsn = lsn;
         pos = start + len;
     }
     ReadLog { records, tail: TailState::Clean }
+}
+
+/// Resync scan: does any byte position at or after `from` start a fully
+/// valid frame (magic, complete header, in-bounds payload, matching CRC,
+/// decodable record)? Used to tell a corrupted length field mid-log apart
+/// from a genuinely torn final frame.
+fn any_valid_frame_after(bytes: &[u8], from: usize) -> bool {
+    let mut q = from;
+    while q + FRAME_HEADER <= bytes.len() {
+        if bytes[q] == FRAME_MAGIC {
+            let lsn = u64::from_le_bytes(bytes[q + 1..q + 9].try_into().unwrap());
+            let len = u32::from_le_bytes(bytes[q + 9..q + 13].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[q + 13..q + 17].try_into().unwrap());
+            let start = q + FRAME_HEADER;
+            if bytes.len() - start >= len {
+                let payload = &bytes[start..start + len];
+                if frame_crc(lsn, len as u32, payload) == crc && Record::decode(payload).is_ok() {
+                    return true;
+                }
+            }
+        }
+        q += 1;
+    }
+    false
 }
 
 /// Applies the redo filter: returns the records that take effect, in log
@@ -149,7 +211,7 @@ mod tests {
     }
 
     #[test]
-    fn crc_corruption_stops_parse() {
+    fn crc_corruption_is_not_torn() {
         let mut j = Journal::in_memory(1);
         j.append(&rec("/a")).unwrap();
         j.append(&rec("/b")).unwrap();
@@ -158,18 +220,99 @@ mod tests {
         bytes[last] ^= 0xFF; // flip a payload byte of the second frame
         let log = read_records(&bytes);
         assert_eq!(log.records.len(), 1);
-        assert!(matches!(log.tail, TailState::Torn { .. }));
+        // The frame is fully present, so this cannot be a torn write.
+        assert!(matches!(log.tail, TailState::Corrupted { .. }));
     }
 
     #[test]
-    fn bad_magic_is_torn() {
+    fn bad_magic_is_corrupted() {
         let mut j = Journal::in_memory(1);
         j.append(&rec("/a")).unwrap();
         let mut bytes = j.bytes();
         bytes.push(0x00); // garbage after a valid frame
         let log = read_records(&bytes);
         assert_eq!(log.records.len(), 1);
-        assert!(matches!(log.tail, TailState::Torn { .. }));
+        // Truncation never rewrites a boundary byte: wrong magic means
+        // corruption, not a torn append.
+        assert!(matches!(log.tail, TailState::Corrupted { .. }));
+    }
+
+    #[test]
+    fn mid_log_corruption_is_flagged_not_swallowed() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        j.append(&rec("/c")).unwrap();
+        let bytes = j.bytes();
+        let frame = bytes.len() / 3;
+        // Flip one byte in every position of the middle frame: committed
+        // history (/c) follows, so every flip must read as Corrupted at
+        // the middle frame's offset — never Torn, never Clean.
+        for i in frame..2 * frame {
+            let mut dmg = bytes.clone();
+            dmg[i] ^= 0x01;
+            let log = read_records(&dmg);
+            assert_eq!(
+                log.tail,
+                TailState::Corrupted { offset: frame },
+                "flip at byte {i} must corrupt the middle frame"
+            );
+            assert_eq!(log.records.len(), 1, "only the first record precedes the damage");
+        }
+    }
+
+    #[test]
+    fn corrupted_len_field_on_final_frame_is_detected() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        let bytes = j.bytes();
+        let second = bytes.len() / 2;
+        // Grow the final frame's len field so the payload appears short.
+        // The frame is fully present (its CRC proves it), so this is
+        // corruption, not a torn tail.
+        let len_byte = second + 9;
+        let mut dmg = bytes.clone();
+        dmg[len_byte] = dmg[len_byte].wrapping_add(3);
+        let log = read_records(&dmg);
+        assert_eq!(log.tail, TailState::Corrupted { offset: second });
+    }
+
+    #[test]
+    fn non_monotonic_lsn_is_corrupted() {
+        let mut a = Journal::in_memory(1);
+        a.append(&rec("/a")).unwrap();
+        a.append(&rec("/b")).unwrap();
+        let two = a.bytes();
+        let mut b = Journal::in_memory(1);
+        b.append(&rec("/c")).unwrap();
+        // Splice a frame with lsn=1 after frames with lsn=1,2: valid CRC,
+        // but the LSN sequence goes backwards.
+        let mut spliced = two.clone();
+        spliced.extend_from_slice(&b.bytes());
+        let log = read_records(&spliced);
+        assert_eq!(log.records.len(), 2);
+        assert_eq!(log.tail, TailState::Corrupted { offset: two.len() });
+    }
+
+    #[test]
+    fn genuine_truncations_stay_torn() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        j.append(&rec("/b")).unwrap();
+        let bytes = j.bytes();
+        let second = bytes.len() / 2;
+        // Every proper prefix cut inside the second frame is a torn tail,
+        // not corruption: nothing durable follows the cut.
+        for cut in second + 1..bytes.len() {
+            let log = read_records(&bytes[..cut]);
+            assert_eq!(log.records.len(), 1);
+            assert_eq!(
+                log.tail,
+                TailState::Torn { offset: second },
+                "cut at {cut} is a truncation and must stay Torn"
+            );
+        }
     }
 
     #[test]

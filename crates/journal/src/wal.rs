@@ -9,7 +9,10 @@
 //! +------+---------+---------+---------+------------------+
 //! ```
 //!
-//! `crc` is the IEEE CRC-32 of the payload. Records are buffered and
+//! `crc` is the IEEE CRC-32 of `lsn || len || payload` (header fields in
+//! their little-endian encoding), so a flipped bit anywhere in the frame —
+//! including the LSN or length — fails verification instead of being
+//! replayed with a wrong header. Records are buffered and
 //! flushed to storage in groups of `batch` records (group commit);
 //! transaction commit/rollback and snapshot records force a flush so the
 //! commit decision is always durable. Only flushed bytes survive a crash —
@@ -30,6 +33,14 @@ pub const FRAME_HEADER: usize = 1 + 8 + 4 + 4;
 
 /// Default group-commit batch size (records per flush).
 pub const DEFAULT_BATCH: usize = 16;
+
+/// The frame checksum: CRC-32 over the `lsn` and `len` header fields (in
+/// their little-endian wire encoding) followed by the payload. Covering
+/// the header means a corrupted LSN or length is detected rather than
+/// trusted during replay.
+pub fn frame_crc(lsn: u64, len: u32, payload: &[u8]) -> u32 {
+    crate::codec::crc32_parts(&[&lsn.to_le_bytes(), &len.to_le_bytes(), payload])
+}
 
 /// Byte-level log storage. The in-memory implementation stands in for an
 /// append-only file; the fault harness wraps one to cut writes short.
@@ -146,11 +157,17 @@ impl Journal {
         self.pending.push(FRAME_MAGIC);
         self.pending.extend_from_slice(&lsn.to_le_bytes());
         self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.pending.extend_from_slice(&crate::codec::crc32(&payload).to_le_bytes());
+        self.pending
+            .extend_from_slice(&frame_crc(lsn, payload.len() as u32, &payload).to_le_bytes());
         self.pending.extend_from_slice(&payload);
         self.pending_records += 1;
         self.stats.records += 1;
+        maxoid_obs::counter_add("journal.records", 1);
         if rec.forces_flush() || self.pending_records >= self.batch {
+            maxoid_obs::counter_add(
+                if rec.forces_flush() { "journal.flushes_forced" } else { "journal.flushes_batch" },
+                1,
+            );
             self.flush()?;
         }
         Ok(lsn)
@@ -161,7 +178,14 @@ impl Journal {
         if self.pending.is_empty() {
             return Ok(());
         }
+        let mut sp = maxoid_obs::span("journal.flush");
         let n = self.pending.len() as u64;
+        if sp.is_active() {
+            sp.field("bytes", n.to_string());
+            sp.field("records", self.pending_records.to_string());
+            maxoid_obs::observe("journal.flush_bytes", n);
+            maxoid_obs::observe("journal.flush_records", self.pending_records as u64);
+        }
         let res = self.storage.append(&self.pending);
         self.pending.clear();
         self.pending_records = 0;
@@ -169,10 +193,13 @@ impl Journal {
             Ok(()) => {
                 self.stats.flushes += 1;
                 self.stats.bytes_flushed += n;
+                maxoid_obs::counter_add("journal.flushes", 1);
+                maxoid_obs::counter_add("journal.bytes_flushed", n);
                 Ok(())
             }
             Err(e) => {
                 self.stats.io_errors += 1;
+                maxoid_obs::counter_add("journal.io_errors", 1);
                 Err(e)
             }
         }

@@ -100,15 +100,20 @@ impl Kernel {
         ctx: ExecContext,
         ns: MountNamespace,
     ) -> KernelResult<Pid> {
+        let mut sp = maxoid_obs::span("kernel.spawn");
+        sp.field_with("app", || app.0.clone());
+        sp.field_with("ctx", || format!("{ctx:?}"));
         let uid = self.uid_of(app)?;
         let pid = Pid(self.next_pid);
         self.next_pid += 1;
+        maxoid_obs::counter_add("kernel.spawns", 1);
         self.procs.insert(pid, Process { pid, app: app.clone(), uid, ctx, ns });
         Ok(pid)
     }
 
     /// Terminates a process.
     pub fn kill(&mut self, pid: Pid) -> KernelResult<()> {
+        let _sp = maxoid_obs::span("kernel.kill");
         self.procs.remove(&pid).map(|_| ()).ok_or(KernelError::NoSuchProcess)
     }
 
@@ -136,44 +141,58 @@ impl Kernel {
         Ok((p.cred(), &p.ns))
     }
 
+    /// Opens a syscall span tagged with the syscall name and path.
+    fn syscall_span(name: &'static str, path: &VPath) -> maxoid_obs::SpanGuard {
+        let mut sp = maxoid_obs::span(name);
+        sp.field_with("path", || path.to_string());
+        sp
+    }
+
     /// `read()`: reads a whole file.
     pub fn read(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<u8>> {
+        let _sp = Self::syscall_span("kernel.read", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.read(cred, ns, path)?)
     }
 
     /// `write()`: creates or truncates a file.
     pub fn write(&self, pid: Pid, path: &VPath, data: &[u8], mode: Mode) -> KernelResult<()> {
+        let _sp = Self::syscall_span("kernel.write", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.write(cred, ns, path, data, mode)?)
     }
 
     /// `write()` with `O_APPEND`.
     pub fn append(&self, pid: Pid, path: &VPath, data: &[u8]) -> KernelResult<()> {
+        let _sp = Self::syscall_span("kernel.append", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.append(cred, ns, path, data)?)
     }
 
     /// `unlink()`.
     pub fn unlink(&self, pid: Pid, path: &VPath) -> KernelResult<()> {
+        let _sp = Self::syscall_span("kernel.unlink", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.unlink(cred, ns, path)?)
     }
 
     /// `mkdir -p`.
     pub fn mkdir_all(&self, pid: Pid, path: &VPath, mode: Mode) -> KernelResult<()> {
+        let _sp = Self::syscall_span("kernel.mkdir_all", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.mkdir_all(cred, ns, path, mode)?)
     }
 
     /// `readdir()`.
     pub fn read_dir(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<maxoid_vfs::DirEntry>> {
+        let _sp = Self::syscall_span("kernel.read_dir", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.read_dir(cred, ns, path)?)
     }
 
     /// `stat()`.
     pub fn stat(&self, pid: Pid, path: &VPath) -> KernelResult<Metadata> {
+        let _sp = Self::syscall_span("kernel.stat", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.stat(cred, ns, path)?)
     }
@@ -185,6 +204,8 @@ impl Kernel {
 
     /// `rename()` within a mount.
     pub fn rename(&self, pid: Pid, from: &VPath, to: &VPath) -> KernelResult<()> {
+        let mut sp = Self::syscall_span("kernel.rename", from);
+        sp.field_with("to", || to.to_string());
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.rename(cred, ns, from, to)?)
     }
@@ -192,6 +213,7 @@ impl Kernel {
     /// `open()`: returns a handle that can be passed across processes
     /// (the ParcelFileDescriptor mechanism).
     pub fn open(&self, pid: Pid, path: &VPath, mode: OpenMode) -> KernelResult<FileHandle> {
+        let _sp = Self::syscall_span("kernel.open", path);
         let (cred, ns) = self.task(pid)?;
         Ok(self.vfs.open(cred, ns, path, mode)?)
     }
@@ -209,11 +231,15 @@ impl Kernel {
     /// `connect()`: Maxoid emulates loss of network connection for
     /// delegates by returning `ENETUNREACH` (§6.2 item 3.2).
     pub fn connect(&self, pid: Pid, host: &str) -> KernelResult<()> {
+        let mut sp = maxoid_obs::span("kernel.connect");
+        sp.field_with("host", || host.to_string());
         let p = self.process(pid)?;
         if p.ctx.is_delegate() {
             let trusted =
                 self.trusted_cloud.as_ref().map(|hosts| hosts.contains(host)).unwrap_or(false);
             if !trusted {
+                maxoid_obs::counter_add("kernel.net_denied", 1);
+                sp.field("outcome", "ENETUNREACH");
                 return Err(KernelError::NetworkUnreachable);
             }
         }
@@ -225,6 +251,8 @@ impl Kernel {
 
     /// Fetches a URL: `connect()` check plus transfer.
     pub fn http_get(&mut self, pid: Pid, url: &str) -> KernelResult<Vec<u8>> {
+        let mut sp = maxoid_obs::span("kernel.http_get");
+        sp.field_with("url", || url.to_string());
         let (host, path) = Network::split_url(url)?;
         self.connect(pid, host)?;
         self.net.fetch(host, path)
@@ -233,10 +261,15 @@ impl Kernel {
     /// Binder transaction check (§3.4): delegates may only reach system
     /// services, their initiator, and co-delegates of the same initiator.
     pub fn binder_check(&self, from: Pid, to: &BinderEndpoint) -> KernelResult<()> {
+        let mut sp = maxoid_obs::span("kernel.binder_check");
+        sp.field_with("to", || format!("{to:?}"));
         let p = self.process(from)?;
         if binder_allowed(p, to) {
+            maxoid_obs::counter_add("kernel.binder_allowed", 1);
             Ok(())
         } else {
+            maxoid_obs::counter_add("kernel.binder_denied", 1);
+            sp.field("outcome", "EPERM");
             Err(KernelError::PermissionDenied)
         }
     }

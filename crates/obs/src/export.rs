@@ -1,0 +1,131 @@
+//! Export formats: JSON-lines for tooling, an indented span tree for
+//! humans. JSON is hand-rolled (the workspace carries no serde) with the
+//! same escaping rules as `maxoid-bench`'s report writer.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::{Snapshot, SpanRecord};
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Snapshot {
+    /// Renders the snapshot as JSON-lines: one object per span, counter
+    /// and histogram. Span fields become a nested `"fields"` object.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            let parent = match span.parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            let mut fields = String::new();
+            for (i, (k, v)) in span.fields.iter().enumerate() {
+                if i > 0 {
+                    fields.push(',');
+                }
+                let _ = write!(fields, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+            }
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"start_ns\":{},\"dur_ns\":{},\"fields\":{{{}}}}}",
+                span.id,
+                parent,
+                json_escape(span.name),
+                span.start_ns,
+                span.dur_ns,
+                fields,
+            );
+        }
+        for (name, value) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{}}}",
+                json_escape(name),
+                value,
+            );
+        }
+        for (name, h) in &self.histograms {
+            // Sparse bucket encoding: only non-empty buckets.
+            let mut buckets = String::new();
+            for (idx, n) in h.buckets.iter().enumerate().filter(|(_, n)| **n > 0) {
+                if !buckets.is_empty() {
+                    buckets.push(',');
+                }
+                let _ = write!(buckets, "\"{idx}\":{n}");
+            }
+            let min = if h.count == 0 { 0 } else { h.min };
+            let _ = writeln!(
+                out,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{{}}}}}",
+                json_escape(name),
+                h.count,
+                h.sum,
+                min,
+                h.max,
+                buckets,
+            );
+        }
+        out
+    }
+
+    /// Renders collected spans as an indented tree, children under their
+    /// parents in start order, with durations and fields inline.
+    pub fn render_span_tree(&self) -> String {
+        let mut children: BTreeMap<Option<u64>, Vec<&SpanRecord>> = BTreeMap::new();
+        let mut ids: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for span in &self.spans {
+            ids.insert(span.id);
+        }
+        for span in &self.spans {
+            // A span whose parent was dropped before collection (or opened
+            // before tracing was enabled) renders as a root.
+            let key = span.parent.filter(|p| ids.contains(p));
+            children.entry(key).or_default().push(span);
+        }
+        for list in children.values_mut() {
+            list.sort_by_key(|s| (s.start_ns, s.id));
+        }
+        let mut out = String::new();
+        fn render(
+            out: &mut String,
+            children: &BTreeMap<Option<u64>, Vec<&SpanRecord>>,
+            parent: Option<u64>,
+            depth: usize,
+        ) {
+            let Some(list) = children.get(&parent) else { return };
+            for span in list {
+                let _ = write!(
+                    out,
+                    "{}{} ({:.1}us)",
+                    "  ".repeat(depth),
+                    span.name,
+                    span.dur_ns as f64 / 1000.0
+                );
+                for (k, v) in &span.fields {
+                    let _ = write!(out, " {k}={v}");
+                }
+                out.push('\n');
+                render(out, children, Some(span.id), depth + 1);
+            }
+        }
+        render(&mut out, &children, None, 0);
+        out
+    }
+}

@@ -1,0 +1,192 @@
+//! maxoid-obs: structured tracing and metrics for the delegation stack.
+//!
+//! Every layer of the substrate — kernel syscalls/Binder, vfs union ops,
+//! sqldb parse/plan/exec, the COW proxy's view rewrites, journal group
+//! commit, and the core delegation lifecycle — emits into one global
+//! collector through three primitives:
+//!
+//! * **spans** ([`span`]) — hierarchical enter/exit records with wall
+//!   time, parent links (per-thread stack) and `key=value` fields;
+//! * **counters** ([`counter_add`]) — monotonically increasing `u64`s;
+//! * **histograms** ([`observe`]) — log2-bucketed value distributions.
+//!
+//! Observability is **off by default** and zero-overhead when disabled:
+//! every entry point checks one relaxed atomic load and returns before
+//! allocating, locking or reading the clock. Tests and benches assert on
+//! the in-memory [`Snapshot`]; tooling consumes [`Snapshot::to_jsonl`];
+//! humans read [`Snapshot::render_span_tree`].
+//!
+//! The collector is process-global on purpose: the instrumented layers
+//! (union FS internals, planner, WAL flush) have no channel to thread a
+//! handle through without distorting the APIs under observation — the
+//! same reason `log`/`tracing` use global dispatchers.
+
+mod export;
+mod registry;
+mod span;
+
+pub use registry::{counter, counter_add, histogram, observe, Histogram};
+pub use span::{annotate, disable, enable, enabled, span, SpanGuard, SpanRecord};
+
+use std::collections::BTreeMap;
+
+/// A point-in-time copy of everything the collector holds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Finished spans in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+/// Copies the current collector contents without draining them.
+pub fn snapshot() -> Snapshot {
+    Snapshot {
+        spans: span::collected_spans(),
+        counters: registry::counters(),
+        histograms: registry::histograms(),
+    }
+}
+
+/// Drains the collector: returns everything gathered so far and resets
+/// spans, counters and histograms to empty.
+pub fn take_snapshot() -> Snapshot {
+    Snapshot {
+        spans: span::drain_spans(),
+        counters: registry::drain_counters(),
+        histograms: registry::drain_histograms(),
+    }
+}
+
+/// Clears all collected data (the enabled flag is left as-is).
+pub fn reset() {
+    let _ = take_snapshot();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that toggle the global enabled flag.
+    static GATE: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = locked();
+        disable();
+        reset();
+        {
+            let mut sp = span("noop");
+            sp.field("k", "v");
+            counter_add("c", 5);
+            observe("h", 9);
+            annotate("a", "b".into());
+        }
+        let snap = snapshot();
+        assert!(snap.spans.is_empty());
+        assert!(snap.counters.is_empty());
+        assert!(snap.histograms.is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_carry_fields() {
+        let _g = locked();
+        enable();
+        reset();
+        {
+            let mut outer = span("outer");
+            outer.field("who", "test");
+            {
+                let _inner = span("inner");
+                annotate("note", "from annotate".to_string());
+            }
+        }
+        disable();
+        let snap = take_snapshot();
+        assert_eq!(snap.spans.len(), 2);
+        // Completion order: inner finishes first.
+        let inner = &snap.spans[0];
+        let outer = &snap.spans[1];
+        assert_eq!(inner.name, "inner");
+        assert_eq!(outer.name, "outer");
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        assert!(outer.fields.iter().any(|(k, v)| *k == "who" && v == "test"));
+        assert!(inner.fields.iter().any(|(k, v)| *k == "note" && v == "from annotate"));
+    }
+
+    #[test]
+    fn counters_and_histograms_accumulate() {
+        let _g = locked();
+        enable();
+        reset();
+        counter_add("x", 2);
+        counter_add("x", 3);
+        observe("sizes", 0);
+        observe("sizes", 1);
+        observe("sizes", 1000);
+        disable();
+        let snap = take_snapshot();
+        assert_eq!(snap.counters.get("x"), Some(&5));
+        let h = snap.histograms.get("sizes").expect("histogram");
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1001);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0 -> bucket 0, 1 -> bucket 1, 1000 -> bucket 10 (512..1023).
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[10], 1);
+    }
+
+    #[test]
+    fn convenience_readers() {
+        let _g = locked();
+        enable();
+        reset();
+        counter_add("reads", 7);
+        observe("lat", 4);
+        assert_eq!(counter("reads"), 7);
+        assert_eq!(counter("absent"), 0);
+        assert_eq!(histogram("lat").map(|h| h.count), Some(1));
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn jsonl_and_tree_render() {
+        let _g = locked();
+        enable();
+        reset();
+        {
+            let mut a = span("delegation.commit");
+            a.field("init", "com.dropbox");
+            let _b = span("journal.flush");
+        }
+        counter_add("journal.flushes", 1);
+        observe("journal.flush_bytes", 4096);
+        disable();
+        let snap = take_snapshot();
+        let jsonl = snap.to_jsonl();
+        assert!(jsonl.lines().count() >= 4);
+        assert!(jsonl.contains("\"type\":\"span\""));
+        assert!(jsonl.contains("\"type\":\"counter\""));
+        assert!(jsonl.contains("\"type\":\"histogram\""));
+        assert!(jsonl.contains("\"init\":\"com.dropbox\""));
+        for line in jsonl.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        }
+        let tree = snap.render_span_tree();
+        assert!(tree.contains("delegation.commit"));
+        // The child is indented under its parent.
+        let child_line = tree.lines().find(|l| l.contains("journal.flush")).unwrap();
+        assert!(child_line.starts_with("  "), "child must be indented: {child_line:?}");
+    }
+}

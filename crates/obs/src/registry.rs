@@ -1,0 +1,122 @@
+//! Metrics registry: named counters and log2-bucket histograms.
+//!
+//! Like spans, every mutation checks [`enabled`](crate::enabled) first and
+//! is free when tracing is off. Names are `&'static str` dot-namespaced by
+//! layer (`journal.flushes`, `vfs.union.copy_up_bytes`, ...).
+
+use std::collections::BTreeMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+
+use crate::span::enabled;
+
+/// Number of histogram buckets: one for zero plus one per bit of a u64.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log2-bucketed histogram. `buckets[0]` counts zeros; `buckets[k]` for
+/// `k >= 1` counts values in `[2^(k-1), 2^k - 1]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], count: 0, sum: 0, min: u64::MAX, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Bucket index for a value: 0 for 0, otherwise `64 - leading_zeros`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of recorded values, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+struct Registry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry { counters: BTreeMap::new(), histograms: BTreeMap::new() })
+    })
+}
+
+/// Adds `delta` to the named counter. Free when tracing is disabled.
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() || delta == 0 {
+        return;
+    }
+    *registry().lock().counters.entry(name).or_insert(0) += delta;
+}
+
+/// Records one observation into the named histogram. Free when disabled.
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    registry().lock().histograms.entry(name).or_default().record(value);
+}
+
+/// Current value of a counter (0 when absent).
+pub fn counter(name: &str) -> u64 {
+    registry().lock().counters.get(name).copied().unwrap_or(0)
+}
+
+/// Copy of a histogram, if it has any observations.
+pub fn histogram(name: &str) -> Option<Histogram> {
+    registry().lock().histograms.get(name).cloned()
+}
+
+pub(crate) fn counters() -> BTreeMap<String, u64> {
+    registry().lock().counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+}
+
+pub(crate) fn histograms() -> BTreeMap<String, Histogram> {
+    registry().lock().histograms.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+}
+
+pub(crate) fn drain_counters() -> BTreeMap<String, u64> {
+    let mut reg = registry().lock();
+    let out = reg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+    reg.counters.clear();
+    out
+}
+
+pub(crate) fn drain_histograms() -> BTreeMap<String, Histogram> {
+    let mut reg = registry().lock();
+    let out = reg.histograms.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
+    reg.histograms.clear();
+    out
+}

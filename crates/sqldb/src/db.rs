@@ -221,6 +221,61 @@ pub(crate) struct TxSnapshot {
     triggers: BTreeMap<String, TriggerDef>,
 }
 
+/// Point-in-time copy of the [`Stats`] counters, taken before a statement
+/// runs so the per-statement delta can be mirrored into the obs registry.
+/// Only constructed while tracing is enabled; `db.stats` itself stays the
+/// source of truth either way (obs mirroring reads it, never writes it).
+struct StatsMark {
+    rows_scanned: u64,
+    point_lookups: u64,
+    index_probes: u64,
+    rows_cloned: u64,
+    flattened_queries: u64,
+    materialized_views: u64,
+    access_paths_len: usize,
+}
+
+impl StatsMark {
+    fn take(stats: &Stats) -> Option<StatsMark> {
+        if !maxoid_obs::enabled() {
+            return None;
+        }
+        Some(StatsMark {
+            rows_scanned: stats.rows_scanned.get(),
+            point_lookups: stats.point_lookups.get(),
+            index_probes: stats.index_probes.get(),
+            rows_cloned: stats.rows_cloned.get(),
+            flattened_queries: stats.flattened_queries.get(),
+            materialized_views: stats.materialized_views.get(),
+            access_paths_len: stats.access_paths.borrow().len(),
+        })
+    }
+
+    /// Mirrors the counter growth since the mark into the obs registry and
+    /// annotates the statement span with any new access-path choices.
+    fn mirror(self, stats: &Stats, sp: &mut maxoid_obs::SpanGuard) {
+        maxoid_obs::counter_add("sqldb.rows_scanned", stats.rows_scanned.get() - self.rows_scanned);
+        maxoid_obs::counter_add(
+            "sqldb.point_lookups",
+            stats.point_lookups.get() - self.point_lookups,
+        );
+        maxoid_obs::counter_add("sqldb.index_probes", stats.index_probes.get() - self.index_probes);
+        maxoid_obs::counter_add("sqldb.rows_cloned", stats.rows_cloned.get() - self.rows_cloned);
+        maxoid_obs::counter_add(
+            "sqldb.flattened_queries",
+            stats.flattened_queries.get() - self.flattened_queries,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.materialized_views",
+            stats.materialized_views.get() - self.materialized_views,
+        );
+        let paths = stats.access_paths.borrow();
+        for line in paths.iter().skip(self.access_paths_len) {
+            sp.field("access_path", line.clone());
+        }
+    }
+}
+
 impl Database {
     /// Creates an empty database with the default (modern) planner policy.
     pub fn new() -> Self {
@@ -268,8 +323,14 @@ impl Database {
 
     /// Executes a single statement with positional parameters.
     pub fn execute(&mut self, sql: &str, params: &[Value]) -> SqlResult<ExecOutcome> {
+        let mut sp = maxoid_obs::span("sqldb.execute");
+        sp.field_with("sql", || sql.to_string());
+        let mark = StatsMark::take(&self.stats);
         let stmt = self.prepare(sql)?;
         let out = self.exec_stmt(&stmt, params, None)?;
+        if let Some(mark) = mark {
+            mark.mirror(&self.stats, &mut sp);
+        }
         if self.journal.is_some() && Self::loggable(&stmt) {
             self.emit_sql(sql, params);
         }
@@ -279,8 +340,12 @@ impl Database {
     /// Parses a statement through the prepared-statement cache.
     fn prepare(&self, sql: &str) -> SqlResult<Stmt> {
         if let Some(stmt) = self.stmt_cache.borrow().get(sql) {
+            maxoid_obs::counter_add("sqldb.stmt_cache_hits", 1);
             return Ok(stmt.clone());
         }
+        let mut sp = maxoid_obs::span("sqldb.parse");
+        sp.field_with("sql", || sql.to_string());
+        maxoid_obs::counter_add("sqldb.stmt_cache_misses", 1);
         let stmt = parse_statement(sql)?;
         let mut cache = self.stmt_cache.borrow_mut();
         if cache.len() >= 512 {
@@ -299,9 +364,15 @@ impl Database {
     /// crash consistency across fallible batches bracket them in a
     /// transaction, whose rollback discards the partial work anyway.
     pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
+        let mut sp = maxoid_obs::span("sqldb.batch");
+        let mark = StatsMark::take(&self.stats);
         let stmts = parse_statements(sql)?;
+        sp.field_with("statements", || stmts.len().to_string());
         for stmt in &stmts {
             self.exec_stmt(stmt, &[], None)?;
+        }
+        if let Some(mark) = mark {
+            mark.mirror(&self.stats, &mut sp);
         }
         if self.journal.is_some() && stmts.iter().any(Self::loggable) {
             self.emit_sql(sql, &[]);
@@ -314,11 +385,19 @@ impl Database {
     /// Unlike [`Database::execute`] this takes `&self`: SELECT cannot
     /// mutate, so concurrent readers can share the database.
     pub fn query(&self, sql: &str, params: &[Value]) -> SqlResult<ResultSet> {
+        let mut sp = maxoid_obs::span("sqldb.query");
+        sp.field_with("sql", || sql.to_string());
+        let mark = StatsMark::take(&self.stats);
         let stmt = self.prepare(sql)?;
         match stmt {
             Stmt::Select(s) => {
                 let cache: SubqueryCache = SubqueryCache::default();
-                self.exec_select(&s, params, None, &cache, 0)
+                let rs = self.exec_select(&s, params, None, &cache, 0)?;
+                if let Some(mark) = mark {
+                    sp.field_with("rows", || rs.rows.len().to_string());
+                    mark.mirror(&self.stats, &mut sp);
+                }
+                Ok(rs)
             }
             _ => Err(SqlError::Unsupported("query() requires a SELECT".into())),
         }

@@ -194,6 +194,7 @@ impl Union {
         for comp in rel.split('/') {
             if let Ok(wh) = dir.join(&whiteout_name(comp)) {
                 if store.exists(&wh) {
+                    maxoid_obs::counter_add("vfs.union.whiteout_hits", 1);
                     return true;
                 }
             }
@@ -207,15 +208,19 @@ impl Union {
 
     /// Finds the highest-priority branch where `rel` is visible.
     pub fn effective(&self, store: &Store, rel: &str) -> Option<Located> {
+        maxoid_obs::counter_add("vfs.union.lookups", 1);
         for (i, br) in self.branches.iter().enumerate() {
             let host = join_rel(&br.host, rel).ok()?;
             if store.exists(&host) {
+                maxoid_obs::observe("vfs.union.lookup_depth", i as u64 + 1);
                 return Some(Located { branch: i, host });
             }
             if self.hides_lower(store, i, rel) {
+                maxoid_obs::observe("vfs.union.lookup_depth", i as u64 + 1);
                 return None;
             }
         }
+        maxoid_obs::observe("vfs.union.lookup_depth", self.branches.len() as u64);
         None
     }
 
@@ -239,6 +244,8 @@ impl Union {
     /// Reads the visible version of a file, merging any append-delta in
     /// block-granularity mode.
     pub fn read(&self, store: &Store, rel: &str) -> VfsResult<Vec<u8>> {
+        let mut sp = maxoid_obs::span("vfs.union.read");
+        sp.field_with("rel", || rel.to_string());
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
         let mut data = store.read(&loc.host)?;
         if loc.branch != 0 {
@@ -305,6 +312,8 @@ impl Union {
         if rel.is_empty() {
             return Err(VfsError::IsADirectory);
         }
+        let mut sp = maxoid_obs::span("vfs.union.write");
+        sp.field_with("rel", || rel.to_string());
         if let Some(loc) = self.effective(store, rel) {
             if store.stat(&loc.host)?.is_dir {
                 return Err(VfsError::IsADirectory);
@@ -325,6 +334,8 @@ impl Union {
     /// unless the union runs in [`CopyUpGranularity::Block`] mode, where
     /// only the appended bytes are written to a per-file delta.
     pub fn append(&self, store: &mut Store, rel: &str, data: &[u8]) -> VfsResult<()> {
+        let mut sp = maxoid_obs::span("vfs.union.append");
+        sp.field_with("rel", || rel.to_string());
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
         let meta = store.stat(&loc.host)?;
         if meta.is_dir {
@@ -340,6 +351,9 @@ impl Union {
                 // preserving the original owner and mode (Aufs behaviour).
                 let top_host = join_rel(&self.top()?.host, rel)?;
                 let original = store.read(&loc.host)?;
+                maxoid_obs::counter_add("vfs.union.copy_ups", 1);
+                maxoid_obs::observe("vfs.union.copy_up_bytes", original.len() as u64);
+                sp.field_with("copy_up_bytes", || original.len().to_string());
                 self.ensure_parents(store, rel, meta.owner)?;
                 self.clear_whiteout(store, rel)?;
                 store.write(&top_host, &original, meta.owner, meta.mode)?;
@@ -347,6 +361,7 @@ impl Union {
             }
             CopyUpGranularity::Block => {
                 // Write only the new bytes into the append-delta.
+                maxoid_obs::counter_add("vfs.union.append_deltas", 1);
                 self.ensure_parents(store, rel, meta.owner)?;
                 self.clear_whiteout(store, rel)?;
                 let delta = self.delta_host(rel)?;
@@ -369,11 +384,15 @@ impl Union {
         if loc.branch == 0 {
             return Ok(top_host);
         }
+        let mut sp = maxoid_obs::span("vfs.union.copy_up");
+        sp.field_with("rel", || rel.to_string());
         let meta = store.stat(&loc.host)?;
         if meta.is_dir {
             return Err(VfsError::IsADirectory);
         }
         let mut original = store.read(&loc.host)?;
+        maxoid_obs::counter_add("vfs.union.copy_ups", 1);
+        maxoid_obs::observe("vfs.union.copy_up_bytes", original.len() as u64);
         if let Some(delta) = self.delta_bytes(store, rel) {
             original.extend_from_slice(&delta);
         }
@@ -387,6 +406,8 @@ impl Union {
     /// Deletes a file: removed from the top branch and/or hidden from lower
     /// branches with a whiteout.
     pub fn unlink(&self, store: &mut Store, rel: &str) -> VfsResult<()> {
+        let mut sp = maxoid_obs::span("vfs.union.unlink");
+        sp.field_with("rel", || rel.to_string());
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
         if store.stat(&loc.host)?.is_dir {
             return Err(VfsError::IsADirectory);
@@ -405,6 +426,7 @@ impl Union {
             .skip(1)
             .any(|(_, br)| join_rel(&br.host, rel).map(|h| store.exists(&h)).unwrap_or(false));
         if lower_exists {
+            maxoid_obs::counter_add("vfs.union.whiteouts_created", 1);
             self.ensure_parents(store, rel, Uid::ROOT)?;
             let (parent, name) = split_rel(rel);
             let wh = join_rel(&top, parent)?.join(&whiteout_name(name))?;

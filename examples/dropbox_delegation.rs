@@ -8,6 +8,11 @@
 //! sees clean state, and the user explicitly commits the edits they want.
 //!
 //! Run with: `cargo run -p maxoid-examples --bin dropbox_delegation`
+//!
+//! Pass `--trace` (or set `MAXOID_TRACE=1`) to record the Maxoid run with
+//! `maxoid-obs` and render the full span tree of the delegation — kernel
+//! syscalls, union-fs copy-ups, cow-proxy rewrites and the journal all
+//! nested under the delegation lifecycle spans.
 
 use maxoid::manifest::MaxoidManifest;
 use maxoid::MaxoidSystem;
@@ -15,10 +20,25 @@ use maxoid_apps::{install_viewer, AdobeReader, Dropbox, FileRef};
 use maxoid_vfs::Mode;
 
 fn main() {
+    let trace = std::env::args().any(|a| a == "--trace")
+        || std::env::var("MAXOID_TRACE").map(|v| v == "1").unwrap_or(false);
     println!("=== Stock Android ===");
     stock_android();
     println!("\n=== Maxoid ===");
+    if trace {
+        maxoid_obs::enable();
+    }
     maxoid_mode();
+    if trace {
+        maxoid_obs::disable();
+        let snap = maxoid_obs::take_snapshot();
+        println!("\n=== Trace: span tree of the delegation ===");
+        print!("{}", snap.render_span_tree());
+        println!("\n=== Trace: counters ===");
+        for (name, value) in &snap.counters {
+            println!("  {name} = {value}");
+        }
+    }
 }
 
 fn stock_android() {
@@ -47,7 +67,9 @@ fn stock_android() {
 fn maxoid_mode() {
     let dropbox = Dropbox::default();
     let reader = AdobeReader::default();
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    // Journaled boot so the trace also shows the WAL group-commit spans.
+    let mut sys =
+        MaxoidSystem::boot_journaled(maxoid_journal::JournalHandle::with_batch(1)).expect("boot");
     sys.kernel.net.publish("dropbox.example", "notes.txt", b"original notes".to_vec());
     // The paper's fix: declare the storage dir private, VIEW = delegate.
     sys.install(&dropbox.pkg, vec![], dropbox.maxoid_manifest()).expect("install");

@@ -16,10 +16,12 @@
 //! adoption after recovery rediscovers initiators from sanitized
 //! (lowercased) delta-table names.
 
-use maxoid::durability::recover;
+use maxoid::durability::{recover, RecoveryError};
 use maxoid::manifest::MaxoidManifest;
 use maxoid::{Caller, ContentValues, MaxoidSystem, QueryArgs, Uri, VolCommitPlan};
-use maxoid_journal::{crash_prefix, record_boundaries, torn_log, JournalHandle, TailState};
+use maxoid_journal::{
+    crash_prefix, flip_byte, read_records, record_boundaries, torn_log, JournalHandle, TailState,
+};
 use maxoid_providers::provider::ContentProvider;
 use maxoid_providers::UserDictionaryProvider;
 use maxoid_sqldb::Value;
@@ -229,6 +231,68 @@ fn torn_tail_recovers_like_clean_boundary() {
     }
     // Sanity: the clean full log still lands on the committed side.
     assert_eq!(recovered_fingerprint(&log), post);
+}
+
+#[test]
+fn byte_flip_sweep_is_corrupted_never_silently_shortened() {
+    // A fully-flushed multi-record, multi-transaction log: the setup
+    // workload plus the commit_vol journal transaction.
+    let mut sys = journaled_system();
+    let delta_id = seed_volatile_state(&mut sys);
+    let plan = VolCommitPlan {
+        provider_rows: vec![(AUTHORITY.into(), "words".into(), delta_id)],
+        discard_rest: true,
+        ..VolCommitPlan::default()
+    };
+    sys.commit_vol(INITIATOR, &plan).expect("commit_vol");
+    let journal = sys.journal().expect("journaled").clone();
+    journal.flush().unwrap();
+    let post = live_fingerprint(&mut sys);
+
+    let log = journal.bytes();
+    let clean = read_records(&log);
+    assert_eq!(clean.tail, TailState::Clean);
+    assert!(clean.records.len() > 20, "workload must produce a substantial log");
+    assert_eq!(recovered_fingerprint(&log), post, "clean log recovers exactly");
+
+    // Every single-byte flip in a complete log is damage no torn write
+    // can explain: the parse must land on `Corrupted` at or before the
+    // flipped frame — never `Clean`/`Torn` with a shorter history.
+    for offset in 0..log.len() {
+        for mask in [0x01u8, 0x80] {
+            let flipped = flip_byte(&log, offset, mask);
+            let parsed = read_records(&flipped);
+            match parsed.tail {
+                TailState::Corrupted { offset: at } => {
+                    assert!(
+                        at <= offset,
+                        "corruption at byte {offset} reported downstream at {at}"
+                    );
+                    assert!(
+                        parsed.records.len() <= clean.records.len(),
+                        "flip at {offset} grew the history"
+                    );
+                }
+                other => panic!(
+                    "flip at byte {offset} (mask {mask:#04x}) parsed as {other:?} \
+                     with {} of {} records — silently shortened",
+                    parsed.records.len(),
+                    clean.records.len()
+                ),
+            }
+        }
+    }
+
+    // And `recover` fails loudly on corrupted logs rather than booting a
+    // silently truncated substrate (sampled: full recovery is costly).
+    for offset in (0..log.len()).step_by(101) {
+        let flipped = flip_byte(&log, offset, 0xFF);
+        match recover(&flipped) {
+            Err(RecoveryError::Corrupted { .. }) => {}
+            Err(other) => panic!("flip at {offset}: wrong error {other}"),
+            Ok(_) => panic!("flip at {offset}: recovery succeeded on a corrupted log"),
+        }
+    }
 }
 
 #[test]
