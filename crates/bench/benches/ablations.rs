@@ -13,6 +13,9 @@
 //! 4. **Secondary indexes vs full scans**: point queries on a 1000-row
 //!    table with and without an index, plain and through a COW view whose
 //!    delta table mirrors the index on both UNION ALL arms.
+//! 5. **Statement cache vs re-parsing**: the hot-path caches (prepared
+//!    statements, plans, rewrite SQL) against the re-parse-everything
+//!    mode the equivalence proptests compare them to.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use maxoid::manifest::MaxoidManifest;
@@ -131,6 +134,48 @@ fn bench_index_vs_fullscan(c: &mut Criterion) {
                     )
                     .expect("query");
                 std::hint::black_box(rs.rows.len());
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Statement cache vs re-parsing: the same point query and update run
+/// with the hot-path caches at their defaults and with every cache
+/// disabled (re-lex, re-parse, re-plan, re-generate rewrite SQL each
+/// call), on a raw table and through a delegate's COW view.
+fn bench_stmt_cache_vs_reparse(c: &mut Criterion) {
+    use maxoid_sqldb::Database;
+    let mut g = c.benchmark_group("ablation/stmt_cache_vs_reparse");
+    g.sample_size(20);
+    for (name, caches) in [("raw_cached", true), ("raw_reparse", false)] {
+        let mut db = Database::new();
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, data TEXT);").expect("schema");
+        for i in 0..1000 {
+            db.execute("INSERT INTO t (data) VALUES (?)", &[Value::Text(format!("d{i}"))])
+                .expect("seed");
+        }
+        db.set_statement_caches(caches);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = i % 1000 + 1;
+                let rs = db
+                    .query("SELECT data FROM t WHERE _id = ?", &[Value::Integer(i)])
+                    .expect("query");
+                std::hint::black_box(rs.rows.len());
+            });
+        });
+    }
+    for (name, caches) in [("cow_cached", true), ("cow_reparse", false)] {
+        let mut p = cow_table(FlattenPolicy::Sqlite386, 1000, 50);
+        p.set_rewrite_cache(caches);
+        p.db().set_statement_caches(caches);
+        g.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let mut i = 0i64;
+            b.iter(|| {
+                i = i % 1000 + 1;
+                std::hint::black_box(cow_point_query(&p, i));
             });
         });
     }
@@ -271,6 +316,7 @@ criterion_group!(
     benches,
     bench_flattening,
     bench_index_vs_fullscan,
+    bench_stmt_cache_vs_reparse,
     bench_journal_overhead,
     bench_snapshot_vs_unilateral,
     bench_copyup_scaling,

@@ -1,0 +1,130 @@
+//! Hot-path cache ablation: the paper's worst delegate cells from
+//! Table 3, measured with every cache disabled ("before": re-parse,
+//! re-plan and re-generate rewrite SQL on each call) and with the caches
+//! at their defaults ("after"), plus steady-state hit rates.
+//!
+//! Run with: `cargo run --release -p maxoid-bench --bin cache`
+
+use maxoid_bench::{measure, BenchJson, DictMode, DictWorkload, FsMode, FsWorkload, Measurement};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+const TRIALS: usize = 200;
+const ROWS: usize = 1000;
+
+fn main() {
+    let mut json = BenchJson::new();
+    println!("Hot-path caches — delegate cells, caches off (before) vs on (after)");
+    println!("({TRIALS} trials per cell, {ROWS}-row dictionary)\n");
+
+    // --- dict/query 1 word (delegate) ---------------------------------
+    let (q_off, _) = dict_cell(false, 50, |w, i| {
+        std::hint::black_box(w.query_one((i % ROWS) as i64 + 1));
+    });
+    let (q_on, q_warm) = dict_cell(true, 50, |w, i| {
+        std::hint::black_box(w.query_one((i % ROWS) as i64 + 1));
+    });
+    print_pair(&mut json, "dict/query 1 word", &q_off, &q_on);
+
+    // Steady-state statement-cache hit rate of the cached query run:
+    // counters were reset after warmup, so setup misses are excluded.
+    let (sh, sm) = q_warm.borrow().stmt_cache_stats();
+    let stmt_rate = rate(sh, sm);
+    json.push_scalar("cache/stmt_hit_rate", stmt_rate);
+    println!(
+        "  steady-state stmt-cache hit rate    {:>6.1}% ({sh} hits / {sm} misses)",
+        stmt_rate * 100.0
+    );
+    let (rh, rm) = q_warm.borrow().rewrite_cache_stats();
+    let rewrite_rate = rate(rh, rm);
+    json.push_scalar("cache/rewrite_hit_rate", rewrite_rate);
+    println!(
+        "  steady-state rewrite-cache hit rate {:>6.1}% ({rh} hits / {rm} misses)",
+        rewrite_rate * 100.0
+    );
+
+    // --- dict/update (delegate) ---------------------------------------
+    let (u_off, _) = dict_cell(false, 0, |w, _| w.update());
+    let (u_on, _) = dict_cell(true, 0, |w, _| w.update());
+    print_pair(&mut json, "dict/update", &u_off, &u_on);
+
+    // --- fs_4KB/append (delegate, append-after-copy-up) ---------------
+    let (a_off, _) = fs_append_cell(false);
+    let (a_on, fs_warm) = fs_append_cell(true);
+    print_pair(&mut json, "fs_4KB/append", &a_off, &a_on);
+    let (fh, fm) = fs_warm.borrow().resolve_cache_stats();
+    let resolve_rate = rate(fh, fm);
+    json.push_scalar("cache/resolve_hit_rate", resolve_rate);
+    println!(
+        "  steady-state resolve-cache hit rate {:>6.1}% ({fh} hits / {fm} misses)",
+        resolve_rate * 100.0
+    );
+
+    json.write("BENCH_cache.json").expect("write BENCH_cache.json");
+    println!("\n(wrote BENCH_cache.json)");
+}
+
+/// Measures `op` over a delegate dictionary workload with the caches
+/// forced on or off. Statement-cache counters are reset after setup and
+/// warmup so the reported hit rate is steady-state.
+fn dict_cell(
+    caches: bool,
+    warm_updates: usize,
+    op: impl Fn(&mut DictWorkload, usize) + Copy + 'static,
+) -> (Measurement, Rc<RefCell<DictWorkload>>) {
+    let mut w = DictWorkload::new(DictMode::Delegate, ROWS);
+    w.set_caches(caches);
+    for _ in 0..warm_updates {
+        w.update();
+    }
+    if let Some(p) = w.proxy() {
+        p.db().stats.reset();
+    }
+    let w = Rc::new(RefCell::new(w));
+    let w2 = w.clone();
+    let i = Rc::new(RefCell::new(0usize));
+    let m = measure(
+        TRIALS,
+        || {},
+        move || {
+            let mut k = i.borrow_mut();
+            op(&mut w2.borrow_mut(), *k);
+            *k += 1;
+        },
+    );
+    (m, w)
+}
+
+/// Measures repeated 4KB appends to an already-copied-up file through a
+/// delegate's union mount (the resolution-cache steady state: the first
+/// append pays copy-up during warmup, later ones resolve into the top
+/// branch).
+fn fs_append_cell(caches: bool) -> (Measurement, Rc<RefCell<FsWorkload>>) {
+    let mut w = FsWorkload::new(FsMode::Delegate, 1, 4 * 1024);
+    w.set_resolve_caches(caches);
+    // Pay the copy-up outside the timed region.
+    w.append(0, 4 * 1024);
+    let w = Rc::new(RefCell::new(w));
+    let w2 = w.clone();
+    let m = measure(TRIALS, || {}, move || w2.borrow().append(0, 64));
+    (m, w)
+}
+
+fn rate(hits: u64, misses: u64) -> f64 {
+    if hits + misses == 0 {
+        0.0
+    } else {
+        hits as f64 / (hits + misses) as f64
+    }
+}
+
+fn print_pair(json: &mut BenchJson, label: &str, off: &Measurement, on: &Measurement) {
+    json.push(&format!("{label}/delegate/cache_off"), off);
+    json.push(&format!("{label}/delegate/cache_on"), on);
+    let speedup = if on.mean_us() > 0.0 { off.mean_us() / on.mean_us() } else { f64::INFINITY };
+    println!(
+        "  {label:<20} before {:>9.1} us | after {:>9.1} us | {speedup:>5.2}x",
+        off.mean_us(),
+        on.mean_us(),
+    );
+}

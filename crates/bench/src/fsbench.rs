@@ -92,6 +92,19 @@ impl FsWorkload {
         self.dir.join(&format!("orig{i}.dat")).expect("valid name")
     }
 
+    /// Enables or disables the union-mount resolution caches of the
+    /// benched process (no-op in Android mode, which has no union
+    /// mounts). The `cache` bench's before/after cells toggle this.
+    pub fn set_resolve_caches(&mut self, on: bool) {
+        let _ = self.sys.kernel.set_resolve_caches(self.pid, on);
+    }
+
+    /// Aggregate `(hits, misses)` of the benched process' resolution
+    /// caches.
+    pub fn resolve_cache_stats(&self) -> (u64, u64) {
+        self.sys.kernel.resolve_cache_stats(self.pid).unwrap_or((0, 0))
+    }
+
     /// Reads a seeded file.
     pub fn read(&self, i: usize) {
         self.sys.kernel.read(self.pid, &self.seeded(i)).expect("read");

@@ -102,6 +102,35 @@ impl DictWorkload {
         self.provider.as_ref().map(|p| p.proxy())
     }
 
+    /// Enables or disables every hot-path cache under this workload
+    /// (statement/plan caches of the active database, rewrite cache of
+    /// the proxy). The `cache` bench's before/after cells toggle this.
+    pub fn set_caches(&mut self, on: bool) {
+        if let Some(db) = &self.raw {
+            db.set_statement_caches(on);
+        }
+        if let Some(p) = &mut self.provider {
+            p.proxy().db().set_statement_caches(on);
+            p.proxy_mut().set_rewrite_cache(on);
+        }
+    }
+
+    /// `(hits, misses)` of the statement cache of the active database.
+    pub fn stmt_cache_stats(&self) -> (u64, u64) {
+        let stats = match (&self.raw, &self.provider) {
+            (Some(db), _) => &db.stats,
+            (_, Some(p)) => &p.proxy().db().stats,
+            _ => unreachable!("workload always has a database"),
+        };
+        (stats.stmt_cache_hits.get(), stats.stmt_cache_misses.get())
+    }
+
+    /// `(hits, misses)` of the proxy's rewrite cache (zeros in Android
+    /// mode, which has no proxy).
+    pub fn rewrite_cache_stats(&self) -> (u64, u64) {
+        self.provider.as_ref().map_or((0, 0), |p| p.proxy().rewrite_cache_stats())
+    }
+
     /// insert: one new word.
     pub fn insert(&mut self, i: usize) {
         match self.mode {

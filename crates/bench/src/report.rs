@@ -2,6 +2,12 @@
 
 use std::time::Instant;
 
+/// Untimed warmup iterations run before the timed trials. Warmup absorbs
+/// allocator growth, cold caches and (since the hot-path caching work)
+/// first-use cache population, so the first mode benchmarked is not
+/// penalized relative to later ones.
+pub const WARMUP_TRIALS: usize = 3;
+
 /// A set of timed trials.
 #[derive(Debug, Clone)]
 pub struct Measurement {
@@ -42,6 +48,51 @@ impl Measurement {
         self.mean_ns() / 1_000.0
     }
 
+    /// Median time in nanoseconds (average of the two middle trials for
+    /// even counts). Robust against a single pathological trial.
+    pub fn median_ns(&self) -> f64 {
+        if self.trials_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.trials_ns.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2] as f64
+        } else {
+            (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
+        }
+    }
+
+    /// Median time in microseconds.
+    pub fn median_us(&self) -> f64 {
+        self.median_ns() / 1_000.0
+    }
+
+    /// Trimmed mean in nanoseconds: drops the slowest and fastest tenth
+    /// of the trials (at least one from each end once there are three or
+    /// more) before averaging. Falls back to the plain mean when too few
+    /// trials remain.
+    pub fn trimmed_mean_ns(&self) -> f64 {
+        let n = self.trials_ns.len();
+        if n < 3 {
+            return self.mean_ns();
+        }
+        let k = (n / 10).max(1);
+        if 2 * k >= n {
+            return self.mean_ns();
+        }
+        let mut sorted = self.trials_ns.clone();
+        sorted.sort_unstable();
+        let kept = &sorted[k..n - k];
+        kept.iter().sum::<u64>() as f64 / kept.len() as f64
+    }
+
+    /// Trimmed mean in microseconds.
+    pub fn trimmed_mean_us(&self) -> f64 {
+        self.trimmed_mean_ns() / 1_000.0
+    }
+
     /// Overhead of `self` relative to a baseline measurement, in percent
     /// (negative means faster than baseline).
     pub fn overhead_pct(&self, baseline: &Measurement) -> f64 {
@@ -60,9 +111,7 @@ where
     S: FnMut(),
     O: FnMut(),
 {
-    // Untimed warmup to absorb allocator and cache effects, so the first
-    // mode benchmarked is not penalized.
-    for _ in 0..3.min(trials) {
+    for _ in 0..WARMUP_TRIALS.min(trials) {
         setup();
         op();
     }
@@ -85,7 +134,7 @@ pub type Case = (Box<dyn FnMut()>, Box<dyn FnMut()>);
 pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measurement> {
     // Warmup round.
     for (setup, op) in cases.iter_mut() {
-        for _ in 0..3.min(trials) {
+        for _ in 0..WARMUP_TRIALS.min(trials) {
             setup();
             op();
         }
@@ -110,7 +159,7 @@ pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measureme
 /// the schema is flat enough not to need one.
 #[derive(Debug, Default)]
 pub struct BenchJson {
-    rows: Vec<(String, f64, f64)>,
+    rows: Vec<(String, f64, f64, f64, f64)>,
 }
 
 impl BenchJson {
@@ -121,20 +170,36 @@ impl BenchJson {
 
     /// Records one benchmark cell under `name`.
     pub fn push(&mut self, name: &str, m: &Measurement) {
-        self.rows.push((name.to_string(), m.mean_us(), m.stddev_ns() / 1_000.0));
+        self.rows.push((
+            name.to_string(),
+            m.mean_us(),
+            m.stddev_ns() / 1_000.0,
+            m.median_us(),
+            m.trimmed_mean_us(),
+        ));
+    }
+
+    /// Records a bare scalar cell (e.g. a cache hit rate) under `name`.
+    /// Scalars reuse the `mean_us` slot and zero the spread columns.
+    pub fn push_scalar(&mut self, name: &str, value: f64) {
+        self.rows.push((name.to_string(), value, 0.0, value, value));
     }
 
     /// Renders the report as a JSON string:
-    /// `{"benchmarks": [{"name": ..., "mean_us": ..., "stddev_us": ...}, ...]}`.
+    /// `{"benchmarks": [{"name": ..., "mean_us": ..., "stddev_us": ...,
+    /// "median_us": ..., "trimmed_mean_us": ...}, ...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, mean, stddev)) in self.rows.iter().enumerate() {
+        for (i, (name, mean, stddev, median, trimmed)) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mean_us\": {:.3}, \"stddev_us\": {:.3}}}{comma}\n",
+                "    {{\"name\": \"{}\", \"mean_us\": {:.3}, \"stddev_us\": {:.3}, \
+                 \"median_us\": {:.3}, \"trimmed_mean_us\": {:.3}}}{comma}\n",
                 json_escape(name),
                 mean,
                 stddev,
+                median,
+                trimmed,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -186,12 +251,31 @@ mod tests {
     }
 
     #[test]
+    fn median_is_outlier_robust() {
+        let m = Measurement { trials_ns: vec![100, 110, 120, 130, 100_000] };
+        assert!((m.median_ns() - 120.0).abs() < 1e-9);
+        // Even count: average of the two middle trials.
+        let e = Measurement { trials_ns: vec![100, 200, 300, 400] };
+        assert!((e.median_ns() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // One trial from each end is dropped; the huge outlier vanishes.
+        let m = Measurement { trials_ns: vec![100, 110, 120, 130, 100_000] };
+        assert!((m.trimmed_mean_ns() - 120.0).abs() < 1e-9);
+        // Too few trials to trim: falls back to the plain mean.
+        let small = Measurement { trials_ns: vec![100, 300] };
+        assert!((small.trimmed_mean_ns() - small.mean_ns()).abs() < 1e-9);
+    }
+
+    #[test]
     fn measure_runs_trials() {
         let mut count = 0;
         let m = measure(5, || {}, || count += 1);
         assert_eq!(m.trials_ns.len(), 5);
-        // Trials plus the three untimed warmup iterations.
-        assert_eq!(count, 8);
+        // Trials plus the untimed warmup iterations.
+        assert_eq!(count, 5 + WARMUP_TRIALS);
     }
 
     #[test]
@@ -199,8 +283,12 @@ mod tests {
         let empty = Measurement { trials_ns: vec![] };
         assert_eq!(empty.mean_ns(), 0.0);
         assert_eq!(empty.stddev_ns(), 0.0);
+        assert_eq!(empty.median_ns(), 0.0);
+        assert_eq!(empty.trimmed_mean_ns(), 0.0);
         let single = Measurement { trials_ns: vec![7] };
         assert_eq!(single.stddev_ns(), 0.0);
+        assert_eq!(single.median_ns(), 7.0);
+        assert_eq!(single.trimmed_mean_ns(), 7.0);
     }
 
     #[test]
@@ -219,11 +307,22 @@ mod tests {
         assert!(s.starts_with("{\n  \"benchmarks\": [\n"));
         assert!(s.contains("\"name\": \"dict/insert/android\", \"mean_us\": 2.000"));
         assert!(s.contains(
-            "\"name\": \"dict/insert/delegate\", \"mean_us\": 2.000, \"stddev_us\": 0.000}"
+            "\"name\": \"dict/insert/delegate\", \"mean_us\": 2.000, \"stddev_us\": 0.000, \
+             \"median_us\": 2.000, \"trimmed_mean_us\": 2.000}"
         ));
         // Exactly one separating comma between the two entries.
         assert_eq!(s.matches("},").count(), 1);
         assert!(s.trim_end().ends_with("]\n}"));
+    }
+
+    #[test]
+    fn bench_json_scalar_rows() {
+        let mut j = BenchJson::new();
+        j.push_scalar("cache/stmt_hit_rate", 0.9375);
+        let s = j.to_json();
+        assert!(s.contains(
+            "\"name\": \"cache/stmt_hit_rate\", \"mean_us\": 0.938, \"stddev_us\": 0.000"
+        ));
     }
 
     #[test]

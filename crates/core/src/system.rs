@@ -610,6 +610,11 @@ impl MaxoidSystem {
         }
         match &result {
             Ok(out) => {
+                // The commit/discard moved or removed volatile files
+                // behind the unions' backs in places the leaf mutations
+                // may not all have covered; force every resolution cache
+                // validated against this store to refill.
+                self.kernel.vfs().with_store_mut(|s| s.bump_visibility());
                 sp.field_with("rows_committed", || out.rows_committed.to_string());
                 sp.field_with("files_removed", || out.files_removed.to_string());
                 maxoid_obs::counter_add("delegation.commits", 1);

@@ -9,9 +9,13 @@
 //! COW views and INSTEAD OF triggers on demand.
 
 use crate::hierarchy::ViewHierarchy;
-use crate::names::{cow_view, delta_table, sanitize, trigger, DELTA_PK_START, WHITEOUT_COL};
+use crate::names::{
+    cow_view, delta_table, sanitize, trigger, NameInterner, DELTA_PK_START, WHITEOUT_COL,
+};
+use crate::rewrite::{op, Key, Rewrite, RewriteCache};
 use crate::sqlgen;
 use maxoid_sqldb::{Affinity, Database, FlattenPolicy, ResultSet, SqlError, SqlResult, Value};
+use std::sync::Arc;
 
 /// Which Maxoid view of provider state an operation targets.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,6 +65,10 @@ pub struct CowProxy {
     hierarchy: ViewHierarchy,
     /// Initiators that currently have at least one delta table.
     initiators: Vec<String>,
+    /// Interned delta/view/trigger names (hot-path allocation killer).
+    names: NameInterner,
+    /// Per-fork-epoch memo of generated SQL keyed by call shape.
+    rewrite: RewriteCache,
 }
 
 impl Default for CowProxy {
@@ -77,6 +85,8 @@ impl CowProxy {
             db: Database::with_policy(FlattenPolicy::Sqlite386),
             hierarchy: ViewHierarchy::default(),
             initiators: Vec::new(),
+            names: NameInterner::default(),
+            rewrite: RewriteCache::default(),
         }
     }
 
@@ -86,6 +96,8 @@ impl CowProxy {
             db: Database::with_policy(policy),
             hierarchy: ViewHierarchy::default(),
             initiators: Vec::new(),
+            names: NameInterner::default(),
+            rewrite: RewriteCache::default(),
         }
     }
 
@@ -96,12 +108,17 @@ impl CowProxy {
     }
 
     /// Mutable access to the underlying database.
+    ///
+    /// The borrower may run arbitrary DDL, so the rewrite cache is
+    /// conservatively invalidated.
     pub fn db_mut(&mut self) -> &mut Database {
+        self.rewrite.bump_epoch();
         &mut self.db
     }
 
     /// Runs provider schema DDL (CREATE TABLE statements) directly.
     pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
+        self.rewrite.bump_epoch();
         self.db.execute_batch(sql)
     }
 
@@ -109,7 +126,31 @@ impl CowProxy {
     /// `files`). The proxy records its dependencies so per-initiator COW
     /// views can be built for the whole hierarchy (paper Figure 5).
     pub fn register_user_view(&mut self, sql: &str) -> SqlResult<()> {
+        self.rewrite.bump_epoch();
         self.hierarchy.register(&mut self.db, sql)
+    }
+
+    /// Enables or disables the rewrite cache (on by default). Used by the
+    /// cache-equivalence tests and the ablation benchmarks.
+    pub fn set_rewrite_cache(&mut self, on: bool) {
+        self.rewrite.set_enabled(on);
+    }
+
+    /// Whether the rewrite cache is active.
+    pub fn rewrite_cache_enabled(&self) -> bool {
+        self.rewrite.enabled()
+    }
+
+    /// `(hits, misses)` of the rewrite cache since construction.
+    pub fn rewrite_cache_stats(&self) -> (u64, u64) {
+        self.rewrite.stats()
+    }
+
+    /// The current fork epoch. Bumped by any event that can change COW
+    /// topology: a fork, a volatile clear, provider DDL, user-view
+    /// registration or mutable database access.
+    pub fn fork_epoch(&self) -> u64 {
+        self.rewrite.epoch()
     }
 
     /// Lists initiators that currently hold volatile records.
@@ -144,7 +185,13 @@ impl CowProxy {
                 }
             }
         }
-        CowProxy { db, hierarchy: ViewHierarchy::default(), initiators }
+        CowProxy {
+            db,
+            hierarchy: ViewHierarchy::default(),
+            initiators,
+            names: NameInterner::default(),
+            rewrite: RewriteCache::default(),
+        }
     }
 
     /// Rebuilds the per-initiator COW instances of registered user views.
@@ -158,6 +205,7 @@ impl CowProxy {
     /// COW view whose bases carry no deltas reads identically to the
     /// plain view, and `clear_volatile` drops them all the same way.
     pub fn rebuild_cow_views(&mut self) -> SqlResult<()> {
+        self.rewrite.bump_epoch();
         let initiators = self.initiators.clone();
         for initiator in &initiators {
             for view in self.hierarchy.view_names() {
@@ -173,7 +221,7 @@ impl CowProxy {
 
     /// Returns true if `initiator` has a delta table for `table`.
     pub fn has_delta(&self, table: &str, initiator: &str) -> bool {
-        self.db.has_table(&delta_table(table, initiator))
+        self.db.has_table(&self.names.delta_table(table, initiator))
     }
 
     /// Ensures delta table, COW view and triggers exist for
@@ -186,7 +234,12 @@ impl CowProxy {
         if !self.db.has_table(table) {
             // User-defined view: ensure COW views exist for its bases.
             if self.db.has_view(table) {
-                return self.hierarchy.ensure_cow_views(&mut self.db, table, initiator);
+                let creates = !self.db.has_view(&self.names.cow_view(table, initiator));
+                let out = self.hierarchy.ensure_cow_views(&mut self.db, table, initiator);
+                if creates && out.is_ok() {
+                    self.rewrite.bump_epoch();
+                }
+                return out;
             }
             return Err(SqlError::NoSuchTable(table.to_string()));
         }
@@ -262,6 +315,9 @@ impl CowProxy {
                 return Err(e);
             }
         }
+        // The fork changed COW topology: cached rewrites that resolved
+        // reads to the primary table are now stale for this initiator.
+        self.rewrite.bump_epoch();
         if !self.initiators.iter().any(|i| i == initiator) {
             self.initiators.push(initiator.to_string());
         }
@@ -274,24 +330,31 @@ impl CowProxy {
     /// unchanged (unilateral copy-on-write: the fork happens on first
     /// write, not on delegate start).
     pub fn read_relation(&self, table: &str, view: &DbView) -> SqlResult<String> {
+        self.read_relation_interned(table, view).map(|r| r.to_string())
+    }
+
+    /// [`CowProxy::read_relation`] returning the interned name; the hot
+    /// query path clones an `Arc<str>` instead of reallocating.
+    fn read_relation_interned(&self, table: &str, view: &DbView) -> SqlResult<Arc<str>> {
         match view {
-            DbView::Primary | DbView::Admin => Ok(table.to_string()),
+            DbView::Primary | DbView::Admin => Ok(Arc::from(table)),
             DbView::Delegate { initiator } => {
-                if self.db.has_table(&delta_table(table, initiator))
-                    || (self.db.has_view(table) && self.db.has_view(&cow_view(table, initiator)))
+                if self.db.has_table(&self.names.delta_table(table, initiator))
+                    || (self.db.has_view(table)
+                        && self.db.has_view(&self.names.cow_view(table, initiator)))
                 {
                     maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
-                    Ok(cow_view(table, initiator))
+                    Ok(self.names.cow_view(table, initiator))
                 } else {
-                    Ok(table.to_string())
+                    Ok(Arc::from(table))
                 }
             }
             DbView::Volatile { initiator } => {
-                let delta = delta_table(table, initiator);
+                let delta = self.names.delta_table(table, initiator);
                 if self.db.has_table(&delta) {
                     Ok(delta)
                 } else {
-                    Err(SqlError::NoSuchTable(delta))
+                    Err(SqlError::NoSuchTable(delta.to_string()))
                 }
             }
         }
@@ -316,36 +379,87 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.insert");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
+        let (cols, params) = split_values(values);
+        let (view_tag, vinit) = view_key(view);
+        let key = Key {
+            op: op::INSERT,
+            view_tag,
+            initiator: vinit,
+            table,
+            parts: &cols,
+            num: 0,
+            num2: 0,
+        };
         match view {
             DbView::Primary | DbView::Admin => {
-                let (cols, params) = split_values(values);
-                let sql = insert_sql(table, &cols);
+                let sql = match self.rewrite.lookup(&key) {
+                    Some(rw) => rw.sql,
+                    None => {
+                        let sql: Arc<str> = insert_sql(table, &cols).into();
+                        let rw = Rewrite {
+                            target: Arc::from(table),
+                            sql: sql.clone(),
+                            appended: 0,
+                            rewrote: false,
+                        };
+                        self.rewrite.insert(&key, rw);
+                        sql
+                    }
+                };
                 let out = self.db.execute(&sql, &params)?;
                 out.last_insert_id.ok_or_else(|| {
                     SqlError::Unsupported(format!("insert into {table} produced no rowid"))
                 })
             }
             DbView::Delegate { initiator } => {
-                let initiator = initiator.clone();
-                self.ensure_cow(table, &initiator)?;
-                let delta = delta_table(table, &initiator);
+                // A cache hit proves the COW structure existed at this
+                // epoch (the fork itself bumps it), so ensure_cow's
+                // existence probes can be skipped entirely.
+                let hit = self.rewrite.lookup(&key);
+                if hit.is_none() {
+                    self.ensure_cow(table, initiator)?;
+                }
+                let delta = self.names.delta_table(table, initiator);
                 let before = self.db.table(&delta)?.next_rowid();
-                let (cols, params) = split_values(values);
-                let sql = insert_sql(&cow_view(table, &initiator), &cols);
+                let sql = match hit {
+                    Some(rw) => rw.sql,
+                    None => {
+                        let target = self.names.cow_view(table, initiator);
+                        let sql: Arc<str> = insert_sql(&target, &cols).into();
+                        let rw = Rewrite { target, sql: sql.clone(), appended: 0, rewrote: false };
+                        self.rewrite.insert(&key, rw);
+                        sql
+                    }
+                };
                 self.db.execute(&sql, &params)?;
                 // The trigger inserted into the delta table; recover the id.
                 let after = self.db.table(&delta)?.next_rowid();
                 Ok(if after > before { after - 1 } else { before })
             }
             DbView::Volatile { initiator } => {
-                let initiator = initiator.clone();
-                self.ensure_cow(table, &initiator)?;
-                let delta = delta_table(table, &initiator);
-                let mut cols: Vec<&str> = values.iter().map(|(c, _)| *c).collect();
-                cols.push(WHITEOUT_COL);
-                let mut params: Vec<Value> = values.iter().map(|(_, v)| v.clone()).collect();
+                let hit = self.rewrite.lookup(&key);
+                if hit.is_none() {
+                    self.ensure_cow(table, initiator)?;
+                }
+                let delta = self.names.delta_table(table, initiator);
+                let mut params = params;
                 params.push(Value::Integer(0));
-                let sql = insert_sql(&delta, &cols);
+                let sql = match hit {
+                    Some(rw) => rw.sql,
+                    None => {
+                        let mut wcols = cols.clone();
+                        wcols.push(WHITEOUT_COL);
+                        let sql: Arc<str> = insert_sql(&delta, &wcols).into();
+                        let rw = Rewrite {
+                            target: delta.clone(),
+                            sql: sql.clone(),
+                            appended: 0,
+                            rewrote: false,
+                        };
+                        self.rewrite.insert(&key, rw);
+                        sql
+                    }
+                };
                 let out = self.db.execute(&sql, &params)?;
                 out.last_insert_id.ok_or_else(|| {
                     SqlError::Unsupported(format!("insert into {delta} produced no rowid"))
@@ -366,32 +480,55 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.update");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
-        let target = match view {
-            DbView::Primary | DbView::Admin => table.to_string(),
-            DbView::Delegate { initiator } => {
-                let initiator = initiator.clone();
-                self.ensure_cow(table, &initiator)?;
-                cow_view(table, &initiator)
-            }
-            DbView::Volatile { initiator } => delta_table(table, initiator),
+        let mut parts: Vec<&str> = sets.iter().map(|(c, _)| *c).collect();
+        parts.push(if where_clause.is_some() { "1" } else { "0" });
+        parts.push(where_clause.unwrap_or(""));
+        let (view_tag, vinit) = view_key(view);
+        let key = Key {
+            op: op::UPDATE,
+            view_tag,
+            initiator: vinit,
+            table,
+            parts: &parts,
+            num: sets.len() as i64,
+            num2: 0,
         };
-        if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
-            return Ok(0);
-        }
-        // SET parameters come first, then WHERE parameters; build one
-        // parameter list with explicit indices.
-        let mut sql = format!("UPDATE {target} SET ");
-        let mut params: Vec<Value> = Vec::new();
-        for (i, (c, v)) in sets.iter().enumerate() {
-            if i > 0 {
-                sql.push_str(", ");
+        let sql: Arc<str> = match self.rewrite.lookup(&key) {
+            Some(rw) => rw.sql,
+            None => {
+                let target: Arc<str> = match view {
+                    DbView::Primary | DbView::Admin => Arc::from(table),
+                    DbView::Delegate { initiator } => {
+                        self.ensure_cow(table, initiator)?;
+                        self.names.cow_view(table, initiator)
+                    }
+                    DbView::Volatile { initiator } => self.names.delta_table(table, initiator),
+                };
+                if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
+                    return Ok(0);
+                }
+                // SET parameters come first, then WHERE parameters; the
+                // statement uses explicit indices so one parameter list
+                // serves both.
+                let mut sql = format!("UPDATE {target} SET ");
+                for (i, (c, _)) in sets.iter().enumerate() {
+                    if i > 0 {
+                        sql.push_str(", ");
+                    }
+                    sql.push_str(&format!("{c} = ?{}", i + 1));
+                }
+                if let Some(w) = where_clause {
+                    sql.push_str(" WHERE ");
+                    sql.push_str(&renumber_params(w, sets.len()));
+                }
+                let sql: Arc<str> = sql.into();
+                let rw = Rewrite { target, sql: sql.clone(), appended: 0, rewrote: false };
+                self.rewrite.insert(&key, rw);
+                sql
             }
-            params.push(v.clone());
-            sql.push_str(&format!("{c} = ?{}", params.len()));
-        }
-        if let Some(w) = where_clause {
-            sql.push_str(" WHERE ");
-            sql.push_str(&renumber_params(w, params.len()));
+        };
+        let mut params: Vec<Value> = sets.iter().map(|(_, v)| v.clone()).collect();
+        if where_clause.is_some() {
             params.extend(where_params.iter().cloned());
         }
         Ok(self.db.execute(&sql, &params)?.rows_affected)
@@ -411,23 +548,42 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.delete");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
-        let target = match view {
-            DbView::Primary | DbView::Admin => table.to_string(),
-            DbView::Delegate { initiator } => {
-                let initiator = initiator.clone();
-                self.ensure_cow(table, &initiator)?;
-                cow_view(table, &initiator)
-            }
-            DbView::Volatile { initiator } => delta_table(table, initiator),
+        let parts = [if where_clause.is_some() { "1" } else { "0" }, where_clause.unwrap_or("")];
+        let (view_tag, vinit) = view_key(view);
+        let key = Key {
+            op: op::DELETE,
+            view_tag,
+            initiator: vinit,
+            table,
+            parts: &parts,
+            num: 0,
+            num2: 0,
         };
-        if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
-            return Ok(0);
-        }
-        let mut sql = format!("DELETE FROM {target}");
-        if let Some(w) = where_clause {
-            sql.push_str(" WHERE ");
-            sql.push_str(w);
-        }
+        let sql: Arc<str> = match self.rewrite.lookup(&key) {
+            Some(rw) => rw.sql,
+            None => {
+                let target: Arc<str> = match view {
+                    DbView::Primary | DbView::Admin => Arc::from(table),
+                    DbView::Delegate { initiator } => {
+                        self.ensure_cow(table, initiator)?;
+                        self.names.cow_view(table, initiator)
+                    }
+                    DbView::Volatile { initiator } => self.names.delta_table(table, initiator),
+                };
+                if matches!(view, DbView::Volatile { .. }) && !self.db.has_table(&target) {
+                    return Ok(0);
+                }
+                let mut sql = format!("DELETE FROM {target}");
+                if let Some(w) = where_clause {
+                    sql.push_str(" WHERE ");
+                    sql.push_str(w);
+                }
+                let sql: Arc<str> = sql.into();
+                let rw = Rewrite { target, sql: sql.clone(), appended: 0, rewrote: false };
+                self.rewrite.insert(&key, rw);
+                sql
+            }
+        };
         Ok(self.db.execute(&sql, where_params)?.rows_affected)
     }
 
@@ -447,54 +603,86 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.query");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
-        let target = self.read_relation(table, view)?;
-        sp.field_with("relation", || target.clone());
-        let mut columns = opts.columns.clone();
-        let explicit = !columns.is_empty();
-        let mut appended = 0usize;
-        if explicit {
-            if let Some(order) = &opts.order_by {
-                // Footnote 5: add ORDER BY columns to query columns when
-                // necessary so flattening can fire.
-                for term in order.split(',') {
-                    let col = term.split_whitespace().next().unwrap_or("");
-                    if !col.is_empty()
-                        && col.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                        && !col.chars().all(|c| c.is_ascii_digit())
-                        && !columns.iter().any(|c| c.eq_ignore_ascii_case(col))
-                    {
-                        columns.push(col.to_string());
-                        appended += 1;
+        let mut parts: Vec<&str> = opts.columns.iter().map(|s| s.as_str()).collect();
+        parts.push(if opts.where_clause.is_some() { "1" } else { "0" });
+        parts.push(opts.where_clause.as_deref().unwrap_or(""));
+        parts.push(if opts.order_by.is_some() { "1" } else { "0" });
+        parts.push(opts.order_by.as_deref().unwrap_or(""));
+        parts.push(if opts.limit.is_some() { "1" } else { "0" });
+        let (view_tag, vinit) = view_key(view);
+        let key = Key {
+            op: op::QUERY,
+            view_tag,
+            initiator: vinit,
+            table,
+            parts: &parts,
+            num: opts.columns.len() as i64,
+            num2: opts.limit.unwrap_or(0),
+        };
+        let (target, sql, appended) = match self.rewrite.lookup(&key) {
+            Some(rw) => {
+                if rw.rewrote {
+                    // Replay the counter the uncached resolution bumps.
+                    maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
+                }
+                (rw.target, rw.sql, rw.appended)
+            }
+            None => {
+                let target = self.read_relation_interned(table, view)?;
+                let mut columns = opts.columns.clone();
+                let explicit = !columns.is_empty();
+                let mut appended = 0usize;
+                if explicit {
+                    if let Some(order) = &opts.order_by {
+                        // Footnote 5: add ORDER BY columns to query columns
+                        // when necessary so flattening can fire.
+                        for term in order.split(',') {
+                            let col = term.split_whitespace().next().unwrap_or("");
+                            if !col.is_empty()
+                                && col.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                                && !col.chars().all(|c| c.is_ascii_digit())
+                                && !columns.iter().any(|c| c.eq_ignore_ascii_case(col))
+                            {
+                                columns.push(col.to_string());
+                                appended += 1;
+                            }
+                        }
                     }
                 }
+                let mut sql = String::from("SELECT ");
+                if explicit {
+                    sql.push_str(&columns.join(", "));
+                } else {
+                    sql.push('*');
+                }
+                sql.push_str(&format!(" FROM {target}"));
+                let mut where_parts: Vec<String> = Vec::new();
+                if let Some(w) = &opts.where_clause {
+                    where_parts.push(format!("({w})"));
+                }
+                if matches!(view, DbView::Volatile { .. }) {
+                    // Volatile reads exclude whiteout records.
+                    where_parts.push(format!("{WHITEOUT_COL} = 0"));
+                }
+                if !where_parts.is_empty() {
+                    sql.push_str(" WHERE ");
+                    sql.push_str(&where_parts.join(" AND "));
+                }
+                if let Some(order) = &opts.order_by {
+                    sql.push_str(" ORDER BY ");
+                    sql.push_str(order);
+                }
+                if let Some(limit) = opts.limit {
+                    sql.push_str(&format!(" LIMIT {limit}"));
+                }
+                let sql: Arc<str> = sql.into();
+                let rewrote = matches!(view, DbView::Delegate { .. }) && &*target != table;
+                let rw = Rewrite { target: target.clone(), sql: sql.clone(), appended, rewrote };
+                self.rewrite.insert(&key, rw);
+                (target, sql, appended)
             }
-        }
-        let mut sql = String::from("SELECT ");
-        if explicit {
-            sql.push_str(&columns.join(", "));
-        } else {
-            sql.push('*');
-        }
-        sql.push_str(&format!(" FROM {target}"));
-        let mut where_parts: Vec<String> = Vec::new();
-        if let Some(w) = &opts.where_clause {
-            where_parts.push(format!("({w})"));
-        }
-        if matches!(view, DbView::Volatile { .. }) {
-            // Volatile reads exclude whiteout records.
-            where_parts.push(format!("{WHITEOUT_COL} = 0"));
-        }
-        if !where_parts.is_empty() {
-            sql.push_str(" WHERE ");
-            sql.push_str(&where_parts.join(" AND "));
-        }
-        if let Some(order) = &opts.order_by {
-            sql.push_str(" ORDER BY ");
-            sql.push_str(order);
-        }
-        if let Some(limit) = opts.limit {
-            sql.push_str(&format!(" LIMIT {limit}"));
-        }
+        };
+        sp.field_with("relation", || target.to_string());
         let mut rs = self.db.query(&sql, params)?;
         if appended > 0 {
             let keep = rs.columns.len() - appended;
@@ -580,6 +768,9 @@ impl CowProxy {
         }
         self.hierarchy.drop_initiator(&mut self.db, initiator)?;
         self.initiators.retain(|i| i != initiator);
+        // Delta tables and COW views are gone; cached rewrites that
+        // targeted them must not be replayed.
+        self.rewrite.bump_epoch();
         Ok(dropped)
     }
 
@@ -626,6 +817,16 @@ impl CowProxy {
 
 fn split_values<'a>(values: &'a [(&'a str, Value)]) -> (Vec<&'a str>, Vec<Value>) {
     (values.iter().map(|(c, _)| *c).collect(), values.iter().map(|(_, v)| v.clone()).collect())
+}
+
+/// Rewrite-cache discriminant of a view: `(tag, initiator)`.
+fn view_key(view: &DbView) -> (u8, &str) {
+    match view {
+        DbView::Primary => (0, ""),
+        DbView::Delegate { initiator } => (1, initiator),
+        DbView::Volatile { initiator } => (2, initiator),
+        DbView::Admin => (3, ""),
+    }
 }
 
 fn insert_sql(table: &str, cols: &[&str]) -> String {
@@ -950,6 +1151,69 @@ mod tests {
         let paths = p.db().stats.take_access_paths();
         assert!(paths.iter().any(|l| l.contains("INDEX idx_words_word EQ")), "{paths:?}");
         assert!(paths.iter().any(|l| l.contains("INDEX idx_words_word_delta_A EQ")), "{paths:?}");
+    }
+
+    #[test]
+    fn rewrite_cache_hits_on_repeated_shapes() {
+        let mut p = proxy_with_words();
+        let del = delegate();
+        let q = QueryOpts {
+            columns: vec!["word".into()],
+            where_clause: Some("_id = ?".into()),
+            ..Default::default()
+        };
+        // First delegate update forks (epoch bump), second reuses the
+        // cached UPDATE rewrite; repeated queries reuse the SELECT.
+        p.update(&del, "words", &[("word", "a".into())], Some("_id = ?"), &[1.into()]).unwrap();
+        p.update(&del, "words", &[("word", "b".into())], Some("_id = ?"), &[1.into()]).unwrap();
+        let (h0, _) = p.rewrite_cache_stats();
+        assert!(h0 >= 1, "second update should hit, stats {:?}", p.rewrite_cache_stats());
+        let r1 = p.query(&del, "words", &q, &[Value::Integer(1)]).unwrap();
+        let r2 = p.query(&del, "words", &q, &[Value::Integer(1)]).unwrap();
+        assert_eq!(r1.rows, r2.rows);
+        let (h1, _) = p.rewrite_cache_stats();
+        assert!(h1 > h0, "repeated query should hit the rewrite cache");
+    }
+
+    #[test]
+    fn rewrite_cache_epoch_tracks_topology() {
+        let mut p = proxy_with_words();
+        let e0 = p.fork_epoch();
+        // Fork: first delegate write bumps the epoch.
+        p.update(&delegate(), "words", &[("word", "x".into())], Some("_id = 1"), &[]).unwrap();
+        let e1 = p.fork_epoch();
+        assert!(e1 > e0);
+        // Queries before and after clear_volatile resolve differently;
+        // the epoch bump keeps the cache honest.
+        let q = QueryOpts { where_clause: Some("_id = 1".into()), ..Default::default() };
+        let forked = p.query(&delegate(), "words", &q, &[]).unwrap();
+        assert_eq!(forked.rows[0][1], Value::Text("x".into()));
+        p.clear_volatile("A").unwrap();
+        assert!(p.fork_epoch() > e1);
+        let cleared = p.query(&delegate(), "words", &q, &[]).unwrap();
+        assert_eq!(cleared.rows[0][1], Value::Text("alpha".into()));
+    }
+
+    #[test]
+    fn rewrite_cache_disabled_matches_enabled() {
+        let run = |cache: bool| -> Vec<Vec<Value>> {
+            let mut p = proxy_with_words();
+            p.set_rewrite_cache(cache);
+            let del = delegate();
+            p.insert(&del, "words", &[("word", "new".into()), ("frequency", 5.into())]).unwrap();
+            p.update(&del, "words", &[("word", "up".into())], Some("_id = ?"), &[1.into()])
+                .unwrap();
+            p.delete(&del, "words", Some("_id = 2"), &[]).unwrap();
+            let q = QueryOpts {
+                columns: vec!["_id".into(), "word".into()],
+                order_by: Some("_id".into()),
+                ..Default::default()
+            };
+            let mut rows = p.query(&del, "words", &q, &[]).unwrap().rows;
+            rows.extend(p.query(&del, "words", &q, &[]).unwrap().rows);
+            rows
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

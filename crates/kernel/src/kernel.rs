@@ -122,6 +122,21 @@ impl Kernel {
         self.procs.get(&pid).ok_or(KernelError::NoSuchProcess)
     }
 
+    /// Enables or disables the union-mount path-resolution caches of a
+    /// process' namespace (bench and diagnostics hook; resolution results
+    /// are unaffected either way).
+    pub fn set_resolve_caches(&mut self, pid: Pid, on: bool) -> KernelResult<()> {
+        let proc = self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess)?;
+        proc.ns.set_resolve_caches(on);
+        Ok(())
+    }
+
+    /// Aggregate `(hits, misses)` of the resolution caches across a
+    /// process' union mounts.
+    pub fn resolve_cache_stats(&self, pid: Pid) -> KernelResult<(u64, u64)> {
+        Ok(self.process(pid)?.ns.resolve_cache_stats())
+    }
+
     /// Iterates over all live processes.
     pub fn processes(&self) -> impl Iterator<Item = &Process> {
         self.procs.values()

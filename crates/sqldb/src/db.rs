@@ -1,14 +1,16 @@
 //! The database: schema registry and public execution API.
 
-use crate::ast::{SelectStmt, Stmt, TriggerEvent};
+use crate::ast::{Expr, SelectStmt, Stmt, TriggerEvent};
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{SubqueryCache, TriggerCtx};
 use crate::parser::{parse_statement, parse_statements};
-use crate::planner::FlattenPolicy;
+use crate::plancache::{PlanCache, SelectLookup};
+use crate::planner::{plan_access, try_flatten, AccessPlan, FlattenPolicy};
 use crate::table::Table;
 use crate::value::Value;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// A stored view definition.
 #[derive(Debug, Clone)]
@@ -51,6 +53,17 @@ pub struct Stats {
     pub flattened_queries: Cell<u64>,
     /// Queries that materialized a view (no flattening).
     pub materialized_views: Cell<u64>,
+    /// Prepared-statement cache hits (SQL text found already parsed).
+    pub stmt_cache_hits: Cell<u64>,
+    /// Prepared-statement cache misses (SQL text parsed afresh).
+    pub stmt_cache_misses: Cell<u64>,
+    /// Plan-cache hits: a flatten decision or access plan was reused.
+    pub plan_cache_hits: Cell<u64>,
+    /// Plan-cache misses: a flatten decision or access plan was computed.
+    pub plan_cache_misses: Cell<u64>,
+    /// Catalog-generation bumps (DDL, rollback) that dropped live cached
+    /// plans.
+    pub plan_cache_invalidations: Cell<u64>,
     /// EXPLAIN-style access-path notes, one per table access, capped at
     /// [`Stats::access_path_cap`] entries (default
     /// [`ACCESS_PATH_LOG_CAP`]).
@@ -75,6 +88,11 @@ impl Default for Stats {
             rows_cloned: Cell::new(0),
             flattened_queries: Cell::new(0),
             materialized_views: Cell::new(0),
+            stmt_cache_hits: Cell::new(0),
+            stmt_cache_misses: Cell::new(0),
+            plan_cache_hits: Cell::new(0),
+            plan_cache_misses: Cell::new(0),
+            plan_cache_invalidations: Cell::new(0),
             access_paths: RefCell::new(Vec::new()),
             access_path_cap: Cell::new(ACCESS_PATH_LOG_CAP),
             access_paths_dropped: Cell::new(0),
@@ -91,6 +109,11 @@ impl Stats {
         self.rows_cloned.set(0);
         self.flattened_queries.set(0);
         self.materialized_views.set(0);
+        self.stmt_cache_hits.set(0);
+        self.stmt_cache_misses.set(0);
+        self.plan_cache_hits.set(0);
+        self.plan_cache_misses.set(0);
+        self.plan_cache_invalidations.set(0);
         self.access_paths.borrow_mut().clear();
         self.access_paths_dropped.set(0);
     }
@@ -105,9 +128,16 @@ impl Stats {
     /// is dropped and [`Stats::access_paths_dropped`] is incremented, so
     /// truncation is always detectable.
     pub fn note_access_path(&self, line: String) {
+        self.note_access_path_with(|| line);
+    }
+
+    /// Like [`Stats::note_access_path`], but the line is only rendered
+    /// when it will actually be retained — steady-state workloads past
+    /// the cap skip the formatting allocation entirely.
+    pub fn note_access_path_with(&self, line: impl FnOnce() -> String) {
         let mut log = self.access_paths.borrow_mut();
         if log.len() < self.access_path_cap.get() {
-            log.push(line);
+            log.push(line());
         } else {
             self.access_paths_dropped.set(self.access_paths_dropped.get() + 1);
         }
@@ -198,8 +228,12 @@ pub struct Database {
     pub stats: Stats,
     /// Prepared-statement cache: SQL text -> parsed AST. Providers issue
     /// the same statement shapes repeatedly; SQLite's compiled-statement
-    /// cache plays the same role on Android.
-    stmt_cache: RefCell<HashMap<String, Stmt>>,
+    /// cache plays the same role on Android. Entries are `Arc` so a hit
+    /// is a refcount bump, not a deep clone of the statement tree.
+    stmt_cache: RefCell<HashMap<String, Arc<Stmt>>>,
+    /// Flatten-rewrite and access-plan cache, invalidated by the catalog
+    /// generation counter (bumped on any DDL and on rollback).
+    pub(crate) plan_cache: PlanCache,
     /// Snapshot taken at BEGIN, restored on ROLLBACK. `None` = autocommit.
     tx_snapshot: Option<TxSnapshot>,
     /// Optional journal sink; when attached, successful mutations are
@@ -232,6 +266,11 @@ struct StatsMark {
     rows_cloned: u64,
     flattened_queries: u64,
     materialized_views: u64,
+    stmt_cache_hits: u64,
+    stmt_cache_misses: u64,
+    plan_cache_hits: u64,
+    plan_cache_misses: u64,
+    plan_cache_invalidations: u64,
     access_paths_len: usize,
 }
 
@@ -247,6 +286,11 @@ impl StatsMark {
             rows_cloned: stats.rows_cloned.get(),
             flattened_queries: stats.flattened_queries.get(),
             materialized_views: stats.materialized_views.get(),
+            stmt_cache_hits: stats.stmt_cache_hits.get(),
+            stmt_cache_misses: stats.stmt_cache_misses.get(),
+            plan_cache_hits: stats.plan_cache_hits.get(),
+            plan_cache_misses: stats.plan_cache_misses.get(),
+            plan_cache_invalidations: stats.plan_cache_invalidations.get(),
             access_paths_len: stats.access_paths.borrow().len(),
         })
     }
@@ -268,6 +312,26 @@ impl StatsMark {
         maxoid_obs::counter_add(
             "sqldb.materialized_views",
             stats.materialized_views.get() - self.materialized_views,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.stmt_cache_hits",
+            stats.stmt_cache_hits.get() - self.stmt_cache_hits,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.stmt_cache_misses",
+            stats.stmt_cache_misses.get() - self.stmt_cache_misses,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.plan_cache_hits",
+            stats.plan_cache_hits.get() - self.plan_cache_hits,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.plan_cache_misses",
+            stats.plan_cache_misses.get() - self.plan_cache_misses,
+        );
+        maxoid_obs::counter_add(
+            "sqldb.plan_cache_invalidations",
+            stats.plan_cache_invalidations.get() - self.plan_cache_invalidations,
         );
         let paths = stats.access_paths.borrow();
         for line in paths.iter().skip(self.access_paths_len) {
@@ -337,22 +401,104 @@ impl Database {
         Ok(out)
     }
 
-    /// Parses a statement through the prepared-statement cache.
-    fn prepare(&self, sql: &str) -> SqlResult<Stmt> {
+    /// Parses a statement through the prepared-statement cache. Hit and
+    /// miss counts land in `db.stats` unconditionally and are mirrored
+    /// into the obs registry by the caller's [`StatsMark`].
+    fn prepare(&self, sql: &str) -> SqlResult<Arc<Stmt>> {
+        if !self.plan_cache.enabled() {
+            return Ok(Arc::new(parse_statement(sql)?));
+        }
         if let Some(stmt) = self.stmt_cache.borrow().get(sql) {
-            maxoid_obs::counter_add("sqldb.stmt_cache_hits", 1);
-            return Ok(stmt.clone());
+            self.stats.stmt_cache_hits.set(self.stats.stmt_cache_hits.get() + 1);
+            return Ok(Arc::clone(stmt));
         }
         let mut sp = maxoid_obs::span("sqldb.parse");
         sp.field_with("sql", || sql.to_string());
-        maxoid_obs::counter_add("sqldb.stmt_cache_misses", 1);
-        let stmt = parse_statement(sql)?;
+        self.stats.stmt_cache_misses.set(self.stats.stmt_cache_misses.get() + 1);
+        let stmt = Arc::new(parse_statement(sql)?);
         let mut cache = self.stmt_cache.borrow_mut();
         if cache.len() >= 512 {
             cache.clear();
         }
-        cache.insert(sql.to_string(), stmt.clone());
+        cache.insert(sql.to_string(), Arc::clone(&stmt));
         Ok(stmt)
+    }
+
+    /// Enables or disables the statement and plan caches together.
+    ///
+    /// With caches off, every statement is re-parsed and re-planned —
+    /// the equivalence proptests and the `cache` bench's "before" cells
+    /// run in this mode. Turning caches off drops all cached entries.
+    pub fn set_statement_caches(&self, on: bool) {
+        self.plan_cache.set_enabled(on);
+        if !on {
+            self.stmt_cache.borrow_mut().clear();
+        }
+    }
+
+    /// True while the statement and plan caches are enabled (the default).
+    pub fn statement_caches_enabled(&self) -> bool {
+        self.plan_cache.enabled()
+    }
+
+    /// Current catalog generation. Bumped by every DDL statement and by
+    /// rollback (which restores an older catalog); cached plans from
+    /// earlier generations are never served.
+    pub fn catalog_generation(&self) -> u64 {
+        self.plan_cache.generation()
+    }
+
+    /// Bumps the catalog generation, dropping all cached plans. Counted
+    /// in `stats.plan_cache_invalidations` when live entries were
+    /// dropped.
+    pub(crate) fn bump_catalog_generation(&self) {
+        if self.plan_cache.bump_generation() {
+            self.stats.plan_cache_invalidations.set(self.stats.plan_cache_invalidations.get() + 1);
+        }
+    }
+
+    /// Runs `stmt` through the flatten cache: returns the memoized (or
+    /// freshly computed) UNION ALL view rewrite, or `None` when flattening
+    /// does not apply.
+    pub(crate) fn cached_flatten(&self, stmt: &SelectStmt) -> Option<Arc<SelectStmt>> {
+        match self.plan_cache.lookup_select(stmt, self.flatten_policy) {
+            SelectLookup::Hit(flattened) => {
+                self.stats.plan_cache_hits.set(self.stats.plan_cache_hits.get() + 1);
+                flattened
+            }
+            SelectLookup::Miss => {
+                self.stats.plan_cache_misses.set(self.stats.plan_cache_misses.get() + 1);
+                let flattened = try_flatten(self, stmt).map(Arc::new);
+                self.plan_cache.insert_select(stmt, self.flatten_policy, flattened.clone());
+                flattened
+            }
+            SelectLookup::Bypass => try_flatten(self, stmt).map(Arc::new),
+        }
+    }
+
+    /// Returns the (cached) value-free access plan for one table access.
+    pub(crate) fn cached_access_plan(
+        &self,
+        table: &Table,
+        binding: &str,
+        where_clause: Option<&Expr>,
+    ) -> Arc<AccessPlan> {
+        let is_const = crate::exec::is_const;
+        let Some(w) = where_clause else {
+            // No WHERE clause always plans a full scan; not worth caching.
+            return Arc::new(plan_access(table, binding, None, &is_const));
+        };
+        if !self.plan_cache.enabled() {
+            return Arc::new(plan_access(table, binding, Some(w), &is_const));
+        }
+        if let Some(plan) = self.plan_cache.lookup_access(&table.schema.name, binding, w) {
+            self.stats.plan_cache_hits.set(self.stats.plan_cache_hits.get() + 1);
+            return plan;
+        }
+        self.stats.plan_cache_misses.set(self.stats.plan_cache_misses.get() + 1);
+        let plan = Arc::new(plan_access(table, binding, Some(w), &is_const));
+        self.plan_cache.insert_access(&table.schema.name, binding, w, plan.clone());
+        plan
     }
 
     /// Executes multiple `;`-separated statements without parameters.
@@ -389,7 +535,7 @@ impl Database {
         sp.field_with("sql", || sql.to_string());
         let mark = StatsMark::take(&self.stats);
         let stmt = self.prepare(sql)?;
-        match stmt {
+        match &*stmt {
             Stmt::Select(s) => {
                 let cache: SubqueryCache = SubqueryCache::default();
                 let rs = self.exec_select(&s, params, None, &cache, 0)?;
@@ -463,6 +609,9 @@ impl Database {
                 self.tables = snap.tables;
                 self.views = snap.views;
                 self.triggers = snap.triggers;
+                // The restored catalog may differ from the one cached
+                // plans were computed against.
+                self.bump_catalog_generation();
                 if let (Some(j), Some(txn)) = (&self.journal, self.journal_txn.take()) {
                     j.emit(maxoid_journal::Record::TxnRollback { txn });
                 }

@@ -6,7 +6,7 @@ use crate::ast::{
 use crate::db::{key, Database, ExecOutcome, ResultSet, TriggerDef, ViewDef, MAX_DEPTH};
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{eval, EvalEnv, RowScope, SubqueryCache, TriggerCtx};
-use crate::planner::{choose_access_path, try_flatten, AccessPath};
+use crate::planner::{bind_access_plan, AccessPath};
 use crate::table::{Table, TableSchema};
 use crate::value::Value;
 use std::borrow::Cow;
@@ -31,6 +31,7 @@ pub fn exec_stmt(
             }
             let schema = TableSchema::new(name.clone(), columns.clone())?;
             db.tables.insert(key(name), Table::new(schema));
+            db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
         Stmt::CreateView { name, if_not_exists, select } => {
@@ -43,6 +44,7 @@ pub fn exec_stmt(
             let columns = view_output_columns(db, select)?;
             db.views
                 .insert(key(name), ViewDef { name: name.clone(), select: select.clone(), columns });
+            db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
         Stmt::CreateTrigger { name, if_not_exists, event, on, body } => {
@@ -61,6 +63,7 @@ pub fn exec_stmt(
                 key(name),
                 TriggerDef { name: name.clone(), event: *event, on: key(on), body: body.clone() },
             );
+            db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
         Stmt::CreateIndex { name, if_not_exists, unique, table, column } => {
@@ -75,31 +78,48 @@ pub fn exec_stmt(
                 return Err(SqlError::NoSuchTable(table.clone()));
             }
             db.table_mut(table)?.create_index(name, column, *unique)?;
+            db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
         Stmt::DropIndex { name, if_exists } => {
-            if db.tables.values_mut().any(|t| t.drop_index(name)) || *if_exists {
+            if db.tables.values_mut().any(|t| t.drop_index(name)) {
+                db.bump_catalog_generation();
+                return Ok(ExecOutcome::ddl());
+            }
+            if *if_exists {
                 return Ok(ExecOutcome::ddl());
             }
             Err(SqlError::NoSuchIndex(name.clone()))
         }
         Stmt::DropTable { name, if_exists } => {
-            if db.tables.remove(&key(name)).is_none() && !*if_exists {
-                return Err(SqlError::NoSuchTable(name.clone()));
+            if db.tables.remove(&key(name)).is_none() {
+                if !*if_exists {
+                    return Err(SqlError::NoSuchTable(name.clone()));
+                }
+            } else {
+                db.bump_catalog_generation();
             }
             Ok(ExecOutcome::ddl())
         }
         Stmt::DropView { name, if_exists } => {
-            if db.views.remove(&key(name)).is_none() && !*if_exists {
-                return Err(SqlError::NoSuchTable(name.clone()));
+            if db.views.remove(&key(name)).is_none() {
+                if !*if_exists {
+                    return Err(SqlError::NoSuchTable(name.clone()));
+                }
+            } else {
+                db.bump_catalog_generation();
             }
             // Triggers on the view are dropped with it, like SQLite.
             db.triggers.retain(|_, t| t.on != key(name));
             Ok(ExecOutcome::ddl())
         }
         Stmt::DropTrigger { name, if_exists } => {
-            if db.triggers.remove(&key(name)).is_none() && !*if_exists {
-                return Err(SqlError::NoSuchTrigger(name.clone()));
+            if db.triggers.remove(&key(name)).is_none() {
+                if !*if_exists {
+                    return Err(SqlError::NoSuchTrigger(name.clone()));
+                }
+            } else {
+                db.bump_catalog_generation();
             }
             Ok(ExecOutcome::ddl())
         }
@@ -131,6 +151,7 @@ pub fn exec_stmt(
         }
         Stmt::AlterRowidStart { table, start } => {
             db.table_mut(table)?.set_pk_start(*start);
+            db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
     }
@@ -186,8 +207,10 @@ pub fn exec_select(
             "view nesting too deep (cyclic view definition?)".into(),
         ));
     }
-    // Planner: try UNION ALL view flattening first.
-    if let Some(flat) = try_flatten(db, stmt) {
+    // Planner: try UNION ALL view flattening first. The rewrite (or the
+    // decision not to rewrite) is memoized per statement shape and
+    // catalog generation.
+    if let Some(flat) = db.cached_flatten(stmt) {
         db.stats.flattened_queries.set(db.stats.flattened_queries.get() + 1);
         return exec_select_plain(db, &flat, params, trigger, cache, depth);
     }
@@ -528,9 +551,11 @@ fn probe_access_path(
     where_clause: Option<&Expr>,
     env: &EvalEnv<'_>,
 ) -> SqlResult<Option<Vec<i64>>> {
-    // The planner probes constant conjuncts through this closure; an
-    // evaluation error (e.g. a missing parameter) is deferred so it still
-    // surfaces instead of silently degrading to a full scan.
+    // The value-free plan comes from the plan cache (or a fresh planner
+    // walk); binding probes its captured constants through this closure.
+    // An evaluation error (e.g. a missing parameter) is deferred so it
+    // still surfaces instead of silently degrading to a full scan.
+    let plan = db.cached_access_plan(t, binding, where_clause);
     let deferred: std::cell::RefCell<Option<SqlError>> = std::cell::RefCell::new(None);
     let eval_const = |e: &Expr| -> Option<Value> {
         if !is_const(e) {
@@ -544,11 +569,11 @@ fn probe_access_path(
             }
         }
     };
-    let path = choose_access_path(t, binding, where_clause, &eval_const);
+    let path = bind_access_plan(&plan, &eval_const);
     if let Some(err) = deferred.into_inner() {
         return Err(err);
     }
-    db.stats.note_access_path(format!("{binding}: {path}"));
+    db.stats.note_access_path_with(|| format!("{binding}: {path}"));
     match path {
         AccessPath::FullScan => {
             db.stats.rows_scanned.set(db.stats.rows_scanned.get() + t.len() as u64);
@@ -588,7 +613,7 @@ fn probe_access_path(
 
 /// True when an expression references no columns of the current scope
 /// (parameters and NEW/OLD are constant within one row's evaluation).
-fn is_const(expr: &Expr) -> bool {
+pub(crate) fn is_const(expr: &Expr) -> bool {
     match expr {
         Expr::Literal(_) | Expr::Param(_) => true,
         Expr::Column { table: Some(t), .. } => TriggerCtx::is_pseudo_table(t),

@@ -43,8 +43,9 @@ pub struct MemberSet {
 ///
 /// The COW view's `NOT IN (SELECT _id FROM delta)` predicate is evaluated
 /// once per statement instead of once per candidate row, which matters for
-/// the paper's query-1k-words benchmark.
-pub type SubqueryCache = RefCell<HashMap<usize, MemberSet>>;
+/// the paper's query-1k-words benchmark. Entries are `Arc` so the
+/// per-candidate-row lookup shares the set instead of cloning it.
+pub type SubqueryCache = RefCell<HashMap<usize, std::sync::Arc<MemberSet>>>;
 
 /// NEW/OLD row context inside an INSTEAD OF trigger body.
 #[derive(Debug, Clone)]
@@ -261,6 +262,9 @@ pub fn eval(expr: &Expr, scope: &RowScope, env: &EvalEnv<'_>) -> SqlResult<Value
             if v.is_null() {
                 return Ok(Value::Null);
             }
+            if let Some(contains) = probe_in_select(select, &v, env) {
+                return Ok(Value::Integer((contains != *negated) as i64));
+            }
             let set = member_set(select, env)?;
             if set.values.contains(&OrdValue(v)) {
                 Ok(Value::Integer(!*negated as i64))
@@ -296,11 +300,72 @@ pub fn eval(expr: &Expr, scope: &RowScope, env: &EvalEnv<'_>) -> SqlResult<Value
     }
 }
 
-/// Computes (with caching) the membership set of an IN-subquery.
-fn member_set(select: &SelectStmt, env: &EvalEnv<'_>) -> SqlResult<MemberSet> {
+/// Answers `v IN (SELECT pk FROM t)` with a rowid point probe instead of
+/// materializing the membership set. The COW views' correlated predicate
+/// `_id NOT IN (SELECT _id FROM <delta>)` has exactly this shape, and the
+/// naive evaluation re-scans the whole delta on every statement — O(delta)
+/// per operation, which is what made delegate point queries and updates
+/// grow with the number of copied-up rows. The probe applies only when the
+/// subquery is a bare single-column projection of one table's INTEGER
+/// PRIMARY KEY (no WHERE/GROUP/HAVING/ORDER/LIMIT): such a set can contain
+/// neither NULLs nor duplicates, so membership reduces to one BTreeMap
+/// lookup. Non-integer candidates fall back to the set path so SQL
+/// affinity comparisons keep their ordinary semantics. Gated on the
+/// statement caches: the cache-disabled mode keeps the naive evaluation,
+/// which is what the cached-vs-uncached equivalence proptests compare
+/// against.
+fn probe_in_select(select: &SelectStmt, v: &Value, env: &EvalEnv<'_>) -> Option<bool> {
+    if !env.db.statement_caches_enabled() {
+        return None;
+    }
+    if select.cores.len() != 1
+        || !select.order_by.is_empty()
+        || select.limit.is_some()
+        || select.offset.is_some()
+    {
+        return None;
+    }
+    let core = &select.cores[0];
+    if core.where_clause.is_some() || !core.group_by.is_empty() || core.having.is_some() {
+        return None;
+    }
+    if core.from.len() != 1 {
+        return None;
+    }
+    let tref = &core.from[0];
+    if env.trigger.is_some() && TriggerCtx::is_pseudo_table(&tref.name) {
+        return None;
+    }
+    let [crate::ast::ResultColumn::Expr { expr: Expr::Column { table: qual, name }, .. }] =
+        core.columns.as_slice()
+    else {
+        return None;
+    };
+    if let Some(q) = qual {
+        let binding = tref.alias.as_deref().unwrap_or(&tref.name);
+        if !q.eq_ignore_ascii_case(binding) {
+            return None;
+        }
+    }
+    let table = env.db.table(&tref.name).ok()?;
+    let pk = table.schema.pk_column?;
+    if !table.schema.columns[pk].name.eq_ignore_ascii_case(name) {
+        return None;
+    }
+    let Value::Integer(rowid) = v else {
+        return None;
+    };
+    env.db.stats.point_lookups.set(env.db.stats.point_lookups.get() + 1);
+    Some(table.get(*rowid).is_some())
+}
+
+/// Computes (with caching) the membership set of an IN-subquery. The
+/// returned `Arc` is shared with the cache: a hit is a refcount bump,
+/// never a set clone.
+fn member_set(select: &SelectStmt, env: &EvalEnv<'_>) -> SqlResult<std::sync::Arc<MemberSet>> {
     let key = select as *const SelectStmt as usize;
     if let Some(cached) = env.cache.borrow().get(&key) {
-        return Ok(cached.clone());
+        return Ok(std::sync::Arc::clone(cached));
     }
     let rs = env.db.exec_select(select, env.params, env.trigger, env.cache, env.depth + 1)?;
     let mut set = MemberSet::default();
@@ -312,7 +377,8 @@ fn member_set(select: &SelectStmt, env: &EvalEnv<'_>) -> SqlResult<MemberSet> {
             set.values.insert(OrdValue(v));
         }
     }
-    env.cache.borrow_mut().insert(key, set.clone());
+    let set = std::sync::Arc::new(set);
+    env.cache.borrow_mut().insert(key, std::sync::Arc::clone(&set));
     Ok(set)
 }
 

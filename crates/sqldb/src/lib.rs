@@ -47,6 +47,7 @@ pub mod expr;
 pub mod index;
 pub mod lexer;
 pub mod parser;
+pub(crate) mod plancache;
 pub mod planner;
 pub mod table;
 pub mod value;
@@ -59,6 +60,6 @@ pub use db::{
 pub use error::{SqlError, SqlResult};
 pub use expr::{like_match, MemberSet, OrdValue, RowScope, TriggerCtx};
 pub use index::{RowIdSet, SecondaryIndex};
-pub use planner::{AccessPath, FlattenPolicy};
+pub use planner::{AccessPath, AccessPlan, FlattenPolicy, PlanChoice};
 pub use table::{Table, TableSchema};
 pub use value::Value;

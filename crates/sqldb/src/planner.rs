@@ -88,26 +88,86 @@ impl fmt::Display for AccessPath {
     }
 }
 
-/// Picks the access path for one single-table access given its WHERE
-/// clause.
+/// A value-free access plan: the structural half of access-path choice.
 ///
-/// `eval_const` must return `Some(value)` only for expressions that are
-/// constant in this scope (literals, parameters, NEW/OLD references) and
-/// evaluate cleanly. Preference order: rowid point lookup, then index
-/// equality, then index range, then full scan.
-pub fn choose_access_path(
+/// [`plan_access`] decides *which* index or point lookup to use from the
+/// WHERE clause's shape alone (column references, operators, which
+/// operands are structurally constant), without evaluating anything — so
+/// a plan computed once is reusable across executions with different
+/// parameter bindings. [`bind_access_plan`] evaluates the captured
+/// expressions against the current parameters to produce the concrete
+/// [`AccessPath`] the executor probes with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessPlan {
+    /// The structural choice.
+    pub choice: PlanChoice,
+    /// Every structurally-constant expression the planner inspected while
+    /// choosing, in inspection order. Bind evaluates all of them — even
+    /// ones the chosen path does not use — so evaluation errors (a
+    /// missing parameter, say) surface exactly as they would had the
+    /// plan been chosen with live values.
+    pub const_checks: Vec<Expr>,
+}
+
+/// The structural access choice inside an [`AccessPlan`]. Bound bounds
+/// and keys are kept as expressions and evaluated at bind time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanChoice {
+    /// Visit every row.
+    FullScan,
+    /// Primary-key point lookup, key from one `pk = expr` conjunct.
+    RowidPointEq(Expr),
+    /// Primary-key point lookups from a `pk IN (exprs)` conjunct.
+    RowidPointIn(Vec<Expr>),
+    /// Equality probes of a secondary index.
+    IndexEq {
+        /// Name of the probed index.
+        index: String,
+        /// Probe-key expressions (`=` gives one, `IN` several).
+        keys: Vec<Expr>,
+    },
+    /// A range probe of a secondary index. Multiple conjuncts may bound
+    /// the same column; the tightest bound is picked at bind time, when
+    /// the values are known.
+    IndexRange {
+        /// Name of the probed index.
+        index: String,
+        /// Candidate lower bounds as `(expr, inclusive)`.
+        lowers: Vec<(Expr, bool)>,
+        /// Candidate upper bounds as `(expr, inclusive)`.
+        uppers: Vec<(Expr, bool)>,
+    },
+}
+
+/// Builds the value-free access plan for one single-table access.
+///
+/// `is_const` must return true only for expressions that are constant in
+/// the statement's scope (literals, parameters, NEW/OLD references).
+/// Preference order matches [`choose_access_path`]: rowid point lookup,
+/// then index equality, then index range, then full scan.
+pub fn plan_access(
     table: &Table,
     binding: &str,
     where_clause: Option<&Expr>,
-    eval_const: &dyn Fn(&Expr) -> Option<Value>,
-) -> AccessPath {
+    is_const: &dyn Fn(&Expr) -> bool,
+) -> AccessPlan {
     let Some(w) = where_clause else {
-        return AccessPath::FullScan;
+        return AccessPlan { choice: PlanChoice::FullScan, const_checks: Vec::new() };
     };
     let pk = table.schema.pk_column;
-    let mut index_eq: Option<(String, Vec<Value>)> = None;
-    // Combined range bounds per indexed column: (column, lower, upper).
-    let mut ranges: Vec<(usize, Bound<Value>, Bound<Value>)> = Vec::new();
+    let mut checks: Vec<Expr> = Vec::new();
+    let mut index_eq: Option<(String, Vec<Expr>)> = None;
+    // Candidate range bounds per column: (column, lowers, uppers).
+    type RangeAcc = (usize, Vec<(Expr, bool)>, Vec<(Expr, bool)>);
+    let mut ranges: Vec<RangeAcc> = Vec::new();
+    fn range_entry(ranges: &mut Vec<RangeAcc>, col: usize) -> &mut RangeAcc {
+        if let Some(i) = ranges.iter().position(|(c, _, _)| *c == col) {
+            &mut ranges[i]
+        } else {
+            ranges.push((col, Vec::new(), Vec::new()));
+            ranges.last_mut().unwrap()
+        }
+    }
 
     for conj in w.conjuncts() {
         match conj {
@@ -117,30 +177,41 @@ pub fn choose_access_path(
                 r,
             ) => {
                 // Normalize to (column op constant), flipping the operator
-                // when the constant is on the left.
-                let (col, val, op) = if let (Some(c), Some(v)) =
-                    (own_column(l, binding, table), eval_const(r))
-                {
-                    (c, v, *op)
-                } else if let (Some(c), Some(v)) = (own_column(r, binding, table), eval_const(l)) {
-                    let flipped = match op {
-                        BinOp::Lt => BinOp::Gt,
-                        BinOp::LtEq => BinOp::GtEq,
-                        BinOp::Gt => BinOp::Lt,
-                        BinOp::GtEq => BinOp::LtEq,
-                        other => *other,
-                    };
-                    (c, v, flipped)
+                // when the constant is on the left. Inspected constants go
+                // into `checks` in the same order the one-stage chooser
+                // would have evaluated them.
+                let l_col = own_column(l, binding, table);
+                let r_const = is_const(r);
+                if r_const {
+                    checks.push((**r).clone());
+                }
+                let (col, val, op) = if let (Some(c), true) = (l_col, r_const) {
+                    (c, (**r).clone(), *op)
                 } else {
-                    continue;
+                    let l_const = is_const(l);
+                    if l_const {
+                        checks.push((**l).clone());
+                    }
+                    if let (Some(c), true) = (own_column(r, binding, table), l_const) {
+                        let flipped = match op {
+                            BinOp::Lt => BinOp::Gt,
+                            BinOp::LtEq => BinOp::GtEq,
+                            BinOp::Gt => BinOp::Lt,
+                            BinOp::GtEq => BinOp::LtEq,
+                            other => *other,
+                        };
+                        (c, (**l).clone(), flipped)
+                    } else {
+                        continue;
+                    }
                 };
                 match op {
                     BinOp::Eq => {
                         if Some(col) == pk {
-                            return AccessPath::RowidPoint(match val.as_integer() {
-                                Some(i) => vec![i],
-                                None => Vec::new(),
-                            });
+                            return AccessPlan {
+                                choice: PlanChoice::RowidPointEq(val),
+                                const_checks: checks,
+                            };
                         }
                         if index_eq.is_none() {
                             if let Some(ix) = table.index_on(col) {
@@ -148,35 +219,51 @@ pub fn choose_access_path(
                             }
                         }
                     }
-                    BinOp::Lt => add_upper(&mut ranges, col, Bound::Excluded(val)),
-                    BinOp::LtEq => add_upper(&mut ranges, col, Bound::Included(val)),
-                    BinOp::Gt => add_lower(&mut ranges, col, Bound::Excluded(val)),
-                    BinOp::GtEq => add_lower(&mut ranges, col, Bound::Included(val)),
+                    BinOp::Lt => range_entry(&mut ranges, col).2.push((val, false)),
+                    BinOp::LtEq => range_entry(&mut ranges, col).2.push((val, true)),
+                    BinOp::Gt => range_entry(&mut ranges, col).1.push((val, false)),
+                    BinOp::GtEq => range_entry(&mut ranges, col).1.push((val, true)),
                     _ => {}
                 }
             }
             Expr::InList { expr, list, negated: false } => {
                 let Some(col) = own_column(expr, binding, table) else { continue };
-                let vals: Option<Vec<Value>> = list.iter().map(eval_const).collect();
-                let Some(vals) = vals else { continue };
+                // Stop at the first non-constant item, mirroring the
+                // one-stage chooser's short-circuiting `collect`.
+                let mut items = Vec::with_capacity(list.len());
+                let mut all_const = true;
+                for item in list {
+                    if !is_const(item) {
+                        all_const = false;
+                        break;
+                    }
+                    checks.push(item.clone());
+                    items.push(item.clone());
+                }
+                if !all_const {
+                    continue;
+                }
                 if Some(col) == pk {
-                    return AccessPath::RowidPoint(
-                        vals.iter().filter_map(Value::as_integer).collect(),
-                    );
+                    return AccessPlan {
+                        choice: PlanChoice::RowidPointIn(items),
+                        const_checks: checks,
+                    };
                 }
                 if index_eq.is_none() {
                     if let Some(ix) = table.index_on(col) {
-                        index_eq = Some((ix.name().to_string(), vals));
+                        index_eq = Some((ix.name().to_string(), items));
                     }
                 }
             }
             Expr::Between { expr, low, high, negated: false } => {
                 let Some(col) = own_column(expr, binding, table) else { continue };
-                if let Some(v) = eval_const(low) {
-                    add_lower(&mut ranges, col, Bound::Included(v));
+                if is_const(low) {
+                    checks.push((**low).clone());
+                    range_entry(&mut ranges, col).1.push(((**low).clone(), true));
                 }
-                if let Some(v) = eval_const(high) {
-                    add_upper(&mut ranges, col, Bound::Included(v));
+                if is_const(high) {
+                    checks.push((**high).clone());
+                    range_entry(&mut ranges, col).2.push(((**high).clone(), true));
                 }
             }
             _ => {}
@@ -184,14 +271,94 @@ pub fn choose_access_path(
     }
 
     if let Some((index, keys)) = index_eq {
-        return AccessPath::IndexEq { index, keys };
+        return AccessPlan { choice: PlanChoice::IndexEq { index, keys }, const_checks: checks };
     }
-    for (col, lower, upper) in ranges {
+    for (col, lowers, uppers) in ranges {
         if let Some(ix) = table.index_on(col) {
-            return AccessPath::IndexRange { index: ix.name().to_string(), lower, upper };
+            return AccessPlan {
+                choice: PlanChoice::IndexRange { index: ix.name().to_string(), lowers, uppers },
+                const_checks: checks,
+            };
         }
     }
-    AccessPath::FullScan
+    AccessPlan { choice: PlanChoice::FullScan, const_checks: checks }
+}
+
+/// Binds an [`AccessPlan`] against the current execution's constants,
+/// producing the concrete [`AccessPath`] to probe with.
+///
+/// `eval_const` is the caller's constant evaluator; returning `None` for
+/// an expression the plan captured means evaluation failed, which the
+/// caller is expected to have recorded (the executor defers the error and
+/// raises it after binding). The path produced alongside a deferred error
+/// is never probed.
+pub fn bind_access_plan(
+    plan: &AccessPlan,
+    eval_const: &dyn Fn(&Expr) -> Option<Value>,
+) -> AccessPath {
+    // Evaluate every inspected constant first so errors surface exactly
+    // as in unplanned (one-stage) access-path choice.
+    for e in &plan.const_checks {
+        let _ = eval_const(e);
+    }
+    match &plan.choice {
+        PlanChoice::FullScan => AccessPath::FullScan,
+        PlanChoice::RowidPointEq(e) => {
+            AccessPath::RowidPoint(match eval_const(e).and_then(|v| v.as_integer()) {
+                Some(i) => vec![i],
+                None => Vec::new(),
+            })
+        }
+        PlanChoice::RowidPointIn(list) => AccessPath::RowidPoint(
+            list.iter().filter_map(|e| eval_const(e).and_then(|v| v.as_integer())).collect(),
+        ),
+        PlanChoice::IndexEq { index, keys } => AccessPath::IndexEq {
+            index: index.clone(),
+            keys: keys.iter().map(|e| eval_const(e).unwrap_or(Value::Null)).collect(),
+        },
+        PlanChoice::IndexRange { index, lowers, uppers } => {
+            let mut lower: Bound<Value> = Bound::Unbounded;
+            let mut upper: Bound<Value> = Bound::Unbounded;
+            for (e, inclusive) in lowers {
+                if let Some(v) = eval_const(e) {
+                    let b = if *inclusive { Bound::Included(v) } else { Bound::Excluded(v) };
+                    if bound_tighter_lower(&lower, &b) {
+                        lower = b;
+                    }
+                }
+            }
+            for (e, inclusive) in uppers {
+                if let Some(v) = eval_const(e) {
+                    let b = if *inclusive { Bound::Included(v) } else { Bound::Excluded(v) };
+                    if bound_tighter_upper(&upper, &b) {
+                        upper = b;
+                    }
+                }
+            }
+            AccessPath::IndexRange { index: index.clone(), lower, upper }
+        }
+    }
+}
+
+/// Picks the access path for one single-table access given its WHERE
+/// clause.
+///
+/// `eval_const` must return `Some(value)` only for expressions that are
+/// constant in this scope (literals, parameters, NEW/OLD references) and
+/// evaluate cleanly. Preference order: rowid point lookup, then index
+/// equality, then index range, then full scan.
+///
+/// This is the one-stage convenience form of [`plan_access`] +
+/// [`bind_access_plan`]; the executor uses the two-stage form so plans
+/// can be cached across executions.
+pub fn choose_access_path(
+    table: &Table,
+    binding: &str,
+    where_clause: Option<&Expr>,
+    eval_const: &dyn Fn(&Expr) -> Option<Value>,
+) -> AccessPath {
+    let plan = plan_access(table, binding, where_clause, &|e| eval_const(e).is_some());
+    bind_access_plan(&plan, eval_const)
 }
 
 /// Resolves `expr` as a reference to one of `table`'s own columns within
@@ -207,34 +374,6 @@ fn own_column(expr: &Expr, binding: &str, table: &Table) -> Option<usize> {
             table.schema.column_index(name)
         }
         _ => None,
-    }
-}
-
-/// Tightens the lower bound recorded for `col` (keeps the greater one).
-fn add_lower(ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>, col: usize, b: Bound<Value>) {
-    let entry = range_entry(ranges, col);
-    if bound_tighter_lower(&entry.1, &b) {
-        entry.1 = b;
-    }
-}
-
-/// Tightens the upper bound recorded for `col` (keeps the lesser one).
-fn add_upper(ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>, col: usize, b: Bound<Value>) {
-    let entry = range_entry(ranges, col);
-    if bound_tighter_upper(&entry.2, &b) {
-        entry.2 = b;
-    }
-}
-
-fn range_entry(
-    ranges: &mut Vec<(usize, Bound<Value>, Bound<Value>)>,
-    col: usize,
-) -> &mut (usize, Bound<Value>, Bound<Value>) {
-    if let Some(i) = ranges.iter().position(|(c, _, _)| *c == col) {
-        &mut ranges[i]
-    } else {
-        ranges.push((col, Bound::Unbounded, Bound::Unbounded));
-        ranges.last_mut().unwrap()
     }
 }
 

@@ -117,6 +117,31 @@ impl MountNamespace {
         Err(VfsError::NotFound)
     }
 
+    /// Enables or disables the resolution cache of every union mount in
+    /// this namespace (bench and diagnostics hook).
+    pub fn set_resolve_caches(&mut self, on: bool) {
+        for m in &mut self.mounts {
+            if let MountKind::Union(u) = &mut m.kind {
+                u.set_resolve_cache(on);
+            }
+        }
+    }
+
+    /// Aggregate `(hits, misses)` of the resolution caches across this
+    /// namespace's union mounts.
+    pub fn resolve_cache_stats(&self) -> (u64, u64) {
+        let mut hits = 0;
+        let mut misses = 0;
+        for m in &self.mounts {
+            if let MountKind::Union(u) = &m.kind {
+                let (h, mi) = u.resolve_cache_stats();
+                hits += h;
+                misses += mi;
+            }
+        }
+        (hits, misses)
+    }
+
     /// Returns the mount points that are direct or indirect children of
     /// `path` (used so `read_dir` can surface nested mount points).
     pub fn child_mount_names(&self, path: &VPath) -> Vec<String> {

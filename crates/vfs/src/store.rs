@@ -99,6 +99,13 @@ pub struct Store {
     /// Optional journal sink; when attached, every successful leaf
     /// mutation emits a physical [`VfsRecord`].
     journal: Option<SinkRef>,
+    /// Namespace-visibility generation: advanced by every mutation that
+    /// can change *which* paths exist (create, unlink, rmdir, rename,
+    /// image restore) but not by content-only writes or appends. Union
+    /// path-resolution caches validate against it, so appends to an
+    /// already-copied-up file stay cache hits while a copy-up, whiteout
+    /// or rename invalidates stale resolutions immediately.
+    visibility_gen: u64,
 }
 
 impl Default for Store {
@@ -118,7 +125,22 @@ impl Store {
             root: InodeId(0),
             clock: 0,
             journal: None,
+            visibility_gen: 0,
         }
+    }
+
+    /// The current namespace-visibility generation (see the field docs).
+    pub fn visibility_gen(&self) -> u64 {
+        self.visibility_gen
+    }
+
+    /// Explicitly advances the visibility generation, invalidating every
+    /// union resolution cache validated against this store. The leaf
+    /// mutations below bump it automatically; this hook exists for
+    /// coarse-grained events (volatile commit/clear) that want a
+    /// belt-and-braces invalidation on top.
+    pub fn bump_visibility(&mut self) {
+        self.visibility_gen = self.visibility_gen.wrapping_add(1);
     }
 
     /// Attaches a journal sink; subsequent successful mutations are logged.
@@ -244,6 +266,7 @@ impl Store {
             }
             Inode::File { .. } => unreachable!("parent checked to be a directory"),
         }
+        self.bump_visibility();
         self.emit(VfsRecord::Mkdir {
             path: path.as_str().to_string(),
             owner: owner.0,
@@ -304,6 +327,8 @@ impl Store {
                 }
                 Inode::File { .. } => unreachable!("parent checked to be a directory"),
             }
+            // Creation (not overwrite) makes a new path visible.
+            self.bump_visibility();
             id
         };
         self.emit(VfsRecord::Write {
@@ -362,6 +387,7 @@ impl Store {
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
         self.dealloc(child);
+        self.bump_visibility();
         self.emit(VfsRecord::Unlink { path: path.as_str().to_string() });
         Ok(())
     }
@@ -386,6 +412,7 @@ impl Store {
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
         self.dealloc(child);
+        self.bump_visibility();
         self.emit(VfsRecord::Rmdir { path: path.as_str().to_string() });
         Ok(())
     }
@@ -456,6 +483,7 @@ impl Store {
             }
             Inode::File { .. } => return Err(VfsError::NotADirectory),
         }
+        self.bump_visibility();
         self.emit(VfsRecord::Rename {
             from: from.as_str().to_string(),
             to: to.as_str().to_string(),
@@ -625,6 +653,8 @@ impl Store {
         self.free = free;
         self.root = root;
         self.clock = clock;
+        // Wholesale replacement: anything resolved before is suspect.
+        self.bump_visibility();
         Ok(())
     }
 

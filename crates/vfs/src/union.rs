@@ -22,7 +22,9 @@ use crate::cred::{Mode, Uid};
 use crate::error::{VfsError, VfsResult};
 use crate::path::VPath;
 use crate::store::{DirEntry, Metadata, Store};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Prefix used for whiteout marker files, matching Aufs.
 pub const WHITEOUT_PREFIX: &str = ".wh.";
@@ -81,6 +83,80 @@ pub struct Union {
     pub maxoid_access: bool,
     /// How appends to lower-branch files are copied up.
     pub granularity: CopyUpGranularity,
+    /// Memoized path resolutions, validated against the store's
+    /// visibility generation.
+    cache: ResolveCache,
+}
+
+/// Entry cap for the resolution cache; cleared wholesale when full.
+const RESOLVE_CACHE_CAP: usize = 1024;
+
+/// Per-union memo of [`Union::effective`] results.
+///
+/// Maps a mount-relative path to the branch resolution (`Some(Located)`
+/// or a cached negative) stamped with the [`Store::visibility_gen`] it
+/// was computed under; a stale stamp is a miss. Namespaces holding the
+/// union are shared across threads during concurrent reads, so the map
+/// sits behind a `Mutex` and the counters are atomics. The cache is
+/// runtime state, not filesystem state: clones start cold and equality
+/// ignores it (only the enabled flag is configuration, and it defaults
+/// on everywhere).
+#[derive(Debug, Default)]
+struct ResolveCache {
+    disabled: bool,
+    map: Mutex<HashMap<String, (Option<Located>, u64)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for ResolveCache {
+    fn clone(&self) -> Self {
+        ResolveCache { disabled: self.disabled, ..Default::default() }
+    }
+}
+
+impl PartialEq for ResolveCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for ResolveCache {}
+
+impl ResolveCache {
+    /// `Some(resolution)` on a valid hit, `None` on miss or when
+    /// disabled. Counters (and their obs mirrors) track only enabled
+    /// lookups.
+    fn lookup(&self, rel: &str, gen: u64) -> Option<Option<Located>> {
+        if self.disabled {
+            return None;
+        }
+        if let Some((loc, stamp)) = self.map.lock().expect("resolve cache poisoned").get(rel) {
+            if *stamp == gen {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                maxoid_obs::counter_add("vfs.union.resolve_cache_hits", 1);
+                return Some(loc.clone());
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        maxoid_obs::counter_add("vfs.union.resolve_cache_misses", 1);
+        None
+    }
+
+    fn insert(&self, rel: &str, gen: u64, loc: Option<Located>) {
+        if self.disabled {
+            return;
+        }
+        let mut map = self.map.lock().expect("resolve cache poisoned");
+        if map.len() >= RESOLVE_CACHE_CAP {
+            map.clear();
+        }
+        map.insert(rel.to_string(), (loc, gen));
+    }
+
+    fn clear(&self) {
+        self.map.lock().expect("resolve cache poisoned").clear();
+    }
 }
 
 /// Where an effective (visible) node was found.
@@ -128,13 +204,50 @@ impl Union {
         for (i, b) in branches.iter().enumerate() {
             assert!(i == 0 || !b.writable, "only the top branch may be writable");
         }
-        Union { branches, maxoid_access, granularity: CopyUpGranularity::File }
+        Union {
+            branches,
+            maxoid_access,
+            granularity: CopyUpGranularity::File,
+            cache: ResolveCache::default(),
+        }
     }
 
     /// Sets the copy-up granularity (builder style).
     pub fn with_granularity(mut self, granularity: CopyUpGranularity) -> Self {
         self.granularity = granularity;
         self
+    }
+
+    /// Enables or disables the path-resolution cache (builder style; on
+    /// by default). Used by the cache-equivalence tests and ablations.
+    pub fn with_resolve_cache(mut self, on: bool) -> Self {
+        self.set_resolve_cache(on);
+        self
+    }
+
+    /// Enables or disables the resolution cache in place (bench and
+    /// diagnostics hook). Toggling in either direction drops memoized
+    /// resolutions.
+    pub fn set_resolve_cache(&mut self, on: bool) {
+        self.cache.disabled = !on;
+        self.cache.clear();
+    }
+
+    /// Whether the resolution cache is active.
+    pub fn resolve_cache_enabled(&self) -> bool {
+        !self.cache.disabled
+    }
+
+    /// `(hits, misses)` of the resolution cache since construction.
+    pub fn resolve_cache_stats(&self) -> (u64, u64) {
+        (self.cache.hits.load(Ordering::Relaxed), self.cache.misses.load(Ordering::Relaxed))
+    }
+
+    /// Drops every memoized resolution. The store's visibility generation
+    /// already invalidates implicitly; coarse events (volatile
+    /// commit/clear, branch surgery) call this for an explicit flush.
+    pub fn invalidate_resolutions(&self) {
+        self.cache.clear();
     }
 
     /// Host path of the append-delta file for `rel` in the top branch.
@@ -207,8 +320,29 @@ impl Union {
     }
 
     /// Finds the highest-priority branch where `rel` is visible.
+    ///
+    /// Resolutions (positive and negative) are memoized per path and
+    /// validated against [`Store::visibility_gen`], so steady-state
+    /// lookups — including appends to an already-copied-up file — skip
+    /// the branch walk and its whiteout probes entirely.
     pub fn effective(&self, store: &Store, rel: &str) -> Option<Located> {
         maxoid_obs::counter_add("vfs.union.lookups", 1);
+        let gen = store.visibility_gen();
+        if let Some(cached) = self.cache.lookup(rel, gen) {
+            let depth = match &cached {
+                Some(loc) => loc.branch as u64 + 1,
+                None => self.branches.len() as u64,
+            };
+            maxoid_obs::observe("vfs.union.lookup_depth", depth);
+            return cached;
+        }
+        let resolved = self.resolve_branches(store, rel);
+        self.cache.insert(rel, gen, resolved.clone());
+        resolved
+    }
+
+    /// The uncached branch walk behind [`Union::effective`].
+    fn resolve_branches(&self, store: &Store, rel: &str) -> Option<Located> {
         for (i, br) in self.branches.iter().enumerate() {
             let host = join_rel(&br.host, rel).ok()?;
             if store.exists(&host) {
@@ -832,6 +966,72 @@ mod tests {
         // Further appends now mutate the materialized copy in place.
         u.append(&mut store, "f", b"!").unwrap();
         assert_eq!(store.read(&host).unwrap(), b"abcdef!");
+    }
+
+    #[test]
+    fn resolve_cache_hits_and_invalidates() {
+        let (mut store, u) = setup(&[("d/f", "lower")]);
+        assert!(u.resolve_cache_enabled());
+        assert_eq!(u.read(&store, "d/f").unwrap(), b"lower");
+        assert_eq!(u.read(&store, "d/f").unwrap(), b"lower");
+        let (h1, _) = u.resolve_cache_stats();
+        assert!(h1 >= 1, "repeated read should hit, stats {:?}", u.resolve_cache_stats());
+        // Shadowing write bumps the store generation; the next read must
+        // resolve to the top branch, not the cached lower location.
+        u.write(&mut store, "d/f", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(u.read(&store, "d/f").unwrap(), b"upper");
+        // Negative results are cached too...
+        assert!(!u.exists(&store, "d/none"));
+        assert!(!u.exists(&store, "d/none"));
+        // ...and creation invalidates them.
+        u.write(&mut store, "d/none", b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert!(u.exists(&store, "d/none"));
+        // Whiteouts invalidate positive resolutions.
+        u.unlink(&mut store, "d/f").unwrap();
+        assert!(!u.exists(&store, "d/f"));
+    }
+
+    #[test]
+    fn append_after_copy_up_stays_cached() {
+        let (mut store, u) = setup(&[("f", "abc")]);
+        u.append(&mut store, "f", b"1").unwrap(); // whole-file copy-up
+        let (h0, _) = u.resolve_cache_stats();
+        // Appends to the copied-up file change content, not visibility:
+        // the resolution caches and subsequent appends skip the walk.
+        u.append(&mut store, "f", b"2").unwrap();
+        u.append(&mut store, "f", b"3").unwrap();
+        let (h1, _) = u.resolve_cache_stats();
+        assert!(h1 > h0, "appends after copy-up should hit the resolve cache");
+        assert_eq!(u.read(&store, "f").unwrap(), b"abc123");
+    }
+
+    #[test]
+    fn resolve_cache_disabled_matches_enabled() {
+        let run = |cached: bool| -> Vec<Vec<u8>> {
+            let (mut store, u) = setup(&[("d/a", "A"), ("d/b", "B")]);
+            let u = u.with_resolve_cache(cached);
+            assert_eq!(u.resolve_cache_enabled(), cached);
+            u.append(&mut store, "d/a", b"+").unwrap();
+            u.unlink(&mut store, "d/b").unwrap();
+            u.write(&mut store, "d/c", b"C", Uid::ROOT, Mode::PUBLIC).unwrap();
+            let mut out = Vec::new();
+            for rel in ["d/a", "d/b", "d/c"] {
+                out.push(u.read(&store, rel).unwrap_or_default());
+                out.push(u.read(&store, rel).unwrap_or_default());
+            }
+            out
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn clones_start_with_cold_cache() {
+        let (store, u) = setup(&[("f", "x")]);
+        assert!(u.exists(&store, "f"));
+        assert!(u.exists(&store, "f"));
+        let clone = u.clone();
+        assert_eq!(clone.resolve_cache_stats(), (0, 0));
+        assert_eq!(clone, u, "cache state must not affect union equality");
     }
 
     #[test]

@@ -295,6 +295,71 @@ fn byte_flip_sweep_is_corrupted_never_silently_shortened() {
     }
 }
 
+/// Replay interacts with the hot-path caches: journal replay drives the
+/// same `execute`/`query` entry points as live traffic, so the statement
+/// and plan caches fill and invalidate during recovery. The recovered
+/// state must be byte-identical whether the replayed database keeps its
+/// caches (the default) or has every cache disabled — and repeated
+/// queries against the warm recovered provider must not drift.
+#[test]
+fn replay_into_cache_enabled_database_matches_cold() {
+    let mut sys = journaled_system();
+    let delta_id = seed_volatile_state(&mut sys);
+    let plan = VolCommitPlan {
+        provider_rows: vec![(AUTHORITY.into(), "words".into(), delta_id)],
+        discard_rest: true,
+        ..VolCommitPlan::default()
+    };
+    sys.commit_vol(INITIATOR, &plan).expect("commit_vol");
+    let journal = sys.journal().expect("journaled").clone();
+    journal.flush().unwrap();
+    let live = live_fingerprint(&mut sys);
+    let log = journal.bytes();
+
+    // Warm replay: caches at their defaults.
+    let mut rec = recover(&log).expect("recover");
+    let warm_files = rec.vfs.with_store(|s| s.dump_tree());
+    let db = rec.take_db(AUTHORITY);
+    assert!(db.statement_caches_enabled(), "caches default on during replay");
+    assert!(db.stats.stmt_cache_misses.get() > 0, "replay parsed statements through the cache");
+    assert!(db.catalog_generation() > 0, "replayed DDL bumped the catalog generation");
+    let mut warm = UserDictionaryProvider::from_recovered(db);
+    let q = |dict: &mut UserDictionaryProvider, caller: &Caller, uri: &Uri| {
+        dict.query(caller, uri, &query_args()).ok().map(|rs| rs.rows)
+    };
+    let warm_fp = Fingerprint {
+        public_words: q(&mut warm, &Caller::normal("bystander"), &words_uri()),
+        delegate_words: q(&mut warm, &Caller::delegate(DELEGATE, INITIATOR), &words_uri()),
+        volatile_words: q(&mut warm, &Caller::normal(INITIATOR), &words_uri().as_volatile()),
+        files: warm_files,
+    };
+    assert_eq!(warm_fp, live, "cache-enabled replay must reproduce the live state");
+    // A second round of the same queries is served by now-warm caches.
+    let repeat = Fingerprint {
+        public_words: q(&mut warm, &Caller::normal("bystander"), &words_uri()),
+        delegate_words: q(&mut warm, &Caller::delegate(DELEGATE, INITIATOR), &words_uri()),
+        volatile_words: q(&mut warm, &Caller::normal(INITIATOR), &words_uri().as_volatile()),
+        files: warm_fp.files.clone(),
+    };
+    assert_eq!(repeat, warm_fp, "warm-cache repeat queries must not drift");
+    assert!(warm.proxy().db().stats.stmt_cache_hits.get() > 0, "repeats hit the cache");
+
+    // Cold replay: every cache off before any query runs.
+    let mut rec = recover(&log).expect("recover");
+    let cold_files = rec.vfs.with_store(|s| s.dump_tree());
+    let db = rec.take_db(AUTHORITY);
+    db.set_statement_caches(false);
+    let mut cold = UserDictionaryProvider::from_recovered(db);
+    cold.proxy_mut().set_rewrite_cache(false);
+    let cold_fp = Fingerprint {
+        public_words: q(&mut cold, &Caller::normal("bystander"), &words_uri()),
+        delegate_words: q(&mut cold, &Caller::delegate(DELEGATE, INITIATOR), &words_uri()),
+        volatile_words: q(&mut cold, &Caller::normal(INITIATOR), &words_uri().as_volatile()),
+        files: cold_files,
+    };
+    assert_eq!(cold_fp, warm_fp, "cache-disabled replay must match the cached one");
+}
+
 #[test]
 fn group_commit_batching_loses_only_the_pending_tail() {
     // With a large batch, records sit in the pending buffer until a
