@@ -59,7 +59,7 @@ impl AuditReport {
 /// would). `initiator` — when given — additionally scans that app's
 /// volatile state.
 pub fn audit(
-    sys: &mut MaxoidSystem,
+    sys: &MaxoidSystem,
     observer_pkg: &str,
     suspect_pkg: &str,
     initiator: Option<&str>,
@@ -196,7 +196,7 @@ fn contains_bytes(haystack: &[u8], needle: &[u8]) -> bool {
 }
 
 /// Convenience: the standard observer app used by the leak study.
-pub fn install_observer(sys: &mut MaxoidSystem) -> SystemResult<String> {
+pub fn install_observer(sys: &MaxoidSystem) -> SystemResult<String> {
     let pkg = "org.maxoid.observer";
     if !sys.kernel.is_installed(&AppId::new(pkg)) {
         sys.install(pkg, vec![], maxoid::MaxoidManifest::new())?;

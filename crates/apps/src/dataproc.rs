@@ -90,7 +90,7 @@ impl Default for AdobeReader {
 
 impl AdobeReader {
     /// Result of opening a document.
-    pub fn open(&self, sys: &mut MaxoidSystem, pid: Pid, file: &FileRef) -> SystemResult<u64> {
+    pub fn open(&self, sys: &MaxoidSystem, pid: Pid, file: &FileRef) -> SystemResult<u64> {
         let (name, data) = match file {
             FileRef::Path(p) => (file.name(), sys.kernel.read(pid, p)?),
             FileRef::Content { name, data } => {
@@ -137,7 +137,7 @@ impl Default for KingsoftOffice {
 
 impl KingsoftOffice {
     /// Opens a document, leaving the Table 1 traces.
-    pub fn open(&self, sys: &mut MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<u64> {
+    pub fn open(&self, sys: &MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<u64> {
         let data = sys.kernel.read(pid, path)?;
         let name = path.file_name().unwrap_or("doc").to_string();
         // ADF: recent files (private, app-defined format).
@@ -171,7 +171,7 @@ impl Default for BarcodeScanner {
 
 impl BarcodeScanner {
     /// Scans a QR code; stores the decoded payload in the recent-scans DB.
-    pub fn scan(&self, sys: &mut MaxoidSystem, pid: Pid, code_id: u64) -> SystemResult<String> {
+    pub fn scan(&self, sys: &MaxoidSystem, pid: Pid, code_id: u64) -> SystemResult<String> {
         let payload = compute::qr_payload(code_id);
         append_private_line(sys, pid, &self.pkg, "scans.db", &payload)?;
         Ok(payload)
@@ -197,7 +197,7 @@ impl CamScanner {
     /// Scans a document page (Table 5 task: "process a scanned page").
     pub fn scan_page(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         page_name: &str,
         raw_pixels: &[u8],
@@ -240,7 +240,7 @@ impl CameraMx {
     /// Takes a photo (Table 5 task).
     pub fn take_photo(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         name: &str,
         bytes: usize,
@@ -258,7 +258,7 @@ impl CameraMx {
     /// Saves an edited photo (Table 5 task): a new file and Media row.
     pub fn save_edited(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         original: &VPath,
     ) -> SystemResult<VPath> {
@@ -288,7 +288,7 @@ impl Default for VPlayer {
 
 impl VPlayer {
     /// Plays a video file.
-    pub fn play(&self, sys: &mut MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<u64> {
+    pub fn play(&self, sys: &MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<u64> {
         let data = sys.kernel.read(pid, path)?;
         let name = path.file_name().unwrap_or("video").to_string();
         // DB: playback history (private).

@@ -46,7 +46,7 @@ impl EBookDroid {
     /// Opens a document: records it in the appropriate recents database.
     /// This is the patched code path — delegates write to pPriv, normal
     /// runs write to nPriv; cache files would still go to nPriv.
-    pub fn open(&self, sys: &mut MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<()> {
+    pub fn open(&self, sys: &MaxoidSystem, pid: Pid, path: &VPath) -> SystemResult<()> {
         let _content = sys.kernel.read(pid, path)?;
         let db = if Self::is_delegate(sys, pid)? { self.ppriv_db() } else { self.npriv_db() };
         let mut data = sys.kernel.read(pid, &db).unwrap_or_default();
@@ -88,7 +88,7 @@ mod tests {
 
     /// Write a world-readable book into the initiator's private dir so the
     /// delegate can open it through its view of Priv(initiator).
-    fn put_book(sys: &mut MaxoidSystem, owner_pid: Pid, owner: &str, name: &str) -> VPath {
+    fn put_book(sys: &MaxoidSystem, owner_pid: Pid, owner: &str, name: &str) -> VPath {
         let p = vpath("/data/data").join(owner).unwrap().join(name).unwrap();
         sys.kernel.write(owner_pid, &p, b"book", Mode::PRIVATE).unwrap();
         p

@@ -59,7 +59,7 @@ impl Dropbox {
 
     /// Simulates a sync-down: fetches a file from the Dropbox server and
     /// stores it in the storage directory.
-    pub fn sync_down(&self, sys: &mut MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
+    pub fn sync_down(&self, sys: &MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
         let data = sys.kernel.http_get(pid, &format!("dropbox.example/{name}"))?;
         let path = self.file_path(name);
         sys.kernel.mkdir_all(pid, &path.parent().expect("file has parent"), Mode::PUBLIC)?;
@@ -70,7 +70,7 @@ impl Dropbox {
     /// The user taps a file: Dropbox sends a VIEW intent with the path.
     pub fn open_file(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         name: &str,
     ) -> SystemResult<StartOutcome> {
@@ -84,7 +84,7 @@ impl Dropbox {
     /// differs from the server copy. Returns uploaded names. On stock
     /// Android this silently uploads a delegate's corruption; under Maxoid
     /// delegate edits live in `Vol` and are never picked up here.
-    pub fn sync_up(&self, sys: &mut MaxoidSystem, pid: Pid) -> SystemResult<Vec<String>> {
+    pub fn sync_up(&self, sys: &MaxoidSystem, pid: Pid) -> SystemResult<Vec<String>> {
         let dir = vpath("/storage/sdcard").join(&self.dir).expect("valid dir");
         let mut uploaded = Vec::new();
         let entries = sys.kernel.read_dir(pid, &dir).unwrap_or_default();
@@ -108,12 +108,7 @@ impl Dropbox {
 
     /// Manual commit flow (§7.1): the user picks an edited file from
     /// `EXTDIR/tmp` and uploads it, then clears `Vol(Dropbox)`.
-    pub fn upload_from_tmp(
-        &self,
-        sys: &mut MaxoidSystem,
-        pid: Pid,
-        name: &str,
-    ) -> SystemResult<()> {
+    pub fn upload_from_tmp(&self, sys: &MaxoidSystem, pid: Pid, name: &str) -> SystemResult<()> {
         let tmp = vpath("/storage/sdcard/tmp").join(&self.dir).and_then(|d| d.join(name))?;
         let data = sys.kernel.read(pid, &tmp)?;
         sys.kernel.net.publish("dropbox.example", name, data);
@@ -139,7 +134,7 @@ impl GoogleDrive {
     /// Downloads a file into the private cache with an unguessable name;
     /// the file itself is world-readable so a disclosed path can be
     /// opened by another app.
-    pub fn cache_file(&self, sys: &mut MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
+    pub fn cache_file(&self, sys: &MaxoidSystem, pid: Pid, name: &str) -> SystemResult<VPath> {
         let data = sys.kernel.http_get(pid, &format!("drive.example/{name}"))?;
         // "Random" component: derived from the name deterministically.
         let token: String =
@@ -154,7 +149,7 @@ impl GoogleDrive {
     /// Opens a cached file with a viewer, disclosing its path.
     pub fn open_cached(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         cached: &VPath,
         delegate: bool,
@@ -191,7 +186,7 @@ impl Email {
     /// storage.
     pub fn receive_attachment(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         name: &str,
         data: &[u8],
@@ -208,7 +203,7 @@ impl Email {
     /// reads it through its confined view of `Priv(Email)`).
     pub fn view_attachment(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         attachment: &VPath,
     ) -> SystemResult<StartOutcome> {
@@ -223,7 +218,7 @@ impl Email {
     /// and the Downloads provider — deliberate declassification.
     pub fn save_attachment(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         attachment: &VPath,
     ) -> SystemResult<VPath> {
@@ -266,7 +261,7 @@ impl Browser {
     /// request to volatile state.
     pub fn download(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         url: &str,
         filename: &str,
@@ -286,7 +281,7 @@ impl Browser {
     /// started — as Browser's delegate when the download was incognito.
     pub fn open_download_notification(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         note: &maxoid_providers::DownloadNotification,
     ) -> SystemResult<StartOutcome> {
@@ -301,7 +296,7 @@ impl Browser {
 
     /// Queries the browser's own download list, merging public and
     /// volatile records (the incognito tab's view).
-    pub fn downloads_list(&self, sys: &mut MaxoidSystem, pid: Pid) -> SystemResult<(usize, usize)> {
+    pub fn downloads_list(&self, sys: &MaxoidSystem, pid: Pid) -> SystemResult<(usize, usize)> {
         let pub_uri = Uri::parse("content://downloads/my_downloads").expect("static uri");
         let public = sys.cp_query(pid, &pub_uri, &QueryArgs::default())?.rows.len();
         let volatile = sys
@@ -328,7 +323,7 @@ pub fn guess_mime(name: &str) -> &'static str {
 }
 
 /// Installs an app model package with a VIEW receiver (viewer-style apps).
-pub fn install_viewer(sys: &mut MaxoidSystem, pkg: &str) -> SystemResult<AppId> {
+pub fn install_viewer(sys: &MaxoidSystem, pkg: &str) -> SystemResult<AppId> {
     sys.install(pkg, vec![maxoid::AppIntentFilter::new(ACTION_VIEW, None)], MaxoidManifest::new())
 }
 

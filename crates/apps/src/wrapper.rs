@@ -32,7 +32,7 @@ impl WrapperApp {
     /// Stores a sensitive document in the wrapper's private storage.
     pub fn hold_document(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         name: &str,
         data: &[u8],
@@ -48,7 +48,7 @@ impl WrapperApp {
     /// the wrapper's delegate).
     pub fn open_with(
         &self,
-        sys: &mut MaxoidSystem,
+        sys: &MaxoidSystem,
         pid: Pid,
         doc: &VPath,
         viewer_pkg: &str,
@@ -61,7 +61,7 @@ impl WrapperApp {
 
     /// Ends the incognito session: clears volatile state and delegate
     /// private forks, removing all traces.
-    pub fn end_session(&self, sys: &mut MaxoidSystem) -> SystemResult<()> {
+    pub fn end_session(&self, sys: &MaxoidSystem) -> SystemResult<()> {
         sys.clear_vol(&self.pkg)?;
         sys.clear_priv(&self.pkg)?;
         Ok(())

@@ -74,8 +74,13 @@ fn main() {
                 .iter()
                 .map(|&mode| {
                     let w = Rc::new(RefCell::new(FsWorkload::new(mode, 1, size)));
-                    let case: Case =
-                        (Box::new(|| {}), Box::new(move || w.borrow_mut().write_new(size)));
+                    let w2 = w.clone();
+                    // Path formatting + payload allocation are untimed:
+                    // only the write syscall is measured.
+                    let case: Case = (
+                        Box::new(move || w.borrow_mut().stage_write(size)),
+                        Box::new(move || w2.borrow_mut().write_staged()),
+                    );
                     case
                 })
                 .collect(),
@@ -88,11 +93,15 @@ fn main() {
             FsMode::ALL
                 .iter()
                 .map(|&mode| {
-                    let w = Rc::new(FsWorkload::new(mode, 1, size));
+                    let w = Rc::new(RefCell::new(FsWorkload::new(mode, 1, size)));
                     let w2 = w.clone();
                     let case: Case = (
-                        Box::new(move || w.reset_seeded(0, size)),
-                        Box::new(move || w2.append(0, size)),
+                        Box::new(move || {
+                            let mut b = w.borrow_mut();
+                            b.reset_seeded(0, size);
+                            b.stage_append(0, size);
+                        }),
+                        Box::new(move || w2.borrow_mut().append_staged()),
                     );
                     case
                 })

@@ -75,7 +75,7 @@ fn bench_downloads(mode: DlMode) -> Measurement {
         TRIALS,
         || {},
         || {
-            let mut sys = MaxoidSystem::boot().expect("boot");
+            let sys = MaxoidSystem::boot().expect("boot");
             for i in 0..FILES {
                 sys.kernel.net.publish("files.example", &format!("f{i}.bin"), vec![0u8; FILE_SIZE]);
             }
@@ -143,7 +143,7 @@ fn bench_media_scan(mode: ScanMode) -> Measurement {
         TRIALS,
         || {},
         || {
-            let mut sys = MaxoidSystem::boot().expect("boot");
+            let sys = MaxoidSystem::boot().expect("boot");
             sys.install("bench.cam", vec![], MaxoidManifest::new()).expect("install");
             sys.install("bench.init", vec![], MaxoidManifest::new()).expect("install");
             let pid = match mode {

@@ -109,7 +109,7 @@ fn run_task(app: &str, task: &str, pkg: &str, op: impl Fn(&mut MaxoidSystem, Pid
 /// normally — the paper's point is precisely that the initiator path is
 /// identical to stock Android; the delegate column adds the confinement.
 fn setup(mode: Mode3, pkg: &str) -> (MaxoidSystem, Pid) {
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    let sys = MaxoidSystem::boot().expect("boot");
     sys.install(pkg, vec![], MaxoidManifest::new()).expect("install");
     sys.install("bench.init", vec![], MaxoidManifest::new()).expect("install");
     let seeder = sys.launch("bench.init").expect("seeder");

@@ -38,6 +38,12 @@ pub struct FsWorkload {
     pub pid: Pid,
     dir: VPath,
     counter: u64,
+    /// `(path, payload)` prepared by `stage_write`/`stage_append`:
+    /// allocation and path formatting happen untimed, so the timed op
+    /// measures only the syscall (the 1 MB rows otherwise spend as long
+    /// zero-filling the payload as writing it, with allocator jitter
+    /// driving stddev to the order of the mean).
+    staged: Option<(VPath, Vec<u8>)>,
 }
 
 impl FsWorkload {
@@ -46,7 +52,7 @@ impl FsWorkload {
     /// normally, so in Delegate mode they sit in the read-only branch and
     /// appends must copy up).
     pub fn new(mode: FsMode, nfiles: usize, size: usize) -> FsWorkload {
-        let mut sys = MaxoidSystem::boot().expect("boot");
+        let sys = MaxoidSystem::boot().expect("boot");
         sys.install("bench.app", vec![], MaxoidManifest::new()).expect("install");
         sys.install("bench.initiator", vec![], MaxoidManifest::new()).expect("install");
 
@@ -84,7 +90,7 @@ impl FsWorkload {
             }
             _ => seed_pid,
         };
-        FsWorkload { sys, pid, dir, counter: 0 }
+        FsWorkload { sys, pid, dir, counter: 0, staged: None }
     }
 
     /// Path of a pre-seeded file.
@@ -110,11 +116,37 @@ impl FsWorkload {
         self.sys.kernel.read(self.pid, &self.seeded(i)).expect("read");
     }
 
-    /// Creates and writes a fresh file of `size` bytes.
-    pub fn write_new(&mut self, size: usize) {
+    /// Untimed half of `write_new`: picks the next fresh file name and
+    /// allocates the payload.
+    pub fn stage_write(&mut self, size: usize) {
         self.counter += 1;
         let p = self.dir.join(&format!("new{}.dat", self.counter)).expect("valid name");
-        self.sys.kernel.write(self.pid, &p, &vec![0x5au8; size], Mode::PRIVATE).expect("write");
+        self.staged = Some((p, vec![0x5au8; size]));
+    }
+
+    /// Timed half: creates and writes the staged file.
+    pub fn write_staged(&mut self) {
+        let (p, payload) = self.staged.take().expect("stage_write first");
+        self.sys.kernel.write(self.pid, &p, &payload, Mode::PRIVATE).expect("write");
+    }
+
+    /// Creates and writes a fresh file of `size` bytes (staging and
+    /// timed op fused; benches wanting clean timings call the halves).
+    pub fn write_new(&mut self, size: usize) {
+        self.stage_write(size);
+        self.write_staged();
+    }
+
+    /// Untimed half of `append`: formats the path and allocates the
+    /// payload.
+    pub fn stage_append(&mut self, i: usize, size: usize) {
+        self.staged = Some((self.seeded(i), vec![0x77u8; size]));
+    }
+
+    /// Timed half: appends the staged payload.
+    pub fn append_staged(&mut self) {
+        let (p, payload) = self.staged.take().expect("stage_append first");
+        self.sys.kernel.append(self.pid, &p, &payload).expect("append");
     }
 
     /// Appends `size` bytes to seeded file `i`, doubling it the first

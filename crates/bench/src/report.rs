@@ -93,6 +93,25 @@ impl Measurement {
         self.trimmed_mean_ns() / 1_000.0
     }
 
+    /// 95th-percentile time in nanoseconds (nearest-rank method: the
+    /// smallest trial at or above the 95% rank). Tail latency is what a
+    /// user feels when a gesture occasionally stalls; the mean hides it.
+    pub fn p95_ns(&self) -> f64 {
+        if self.trials_ns.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.trials_ns.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let rank = ((n as f64) * 0.95).ceil() as usize;
+        sorted[rank.clamp(1, n) - 1] as f64
+    }
+
+    /// 95th-percentile time in microseconds.
+    pub fn p95_us(&self) -> f64 {
+        self.p95_ns() / 1_000.0
+    }
+
     /// Overhead of `self` relative to a baseline measurement, in percent
     /// (negative means faster than baseline).
     pub fn overhead_pct(&self, baseline: &Measurement) -> f64 {
@@ -159,7 +178,7 @@ pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measureme
 /// the schema is flat enough not to need one.
 #[derive(Debug, Default)]
 pub struct BenchJson {
-    rows: Vec<(String, f64, f64, f64, f64)>,
+    rows: Vec<(String, f64, f64, f64, f64, f64)>,
 }
 
 impl BenchJson {
@@ -176,30 +195,32 @@ impl BenchJson {
             m.stddev_ns() / 1_000.0,
             m.median_us(),
             m.trimmed_mean_us(),
+            m.p95_us(),
         ));
     }
 
     /// Records a bare scalar cell (e.g. a cache hit rate) under `name`.
     /// Scalars reuse the `mean_us` slot and zero the spread columns.
     pub fn push_scalar(&mut self, name: &str, value: f64) {
-        self.rows.push((name.to_string(), value, 0.0, value, value));
+        self.rows.push((name.to_string(), value, 0.0, value, value, value));
     }
 
     /// Renders the report as a JSON string:
     /// `{"benchmarks": [{"name": ..., "mean_us": ..., "stddev_us": ...,
-    /// "median_us": ..., "trimmed_mean_us": ...}, ...]}`.
+    /// "median_us": ..., "trimmed_mean_us": ..., "p95_us": ...}, ...]}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, mean, stddev, median, trimmed)) in self.rows.iter().enumerate() {
+        for (i, (name, mean, stddev, median, trimmed, p95)) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"mean_us\": {:.3}, \"stddev_us\": {:.3}, \
-                 \"median_us\": {:.3}, \"trimmed_mean_us\": {:.3}}}{comma}\n",
+                 \"median_us\": {:.3}, \"trimmed_mean_us\": {:.3}, \"p95_us\": {:.3}}}{comma}\n",
                 json_escape(name),
                 mean,
                 stddev,
                 median,
                 trimmed,
+                p95,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -292,6 +313,17 @@ mod tests {
     }
 
     #[test]
+    fn p95_is_the_tail() {
+        // 20 trials 1..=20 (in ns): rank ceil(20*0.95)=19 -> value 19.
+        let m = Measurement { trials_ns: (1..=20).collect() };
+        assert!((m.p95_ns() - 19.0).abs() < 1e-9);
+        // Small samples: p95 is the max.
+        let s = Measurement { trials_ns: vec![300, 100, 200] };
+        assert!((s.p95_ns() - 300.0).abs() < 1e-9);
+        assert_eq!(Measurement { trials_ns: vec![] }.p95_ns(), 0.0);
+    }
+
+    #[test]
     fn overhead_formatting() {
         assert_eq!(fmt_overhead(0.2), "0");
         assert_eq!(fmt_overhead(7.5), "7.5%");
@@ -308,7 +340,7 @@ mod tests {
         assert!(s.contains("\"name\": \"dict/insert/android\", \"mean_us\": 2.000"));
         assert!(s.contains(
             "\"name\": \"dict/insert/delegate\", \"mean_us\": 2.000, \"stddev_us\": 0.000, \
-             \"median_us\": 2.000, \"trimmed_mean_us\": 2.000}"
+             \"median_us\": 2.000, \"trimmed_mean_us\": 2.000, \"p95_us\": 2.000}"
         ));
         // Exactly one separating comma between the two entries.
         assert_eq!(s.matches("},").count(), 1);

@@ -5,17 +5,29 @@
 //! Service keeps **separate clipboard instances** per delegate context, so
 //! a delegate cannot leak `Priv(A)`-derived text to the global clipboard
 //! and neither can it read another initiator's confined clips.
+//!
+//! All three services are shared device-wide, so their state is interior:
+//! each holds one `Mutex` and every API takes `&self`. The services sit at
+//! the leaves of the lock order (nothing else is acquired while a service
+//! mutex is held), so they can be called from any layer without deadlock
+//! concerns.
 
 use maxoid_kernel::{ExecContext, KernelError, KernelResult};
+use parking_lot::Mutex;
 use std::collections::BTreeMap;
 
-/// Clipboard service with per-context instances.
 #[derive(Debug, Default)]
-pub struct ClipboardService {
+struct ClipState {
     global: Option<String>,
     /// Keyed by initiator: the clipboard shared by that initiator's
     /// delegates.
     confined: BTreeMap<String, String>,
+}
+
+/// Clipboard service with per-context instances.
+#[derive(Debug, Default)]
+pub struct ClipboardService {
+    state: Mutex<ClipState>,
 }
 
 impl ClipboardService {
@@ -25,11 +37,12 @@ impl ClipboardService {
     }
 
     /// Sets the clip for a caller in the given context.
-    pub fn set(&mut self, ctx: &ExecContext, text: &str) {
+    pub fn set(&self, ctx: &ExecContext, text: &str) {
+        let mut st = self.state.lock();
         match ctx {
-            ExecContext::Normal => self.global = Some(text.to_string()),
+            ExecContext::Normal => st.global = Some(text.to_string()),
             ExecContext::OnBehalfOf(init) => {
-                self.confined.insert(init.pkg().to_string(), text.to_string());
+                st.confined.insert(init.pkg().to_string(), text.to_string());
             }
         }
     }
@@ -39,54 +52,63 @@ impl ClipboardService {
     /// Delegates see their confined instance if one exists, otherwise the
     /// global clip (initial state availability, U1 — data copied before
     /// confinement began remains usable).
-    pub fn get(&self, ctx: &ExecContext) -> Option<&str> {
+    pub fn get(&self, ctx: &ExecContext) -> Option<String> {
+        let st = self.state.lock();
         match ctx {
-            ExecContext::Normal => self.global.as_deref(),
+            ExecContext::Normal => st.global.clone(),
             ExecContext::OnBehalfOf(init) => {
-                self.confined.get(init.pkg()).map(String::as_str).or(self.global.as_deref())
+                st.confined.get(init.pkg()).cloned().or_else(|| st.global.clone())
             }
         }
     }
 
     /// Discards the confined clipboard of an initiator (Clear-Vol).
-    pub fn clear_confined(&mut self, init: &str) {
-        self.confined.remove(init);
+    pub fn clear_confined(&self, init: &str) {
+        self.state.lock().confined.remove(init);
     }
 }
 
 /// Bluetooth Manager Service: transmission policy only.
 #[derive(Debug, Default)]
 pub struct BluetoothService {
-    /// Payloads "sent" over Bluetooth, for tests.
-    pub sent: Vec<Vec<u8>>,
+    sent: Mutex<Vec<Vec<u8>>>,
 }
 
 impl BluetoothService {
     /// Sends data over Bluetooth; denied for delegates.
-    pub fn send(&mut self, ctx: &ExecContext, data: &[u8]) -> KernelResult<()> {
+    pub fn send(&self, ctx: &ExecContext, data: &[u8]) -> KernelResult<()> {
         if ctx.is_delegate() {
             return Err(KernelError::PermissionDenied);
         }
-        self.sent.push(data.to_vec());
+        self.sent.lock().push(data.to_vec());
         Ok(())
+    }
+
+    /// Payloads "sent" over Bluetooth so far (for tests).
+    pub fn sent(&self) -> Vec<Vec<u8>> {
+        self.sent.lock().clone()
     }
 }
 
 /// Telephony provider: SMS sending policy only.
 #[derive(Debug, Default)]
 pub struct SmsService {
-    /// Messages "sent", for tests.
-    pub sent: Vec<(String, String)>,
+    sent: Mutex<Vec<(String, String)>>,
 }
 
 impl SmsService {
     /// Sends an SMS; denied for delegates.
-    pub fn send(&mut self, ctx: &ExecContext, to: &str, body: &str) -> KernelResult<()> {
+    pub fn send(&self, ctx: &ExecContext, to: &str, body: &str) -> KernelResult<()> {
         if ctx.is_delegate() {
             return Err(KernelError::PermissionDenied);
         }
-        self.sent.push((to.to_string(), body.to_string()));
+        self.sent.lock().push((to.to_string(), body.to_string()));
         Ok(())
+    }
+
+    /// `(to, body)` messages "sent" so far (for tests).
+    pub fn sent(&self) -> Vec<(String, String)> {
+        self.sent.lock().clone()
     }
 }
 
@@ -101,46 +123,68 @@ mod tests {
 
     #[test]
     fn clipboard_is_confined_per_initiator() {
-        let mut cb = ClipboardService::new();
+        let cb = ClipboardService::new();
         cb.set(&ExecContext::Normal, "global");
         // A delegate of email copies sensitive text.
         cb.set(&delegate_of("email"), "secret from Priv(email)");
         // The global clipboard is unchanged; normal apps cannot see it.
-        assert_eq!(cb.get(&ExecContext::Normal), Some("global"));
+        assert_eq!(cb.get(&ExecContext::Normal).as_deref(), Some("global"));
         // The delegate (and co-delegates of email) read the confined clip.
-        assert_eq!(cb.get(&delegate_of("email")), Some("secret from Priv(email)"));
+        assert_eq!(cb.get(&delegate_of("email")).as_deref(), Some("secret from Priv(email)"));
         // Delegates of a different initiator see only the global clip.
-        assert_eq!(cb.get(&delegate_of("dropbox")), Some("global"));
+        assert_eq!(cb.get(&delegate_of("dropbox")).as_deref(), Some("global"));
         cb.clear_confined("email");
-        assert_eq!(cb.get(&delegate_of("email")), Some("global"));
+        assert_eq!(cb.get(&delegate_of("email")).as_deref(), Some("global"));
     }
 
     #[test]
     fn delegates_inherit_global_clip_initially() {
-        let mut cb = ClipboardService::new();
+        let cb = ClipboardService::new();
         cb.set(&ExecContext::Normal, "public text");
-        assert_eq!(cb.get(&delegate_of("email")), Some("public text"));
+        assert_eq!(cb.get(&delegate_of("email")).as_deref(), Some("public text"));
     }
 
     #[test]
     fn bluetooth_denied_for_delegates() {
-        let mut bt = BluetoothService::default();
+        let bt = BluetoothService::default();
         bt.send(&ExecContext::Normal, b"ok").unwrap();
         assert_eq!(
             bt.send(&delegate_of("email"), b"leak").unwrap_err(),
             KernelError::PermissionDenied
         );
-        assert_eq!(bt.sent.len(), 1);
+        assert_eq!(bt.sent().len(), 1);
     }
 
     #[test]
     fn sms_denied_for_delegates() {
-        let mut sms = SmsService::default();
+        let sms = SmsService::default();
         sms.send(&ExecContext::Normal, "+1555", "hi").unwrap();
         assert_eq!(
             sms.send(&delegate_of("email"), "+1555", "leak").unwrap_err(),
             KernelError::PermissionDenied
         );
-        assert_eq!(sms.sent.len(), 1);
+        assert_eq!(sms.sent().len(), 1);
+    }
+
+    #[test]
+    fn services_are_shared_across_threads() {
+        let cb = ClipboardService::new();
+        crossbeam::thread::scope(|s| {
+            for t in 0..4 {
+                let cb = &cb;
+                s.spawn(move |_| {
+                    let ctx = delegate_of(&format!("init{t}"));
+                    for i in 0..100 {
+                        cb.set(&ctx, &format!("clip {t}.{i}"));
+                        assert_eq!(cb.get(&ctx), Some(format!("clip {t}.{i}")));
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        // Each initiator kept its own confined instance.
+        for t in 0..4 {
+            assert_eq!(cb.get(&delegate_of(&format!("init{t}"))), Some(format!("clip {t}.99")));
+        }
     }
 }

@@ -5,6 +5,42 @@
 //! ported system providers, the private-state manager, volatile-state
 //! management, and the policy services. It is the single object examples,
 //! tests and the app models drive — the analogue of a booted device.
+//!
+//! # Threading model
+//!
+//! Every entry point takes `&self`, so an `Arc<MaxoidSystem>` can be
+//! cloned across threads and driven concurrently — the analogue of many
+//! apps running at once on one device. Shared state is sharded behind
+//! fine-grained interior locks, and the hot read paths (path resolution,
+//! provider queries, `caller`) take only read locks:
+//!
+//! * kernel process/namespace table — `RwLock` (reads snapshot an
+//!   `Arc<Process>` and release the lock before doing any I/O);
+//! * VFS store — `RwLock` inside [`maxoid_vfs::Vfs`];
+//! * provider table — `RwLock` over per-authority `Arc<Mutex<provider>>`
+//!   entries, so different authorities dispatch in parallel;
+//! * journal — a state mutex plus a storage mutex with leader/follower
+//!   group commit (see [`maxoid_journal::JournalHandle`]);
+//! * AMS registry (`RwLock`), private-state manager (`Mutex`), services
+//!   (leaf mutexes), and a per-initiator gesture lock serializing the
+//!   delegation lifecycle of one initiator.
+//!
+//! **Global lock order** (acquire left-to-right, never right-to-left):
+//!
+//! ```text
+//! per-initiator gesture lock
+//!   → AMS registry / private-state manager
+//!     → kernel process table
+//!       → VFS store
+//!         → provider mutexes (ascending authority order)
+//!           → journal state → journal storage
+//! ```
+//!
+//! Service mutexes (clipboard, bluetooth, sms) and the obs registry are
+//! leaves: nothing is acquired while they are held. The per-initiator
+//! lock serializes delegate COW-forks, `commit_vol`, `clear_vol` and
+//! `clear_priv` for one initiator while other initiators proceed in
+//! parallel.
 
 use crate::ams::{ActivityManager, AmsError, Route};
 use crate::branch_manager::{BranchLocator, BranchManager};
@@ -23,7 +59,8 @@ use maxoid_providers::{
 };
 use maxoid_sqldb::ResultSet;
 use maxoid_vfs::VfsResult;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Top-level error for system operations.
@@ -150,11 +187,12 @@ impl<P: ContentProvider + Send> ContentProvider for SharedProvider<P> {
 }
 
 /// A booted Maxoid device: kernel + system services + providers.
+///
+/// Shareable: every API takes `&self`; wrap in an [`Arc`] to drive it
+/// from several threads (see the module docs for the lock order).
 pub struct MaxoidSystem {
     /// The kernel (process table, VFS, network).
     pub kernel: Kernel,
-    /// The Activity Manager (intent routing).
-    pub ams: ActivityManager,
     /// The content resolver with all system providers registered.
     pub resolver: ContentResolver,
     /// Clipboard service (per-context instances).
@@ -163,14 +201,27 @@ pub struct MaxoidSystem {
     pub bluetooth: BluetoothService,
     /// SMS policy service.
     pub sms: SmsService,
+    /// The Activity Manager (intent routing); registrations are rare,
+    /// routing reads are frequent.
+    ams: RwLock<ActivityManager>,
     branch_mgr: BranchManager,
-    priv_mgr: PrivateStateManager,
+    priv_mgr: Mutex<PrivateStateManager>,
     volatile: VolatileState,
     downloads: Arc<Mutex<DownloadsProvider<BranchLocator>>>,
     media: Arc<Mutex<MediaProvider<BranchLocator>>>,
     downloads_pid: Pid,
     journal: Option<JournalHandle>,
+    /// Per-initiator gesture locks: COW-fork of a delegate, `commit_vol`,
+    /// `clear_vol` and `clear_priv` for one initiator are mutually
+    /// exclusive; different initiators run their gestures in parallel.
+    init_locks: Mutex<BTreeMap<String, Arc<Mutex<()>>>>,
 }
+
+// The whole point of the facade: one device shared by many app threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MaxoidSystem>();
+};
 
 impl std::fmt::Debug for MaxoidSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -200,7 +251,7 @@ impl MaxoidSystem {
     fn boot_inner(journal: Option<JournalHandle>) -> SystemResult<Self> {
         let mut sp = maxoid_obs::span("system.boot");
         sp.field("journaled", if journal.is_some() { "true" } else { "false" });
-        let mut kernel = Kernel::new();
+        let kernel = Kernel::new();
         if let Some(j) = &journal {
             kernel.vfs().attach_journal(j.sink());
         }
@@ -228,7 +279,7 @@ impl MaxoidSystem {
             None => UserDictionaryProvider::new(),
         };
 
-        let mut resolver = ContentResolver::new();
+        let resolver = ContentResolver::new();
         resolver.register(
             ProviderScope::System,
             Box::new(SharedProvider::new(
@@ -256,18 +307,19 @@ impl MaxoidSystem {
 
         Ok(MaxoidSystem {
             kernel,
-            ams: ActivityManager::new(),
+            ams: RwLock::new(ActivityManager::new()),
             resolver,
             clipboard: ClipboardService::new(),
             bluetooth: BluetoothService::default(),
             sms: SmsService::default(),
             branch_mgr,
-            priv_mgr: PrivateStateManager::new(),
+            priv_mgr: Mutex::new(PrivateStateManager::new()),
             volatile,
             downloads,
             media,
             downloads_pid,
             journal,
+            init_locks: Mutex::new(BTreeMap::new()),
         })
     }
 
@@ -294,10 +346,16 @@ impl MaxoidSystem {
         &self.branch_mgr
     }
 
+    /// The gesture lock of one initiator (created on first use). Ranked
+    /// highest in the lock order: acquired before any other system lock.
+    fn init_lock(&self, init: &str) -> Arc<Mutex<()>> {
+        self.init_locks.lock().entry(init.to_string()).or_default().clone()
+    }
+
     /// Installs an app: uid assignment, backing directories, intent
     /// filters and Maxoid manifest registration.
     pub fn install(
-        &mut self,
+        &self,
         pkg: &str,
         filters: Vec<AppIntentFilter>,
         manifest: MaxoidManifest,
@@ -305,14 +363,30 @@ impl MaxoidSystem {
         let app = AppId::new(pkg);
         let uid = self.kernel.install_app(&app);
         self.branch_mgr.prepare_app(pkg, uid, &manifest)?;
-        self.ams.register_app(&app, filters, manifest);
+        self.ams.write().register_app(&app, filters, manifest);
         Ok(app)
+    }
+
+    /// Returns an installed app's Maxoid manifest (cloned out of the AMS
+    /// registry lock).
+    pub fn manifest_of(&self, app: &AppId) -> Option<MaxoidManifest> {
+        self.ams.read().manifest(app).cloned()
+    }
+
+    /// Computes the delivery set for a broadcast from `sender` (AMS
+    /// facade; §3.4 delegate narrowing applies).
+    pub fn broadcast_targets(
+        &self,
+        sender: Option<(&AppId, &ExecContext)>,
+        intent: &Intent,
+    ) -> Vec<Pid> {
+        self.ams.read().broadcast_targets(sender, intent, &self.running())
     }
 
     /// Launches an app normally (tapping its icon): no sender context.
     /// Any live instance running in a different context is killed first
     /// (the §6.2 rule applies regardless of how the app starts).
-    pub fn launch(&mut self, pkg: &str) -> SystemResult<Pid> {
+    pub fn launch(&self, pkg: &str) -> SystemResult<Pid> {
         let app = AppId::new(pkg);
         self.kill_conflicting(&app, &ExecContext::Normal)?;
         self.spawn_in_context(&app, ExecContext::Normal)
@@ -320,8 +394,8 @@ impl MaxoidSystem {
 
     /// The launcher's "start as delegate" gesture (§6.3): the user drags
     /// the initiator's icon onto the Initiator target, then taps the app.
-    pub fn launch_as_delegate(&mut self, pkg: &str, initiator: &str) -> SystemResult<Pid> {
-        let route = self.ams.route(
+    pub fn launch_as_delegate(&self, pkg: &str, initiator: &str) -> SystemResult<Pid> {
+        let route = self.ams.read().route(
             None,
             &Intent::new("android.intent.action.MAIN").with_target(pkg),
             &self.running(),
@@ -336,13 +410,14 @@ impl MaxoidSystem {
     }
 
     fn running(&self) -> Vec<(Pid, AppId, ExecContext)> {
-        self.kernel.processes().map(|p| (p.pid, p.app.clone(), p.ctx.clone())).collect()
+        self.kernel.processes().iter().map(|p| (p.pid, p.app.clone(), p.ctx.clone())).collect()
     }
 
-    fn kill_conflicting(&mut self, app: &AppId, ctx: &ExecContext) -> SystemResult<()> {
+    fn kill_conflicting(&self, app: &AppId, ctx: &ExecContext) -> SystemResult<()> {
         let doomed: Vec<Pid> = self
             .kernel
             .processes()
+            .iter()
             .filter(|p| &p.app == app && &p.ctx != ctx)
             .map(|p| p.pid)
             .collect();
@@ -352,7 +427,7 @@ impl MaxoidSystem {
         Ok(())
     }
 
-    fn spawn_in_context(&mut self, app: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
+    fn spawn_in_context(&self, app: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
         // The root of the delegation lifecycle: invoke → COW fork → spawn.
         // (Commit/discard arrive later via `commit_vol` / `clear_vol`.)
         let _inv = match &ctx {
@@ -364,17 +439,24 @@ impl MaxoidSystem {
             }
             _ => None,
         };
-        let manifest = self.ams.manifest(app).cloned().unwrap_or_default();
+        let manifest = self.manifest_of(app).unwrap_or_default();
         let ns = match &ctx {
             ExecContext::Normal => self.branch_mgr.initiator_namespace(app.pkg(), &manifest)?,
             ExecContext::OnBehalfOf(init) => {
+                // Serialize the COW-fork against commit/clear gestures of
+                // the same initiator.
+                let gesture = self.init_lock(init.pkg());
+                let _g = gesture.lock();
                 let mut sp = maxoid_obs::span("delegation.cow_fork");
                 sp.field_with("delegate", || app.pkg().to_string());
                 sp.field_with("initiator", || init.pkg().to_string());
-                let init_manifest = self.ams.manifest(init).cloned().unwrap_or_default();
+                let init_manifest = self.manifest_of(init).unwrap_or_default();
                 // Figure 2 lifecycle: fork / keep / discard nPriv.
-                let outcome =
-                    self.priv_mgr.on_delegate_start(self.kernel.vfs(), init.pkg(), app.pkg())?;
+                let outcome = self.priv_mgr.lock().on_delegate_start(
+                    self.kernel.vfs(),
+                    init.pkg(),
+                    app.pkg(),
+                )?;
                 sp.field_with("priv_fork", || format!("{outcome:?}"));
                 self.branch_mgr.delegate_namespace(
                     app.pkg(),
@@ -391,7 +473,7 @@ impl MaxoidSystem {
     /// starting the resolved target. Returns the new process or the
     /// chooser candidates.
     pub fn start_activity(
-        &mut self,
+        &self,
         sender: Option<Pid>,
         intent: &Intent,
     ) -> SystemResult<StartOutcome> {
@@ -403,7 +485,7 @@ impl MaxoidSystem {
             None => None,
         };
         let sender_ref = sender_info.as_ref().map(|(a, c)| (a, c));
-        let route = self.ams.route(sender_ref, intent, &self.running())?;
+        let route = self.ams.read().route(sender_ref, intent, &self.running())?;
         match route {
             Route::Chooser { candidates, ctx } => Ok(StartOutcome::Chooser { candidates, ctx }),
             Route::Start { target, ctx, kill_first } => {
@@ -427,7 +509,7 @@ impl MaxoidSystem {
 
     /// Completes a chooser: starts `choice` in the already-computed
     /// context (ResolverActivity is an intent channel, not an instance).
-    pub fn start_chosen(&mut self, choice: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
+    pub fn start_chosen(&self, choice: &AppId, ctx: ExecContext) -> SystemResult<Pid> {
         self.kill_conflicting(choice, &ctx)?;
         self.spawn_in_context(choice, ctx)
     }
@@ -450,7 +532,7 @@ impl MaxoidSystem {
     }
 
     /// Provider insert on behalf of `pid`.
-    pub fn cp_insert(&mut self, pid: Pid, uri: &Uri, values: &ContentValues) -> SystemResult<Uri> {
+    pub fn cp_insert(&self, pid: Pid, uri: &Uri, values: &ContentValues) -> SystemResult<Uri> {
         let _sp = Self::cp_span("system.cp_insert", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.insert(&caller, uri, values)?)
@@ -458,7 +540,7 @@ impl MaxoidSystem {
 
     /// Provider update on behalf of `pid`.
     pub fn cp_update(
-        &mut self,
+        &self,
         pid: Pid,
         uri: &Uri,
         values: &ContentValues,
@@ -470,14 +552,14 @@ impl MaxoidSystem {
     }
 
     /// Provider query on behalf of `pid`.
-    pub fn cp_query(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<ResultSet> {
+    pub fn cp_query(&self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<ResultSet> {
         let _sp = Self::cp_span("system.cp_query", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.query(&caller, uri, args)?)
     }
 
     /// Provider delete on behalf of `pid`.
-    pub fn cp_delete(&mut self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<usize> {
+    pub fn cp_delete(&self, pid: Pid, uri: &Uri, args: &QueryArgs) -> SystemResult<usize> {
         let _sp = Self::cp_span("system.cp_delete", uri);
         let caller = self.caller(pid)?;
         Ok(self.resolver.delete(&caller, uri, args)?)
@@ -488,21 +570,19 @@ impl MaxoidSystem {
     // -----------------------------------------------------------------
 
     /// `DownloadManager.enqueue` on behalf of `pid`.
-    pub fn enqueue_download(&mut self, pid: Pid, req: &DownloadRequest) -> SystemResult<i64> {
+    pub fn enqueue_download(&self, pid: Pid, req: &DownloadRequest) -> SystemResult<i64> {
         let caller = self.caller(pid)?;
         Ok(self.downloads.lock().enqueue(&caller, req)?)
     }
 
     /// Pumps the Downloads background worker once.
-    pub fn pump_downloads(&mut self) -> SystemResult<usize> {
+    pub fn pump_downloads(&self) -> SystemResult<usize> {
         let pid = self.downloads_pid;
-        let dl = self.downloads.clone();
-        let mut guard = dl.lock();
-        Ok(guard.process_pending(&mut self.kernel, pid)?)
+        Ok(self.downloads.lock().process_pending(&self.kernel, pid)?)
     }
 
     /// Drains download notifications.
-    pub fn download_notifications(&mut self) -> Vec<maxoid_providers::DownloadNotification> {
+    pub fn download_notifications(&self) -> Vec<maxoid_providers::DownloadNotification> {
         self.downloads.lock().take_notifications()
     }
 
@@ -517,7 +597,7 @@ impl MaxoidSystem {
 
     /// Media scanner service: scan a file on behalf of `pid`.
     pub fn scan_media(
-        &mut self,
+        &self,
         pid: Pid,
         path: &maxoid_vfs::VPath,
         kind: MediaKind,
@@ -547,13 +627,13 @@ impl MaxoidSystem {
     }
 
     /// Commits a volatile external file to its non-volatile place (§3.3).
-    pub fn commit_volatile_file(&mut self, init: &str, rel: &str) -> SystemResult<()> {
-        let manifest = self.ams.manifest(&AppId::new(init)).cloned().unwrap_or_default();
+    pub fn commit_volatile_file(&self, init: &str, rel: &str) -> SystemResult<()> {
+        let manifest = self.manifest_of(&AppId::new(init)).unwrap_or_default();
         Ok(self.volatile.commit_external(init, &manifest, rel)?)
     }
 
     /// Commits a volatile internal file into `Priv(init)`.
-    pub fn commit_volatile_internal(&mut self, init: &str, rel: &str) -> SystemResult<()> {
+    pub fn commit_volatile_internal(&self, init: &str, rel: &str) -> SystemResult<()> {
         Ok(self.volatile.commit_internal(init, rel)?)
     }
 
@@ -562,7 +642,7 @@ impl MaxoidSystem {
     ///
     /// On a journaled system the whole discard is one journal
     /// transaction; a crash mid-way recovers to the pre-gesture state.
-    pub fn clear_vol(&mut self, init: &str) -> SystemResult<usize> {
+    pub fn clear_vol(&self, init: &str) -> SystemResult<usize> {
         let mut sp = maxoid_obs::span("delegation.clear_vol");
         sp.field_with("initiator", || init.to_string());
         let outcome =
@@ -584,14 +664,16 @@ impl MaxoidSystem {
     /// the live system may be part-way through (the in-memory mutations
     /// already happened), but a crash-and-recover lands back at the
     /// all-volatile side.
-    pub fn commit_vol(
-        &mut self,
-        init: &str,
-        plan: &VolCommitPlan,
-    ) -> SystemResult<VolCommitOutcome> {
+    ///
+    /// The whole gesture holds the initiator's gesture lock: concurrent
+    /// commits of *different* initiators proceed in parallel, but a
+    /// delegate of `init` cannot COW-fork mid-commit.
+    pub fn commit_vol(&self, init: &str, plan: &VolCommitPlan) -> SystemResult<VolCommitOutcome> {
         let mut sp = maxoid_obs::span("delegation.commit_vol");
         sp.field_with("initiator", || init.to_string());
         sp.field_with("discard_rest", || plan.discard_rest.to_string());
+        let gesture = self.init_lock(init);
+        let _g = gesture.lock();
         let txn = match &self.journal {
             Some(j) => Some(j.begin_txn()?),
             None => None,
@@ -627,12 +709,8 @@ impl MaxoidSystem {
         result
     }
 
-    fn commit_vol_inner(
-        &mut self,
-        init: &str,
-        plan: &VolCommitPlan,
-    ) -> SystemResult<VolCommitOutcome> {
-        let manifest = self.ams.manifest(&AppId::new(init)).cloned().unwrap_or_default();
+    fn commit_vol_inner(&self, init: &str, plan: &VolCommitPlan) -> SystemResult<VolCommitOutcome> {
+        let manifest = self.manifest_of(&AppId::new(init)).unwrap_or_default();
         for rel in &plan.external {
             self.volatile.commit_external(init, &manifest, rel)?;
         }
@@ -656,13 +734,15 @@ impl MaxoidSystem {
 
     /// The launcher's Clear-Priv gesture (§6.3): clears `Priv(x^init)`
     /// for every app `x` (delegate forks and persistent private state).
-    pub fn clear_priv(&mut self, init: &str) -> SystemResult<usize> {
-        Ok(self.priv_mgr.clear_initiator(self.kernel.vfs(), init)?)
+    pub fn clear_priv(&self, init: &str) -> SystemResult<usize> {
+        let gesture = self.init_lock(init);
+        let _g = gesture.lock();
+        Ok(self.priv_mgr.lock().clear_initiator(self.kernel.vfs(), init)?)
     }
 
     /// Exposes the fork decision for tests (Figure 2 assertions).
-    pub fn fork_outcome_probe(&mut self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
-        self.priv_mgr.on_delegate_start(self.kernel.vfs(), init, pkg)
+    pub fn fork_outcome_probe(&self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
+        self.priv_mgr.lock().on_delegate_start(self.kernel.vfs(), init, pkg)
     }
 }
 

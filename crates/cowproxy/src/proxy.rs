@@ -71,6 +71,15 @@ pub struct CowProxy {
     rewrite: RewriteCache,
 }
 
+// Threading contract: like the `Database` it wraps, a `CowProxy` is
+// `Send`-not-`Sync`. Each provider authority owns one proxy behind its
+// per-authority mutex in the resolver table; initiator parallelism is
+// per-authority, never within one proxy.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<CowProxy>();
+};
+
 impl Default for CowProxy {
     fn default() -> Self {
         Self::new()

@@ -22,7 +22,7 @@
 
 use crate::record::Record;
 use crate::JournalResult;
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::sync::Arc;
 
 /// Magic byte opening every frame.
@@ -93,16 +93,34 @@ pub struct JournalStats {
     /// Storage errors swallowed on emit (the op already happened in
     /// memory; we can only count the lost durability).
     pub io_errors: u64,
+    /// Commit/rollback records routed through the leader/follower group
+    /// commit protocol.
+    pub group_commits: u64,
+    /// Group commits that rode an in-flight leader's flush instead of
+    /// performing their own (the batching the protocol exists for).
+    pub group_follower_waits: u64,
 }
 
 /// The write-ahead log.
+///
+/// Storage sits behind its own mutex (below the journal-state lock in the
+/// global order) so a group-commit leader can release the state lock —
+/// letting followers append — while its batch is in flight. Everything
+/// else is guarded by the `Mutex<Journal>` inside [`JournalHandle`].
 pub struct Journal {
-    storage: Box<dyn Storage>,
+    storage: Arc<Mutex<Box<dyn Storage>>>,
     next_lsn: u64,
     next_txn: u64,
     batch: usize,
     pending: Vec<u8>,
     pending_records: usize,
+    /// Highest LSN whose flush attempt has completed (successfully, or
+    /// with a counted `io_errors` — matching emit's "durability loss is
+    /// counted, not unwound" philosophy). Group-commit followers wait for
+    /// this to pass their record's LSN.
+    acked_lsn: u64,
+    /// True while a group-commit leader's batch is in flight.
+    group_leader: bool,
     stats: JournalStats,
 }
 
@@ -123,12 +141,14 @@ impl Journal {
     /// size (records per flush; 1 = flush every record).
     pub fn new(storage: Box<dyn Storage>, batch: usize) -> Self {
         Journal {
-            storage,
+            storage: Arc::new(Mutex::new(storage)),
             next_lsn: 1,
             next_txn: 1,
             batch: batch.max(1),
             pending: Vec::new(),
             pending_records: 0,
+            acked_lsn: 0,
+            group_leader: false,
             stats: JournalStats::default(),
         }
     }
@@ -148,9 +168,10 @@ impl Journal {
         self.stats
     }
 
-    /// Appends a record, returning its LSN. Buffered until the batch fills
-    /// or a flush-forcing record (commit/rollback/snapshot) arrives.
-    pub fn append(&mut self, rec: &Record) -> JournalResult<u64> {
+    /// Frames a record into the pending buffer without flushing, returning
+    /// its LSN. The group-commit protocol uses this directly so the leader
+    /// controls when the batch hits storage.
+    pub(crate) fn append_buffered(&mut self, rec: &Record) -> u64 {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
         let payload = rec.encode();
@@ -163,6 +184,13 @@ impl Journal {
         self.pending_records += 1;
         self.stats.records += 1;
         maxoid_obs::counter_add("journal.records", 1);
+        lsn
+    }
+
+    /// Appends a record, returning its LSN. Buffered until the batch fills
+    /// or a flush-forcing record (commit/rollback/snapshot) arrives.
+    pub fn append(&mut self, rec: &Record) -> JournalResult<u64> {
+        let lsn = self.append_buffered(rec);
         if rec.forces_flush() || self.pending_records >= self.batch {
             maxoid_obs::counter_add(
                 if rec.forces_flush() { "journal.flushes_forced" } else { "journal.flushes_batch" },
@@ -173,9 +201,13 @@ impl Journal {
         Ok(lsn)
     }
 
-    /// Forces buffered frames to storage.
+    /// Forces buffered frames to storage. The storage lock is taken while
+    /// the journal-state lock is held (state → storage, the documented
+    /// order), which serializes this behind any group-commit batch already
+    /// in flight.
     pub fn flush(&mut self) -> JournalResult<()> {
         if self.pending.is_empty() {
+            self.acked_lsn = self.next_lsn - 1;
             return Ok(());
         }
         let mut sp = maxoid_obs::span("journal.flush");
@@ -186,9 +218,10 @@ impl Journal {
             maxoid_obs::observe("journal.flush_bytes", n);
             maxoid_obs::observe("journal.flush_records", self.pending_records as u64);
         }
-        let res = self.storage.append(&self.pending);
+        let res = self.storage.lock().append(&self.pending);
         self.pending.clear();
         self.pending_records = 0;
+        self.acked_lsn = self.next_lsn - 1;
         match res {
             Ok(()) => {
                 self.stats.flushes += 1;
@@ -228,12 +261,12 @@ impl Journal {
     /// Returns the durable log bytes (NOT including the pending buffer —
     /// what a crash right now would leave behind).
     pub fn bytes(&self) -> Vec<u8> {
-        self.storage.bytes().to_vec()
+        self.storage.lock().bytes().to_vec()
     }
 
     /// Durable log size in bytes.
     pub fn len(&self) -> usize {
-        self.storage.bytes().len()
+        self.storage.lock().bytes().len()
     }
 
     /// True when nothing has been made durable yet.
@@ -248,7 +281,7 @@ impl Journal {
     /// components *not* being replaced are kept.
     pub fn checkpoint(&mut self, snapshots: &[(String, Vec<u8>)]) -> JournalResult<()> {
         self.flush()?;
-        let log = crate::replay::read_records(self.storage.bytes());
+        let log = crate::replay::read_records(self.storage.lock().bytes());
         let committed = crate::replay::committed_records(&log);
         let mut retained: Vec<Record> = Vec::new();
         for rec in committed {
@@ -262,7 +295,7 @@ impl Journal {
                 _ => {}
             }
         }
-        self.storage.reset()?;
+        self.storage.lock().reset()?;
         for (component, payload) in snapshots {
             self.append(&Record::Snapshot {
                 component: component.clone(),
@@ -273,6 +306,82 @@ impl Journal {
             self.append(rec)?;
         }
         self.flush()
+    }
+
+    // -----------------------------------------------------------------
+    // Group-commit plumbing, used by `JournalHandle`'s leader/follower
+    // protocol. All of these run under the journal-state lock.
+    // -----------------------------------------------------------------
+
+    /// Highest LSN whose flush attempt has completed.
+    pub(crate) fn acked_lsn(&self) -> u64 {
+        self.acked_lsn
+    }
+
+    /// Whether a leader's batch is currently in flight.
+    pub(crate) fn group_leader_active(&self) -> bool {
+        self.group_leader
+    }
+
+    pub(crate) fn set_group_leader(&mut self, on: bool) {
+        self.group_leader = on;
+    }
+
+    /// LSN of the most recently appended record.
+    pub(crate) fn last_lsn(&self) -> u64 {
+        self.next_lsn - 1
+    }
+
+    /// Detaches the pending buffer (the leader's batch), leaving the
+    /// journal accepting new appends into a fresh buffer.
+    pub(crate) fn take_pending(&mut self) -> Option<(Vec<u8>, usize)> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        let records = self.pending_records;
+        self.pending_records = 0;
+        Some((std::mem::take(&mut self.pending), records))
+    }
+
+    /// Shared handle to the storage lock, so the leader can hold storage
+    /// across the journal-state unlock.
+    pub(crate) fn storage_handle(&self) -> Arc<Mutex<Box<dyn Storage>>> {
+        self.storage.clone()
+    }
+
+    /// Books the outcome of a leader's batch write: counters on success,
+    /// `io_errors` on failure, and in either case acknowledgement up to
+    /// `high` (the batch is gone from the buffer; a failed write is a
+    /// counted durability loss, exactly like `emit`'s).
+    pub(crate) fn finish_group_flush(
+        &mut self,
+        batch: Option<(usize, usize)>,
+        result: &JournalResult<()>,
+        high: u64,
+    ) {
+        match result {
+            Ok(()) => {
+                if let Some((bytes, _records)) = batch {
+                    self.stats.flushes += 1;
+                    self.stats.bytes_flushed += bytes as u64;
+                    maxoid_obs::counter_add("journal.flushes", 1);
+                    maxoid_obs::counter_add("journal.bytes_flushed", bytes as u64);
+                }
+            }
+            Err(_) => {
+                self.stats.io_errors += 1;
+                maxoid_obs::counter_add("journal.io_errors", 1);
+            }
+        }
+        self.acked_lsn = self.acked_lsn.max(high);
+    }
+
+    pub(crate) fn note_group_commit(&mut self) {
+        self.stats.group_commits += 1;
+    }
+
+    pub(crate) fn note_follower_wait(&mut self) {
+        self.stats.group_follower_waits += 1;
     }
 }
 
@@ -290,13 +399,38 @@ pub trait JournalSink: Send + Sync {
     fn begin_txn(&self) -> u64;
 }
 
+/// Shared journal state plus the condition variable followers park on
+/// while a leader's batch is in flight.
+#[derive(Debug)]
+struct JournalShared {
+    journal: Mutex<Journal>,
+    flushed: Condvar,
+}
+
 /// A cloneable, lockable handle to a shared journal.
+///
+/// Transaction commit and rollback route through a **leader/follower
+/// group commit**: the record is buffered under the state lock, then the
+/// first committer becomes the leader — it pins the storage lock (still
+/// under the state lock, preserving LSN order against concurrent direct
+/// flushes), releases the state lock so other threads can keep appending,
+/// and writes the whole accumulated batch in one storage append. Threads
+/// that committed while the batch was in flight find a leader active,
+/// wait on the condvar, and usually discover their record was made
+/// durable by the leader's flush — many commits, one storage write.
 #[derive(Debug, Clone)]
-pub struct JournalHandle(Arc<Mutex<Journal>>);
+pub struct JournalHandle {
+    shared: Arc<JournalShared>,
+}
 
 impl JournalHandle {
     pub fn new(journal: Journal) -> Self {
-        JournalHandle(Arc::new(Mutex::new(journal)))
+        JournalHandle {
+            shared: Arc::new(JournalShared {
+                journal: Mutex::new(journal),
+                flushed: Condvar::new(),
+            }),
+        }
     }
 
     /// In-memory journal with the default batch size.
@@ -311,19 +445,66 @@ impl JournalHandle {
 
     /// Runs `f` with the journal locked.
     pub fn with<R>(&self, f: impl FnOnce(&mut Journal) -> R) -> R {
-        f(&mut self.0.lock())
+        f(&mut self.shared.journal.lock())
+    }
+
+    /// Appends `rec` and returns once its LSN is acknowledged — either by
+    /// this thread's own leader flush or by riding another thread's batch.
+    /// Only the leader observes a storage error; followers' durability
+    /// loss is counted in `io_errors` (the emit philosophy: the in-memory
+    /// commit already happened).
+    fn group_commit(&self, rec: &Record) -> JournalResult<()> {
+        let mut j = self.shared.journal.lock();
+        let lsn = j.append_buffered(rec);
+        j.note_group_commit();
+        maxoid_obs::counter_add("journal.group_commits", 1);
+        loop {
+            if j.acked_lsn() >= lsn {
+                return Ok(());
+            }
+            if j.group_leader_active() {
+                // A leader's batch is in flight; ours will be in the next
+                // one (or was in this one). Park until it reports.
+                j.note_follower_wait();
+                maxoid_obs::counter_add("journal.group_follower_waits", 1);
+                self.shared.flushed.wait(&mut j);
+                continue;
+            }
+            // Become the leader. Pin the storage lock *before* releasing
+            // the state lock so no concurrent direct flush can write later
+            // LSNs underneath this batch (state → storage lock order).
+            j.set_group_leader(true);
+            let batch = j.take_pending();
+            let high = j.last_lsn();
+            let storage = j.storage_handle();
+            let mut sguard = storage.lock();
+            drop(j);
+            let result = match &batch {
+                Some((buf, _)) => sguard.append(buf),
+                None => Ok(()),
+            };
+            drop(sguard);
+            j = self.shared.journal.lock();
+            j.finish_group_flush(batch.map(|(buf, recs)| (buf.len(), recs)), &result, high);
+            j.set_group_leader(false);
+            self.shared.flushed.notify_all();
+            return result;
+        }
     }
 
     pub fn begin_txn(&self) -> JournalResult<u64> {
         self.with(|j| j.begin_txn())
     }
 
+    /// Commits a transaction through the group-commit protocol.
     pub fn commit_txn(&self, txn: u64) -> JournalResult<()> {
-        self.with(|j| j.commit_txn(txn))
+        self.group_commit(&Record::TxnCommit { txn })
     }
 
+    /// Rolls back a transaction through the group-commit protocol (the
+    /// rollback decision must be as durable as a commit's).
     pub fn rollback_txn(&self, txn: u64) -> JournalResult<()> {
-        self.with(|j| j.rollback_txn(txn))
+        self.group_commit(&Record::TxnRollback { txn })
     }
 
     pub fn flush(&self) -> JournalResult<()> {

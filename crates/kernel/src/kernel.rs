@@ -1,10 +1,35 @@
 //! The kernel: process table, Zygote forking, syscall surface.
+//!
+//! # Concurrency
+//!
+//! The kernel is shared by every thread in the system, so all of its
+//! state is interior. The app registry and process table live behind a
+//! single `RwLock`: syscalls and Binder checks only need to *look up* a
+//! task struct, so they take a read lock, clone the `Arc<Process>` out,
+//! release the lock immediately and then run the actual VFS/network work
+//! in parallel. The write lock is held only for the short structural
+//! mutations (install, spawn, kill). In the global lock order this lock
+//! ranks above the VFS store lock: a thread may acquire the store while
+//! holding the process-table lock, never the reverse (see DESIGN.md
+//! §4.10).
 
 use crate::binder::{binder_allowed, BinderEndpoint};
 use crate::error::{KernelError, KernelResult};
 use crate::net::Network;
 use crate::process::{AppId, ExecContext, Pid, Process};
 use maxoid_vfs::{Cred, FileHandle, Metadata, Mode, MountNamespace, OpenMode, Uid, VPath, Vfs};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Mutable kernel state: the app registry and the process table, guarded
+/// together because spawn reads the registry and writes the table.
+#[derive(Debug)]
+struct KernelState {
+    apps: std::collections::BTreeMap<AppId, Uid>,
+    procs: std::collections::BTreeMap<Pid, Arc<Process>>,
+    next_pid: u64,
+    next_uid: u32,
+}
 
 /// The simulated kernel: owns the VFS, the network device, the app
 /// registry (installed packages and their UIDs) and the process table.
@@ -13,15 +38,12 @@ pub struct Kernel {
     vfs: Vfs,
     /// The simulated network device.
     pub net: Network,
-    apps: std::collections::BTreeMap<AppId, Uid>,
-    procs: std::collections::BTreeMap<Pid, Process>,
-    next_pid: u64,
-    next_uid: u32,
+    state: RwLock<KernelState>,
     /// The πBox-style trusted-cloud extension (paper §2.4): when enabled,
     /// delegates may connect to hosts on this list instead of losing the
     /// network entirely. Empty + disabled by default (the paper's actual
     /// design cuts all delegate network).
-    trusted_cloud: Option<std::collections::BTreeSet<String>>,
+    trusted_cloud: RwLock<Option<std::collections::BTreeSet<String>>>,
 }
 
 impl Default for Kernel {
@@ -36,11 +58,13 @@ impl Kernel {
         Kernel {
             vfs: Vfs::new(),
             net: Network::new(),
-            apps: std::collections::BTreeMap::new(),
-            procs: std::collections::BTreeMap::new(),
-            next_pid: 1,
-            next_uid: Uid::FIRST_APP,
-            trusted_cloud: None,
+            state: RwLock::new(KernelState {
+                apps: std::collections::BTreeMap::new(),
+                procs: std::collections::BTreeMap::new(),
+                next_pid: 1,
+                next_uid: Uid::FIRST_APP,
+            }),
+            trusted_cloud: RwLock::new(None),
         }
     }
 
@@ -48,13 +72,13 @@ impl Kernel {
     /// may reach the listed hosts, on the assumption that those backends
     /// are themselves confined (as in πBox). Everything else stays
     /// `ENETUNREACH`.
-    pub fn enable_trusted_cloud(&mut self, hosts: impl IntoIterator<Item = String>) {
-        self.trusted_cloud = Some(hosts.into_iter().collect());
+    pub fn enable_trusted_cloud(&self, hosts: impl IntoIterator<Item = String>) {
+        *self.trusted_cloud.write() = Some(hosts.into_iter().collect());
     }
 
     /// Disables the trusted-cloud extension (back to the paper's default).
-    pub fn disable_trusted_cloud(&mut self) {
-        self.trusted_cloud = None;
+    pub fn disable_trusted_cloud(&self) {
+        *self.trusted_cloud.write() = None;
     }
 
     /// Returns the kernel's VFS (shared handle).
@@ -64,29 +88,35 @@ impl Kernel {
 
     /// Installs an app, assigning it a dedicated uid (Android's app
     /// sandbox model, §2.1). Reinstalling returns the existing uid.
-    pub fn install_app(&mut self, app: &AppId) -> Uid {
-        if let Some(uid) = self.apps.get(app) {
+    pub fn install_app(&self, app: &AppId) -> Uid {
+        let mut st = self.state.write();
+        if let Some(uid) = st.apps.get(app) {
             return *uid;
         }
-        let uid = Uid(self.next_uid);
-        self.next_uid += 1;
-        self.apps.insert(app.clone(), uid);
+        let uid = Uid(st.next_uid);
+        st.next_uid += 1;
+        st.apps.insert(app.clone(), uid);
         uid
     }
 
     /// Returns the uid of an installed app.
     pub fn uid_of(&self, app: &AppId) -> KernelResult<Uid> {
-        self.apps.get(app).copied().ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))
+        self.state
+            .read()
+            .apps
+            .get(app)
+            .copied()
+            .ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))
     }
 
     /// Returns true if the app is installed.
     pub fn is_installed(&self, app: &AppId) -> bool {
-        self.apps.contains_key(app)
+        self.state.read().apps.contains_key(app)
     }
 
     /// Lists installed apps.
     pub fn installed_apps(&self) -> Vec<AppId> {
-        self.apps.keys().cloned().collect()
+        self.state.read().apps.keys().cloned().collect()
     }
 
     /// Zygote fork: creates a process for `app` with the given execution
@@ -94,40 +124,38 @@ impl Kernel {
     ///
     /// The (app, initiator) pair is recorded in the task struct exactly as
     /// Zygote passes it to the kernel through sysfs in the paper (§6.2).
-    pub fn spawn(
-        &mut self,
-        app: &AppId,
-        ctx: ExecContext,
-        ns: MountNamespace,
-    ) -> KernelResult<Pid> {
+    pub fn spawn(&self, app: &AppId, ctx: ExecContext, ns: MountNamespace) -> KernelResult<Pid> {
         let mut sp = maxoid_obs::span("kernel.spawn");
         sp.field_with("app", || app.0.clone());
         sp.field_with("ctx", || format!("{ctx:?}"));
-        let uid = self.uid_of(app)?;
-        let pid = Pid(self.next_pid);
-        self.next_pid += 1;
+        let mut st = self.state.write();
+        let uid = *st.apps.get(app).ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))?;
+        let pid = Pid(st.next_pid);
+        st.next_pid += 1;
         maxoid_obs::counter_add("kernel.spawns", 1);
-        self.procs.insert(pid, Process { pid, app: app.clone(), uid, ctx, ns });
+        st.procs.insert(pid, Arc::new(Process { pid, app: app.clone(), uid, ctx, ns }));
         Ok(pid)
     }
 
     /// Terminates a process.
-    pub fn kill(&mut self, pid: Pid) -> KernelResult<()> {
+    pub fn kill(&self, pid: Pid) -> KernelResult<()> {
         let _sp = maxoid_obs::span("kernel.kill");
-        self.procs.remove(&pid).map(|_| ()).ok_or(KernelError::NoSuchProcess)
+        self.state.write().procs.remove(&pid).map(|_| ()).ok_or(KernelError::NoSuchProcess)
     }
 
-    /// Returns a process' task struct.
-    pub fn process(&self, pid: Pid) -> KernelResult<&Process> {
-        self.procs.get(&pid).ok_or(KernelError::NoSuchProcess)
+    /// Returns a process' task struct (a shared snapshot handle: the
+    /// process table's read lock is released before this returns, so the
+    /// caller can do arbitrary work against the task without blocking
+    /// spawns or kills).
+    pub fn process(&self, pid: Pid) -> KernelResult<Arc<Process>> {
+        self.state.read().procs.get(&pid).cloned().ok_or(KernelError::NoSuchProcess)
     }
 
     /// Enables or disables the union-mount path-resolution caches of a
     /// process' namespace (bench and diagnostics hook; resolution results
     /// are unaffected either way).
-    pub fn set_resolve_caches(&mut self, pid: Pid, on: bool) -> KernelResult<()> {
-        let proc = self.procs.get_mut(&pid).ok_or(KernelError::NoSuchProcess)?;
-        proc.ns.set_resolve_caches(on);
+    pub fn set_resolve_caches(&self, pid: Pid, on: bool) -> KernelResult<()> {
+        self.process(pid)?.ns.set_resolve_caches(on);
         Ok(())
     }
 
@@ -137,23 +165,23 @@ impl Kernel {
         Ok(self.process(pid)?.ns.resolve_cache_stats())
     }
 
-    /// Iterates over all live processes.
-    pub fn processes(&self) -> impl Iterator<Item = &Process> {
-        self.procs.values()
+    /// Snapshot of all live processes at the time of the call.
+    pub fn processes(&self) -> Vec<Arc<Process>> {
+        self.state.read().procs.values().cloned().collect()
     }
 
     /// Finds live processes of an app, optionally filtered by context.
     pub fn find_processes(&self, app: &AppId) -> Vec<Pid> {
-        self.procs.values().filter(|p| &p.app == app).map(|p| p.pid).collect()
+        self.state.read().procs.values().filter(|p| &p.app == app).map(|p| p.pid).collect()
     }
 
     // -----------------------------------------------------------------
     // Syscall surface (all namespace- and uid-checked through the VFS).
     // -----------------------------------------------------------------
 
-    fn task(&self, pid: Pid) -> KernelResult<(Cred, &MountNamespace)> {
+    fn task(&self, pid: Pid) -> KernelResult<(Cred, Arc<Process>)> {
         let p = self.process(pid)?;
-        Ok((p.cred(), &p.ns))
+        Ok((p.cred(), p))
     }
 
     /// Opens a syscall span tagged with the syscall name and path.
@@ -166,71 +194,71 @@ impl Kernel {
     /// `read()`: reads a whole file.
     pub fn read(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<u8>> {
         let _sp = Self::syscall_span("kernel.read", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.read(cred, ns, path)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.read(cred, &p.ns, path)?)
     }
 
     /// `write()`: creates or truncates a file.
     pub fn write(&self, pid: Pid, path: &VPath, data: &[u8], mode: Mode) -> KernelResult<()> {
         let _sp = Self::syscall_span("kernel.write", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.write(cred, ns, path, data, mode)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.write(cred, &p.ns, path, data, mode)?)
     }
 
     /// `write()` with `O_APPEND`.
     pub fn append(&self, pid: Pid, path: &VPath, data: &[u8]) -> KernelResult<()> {
         let _sp = Self::syscall_span("kernel.append", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.append(cred, ns, path, data)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.append(cred, &p.ns, path, data)?)
     }
 
     /// `unlink()`.
     pub fn unlink(&self, pid: Pid, path: &VPath) -> KernelResult<()> {
         let _sp = Self::syscall_span("kernel.unlink", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.unlink(cred, ns, path)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.unlink(cred, &p.ns, path)?)
     }
 
     /// `mkdir -p`.
     pub fn mkdir_all(&self, pid: Pid, path: &VPath, mode: Mode) -> KernelResult<()> {
         let _sp = Self::syscall_span("kernel.mkdir_all", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.mkdir_all(cred, ns, path, mode)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.mkdir_all(cred, &p.ns, path, mode)?)
     }
 
     /// `readdir()`.
     pub fn read_dir(&self, pid: Pid, path: &VPath) -> KernelResult<Vec<maxoid_vfs::DirEntry>> {
         let _sp = Self::syscall_span("kernel.read_dir", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.read_dir(cred, ns, path)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.read_dir(cred, &p.ns, path)?)
     }
 
     /// `stat()`.
     pub fn stat(&self, pid: Pid, path: &VPath) -> KernelResult<Metadata> {
         let _sp = Self::syscall_span("kernel.stat", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.stat(cred, ns, path)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.stat(cred, &p.ns, path)?)
     }
 
     /// Returns true when the path is visible to the process.
     pub fn exists(&self, pid: Pid, path: &VPath) -> bool {
-        self.task(pid).map(|(cred, ns)| self.vfs.exists(cred, ns, path)).unwrap_or(false)
+        self.task(pid).map(|(cred, p)| self.vfs.exists(cred, &p.ns, path)).unwrap_or(false)
     }
 
     /// `rename()` within a mount.
     pub fn rename(&self, pid: Pid, from: &VPath, to: &VPath) -> KernelResult<()> {
         let mut sp = Self::syscall_span("kernel.rename", from);
         sp.field_with("to", || to.to_string());
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.rename(cred, ns, from, to)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.rename(cred, &p.ns, from, to)?)
     }
 
     /// `open()`: returns a handle that can be passed across processes
     /// (the ParcelFileDescriptor mechanism).
     pub fn open(&self, pid: Pid, path: &VPath, mode: OpenMode) -> KernelResult<FileHandle> {
         let _sp = Self::syscall_span("kernel.open", path);
-        let (cred, ns) = self.task(pid)?;
-        Ok(self.vfs.open(cred, ns, path, mode)?)
+        let (cred, p) = self.task(pid)?;
+        Ok(self.vfs.open(cred, &p.ns, path, mode)?)
     }
 
     /// Reads through an open handle.
@@ -250,8 +278,12 @@ impl Kernel {
         sp.field_with("host", || host.to_string());
         let p = self.process(pid)?;
         if p.ctx.is_delegate() {
-            let trusted =
-                self.trusted_cloud.as_ref().map(|hosts| hosts.contains(host)).unwrap_or(false);
+            let trusted = self
+                .trusted_cloud
+                .read()
+                .as_ref()
+                .map(|hosts| hosts.contains(host))
+                .unwrap_or(false);
             if !trusted {
                 maxoid_obs::counter_add("kernel.net_denied", 1);
                 sp.field("outcome", "ENETUNREACH");
@@ -265,7 +297,7 @@ impl Kernel {
     }
 
     /// Fetches a URL: `connect()` check plus transfer.
-    pub fn http_get(&mut self, pid: Pid, url: &str) -> KernelResult<Vec<u8>> {
+    pub fn http_get(&self, pid: Pid, url: &str) -> KernelResult<Vec<u8>> {
         let mut sp = maxoid_obs::span("kernel.http_get");
         sp.field_with("url", || url.to_string());
         let (host, path) = Network::split_url(url)?;
@@ -279,7 +311,7 @@ impl Kernel {
         let mut sp = maxoid_obs::span("kernel.binder_check");
         sp.field_with("to", || format!("{to:?}"));
         let p = self.process(from)?;
-        if binder_allowed(p, to) {
+        if binder_allowed(&p, to) {
             maxoid_obs::counter_add("kernel.binder_allowed", 1);
             Ok(())
         } else {
@@ -297,13 +329,20 @@ impl Kernel {
     }
 }
 
+// The whole kernel must be shareable across worker threads behind an
+// `Arc` (or plain `&Kernel` from scoped threads).
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Kernel>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use maxoid_vfs::{vpath, Mount};
 
     fn kernel_with_app(pkg: &str) -> (Kernel, AppId, Pid) {
-        let mut k = Kernel::new();
+        let k = Kernel::new();
         let app = AppId::new(pkg);
         k.install_app(&app);
         k.vfs()
@@ -316,7 +355,7 @@ mod tests {
 
     #[test]
     fn uid_assignment_is_stable() {
-        let mut k = Kernel::new();
+        let k = Kernel::new();
         let a = AppId::new("a");
         let uid1 = k.install_app(&a);
         let uid2 = k.install_app(&a);
@@ -328,7 +367,7 @@ mod tests {
 
     #[test]
     fn spawn_requires_installed_app() {
-        let mut k = Kernel::new();
+        let k = Kernel::new();
         let err =
             k.spawn(&AppId::new("ghost"), ExecContext::Normal, MountNamespace::new()).unwrap_err();
         assert!(matches!(err, KernelError::NoSuchApp(_)));
@@ -346,7 +385,7 @@ mod tests {
 
     #[test]
     fn delegate_connect_is_enetunreach() {
-        let (mut k, app, _) = kernel_with_app("com.viewer");
+        let (k, app, _) = kernel_with_app("com.viewer");
         k.net.publish("files.example", "x", b"data".to_vec());
         let email = AppId::new("com.email");
         k.install_app(&email);
@@ -357,7 +396,7 @@ mod tests {
 
     #[test]
     fn initiator_network_works() {
-        let (mut k, _, pid) = kernel_with_app("com.browser");
+        let (k, _, pid) = kernel_with_app("com.browser");
         k.net.publish("files.example", "x", b"data".to_vec());
         assert_eq!(k.http_get(pid, "files.example/x").unwrap(), b"data");
         assert_eq!(k.connect(pid, "unknown.host").err(), Some(KernelError::NoSuchHost));
@@ -365,7 +404,7 @@ mod tests {
 
     #[test]
     fn kill_removes_process() {
-        let (mut k, _, pid) = kernel_with_app("com.test");
+        let (k, _, pid) = kernel_with_app("com.test");
         k.kill(pid).unwrap();
         assert_eq!(k.kill(pid).err(), Some(KernelError::NoSuchProcess));
         assert!(k.process(pid).is_err());
@@ -373,7 +412,7 @@ mod tests {
 
     #[test]
     fn trusted_cloud_extension_scopes_delegate_network() {
-        let (mut k, app, _) = kernel_with_app("com.viewer");
+        let (k, app, _) = kernel_with_app("com.viewer");
         k.net.publish("trusted.cloud", "api", b"ok".to_vec());
         k.net.publish("evil.example", "exfil", b"".to_vec());
         let email = AppId::new("com.email");
@@ -392,7 +431,7 @@ mod tests {
 
     #[test]
     fn binder_check_between_pids() {
-        let (mut k, viewer, _) = kernel_with_app("com.viewer");
+        let (k, viewer, _) = kernel_with_app("com.viewer");
         let email = AppId::new("com.email");
         k.install_app(&email);
         let email_pid = k.spawn(&email, ExecContext::Normal, MountNamespace::new()).unwrap();
@@ -409,5 +448,29 @@ mod tests {
         // Unrelated app -> delegate: the *sender* is unrestricted at the
         // Binder layer (AMS-level rules prevent invoking B^A; see core).
         k.binder_check_pid(other_pid, del).unwrap();
+    }
+
+    #[test]
+    fn parallel_syscalls_and_spawns_share_the_kernel() {
+        let (k, app, pid) = kernel_with_app("com.par");
+        k.write(pid, &vpath("/sdcard/shared.txt"), b"seed", Mode::PUBLIC).unwrap();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..50 {
+                        assert_eq!(k.read(pid, &vpath("/sdcard/shared.txt")).unwrap(), b"seed");
+                    }
+                });
+            }
+            // A writer thread churns the process table concurrently.
+            s.spawn(|_| {
+                for _ in 0..50 {
+                    let p = k.spawn(&app, ExecContext::Normal, MountNamespace::new()).unwrap();
+                    k.kill(p).unwrap();
+                }
+            });
+        })
+        .expect("threads join");
+        assert_eq!(k.find_processes(&app), vec![pid]);
     }
 }

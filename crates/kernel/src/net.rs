@@ -5,16 +5,22 @@
 //! delegate network cut-off can be exercised on a laptop. Hosts map URLs
 //! to byte payloads; a configurable per-kilobyte latency knob lets benches
 //! model transfer time without real sockets.
+//!
+//! The device is shared by every process, so all state is interior: the
+//! host table sits behind an `RwLock` (fetches take read locks and run in
+//! parallel) and the traffic counter is atomic.
 
 use crate::error::{KernelError, KernelResult};
+use parking_lot::RwLock;
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An in-process network of named hosts serving static resources.
 #[derive(Debug, Default)]
 pub struct Network {
-    hosts: BTreeMap<String, BTreeMap<String, Vec<u8>>>,
+    hosts: RwLock<BTreeMap<String, BTreeMap<String, Vec<u8>>>>,
     /// Count of successful fetches (for tests asserting traffic).
-    pub fetch_count: u64,
+    fetch_count: AtomicU64,
 }
 
 impl Network {
@@ -24,21 +30,27 @@ impl Network {
     }
 
     /// Publishes a resource at `host` / `path`.
-    pub fn publish(&mut self, host: &str, path: &str, data: Vec<u8>) {
-        self.hosts.entry(host.to_string()).or_default().insert(path.to_string(), data);
+    pub fn publish(&self, host: &str, path: &str, data: Vec<u8>) {
+        self.hosts.write().entry(host.to_string()).or_default().insert(path.to_string(), data);
     }
 
     /// Returns true if the host exists.
     pub fn has_host(&self, host: &str) -> bool {
-        self.hosts.contains_key(host)
+        self.hosts.read().contains_key(host)
+    }
+
+    /// Number of successful fetches so far.
+    pub fn fetch_count(&self) -> u64 {
+        self.fetch_count.load(Ordering::Relaxed)
     }
 
     /// Fetches a resource. The caller must have passed the kernel's
     /// `connect()` check first.
-    pub fn fetch(&mut self, host: &str, path: &str) -> KernelResult<Vec<u8>> {
-        let h = self.hosts.get(host).ok_or(KernelError::NoSuchHost)?;
+    pub fn fetch(&self, host: &str, path: &str) -> KernelResult<Vec<u8>> {
+        let hosts = self.hosts.read();
+        let h = hosts.get(host).ok_or(KernelError::NoSuchHost)?;
         let data = h.get(path).ok_or(KernelError::NoSuchResource)?.clone();
-        self.fetch_count += 1;
+        self.fetch_count.fetch_add(1, Ordering::Relaxed);
         Ok(data)
     }
 
@@ -59,10 +71,10 @@ mod tests {
 
     #[test]
     fn publish_and_fetch() {
-        let mut net = Network::new();
+        let net = Network::new();
         net.publish("files.example.com", "a.txt", b"hello".to_vec());
         assert_eq!(net.fetch("files.example.com", "a.txt").unwrap(), b"hello");
-        assert_eq!(net.fetch_count, 1);
+        assert_eq!(net.fetch_count(), 1);
         assert_eq!(
             net.fetch("files.example.com", "missing").err(),
             Some(KernelError::NoSuchResource)
@@ -79,5 +91,22 @@ mod tests {
         assert_eq!(Network::split_url("h/x").unwrap(), ("h", "x"));
         assert!(Network::split_url("nohost").is_err());
         assert!(Network::split_url("/abs").is_err());
+    }
+
+    #[test]
+    fn concurrent_fetches_share_read_locks() {
+        let net = Network::new();
+        net.publish("cdn.example", "blob", vec![1u8; 64]);
+        crossbeam::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    for _ in 0..100 {
+                        net.fetch("cdn.example", "blob").unwrap();
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(net.fetch_count(), 400);
     }
 }

@@ -161,6 +161,50 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_counter_adds_are_lossless() {
+        let _g = locked();
+        enable();
+        reset();
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| {
+                    for _ in 0..1000 {
+                        counter_add("test.registry.concurrent", 1);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(counter("test.registry.concurrent"), 8000);
+        disable();
+        reset();
+    }
+
+    #[test]
+    fn concurrent_observations_keep_totals_consistent() {
+        let _g = locked();
+        enable();
+        reset();
+        crossbeam::thread::scope(|s| {
+            for t in 0..4u64 {
+                s.spawn(move |_| {
+                    for i in 0..500u64 {
+                        observe("test.registry.hist", t * 1000 + i);
+                    }
+                });
+            }
+        })
+        .expect("threads join");
+        let h = histogram("test.registry.hist").expect("recorded");
+        assert_eq!(h.count, 2000);
+        assert_eq!(h.buckets.iter().sum::<u64>(), 2000);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 3499);
+        disable();
+        reset();
+    }
+
+    #[test]
     fn jsonl_and_tree_render() {
         let _g = locked();
         enable();

@@ -3,11 +3,24 @@
 //! Like spans, every mutation checks [`enabled`](crate::enabled) first and
 //! is free when tracing is off. Names are `&'static str` dot-namespaced by
 //! layer (`journal.flushes`, `vfs.union.copy_up_bytes`, ...).
+//!
+//! # Concurrency
+//!
+//! The registry is lock-free on the hot path: each counter is an
+//! `Arc<AtomicU64>` and each histogram stripes its state across one
+//! atomic per bucket (plus atomic count/sum/min/max), so concurrent
+//! benchmark threads never serialize on a shared mutex just to bump a
+//! metric. The name→cell maps sit behind an `RwLock` that is write-locked
+//! only the first time a name appears; steady-state updates take a read
+//! lock and a `fetch_add(Relaxed)`. Relaxed ordering suffices because
+//! metrics are only aggregated after worker threads are joined (or from
+//! snapshots where exact interleaving is immaterial).
 
 use std::collections::BTreeMap;
-use std::sync::OnceLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 
 use crate::span::enabled;
 
@@ -41,14 +54,6 @@ impl Histogram {
         }
     }
 
-    fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(value);
-        self.min = self.min.min(value);
-        self.max = self.max.max(value);
-    }
-
     /// Mean of recorded values, or 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -59,16 +64,76 @@ impl Histogram {
     }
 }
 
-struct Registry {
-    counters: BTreeMap<&'static str, u64>,
-    histograms: BTreeMap<&'static str, Histogram>,
+/// Striped histogram cell: independent atomics per bucket so concurrent
+/// observers touching different value ranges don't contend at all, and
+/// same-bucket observers contend only on one cache line's worth of state.
+struct AtomicHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
 }
 
-fn registry() -> &'static Mutex<Registry> {
-    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
-    REGISTRY.get_or_init(|| {
-        Mutex::new(Registry { counters: BTreeMap::new(), histograms: BTreeMap::new() })
+impl AtomicHistogram {
+    fn new() -> Self {
+        AtomicHistogram {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, value: u64) {
+        self.buckets[Histogram::bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> Histogram {
+        let mut h = Histogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        };
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        h
+    }
+}
+
+struct Registry {
+    counters: RwLock<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: RwLock<BTreeMap<&'static str, Arc<AtomicHistogram>>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        counters: RwLock::new(BTreeMap::new()),
+        histograms: RwLock::new(BTreeMap::new()),
     })
+}
+
+/// Fetches (or lazily creates) the atomic cell for `name` out of one of
+/// the registry maps. The fast path is a shared read lock plus an `Arc`
+/// clone; the write lock is taken only on first use of a name.
+fn cell<V>(
+    map: &RwLock<BTreeMap<&'static str, Arc<V>>>,
+    name: &'static str,
+    new: fn() -> V,
+) -> Arc<V> {
+    if let Some(c) = map.read().get(name) {
+        return c.clone();
+    }
+    map.write().entry(name).or_insert_with(|| Arc::new(new())).clone()
 }
 
 /// Adds `delta` to the named counter. Free when tracing is disabled.
@@ -77,7 +142,7 @@ pub fn counter_add(name: &'static str, delta: u64) {
     if !enabled() || delta == 0 {
         return;
     }
-    *registry().lock().counters.entry(name).or_insert(0) += delta;
+    cell(&registry().counters, name, || AtomicU64::new(0)).fetch_add(delta, Ordering::Relaxed);
 }
 
 /// Records one observation into the named histogram. Free when disabled.
@@ -86,37 +151,42 @@ pub fn observe(name: &'static str, value: u64) {
     if !enabled() {
         return;
     }
-    registry().lock().histograms.entry(name).or_default().record(value);
+    cell(&registry().histograms, name, AtomicHistogram::new).record(value);
 }
 
 /// Current value of a counter (0 when absent).
 pub fn counter(name: &str) -> u64 {
-    registry().lock().counters.get(name).copied().unwrap_or(0)
+    registry().counters.read().get(name).map(|c| c.load(Ordering::Relaxed)).unwrap_or(0)
 }
 
 /// Copy of a histogram, if it has any observations.
 pub fn histogram(name: &str) -> Option<Histogram> {
-    registry().lock().histograms.get(name).cloned()
+    registry().histograms.read().get(name).map(|h| h.snapshot())
 }
 
 pub(crate) fn counters() -> BTreeMap<String, u64> {
-    registry().lock().counters.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    registry()
+        .counters
+        .read()
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed)))
+        .collect()
 }
 
 pub(crate) fn histograms() -> BTreeMap<String, Histogram> {
-    registry().lock().histograms.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    registry().histograms.read().iter().map(|(k, v)| (k.to_string(), v.snapshot())).collect()
 }
 
 pub(crate) fn drain_counters() -> BTreeMap<String, u64> {
-    let mut reg = registry().lock();
-    let out = reg.counters.iter().map(|(k, v)| (k.to_string(), *v)).collect();
-    reg.counters.clear();
+    let mut map = registry().counters.write();
+    let out = map.iter().map(|(k, v)| (k.to_string(), v.load(Ordering::Relaxed))).collect();
+    map.clear();
     out
 }
 
 pub(crate) fn drain_histograms() -> BTreeMap<String, Histogram> {
-    let mut reg = registry().lock();
-    let out = reg.histograms.iter().map(|(k, v)| (k.to_string(), v.clone())).collect();
-    reg.histograms.clear();
+    let mut map = registry().histograms.write();
+    let out = map.iter().map(|(k, v)| (k.to_string(), v.snapshot())).collect();
+    map.clear();
     out
 }

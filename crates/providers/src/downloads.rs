@@ -174,11 +174,7 @@ impl<L: FileLocator> DownloadsProvider<L> {
     ///
     /// `service_pid` is the Downloads service's own process — a trusted
     /// system process with network access.
-    pub fn process_pending(
-        &mut self,
-        kernel: &mut Kernel,
-        service_pid: Pid,
-    ) -> ProviderResult<usize> {
+    pub fn process_pending(&mut self, kernel: &Kernel, service_pid: Pid) -> ProviderResult<usize> {
         let admin = self.proxy.admin_query("downloads")?;
         let idx = |name: &str| admin.column_index(name);
         let (Some(id_i), Some(uri_i), Some(dest_i), Some(title_i), Some(status_i)) =

@@ -12,7 +12,9 @@ use crate::provider::{
 };
 use crate::uri::Uri;
 use maxoid_sqldb::ResultSet;
+use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Who may reach a provider.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,18 +39,37 @@ struct UriGrant {
     one_shot: bool,
 }
 
+/// A registered provider: its reachability scope plus the per-authority
+/// lock that serializes calls into it. The `Arc` lets routing clone the
+/// entry out of the table and release the table lock before dispatching,
+/// so calls to *different* authorities run fully in parallel.
+#[derive(Clone)]
+struct ProviderEntry {
+    scope: ProviderScope,
+    provider: Arc<Mutex<Box<dyn ContentProvider + Send>>>,
+}
+
 /// Routes content URIs to registered providers and enforces reachability.
+///
+/// # Concurrency
+///
+/// The authority table is an `RwLock` (registration is rare; routing
+/// takes read locks), the grant list has its own mutex (one-shot grants
+/// are consumed atomically), and each provider sits behind its own
+/// per-authority mutex. When a caller must lock several providers (the
+/// Clear-Vol sweep), it does so one at a time in ascending authority
+/// order — the documented provider-lock order (DESIGN.md §4.10).
 #[derive(Default)]
 pub struct ContentResolver {
-    providers: BTreeMap<String, (ProviderScope, Box<dyn ContentProvider + Send>)>,
-    grants: Vec<UriGrant>,
+    providers: RwLock<BTreeMap<String, ProviderEntry>>,
+    grants: Mutex<Vec<UriGrant>>,
 }
 
 impl std::fmt::Debug for ContentResolver {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ContentResolver")
-            .field("authorities", &self.providers.keys().collect::<Vec<_>>())
-            .field("grants", &self.grants.len())
+            .field("authorities", &self.providers.read().keys().collect::<Vec<_>>())
+            .field("grants", &self.grants.lock().len())
             .finish()
     }
 }
@@ -60,18 +81,21 @@ impl ContentResolver {
     }
 
     /// Registers a provider under its authority.
-    pub fn register(&mut self, scope: ProviderScope, provider: Box<dyn ContentProvider + Send>) {
-        self.providers.insert(provider.authority().to_string(), (scope, provider));
+    pub fn register(&self, scope: ProviderScope, provider: Box<dyn ContentProvider + Send>) {
+        let authority = provider.authority().to_string();
+        self.providers
+            .write()
+            .insert(authority, ProviderEntry { scope, provider: Arc::new(Mutex::new(provider)) });
     }
 
     /// Returns the registered authorities.
     pub fn authorities(&self) -> Vec<String> {
-        self.providers.keys().cloned().collect()
+        self.providers.read().keys().cloned().collect()
     }
 
     /// Issues a per-URI grant (the `FLAG_GRANT_*_URI_PERMISSION` analogue).
-    pub fn grant_uri_permission(&mut self, grantee: &str, uri: &Uri, write: bool, one_shot: bool) {
-        self.grants.push(UriGrant {
+    pub fn grant_uri_permission(&self, grantee: &str, uri: &Uri, write: bool, one_shot: bool) {
+        self.grants.lock().push(UriGrant {
             grantee: grantee.to_string(),
             uri: uri.clone(),
             write,
@@ -80,29 +104,44 @@ impl ContentResolver {
     }
 
     /// Revokes all grants for a URI.
-    pub fn revoke_uri_permission(&mut self, uri: &Uri) {
-        self.grants.retain(|g| &g.uri != uri);
+    pub fn revoke_uri_permission(&self, uri: &Uri) {
+        self.grants.lock().retain(|g| &g.uri != uri);
     }
 
-    /// Checks reachability; consumes one-shot grants on success.
-    fn check_access(&mut self, caller: &Caller, uri: &Uri, write: bool) -> ProviderResult<()> {
-        let (scope, _) = self
-            .providers
-            .get(&uri.authority)
-            .ok_or_else(|| ProviderError::UnknownUri(uri.to_string()))?;
+    /// Looks an authority up and clones its entry out, releasing the
+    /// table lock before the caller dispatches into the provider.
+    fn entry(&self, authority: &str) -> ProviderResult<ProviderEntry> {
+        self.providers
+            .read()
+            .get(authority)
+            .cloned()
+            .ok_or_else(|| ProviderError::UnknownUri(authority.to_string()))
+    }
+
+    /// Checks reachability; consumes one-shot grants on success. The
+    /// grant check-and-consume runs under the grant lock, so two racing
+    /// callers cannot both spend the same one-shot grant.
+    fn check_access(
+        &self,
+        scope: &ProviderScope,
+        caller: &Caller,
+        uri: &Uri,
+        write: bool,
+    ) -> ProviderResult<()> {
         match scope {
             ProviderScope::System => Ok(()),
             ProviderScope::AppDefined { owner } => {
                 if caller.app.pkg() == owner {
                     return Ok(());
                 }
-                let idx = self.grants.iter().position(|g| {
+                let mut grants = self.grants.lock();
+                let idx = grants.iter().position(|g| {
                     g.grantee == caller.app.pkg() && &g.uri == uri && (!write || g.write)
                 });
                 match idx {
                     Some(i) => {
-                        if self.grants[i].one_shot {
-                            self.grants.remove(i);
+                        if grants[i].one_shot {
+                            grants.remove(i);
                         }
                         Ok(())
                     }
@@ -115,70 +154,57 @@ impl ContentResolver {
         }
     }
 
-    fn provider_mut(
-        &mut self,
-        authority: &str,
-    ) -> ProviderResult<&mut Box<dyn ContentProvider + Send>> {
-        self.providers
-            .get_mut(authority)
-            .map(|(_, p)| p)
-            .ok_or_else(|| ProviderError::UnknownUri(authority.to_string()))
-    }
-
     /// Routed insert.
     pub fn insert(
-        &mut self,
+        &self,
         caller: &Caller,
         uri: &Uri,
         values: &ContentValues,
     ) -> ProviderResult<Uri> {
-        self.check_access(caller, uri, true)?;
-        let authority = uri.authority.clone();
-        self.provider_mut(&authority)?.insert(caller, uri, values)
+        let entry = self.entry(&uri.authority)?;
+        self.check_access(&entry.scope, caller, uri, true)?;
+        let res = entry.provider.lock().insert(caller, uri, values);
+        res
     }
 
     /// Routed update.
     pub fn update(
-        &mut self,
+        &self,
         caller: &Caller,
         uri: &Uri,
         values: &ContentValues,
         args: &QueryArgs,
     ) -> ProviderResult<usize> {
-        self.check_access(caller, uri, true)?;
-        let authority = uri.authority.clone();
-        self.provider_mut(&authority)?.update(caller, uri, values, args)
+        let entry = self.entry(&uri.authority)?;
+        self.check_access(&entry.scope, caller, uri, true)?;
+        let res = entry.provider.lock().update(caller, uri, values, args);
+        res
     }
 
     /// Routed query.
-    pub fn query(
-        &mut self,
-        caller: &Caller,
-        uri: &Uri,
-        args: &QueryArgs,
-    ) -> ProviderResult<ResultSet> {
-        self.check_access(caller, uri, false)?;
-        let authority = uri.authority.clone();
-        self.provider_mut(&authority)?.query(caller, uri, args)
+    pub fn query(&self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
+        let entry = self.entry(&uri.authority)?;
+        self.check_access(&entry.scope, caller, uri, false)?;
+        let res = entry.provider.lock().query(caller, uri, args);
+        res
     }
 
     /// Routed delete.
-    pub fn delete(
-        &mut self,
-        caller: &Caller,
-        uri: &Uri,
-        args: &QueryArgs,
-    ) -> ProviderResult<usize> {
-        self.check_access(caller, uri, true)?;
-        let authority = uri.authority.clone();
-        self.provider_mut(&authority)?.delete(caller, uri, args)
+    pub fn delete(&self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
+        let entry = self.entry(&uri.authority)?;
+        self.check_access(&entry.scope, caller, uri, true)?;
+        let res = entry.provider.lock().delete(caller, uri, args);
+        res
     }
 
     /// Clears the volatile state every registered provider holds for
-    /// `initiator` (the provider half of Clear-Vol).
-    pub fn clear_volatile(&mut self, initiator: &str) -> ProviderResult<()> {
-        for (_, p) in self.providers.values_mut() {
-            p.clear_volatile(initiator)?;
+    /// `initiator` (the provider half of Clear-Vol). Providers are locked
+    /// one at a time in ascending authority order (the documented
+    /// provider-lock order).
+    pub fn clear_volatile(&self, initiator: &str) -> ProviderResult<()> {
+        let entries: Vec<ProviderEntry> = self.providers.read().values().cloned().collect();
+        for e in entries {
+            e.provider.lock().clear_volatile(initiator)?;
         }
         Ok(())
     }
@@ -187,15 +213,23 @@ impl ContentResolver {
     /// provider serving `authority` (the resolver half of the
     /// initiator's Commit gesture, §3.3). Returns true if a row moved.
     pub fn commit_volatile_row(
-        &mut self,
+        &self,
         authority: &str,
         initiator: &str,
         table: &str,
         id: i64,
     ) -> ProviderResult<bool> {
-        self.provider_mut(authority)?.commit_volatile_row(initiator, table, id)
+        let entry = self.entry(authority)?;
+        let res = entry.provider.lock().commit_volatile_row(initiator, table, id);
+        res
     }
 }
+
+// Routing must be shareable across worker threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ContentResolver>();
+};
 
 #[cfg(test)]
 mod tests {

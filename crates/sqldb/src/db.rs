@@ -247,6 +247,17 @@ pub struct Database {
     journal_txn: Option<u64>,
 }
 
+// Threading contract: a `Database` is `Send` but deliberately *not*
+// `Sync` — the statement/plan caches use `RefCell`/`Cell` for zero-cost
+// single-threaded interior mutability. Concurrent callers (the content
+// resolver, the COW proxy behind a provider) own one `Mutex<Database>`
+// per authority; cross-authority parallelism comes from having many
+// databases, not from sharing one.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<Database>();
+};
+
 /// Schema + data snapshot for transaction rollback.
 #[derive(Debug)]
 pub(crate) struct TxSnapshot {

@@ -119,9 +119,9 @@ impl MountNamespace {
 
     /// Enables or disables the resolution cache of every union mount in
     /// this namespace (bench and diagnostics hook).
-    pub fn set_resolve_caches(&mut self, on: bool) {
-        for m in &mut self.mounts {
-            if let MountKind::Union(u) = &mut m.kind {
+    pub fn set_resolve_caches(&self, on: bool) {
+        for m in &self.mounts {
+            if let MountKind::Union(u) = &m.kind {
                 u.set_resolve_cache(on);
             }
         }

@@ -23,7 +23,7 @@ use crate::error::{VfsError, VfsResult};
 use crate::path::VPath;
 use crate::store::{DirEntry, Metadata, Store};
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Mutex;
 
 /// Prefix used for whiteout marker files, matching Aufs.
@@ -103,7 +103,7 @@ const RESOLVE_CACHE_CAP: usize = 1024;
 /// on everywhere).
 #[derive(Debug, Default)]
 struct ResolveCache {
-    disabled: bool,
+    disabled: AtomicBool,
     map: Mutex<HashMap<String, (Option<Located>, u64)>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -111,7 +111,10 @@ struct ResolveCache {
 
 impl Clone for ResolveCache {
     fn clone(&self) -> Self {
-        ResolveCache { disabled: self.disabled, ..Default::default() }
+        ResolveCache {
+            disabled: AtomicBool::new(self.disabled.load(Ordering::Relaxed)),
+            ..Default::default()
+        }
     }
 }
 
@@ -128,7 +131,7 @@ impl ResolveCache {
     /// disabled. Counters (and their obs mirrors) track only enabled
     /// lookups.
     fn lookup(&self, rel: &str, gen: u64) -> Option<Option<Located>> {
-        if self.disabled {
+        if self.disabled.load(Ordering::Relaxed) {
             return None;
         }
         if let Some((loc, stamp)) = self.map.lock().expect("resolve cache poisoned").get(rel) {
@@ -144,7 +147,7 @@ impl ResolveCache {
     }
 
     fn insert(&self, rel: &str, gen: u64, loc: Option<Located>) {
-        if self.disabled {
+        if self.disabled.load(Ordering::Relaxed) {
             return;
         }
         let mut map = self.map.lock().expect("resolve cache poisoned");
@@ -220,7 +223,7 @@ impl Union {
 
     /// Enables or disables the path-resolution cache (builder style; on
     /// by default). Used by the cache-equivalence tests and ablations.
-    pub fn with_resolve_cache(mut self, on: bool) -> Self {
+    pub fn with_resolve_cache(self, on: bool) -> Self {
         self.set_resolve_cache(on);
         self
     }
@@ -228,14 +231,14 @@ impl Union {
     /// Enables or disables the resolution cache in place (bench and
     /// diagnostics hook). Toggling in either direction drops memoized
     /// resolutions.
-    pub fn set_resolve_cache(&mut self, on: bool) {
-        self.cache.disabled = !on;
+    pub fn set_resolve_cache(&self, on: bool) {
+        self.cache.disabled.store(!on, Ordering::Relaxed);
         self.cache.clear();
     }
 
     /// Whether the resolution cache is active.
     pub fn resolve_cache_enabled(&self) -> bool {
-        !self.cache.disabled
+        !self.cache.disabled.load(Ordering::Relaxed)
     }
 
     /// `(hits, misses)` of the resolution cache since construction.

@@ -25,7 +25,7 @@ fn main() {
     // Boot on a journal that flushes every record (batch size 1), so
     // every record boundary is a place the power cord can be pulled.
     let journal = JournalHandle::with_batch(1);
-    let mut sys = MaxoidSystem::boot_journaled(journal.clone()).expect("boot");
+    let sys = MaxoidSystem::boot_journaled(journal.clone()).expect("boot");
     sys.install("editor", vec![], MaxoidManifest::new()).expect("install editor");
     sys.install("cleaner", vec![], MaxoidManifest::new()).expect("install cleaner");
 

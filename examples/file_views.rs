@@ -8,7 +8,7 @@ use maxoid::MaxoidSystem;
 use maxoid_vfs::{vpath, Mode, VPath};
 
 fn main() {
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    let sys = MaxoidSystem::boot().expect("boot");
     sys.install("A", vec![], MaxoidManifest::new().private_ext_dir("data/A")).expect("install A");
     sys.install("B", vec![], MaxoidManifest::new().private_ext_dir("data/B")).expect("install B");
     sys.install("X", vec![], MaxoidManifest::new()).expect("install X");
@@ -41,8 +41,8 @@ fn main() {
     }
 
     // Render the Table 2 mount tables for A and B^A.
-    let ma = sys.ams.manifest(&maxoid::AppId::new("A")).unwrap().clone();
-    let mb = sys.ams.manifest(&maxoid::AppId::new("B")).unwrap().clone();
+    let ma = sys.manifest_of(&maxoid::AppId::new("A")).unwrap();
+    let mb = sys.manifest_of(&maxoid::AppId::new("B")).unwrap();
     let bm = sys.branch_manager();
     println!("\nMount table for A (initiator):");
     print!(

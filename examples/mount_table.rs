@@ -8,7 +8,7 @@ use maxoid::manifest::MaxoidManifest;
 use maxoid::{BranchManager, MaxoidSystem};
 
 fn main() {
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    let sys = MaxoidSystem::boot().expect("boot");
     let ma = MaxoidManifest::new().private_ext_dir("data/A");
     let mb = MaxoidManifest::new().private_ext_dir("data/B");
     sys.install("A", vec![], ma.clone()).expect("install A");

@@ -14,7 +14,7 @@ use maxoid_vfs::{vpath, Mode};
 const VIEW: &str = "android.intent.action.VIEW";
 
 fn main() {
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    let sys = MaxoidSystem::boot().expect("boot");
 
     // --- Install apps -------------------------------------------------
     // Email's Maxoid manifest: VIEW intents invoke delegates. No code

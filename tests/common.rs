@@ -10,7 +10,7 @@ pub const VIEW: &str = "android.intent.action.VIEW";
 /// Boots a system with a standard cast: `initiator` (VIEW intents are
 /// private), `viewer` (accepts VIEW), and `bystander` (no relation).
 pub fn standard_cast() -> MaxoidSystem {
-    let mut sys = MaxoidSystem::boot().expect("boot");
+    let sys = MaxoidSystem::boot().expect("boot");
     sys.install("initiator", vec![], MaxoidManifest::new().filter(InvocationFilter::action(VIEW)))
         .expect("install initiator");
     sys.install("viewer", vec![AppIntentFilter::new(VIEW, None)], MaxoidManifest::new())

@@ -4,8 +4,9 @@
 
 use crossbeam::thread;
 use maxoid::manifest::MaxoidManifest;
-use maxoid::MaxoidSystem;
+use maxoid::{ContentValues, MaxoidSystem, QueryArgs, Uri, VolCommitPlan};
 use maxoid_vfs::{vpath, Cred, Mode, Mount, MountNamespace, Uid, Vfs};
+use std::time::Duration;
 
 /// Parallel writers in disjoint namespaces never observe each other's
 /// data; every thread reads back exactly what it wrote.
@@ -94,7 +95,7 @@ fn readers_are_consistent_under_writes() {
 /// only the whitelisted backend.
 #[test]
 fn trusted_cloud_extension_end_to_end() {
-    let mut sys = MaxoidSystem::boot().unwrap();
+    let sys = MaxoidSystem::boot().unwrap();
     sys.kernel.net.publish("converter.cloud", "convert", b"converted".to_vec());
     sys.kernel.net.publish("attacker.example", "drop", vec![]);
     sys.install("docs", vec![], MaxoidManifest::new()).unwrap();
@@ -112,4 +113,207 @@ fn trusted_cloud_extension_end_to_end() {
     // Initiators are unaffected either way.
     let a = sys.launch("docs").unwrap();
     assert!(sys.kernel.connect(a, "attacker.example").is_ok());
+}
+
+/// S1–S4 hold with N initiator/delegate pairs hammering one shared
+/// system from concurrent threads: every delegate stays inside its own
+/// initiator's view (files *and* provider rows), `Priv` of the delegate
+/// apps is never modified, and no cross-initiator leakage occurs.
+#[test]
+fn concurrent_delegates_preserve_s1_s4() {
+    const N: usize = 4;
+    const ROUNDS: usize = 30;
+    let sys = MaxoidSystem::boot().unwrap();
+    let words = Uri::parse("content://user_dictionary/words").unwrap();
+
+    // A public dictionary seeded by a bystander: one row per initiator.
+    sys.install("bystander", vec![], MaxoidManifest::new()).unwrap();
+    let x = sys.launch("bystander").unwrap();
+    for i in 0..N {
+        sys.cp_insert(x, &words, &ContentValues::new().put("word", format!("pub{i}").as_str()))
+            .unwrap();
+    }
+    // Per-thread cast: initiator `init{i}` delegating viewer `view{i}`
+    // (distinct delegate apps, so no §6.2 conflicting-launch kills).
+    for i in 0..N {
+        sys.install(&format!("init{i}"), vec![], MaxoidManifest::new()).unwrap();
+        sys.install(&format!("view{i}"), vec![], MaxoidManifest::new()).unwrap();
+    }
+
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let sys = &sys;
+                let words = words.clone();
+                scope.spawn(move |_| {
+                    let init = format!("init{i}");
+                    let view = format!("view{i}");
+                    let a = sys.launch(&init).unwrap();
+                    let secret = vpath(&format!("/data/data/{init}/secret.txt"));
+                    sys.kernel
+                        .write(a, &secret, format!("priv({init})").as_bytes(), Mode::PRIVATE)
+                        .unwrap();
+                    let d = sys.launch_as_delegate(&view, &init).unwrap();
+                    let fork = vpath(&format!("/data/data/{view}/fork.db"));
+                    let public = vpath(&format!("/storage/sdcard/out{i}.txt"));
+                    for r in 0..ROUNDS {
+                        // Priv(A) -> B^A: the permitted read edge.
+                        assert_eq!(
+                            sys.kernel.read(d, &secret).unwrap(),
+                            format!("priv({init})").as_bytes()
+                        );
+                        // B^A -> Priv(B^A): private write lands in the fork.
+                        sys.kernel
+                            .write(d, &fork, format!("fork{i}r{r}").as_bytes(), Mode::PRIVATE)
+                            .unwrap();
+                        // B^A -> Vol(A): public write is redirected; A sees
+                        // it under the volatile tmp name.
+                        sys.kernel
+                            .write(d, &public, format!("vol{i}r{r}").as_bytes(), Mode::PUBLIC)
+                            .unwrap();
+                        assert_eq!(
+                            sys.kernel
+                                .read(a, &vpath(&format!("/storage/sdcard/tmp/out{i}.txt")))
+                                .unwrap(),
+                            format!("vol{i}r{r}").as_bytes()
+                        );
+                        // Provider COW: update own row, read it back.
+                        let id = i as i64 + 1;
+                        sys.cp_update(
+                            d,
+                            &words.with_id(id),
+                            &ContentValues::new().put("word", format!("cow{i}r{r}").as_str()),
+                            &QueryArgs::default(),
+                        )
+                        .unwrap();
+                        let rs =
+                            sys.cp_query(d, &words.with_id(id), &QueryArgs::default()).unwrap();
+                        let col = rs.column_index("word").unwrap();
+                        assert_eq!(rs.rows[0][col].to_string(), format!("cow{i}r{r}"));
+                        // Exercise the gesture lock against the COW paths.
+                        if r % 10 == 9 {
+                            sys.commit_vol(&init, &VolCommitPlan::default()).unwrap();
+                        }
+                    }
+                    (a, d, secret, fork)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    })
+    .expect("threads join");
+
+    // Post-hoc isolation sweep across every pair.
+    for (i, (a_i, d_i, secret_i, fork_i)) in results.iter().enumerate() {
+        // S3: the initiator cannot read its delegate's fork.
+        assert!(sys.kernel.read(*a_i, fork_i).is_err(), "S3 violated for init{i}");
+        // S1: other initiators' delegates and the bystander cannot read
+        // this initiator's secret.
+        assert!(sys.kernel.read(x, secret_i).is_err(), "S1 violated: bystander read init{i}");
+        for (j, (a_j, d_j, ..)) in results.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(sys.kernel.read(*d_j, secret_i).is_err(), "S1 violated: view{j} read init{i}");
+            assert!(sys.kernel.read(*a_j, secret_i).is_err(), "S1 violated: init{j} read init{i}");
+            // S2/Vol isolation: init j never sees init i's volatile file.
+            assert!(
+                !sys.kernel.exists(*a_j, &vpath(&format!("/storage/sdcard/tmp/out{i}.txt"))),
+                "Vol leaked: init{j} sees out{i}"
+            );
+            // Provider: delegate j still reads the public value of row i.
+            let rs =
+                sys.cp_query(*d_j, &words.with_id(i as i64 + 1), &QueryArgs::default()).unwrap();
+            let col = rs.column_index("word").unwrap();
+            assert_eq!(
+                rs.rows[0][col].to_string(),
+                format!("pub{i}"),
+                "COW leaked across initiators"
+            );
+        }
+        // S2: the public world never saw the redirected write.
+        assert!(!sys.kernel.exists(x, &vpath(&format!("/storage/sdcard/out{i}.txt"))));
+        // Delegate reads stayed fully isolated; the bystander's view of
+        // every row is the seeded value.
+        let rs = sys.cp_query(x, &words.with_id(i as i64 + 1), &QueryArgs::default()).unwrap();
+        let col = rs.column_index("word").unwrap();
+        assert_eq!(rs.rows[0][col].to_string(), format!("pub{i}"));
+        let _ = d_i;
+    }
+    // S4: a normal run of each viewer sees pristine Priv(view{i}) — the
+    // concurrent forks never wrote through.
+    for (i, (.., fork_i)) in results.iter().enumerate() {
+        let b = sys.launch(&format!("view{i}")).unwrap();
+        assert!(!sys.kernel.exists(b, fork_i), "S4 violated: fork{i} reached Priv(view{i})");
+    }
+}
+
+/// Lock-order smoke test: two threads drive API paths whose documented
+/// lock footprints overlap, approaching the shared locks from opposite
+/// ends of the hierarchy (gesture-first gestures vs leaf-first reads,
+/// provider-then-store vs store-then-provider call sequences). With the
+/// documented order (system.rs "Threading model") every path acquires
+/// nested locks in one global direction, so this must terminate; an
+/// inversion deadlocks and the watchdog flags it instead of hanging CI.
+#[test]
+fn lock_order_smoke() {
+    const ITERS: usize = 150;
+    let (tx, rx) = std::sync::mpsc::channel();
+    let driver = std::thread::spawn(move || {
+        let sys = MaxoidSystem::boot().unwrap();
+        let words = Uri::parse("content://user_dictionary/words").unwrap();
+        for pkg in ["alpha", "beta", "gamma"] {
+            sys.install(pkg, vec![], MaxoidManifest::new()).unwrap();
+        }
+        let seed = sys.launch("gamma").unwrap();
+        sys.cp_insert(seed, &words, &ContentValues::new().put("word", "seed")).unwrap();
+        let da = sys.launch_as_delegate("gamma", "alpha").unwrap();
+        let db = sys.launch_as_delegate("beta", "alpha").unwrap();
+        let f = vpath("/data/data/gamma/hot.dat");
+
+        thread::scope(|scope| {
+            // Thread 1: gesture-heavy — gesture lock -> priv_mgr ->
+            // kernel table -> store -> provider mutex -> journal, plus
+            // ams writes (install) and reads (manifest_of).
+            scope.spawn(|_| {
+                for i in 0..ITERS {
+                    sys.commit_vol("alpha", &VolCommitPlan::default()).unwrap();
+                    if i % 10 == 0 {
+                        sys.clear_vol("alpha").unwrap();
+                        sys.install(&format!("extra{i}"), vec![], MaxoidManifest::new()).unwrap();
+                    }
+                    let _ = sys.manifest_of(&maxoid::AppId::new("alpha"));
+                    sys.checkpoint().unwrap();
+                }
+            });
+            // Thread 2: leaf-first — provider and store paths entered
+            // without the gesture lock, interleaved with clipboard and
+            // process-table reads, racing thread 1's gestures.
+            scope.spawn(|_| {
+                for i in 0..ITERS {
+                    sys.kernel.write(da, &f, format!("v{i}").as_bytes(), Mode::PRIVATE).unwrap();
+                    let _ = sys.kernel.read(da, &f);
+                    sys.cp_update(
+                        db,
+                        &words.with_id(1),
+                        &ContentValues::new().put("word", format!("w{i}").as_str()),
+                        &QueryArgs::default(),
+                    )
+                    .unwrap();
+                    let _ = sys.cp_query(da, &words.with_id(1), &QueryArgs::default());
+                    let dctx = sys.kernel.process(da).unwrap().ctx.clone();
+                    sys.clipboard.set(&dctx, "confined");
+                    let _ = sys.clipboard.get(&dctx);
+                    let _ = sys.broadcast_targets(None, &maxoid::Intent::new("EDIT"));
+                }
+            });
+        })
+        .expect("threads join");
+        tx.send(()).ok();
+    });
+    // Watchdog: a lock-order inversion shows up as a hang, not a panic.
+    match rx.recv_timeout(Duration::from_secs(120)) {
+        Ok(()) => driver.join().unwrap(),
+        Err(_) => panic!("lock-order smoke test timed out: suspected lock-order inversion"),
+    }
 }

@@ -109,8 +109,8 @@ fn forbidden_delegate_services() {
     // Clipboard: the delegate's copy never reaches the global clipboard.
     sys.clipboard.set(&maxoid::ExecContext::Normal, "public clip");
     sys.clipboard.set(&dctx, "secret clip");
-    assert_eq!(sys.clipboard.get(&maxoid::ExecContext::Normal), Some("public clip"));
-    assert_eq!(sys.clipboard.get(&dctx), Some("secret clip"));
+    assert_eq!(sys.clipboard.get(&maxoid::ExecContext::Normal).as_deref(), Some("public clip"));
+    assert_eq!(sys.clipboard.get(&dctx).as_deref(), Some("secret clip"));
 }
 
 /// Provider flows: the same Figure 1 edges through a system content
@@ -174,14 +174,9 @@ fn ipc_transitivity_and_broadcast() {
     let err = sys.start_activity(Some(d), &Intent::new("EDIT").as_delegate());
     assert!(matches!(err, Err(maxoid::SystemError::Ams(maxoid::AmsError::NestedDelegation))));
     // Broadcast from the delegate reaches only A and A's delegates.
-    let running: Vec<_> =
-        sys.kernel.processes().map(|p| (p.pid, p.app.clone(), p.ctx.clone())).collect();
     let sender = sys.kernel.process(d).unwrap();
-    let targets = sys.ams.broadcast_targets(
-        Some((&sender.app.clone(), &sender.ctx.clone())),
-        &Intent::new("EDIT"),
-        &running,
-    );
+    let targets = sys
+        .broadcast_targets(Some((&sender.app.clone(), &sender.ctx.clone())), &Intent::new("EDIT"));
     for pid in targets {
         let p = sys.kernel.process(pid).unwrap();
         assert!(
