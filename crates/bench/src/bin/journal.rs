@@ -9,11 +9,17 @@
 //!   toward the logging-off floor.
 //! - **recovery** — replay time of `maxoid::recover` as a function of log
 //!   size (100/1000/5000 committed records), the quantity that bounds
-//!   crash-restart latency and motivates snapshot checkpoints.
+//!   crash-restart latency and motivates snapshot checkpoints; plus
+//!   replay time of *compacted* logs whose histories differ 100× but
+//!   whose live state is identical — compaction's claim is that recovery
+//!   cost tracks live state, not uptime, so those two cells must be flat.
+//!
+//! Exits non-zero when the journaled/unjournaled 4KB-write median ratio
+//! exceeds [`MAX_WRITE_RATIO`] (the CI gate for the write-path work).
 //!
 //! Run with: `cargo run --release -p maxoid-bench --bin journal`
 
-use maxoid::durability::recover;
+use maxoid::durability::{compact_log, recover};
 use maxoid_bench::{measure, measure_interleaved, BenchJson, Case, Measurement};
 use maxoid_journal::JournalHandle;
 use maxoid_sqldb::{Database, Value};
@@ -26,6 +32,10 @@ const TRIALS: usize = 300;
 /// The ablation axis: no journal, then group-commit batch sizes.
 const MODES: [(&str, Option<usize>); 4] =
     [("off", None), ("batch1", Some(1)), ("batch16", Some(16)), ("batch128", Some(128))];
+
+/// CI gate: the journaled (default batch 16) 4KB file write may cost at
+/// most this multiple of the unjournaled write, by median.
+const MAX_WRITE_RATIO: f64 = 5.0;
 
 fn main() {
     let mut json = BenchJson::new();
@@ -126,8 +136,51 @@ fn main() {
         );
     }
 
+    // --- recovery after compaction: flat in history length ------------
+    println!("\nrecovery of compacted logs (identical live state, 100x history):");
+    let mut compacted_medians = Vec::new();
+    for n in [1_000usize, 100_000] {
+        let full = build_churn_log(n);
+        let (records, upto) = compact_log(&full).expect("compact");
+        let j = JournalHandle::with_batch(64);
+        j.replace_with(&records, upto).expect("replace");
+        let log = j.bytes();
+        let m = measure(
+            30,
+            || {},
+            || {
+                std::hint::black_box(recover(&log).expect("recover"));
+            },
+        );
+        json.push(&format!("recovery/compacted/n{n}"), &m);
+        println!(
+            "  {:>6}-op history -> {:>6} compacted bytes: {:>8.1} us",
+            n,
+            log.len(),
+            m.median_us(),
+        );
+        compacted_medians.push(m.median_us());
+    }
+    let flatness = compacted_medians[1] / compacted_medians[0];
+    json.push_scalar("recovery/compacted/ratio_100k_vs_1k", flatness);
+    println!("  100k/1k replay ratio: {flatness:.2}x (compaction bounds recovery by live state)");
+
+    // --- write-overhead gate ------------------------------------------
+    let (off, batch16) = (fs[0].median_us(), fs[2].median_us());
+    let ratio = if off > 0.0 { batch16 / off } else { 0.0 };
+    json.push_scalar("journal_overhead/fs_write_4k/median_ratio_batch16_vs_off", ratio);
+    println!("\njournaled (batch16) vs unjournaled 4KB write: {ratio:.2}x by median");
+
     json.write("BENCH_journal.json").expect("write BENCH_journal.json");
-    println!("\n(wrote BENCH_journal.json)");
+    println!("(wrote BENCH_journal.json)");
+
+    if ratio > MAX_WRITE_RATIO {
+        eprintln!(
+            "FAIL: journaled 4KB write {batch16:.2} us is {ratio:.2}x the unjournaled \
+             {off:.2} us (gate: {MAX_WRITE_RATIO}x)"
+        );
+        std::process::exit(1);
+    }
 }
 
 /// Builds a flushed log of `n` committed records, half logical SQL
@@ -157,6 +210,51 @@ fn build_log(n: usize) -> Vec<u8> {
                 Mode::PUBLIC,
             )
             .expect("write");
+    }
+    j.flush().expect("flush");
+    j.bytes()
+}
+
+/// Builds a flushed log of `n` churn operations whose *final* state is
+/// independent of `n`: the ops cycle over 4 files and 50 dictionary rows
+/// with contents keyed by `i % 100`, so any `n` divisible by 100 lands
+/// every file and row on the same last value. Only the history length
+/// differs — exactly the input compaction collapses.
+fn build_churn_log(n: usize) -> Vec<u8> {
+    assert!(n % 100 == 0, "n must align the churn cycles");
+    const FILES: usize = 4;
+    const ROWS: usize = 50;
+    let j = JournalHandle::with_batch(64);
+    let mut db = Database::new();
+    db.set_journal(j.sink(), "db.bench");
+    db.execute_batch("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER);")
+        .expect("schema");
+    for r in 0..ROWS {
+        db.execute(
+            "INSERT INTO words (word, frequency) VALUES (?, ?)",
+            &[Value::Text(format!("w{r}")), Value::Integer(0)],
+        )
+        .expect("seed");
+    }
+    let mut store = Store::new();
+    store.set_journal(j.sink());
+    store.mkdir_all(&vpath("/data"), Uid::ROOT, Mode::PUBLIC).expect("mkdir");
+    for i in 0..n {
+        let gen = (i % 100) as i64;
+        let body = format!("generation {gen:02} of a file that keeps being rewritten");
+        store
+            .write(
+                &vpath("/data").join(&format!("f{}.dat", i % FILES)).unwrap(),
+                body.as_bytes(),
+                Uid::ROOT,
+                Mode::PUBLIC,
+            )
+            .expect("write");
+        db.execute(
+            "UPDATE words SET frequency = ? WHERE _id = ?",
+            &[Value::Integer(gen), Value::Integer((i % ROWS) as i64 + 1)],
+        )
+        .expect("update");
     }
     j.flush().expect("flush");
     j.bytes()

@@ -37,6 +37,22 @@ impl DictMode {
     }
 }
 
+/// One dictionary operation staged ahead of its timed half: everything
+/// the op needs that costs allocation or formatting (URI clones, value
+/// maps, parameter vectors). Mirrors `FsWorkload`'s staged writes — with
+/// staging fused into the timed region, allocator jitter drives the
+/// stddev of fast cells past their mean.
+enum Staged {
+    /// Parameters for a raw-SQL statement (Android mode).
+    Raw(Vec<Value>),
+    /// Values for a provider insert.
+    Insert(ContentValues),
+    /// Row URI + values for a provider update.
+    Update(Uri, ContentValues),
+    /// Row URI for a provider point query.
+    Query(Uri),
+}
+
 /// A User Dictionary instance pre-populated with `rows` words, plus the
 /// caller identity for the selected mode.
 pub struct DictWorkload {
@@ -49,6 +65,7 @@ pub struct DictWorkload {
     uri: Uri,
     rows: usize,
     next_update: usize,
+    staged: Option<Staged>,
 }
 
 impl DictWorkload {
@@ -59,8 +76,16 @@ impl DictWorkload {
             DictMode::Delegate => Caller::delegate("bench.app", "bench.initiator"),
             _ => Caller::normal("bench.app"),
         };
-        let mut w =
-            DictWorkload { mode, raw: None, provider: None, caller, uri, rows, next_update: 0 };
+        let mut w = DictWorkload {
+            mode,
+            raw: None,
+            provider: None,
+            caller,
+            uri,
+            rows,
+            next_update: 0,
+            staged: None,
+        };
         match mode {
             DictMode::Android => {
                 let mut db = Database::with_policy(FlattenPolicy::Sqlite386);
@@ -131,85 +156,122 @@ impl DictWorkload {
         self.provider.as_ref().map_or((0, 0), |p| p.proxy().rewrite_cache_stats())
     }
 
-    /// insert: one new word.
-    pub fn insert(&mut self, i: usize) {
-        match self.mode {
+    /// Untimed half of `insert`: formats the word and builds the value
+    /// map / parameter vector.
+    pub fn stage_insert(&mut self, i: usize) {
+        self.staged = Some(match self.mode {
             DictMode::Android => {
+                Staged::Raw(vec![Value::Text(format!("new{i}")), Value::Integer(0)])
+            }
+            _ => Staged::Insert(
+                ContentValues::new().put("word", format!("new{i}")).put("frequency", 0),
+            ),
+        });
+    }
+
+    /// Timed half: runs the staged insert.
+    pub fn insert_staged(&mut self) {
+        match self.staged.take().expect("stage_insert first") {
+            Staged::Raw(params) => {
                 self.raw
                     .as_mut()
                     .expect("android mode has raw db")
-                    .execute(
-                        "INSERT INTO words (word, frequency) VALUES (?, ?)",
-                        &[Value::Text(format!("new{i}")), Value::Integer(0)],
-                    )
+                    .execute("INSERT INTO words (word, frequency) VALUES (?, ?)", &params)
                     .expect("insert");
             }
-            _ => {
+            Staged::Insert(values) => {
                 self.provider
                     .as_mut()
                     .expect("maxoid modes have provider")
-                    .insert(
-                        &self.caller,
-                        &self.uri,
-                        &ContentValues::new().put("word", format!("new{i}")).put("frequency", 0),
-                    )
+                    .insert(&self.caller, &self.uri, &values)
                     .expect("insert");
             }
+            _ => panic!("staged op is not an insert"),
         }
     }
 
-    /// update: bumps one seeded word by id, cycling through the table so
-    /// delegate-mode updates keep hitting rows without delta entries
-    /// (first-touch copy-on-write, as in the paper).
-    pub fn update(&mut self) {
+    /// insert: one new word (staging and timed op fused; benches wanting
+    /// clean timings call the halves).
+    pub fn insert(&mut self, i: usize) {
+        self.stage_insert(i);
+        self.insert_staged();
+    }
+
+    /// Untimed half of `update`: picks the next id (cycling through the
+    /// table so delegate-mode updates keep hitting rows without delta
+    /// entries — first-touch copy-on-write, as in the paper) and builds
+    /// the row URI and values.
+    pub fn stage_update(&mut self) {
         self.next_update = self.next_update % self.rows + 1;
         let id = self.next_update as i64;
-        match self.mode {
-            DictMode::Android => {
+        self.staged = Some(match self.mode {
+            DictMode::Android => Staged::Raw(vec![Value::Integer(id)]),
+            _ => Staged::Update(self.uri.with_id(id), ContentValues::new().put("frequency", id)),
+        });
+    }
+
+    /// Timed half: runs the staged update.
+    pub fn update_staged(&mut self) {
+        match self.staged.take().expect("stage_update first") {
+            Staged::Raw(params) => {
                 self.raw
                     .as_mut()
                     .expect("android mode has raw db")
-                    .execute(
-                        "UPDATE words SET frequency = frequency + 1 WHERE _id = ?",
-                        &[Value::Integer(id)],
-                    )
+                    .execute("UPDATE words SET frequency = frequency + 1 WHERE _id = ?", &params)
                     .expect("update");
             }
-            _ => {
+            Staged::Update(uri, values) => {
                 self.provider
                     .as_mut()
                     .expect("maxoid modes have provider")
-                    .update(
-                        &self.caller,
-                        &self.uri.with_id(id),
-                        &ContentValues::new().put("frequency", id),
-                        &QueryArgs::default(),
-                    )
+                    .update(&self.caller, &uri, &values, &QueryArgs::default())
                     .expect("update");
             }
+            _ => panic!("staged op is not an update"),
         }
     }
 
-    /// query 1 word: by id in the URI.
-    pub fn query_one(&mut self, id: i64) -> usize {
-        match self.mode {
-            DictMode::Android => self
+    /// update: bumps one seeded word by id (staging and timed op fused).
+    pub fn update(&mut self) {
+        self.stage_update();
+        self.update_staged();
+    }
+
+    /// Untimed half of `query_one`: builds the row URI / parameters.
+    pub fn stage_query_one(&mut self, id: i64) {
+        self.staged = Some(match self.mode {
+            DictMode::Android => Staged::Raw(vec![Value::Integer(id)]),
+            _ => Staged::Query(self.uri.with_id(id)),
+        });
+    }
+
+    /// Timed half: runs the staged point query.
+    pub fn query_one_staged(&mut self) -> usize {
+        match self.staged.take().expect("stage_query_one first") {
+            Staged::Raw(params) => self
                 .raw
                 .as_ref()
                 .expect("android mode has raw db")
-                .query("SELECT * FROM words WHERE _id = ?", &[Value::Integer(id)])
+                .query("SELECT * FROM words WHERE _id = ?", &params)
                 .expect("query")
                 .rows
                 .len(),
-            _ => self
+            Staged::Query(uri) => self
                 .provider
                 .as_mut()
                 .expect("maxoid modes have provider")
-                .query(&self.caller, &self.uri.with_id(id), &QueryArgs::default())
+                .query(&self.caller, &uri, &QueryArgs::default())
                 .expect("query")
                 .rows
                 .len(),
+            _ => panic!("staged op is not a query"),
         }
+    }
+
+    /// query 1 word: by id in the URI (staging and timed op fused).
+    pub fn query_one(&mut self, id: i64) -> usize {
+        self.stage_query_one(id);
+        self.query_one_staged()
     }
 
     /// query 1k words: selects every word.
@@ -312,6 +374,22 @@ mod tests {
             w.delete(5);
             assert_eq!(w.query_all(), 50);
             assert_eq!(w.query_one(5), 0);
+        }
+    }
+
+    #[test]
+    fn staged_halves_match_fused_ops() {
+        for mode in DictMode::ALL {
+            let mut w = DictWorkload::new(mode, 20);
+            w.stage_insert(0);
+            w.insert_staged();
+            w.stage_update();
+            w.update_staged();
+            w.stage_query_one(3);
+            assert_eq!(w.query_one_staged(), 1, "mode {}", mode.label());
+            assert_eq!(w.query_all(), 21);
+            // The update cycled to the first seeded row.
+            assert_eq!(w.query_one(1), 1);
         }
     }
 

@@ -137,12 +137,73 @@ pub fn recover(log_bytes: &[u8]) -> Result<RecoveredSubstrate, RecoveryError> {
                     return Err(RecoveryError::UnknownComponent(component.clone()));
                 }
             }
-            // committed_records consumes transaction markers.
-            Record::TxnBegin { .. } | Record::TxnCommit { .. } | Record::TxnRollback { .. } => {}
+            Record::SnapshotDelta { component, payload } => {
+                if component == VFS_COMPONENT {
+                    vfs.with_store_mut(|s| s.apply_dirty_image(payload))
+                        .map_err(RecoveryError::Vfs)?;
+                } else {
+                    return Err(RecoveryError::UnknownComponent(component.clone()));
+                }
+            }
+            // A compaction marker records the LSN horizon the rewritten
+            // log subsumes; the records that follow it *are* the state.
+            Record::Compaction { .. } => {}
+            // committed_records consumes transaction markers and path
+            // dictionary definitions.
+            Record::TxnBegin { .. }
+            | Record::TxnCommit { .. }
+            | Record::TxnRollback { .. }
+            | Record::PathDef { .. } => {}
         }
         applied += 1;
     }
     Ok(RecoveredSubstrate { vfs, dbs, tail, applied })
+}
+
+/// Builds a compacted replacement for `log_bytes`: records that replay to
+/// the *same* live state without the uptime history. Returns the records
+/// plus the highest LSN they subsume (for the `Compaction` marker).
+///
+/// The rewrite is: one VFS snapshot of the recovered store; the committed
+/// DDL statements in original order (CREATE/DROP/ALTER — catalog state
+/// that rows alone cannot reproduce); then each database's row dump.
+/// Row-churn history (INSERT/UPDATE/DELETE chains) collapses into the
+/// final rows, which is what bounds recovery cost by live state.
+pub fn compact_log(log_bytes: &[u8]) -> Result<(Vec<Record>, u64), RecoveryError> {
+    let log = read_records(log_bytes);
+    if let TailState::Corrupted { offset } = log.tail {
+        return Err(RecoveryError::Corrupted { offset });
+    }
+    let upto = log.last_lsn();
+    let sub = recover(log_bytes)?;
+    let mut records = Vec::new();
+    records.push(Record::Snapshot {
+        component: VFS_COMPONENT.to_string(),
+        payload: sub.vfs.with_store(|s| s.snapshot_image()),
+    });
+    for rec in committed_records(&log) {
+        if let Record::Sql { ref sql, .. } = rec {
+            if is_ddl(sql) {
+                records.push(rec);
+            }
+        }
+    }
+    for (component, db) in &sub.dbs {
+        for (sql, params) in db.dump_sql() {
+            records.push(Record::Sql { db: component.clone(), sql, params });
+        }
+    }
+    Ok((records, upto))
+}
+
+/// True for statements that define catalog state (tables, indexes, views,
+/// triggers, rowid floors) rather than row contents. Compaction retains
+/// these verbatim and re-derives everything else from live rows.
+fn is_ddl(sql: &str) -> bool {
+    let first = sql.trim_start().split_whitespace().next().unwrap_or("");
+    first.eq_ignore_ascii_case("CREATE")
+        || first.eq_ignore_ascii_case("DROP")
+        || first.eq_ignore_ascii_case("ALTER")
 }
 
 #[cfg(test)]
@@ -177,6 +238,116 @@ mod tests {
         assert_eq!(rs.rows, vec![vec![maxoid_sqldb::Value::Text("x".into())]]);
         // An authority the log never mentioned comes back empty.
         assert!(rec.take_db("ghost").table_names().is_empty());
+    }
+
+    #[test]
+    fn compacted_log_recovers_identically() {
+        let j = JournalHandle::with_batch(1);
+        let vfs = Vfs::new();
+        vfs.attach_journal(j.sink());
+        vfs.with_store_mut(|s| {
+            s.mkdir_all(&vpath("/a/b"), Uid::ROOT, Mode::PUBLIC).unwrap();
+            s.write(&vpath("/a/b/f"), b"version 1", Uid(10_001), Mode::PRIVATE).unwrap();
+            // Churn: overwrites and a delete, so history != live state.
+            for i in 0..50 {
+                let body = format!("version {i}, same file rewritten over and over");
+                s.write(&vpath("/a/b/f"), body.as_bytes(), Uid(10_001), Mode::PRIVATE).unwrap();
+            }
+            s.write(&vpath("/a/tmp"), b"gone", Uid::ROOT, Mode::PUBLIC).unwrap();
+            s.unlink(&vpath("/a/tmp")).unwrap();
+        });
+        let mut db = Database::new();
+        db.set_journal(j.sink(), "db.contacts");
+        db.execute_batch("CREATE TABLE t (_id INTEGER PRIMARY KEY, v TEXT);").unwrap();
+        db.execute_batch("CREATE TABLE hid (v TEXT);").unwrap();
+        for i in 0..10 {
+            db.execute(
+                "INSERT INTO t (v) VALUES (?)",
+                &[maxoid_sqldb::Value::Text(format!("row{i}"))],
+            )
+            .unwrap();
+            db.execute(
+                "INSERT INTO hid (v) VALUES (?)",
+                &[maxoid_sqldb::Value::Text(format!("h{i}"))],
+            )
+            .unwrap();
+        }
+        for i in 0..30 {
+            db.execute(
+                "UPDATE t SET v = ? WHERE _id = ?",
+                &[maxoid_sqldb::Value::Text(format!("rewrite{i}")), maxoid_sqldb::Value::Integer(3)],
+            )
+            .unwrap();
+        }
+        // Delete the max-rowid rows so compaction must reproduce the
+        // allocation floor, not just the surviving keys.
+        db.execute("DELETE FROM t WHERE _id > ?", &[maxoid_sqldb::Value::Integer(7)]).unwrap();
+        db.execute("DELETE FROM hid WHERE v = ?", &[maxoid_sqldb::Value::Text("h9".into())])
+            .unwrap();
+        j.flush().unwrap();
+        let full = j.bytes();
+
+        let (records, upto) = compact_log(&full).unwrap();
+        let j2 = JournalHandle::with_batch(1);
+        j2.replace_with(&records, upto).unwrap();
+        let compacted = j2.bytes();
+        assert!(compacted.len() < full.len(), "compaction should shrink a churned log");
+
+        let mut from_full = recover(&full).unwrap();
+        let mut from_compacted = recover(&compacted).unwrap();
+        assert_eq!(
+            from_full.vfs.with_store(|s| s.dump_tree()),
+            from_compacted.vfs.with_store(|s| s.dump_tree())
+        );
+        let (a, b) = (from_full.take_db("contacts"), from_compacted.take_db("contacts"));
+        assert_eq!(a.table_names(), b.table_names());
+        for table in ["t", "hid"] {
+            let q = format!("SELECT * FROM {table}");
+            assert_eq!(a.query(&q, &[]).unwrap().rows, b.query(&q, &[]).unwrap().rows);
+        }
+        // Allocation state survives: the dumps (rows + rowid floors)
+        // agree, and fresh inserts pick the same keys.
+        assert_eq!(a.dump_sql(), b.dump_sql());
+        let mut a = a;
+        let mut b = b;
+        for db in [&mut a, &mut b] {
+            db.execute("INSERT INTO t (v) VALUES (?)", &[maxoid_sqldb::Value::Text("new".into())])
+                .unwrap();
+        }
+        let q = "SELECT _id FROM t WHERE v = 'new'";
+        assert_eq!(a.query(q, &[]).unwrap().rows, b.query(q, &[]).unwrap().rows);
+    }
+
+    #[test]
+    fn incremental_checkpoint_recovers() {
+        let j = JournalHandle::with_batch(1);
+        let vfs = Vfs::new();
+        vfs.attach_journal(j.sink());
+        vfs.with_store_mut(|s| {
+            s.mkdir_all(&vpath("/data"), Uid::ROOT, Mode::PUBLIC).unwrap();
+            s.write(&vpath("/data/a"), b"aaa", Uid(10_001), Mode::PRIVATE).unwrap();
+        });
+        // First delta covers everything dirty since boot.
+        let d1 = vfs.with_store_mut(|s| s.take_dirty_image());
+        j.checkpoint_delta(VFS_COMPONENT, d1).unwrap();
+        vfs.with_store_mut(|s| {
+            s.write(&vpath("/data/b"), b"bbb", Uid(10_001), Mode::PRIVATE).unwrap();
+            s.write(&vpath("/data/a"), b"aaa2", Uid(10_001), Mode::PRIVATE).unwrap();
+        });
+        // Second delta covers only /data/b, /data/a and their parent.
+        let d2 = vfs.with_store_mut(|s| s.take_dirty_image());
+        j.checkpoint_delta(VFS_COMPONENT, d2).unwrap();
+        // Tail records after the last checkpoint replay on top.
+        vfs.with_store_mut(|s| {
+            s.write(&vpath("/data/c"), b"ccc", Uid::ROOT, Mode::PUBLIC).unwrap();
+        });
+        j.flush().unwrap();
+
+        let rec = recover(&j.bytes()).unwrap();
+        assert_eq!(
+            vfs.with_store(|s| s.dump_tree()),
+            rec.vfs.with_store(|s| s.dump_tree())
+        );
     }
 
     #[test]

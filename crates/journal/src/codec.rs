@@ -13,6 +13,8 @@ pub enum CodecError {
     BadTag(u8),
     /// A length-prefixed string was not valid UTF-8.
     BadUtf8,
+    /// A v2 path field referenced a dictionary id with no `PathDef`.
+    UnknownPathId(u32),
 }
 
 impl std::fmt::Display for CodecError {
@@ -21,6 +23,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Truncated => write!(f, "truncated payload"),
             CodecError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             CodecError::BadUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::UnknownPathId(id) => write!(f, "undefined path dictionary id {id}"),
         }
     }
 }
@@ -36,6 +39,27 @@ pub struct ByteWriter {
 impl ByteWriter {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Wraps an existing buffer, appending after its current contents.
+    /// The WAL's pipelined writer uses this to frame a whole batch into
+    /// one reusable scratch allocation.
+    pub fn from_vec(buf: Vec<u8>) -> Self {
+        ByteWriter { buf }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Overwrites `n` previously written bytes at `offset` (used to
+    /// backpatch frame `len`/`crc` fields once the payload is encoded).
+    pub fn patch(&mut self, offset: usize, bytes: &[u8]) {
+        self.buf[offset..offset + bytes.len()].copy_from_slice(bytes);
     }
 
     pub fn put_u8(&mut self, v: u8) {
@@ -138,22 +162,54 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-fn crc_table() -> &'static [u32; 256] {
-    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut t = [0u32; 256];
-        for (i, slot) in t.iter_mut().enumerate() {
+/// Eight CRC-32 lookup tables for the slicing-by-8 kernel. Table 0 is the
+/// classic byte-at-a-time table; table `k` advances a byte's contribution
+/// by `k` further positions, letting the hot loop fold 8 input bytes per
+/// iteration instead of 1 — the difference between the checksum dominating
+/// a 4KB journaled write and it costing well under the write itself.
+fn crc_tables() -> &'static [[u32; 256]; 8] {
+    static TABLES: OnceLock<[[u32; 256]; 8]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut t = [[0u32; 256]; 8];
+        for i in 0..256usize {
             let mut c = i as u32;
             for _ in 0..8 {
                 c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
             }
-            *slot = c;
+            t[0][i] = c;
+        }
+        for k in 1..8 {
+            for i in 0..256usize {
+                let prev = t[k - 1][i];
+                t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            }
         }
         t
     })
 }
 
-/// IEEE CRC-32 (the polynomial used by zlib/ethernet), table-driven.
+fn crc_update(mut crc: u32, mut data: &[u8]) -> u32 {
+    let t = crc_tables();
+    while data.len() >= 8 {
+        let lo = u32::from_le_bytes(data[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+        data = &data[8..];
+    }
+    for &b in data {
+        crc = t[0][((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc
+}
+
+/// IEEE CRC-32 (the polynomial used by zlib/ethernet), slicing-by-8.
 pub fn crc32(data: &[u8]) -> u32 {
     crc32_parts(&[data])
 }
@@ -161,12 +217,9 @@ pub fn crc32(data: &[u8]) -> u32 {
 /// CRC-32 over the concatenation of `parts` without materialising it —
 /// used by the WAL to checksum header fields together with the payload.
 pub fn crc32_parts(parts: &[&[u8]]) -> u32 {
-    let table = crc_table();
     let mut crc = !0u32;
     for part in parts {
-        for &b in *part {
-            crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
-        }
+        crc = crc_update(crc, part);
     }
     !crc
 }
@@ -208,6 +261,21 @@ mod tests {
         // Standard check value for "123456789".
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn crc32_slicing_matches_bitwise_reference() {
+        // Data long enough to cover the 8-byte kernel plus an unaligned
+        // tail, checked against a bit-at-a-time reference implementation.
+        let data: Vec<u8> = (0..1021u32).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        let mut crc = !0u32;
+        for &b in &data {
+            crc ^= b as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 { 0xEDB8_8320 ^ (crc >> 1) } else { crc >> 1 };
+            }
+        }
+        assert_eq!(crc32(&data), !crc);
     }
 
     #[test]

@@ -11,15 +11,21 @@
 //!   journal's writes short, modelling power loss during a group-commit
 //!   flush itself.
 
-use crate::wal::{Storage, FRAME_HEADER, FRAME_MAGIC};
+use crate::wal::{Storage, FRAME_HEADER, FRAME_MAGIC, LOG_PREAMBLE};
 use crate::{JournalError, JournalResult};
 
 /// Returns every crash point of a log: byte offsets at record boundaries,
 /// starting with 0 (crash before anything durable) and ending at
-/// `bytes.len()` (no loss). Stops at the first invalid frame.
+/// `bytes.len()` (no loss). A v2 log's preamble end is itself a boundary
+/// (crash after the preamble, before any frame). Stops at the first
+/// invalid frame.
 pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
     let mut out = vec![0];
     let mut pos = 0usize;
+    if bytes.len() >= LOG_PREAMBLE.len() && bytes[..LOG_PREAMBLE.len()] == LOG_PREAMBLE {
+        pos = LOG_PREAMBLE.len();
+        out.push(pos);
+    }
     while pos < bytes.len() {
         if bytes.len() - pos < FRAME_HEADER || bytes[pos] != FRAME_MAGIC {
             break;
@@ -134,24 +140,29 @@ mod tests {
     fn boundaries_cover_every_record() {
         let bytes = sample_log(4);
         let b = record_boundaries(&bytes);
-        assert_eq!(b.len(), 5); // 0 plus one per record
+        // 0, the preamble end, then one boundary per record.
+        assert_eq!(b.len(), 6);
         assert_eq!(*b.last().unwrap(), bytes.len());
-        for (i, &off) in b.iter().enumerate() {
-            let log = read_records(&crash_prefix(&bytes, off));
-            assert_eq!(log.records.len(), i);
-            assert_eq!(log.tail, TailState::Clean);
-        }
+        let counts: Vec<usize> = b
+            .iter()
+            .map(|&off| {
+                let log = read_records(&crash_prefix(&bytes, off));
+                assert_eq!(log.tail, TailState::Clean, "boundary {off}");
+                log.records.len()
+            })
+            .collect();
+        assert_eq!(counts, vec![0, 0, 1, 2, 3, 4]);
     }
 
     #[test]
     fn torn_log_recovers_prefix_only() {
         let bytes = sample_log(3);
         let b = record_boundaries(&bytes);
-        // Tear 5 bytes into the second record.
-        let torn = torn_log(&bytes, b[1], 5);
+        // b[0] = 0, b[1] = preamble end; tear 5 bytes into the second record.
+        let torn = torn_log(&bytes, b[2], 5);
         let log = read_records(&torn);
         assert_eq!(log.records.len(), 1);
-        assert!(matches!(log.tail, TailState::Torn { offset } if offset == b[1]));
+        assert!(matches!(log.tail, TailState::Torn { offset } if offset == b[2]));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub use record::{ParamValue, Record, VfsRecord};
 pub use replay::{committed_records, read_records, ReadLog, TailState};
 pub use wal::{
     Journal, JournalHandle, JournalSink, JournalStats, MemStorage, NullSink, SinkRef, Storage,
-    DEFAULT_BATCH,
+    DEFAULT_BATCH, LOG_PREAMBLE,
 };
 
 /// Errors raised by journal operations.

@@ -10,6 +10,15 @@
 //! parser so the rebuilt catalog includes views, triggers and indexes).
 
 use crate::codec::{ByteReader, ByteWriter, CodecError};
+use std::collections::HashMap;
+
+/// Sentinel meaning "encode this path literally" in a v2 path slot.
+pub(crate) const LITERAL_PATH: u32 = u32::MAX;
+
+// v2 path-field tags: a path slot is either the string itself or a
+// dictionary id defined by an earlier `PathDef` record.
+const PATH_LITERAL: u8 = 0;
+const PATH_ID: u8 = 1;
 
 /// A bound SQL parameter value, mirroring `maxoid_sqldb::Value`.
 #[derive(Debug, Clone, PartialEq)]
@@ -64,6 +73,24 @@ pub enum VfsRecord {
         owner: u32,
         mode: u8,
     },
+    /// Overwrite logged as a delta against the file's previous contents:
+    /// the new payload is `old[..prefix] ++ data ++ old[old_len-suffix..]`.
+    /// Emitted instead of a full `Write` when the changed span is small
+    /// relative to the new length; owner/mode are unchanged by an
+    /// overwrite, so they are not logged.
+    WriteDelta {
+        path: String,
+        prefix: u32,
+        suffix: u32,
+        data: Vec<u8>,
+    },
+    /// [`VfsRecord::WriteDelta`] addressed by inode id (open handles).
+    WriteInodeDelta {
+        inode: u64,
+        prefix: u32,
+        suffix: u32,
+        data: Vec<u8>,
+    },
 }
 
 /// One typed journal record.
@@ -84,6 +111,18 @@ pub enum Record {
     Snapshot { component: String, payload: Vec<u8> },
     /// A physically-logged backing-store mutation.
     Vfs(VfsRecord),
+    /// Defines path-dictionary id `id` as `path` for every later record in
+    /// the log. Pure framing metadata: it carries no state and is skipped
+    /// by the redo filter.
+    PathDef { id: u32, path: String },
+    /// An incremental component snapshot: only the state dirtied since the
+    /// previous `Snapshot`/`SnapshotDelta` for this component. Replay
+    /// merges it over whatever those earlier records rebuilt.
+    SnapshotDelta { component: String, payload: Vec<u8> },
+    /// Marks a log produced by compaction: the records that follow
+    /// reconstruct the live state that history up to `upto_lsn` had built.
+    /// Informational on replay.
+    Compaction { upto_lsn: u64 },
 }
 
 // Record tags.
@@ -93,6 +132,9 @@ const T_TXN_ROLLBACK: u8 = 3;
 const T_SQL: u8 = 4;
 const T_SNAPSHOT: u8 = 5;
 const T_VFS: u8 = 6;
+const T_PATH_DEF: u8 = 7;
+const T_SNAPSHOT_DELTA: u8 = 8;
+const T_COMPACTION: u8 = 9;
 
 // VfsRecord tags.
 const V_MKDIR: u8 = 1;
@@ -103,6 +145,8 @@ const V_UNLINK: u8 = 5;
 const V_RMDIR: u8 = 6;
 const V_RENAME: u8 = 7;
 const V_CHOWN_CHMOD: u8 = 8;
+const V_WRITE_DELTA: u8 = 9;
+const V_WRITE_INODE_DELTA: u8 = 10;
 
 // ParamValue tags.
 const P_NULL: u8 = 0;
@@ -191,7 +235,143 @@ impl VfsRecord {
                 w.put_u32(*owner);
                 w.put_u8(*mode);
             }
+            VfsRecord::WriteDelta { path, prefix, suffix, data } => {
+                w.put_u8(V_WRITE_DELTA);
+                w.put_str(path);
+                w.put_u32(*prefix);
+                w.put_u32(*suffix);
+                w.put_bytes(data);
+            }
+            VfsRecord::WriteInodeDelta { inode, prefix, suffix, data } => {
+                w.put_u8(V_WRITE_INODE_DELTA);
+                w.put_u64(*inode);
+                w.put_u32(*prefix);
+                w.put_u32(*suffix);
+                w.put_bytes(data);
+            }
         }
+    }
+
+    /// The record's path fields (rename is the only two-path record), in
+    /// a fixed slot order matching the id array of the v2 encoder.
+    pub(crate) fn paths(&self) -> [Option<&str>; 2] {
+        match self {
+            VfsRecord::Mkdir { path, .. }
+            | VfsRecord::Write { path, .. }
+            | VfsRecord::Append { path, .. }
+            | VfsRecord::Unlink { path }
+            | VfsRecord::Rmdir { path }
+            | VfsRecord::ChownChmod { path, .. }
+            | VfsRecord::WriteDelta { path, .. } => [Some(path), None],
+            VfsRecord::Rename { from, to } => [Some(from), Some(to)],
+            VfsRecord::WriteInode { .. } | VfsRecord::WriteInodeDelta { .. } => [None, None],
+        }
+    }
+
+    /// v2 encoding: identical to v1 except every path field becomes a
+    /// tagged slot — the literal string, or a u32 dictionary id assigned
+    /// by an earlier `PathDef` (4 bytes however long the path is).
+    fn encode_v2(&self, w: &mut ByteWriter, ids: [u32; 2]) {
+        match self {
+            VfsRecord::Mkdir { path, owner, mode } => {
+                w.put_u8(V_MKDIR);
+                put_path(w, path, ids[0]);
+                w.put_u32(*owner);
+                w.put_u8(*mode);
+            }
+            VfsRecord::Write { path, data, owner, mode } => {
+                w.put_u8(V_WRITE);
+                put_path(w, path, ids[0]);
+                w.put_bytes(data);
+                w.put_u32(*owner);
+                w.put_u8(*mode);
+            }
+            VfsRecord::Append { path, data } => {
+                w.put_u8(V_APPEND);
+                put_path(w, path, ids[0]);
+                w.put_bytes(data);
+            }
+            VfsRecord::WriteInode { inode, data } => {
+                w.put_u8(V_WRITE_INODE);
+                w.put_u64(*inode);
+                w.put_bytes(data);
+            }
+            VfsRecord::Unlink { path } => {
+                w.put_u8(V_UNLINK);
+                put_path(w, path, ids[0]);
+            }
+            VfsRecord::Rmdir { path } => {
+                w.put_u8(V_RMDIR);
+                put_path(w, path, ids[0]);
+            }
+            VfsRecord::Rename { from, to } => {
+                w.put_u8(V_RENAME);
+                put_path(w, from, ids[0]);
+                put_path(w, to, ids[1]);
+            }
+            VfsRecord::ChownChmod { path, owner, mode } => {
+                w.put_u8(V_CHOWN_CHMOD);
+                put_path(w, path, ids[0]);
+                w.put_u32(*owner);
+                w.put_u8(*mode);
+            }
+            VfsRecord::WriteDelta { path, prefix, suffix, data } => {
+                w.put_u8(V_WRITE_DELTA);
+                put_path(w, path, ids[0]);
+                w.put_u32(*prefix);
+                w.put_u32(*suffix);
+                w.put_bytes(data);
+            }
+            VfsRecord::WriteInodeDelta { inode, prefix, suffix, data } => {
+                w.put_u8(V_WRITE_INODE_DELTA);
+                w.put_u64(*inode);
+                w.put_u32(*prefix);
+                w.put_u32(*suffix);
+                w.put_bytes(data);
+            }
+        }
+    }
+
+    fn decode_v2(
+        r: &mut ByteReader<'_>,
+        dict: Option<&HashMap<u32, String>>,
+    ) -> Result<Self, CodecError> {
+        Ok(match r.get_u8()? {
+            V_MKDIR => VfsRecord::Mkdir {
+                path: get_path(r, dict)?,
+                owner: r.get_u32()?,
+                mode: r.get_u8()?,
+            },
+            V_WRITE => VfsRecord::Write {
+                path: get_path(r, dict)?,
+                data: r.get_bytes()?,
+                owner: r.get_u32()?,
+                mode: r.get_u8()?,
+            },
+            V_APPEND => VfsRecord::Append { path: get_path(r, dict)?, data: r.get_bytes()? },
+            V_WRITE_INODE => VfsRecord::WriteInode { inode: r.get_u64()?, data: r.get_bytes()? },
+            V_UNLINK => VfsRecord::Unlink { path: get_path(r, dict)? },
+            V_RMDIR => VfsRecord::Rmdir { path: get_path(r, dict)? },
+            V_RENAME => VfsRecord::Rename { from: get_path(r, dict)?, to: get_path(r, dict)? },
+            V_CHOWN_CHMOD => VfsRecord::ChownChmod {
+                path: get_path(r, dict)?,
+                owner: r.get_u32()?,
+                mode: r.get_u8()?,
+            },
+            V_WRITE_DELTA => VfsRecord::WriteDelta {
+                path: get_path(r, dict)?,
+                prefix: r.get_u32()?,
+                suffix: r.get_u32()?,
+                data: r.get_bytes()?,
+            },
+            V_WRITE_INODE_DELTA => VfsRecord::WriteInodeDelta {
+                inode: r.get_u64()?,
+                prefix: r.get_u32()?,
+                suffix: r.get_u32()?,
+                data: r.get_bytes()?,
+            },
+            t => return Err(CodecError::BadTag(t)),
+        })
     }
 
     fn decode(r: &mut ByteReader<'_>) -> Result<Self, CodecError> {
@@ -213,15 +393,79 @@ impl VfsRecord {
             V_CHOWN_CHMOD => {
                 VfsRecord::ChownChmod { path: r.get_str()?, owner: r.get_u32()?, mode: r.get_u8()? }
             }
+            V_WRITE_DELTA => VfsRecord::WriteDelta {
+                path: r.get_str()?,
+                prefix: r.get_u32()?,
+                suffix: r.get_u32()?,
+                data: r.get_bytes()?,
+            },
+            V_WRITE_INODE_DELTA => VfsRecord::WriteInodeDelta {
+                inode: r.get_u64()?,
+                prefix: r.get_u32()?,
+                suffix: r.get_u32()?,
+                data: r.get_bytes()?,
+            },
             t => return Err(CodecError::BadTag(t)),
         })
     }
 }
 
+/// Encodes one v2 path slot: the literal string, or a dictionary id.
+fn put_path(w: &mut ByteWriter, path: &str, id: u32) {
+    if id == LITERAL_PATH {
+        w.put_u8(PATH_LITERAL);
+        w.put_str(path);
+    } else {
+        w.put_u8(PATH_ID);
+        w.put_u32(id);
+    }
+}
+
+/// Decodes one v2 path slot. With `dict` the id must resolve; without it
+/// (the torn/corrupt resync scan, which has no reliable dictionary) an id
+/// slot resolves to a placeholder so structural validity can still be
+/// judged.
+fn get_path(
+    r: &mut ByteReader<'_>,
+    dict: Option<&HashMap<u32, String>>,
+) -> Result<String, CodecError> {
+    match r.get_u8()? {
+        PATH_LITERAL => r.get_str(),
+        PATH_ID => {
+            let id = r.get_u32()?;
+            match dict {
+                Some(d) => d.get(&id).cloned().ok_or(CodecError::UnknownPathId(id)),
+                None => Ok(String::new()),
+            }
+        }
+        t => Err(CodecError::BadTag(t)),
+    }
+}
+
 impl Record {
-    /// Encodes the record into a standalone payload (no frame header).
+    /// Encodes the record into a standalone v1 payload (no frame header).
+    /// Only VFS records differ between v1 and v2 (path fields are bare
+    /// strings here, tagged literal/id slots there); everything else
+    /// shares the v2 encoder.
     pub fn encode(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
+        match self {
+            Record::Vfs(v) => {
+                w.put_u8(T_VFS);
+                v.encode(&mut w);
+            }
+            other => other.encode_v2_into(&mut w, [LITERAL_PATH; 2]),
+        }
+        w.into_bytes()
+    }
+
+    /// Encodes the record in format v2 into an existing buffer. Identical
+    /// to v1 except VFS path fields become tagged literal/id slots
+    /// (`ids[k]` is the dictionary id of path slot `k`, or
+    /// `LITERAL_PATH`). Writing into a caller-supplied writer lets the
+    /// pipelined flush frame a whole batch into one reusable scratch
+    /// allocation instead of a `Vec` per record.
+    pub(crate) fn encode_v2_into(&self, w: &mut ByteWriter, ids: [u32; 2]) {
         match self {
             Record::TxnBegin { txn } => {
                 w.put_u8(T_TXN_BEGIN);
@@ -241,7 +485,7 @@ impl Record {
                 w.put_str(sql);
                 w.put_u32(params.len() as u32);
                 for p in params {
-                    p.encode(&mut w);
+                    p.encode(w);
                 }
             }
             Record::Snapshot { component, payload } => {
@@ -251,10 +495,45 @@ impl Record {
             }
             Record::Vfs(v) => {
                 w.put_u8(T_VFS);
-                v.encode(&mut w);
+                v.encode_v2(w, ids);
+            }
+            Record::PathDef { id, path } => {
+                w.put_u8(T_PATH_DEF);
+                w.put_u32(*id);
+                w.put_str(path);
+            }
+            Record::SnapshotDelta { component, payload } => {
+                w.put_u8(T_SNAPSHOT_DELTA);
+                w.put_str(component);
+                w.put_bytes(payload);
+            }
+            Record::Compaction { upto_lsn } => {
+                w.put_u8(T_COMPACTION);
+                w.put_u64(*upto_lsn);
             }
         }
-        w.into_bytes()
+    }
+
+    /// Decodes a v2 payload. `dict` maps path-dictionary ids to paths;
+    /// pass `None` only for structural validation (resync scans), where
+    /// unknown ids resolve to placeholders instead of failing.
+    pub(crate) fn decode_v2(
+        payload: &[u8],
+        dict: Option<&HashMap<u32, String>>,
+    ) -> Result<Self, CodecError> {
+        let mut r = ByteReader::new(payload);
+        match r.get_u8()? {
+            T_VFS => Ok(Record::Vfs(VfsRecord::decode_v2(&mut r, dict)?)),
+            _ => Record::decode(payload),
+        }
+    }
+
+    /// The record's VFS path fields (empty for non-VFS records).
+    pub(crate) fn vfs_paths(&self) -> [Option<&str>; 2] {
+        match self {
+            Record::Vfs(v) => v.paths(),
+            _ => [None, None],
+        }
     }
 
     /// Decodes a record from a payload produced by [`Record::encode`].
@@ -276,6 +555,11 @@ impl Record {
             }
             T_SNAPSHOT => Record::Snapshot { component: r.get_str()?, payload: r.get_bytes()? },
             T_VFS => Record::Vfs(VfsRecord::decode(&mut r)?),
+            T_PATH_DEF => Record::PathDef { id: r.get_u32()?, path: r.get_str()? },
+            T_SNAPSHOT_DELTA => {
+                Record::SnapshotDelta { component: r.get_str()?, payload: r.get_bytes()? }
+            }
+            T_COMPACTION => Record::Compaction { upto_lsn: r.get_u64()? },
             t => return Err(CodecError::BadTag(t)),
         };
         Ok(rec)
@@ -286,7 +570,10 @@ impl Record {
     pub fn forces_flush(&self) -> bool {
         matches!(
             self,
-            Record::TxnCommit { .. } | Record::TxnRollback { .. } | Record::Snapshot { .. }
+            Record::TxnCommit { .. }
+                | Record::TxnRollback { .. }
+                | Record::Snapshot { .. }
+                | Record::SnapshotDelta { .. }
         )
     }
 }
@@ -334,6 +621,52 @@ mod tests {
         roundtrip(Record::Vfs(VfsRecord::Rmdir { path: "/d".into() }));
         roundtrip(Record::Vfs(VfsRecord::Rename { from: "/a".into(), to: "/b".into() }));
         roundtrip(Record::Vfs(VfsRecord::ChownChmod { path: "/p".into(), owner: 1000, mode: 1 }));
+    }
+
+    #[test]
+    fn v2_only_variants_roundtrip() {
+        roundtrip(Record::PathDef { id: 3, path: "/a/b".into() });
+        roundtrip(Record::SnapshotDelta { component: "vfs.store".into(), payload: vec![1, 2] });
+        roundtrip(Record::Compaction { upto_lsn: 900 });
+        roundtrip(Record::Vfs(VfsRecord::WriteDelta {
+            path: "/f".into(),
+            prefix: 3,
+            suffix: 9,
+            data: b"mid".to_vec(),
+        }));
+        roundtrip(Record::Vfs(VfsRecord::WriteInodeDelta {
+            inode: 7,
+            prefix: 0,
+            suffix: 0,
+            data: vec![],
+        }));
+    }
+
+    #[test]
+    fn v2_interned_paths_roundtrip() {
+        let rec = Record::Vfs(VfsRecord::Rename { from: "/a".into(), to: "/b".into() });
+        let mut w = ByteWriter::new();
+        rec.encode_v2_into(&mut w, [4, LITERAL_PATH]);
+        let bytes = w.into_bytes();
+        let mut dict = HashMap::new();
+        dict.insert(4u32, "/a".to_string());
+        assert_eq!(Record::decode_v2(&bytes, Some(&dict)).unwrap(), rec);
+        // An unresolvable id fails strict decode but passes the permissive
+        // structural check the resync scan uses.
+        assert!(matches!(
+            Record::decode_v2(&bytes, Some(&HashMap::new())),
+            Err(CodecError::UnknownPathId(4))
+        ));
+        assert!(Record::decode_v2(&bytes, None).is_ok());
+    }
+
+    #[test]
+    fn v2_literal_paths_match_v1_for_non_vfs() {
+        // Non-VFS records share one encoding across versions.
+        let rec = Record::Sql { db: "d".into(), sql: "CREATE TABLE t (x)".into(), params: vec![] };
+        let mut w = ByteWriter::new();
+        rec.encode_v2_into(&mut w, [LITERAL_PATH; 2]);
+        assert_eq!(w.as_slice(), rec.encode().as_slice());
     }
 
     #[test]

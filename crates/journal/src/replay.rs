@@ -9,7 +9,8 @@
 //! `Vol(A)` until the commit record itself is durable.
 
 use crate::record::Record;
-use crate::wal::{frame_crc, FRAME_HEADER, FRAME_MAGIC};
+use crate::wal::{frame_crc, FRAME_HEADER, FRAME_MAGIC, LOG_PREAMBLE};
+use std::collections::HashMap;
 
 /// How the log ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,7 +67,14 @@ impl ReadLog {
 ///   truncation artifact.
 pub fn read_records(bytes: &[u8]) -> ReadLog {
     let mut records = Vec::new();
-    let mut pos = 0usize;
+    let (mut pos, v2) = match detect_version(bytes) {
+        Ok(x) => x,
+        Err(tail) => return ReadLog { records, tail },
+    };
+    // v2 path dictionary, built as `PathDef` records stream past. Records
+    // are returned with literal paths either way — interning is a wire
+    // format concern, invisible above this function.
+    let mut dict: HashMap<u32, String> = HashMap::new();
     let mut last_lsn = 0u64;
     while pos < bytes.len() {
         let rem = bytes.len() - pos;
@@ -83,7 +91,7 @@ pub fn read_records(bytes: &[u8]) -> ReadLog {
         let avail = bytes.len() - start;
         if avail < len {
             let frame_was_complete = frame_crc(lsn, avail as u32, &bytes[start..]) == crc;
-            let tail = if frame_was_complete || any_valid_frame_after(bytes, pos + 1) {
+            let tail = if frame_was_complete || any_valid_frame_after(bytes, pos + 1, v2) {
                 TailState::Corrupted { offset: pos }
             } else {
                 TailState::Torn { offset: pos }
@@ -94,8 +102,14 @@ pub fn read_records(bytes: &[u8]) -> ReadLog {
         if frame_crc(lsn, len as u32, payload) != crc || lsn <= last_lsn {
             return ReadLog { records, tail: TailState::Corrupted { offset: pos } };
         }
-        match Record::decode(payload) {
-            Ok(rec) => records.push((lsn, rec)),
+        let decoded = if v2 { Record::decode_v2(payload, Some(&dict)) } else { Record::decode(payload) };
+        match decoded {
+            Ok(rec) => {
+                if let Record::PathDef { id, path } = &rec {
+                    dict.insert(*id, path.clone());
+                }
+                records.push((lsn, rec));
+            }
             Err(_) => return ReadLog { records, tail: TailState::Corrupted { offset: pos } },
         }
         last_lsn = lsn;
@@ -104,11 +118,31 @@ pub fn read_records(bytes: &[u8]) -> ReadLog {
     ReadLog { records, tail: TailState::Clean }
 }
 
+/// Sniffs the log format. An empty log is trivially clean; a full v2
+/// preamble starts frame parsing after it; a leading [`FRAME_MAGIC`] is a
+/// v1 log. A short log that is a proper prefix of the preamble is a torn
+/// first write; anything else never came from this journal.
+fn detect_version(bytes: &[u8]) -> Result<(usize, bool), TailState> {
+    if bytes.is_empty() {
+        return Ok((0, false));
+    }
+    if bytes.len() >= LOG_PREAMBLE.len() && bytes[..LOG_PREAMBLE.len()] == LOG_PREAMBLE {
+        return Ok((LOG_PREAMBLE.len(), true));
+    }
+    if bytes[0] == FRAME_MAGIC {
+        return Ok((0, false));
+    }
+    if bytes.len() < LOG_PREAMBLE.len() && LOG_PREAMBLE.starts_with(bytes) {
+        return Err(TailState::Torn { offset: 0 });
+    }
+    Err(TailState::Corrupted { offset: 0 })
+}
+
 /// Resync scan: does any byte position at or after `from` start a fully
 /// valid frame (magic, complete header, in-bounds payload, matching CRC,
 /// decodable record)? Used to tell a corrupted length field mid-log apart
 /// from a genuinely torn final frame.
-fn any_valid_frame_after(bytes: &[u8], from: usize) -> bool {
+fn any_valid_frame_after(bytes: &[u8], from: usize, v2: bool) -> bool {
     let mut q = from;
     while q + FRAME_HEADER <= bytes.len() {
         if bytes[q] == FRAME_MAGIC {
@@ -118,7 +152,16 @@ fn any_valid_frame_after(bytes: &[u8], from: usize) -> bool {
             let start = q + FRAME_HEADER;
             if bytes.len() - start >= len {
                 let payload = &bytes[start..start + len];
-                if frame_crc(lsn, len as u32, payload) == crc && Record::decode(payload).is_ok() {
+                // Structural validity only: a v2 decode runs without a
+                // path dictionary (unknown ids resolve to a placeholder),
+                // since the question is whether a whole frame exists here,
+                // not whether its paths resolve.
+                let decodes = if v2 {
+                    Record::decode_v2(payload, None).is_ok()
+                } else {
+                    Record::decode(payload).is_ok()
+                };
+                if frame_crc(lsn, len as u32, payload) == crc && decodes {
                     return true;
                 }
             }
@@ -159,6 +202,9 @@ pub fn committed_records(log: &ReadLog) -> Vec<Record> {
                     open.pop();
                 }
             }
+            // Path-dictionary definitions are wire-format metadata, already
+            // consumed by `read_records` (which returns literal paths).
+            Record::PathDef { .. } => {}
             other => match open.last_mut() {
                 Some((_, buf)) => buf.push(other.clone()),
                 None => out.push(other.clone()),
@@ -244,17 +290,18 @@ mod tests {
         j.append(&rec("/b")).unwrap();
         j.append(&rec("/c")).unwrap();
         let bytes = j.bytes();
-        let frame = bytes.len() / 3;
+        let b = crate::fault::record_boundaries(&bytes);
+        let (second, third) = (b[b.len() - 3], b[b.len() - 2]);
         // Flip one byte in every position of the middle frame: committed
         // history (/c) follows, so every flip must read as Corrupted at
         // the middle frame's offset — never Torn, never Clean.
-        for i in frame..2 * frame {
+        for i in second..third {
             let mut dmg = bytes.clone();
             dmg[i] ^= 0x01;
             let log = read_records(&dmg);
             assert_eq!(
                 log.tail,
-                TailState::Corrupted { offset: frame },
+                TailState::Corrupted { offset: second },
                 "flip at byte {i} must corrupt the middle frame"
             );
             assert_eq!(log.records.len(), 1, "only the first record precedes the damage");
@@ -267,7 +314,8 @@ mod tests {
         j.append(&rec("/a")).unwrap();
         j.append(&rec("/b")).unwrap();
         let bytes = j.bytes();
-        let second = bytes.len() / 2;
+        let b = crate::fault::record_boundaries(&bytes);
+        let second = b[b.len() - 2];
         // Grow the final frame's len field so the payload appears short.
         // The frame is fully present (its CRC proves it), so this is
         // corruption, not a torn tail.
@@ -280,16 +328,17 @@ mod tests {
 
     #[test]
     fn non_monotonic_lsn_is_corrupted() {
+        use crate::wal::LOG_PREAMBLE;
         let mut a = Journal::in_memory(1);
         a.append(&rec("/a")).unwrap();
         a.append(&rec("/b")).unwrap();
         let two = a.bytes();
         let mut b = Journal::in_memory(1);
         b.append(&rec("/c")).unwrap();
-        // Splice a frame with lsn=1 after frames with lsn=1,2: valid CRC,
-        // but the LSN sequence goes backwards.
+        // Splice a frame with lsn=1 (preamble stripped) after frames with
+        // lsn=1,2: valid CRC, but the LSN sequence goes backwards.
         let mut spliced = two.clone();
-        spliced.extend_from_slice(&b.bytes());
+        spliced.extend_from_slice(&b.bytes()[LOG_PREAMBLE.len()..]);
         let log = read_records(&spliced);
         assert_eq!(log.records.len(), 2);
         assert_eq!(log.tail, TailState::Corrupted { offset: two.len() });
@@ -301,7 +350,8 @@ mod tests {
         j.append(&rec("/a")).unwrap();
         j.append(&rec("/b")).unwrap();
         let bytes = j.bytes();
-        let second = bytes.len() / 2;
+        let b = crate::fault::record_boundaries(&bytes);
+        let second = b[b.len() - 2];
         // Every proper prefix cut inside the second frame is a torn tail,
         // not corruption: nothing durable follows the cut.
         for cut in second + 1..bytes.len() {
@@ -312,6 +362,20 @@ mod tests {
                 TailState::Torn { offset: second },
                 "cut at {cut} is a truncation and must stay Torn"
             );
+        }
+    }
+
+    #[test]
+    fn torn_preamble_is_torn_not_corrupted() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        let bytes = j.bytes();
+        // A crash during the very first flush can leave any prefix of the
+        // preamble: torn, with nothing recoverable — but never Corrupted.
+        for cut in 1..8 {
+            let log = read_records(&bytes[..cut]);
+            assert!(log.records.is_empty());
+            assert_eq!(log.tail, TailState::Torn { offset: 0 }, "cut at {cut}");
         }
     }
 

@@ -1,7 +1,8 @@
 //! The write-ahead log: frame format, group commit, transactions, and the
 //! `JournalSink` trait the rest of the stack emits through.
 //!
-//! Frame layout (little-endian):
+//! A v2 log opens with an 8-byte preamble (`MXWAL2\0\0`) followed by
+//! frames (little-endian):
 //!
 //! ```text
 //! +------+---------+---------+---------+------------------+
@@ -12,17 +13,24 @@
 //! `crc` is the IEEE CRC-32 of `lsn || len || payload` (header fields in
 //! their little-endian encoding), so a flipped bit anywhere in the frame —
 //! including the LSN or length — fails verification instead of being
-//! replayed with a wrong header. Records are buffered and
-//! flushed to storage in groups of `batch` records (group commit);
-//! transaction commit/rollback and snapshot records force a flush so the
-//! commit decision is always durable. Only flushed bytes survive a crash —
-//! [`Journal::bytes`] deliberately exposes the durable prefix, not the
-//! pending buffer, which is what makes the group-commit batch size a real
-//! durability/throughput trade-off in the `journal_overhead` ablation.
+//! replayed with a wrong header. v1 logs (no preamble, frames from byte 0,
+//! bare string paths) are still replayable; only v2 is ever written.
+//!
+//! The write path is pipelined: `append` interns paths and pushes the
+//! *record* onto a pending queue under the journal-state lock — encoding
+//! and checksumming happen later, outside that lock, when a flush trigger
+//! (batch full, or a flush-forcing record) drives the whole queue through
+//! one framed storage append using a reusable scratch buffer. Only flushed
+//! bytes survive a crash — [`Journal::bytes`] deliberately exposes the
+//! durable prefix, not the pending queue, which is what makes the
+//! group-commit batch size a real durability/throughput trade-off in the
+//! `journal_overhead` ablation.
 
-use crate::record::Record;
+use crate::codec::ByteWriter;
+use crate::record::{Record, LITERAL_PATH};
 use crate::JournalResult;
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Magic byte opening every frame.
@@ -30,6 +38,10 @@ pub const FRAME_MAGIC: u8 = 0xA7;
 
 /// Fixed frame header size: magic + lsn + len + crc.
 pub const FRAME_HEADER: usize = 1 + 8 + 4 + 4;
+
+/// The 8-byte preamble opening every format-v2 log. The first byte is
+/// deliberately not [`FRAME_MAGIC`], so version detection is unambiguous.
+pub const LOG_PREAMBLE: [u8; 8] = *b"MXWAL2\x00\x00";
 
 /// Default group-commit batch size (records per flush).
 pub const DEFAULT_BATCH: usize = 16;
@@ -84,7 +96,7 @@ impl Storage for MemStorage {
 /// Counters exposed for tests and the overhead benches.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct JournalStats {
-    /// Records appended (including buffered ones).
+    /// Records appended (including queued ones and `PathDef`s).
     pub records: u64,
     /// Group-commit flushes performed.
     pub flushes: u64,
@@ -101,19 +113,115 @@ pub struct JournalStats {
     pub group_follower_waits: u64,
 }
 
+/// A record waiting in the pending queue: encoding is deferred to the
+/// flush, so the queue holds typed records plus the path-dictionary ids
+/// resolved at enqueue time (interning must see paths in LSN order; the
+/// encoder must not need the state lock).
+struct Queued {
+    lsn: u64,
+    rec: Record,
+    ids: [u32; 2],
+}
+
+/// The storage plus the flush-side scratch buffer, behind one mutex: a
+/// flush encodes its whole batch into `scratch` (reused across flushes —
+/// no per-record allocation) and hands storage exactly one append.
+struct LogDevice {
+    storage: Box<dyn Storage>,
+    scratch: Vec<u8>,
+}
+
+impl LogDevice {
+    /// Frames and appends a batch. Returns the append result and the
+    /// number of bytes written. An empty batch touches nothing.
+    fn write_batch(&mut self, batch: &[Queued]) -> (JournalResult<()>, u64) {
+        if batch.is_empty() {
+            return (Ok(()), 0);
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        if self.storage.bytes().is_empty() {
+            scratch.extend_from_slice(&LOG_PREAMBLE);
+        }
+        let mut w = ByteWriter::from_vec(scratch);
+        for q in batch {
+            encode_frame(&mut w, q);
+        }
+        let buf = w.into_bytes();
+        let n = buf.len() as u64;
+        let res = self.storage.append(&buf);
+        self.scratch = buf;
+        (res, n)
+    }
+}
+
+/// Frames one queued record into the batch buffer: header with `len`/`crc`
+/// backpatched once the payload length is known, payload encoded in place.
+fn encode_frame(w: &mut ByteWriter, q: &Queued) {
+    let start = w.len();
+    w.put_u8(FRAME_MAGIC);
+    w.put_u64(q.lsn);
+    w.put_u32(0); // len, backpatched below
+    w.put_u32(0); // crc, backpatched below
+    q.rec.encode_v2_into(w, q.ids);
+    let len = (w.len() - start - FRAME_HEADER) as u32;
+    w.patch(start + 9, &len.to_le_bytes());
+    let crc = frame_crc(q.lsn, len, &w.as_slice()[start + FRAME_HEADER..]);
+    w.patch(start + 13, &crc.to_le_bytes());
+}
+
+/// In-log path dictionary state. A path is encoded literally on first use;
+/// its second use emits a `PathDef` assigning a u32 id, and every use from
+/// then on costs 4 bytes. (Interning on second rather than first use keeps
+/// one-shot paths from bloating the dictionary and the log.)
+#[derive(Default)]
+struct PathInterner {
+    map: HashMap<String, Option<u32>>,
+    next_id: u32,
+}
+
+impl PathInterner {
+    /// Returns `(newly_assigned_id, slot_encoding)` for one use of `path`:
+    /// the id to define via `PathDef` (if this use triggers interning) and
+    /// the id to encode the slot with (`LITERAL_PATH` for literal).
+    fn use_path(&mut self, path: &str) -> (Option<u32>, u32) {
+        match self.map.get_mut(path) {
+            None => {
+                self.map.insert(path.to_string(), None);
+                (None, LITERAL_PATH)
+            }
+            Some(slot @ None) => {
+                let id = self.next_id;
+                self.next_id += 1;
+                *slot = Some(id);
+                (Some(id), id)
+            }
+            Some(Some(id)) => (None, *id),
+        }
+    }
+
+    /// Forgets every assignment — called whenever the log is rewritten
+    /// from scratch, since ids only mean anything within one log.
+    fn reset(&mut self) {
+        self.map.clear();
+        self.next_id = 0;
+    }
+}
+
 /// The write-ahead log.
 ///
 /// Storage sits behind its own mutex (below the journal-state lock in the
 /// global order) so a group-commit leader can release the state lock —
-/// letting followers append — while its batch is in flight. Everything
-/// else is guarded by the `Mutex<Journal>` inside [`JournalHandle`].
+/// letting other threads keep enqueueing — while its batch is being
+/// encoded, checksummed and written. Everything else is guarded by the
+/// `Mutex<Journal>` inside [`JournalHandle`].
 pub struct Journal {
-    storage: Arc<Mutex<Box<dyn Storage>>>,
+    storage: Arc<Mutex<LogDevice>>,
     next_lsn: u64,
     next_txn: u64,
     batch: usize,
-    pending: Vec<u8>,
-    pending_records: usize,
+    queue: Vec<Queued>,
+    interner: PathInterner,
     /// Highest LSN whose flush attempt has completed (successfully, or
     /// with a counted `io_errors` — matching emit's "durability loss is
     /// counted, not unwound" philosophy). Group-commit followers wait for
@@ -130,7 +238,7 @@ impl std::fmt::Debug for Journal {
             .field("next_lsn", &self.next_lsn)
             .field("next_txn", &self.next_txn)
             .field("batch", &self.batch)
-            .field("pending_records", &self.pending_records)
+            .field("queued_records", &self.queue.len())
             .field("stats", &self.stats)
             .finish()
     }
@@ -141,12 +249,12 @@ impl Journal {
     /// size (records per flush; 1 = flush every record).
     pub fn new(storage: Box<dyn Storage>, batch: usize) -> Self {
         Journal {
-            storage: Arc::new(Mutex::new(storage)),
+            storage: Arc::new(Mutex::new(LogDevice { storage, scratch: Vec::new() })),
             next_lsn: 1,
             next_txn: 1,
             batch: batch.max(1),
-            pending: Vec::new(),
-            pending_records: 0,
+            queue: Vec::new(),
+            interner: PathInterner::default(),
             acked_lsn: 0,
             group_leader: false,
             stats: JournalStats::default(),
@@ -168,32 +276,50 @@ impl Journal {
         self.stats
     }
 
-    /// Frames a record into the pending buffer without flushing, returning
-    /// its LSN. The group-commit protocol uses this directly so the leader
-    /// controls when the batch hits storage.
-    pub(crate) fn append_buffered(&mut self, rec: &Record) -> u64 {
+    /// Interns the record's paths (possibly queueing `PathDef`s), assigns
+    /// an LSN and pushes the record onto the pending queue. No encoding,
+    /// no checksum, no storage — those are the flush's job.
+    fn enqueue(&mut self, rec: Record) -> u64 {
+        let mut ids = [LITERAL_PATH; 2];
+        let mut defs: [Option<(u32, String)>; 2] = [None, None];
+        for (k, path) in rec.vfs_paths().iter().enumerate() {
+            if let Some(path) = path {
+                let (newly, id) = self.interner.use_path(path);
+                ids[k] = id;
+                if let Some(newly) = newly {
+                    defs[k] = Some((newly, path.to_string()));
+                }
+            }
+        }
+        for def in defs.iter_mut() {
+            if let Some((id, path)) = def.take() {
+                let lsn = self.next_lsn;
+                self.next_lsn += 1;
+                self.queue.push(Queued {
+                    lsn,
+                    rec: Record::PathDef { id, path },
+                    ids: [LITERAL_PATH; 2],
+                });
+                self.stats.records += 1;
+                maxoid_obs::counter_add("journal.records", 1);
+            }
+        }
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        let payload = rec.encode();
-        self.pending.push(FRAME_MAGIC);
-        self.pending.extend_from_slice(&lsn.to_le_bytes());
-        self.pending.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-        self.pending
-            .extend_from_slice(&frame_crc(lsn, payload.len() as u32, &payload).to_le_bytes());
-        self.pending.extend_from_slice(&payload);
-        self.pending_records += 1;
+        self.queue.push(Queued { lsn, rec, ids });
         self.stats.records += 1;
         maxoid_obs::counter_add("journal.records", 1);
         lsn
     }
 
-    /// Appends a record, returning its LSN. Buffered until the batch fills
-    /// or a flush-forcing record (commit/rollback/snapshot) arrives.
-    pub fn append(&mut self, rec: &Record) -> JournalResult<u64> {
-        let lsn = self.append_buffered(rec);
-        if rec.forces_flush() || self.pending_records >= self.batch {
+    /// Appends an owned record, returning its LSN. Queued until the batch
+    /// fills or a flush-forcing record (commit/rollback/snapshot) arrives.
+    pub(crate) fn append_owned(&mut self, rec: Record) -> JournalResult<u64> {
+        let force = rec.forces_flush();
+        let lsn = self.enqueue(rec);
+        if force || self.queue.len() >= self.batch {
             maxoid_obs::counter_add(
-                if rec.forces_flush() { "journal.flushes_forced" } else { "journal.flushes_batch" },
+                if force { "journal.flushes_forced" } else { "journal.flushes_batch" },
                 1,
             );
             self.flush()?;
@@ -201,72 +327,70 @@ impl Journal {
         Ok(lsn)
     }
 
-    /// Forces buffered frames to storage. The storage lock is taken while
+    /// Appends a record by reference (cloning it into the queue). The
+    /// zero-copy path is [`JournalSink::emit`], which owns its record.
+    pub fn append(&mut self, rec: &Record) -> JournalResult<u64> {
+        self.append_owned(rec.clone())
+    }
+
+    /// Forces queued records to storage. The storage lock is taken while
     /// the journal-state lock is held (state → storage, the documented
     /// order), which serializes this behind any group-commit batch already
     /// in flight.
     pub fn flush(&mut self) -> JournalResult<()> {
-        if self.pending.is_empty() {
-            self.acked_lsn = self.next_lsn - 1;
+        if self.queue.is_empty() {
+            // Nothing of ours to write. Don't acknowledge past a batch a
+            // leader is still flushing — its outcome isn't known yet.
+            if !self.group_leader {
+                self.acked_lsn = self.next_lsn - 1;
+            }
             return Ok(());
         }
+        let batch = std::mem::take(&mut self.queue);
+        let high = batch.last().map(|q| q.lsn).unwrap_or(self.acked_lsn);
         let mut sp = maxoid_obs::span("journal.flush");
-        let n = self.pending.len() as u64;
+        let storage = Arc::clone(&self.storage);
+        let mut dev = storage.lock();
+        let (result, bytes) = dev.write_batch(&batch);
+        drop(dev);
         if sp.is_active() {
-            sp.field("bytes", n.to_string());
-            sp.field("records", self.pending_records.to_string());
-            maxoid_obs::observe("journal.flush_bytes", n);
-            maxoid_obs::observe("journal.flush_records", self.pending_records as u64);
+            sp.field("bytes", bytes.to_string());
+            sp.field("records", batch.len().to_string());
+            maxoid_obs::observe("journal.flush_bytes", bytes);
+            maxoid_obs::observe("journal.flush_records", batch.len() as u64);
         }
-        let res = self.storage.lock().append(&self.pending);
-        self.pending.clear();
-        self.pending_records = 0;
-        self.acked_lsn = self.next_lsn - 1;
-        match res {
-            Ok(()) => {
-                self.stats.flushes += 1;
-                self.stats.bytes_flushed += n;
-                maxoid_obs::counter_add("journal.flushes", 1);
-                maxoid_obs::counter_add("journal.bytes_flushed", n);
-                Ok(())
-            }
-            Err(e) => {
-                self.stats.io_errors += 1;
-                maxoid_obs::counter_add("journal.io_errors", 1);
-                Err(e)
-            }
-        }
+        self.finish_group_flush(Some((bytes as usize, batch.len())), &result, high);
+        result
     }
 
     /// Opens a journal transaction and returns its id.
     pub fn begin_txn(&mut self) -> JournalResult<u64> {
-        let txn = self.next_txn;
-        self.next_txn += 1;
-        self.append(&Record::TxnBegin { txn })?;
+        let txn = self.alloc_txn();
+        self.append_owned(Record::TxnBegin { txn })?;
         Ok(txn)
     }
 
     /// Commits a journal transaction (forces a flush).
     pub fn commit_txn(&mut self, txn: u64) -> JournalResult<()> {
-        self.append(&Record::TxnCommit { txn })?;
+        self.append_owned(Record::TxnCommit { txn })?;
         Ok(())
     }
 
     /// Rolls back a journal transaction (forces a flush).
     pub fn rollback_txn(&mut self, txn: u64) -> JournalResult<()> {
-        self.append(&Record::TxnRollback { txn })?;
+        self.append_owned(Record::TxnRollback { txn })?;
         Ok(())
     }
 
-    /// Returns the durable log bytes (NOT including the pending buffer —
+    /// Returns the durable log bytes (NOT including the pending queue —
     /// what a crash right now would leave behind).
     pub fn bytes(&self) -> Vec<u8> {
-        self.storage.lock().bytes().to_vec()
+        self.storage.lock().storage.bytes().to_vec()
     }
 
     /// Durable log size in bytes.
     pub fn len(&self) -> usize {
-        self.storage.lock().bytes().len()
+        self.storage.lock().storage.bytes().len()
     }
 
     /// True when nothing has been made durable yet.
@@ -274,19 +398,28 @@ impl Journal {
         self.len() == 0
     }
 
-    /// Compacts the log: replaces its contents with the given component
-    /// snapshots plus the already-durable committed `Sql` records (logical
-    /// SQL history is retained so databases replay from scratch; physical
-    /// VFS records are subsumed by the store snapshot). Prior snapshots for
-    /// components *not* being replaced are kept.
+    /// Truncates storage and resets the path dictionary (ids only mean
+    /// anything within one log). LSNs and txn ids keep rising.
+    fn reset_log(&mut self) -> JournalResult<()> {
+        self.storage.lock().storage.reset()?;
+        self.interner.reset();
+        Ok(())
+    }
+
+    /// Rewrites the log as the given component snapshots plus the
+    /// already-durable committed `Sql` records (logical SQL history is
+    /// retained so databases replay from scratch; physical VFS records are
+    /// subsumed by the store snapshot). Prior snapshots and snapshot
+    /// deltas for components *not* being replaced are kept.
     pub fn checkpoint(&mut self, snapshots: &[(String, Vec<u8>)]) -> JournalResult<()> {
         self.flush()?;
-        let log = crate::replay::read_records(self.storage.lock().bytes());
+        let log = crate::replay::read_records(&self.bytes());
         let committed = crate::replay::committed_records(&log);
         let mut retained: Vec<Record> = Vec::new();
         for rec in committed {
             match rec {
-                Record::Snapshot { ref component, .. } => {
+                Record::Snapshot { ref component, .. }
+                | Record::SnapshotDelta { ref component, .. } => {
                     if !snapshots.iter().any(|(c, _)| c == component) {
                         retained.push(rec);
                     }
@@ -295,14 +428,58 @@ impl Journal {
                 _ => {}
             }
         }
-        self.storage.lock().reset()?;
+        self.reset_log()?;
         for (component, payload) in snapshots {
-            self.append(&Record::Snapshot {
+            self.append_owned(Record::Snapshot {
                 component: component.clone(),
                 payload: payload.clone(),
             })?;
         }
-        for rec in &retained {
+        for rec in retained {
+            self.append_owned(rec)?;
+        }
+        self.flush()
+    }
+
+    /// Incremental checkpoint: rewrites the log as the *retained* prior
+    /// snapshot chain (full snapshots and earlier deltas, every
+    /// component), the committed SQL history, and a new `SnapshotDelta`
+    /// carrying only the state dirtied since the last checkpoint. Replay
+    /// rebuilds the chain in order; VFS physical records are dropped
+    /// because the delta subsumes them.
+    pub fn checkpoint_delta(&mut self, component: &str, delta: Vec<u8>) -> JournalResult<()> {
+        self.flush()?;
+        let log = crate::replay::read_records(&self.bytes());
+        let committed = crate::replay::committed_records(&log);
+        let mut retained: Vec<Record> = Vec::new();
+        for rec in committed {
+            match rec {
+                Record::Snapshot { .. } | Record::SnapshotDelta { .. } | Record::Sql { .. } => {
+                    retained.push(rec)
+                }
+                _ => {}
+            }
+        }
+        self.reset_log()?;
+        for rec in retained {
+            self.append_owned(rec)?;
+        }
+        self.append_owned(Record::SnapshotDelta {
+            component: component.to_string(),
+            payload: delta,
+        })?;
+        self.flush()
+    }
+
+    /// Replaces the whole log with `records` — a compacted reconstruction
+    /// of live state — preceded by a `Compaction` marker recording the LSN
+    /// horizon the rewrite subsumes. Recovery over the new log replays
+    /// live state, not uptime history.
+    pub fn replace_with(&mut self, records: &[Record], upto_lsn: u64) -> JournalResult<()> {
+        self.flush()?;
+        self.reset_log()?;
+        self.append_owned(Record::Compaction { upto_lsn })?;
+        for rec in records {
             self.append(rec)?;
         }
         self.flush()
@@ -327,31 +504,28 @@ impl Journal {
         self.group_leader = on;
     }
 
-    /// LSN of the most recently appended record.
-    pub(crate) fn last_lsn(&self) -> u64 {
-        self.next_lsn - 1
+    /// Allocates a transaction id without emitting anything.
+    pub(crate) fn alloc_txn(&mut self) -> u64 {
+        let txn = self.next_txn;
+        self.next_txn += 1;
+        txn
     }
 
-    /// Detaches the pending buffer (the leader's batch), leaving the
-    /// journal accepting new appends into a fresh buffer.
-    pub(crate) fn take_pending(&mut self) -> Option<(Vec<u8>, usize)> {
-        if self.pending.is_empty() {
-            return None;
-        }
-        let records = self.pending_records;
-        self.pending_records = 0;
-        Some((std::mem::take(&mut self.pending), records))
+    /// Detaches the pending queue (the leader's batch), leaving the
+    /// journal accepting new appends into a fresh queue.
+    fn take_queue(&mut self) -> Vec<Queued> {
+        std::mem::take(&mut self.queue)
     }
 
     /// Shared handle to the storage lock, so the leader can hold storage
     /// across the journal-state unlock.
-    pub(crate) fn storage_handle(&self) -> Arc<Mutex<Box<dyn Storage>>> {
+    fn storage_handle(&self) -> Arc<Mutex<LogDevice>> {
         self.storage.clone()
     }
 
     /// Books the outcome of a leader's batch write: counters on success,
     /// `io_errors` on failure, and in either case acknowledgement up to
-    /// `high` (the batch is gone from the buffer; a failed write is a
+    /// `high` (the batch is gone from the queue; a failed write is a
     /// counted durability loss, exactly like `emit`'s).
     pub(crate) fn finish_group_flush(
         &mut self,
@@ -409,15 +583,17 @@ struct JournalShared {
 
 /// A cloneable, lockable handle to a shared journal.
 ///
-/// Transaction commit and rollback route through a **leader/follower
-/// group commit**: the record is buffered under the state lock, then the
-/// first committer becomes the leader — it pins the storage lock (still
-/// under the state lock, preserving LSN order against concurrent direct
-/// flushes), releases the state lock so other threads can keep appending,
-/// and writes the whole accumulated batch in one storage append. Threads
-/// that committed while the batch was in flight find a leader active,
-/// wait on the condvar, and usually discover their record was made
-/// durable by the leader's flush — many commits, one storage write.
+/// Every append routes through the pipelined writer: the record is queued
+/// under the state lock (paying interning + a vec push, not encoding), and
+/// a flush trigger makes the first thread the **leader** — it pins the
+/// storage lock (still under the state lock, preserving LSN order against
+/// concurrent direct flushes), releases the state lock so other threads
+/// can keep appending, then encodes + checksums + writes the whole batch
+/// outside the state lock in one storage append. Flush-forcing records
+/// wait for their LSN to be acknowledged — threads that commit while a
+/// batch is in flight park on the condvar and usually discover their
+/// record was made durable by the leader's flush: many commits, one
+/// storage write, and the encoder never blocks enqueuers.
 #[derive(Debug, Clone)]
 pub struct JournalHandle {
     shared: Arc<JournalShared>,
@@ -448,23 +624,44 @@ impl JournalHandle {
         f(&mut self.shared.journal.lock())
     }
 
-    /// Appends `rec` and returns once its LSN is acknowledged — either by
-    /// this thread's own leader flush or by riding another thread's batch.
-    /// Only the leader observes a storage error; followers' durability
-    /// loss is counted in `io_errors` (the emit philosophy: the in-memory
-    /// commit already happened).
-    fn group_commit(&self, rec: &Record) -> JournalResult<()> {
-        let mut j = self.shared.journal.lock();
-        let lsn = j.append_buffered(rec);
-        j.note_group_commit();
-        maxoid_obs::counter_add("journal.group_commits", 1);
+    /// The pipelined append. Enqueues `rec`, then:
+    ///
+    /// * no trigger — returns immediately (encoding deferred);
+    /// * batch full — flushes as leader if no batch is in flight,
+    ///   otherwise returns (the queue rides a later trigger);
+    /// * flush-forcing — waits until the record's LSN is acknowledged,
+    ///   either by this thread's own leader flush or by riding another
+    ///   thread's batch. Only a leader observes a storage error;
+    ///   followers' durability loss is counted in `io_errors`.
+    fn append_pipelined<'a>(
+        &'a self,
+        mut j: MutexGuard<'a, Journal>,
+        rec: Record,
+        group: bool,
+    ) -> JournalResult<u64> {
+        let force = rec.forces_flush();
+        let lsn = j.enqueue(rec);
+        if group {
+            j.note_group_commit();
+            maxoid_obs::counter_add("journal.group_commits", 1);
+        }
+        if !force && j.queue.len() < j.batch {
+            return Ok(lsn);
+        }
+        maxoid_obs::counter_add(
+            if force { "journal.flushes_forced" } else { "journal.flushes_batch" },
+            1,
+        );
         loop {
             if j.acked_lsn() >= lsn {
-                return Ok(());
+                return Ok(lsn);
             }
             if j.group_leader_active() {
-                // A leader's batch is in flight; ours will be in the next
-                // one (or was in this one). Park until it reports.
+                if !force {
+                    // Batch trigger with a leader already in flight: the
+                    // queued records ride a later flush.
+                    return Ok(lsn);
+                }
                 j.note_follower_wait();
                 maxoid_obs::counter_add("journal.group_follower_waits", 1);
                 self.shared.flushed.wait(&mut j);
@@ -474,44 +671,57 @@ impl JournalHandle {
             // the state lock so no concurrent direct flush can write later
             // LSNs underneath this batch (state → storage lock order).
             j.set_group_leader(true);
-            let batch = j.take_pending();
-            let high = j.last_lsn();
+            let batch = j.take_queue();
+            let high = batch.last().map(|q| q.lsn).unwrap_or_else(|| j.acked_lsn());
             let storage = j.storage_handle();
-            let mut sguard = storage.lock();
+            let mut dev = storage.lock();
             drop(j);
-            let result = match &batch {
-                Some((buf, _)) => sguard.append(buf),
-                None => Ok(()),
-            };
-            drop(sguard);
+            // Encode + CRC + append outside the journal-state lock: this
+            // is the pipelining — enqueuers proceed while we do the work.
+            let (result, bytes) = dev.write_batch(&batch);
+            drop(dev);
             j = self.shared.journal.lock();
-            j.finish_group_flush(batch.map(|(buf, recs)| (buf.len(), recs)), &result, high);
+            let booked =
+                if batch.is_empty() { None } else { Some((bytes as usize, batch.len())) };
+            j.finish_group_flush(booked, &result, high);
             j.set_group_leader(false);
             self.shared.flushed.notify_all();
-            return result;
+            result?;
+            return Ok(lsn);
         }
     }
 
     pub fn begin_txn(&self) -> JournalResult<u64> {
-        self.with(|j| j.begin_txn())
+        let mut j = self.shared.journal.lock();
+        let txn = j.alloc_txn();
+        self.append_pipelined(j, Record::TxnBegin { txn }, false)?;
+        Ok(txn)
     }
 
     /// Commits a transaction through the group-commit protocol.
     pub fn commit_txn(&self, txn: u64) -> JournalResult<()> {
-        self.group_commit(&Record::TxnCommit { txn })
+        let j = self.shared.journal.lock();
+        self.append_pipelined(j, Record::TxnCommit { txn }, true).map(|_| ())
     }
 
     /// Rolls back a transaction through the group-commit protocol (the
     /// rollback decision must be as durable as a commit's).
     pub fn rollback_txn(&self, txn: u64) -> JournalResult<()> {
-        self.group_commit(&Record::TxnRollback { txn })
+        let j = self.shared.journal.lock();
+        self.append_pipelined(j, Record::TxnRollback { txn }, true).map(|_| ())
     }
 
+    /// Flushes everything queued. Waits out any in-flight leader first so
+    /// the acknowledgement covers a known storage outcome.
     pub fn flush(&self) -> JournalResult<()> {
-        self.with(|j| j.flush())
+        let mut j = self.shared.journal.lock();
+        while j.group_leader_active() {
+            self.shared.flushed.wait(&mut j);
+        }
+        j.flush()
     }
 
-    /// Durable log bytes (a crash right now loses only the pending batch).
+    /// Durable log bytes (a crash right now loses only the pending queue).
     pub fn bytes(&self) -> Vec<u8> {
         self.with(|j| j.bytes())
     }
@@ -524,6 +734,16 @@ impl JournalHandle {
         self.with(|j| j.checkpoint(snapshots))
     }
 
+    /// Incremental checkpoint: see [`Journal::checkpoint_delta`].
+    pub fn checkpoint_delta(&self, component: &str, delta: Vec<u8>) -> JournalResult<()> {
+        self.with(|j| j.checkpoint_delta(component, delta))
+    }
+
+    /// Log compaction: see [`Journal::replace_with`].
+    pub fn replace_with(&self, records: &[Record], upto_lsn: u64) -> JournalResult<()> {
+        self.with(|j| j.replace_with(records, upto_lsn))
+    }
+
     /// Wraps the handle as a [`SinkRef`] for embedding in other crates'
     /// structs.
     pub fn sink(&self) -> SinkRef {
@@ -533,18 +753,17 @@ impl JournalHandle {
 
 impl JournalSink for JournalHandle {
     fn emit(&self, rec: Record) {
-        // Storage errors are counted in stats by flush(); emit itself
+        // Storage errors are counted in stats by the flush; emit itself
         // cannot unwind the in-memory mutation it records.
-        let _ = self.with(|j| j.append(&rec));
+        let j = self.shared.journal.lock();
+        let _ = self.append_pipelined(j, rec, false);
     }
 
     fn begin_txn(&self) -> u64 {
-        self.with(|j| {
-            let txn = j.next_txn;
-            j.next_txn += 1;
-            let _ = j.append(&Record::TxnBegin { txn });
-            txn
-        })
+        let mut j = self.shared.journal.lock();
+        let txn = j.alloc_txn();
+        let _ = self.append_pipelined(j, Record::TxnBegin { txn }, false);
+        txn
     }
 }
 
@@ -640,6 +859,48 @@ mod tests {
     }
 
     #[test]
+    fn logs_open_with_the_v2_preamble() {
+        let mut j = Journal::in_memory(1);
+        j.append(&rec("/a")).unwrap();
+        let bytes = j.bytes();
+        assert_eq!(&bytes[..LOG_PREAMBLE.len()], &LOG_PREAMBLE);
+        assert_eq!(bytes[LOG_PREAMBLE.len()], FRAME_MAGIC);
+    }
+
+    #[test]
+    fn repeated_paths_are_interned() {
+        let mut j = Journal::in_memory(1);
+        // First use: literal, no dictionary traffic.
+        j.append(&rec("/hot")).unwrap();
+        let one_use = j.len();
+        // Second use: a PathDef is logged alongside the record.
+        j.append(&rec("/hot")).unwrap();
+        let log = read_records(&j.bytes());
+        assert!(
+            log.records.iter().any(|(_, r)| matches!(r, Record::PathDef { .. })),
+            "second use must define the dictionary id"
+        );
+        // Third use onward: the path costs an id slot, much smaller than
+        // the literal frame.
+        let before = j.len();
+        j.append(&rec("/hot")).unwrap();
+        let id_frame = j.len() - before;
+        assert!(
+            id_frame < one_use - LOG_PREAMBLE.len(),
+            "interned frame ({id_frame}B) should undercut the literal frame"
+        );
+        // Every record still decodes to the literal path.
+        let log = read_records(&j.bytes());
+        let unlinks: Vec<_> = log
+            .records
+            .iter()
+            .filter(|(_, r)| matches!(r, Record::Vfs(VfsRecord::Unlink { path }) if path == "/hot"))
+            .collect();
+        assert_eq!(unlinks.len(), 3);
+        assert_eq!(log.tail, TailState::Clean);
+    }
+
+    #[test]
     fn checkpoint_keeps_sql_and_replaces_vfs() {
         let mut j = Journal::in_memory(1);
         j.append(&rec("/a")).unwrap();
@@ -663,6 +924,43 @@ mod tests {
         j.rollback_txn(txn).unwrap();
         j.checkpoint(&[]).unwrap();
         assert_eq!(read_records(&j.bytes()).records.len(), 0);
+    }
+
+    #[test]
+    fn checkpoint_delta_retains_the_chain() {
+        let mut j = Journal::in_memory(1);
+        j.append(&Record::Snapshot { component: "vfs.store".into(), payload: vec![1] }).unwrap();
+        j.append(&rec("/a")).unwrap();
+        j.checkpoint_delta("vfs.store", vec![2]).unwrap();
+        j.append(&rec("/b")).unwrap();
+        j.checkpoint_delta("vfs.store", vec![3]).unwrap();
+        let log = read_records(&j.bytes());
+        let recs: Vec<&Record> = log.records.iter().map(|(_, r)| r).collect();
+        // Chain order: full snapshot, then deltas oldest-first; the plain
+        // vfs records were subsumed.
+        assert_eq!(recs.len(), 3);
+        assert!(matches!(recs[0], Record::Snapshot { .. }));
+        assert!(matches!(recs[1], Record::SnapshotDelta { payload, .. } if payload == &vec![2]));
+        assert!(matches!(recs[2], Record::SnapshotDelta { payload, .. } if payload == &vec![3]));
+    }
+
+    #[test]
+    fn replace_with_rewrites_history_and_keeps_lsns_rising() {
+        let mut j = Journal::in_memory(1);
+        for i in 0..10 {
+            j.append(&rec(&format!("/f{i}"))).unwrap();
+        }
+        let last = read_records(&j.bytes()).last_lsn();
+        j.replace_with(
+            &[Record::Snapshot { component: "vfs.store".into(), payload: vec![7] }],
+            last,
+        )
+        .unwrap();
+        let log = read_records(&j.bytes());
+        assert_eq!(log.tail, TailState::Clean);
+        assert_eq!(log.records.len(), 2);
+        assert!(matches!(log.records[0].1, Record::Compaction { upto_lsn } if upto_lsn == last));
+        assert!(log.records[0].0 > last, "new LSNs continue past the compacted horizon");
     }
 
     #[test]

@@ -699,6 +699,44 @@ impl Database {
         self.views.keys().cloned().collect()
     }
 
+    /// Dumps every base table's rows as replayable `(sql, params)`
+    /// statements for journal compaction. The caller replays catalog DDL
+    /// (CREATE TABLE/INDEX/VIEW/TRIGGER, retained from the original log)
+    /// first; this dump then rebuilds rows *and rowid allocation state*
+    /// exactly:
+    ///
+    /// * explicit-pk tables store the pk value in the row, so plain
+    ///   INSERTs reproduce rowids; one final `ALTER ... ROWID START`
+    ///   restores the allocation floor;
+    /// * hidden-rowid tables auto-assign, so each INSERT is preceded by
+    ///   an `ALTER ... ROWID START` pinning the next assignment — holes
+    ///   from deleted rows survive the roundtrip.
+    ///
+    /// Triggers cannot fire during replay: only INSTEAD OF triggers on
+    /// views exist, and the dump addresses base tables directly.
+    pub fn dump_sql(&self) -> Vec<(String, Vec<maxoid_journal::ParamValue>)> {
+        let mut out = Vec::new();
+        for name in self.table_names() {
+            let table = match self.table(&name) {
+                Ok(t) => t,
+                Err(_) => continue,
+            };
+            let cols = table.schema.column_names().join(", ");
+            let placeholders: Vec<String> =
+                (1..=table.schema.columns.len()).map(|i| format!("?{i}")).collect();
+            let insert = format!("INSERT INTO {name} ({cols}) VALUES ({})", placeholders.join(", "));
+            let hidden_rowid = table.schema.pk_column.is_none();
+            for (rowid, row) in table.iter() {
+                if hidden_rowid {
+                    out.push((format!("ALTER TABLE {name} ROWID START {rowid}"), Vec::new()));
+                }
+                out.push((insert.clone(), row.iter().map(value_to_param).collect()));
+            }
+            out.push((format!("ALTER TABLE {name} ROWID START {}", table.pk_start()), Vec::new()));
+        }
+        out
+    }
+
     /// Returns output column names for a table or view.
     pub fn relation_columns(&self, name: &str) -> SqlResult<Vec<String>> {
         if let Some(t) = self.tables.get(&key(name)) {

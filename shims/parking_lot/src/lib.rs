@@ -7,10 +7,14 @@
 //! holder does not wedge later accessors.
 
 use std::sync::{
-    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock, RwLockReadGuard,
     RwLockWriteGuard,
 };
 use std::time::Duration;
+
+/// Guard type returned by [`Mutex::lock`] (std's guard; the poison-free
+/// behaviour lives in the lock methods, not the guard).
+pub use std::sync::MutexGuard;
 
 /// Mutual exclusion lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]

@@ -20,7 +20,8 @@ use maxoid::durability::{recover, RecoveryError};
 use maxoid::manifest::MaxoidManifest;
 use maxoid::{Caller, ContentValues, MaxoidSystem, QueryArgs, Uri, VolCommitPlan};
 use maxoid_journal::{
-    crash_prefix, flip_byte, read_records, record_boundaries, torn_log, JournalHandle, TailState,
+    crash_prefix, flip_byte, read_records, record_boundaries, torn_log, JournalHandle, Record,
+    TailState, VfsRecord,
 };
 use maxoid_providers::provider::ContentProvider;
 use maxoid_providers::UserDictionaryProvider;
@@ -59,7 +60,7 @@ struct Fingerprint {
 
 fn live_fingerprint(sys: &mut MaxoidSystem) -> Fingerprint {
     let files = sys.kernel.vfs().with_store(|s| s.dump_tree());
-    let mut q = |caller: &Caller, uri: &Uri| {
+    let q = |caller: &Caller, uri: &Uri| {
         sys.resolver.query(caller, uri, &query_args()).ok().map(|rs| rs.rows)
     };
     Fingerprint {
@@ -88,7 +89,7 @@ fn recovered_fingerprint(log: &[u8]) -> Fingerprint {
 /// own boundary) with the initiator/delegate cast installed.
 fn journaled_system() -> MaxoidSystem {
     let j = JournalHandle::with_batch(1);
-    let mut sys = MaxoidSystem::boot_journaled(j).expect("boot");
+    let sys = MaxoidSystem::boot_journaled(j).expect("boot");
     sys.install(INITIATOR, vec![], MaxoidManifest::new()).expect("install initiator");
     sys.install(DELEGATE, vec![], MaxoidManifest::new()).expect("install delegate");
     sys
@@ -385,6 +386,147 @@ fn group_commit_batching_loses_only_the_pending_tail() {
     assert_eq!(rec_fp.public_words.as_ref().map(|r| r.len()), Some(5));
 }
 
+/// Builds a log exercising every format-v2 record type: repeated
+/// overwrites of one file (delta-encoded writes + an interned path), a
+/// compaction (`Compaction` marker + snapshot + DDL + row dumps), and
+/// post-compaction traffic (a fresh `PathDef` — the rewrite resets the
+/// dictionary). Returns the system; its journal holds the log.
+fn v2_heavy_system() -> MaxoidSystem {
+    let mut sys = journaled_system();
+    seed_volatile_state(&mut sys);
+    let pid = sys.launch(INITIATOR).expect("launch");
+    let note = vpath(&format!("/data/data/{INITIATOR}/files/note.txt"));
+    sys.kernel
+        .mkdir_all(pid, &vpath(&format!("/data/data/{INITIATOR}/files")), Mode::PRIVATE)
+        .expect("mkdir");
+    for i in 0..4u8 {
+        // Same length, small middle change: the overwrite delta-encodes.
+        let body = format!("draft {i} -- mostly unchanged trailing text");
+        sys.kernel.write(pid, &note, body.as_bytes(), Mode::PRIVATE).expect("write");
+    }
+    sys.compact().expect("compact");
+    for i in 0..3u8 {
+        let body = format!("final {i} -- mostly unchanged trailing text");
+        sys.kernel.write(pid, &note, body.as_bytes(), Mode::PRIVATE).expect("write");
+    }
+    // A fresh file after the rewrite: a full-image (non-delta) record.
+    sys.kernel.write(pid, &note.parent().unwrap().join("new.txt").unwrap(), b"x", Mode::PRIVATE)
+        .expect("write");
+    sys.journal().expect("journaled").flush().unwrap();
+    sys
+}
+
+/// Names of the record kinds present in a log, for coverage assertions.
+fn record_kinds(log: &[u8]) -> std::collections::BTreeSet<&'static str> {
+    read_records(log)
+        .records
+        .iter()
+        .map(|(_, r)| match r {
+            Record::Vfs(VfsRecord::WriteDelta { .. }) => "write-delta",
+            Record::Vfs(VfsRecord::WriteInodeDelta { .. }) => "write-inode-delta",
+            Record::Vfs(_) => "vfs",
+            Record::PathDef { .. } => "path-def",
+            Record::Snapshot { .. } => "snapshot",
+            Record::SnapshotDelta { .. } => "snapshot-delta",
+            Record::Compaction { .. } => "compaction",
+            Record::Sql { .. } => "sql",
+            Record::TxnBegin { .. } | Record::TxnCommit { .. } | Record::TxnRollback { .. } => {
+                "txn"
+            }
+        })
+        .collect()
+}
+
+/// The PR-3 sweeps, on a log full of format-v2 record types: a crash at
+/// any boundary of a compacted-then-extended log recovers, the full log
+/// reproduces the live state, and a flipped byte anywhere — inside
+/// delta, dictionary, snapshot or compaction records — is `Corrupted`,
+/// never a silently shortened history.
+#[test]
+fn v2_record_types_survive_flip_and_crash_sweeps() {
+    let mut sys = v2_heavy_system();
+    let journal = sys.journal().expect("journaled").clone();
+    let live = live_fingerprint(&mut sys);
+    let log = journal.bytes();
+
+    let kinds = record_kinds(&log);
+    for want in ["write-delta", "path-def", "snapshot", "compaction", "sql", "vfs"] {
+        assert!(kinds.contains(want), "workload must produce a {want} record, got {kinds:?}");
+    }
+
+    // Crash-prefix sweep: every boundary recovers; the full log matches.
+    let boundaries = record_boundaries(&log);
+    assert_eq!(*boundaries.last().unwrap(), log.len(), "log must parse to its end");
+    for &b in &boundaries {
+        let rec = recover(&crash_prefix(&log, b)).expect("prefix recovers");
+        assert_eq!(rec.tail, TailState::Clean, "boundary {b}");
+    }
+    assert_eq!(recovered_fingerprint(&log), live, "full log recovers the live state");
+
+    // Flip sweep: identical contract to the PR-3 sweep, now with the
+    // damage landing inside the new record types too.
+    let clean = read_records(&log);
+    for offset in 0..log.len() {
+        for mask in [0x01u8, 0x80] {
+            let parsed = read_records(&flip_byte(&log, offset, mask));
+            match parsed.tail {
+                TailState::Corrupted { offset: at } => {
+                    assert!(at <= offset, "corruption at {offset} reported downstream at {at}");
+                    assert!(
+                        parsed.records.len() <= clean.records.len(),
+                        "flip at {offset} grew the history"
+                    );
+                }
+                other => panic!(
+                    "flip at byte {offset} (mask {mask:#04x}) parsed as {other:?} — \
+                     silently shortened"
+                ),
+            }
+        }
+    }
+}
+
+/// Incremental checkpoints (`SnapshotDelta`) recover: a log carrying two
+/// dirty-only checkpoints plus tail records replays to the live state,
+/// every crash boundary recovers, and byte flips inside the delta
+/// snapshots are detected as corruption.
+#[test]
+fn incremental_checkpoints_recover_and_reject_flips() {
+    let mut sys = journaled_system();
+    seed_volatile_state(&mut sys);
+    sys.checkpoint_incremental().expect("first incremental checkpoint");
+    let pid = sys.launch(INITIATOR).expect("launch");
+    let dir = vpath(&format!("/data/data/{INITIATOR}/files"));
+    sys.kernel.mkdir_all(pid, &dir, Mode::PRIVATE).expect("mkdir");
+    sys.kernel
+        .write(pid, &dir.join("a.txt").unwrap(), b"after first ckpt", Mode::PRIVATE)
+        .expect("write");
+    sys.checkpoint_incremental().expect("second incremental checkpoint");
+    sys.kernel
+        .write(pid, &dir.join("b.txt").unwrap(), b"after second ckpt", Mode::PRIVATE)
+        .expect("write");
+    let journal = sys.journal().expect("journaled").clone();
+    journal.flush().unwrap();
+
+    let live = live_fingerprint(&mut sys);
+    let log = journal.bytes();
+    assert!(record_kinds(&log).contains("snapshot-delta"), "checkpoints must log deltas");
+    assert_eq!(recovered_fingerprint(&log), live, "full log recovers the live state");
+
+    for &b in &record_boundaries(&log) {
+        recover(&crash_prefix(&log, b)).expect("prefix recovers");
+    }
+    // Sampled flip check (the exhaustive sweep runs above on the
+    // compacted log; delta snapshots are large, so sample here).
+    for offset in (0..log.len()).step_by(37) {
+        let parsed = read_records(&flip_byte(&log, offset, 0x80));
+        assert!(
+            matches!(parsed.tail, TailState::Corrupted { .. }),
+            "flip at {offset} not detected"
+        );
+    }
+}
+
 /// A random workload step driven through the resolver / kernel.
 #[derive(Debug, Clone)]
 enum Op {
@@ -500,5 +642,77 @@ proptest! {
         }
         let full = recovered_fingerprint(&log);
         prop_assert_eq!(&full, &live, "full-log replay must equal the live state");
+    }
+
+    /// Compaction equivalence: for a random workload, recovering from
+    /// the compacted log is indistinguishable from recovering from the
+    /// full log — same files, same public/delegate/volatile dictionary
+    /// views — and both equal the live state. The compacted log also
+    /// still parses cleanly and keeps its boundaries sweepable.
+    #[test]
+    fn compacted_log_recovers_like_full_log(ops in proptest::collection::vec(op(), 1..12)) {
+        let mut sys = journaled_system();
+        let del_pid = sys.launch_as_delegate(DELEGATE, INITIATOR).unwrap();
+        let journal = sys.journal().unwrap().clone();
+        let public = Caller::normal(INITIATOR);
+        let delegate = Caller::delegate(DELEGATE, INITIATOR);
+        for o in &ops {
+            match o {
+                Op::PublicInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &public,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("p{n}")).put("frequency", *n as i64),
+                    );
+                }
+                Op::DelegateInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &delegate,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("d{n}")),
+                    );
+                }
+                Op::DelegateUpdate(n) => {
+                    let _ = sys.resolver.update(
+                        &delegate,
+                        &words_uri().with_id((*n % 4) as i64 + 1),
+                        &ContentValues::new().put("frequency", *n as i64),
+                        &QueryArgs::default(),
+                    );
+                }
+                Op::VolatileInsert(n) => {
+                    let _ = sys.resolver.insert(
+                        &public,
+                        &words_uri(),
+                        &ContentValues::new().put("word", format!("v{n}")).volatile(),
+                    );
+                }
+                Op::DelegateFileWrite(i, data) => {
+                    let path = vpath("/storage/sdcard").join(&format!("f{i}.dat")).unwrap();
+                    let _ = sys.kernel.write(del_pid, &path, data, Mode::PUBLIC);
+                }
+                Op::ClearVol => {
+                    let _ = sys.clear_vol(INITIATOR);
+                }
+            }
+        }
+        journal.flush().unwrap();
+        let live = live_fingerprint(&mut sys);
+        let full_log = journal.bytes();
+        let from_full = recovered_fingerprint(&full_log);
+
+        sys.compact().expect("compact");
+        let compacted = journal.bytes();
+        let parsed = read_records(&compacted);
+        prop_assert_eq!(parsed.tail, TailState::Clean);
+        let bounds = record_boundaries(&compacted);
+        prop_assert_eq!(
+            *bounds.last().unwrap(),
+            compacted.len(),
+            "compacted log must stay boundary-sweepable"
+        );
+        let from_compacted = recovered_fingerprint(&compacted);
+        prop_assert_eq!(&from_full, &live, "full-log replay must equal the live state");
+        prop_assert_eq!(&from_compacted, &live, "compacted replay must equal the live state");
     }
 }
