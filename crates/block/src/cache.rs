@@ -1,0 +1,458 @@
+//! The page cache: a bounded set of resident sectors over a block device.
+//!
+//! Eviction is second-chance (clock): each frame has a referenced bit set
+//! on access; the hand clears bits until it finds an unreferenced frame,
+//! which is evicted (written back first when dirty). The frame array is
+//! allocated once at construction and never grows, so page-resident
+//! memory is structurally bounded by `capacity × page_size` no matter how
+//! large the device gets.
+//!
+//! Pinning is the borrow checker's job: [`PageCache::read`] returns a
+//! [`PageRef`] borrowing the cache, so no eviction (which needs `&mut`)
+//! can run while the guard is alive. [`PageToken`]s carry the frame's
+//! generation stamp for O(1) revalidation after the guard is dropped —
+//! the same generation-stamp discipline as the PR-4 resolution caches.
+
+use crate::{BlockDevice, BlockResult};
+use std::collections::HashMap;
+
+/// Counters mirrored into `maxoid-obs` and exposed to `store.stats()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Page accesses served from a resident frame.
+    pub hits: u64,
+    /// Page accesses that faulted the sector in from the device.
+    pub misses: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+    /// Bytes written back to the device (dirty evictions + flushes).
+    pub writeback_bytes: u64,
+    /// Explicit flush barriers performed.
+    pub flushes: u64,
+}
+
+/// A frame's identity at a point in time: sector plus generation stamp.
+/// [`PageCache::check`] answers "is that exact load still resident?"
+/// without touching the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageToken {
+    /// Device sector the frame held.
+    pub sector: u64,
+    /// Generation the frame was stamped with when loaded.
+    pub generation: u64,
+}
+
+/// A pinned, read-only view of one cached page. While the guard lives the
+/// borrow checker prevents any `&mut PageCache` call — eviction included —
+/// so the slice can be handed out zero-copy.
+#[derive(Debug)]
+pub struct PageRef<'a> {
+    data: &'a [u8],
+    token: PageToken,
+}
+
+impl<'a> PageRef<'a> {
+    /// The page bytes.
+    pub fn data(&self) -> &'a [u8] {
+        self.data
+    }
+
+    /// The identity stamp for later revalidation.
+    pub fn token(&self) -> PageToken {
+        self.token
+    }
+}
+
+impl std::ops::Deref for PageRef<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.data
+    }
+}
+
+struct Frame {
+    /// Device sector held, or `None` for a never-used frame.
+    sector: Option<u64>,
+    buf: Box<[u8]>,
+    dirty: bool,
+    referenced: bool,
+    generation: u64,
+}
+
+/// A fixed-capacity page cache over a [`BlockDevice`].
+pub struct PageCache {
+    dev: Box<dyn BlockDevice>,
+    frames: Vec<Frame>,
+    /// sector → frame index.
+    map: HashMap<u64, usize>,
+    hand: usize,
+    next_gen: u64,
+    page_size: usize,
+    stats: CacheStats,
+}
+
+impl std::fmt::Debug for PageCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageCache")
+            .field("capacity", &self.frames.len())
+            .field("page_size", &self.page_size)
+            .field("resident", &self.map.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl PageCache {
+    /// Creates a cache of `capacity` pages (at least 1) over `dev`. The
+    /// page size is the device's sector size; all frame memory is
+    /// allocated here, up front.
+    pub fn new(dev: Box<dyn BlockDevice>, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        let page_size = dev.sector_size();
+        let frames = (0..capacity)
+            .map(|_| Frame {
+                sector: None,
+                buf: vec![0u8; page_size].into_boxed_slice(),
+                dirty: false,
+                referenced: false,
+                generation: 0,
+            })
+            .collect();
+        PageCache {
+            dev,
+            frames,
+            map: HashMap::new(),
+            hand: 0,
+            next_gen: 0,
+            page_size,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Page size in bytes (= the device's sector size).
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Configured capacity in pages.
+    pub fn capacity(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Upper bound on page-resident memory, fixed at construction.
+    pub fn budget_bytes(&self) -> usize {
+        self.frames.len() * self.page_size
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The underlying device (tests inspect raw images, benches size
+    /// working sets off `len_sectors`).
+    pub fn device(&self) -> &dyn BlockDevice {
+        &*self.dev
+    }
+
+    /// Mutable access to the device, for fault injection in tests.
+    /// Bypassing the cache invalidates nothing — callers that corrupt the
+    /// media must reopen or [`PageCache::drop_clean`] first.
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        &mut *self.dev
+    }
+
+    /// Drops every **clean** resident page (dirty pages are kept — they
+    /// hold data the device does not). Used after out-of-band device
+    /// mutation in fault tests.
+    pub fn drop_clean(&mut self) {
+        let map = &mut self.map;
+        for frame in self.frames.iter_mut() {
+            if !frame.dirty {
+                if let Some(sec) = frame.sector.take() {
+                    map.remove(&sec);
+                }
+                frame.referenced = false;
+            }
+        }
+    }
+
+    /// Picks the victim frame with the clock hand: referenced frames get
+    /// their second chance (bit cleared), the first unreferenced frame is
+    /// chosen. Terminates within two sweeps.
+    fn pick_victim(&mut self) -> usize {
+        loop {
+            let i = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[i].referenced {
+                self.frames[i].referenced = false;
+            } else {
+                return i;
+            }
+        }
+    }
+
+    /// Writes a dirty frame's bytes back to the device.
+    fn writeback(
+        dev: &mut dyn BlockDevice,
+        frame: &mut Frame,
+        stats: &mut CacheStats,
+    ) -> BlockResult<()> {
+        if let (true, Some(sector)) = (frame.dirty, frame.sector) {
+            dev.write_sector(sector, &frame.buf)?;
+            frame.dirty = false;
+            stats.writeback_bytes += frame.buf.len() as u64;
+            maxoid_obs::counter_add("block.writeback_bytes", frame.buf.len() as u64);
+        }
+        Ok(())
+    }
+
+    /// Ensures `sector` is resident and returns its frame index.
+    /// `load` controls whether a miss reads the device (false for
+    /// full-page overwrites, which would throw the read away).
+    fn fault_in(&mut self, sector: u64, load: bool) -> BlockResult<usize> {
+        if let Some(&i) = self.map.get(&sector) {
+            self.stats.hits += 1;
+            maxoid_obs::counter_add("block.cache_hits", 1);
+            self.frames[i].referenced = true;
+            return Ok(i);
+        }
+        self.stats.misses += 1;
+        maxoid_obs::counter_add("block.cache_misses", 1);
+        let i = self.pick_victim();
+        if let Some(old) = self.frames[i].sector {
+            Self::writeback(&mut *self.dev, &mut self.frames[i], &mut self.stats)?;
+            self.map.remove(&old);
+            self.stats.evictions += 1;
+            maxoid_obs::counter_add("block.cache_evictions", 1);
+        }
+        let frame = &mut self.frames[i];
+        if load {
+            self.dev.read_sector(sector, &mut frame.buf)?;
+        } else {
+            frame.buf.fill(0);
+        }
+        self.next_gen += 1;
+        frame.sector = Some(sector);
+        frame.dirty = false;
+        frame.referenced = true;
+        frame.generation = self.next_gen;
+        self.map.insert(sector, i);
+        Ok(i)
+    }
+
+    /// Returns a pinned read guard for `sector`, faulting it in if needed.
+    pub fn read(&mut self, sector: u64) -> BlockResult<PageRef<'_>> {
+        let i = self.fault_in(sector, true)?;
+        let frame = &self.frames[i];
+        Ok(PageRef { data: &frame.buf, token: PageToken { sector, generation: frame.generation } })
+    }
+
+    /// True when the exact load named by `token` is still resident: same
+    /// sector in some frame, stamped with the same generation.
+    pub fn check(&self, token: PageToken) -> bool {
+        self.map.get(&token.sector).is_some_and(|&i| self.frames[i].generation == token.generation)
+    }
+
+    /// Mutates `sector` in place (read-modify-write) and marks it dirty.
+    /// Dirty pages reach the device on eviction or [`PageCache::flush`].
+    pub fn write(&mut self, sector: u64, f: impl FnOnce(&mut [u8])) -> BlockResult<()> {
+        let i = self.fault_in(sector, true)?;
+        f(&mut self.frames[i].buf);
+        self.frames[i].dirty = true;
+        Ok(())
+    }
+
+    /// Replaces `sector` wholesale. A miss skips the device read (the old
+    /// contents are dead), which is the fast path for log appends and
+    /// full-page spills.
+    pub fn write_full(&mut self, sector: u64, data: &[u8]) -> BlockResult<()> {
+        assert_eq!(data.len(), self.page_size, "write_full takes exactly one page");
+        let i = self.fault_in(sector, false)?;
+        self.frames[i].buf.copy_from_slice(data);
+        self.frames[i].dirty = true;
+        Ok(())
+    }
+
+    /// Forgets `sector` without write-back — the caller has deallocated
+    /// the block, so its bytes are garbage by definition.
+    pub fn discard(&mut self, sector: u64) {
+        if let Some(i) = self.map.remove(&sector) {
+            let frame = &mut self.frames[i];
+            frame.sector = None;
+            frame.dirty = false;
+            frame.referenced = false;
+        }
+    }
+
+    /// Reads an arbitrary byte range spanning pages.
+    pub fn read_bytes(&mut self, offset: u64, out: &mut [u8]) -> BlockResult<()> {
+        let ps = self.page_size as u64;
+        let mut done = 0usize;
+        while done < out.len() {
+            let abs = offset + done as u64;
+            let sector = abs / ps;
+            let within = (abs % ps) as usize;
+            let n = (self.page_size - within).min(out.len() - done);
+            let page = self.read(sector)?;
+            out[done..done + n].copy_from_slice(&page.data()[within..within + n]);
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// Writes an arbitrary byte range spanning pages. Aligned full pages
+    /// take the no-read [`PageCache::write_full`] path; ragged head and
+    /// tail pages read-modify-write.
+    pub fn write_bytes(&mut self, offset: u64, data: &[u8]) -> BlockResult<()> {
+        let ps = self.page_size as u64;
+        let mut done = 0usize;
+        while done < data.len() {
+            let abs = offset + done as u64;
+            let sector = abs / ps;
+            let within = (abs % ps) as usize;
+            let n = (self.page_size - within).min(data.len() - done);
+            if within == 0 && n == self.page_size {
+                self.write_full(sector, &data[done..done + n])?;
+            } else {
+                self.write(sector, |page| {
+                    page[within..within + n].copy_from_slice(&data[done..done + n]);
+                })?;
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    /// The flush barrier: writes back every dirty page, then flushes the
+    /// device. After `Ok(())`, everything written through the cache so
+    /// far is as durable as the device makes it.
+    pub fn flush(&mut self) -> BlockResult<()> {
+        let timed = maxoid_obs::enabled();
+        let start = timed.then(std::time::Instant::now);
+        for i in 0..self.frames.len() {
+            Self::writeback(&mut *self.dev, &mut self.frames[i], &mut self.stats)?;
+        }
+        self.dev.flush()?;
+        self.stats.flushes += 1;
+        maxoid_obs::counter_add("block.flushes", 1);
+        if let Some(start) = start {
+            maxoid_obs::observe("block.flush_us", start.elapsed().as_micros() as u64);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    fn cache(pages: usize, ss: usize) -> PageCache {
+        PageCache::new(Box::new(MemDevice::with_sector_size(ss)), pages)
+    }
+
+    #[test]
+    fn read_your_writes_through_eviction() {
+        let mut c = cache(2, 16);
+        for s in 0..6u64 {
+            c.write(s, |p| p.fill(s as u8)).unwrap();
+        }
+        // Only 2 frames: sectors 0..4 were evicted (written back dirty).
+        assert!(c.stats().evictions >= 4);
+        for s in 0..6u64 {
+            let page = c.read(s).unwrap();
+            assert!(page.iter().all(|&b| b == s as u8), "sector {s}");
+        }
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mut c = cache(4, 16);
+        c.read(0).unwrap();
+        c.read(0).unwrap();
+        c.read(1).unwrap();
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn tokens_detect_eviction() {
+        let mut c = cache(1, 16);
+        let t0 = c.read(0).unwrap().token();
+        assert!(c.check(t0));
+        c.read(1).unwrap(); // evicts sector 0 (capacity 1)
+        assert!(!c.check(t0), "evicted page's token must fail revalidation");
+        // Re-reading sector 0 loads a *new* generation.
+        let t0b = c.read(0).unwrap().token();
+        assert_ne!(t0.generation, t0b.generation);
+        assert!(c.check(t0b));
+        assert!(!c.check(t0));
+    }
+
+    #[test]
+    fn pinned_guard_is_zero_copy_and_blocks_eviction() {
+        let mut c = cache(1, 16);
+        c.write(3, |p| p.fill(7)).unwrap();
+        let page = c.read(3).unwrap();
+        // The guard borrows the cache: while `page` is alive, no &mut
+        // method (eviction, write) can be called — enforced at compile
+        // time. Consuming the bytes needs no copy:
+        assert_eq!(page.data().iter().map(|&b| b as u64).sum::<u64>(), 7 * 16);
+        assert_eq!(page.token().sector, 3);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_pages() {
+        let mut c = cache(4, 16);
+        c.write(0, |p| p.fill(1)).unwrap();
+        c.write(1, |p| p.fill(2)).unwrap();
+        assert_eq!(c.device().len_sectors(), 0, "dirty pages start cache-only");
+        c.flush().unwrap();
+        assert_eq!(c.device().len_sectors(), 2);
+        assert_eq!(c.stats().writeback_bytes, 32);
+        // A second flush has nothing to write back.
+        c.flush().unwrap();
+        assert_eq!(c.stats().writeback_bytes, 32);
+    }
+
+    #[test]
+    fn byte_ranges_span_pages() {
+        let mut c = cache(3, 8);
+        let data: Vec<u8> = (0..30).collect();
+        c.write_bytes(5, &data).unwrap();
+        let mut out = vec![0u8; 30];
+        c.read_bytes(5, &mut out).unwrap();
+        assert_eq!(out, data);
+        // Unwritten neighbors read as zeros.
+        let mut head = vec![9u8; 5];
+        c.read_bytes(0, &mut head).unwrap();
+        assert!(head.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn discard_drops_without_writeback() {
+        let mut c = cache(2, 16);
+        c.write(0, |p| p.fill(0xAA)).unwrap();
+        c.discard(0);
+        c.flush().unwrap();
+        // The dirty page never reached the device.
+        assert_eq!(c.device().len_sectors(), 0);
+        let page = c.read(0).unwrap();
+        assert!(page.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn budget_is_fixed_at_construction() {
+        let mut c = cache(8, 32);
+        assert_eq!(c.budget_bytes(), 256);
+        for s in 0..1000u64 {
+            c.write(s, |p| p[0] = s as u8).unwrap();
+        }
+        // Device grew far past the budget; the frame array did not.
+        assert_eq!(c.capacity(), 8);
+        assert!(c.device().len_sectors() >= 992);
+    }
+}

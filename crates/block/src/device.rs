@@ -1,0 +1,345 @@
+//! Block devices: fixed-size sectors behind a narrow trait.
+
+use crate::{BlockError, BlockResult};
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+
+/// Default sector size (bytes). Devices may be built with other sizes;
+/// tests use tiny sectors to force eviction pressure cheaply.
+pub const SECTOR_SIZE: usize = 4096;
+
+/// A fixed-sector block device.
+///
+/// Semantics every implementation must honor:
+///
+/// * sectors are `sector_size()` bytes; `read_sector`/`write_sector`
+///   buffers must match exactly;
+/// * reading past `len_sectors()` yields zeros (thin provisioning);
+/// * writing past the end grows the device (intervening sectors read as
+///   zeros);
+/// * `flush` is the durability barrier: data from writes that completed
+///   before a successful `flush` survives a crash, data after it may not.
+pub trait BlockDevice: Send {
+    /// Sector size in bytes.
+    fn sector_size(&self) -> usize;
+    /// Current device length in sectors (high-water mark of writes).
+    fn len_sectors(&self) -> u64;
+    /// Reads one sector into `buf` (zeros past the end of the device).
+    fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> BlockResult<()>;
+    /// Writes one sector, growing the device as needed.
+    fn write_sector(&mut self, sector: u64, buf: &[u8]) -> BlockResult<()>;
+    /// Durability barrier (fsync analogue).
+    fn flush(&mut self) -> BlockResult<()>;
+}
+
+fn check_len(sector_size: usize, buf_len: usize) -> BlockResult<()> {
+    if buf_len != sector_size {
+        return Err(BlockError::BadBufferLen { expected: sector_size, got: buf_len });
+    }
+    Ok(())
+}
+
+/// An in-memory block device: one flat buffer, grown on demand.
+#[derive(Debug)]
+pub struct MemDevice {
+    buf: Vec<u8>,
+    sector_size: usize,
+}
+
+impl MemDevice {
+    /// Creates an empty device with the default sector size.
+    pub fn new() -> Self {
+        Self::with_sector_size(SECTOR_SIZE)
+    }
+
+    /// Creates an empty device with an explicit sector size.
+    pub fn with_sector_size(sector_size: usize) -> Self {
+        assert!(sector_size > 0, "sector size must be positive");
+        MemDevice { buf: Vec::new(), sector_size }
+    }
+
+    /// XORs `mask` into the byte at `offset` — media bit-rot for the
+    /// corruption-sweep tests. Out-of-range offsets are ignored.
+    pub fn corrupt(&mut self, offset: u64, mask: u8) {
+        if let Some(b) = self.buf.get_mut(offset as usize) {
+            *b ^= mask;
+        }
+    }
+
+    /// The raw device image (tests inspect what "the disk" holds).
+    pub fn raw(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl Default for MemDevice {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BlockDevice for MemDevice {
+    fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    fn len_sectors(&self) -> u64 {
+        (self.buf.len() / self.sector_size) as u64
+    }
+
+    fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> BlockResult<()> {
+        check_len(self.sector_size, buf.len())?;
+        let start = sector as usize * self.sector_size;
+        if start >= self.buf.len() {
+            buf.fill(0);
+        } else {
+            buf.copy_from_slice(&self.buf[start..start + self.sector_size]);
+        }
+        Ok(())
+    }
+
+    fn write_sector(&mut self, sector: u64, buf: &[u8]) -> BlockResult<()> {
+        check_len(self.sector_size, buf.len())?;
+        let start = sector as usize * self.sector_size;
+        let end = start + self.sector_size;
+        if self.buf.len() < end {
+            self.buf.resize(end, 0);
+        }
+        self.buf[start..end].copy_from_slice(buf);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        Ok(())
+    }
+}
+
+/// A file-backed block device using positioned reads/writes.
+///
+/// `flush` maps to `File::sync_data` unless syncing is disabled (benches
+/// and tests that model crash behavior at a different layer pay real
+/// fsyncs for nothing). A device created with [`FileDevice::temp`] deletes
+/// its backing file on drop, so test devices never leak into the
+/// workspace.
+#[derive(Debug)]
+pub struct FileDevice {
+    file: File,
+    path: PathBuf,
+    sector_size: usize,
+    len_sectors: u64,
+    sync_on_flush: bool,
+    delete_on_drop: bool,
+}
+
+impl FileDevice {
+    /// Creates (or truncates) the file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> BlockResult<Self> {
+        Self::create_with(path, SECTOR_SIZE)
+    }
+
+    /// Creates (or truncates) with an explicit sector size.
+    pub fn create_with(path: impl AsRef<Path>, sector_size: usize) -> BlockResult<Self> {
+        assert!(sector_size > 0, "sector size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(io_err)?;
+        Ok(FileDevice {
+            file,
+            path,
+            sector_size,
+            len_sectors: 0,
+            sync_on_flush: true,
+            delete_on_drop: false,
+        })
+    }
+
+    /// Opens an existing device file without truncating it (cold boot).
+    /// A trailing partial sector — a torn write — is counted as a full
+    /// sector and reads back zero-padded.
+    pub fn open(path: impl AsRef<Path>) -> BlockResult<Self> {
+        Self::open_with(path, SECTOR_SIZE)
+    }
+
+    /// Opens an existing device file with an explicit sector size.
+    pub fn open_with(path: impl AsRef<Path>, sector_size: usize) -> BlockResult<Self> {
+        assert!(sector_size > 0, "sector size must be positive");
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().read(true).write(true).open(&path).map_err(io_err)?;
+        let bytes = file.metadata().map_err(io_err)?.len();
+        let len_sectors = bytes.div_ceil(sector_size as u64);
+        Ok(FileDevice {
+            file,
+            path,
+            sector_size,
+            len_sectors,
+            sync_on_flush: true,
+            delete_on_drop: false,
+        })
+    }
+
+    /// Creates a device on a unique file under the system temp directory,
+    /// deleted when the device drops — the hygiene contract for tests and
+    /// benches.
+    pub fn temp(tag: &str) -> BlockResult<Self> {
+        Self::temp_with(tag, SECTOR_SIZE)
+    }
+
+    /// [`FileDevice::temp`] with an explicit sector size.
+    pub fn temp_with(tag: &str, sector_size: usize) -> BlockResult<Self> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let n = SEQ.fetch_add(1, Ordering::Relaxed);
+        let path =
+            std::env::temp_dir().join(format!("maxoid-block-{}-{tag}-{n}.dev", std::process::id()));
+        let mut dev = Self::create_with(&path, sector_size)?;
+        dev.delete_on_drop = true;
+        Ok(dev)
+    }
+
+    /// Disables `sync_data` on flush (benchmarks isolating cache cost).
+    pub fn set_sync_on_flush(&mut self, on: bool) {
+        self.sync_on_flush = on;
+    }
+
+    /// Marks (or unmarks) the backing file for deletion on drop.
+    pub fn set_delete_on_drop(&mut self, on: bool) {
+        self.delete_on_drop = on;
+    }
+
+    /// The backing file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn io_err(e: std::io::Error) -> BlockError {
+    BlockError::Io(e.to_string())
+}
+
+impl BlockDevice for FileDevice {
+    fn sector_size(&self) -> usize {
+        self.sector_size
+    }
+
+    fn len_sectors(&self) -> u64 {
+        self.len_sectors
+    }
+
+    fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> BlockResult<()> {
+        use std::os::unix::fs::FileExt;
+        check_len(self.sector_size, buf.len())?;
+        if sector >= self.len_sectors {
+            buf.fill(0);
+            return Ok(());
+        }
+        let off = sector * self.sector_size as u64;
+        // The final sector of a torn file may be short on disk; read what
+        // exists and zero-fill the rest.
+        let mut done = 0;
+        while done < buf.len() {
+            let n = self.file.read_at(&mut buf[done..], off + done as u64).map_err(io_err)?;
+            if n == 0 {
+                buf[done..].fill(0);
+                break;
+            }
+            done += n;
+        }
+        Ok(())
+    }
+
+    fn write_sector(&mut self, sector: u64, buf: &[u8]) -> BlockResult<()> {
+        use std::os::unix::fs::FileExt;
+        check_len(self.sector_size, buf.len())?;
+        self.file.write_all_at(buf, sector * self.sector_size as u64).map_err(io_err)?;
+        self.len_sectors = self.len_sectors.max(sector + 1);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        if self.sync_on_flush {
+            self.file.sync_data().map_err(io_err)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for FileDevice {
+    fn drop(&mut self) {
+        if self.delete_on_drop {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(dev: &mut dyn BlockDevice) {
+        let ss = dev.sector_size();
+        assert_eq!(dev.len_sectors(), 0);
+        let mut buf = vec![0u8; ss];
+        // Reads past the end are zeros, not errors.
+        dev.read_sector(7, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // Sparse write: sector 3 grows the device; 0..2 read as zeros.
+        let payload: Vec<u8> = (0..ss).map(|i| (i % 251) as u8).collect();
+        dev.write_sector(3, &payload).unwrap();
+        assert_eq!(dev.len_sectors(), 4);
+        dev.read_sector(3, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+        dev.read_sector(1, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+        // Overwrite sticks.
+        let zeros = vec![0u8; ss];
+        dev.write_sector(3, &zeros).unwrap();
+        dev.read_sector(3, &mut buf).unwrap();
+        assert_eq!(buf, zeros);
+        dev.flush().unwrap();
+        // Wrong-size buffers are rejected loudly.
+        let mut short = vec![0u8; ss - 1];
+        assert!(matches!(dev.read_sector(0, &mut short), Err(BlockError::BadBufferLen { .. })));
+    }
+
+    #[test]
+    fn mem_device_semantics() {
+        roundtrip(&mut MemDevice::with_sector_size(128));
+    }
+
+    #[test]
+    fn file_device_semantics() {
+        let mut dev = FileDevice::temp_with("semantics", 128).unwrap();
+        roundtrip(&mut dev);
+    }
+
+    #[test]
+    fn file_device_persists_across_reopen() {
+        let mut dev = FileDevice::temp_with("reopen", 64).unwrap();
+        let payload = vec![0x5au8; 64];
+        dev.write_sector(2, &payload).unwrap();
+        dev.flush().unwrap();
+        let path = dev.path().to_path_buf();
+        dev.set_delete_on_drop(false);
+        drop(dev);
+        let mut re = FileDevice::open_with(&path, 64).unwrap();
+        assert_eq!(re.len_sectors(), 3);
+        let mut buf = vec![0u8; 64];
+        re.read_sector(2, &mut buf).unwrap();
+        assert_eq!(buf, payload);
+        re.set_delete_on_drop(true);
+    }
+
+    #[test]
+    fn temp_device_removes_its_file() {
+        let dev = FileDevice::temp("hygiene").unwrap();
+        let path = dev.path().to_path_buf();
+        assert!(path.exists());
+        drop(dev);
+        assert!(!path.exists(), "temp device must not leak {path:?}");
+    }
+}

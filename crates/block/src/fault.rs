@@ -1,0 +1,163 @@
+//! Fault injection at the device layer: power loss mid-write, torn
+//! sectors, and injected I/O errors.
+//!
+//! [`FaultDevice`] wraps any [`BlockDevice`]. Three independent knobs:
+//!
+//! * a **write budget** — after `n` successful sector writes the device
+//!   "loses power": the failing write lands only a `torn_bytes` prefix of
+//!   its sector (a torn sector) and every later write or flush fails with
+//!   [`BlockError::Crashed`]. Reads keep working, so recovery code can be
+//!   pointed at the wreck;
+//! * **torn bytes** — how much of the budget-exceeding write survives;
+//! * **failing sectors** — an explicit set of sectors whose writes fail
+//!   with an I/O error (bad blocks), without crashing the device.
+
+use crate::{BlockDevice, BlockError, BlockResult};
+use std::collections::BTreeSet;
+
+/// A fault-injecting wrapper around a block device.
+pub struct FaultDevice {
+    inner: Box<dyn BlockDevice>,
+    /// Sector writes remaining before power loss (`None` = unlimited).
+    write_budget: Option<u64>,
+    /// Bytes of the budget-exceeding write that still land.
+    torn_bytes: usize,
+    /// Sectors that always fail writes with an I/O error.
+    bad_sectors: BTreeSet<u64>,
+    crashed: bool,
+}
+
+impl std::fmt::Debug for FaultDevice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultDevice")
+            .field("write_budget", &self.write_budget)
+            .field("torn_bytes", &self.torn_bytes)
+            .field("bad_sectors", &self.bad_sectors)
+            .field("crashed", &self.crashed)
+            .finish()
+    }
+}
+
+impl FaultDevice {
+    /// Wraps `inner` with no faults armed.
+    pub fn new(inner: Box<dyn BlockDevice>) -> Self {
+        FaultDevice {
+            inner,
+            write_budget: None,
+            torn_bytes: 0,
+            bad_sectors: BTreeSet::new(),
+            crashed: false,
+        }
+    }
+
+    /// Arms power loss after `writes` successful sector writes; the
+    /// failing write tears, landing only its first `torn_bytes` bytes.
+    pub fn with_write_budget(inner: Box<dyn BlockDevice>, writes: u64, torn_bytes: usize) -> Self {
+        let mut d = Self::new(inner);
+        d.write_budget = Some(writes);
+        d.torn_bytes = torn_bytes;
+        d
+    }
+
+    /// Marks a sector as a bad block: writes to it fail with an I/O
+    /// error (the device stays up).
+    pub fn fail_sector(&mut self, sector: u64) {
+        self.bad_sectors.insert(sector);
+    }
+
+    /// True once the write budget has been exceeded.
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// The wrapped device (post-crash inspection).
+    pub fn inner(&self) -> &dyn BlockDevice {
+        &*self.inner
+    }
+}
+
+impl BlockDevice for FaultDevice {
+    fn sector_size(&self) -> usize {
+        self.inner.sector_size()
+    }
+
+    fn len_sectors(&self) -> u64 {
+        self.inner.len_sectors()
+    }
+
+    fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> BlockResult<()> {
+        // Reads survive the crash: recovery inspects what's left.
+        self.inner.read_sector(sector, buf)
+    }
+
+    fn write_sector(&mut self, sector: u64, buf: &[u8]) -> BlockResult<()> {
+        if self.crashed {
+            return Err(BlockError::Crashed);
+        }
+        if self.bad_sectors.contains(&sector) {
+            return Err(BlockError::Io(format!("injected bad block at sector {sector}")));
+        }
+        if let Some(budget) = &mut self.write_budget {
+            if *budget == 0 {
+                // Power loss: tear this write. The prefix lands over the
+                // sector's previous contents; the rest stays as it was.
+                self.crashed = true;
+                if self.torn_bytes > 0 {
+                    let keep = self.torn_bytes.min(buf.len());
+                    let mut old = vec![0u8; buf.len()];
+                    self.inner.read_sector(sector, &mut old)?;
+                    old[..keep].copy_from_slice(&buf[..keep]);
+                    self.inner.write_sector(sector, &old)?;
+                }
+                return Err(BlockError::Crashed);
+            }
+            *budget -= 1;
+        }
+        self.inner.write_sector(sector, buf)
+    }
+
+    fn flush(&mut self) -> BlockResult<()> {
+        if self.crashed {
+            return Err(BlockError::Crashed);
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MemDevice;
+
+    #[test]
+    fn budget_crashes_and_tears() {
+        let mut d = FaultDevice::with_write_budget(Box::new(MemDevice::with_sector_size(16)), 2, 5);
+        let ones = vec![1u8; 16];
+        let twos = vec![2u8; 16];
+        d.write_sector(0, &ones).unwrap();
+        d.write_sector(1, &ones).unwrap();
+        // Third write exceeds the budget: only 5 bytes land.
+        assert_eq!(d.write_sector(2, &twos), Err(BlockError::Crashed));
+        assert!(d.crashed());
+        assert_eq!(d.write_sector(3, &ones), Err(BlockError::Crashed));
+        assert_eq!(d.flush(), Err(BlockError::Crashed));
+        // Reads still work, showing the torn sector.
+        let mut buf = vec![0u8; 16];
+        d.read_sector(2, &mut buf).unwrap();
+        assert_eq!(&buf[..5], &[2u8; 5]);
+        assert_eq!(&buf[5..], &[0u8; 11]);
+    }
+
+    #[test]
+    fn bad_sector_errors_without_crashing() {
+        let mut d = FaultDevice::new(Box::new(MemDevice::with_sector_size(16)));
+        d.fail_sector(1);
+        let buf = vec![9u8; 16];
+        d.write_sector(0, &buf).unwrap();
+        assert!(matches!(d.write_sector(1, &buf), Err(BlockError::Io(_))));
+        assert!(!d.crashed());
+        // The device keeps accepting other writes.
+        d.write_sector(2, &buf).unwrap();
+        d.flush().unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! maxoid-block: pluggable block devices and a page cache, so state can
+//! outgrow RAM.
+//!
+//! Everything above this crate works on byte ranges and inode payloads;
+//! this crate is the storage tier underneath: a [`BlockDevice`] exposes
+//! fixed-size sectors (read/write/flush/len), and a [`PageCache`] keeps a
+//! bounded number of them resident with second-chance (clock) eviction,
+//! dirty-page write-back, and an explicit flush barrier.
+//!
+//! Two devices ship with the crate:
+//!
+//! * [`MemDevice`] — an in-memory sector array, the test and
+//!   fault-injection workhorse;
+//! * [`FileDevice`] — a real file addressed with positioned reads and
+//!   writes, for runs whose working set must not live in process memory.
+//!
+//! The cache hands out **pinned page guards** ([`PageRef`]): a guard
+//! borrows the cache, so the borrow checker itself guarantees the page
+//! cannot be evicted or rewritten while the bytes are in use — the same
+//! zero-copy discipline as sqldb's `RowScope`. Each frame carries a
+//! generation stamp ([`PageToken`]) so a reader that dropped its guard can
+//! later revalidate in O(1) instead of re-faulting.
+//!
+//! Consumers in the workspace: the VFS store spills large file payloads to
+//! pages (`maxoid-vfs`), and the journal's `BlockStorage` keeps the WAL on
+//! a device (`maxoid-journal`). Lock order: this crate takes no locks of
+//! its own — callers serialize access (the VFS store wraps its cache in a
+//! leaf mutex; the journal's storage mutex already owns its cache).
+
+mod cache;
+mod device;
+mod fault;
+
+pub use cache::{CacheStats, PageCache, PageRef, PageToken};
+pub use device::{BlockDevice, FileDevice, MemDevice, SECTOR_SIZE};
+pub use fault::FaultDevice;
+
+/// Errors raised by devices and the page cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlockError {
+    /// An underlying I/O operation failed.
+    Io(String),
+    /// A buffer did not match the device's sector size.
+    BadBufferLen {
+        /// Expected sector size in bytes.
+        expected: usize,
+        /// Length actually supplied.
+        got: usize,
+    },
+    /// The fault-injection device hit its write budget ("power loss").
+    Crashed,
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::Io(m) => write!(f, "block io error: {m}"),
+            BlockError::BadBufferLen { expected, got } => {
+                write!(f, "buffer is {got} bytes, device sector is {expected}")
+            }
+            BlockError::Crashed => write!(f, "block device crashed (fault injection)"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// Result alias for block operations.
+pub type BlockResult<T> = Result<T, BlockError>;

@@ -108,13 +108,20 @@ impl RecoveredSubstrate {
 /// Recovered databases use the default planner policy; the policy is an
 /// execution-time setting, not journaled state.
 pub fn recover(log_bytes: &[u8]) -> Result<RecoveredSubstrate, RecoveryError> {
+    recover_into(log_bytes, Vfs::new())
+}
+
+/// Like [`recover`], but replays into a caller-provided (empty) VFS — the
+/// cold-boot path hands in a block-backed store so recovered file payloads
+/// spill to device pages instead of resident memory. The VFS must have no
+/// journal sink attached yet; replay must not re-log itself.
+pub fn recover_into(log_bytes: &[u8], vfs: Vfs) -> Result<RecoveredSubstrate, RecoveryError> {
     let log = read_records(log_bytes);
     if let TailState::Corrupted { offset } = log.tail {
         return Err(RecoveryError::Corrupted { offset });
     }
     let tail = log.tail.clone();
     let records = committed_records(&log);
-    let vfs = Vfs::new();
     let mut dbs: BTreeMap<String, Database> = BTreeMap::new();
     let mut applied = 0;
     for rec in &records {
@@ -275,7 +282,10 @@ mod tests {
         for i in 0..30 {
             db.execute(
                 "UPDATE t SET v = ? WHERE _id = ?",
-                &[maxoid_sqldb::Value::Text(format!("rewrite{i}")), maxoid_sqldb::Value::Integer(3)],
+                &[
+                    maxoid_sqldb::Value::Text(format!("rewrite{i}")),
+                    maxoid_sqldb::Value::Integer(3),
+                ],
             )
             .unwrap();
         }
@@ -344,10 +354,7 @@ mod tests {
         j.flush().unwrap();
 
         let rec = recover(&j.bytes()).unwrap();
-        assert_eq!(
-            vfs.with_store(|s| s.dump_tree()),
-            rec.vfs.with_store(|s| s.dump_tree())
-        );
+        assert_eq!(vfs.with_store(|s| s.dump_tree()), rec.vfs.with_store(|s| s.dump_tree()));
     }
 
     #[test]

@@ -58,7 +58,7 @@ use maxoid_providers::{
     UserDictionaryProvider,
 };
 use maxoid_sqldb::ResultSet;
-use maxoid_vfs::VfsResult;
+use maxoid_vfs::{Vfs, VfsResult};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -235,7 +235,7 @@ impl std::fmt::Debug for MaxoidSystem {
 impl MaxoidSystem {
     /// Boots a Maxoid device: kernel, branch manager, system providers.
     pub fn boot() -> SystemResult<Self> {
-        Self::boot_inner(None)
+        Self::boot_inner(None, Vfs::new())
     }
 
     /// Boots a Maxoid device with a write-ahead journal attached.
@@ -247,14 +247,43 @@ impl MaxoidSystem {
     /// directory layout, catalogs (tables, indexes, user views) and rows.
     /// The boot-time records are flushed before returning; afterwards
     /// durability follows the journal's group-commit batching.
+    /// If the journal already holds records (e.g. it sits on a file-backed
+    /// [`maxoid_journal::BlockStorage`] reopened after a restart), boot
+    /// instead **cold-boots**: the log is replayed into the fresh substrate
+    /// before any sinks attach, then providers adopt the recovered
+    /// databases. App installs and UIDs are not journaled — callers
+    /// re-install apps after a cold boot.
     pub fn boot_journaled(journal: JournalHandle) -> SystemResult<Self> {
-        Self::boot_inner(Some(journal))
+        Self::boot_inner(Some(journal), Vfs::new())
     }
 
-    fn boot_inner(journal: Option<JournalHandle>) -> SystemResult<Self> {
+    /// Like [`MaxoidSystem::boot_journaled`], but the caller supplies the
+    /// (empty) VFS — typically [`Vfs::with_block_device`], so that both the
+    /// journal *and* the file store live behind block devices and large
+    /// recovered payloads spill to pages instead of resident memory.
+    pub fn boot_journaled_with_vfs(journal: JournalHandle, vfs: Vfs) -> SystemResult<Self> {
+        Self::boot_inner(Some(journal), vfs)
+    }
+
+    fn boot_inner(journal: Option<JournalHandle>, vfs: Vfs) -> SystemResult<Self> {
         let mut sp = maxoid_obs::span("system.boot");
         sp.field("journaled", if journal.is_some() { "true" } else { "false" });
-        let kernel = Kernel::new();
+
+        // Cold boot: the handle was opened over existing storage. Replay
+        // the committed log into the bare VFS *before* any journal sink is
+        // attached (replay must not re-log itself), and keep the recovered
+        // provider databases for adoption below.
+        let mut recovered = None;
+        if let Some(j) = &journal {
+            if !j.is_empty() {
+                let sub = crate::durability::recover_into(&j.bytes(), vfs.clone())
+                    .map_err(|e| SystemError::Recovery(e.to_string()))?;
+                recovered = Some(sub);
+            }
+        }
+        sp.field("cold_boot", if recovered.is_some() { "true" } else { "false" });
+
+        let kernel = Kernel::with_vfs(vfs);
         if let Some(j) = &journal {
             kernel.vfs().attach_journal(j.sink());
         }
@@ -269,17 +298,31 @@ impl MaxoidSystem {
         let downloads_pid =
             kernel.spawn(&dl_app, ExecContext::Normal, maxoid_vfs::MountNamespace::new())?;
 
-        let downloads = Arc::new(Mutex::new(match &journal {
-            Some(j) => DownloadsProvider::with_journal(files.clone(), j.sink()),
-            None => DownloadsProvider::new(files.clone()),
+        let downloads = Arc::new(Mutex::new(match (&journal, &mut recovered) {
+            (Some(j), Some(sub)) => DownloadsProvider::from_recovered_journaled(
+                sub.take_db(maxoid_providers::downloads::AUTHORITY),
+                files.clone(),
+                j.sink(),
+            ),
+            (Some(j), None) => DownloadsProvider::with_journal(files.clone(), j.sink()),
+            _ => DownloadsProvider::new(files.clone()),
         }));
-        let media = Arc::new(Mutex::new(match &journal {
-            Some(j) => MediaProvider::with_journal(files, j.sink()),
-            None => MediaProvider::new(files),
+        let media = Arc::new(Mutex::new(match (&journal, &mut recovered) {
+            (Some(j), Some(sub)) => MediaProvider::from_recovered_journaled(
+                sub.take_db(maxoid_providers::media::AUTHORITY),
+                files,
+                j.sink(),
+            ),
+            (Some(j), None) => MediaProvider::with_journal(files, j.sink()),
+            _ => MediaProvider::new(files),
         }));
-        let userdict = match &journal {
-            Some(j) => UserDictionaryProvider::with_journal(j.sink()),
-            None => UserDictionaryProvider::new(),
+        let userdict = match (&journal, &mut recovered) {
+            (Some(j), Some(sub)) => UserDictionaryProvider::from_recovered_journaled(
+                sub.take_db(maxoid_providers::userdict::AUTHORITY),
+                j.sink(),
+            ),
+            (Some(j), None) => UserDictionaryProvider::with_journal(j.sink()),
+            _ => UserDictionaryProvider::new(),
         };
 
         let resolver = ContentResolver::new();
@@ -329,6 +372,12 @@ impl MaxoidSystem {
     /// Returns the attached journal, if this system was booted with one.
     pub fn journal(&self) -> Option<&JournalHandle> {
         self.journal.as_ref()
+    }
+
+    /// Snapshot of the file store's residency and page-cache counters
+    /// (the VFS analogue of the SQL layer's `db.stats`).
+    pub fn store_stats(&self) -> maxoid_vfs::StoreStats {
+        self.kernel.vfs().store_stats()
     }
 
     /// Checkpoints the journal: the current file store is written as a

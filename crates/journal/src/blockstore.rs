@@ -1,0 +1,356 @@
+//! Block-backed log storage: the WAL on a [`maxoid_block::BlockDevice`]
+//! behind a page cache, so the journal can outgrow process memory and a
+//! system can cold-boot from a file.
+//!
+//! On-device layout:
+//!
+//! ```text
+//! sector 0          sector 1          sector 2 ...
+//! +-----------------+-----------------+---------------------------+
+//! | superblock A    | superblock B    | log bytes, densely packed |
+//! | magic  (8 B)    | magic  (8 B)    | (frame stream, exactly as |
+//! | gen    u64      | gen    u64      |  MemStorage would hold    |
+//! | len    u64      | len    u64      |  it)                      |
+//! | crc    u32      | crc    u32      |                           |
+//! +-----------------+-----------------+---------------------------+
+//! ```
+//!
+//! The superblock's `len` is the number of durable log bytes. `append`
+//! writes the new bytes through the cache, issues the flush barrier, then
+//! commits the superblock and issues a second barrier — so `len` never
+//! points past data that reached the device. A crash between the two
+//! barriers leaves the old `len`: the new bytes exist on the device but
+//! were never acknowledged, exactly the "lost tail" a torn append models.
+//!
+//! Superblock commits alternate between **two slots** (generation `g`
+//! lands in sector `g % 2`), so the commit never overwrites the slot it
+//! would fall back to: a torn write during commit `g+1` can only damage
+//! the slot holding stale generation `g-1`, and reopen still finds the
+//! acked state `g`. This is the page-level analogue of the WAL's own
+//! no-overwrite discipline — an in-place single-slot superblock would
+//! make every commit a bet that sector writes are atomic.
+//!
+//! Open takes the valid slot with the highest generation. A non-empty
+//! device where *no* slot validates (bad magic, CRC failure, impossible
+//! length) is reported loudly rather than treated as an empty log —
+//! shortened history must never be silent.
+
+use crate::wal::Storage;
+use crate::{JournalError, JournalResult};
+use maxoid_block::{BlockDevice, BlockError, PageCache};
+
+/// Magic opening the superblock sector.
+pub const SUPERBLOCK_MAGIC: [u8; 8] = *b"MXBLKSB\0";
+
+/// Size of the meaningful superblock prefix: magic + gen + len + crc.
+const SUPERBLOCK_LEN: usize = 8 + 8 + 8 + 4;
+
+fn superblock_crc(gen: u64, len: u64) -> u32 {
+    crate::codec::crc32_parts(&[&SUPERBLOCK_MAGIC, &gen.to_le_bytes(), &len.to_le_bytes()])
+}
+
+/// Parses one superblock slot; `None` if the slot doesn't validate.
+fn parse_slot(sb: &[u8]) -> Option<(u64, u64)> {
+    if sb[..8] != SUPERBLOCK_MAGIC {
+        return None;
+    }
+    let gen = u64::from_le_bytes(sb[8..16].try_into().unwrap());
+    let len = u64::from_le_bytes(sb[16..24].try_into().unwrap());
+    let crc = u32::from_le_bytes(sb[24..28].try_into().unwrap());
+    (crc == superblock_crc(gen, len)).then_some((gen, len))
+}
+
+fn block_err(e: BlockError) -> JournalError {
+    match e {
+        BlockError::Crashed => JournalError::Crashed,
+        other => JournalError::Io(other.to_string()),
+    }
+}
+
+/// [`Storage`] over a block device: a page cache plus the superblock
+/// protocol described in the module docs.
+pub struct BlockStorage {
+    cache: PageCache,
+    /// Durable log length in bytes (mirrors the newest superblock).
+    len: u64,
+    /// Generation of the newest committed superblock (0 = never written).
+    gen: u64,
+}
+
+impl std::fmt::Debug for BlockStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockStorage")
+            .field("len", &self.len)
+            .field("gen", &self.gen)
+            .field("cache", &self.cache)
+            .finish()
+    }
+}
+
+impl BlockStorage {
+    /// Opens (or initializes) a log on `dev` with a `pages`-page cache.
+    ///
+    /// * empty device → a fresh log (superblock written on first append);
+    /// * valid superblock → the existing log, ready for cold-boot replay
+    ///   and further appends;
+    /// * anything else → [`JournalError::Io`], loudly.
+    pub fn open(dev: Box<dyn BlockDevice>, pages: usize) -> JournalResult<Self> {
+        let mut cache = PageCache::new(dev, pages.max(2));
+        if cache.device().len_sectors() == 0 {
+            return Ok(BlockStorage { cache, len: 0, gen: 0 });
+        }
+        let capacity = (cache.device().len_sectors() * cache.page_size() as u64)
+            .saturating_sub(self::data_origin(&cache));
+        let mut best: Option<(u64, u64)> = None;
+        for slot in 0..2u64 {
+            let mut sb = vec![0u8; SUPERBLOCK_LEN];
+            cache.read_bytes(slot * cache.page_size() as u64, &mut sb).map_err(block_err)?;
+            if let Some((gen, len)) = parse_slot(&sb) {
+                // A length past the device end is damage even if the CRC
+                // happened to survive.
+                if len <= capacity && best.map_or(true, |(g, _)| gen > g) {
+                    best = Some((gen, len));
+                }
+            }
+        }
+        let Some((gen, len)) = best else {
+            return Err(JournalError::Io(
+                "no valid block log superblock: not a journal device, or both slots damaged".into(),
+            ));
+        };
+        Ok(BlockStorage { cache, len, gen })
+    }
+
+    /// Opens a log on an in-memory device (tests).
+    pub fn in_memory(pages: usize) -> Self {
+        Self::open(Box::new(maxoid_block::MemDevice::new()), pages)
+            .expect("an empty mem device always opens")
+    }
+
+    /// Page-cache counters (hits/misses/evictions/writeback).
+    pub fn cache_stats(&self) -> maxoid_block::CacheStats {
+        self.cache.stats()
+    }
+
+    /// The underlying device (tests corrupt it; benches size it).
+    pub fn device(&self) -> &dyn BlockDevice {
+        self.cache.device()
+    }
+
+    /// Mutable device access for fault injection. Media damage does not
+    /// invalidate resident pages by itself — pair with
+    /// [`BlockStorage::drop_clean_pages`] or reopen the device.
+    pub fn device_mut(&mut self) -> &mut dyn BlockDevice {
+        self.cache.device_mut()
+    }
+
+    /// Drops clean resident pages so a test's out-of-band device
+    /// corruption becomes visible to subsequent reads.
+    pub fn drop_clean_pages(&mut self) {
+        self.cache.drop_clean()
+    }
+
+    /// Byte offset where log data starts (after both superblock slots).
+    fn origin(&self) -> u64 {
+        data_origin(&self.cache)
+    }
+
+    /// Commits the current `len` to the next superblock slot and advances
+    /// the generation — only after the flush barrier succeeds, so a
+    /// failed commit leaves the previous slot as the durable truth.
+    fn commit_superblock(&mut self) -> JournalResult<()> {
+        let gen = self.gen + 1;
+        let mut sb = Vec::with_capacity(SUPERBLOCK_LEN);
+        sb.extend_from_slice(&SUPERBLOCK_MAGIC);
+        sb.extend_from_slice(&gen.to_le_bytes());
+        sb.extend_from_slice(&self.len.to_le_bytes());
+        sb.extend_from_slice(&superblock_crc(gen, self.len).to_le_bytes());
+        let slot = (gen % 2) * self.cache.page_size() as u64;
+        self.cache.write_bytes(slot, &sb).map_err(block_err)?;
+        self.cache.flush().map_err(block_err)?;
+        self.gen = gen;
+        Ok(())
+    }
+}
+
+fn data_origin(cache: &PageCache) -> u64 {
+    2 * cache.page_size() as u64
+}
+
+impl Storage for BlockStorage {
+    fn append(&mut self, bytes: &[u8]) -> JournalResult<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        // Data first, barrier, then the length that makes it reachable,
+        // barrier again: `len` can never run ahead of flushed data.
+        let origin = self.origin();
+        self.cache.write_bytes(origin + self.len, bytes).map_err(block_err)?;
+        self.cache.flush().map_err(block_err)?;
+        self.len += bytes.len() as u64;
+        if let Err(e) = self.commit_superblock() {
+            // The superblock commit failed: the appended bytes are
+            // unreachable, so the in-memory length must not count them.
+            self.len -= bytes.len() as u64;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    fn bytes(&mut self) -> Vec<u8> {
+        let mut out = vec![0u8; self.len as usize];
+        let origin = self.origin();
+        if self.cache.read_bytes(origin, &mut out).is_err() {
+            // A read failure below the WAL is indistinguishable from a
+            // missing tail; surface it as the shortest safe log.
+            return Vec::new();
+        }
+        out
+    }
+
+    fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    fn reset(&mut self) -> JournalResult<()> {
+        self.len = 0;
+        self.commit_superblock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{Record, VfsRecord};
+    use crate::replay::{read_records, TailState};
+    use crate::wal::Journal;
+    use maxoid_block::{FaultDevice, FileDevice, MemDevice};
+
+    fn rec(path: &str) -> Record {
+        Record::Vfs(VfsRecord::Unlink { path: path.into() })
+    }
+
+    #[test]
+    fn wal_over_blocks_roundtrips() {
+        let mut j = Journal::new(Box::new(BlockStorage::in_memory(8)), 1);
+        for i in 0..20 {
+            j.append(&rec(&format!("/f{i}"))).unwrap();
+        }
+        let log = read_records(&j.bytes());
+        assert_eq!(log.records.len(), 20);
+        assert_eq!(log.tail, TailState::Clean);
+    }
+
+    #[test]
+    fn log_survives_reopen() {
+        let mut dev = FileDevice::temp("wal-reopen").unwrap();
+        dev.set_delete_on_drop(false);
+        let path = dev.path().to_path_buf();
+        let mut j = Journal::new(Box::new(BlockStorage::open(Box::new(dev), 8).unwrap()), 1);
+        for i in 0..5 {
+            j.append(&rec(&format!("/f{i}"))).unwrap();
+        }
+        let want = j.bytes();
+        drop(j);
+
+        let mut reopened = FileDevice::open(&path).unwrap();
+        reopened.set_delete_on_drop(true);
+        let mut storage = BlockStorage::open(Box::new(reopened), 8).unwrap();
+        assert_eq!(storage.bytes(), want, "cold reopen must see the identical log");
+        // And the reopened storage keeps appending.
+        let mut j2 = Journal::new(Box::new(storage), 1);
+        j2.append(&rec("/post-reboot")).unwrap();
+        assert_eq!(read_records(&j2.bytes()).records.len(), 6);
+    }
+
+    #[test]
+    fn tiny_cache_still_serves_the_whole_log() {
+        // 2 pages of 4096B cache a multi-sector log: every read_bytes
+        // walk faults pages in and out, and the log is still exact.
+        let mut j = Journal::new(Box::new(BlockStorage::in_memory(2)), 4);
+        for i in 0..200 {
+            j.append(&rec(&format!("/some/deeply/nested/path/file-{i}"))).unwrap();
+        }
+        j.flush().unwrap();
+        let log = read_records(&j.bytes());
+        assert_eq!(log.records.len(), 200);
+        assert_eq!(log.tail, TailState::Clean);
+    }
+
+    #[test]
+    fn reset_then_append_reuses_the_device() {
+        let mut s = BlockStorage::in_memory(4);
+        s.append(b"old history").unwrap();
+        s.reset().unwrap();
+        assert_eq!(s.len(), 0);
+        assert!(s.bytes().is_empty());
+        s.append(b"new").unwrap();
+        assert_eq!(s.bytes(), b"new");
+    }
+
+    /// Clones the raw device image into a fresh `MemDevice`, exactly as a
+    /// reboot sees the platter.
+    fn image_of(s: &mut BlockStorage) -> MemDevice {
+        let mut img = MemDevice::new();
+        let ss = s.device().sector_size();
+        let mut buf = vec![0u8; ss];
+        for sec in 0..s.device().len_sectors() {
+            s.device_mut().read_sector(sec, &mut buf).unwrap();
+            img.write_sector(sec, &buf).unwrap();
+        }
+        img
+    }
+
+    #[test]
+    fn superblock_corruption_is_loud() {
+        let mut s = BlockStorage::in_memory(4);
+        // One append: generation 1 lives in slot 1 (sector 1); slot 0 has
+        // never been written. Damaging the only valid slot must refuse to
+        // open rather than guess the log length.
+        s.append(b"payload").unwrap();
+        let mut img = image_of(&mut s);
+        img.corrupt(4096 + 17, 0x40); // inside slot 1's len field
+        let err = BlockStorage::open(Box::new(img), 4);
+        assert!(matches!(err, Err(JournalError::Io(_))), "corrupt superblock must not open");
+    }
+
+    #[test]
+    fn torn_superblock_commit_falls_back_to_the_acked_slot() {
+        let mut s = BlockStorage::in_memory(4);
+        s.append(b"first").unwrap(); // gen 1 → slot 1
+        s.append(b"second").unwrap(); // gen 2 → slot 0
+        let mut img = image_of(&mut s);
+        // Simulate a torn commit of gen 3: it would target slot 1 (the
+        // stale gen-1 slot), so shred that sector. Gen 2 — the newest
+        // *acked* state — must still open with both appends readable.
+        for off in 4096..(4096 + 28) {
+            img.corrupt(off as u64, 0xA5);
+        }
+        let mut reopened = BlockStorage::open(Box::new(img), 4).expect("fallback slot must open");
+        assert_eq!(reopened.bytes(), b"firstsecond");
+    }
+
+    #[test]
+    fn non_journal_device_is_rejected() {
+        let mut dev = MemDevice::new();
+        dev.write_sector(0, &vec![0xAB; 4096]).unwrap();
+        assert!(matches!(BlockStorage::open(Box::new(dev), 4), Err(JournalError::Io(_))));
+    }
+
+    #[test]
+    fn power_loss_mid_append_never_acks() {
+        // Budget: superblock + a couple of data sectors, then the cord.
+        let inner = MemDevice::new();
+        let fault = FaultDevice::with_write_budget(Box::new(inner), 3, 17);
+        let storage = BlockStorage::open(Box::new(fault), 4).unwrap();
+        let mut j = Journal::new(Box::new(storage), 1);
+        let mut last_ok = 0;
+        for i in 0..50 {
+            if j.append(&rec(&format!("/f{i}"))).is_ok() && j.stats().io_errors == 0 {
+                last_ok = i + 1;
+            }
+        }
+        assert!(j.stats().io_errors > 0, "the cord was pulled");
+        assert!(last_ok < 50);
+    }
+}

@@ -104,8 +104,12 @@ impl Storage for FaultStorage {
         }
     }
 
-    fn bytes(&self) -> &[u8] {
-        &self.buf
+    fn bytes(&mut self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
     }
 
     fn reset(&mut self) -> JournalResult<()> {

@@ -15,14 +15,18 @@
 //! * [`record`] — typed records and their binary encoding;
 //! * [`wal`] — frames, group commit, transactions, [`JournalSink`];
 //! * [`replay`] — torn-tail-tolerant parsing + the redo filter;
-//! * [`fault`] — crash-point surgery and a byte-budget fault storage.
+//! * [`fault`] — crash-point surgery and a byte-budget fault storage;
+//! * [`blockstore`] — the log on a `maxoid-block` device behind a page
+//!   cache, for logs that outgrow memory and cold boots from a file.
 
+pub mod blockstore;
 pub mod codec;
 pub mod fault;
 pub mod record;
 pub mod replay;
 pub mod wal;
 
+pub use blockstore::BlockStorage;
 pub use codec::CodecError;
 pub use fault::{crash_prefix, flip_byte, record_boundaries, torn_log, FaultStorage};
 pub use record::{ParamValue, Record, VfsRecord};

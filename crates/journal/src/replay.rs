@@ -102,7 +102,8 @@ pub fn read_records(bytes: &[u8]) -> ReadLog {
         if frame_crc(lsn, len as u32, payload) != crc || lsn <= last_lsn {
             return ReadLog { records, tail: TailState::Corrupted { offset: pos } };
         }
-        let decoded = if v2 { Record::decode_v2(payload, Some(&dict)) } else { Record::decode(payload) };
+        let decoded =
+            if v2 { Record::decode_v2(payload, Some(&dict)) } else { Record::decode(payload) };
         match decoded {
             Ok(rec) => {
                 if let Record::PathDef { id, path } = &rec {

@@ -55,12 +55,26 @@ pub fn frame_crc(lsn: u64, len: u32, payload: &[u8]) -> u32 {
 }
 
 /// Byte-level log storage. The in-memory implementation stands in for an
-/// append-only file; the fault harness wraps one to cut writes short.
+/// append-only file; the fault harness wraps one to cut writes short; the
+/// block-backed implementation ([`crate::BlockStorage`]) keeps the log on
+/// a [`maxoid_block::BlockDevice`] behind a page cache.
+///
+/// The durability contract: when `append` returns `Ok(())`, the appended
+/// bytes are as durable as the backend makes them — block storage issues
+/// its write-back + device flush barrier inside `append`, so the WAL's
+/// group-commit acknowledgement means the same thing on every backend.
 pub trait Storage: Send {
     /// Appends bytes to the durable log.
     fn append(&mut self, bytes: &[u8]) -> JournalResult<()>;
-    /// Returns the durable log contents.
-    fn bytes(&self) -> &[u8];
+    /// Returns the durable log contents. Takes `&mut self` because
+    /// device-backed implementations read through their page cache.
+    fn bytes(&mut self) -> Vec<u8>;
+    /// Durable log length in bytes.
+    fn len(&self) -> usize;
+    /// True when nothing has been made durable yet.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
     /// Truncates the log (used by checkpointing).
     fn reset(&mut self) -> JournalResult<()>;
 }
@@ -83,8 +97,12 @@ impl Storage for MemStorage {
         Ok(())
     }
 
-    fn bytes(&self) -> &[u8] {
-        &self.buf
+    fn bytes(&mut self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    fn len(&self) -> usize {
+        self.buf.len()
     }
 
     fn reset(&mut self) -> JournalResult<()> {
@@ -140,7 +158,7 @@ impl LogDevice {
         }
         let mut scratch = std::mem::take(&mut self.scratch);
         scratch.clear();
-        if self.storage.bytes().is_empty() {
+        if self.storage.is_empty() {
             scratch.extend_from_slice(&LOG_PREAMBLE);
         }
         let mut w = ByteWriter::from_vec(scratch);
@@ -247,15 +265,26 @@ impl std::fmt::Debug for Journal {
 impl Journal {
     /// Creates a journal over the given storage with a group-commit batch
     /// size (records per flush; 1 = flush every record).
+    ///
+    /// Non-empty storage (a reopened device-backed log) is scanned once so
+    /// LSNs continue past the existing history — replay rejects
+    /// non-monotonic LSNs as corruption, so a reopened journal must never
+    /// restart numbering at 1.
     pub fn new(storage: Box<dyn Storage>, batch: usize) -> Self {
+        let mut dev = LogDevice { storage, scratch: Vec::new() };
+        let last_lsn = if dev.storage.is_empty() {
+            0
+        } else {
+            crate::replay::read_records(&dev.storage.bytes()).last_lsn()
+        };
         Journal {
-            storage: Arc::new(Mutex::new(LogDevice { storage, scratch: Vec::new() })),
-            next_lsn: 1,
+            storage: Arc::new(Mutex::new(dev)),
+            next_lsn: last_lsn + 1,
             next_txn: 1,
             batch: batch.max(1),
             queue: Vec::new(),
             interner: PathInterner::default(),
-            acked_lsn: 0,
+            acked_lsn: last_lsn,
             group_leader: false,
             stats: JournalStats::default(),
         }
@@ -385,12 +414,12 @@ impl Journal {
     /// Returns the durable log bytes (NOT including the pending queue —
     /// what a crash right now would leave behind).
     pub fn bytes(&self) -> Vec<u8> {
-        self.storage.lock().storage.bytes().to_vec()
+        self.storage.lock().storage.bytes()
     }
 
     /// Durable log size in bytes.
     pub fn len(&self) -> usize {
-        self.storage.lock().storage.bytes().len()
+        self.storage.lock().storage.len()
     }
 
     /// True when nothing has been made durable yet.
@@ -619,6 +648,14 @@ impl JournalHandle {
         JournalHandle::new(Journal::in_memory(batch))
     }
 
+    /// Journal over a caller-provided storage backend (e.g. a
+    /// [`crate::BlockStorage`] over a file-backed device). If the storage
+    /// already holds records, LSN numbering continues from the reopened
+    /// log's tail.
+    pub fn with_storage(storage: Box<dyn Storage>, batch: usize) -> Self {
+        JournalHandle::new(Journal::new(storage, batch))
+    }
+
     /// Runs `f` with the journal locked.
     pub fn with<R>(&self, f: impl FnOnce(&mut Journal) -> R) -> R {
         f(&mut self.shared.journal.lock())
@@ -681,8 +718,7 @@ impl JournalHandle {
             let (result, bytes) = dev.write_batch(&batch);
             drop(dev);
             j = self.shared.journal.lock();
-            let booked =
-                if batch.is_empty() { None } else { Some((bytes as usize, batch.len())) };
+            let booked = if batch.is_empty() { None } else { Some((bytes as usize, batch.len())) };
             j.finish_group_flush(booked, &result, high);
             j.set_group_leader(false);
             self.shared.flushed.notify_all();
@@ -724,6 +760,17 @@ impl JournalHandle {
     /// Durable log bytes (a crash right now loses only the pending queue).
     pub fn bytes(&self) -> Vec<u8> {
         self.with(|j| j.bytes())
+    }
+
+    /// Durable log size in bytes, without copying the log out.
+    pub fn len(&self) -> usize {
+        self.with(|j| j.len())
+    }
+
+    /// True when nothing has been made durable yet — i.e. booting from
+    /// this journal is a fresh boot, not a cold recovery.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     pub fn stats(&self) -> JournalStats {

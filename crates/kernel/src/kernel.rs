@@ -55,8 +55,16 @@ impl Default for Kernel {
 impl Kernel {
     /// Boots a kernel with an empty VFS and network.
     pub fn new() -> Self {
+        Self::with_vfs(Vfs::new())
+    }
+
+    /// Boots a kernel around a caller-provided VFS. Used by cold boot,
+    /// where the filesystem has already been recovered from a journal
+    /// (possibly into a block-device-backed store) before the kernel's
+    /// process table exists.
+    pub fn with_vfs(vfs: Vfs) -> Self {
         Kernel {
-            vfs: Vfs::new(),
+            vfs,
             net: Network::new(),
             state: RwLock::new(KernelState {
                 apps: std::collections::BTreeMap::new(),

@@ -119,6 +119,22 @@ impl<L: FileLocator> DownloadsProvider<L> {
         DownloadsProvider { proxy, files, notifications: Vec::new() }
     }
 
+    /// Rebuilds the provider from a recovered database *and* reattaches
+    /// the journal (cold boot). The sink is attached before any missing
+    /// schema is installed so a pre-DDL crash re-logs the catalog.
+    pub fn from_recovered_journaled(
+        db: maxoid_sqldb::Database,
+        files: SystemFiles<L>,
+        sink: maxoid_journal::SinkRef,
+    ) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        if !proxy.db().has_table("downloads") {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
+        DownloadsProvider { proxy, files, notifications: Vec::new() }
+    }
+
     /// Access to the proxy (tests, benches).
     pub fn proxy(&self) -> &CowProxy {
         &self.proxy

@@ -130,6 +130,25 @@ impl<L: FileLocator> MediaProvider<L> {
         MediaProvider { proxy, files }
     }
 
+    /// Rebuilds the provider from a recovered database *and* reattaches
+    /// the journal (cold boot). The sink is attached before any missing
+    /// schema is installed so a pre-DDL crash re-logs the catalog; view
+    /// registration and COW-view rebuilds are derived state and follow.
+    pub fn from_recovered_journaled(
+        db: maxoid_sqldb::Database,
+        files: SystemFiles<L>,
+        sink: maxoid_journal::SinkRef,
+    ) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        if !proxy.db().has_table("files") {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
+        register_views(&mut proxy);
+        proxy.rebuild_cow_views().expect("registered views rebuild cleanly");
+        MediaProvider { proxy, files }
+    }
+
     /// Access to the proxy (tests, benches).
     pub fn proxy(&self) -> &CowProxy {
         &self.proxy

@@ -70,6 +70,23 @@ impl UserDictionaryProvider {
         UserDictionaryProvider { proxy }
     }
 
+    /// Rebuilds the provider from a recovered database *and* reattaches
+    /// the journal, so mutations after a cold boot keep logging. The sink
+    /// is attached before any missing schema is installed: if the crash
+    /// predated the schema DDL reaching the log, the reinstall is logged
+    /// now rather than silently diverging from the journal.
+    pub fn from_recovered_journaled(
+        db: maxoid_sqldb::Database,
+        sink: maxoid_journal::SinkRef,
+    ) -> Self {
+        let mut proxy = CowProxy::adopt(db);
+        proxy.attach_journal(sink, &format!("db.{AUTHORITY}"));
+        if !proxy.db().has_table(WORDS_TABLE) {
+            proxy.execute_batch(SCHEMA).expect("static schema is valid");
+        }
+        UserDictionaryProvider { proxy }
+    }
+
     /// Access to the underlying proxy (tests, benches).
     pub fn proxy(&self) -> &CowProxy {
         &self.proxy

@@ -724,7 +724,8 @@ impl Database {
             let cols = table.schema.column_names().join(", ");
             let placeholders: Vec<String> =
                 (1..=table.schema.columns.len()).map(|i| format!("?{i}")).collect();
-            let insert = format!("INSERT INTO {name} ({cols}) VALUES ({})", placeholders.join(", "));
+            let insert =
+                format!("INSERT INTO {name} ({cols}) VALUES ({})", placeholders.join(", "));
             let hidden_rowid = table.schema.pk_column.is_none();
             for (rowid, row) in table.iter() {
                 if hidden_rowid {

@@ -56,6 +56,29 @@ impl Vfs {
         Vfs { store: Arc::new(RwLock::new(Store::new())) }
     }
 
+    /// Creates a VFS whose store spills file payloads larger than
+    /// `threshold` bytes to a block device behind a `pages`-page cache,
+    /// bounding content memory by the cache budget.
+    pub fn with_block_device(
+        dev: Box<dyn maxoid_block::BlockDevice>,
+        pages: usize,
+        threshold: usize,
+    ) -> Self {
+        Vfs { store: Arc::new(RwLock::new(Store::with_block_device(dev, pages, threshold))) }
+    }
+
+    /// Takes an existing store (e.g. a block-backed one mutated during
+    /// recovery) as this facade's backing store.
+    pub fn from_store(store: Store) -> Self {
+        Vfs { store: Arc::new(RwLock::new(store)) }
+    }
+
+    /// Point-in-time storage-tier counters: resident vs spilled files and
+    /// the page-cache stats when a block device is attached.
+    pub fn store_stats(&self) -> crate::store::StoreStats {
+        self.with_store(|s| s.stats())
+    }
+
     /// Runs a closure with shared access to the raw backing store.
     ///
     /// This is the "root" escape hatch used by trusted components (the

@@ -42,5 +42,7 @@ pub use error::{VfsError, VfsResult};
 pub use fs::{FileHandle, OpenMode, Vfs};
 pub use mount::{Mount, MountKind, MountNamespace};
 pub use path::{vpath, VPath};
-pub use store::{DirEntry, InodeId, Metadata, Store};
+pub use store::{
+    DirEntry, FileData, InodeId, Metadata, Store, StoreStats, DEFAULT_SPILL_THRESHOLD,
+};
 pub use union::{Branch, CopyUpGranularity, Located, Union, APPEND_DELTA_PREFIX, WHITEOUT_PREFIX};

@@ -9,8 +9,10 @@
 use crate::cred::{Mode, Uid};
 use crate::error::{VfsError, VfsResult};
 use crate::path::VPath;
+use maxoid_block::{BlockDevice, CacheStats, PageCache};
 use maxoid_journal::codec::{ByteReader, ByteWriter};
 use maxoid_journal::{Record, SinkRef, VfsRecord};
+use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifier of an inode within the store.
@@ -32,13 +34,53 @@ pub struct Metadata {
     pub is_dir: bool,
 }
 
+/// Where a file's bytes live: inline in the inode, or spilled to sectors
+/// of the store's block device.
+///
+/// Small payloads (at or below the store's spill threshold) and every
+/// payload of a device-less store stay [`FileData::Resident`]. Larger
+/// payloads on a block-backed store are written to an extent of device
+/// sectors behind the page cache, keeping the inode table itself small
+/// while content competes for the fixed page budget.
+///
+/// Cloning a `Paged` value aliases its sectors; the clone is only for
+/// read-side materialization and must never be handed back to a store
+/// that will later free both copies.
+#[derive(Debug, Clone)]
+pub enum FileData {
+    /// Bytes held inline.
+    Resident(Vec<u8>),
+    /// Bytes spilled to device sectors (one page each, last one partial).
+    Paged {
+        /// The sectors holding the content, in order.
+        sectors: Vec<u64>,
+        /// Content length in bytes.
+        len: u64,
+    },
+}
+
+impl FileData {
+    /// Content length in bytes, without touching the device.
+    pub fn len(&self) -> u64 {
+        match self {
+            FileData::Resident(d) => d.len() as u64,
+            FileData::Paged { len, .. } => *len,
+        }
+    }
+
+    /// True when the content is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// A node in the backing store.
 #[derive(Debug, Clone)]
 pub enum Inode {
     /// A regular file with its contents.
     File {
-        /// File bytes.
-        data: Vec<u8>,
+        /// File bytes (inline or spilled to the block device).
+        data: FileData,
         /// Owner uid.
         owner: Uid,
         /// Permission bits.
@@ -66,7 +108,7 @@ impl Inode {
                 owner: *owner,
                 mode: *mode,
                 mtime: *mtime,
-                size: data.len() as u64,
+                size: data.len(),
                 is_dir: false,
             },
             Inode::Dir { owner, mode, mtime, .. } => {
@@ -85,12 +127,119 @@ pub struct DirEntry {
     pub is_dir: bool,
 }
 
+/// The block-device tier behind a paged store: a page cache plus a simple
+/// sector allocator (free list + high-water mark).
+///
+/// Lives behind a [`Mutex`] *inside* the store because content reads come
+/// through `&Store` (the `Vfs` facade holds a shared `RwLock` read guard)
+/// while faulting a page in needs `&mut` access to the cache. The mutex is
+/// a leaf in the global lock order: it is only taken while the store lock
+/// is already held, and nothing else is acquired under it.
+struct PagedBacking {
+    cache: PageCache,
+    /// Sectors released by overwrites and unlinks, reused before the
+    /// high-water mark advances.
+    free: Vec<u64>,
+    /// Next never-allocated sector.
+    next_sector: u64,
+}
+
+impl PagedBacking {
+    fn alloc(&mut self, n: usize) -> Vec<u64> {
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.free.pop().unwrap_or_else(|| {
+                let s = self.next_sector;
+                self.next_sector += 1;
+                s
+            }));
+        }
+        out
+    }
+}
+
+/// Point-in-time store composition counters (see [`Store::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Files whose bytes are inline in the inode table.
+    pub resident_files: u64,
+    /// Total bytes held inline.
+    pub resident_bytes: u64,
+    /// Files spilled to the block device.
+    pub spilled_files: u64,
+    /// Total logical bytes spilled (device usage is this, page-rounded).
+    pub spilled_bytes: u64,
+    /// Page-cache counters, when a block device is attached.
+    pub cache: Option<CacheStats>,
+    /// Fixed page-cache budget in bytes (memory bound for spilled content).
+    pub cache_budget_bytes: u64,
+}
+
+/// Materializes file content regardless of representation. Device I/O
+/// failure on the spill tier is fatal: the device is process-lifetime
+/// scratch (content is rebuilt from the WAL on recovery), so losing it
+/// mid-run is equivalent to losing RAM.
+fn fd_load(paged: &Option<Mutex<PagedBacking>>, data: &FileData) -> Vec<u8> {
+    match data {
+        FileData::Resident(d) => d.clone(),
+        FileData::Paged { sectors, len } => {
+            let p = paged.as_ref().expect("paged file data in a store with no block device");
+            let mut p = p.lock();
+            let ps = p.cache.page_size();
+            let mut out = vec![0u8; *len as usize];
+            for (i, &sec) in sectors.iter().enumerate() {
+                let start = i * ps;
+                let end = ((i + 1) * ps).min(out.len());
+                let page = p.cache.read(sec).expect("vfs spill device read failed");
+                out[start..end].copy_from_slice(&page.data()[..end - start]);
+            }
+            out
+        }
+    }
+}
+
+/// Chooses a representation for `bytes` and stores it: inline when small
+/// (or when the store has no device), spilled to freshly allocated sectors
+/// otherwise.
+fn fd_store(paged: &Option<Mutex<PagedBacking>>, threshold: usize, bytes: &[u8]) -> FileData {
+    let Some(p) = paged else { return FileData::Resident(bytes.to_vec()) };
+    if bytes.len() <= threshold {
+        return FileData::Resident(bytes.to_vec());
+    }
+    let mut p = p.lock();
+    let ps = p.cache.page_size();
+    let sectors = p.alloc(bytes.len().div_ceil(ps));
+    for (i, &sec) in sectors.iter().enumerate() {
+        let chunk = &bytes[i * ps..((i + 1) * ps).min(bytes.len())];
+        if chunk.len() == ps {
+            p.cache.write_full(sec, chunk).expect("vfs spill device write failed");
+        } else {
+            p.cache
+                .write(sec, |buf| buf[..chunk.len()].copy_from_slice(chunk))
+                .expect("vfs spill device write failed");
+        }
+    }
+    FileData::Paged { sectors, len: bytes.len() as u64 }
+}
+
+/// Releases a value's sectors (if any) back to the allocator, discarding
+/// their cached pages without write-back.
+fn fd_free(paged: &Option<Mutex<PagedBacking>>, data: &FileData) {
+    if let FileData::Paged { sectors, .. } = data {
+        let p = paged.as_ref().expect("paged file data in a store with no block device");
+        let mut p = p.lock();
+        for &sec in sectors {
+            p.cache.discard(sec);
+        }
+        p.free.extend_from_slice(sectors);
+    }
+}
+
 /// The in-memory backing store.
 ///
 /// Host paths are plain [`VPath`]s resolved from the store root; the store
 /// performs **no permission checks** — it is below the layer where Android
 /// UIDs matter. Callers that need checks use [`crate::fs::Vfs`].
-#[derive(Debug)]
 pub struct Store {
     inodes: Vec<Option<Inode>>,
     free: Vec<InodeId>,
@@ -111,6 +260,24 @@ pub struct Store {
     /// whole inode table. Deallocated slots stay in the set (the delta
     /// must record the tombstone).
     dirty: BTreeSet<u64>,
+    /// Optional block-device tier for large file payloads. See
+    /// [`PagedBacking`] for why it sits behind its own (leaf) mutex.
+    paged: Option<Mutex<PagedBacking>>,
+    /// Payloads strictly larger than this spill to the device. Irrelevant
+    /// when `paged` is `None` (everything stays resident).
+    spill_threshold: usize,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store")
+            .field("inodes", &self.inodes.len())
+            .field("free", &self.free.len())
+            .field("clock", &self.clock)
+            .field("paged", &self.paged.is_some())
+            .field("spill_threshold", &self.spill_threshold)
+            .finish()
+    }
 }
 
 impl Default for Store {
@@ -118,6 +285,10 @@ impl Default for Store {
         Self::new()
     }
 }
+
+/// Default spill threshold for block-backed stores: payloads up to this
+/// size stay inline; anything larger goes to device pages.
+pub const DEFAULT_SPILL_THRESHOLD: usize = 1024;
 
 impl Store {
     /// Creates a store containing only an empty root directory.
@@ -132,6 +303,59 @@ impl Store {
             journal: None,
             visibility_gen: 0,
             dirty: BTreeSet::from([0]),
+            paged: None,
+            spill_threshold: usize::MAX,
+        }
+    }
+
+    /// Creates a store that spills file payloads larger than `threshold`
+    /// bytes to `dev` behind a `pages`-page cache. The device is volatile
+    /// scratch for the live tree — durability still comes from the journal
+    /// — so page-resident memory for content is bounded by the cache
+    /// budget no matter how large the working set grows.
+    pub fn with_block_device(dev: Box<dyn BlockDevice>, pages: usize, threshold: usize) -> Self {
+        let mut s = Store::new();
+        s.paged = Some(Mutex::new(PagedBacking {
+            cache: PageCache::new(dev, pages),
+            free: Vec::new(),
+            next_sector: 0,
+        }));
+        s.spill_threshold = threshold;
+        s
+    }
+
+    /// Point-in-time composition counters: how many files (and bytes) are
+    /// inline vs spilled, plus the page-cache counters when a device is
+    /// attached. The mirror of `db.stats` for the storage tier.
+    pub fn stats(&self) -> StoreStats {
+        let mut st = StoreStats::default();
+        for slot in self.inodes.iter().flatten() {
+            if let Inode::File { data, .. } = slot {
+                match data {
+                    FileData::Resident(d) => {
+                        st.resident_files += 1;
+                        st.resident_bytes += d.len() as u64;
+                    }
+                    FileData::Paged { len, .. } => {
+                        st.spilled_files += 1;
+                        st.spilled_bytes += len;
+                    }
+                }
+            }
+        }
+        if let Some(p) = &self.paged {
+            let p = p.lock();
+            st.cache = Some(p.cache.stats());
+            st.cache_budget_bytes = p.cache.budget_bytes() as u64;
+        }
+        st
+    }
+
+    /// Writes every dirty cached page back to the block device and issues
+    /// its flush barrier. A no-op for device-less stores.
+    pub fn flush_pages(&self) {
+        if let Some(p) = &self.paged {
+            p.lock().cache.flush().expect("vfs spill device flush failed");
         }
     }
 
@@ -207,7 +431,9 @@ impl Store {
 
     fn dealloc(&mut self, id: InodeId) {
         if let Some(slot) = self.inodes.get_mut(id.0 as usize) {
-            *slot = None;
+            if let Some(Inode::File { data, .. }) = slot.take() {
+                fd_free(&self.paged, &data);
+            }
             self.free.push(id);
         }
     }
@@ -248,10 +474,11 @@ impl Store {
         self.read_inode(id)
     }
 
-    /// Reads a file by inode id.
+    /// Reads a file by inode id, materializing spilled content through the
+    /// page cache.
     pub fn read_inode(&self, id: InodeId) -> VfsResult<Vec<u8>> {
         match self.get(id)? {
-            Inode::File { data, .. } => Ok(data.clone()),
+            Inode::File { data, .. } => Ok(fd_load(&self.paged, data)),
             Inode::Dir { .. } => Err(VfsError::IsADirectory),
         }
     }
@@ -325,19 +552,29 @@ impl Store {
         let journaled = self.journal.is_some();
         let mut delta: Option<(usize, usize)> = None;
         let id = if let Some(id) = existing {
-            match self.get_mut(id)? {
-                Inode::File { data: d, mtime: m, .. } => {
+            match self.get(id)? {
+                Inode::File { data: d, .. } => {
                     if journaled {
-                        delta = delta_bounds(d, data);
+                        let old = fd_load(&self.paged, d);
+                        delta = delta_bounds(&old, data);
                     }
-                    *d = data.to_vec();
-                    *m = mtime;
-                    id
                 }
                 Inode::Dir { .. } => return Err(VfsError::IsADirectory),
             }
+            let new_fd = fd_store(&self.paged, self.spill_threshold, data);
+            let paged = &self.paged;
+            match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
+                Some(Inode::File { data: d, mtime: m, .. }) => {
+                    fd_free(paged, d);
+                    *d = new_fd;
+                    *m = mtime;
+                }
+                _ => unreachable!("checked to be a file above"),
+            }
+            id
         } else {
-            let id = self.alloc(Inode::File { data: data.to_vec(), owner, mode, mtime });
+            let new_fd = fd_store(&self.paged, self.spill_threshold, data);
+            let id = self.alloc(Inode::File { data: new_fd, owner, mode, mtime });
             match self.get_mut(parent)? {
                 Inode::Dir { entries, mtime: pm, .. } => {
                     entries.insert(name, id);
@@ -372,16 +609,44 @@ impl Store {
         Ok(id)
     }
 
-    /// Appends bytes to an existing file.
+    /// Appends bytes to an existing file. Resident files that stay under
+    /// the spill threshold extend in place; anything else (already spilled,
+    /// or crossing the threshold) re-stores the whole payload, which may
+    /// migrate it to device pages.
     pub fn append(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
         let id = self.resolve(path)?;
         let mtime = self.tick();
-        match self.get_mut(id)? {
-            Inode::File { data: d, mtime: m, .. } => {
-                d.extend_from_slice(data);
-                *m = mtime;
+        let in_place = match self.get(id)? {
+            Inode::File { data: FileData::Resident(d), .. } => {
+                self.paged.is_none() || d.len() + data.len() <= self.spill_threshold
             }
+            Inode::File { .. } => false,
             Inode::Dir { .. } => return Err(VfsError::IsADirectory),
+        };
+        if in_place {
+            match self.get_mut(id)? {
+                Inode::File { data: FileData::Resident(d), mtime: m, .. } => {
+                    d.extend_from_slice(data);
+                    *m = mtime;
+                }
+                _ => unreachable!("checked resident file above"),
+            }
+        } else {
+            let mut content = match self.get(id)? {
+                Inode::File { data: d, .. } => fd_load(&self.paged, d),
+                Inode::Dir { .. } => unreachable!("checked to be a file above"),
+            };
+            content.extend_from_slice(data);
+            let new_fd = fd_store(&self.paged, self.spill_threshold, &content);
+            let paged = &self.paged;
+            match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
+                Some(Inode::File { data: d, mtime: m, .. }) => {
+                    fd_free(paged, d);
+                    *d = new_fd;
+                    *m = mtime;
+                }
+                _ => unreachable!("checked to be a file above"),
+            }
         }
         self.touch(id);
         self.emit(VfsRecord::Append { path: path.as_str().to_string(), data: data.to_vec() });
@@ -393,15 +658,24 @@ impl Store {
         let journaled = self.journal.is_some();
         let mut delta: Option<(usize, usize)> = None;
         let mtime = self.tick();
-        match self.get_mut(id)? {
-            Inode::File { data: d, mtime: m, .. } => {
+        match self.get(id)? {
+            Inode::File { data: d, .. } => {
                 if journaled {
-                    delta = delta_bounds(d, data);
+                    let old = fd_load(&self.paged, d);
+                    delta = delta_bounds(&old, data);
                 }
-                *d = data.to_vec();
-                *m = mtime;
             }
             Inode::Dir { .. } => return Err(VfsError::IsADirectory),
+        }
+        let new_fd = fd_store(&self.paged, self.spill_threshold, data);
+        let paged = &self.paged;
+        match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
+            Some(Inode::File { data: d, mtime: m, .. }) => {
+                fd_free(paged, d);
+                *d = new_fd;
+                *m = mtime;
+            }
+            _ => unreachable!("checked to be a file above"),
         }
         self.touch(id);
         if let Some((prefix, suffix)) = delta {
@@ -638,19 +912,28 @@ impl Store {
     fn apply_delta(&mut self, id: InodeId, prefix: u32, suffix: u32, mid: &[u8]) -> VfsResult<()> {
         let (prefix, suffix) = (prefix as usize, suffix as usize);
         let mtime = self.tick();
-        match self.get_mut(id)? {
-            Inode::File { data: d, mtime: m, .. } => {
-                if prefix + suffix > d.len() {
+        let old = match self.get(id)? {
+            Inode::File { data: d, .. } => {
+                if prefix + suffix > d.len() as usize {
                     return Err(VfsError::InvalidArgument);
                 }
-                let mut new = Vec::with_capacity(prefix + mid.len() + suffix);
-                new.extend_from_slice(&d[..prefix]);
-                new.extend_from_slice(mid);
-                new.extend_from_slice(&d[d.len() - suffix..]);
-                *d = new;
-                *m = mtime;
+                fd_load(&self.paged, d)
             }
             Inode::Dir { .. } => return Err(VfsError::IsADirectory),
+        };
+        let mut new = Vec::with_capacity(prefix + mid.len() + suffix);
+        new.extend_from_slice(&old[..prefix]);
+        new.extend_from_slice(mid);
+        new.extend_from_slice(&old[old.len() - suffix..]);
+        let new_fd = fd_store(&self.paged, self.spill_threshold, &new);
+        let paged = &self.paged;
+        match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
+            Some(Inode::File { data: d, mtime: m, .. }) => {
+                fd_free(paged, d);
+                *d = new_fd;
+                *m = mtime;
+            }
+            _ => unreachable!("checked to be a file above"),
         }
         self.touch(id);
         Ok(())
@@ -666,7 +949,7 @@ impl Store {
         w.put_u64(self.clock);
         w.put_u32(self.inodes.len() as u32);
         for slot in &self.inodes {
-            write_slot(&mut w, slot);
+            write_slot(&mut w, &self.paged, slot.as_ref());
         }
         self.write_free_list(&mut w);
         w.into_bytes()
@@ -693,7 +976,7 @@ impl Store {
         for &id in &self.dirty {
             w.put_u64(id);
             let slot = self.inodes.get(id as usize).and_then(|s| s.as_ref());
-            write_slot(&mut w, &slot.cloned());
+            write_slot(&mut w, &self.paged, slot);
         }
         self.write_free_list(&mut w);
         self.dirty.clear();
@@ -716,9 +999,13 @@ impl Store {
         let n = r.get_u32().map_err(bad)? as usize;
         for _ in 0..n {
             let id = r.get_u64().map_err(bad)? as usize;
-            let slot = read_slot(&mut r)?;
+            let slot = read_slot(&mut r, &self.paged, self.spill_threshold)?;
             if id >= self.inodes.len() {
                 self.inodes.resize(id + 1, None);
+            }
+            // Release any extents the replaced slot held.
+            if let Some(Inode::File { data, .. }) = &self.inodes[id] {
+                fd_free(&self.paged, data);
             }
             self.inodes[id] = slot;
             self.dirty.insert(id as u64);
@@ -745,12 +1032,18 @@ impl Store {
         let n = r.get_u32().map_err(bad)? as usize;
         let mut inodes = Vec::with_capacity(n);
         for _ in 0..n {
-            inodes.push(read_slot(&mut r)?);
+            inodes.push(read_slot(&mut r, &self.paged, self.spill_threshold)?);
         }
         let fcount = r.get_u32().map_err(bad)? as usize;
         let mut free = Vec::with_capacity(fcount);
         for _ in 0..fcount {
             free.push(InodeId(r.get_u64().map_err(bad)?));
+        }
+        // The old tree is being replaced wholesale: release its extents.
+        for slot in self.inodes.iter().flatten() {
+            if let Inode::File { data, .. } = slot {
+                fd_free(&self.paged, data);
+            }
         }
         self.inodes = inodes;
         self.free = free;
@@ -783,7 +1076,7 @@ impl Store {
             Ok(Inode::File { data, owner, mode, .. }) => {
                 out.insert(
                     path.as_str().to_string(),
-                    (false, data.clone(), owner.0, mode.to_bits()),
+                    (false, fd_load(&self.paged, data), owner.0, mode.to_bits()),
                 );
             }
             Ok(Inode::Dir { entries, owner, mode, .. }) => {
@@ -801,13 +1094,15 @@ impl Store {
 
 /// Serializes one inode slot: 0 = empty, 1 = file, 2 = directory. Shared
 /// by full snapshots and incremental dirty images so the two formats can
-/// never drift apart.
-fn write_slot(w: &mut ByteWriter, slot: &Option<Inode>) {
+/// never drift apart. File content is always materialized, so the image
+/// bytes are identical whether payloads were resident or spilled — backend
+/// equivalence at the serialization boundary.
+fn write_slot(w: &mut ByteWriter, paged: &Option<Mutex<PagedBacking>>, slot: Option<&Inode>) {
     match slot {
         None => w.put_u8(0),
         Some(Inode::File { data, owner, mode, mtime }) => {
             w.put_u8(1);
-            w.put_bytes(data);
+            w.put_bytes(&fd_load(paged, data));
             w.put_u32(owner.0);
             w.put_u8(mode.to_bits());
             w.put_u64(*mtime);
@@ -826,7 +1121,11 @@ fn write_slot(w: &mut ByteWriter, slot: &Option<Inode>) {
     }
 }
 
-fn read_slot(r: &mut ByteReader<'_>) -> VfsResult<Option<Inode>> {
+fn read_slot(
+    r: &mut ByteReader<'_>,
+    paged: &Option<Mutex<PagedBacking>>,
+    threshold: usize,
+) -> VfsResult<Option<Inode>> {
     let bad = |_| VfsError::InvalidArgument;
     match r.get_u8().map_err(bad)? {
         0 => Ok(None),
@@ -835,6 +1134,7 @@ fn read_slot(r: &mut ByteReader<'_>) -> VfsResult<Option<Inode>> {
             let owner = Uid(r.get_u32().map_err(bad)?);
             let mode = Mode::from_bits(r.get_u8().map_err(bad)?);
             let mtime = r.get_u64().map_err(bad)?;
+            let data = fd_store(paged, threshold, &data);
             Ok(Some(Inode::File { data, owner, mode, mtime }))
         }
         2 => {
@@ -862,13 +1162,8 @@ fn read_slot(r: &mut ByteReader<'_>) -> VfsResult<Option<Inode>> {
 fn delta_bounds(old: &[u8], new: &[u8]) -> Option<(usize, usize)> {
     let prefix = old.iter().zip(new.iter()).take_while(|(a, b)| a == b).count();
     let overlap = old.len().min(new.len()) - prefix;
-    let suffix = old
-        .iter()
-        .rev()
-        .zip(new.iter().rev())
-        .take_while(|(a, b)| a == b)
-        .count()
-        .min(overlap);
+    let suffix =
+        old.iter().rev().zip(new.iter().rev()).take_while(|(a, b)| a == b).count().min(overlap);
     let mid = new.len() - prefix - suffix;
     if mid * 2 <= new.len() {
         Some((prefix, suffix))
@@ -1091,6 +1386,97 @@ mod tests {
     fn restore_image_rejects_garbage() {
         let mut s = Store::new();
         assert_eq!(s.restore_image(&[1, 2, 3]).err(), Some(VfsError::InvalidArgument));
+    }
+
+    fn paged_store(pages: usize, threshold: usize) -> Store {
+        Store::with_block_device(Box::new(maxoid_block::MemDevice::new()), pages, threshold)
+    }
+
+    #[test]
+    fn paged_store_spills_and_reads_back() {
+        let mut s = paged_store(8, 64);
+        let small = vec![1u8; 64];
+        let big = vec![2u8; 10_000];
+        s.write(&vpath("/small"), &small, Uid::ROOT, Mode::PUBLIC).unwrap();
+        s.write(&vpath("/big"), &big, Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(s.read(&vpath("/small")).unwrap(), small);
+        assert_eq!(s.read(&vpath("/big")).unwrap(), big);
+        let st = s.stats();
+        assert_eq!(st.resident_files, 1);
+        assert_eq!(st.spilled_files, 1);
+        assert_eq!(st.spilled_bytes, 10_000);
+        assert!(st.cache.is_some());
+    }
+
+    #[test]
+    fn paged_append_migrates_across_threshold() {
+        let mut s = paged_store(8, 100);
+        s.write(&vpath("/f"), &[7u8; 90], Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(s.stats().resident_files, 1);
+        s.append(&vpath("/f"), &[8u8; 90]).unwrap();
+        let st = s.stats();
+        assert_eq!(st.resident_files, 0);
+        assert_eq!(st.spilled_files, 1);
+        let mut want = vec![7u8; 90];
+        want.extend_from_slice(&[8u8; 90]);
+        assert_eq!(s.read(&vpath("/f")).unwrap(), want);
+    }
+
+    #[test]
+    fn unlink_releases_sectors_for_reuse() {
+        let mut s = paged_store(4, 0);
+        let payload = vec![3u8; 4096 * 3];
+        s.write(&vpath("/a"), &payload, Uid::ROOT, Mode::PUBLIC).unwrap();
+        s.unlink(&vpath("/a")).unwrap();
+        s.write(&vpath("/b"), &payload, Uid::ROOT, Mode::PUBLIC).unwrap();
+        // The second file reuses the first one's sectors: the device never
+        // grew past one extent (3 data sectors).
+        let p = s.paged.as_ref().unwrap().lock();
+        assert_eq!(p.next_sector, 3);
+    }
+
+    #[test]
+    fn working_set_beyond_cache_stays_exact_and_bounded() {
+        // 4 pages of cache, 32 spilled files of a page each: 8x the
+        // budget. Every file reads back exactly; memory for content is
+        // the 4-page budget plus the tiny inode table.
+        let mut s = paged_store(4, 0);
+        for i in 0..32 {
+            let body = vec![i as u8; 4096];
+            s.write(&vpath(&format!("/f{i}")), &body, Uid::ROOT, Mode::PUBLIC).unwrap();
+        }
+        for i in 0..32 {
+            assert_eq!(s.read(&vpath(&format!("/f{i}"))).unwrap(), vec![i as u8; 4096]);
+        }
+        let st = s.stats();
+        assert_eq!(st.spilled_files, 32);
+        assert_eq!(st.resident_bytes, 0);
+        assert_eq!(st.cache_budget_bytes, 4 * 4096);
+        let cache = st.cache.unwrap();
+        assert!(cache.evictions > 0, "working set must have churned the cache");
+    }
+
+    #[test]
+    fn snapshot_images_identical_across_backends() {
+        let script: &[(&str, &[u8])] =
+            &[("/a/f", &[1u8; 5000]), ("/a/g", b"tiny"), ("/b/h", &[9u8; 12_345])];
+        let mut resident = Store::new();
+        let mut paged = paged_store(8, 64);
+        for s in [&mut resident, &mut paged] {
+            for (p, body) in script {
+                let vp = vpath(p);
+                s.mkdir_all(&vp.parent().unwrap(), Uid::ROOT, Mode::PUBLIC).unwrap();
+                s.write(&vp, body, Uid::ROOT, Mode::PUBLIC).unwrap();
+            }
+        }
+        assert_eq!(resident.snapshot_image(), paged.snapshot_image());
+        assert_eq!(resident.dump_tree(), paged.dump_tree());
+        // Restoring a resident image into a paged store spills by
+        // threshold and still reads back identically.
+        let mut restored = paged_store(8, 64);
+        restored.restore_image(&resident.snapshot_image()).unwrap();
+        assert_eq!(restored.dump_tree(), resident.dump_tree());
+        assert!(restored.stats().spilled_files >= 2);
     }
 
     #[test]

@@ -11,12 +11,19 @@
 //! all-volatile state; only the full log yields the committed state.
 //! There is no log prefix from which anything in between can emerge.
 //!
+//! Act 2 repeats the lifecycle on a **file-backed block device**: the
+//! WAL's frames live in sectors behind a page cache, the process is
+//! dropped, and `boot_journaled` cold-starts the whole system — files,
+//! catalogs, provider rows — from nothing but the device file, reporting
+//! the boot latency.
+//!
 //! Run with: `cargo run -p maxoid-examples --bin crash_recovery`
 
 use maxoid::durability::recover;
 use maxoid::manifest::MaxoidManifest;
 use maxoid::{Caller, ContentValues, MaxoidSystem, QueryArgs, Uri, VolCommitPlan};
-use maxoid_journal::{crash_prefix, record_boundaries, JournalHandle};
+use maxoid_block::FileDevice;
+use maxoid_journal::{crash_prefix, record_boundaries, BlockStorage, JournalHandle};
 use maxoid_providers::provider::ContentProvider;
 use maxoid_providers::UserDictionaryProvider;
 use maxoid_vfs::{vpath, Mode};
@@ -103,4 +110,66 @@ fn main() {
     println!("\nfull log recovers the committed state:");
     println!("  {} public words (draft included), report.txt promoted to public", public.len());
     println!("\nall-or-nothing: no crash point yields a half-committed hybrid");
+
+    cold_start_from_file();
+}
+
+/// Act 2: the journal on a real file. Build state, drop the process,
+/// then cold-boot a brand-new system from the device file alone.
+fn cold_start_from_file() {
+    let path = std::env::temp_dir().join(format!("maxoid-coldstart-{}.blk", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    println!("\n--- cold start from a file-backed device ({}) ---", path.display());
+
+    // First life: every record flushed through the block device.
+    let dev = FileDevice::create(&path).expect("create device");
+    let journal = JournalHandle::with_storage(
+        Box::new(BlockStorage::open(Box::new(dev), 16).expect("open")),
+        1,
+    );
+    let sys = MaxoidSystem::boot_journaled(journal.clone()).expect("boot");
+    sys.install("editor", vec![], MaxoidManifest::new()).expect("install");
+    let words = Uri::parse("content://user_dictionary/words").unwrap();
+    let editor = Caller::normal("editor");
+    for (w, f) in [("persistent", 1), ("storage", 2), ("rocks", 3)] {
+        sys.resolver
+            .insert(&editor, &words, &ContentValues::new().put("word", w).put("frequency", f))
+            .expect("insert");
+    }
+    let pid = sys.launch("editor").expect("launch");
+    sys.kernel
+        .write(pid, &vpath("/storage/sdcard/novel.txt"), &vec![b'x'; 16 * 1024], Mode::PUBLIC)
+        .expect("write");
+    journal.flush().expect("flush");
+    let log_bytes = journal.bytes().len();
+    drop(sys);
+    drop(journal);
+    println!("first life journaled {log_bytes} bytes; process gone, file remains");
+
+    // Second life: reopen the device, cold-boot, measure.
+    let dev = FileDevice::open(&path).expect("reopen device");
+    let journal = JournalHandle::with_storage(
+        Box::new(BlockStorage::open(Box::new(dev), 16).expect("open")),
+        1,
+    );
+    let t0 = std::time::Instant::now();
+    let sys = MaxoidSystem::boot_journaled(journal).expect("cold boot");
+    let boot = t0.elapsed();
+    sys.install("editor", vec![], MaxoidManifest::new()).expect("re-install");
+    let rows = sys
+        .resolver
+        .query(&Caller::normal("observer"), &words, &QueryArgs::default())
+        .expect("query")
+        .rows
+        .len();
+    // The public write went through the editor's mount namespace into
+    // the external-public branch; read it back from the recovered store.
+    let novel = sys.kernel.vfs().with_store(|s| s.read(&vpath("/backing/ext/pub/novel.txt")));
+    assert_eq!(rows, 3, "all three words must survive the reboot");
+    assert_eq!(novel.expect("novel.txt must survive").len(), 16 * 1024);
+    println!(
+        "cold boot in {:.2?}: {} provider rows and a 16 KiB file recovered from {} log bytes",
+        boot, rows, log_bytes
+    );
+    let _ = std::fs::remove_file(&path);
 }

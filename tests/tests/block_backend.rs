@@ -1,0 +1,346 @@
+//! Block-backend equivalence and cold boot through the block layer.
+//!
+//! PR 7 moved two consumers onto `maxoid-block`: large VFS file payloads
+//! spill to page-cache-backed sectors, and the WAL can write frames
+//! through a block device instead of a `Vec<u8>`. Nothing about *what*
+//! the system stores may change — only *where* the bytes live. This file
+//! pins that contract:
+//!
+//! - **Backend equivalence** (proptest): the same randomized workload
+//!   applied to a resident-only store, a mem-device-backed store and a
+//!   file-device-backed store produces byte-identical `dump_tree()` and
+//!   `snapshot_image()` results, including under a page budget far
+//!   smaller than the working set (eviction pressure).
+//! - **Cold boot**: a journaled system whose WAL sits on a file-backed
+//!   [`BlockStorage`] is dropped and re-booted from the device alone;
+//!   files and provider rows come back exactly, and the rebooted system
+//!   keeps journaling (LSN continuity) so a *second* cold boot sees the
+//!   post-reboot writes too.
+//! - **Corruption stays loud**: the PR-3/PR-6 byte-flip discipline holds
+//!   when the log's bytes round-trip through a block device — a flipped
+//!   byte is `Corrupted`, never a silently shortened history — and a
+//!   power-lossy device (torn sector, dead writes) never acknowledges a
+//!   record the surviving image can't replay.
+
+use maxoid::durability::{recover, RecoveryError};
+use maxoid::manifest::MaxoidManifest;
+use maxoid::{Caller, ContentValues, MaxoidSystem, QueryArgs, Uri};
+use maxoid_block::{FaultDevice, FileDevice, MemDevice};
+use maxoid_journal::{flip_byte, read_records, BlockStorage, JournalHandle, TailState};
+use maxoid_sqldb::Value;
+use maxoid_vfs::{vpath, Mode, Store, Uid, VPath, Vfs};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const PAGES: usize = 4;
+const THRESHOLD: usize = 64;
+
+fn fpath(i: u8) -> VPath {
+    vpath("/").join(&format!("f{}", i % 8)).unwrap()
+}
+
+/// Deterministic payload: contents depend on (seed, len) only, so the
+/// same op produces the same bytes on every backend.
+fn pattern(seed: u8, len: u16) -> Vec<u8> {
+    (0..len as usize).map(|k| seed.wrapping_mul(31).wrapping_add(k as u8)).collect()
+}
+
+/// A step of the randomized store workload. Lengths deliberately straddle
+/// the spill threshold (64) and the 4096-byte page size.
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, u16),
+    Append(u8, u16),
+    Unlink(u8),
+    Read(u8),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0..9000u16).prop_map(|(i, n)| Op::Write(i, n)),
+        (any::<u8>(), 0..5000u16).prop_map(|(i, n)| Op::Append(i, n)),
+        any::<u8>().prop_map(Op::Unlink),
+        any::<u8>().prop_map(Op::Read),
+    ]
+}
+
+/// Applies one op; errors (e.g. unlinking a missing file) are returned so
+/// callers can assert all backends fail identically.
+fn apply(s: &mut Store, op: &Op) -> Result<Option<Vec<u8>>, maxoid_vfs::VfsError> {
+    match op {
+        Op::Write(i, n) => {
+            s.write(&fpath(*i), &pattern(*i, *n), Uid::ROOT, Mode::PUBLIC).map(|_| None)
+        }
+        Op::Append(i, n) => s.append(&fpath(*i), &pattern(i.wrapping_add(1), *n)).map(|_| None),
+        Op::Unlink(i) => s.unlink(&fpath(*i)).map(|_| None),
+        Op::Read(i) => s.read(&fpath(*i)).map(Some),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The structural guarantee behind every other test here: residency is
+    /// invisible. Same ops, three backends, identical observable state.
+    #[test]
+    fn prop_backends_are_equivalent(ops in proptest::collection::vec(op(), 1..60)) {
+        let mut resident = Store::new();
+        let mut mem = Store::with_block_device(Box::new(MemDevice::new()), PAGES, THRESHOLD);
+        let file_dev = FileDevice::temp("equiv").expect("temp device");
+        let mut file = Store::with_block_device(Box::new(file_dev), PAGES, THRESHOLD);
+
+        for op in &ops {
+            let a = apply(&mut resident, op);
+            let b = apply(&mut mem, op);
+            let c = apply(&mut file, op);
+            prop_assert_eq!(&a, &b, "mem backend diverged on {:?}", op);
+            prop_assert_eq!(&a, &c, "file backend diverged on {:?}", op);
+        }
+
+        prop_assert_eq!(resident.dump_tree(), mem.dump_tree());
+        prop_assert_eq!(resident.dump_tree(), file.dump_tree());
+        // Snapshot images are the serialization boundary: paged content
+        // must materialize to the exact resident bytes.
+        prop_assert_eq!(resident.snapshot_image(), mem.snapshot_image());
+        prop_assert_eq!(resident.snapshot_image(), file.snapshot_image());
+
+        // The page budget is structural: it never grows with the
+        // working set.
+        let st = mem.stats();
+        prop_assert_eq!(st.cache_budget_bytes, (PAGES * 4096) as u64);
+    }
+}
+
+/// Deterministic eviction-pressure case: a working set 8x the page budget
+/// stays exact and the counters show the cache actually thrashed.
+#[test]
+fn eviction_pressure_keeps_backends_equivalent() {
+    let mut resident = Store::new();
+    let mut mem = Store::with_block_device(Box::new(MemDevice::new()), PAGES, THRESHOLD);
+    for i in 0..8u8 {
+        let data = pattern(i, 8000);
+        resident.write(&fpath(i), &data, Uid::ROOT, Mode::PUBLIC).unwrap();
+        mem.write(&fpath(i), &data, Uid::ROOT, Mode::PUBLIC).unwrap();
+    }
+    for i in 0..8u8 {
+        assert_eq!(resident.read(&fpath(i)).unwrap(), mem.read(&fpath(i)).unwrap());
+    }
+    assert_eq!(resident.snapshot_image(), mem.snapshot_image());
+    let st = mem.stats();
+    let cache = st.cache.expect("paged store exposes cache stats");
+    assert!(cache.evictions > 0, "8x working set must evict: {cache:?}");
+    assert_eq!(st.spilled_files, 8);
+    assert_eq!(st.cache_budget_bytes, (PAGES * 4096) as u64);
+}
+
+const INITIATOR: &str = "initiator";
+const AUTHORITY: &str = "user_dictionary";
+
+fn words_uri() -> Uri {
+    Uri::parse(&format!("content://{AUTHORITY}/words")).unwrap()
+}
+
+fn query_words(sys: &MaxoidSystem) -> Vec<Vec<Value>> {
+    let args = QueryArgs {
+        projection: vec!["word".into(), "frequency".into()],
+        sort_order: Some("_id".into()),
+        ..QueryArgs::default()
+    };
+    sys.resolver.query(&Caller::normal(INITIATOR), &words_uri(), &args).expect("query").rows
+}
+
+fn files_of(sys: &MaxoidSystem) -> BTreeMap<String, (bool, Vec<u8>, u32, u8)> {
+    sys.kernel.vfs().with_store(|s| s.dump_tree())
+}
+
+fn seed_system(sys: &MaxoidSystem) {
+    sys.install(INITIATOR, vec![], MaxoidManifest::new()).expect("install");
+    let caller = Caller::normal(INITIATOR);
+    for (w, f) in [("hello", 10), ("world", 20)] {
+        sys.resolver
+            .insert(&caller, &words_uri(), &ContentValues::new().put("word", w).put("frequency", f))
+            .expect("insert");
+    }
+    // A payload big enough to spill on a block-backed store.
+    sys.kernel
+        .vfs()
+        .with_store_mut(|s| {
+            s.mkdir_all(&vpath("/storage/sdcard"), Uid::ROOT, Mode::PUBLIC)?;
+            s.write(&vpath("/storage/sdcard/blob"), &pattern(7, 9000), Uid::ROOT, Mode::PUBLIC)
+        })
+        .expect("write blob");
+}
+
+/// Opens (or reopens) a journal over the file device at `path`.
+fn file_journal(path: &std::path::Path, fresh: bool) -> JournalHandle {
+    let mut dev =
+        if fresh { FileDevice::create(path).unwrap() } else { FileDevice::open(path).unwrap() };
+    dev.set_delete_on_drop(false);
+    JournalHandle::with_storage(Box::new(BlockStorage::open(Box::new(dev), 8).unwrap()), 1)
+}
+
+#[test]
+fn cold_boot_from_file_backed_journal_restores_state() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("maxoid-coldboot-{}.blk", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    // First life: journaled boot over a file-backed block device.
+    let sys = MaxoidSystem::boot_journaled(file_journal(&path, true)).expect("boot");
+    seed_system(&sys);
+    sys.journal().unwrap().flush().unwrap();
+    let files = files_of(&sys);
+    let words = query_words(&sys);
+    drop(sys);
+
+    // Second life: nothing survives but the device. Boot cold into a
+    // block-backed VFS so recovered payloads spill to pages, not RAM.
+    let vfs = Vfs::with_block_device(Box::new(MemDevice::new()), 8, THRESHOLD);
+    let sys2 =
+        MaxoidSystem::boot_journaled_with_vfs(file_journal(&path, false), vfs).expect("cold boot");
+    // App installs are not journaled; re-install before using the cast.
+    sys2.install(INITIATOR, vec![], MaxoidManifest::new()).expect("re-install");
+    assert_eq!(files_of(&sys2), files, "file tree must survive the reboot");
+    assert_eq!(query_words(&sys2), words, "provider rows must survive the reboot");
+    let st = sys2.store_stats();
+    assert!(st.spilled_files > 0, "the 9000-byte blob must spill after recovery: {st:?}");
+
+    // Third life: writes made after the cold boot are journaled with
+    // continuing LSNs, so another reboot sees them too.
+    sys2.resolver
+        .insert(
+            &Caller::normal(INITIATOR),
+            &words_uri(),
+            &ContentValues::new().put("word", "reborn").put("frequency", 3),
+        )
+        .expect("post-reboot insert");
+    sys2.journal().unwrap().flush().unwrap();
+    let words2 = query_words(&sys2);
+    assert_eq!(words2.len(), words.len() + 1);
+    drop(sys2);
+
+    let sys3 = MaxoidSystem::boot_journaled(file_journal(&path, false)).expect("second cold boot");
+    sys3.install(INITIATOR, vec![], MaxoidManifest::new()).expect("re-install");
+    assert_eq!(query_words(&sys3), words2, "post-reboot write must survive the next reboot");
+    drop(sys3);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Builds a journaled system over an in-memory `BlockStorage`, runs the
+/// seed workload and returns the flushed log bytes.
+fn block_backed_log() -> Vec<u8> {
+    let j = JournalHandle::with_storage(Box::new(BlockStorage::in_memory(8)), 1);
+    let sys = MaxoidSystem::boot_journaled(j).expect("boot");
+    seed_system(&sys);
+    let j = sys.journal().unwrap().clone();
+    j.flush().unwrap();
+    j.bytes()
+}
+
+#[test]
+fn byte_flip_sweep_survives_the_block_device() {
+    let log = block_backed_log();
+    let clean = read_records(&log);
+    assert_eq!(clean.tail, TailState::Clean);
+    assert!(clean.records.len() > 10, "seed workload must produce a real log");
+
+    // Same discipline as the PR-3/PR-6 sweeps, now on bytes that lived in
+    // sectors behind a page cache: any flip is Corrupted at or before the
+    // damaged frame, never a quietly shorter history.
+    for offset in (0..log.len()).step_by(7) {
+        for mask in [0x01u8, 0x80] {
+            let flipped = flip_byte(&log, offset, mask);
+            let parsed = read_records(&flipped);
+            match parsed.tail {
+                TailState::Corrupted { offset: at } => {
+                    assert!(at <= offset, "corruption at {offset} reported downstream at {at}");
+                    assert!(parsed.records.len() <= clean.records.len());
+                }
+                other => panic!(
+                    "flip at byte {offset} (mask {mask:#04x}) parsed as {other:?} — silently shortened"
+                ),
+            }
+        }
+    }
+    for offset in (0..log.len()).step_by(97) {
+        match recover(&flip_byte(&log, offset, 0xFF)) {
+            Err(RecoveryError::Corrupted { .. }) => {}
+            Err(other) => panic!("flip at {offset}: wrong error {other}"),
+            Ok(_) => panic!("flip at {offset}: recovery succeeded on a corrupted log"),
+        }
+    }
+}
+
+/// A mem device whose platter is shared out-of-band, so a test can crash
+/// the journal stack and then inspect what "the disk" actually holds —
+/// the same split a real power cut makes between RAM and media.
+#[derive(Clone)]
+struct SharedDev(std::sync::Arc<std::sync::Mutex<MemDevice>>);
+
+impl maxoid_block::BlockDevice for SharedDev {
+    fn sector_size(&self) -> usize {
+        self.0.lock().unwrap().sector_size()
+    }
+    fn len_sectors(&self) -> u64 {
+        self.0.lock().unwrap().len_sectors()
+    }
+    fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> maxoid_block::BlockResult<()> {
+        self.0.lock().unwrap().read_sector(sector, buf)
+    }
+    fn write_sector(&mut self, sector: u64, buf: &[u8]) -> maxoid_block::BlockResult<()> {
+        self.0.lock().unwrap().write_sector(sector, buf)
+    }
+    fn flush(&mut self) -> maxoid_block::BlockResult<()> {
+        self.0.lock().unwrap().flush()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Power loss through the device, not the storage mock: a
+    /// write-budgeted [`FaultDevice`] dies mid-append (with a torn-sector
+    /// prefix landing on the platter), and whatever image survives must
+    /// replay every record the journal acknowledged — `append` returning
+    /// `Ok` is a durability promise the block layer has to keep, even
+    /// when the tear hits a superblock slot.
+    #[test]
+    fn prop_power_loss_never_loses_acked_records(budget in 1u64..40, torn in 0usize..4096) {
+        let platter = std::sync::Arc::new(std::sync::Mutex::new(MemDevice::new()));
+        let dev = FaultDevice::with_write_budget(
+            Box::new(SharedDev(platter.clone())),
+            budget,
+            torn,
+        );
+        let mut j = maxoid_journal::Journal::new(
+            Box::new(BlockStorage::open(Box::new(dev), 4).unwrap()),
+            1,
+        );
+        let mut acked = 0usize;
+        for i in 0..64 {
+            let rec = maxoid_journal::Record::Vfs(maxoid_journal::VfsRecord::Unlink {
+                path: format!("/d{i}").into(),
+            });
+            match j.append(&rec) {
+                Ok(_) => acked += 1,
+                Err(_) => break,
+            }
+        }
+        drop(j); // RAM is gone; only the platter survives.
+
+        let survivor = SharedDev(platter);
+        match BlockStorage::open(Box::new(survivor), 4) {
+            Ok(mut s) => {
+                use maxoid_journal::wal::Storage;
+                let parsed = read_records(&s.bytes());
+                prop_assert!(parsed.records.len() >= acked,
+                    "{} acked but only {} replayable", acked, parsed.records.len());
+            }
+            Err(e) => {
+                // A loud failure is acceptable only if nothing was ever
+                // acknowledged (the very first commit tore).
+                prop_assert_eq!(acked, 0, "acked records but reopen failed: {}", e);
+            }
+        }
+    }
+}

@@ -410,7 +410,8 @@ fn v2_heavy_system() -> MaxoidSystem {
         sys.kernel.write(pid, &note, body.as_bytes(), Mode::PRIVATE).expect("write");
     }
     // A fresh file after the rewrite: a full-image (non-delta) record.
-    sys.kernel.write(pid, &note.parent().unwrap().join("new.txt").unwrap(), b"x", Mode::PRIVATE)
+    sys.kernel
+        .write(pid, &note.parent().unwrap().join("new.txt").unwrap(), b"x", Mode::PRIVATE)
         .expect("write");
     sys.journal().expect("journaled").flush().unwrap();
     sys
