@@ -30,6 +30,11 @@ pub trait BlockDevice: Send {
     fn write_sector(&mut self, sector: u64, buf: &[u8]) -> BlockResult<()>;
     /// Durability barrier (fsync analogue).
     fn flush(&mut self) -> BlockResult<()>;
+    /// Downcast hook so fault tests can reach injection knobs through a
+    /// boxed device. Every non-fault device returns `None`.
+    fn as_fault_device(&mut self) -> Option<&mut crate::FaultDevice> {
+        None
+    }
 }
 
 fn check_len(sector_size: usize, buf_len: usize) -> BlockResult<()> {

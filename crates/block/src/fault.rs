@@ -10,10 +10,36 @@
 //!   pointed at the wreck;
 //! * **torn bytes** — how much of the budget-exceeding write survives;
 //! * **failing sectors** — an explicit set of sectors whose writes fail
-//!   with an I/O error (bad blocks), without crashing the device.
+//!   with an I/O error (bad blocks), without crashing the device;
+//! * **failing reads** — a set of sectors whose *reads* fail, armed and
+//!   cleared through a shared [`ReadFaults`] handle so tests can inject
+//!   faults while the device is owned by a page cache.
 
 use crate::{BlockDevice, BlockError, BlockResult};
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
+
+/// Remote control for injected read failures: a clonable handle that
+/// stays usable after the [`FaultDevice`] is boxed into a cache.
+#[derive(Debug, Clone, Default)]
+pub struct ReadFaults(Arc<Mutex<BTreeSet<u64>>>);
+
+impl ReadFaults {
+    /// Arms a read failure: reads of `sector` fail with an I/O error
+    /// until cleared.
+    pub fn fail(&self, sector: u64) {
+        self.0.lock().unwrap().insert(sector);
+    }
+
+    /// Disarms a read failure.
+    pub fn clear(&self, sector: u64) {
+        self.0.lock().unwrap().remove(&sector);
+    }
+
+    fn armed(&self, sector: u64) -> bool {
+        self.0.lock().unwrap().contains(&sector)
+    }
+}
 
 /// A fault-injecting wrapper around a block device.
 pub struct FaultDevice {
@@ -24,6 +50,8 @@ pub struct FaultDevice {
     torn_bytes: usize,
     /// Sectors that always fail writes with an I/O error.
     bad_sectors: BTreeSet<u64>,
+    /// Sectors whose reads fail, shared with [`ReadFaults`] handles.
+    bad_reads: ReadFaults,
     crashed: bool,
 }
 
@@ -46,6 +74,7 @@ impl FaultDevice {
             write_budget: None,
             torn_bytes: 0,
             bad_sectors: BTreeSet::new(),
+            bad_reads: ReadFaults::default(),
             crashed: false,
         }
     }
@@ -63,6 +92,12 @@ impl FaultDevice {
     /// error (the device stays up).
     pub fn fail_sector(&mut self, sector: u64) {
         self.bad_sectors.insert(sector);
+    }
+
+    /// A shared handle for arming and clearing read failures, usable
+    /// after this device has been boxed into a cache.
+    pub fn read_faults(&self) -> ReadFaults {
+        self.bad_reads.clone()
     }
 
     /// True once the write budget has been exceeded.
@@ -86,6 +121,9 @@ impl BlockDevice for FaultDevice {
     }
 
     fn read_sector(&mut self, sector: u64, buf: &mut [u8]) -> BlockResult<()> {
+        if self.bad_reads.armed(sector) {
+            return Err(BlockError::Io(format!("injected read failure at sector {sector}")));
+        }
         // Reads survive the crash: recovery inspects what's left.
         self.inner.read_sector(sector, buf)
     }
@@ -122,6 +160,10 @@ impl BlockDevice for FaultDevice {
         }
         self.inner.flush()
     }
+
+    fn as_fault_device(&mut self) -> Option<&mut FaultDevice> {
+        Some(self)
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +188,22 @@ mod tests {
         d.read_sector(2, &mut buf).unwrap();
         assert_eq!(&buf[..5], &[2u8; 5]);
         assert_eq!(&buf[5..], &[0u8; 11]);
+    }
+
+    #[test]
+    fn read_faults_arm_and_clear_through_the_handle() {
+        let mut d = FaultDevice::new(Box::new(MemDevice::with_sector_size(16)));
+        let faults = d.read_faults();
+        d.write_sector(0, &[3u8; 16]).unwrap();
+        let mut buf = vec![0u8; 16];
+        faults.fail(0);
+        assert!(matches!(d.read_sector(0, &mut buf), Err(BlockError::Io(_))));
+        // Other sectors still read, and the device has not crashed.
+        d.read_sector(1, &mut buf).unwrap();
+        assert!(!d.crashed());
+        faults.clear(0);
+        d.read_sector(0, &mut buf).unwrap();
+        assert_eq!(buf, vec![3u8; 16]);
     }
 
     #[test]

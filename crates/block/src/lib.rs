@@ -4,8 +4,13 @@
 //! Everything above this crate works on byte ranges and inode payloads;
 //! this crate is the storage tier underneath: a [`BlockDevice`] exposes
 //! fixed-size sectors (read/write/flush/len), and a [`PageCache`] keeps a
-//! bounded number of them resident with second-chance (clock) eviction,
-//! dirty-page write-back, and an explicit flush barrier.
+//! bounded number of them resident with scan-resistant segmented-clock
+//! eviction (probation + protected segments, promotion on re-reference),
+//! dirty-page write-back, and an explicit flush barrier. An
+//! [`ExtentAllocator`] keeps free sector runs sorted and coalesced so
+//! consumers allocate contiguous extents, and a [`PartitionTable`]
+//! multiplexes several logical devices onto one image for single-file
+//! cold boot.
 //!
 //! Two devices ship with the crate:
 //!
@@ -27,13 +32,17 @@
 //! its own — callers serialize access (the VFS store wraps its cache in a
 //! leaf mutex; the journal's storage mutex already owns its cache).
 
+mod alloc;
 mod cache;
 mod device;
 mod fault;
+mod part;
 
+pub use alloc::ExtentAllocator;
 pub use cache::{CacheStats, PageCache, PageRef, PageToken};
 pub use device::{BlockDevice, FileDevice, MemDevice, SECTOR_SIZE};
-pub use fault::FaultDevice;
+pub use fault::{FaultDevice, ReadFaults};
+pub use part::{PartitionHandle, PartitionTable, PART_HEAP, PART_VFS, PART_WAL};
 
 /// Errors raised by devices and the page cache.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -78,7 +78,8 @@ pub use manifest::{FilterMode, InvocationFilter, ManifestError, MaxoidManifest};
 pub use private_state::{ForkOutcome, PrivateStateManager};
 pub use services::{BluetoothService, ClipboardService, SmsService};
 pub use system::{
-    MaxoidSystem, StartOutcome, SystemError, SystemResult, VolCommitOutcome, VolCommitPlan,
+    DeviceBootConfig, MaxoidSystem, StartOutcome, SystemError, SystemResult, VolCommitOutcome,
+    VolCommitPlan,
 };
 pub use volatile::{VolatileEntry, VolatileState};
 

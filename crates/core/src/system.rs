@@ -76,6 +76,8 @@ pub enum SystemError {
     Provider(ProviderError),
     /// A journal operation failed.
     Journal(maxoid_journal::JournalError),
+    /// A block-device operation (partition table, storage tier) failed.
+    Block(maxoid_block::BlockError),
     /// Log compaction could not replay the current log.
     Recovery(String),
 }
@@ -88,6 +90,7 @@ impl std::fmt::Display for SystemError {
             SystemError::Fs(e) => write!(f, "fs: {e}"),
             SystemError::Provider(e) => write!(f, "provider: {e}"),
             SystemError::Journal(e) => write!(f, "journal: {e}"),
+            SystemError::Block(e) => write!(f, "block: {e}"),
             SystemError::Recovery(e) => write!(f, "compaction replay: {e}"),
         }
     }
@@ -122,6 +125,12 @@ impl From<ProviderError> for SystemError {
 impl From<maxoid_journal::JournalError> for SystemError {
     fn from(e: maxoid_journal::JournalError) -> Self {
         SystemError::Journal(e)
+    }
+}
+
+impl From<maxoid_block::BlockError> for SystemError {
+    fn from(e: maxoid_block::BlockError) -> Self {
+        SystemError::Block(e)
     }
 }
 
@@ -212,8 +221,12 @@ pub struct MaxoidSystem {
     volatile: VolatileState,
     downloads: Arc<Mutex<DownloadsProvider<BranchLocator>>>,
     media: Arc<Mutex<MediaProvider<BranchLocator>>>,
+    userdict: Arc<Mutex<UserDictionaryProvider>>,
     downloads_pid: Pid,
     journal: Option<JournalHandle>,
+    /// Heap tier provider row payloads page to, when booted from a
+    /// device (or attached explicitly).
+    heap: Option<maxoid_sqldb::HeapTier>,
     /// Per-initiator gesture locks: COW-fork of a delegate, `commit_vol`,
     /// `clear_vol` and `clear_priv` for one initiator are mutually
     /// exclusive; different initiators run their gestures in parallel.
@@ -263,6 +276,54 @@ impl MaxoidSystem {
     /// recovered payloads spill to pages instead of resident memory.
     pub fn boot_journaled_with_vfs(journal: JournalHandle, vfs: Vfs) -> SystemResult<Self> {
         Self::boot_inner(Some(journal), vfs)
+    }
+
+    /// Boots (or cold-boots) a Maxoid device from **one block device**:
+    /// a [`maxoid_block::PartitionTable`] multiplexes the image into a
+    /// WAL partition (the journal's `BlockStorage`), a VFS spill
+    /// partition (large file payloads), and a sqldb heap partition
+    /// (large provider tables page their rows through it). An empty
+    /// device is formatted; a device carrying an earlier run's image is
+    /// reopened and its journal replayed, after which the recovered
+    /// provider databases re-adopt the heap tier — tables past the spill
+    /// threshold migrate straight back out of resident memory.
+    pub fn boot_from_device(
+        dev: Box<dyn maxoid_block::BlockDevice>,
+        cfg: &DeviceBootConfig,
+    ) -> SystemResult<Self> {
+        let table =
+            maxoid_block::PartitionTable::open_or_create(dev, cfg.chunk_sectors, cfg.dir_sectors)?;
+        let wal = maxoid_journal::BlockStorage::open(
+            Box::new(table.handle(maxoid_block::PART_WAL)),
+            cfg.wal_pages,
+        )?;
+        let journal = JournalHandle::with_storage(Box::new(wal), cfg.wal_batch);
+        let vfs = Vfs::with_block_device(
+            Box::new(table.handle(maxoid_block::PART_VFS)),
+            cfg.vfs_pages,
+            cfg.vfs_threshold,
+        );
+        let mut sys = Self::boot_inner(Some(journal), vfs)?;
+        let tier = maxoid_sqldb::HeapTier::new(
+            Box::new(table.handle(maxoid_block::PART_HEAP)),
+            cfg.heap_pages,
+        );
+        sys.attach_heap_tier(&tier, cfg.heap_threshold);
+        sys.heap = Some(tier);
+        Ok(sys)
+    }
+
+    /// Attaches `tier` to every system provider database: tables past
+    /// `threshold` encoded bytes (now or later) page their rows to it.
+    fn attach_heap_tier(&self, tier: &maxoid_sqldb::HeapTier, threshold: usize) {
+        self.userdict.lock().proxy_mut().db_mut().attach_heap(tier.clone(), threshold);
+        self.downloads.lock().proxy_mut().db_mut().attach_heap(tier.clone(), threshold);
+        self.media.lock().proxy_mut().db_mut().attach_heap(tier.clone(), threshold);
+    }
+
+    /// The sqldb heap tier, when booted from a device.
+    pub fn heap(&self) -> Option<&maxoid_sqldb::HeapTier> {
+        self.heap.as_ref()
     }
 
     fn boot_inner(journal: Option<JournalHandle>, vfs: Vfs) -> SystemResult<Self> {
@@ -325,13 +386,11 @@ impl MaxoidSystem {
             _ => UserDictionaryProvider::new(),
         };
 
+        let userdict = Arc::new(Mutex::new(userdict));
         let resolver = ContentResolver::new();
         resolver.register(
             ProviderScope::System,
-            Box::new(SharedProvider::new(
-                maxoid_providers::userdict::AUTHORITY,
-                Arc::new(Mutex::new(userdict)),
-            )),
+            Box::new(SharedProvider::new(maxoid_providers::userdict::AUTHORITY, userdict.clone())),
         );
         resolver.register(
             ProviderScope::System,
@@ -363,8 +422,10 @@ impl MaxoidSystem {
             volatile,
             downloads,
             media,
+            userdict,
             downloads_pid,
             journal,
+            heap: None,
             init_locks: Mutex::new(BTreeMap::new()),
         })
     }
@@ -830,6 +891,44 @@ impl MaxoidSystem {
     /// Exposes the fork decision for tests (Figure 2 assertions).
     pub fn fork_outcome_probe(&self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
         self.priv_mgr.lock().on_delegate_start(self.kernel.vfs(), init, pkg)
+    }
+}
+
+/// Geometry and budgets for [`MaxoidSystem::boot_from_device`]: how the
+/// single image is partitioned and how many cache pages each tier may
+/// keep resident.
+#[derive(Debug, Clone)]
+pub struct DeviceBootConfig {
+    /// Sectors per partition chunk (the remapping granularity).
+    pub chunk_sectors: u64,
+    /// Directory sectors reserved for the chunk map.
+    pub dir_sectors: u64,
+    /// Page-cache budget of the journal's `BlockStorage`.
+    pub wal_pages: usize,
+    /// Journal group-commit batch size.
+    pub wal_batch: usize,
+    /// Page-cache budget of the VFS spill tier.
+    pub vfs_pages: usize,
+    /// File size (bytes) above which VFS payloads spill to pages.
+    pub vfs_threshold: usize,
+    /// Page-cache budget of the sqldb row heap.
+    pub heap_pages: usize,
+    /// Table size (encoded bytes) above which rows page to the heap.
+    pub heap_threshold: usize,
+}
+
+impl Default for DeviceBootConfig {
+    fn default() -> Self {
+        DeviceBootConfig {
+            chunk_sectors: 64,
+            dir_sectors: 8,
+            wal_pages: 32,
+            wal_batch: 8,
+            vfs_pages: 64,
+            vfs_threshold: 4096,
+            heap_pages: 64,
+            heap_threshold: 64 * 1024,
+        }
     }
 }
 

@@ -140,6 +140,11 @@ impl<L: FileLocator> DownloadsProvider<L> {
         &self.proxy
     }
 
+    /// Mutable access to the proxy (attaching storage tiers).
+    pub fn proxy_mut(&mut self) -> &mut CowProxy {
+        &mut self.proxy
+    }
+
     /// Drains posted notifications.
     pub fn take_notifications(&mut self) -> Vec<DownloadNotification> {
         std::mem::take(&mut self.notifications)

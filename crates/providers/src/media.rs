@@ -154,6 +154,11 @@ impl<L: FileLocator> MediaProvider<L> {
         &self.proxy
     }
 
+    /// Mutable access to the proxy (attaching storage tiers).
+    pub fn proxy_mut(&mut self) -> &mut CowProxy {
+        &mut self.proxy
+    }
+
     /// Scans a media file: inserts its metadata and generates a thumbnail
     /// (Media's background service). The record and the thumbnail follow
     /// the caller's state: a delegate's scan is confined to its

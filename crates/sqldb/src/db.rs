@@ -245,6 +245,9 @@ pub struct Database {
     journal_name: String,
     /// Open journal transaction id mirroring `tx_snapshot`.
     journal_txn: Option<u64>,
+    /// Heap tier applied to every table (existing and future) so large
+    /// row payloads page to a block device instead of staying resident.
+    pub(crate) heap: Option<crate::heap::HeapCfg>,
 }
 
 // Threading contract: a `Database` is `Send` but deliberately *not*
@@ -677,6 +680,19 @@ impl Database {
     /// Returns a mutable base table by name.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
         self.tables.get_mut(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Attaches a device-backed heap tier: every table (existing and
+    /// created later) spills its row payloads to `tier` once it outgrows
+    /// `threshold` encoded bytes. Already-oversized tables migrate
+    /// immediately — this is how a cold boot re-adopts a dataset that was
+    /// paged in the previous run.
+    pub fn attach_heap(&mut self, tier: crate::heap::HeapTier, threshold: usize) {
+        let cfg = crate::heap::HeapCfg { tier, threshold };
+        for t in self.tables.values_mut() {
+            t.attach_heap(cfg.clone());
+        }
+        self.heap = Some(cfg);
     }
 
     /// Returns a view definition by name.

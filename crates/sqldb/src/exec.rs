@@ -30,7 +30,11 @@ pub fn exec_stmt(
                 return Err(SqlError::AlreadyExists(name.clone()));
             }
             let schema = TableSchema::new(name.clone(), columns.clone())?;
-            db.tables.insert(key(name), Table::new(schema));
+            let mut table = Table::new(schema);
+            if let Some(cfg) = &db.heap {
+                table.attach_heap(cfg.clone());
+            }
+            db.tables.insert(key(name), table);
             db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
@@ -379,9 +383,9 @@ fn exec_core(
     for tref in &core.from {
         let k = key(&tref.name);
         if let Some(t) = db.tables.get(&k) {
-            // Borrow rows from storage — nothing is cloned up front.
-            let rows: Vec<Cow<'_, [Value]>> =
-                t.iter().map(|(_, r)| Cow::Borrowed(r.as_slice())).collect();
+            // Resident rows are borrowed from storage; paged tables
+            // decode into owned rows — the Cow absorbs both.
+            let rows: Vec<Cow<'_, [Value]>> = t.iter().map(|(_, r)| r).collect();
             db.stats.rows_scanned.set(db.stats.rows_scanned.get() + rows.len() as u64);
             sources.push(Source {
                 binding: tref.binding().to_string(),
@@ -491,7 +495,7 @@ fn exec_core_single_table(
     let columns = table.schema.column_names();
 
     let probed = probe_access_path(db, table, &binding, core.where_clause.as_ref(), env)?;
-    let candidate_rows: Vec<&Vec<Value>> = match &probed {
+    let candidate_rows: Vec<Cow<'_, [Value]>> = match &probed {
         Some(ids) => ids.iter().filter_map(|id| table.get(*id)).collect(),
         None => table.iter().map(|(_, r)| r).collect(),
     };
@@ -499,7 +503,7 @@ fn exec_core_single_table(
     let mut out = Vec::new();
     let mut matched_scopes = Vec::new();
     let mut names: Option<Vec<String>> = None;
-    for row in candidate_rows {
+    for row in &candidate_rows {
         let scope = RowScope::single_ref(&binding, &columns, row);
         let pass = match &core.where_clause {
             Some(w) => eval(w, &scope, env)?.truthiness() == Some(true),
@@ -1038,11 +1042,11 @@ fn candidate_rows<'a>(
     binding: &str,
     where_clause: Option<&Expr>,
     env: &EvalEnv<'_>,
-) -> SqlResult<Vec<(i64, &'a Vec<Value>)>> {
+) -> SqlResult<Vec<(i64, Cow<'a, [Value]>)>> {
     if let Some(ids) = probe_access_path(db, t, binding, where_clause, env)? {
         return Ok(ids.into_iter().filter_map(|id| t.get(id).map(|r| (id, r))).collect());
     }
-    Ok(t.iter().map(|(id, r)| (*id, r)).collect())
+    Ok(t.iter().collect())
 }
 
 /// Materializes the view rows matching `where_clause` by running a
@@ -1099,7 +1103,7 @@ fn exec_update(
             let mut ups = Vec::new();
             let candidates = candidate_rows(db, t, table, where_clause, &env)?;
             for (rowid, row) in candidates {
-                let scope = RowScope::single_ref(table, &cols, row);
+                let scope = RowScope::single_ref(table, &cols, &row);
                 let pass = match where_clause {
                     Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
                     None => true,
@@ -1107,7 +1111,7 @@ fn exec_update(
                 if !pass {
                     continue;
                 }
-                let mut new_row = row.clone();
+                let mut new_row = row.to_vec();
                 for ((_, e), idx) in sets.iter().zip(&set_idx) {
                     new_row[*idx] = eval(e, &scope, &env)?;
                 }
@@ -1180,7 +1184,7 @@ fn exec_delete(
             let mut ids = Vec::new();
             let candidates = candidate_rows(db, t, table, where_clause, &env)?;
             for (rowid, row) in candidates {
-                let scope = RowScope::single_ref(table, &cols, row);
+                let scope = RowScope::single_ref(table, &cols, &row);
                 let pass = match where_clause {
                     Some(w) => eval(w, &scope, &env)?.truthiness() == Some(true),
                     None => true,

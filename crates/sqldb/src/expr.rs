@@ -356,7 +356,9 @@ fn probe_in_select(select: &SelectStmt, v: &Value, env: &EvalEnv<'_>) -> Option<
         return None;
     };
     env.db.stats.point_lookups.set(env.db.stats.point_lookups.get() + 1);
-    Some(table.get(*rowid).is_some())
+    // Existence only: the resident rowid map answers without faulting the
+    // row payload in from a paged table.
+    Some(table.contains_rowid(*rowid))
 }
 
 /// Computes (with caching) the membership set of an IN-subquery. The

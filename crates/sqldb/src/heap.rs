@@ -1,0 +1,496 @@
+//! Device-backed row heap: paged table storage behind the block tier.
+//!
+//! Large tables spill their row payloads out of process memory onto a
+//! [`PageCache`] over any [`BlockDevice`] — the same machinery the VFS
+//! uses for file data. Rows are encoded with a tiny tagged codec and
+//! bump-allocated into page-sized arenas; a page is reclaimed (cache
+//! frame discarded, sector returned to the [`ExtentAllocator`]) as soon
+//! as its last live row is deleted. Rows bigger than one page get a
+//! contiguous multi-sector extent of their own.
+//!
+//! Decoding happens under the tier's mutex while the page frame is
+//! pinned by a `PageRef`, so bytes are never copied out of the cache
+//! before they are parsed — the `RowScope` zero-copy discipline extended
+//! down one tier.
+//!
+//! Secondary indexes and the rowid map stay resident: they are derived
+//! metadata, small next to the payloads, and every access path depends
+//! on their latency.
+
+use crate::value::Value;
+use maxoid_block::{BlockDevice, BlockResult, CacheStats, ExtentAllocator, PageCache};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A shared heap tier: one page cache + extent allocator that any number
+/// of paged tables (across databases) carve their row pages from.
+///
+/// Cloning is a handle copy. The mutex is a leaf lock: nothing is called
+/// back out of the closure while it is held.
+#[derive(Clone)]
+pub struct HeapTier {
+    inner: Arc<Mutex<HeapInner>>,
+    page_size: usize,
+}
+
+pub(crate) struct HeapInner {
+    pub(crate) cache: PageCache,
+    pub(crate) alloc: ExtentAllocator,
+}
+
+impl std::fmt::Debug for HeapTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapTier").field("page_size", &self.page_size).finish_non_exhaustive()
+    }
+}
+
+impl HeapTier {
+    /// Builds a tier over `dev`, keeping at most `capacity_pages` pages
+    /// resident.
+    pub fn new(dev: Box<dyn BlockDevice>, capacity_pages: usize) -> Self {
+        let cache = PageCache::new(dev, capacity_pages);
+        let page_size = cache.page_size();
+        HeapTier {
+            inner: Arc::new(Mutex::new(HeapInner { cache, alloc: ExtentAllocator::new() })),
+            page_size,
+        }
+    }
+
+    /// The page (= device sector) size in bytes.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Cache counters (hits, misses, evictions, promotions, ...).
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().cache.stats()
+    }
+
+    /// Writes dirty pages back and flushes the device.
+    pub fn flush(&self) -> BlockResult<()> {
+        self.inner.lock().cache.flush()
+    }
+
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut HeapInner) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+/// Paging configuration a database hands to its tables: where to spill
+/// and how big (approximate encoded bytes) a table may grow resident.
+#[derive(Clone, Debug)]
+pub struct HeapCfg {
+    /// The shared device-backed tier.
+    pub tier: HeapTier,
+    /// Tables above this many encoded bytes migrate to the tier.
+    pub threshold: usize,
+}
+
+// --- row codec ------------------------------------------------------------
+
+const TAG_NULL: u8 = 0;
+const TAG_INT: u8 = 1;
+const TAG_REAL: u8 = 2;
+const TAG_TEXT: u8 = 3;
+const TAG_BLOB: u8 = 4;
+
+/// Encoded size of a row without building the encoding (the resident
+/// tables use this to decide when to spill).
+pub(crate) fn encoded_len(row: &[Value]) -> usize {
+    2 + row
+        .iter()
+        .map(|v| {
+            1 + match v {
+                Value::Null => 0,
+                Value::Integer(_) | Value::Real(_) => 8,
+                Value::Text(s) => 4 + s.len(),
+                Value::Blob(b) => 4 + b.len(),
+            }
+        })
+        .sum::<usize>()
+}
+
+/// Encodes a row: `u16` column count, then one tag byte per value
+/// followed by its payload (fixed 8 bytes for Integer/Real, `u32`
+/// length + bytes for Text/Blob).
+pub(crate) fn encode_row(row: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(row));
+    out.extend_from_slice(&(row.len() as u16).to_le_bytes());
+    for v in row {
+        match v {
+            Value::Null => out.push(TAG_NULL),
+            Value::Integer(i) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Real(r) => {
+                out.push(TAG_REAL);
+                out.extend_from_slice(&r.to_bits().to_le_bytes());
+            }
+            Value::Text(s) => {
+                out.push(TAG_TEXT);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Blob(b) => {
+                out.push(TAG_BLOB);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+        }
+    }
+    out
+}
+
+/// Decodes a row produced by [`encode_row`]. The heap only ever decodes
+/// bytes it wrote during this process lifetime, so corruption here is a
+/// logic error, not an I/O condition — it panics.
+pub(crate) fn decode_row(bytes: &[u8]) -> Vec<Value> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> &[u8] {
+        let s = &bytes[*pos..*pos + n];
+        *pos += n;
+        s
+    };
+    let count = u16::from_le_bytes(take(&mut pos, 2).try_into().unwrap()) as usize;
+    let mut row = Vec::with_capacity(count);
+    for _ in 0..count {
+        let tag = take(&mut pos, 1)[0];
+        row.push(match tag {
+            TAG_NULL => Value::Null,
+            TAG_INT => Value::Integer(i64::from_le_bytes(take(&mut pos, 8).try_into().unwrap())),
+            TAG_REAL => Value::Real(f64::from_bits(u64::from_le_bytes(
+                take(&mut pos, 8).try_into().unwrap(),
+            ))),
+            TAG_TEXT => {
+                let len = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap()) as usize;
+                Value::Text(String::from_utf8(take(&mut pos, len).to_vec()).expect("heap row utf8"))
+            }
+            TAG_BLOB => {
+                let len = u32::from_le_bytes(take(&mut pos, 4).try_into().unwrap()) as usize;
+                Value::Blob(take(&mut pos, len).to_vec())
+            }
+            other => panic!("heap row codec: unknown tag {other}"),
+        });
+    }
+    row
+}
+
+// --- paged row storage ----------------------------------------------------
+
+/// Where one row's encoding lives on the device.
+#[derive(Clone, Copy, Debug)]
+struct RowLoc {
+    /// First sector of the encoding.
+    sector: u64,
+    /// Byte offset within that sector (always 0 for jumbo rows).
+    off: u32,
+    /// Encoded length in bytes.
+    len: u32,
+    /// True when the row owns a contiguous multi-sector extent.
+    jumbo: bool,
+}
+
+/// Per-page fill bookkeeping for the bump allocator.
+#[derive(Debug)]
+struct PageInfo {
+    /// Bytes bump-allocated so far.
+    used: u32,
+    /// Live rows still pointing into this page. At zero the page is
+    /// discarded from the cache and its sector freed — deletes reclaim
+    /// space page-at-a-time with no intra-page compaction.
+    live: u32,
+}
+
+/// Rows of one table, spilled to the heap tier. The rowid → location map
+/// stays resident (it is the pk index); only payload bytes live on the
+/// device.
+#[derive(Debug)]
+pub(crate) struct PagedRows {
+    tier: HeapTier,
+    locs: BTreeMap<i64, RowLoc>,
+    pages: BTreeMap<u64, PageInfo>,
+    /// The page new rows bump-allocate into, if it still has room.
+    cur: Option<u64>,
+    /// Live encoded bytes (mirrors the resident-side spill accounting).
+    bytes: usize,
+}
+
+impl PagedRows {
+    pub(crate) fn new(tier: HeapTier) -> Self {
+        PagedRows { tier, locs: BTreeMap::new(), pages: BTreeMap::new(), cur: None, bytes: 0 }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.locs.len()
+    }
+
+    pub(crate) fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub(crate) fn contains_key(&self, id: i64) -> bool {
+        self.locs.contains_key(&id)
+    }
+
+    pub(crate) fn max_key(&self) -> Option<i64> {
+        self.locs.keys().next_back().copied()
+    }
+
+    pub(crate) fn get(&self, id: i64) -> Option<Vec<Value>> {
+        self.locs.get(&id).map(|&loc| self.read_row(loc))
+    }
+
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (i64, Vec<Value>)> + '_ {
+        self.locs.iter().map(move |(&id, &loc)| (id, self.read_row(loc)))
+    }
+
+    /// Inserts (or replaces) a row. The displaced encoding, if any, is
+    /// freed without being decoded.
+    pub(crate) fn insert(&mut self, id: i64, values: &[Value]) {
+        if let Some(loc) = self.locs.remove(&id) {
+            self.bytes -= loc.len as usize;
+            self.free_loc(loc);
+        }
+        let enc = encode_row(values);
+        let loc = self.append(&enc);
+        self.bytes += enc.len();
+        self.locs.insert(id, loc);
+    }
+
+    /// Removes a row, returning its decoded values (callers need the old
+    /// row to unwind index entries).
+    pub(crate) fn remove(&mut self, id: i64) -> Option<Vec<Value>> {
+        let loc = self.locs.remove(&id)?;
+        let row = self.read_row(loc);
+        self.bytes -= loc.len as usize;
+        self.free_loc(loc);
+        Some(row)
+    }
+
+    /// Drops every row and returns all pages to the tier.
+    pub(crate) fn clear(&mut self) {
+        let jumbos: Vec<RowLoc> = self.locs.values().filter(|l| l.jumbo).copied().collect();
+        let pages: Vec<u64> = self.pages.keys().copied().collect();
+        let ps = self.tier.page_size();
+        self.tier.with(|h| {
+            for &p in &pages {
+                h.cache.discard(p);
+                h.alloc.free_run(p, 1);
+            }
+            for l in &jumbos {
+                let k = (l.len as usize).div_ceil(ps) as u64;
+                for s in l.sector..l.sector + k {
+                    h.cache.discard(s);
+                }
+                h.alloc.free_run(l.sector, k);
+            }
+        });
+        self.locs.clear();
+        self.pages.clear();
+        self.cur = None;
+        self.bytes = 0;
+    }
+
+    fn read_row(&self, loc: RowLoc) -> Vec<Value> {
+        if loc.jumbo {
+            let ps = self.tier.page_size() as u64;
+            let mut buf = vec![0u8; loc.len as usize];
+            self.tier
+                .with(|h| h.cache.read_bytes(loc.sector * ps, &mut buf))
+                .expect("sqldb heap read");
+            decode_row(&buf)
+        } else {
+            // Decode while the frame is pinned — no staging copy.
+            self.tier.with(|h| {
+                let page = h.cache.read(loc.sector).expect("sqldb heap read");
+                let (a, b) = (loc.off as usize, (loc.off + loc.len) as usize);
+                decode_row(&page.data()[a..b])
+            })
+        }
+    }
+
+    fn append(&mut self, enc: &[u8]) -> RowLoc {
+        let ps = self.tier.page_size();
+        if enc.len() > ps {
+            // Jumbo row: a private contiguous extent.
+            let k = enc.len().div_ceil(ps) as u64;
+            let start = self
+                .tier
+                .with(|h| -> BlockResult<u64> {
+                    let start = h.alloc.alloc_contiguous(k);
+                    for (i, chunk) in enc.chunks(ps).enumerate() {
+                        let s = start + i as u64;
+                        if chunk.len() == ps {
+                            h.cache.write_full(s, chunk)?;
+                        } else {
+                            h.cache.write_padded(s, chunk)?;
+                        }
+                    }
+                    Ok(start)
+                })
+                .expect("sqldb heap write");
+            return RowLoc { sector: start, off: 0, len: enc.len() as u32, jumbo: true };
+        }
+        let sector = match self.cur {
+            Some(s) if ps - self.pages[&s].used as usize >= enc.len() => s,
+            _ => {
+                let s = self.tier.with(|h| h.alloc.alloc_contiguous(1));
+                self.pages.insert(s, PageInfo { used: 0, live: 0 });
+                self.cur = Some(s);
+                s
+            }
+        };
+        let info = self.pages.get_mut(&sector).expect("bump page bookkeeping");
+        let off = info.used as usize;
+        self.tier
+            .with(|h| {
+                if off == 0 {
+                    // Fresh page: nothing on the device is live, so skip
+                    // the read-modify-write and zero-pad instead.
+                    h.cache.write_padded(sector, enc)
+                } else {
+                    h.cache.write(sector, |buf| buf[off..off + enc.len()].copy_from_slice(enc))
+                }
+            })
+            .expect("sqldb heap write");
+        info.used += enc.len() as u32;
+        info.live += 1;
+        RowLoc { sector, off: off as u32, len: enc.len() as u32, jumbo: false }
+    }
+
+    fn free_loc(&mut self, loc: RowLoc) {
+        if loc.jumbo {
+            let ps = self.tier.page_size();
+            let k = (loc.len as usize).div_ceil(ps) as u64;
+            self.tier.with(|h| {
+                for s in loc.sector..loc.sector + k {
+                    h.cache.discard(s);
+                }
+                h.alloc.free_run(loc.sector, k);
+            });
+            return;
+        }
+        let dead = {
+            let info = self.pages.get_mut(&loc.sector).expect("row page bookkeeping");
+            info.live -= 1;
+            info.live == 0
+        };
+        if dead {
+            self.pages.remove(&loc.sector);
+            if self.cur == Some(loc.sector) {
+                self.cur = None;
+            }
+            self.tier.with(|h| {
+                h.cache.discard(loc.sector);
+                h.alloc.free_run(loc.sector, 1);
+            });
+        }
+    }
+}
+
+impl Drop for PagedRows {
+    fn drop(&mut self) {
+        // DROP TABLE, rollback replacement, or database teardown: give
+        // the sectors back so long-lived tiers don't leak space.
+        self.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use maxoid_block::MemDevice;
+
+    fn tier(pages: usize) -> HeapTier {
+        HeapTier::new(Box::new(MemDevice::with_sector_size(64)), pages)
+    }
+
+    fn row(id: i64, data: &str) -> Vec<Value> {
+        vec![Value::Integer(id), Value::Text(data.into()), Value::Null, Value::Real(0.5)]
+    }
+
+    #[test]
+    fn codec_roundtrips_every_variant() {
+        let r = vec![
+            Value::Null,
+            Value::Integer(-7),
+            Value::Real(2.25),
+            Value::Text("héllo".into()),
+            Value::Blob(vec![0, 255, 128]),
+        ];
+        let enc = encode_row(&r);
+        assert_eq!(enc.len(), encoded_len(&r));
+        assert_eq!(decode_row(&enc), r);
+        assert_eq!(decode_row(&encode_row(&[])), Vec::<Value>::new());
+    }
+
+    #[test]
+    fn rows_survive_eviction_pressure() {
+        let t = tier(2); // 2 × 64-byte pages resident, rest on "disk"
+        let mut p = PagedRows::new(t.clone());
+        for id in 0..40 {
+            p.insert(id, &row(id, &format!("value-{id}")));
+        }
+        assert!(t.stats().evictions > 0, "pressure must actually evict");
+        for id in 0..40 {
+            assert_eq!(p.get(id).unwrap(), row(id, &format!("value-{id}")));
+        }
+        assert_eq!(p.iter().count(), 40);
+    }
+
+    #[test]
+    fn deletes_reclaim_pages_and_space_is_reused() {
+        let t = tier(4);
+        let mut p = PagedRows::new(t.clone());
+        for id in 0..20 {
+            p.insert(id, &row(id, "xxxxxxxxxx"));
+        }
+        let high = t.with(|h| h.alloc.next_sector());
+        for id in 0..20 {
+            p.remove(id);
+        }
+        assert!(p.pages.is_empty(), "empty table must hold no pages");
+        assert_eq!(
+            t.with(|h| h.alloc.free_runs()),
+            vec![(0, high)],
+            "all sectors must coalesce back into one free run"
+        );
+        // Reinsertion reuses the freed extent instead of growing.
+        for id in 0..20 {
+            p.insert(id, &row(id, "yyyyyyyyyy"));
+        }
+        assert_eq!(t.with(|h| h.alloc.next_sector()), high);
+    }
+
+    #[test]
+    fn jumbo_rows_take_contiguous_extents() {
+        let t = tier(3);
+        let mut p = PagedRows::new(t.clone());
+        let big = vec![Value::Blob(vec![0xabu8; 300])]; // ~5 pages of 64B
+        p.insert(1, &big);
+        p.insert(2, &row(2, "small"));
+        assert_eq!(p.get(1).unwrap(), big);
+        assert_eq!(p.get(2).unwrap(), row(2, "small"));
+        let before = t.with(|h| h.alloc.next_sector());
+        p.remove(1);
+        p.insert(3, &big);
+        assert_eq!(t.with(|h| h.alloc.next_sector()), before, "extent must be reused");
+        assert_eq!(p.get(3).unwrap(), big);
+    }
+
+    #[test]
+    fn replace_frees_the_old_encoding() {
+        let t = tier(4);
+        let mut p = PagedRows::new(t.clone());
+        p.insert(1, &row(1, "first"));
+        p.insert(1, &row(1, "second"));
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.get(1).unwrap(), row(1, "second"));
+        // Dropping the storage returns every sector.
+        let high = t.with(|h| h.alloc.next_sector());
+        drop(p);
+        assert_eq!(t.with(|h| h.alloc.free_runs()), vec![(0, high)]);
+    }
+}

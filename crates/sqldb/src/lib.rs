@@ -44,6 +44,7 @@ pub mod db;
 pub mod error;
 pub mod exec;
 pub mod expr;
+pub mod heap;
 pub mod index;
 pub mod lexer;
 pub mod parser;
@@ -59,6 +60,7 @@ pub use db::{
 };
 pub use error::{SqlError, SqlResult};
 pub use expr::{like_match, MemberSet, OrdValue, RowScope, TriggerCtx};
+pub use heap::{HeapCfg, HeapTier};
 pub use index::{RowIdSet, SecondaryIndex};
 pub use planner::{AccessPath, AccessPlan, FlattenPolicy, PlanChoice};
 pub use table::{Table, TableSchema};

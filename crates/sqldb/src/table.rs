@@ -5,14 +5,28 @@
 //! `INTEGER PRIMARY KEY` it aliases the rowid, exactly like SQLite; tables
 //! without one get a hidden rowid that auto-assigns on insert.
 //!
+//! Row payloads live in one of two places. Small tables keep their
+//! `Vec<Value>` rows resident, exactly as before. Once a table's
+//! (approximate) encoded size crosses the threshold of an attached
+//! [`HeapCfg`], its payloads migrate to the device-backed heap tier and
+//! are faulted through the block page cache on access — the rowid map and
+//! all secondary indexes stay resident, mirroring the VFS split between
+//! inline and spilled file data. Reads hand out `Cow` rows so the
+//! resident path stays zero-copy while the paged path decodes from a
+//! pinned cache frame.
+//!
 //! The COW proxy sets a *primary-key start* on delta tables so that rows a
 //! delegate inserts get ids from a large offset `N` and never collide with
-//! public rows (paper §5.2).
+//! public rows (paper §5.2). Cloning a table — transaction snapshots, COW
+//! delta setup — always materializes resident rows: snapshots are private
+//! copies and must not alias heap pages the live table keeps mutating.
 
 use crate::ast::ColumnDef;
 use crate::error::{SqlError, SqlResult};
+use crate::heap::{encoded_len, HeapCfg, PagedRows};
 use crate::index::SecondaryIndex;
 use crate::value::Value;
+use std::borrow::Cow;
 use std::collections::BTreeMap;
 
 /// Schema of a base table.
@@ -57,24 +71,172 @@ impl TableSchema {
     }
 }
 
+/// The two payload homes: resident vectors or the device-backed heap.
+/// `bytes` tracks live encoded size in both modes so the spill decision
+/// and stats cost nothing extra.
+#[derive(Debug)]
+enum Rows {
+    Resident { map: BTreeMap<i64, Vec<Value>>, bytes: usize },
+    Paged(PagedRows),
+}
+
+impl Rows {
+    fn resident() -> Self {
+        Rows::Resident { map: BTreeMap::new(), bytes: 0 }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Rows::Resident { map, .. } => map.len(),
+            Rows::Paged(p) => p.len(),
+        }
+    }
+
+    fn bytes(&self) -> usize {
+        match self {
+            Rows::Resident { bytes, .. } => *bytes,
+            Rows::Paged(p) => p.bytes(),
+        }
+    }
+
+    fn contains_key(&self, id: i64) -> bool {
+        match self {
+            Rows::Resident { map, .. } => map.contains_key(&id),
+            Rows::Paged(p) => p.contains_key(id),
+        }
+    }
+
+    fn max_key(&self) -> Option<i64> {
+        match self {
+            Rows::Resident { map, .. } => map.keys().next_back().copied(),
+            Rows::Paged(p) => p.max_key(),
+        }
+    }
+
+    fn get(&self, id: i64) -> Option<Cow<'_, [Value]>> {
+        match self {
+            Rows::Resident { map, .. } => map.get(&id).map(|r| Cow::Borrowed(r.as_slice())),
+            Rows::Paged(p) => p.get(id).map(Cow::Owned),
+        }
+    }
+
+    fn iter(&self) -> Box<dyn Iterator<Item = (i64, Cow<'_, [Value]>)> + '_> {
+        match self {
+            Rows::Resident { map, .. } => {
+                Box::new(map.iter().map(|(&id, r)| (id, Cow::Borrowed(r.as_slice()))))
+            }
+            Rows::Paged(p) => Box::new(p.iter().map(|(id, r)| (id, Cow::Owned(r)))),
+        }
+    }
+
+    fn insert(&mut self, id: i64, values: Vec<Value>) {
+        match self {
+            Rows::Resident { map, bytes } => {
+                *bytes += encoded_len(&values);
+                if let Some(old) = map.insert(id, values) {
+                    *bytes -= encoded_len(&old);
+                }
+            }
+            Rows::Paged(p) => p.insert(id, &values),
+        }
+    }
+
+    fn remove(&mut self, id: i64) -> Option<Vec<Value>> {
+        match self {
+            Rows::Resident { map, bytes } => {
+                let old = map.remove(&id)?;
+                *bytes -= encoded_len(&old);
+                Some(old)
+            }
+            Rows::Paged(p) => p.remove(id),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Rows::Resident { map, bytes } => {
+                map.clear();
+                *bytes = 0;
+            }
+            Rows::Paged(p) => p.clear(),
+        }
+    }
+
+    /// A private resident copy — paged rows are materialized, never
+    /// aliased (snapshots must not share heap pages with the live table).
+    fn clone_resident(&self) -> Rows {
+        match self {
+            Rows::Resident { map, bytes } => Rows::Resident { map: map.clone(), bytes: *bytes },
+            Rows::Paged(p) => Rows::Resident { map: p.iter().collect(), bytes: p.bytes() },
+        }
+    }
+}
+
 /// A base table: schema plus rows indexed by rowid.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     /// The table's schema.
     pub schema: TableSchema,
-    rows: BTreeMap<i64, Vec<Value>>,
+    rows: Rows,
     /// Minimum rowid for auto-assigned keys (the COW proxy's offset `N`).
     pk_start: i64,
     /// Secondary indexes, maintained incrementally by every row mutation.
     /// Living inside the table means transaction snapshots (which clone
     /// tables) and `DROP TABLE` handle indexes with no extra bookkeeping.
     indexes: Vec<SecondaryIndex>,
+    /// Spill target and threshold; `None` keeps the table resident
+    /// forever.
+    heap: Option<HeapCfg>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone_resident(),
+            pk_start: self.pk_start,
+            indexes: self.indexes.clone(),
+            heap: self.heap.clone(),
+        }
+    }
 }
 
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: BTreeMap::new(), pk_start: 1, indexes: Vec::new() }
+        Table { schema, rows: Rows::resident(), pk_start: 1, indexes: Vec::new(), heap: None }
+    }
+
+    /// Attaches a heap tier: once the table's encoded payload exceeds
+    /// `cfg.threshold` bytes its rows move to the device and are faulted
+    /// through the page cache on access. Oversized tables migrate
+    /// immediately.
+    pub fn attach_heap(&mut self, cfg: HeapCfg) {
+        self.heap = Some(cfg);
+        self.maybe_spill();
+    }
+
+    /// True when the rows live on the heap tier rather than in memory.
+    pub fn is_paged(&self) -> bool {
+        matches!(self.rows, Rows::Paged(_))
+    }
+
+    /// Approximate encoded payload size (the spill accounting).
+    pub fn payload_bytes(&self) -> usize {
+        self.rows.bytes()
+    }
+
+    fn maybe_spill(&mut self) {
+        let Some(cfg) = &self.heap else { return };
+        let Rows::Resident { map, bytes } = &mut self.rows else { return };
+        if *bytes <= cfg.threshold {
+            return;
+        }
+        let mut paged = PagedRows::new(cfg.tier.clone());
+        for (id, row) in std::mem::take(map) {
+            paged.insert(id, &row);
+        }
+        self.rows = Rows::Paged(paged);
     }
 
     /// Creates a secondary index named `name` over `column`, populating it
@@ -89,9 +251,9 @@ impl Table {
             return Err(SqlError::AlreadyExists(format!("index {name}")));
         }
         let mut ix = SecondaryIndex::new(name, col, unique);
-        for (&id, row) in &self.rows {
+        for (id, row) in self.rows.iter() {
             ix.check_unique(&row[col], id)?;
-            ix.insert_entry(row, id);
+            ix.insert_entry(&row, id);
         }
         self.indexes.push(ix);
         Ok(())
@@ -137,13 +299,13 @@ impl Table {
 
     /// True when the table has no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.rows.len() == 0
     }
 
     /// Returns the next rowid that auto-assignment would produce.
     pub fn next_rowid(&self) -> i64 {
-        match self.rows.keys().next_back() {
-            Some(max) => (*max + 1).max(self.pk_start),
+        match self.rows.max_key() {
+            Some(max) => (max + 1).max(self.pk_start),
             None => self.pk_start,
         }
     }
@@ -186,7 +348,7 @@ impl Table {
                 )));
             }
         }
-        if !replace && self.rows.contains_key(&rowid) {
+        if !replace && self.rows.contains_key(rowid) {
             return Err(SqlError::ConstraintPrimaryKey {
                 table: self.schema.name.clone(),
                 key: rowid,
@@ -198,26 +360,36 @@ impl Table {
         for ix in &self.indexes {
             ix.check_unique(&values[ix.column()], rowid)?;
         }
-        if let Some(old) = self.rows.get(&rowid) {
-            let old = old.clone();
-            for ix in &mut self.indexes {
-                ix.remove_entry(&old, rowid);
+        if !self.indexes.is_empty() {
+            if let Some(old) = self.rows.get(rowid) {
+                let old = old.into_owned();
+                for ix in &mut self.indexes {
+                    ix.remove_entry(&old, rowid);
+                }
             }
         }
         for ix in &mut self.indexes {
             ix.insert_entry(&values, rowid);
         }
         self.rows.insert(rowid, values);
+        self.maybe_spill();
         Ok(rowid)
     }
 
-    /// Point lookup by rowid.
-    pub fn get(&self, rowid: i64) -> Option<&Vec<Value>> {
-        self.rows.get(&rowid)
+    /// Point lookup by rowid. Resident tables borrow the row; paged
+    /// tables decode it from a pinned cache page.
+    pub fn get(&self, rowid: i64) -> Option<Cow<'_, [Value]>> {
+        self.rows.get(rowid)
+    }
+
+    /// True when a row with this rowid exists — no payload is touched, so
+    /// paged tables answer from the resident rowid map.
+    pub fn contains_rowid(&self, rowid: i64) -> bool {
+        self.rows.contains_key(rowid)
     }
 
     /// Iterates rows in rowid order.
-    pub fn iter(&self) -> impl Iterator<Item = (&i64, &Vec<Value>)> {
+    pub fn iter(&self) -> Box<dyn Iterator<Item = (i64, Cow<'_, [Value]>)> + '_> {
         self.rows.iter()
     }
 
@@ -246,7 +418,7 @@ impl Table {
             },
             None => rowid,
         };
-        if new_rowid != rowid && self.rows.contains_key(&new_rowid) {
+        if new_rowid != rowid && self.rows.contains_key(new_rowid) {
             return Err(SqlError::ConstraintPrimaryKey {
                 table: self.schema.name.clone(),
                 key: new_rowid,
@@ -255,7 +427,11 @@ impl Table {
         // Drop the old row's index entries, then check uniqueness of the
         // new values; restore on failure so a rejected UPDATE leaves the
         // indexes untouched.
-        let old = self.rows.get(&rowid).cloned();
+        let old = if self.indexes.is_empty() {
+            None
+        } else {
+            self.rows.get(rowid).map(|r| r.into_owned())
+        };
         if let Some(old) = &old {
             for ix in &mut self.indexes {
                 ix.remove_entry(old, rowid);
@@ -275,15 +451,16 @@ impl Table {
             ix.insert_entry(&values, new_rowid);
         }
         if new_rowid != rowid {
-            self.rows.remove(&rowid);
+            self.rows.remove(rowid);
         }
         self.rows.insert(new_rowid, values);
+        self.maybe_spill();
         Ok(())
     }
 
     /// Deletes a row by rowid; returns true if it existed.
     pub fn delete_row(&mut self, rowid: i64) -> bool {
-        match self.rows.remove(&rowid) {
+        match self.rows.remove(rowid) {
             Some(old) => {
                 for ix in &mut self.indexes {
                     ix.remove_entry(&old, rowid);
@@ -307,6 +484,8 @@ impl Table {
 mod tests {
     use super::*;
     use crate::ast::Affinity;
+    use crate::heap::HeapTier;
+    use maxoid_block::MemDevice;
 
     fn schema() -> TableSchema {
         TableSchema::new(
@@ -327,6 +506,13 @@ mod tests {
             ],
         )
         .unwrap()
+    }
+
+    fn tiny_heap() -> HeapCfg {
+        // 64-byte pages, 2 resident frames, spill after ~128 bytes: a few
+        // rows are enough to both migrate and evict.
+        let tier = HeapTier::new(Box::new(MemDevice::with_sector_size(64)), 2);
+        HeapCfg { tier, threshold: 128 }
     }
 
     #[test]
@@ -532,5 +718,80 @@ mod tests {
         let mut t = Table::new(s);
         assert_eq!(t.insert(vec!["a".into()], false).unwrap(), 1);
         assert_eq!(t.insert(vec!["b".into()], false).unwrap(), 2);
+    }
+
+    #[test]
+    fn table_spills_past_the_threshold_and_stays_queryable() {
+        let mut t = Table::new(schema());
+        t.attach_heap(tiny_heap());
+        assert!(!t.is_paged(), "empty table stays resident");
+        for i in 0..50 {
+            t.insert(vec![Value::Integer(i), format!("row-{i}").into()], false).unwrap();
+        }
+        assert!(t.is_paged(), "50 rows must cross a 128-byte threshold");
+        assert_eq!(t.len(), 50);
+        assert_eq!(t.get(7).unwrap()[1], Value::Text("row-7".into()));
+        assert!(t.contains_rowid(49) && !t.contains_rowid(50));
+        assert_eq!(t.iter().count(), 50);
+        assert_eq!(t.next_rowid(), 50);
+        // Mutations keep working against the paged storage.
+        t.update_row(7, vec![Value::Integer(7), "edited".into()]).unwrap();
+        assert_eq!(t.get(7).unwrap()[1], Value::Text("edited".into()));
+        assert!(t.delete_row(8));
+        assert!(t.get(8).is_none());
+        assert_eq!(t.len(), 49);
+    }
+
+    #[test]
+    fn paged_table_maintains_indexes_like_resident() {
+        let mut resident = Table::new(schema());
+        let mut paged = Table::new(schema());
+        paged.attach_heap(HeapCfg { tier: tiny_heap().tier, threshold: 0 });
+        for t in [&mut resident, &mut paged] {
+            t.create_index("ix_data", "data", false).unwrap();
+            for i in 0..30 {
+                t.insert(vec![Value::Integer(i), format!("d{}", i % 3).into()], false).unwrap();
+            }
+            t.update_row(4, vec![Value::Integer(4), "d0".into()]).unwrap();
+            t.delete_row(9);
+        }
+        assert!(paged.is_paged() && !resident.is_paged());
+        assert_eq!(
+            resident.index_on(1).unwrap().probe_eq(&"d0".into()),
+            paged.index_on(1).unwrap().probe_eq(&"d0".into()),
+        );
+        let a: Vec<_> = resident.iter().map(|(id, r)| (id, r.into_owned())).collect();
+        let b: Vec<_> = paged.iter().map(|(id, r)| (id, r.into_owned())).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cloning_a_paged_table_materializes_a_private_copy() {
+        let mut t = Table::new(schema());
+        t.attach_heap(HeapCfg { tier: tiny_heap().tier, threshold: 0 });
+        t.insert(vec![Value::Integer(1), "a".into()], false).unwrap();
+        assert!(t.is_paged());
+        let snap = t.clone();
+        assert!(!snap.is_paged(), "snapshots are resident copies");
+        // Mutating the original never leaks into the snapshot.
+        t.update_row(1, vec![Value::Integer(1), "z".into()]).unwrap();
+        assert_eq!(snap.get(1).unwrap()[1], Value::Text("a".into()));
+        assert_eq!(t.get(1).unwrap()[1], Value::Text("z".into()));
+    }
+
+    #[test]
+    fn clear_returns_heap_space() {
+        let cfg = tiny_heap();
+        let tier = cfg.tier.clone();
+        let mut t = Table::new(schema());
+        t.attach_heap(HeapCfg { tier: tier.clone(), threshold: 0 });
+        for i in 0..20 {
+            t.insert(vec![Value::Integer(i), "payload".into()], false).unwrap();
+        }
+        let high = tier.with(|h| h.alloc.next_sector());
+        assert!(high > 0);
+        t.clear();
+        assert_eq!(tier.with(|h| h.alloc.free_runs()), vec![(0, high)]);
+        assert!(t.is_empty());
     }
 }

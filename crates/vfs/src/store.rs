@@ -9,7 +9,7 @@
 use crate::cred::{Mode, Uid};
 use crate::error::{VfsError, VfsResult};
 use crate::path::VPath;
-use maxoid_block::{BlockDevice, CacheStats, PageCache};
+use maxoid_block::{BlockDevice, CacheStats, ExtentAllocator, PageCache};
 use maxoid_journal::codec::{ByteReader, ByteWriter};
 use maxoid_journal::{Record, SinkRef, VfsRecord};
 use parking_lot::Mutex;
@@ -137,25 +137,10 @@ pub struct DirEntry {
 /// is already held, and nothing else is acquired under it.
 struct PagedBacking {
     cache: PageCache,
-    /// Sectors released by overwrites and unlinks, reused before the
-    /// high-water mark advances.
-    free: Vec<u64>,
-    /// Next never-allocated sector.
-    next_sector: u64,
-}
-
-impl PagedBacking {
-    fn alloc(&mut self, n: usize) -> Vec<u64> {
-        let mut out = Vec::with_capacity(n);
-        for _ in 0..n {
-            out.push(self.free.pop().unwrap_or_else(|| {
-                let s = self.next_sector;
-                self.next_sector += 1;
-                s
-            }));
-        }
-        out
-    }
+    /// Sector allocator: free runs kept sorted and coalesced, so a spill
+    /// gets an ascending contiguous extent whenever one exists instead
+    /// of LIFO-scattered singles.
+    alloc: ExtentAllocator,
 }
 
 /// Point-in-time store composition counters (see [`Store::stats`]).
@@ -208,15 +193,16 @@ fn fd_store(paged: &Option<Mutex<PagedBacking>>, threshold: usize, bytes: &[u8])
     }
     let mut p = p.lock();
     let ps = p.cache.page_size();
-    let sectors = p.alloc(bytes.len().div_ceil(ps));
+    let sectors = p.alloc.alloc(bytes.len().div_ceil(ps));
     for (i, &sec) in sectors.iter().enumerate() {
         let chunk = &bytes[i * ps..((i + 1) * ps).min(bytes.len())];
         if chunk.len() == ps {
             p.cache.write_full(sec, chunk).expect("vfs spill device write failed");
         } else {
-            p.cache
-                .write(sec, |buf| buf[..chunk.len()].copy_from_slice(chunk))
-                .expect("vfs spill device write failed");
+            // Ragged tail: the freshly allocated sector's old bytes are
+            // dead, so skip the load and zero-pad past `len` instead of
+            // leaving stale prior-file bytes in the frame.
+            p.cache.write_padded(sec, chunk).expect("vfs spill device write failed");
         }
     }
     FileData::Paged { sectors, len: bytes.len() as u64 }
@@ -231,7 +217,7 @@ fn fd_free(paged: &Option<Mutex<PagedBacking>>, data: &FileData) {
         for &sec in sectors {
             p.cache.discard(sec);
         }
-        p.free.extend_from_slice(sectors);
+        p.alloc.free_sectors(sectors);
     }
 }
 
@@ -317,8 +303,7 @@ impl Store {
         let mut s = Store::new();
         s.paged = Some(Mutex::new(PagedBacking {
             cache: PageCache::new(dev, pages),
-            free: Vec::new(),
-            next_sector: 0,
+            alloc: ExtentAllocator::new(),
         }));
         s.spill_threshold = threshold;
         s
@@ -1432,7 +1417,32 @@ mod tests {
         // The second file reuses the first one's sectors: the device never
         // grew past one extent (3 data sectors).
         let p = s.paged.as_ref().unwrap().lock();
-        assert_eq!(p.next_sector, 3);
+        assert_eq!(p.alloc.next_sector(), 3);
+    }
+
+    #[test]
+    fn spill_after_churn_gets_contiguous_run() {
+        let mut s = paged_store(4, 0);
+        // Six one-page files take sectors 0..6; unlinking f1, f2, f4
+        // fragments the free list into runs {1..3} and {4..5}.
+        for i in 0..6u8 {
+            s.write(&vpath(&format!("/f{i}")), &vec![i; 4096], Uid::ROOT, Mode::PUBLIC).unwrap();
+        }
+        for i in [1u8, 2, 4] {
+            s.unlink(&vpath(&format!("/f{i}"))).unwrap();
+        }
+        {
+            let p = s.paged.as_ref().unwrap().lock();
+            assert_eq!(p.alloc.free_runs(), vec![(1, 2), (4, 1)]);
+        }
+        // A two-page spill must take the contiguous [1, 2] run — not
+        // scatter LIFO across the fragments — and not grow the device.
+        s.write(&vpath("/big"), &vec![9u8; 8192], Uid::ROOT, Mode::PUBLIC).unwrap();
+        let p = s.paged.as_ref().unwrap().lock();
+        assert_eq!(p.alloc.free_runs(), vec![(4, 1)]);
+        assert_eq!(p.alloc.next_sector(), 6);
+        drop(p);
+        assert_eq!(s.read(&vpath("/big")).unwrap(), vec![9u8; 8192]);
     }
 
     #[test]
