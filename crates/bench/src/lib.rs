@@ -22,4 +22,4 @@ pub mod report;
 
 pub use fsbench::{FsMode, FsWorkload};
 pub use provider_bench::{cow_point_query, cow_table, DictMode, DictWorkload};
-pub use report::{measure, measure_interleaved, BenchJson, Case, Measurement};
+pub use report::{measure, measure_interleaved, BenchJson, Case, Measurement, Unit};

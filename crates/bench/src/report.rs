@@ -171,6 +171,30 @@ pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measureme
     out
 }
 
+/// The unit a benchmark row is expressed in. Emitted verbatim as the
+/// `unit` field of every row so downstream tooling does not have to
+/// guess from the row name whether smaller-is-better applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Microseconds (latency cells; smaller is better).
+    Us,
+    /// Operations per second (throughput cells; larger is better).
+    OpsPerSec,
+    /// Dimensionless scalar: hit rates, speedups, counts.
+    Ratio,
+}
+
+impl Unit {
+    /// The string emitted in the JSON `unit` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Unit::Us => "us",
+            Unit::OpsPerSec => "ops_per_sec",
+            Unit::Ratio => "ratio",
+        }
+    }
+}
+
 /// Accumulates named measurements and serialises them as a small JSON
 /// document for CI artifacts (`BENCH_table3.json`, `BENCH_table4.json`).
 ///
@@ -178,7 +202,24 @@ pub fn measure_interleaved(trials: usize, mut cases: Vec<Case>) -> Vec<Measureme
 /// the schema is flat enough not to need one.
 #[derive(Debug, Default)]
 pub struct BenchJson {
-    rows: Vec<(String, f64, f64, f64, f64, f64)>,
+    rows: Vec<Row>,
+}
+
+#[derive(Debug)]
+struct Row {
+    name: String,
+    unit: Unit,
+    mean: f64,
+    stddev: f64,
+    median: f64,
+    trimmed: f64,
+    p95: f64,
+}
+
+impl Default for Unit {
+    fn default() -> Self {
+        Unit::Us
+    }
 }
 
 impl BenchJson {
@@ -187,40 +228,61 @@ impl BenchJson {
         BenchJson::default()
     }
 
-    /// Records one benchmark cell under `name`.
+    /// Records one benchmark cell under `name` (unit `us`).
     pub fn push(&mut self, name: &str, m: &Measurement) {
-        self.rows.push((
-            name.to_string(),
-            m.mean_us(),
-            m.stddev_ns() / 1_000.0,
-            m.median_us(),
-            m.trimmed_mean_us(),
-            m.p95_us(),
-        ));
+        self.rows.push(Row {
+            name: name.to_string(),
+            unit: Unit::Us,
+            mean: m.mean_us(),
+            stddev: m.stddev_ns() / 1_000.0,
+            median: m.median_us(),
+            trimmed: m.trimmed_mean_us(),
+            p95: m.p95_us(),
+        });
     }
 
-    /// Records a bare scalar cell (e.g. a cache hit rate) under `name`.
-    /// Scalars reuse the `mean_us` slot and zero the spread columns.
+    /// Records a bare scalar cell (e.g. a cache hit rate) under `name`
+    /// with unit `ratio`. Scalars reuse the `mean_us` slot and zero the
+    /// spread columns.
     pub fn push_scalar(&mut self, name: &str, value: f64) {
-        self.rows.push((name.to_string(), value, 0.0, value, value, value));
+        self.push_scalar_unit(name, value, Unit::Ratio);
+    }
+
+    /// Records a bare scalar cell with an explicit [`Unit`] — used for
+    /// throughput rows (`Unit::OpsPerSec`) that would otherwise read as
+    /// dimensionless.
+    pub fn push_scalar_unit(&mut self, name: &str, value: f64, unit: Unit) {
+        self.rows.push(Row {
+            name: name.to_string(),
+            unit,
+            mean: value,
+            stddev: 0.0,
+            median: value,
+            trimmed: value,
+            p95: value,
+        });
     }
 
     /// Renders the report as a JSON string:
-    /// `{"benchmarks": [{"name": ..., "mean_us": ..., "stddev_us": ...,
-    /// "median_us": ..., "trimmed_mean_us": ..., "p95_us": ...}, ...]}`.
+    /// `{"benchmarks": [{"name": ..., "unit": ..., "mean_us": ...,
+    /// "stddev_us": ..., "median_us": ..., "trimmed_mean_us": ...,
+    /// "p95_us": ...}, ...]}`. The stat keys keep their historical
+    /// `_us` suffix for all units; the `unit` field is authoritative.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n  \"benchmarks\": [\n");
-        for (i, (name, mean, stddev, median, trimmed, p95)) in self.rows.iter().enumerate() {
+        for (i, row) in self.rows.iter().enumerate() {
             let comma = if i + 1 < self.rows.len() { "," } else { "" };
             out.push_str(&format!(
-                "    {{\"name\": \"{}\", \"mean_us\": {:.3}, \"stddev_us\": {:.3}, \
-                 \"median_us\": {:.3}, \"trimmed_mean_us\": {:.3}, \"p95_us\": {:.3}}}{comma}\n",
-                json_escape(name),
-                mean,
-                stddev,
-                median,
-                trimmed,
-                p95,
+                "    {{\"name\": \"{}\", \"unit\": \"{}\", \"mean_us\": {:.3}, \
+                 \"stddev_us\": {:.3}, \"median_us\": {:.3}, \"trimmed_mean_us\": {:.3}, \
+                 \"p95_us\": {:.3}}}{comma}\n",
+                json_escape(&row.name),
+                row.unit.as_str(),
+                row.mean,
+                row.stddev,
+                row.median,
+                row.trimmed,
+                row.p95,
             ));
         }
         out.push_str("  ]\n}\n");
@@ -337,10 +399,11 @@ mod tests {
         j.push("dict/insert/delegate", &Measurement { trials_ns: vec![2_000] });
         let s = j.to_json();
         assert!(s.starts_with("{\n  \"benchmarks\": [\n"));
-        assert!(s.contains("\"name\": \"dict/insert/android\", \"mean_us\": 2.000"));
+        assert!(s.contains("\"name\": \"dict/insert/android\", \"unit\": \"us\", \"mean_us\": 2.000"));
         assert!(s.contains(
-            "\"name\": \"dict/insert/delegate\", \"mean_us\": 2.000, \"stddev_us\": 0.000, \
-             \"median_us\": 2.000, \"trimmed_mean_us\": 2.000, \"p95_us\": 2.000}"
+            "\"name\": \"dict/insert/delegate\", \"unit\": \"us\", \"mean_us\": 2.000, \
+             \"stddev_us\": 0.000, \"median_us\": 2.000, \"trimmed_mean_us\": 2.000, \
+             \"p95_us\": 2.000}"
         ));
         // Exactly one separating comma between the two entries.
         assert_eq!(s.matches("},").count(), 1);
@@ -353,8 +416,26 @@ mod tests {
         j.push_scalar("cache/stmt_hit_rate", 0.9375);
         let s = j.to_json();
         assert!(s.contains(
-            "\"name\": \"cache/stmt_hit_rate\", \"mean_us\": 0.938, \"stddev_us\": 0.000"
+            "\"name\": \"cache/stmt_hit_rate\", \"unit\": \"ratio\", \"mean_us\": 0.938, \
+             \"stddev_us\": 0.000"
         ));
+    }
+
+    #[test]
+    fn bench_json_unit_field() {
+        let mut j = BenchJson::new();
+        j.push("lat/cell", &Measurement { trials_ns: vec![1_000] });
+        j.push_scalar("cache/hit_rate", 0.5);
+        j.push_scalar_unit("concurrency/threads4/ops_per_sec", 1234.5, Unit::OpsPerSec);
+        let s = j.to_json();
+        assert!(s.contains("\"name\": \"lat/cell\", \"unit\": \"us\""));
+        assert!(s.contains("\"name\": \"cache/hit_rate\", \"unit\": \"ratio\""));
+        assert!(s.contains(
+            "\"name\": \"concurrency/threads4/ops_per_sec\", \"unit\": \"ops_per_sec\", \
+             \"mean_us\": 1234.500"
+        ));
+        // Every row carries a unit.
+        assert_eq!(s.matches("\"unit\":").count(), 3);
     }
 
     #[test]

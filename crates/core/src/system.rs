@@ -17,8 +17,14 @@
 //! * kernel process/namespace table — `RwLock` (reads snapshot an
 //!   `Arc<Process>` and release the lock before doing any I/O);
 //! * VFS store — `RwLock` inside [`maxoid_vfs::Vfs`];
-//! * provider table — `RwLock` over per-authority `Arc<Mutex<provider>>`
-//!   entries, so different authorities dispatch in parallel;
+//! * provider table — `RwLock` over per-authority entries. Each entry
+//!   holds the provider's **write lock** (`Arc<Mutex<provider>>`) plus a
+//!   lock-free read handle: routed queries are served from the
+//!   provider's published MVCC snapshot (`maxoid_cowproxy::ReadSlot`)
+//!   without the write lock, so reads on *one* authority run in
+//!   parallel with each other; mutations serialize on the write lock
+//!   and republish a snapshot before releasing it. Different
+//!   authorities dispatch in parallel as before;
 //! * journal — a state mutex plus a storage mutex with leader/follower
 //!   group commit (see [`maxoid_journal::JournalHandle`]);
 //! * AMS registry (`RwLock`), private-state manager (`Mutex`), services
@@ -195,6 +201,10 @@ impl<P: ContentProvider + Send> ContentProvider for SharedProvider<P> {
         id: i64,
     ) -> ProviderResult<bool> {
         self.inner.lock().commit_volatile_row(initiator, table, id)
+    }
+
+    fn publish_read(&mut self) {
+        self.inner.lock().publish_read()
     }
 }
 
@@ -388,20 +398,30 @@ impl MaxoidSystem {
 
         let userdict = Arc::new(Mutex::new(userdict));
         let resolver = ContentResolver::new();
-        resolver.register(
+        // Each system provider registers alongside its lock-free read
+        // handle: resolver queries are served from the provider's
+        // published MVCC snapshot whenever one is available, and only
+        // fall back to the per-authority write lock otherwise.
+        let dict_read = userdict.lock().read_handle();
+        resolver.register_with_read(
             ProviderScope::System,
             Box::new(SharedProvider::new(maxoid_providers::userdict::AUTHORITY, userdict.clone())),
+            dict_read,
         );
-        resolver.register(
+        let downloads_read = downloads.lock().read_handle();
+        resolver.register_with_read(
             ProviderScope::System,
             Box::new(SharedProvider::new(
                 maxoid_providers::downloads::AUTHORITY,
                 downloads.clone(),
             )),
+            downloads_read,
         );
-        resolver.register(
+        let media_read = media.lock().read_handle();
+        resolver.register_with_read(
             ProviderScope::System,
             Box::new(SharedProvider::new(maxoid_providers::media::AUTHORITY, media.clone())),
+            media_read,
         );
 
         // Make the boot-time records (layout mkdirs, schema DDL) durable:

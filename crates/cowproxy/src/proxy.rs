@@ -12,6 +12,7 @@ use crate::hierarchy::ViewHierarchy;
 use crate::names::{
     cow_view, delta_table, sanitize, trigger, NameInterner, DELTA_PK_START, WHITEOUT_COL,
 };
+use crate::reader::{CowPublished, ReadSlot};
 use crate::rewrite::{op, Key, Rewrite, RewriteCache};
 use crate::sqlgen;
 use maxoid_sqldb::{Affinity, Database, FlattenPolicy, ResultSet, SqlError, SqlResult, Value};
@@ -69,12 +70,17 @@ pub struct CowProxy {
     names: NameInterner,
     /// Per-fork-epoch memo of generated SQL keyed by call shape.
     rewrite: RewriteCache,
+    /// The published-snapshot slot served to lock-free readers.
+    read_slot: ReadSlot,
 }
 
-// Threading contract: like the `Database` it wraps, a `CowProxy` is
+// Threading contract: like the `Database` it wraps, a live `CowProxy` is
 // `Send`-not-`Sync`. Each provider authority owns one proxy behind its
-// per-authority mutex in the resolver table; initiator parallelism is
-// per-authority, never within one proxy.
+// per-authority write lock in the resolver table; *mutations* are
+// per-authority serialized, never parallel within one proxy. Reads are
+// different since MVCC: the proxy publishes immutable snapshots into a
+// shared [`ReadSlot`] (see [`CowProxy::publish_read`]) and any number of
+// threads query them concurrently without the write lock.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<CowProxy>();
@@ -90,13 +96,7 @@ impl CowProxy {
     /// Creates a proxy over an empty database with the default planner
     /// policy (SQLite 3.8.6 flattening, as ported by the paper's authors).
     pub fn new() -> Self {
-        CowProxy {
-            db: Database::with_policy(FlattenPolicy::Sqlite386),
-            hierarchy: ViewHierarchy::default(),
-            initiators: Vec::new(),
-            names: NameInterner::default(),
-            rewrite: RewriteCache::default(),
-        }
+        Self::with_policy(FlattenPolicy::Sqlite386)
     }
 
     /// Creates a proxy with a specific planner policy (for ablations).
@@ -107,6 +107,7 @@ impl CowProxy {
             initiators: Vec::new(),
             names: NameInterner::default(),
             rewrite: RewriteCache::default(),
+            read_slot: ReadSlot::new(),
         }
     }
 
@@ -121,12 +122,14 @@ impl CowProxy {
     /// The borrower may run arbitrary DDL, so the rewrite cache is
     /// conservatively invalidated.
     pub fn db_mut(&mut self) -> &mut Database {
+        self.retract_read();
         self.rewrite.bump_epoch();
         &mut self.db
     }
 
     /// Runs provider schema DDL (CREATE TABLE statements) directly.
     pub fn execute_batch(&mut self, sql: &str) -> SqlResult<()> {
+        self.retract_read();
         self.rewrite.bump_epoch();
         self.db.execute_batch(sql)
     }
@@ -135,6 +138,7 @@ impl CowProxy {
     /// `files`). The proxy records its dependencies so per-initiator COW
     /// views can be built for the whole hierarchy (paper Figure 5).
     pub fn register_user_view(&mut self, sql: &str) -> SqlResult<()> {
+        self.retract_read();
         self.rewrite.bump_epoch();
         self.hierarchy.register(&mut self.db, sql)
     }
@@ -142,7 +146,47 @@ impl CowProxy {
     /// Enables or disables the rewrite cache (on by default). Used by the
     /// cache-equivalence tests and the ablation benchmarks.
     pub fn set_rewrite_cache(&mut self, on: bool) {
+        self.retract_read();
         self.rewrite.set_enabled(on);
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot publication (the MVCC read path).
+    // -----------------------------------------------------------------
+
+    /// A cloneable handle to this proxy's published-snapshot slot.
+    ///
+    /// The slot is how lock-free readers reach the proxy: the resolver's
+    /// read handles hold one and serve queries from it without the
+    /// authority's write lock (see [`ReadSlot::try_query`]).
+    pub fn read_slot(&self) -> ReadSlot {
+        self.read_slot.clone()
+    }
+
+    /// Publishes the current committed database state into the read slot.
+    ///
+    /// Call at quiescent points — after a mutation has fully settled; the
+    /// resolver does so after every locked provider call. Publication is
+    /// memoized end to end: an unchanged `(commit stamp, fork epoch)`
+    /// pair costs two atomic loads and a read-lock probe. When the
+    /// database cannot snapshot (a transaction is open, or a table is
+    /// paged onto the block tier) the slot is retracted instead, sending
+    /// readers down the locked path.
+    pub fn publish_read(&mut self) {
+        match self.db.begin_read() {
+            Some(snap) => {
+                self.read_slot.publish(CowPublished { snap, fork_epoch: self.rewrite.epoch() })
+            }
+            None => self.read_slot.retract(),
+        }
+    }
+
+    /// Retracts the published snapshot. Every `&mut self` entry point
+    /// calls this *before* touching state, so readers never race a
+    /// mutation in flight: they see the prior committed snapshot or fall
+    /// back to the locked path.
+    fn retract_read(&self) {
+        self.read_slot.retract();
     }
 
     /// Whether the rewrite cache is active.
@@ -171,6 +215,7 @@ impl CowProxy {
     /// proxy's database is recorded as a logical SQL record attributed to
     /// component `name` (conventionally `db.<authority>`).
     pub fn attach_journal(&mut self, sink: maxoid_journal::SinkRef, name: &str) {
+        self.retract_read();
         self.db.set_journal(sink, name);
     }
 
@@ -200,6 +245,7 @@ impl CowProxy {
             initiators,
             names: NameInterner::default(),
             rewrite: RewriteCache::default(),
+            read_slot: ReadSlot::new(),
         }
     }
 
@@ -214,6 +260,7 @@ impl CowProxy {
     /// COW view whose bases carry no deltas reads identically to the
     /// plain view, and `clear_volatile` drops them all the same way.
     pub fn rebuild_cow_views(&mut self) -> SqlResult<()> {
+        self.retract_read();
         self.rewrite.bump_epoch();
         let initiators = self.initiators.clone();
         for initiator in &initiators {
@@ -240,6 +287,7 @@ impl CowProxy {
         if self.has_delta(table, initiator) {
             return Ok(());
         }
+        self.retract_read();
         if !self.db.has_table(table) {
             // User-defined view: ensure COW views exist for its bases.
             if self.db.has_view(table) {
@@ -345,28 +393,7 @@ impl CowProxy {
     /// [`CowProxy::read_relation`] returning the interned name; the hot
     /// query path clones an `Arc<str>` instead of reallocating.
     fn read_relation_interned(&self, table: &str, view: &DbView) -> SqlResult<Arc<str>> {
-        match view {
-            DbView::Primary | DbView::Admin => Ok(Arc::from(table)),
-            DbView::Delegate { initiator } => {
-                if self.db.has_table(&self.names.delta_table(table, initiator))
-                    || (self.db.has_view(table)
-                        && self.db.has_view(&self.names.cow_view(table, initiator)))
-                {
-                    maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
-                    Ok(self.names.cow_view(table, initiator))
-                } else {
-                    Ok(Arc::from(table))
-                }
-            }
-            DbView::Volatile { initiator } => {
-                let delta = self.names.delta_table(table, initiator);
-                if self.db.has_table(&delta) {
-                    Ok(delta)
-                } else {
-                    Err(SqlError::NoSuchTable(delta.to_string()))
-                }
-            }
-        }
+        relation_for_read(&self.names, &self.db, table, view)
     }
 
     // -----------------------------------------------------------------
@@ -388,6 +415,7 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.insert");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
+        self.retract_read();
         let (cols, params) = split_values(values);
         let (view_tag, vinit) = view_key(view);
         let key = Key {
@@ -489,6 +517,7 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.update");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
+        self.retract_read();
         let mut parts: Vec<&str> = sets.iter().map(|(c, _)| *c).collect();
         parts.push(if where_clause.is_some() { "1" } else { "0" });
         parts.push(where_clause.unwrap_or(""));
@@ -557,6 +586,7 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.delete");
         sp.field_with("table", || table.to_string());
         sp.field_with("view", || format!("{view:?}"));
+        self.retract_read();
         let parts = [if where_clause.is_some() { "1" } else { "0" }, where_clause.unwrap_or("")];
         let (view_tag, vinit) = view_key(view);
         let key = Key {
@@ -609,98 +639,7 @@ impl CowProxy {
         opts: &QueryOpts,
         params: &[Value],
     ) -> SqlResult<ResultSet> {
-        let mut sp = maxoid_obs::span("cowproxy.query");
-        sp.field_with("table", || table.to_string());
-        sp.field_with("view", || format!("{view:?}"));
-        let mut parts: Vec<&str> = opts.columns.iter().map(|s| s.as_str()).collect();
-        parts.push(if opts.where_clause.is_some() { "1" } else { "0" });
-        parts.push(opts.where_clause.as_deref().unwrap_or(""));
-        parts.push(if opts.order_by.is_some() { "1" } else { "0" });
-        parts.push(opts.order_by.as_deref().unwrap_or(""));
-        parts.push(if opts.limit.is_some() { "1" } else { "0" });
-        let (view_tag, vinit) = view_key(view);
-        let key = Key {
-            op: op::QUERY,
-            view_tag,
-            initiator: vinit,
-            table,
-            parts: &parts,
-            num: opts.columns.len() as i64,
-            num2: opts.limit.unwrap_or(0),
-        };
-        let (target, sql, appended) = match self.rewrite.lookup(&key) {
-            Some(rw) => {
-                if rw.rewrote {
-                    // Replay the counter the uncached resolution bumps.
-                    maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
-                }
-                (rw.target, rw.sql, rw.appended)
-            }
-            None => {
-                let target = self.read_relation_interned(table, view)?;
-                let mut columns = opts.columns.clone();
-                let explicit = !columns.is_empty();
-                let mut appended = 0usize;
-                if explicit {
-                    if let Some(order) = &opts.order_by {
-                        // Footnote 5: add ORDER BY columns to query columns
-                        // when necessary so flattening can fire.
-                        for term in order.split(',') {
-                            let col = term.split_whitespace().next().unwrap_or("");
-                            if !col.is_empty()
-                                && col.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
-                                && !col.chars().all(|c| c.is_ascii_digit())
-                                && !columns.iter().any(|c| c.eq_ignore_ascii_case(col))
-                            {
-                                columns.push(col.to_string());
-                                appended += 1;
-                            }
-                        }
-                    }
-                }
-                let mut sql = String::from("SELECT ");
-                if explicit {
-                    sql.push_str(&columns.join(", "));
-                } else {
-                    sql.push('*');
-                }
-                sql.push_str(&format!(" FROM {target}"));
-                let mut where_parts: Vec<String> = Vec::new();
-                if let Some(w) = &opts.where_clause {
-                    where_parts.push(format!("({w})"));
-                }
-                if matches!(view, DbView::Volatile { .. }) {
-                    // Volatile reads exclude whiteout records.
-                    where_parts.push(format!("{WHITEOUT_COL} = 0"));
-                }
-                if !where_parts.is_empty() {
-                    sql.push_str(" WHERE ");
-                    sql.push_str(&where_parts.join(" AND "));
-                }
-                if let Some(order) = &opts.order_by {
-                    sql.push_str(" ORDER BY ");
-                    sql.push_str(order);
-                }
-                if let Some(limit) = opts.limit {
-                    sql.push_str(&format!(" LIMIT {limit}"));
-                }
-                let sql: Arc<str> = sql.into();
-                let rewrote = matches!(view, DbView::Delegate { .. }) && &*target != table;
-                let rw = Rewrite { target: target.clone(), sql: sql.clone(), appended, rewrote };
-                self.rewrite.insert(&key, rw);
-                (target, sql, appended)
-            }
-        };
-        sp.field_with("relation", || target.to_string());
-        let mut rs = self.db.query(&sql, params)?;
-        if appended > 0 {
-            let keep = rs.columns.len() - appended;
-            rs.columns.truncate(keep);
-            for row in &mut rs.rows {
-                row.truncate(keep);
-            }
-        }
-        Ok(rs)
+        cached_query(&self.rewrite, &self.names, &self.db, view, table, opts, params)
     }
 
     /// The administrative view (paper §5.2): every public and volatile
@@ -749,6 +688,7 @@ impl CowProxy {
     pub fn clear_volatile(&mut self, initiator: &str) -> SqlResult<usize> {
         let mut sp = maxoid_obs::span("cowproxy.clear_volatile");
         sp.field_with("initiator", || initiator.to_string());
+        self.retract_read();
         let suffix = format!("_delta_{}", sanitize(initiator));
         let doomed: Vec<String> = self
             .db
@@ -796,6 +736,7 @@ impl CowProxy {
         let mut sp = maxoid_obs::span("cowproxy.commit_volatile_row");
         sp.field_with("table", || table.to_string());
         sp.field_with("id", || id.to_string());
+        self.retract_read();
         let delta = delta_table(table, initiator);
         if !self.db.has_table(&delta) {
             return Ok(false);
@@ -822,6 +763,150 @@ impl CowProxy {
         self.db.execute(&sql, &params)?;
         Ok(true)
     }
+}
+
+/// Resolves the relation a read should target, given any database — the
+/// live one under the authority lock or a frozen snapshot. Shared by
+/// [`CowProxy::read_relation`] and the snapshot path in [`crate::reader`];
+/// because the existence probes run against the passed database, a
+/// snapshot read decides delta/COW-view routing *within* the snapshot
+/// ("snapshot-to-snapshot"), never against newer live state.
+pub(crate) fn relation_for_read(
+    names: &NameInterner,
+    db: &Database,
+    table: &str,
+    view: &DbView,
+) -> SqlResult<Arc<str>> {
+    match view {
+        DbView::Primary | DbView::Admin => Ok(Arc::from(table)),
+        DbView::Delegate { initiator } => {
+            if db.has_table(&names.delta_table(table, initiator))
+                || (db.has_view(table) && db.has_view(&names.cow_view(table, initiator)))
+            {
+                maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
+                Ok(names.cow_view(table, initiator))
+            } else {
+                Ok(Arc::from(table))
+            }
+        }
+        DbView::Volatile { initiator } => {
+            let delta = names.delta_table(table, initiator);
+            if db.has_table(&delta) {
+                Ok(delta)
+            } else {
+                Err(SqlError::NoSuchTable(delta.to_string()))
+            }
+        }
+    }
+}
+
+/// The proxy query pipeline over an explicit `(rewrite, names, db)`
+/// triple: builds (or replays from the rewrite cache) the rewritten SQL
+/// for one view-routed query, executes it, and strips any footnote-5
+/// appended ORDER BY columns. [`CowProxy::query`] calls it with the
+/// proxy's own state; [`crate::reader::ReadSlot::try_query`] calls it
+/// with a thread-local cache pair and a snapshot-bound database.
+pub(crate) fn cached_query(
+    rewrite: &RewriteCache,
+    names: &NameInterner,
+    db: &Database,
+    view: &DbView,
+    table: &str,
+    opts: &QueryOpts,
+    params: &[Value],
+) -> SqlResult<ResultSet> {
+    let mut sp = maxoid_obs::span("cowproxy.query");
+    sp.field_with("table", || table.to_string());
+    sp.field_with("view", || format!("{view:?}"));
+    let mut parts: Vec<&str> = opts.columns.iter().map(|s| s.as_str()).collect();
+    parts.push(if opts.where_clause.is_some() { "1" } else { "0" });
+    parts.push(opts.where_clause.as_deref().unwrap_or(""));
+    parts.push(if opts.order_by.is_some() { "1" } else { "0" });
+    parts.push(opts.order_by.as_deref().unwrap_or(""));
+    parts.push(if opts.limit.is_some() { "1" } else { "0" });
+    let (view_tag, vinit) = view_key(view);
+    let key = Key {
+        op: op::QUERY,
+        view_tag,
+        initiator: vinit,
+        table,
+        parts: &parts,
+        num: opts.columns.len() as i64,
+        num2: opts.limit.unwrap_or(0),
+    };
+    let (target, sql, appended) = match rewrite.lookup(&key) {
+        Some(rw) => {
+            if rw.rewrote {
+                // Replay the counter the uncached resolution bumps.
+                maxoid_obs::counter_add("cowproxy.view_rewrites", 1);
+            }
+            (rw.target, rw.sql, rw.appended)
+        }
+        None => {
+            let target = relation_for_read(names, db, table, view)?;
+            let mut columns = opts.columns.clone();
+            let explicit = !columns.is_empty();
+            let mut appended = 0usize;
+            if explicit {
+                if let Some(order) = &opts.order_by {
+                    // Footnote 5: add ORDER BY columns to query columns
+                    // when necessary so flattening can fire.
+                    for term in order.split(',') {
+                        let col = term.split_whitespace().next().unwrap_or("");
+                        if !col.is_empty()
+                            && col.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                            && !col.chars().all(|c| c.is_ascii_digit())
+                            && !columns.iter().any(|c| c.eq_ignore_ascii_case(col))
+                        {
+                            columns.push(col.to_string());
+                            appended += 1;
+                        }
+                    }
+                }
+            }
+            let mut sql = String::from("SELECT ");
+            if explicit {
+                sql.push_str(&columns.join(", "));
+            } else {
+                sql.push('*');
+            }
+            sql.push_str(&format!(" FROM {target}"));
+            let mut where_parts: Vec<String> = Vec::new();
+            if let Some(w) = &opts.where_clause {
+                where_parts.push(format!("({w})"));
+            }
+            if matches!(view, DbView::Volatile { .. }) {
+                // Volatile reads exclude whiteout records.
+                where_parts.push(format!("{WHITEOUT_COL} = 0"));
+            }
+            if !where_parts.is_empty() {
+                sql.push_str(" WHERE ");
+                sql.push_str(&where_parts.join(" AND "));
+            }
+            if let Some(order) = &opts.order_by {
+                sql.push_str(" ORDER BY ");
+                sql.push_str(order);
+            }
+            if let Some(limit) = opts.limit {
+                sql.push_str(&format!(" LIMIT {limit}"));
+            }
+            let sql: Arc<str> = sql.into();
+            let rewrote = matches!(view, DbView::Delegate { .. }) && &*target != table;
+            let rw = Rewrite { target: target.clone(), sql: sql.clone(), appended, rewrote };
+            rewrite.insert(&key, rw);
+            (target, sql, appended)
+        }
+    };
+    sp.field_with("relation", || target.to_string());
+    let mut rs = db.query(&sql, params)?;
+    if appended > 0 {
+        let keep = rs.columns.len() - appended;
+        rs.columns.truncate(keep);
+        for row in &mut rs.rows {
+            row.truncate(keep);
+        }
+    }
+    Ok(rs)
 }
 
 fn split_values<'a>(values: &'a [(&'a str, Value)]) -> (Vec<&'a str>, Vec<Value>) {

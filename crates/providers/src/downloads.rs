@@ -15,13 +15,14 @@
 
 use crate::locator::{FileLocator, SystemFiles};
 use crate::provider::{
-    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs, ReadHandle,
 };
 use crate::uri::Uri;
-use maxoid_cowproxy::{CowProxy, DbView, QueryOpts, ADMIN_INITIATOR_COL, ADMIN_STATE_COL};
+use maxoid_cowproxy::{CowProxy, DbView, QueryOpts, ReadSlot, ADMIN_INITIATOR_COL, ADMIN_STATE_COL};
 use maxoid_kernel::{Kernel, Pid};
 use maxoid_sqldb::{ResultSet, Value};
 use maxoid_vfs::VPath;
+use std::sync::Arc;
 
 /// Authority of the Downloads provider.
 pub const AUTHORITY: &str = "downloads";
@@ -293,29 +294,79 @@ impl<L: FileLocator> DownloadsProvider<L> {
     }
 
     fn table_for(&self, uri: &Uri) -> ProviderResult<&'static str> {
-        match uri.collection() {
-            Some("my_downloads") | Some("all_downloads") | Some("downloads") => Ok("downloads"),
-            Some("headers") | Some("request_headers") => Ok("request_headers"),
-            _ => Err(ProviderError::UnknownUri(uri.to_string())),
-        }
+        table_for(uri)
     }
 
     fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
-        let mut clauses = Vec::new();
-        let mut params = Vec::new();
-        if let Some(id) = uri.id() {
-            clauses.push("_id = ?".to_string());
-            params.push(Value::Integer(id));
-        }
-        if let Some(sel) = &args.selection {
-            clauses.push(format!("({sel})"));
-            params.extend(args.selection_args.iter().cloned());
-        }
-        if clauses.is_empty() {
-            (None, params)
-        } else {
-            (Some(clauses.join(" AND ")), params)
-        }
+        build_where(uri, args)
+    }
+
+    /// The lock-free read handle for this provider (see
+    /// [`crate::ContentResolver::register_with_read`]). Routed queries
+    /// are pure plans — the background download pump mutates through the
+    /// provider lock and retracts the snapshot — so reads can run from
+    /// the published snapshot without that lock.
+    pub fn read_handle(&self) -> Arc<dyn ReadHandle> {
+        Arc::new(DownloadsReadHandle { slot: self.proxy.read_slot() })
+    }
+}
+
+fn table_for(uri: &Uri) -> ProviderResult<&'static str> {
+    match uri.collection() {
+        Some("my_downloads") | Some("all_downloads") | Some("downloads") => Ok("downloads"),
+        Some("headers") | Some("request_headers") => Ok("request_headers"),
+        _ => Err(ProviderError::UnknownUri(uri.to_string())),
+    }
+}
+
+fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
+    let mut clauses = Vec::new();
+    let mut params = Vec::new();
+    if let Some(id) = uri.id() {
+        clauses.push("_id = ?".to_string());
+        params.push(Value::Integer(id));
+    }
+    if let Some(sel) = &args.selection {
+        clauses.push(format!("({sel})"));
+        params.extend(args.selection_args.iter().cloned());
+    }
+    if clauses.is_empty() {
+        (None, params)
+    } else {
+        (Some(clauses.join(" AND ")), params)
+    }
+}
+
+/// Snapshot read path mirroring [`DownloadsProvider::query`]'s routing.
+#[derive(Debug)]
+struct DownloadsReadHandle {
+    slot: ReadSlot,
+}
+
+impl ReadHandle for DownloadsReadHandle {
+    fn try_query(
+        &self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> Option<ProviderResult<ResultSet>> {
+        let table = match table_for(uri) {
+            Ok(t) => t,
+            Err(e) => return Some(Err(e)),
+        };
+        let view = match caller.db_view(uri) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e)),
+        };
+        let (where_clause, params) = build_where(uri, args);
+        let opts = QueryOpts {
+            columns: args.projection.clone(),
+            where_clause,
+            order_by: args.sort_order.clone(),
+            limit: None,
+        };
+        let rs = self.slot.try_query(&view, table, &opts, &params)?;
+        Some(rs.map_err(ProviderError::from))
     }
 }
 
@@ -392,6 +443,10 @@ impl<L: FileLocator> ContentProvider for DownloadsProvider<L> {
         id: i64,
     ) -> ProviderResult<bool> {
         Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
+    }
+
+    fn publish_read(&mut self) {
+        self.proxy.publish_read();
     }
 }
 

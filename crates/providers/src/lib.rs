@@ -43,7 +43,7 @@ pub mod userdict;
 pub use downloads::{DownloadNotification, DownloadRequest, DownloadsProvider};
 pub use locator::{FileLocator, SimpleLocator, SystemFiles};
 pub use media::{MediaKind, MediaProvider};
-pub use provider::{Caller, ContentValues, ProviderError, ProviderResult, QueryArgs};
+pub use provider::{Caller, ContentValues, ProviderError, ProviderResult, QueryArgs, ReadHandle};
 pub use resolver::{ContentResolver, ProviderScope};
 pub use uri::{Uri, UriError};
 pub use userdict::UserDictionaryProvider;

@@ -11,13 +11,14 @@
 
 use crate::locator::{FileLocator, SystemFiles};
 use crate::provider::{
-    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs, ReadHandle,
 };
 use crate::uri::Uri;
-use maxoid_cowproxy::{CowProxy, DbView, QueryOpts};
+use maxoid_cowproxy::{cow_view, delta_table, CowProxy, DbView, QueryOpts, ReadSlot};
 use maxoid_kernel::ExecContext;
 use maxoid_sqldb::{ResultSet, Value};
 use maxoid_vfs::VPath;
+use std::sync::Arc;
 
 /// Authority of the Media provider.
 pub const AUTHORITY: &str = "media";
@@ -217,37 +218,111 @@ impl<L: FileLocator> MediaProvider<L> {
     }
 
     fn relation_for(&self, uri: &Uri) -> ProviderResult<&'static str> {
-        match uri.collection() {
-            Some("files") => Ok("files"),
-            Some("images") => Ok("images"),
-            Some("audio") => Ok("audio"),
-            Some("audio_meta") => Ok("audio_meta"),
-            Some("video") => Ok("video"),
-            Some("thumbnails") => Ok("thumbnails"),
-            _ => Err(ProviderError::UnknownUri(uri.to_string())),
-        }
+        relation_for(uri)
     }
 
     fn is_user_view(rel: &str) -> bool {
-        matches!(rel, "images" | "audio" | "audio_meta" | "video")
+        is_user_view(rel)
     }
 
     fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
-        let mut clauses = Vec::new();
-        let mut params = Vec::new();
-        if let Some(id) = uri.id() {
-            clauses.push("_id = ?".to_string());
-            params.push(Value::Integer(id));
-        }
-        if let Some(sel) = &args.selection {
-            clauses.push(format!("({sel})"));
-            params.extend(args.selection_args.iter().cloned());
-        }
-        if clauses.is_empty() {
-            (None, params)
-        } else {
-            (Some(clauses.join(" AND ")), params)
-        }
+        build_where(uri, args)
+    }
+
+    /// The lock-free read handle for this provider (see
+    /// [`crate::ContentResolver::register_with_read`]). Most reads run
+    /// from the published snapshot; the one write-side read — a delegate
+    /// with a `files` delta querying a user view whose per-initiator COW
+    /// instance has not been built yet — is detected against the same
+    /// snapshot and declined so the locked path can run `ensure_cow`.
+    pub fn read_handle(&self) -> Arc<dyn ReadHandle> {
+        Arc::new(MediaReadHandle { slot: self.proxy.read_slot() })
+    }
+}
+
+fn relation_for(uri: &Uri) -> ProviderResult<&'static str> {
+    match uri.collection() {
+        Some("files") => Ok("files"),
+        Some("images") => Ok("images"),
+        Some("audio") => Ok("audio"),
+        Some("audio_meta") => Ok("audio_meta"),
+        Some("video") => Ok("video"),
+        Some("thumbnails") => Ok("thumbnails"),
+        _ => Err(ProviderError::UnknownUri(uri.to_string())),
+    }
+}
+
+fn is_user_view(rel: &str) -> bool {
+    matches!(rel, "images" | "audio" | "audio_meta" | "video")
+}
+
+fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
+    let mut clauses = Vec::new();
+    let mut params = Vec::new();
+    if let Some(id) = uri.id() {
+        clauses.push("_id = ?".to_string());
+        params.push(Value::Integer(id));
+    }
+    if let Some(sel) = &args.selection {
+        clauses.push(format!("({sel})"));
+        params.extend(args.selection_args.iter().cloned());
+    }
+    if clauses.is_empty() {
+        (None, params)
+    } else {
+        (Some(clauses.join(" AND ")), params)
+    }
+}
+
+/// Snapshot read path mirroring [`MediaProvider::query`]'s routing,
+/// including the on-demand COW-view wrinkle (declined via the gate).
+#[derive(Debug)]
+struct MediaReadHandle {
+    slot: ReadSlot,
+}
+
+impl ReadHandle for MediaReadHandle {
+    fn try_query(
+        &self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> Option<ProviderResult<ResultSet>> {
+        let rel = match relation_for(uri) {
+            Ok(r) => r,
+            Err(e) => return Some(Err(e)),
+        };
+        let view = match caller.db_view(uri) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e)),
+        };
+        let (where_clause, params) = build_where(uri, args);
+        let opts = QueryOpts {
+            columns: args.projection.clone(),
+            where_clause,
+            order_by: args.sort_order.clone(),
+            limit: None,
+        };
+        let gate = |db: &maxoid_sqldb::Database| {
+            // The locked path builds a user view's per-initiator COW
+            // instance on demand when the initiator holds a `files`
+            // delta. If this snapshot has the delta but not the COW
+            // view, a snapshot read of the plain view would hide the
+            // delta rows — fall back so `ensure_cow` can run. The check
+            // and the query use the same snapshot, so the decision
+            // cannot race a republish.
+            if let DbView::Delegate { initiator } = &view {
+                if is_user_view(rel)
+                    && db.has_table(&delta_table("files", initiator))
+                    && !db.has_view(&cow_view(rel, initiator))
+                {
+                    return false;
+                }
+            }
+            true
+        };
+        let rs = self.slot.try_query_gated(gate, &view, rel, &opts, &params)?;
+        Some(rs.map_err(ProviderError::from))
     }
 }
 
@@ -380,6 +455,10 @@ impl<L: FileLocator> ContentProvider for MediaProvider<L> {
         id: i64,
     ) -> ProviderResult<bool> {
         Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
+    }
+
+    fn publish_read(&mut self) {
+        self.proxy.publish_read();
     }
 }
 

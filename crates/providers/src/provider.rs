@@ -198,6 +198,35 @@ pub trait ContentProvider {
     ) -> ProviderResult<bool> {
         Ok(false)
     }
+
+    /// MVCC hook: publishes a fresh committed snapshot for lock-free
+    /// readers (see [`ReadHandle`]). The resolver calls this after every
+    /// locked provider call, i.e. at a quiescent point while it still
+    /// holds the authority lock. Providers without a snapshot read path
+    /// ignore it.
+    fn publish_read(&mut self) {}
+}
+
+/// The lock-free read path of a provider (MVCC snapshot reads).
+///
+/// A read handle is registered alongside its provider
+/// ([`crate::ContentResolver::register_with_read`]) and holds a
+/// [`maxoid_cowproxy::ReadSlot`] — never the provider itself — so
+/// [`ReadHandle::try_query`] runs without the per-authority write lock.
+/// Returning `None` sends the resolver down the locked path: either no
+/// snapshot is published (a mutation just retracted it, a transaction is
+/// open, tables are paged to the block tier) or this particular read
+/// needs write-side work first (e.g. Media building a COW view on
+/// demand). Access control stays in the resolver; handles only plan and
+/// execute the query.
+pub trait ReadHandle: Send + Sync {
+    /// Attempts to serve a routed query from the published snapshot.
+    fn try_query(
+        &self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> Option<ProviderResult<ResultSet>>;
 }
 
 #[cfg(test)]

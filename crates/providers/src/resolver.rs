@@ -8,12 +8,13 @@
 //! viewer open one attachment (§2.2).
 
 use crate::provider::{
-    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs, ReadHandle,
 };
 use crate::uri::Uri;
 use maxoid_sqldb::ResultSet;
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Who may reach a provider.
@@ -39,14 +40,17 @@ struct UriGrant {
     one_shot: bool,
 }
 
-/// A registered provider: its reachability scope plus the per-authority
-/// lock that serializes calls into it. The `Arc` lets routing clone the
-/// entry out of the table and release the table lock before dispatching,
-/// so calls to *different* authorities run fully in parallel.
+/// A registered provider: its reachability scope, the per-authority
+/// **write lock** that serializes mutations into it, and the optional
+/// lock-free read handle. The `Arc` lets routing clone the entry out of
+/// the table and release the table lock before dispatching, so calls to
+/// *different* authorities run fully in parallel; the read handle lets
+/// queries on the *same* authority run in parallel too.
 #[derive(Clone)]
 struct ProviderEntry {
     scope: ProviderScope,
     provider: Arc<Mutex<Box<dyn ContentProvider + Send>>>,
+    read: Option<Arc<dyn ReadHandle>>,
 }
 
 /// Routes content URIs to registered providers and enforces reachability.
@@ -56,13 +60,23 @@ struct ProviderEntry {
 /// The authority table is an `RwLock` (registration is rare; routing
 /// takes read locks), the grant list has its own mutex (one-shot grants
 /// are consumed atomically), and each provider sits behind its own
-/// per-authority mutex. When a caller must lock several providers (the
+/// per-authority **write lock**. Mutations take that lock; after each
+/// one the resolver asks the provider to publish a fresh MVCC snapshot
+/// ([`ContentProvider::publish_read`]). Queries first try the
+/// provider's registered [`ReadHandle`], which serves them from the
+/// published snapshot without the write lock; only when no snapshot is
+/// available (or the read needs write-side work) do they fall back to
+/// the locked path. When a caller must lock several providers (the
 /// Clear-Vol sweep), it does so one at a time in ascending authority
 /// order — the documented provider-lock order (DESIGN.md §4.10).
 #[derive(Default)]
 pub struct ContentResolver {
     providers: RwLock<BTreeMap<String, ProviderEntry>>,
     grants: Mutex<Vec<UriGrant>>,
+    /// Queries served lock-free from a published snapshot.
+    snapshot_reads: AtomicU64,
+    /// Queries that fell back to the per-authority write lock.
+    locked_reads: AtomicU64,
 }
 
 impl std::fmt::Debug for ContentResolver {
@@ -83,9 +97,34 @@ impl ContentResolver {
     /// Registers a provider under its authority.
     pub fn register(&self, scope: ProviderScope, provider: Box<dyn ContentProvider + Send>) {
         let authority = provider.authority().to_string();
-        self.providers
-            .write()
-            .insert(authority, ProviderEntry { scope, provider: Arc::new(Mutex::new(provider)) });
+        self.providers.write().insert(
+            authority,
+            ProviderEntry { scope, provider: Arc::new(Mutex::new(provider)), read: None },
+        );
+    }
+
+    /// Registers a provider together with its lock-free read handle.
+    /// Queries will be served from the provider's published snapshot
+    /// whenever one is available, without taking the authority's write
+    /// lock.
+    pub fn register_with_read(
+        &self,
+        scope: ProviderScope,
+        provider: Box<dyn ContentProvider + Send>,
+        read: Arc<dyn ReadHandle>,
+    ) {
+        let authority = provider.authority().to_string();
+        self.providers.write().insert(
+            authority,
+            ProviderEntry { scope, provider: Arc::new(Mutex::new(provider)), read: Some(read) },
+        );
+    }
+
+    /// `(snapshot_reads, locked_reads)` since construction: how many
+    /// routed queries were served lock-free from a published snapshot
+    /// versus under a per-authority write lock.
+    pub fn read_path_stats(&self) -> (u64, u64) {
+        (self.snapshot_reads.load(Ordering::Relaxed), self.locked_reads.load(Ordering::Relaxed))
     }
 
     /// Returns the registered authorities.
@@ -163,7 +202,9 @@ impl ContentResolver {
     ) -> ProviderResult<Uri> {
         let entry = self.entry(&uri.authority)?;
         self.check_access(&entry.scope, caller, uri, true)?;
-        let res = entry.provider.lock().insert(caller, uri, values);
+        let mut p = entry.provider.lock();
+        let res = p.insert(caller, uri, values);
+        p.publish_read();
         res
     }
 
@@ -177,15 +218,34 @@ impl ContentResolver {
     ) -> ProviderResult<usize> {
         let entry = self.entry(&uri.authority)?;
         self.check_access(&entry.scope, caller, uri, true)?;
-        let res = entry.provider.lock().update(caller, uri, values, args);
+        let mut p = entry.provider.lock();
+        let res = p.update(caller, uri, values, args);
+        p.publish_read();
         res
     }
 
     /// Routed query.
+    ///
+    /// Tries the provider's lock-free read handle first: if a committed
+    /// snapshot is published, the query runs against it without the
+    /// authority's write lock (and in parallel with other readers).
+    /// Otherwise the query takes the write lock, runs against live
+    /// state, and republishes a snapshot for subsequent readers.
     pub fn query(&self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<ResultSet> {
         let entry = self.entry(&uri.authority)?;
         self.check_access(&entry.scope, caller, uri, false)?;
-        let res = entry.provider.lock().query(caller, uri, args);
+        if let Some(read) = &entry.read {
+            if let Some(res) = read.try_query(caller, uri, args) {
+                self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+                maxoid_obs::counter_add("resolver.snapshot_reads", 1);
+                return res;
+            }
+        }
+        let mut p = entry.provider.lock();
+        let res = p.query(caller, uri, args);
+        p.publish_read();
+        self.locked_reads.fetch_add(1, Ordering::Relaxed);
+        maxoid_obs::counter_add("resolver.locked_reads", 1);
         res
     }
 
@@ -193,7 +253,9 @@ impl ContentResolver {
     pub fn delete(&self, caller: &Caller, uri: &Uri, args: &QueryArgs) -> ProviderResult<usize> {
         let entry = self.entry(&uri.authority)?;
         self.check_access(&entry.scope, caller, uri, true)?;
-        let res = entry.provider.lock().delete(caller, uri, args);
+        let mut p = entry.provider.lock();
+        let res = p.delete(caller, uri, args);
+        p.publish_read();
         res
     }
 
@@ -204,7 +266,10 @@ impl ContentResolver {
     pub fn clear_volatile(&self, initiator: &str) -> ProviderResult<()> {
         let entries: Vec<ProviderEntry> = self.providers.read().values().cloned().collect();
         for e in entries {
-            e.provider.lock().clear_volatile(initiator)?;
+            let mut p = e.provider.lock();
+            let res = p.clear_volatile(initiator);
+            p.publish_read();
+            res?;
         }
         Ok(())
     }
@@ -220,7 +285,9 @@ impl ContentResolver {
         id: i64,
     ) -> ProviderResult<bool> {
         let entry = self.entry(authority)?;
-        let res = entry.provider.lock().commit_volatile_row(initiator, table, id);
+        let mut p = entry.provider.lock();
+        let res = p.commit_volatile_row(initiator, table, id);
+        p.publish_read();
         res
     }
 }

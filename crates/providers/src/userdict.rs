@@ -7,11 +7,12 @@
 //! records.
 
 use crate::provider::{
-    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs,
+    Caller, ContentProvider, ContentValues, ProviderError, ProviderResult, QueryArgs, ReadHandle,
 };
 use crate::uri::Uri;
-use maxoid_cowproxy::{CowProxy, DbView, QueryOpts};
+use maxoid_cowproxy::{CowProxy, DbView, QueryOpts, ReadSlot};
 use maxoid_sqldb::{FlattenPolicy, ResultSet, Value};
+use std::sync::Arc;
 
 /// Authority of the User Dictionary provider.
 pub const AUTHORITY: &str = "user_dictionary";
@@ -98,29 +99,79 @@ impl UserDictionaryProvider {
     }
 
     fn check_uri(&self, uri: &Uri) -> ProviderResult<()> {
-        if uri.authority != AUTHORITY || uri.collection() != Some(WORDS_TABLE) {
-            return Err(ProviderError::UnknownUri(uri.to_string()));
-        }
-        Ok(())
+        check_uri(uri)
     }
 
     /// Combines a URI item id with caller selection into proxy arguments.
     fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
-        let mut clauses = Vec::new();
-        let mut params = Vec::new();
-        if let Some(id) = uri.id() {
-            clauses.push("_id = ?".to_string());
-            params.push(Value::Integer(id));
+        build_where(uri, args)
+    }
+
+    /// The lock-free read handle for this provider, to be registered via
+    /// [`crate::ContentResolver::register_with_read`]. Queries are pure
+    /// plans over the proxy's published snapshot, so the whole read path
+    /// runs without the provider lock.
+    pub fn read_handle(&self) -> Arc<dyn ReadHandle> {
+        Arc::new(DictReadHandle { slot: self.proxy.read_slot() })
+    }
+}
+
+fn check_uri(uri: &Uri) -> ProviderResult<()> {
+    if uri.authority != AUTHORITY || uri.collection() != Some(WORDS_TABLE) {
+        return Err(ProviderError::UnknownUri(uri.to_string()));
+    }
+    Ok(())
+}
+
+fn build_where(uri: &Uri, args: &QueryArgs) -> (Option<String>, Vec<Value>) {
+    let mut clauses = Vec::new();
+    let mut params = Vec::new();
+    if let Some(id) = uri.id() {
+        clauses.push("_id = ?".to_string());
+        params.push(Value::Integer(id));
+    }
+    if let Some(sel) = &args.selection {
+        clauses.push(format!("({sel})"));
+        params.extend(args.selection_args.iter().cloned());
+    }
+    if clauses.is_empty() {
+        (None, params)
+    } else {
+        (Some(clauses.join(" AND ")), params)
+    }
+}
+
+/// Snapshot read path: the same URI routing and query plan as
+/// [`UserDictionaryProvider::query`], executed against the published
+/// snapshot in [`ReadSlot::try_query`].
+#[derive(Debug)]
+struct DictReadHandle {
+    slot: ReadSlot,
+}
+
+impl ReadHandle for DictReadHandle {
+    fn try_query(
+        &self,
+        caller: &Caller,
+        uri: &Uri,
+        args: &QueryArgs,
+    ) -> Option<ProviderResult<ResultSet>> {
+        if let Err(e) = check_uri(uri) {
+            return Some(Err(e));
         }
-        if let Some(sel) = &args.selection {
-            clauses.push(format!("({sel})"));
-            params.extend(args.selection_args.iter().cloned());
-        }
-        if clauses.is_empty() {
-            (None, params)
-        } else {
-            (Some(clauses.join(" AND ")), params)
-        }
+        let view = match caller.db_view(uri) {
+            Ok(v) => v,
+            Err(e) => return Some(Err(e)),
+        };
+        let (where_clause, params) = build_where(uri, args);
+        let opts = QueryOpts {
+            columns: args.projection.clone(),
+            where_clause,
+            order_by: args.sort_order.clone(),
+            limit: None,
+        };
+        let rs = self.slot.try_query(&view, WORDS_TABLE, &opts, &params)?;
+        Some(rs.map_err(ProviderError::from))
     }
 }
 
@@ -196,6 +247,10 @@ impl ContentProvider for UserDictionaryProvider {
         id: i64,
     ) -> ProviderResult<bool> {
         Ok(self.proxy.commit_volatile_row(initiator, table, id)?)
+    }
+
+    fn publish_read(&mut self) {
+        self.proxy.publish_read();
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::ast::{Expr, SelectStmt, Stmt, TriggerEvent};
 use crate::error::{SqlError, SqlResult};
 use crate::expr::{SubqueryCache, TriggerCtx};
+use crate::mvcc::{DbSnapshot, MvccShared, MvccStats, ReadSnapshot};
 use crate::parser::{parse_statement, parse_statements};
 use crate::plancache::{PlanCache, SelectLookup};
 use crate::planner::{plan_access, try_flatten, AccessPlan, FlattenPolicy};
@@ -11,6 +12,11 @@ use crate::value::Value;
 use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+
+/// Memoized `Arc`'d catalog clones keyed by catalog generation, so
+/// repeated snapshot publications between DDL statements share one copy
+/// of the view/trigger definitions.
+type CatalogMemo = (u64, Arc<BTreeMap<String, ViewDef>>, Arc<BTreeMap<String, TriggerDef>>);
 
 /// A stored view definition.
 #[derive(Debug, Clone)]
@@ -248,14 +254,29 @@ pub struct Database {
     /// Heap tier applied to every table (existing and future) so large
     /// row payloads page to a block device instead of staying resident.
     pub(crate) heap: Option<crate::heap::HeapCfg>,
+    /// Shared MVCC bookkeeping: the commit stamp, the live-snapshot
+    /// registry driving version GC, and the version/GC counters. Shared
+    /// (`Arc`) with every table and every published snapshot.
+    pub(crate) mvcc: Arc<MvccShared>,
+    /// Memoized publication: the snapshot handed out by the last
+    /// [`Database::begin_read`], reused until the next mutation so
+    /// reader-heavy workloads pay the freeze cost once per write, not
+    /// once per read.
+    published: RefCell<Option<Arc<DbSnapshot>>>,
+    /// See [`CatalogMemo`].
+    catalog_memo: RefCell<Option<CatalogMemo>>,
 }
 
-// Threading contract: a `Database` is `Send` but deliberately *not*
+// Threading contract: a live `Database` is `Send` but deliberately *not*
 // `Sync` — the statement/plan caches use `RefCell`/`Cell` for zero-cost
-// single-threaded interior mutability. Concurrent callers (the content
-// resolver, the COW proxy behind a provider) own one `Mutex<Database>`
-// per authority; cross-authority parallelism comes from having many
-// databases, not from sharing one.
+// single-threaded interior mutability, so all *mutation* goes through
+// its single owner (one write lock per authority). Concurrent readers do
+// NOT share this object: they call [`Database::begin_read`] (through the
+// write-lock holder) and execute against the immutable `Send + Sync`
+// snapshot it publishes, via their own thread-local
+// [`crate::SnapshotReader`]. Cross-authority parallelism still comes
+// from having many databases; intra-authority read parallelism comes
+// from snapshots.
 const _: fn() = || {
     fn assert_send<T: Send>() {}
     assert_send::<Database>();
@@ -571,7 +592,96 @@ impl Database {
         params: &[Value],
         trigger: Option<&TriggerCtx>,
     ) -> SqlResult<ExecOutcome> {
-        crate::exec::exec_stmt(self, stmt, params, trigger)
+        let out = crate::exec::exec_stmt(self, stmt, params, trigger);
+        if Self::loggable(stmt) {
+            // Conservatively also on error: a failed multi-row statement
+            // may have mutated before failing. Over-invalidation only
+            // costs the next `begin_read` a cheap re-freeze.
+            self.note_mutation();
+        }
+        out
+    }
+
+    /// Retracts the memoized published snapshot and advances the commit
+    /// stamp. Must run after anything that can change table data, the
+    /// catalog, or row storage; missing a call here is a snapshot
+    /// staleness bug, an extra call is just a cheap re-freeze.
+    pub(crate) fn note_mutation(&mut self) {
+        self.published.borrow_mut().take();
+        self.mvcc.bump_stamp();
+    }
+
+    /// Captures an immutable snapshot of the current committed state for
+    /// lock-free readers, or `None` when one cannot be published — inside
+    /// an open transaction (uncommitted state must stay private) or when
+    /// any table has paged its rows to the heap tier.
+    ///
+    /// Publication is O(#tables): every table is shallow-frozen by
+    /// cloning the `Arc` of its version-chain map (see
+    /// [`crate::table`]). The result is memoized until the next
+    /// mutation, so a read storm between two writes performs exactly one
+    /// freeze. Statements run against the snapshot through a
+    /// [`crate::SnapshotReader`] and see exactly this commit stamp's
+    /// state, while the owner keeps executing writes concurrently.
+    pub fn begin_read(&self) -> Option<ReadSnapshot> {
+        if self.tx_snapshot.is_some() {
+            return None;
+        }
+        let stamp = self.mvcc.stamp();
+        if let Some(snap) = self.published.borrow().as_ref() {
+            if snap.stamp == stamp {
+                return Some(ReadSnapshot { snap: Arc::clone(snap) });
+            }
+        }
+        let mut tables = BTreeMap::new();
+        for (name, t) in &self.tables {
+            tables.insert(name.clone(), t.freeze()?);
+        }
+        let gen = self.catalog_generation();
+        let (views, triggers) = {
+            let mut memo = self.catalog_memo.borrow_mut();
+            match memo.as_ref() {
+                Some((g, v, t)) if *g == gen => (Arc::clone(v), Arc::clone(t)),
+                _ => {
+                    let v = Arc::new(self.views.clone());
+                    let t = Arc::new(self.triggers.clone());
+                    *memo = Some((gen, Arc::clone(&v), Arc::clone(&t)));
+                    (v, t)
+                }
+            }
+        };
+        let snap = Arc::new(DbSnapshot::new(
+            stamp,
+            gen,
+            self.flatten_policy,
+            tables,
+            views,
+            triggers,
+            self.mvcc.register(stamp),
+        ));
+        self.mvcc.note_published();
+        maxoid_obs::counter_add("sqldb.snapshots_published", 1);
+        *self.published.borrow_mut() = Some(Arc::clone(&snap));
+        Some(ReadSnapshot { snap })
+    }
+
+    /// Point-in-time MVCC counters: commit stamp, live snapshots,
+    /// version-chain and GC statistics.
+    pub fn mvcc_stats(&self) -> MvccStats {
+        self.mvcc.stats()
+    }
+
+    /// Re-points this (reader-private) database at a published snapshot:
+    /// shallow table copies always; catalog re-clone plus plan-cache
+    /// invalidation only when the snapshot's catalog generation changed.
+    pub(crate) fn retarget(&mut self, snap: &DbSnapshot, catalog_changed: bool) {
+        self.tables = snap.tables.clone();
+        self.flatten_policy = snap.flatten_policy;
+        if catalog_changed {
+            self.views = (*snap.views).clone();
+            self.triggers = (*snap.triggers).clone();
+            self.bump_catalog_generation();
+        }
     }
 
     /// Executes a pre-parsed SELECT.
@@ -586,8 +696,10 @@ impl Database {
         crate::exec::exec_select(self, stmt, params, trigger, cache, depth)
     }
 
-    /// Starts a transaction (snapshot isolation by full copy; the engine
-    /// is in-memory, so BEGIN is O(data) instead of journalled).
+    /// Starts a transaction. The rollback snapshot shares row storage
+    /// with the live tables (`Arc`-structural, privatized copy-on-write
+    /// at the next mutation), so BEGIN is O(#tables) for resident data;
+    /// only paged tables still materialize a private copy.
     pub fn begin(&mut self) -> SqlResult<()> {
         if self.tx_snapshot.is_some() {
             return Err(SqlError::Unsupported(
@@ -626,6 +738,7 @@ impl Database {
                 // The restored catalog may differ from the one cached
                 // plans were computed against.
                 self.bump_catalog_generation();
+                self.note_mutation();
                 if let (Some(j), Some(txn)) = (&self.journal, self.journal_txn.take()) {
                     j.emit(maxoid_journal::Record::TxnRollback { txn });
                 }
@@ -677,8 +790,10 @@ impl Database {
         self.tables.get(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
-    /// Returns a mutable base table by name.
+    /// Returns a mutable base table by name. Conservatively retracts the
+    /// published snapshot: the caller may mutate through the handle.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        self.note_mutation();
         self.tables.get_mut(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
@@ -688,6 +803,7 @@ impl Database {
     /// immediately — this is how a cold boot re-adopts a dataset that was
     /// paged in the previous run.
     pub fn attach_heap(&mut self, tier: crate::heap::HeapTier, threshold: usize) {
+        self.note_mutation();
         let cfg = crate::heap::HeapCfg { tier, threshold };
         for t in self.tables.values_mut() {
             t.attach_heap(cfg.clone());

@@ -31,6 +31,7 @@ pub fn exec_stmt(
             }
             let schema = TableSchema::new(name.clone(), columns.clone())?;
             let mut table = Table::new(schema);
+            table.attach_mvcc(db.mvcc.clone());
             if let Some(cfg) = &db.heap {
                 table.attach_heap(cfg.clone());
             }

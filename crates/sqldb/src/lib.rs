@@ -47,6 +47,7 @@ pub mod expr;
 pub mod heap;
 pub mod index;
 pub mod lexer;
+pub mod mvcc;
 pub mod parser;
 pub(crate) mod plancache;
 pub mod planner;
@@ -61,6 +62,7 @@ pub use db::{
 pub use error::{SqlError, SqlResult};
 pub use expr::{like_match, MemberSet, OrdValue, RowScope, TriggerCtx};
 pub use heap::{HeapCfg, HeapTier};
+pub use mvcc::{MvccStats, ReadSnapshot, SnapshotReader};
 pub use index::{RowIdSet, SecondaryIndex};
 pub use planner::{AccessPath, AccessPlan, FlattenPolicy, PlanChoice};
 pub use table::{Table, TableSchema};

@@ -17,17 +17,36 @@
 //!
 //! The COW proxy sets a *primary-key start* on delta tables so that rows a
 //! delegate inserts get ids from a large offset `N` and never collide with
-//! public rows (paper §5.2). Cloning a table — transaction snapshots, COW
-//! delta setup — always materializes resident rows: snapshots are private
-//! copies and must not alias heap pages the live table keeps mutating.
+//! public rows (paper §5.2).
+//!
+//! # Multiversion storage
+//!
+//! Resident rows are multiversioned: the rowid map is an
+//! `Arc<BTreeMap<i64, Arc<VerNode>>>` whose entries are short,
+//! newest-first per-row version chains stamped with the commit stamp that
+//! wrote them. [`Table::freeze`] shallow-copies the map `Arc` into an
+//! immutable snapshot table, so `Database::begin_read` is O(#tables) and
+//! snapshot readers see exactly the committed heads at freeze time
+//! without ever walking a chain. Mutations privatize the map with
+//! `Arc::make_mut`, push a fresh head above the old version, and run the
+//! refcount-driven chain trim ([`trim_chain`]) — in the common
+//! no-snapshot case the chain collapses back to length one immediately.
+//!
+//! Cloning a table — transaction snapshots, COW delta setup — shares
+//! resident rows structurally the same way (copy-on-write at the next
+//! mutation); paged rows are always materialized because snapshots must
+//! not alias heap pages the live table keeps mutating.
 
 use crate::ast::ColumnDef;
 use crate::error::{SqlError, SqlResult};
 use crate::heap::{encoded_len, HeapCfg, PagedRows};
 use crate::index::SecondaryIndex;
+use crate::mvcc::MvccShared;
 use crate::value::Value;
+use parking_lot::Mutex;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Schema of a base table.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,18 +90,99 @@ impl TableSchema {
     }
 }
 
-/// The two payload homes: resident vectors or the device-backed heap.
-/// `bytes` tracks live encoded size in both modes so the spill decision
-/// and stats cost nothing extra.
+/// One committed version of a row in a newest-first chain.
+///
+/// `begin` is the commit stamp of the mutating statement that wrote the
+/// version (informational: readers resolve visibility by map membership,
+/// never by stamp comparison — see the module docs of [`crate::mvcc`]).
+/// `next` points at the next-older version; the chain exists so a write
+/// over a snapshot-pinned row is a push, not a copy, and so the GC
+/// counters can report chain shape.
+#[derive(Debug)]
+struct VerNode {
+    begin: u64,
+    row: Vec<Value>,
+    /// Next-older version. Readers resolve visibility by map membership
+    /// and never follow this link, so it is owned by the single writer;
+    /// the (never-contended) mutex exists only to keep `VerNode: Sync`
+    /// while letting the trim splice dead versions out from *under* a
+    /// snapshot-pinned node it cannot otherwise mutate.
+    next: Mutex<Option<Arc<VerNode>>>,
+}
+
+/// Length of the version chain starting at `node`.
+fn chain_len(node: &Arc<VerNode>) -> u64 {
+    let mut n = 1;
+    let mut cur = Arc::clone(node);
+    loop {
+        let next = cur.next.lock().clone();
+        match next {
+            Some(nx) => {
+                n += 1;
+                cur = nx;
+            }
+            None => break,
+        }
+    }
+    n
+}
+
+/// Refcount-driven version GC, run in place after every write installs a
+/// fresh head. A published snapshot pins each version it can see with its
+/// own `Arc` in the frozen rowid map, so a chain node whose refcount has
+/// returned to one is provably invisible to every reader and is spliced
+/// out. The walk continues *through* still-pinned nodes (their `next`
+/// links are writer-owned even though the node itself is shared), so a
+/// steady stream of live snapshots cannot stop versions older than the
+/// oldest one from being reclaimed: after every write the chain holds
+/// exactly the head plus the still-pinned survivors, bounding its length
+/// by the number of live snapshots plus one.
+fn trim_chain(head: &Arc<VerNode>, mvcc: &MvccShared) {
+    let mut gced = 0u64;
+    let mut cur = Arc::clone(head);
+    loop {
+        // Splice every dead version directly below `cur`, then step to
+        // the first still-pinned survivor (if any).
+        let pinned = {
+            let mut next = cur.next.lock();
+            loop {
+                match next.take() {
+                    None => break None,
+                    Some(n) => match Arc::try_unwrap(n) {
+                        Ok(dead) => {
+                            *next = dead.next.into_inner();
+                            gced += 1;
+                        }
+                        Err(p) => {
+                            *next = Some(Arc::clone(&p));
+                            break Some(p);
+                        }
+                    },
+                }
+            }
+        };
+        match pinned {
+            Some(p) => cur = p,
+            None => break,
+        }
+    }
+    if gced > 0 {
+        mvcc.note_gced(gced);
+    }
+}
+
+/// The two payload homes: resident version chains or the device-backed
+/// heap. `bytes` tracks live encoded size (head versions only) in both
+/// modes so the spill decision and stats cost nothing extra.
 #[derive(Debug)]
 enum Rows {
-    Resident { map: BTreeMap<i64, Vec<Value>>, bytes: usize },
+    Resident { map: Arc<BTreeMap<i64, Arc<VerNode>>>, bytes: usize },
     Paged(PagedRows),
 }
 
 impl Rows {
     fn resident() -> Self {
-        Rows::Resident { map: BTreeMap::new(), bytes: 0 }
+        Rows::Resident { map: Arc::new(BTreeMap::new()), bytes: 0 }
     }
 
     fn len(&self) -> usize {
@@ -115,7 +215,7 @@ impl Rows {
 
     fn get(&self, id: i64) -> Option<Cow<'_, [Value]>> {
         match self {
-            Rows::Resident { map, .. } => map.get(&id).map(|r| Cow::Borrowed(r.as_slice())),
+            Rows::Resident { map, .. } => map.get(&id).map(|n| Cow::Borrowed(n.row.as_slice())),
             Rows::Paged(p) => p.get(id).map(Cow::Owned),
         }
     }
@@ -123,19 +223,27 @@ impl Rows {
     fn iter(&self) -> Box<dyn Iterator<Item = (i64, Cow<'_, [Value]>)> + '_> {
         match self {
             Rows::Resident { map, .. } => {
-                Box::new(map.iter().map(|(&id, r)| (id, Cow::Borrowed(r.as_slice()))))
+                Box::new(map.iter().map(|(&id, n)| (id, Cow::Borrowed(n.row.as_slice()))))
             }
             Rows::Paged(p) => Box::new(p.iter().map(|(id, r)| (id, Cow::Owned(r)))),
         }
     }
 
-    fn insert(&mut self, id: i64, values: Vec<Value>) {
+    fn insert(&mut self, id: i64, values: Vec<Value>, mvcc: &MvccShared) {
         match self {
             Rows::Resident { map, bytes } => {
                 *bytes += encoded_len(&values);
-                if let Some(old) = map.insert(id, values) {
-                    *bytes -= encoded_len(&old);
+                let begin = mvcc.stamp() + 1;
+                let map = Arc::make_mut(map);
+                let next = map.remove(&id);
+                if let Some(prev) = &next {
+                    *bytes -= encoded_len(&prev.row);
+                    debug_assert!(prev.begin <= begin, "version chains are newest-first");
                 }
+                let head = Arc::new(VerNode { begin, row: values, next: Mutex::new(next) });
+                trim_chain(&head, mvcc);
+                mvcc.note_version(chain_len(&head));
+                map.insert(id, head);
             }
             Rows::Paged(p) => p.insert(id, &values),
         }
@@ -144,9 +252,14 @@ impl Rows {
     fn remove(&mut self, id: i64) -> Option<Vec<Value>> {
         match self {
             Rows::Resident { map, bytes } => {
-                let old = map.remove(&id)?;
-                *bytes -= encoded_len(&old);
-                Some(old)
+                let old = Arc::make_mut(map).remove(&id)?;
+                *bytes -= encoded_len(&old.row);
+                // The whole chain (head included) is reclaimed by `Arc`
+                // the moment the last snapshot referencing it drops.
+                Some(match Arc::try_unwrap(old) {
+                    Ok(node) => node.row,
+                    Err(pinned) => pinned.row.clone(),
+                })
             }
             Rows::Paged(p) => p.remove(id),
         }
@@ -155,19 +268,32 @@ impl Rows {
     fn clear(&mut self) {
         match self {
             Rows::Resident { map, bytes } => {
-                map.clear();
+                // Swap rather than clear in place: a snapshot may still
+                // share the old map.
+                *map = Arc::new(BTreeMap::new());
                 *bytes = 0;
             }
             Rows::Paged(p) => p.clear(),
         }
     }
 
-    /// A private resident copy — paged rows are materialized, never
-    /// aliased (snapshots must not share heap pages with the live table).
+    /// A logically private copy. Resident rows share the version-chain
+    /// map structurally (`Arc`) and privatize copy-on-write at the next
+    /// mutation; paged rows are materialized, never aliased (snapshots
+    /// must not share heap pages with the live table).
     fn clone_resident(&self) -> Rows {
         match self {
             Rows::Resident { map, bytes } => Rows::Resident { map: map.clone(), bytes: *bytes },
-            Rows::Paged(p) => Rows::Resident { map: p.iter().collect(), bytes: p.bytes() },
+            Rows::Paged(p) => Rows::Resident {
+                map: Arc::new(
+                    p.iter()
+                        .map(|(id, row)| {
+                            (id, Arc::new(VerNode { begin: 0, row, next: Mutex::new(None) }))
+                        })
+                        .collect(),
+                ),
+                bytes: p.bytes(),
+            },
         }
     }
 }
@@ -183,10 +309,15 @@ pub struct Table {
     /// Secondary indexes, maintained incrementally by every row mutation.
     /// Living inside the table means transaction snapshots (which clone
     /// tables) and `DROP TABLE` handle indexes with no extra bookkeeping.
-    indexes: Vec<SecondaryIndex>,
+    /// `Arc`-shared so snapshot freezes are shallow; privatized
+    /// copy-on-write at the next index mutation.
+    indexes: Arc<Vec<SecondaryIndex>>,
     /// Spill target and threshold; `None` keeps the table resident
     /// forever.
     heap: Option<HeapCfg>,
+    /// MVCC bookkeeping shared with the owning database (attached at
+    /// CREATE TABLE); standalone tables get a private default.
+    mvcc: Arc<MvccShared>,
 }
 
 impl Clone for Table {
@@ -195,8 +326,9 @@ impl Clone for Table {
             schema: self.schema.clone(),
             rows: self.rows.clone_resident(),
             pk_start: self.pk_start,
-            indexes: self.indexes.clone(),
+            indexes: Arc::clone(&self.indexes),
             heap: self.heap.clone(),
+            mvcc: Arc::clone(&self.mvcc),
         }
     }
 }
@@ -204,7 +336,39 @@ impl Clone for Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Rows::resident(), pk_start: 1, indexes: Vec::new(), heap: None }
+        Table {
+            schema,
+            rows: Rows::resident(),
+            pk_start: 1,
+            indexes: Arc::new(Vec::new()),
+            heap: None,
+            mvcc: Arc::default(),
+        }
+    }
+
+    /// Points the table at the owning database's shared MVCC bookkeeping.
+    pub(crate) fn attach_mvcc(&mut self, mvcc: Arc<MvccShared>) {
+        self.mvcc = mvcc;
+    }
+
+    /// An immutable shallow freeze for publication inside a read
+    /// snapshot: the row map and secondary indexes are shared by `Arc`,
+    /// and the heap config is detached (a frozen table never spills).
+    /// `None` when the rows live on the heap tier — paged payloads fault
+    /// through a shared page cache whose pins and evictions must not be
+    /// driven lock-free from reader threads.
+    pub(crate) fn freeze(&self) -> Option<Table> {
+        if self.is_paged() {
+            return None;
+        }
+        Some(Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone_resident(),
+            pk_start: self.pk_start,
+            indexes: Arc::clone(&self.indexes),
+            heap: None,
+            mvcc: Arc::clone(&self.mvcc),
+        })
     }
 
     /// Attaches a heap tier: once the table's encoded payload exceeds
@@ -233,8 +397,8 @@ impl Table {
             return;
         }
         let mut paged = PagedRows::new(cfg.tier.clone());
-        for (id, row) in std::mem::take(map) {
-            paged.insert(id, &row);
+        for (id, node) in std::mem::take(Arc::make_mut(map)) {
+            paged.insert(id, &node.row);
         }
         self.rows = Rows::Paged(paged);
     }
@@ -255,15 +419,17 @@ impl Table {
             ix.check_unique(&row[col], id)?;
             ix.insert_entry(&row, id);
         }
-        self.indexes.push(ix);
+        Arc::make_mut(&mut self.indexes).push(ix);
         Ok(())
     }
 
     /// Drops the index named `name`; returns true if it existed.
     pub fn drop_index(&mut self, name: &str) -> bool {
-        let before = self.indexes.len();
-        self.indexes.retain(|ix| !ix.name().eq_ignore_ascii_case(name));
-        self.indexes.len() != before
+        if !self.has_index(name) {
+            return false;
+        }
+        Arc::make_mut(&mut self.indexes).retain(|ix| !ix.name().eq_ignore_ascii_case(name));
+        true
     }
 
     /// True when this table has an index named `name`.
@@ -278,7 +444,17 @@ impl Table {
 
     /// All secondary indexes on this table.
     pub fn indexes(&self) -> &[SecondaryIndex] {
-        &self.indexes
+        self.indexes.as_slice()
+    }
+
+    /// Length of the version chain currently kept for `rowid` (0 when the
+    /// row does not exist or lives on the heap tier). Observability for
+    /// the MVCC GC; never used to answer queries.
+    pub fn version_chain_len(&self, rowid: i64) -> u64 {
+        match &self.rows {
+            Rows::Resident { map, .. } => map.get(&rowid).map_or(0, |n| chain_len(n)),
+            Rows::Paged(_) => 0,
+        }
     }
 
     /// Sets the first auto-assigned rowid. Used by the COW proxy to start
@@ -357,21 +533,23 @@ impl Table {
         // Unique-index checks before any mutation. A row displaced by OR
         // REPLACE shares this rowid, so check_unique's self-exemption
         // already discounts its entries.
-        for ix in &self.indexes {
+        for ix in self.indexes.iter() {
             ix.check_unique(&values[ix.column()], rowid)?;
         }
         if !self.indexes.is_empty() {
             if let Some(old) = self.rows.get(rowid) {
                 let old = old.into_owned();
-                for ix in &mut self.indexes {
+                for ix in Arc::make_mut(&mut self.indexes) {
                     ix.remove_entry(&old, rowid);
                 }
             }
         }
-        for ix in &mut self.indexes {
-            ix.insert_entry(&values, rowid);
+        if !self.indexes.is_empty() {
+            for ix in Arc::make_mut(&mut self.indexes) {
+                ix.insert_entry(&values, rowid);
+            }
         }
-        self.rows.insert(rowid, values);
+        self.rows.insert(rowid, values, &self.mvcc);
         self.maybe_spill();
         Ok(rowid)
     }
@@ -433,27 +611,29 @@ impl Table {
             self.rows.get(rowid).map(|r| r.into_owned())
         };
         if let Some(old) = &old {
-            for ix in &mut self.indexes {
+            for ix in Arc::make_mut(&mut self.indexes) {
                 ix.remove_entry(old, rowid);
             }
         }
-        for ix in &self.indexes {
-            if let Err(e) = ix.check_unique(&values[ix.column()], new_rowid) {
-                if let Some(old) = &old {
-                    for ix in &mut self.indexes {
-                        ix.insert_entry(old, rowid);
-                    }
+        let conflict =
+            self.indexes.iter().find_map(|ix| ix.check_unique(&values[ix.column()], new_rowid).err());
+        if let Some(e) = conflict {
+            if let Some(old) = &old {
+                for ix in Arc::make_mut(&mut self.indexes) {
+                    ix.insert_entry(old, rowid);
                 }
-                return Err(e);
             }
+            return Err(e);
         }
-        for ix in &mut self.indexes {
-            ix.insert_entry(&values, new_rowid);
+        if !self.indexes.is_empty() {
+            for ix in Arc::make_mut(&mut self.indexes) {
+                ix.insert_entry(&values, new_rowid);
+            }
         }
         if new_rowid != rowid {
             self.rows.remove(rowid);
         }
-        self.rows.insert(new_rowid, values);
+        self.rows.insert(new_rowid, values, &self.mvcc);
         self.maybe_spill();
         Ok(())
     }
@@ -462,8 +642,10 @@ impl Table {
     pub fn delete_row(&mut self, rowid: i64) -> bool {
         match self.rows.remove(rowid) {
             Some(old) => {
-                for ix in &mut self.indexes {
-                    ix.remove_entry(&old, rowid);
+                if !self.indexes.is_empty() {
+                    for ix in Arc::make_mut(&mut self.indexes) {
+                        ix.remove_entry(&old, rowid);
+                    }
                 }
                 true
             }
@@ -474,8 +656,10 @@ impl Table {
     /// Removes all rows.
     pub fn clear(&mut self) {
         self.rows.clear();
-        for ix in &mut self.indexes {
-            ix.clear();
+        if !self.indexes.is_empty() {
+            for ix in Arc::make_mut(&mut self.indexes) {
+                ix.clear();
+            }
         }
     }
 }

@@ -152,6 +152,98 @@ fn run_trace(ops: &[Op], caches: bool) -> Vec<String> {
     trace
 }
 
+/// Runs `ops` like [`run_trace`] but serves every read-only statement
+/// from the proxy's published MVCC snapshot ([`CowProxy::read_slot`])
+/// instead of the live database, publishing a fresh snapshot at each
+/// quiescent point the way the resolver does after a locked call. The
+/// trace must be byte-identical to the serialized cache-off run.
+fn run_trace_snapshot(ops: &[Op]) -> Vec<String> {
+    fn snap_query(
+        p: &mut CowProxy,
+        view: &DbView,
+        opts: &QueryOpts,
+        params: &[Value],
+    ) -> maxoid_sqldb::SqlResult<maxoid_sqldb::ResultSet> {
+        p.publish_read();
+        p.read_slot()
+            .try_query(view, "words", opts, params)
+            .expect("a just-published slot must serve snapshot reads")
+    }
+
+    let mut p = CowProxy::new();
+    p.execute_batch("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT, frequency INTEGER);")
+        .unwrap();
+    for (i, w) in ["alpha", "beta", "gamma", "delta"].iter().enumerate() {
+        p.insert(
+            &DbView::Primary,
+            "words",
+            &[("word", (*w).into()), ("frequency", (i as i64 * 10).into())],
+        )
+        .unwrap();
+    }
+    let delegate = DbView::Delegate { initiator: "A".into() };
+    let mut trace = Vec::new();
+    for o in ops {
+        let line = match o {
+            Op::Insert { delegate: d, word, freq } => {
+                let view = if *d { &delegate } else { &DbView::Primary };
+                format!(
+                    "insert {:?}",
+                    p.insert(
+                        view,
+                        "words",
+                        &[("word", word.as_str().into()), ("frequency", (*freq).into())]
+                    )
+                )
+            }
+            Op::Update { id, freq } => format!(
+                "update {:?}",
+                p.update(
+                    &delegate,
+                    "words",
+                    &[("frequency", (*freq).into())],
+                    Some("_id = ?"),
+                    &[Value::Integer(*id as i64 + 1)],
+                )
+            ),
+            Op::Delete { id } => format!(
+                "delete {:?}",
+                p.delete(&delegate, "words", Some("_id = ?"), &[Value::Integer(*id as i64 + 1)])
+            ),
+            Op::Query { delegate: d, by_word, limit } => {
+                let view = if *d { &delegate } else { &DbView::Primary };
+                let opts = QueryOpts {
+                    columns: vec!["_id".into(), "word".into(), "frequency".into()],
+                    where_clause: by_word.as_ref().map(|_| "word = ?".into()),
+                    order_by: Some("_id".into()),
+                    limit: *limit,
+                };
+                let params: Vec<Value> = by_word.iter().map(|w| Value::Text(w.clone())).collect();
+                let first = snap_query(&mut p, view, &opts, &params);
+                let second = snap_query(&mut p, view, &opts, &params);
+                format!("query {first:?} / {second:?}")
+            }
+            Op::CreateIndex => format!(
+                "create-index {:?}",
+                p.execute_batch("CREATE INDEX IF NOT EXISTS idx_word ON words(word);")
+            ),
+            Op::DropIndex => {
+                format!("drop-index {:?}", p.execute_batch("DROP INDEX IF EXISTS idx_word;"))
+            }
+            Op::AlterRowidStart(n) => format!(
+                "alter-rowid {:?}",
+                p.execute_batch(&format!("ALTER TABLE words ROWID START {n};"))
+            ),
+            Op::ClearVol => format!("clear-vol {:?}", p.clear_volatile("A")),
+        };
+        trace.push(line);
+    }
+    let all = QueryOpts { order_by: Some("_id".into()), ..Default::default() };
+    trace.push(format!("final-pub {:?}", snap_query(&mut p, &DbView::Primary, &all, &[])));
+    trace.push(format!("final-del {:?}", snap_query(&mut p, &delegate, &all, &[])));
+    trace
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -161,6 +253,44 @@ proptest! {
     fn cached_run_matches_uncached(ops in proptest::collection::vec(op(), 1..24)) {
         prop_assert_eq!(run_trace(&ops, true), run_trace(&ops, false));
     }
+
+    /// MVCC snapshot reads are pure: serving every query from a snapshot
+    /// published at the preceding quiescent point is byte-identical to
+    /// the serialized cache-off oracle, across the same random
+    /// query/DDL/fork/volatile-clear interleavings.
+    #[test]
+    fn snapshot_reads_match_serialized_oracle(ops in proptest::collection::vec(op(), 1..24)) {
+        prop_assert_eq!(run_trace_snapshot(&ops), run_trace(&ops, false));
+    }
+}
+
+/// Deterministic snapshot-read mechanics: a published slot serves reads,
+/// a mutation retracts it (no stale data is ever served), and the next
+/// publication re-arms it at the new commit stamp.
+#[test]
+fn snapshot_slot_retracts_on_mutation_and_rearms() {
+    let mut p = CowProxy::new();
+    p.execute_batch("CREATE TABLE words (_id INTEGER PRIMARY KEY, word TEXT);").unwrap();
+    p.insert(&DbView::Primary, "words", &[("word", "alpha".into())]).unwrap();
+    let slot = p.read_slot();
+    assert!(!slot.is_published(), "nothing published yet");
+
+    p.publish_read();
+    assert!(slot.is_published());
+    let opts = QueryOpts { order_by: Some("_id".into()), ..Default::default() };
+    let rs = slot.try_query(&DbView::Primary, "words", &opts, &[]).unwrap().unwrap();
+    assert_eq!(rs.rows.len(), 1);
+
+    // A write through the proxy retracts the publication: readers fall
+    // back to the locked path rather than seeing stale state.
+    p.insert(&DbView::Primary, "words", &[("word", "beta".into())]).unwrap();
+    assert!(!slot.is_published(), "mutation must retract the published snapshot");
+    assert!(slot.try_query(&DbView::Primary, "words", &opts, &[]).is_none());
+
+    // Republication at the quiescent point serves the new state.
+    p.publish_read();
+    let rs = slot.try_query(&DbView::Primary, "words", &opts, &[]).unwrap().unwrap();
+    assert_eq!(rs.rows.len(), 2);
 }
 
 /// A recovered-shape database: schema, public rows, and a pre-existing

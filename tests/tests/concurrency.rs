@@ -248,6 +248,98 @@ fn concurrent_delegates_preserve_s1_s4() {
     }
 }
 
+/// Intra-authority reader storm: N reader threads point-query the *same*
+/// User Dictionary authority while one delegate writer mutates it. Every
+/// result must match the serialized oracle (readers see exactly the
+/// seeded public rows — the delegate's COW writes are invisible to
+/// them), a nonzero share of reads must have been served lock-free from
+/// the published MVCC snapshot, and once the system is quiescent *all*
+/// reads bypass the provider write lock.
+#[test]
+fn intra_authority_reader_storm_matches_serialized_oracle() {
+    const READERS: usize = 4;
+    const ITERS: usize = 200;
+    const ROWS: i64 = 32;
+    let sys = MaxoidSystem::boot().unwrap();
+    let words = Uri::parse("content://user_dictionary/words").unwrap();
+
+    sys.install("seeder", vec![], MaxoidManifest::new()).unwrap();
+    let seeder = sys.launch("seeder").unwrap();
+    for i in 0..ROWS {
+        sys.cp_insert(seeder, &words, &ContentValues::new().put("word", format!("w{i}").as_str()))
+            .unwrap();
+    }
+    let readers: Vec<_> = (0..READERS)
+        .map(|i| {
+            sys.install(&format!("reader{i}"), vec![], MaxoidManifest::new()).unwrap();
+            sys.launch(&format!("reader{i}")).unwrap()
+        })
+        .collect();
+    sys.install("writerapp", vec![], MaxoidManifest::new()).unwrap();
+    sys.install("writerinit", vec![], MaxoidManifest::new()).unwrap();
+    let writer = sys.launch_as_delegate("writerapp", "writerinit").unwrap();
+
+    let (snap0, _) = sys.resolver.read_path_stats();
+    let sys_ref = &sys;
+    let words_ref = &words;
+    thread::scope(|scope| {
+        // Writer: COW updates into its initiator's delta, retracting and
+        // republishing the authority's snapshot on every round.
+        scope.spawn(move |_| {
+            let (sys, words) = (sys_ref, words_ref);
+            for r in 0..ITERS {
+                let id = (r as i64 % ROWS) + 1;
+                sys.cp_update(
+                    writer,
+                    &words.with_id(id),
+                    &ContentValues::new().put("word", format!("cow{r}").as_str()),
+                    &QueryArgs::default(),
+                )
+                .unwrap();
+            }
+        });
+        // Readers: every query must return the seeded public value — the
+        // serialized oracle — no matter how reads interleave with the
+        // writer's retract/republish cycle.
+        for pid in &readers {
+            let pid = *pid;
+            scope.spawn(move |_| {
+                let (sys, words) = (sys_ref, words_ref);
+                for i in 0..ITERS {
+                    let id = (i as i64 % ROWS) + 1;
+                    let rs = sys.cp_query(pid, &words.with_id(id), &QueryArgs::default()).unwrap();
+                    let col = rs.column_index("word").unwrap();
+                    assert_eq!(rs.rows.len(), 1);
+                    assert_eq!(rs.rows[0][col].to_string(), format!("w{}", id - 1));
+                }
+            });
+        }
+    })
+    .expect("threads join");
+
+    // The storm must have used the lock-free read path (reads landing in
+    // a retraction window may legitimately fall back to the lock).
+    let (snap1, _) = sys.resolver.read_path_stats();
+    assert!(snap1 > snap0, "reader storm never took the snapshot path");
+
+    // Quiescent tail: with no writer, the snapshot stays published and
+    // not a single read may touch the provider write lock.
+    let (qsnap0, qlocked0) = sys.resolver.read_path_stats();
+    for pid in &readers {
+        for id in 1..=ROWS {
+            sys.cp_query(*pid, &words.with_id(id), &QueryArgs::default()).unwrap();
+        }
+    }
+    let (qsnap1, qlocked1) = sys.resolver.read_path_stats();
+    assert_eq!(qlocked1, qlocked0, "quiescent reads must not take the write lock");
+    assert_eq!(qsnap1 - qsnap0, READERS as u64 * ROWS as u64);
+
+    // The writer's COW rows stayed confined to its initiator's view.
+    let rs = sys.cp_query(writer, &words.with_id(1), &QueryArgs::default()).unwrap();
+    let col = rs.column_index("word").unwrap();
+    assert!(rs.rows[0][col].to_string().starts_with("cow"), "writer lost its own COW row");
+}
+
 /// Lock-order smoke test: two threads drive API paths whose documented
 /// lock footprints overlap, approaching the shared locks from opposite
 /// ends of the hierarchy (gesture-first gestures vs leaf-first reads,
