@@ -78,8 +78,8 @@ pub use manifest::{FilterMode, InvocationFilter, ManifestError, MaxoidManifest};
 pub use private_state::{ForkOutcome, PrivateStateManager};
 pub use services::{BluetoothService, ClipboardService, SmsService};
 pub use system::{
-    DeviceBootConfig, MaxoidSystem, StartOutcome, SystemError, SystemResult, VolCommitOutcome,
-    VolCommitPlan,
+    DeviceBootConfig, EvictReport, MaxoidSystem, StartOutcome, SystemError, SystemResult,
+    TenantStats, VolCommitOutcome, VolCommitPlan, INIT_LOCK_SOFT_CAP,
 };
 pub use volatile::{VolatileEntry, VolatileState};
 

@@ -14,9 +14,13 @@
 //! fine-grained interior locks, and the hot read paths (path resolution,
 //! provider queries, `caller`) take only read locks:
 //!
-//! * kernel process/namespace table — `RwLock` (reads snapshot an
-//!   `Arc<Process>` and release the lock before doing any I/O);
-//! * VFS store — `RwLock` inside [`maxoid_vfs::Vfs`];
+//! * kernel process table — pid-hashed `RwLock` shards; the app
+//!   registry is an `Arc`-swapped immutable snapshot (reads clone an
+//!   `Arc<Process>` out of one shard and release it before doing any
+//!   I/O; see DESIGN.md §4.14);
+//! * VFS store — inode-hashed shard locks inside
+//!   [`maxoid_vfs::Store`]; ops lock only the shards they touch, in
+//!   ascending index order (§4.14);
 //! * provider table — `RwLock` over per-authority entries. Each entry
 //!   holds the provider's **write lock** (`Arc<Mutex<provider>>`) plus a
 //!   lock-free read handle: routed queries are served from the
@@ -36,8 +40,8 @@
 //! ```text
 //! per-initiator gesture lock
 //!   → AMS registry / private-state manager
-//!     → kernel process table
-//!       → VFS store
+//!     → kernel process-table shard (at most one at a time)
+//!       → VFS store shards (ascending shard order)
 //!         → provider mutexes (ascending authority order)
 //!           → journal state → journal storage
 //! ```
@@ -51,6 +55,7 @@
 use crate::ams::{ActivityManager, AmsError, Route};
 use crate::branch_manager::{BranchLocator, BranchManager};
 use crate::intent::{AppIntentFilter, Intent};
+use crate::layout;
 use crate::manifest::MaxoidManifest;
 use crate::private_state::{ForkOutcome, PrivateStateManager};
 use crate::services::{BluetoothService, ClipboardService, SmsService};
@@ -240,8 +245,37 @@ pub struct MaxoidSystem {
     /// Per-initiator gesture locks: COW-fork of a delegate, `commit_vol`,
     /// `clear_vol` and `clear_priv` for one initiator are mutually
     /// exclusive; different initiators run their gestures in parallel.
-    init_locks: Mutex<BTreeMap<String, Arc<Mutex<()>>>>,
+    /// Entries carry an activity stamp and are swept when the map grows
+    /// past [`INIT_LOCK_SOFT_CAP`] or a tenant is evicted, so 10k
+    /// one-shot tenants do not pin 10k lock entries forever.
+    init_locks: Mutex<BTreeMap<String, GestureEntry>>,
+    /// Logical activity clock: ticks once per gesture-lock acquisition.
+    /// Tenant idleness is measured in these ticks, not wall time, so the
+    /// evictor is deterministic under test.
+    activity_clock: std::sync::atomic::AtomicU64,
 }
+
+/// A per-initiator gesture lock plus the activity stamp used by the
+/// idle-tenant evictor.
+#[derive(Debug, Default)]
+struct GestureEntry {
+    lock: Arc<Mutex<()>>,
+    /// Value of `activity_clock` at the last acquisition.
+    last_used: u64,
+}
+
+/// When the gesture-lock map grows past this many entries, acquiring a
+/// lock sweeps every entry no thread currently references (`Arc` strong
+/// count 1) and not stamped within [`SWEEP_RETAIN_TICKS`]. The map stays
+/// bounded by `cap + concurrently-active tenants`; a swept tenant's next
+/// gesture just recreates its entry.
+pub const INIT_LOCK_SOFT_CAP: usize = 256;
+
+/// Entries stamped within this many activity-clock ticks survive the
+/// soft-cap sweep. Consequently a tenant with volatile state but no map
+/// entry is certifiably idle for at least this long — the basis on which
+/// [`MaxoidSystem::evict_idle_tenants`] may reclaim swept tenants.
+const SWEEP_RETAIN_TICKS: u64 = 128;
 
 // The whole point of the facade: one device shared by many app threads.
 const _: fn() = || {
@@ -447,6 +481,7 @@ impl MaxoidSystem {
             journal,
             heap: None,
             init_locks: Mutex::new(BTreeMap::new()),
+            activity_clock: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -516,8 +551,45 @@ impl MaxoidSystem {
 
     /// The gesture lock of one initiator (created on first use). Ranked
     /// highest in the lock order: acquired before any other system lock.
+    ///
+    /// Also the activity stamp: each acquisition ticks the logical
+    /// activity clock and re-stamps the tenant's entry. When the map has
+    /// outgrown [`INIT_LOCK_SOFT_CAP`], entries no thread references are
+    /// swept inline — dropping such an entry is safe because the map held
+    /// the only `Arc`, so no one can be holding (or about to hold) the
+    /// mutex, and the next gesture simply recreates it.
     fn init_lock(&self, init: &str) -> Arc<Mutex<()>> {
-        self.init_locks.lock().entry(init.to_string()).or_default().clone()
+        let now = self.activity_clock.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+        let mut map = self.init_locks.lock();
+        let entry = map.entry(init.to_string()).or_default();
+        entry.last_used = now;
+        let lock = entry.lock.clone();
+        if map.len() > INIT_LOCK_SOFT_CAP {
+            // Our clone keeps this tenant's count at 2, so the sweep can
+            // never drop the entry we are about to return. Recently
+            // stamped entries survive so that "absent from the map"
+            // certifies at least SWEEP_RETAIN_TICKS of idleness (any
+            // later gesture would have recreated the entry) — the idle
+            // evictor relies on exactly that to reclaim tenants whose
+            // entries were swept.
+            map.retain(|_, e| {
+                Arc::strong_count(&e.lock) > 1
+                    || now.saturating_sub(e.last_used) < SWEEP_RETAIN_TICKS
+            });
+        }
+        lock
+    }
+
+    /// Number of per-initiator gesture-lock entries currently retained
+    /// (bounded-growth regression hook).
+    pub fn init_lock_count(&self) -> usize {
+        self.init_locks.lock().len()
+    }
+
+    /// Current value of the logical activity clock (ticks once per
+    /// gesture-lock acquisition across all tenants).
+    pub fn activity_clock(&self) -> u64 {
+        self.activity_clock.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Installs an app: uid assignment, backing directories, intent
@@ -862,9 +934,26 @@ impl MaxoidSystem {
             Ok(out) => {
                 // The commit/discard moved or removed volatile files
                 // behind the unions' backs in places the leaf mutations
-                // may not all have covered; force every resolution cache
-                // validated against this store to refill.
-                self.kernel.vfs().with_store_mut(|s| s.bump_visibility());
+                // may not all have covered; force the resolution caches
+                // whose branches can see those trees to refill. The blast
+                // radius is this tenant's volatile/private roots plus the
+                // public branch a commit may have landed in — bumping
+                // globally here would thrash every *other* tenant's
+                // caches on each gesture, the fleet-scale scan cliff.
+                self.kernel.vfs().with_store(|s| {
+                    for root in [
+                        layout::back_ext_tmp(init),
+                        layout::back_internal_tmp(init),
+                        layout::back_ext_app(init),
+                        layout::back_internal(init),
+                        Ok(layout::back_ext_pub()),
+                    ]
+                    .into_iter()
+                    .flatten()
+                    {
+                        s.bump_visibility_under(&root);
+                    }
+                });
                 sp.field_with("rows_committed", || out.rows_committed.to_string());
                 sp.field_with("files_removed", || out.files_removed.to_string());
                 maxoid_obs::counter_add("delegation.commits", 1);
@@ -912,6 +1001,183 @@ impl MaxoidSystem {
     pub fn fork_outcome_probe(&self, init: &str, pkg: &str) -> VfsResult<ForkOutcome> {
         self.priv_mgr.lock().on_delegate_start(self.kernel.vfs(), init, pkg)
     }
+
+    // -----------------------------------------------------------------
+    // Per-tenant accounting and idle-state eviction (fleet scale).
+    // -----------------------------------------------------------------
+
+    /// Per-tenant state accounting for one initiator: how much COW state
+    /// its delegation activity has accreted (DESIGN.md §4.14).
+    ///
+    /// * **COW files/bytes** — everything under the initiator's delegate
+    ///   fork branches: `nPriv(x^init)`, `pPriv(x^init)` and the
+    ///   external `x--init` branches.
+    /// * **Delta rows** — rows in this initiator's provider delta tables
+    ///   across all three system providers (whiteouts included).
+    /// * **Volatile files/bytes** — the file portion of `Vol(init)`.
+    pub fn tenant_stats(&self, init: &str) -> SystemResult<TenantStats> {
+        fn usage(s: &maxoid_vfs::Store, p: &maxoid_vfs::VPath) -> VfsResult<(usize, u64)> {
+            let meta = match s.stat(p) {
+                Ok(m) => m,
+                Err(maxoid_vfs::VfsError::NotFound) => return Ok((0, 0)),
+                Err(e) => return Err(e),
+            };
+            if !meta.is_dir {
+                return Ok((1, meta.size));
+            }
+            let mut files = 0;
+            let mut bytes = 0;
+            for e in s.read_dir(p)? {
+                let (f, b) = usage(s, &p.join(&e.name)?)?;
+                files += f;
+                bytes += b;
+            }
+            Ok((files, bytes))
+        }
+
+        let (cow_files, cow_bytes) = self.kernel.vfs().with_store(|s| -> VfsResult<_> {
+            let mut files = 0;
+            let mut bytes = 0;
+            for root in [
+                maxoid_vfs::vpath("/backing/npriv").join(init)?,
+                maxoid_vfs::vpath("/backing/ppriv").join(init)?,
+            ] {
+                let (f, b) = usage(s, &root)?;
+                files += f;
+                bytes += b;
+            }
+            // External delegate branches are keyed `<pkg>--<init>`.
+            let deleg_root = maxoid_vfs::vpath("/backing/ext/deleg");
+            if s.exists(&deleg_root) {
+                let suffix = format!("--{init}");
+                for e in s.read_dir(&deleg_root)? {
+                    if e.name.ends_with(&suffix) {
+                        let (f, b) = usage(s, &deleg_root.join(&e.name)?)?;
+                        files += f;
+                        bytes += b;
+                    }
+                }
+            }
+            Ok((files, bytes))
+        })?;
+
+        let mut volatile_files = 0;
+        let mut volatile_bytes = 0;
+        for entry in self.volatile.list(init)? {
+            volatile_files += 1;
+            volatile_bytes += entry.size;
+        }
+
+        let delta_rows = self.downloads.lock().delta_row_count(init)
+            + self.media.lock().delta_row_count(init)
+            + self.userdict.lock().delta_row_count(init);
+
+        Ok(TenantStats { cow_files, cow_bytes, delta_rows, volatile_files, volatile_bytes })
+    }
+
+    /// Evicts the volatile state of tenants idle for at least
+    /// `min_idle_ticks` activity-clock ticks: discards their `Vol(init)`
+    /// files, provider delta tables and confined clipboard, and drops
+    /// their gesture-lock entry. Only tenants whose gesture lock no
+    /// thread references are candidates, so an in-flight gesture is never
+    /// raced; each eviction runs under the tenant's own gesture lock.
+    ///
+    /// This is the fleet-scale memory backstop: a tenant whose user
+    /// walked away stops holding volatile COW state (its *committed*
+    /// state — `Priv`, `pPriv`, public rows — is untouched and its next
+    /// delegation works normally, starting from a fresh `Vol`).
+    pub fn evict_idle_tenants(&self, min_idle_ticks: u64) -> SystemResult<EvictReport> {
+        let _sp = maxoid_obs::span("system.evict_idle_tenants");
+        let now = self.activity_clock();
+        let mut candidates: Vec<(String, Option<Arc<Mutex<()>>>)> = {
+            let map = self.init_locks.lock();
+            map.iter()
+                .filter(|(_, e)| {
+                    Arc::strong_count(&e.lock) == 1
+                        && now.saturating_sub(e.last_used) >= min_idle_ticks
+                })
+                .map(|(k, e)| (k.clone(), Some(e.lock.clone())))
+                .collect()
+        };
+        // Tenants whose entry the soft-cap sweep already dropped still
+        // hold volatile state. Absence from the map certifies at least
+        // SWEEP_RETAIN_TICKS of idleness (any later gesture would have
+        // recreated the entry), so when the caller's threshold is within
+        // that certificate, owners of volatile tmp dirs join the
+        // candidate set too.
+        if min_idle_ticks <= SWEEP_RETAIN_TICKS {
+            let known: std::collections::BTreeSet<String> =
+                self.init_locks.lock().keys().cloned().collect();
+            let owners = self.kernel.vfs().with_store(|s| -> maxoid_vfs::VfsResult<Vec<String>> {
+                let mut out = Vec::new();
+                let tmp_root = maxoid_vfs::vpath("/backing/internal_tmp");
+                if s.exists(&tmp_root) {
+                    for e in s.read_dir(&tmp_root)? {
+                        out.push(e.name);
+                    }
+                }
+                out.sort_unstable();
+                out.dedup();
+                Ok(out)
+            })?;
+            for init in owners {
+                if !known.contains(&init) && !self.volatile.list(&init)?.is_empty() {
+                    candidates.push((init, None));
+                }
+            }
+        }
+        let mut report = EvictReport::default();
+        for (init, gesture) in candidates {
+            // Swept tenants get a fresh entry so the eviction serializes
+            // against any gesture racing back in.
+            let gesture = gesture.unwrap_or_else(|| self.init_lock(&init));
+            let _g = gesture.lock();
+            report.files_removed += self.volatile.clear(&init)?;
+            self.resolver.clear_volatile(&init)?;
+            self.clipboard.clear_confined(&init);
+            let mut map = self.init_locks.lock();
+            if let Some(e) = map.get(&init) {
+                // Two refs = the map's + ours: nobody raced us back in.
+                if Arc::ptr_eq(&e.lock, &gesture) && Arc::strong_count(&e.lock) == 2 {
+                    map.remove(&init);
+                }
+            }
+            report.tenants += 1;
+        }
+        maxoid_obs::counter_add("system.tenants_evicted", report.tenants as u64);
+        Ok(report)
+    }
+}
+
+/// Per-tenant state accounting (see [`MaxoidSystem::tenant_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantStats {
+    /// Files under the tenant's delegate COW fork branches.
+    pub cow_files: usize,
+    /// Bytes under the tenant's delegate COW fork branches.
+    pub cow_bytes: u64,
+    /// Rows in the tenant's provider delta tables.
+    pub delta_rows: usize,
+    /// Files in `Vol(init)` (external + internal tmp).
+    pub volatile_files: usize,
+    /// Bytes in `Vol(init)`.
+    pub volatile_bytes: u64,
+}
+
+impl TenantStats {
+    /// Total bytes of evictable per-tenant state.
+    pub fn total_bytes(&self) -> u64 {
+        self.cow_bytes + self.volatile_bytes
+    }
+}
+
+/// What [`MaxoidSystem::evict_idle_tenants`] reclaimed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EvictReport {
+    /// Tenants whose volatile state was discarded.
+    pub tenants: usize,
+    /// Volatile files removed across all evicted tenants.
+    pub files_removed: usize,
 }
 
 /// Geometry and budgets for [`MaxoidSystem::boot_from_device`]: how the

@@ -173,6 +173,7 @@ impl CowProxy {
     /// paged onto the block tier) the slot is retracted instead, sending
     /// readers down the locked path.
     pub fn publish_read(&mut self) {
+        let _sp = maxoid_obs::span("cowproxy.publish");
         match self.db.begin_read() {
             Some(snap) => {
                 self.read_slot.publish(CowPublished { snap, fork_epoch: self.rewrite.epoch() })
@@ -186,6 +187,7 @@ impl CowProxy {
     /// mutation in flight: they see the prior committed snapshot or fall
     /// back to the locked path.
     fn retract_read(&self) {
+        let _sp = maxoid_obs::span("cowproxy.retract");
         self.read_slot.retract();
     }
 
@@ -278,6 +280,19 @@ impl CowProxy {
     /// Returns true if `initiator` has a delta table for `table`.
     pub fn has_delta(&self, table: &str, initiator: &str) -> bool {
         self.db.has_table(&self.names.delta_table(table, initiator))
+    }
+
+    /// Total rows currently held in `initiator`'s delta tables across
+    /// every base table (whiteouts included — they occupy space too).
+    /// Per-tenant accounting hook for fleet-scale stats (DESIGN.md §4.14).
+    pub fn delta_row_count(&self, initiator: &str) -> usize {
+        let suffix = format!("_delta_{}", sanitize(initiator)).to_ascii_lowercase();
+        self.db
+            .table_names()
+            .into_iter()
+            .filter(|t| t.ends_with(&suffix))
+            .map(|t| self.db.table(&t).map(|tb| tb.len()).unwrap_or(0))
+            .sum()
     }
 
     /// Ensures delta table, COW view and triggers exist for

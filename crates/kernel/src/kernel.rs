@@ -3,15 +3,28 @@
 //! # Concurrency
 //!
 //! The kernel is shared by every thread in the system, so all of its
-//! state is interior. The app registry and process table live behind a
-//! single `RwLock`: syscalls and Binder checks only need to *look up* a
-//! task struct, so they take a read lock, clone the `Arc<Process>` out,
-//! release the lock immediately and then run the actual VFS/network work
-//! in parallel. The write lock is held only for the short structural
-//! mutations (install, spawn, kill). In the global lock order this lock
-//! ranks above the VFS store lock: a thread may acquire the store while
-//! holding the process-table lock, never the reverse (see DESIGN.md
-//! §4.10).
+//! state is interior, and the two hot structures are sharded so tenants
+//! on different shards never contend (DESIGN.md §4.14):
+//!
+//! * **Process table** — [`PROC_SHARDS`] pid-hashed shards, each its own
+//!   `RwLock<BTreeMap<Pid, Arc<Process>>>`. A syscall or Binder check
+//!   locks exactly one shard (`pid % PROC_SHARDS`), clones the
+//!   `Arc<Process>` out, releases the shard and runs the actual
+//!   VFS/network work in parallel. Pids come from a global `AtomicU64`,
+//!   so allocation never takes any lock. Sweeps (`processes`,
+//!   `find_processes`) visit shards one at a time in index order — they
+//!   see a per-shard-consistent snapshot, which is all the callers need.
+//! * **App registry** — read-mostly, so it is an `Arc`-swapped immutable
+//!   snapshot: readers briefly read-lock only to clone the `Arc` (no
+//!   contention with other readers, and the guard never spans a map
+//!   walk); `install_app` builds a new map and swaps the `Arc` under the
+//!   write lock. Uid assignment happens under the same write lock, so
+//!   uids are dense and reinstalls are idempotent.
+//!
+//! In the global lock order these locks rank above the VFS store shards:
+//! a thread may acquire store shards while holding a process-table shard,
+//! never the reverse (see DESIGN.md §4.10, §4.14). No kernel path ever
+//! holds two process-table shards at once.
 
 use crate::binder::{binder_allowed, BinderEndpoint};
 use crate::error::{KernelError, KernelResult};
@@ -19,15 +32,24 @@ use crate::net::Network;
 use crate::process::{AppId, ExecContext, Pid, Process};
 use maxoid_vfs::{Cred, FileHandle, Metadata, Mode, MountNamespace, OpenMode, Uid, VPath, Vfs};
 use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Mutable kernel state: the app registry and the process table, guarded
-/// together because spawn reads the registry and writes the table.
+/// Number of pid-hashed process-table shards.
+pub const PROC_SHARDS: usize = 16;
+
+/// The process-table shard a pid lives in.
+pub fn proc_shard_of(pid: Pid) -> usize {
+    (pid.0 as usize) % PROC_SHARDS
+}
+
+/// The app registry: an immutable snapshot behind an `Arc`, swapped
+/// wholesale on install. `next_uid` rides in the same writer-locked cell
+/// so uid assignment is atomic with registry publication.
 #[derive(Debug)]
-struct KernelState {
-    apps: std::collections::BTreeMap<AppId, Uid>,
-    procs: std::collections::BTreeMap<Pid, Arc<Process>>,
-    next_pid: u64,
+struct AppRegistry {
+    snap: Arc<BTreeMap<AppId, Uid>>,
     next_uid: u32,
 }
 
@@ -38,7 +60,9 @@ pub struct Kernel {
     vfs: Vfs,
     /// The simulated network device.
     pub net: Network,
-    state: RwLock<KernelState>,
+    apps: RwLock<AppRegistry>,
+    procs: Vec<RwLock<BTreeMap<Pid, Arc<Process>>>>,
+    next_pid: AtomicU64,
     /// The πBox-style trusted-cloud extension (paper §2.4): when enabled,
     /// delegates may connect to hosts on this list instead of losing the
     /// network entirely. Empty + disabled by default (the paper's actual
@@ -66,14 +90,19 @@ impl Kernel {
         Kernel {
             vfs,
             net: Network::new(),
-            state: RwLock::new(KernelState {
-                apps: std::collections::BTreeMap::new(),
-                procs: std::collections::BTreeMap::new(),
-                next_pid: 1,
+            apps: RwLock::new(AppRegistry {
+                snap: Arc::new(BTreeMap::new()),
                 next_uid: Uid::FIRST_APP,
             }),
+            procs: (0..PROC_SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            next_pid: AtomicU64::new(1),
             trusted_cloud: RwLock::new(None),
         }
+    }
+
+    /// The current app-registry snapshot (brief read-lock, then lock-free).
+    fn apps_snapshot(&self) -> Arc<BTreeMap<AppId, Uid>> {
+        self.apps.read().snap.clone()
     }
 
     /// Enables the πBox-style trusted-cloud extension (§2.4): delegates
@@ -97,34 +126,31 @@ impl Kernel {
     /// Installs an app, assigning it a dedicated uid (Android's app
     /// sandbox model, §2.1). Reinstalling returns the existing uid.
     pub fn install_app(&self, app: &AppId) -> Uid {
-        let mut st = self.state.write();
-        if let Some(uid) = st.apps.get(app) {
+        let mut reg = self.apps.write();
+        if let Some(uid) = reg.snap.get(app) {
             return *uid;
         }
-        let uid = Uid(st.next_uid);
-        st.next_uid += 1;
-        st.apps.insert(app.clone(), uid);
+        let uid = Uid(reg.next_uid);
+        reg.next_uid += 1;
+        let mut next = BTreeMap::clone(&reg.snap);
+        next.insert(app.clone(), uid);
+        reg.snap = Arc::new(next);
         uid
     }
 
     /// Returns the uid of an installed app.
     pub fn uid_of(&self, app: &AppId) -> KernelResult<Uid> {
-        self.state
-            .read()
-            .apps
-            .get(app)
-            .copied()
-            .ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))
+        self.apps_snapshot().get(app).copied().ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))
     }
 
     /// Returns true if the app is installed.
     pub fn is_installed(&self, app: &AppId) -> bool {
-        self.state.read().apps.contains_key(app)
+        self.apps_snapshot().contains_key(app)
     }
 
     /// Lists installed apps.
     pub fn installed_apps(&self) -> Vec<AppId> {
-        self.state.read().apps.keys().cloned().collect()
+        self.apps_snapshot().keys().cloned().collect()
     }
 
     /// Zygote fork: creates a process for `app` with the given execution
@@ -136,19 +162,24 @@ impl Kernel {
         let mut sp = maxoid_obs::span("kernel.spawn");
         sp.field_with("app", || app.0.clone());
         sp.field_with("ctx", || format!("{ctx:?}"));
-        let mut st = self.state.write();
-        let uid = *st.apps.get(app).ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))?;
-        let pid = Pid(st.next_pid);
-        st.next_pid += 1;
+        let uid =
+            *self.apps_snapshot().get(app).ok_or_else(|| KernelError::NoSuchApp(app.0.clone()))?;
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         maxoid_obs::counter_add("kernel.spawns", 1);
-        st.procs.insert(pid, Arc::new(Process { pid, app: app.clone(), uid, ctx, ns }));
+        self.procs[proc_shard_of(pid)]
+            .write()
+            .insert(pid, Arc::new(Process { pid, app: app.clone(), uid, ctx, ns }));
         Ok(pid)
     }
 
     /// Terminates a process.
     pub fn kill(&self, pid: Pid) -> KernelResult<()> {
         let _sp = maxoid_obs::span("kernel.kill");
-        self.state.write().procs.remove(&pid).map(|_| ()).ok_or(KernelError::NoSuchProcess)
+        self.procs[proc_shard_of(pid)]
+            .write()
+            .remove(&pid)
+            .map(|_| ())
+            .ok_or(KernelError::NoSuchProcess)
     }
 
     /// Returns a process' task struct (a shared snapshot handle: the
@@ -156,7 +187,7 @@ impl Kernel {
     /// caller can do arbitrary work against the task without blocking
     /// spawns or kills).
     pub fn process(&self, pid: Pid) -> KernelResult<Arc<Process>> {
-        self.state.read().procs.get(&pid).cloned().ok_or(KernelError::NoSuchProcess)
+        self.procs[proc_shard_of(pid)].read().get(&pid).cloned().ok_or(KernelError::NoSuchProcess)
     }
 
     /// Enables or disables the union-mount path-resolution caches of a
@@ -173,14 +204,27 @@ impl Kernel {
         Ok(self.process(pid)?.ns.resolve_cache_stats())
     }
 
-    /// Snapshot of all live processes at the time of the call.
+    /// Snapshot of all live processes at the time of the call. Shards are
+    /// visited one at a time in index order (never two shard locks held
+    /// together), so the result is per-shard consistent; the list is
+    /// sorted by pid to keep callers order-independent of sharding.
     pub fn processes(&self) -> Vec<Arc<Process>> {
-        self.state.read().procs.values().cloned().collect()
+        let mut out: Vec<Arc<Process>> = Vec::new();
+        for shard in &self.procs {
+            out.extend(shard.read().values().cloned());
+        }
+        out.sort_by_key(|p| p.pid);
+        out
     }
 
     /// Finds live processes of an app, optionally filtered by context.
     pub fn find_processes(&self, app: &AppId) -> Vec<Pid> {
-        self.state.read().procs.values().filter(|p| &p.app == app).map(|p| p.pid).collect()
+        let mut out: Vec<Pid> = Vec::new();
+        for shard in &self.procs {
+            out.extend(shard.read().values().filter(|p| &p.app == app).map(|p| p.pid));
+        }
+        out.sort();
+        out
     }
 
     // -----------------------------------------------------------------

@@ -37,6 +37,6 @@ pub mod process;
 
 pub use binder::{binder_allowed, BinderEndpoint};
 pub use error::{KernelError, KernelResult};
-pub use kernel::Kernel;
-pub use net::Network;
+pub use kernel::{proc_shard_of, Kernel, PROC_SHARDS};
+pub use net::{Network, NET_SHARDS};
 pub use process::{AppId, ExecContext, Pid, Process};

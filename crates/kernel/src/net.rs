@@ -6,21 +6,46 @@
 //! to byte payloads; a configurable per-kilobyte latency knob lets benches
 //! model transfer time without real sockets.
 //!
-//! The device is shared by every process, so all state is interior: the
-//! host table sits behind an `RwLock` (fetches take read locks and run in
-//! parallel) and the traffic counter is atomic.
+//! The device is shared by every process, so all state is interior. The
+//! host table is hashed into [`NET_SHARDS`] independently locked shards
+//! (same shape as the kernel's process table, DESIGN.md §4.14): the
+//! delegate `ENETUNREACH` check path and concurrent fetches to different
+//! hosts never touch the same lock. `fetch` clones the resource out and
+//! releases its shard lock *before* doing any transfer work, so the lock
+//! is never held across simulated I/O. The traffic counter is atomic.
 
 use crate::error::{KernelError, KernelResult};
 use parking_lot::RwLock;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+/// Number of host-hashed shards in the network's host table.
+pub const NET_SHARDS: usize = 16;
+
+fn host_shard(host: &str) -> usize {
+    // djb2 — same cheap string hash the VFS store uses for path shards.
+    let mut h: u64 = 5381;
+    for b in host.as_bytes() {
+        h = h.wrapping_mul(33) ^ u64::from(*b);
+    }
+    (h as usize) % NET_SHARDS
+}
+
 /// An in-process network of named hosts serving static resources.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Network {
-    hosts: RwLock<BTreeMap<String, BTreeMap<String, Vec<u8>>>>,
+    shards: Vec<RwLock<BTreeMap<String, BTreeMap<String, Vec<u8>>>>>,
     /// Count of successful fetches (for tests asserting traffic).
     fetch_count: AtomicU64,
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network {
+            shards: (0..NET_SHARDS).map(|_| RwLock::new(BTreeMap::new())).collect(),
+            fetch_count: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Network {
@@ -31,12 +56,16 @@ impl Network {
 
     /// Publishes a resource at `host` / `path`.
     pub fn publish(&self, host: &str, path: &str, data: Vec<u8>) {
-        self.hosts.write().entry(host.to_string()).or_default().insert(path.to_string(), data);
+        self.shards[host_shard(host)]
+            .write()
+            .entry(host.to_string())
+            .or_default()
+            .insert(path.to_string(), data);
     }
 
     /// Returns true if the host exists.
     pub fn has_host(&self, host: &str) -> bool {
-        self.hosts.read().contains_key(host)
+        self.shards[host_shard(host)].read().contains_key(host)
     }
 
     /// Number of successful fetches so far.
@@ -47,9 +76,13 @@ impl Network {
     /// Fetches a resource. The caller must have passed the kernel's
     /// `connect()` check first.
     pub fn fetch(&self, host: &str, path: &str) -> KernelResult<Vec<u8>> {
-        let hosts = self.hosts.read();
-        let h = hosts.get(host).ok_or(KernelError::NoSuchHost)?;
-        let data = h.get(path).ok_or(KernelError::NoSuchResource)?.clone();
+        // Clone the payload and drop the shard guard before "transfer":
+        // the lock bounds only the table lookup, never the I/O.
+        let data = {
+            let shard = self.shards[host_shard(host)].read();
+            let h = shard.get(host).ok_or(KernelError::NoSuchHost)?;
+            h.get(path).ok_or(KernelError::NoSuchResource)?.clone()
+        };
         self.fetch_count.fetch_add(1, Ordering::Relaxed);
         Ok(data)
     }
@@ -108,5 +141,23 @@ mod tests {
         })
         .expect("threads join");
         assert_eq!(net.fetch_count(), 400);
+    }
+
+    #[test]
+    fn hosts_land_in_stable_shards_and_all_remain_reachable() {
+        let net = Network::new();
+        for i in 0..64 {
+            let host = format!("host{i}.example");
+            net.publish(&host, "r", vec![i as u8]);
+        }
+        for i in 0..64 {
+            let host = format!("host{i}.example");
+            assert!(net.has_host(&host));
+            assert_eq!(net.fetch(&host, "r").unwrap(), vec![i as u8]);
+        }
+        // The hash must spread hosts over more than one shard.
+        let shards: std::collections::BTreeSet<usize> =
+            (0..64).map(|i| host_shard(&format!("host{i}.example"))).collect();
+        assert!(shards.len() > 1, "64 hosts all hashed to one shard");
     }
 }

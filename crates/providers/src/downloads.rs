@@ -146,6 +146,11 @@ impl<L: FileLocator> DownloadsProvider<L> {
         &mut self.proxy
     }
 
+    /// Rows held in `initiator`'s delta tables (per-tenant accounting).
+    pub fn delta_row_count(&self, initiator: &str) -> usize {
+        self.proxy.delta_row_count(initiator)
+    }
+
     /// Drains posted notifications.
     pub fn take_notifications(&mut self) -> Vec<DownloadNotification> {
         std::mem::take(&mut self.notifications)

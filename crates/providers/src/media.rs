@@ -160,6 +160,11 @@ impl<L: FileLocator> MediaProvider<L> {
         &mut self.proxy
     }
 
+    /// Rows held in `initiator`'s delta tables (per-tenant accounting).
+    pub fn delta_row_count(&self, initiator: &str) -> usize {
+        self.proxy.delta_row_count(initiator)
+    }
+
     /// Scans a media file: inserts its metadata and generates a thumbnail
     /// (Media's background service). The record and the thumbnail follow
     /// the caller's state: a delegate's scan is confined to its

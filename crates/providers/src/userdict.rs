@@ -98,6 +98,11 @@ impl UserDictionaryProvider {
         &mut self.proxy
     }
 
+    /// Rows held in `initiator`'s delta tables (per-tenant accounting).
+    pub fn delta_row_count(&self, initiator: &str) -> usize {
+        self.proxy.delta_row_count(initiator)
+    }
+
     fn check_uri(&self, uri: &Uri) -> ProviderResult<()> {
         check_uri(uri)
     }

@@ -140,7 +140,7 @@ pub enum InsertSource {
 
 /// Trigger events; only INSTEAD OF triggers on views are supported, which
 /// is all the COW proxy requires.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum TriggerEvent {
     /// `INSTEAD OF INSERT`.
     Insert,

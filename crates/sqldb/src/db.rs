@@ -15,8 +15,20 @@ use std::sync::Arc;
 
 /// Memoized `Arc`'d catalog clones keyed by catalog generation, so
 /// repeated snapshot publications between DDL statements share one copy
-/// of the view/trigger definitions.
-type CatalogMemo = (u64, Arc<BTreeMap<String, ViewDef>>, Arc<BTreeMap<String, TriggerDef>>);
+/// of the view/trigger definitions. The maps hold `Arc`'d definitions,
+/// so even the rebuild after a generation bump is refcount bumps plus
+/// key clones — at fleet scale the system database carries thousands of
+/// per-tenant COW views/triggers, and a deep catalog clone per fork was
+/// the dominant cost of snapshot publication.
+type CatalogMemo =
+    (u64, Arc<BTreeMap<String, Arc<ViewDef>>>, Arc<BTreeMap<String, Arc<TriggerDef>>>);
+
+/// Memoized `(view, event) -> trigger name` index keyed by catalog
+/// generation, replacing the O(#triggers) linear scan in
+/// [`Database::trigger_for`]. At fleet scale one system database holds
+/// thousands of per-tenant COW triggers, and every view write performs a
+/// trigger lookup.
+type TriggerMemo = (u64, BTreeMap<(String, TriggerEvent), String>);
 
 /// A stored view definition.
 #[derive(Debug, Clone)]
@@ -226,8 +238,8 @@ pub(crate) const MAX_DEPTH: usize = 32;
 #[derive(Debug, Default)]
 pub struct Database {
     pub(crate) tables: BTreeMap<String, Table>,
-    pub(crate) views: BTreeMap<String, ViewDef>,
-    pub(crate) triggers: BTreeMap<String, TriggerDef>,
+    pub(crate) views: BTreeMap<String, Arc<ViewDef>>,
+    pub(crate) triggers: BTreeMap<String, Arc<TriggerDef>>,
     /// Planner policy for UNION ALL view flattening.
     pub flatten_policy: FlattenPolicy,
     /// Execution counters.
@@ -265,6 +277,32 @@ pub struct Database {
     published: RefCell<Option<Arc<DbSnapshot>>>,
     /// See [`CatalogMemo`].
     catalog_memo: RefCell<Option<CatalogMemo>>,
+    /// See [`TriggerMemo`].
+    trigger_memo: RefCell<Option<TriggerMemo>>,
+    /// The frozen tables of the last publication, keyed by table name
+    /// and shared (`Arc`) with the snapshots handed out. `begin_read`
+    /// patches this map in place (`Arc::make_mut`, so a still-live
+    /// older snapshot degrades to one O(#tables) map clone rather than
+    /// corruption), re-freezing only tables whose version tag changed —
+    /// publication is O(tables touched since the last publication)
+    /// instead of O(all tables), the difference between µs and ms once
+    /// a fleet-scale database holds thousands of per-tenant delta
+    /// tables. Mutation paths evict their table's entry eagerly
+    /// ([`Database::table_mut`]) so the cache never pins dead row
+    /// versions against the refcount-driven chain trim.
+    frozen_cache: RefCell<Arc<BTreeMap<String, Arc<Table>>>>,
+    /// Names evicted from `frozen_cache` since the last publication —
+    /// exactly the tables `begin_read` must re-freeze. `None` means the
+    /// cache cannot be trusted incrementally (initial state, rollback,
+    /// heap attach) and the next publication walks every table once,
+    /// after which tracking resumes.
+    frozen_dirty: RefCell<Option<std::collections::BTreeSet<String>>>,
+    /// A published snapshot this (reader-private) database is bound to.
+    /// When set, read-path table lookups resolve from the snapshot's
+    /// frozen map instead of `self.tables`, which stays empty — so a
+    /// [`crate::SnapshotReader`] rebind is O(1) regardless of how many
+    /// tables the database holds. Writer databases never set this.
+    bound: Option<Arc<DbSnapshot>>,
 }
 
 // Threading contract: a live `Database` is `Send` but deliberately *not*
@@ -286,8 +324,8 @@ const _: fn() = || {
 #[derive(Debug)]
 pub(crate) struct TxSnapshot {
     tables: BTreeMap<String, Table>,
-    views: BTreeMap<String, ViewDef>,
-    triggers: BTreeMap<String, TriggerDef>,
+    views: BTreeMap<String, Arc<ViewDef>>,
+    triggers: BTreeMap<String, Arc<TriggerDef>>,
 }
 
 /// Point-in-time copy of the [`Stats`] counters, taken before a statement
@@ -616,14 +654,20 @@ impl Database {
     /// an open transaction (uncommitted state must stay private) or when
     /// any table has paged its rows to the heap tier.
     ///
-    /// Publication is O(#tables): every table is shallow-frozen by
-    /// cloning the `Arc` of its version-chain map (see
-    /// [`crate::table`]). The result is memoized until the next
-    /// mutation, so a read storm between two writes performs exactly one
-    /// freeze. Statements run against the snapshot through a
-    /// [`crate::SnapshotReader`] and see exactly this commit stamp's
-    /// state, while the owner keeps executing writes concurrently.
+    /// Publication is incremental: a table is shallow-frozen (the `Arc`
+    /// of its version-chain map cloned, see [`crate::table`]) only when
+    /// its version tag changed since the last publication; unchanged
+    /// tables reuse the previous frozen copy by `Arc`. A fleet-scale
+    /// database with thousands of quiescent per-tenant delta tables
+    /// therefore pays per-publication cost proportional to the tables
+    /// actually touched, not the catalog size. The result is memoized
+    /// until the next mutation, so a read storm between two writes
+    /// performs exactly one freeze. Statements run against the snapshot
+    /// through a [`crate::SnapshotReader`] and see exactly this commit
+    /// stamp's state, while the owner keeps executing writes
+    /// concurrently.
     pub fn begin_read(&self) -> Option<ReadSnapshot> {
+        let _sp = maxoid_obs::span("sqldb.begin_read");
         if self.tx_snapshot.is_some() {
             return None;
         }
@@ -633,10 +677,64 @@ impl Database {
                 return Some(ReadSnapshot { snap: Arc::clone(snap) });
             }
         }
-        let mut tables = BTreeMap::new();
-        for (name, t) in &self.tables {
-            tables.insert(name.clone(), t.freeze()?);
-        }
+        let tables = {
+            let mut cache = self.frozen_cache.borrow_mut();
+            let mut dirty_opt = self.frozen_dirty.borrow_mut();
+            let mut incremental = false;
+            if let Some(dirty) = dirty_opt.as_mut() {
+                // Re-freeze exactly the tables mutated since the last
+                // publication; everything else keeps its frozen copy.
+                if !dirty.is_empty() {
+                    let map = Arc::make_mut(&mut *cache);
+                    loop {
+                        let name = match dirty.iter().next() {
+                            Some(n) => n.clone(),
+                            None => break,
+                        };
+                        dirty.remove(&name);
+                        match self.tables.get(&name) {
+                            Some(t) => {
+                                let frozen = Arc::new(t.freeze()?);
+                                map.insert(name, frozen);
+                            }
+                            None => {
+                                map.remove(&name);
+                            }
+                        }
+                    }
+                }
+                // A name-count mismatch means the dirty tracking missed
+                // a create/drop; fall back to the full walk.
+                incremental = cache.len() == self.tables.len();
+            }
+            #[cfg(debug_assertions)]
+            if incremental {
+                for (name, t) in &self.tables {
+                    let f = cache.get(name).expect("frozen cache covers every table");
+                    debug_assert_eq!(
+                        f.version_tag(),
+                        t.version_tag(),
+                        "stale frozen cache for table {name}: a mutation path \
+                         bypassed table_mut/uncache_frozen"
+                    );
+                }
+            }
+            if !incremental {
+                let mut map = BTreeMap::new();
+                for (name, t) in &self.tables {
+                    let frozen = match cache.get(name) {
+                        Some(f) if f.version_tag() == t.version_tag() && !t.is_paged() => {
+                            Arc::clone(f)
+                        }
+                        _ => Arc::new(t.freeze()?),
+                    };
+                    map.insert(name.clone(), frozen);
+                }
+                *cache = Arc::new(map);
+                *dirty_opt = Some(std::collections::BTreeSet::new());
+            }
+            Arc::clone(&*cache)
+        };
         let gen = self.catalog_generation();
         let (views, triggers) = {
             let mut memo = self.catalog_memo.borrow_mut();
@@ -671,17 +769,29 @@ impl Database {
         self.mvcc.stats()
     }
 
-    /// Re-points this (reader-private) database at a published snapshot:
-    /// shallow table copies always; catalog re-clone plus plan-cache
-    /// invalidation only when the snapshot's catalog generation changed.
-    pub(crate) fn retarget(&mut self, snap: &DbSnapshot, catalog_changed: bool) {
-        self.tables = snap.tables.clone();
+    /// Re-points this (reader-private) database at a published snapshot.
+    /// O(1) for table data — the snapshot is bound, not copied, and
+    /// read-path lookups resolve through it (see `Database::bound`).
+    /// Catalog re-clone plus plan-cache invalidation happen only when
+    /// the snapshot's catalog generation changed.
+    pub(crate) fn retarget(&mut self, snap: &Arc<DbSnapshot>, catalog_changed: bool) {
+        self.bound = Some(Arc::clone(snap));
         self.flatten_policy = snap.flatten_policy;
         if catalog_changed {
             self.views = (*snap.views).clone();
             self.triggers = (*snap.triggers).clone();
             self.bump_catalog_generation();
         }
+    }
+
+    /// Read-path table lookup: the bound snapshot when this database is
+    /// a snapshot reader, the live tables otherwise. `name` must already
+    /// be lowercased with [`key`].
+    pub(crate) fn read_table(&self, name: &str) -> Option<&Table> {
+        if let Some(b) = &self.bound {
+            return b.tables.get(name).map(|a| &**a);
+        }
+        self.tables.get(name)
     }
 
     /// Executes a pre-parsed SELECT.
@@ -735,6 +845,12 @@ impl Database {
                 self.tables = snap.tables;
                 self.views = snap.views;
                 self.triggers = snap.triggers;
+                // Restored tables may carry tags the cache also holds
+                // for different (post-BEGIN) content only in the absence
+                // of mutation; drop everything rather than reason about
+                // it — rollback is rare and a full re-freeze is cheap.
+                *self.frozen_cache.borrow_mut() = Arc::new(BTreeMap::new());
+                *self.frozen_dirty.borrow_mut() = None;
                 // The restored catalog may differ from the one cached
                 // plans were computed against.
                 self.bump_catalog_generation();
@@ -772,7 +888,7 @@ impl Database {
 
     /// Returns true if a base table with this name exists.
     pub fn has_table(&self, name: &str) -> bool {
-        self.tables.contains_key(&key(name))
+        self.read_table(&key(name)).is_some()
     }
 
     /// Returns true if a view with this name exists.
@@ -787,14 +903,33 @@ impl Database {
 
     /// Returns a base table by name.
     pub fn table(&self, name: &str) -> SqlResult<&Table> {
-        self.tables.get(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+        self.read_table(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
     /// Returns a mutable base table by name. Conservatively retracts the
     /// published snapshot: the caller may mutate through the handle.
+    /// Also drops this table's frozen-cache entry *before* the caller
+    /// mutates: a cached freeze holds `Arc`s on the table's version
+    /// chains, and the refcount-driven trim (see `trim_chain`) must not
+    /// see stale versions pinned by a mere cache. Unchanged tables keep
+    /// their cache entry, whose pins are exactly the live head versions.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
         self.note_mutation();
+        self.uncache_frozen(name);
         self.tables.get_mut(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    /// Drops `name`'s frozen-cache entry (same rationale as
+    /// [`Database::table_mut`]); for DDL paths that bypass `table_mut`.
+    pub(crate) fn uncache_frozen(&self, name: &str) {
+        let k = key(name);
+        let mut cache = self.frozen_cache.borrow_mut();
+        if cache.contains_key(&k) {
+            Arc::make_mut(&mut *cache).remove(&k);
+        }
+        if let Some(dirty) = self.frozen_dirty.borrow_mut().as_mut() {
+            dirty.insert(k);
+        }
     }
 
     /// Attaches a device-backed heap tier: every table (existing and
@@ -804,6 +939,8 @@ impl Database {
     /// paged in the previous run.
     pub fn attach_heap(&mut self, tier: crate::heap::HeapTier, threshold: usize) {
         self.note_mutation();
+        *self.frozen_cache.borrow_mut() = Arc::new(BTreeMap::new());
+        *self.frozen_dirty.borrow_mut() = None;
         let cfg = crate::heap::HeapCfg { tier, threshold };
         for t in self.tables.values_mut() {
             t.attach_heap(cfg.clone());
@@ -813,12 +950,33 @@ impl Database {
 
     /// Returns a view definition by name.
     pub fn view(&self, name: &str) -> SqlResult<&ViewDef> {
-        self.views.get(&key(name)).ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+        self.views
+            .get(&key(name))
+            .map(|v| v.as_ref())
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
     }
 
     /// Returns the trigger attached to `view_name` for `event`, if any.
+    /// Served from a `(view, event)` index memoized per catalog
+    /// generation (every trigger create/drop and rollback bumps the
+    /// generation), so the lookup does not scan the trigger catalog.
     pub fn trigger_for(&self, view_name: &str, event: TriggerEvent) -> Option<&TriggerDef> {
-        self.triggers.values().find(|t| t.on == key(view_name) && t.event == event)
+        let gen = self.catalog_generation();
+        let name = {
+            let mut memo = self.trigger_memo.borrow_mut();
+            if !matches!(memo.as_ref(), Some((g, _)) if *g == gen) {
+                let mut ix = BTreeMap::new();
+                for (name, t) in &self.triggers {
+                    // entry(): first trigger in name order wins, matching
+                    // the previous linear scan.
+                    ix.entry((t.on.clone(), t.event)).or_insert_with(|| name.clone());
+                }
+                *memo = Some((gen, ix));
+            }
+            let (_, ix) = memo.as_ref().expect("just populated");
+            ix.get(&(key(view_name), event)).cloned()
+        };
+        self.triggers.get(&name?).map(|t| t.as_ref())
     }
 
     /// Lists base table names (lowercased keys).
@@ -872,7 +1030,7 @@ impl Database {
 
     /// Returns output column names for a table or view.
     pub fn relation_columns(&self, name: &str) -> SqlResult<Vec<String>> {
-        if let Some(t) = self.tables.get(&key(name)) {
+        if let Some(t) = self.read_table(&key(name)) {
             return Ok(t.schema.column_names());
         }
         if let Some(v) = self.views.get(&key(name)) {

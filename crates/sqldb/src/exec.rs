@@ -10,6 +10,7 @@ use crate::planner::{bind_access_plan, AccessPath};
 use crate::table::{Table, TableSchema};
 use crate::value::Value;
 use std::borrow::Cow;
+use std::sync::Arc;
 
 /// Output rows paired with optional pre-computed sort keys.
 type KeyedRows = Vec<(Vec<Value>, Option<Vec<Value>>)>;
@@ -35,6 +36,7 @@ pub fn exec_stmt(
             if let Some(cfg) = &db.heap {
                 table.attach_heap(cfg.clone());
             }
+            db.uncache_frozen(name);
             db.tables.insert(key(name), table);
             db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
@@ -47,8 +49,10 @@ pub fn exec_stmt(
                 return Err(SqlError::AlreadyExists(name.clone()));
             }
             let columns = view_output_columns(db, select)?;
-            db.views
-                .insert(key(name), ViewDef { name: name.clone(), select: select.clone(), columns });
+            db.views.insert(
+                key(name),
+                Arc::new(ViewDef { name: name.clone(), select: select.clone(), columns }),
+            );
             db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
         }
@@ -66,7 +70,12 @@ pub fn exec_stmt(
             }
             db.triggers.insert(
                 key(name),
-                TriggerDef { name: name.clone(), event: *event, on: key(on), body: body.clone() },
+                Arc::new(TriggerDef {
+                    name: name.clone(),
+                    event: *event,
+                    on: key(on),
+                    body: body.clone(),
+                }),
             );
             db.bump_catalog_generation();
             Ok(ExecOutcome::ddl())
@@ -87,7 +96,12 @@ pub fn exec_stmt(
             Ok(ExecOutcome::ddl())
         }
         Stmt::DropIndex { name, if_exists } => {
-            if db.tables.values_mut().any(|t| t.drop_index(name)) {
+            // Resolve the owning table first so the drop goes through
+            // `table_mut` (snapshot retraction + frozen-cache eviction).
+            let owner =
+                db.tables.iter().find(|(_, t)| t.has_index(name)).map(|(n, _)| n.clone());
+            if let Some(owner) = owner {
+                db.table_mut(&owner)?.drop_index(name);
                 db.bump_catalog_generation();
                 return Ok(ExecOutcome::ddl());
             }
@@ -102,6 +116,7 @@ pub fn exec_stmt(
                     return Err(SqlError::NoSuchTable(name.clone()));
                 }
             } else {
+                db.uncache_frozen(name);
                 db.bump_catalog_generation();
             }
             Ok(ExecOutcome::ddl())
@@ -374,7 +389,7 @@ fn exec_core(
 
     // Fast path: single base table, no aggregate — stream rows without
     // materializing the whole table, using pk point lookups when possible.
-    if core.from.len() == 1 && db.tables.contains_key(&key(&core.from[0].name)) {
+    if core.from.len() == 1 && db.read_table(&key(&core.from[0].name)).is_some() {
         return exec_core_single_table(db, core, order_by, aggregate, env);
     }
 
@@ -383,7 +398,7 @@ fn exec_core(
     let mut sources = Vec::new();
     for tref in &core.from {
         let k = key(&tref.name);
-        if let Some(t) = db.tables.get(&k) {
+        if let Some(t) = db.read_table(&k) {
             // Resident rows are borrowed from storage; paged tables
             // decode into owned rows — the Cow absorbs both.
             let rows: Vec<Cow<'_, [Value]>> = t.iter().map(|(_, r)| r).collect();
@@ -491,7 +506,7 @@ fn exec_core_single_table(
     env: &EvalEnv<'_>,
 ) -> SqlResult<(Vec<String>, KeyedRows)> {
     let tref = &core.from[0];
-    let table = db.tables.get(&key(&tref.name)).expect("checked by caller");
+    let table = db.read_table(&key(&tref.name)).expect("checked by caller");
     let binding = tref.binding().to_string();
     let columns = table.schema.column_names();
 

@@ -60,6 +60,12 @@ pub(crate) struct MvccShared {
     max_chain: AtomicU64,
     /// Snapshots published (memoized republications excluded).
     snapshots_published: AtomicU64,
+    /// Source of table version tags: every mutation of any attached table
+    /// takes a fresh value, so two table states with equal tags are
+    /// guaranteed to have identical contents (clones copy the tag along
+    /// with the content they share). Lets `begin_read` and
+    /// [`SnapshotReader`] rebinds skip unchanged tables.
+    table_ver: AtomicU64,
 }
 
 impl Default for MvccShared {
@@ -72,6 +78,7 @@ impl Default for MvccShared {
             versions_gced: AtomicU64::new(0),
             max_chain: AtomicU64::new(0),
             snapshots_published: AtomicU64::new(0),
+            table_ver: AtomicU64::new(0),
         }
     }
 }
@@ -85,6 +92,11 @@ impl MvccShared {
     /// Advances the commit stamp (one mutating statement completed).
     pub(crate) fn bump_stamp(&self) {
         self.stamp.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Mints a fresh table version tag (see `MvccShared::table_ver`).
+    pub(crate) fn next_table_ver(&self) -> u64 {
+        self.table_ver.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Stamp of the oldest live snapshot, if any.
@@ -194,9 +206,9 @@ pub(crate) struct DbSnapshot {
     pub(crate) stamp: u64,
     pub(crate) catalog_gen: u64,
     pub(crate) flatten_policy: FlattenPolicy,
-    pub(crate) tables: BTreeMap<String, Table>,
-    pub(crate) views: Arc<BTreeMap<String, ViewDef>>,
-    pub(crate) triggers: Arc<BTreeMap<String, TriggerDef>>,
+    pub(crate) tables: Arc<BTreeMap<String, Arc<Table>>>,
+    pub(crate) views: Arc<BTreeMap<String, Arc<ViewDef>>>,
+    pub(crate) triggers: Arc<BTreeMap<String, Arc<TriggerDef>>>,
     /// Keeps the snapshot registered for GC while any handle is alive.
     _ticket: SnapTicket,
 }
@@ -206,9 +218,9 @@ impl DbSnapshot {
         stamp: u64,
         catalog_gen: u64,
         flatten_policy: FlattenPolicy,
-        tables: BTreeMap<String, Table>,
-        views: Arc<BTreeMap<String, ViewDef>>,
-        triggers: Arc<BTreeMap<String, TriggerDef>>,
+        tables: Arc<BTreeMap<String, Arc<Table>>>,
+        views: Arc<BTreeMap<String, Arc<ViewDef>>>,
+        triggers: Arc<BTreeMap<String, Arc<TriggerDef>>>,
         ticket: SnapTicket,
     ) -> Self {
         DbSnapshot { stamp, catalog_gen, flatten_policy, tables, views, triggers, _ticket: ticket }

@@ -318,6 +318,13 @@ pub struct Table {
     /// MVCC bookkeeping shared with the owning database (attached at
     /// CREATE TABLE); standalone tables get a private default.
     mvcc: Arc<MvccShared>,
+    /// Content version tag, re-minted from the shared MVCC counter on
+    /// every mutation (and on attach). Clones copy the tag along with
+    /// the content they share, so within one database's lineage two
+    /// tables with equal tags have identical contents — the invariant
+    /// `begin_read` and snapshot-reader rebinds rely on to skip
+    /// unchanged tables.
+    ver: u64,
 }
 
 impl Clone for Table {
@@ -329,6 +336,7 @@ impl Clone for Table {
             indexes: Arc::clone(&self.indexes),
             heap: self.heap.clone(),
             mvcc: Arc::clone(&self.mvcc),
+            ver: self.ver,
         }
     }
 }
@@ -343,12 +351,29 @@ impl Table {
             indexes: Arc::new(Vec::new()),
             heap: None,
             mvcc: Arc::default(),
+            ver: 0,
         }
     }
 
     /// Points the table at the owning database's shared MVCC bookkeeping.
+    /// Re-mints the version tag from the new counter so a freshly
+    /// attached table never aliases a tag minted before attachment
+    /// (e.g. a same-named table that was dropped and recreated).
     pub(crate) fn attach_mvcc(&mut self, mvcc: Arc<MvccShared>) {
         self.mvcc = mvcc;
+        self.ver = self.mvcc.next_table_ver();
+    }
+
+    /// The content version tag (see the `ver` field).
+    pub(crate) fn version_tag(&self) -> u64 {
+        self.ver
+    }
+
+    /// Re-mints the version tag; called by every mutating entry point
+    /// (conservatively at entry, so failed statements over-invalidate —
+    /// the only cost is one re-freeze at the next publication).
+    fn touch(&mut self) {
+        self.ver = self.mvcc.next_table_ver();
     }
 
     /// An immutable shallow freeze for publication inside a read
@@ -368,6 +393,7 @@ impl Table {
             indexes: Arc::clone(&self.indexes),
             heap: None,
             mvcc: Arc::clone(&self.mvcc),
+            ver: self.ver,
         })
     }
 
@@ -376,6 +402,7 @@ impl Table {
     /// through the page cache on access. Oversized tables migrate
     /// immediately.
     pub fn attach_heap(&mut self, cfg: HeapCfg) {
+        self.touch();
         self.heap = Some(cfg);
         self.maybe_spill();
     }
@@ -408,6 +435,7 @@ impl Table {
     /// unknown column, a duplicate index name on this table, or — for
     /// `unique` — existing duplicate non-NULL values.
     pub fn create_index(&mut self, name: &str, column: &str, unique: bool) -> SqlResult<()> {
+        self.touch();
         let Some(col) = self.schema.column_index(column) else {
             return Err(SqlError::NoSuchColumn(format!("{}.{column}", self.schema.name)));
         };
@@ -428,6 +456,7 @@ impl Table {
         if !self.has_index(name) {
             return false;
         }
+        self.touch();
         Arc::make_mut(&mut self.indexes).retain(|ix| !ix.name().eq_ignore_ascii_case(name));
         true
     }
@@ -460,6 +489,7 @@ impl Table {
     /// Sets the first auto-assigned rowid. Used by the COW proxy to start
     /// delta-table keys at a large offset.
     pub fn set_pk_start(&mut self, start: i64) {
+        self.touch();
         self.pk_start = start;
     }
 
@@ -493,6 +523,7 @@ impl Table {
     /// (INSERT OR REPLACE); otherwise a duplicate key is a constraint
     /// error. Returns the rowid of the inserted row.
     pub fn insert(&mut self, mut values: Vec<Value>, replace: bool) -> SqlResult<i64> {
+        self.touch();
         debug_assert_eq!(values.len(), self.schema.columns.len());
         // Apply column affinities.
         for (i, v) in values.iter_mut().enumerate() {
@@ -574,6 +605,7 @@ impl Table {
     /// Replaces the row at `rowid` (which must exist). If the new values
     /// change the primary key the row is re-keyed.
     pub fn update_row(&mut self, rowid: i64, mut values: Vec<Value>) -> SqlResult<()> {
+        self.touch();
         for (i, v) in values.iter_mut().enumerate() {
             let owned = std::mem::replace(v, Value::Null);
             *v = self.schema.columns[i].affinity.apply(owned);
@@ -640,6 +672,7 @@ impl Table {
 
     /// Deletes a row by rowid; returns true if it existed.
     pub fn delete_row(&mut self, rowid: i64) -> bool {
+        self.touch();
         match self.rows.remove(rowid) {
             Some(old) => {
                 if !self.indexes.is_empty() {
@@ -655,6 +688,7 @@ impl Table {
 
     /// Removes all rows.
     pub fn clear(&mut self) {
+        self.touch();
         self.rows.clear();
         if !self.indexes.is_empty() {
             for ix in Arc::make_mut(&mut self.indexes) {

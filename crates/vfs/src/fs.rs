@@ -11,7 +11,6 @@ use crate::error::{VfsError, VfsResult};
 use crate::mount::{Mount, MountKind, MountNamespace};
 use crate::path::VPath;
 use crate::store::{DirEntry, InodeId, Metadata, Store};
-use parking_lot::RwLock;
 use std::sync::Arc;
 
 /// Access mode requested when opening a file handle.
@@ -38,10 +37,13 @@ pub struct FileHandle {
 
 /// The permission-checked filesystem facade.
 ///
-/// Cloning is cheap; all clones share the same backing store.
+/// Cloning is cheap; all clones share the same backing store. The store
+/// itself is internally sharded (see `store.rs`), so no facade-level lock
+/// is needed: every operation takes `&Store` and the store serializes
+/// per-shard.
 #[derive(Debug, Clone)]
 pub struct Vfs {
-    store: Arc<RwLock<Store>>,
+    store: Arc<Store>,
 }
 
 impl Default for Vfs {
@@ -53,7 +55,7 @@ impl Default for Vfs {
 impl Vfs {
     /// Creates a VFS over a fresh backing store.
     pub fn new() -> Self {
-        Vfs { store: Arc::new(RwLock::new(Store::new())) }
+        Vfs { store: Arc::new(Store::new()) }
     }
 
     /// Creates a VFS whose store spills file payloads larger than
@@ -64,13 +66,13 @@ impl Vfs {
         pages: usize,
         threshold: usize,
     ) -> Self {
-        Vfs { store: Arc::new(RwLock::new(Store::with_block_device(dev, pages, threshold))) }
+        Vfs { store: Arc::new(Store::with_block_device(dev, pages, threshold)) }
     }
 
     /// Takes an existing store (e.g. a block-backed one mutated during
     /// recovery) as this facade's backing store.
     pub fn from_store(store: Store) -> Self {
-        Vfs { store: Arc::new(RwLock::new(store)) }
+        Vfs { store: Arc::new(store) }
     }
 
     /// Point-in-time storage-tier counters: resident vs spilled files and
@@ -84,18 +86,23 @@ impl Vfs {
     /// This is the "root" escape hatch used by trusted components (the
     /// branch manager, Zygote, providers' file helpers); apps never get it.
     pub fn with_store<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
-        f(&self.store.read())
+        f(&self.store)
     }
 
-    /// Runs a closure with exclusive access to the raw backing store.
-    pub fn with_store_mut<R>(&self, f: impl FnOnce(&mut Store) -> R) -> R {
-        f(&mut self.store.write())
+    /// Runs a closure with access to the raw backing store.
+    ///
+    /// Historically this took `&mut Store` behind a facade-level write
+    /// lock; the sharded store mutates through `&self`, so this is now an
+    /// alias for [`Vfs::with_store`] kept so trusted call sites compile
+    /// unchanged.
+    pub fn with_store_mut<R>(&self, f: impl FnOnce(&Store) -> R) -> R {
+        f(&self.store)
     }
 
     /// Attaches a journal sink to the backing store: every successful
     /// store mutation from here on emits a physical journal record.
     pub fn attach_journal(&self, sink: maxoid_journal::SinkRef) {
-        self.with_store_mut(|s| s.set_journal(sink));
+        self.store.set_journal(sink);
     }
 
     fn creation_mode(mount: &Mount, requested: Mode) -> Mode {
@@ -105,7 +112,7 @@ impl Vfs {
     /// Reads a file through the caller's namespace.
     pub fn read(&self, cred: Cred, ns: &MountNamespace, path: &VPath) -> VfsResult<Vec<u8>> {
         let (mount, rel) = ns.resolve(path)?;
-        let store = self.store.read();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, .. } => {
                 let hp = join_host(host, &rel)?;
@@ -142,7 +149,7 @@ impl Vfs {
     ) -> VfsResult<()> {
         let (mount, rel) = ns.resolve(path)?;
         let mode = Self::creation_mode(mount, mode);
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -170,7 +177,7 @@ impl Vfs {
                         return Err(VfsError::PermissionDenied);
                     }
                 }
-                u.write(&mut store, &rel, data, cred.uid, mode)
+                u.write(store, &rel, data, cred.uid, mode)
             }
         }
     }
@@ -184,7 +191,7 @@ impl Vfs {
         data: &[u8],
     ) -> VfsResult<()> {
         let (mount, rel) = ns.resolve(path)?;
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -202,7 +209,7 @@ impl Vfs {
                 if !u.maxoid_access && !meta.mode.allows_write(meta.owner, cred.uid) {
                     return Err(VfsError::PermissionDenied);
                 }
-                u.append(&mut store, &rel, data)
+                u.append(store, &rel, data)
             }
         }
     }
@@ -210,7 +217,7 @@ impl Vfs {
     /// Deletes a file.
     pub fn unlink(&self, cred: Cred, ns: &MountNamespace, path: &VPath) -> VfsResult<()> {
         let (mount, rel) = ns.resolve(path)?;
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -228,7 +235,7 @@ impl Vfs {
                 if !u.maxoid_access && !meta.mode.allows_write(meta.owner, cred.uid) {
                     return Err(VfsError::PermissionDenied);
                 }
-                u.unlink(&mut store, &rel)
+                u.unlink(store, &rel)
             }
         }
     }
@@ -243,7 +250,7 @@ impl Vfs {
     ) -> VfsResult<()> {
         let (mount, rel) = ns.resolve(path)?;
         let mode = Self::creation_mode(mount, mode);
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -252,14 +259,14 @@ impl Vfs {
                 let hp = join_host(host, &rel)?;
                 store.mkdir_all(&hp, cred.uid, mode)
             }
-            MountKind::Union(u) => u.mkdir_all(&mut store, &rel, cred.uid, mode),
+            MountKind::Union(u) => u.mkdir_all(store, &rel, cred.uid, mode),
         }
     }
 
     /// Removes an empty directory.
     pub fn rmdir(&self, _cred: Cred, ns: &MountNamespace, path: &VPath) -> VfsResult<()> {
         let (mount, rel) = ns.resolve(path)?;
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -267,7 +274,7 @@ impl Vfs {
                 }
                 store.rmdir(&join_host(host, &rel)?)
             }
-            MountKind::Union(u) => u.rmdir(&mut store, &rel),
+            MountKind::Union(u) => u.rmdir(store, &rel),
         }
     }
 
@@ -279,7 +286,7 @@ impl Vfs {
         path: &VPath,
     ) -> VfsResult<Vec<DirEntry>> {
         let (mount, rel) = ns.resolve(path)?;
-        let store = self.store.read();
+        let store = &*self.store;
         let mut entries = match &mount.kind {
             MountKind::Bind { host, .. } => {
                 let hp = join_host(host, &rel)?;
@@ -305,7 +312,7 @@ impl Vfs {
     /// Returns metadata for a path.
     pub fn stat(&self, _cred: Cred, ns: &MountNamespace, path: &VPath) -> VfsResult<Metadata> {
         let (mount, rel) = ns.resolve(path)?;
-        let store = self.store.read();
+        let store = &*self.store;
         match &mount.kind {
             MountKind::Bind { host, .. } => store.stat(&join_host(host, &rel)?),
             MountKind::Union(u) => u.stat(&store, &rel),
@@ -330,7 +337,7 @@ impl Vfs {
         if fm.point != tm.point {
             return Err(VfsError::CrossDevice);
         }
-        let mut store = self.store.write();
+        let store = &*self.store;
         match &fm.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only {
@@ -344,7 +351,7 @@ impl Vfs {
                     return Err(VfsError::PermissionDenied);
                 }
                 let mode = fm.forced_mode.unwrap_or(meta.mode);
-                u.rename(&mut store, &frel, &trel, cred.uid, mode)
+                u.rename(store, &frel, &trel, cred.uid, mode)
             }
         }
     }
@@ -358,7 +365,7 @@ impl Vfs {
         mode: OpenMode,
     ) -> VfsResult<FileHandle> {
         let (mount, rel) = ns.resolve(path)?;
-        let mut store = self.store.write();
+        let store = &*self.store;
         let host = match &mount.kind {
             MountKind::Bind { host, read_only } => {
                 if *read_only && mode == OpenMode::ReadWrite {
@@ -373,7 +380,7 @@ impl Vfs {
                     if !u.maxoid_access && !meta.mode.allows_write(meta.owner, cred.uid) {
                         return Err(VfsError::PermissionDenied);
                     }
-                    u.copy_up(&mut store, &rel)?
+                    u.copy_up(store, &rel)?
                 } else {
                     u.effective(&store, &rel).ok_or(VfsError::NotFound)?.host
                 }
@@ -399,7 +406,7 @@ impl Vfs {
 
     /// Reads via a handle, bypassing path permission checks.
     pub fn read_handle(&self, handle: FileHandle) -> VfsResult<Vec<u8>> {
-        self.store.read().read_inode(handle.inode)
+        self.store.read_inode(handle.inode)
     }
 
     /// Overwrites a file via a writable handle.
@@ -407,12 +414,12 @@ impl Vfs {
         if !handle.writable {
             return Err(VfsError::BadHandle);
         }
-        self.store.write().write_inode(handle.inode, data)
+        self.store.write_inode(handle.inode, data)
     }
 
     /// Returns metadata via a handle.
     pub fn stat_handle(&self, handle: FileHandle) -> VfsResult<Metadata> {
-        self.store.read().stat_inode(handle.inode)
+        self.store.stat_inode(handle.inode)
     }
 }
 

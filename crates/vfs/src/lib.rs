@@ -43,6 +43,7 @@ pub use fs::{FileHandle, OpenMode, Vfs};
 pub use mount::{Mount, MountKind, MountNamespace};
 pub use path::{vpath, VPath};
 pub use store::{
-    DirEntry, FileData, InodeId, Metadata, Store, StoreStats, DEFAULT_SPILL_THRESHOLD,
+    shard_of, shard_of_path, DirEntry, FileData, InodeId, Metadata, Store, StoreStats,
+    DEFAULT_SPILL_THRESHOLD, STORE_SHARDS, VIS_SHARDS,
 };
 pub use union::{Branch, CopyUpGranularity, Located, Union, APPEND_DELTA_PREFIX, WHITEOUT_PREFIX};

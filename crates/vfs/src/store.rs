@@ -1,10 +1,50 @@
-//! The backing store: a single in-memory inode tree playing the role of the
-//! device's flash storage.
+//! The backing store: a sharded in-memory inode tree playing the role of
+//! the device's flash storage.
 //!
 //! The store knows nothing about mounts, namespaces, or union views — it is
 //! the "raw disk" that branches and bind mounts reference by *host path*.
 //! All higher-level policy (Maxoid views, permissions at the app-facing
 //! layer) is built on top in [`crate::union`] and [`crate::fs`].
+//!
+//! # Sharding
+//!
+//! The inode table is split into [`STORE_SHARDS`] shards, each behind its
+//! own `RwLock`, so file operations on different tenants' branch trees
+//! proceed without contending on one global store lock. An inode id maps to
+//! its shard by `id % STORE_SHARDS`; the slot within the shard is
+//! `id / STORE_SHARDS`. Every method takes `&self` — interior mutability
+//! replaced the old `&mut Store` facade.
+//!
+//! **Deterministic allocation.** Journal replay addresses inodes by id
+//! (`WriteInode` records), so a replayed store must reproduce the exact ids
+//! the live store handed out. Creations therefore allocate in the shard
+//! chosen by a *hash of the full path being created* — a pure function of
+//! the operation, not of thread timing — and each shard's free list is
+//! LIFO. Because the journal record is emitted while the operation still
+//! holds its shard write guards, the journal's per-shard record order
+//! equals the per-shard allocation order, and sequential replay reproduces
+//! identical ids.
+//!
+//! **Lock protocol.** Multi-shard operations (create, unlink, rename,
+//! copy-up targets) resolve their paths optimistically under transient
+//! per-step read locks, compute the involved shard set, then acquire the
+//! write guards in ascending shard order ([`Store::lock_shards`]). Under
+//! the guards the operation re-validates what it resolved (parent still a
+//! live directory, entry still maps to the expected id); on mismatch it
+//! drops the guards and retries. No lock is ever acquired after the shard
+//! set is taken, which is what makes the ascending order deadlock-free.
+//!
+//! **Sharded visibility generations.** Union resolution caches used to
+//! validate against one global generation counter, which a sharded store
+//! would turn into a false-sharing hot spot — and a single counter
+//! invalidates *every* tenant's cache on *any* namespace change. Instead
+//! the store keeps [`VIS_SHARDS`] generation counters keyed by a hash of
+//! the first [`VIS_PREFIX_COMPONENTS`] path components. A namespace
+//! mutation at `p` bumps the counters for each prefix of `p` up to that
+//! depth; a union branch rooted at host `h` validates against the single
+//! counter for `h`'s prefix ([`Store::vis_branch_shard`] +
+//! [`Store::vis_stamp`]). The one operation that can move a whole subtree
+//! *across* prefixes — renaming a directory — bumps every counter.
 
 use crate::cred::{Mode, Uid};
 use crate::error::{VfsError, VfsResult};
@@ -12,12 +52,57 @@ use crate::path::VPath;
 use maxoid_block::{BlockDevice, CacheStats, ExtentAllocator, PageCache};
 use maxoid_journal::codec::{ByteReader, ByteWriter};
 use maxoid_journal::{Record, SinkRef, VfsRecord};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of inode-table shards. A power of two so `id % STORE_SHARDS`
+/// compiles to a mask; 16 keeps per-shard contention negligible for the
+/// fleet sizes the `fleet` bench drives while the all-shard operations
+/// (snapshots, restores) stay cheap.
+pub const STORE_SHARDS: usize = 16;
+
+/// Number of namespace-visibility generation counters.
+pub const VIS_SHARDS: usize = 64;
+
+/// Path-prefix depth the visibility counters are keyed on. Union branch
+/// hosts in this system live at depths 2–5; the deepest per-tenant
+/// discriminator sits at component 4 (`/backing/ext/apps/<init>/tmp`,
+/// `/backing/npriv/<init>/<pkg>`), so four components is the shallowest
+/// keying at which distinct tenants' branches map to distinct counters —
+/// at three, every tenant's external branches collapse onto the one
+/// `backing/ext/apps` counter and any tenant's volatile write
+/// invalidates the whole fleet's resolution caches.
+pub const VIS_PREFIX_COMPONENTS: usize = 4;
 
 /// Identifier of an inode within the store.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct InodeId(pub u64);
+
+/// The shard an inode id lives in.
+pub fn shard_of(id: InodeId) -> usize {
+    (id.0 as usize) % STORE_SHARDS
+}
+
+/// The slot index of an inode id within its shard.
+fn local_of(id: InodeId) -> usize {
+    (id.0 / STORE_SHARDS as u64) as usize
+}
+
+/// Reassembles a global inode id from (shard, local slot).
+fn global_id(shard: usize, local: usize) -> InodeId {
+    InodeId((local * STORE_SHARDS + shard) as u64)
+}
+
+fn djb2(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(5381u64, |h, &b| h.wrapping_mul(33) ^ b as u64)
+}
+
+/// The shard a *creation at this path* allocates its inode in. A pure
+/// function of the path so journal replay allocates identically.
+pub fn shard_of_path(path: &VPath) -> usize {
+    (djb2(path.as_str().as_bytes()) % STORE_SHARDS as u64) as usize
+}
 
 /// Metadata common to files and directories.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -130,11 +215,10 @@ pub struct DirEntry {
 /// The block-device tier behind a paged store: a page cache plus a simple
 /// sector allocator (free list + high-water mark).
 ///
-/// Lives behind a [`Mutex`] *inside* the store because content reads come
-/// through `&Store` (the `Vfs` facade holds a shared `RwLock` read guard)
+/// Lives behind a [`Mutex`] because content reads come through `&Store`
 /// while faulting a page in needs `&mut` access to the cache. The mutex is
-/// a leaf in the global lock order: it is only taken while the store lock
-/// is already held, and nothing else is acquired under it.
+/// a leaf in the global lock order: it is only taken while a shard lock is
+/// already held, and nothing else is acquired under it.
 struct PagedBacking {
     cache: PageCache,
     /// Sector allocator: free runs kept sorted and coalesced, so a spill
@@ -221,31 +305,154 @@ fn fd_free(paged: &Option<Mutex<PagedBacking>>, data: &FileData) {
     }
 }
 
-/// The in-memory backing store.
+/// One shard of the inode table: the slots whose global ids are congruent
+/// to this shard's index, a LIFO free list of those ids, and the dirty set
+/// incremental checkpoints drain.
+struct Shard {
+    /// Slot `l` holds the inode with global id `l * STORE_SHARDS + idx`.
+    slots: Vec<Option<Inode>>,
+    /// Freed ids available for reuse, LIFO (global ids, all in this shard).
+    free: Vec<InodeId>,
+    /// Global ids mutated since the last [`Store::take_dirty_image`].
+    /// Deallocated slots stay in the set (the delta must record the
+    /// tombstone).
+    dirty: BTreeSet<u64>,
+}
+
+impl Shard {
+    fn empty() -> Self {
+        Shard { slots: Vec::new(), free: Vec::new(), dirty: BTreeSet::new() }
+    }
+
+    fn get(&self, id: InodeId) -> Option<&Inode> {
+        self.slots.get(local_of(id)).and_then(|s| s.as_ref())
+    }
+
+    fn get_mut(&mut self, id: InodeId) -> Option<&mut Inode> {
+        self.slots.get_mut(local_of(id)).and_then(|s| s.as_mut())
+    }
+
+    fn alloc(&mut self, idx: usize, inode: Inode) -> InodeId {
+        let id = if let Some(id) = self.free.pop() {
+            self.slots[local_of(id)] = Some(inode);
+            id
+        } else {
+            let id = global_id(idx, self.slots.len());
+            self.slots.push(Some(inode));
+            id
+        };
+        self.dirty.insert(id.0);
+        id
+    }
+
+    fn dealloc(&mut self, paged: &Option<Mutex<PagedBacking>>, id: InodeId) {
+        if let Some(slot) = self.slots.get_mut(local_of(id)) {
+            if let Some(Inode::File { data, .. }) = slot.take() {
+                fd_free(paged, &data);
+            }
+            self.free.push(id);
+            self.dirty.insert(id.0);
+        }
+    }
+}
+
+/// Write guards over the shard set one multi-shard operation touches,
+/// acquired in ascending shard order by [`Store::lock_shards`]. All inode
+/// access during the mutation goes through this, which statically rules
+/// out touching a shard the operation did not declare.
+struct Locked<'a> {
+    guards: Vec<(usize, RwLockWriteGuard<'a, Shard>)>,
+}
+
+impl Locked<'_> {
+    fn shard(&self, idx: usize) -> &Shard {
+        &self.guards.iter().find(|(i, _)| *i == idx).expect("shard not in lock set").1
+    }
+
+    fn shard_mut(&mut self, idx: usize) -> &mut Shard {
+        &mut self.guards.iter_mut().find(|(i, _)| *i == idx).expect("shard not in lock set").1
+    }
+
+    fn get(&self, id: InodeId) -> VfsResult<&Inode> {
+        self.shard(shard_of(id)).get(id).ok_or(VfsError::NotFound)
+    }
+
+    fn get_mut(&mut self, id: InodeId) -> VfsResult<&mut Inode> {
+        self.shard_mut(shard_of(id)).get_mut(id).ok_or(VfsError::NotFound)
+    }
+
+    fn alloc_in(&mut self, idx: usize, inode: Inode) -> InodeId {
+        self.shard_mut(idx).alloc(idx, inode)
+    }
+
+    fn dealloc(&mut self, paged: &Option<Mutex<PagedBacking>>, id: InodeId) {
+        self.shard_mut(shard_of(id)).dealloc(paged, id);
+    }
+
+    fn touch(&mut self, id: InodeId) {
+        self.shard_mut(shard_of(id)).dirty.insert(id.0);
+    }
+
+    /// Looks up `name` under a parent that must be a live directory.
+    /// `Err(NotFound)` means the parent vanished (caller retries);
+    /// `Err(NotADirectory)` means it is a file.
+    fn entry(&self, parent: InodeId, name: &str) -> VfsResult<Option<InodeId>> {
+        match self.get(parent)? {
+            Inode::Dir { entries, .. } => Ok(entries.get(name).copied()),
+            Inode::File { .. } => Err(VfsError::NotADirectory),
+        }
+    }
+
+    /// Inserts (or replaces) `name -> child` in a parent directory and
+    /// stamps the parent's mtime. The parent must be a live directory.
+    fn link(&mut self, parent: InodeId, name: String, child: InodeId, mtime: u64) {
+        match self.get_mut(parent).expect("parent validated before link") {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.insert(name, child);
+                *pm = mtime;
+            }
+            Inode::File { .. } => unreachable!("parent validated to be a directory"),
+        }
+        self.touch(parent);
+    }
+
+    /// Removes `name` from a parent directory and stamps its mtime.
+    fn unlink_entry(&mut self, parent: InodeId, name: &str, mtime: u64) {
+        match self.get_mut(parent).expect("parent validated before unlink") {
+            Inode::Dir { entries, mtime: pm, .. } => {
+                entries.remove(name);
+                *pm = mtime;
+            }
+            Inode::File { .. } => unreachable!("parent validated to be a directory"),
+        }
+        self.touch(parent);
+    }
+}
+
+/// The in-memory backing store, sharded for concurrent access.
 ///
 /// Host paths are plain [`VPath`]s resolved from the store root; the store
 /// performs **no permission checks** — it is below the layer where Android
 /// UIDs matter. Callers that need checks use [`crate::fs::Vfs`].
 pub struct Store {
-    inodes: Vec<Option<Inode>>,
-    free: Vec<InodeId>,
-    root: InodeId,
-    clock: u64,
+    shards: Vec<RwLock<Shard>>,
+    /// Root inode id (always 0 in practice; atomic only so image restore
+    /// can adopt the image's value through `&self`).
+    root: AtomicU64,
+    /// Logical store-wide clock.
+    clock: AtomicU64,
     /// Optional journal sink; when attached, every successful leaf
-    /// mutation emits a physical [`VfsRecord`].
-    journal: Option<SinkRef>,
-    /// Namespace-visibility generation: advanced by every mutation that
-    /// can change *which* paths exist (create, unlink, rmdir, rename,
-    /// image restore) but not by content-only writes or appends. Union
-    /// path-resolution caches validate against it, so appends to an
-    /// already-copied-up file stay cache hits while a copy-up, whiteout
-    /// or rename invalidates stale resolutions immediately.
-    visibility_gen: u64,
-    /// Inode slots mutated since the last [`Store::take_dirty_image`] —
-    /// the working set an incremental checkpoint serializes instead of the
-    /// whole inode table. Deallocated slots stay in the set (the delta
-    /// must record the tombstone).
-    dirty: BTreeSet<u64>,
+    /// mutation emits a physical [`VfsRecord`]. Behind its own `RwLock`
+    /// (taken *after* shard guards, before the sink) so attach/detach work
+    /// through `&self`.
+    journal: RwLock<Option<SinkRef>>,
+    /// Namespace-visibility generations, sharded by path prefix: advanced
+    /// by every mutation that can change *which* paths exist (create,
+    /// unlink, rmdir, rename, image restore) but not by content-only
+    /// writes or appends. Union path-resolution caches validate against
+    /// the counters for their branch hosts' prefixes, so one tenant's
+    /// namespace changes no longer invalidate every other tenant's cache.
+    vis: Vec<AtomicU64>,
     /// Optional block-device tier for large file payloads. See
     /// [`PagedBacking`] for why it sits behind its own (leaf) mutex.
     paged: Option<Mutex<PagedBacking>>,
@@ -257,9 +464,9 @@ pub struct Store {
 impl std::fmt::Debug for Store {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Store")
-            .field("inodes", &self.inodes.len())
-            .field("free", &self.free.len())
-            .field("clock", &self.clock)
+            .field("shards", &self.shards.len())
+            .field("inodes", &self.inode_count())
+            .field("clock", &self.clock.load(Ordering::Relaxed))
             .field("paged", &self.paged.is_some())
             .field("spill_threshold", &self.spill_threshold)
             .finish()
@@ -279,16 +486,24 @@ pub const DEFAULT_SPILL_THRESHOLD: usize = 1024;
 impl Store {
     /// Creates a store containing only an empty root directory.
     pub fn new() -> Self {
-        let root =
-            Inode::Dir { entries: BTreeMap::new(), owner: Uid::ROOT, mode: Mode::PUBLIC, mtime: 0 };
+        let shards: Vec<RwLock<Shard>> =
+            (0..STORE_SHARDS).map(|_| RwLock::new(Shard::empty())).collect();
+        {
+            let mut s0 = shards[0].write();
+            s0.slots.push(Some(Inode::Dir {
+                entries: BTreeMap::new(),
+                owner: Uid::ROOT,
+                mode: Mode::PUBLIC,
+                mtime: 0,
+            }));
+            s0.dirty.insert(0);
+        }
         Store {
-            inodes: vec![Some(root)],
-            free: Vec::new(),
-            root: InodeId(0),
-            clock: 0,
-            journal: None,
-            visibility_gen: 0,
-            dirty: BTreeSet::from([0]),
+            shards,
+            root: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
+            journal: RwLock::new(None),
+            vis: (0..VIS_SHARDS).map(|_| AtomicU64::new(0)).collect(),
             paged: None,
             spill_threshold: usize::MAX,
         }
@@ -314,16 +529,19 @@ impl Store {
     /// attached. The mirror of `db.stats` for the storage tier.
     pub fn stats(&self) -> StoreStats {
         let mut st = StoreStats::default();
-        for slot in self.inodes.iter().flatten() {
-            if let Inode::File { data, .. } = slot {
-                match data {
-                    FileData::Resident(d) => {
-                        st.resident_files += 1;
-                        st.resident_bytes += d.len() as u64;
-                    }
-                    FileData::Paged { len, .. } => {
-                        st.spilled_files += 1;
-                        st.spilled_bytes += len;
+        for shard in &self.shards {
+            let sh = shard.read();
+            for slot in sh.slots.iter().flatten() {
+                if let Inode::File { data, .. } = slot {
+                    match data {
+                        FileData::Resident(d) => {
+                            st.resident_files += 1;
+                            st.resident_bytes += d.len() as u64;
+                        }
+                        FileData::Paged { len, .. } => {
+                            st.spilled_files += 1;
+                            st.spilled_bytes += len;
+                        }
                     }
                 }
             }
@@ -344,94 +562,154 @@ impl Store {
         }
     }
 
-    /// Marks an inode slot as mutated since the last dirty-image take.
-    fn touch(&mut self, id: InodeId) {
-        self.dirty.insert(id.0);
+    // ----- visibility generations -----
+
+    fn vis_prefix_shard(path: &VPath, depth: usize) -> usize {
+        let mut h = 5381u64;
+        for (i, comp) in path.components().take(depth).enumerate() {
+            if i > 0 {
+                h = h.wrapping_mul(33) ^ b'/' as u64;
+            }
+            for &b in comp.as_bytes() {
+                h = h.wrapping_mul(33) ^ b as u64;
+            }
+        }
+        (h % VIS_SHARDS as u64) as usize
     }
 
-    /// The current namespace-visibility generation (see the field docs).
+    /// The visibility counter a union branch rooted at `host` should
+    /// validate against, or `None` for a root-level host (which must fall
+    /// back to stamping every counter).
+    pub fn vis_branch_shard(host: &VPath) -> Option<usize> {
+        let n = host.components().count();
+        if n == 0 {
+            return None;
+        }
+        Some(Self::vis_prefix_shard(host, n.min(VIS_PREFIX_COMPONENTS)))
+    }
+
+    /// Sums the named visibility counters into one validation stamp.
+    pub fn vis_stamp(&self, shards: &[usize]) -> u64 {
+        shards.iter().map(|&i| self.vis[i].load(Ordering::Acquire)).fold(0u64, u64::wrapping_add)
+    }
+
+    /// Bumps the counters covering every branch whose host is a prefix of
+    /// `path` (or contains it): each prefix of `path` up to
+    /// [`VIS_PREFIX_COMPONENTS`] components. A branch host deeper than
+    /// that is keyed on its first `VIS_PREFIX_COMPONENTS` components, so
+    /// the deepest bump covers it too.
+    fn bump_path(&self, path: &VPath) {
+        let n = path.components().count();
+        if n == 0 {
+            return self.bump_all();
+        }
+        for depth in 1..=n.min(VIS_PREFIX_COMPONENTS) {
+            self.vis[Self::vis_prefix_shard(path, depth)].fetch_add(1, Ordering::Release);
+        }
+    }
+
+    fn bump_all(&self) {
+        for v in &self.vis {
+            v.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// The current global visibility generation: the wrapping sum of every
+    /// per-prefix counter. Changes whenever *any* namespace-visible
+    /// mutation lands; kept for callers that do not track a branch set.
     pub fn visibility_gen(&self) -> u64 {
-        self.visibility_gen
+        self.vis.iter().map(|v| v.load(Ordering::Acquire)).fold(0u64, u64::wrapping_add)
     }
 
-    /// Explicitly advances the visibility generation, invalidating every
+    /// Explicitly advances every visibility counter, invalidating every
     /// union resolution cache validated against this store. The leaf
-    /// mutations below bump it automatically; this hook exists for
-    /// coarse-grained events (volatile commit/clear) that want a
-    /// belt-and-braces invalidation on top.
-    pub fn bump_visibility(&mut self) {
-        self.visibility_gen = self.visibility_gen.wrapping_add(1);
+    /// mutations below bump their path prefixes automatically; this hook
+    /// exists for coarse-grained events (volatile commit/clear) that want
+    /// a belt-and-braces invalidation on top.
+    pub fn bump_visibility(&self) {
+        self.bump_all();
     }
+
+    /// Advances only the visibility counters covering `path` (every
+    /// prefix up to [`VIS_PREFIX_COMPONENTS`] components): the targeted
+    /// form of [`Store::bump_visibility`] for coarse events whose blast
+    /// radius is one subtree — unions whose branch hosts share no prefix
+    /// with `path` keep their resolution caches.
+    pub fn bump_visibility_under(&self, path: &VPath) {
+        self.bump_path(path);
+    }
+
+    // ----- journal plumbing -----
 
     /// Attaches a journal sink; subsequent successful mutations are logged.
-    pub fn set_journal(&mut self, sink: SinkRef) {
-        self.journal = Some(sink);
+    pub fn set_journal(&self, sink: SinkRef) {
+        *self.journal.write() = Some(sink);
     }
 
     /// Detaches the journal sink, returning it if one was attached.
-    pub fn take_journal(&mut self) -> Option<SinkRef> {
-        self.journal.take()
+    pub fn take_journal(&self) -> Option<SinkRef> {
+        self.journal.write().take()
+    }
+
+    fn journaled(&self) -> bool {
+        self.journal.read().is_some()
     }
 
     fn emit(&self, rec: VfsRecord) {
-        if let Some(j) = &self.journal {
+        if let Some(j) = &*self.journal.read() {
             j.emit(Record::Vfs(rec));
         }
     }
 
     /// Returns the root inode id.
     pub fn root(&self) -> InodeId {
-        self.root
+        InodeId(self.root.load(Ordering::Relaxed))
     }
 
     /// Advances and returns the logical clock.
-    pub fn tick(&mut self) -> u64 {
-        self.clock += 1;
-        self.clock
+    pub fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     /// Returns the current logical clock without advancing it.
     pub fn now(&self) -> u64 {
-        self.clock
+        self.clock.load(Ordering::Relaxed)
     }
 
-    fn get(&self, id: InodeId) -> VfsResult<&Inode> {
-        self.inodes.get(id.0 as usize).and_then(|slot| slot.as_ref()).ok_or(VfsError::NotFound)
+    // ----- locking -----
+
+    /// Acquires write guards for the given shard set in ascending index
+    /// order (sorted + deduped), the store's only multi-shard lock path.
+    fn lock_shards(&self, mut idxs: Vec<usize>) -> Locked<'_> {
+        idxs.sort_unstable();
+        idxs.dedup();
+        Locked { guards: idxs.into_iter().map(|i| (i, self.shards[i].write())).collect() }
     }
 
-    fn get_mut(&mut self, id: InodeId) -> VfsResult<&mut Inode> {
-        self.inodes.get_mut(id.0 as usize).and_then(|slot| slot.as_mut()).ok_or(VfsError::NotFound)
+    fn note_retry(&self) {
+        maxoid_obs::counter_add("vfs.store.lock_retries", 1);
     }
 
-    fn alloc(&mut self, inode: Inode) -> InodeId {
-        if let Some(id) = self.free.pop() {
-            self.inodes[id.0 as usize] = Some(inode);
-            id
-        } else {
-            let id = InodeId(self.inodes.len() as u64);
-            self.inodes.push(Some(inode));
-            id
-        }
+    /// Runs `f` over a live inode under its shard's read lock.
+    fn with_inode<R>(&self, id: InodeId, f: impl FnOnce(&Inode) -> R) -> VfsResult<R> {
+        let sh = self.shards[shard_of(id)].read();
+        sh.get(id).map(f).ok_or(VfsError::NotFound)
     }
 
-    fn dealloc(&mut self, id: InodeId) {
-        if let Some(slot) = self.inodes.get_mut(id.0 as usize) {
-            if let Some(Inode::File { data, .. }) = slot.take() {
-                fd_free(&self.paged, &data);
-            }
-            self.free.push(id);
-        }
-    }
+    // ----- reads -----
 
-    /// Resolves a host path to an inode id.
+    /// Resolves a host path to an inode id, taking each step's shard read
+    /// lock transiently (never two at once).
     pub fn resolve(&self, path: &VPath) -> VfsResult<InodeId> {
-        let mut cur = self.root;
+        let mut cur = self.root();
         for comp in path.components() {
-            match self.get(cur)? {
-                Inode::Dir { entries, .. } => {
+            let sh = self.shards[shard_of(cur)].read();
+            match sh.get(cur) {
+                None => return Err(VfsError::NotFound),
+                Some(Inode::Dir { entries, .. }) => {
                     cur = *entries.get(comp).ok_or(VfsError::NotFound)?;
                 }
-                Inode::File { .. } => return Err(VfsError::NotADirectory),
+                Some(Inode::File { .. }) => return Err(VfsError::NotADirectory),
             }
         }
         Ok(cur)
@@ -445,12 +723,12 @@ impl Store {
     /// Returns metadata for a host path.
     pub fn stat(&self, path: &VPath) -> VfsResult<Metadata> {
         let id = self.resolve(path)?;
-        Ok(self.get(id)?.meta())
+        self.with_inode(id, |ino| ino.meta())
     }
 
     /// Returns metadata for an inode id (used by open file handles).
     pub fn stat_inode(&self, id: InodeId) -> VfsResult<Metadata> {
-        Ok(self.get(id)?.meta())
+        self.with_inode(id, |ino| ino.meta())
     }
 
     /// Reads the full contents of a file.
@@ -460,58 +738,97 @@ impl Store {
     }
 
     /// Reads a file by inode id, materializing spilled content through the
-    /// page cache.
+    /// page cache (under the inode's shard read lock, so the sectors
+    /// cannot be freed out from under the load).
     pub fn read_inode(&self, id: InodeId) -> VfsResult<Vec<u8>> {
-        match self.get(id)? {
+        self.with_inode(id, |ino| match ino {
             Inode::File { data, .. } => Ok(fd_load(&self.paged, data)),
             Inode::Dir { .. } => Err(VfsError::IsADirectory),
-        }
+        })?
     }
 
+    /// Lists a directory's entries in name order. Children are stat'ed
+    /// with brief per-child locks after the directory lock is dropped;
+    /// entries unlinked mid-listing are skipped rather than erroring.
+    pub fn read_dir(&self, path: &VPath) -> VfsResult<Vec<DirEntry>> {
+        let id = self.resolve(path)?;
+        let entries: Vec<(String, InodeId)> = self.with_inode(id, |ino| match ino {
+            Inode::Dir { entries, .. } => {
+                Ok(entries.iter().map(|(n, i)| (n.clone(), *i)).collect())
+            }
+            Inode::File { .. } => Err(VfsError::NotADirectory),
+        })??;
+        let mut out = Vec::with_capacity(entries.len());
+        for (name, child) in entries {
+            if let Ok(is_dir) = self.with_inode(child, |ino| ino.meta().is_dir) {
+                out.push(DirEntry { name, is_dir });
+            }
+        }
+        Ok(out)
+    }
+
+    // ----- mutations -----
+
     /// Creates a directory; parent must exist.
-    pub fn mkdir(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<InodeId> {
+    pub fn mkdir(&self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<InodeId> {
         let parent_path = path.parent().ok_or(VfsError::AlreadyExists)?;
         let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
-        let parent = self.resolve(&parent_path)?;
-        let mtime = self.tick();
-        let existing = match self.get(parent)? {
-            Inode::Dir { entries, .. } => entries.get(&name).copied(),
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
-        };
-        if existing.is_some() {
-            return Err(VfsError::AlreadyExists);
-        }
-        let child = self.alloc(Inode::Dir { entries: BTreeMap::new(), owner, mode, mtime });
-        match self.get_mut(parent)? {
-            Inode::Dir { entries, mtime: pm, .. } => {
-                entries.insert(name, child);
-                *pm = mtime;
+        let alloc_shard = shard_of_path(path);
+        loop {
+            let parent = self.resolve(&parent_path)?;
+            let mut locked = self.lock_shards(vec![shard_of(parent), alloc_shard]);
+            let existing = match locked.entry(parent, &name) {
+                Ok(e) => e,
+                Err(VfsError::NotFound) => {
+                    // Parent vanished between resolve and lock: retry.
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+                Err(e) => {
+                    self.tick();
+                    return Err(e);
+                }
+            };
+            let mtime = self.tick();
+            if existing.is_some() {
+                return Err(VfsError::AlreadyExists);
             }
-            Inode::File { .. } => unreachable!("parent checked to be a directory"),
+            let child = locked.alloc_in(
+                alloc_shard,
+                Inode::Dir { entries: BTreeMap::new(), owner, mode, mtime },
+            );
+            locked.link(parent, name, child, mtime);
+            self.bump_path(path);
+            self.emit(VfsRecord::Mkdir {
+                path: path.as_str().to_string(),
+                owner: owner.0,
+                mode: mode.to_bits(),
+            });
+            return Ok(child);
         }
-        self.touch(child);
-        self.touch(parent);
-        self.bump_visibility();
-        self.emit(VfsRecord::Mkdir {
-            path: path.as_str().to_string(),
-            owner: owner.0,
-            mode: mode.to_bits(),
-        });
-        Ok(child)
     }
 
     /// Creates all missing ancestors of `path` and `path` itself as
-    /// directories. Existing directories are left untouched.
-    pub fn mkdir_all(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
+    /// directories. Existing directories are left untouched; losing a
+    /// creation race to a concurrent `mkdir_all` of the same directory is
+    /// absorbed (the component exists either way).
+    pub fn mkdir_all(&self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
         let mut cur = VPath::root();
         for comp in path.components() {
             cur = cur.join(comp)?;
             match self.stat(&cur) {
                 Ok(meta) if meta.is_dir => {}
                 Ok(_) => return Err(VfsError::NotADirectory),
-                Err(VfsError::NotFound) => {
-                    self.mkdir(&cur, owner, mode)?;
-                }
+                Err(VfsError::NotFound) => match self.mkdir(&cur, owner, mode) {
+                    Ok(_) => {}
+                    Err(VfsError::AlreadyExists) => match self.stat(&cur) {
+                        Ok(meta) if meta.is_dir => {}
+                        Ok(_) => return Err(VfsError::NotADirectory),
+                        Err(e) => return Err(e),
+                    },
+                    Err(e) => return Err(e),
+                },
                 Err(e) => return Err(e),
             }
         }
@@ -519,131 +836,165 @@ impl Store {
     }
 
     /// Creates or truncates a file with the given contents.
-    pub fn write(
-        &mut self,
-        path: &VPath,
-        data: &[u8],
-        owner: Uid,
-        mode: Mode,
-    ) -> VfsResult<InodeId> {
+    pub fn write(&self, path: &VPath, data: &[u8], owner: Uid, mode: Mode) -> VfsResult<InodeId> {
         let parent_path = path.parent().ok_or(VfsError::IsADirectory)?;
         let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
-        let parent = self.resolve(&parent_path)?;
-        let mtime = self.tick();
-        let existing = match self.get(parent)? {
-            Inode::Dir { entries, .. } => entries.get(&name).copied(),
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
-        };
-        let journaled = self.journal.is_some();
-        let mut delta: Option<(usize, usize)> = None;
-        let id = if let Some(id) = existing {
-            match self.get(id)? {
-                Inode::File { data: d, .. } => {
-                    if journaled {
-                        let old = fd_load(&self.paged, d);
-                        delta = delta_bounds(&old, data);
+        let alloc_shard = shard_of_path(path);
+        loop {
+            let parent = self.resolve(&parent_path)?;
+            // Peek the existing entry to learn which shards the op needs.
+            let peek = match self.with_inode(parent, |ino| match ino {
+                Inode::Dir { entries, .. } => Ok(entries.get(&name).copied()),
+                Inode::File { .. } => Err(VfsError::NotADirectory),
+            }) {
+                Ok(Ok(peek)) => peek,
+                Ok(Err(e)) => {
+                    self.tick();
+                    return Err(e);
+                }
+                Err(_) => {
+                    self.note_retry();
+                    continue;
+                }
+            };
+            let mut shards = vec![shard_of(parent)];
+            match peek {
+                Some(id) => shards.push(shard_of(id)),
+                None => shards.push(alloc_shard),
+            }
+            let mut locked = self.lock_shards(shards);
+            let existing = match locked.entry(parent, &name) {
+                Ok(e) => e,
+                Err(VfsError::NotFound) => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+                Err(e) => {
+                    self.tick();
+                    return Err(e);
+                }
+            };
+            if existing != peek {
+                // The entry changed between peek and lock; the shard set
+                // may be wrong. Retry from resolution.
+                drop(locked);
+                self.note_retry();
+                continue;
+            }
+            let mtime = self.tick();
+            let journaled = self.journaled();
+            let mut delta: Option<(usize, usize)> = None;
+            let id = if let Some(id) = existing {
+                match locked.get(id)? {
+                    Inode::File { data: d, .. } => {
+                        if journaled {
+                            let old = fd_load(&self.paged, d);
+                            delta = delta_bounds(&old, data);
+                        }
                     }
+                    Inode::Dir { .. } => return Err(VfsError::IsADirectory),
                 }
-                Inode::Dir { .. } => return Err(VfsError::IsADirectory),
-            }
-            let new_fd = fd_store(&self.paged, self.spill_threshold, data);
-            let paged = &self.paged;
-            match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
-                Some(Inode::File { data: d, mtime: m, .. }) => {
-                    fd_free(paged, d);
-                    *d = new_fd;
-                    *m = mtime;
+                let new_fd = fd_store(&self.paged, self.spill_threshold, data);
+                match locked.get_mut(id)? {
+                    Inode::File { data: d, mtime: m, .. } => {
+                        fd_free(&self.paged, d);
+                        *d = new_fd;
+                        *m = mtime;
+                    }
+                    _ => unreachable!("checked to be a file above"),
                 }
-                _ => unreachable!("checked to be a file above"),
+                id
+            } else {
+                let new_fd = fd_store(&self.paged, self.spill_threshold, data);
+                let id = locked
+                    .alloc_in(alloc_shard, Inode::File { data: new_fd, owner, mode, mtime });
+                locked.link(parent, name, id, mtime);
+                // Creation (not overwrite) makes a new path visible.
+                self.bump_path(path);
+                id
+            };
+            locked.touch(id);
+            if let Some((prefix, suffix)) = delta {
+                // Overwrite sharing most bytes with the old contents: log
+                // only the changed middle. (Owner/mode are untouched by
+                // overwrite, so the delta record carries neither.)
+                self.emit(VfsRecord::WriteDelta {
+                    path: path.as_str().to_string(),
+                    prefix: prefix as u32,
+                    suffix: suffix as u32,
+                    data: data[prefix..data.len() - suffix].to_vec(),
+                });
+            } else {
+                self.emit(VfsRecord::Write {
+                    path: path.as_str().to_string(),
+                    data: data.to_vec(),
+                    owner: owner.0,
+                    mode: mode.to_bits(),
+                });
             }
-            id
-        } else {
-            let new_fd = fd_store(&self.paged, self.spill_threshold, data);
-            let id = self.alloc(Inode::File { data: new_fd, owner, mode, mtime });
-            match self.get_mut(parent)? {
-                Inode::Dir { entries, mtime: pm, .. } => {
-                    entries.insert(name, id);
-                    *pm = mtime;
-                }
-                Inode::File { .. } => unreachable!("parent checked to be a directory"),
-            }
-            self.touch(parent);
-            // Creation (not overwrite) makes a new path visible.
-            self.bump_visibility();
-            id
-        };
-        self.touch(id);
-        if let Some((prefix, suffix)) = delta {
-            // Overwrite sharing most bytes with the old contents: log only
-            // the changed middle. (Owner/mode are untouched by overwrite,
-            // so the delta record carries neither.)
-            self.emit(VfsRecord::WriteDelta {
-                path: path.as_str().to_string(),
-                prefix: prefix as u32,
-                suffix: suffix as u32,
-                data: data[prefix..data.len() - suffix].to_vec(),
-            });
-        } else {
-            self.emit(VfsRecord::Write {
-                path: path.as_str().to_string(),
-                data: data.to_vec(),
-                owner: owner.0,
-                mode: mode.to_bits(),
-            });
+            return Ok(id);
         }
-        Ok(id)
     }
 
     /// Appends bytes to an existing file. Resident files that stay under
     /// the spill threshold extend in place; anything else (already spilled,
     /// or crossing the threshold) re-stores the whole payload, which may
     /// migrate it to device pages.
-    pub fn append(&mut self, path: &VPath, data: &[u8]) -> VfsResult<()> {
-        let id = self.resolve(path)?;
-        let mtime = self.tick();
-        let in_place = match self.get(id)? {
-            Inode::File { data: FileData::Resident(d), .. } => {
-                self.paged.is_none() || d.len() + data.len() <= self.spill_threshold
+    pub fn append(&self, path: &VPath, data: &[u8]) -> VfsResult<()> {
+        loop {
+            let id = self.resolve(path)?;
+            let mut locked = self.lock_shards(vec![shard_of(id)]);
+            if locked.get(id).is_err() {
+                drop(locked);
+                self.note_retry();
+                continue;
             }
-            Inode::File { .. } => false,
-            Inode::Dir { .. } => return Err(VfsError::IsADirectory),
-        };
-        if in_place {
-            match self.get_mut(id)? {
-                Inode::File { data: FileData::Resident(d), mtime: m, .. } => {
-                    d.extend_from_slice(data);
-                    *m = mtime;
+            let mtime = self.tick();
+            let in_place = match locked.get(id)? {
+                Inode::File { data: FileData::Resident(d), .. } => {
+                    self.paged.is_none() || d.len() + data.len() <= self.spill_threshold
                 }
-                _ => unreachable!("checked resident file above"),
-            }
-        } else {
-            let mut content = match self.get(id)? {
-                Inode::File { data: d, .. } => fd_load(&self.paged, d),
-                Inode::Dir { .. } => unreachable!("checked to be a file above"),
+                Inode::File { .. } => false,
+                Inode::Dir { .. } => return Err(VfsError::IsADirectory),
             };
-            content.extend_from_slice(data);
-            let new_fd = fd_store(&self.paged, self.spill_threshold, &content);
-            let paged = &self.paged;
-            match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
-                Some(Inode::File { data: d, mtime: m, .. }) => {
-                    fd_free(paged, d);
-                    *d = new_fd;
-                    *m = mtime;
+            if in_place {
+                match locked.get_mut(id)? {
+                    Inode::File { data: FileData::Resident(d), mtime: m, .. } => {
+                        d.extend_from_slice(data);
+                        *m = mtime;
+                    }
+                    _ => unreachable!("checked resident file above"),
                 }
-                _ => unreachable!("checked to be a file above"),
+            } else {
+                let mut content = match locked.get(id)? {
+                    Inode::File { data: d, .. } => fd_load(&self.paged, d),
+                    Inode::Dir { .. } => unreachable!("checked to be a file above"),
+                };
+                content.extend_from_slice(data);
+                let new_fd = fd_store(&self.paged, self.spill_threshold, &content);
+                match locked.get_mut(id)? {
+                    Inode::File { data: d, mtime: m, .. } => {
+                        fd_free(&self.paged, d);
+                        *d = new_fd;
+                        *m = mtime;
+                    }
+                    _ => unreachable!("checked to be a file above"),
+                }
             }
+            locked.touch(id);
+            self.emit(VfsRecord::Append { path: path.as_str().to_string(), data: data.to_vec() });
+            return Ok(());
         }
-        self.touch(id);
-        self.emit(VfsRecord::Append { path: path.as_str().to_string(), data: data.to_vec() });
-        Ok(())
     }
 
     /// Overwrites a file's contents by inode id (used by file handles).
-    pub fn write_inode(&mut self, id: InodeId, data: &[u8]) -> VfsResult<()> {
-        let journaled = self.journal.is_some();
+    pub fn write_inode(&self, id: InodeId, data: &[u8]) -> VfsResult<()> {
+        let journaled = self.journaled();
         let mut delta: Option<(usize, usize)> = None;
+        let mut locked = self.lock_shards(vec![shard_of(id)]);
         let mtime = self.tick();
-        match self.get(id)? {
+        match locked.get(id)? {
             Inode::File { data: d, .. } => {
                 if journaled {
                     let old = fd_load(&self.paged, d);
@@ -653,16 +1004,15 @@ impl Store {
             Inode::Dir { .. } => return Err(VfsError::IsADirectory),
         }
         let new_fd = fd_store(&self.paged, self.spill_threshold, data);
-        let paged = &self.paged;
-        match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
-            Some(Inode::File { data: d, mtime: m, .. }) => {
-                fd_free(paged, d);
+        match locked.get_mut(id)? {
+            Inode::File { data: d, mtime: m, .. } => {
+                fd_free(&self.paged, d);
                 *d = new_fd;
                 *m = mtime;
             }
             _ => unreachable!("checked to be a file above"),
         }
-        self.touch(id);
+        locked.touch(id);
         if let Some((prefix, suffix)) = delta {
             self.emit(VfsRecord::WriteInodeDelta {
                 inode: id.0,
@@ -677,70 +1027,100 @@ impl Store {
     }
 
     /// Removes a file.
-    pub fn unlink(&mut self, path: &VPath) -> VfsResult<()> {
+    pub fn unlink(&self, path: &VPath) -> VfsResult<()> {
         let parent_path = path.parent().ok_or(VfsError::IsADirectory)?;
         let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
-        let parent = self.resolve(&parent_path)?;
-        let child = self.resolve(path)?;
-        if self.get(child)?.meta().is_dir {
-            return Err(VfsError::IsADirectory);
-        }
-        let mtime = self.tick();
-        match self.get_mut(parent)? {
-            Inode::Dir { entries, mtime: pm, .. } => {
-                entries.remove(&name);
-                *pm = mtime;
+        loop {
+            let parent = self.resolve(&parent_path)?;
+            let child = self.resolve(path)?;
+            let mut locked = self.lock_shards(vec![shard_of(parent), shard_of(child)]);
+            match locked.get(child) {
+                Err(_) => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+                Ok(ino) if ino.meta().is_dir => return Err(VfsError::IsADirectory),
+                Ok(_) => {}
             }
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
+            match locked.entry(parent, &name) {
+                Ok(Some(id)) if id == child => {}
+                Err(VfsError::NotADirectory) => {
+                    self.tick();
+                    return Err(VfsError::NotADirectory);
+                }
+                _ => {
+                    // Parent vanished or the entry moved on: retry.
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+            }
+            let mtime = self.tick();
+            locked.unlink_entry(parent, &name, mtime);
+            locked.dealloc(&self.paged, child);
+            self.bump_path(path);
+            self.emit(VfsRecord::Unlink { path: path.as_str().to_string() });
+            return Ok(());
         }
-        self.dealloc(child);
-        self.touch(parent);
-        self.touch(child);
-        self.bump_visibility();
-        self.emit(VfsRecord::Unlink { path: path.as_str().to_string() });
-        Ok(())
     }
 
     /// Removes an empty directory.
-    pub fn rmdir(&mut self, path: &VPath) -> VfsResult<()> {
+    pub fn rmdir(&self, path: &VPath) -> VfsResult<()> {
         let parent_path = path.parent().ok_or(VfsError::InvalidArgument)?;
         let name = path.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
-        let child = self.resolve(path)?;
-        match self.get(child)? {
-            Inode::Dir { entries, .. } if entries.is_empty() => {}
-            Inode::Dir { .. } => return Err(VfsError::NotEmpty),
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
-        }
-        let parent = self.resolve(&parent_path)?;
-        let mtime = self.tick();
-        match self.get_mut(parent)? {
-            Inode::Dir { entries, mtime: pm, .. } => {
-                entries.remove(&name);
-                *pm = mtime;
+        loop {
+            let child = self.resolve(path)?;
+            let parent = self.resolve(&parent_path)?;
+            let mut locked = self.lock_shards(vec![shard_of(parent), shard_of(child)]);
+            // Emptiness is re-checked under the child's shard lock: adding
+            // an entry to this directory requires that same lock, so the
+            // check cannot go stale before the removal below.
+            match locked.get(child) {
+                Err(_) => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+                Ok(Inode::Dir { entries, .. }) if entries.is_empty() => {}
+                Ok(Inode::Dir { .. }) => return Err(VfsError::NotEmpty),
+                Ok(Inode::File { .. }) => return Err(VfsError::NotADirectory),
             }
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
+            match locked.entry(parent, &name) {
+                Ok(Some(id)) if id == child => {}
+                Err(VfsError::NotADirectory) => {
+                    self.tick();
+                    return Err(VfsError::NotADirectory);
+                }
+                _ => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+            }
+            let mtime = self.tick();
+            locked.unlink_entry(parent, &name, mtime);
+            locked.dealloc(&self.paged, child);
+            self.bump_path(path);
+            self.emit(VfsRecord::Rmdir { path: path.as_str().to_string() });
+            return Ok(());
         }
-        self.dealloc(child);
-        self.touch(parent);
-        self.touch(child);
-        self.bump_visibility();
-        self.emit(VfsRecord::Rmdir { path: path.as_str().to_string() });
-        Ok(())
     }
 
-    /// Recursively removes a directory tree (or a single file).
-    pub fn remove_all(&mut self, path: &VPath) -> VfsResult<()> {
-        let id = self.resolve(path)?;
-        let is_dir = self.get(id)?.meta().is_dir;
-        if !is_dir {
+    /// Recursively removes a directory tree (or a single file). Children
+    /// unlinked by concurrent activity mid-walk are tolerated; the named
+    /// top-level path itself must exist.
+    pub fn remove_all(&self, path: &VPath) -> VfsResult<()> {
+        let meta = self.stat(path)?;
+        if !meta.is_dir {
             return self.unlink(path);
         }
-        let names: Vec<String> = match self.get(id)? {
-            Inode::Dir { entries, .. } => entries.keys().cloned().collect(),
-            Inode::File { .. } => unreachable!("checked is_dir above"),
-        };
+        let names: Vec<String> = self.read_dir(path)?.into_iter().map(|e| e.name).collect();
         for name in names {
-            self.remove_all(&path.join(&name)?)?;
+            match self.remove_all(&path.join(&name)?) {
+                Ok(()) | Err(VfsError::NotFound) => {}
+                Err(e) => return Err(e),
+            }
         }
         if path.is_root() {
             Ok(())
@@ -749,63 +1129,97 @@ impl Store {
         }
     }
 
-    /// Lists a directory's entries in name order.
-    pub fn read_dir(&self, path: &VPath) -> VfsResult<Vec<DirEntry>> {
-        let id = self.resolve(path)?;
-        match self.get(id)? {
-            Inode::Dir { entries, .. } => entries
-                .iter()
-                .map(|(name, id)| {
-                    Ok(DirEntry { name: name.clone(), is_dir: self.get(*id)?.meta().is_dir })
-                })
-                .collect(),
-            Inode::File { .. } => Err(VfsError::NotADirectory),
-        }
-    }
-
-    /// Renames a file or directory within the store.
-    pub fn rename(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+    /// Renames a file or directory within the store. Replacing an existing
+    /// file target emits the same two records (Unlink then Rename) the
+    /// pre-sharded store produced, so replay formats are unchanged.
+    pub fn rename(&self, from: &VPath, to: &VPath) -> VfsResult<()> {
         if to.starts_with(from) && from != to {
             return Err(VfsError::InvalidArgument);
         }
-        let from_parent = self.resolve(&from.parent().ok_or(VfsError::InvalidArgument)?)?;
-        let to_parent = self.resolve(&to.parent().ok_or(VfsError::InvalidArgument)?)?;
         let from_name = from.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
         let to_name = to.file_name().ok_or(VfsError::InvalidArgument)?.to_string();
-        let moved = self.resolve(from)?;
-        if let Ok(existing) = self.resolve(to) {
-            if self.get(existing)?.meta().is_dir {
-                return Err(VfsError::IsADirectory);
+        let from_parent_path = from.parent().ok_or(VfsError::InvalidArgument)?;
+        let to_parent_path = to.parent().ok_or(VfsError::InvalidArgument)?;
+        loop {
+            let from_parent = self.resolve(&from_parent_path)?;
+            let to_parent = self.resolve(&to_parent_path)?;
+            let moved = self.resolve(from)?;
+            let replaced = self.resolve(to).ok();
+            // The moved inode's shard is in the lock set so its type (file
+            // vs directory, for the visibility bump) can be read without
+            // acquiring anything after the set is taken.
+            let mut shards =
+                vec![shard_of(from_parent), shard_of(to_parent), shard_of(moved)];
+            if let Some(r) = replaced {
+                shards.push(shard_of(r));
             }
-            self.unlink(to)?;
-        }
-        let mtime = self.tick();
-        match self.get_mut(from_parent)? {
-            Inode::Dir { entries, mtime: pm, .. } => {
-                entries.remove(&from_name);
-                *pm = mtime;
+            let mut locked = self.lock_shards(shards);
+            let moved_is_dir = match locked.get(moved) {
+                Ok(ino) => ino.meta().is_dir,
+                Err(_) => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+            };
+            match locked.entry(from_parent, &from_name) {
+                Ok(Some(id)) if id == moved => {}
+                Err(VfsError::NotADirectory) => {
+                    self.tick();
+                    return Err(VfsError::NotADirectory);
+                }
+                _ => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
             }
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
-        }
-        match self.get_mut(to_parent)? {
-            Inode::Dir { entries, mtime: pm, .. } => {
-                entries.insert(to_name, moved);
-                *pm = mtime;
+            match locked.entry(to_parent, &to_name) {
+                Ok(e) if e == replaced => {}
+                Err(VfsError::NotADirectory) => {
+                    self.tick();
+                    return Err(VfsError::NotADirectory);
+                }
+                _ => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
             }
-            Inode::File { .. } => return Err(VfsError::NotADirectory),
+            if let Some(rep) = replaced {
+                if locked.get(rep)?.meta().is_dir {
+                    return Err(VfsError::IsADirectory);
+                }
+                // Inline unlink of the replaced target: its own tick and
+                // journal record, exactly as the nested `unlink` call in
+                // the pre-sharded store produced.
+                let t = self.tick();
+                locked.unlink_entry(to_parent, &to_name, t);
+                locked.dealloc(&self.paged, rep);
+                self.emit(VfsRecord::Unlink { path: to.as_str().to_string() });
+            }
+            let mtime = self.tick();
+            locked.unlink_entry(from_parent, &from_name, mtime);
+            locked.link(to_parent, to_name, moved, mtime);
+            if moved_is_dir {
+                // A directory rename moves a whole subtree across path
+                // prefixes; prefix-keyed bumps cannot cover branches
+                // rooted below the old location, so invalidate globally.
+                self.bump_all();
+            } else {
+                self.bump_path(from);
+                self.bump_path(to);
+            }
+            self.emit(VfsRecord::Rename {
+                from: from.as_str().to_string(),
+                to: to.as_str().to_string(),
+            });
+            return Ok(());
         }
-        self.touch(from_parent);
-        self.touch(to_parent);
-        self.bump_visibility();
-        self.emit(VfsRecord::Rename {
-            from: from.as_str().to_string(),
-            to: to.as_str().to_string(),
-        });
-        Ok(())
     }
 
     /// Copies a single file, preserving owner and mode.
-    pub fn copy_file(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+    pub fn copy_file(&self, from: &VPath, to: &VPath) -> VfsResult<()> {
         let meta = self.stat(from)?;
         if meta.is_dir {
             return Err(VfsError::IsADirectory);
@@ -816,7 +1230,7 @@ impl Store {
     }
 
     /// Recursively copies a tree, creating `to` and all descendants.
-    pub fn copy_all(&mut self, from: &VPath, to: &VPath) -> VfsResult<()> {
+    pub fn copy_all(&self, from: &VPath, to: &VPath) -> VfsResult<()> {
         let meta = self.stat(from)?;
         if !meta.is_dir {
             if let Some(parent) = to.parent() {
@@ -832,39 +1246,51 @@ impl Store {
     }
 
     /// Changes owner and mode of a node.
-    pub fn chown_chmod(&mut self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
-        let id = self.resolve(path)?;
-        match self.get_mut(id)? {
-            Inode::File { owner: o, mode: m, .. } | Inode::Dir { owner: o, mode: m, .. } => {
-                *o = owner;
-                *m = mode;
+    pub fn chown_chmod(&self, path: &VPath, owner: Uid, mode: Mode) -> VfsResult<()> {
+        loop {
+            let id = self.resolve(path)?;
+            let mut locked = self.lock_shards(vec![shard_of(id)]);
+            match locked.get_mut(id) {
+                Err(_) => {
+                    drop(locked);
+                    self.note_retry();
+                    continue;
+                }
+                Ok(Inode::File { owner: o, mode: m, .. })
+                | Ok(Inode::Dir { owner: o, mode: m, .. }) => {
+                    *o = owner;
+                    *m = mode;
+                }
             }
+            locked.touch(id);
+            self.emit(VfsRecord::ChownChmod {
+                path: path.as_str().to_string(),
+                owner: owner.0,
+                mode: mode.to_bits(),
+            });
+            return Ok(());
         }
-        self.touch(id);
-        self.emit(VfsRecord::ChownChmod {
-            path: path.as_str().to_string(),
-            owner: owner.0,
-            mode: mode.to_bits(),
-        });
-        Ok(())
     }
 
     /// Returns the total number of live inodes (for leak tests).
     pub fn inode_count(&self) -> usize {
-        self.inodes.iter().filter(|s| s.is_some()).count()
+        self.shards.iter().map(|s| s.read().slots.iter().filter(|x| x.is_some()).count()).sum()
     }
+}
 
+impl Store {
     /// Applies a journal record during recovery by routing it through the
     /// same leaf primitives that produced it. The journal sink is detached
-    /// for the duration so replay does not re-log.
-    pub fn apply_journal_record(&mut self, rec: &VfsRecord) -> VfsResult<()> {
-        let saved = self.journal.take();
+    /// for the duration so replay does not re-log. Recovery is exclusive:
+    /// no concurrent mutators run while records are being applied.
+    pub fn apply_journal_record(&self, rec: &VfsRecord) -> VfsResult<()> {
+        let saved = self.journal.write().take();
         let res = self.apply_inner(rec);
-        self.journal = saved;
+        *self.journal.write() = saved;
         res
     }
 
-    fn apply_inner(&mut self, rec: &VfsRecord) -> VfsResult<()> {
+    fn apply_inner(&self, rec: &VfsRecord) -> VfsResult<()> {
         match rec {
             VfsRecord::Mkdir { path, owner, mode } => {
                 self.mkdir(&VPath::new(path)?, Uid(*owner), Mode::from_bits(*mode))?;
@@ -894,10 +1320,11 @@ impl Store {
     /// Replays a delta record: `new = old[..prefix] ++ mid ++
     /// old[len-suffix..]`, owner and mode untouched (an overwrite never
     /// changes them).
-    fn apply_delta(&mut self, id: InodeId, prefix: u32, suffix: u32, mid: &[u8]) -> VfsResult<()> {
+    fn apply_delta(&self, id: InodeId, prefix: u32, suffix: u32, mid: &[u8]) -> VfsResult<()> {
         let (prefix, suffix) = (prefix as usize, suffix as usize);
+        let mut locked = self.lock_shards(vec![shard_of(id)]);
         let mtime = self.tick();
-        let old = match self.get(id)? {
+        let old = match locked.get(id)? {
             Inode::File { data: d, .. } => {
                 if prefix + suffix > d.len() as usize {
                     return Err(VfsError::InvalidArgument);
@@ -911,133 +1338,179 @@ impl Store {
         new.extend_from_slice(mid);
         new.extend_from_slice(&old[old.len() - suffix..]);
         let new_fd = fd_store(&self.paged, self.spill_threshold, &new);
-        let paged = &self.paged;
-        match self.inodes.get_mut(id.0 as usize).and_then(|s| s.as_mut()) {
-            Some(Inode::File { data: d, mtime: m, .. }) => {
-                fd_free(paged, d);
+        match locked.get_mut(id)? {
+            Inode::File { data: d, mtime: m, .. } => {
+                fd_free(&self.paged, d);
                 *d = new_fd;
                 *m = mtime;
             }
             _ => unreachable!("checked to be a file above"),
         }
-        self.touch(id);
+        locked.touch(id);
         Ok(())
     }
 
-    /// Serializes the exact store image — every inode slot (including
-    /// free ones), the free list, root id, and clock — for a journal
-    /// snapshot record. Exactness matters: replayed `WriteInode` records
-    /// address inodes by id, so the image must preserve allocation state.
+    /// Serializes the exact store image — every shard's slot table
+    /// (including free slots), free list, plus root id and clock — for a
+    /// journal snapshot record. Exactness matters: replayed `WriteInode`
+    /// records address inodes by id, so the image must preserve
+    /// allocation state. All shard read guards are held for the duration,
+    /// making the image a consistent point-in-time cut.
     pub fn snapshot_image(&self) -> Vec<u8> {
+        let guards: Vec<_> = self.shards.iter().map(|s| s.read()).collect();
         let mut w = ByteWriter::new();
-        w.put_u64(self.root.0);
-        w.put_u64(self.clock);
-        w.put_u32(self.inodes.len() as u32);
-        for slot in &self.inodes {
-            write_slot(&mut w, &self.paged, slot.as_ref());
+        w.put_u64(self.root.load(Ordering::Relaxed));
+        w.put_u64(self.clock.load(Ordering::Relaxed));
+        w.put_u32(STORE_SHARDS as u32);
+        for sh in &guards {
+            w.put_u32(sh.slots.len() as u32);
+            for slot in &sh.slots {
+                write_slot(&mut w, &self.paged, slot.as_ref());
+            }
+            w.put_u32(sh.free.len() as u32);
+            for id in &sh.free {
+                w.put_u64(id.0);
+            }
         }
-        self.write_free_list(&mut w);
         w.into_bytes()
     }
 
-    fn write_free_list(&self, w: &mut ByteWriter) {
-        w.put_u32(self.free.len() as u32);
-        for id in &self.free {
-            w.put_u64(id.0);
-        }
-    }
-
-    /// Serializes an *incremental* image — root, clock, total slot count,
-    /// only the slots dirtied since the last take (id-tagged, tombstones
-    /// included), and the full free list (it is tiny and hard to diff) —
-    /// then clears the dirty set. Applying the resulting deltas in take
-    /// order on top of the base snapshot reproduces the exact store.
-    pub fn take_dirty_image(&mut self) -> Vec<u8> {
+    /// Serializes an *incremental* image — root, clock, and for each shard
+    /// with a non-empty dirty set: its slot count, the dirtied slots
+    /// (id-tagged, tombstones included) and its full free list — then
+    /// clears every dirty set. Shards without dirty slots are omitted
+    /// entirely; that is sound because alloc and dealloc always dirty the
+    /// slot they touch, so a free list can never change without its shard
+    /// appearing in the delta. Applying the resulting deltas in take order
+    /// on top of the base snapshot reproduces the exact store.
+    pub fn take_dirty_image(&self) -> Vec<u8> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         let mut w = ByteWriter::new();
-        w.put_u64(self.root.0);
-        w.put_u64(self.clock);
-        w.put_u32(self.inodes.len() as u32);
-        w.put_u32(self.dirty.len() as u32);
-        for &id in &self.dirty {
-            w.put_u64(id);
-            let slot = self.inodes.get(id as usize).and_then(|s| s.as_ref());
-            write_slot(&mut w, &self.paged, slot);
+        w.put_u64(self.root.load(Ordering::Relaxed));
+        w.put_u64(self.clock.load(Ordering::Relaxed));
+        w.put_u32(STORE_SHARDS as u32);
+        let n_dirty = guards.iter().filter(|sh| !sh.dirty.is_empty()).count();
+        w.put_u32(n_dirty as u32);
+        for (idx, sh) in guards.iter().enumerate() {
+            if sh.dirty.is_empty() {
+                continue;
+            }
+            w.put_u32(idx as u32);
+            w.put_u32(sh.slots.len() as u32);
+            w.put_u32(sh.dirty.len() as u32);
+            for &id in &sh.dirty {
+                w.put_u64(id);
+                let slot = sh.slots.get(local_of(InodeId(id))).and_then(|s| s.as_ref());
+                write_slot(&mut w, &self.paged, slot);
+            }
+            w.put_u32(sh.free.len() as u32);
+            for id in &sh.free {
+                w.put_u64(id.0);
+            }
         }
-        self.write_free_list(&mut w);
-        self.dirty.clear();
+        for sh in &mut guards {
+            sh.dirty.clear();
+        }
         w.into_bytes()
     }
 
     /// Applies a [`Store::take_dirty_image`] payload on top of the current
-    /// contents: listed slots are replaced (or tombstoned), the free list
-    /// is overwritten, root and clock adopt the delta's values. The slot
-    /// table grows as needed; it never shrinks, matching the live store.
-    pub fn apply_dirty_image(&mut self, image: &[u8]) -> VfsResult<()> {
+    /// contents: listed slots are replaced (or tombstoned), listed shards'
+    /// free lists are overwritten, root and clock adopt the delta's
+    /// values. Slot tables grow as needed; they never shrink, matching the
+    /// live store.
+    pub fn apply_dirty_image(&self, image: &[u8]) -> VfsResult<()> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         let mut r = ByteReader::new(image);
         let bad = |_| VfsError::InvalidArgument;
-        let root = InodeId(r.get_u64().map_err(bad)?);
+        let root = r.get_u64().map_err(bad)?;
         let clock = r.get_u64().map_err(bad)?;
-        let total = r.get_u32().map_err(bad)? as usize;
-        if self.inodes.len() < total {
-            self.inodes.resize(total, None);
+        if r.get_u32().map_err(bad)? as usize != STORE_SHARDS {
+            return Err(VfsError::InvalidArgument);
         }
-        let n = r.get_u32().map_err(bad)? as usize;
-        for _ in 0..n {
-            let id = r.get_u64().map_err(bad)? as usize;
-            let slot = read_slot(&mut r, &self.paged, self.spill_threshold)?;
-            if id >= self.inodes.len() {
-                self.inodes.resize(id + 1, None);
+        let n_dirty = r.get_u32().map_err(bad)? as usize;
+        for _ in 0..n_dirty {
+            let idx = r.get_u32().map_err(bad)? as usize;
+            if idx >= STORE_SHARDS {
+                return Err(VfsError::InvalidArgument);
             }
-            // Release any extents the replaced slot held.
-            if let Some(Inode::File { data, .. }) = &self.inodes[id] {
-                fd_free(&self.paged, data);
+            let slots_len = r.get_u32().map_err(bad)? as usize;
+            let dirty_len = r.get_u32().map_err(bad)? as usize;
+            let sh = &mut guards[idx];
+            if sh.slots.len() < slots_len {
+                sh.slots.resize(slots_len, None);
             }
-            self.inodes[id] = slot;
-            self.dirty.insert(id as u64);
+            for _ in 0..dirty_len {
+                let id = r.get_u64().map_err(bad)?;
+                let slot = read_slot(&mut r, &self.paged, self.spill_threshold)?;
+                let local = local_of(InodeId(id));
+                if local >= sh.slots.len() {
+                    sh.slots.resize(local + 1, None);
+                }
+                // Release any extents the replaced slot held.
+                if let Some(Inode::File { data, .. }) = &sh.slots[local] {
+                    fd_free(&self.paged, data);
+                }
+                sh.slots[local] = slot;
+                sh.dirty.insert(id);
+            }
+            let fcount = r.get_u32().map_err(bad)? as usize;
+            let mut free = Vec::with_capacity(fcount);
+            for _ in 0..fcount {
+                free.push(InodeId(r.get_u64().map_err(bad)?));
+            }
+            sh.free = free;
         }
-        let fcount = r.get_u32().map_err(bad)? as usize;
-        let mut free = Vec::with_capacity(fcount);
-        for _ in 0..fcount {
-            free.push(InodeId(r.get_u64().map_err(bad)?));
-        }
-        self.free = free;
-        self.root = root;
-        self.clock = clock;
-        self.bump_visibility();
+        self.root.store(root, Ordering::Relaxed);
+        self.clock.store(clock, Ordering::Relaxed);
+        drop(guards);
+        self.bump_all();
         Ok(())
     }
 
     /// Restores the store from a [`Store::snapshot_image`] payload,
     /// replacing all current contents. The journal sink is preserved.
-    pub fn restore_image(&mut self, image: &[u8]) -> VfsResult<()> {
+    pub fn restore_image(&self, image: &[u8]) -> VfsResult<()> {
+        let mut guards: Vec<_> = self.shards.iter().map(|s| s.write()).collect();
         let mut r = ByteReader::new(image);
         let bad = |_| VfsError::InvalidArgument;
-        let root = InodeId(r.get_u64().map_err(bad)?);
+        let root = r.get_u64().map_err(bad)?;
         let clock = r.get_u64().map_err(bad)?;
-        let n = r.get_u32().map_err(bad)? as usize;
-        let mut inodes = Vec::with_capacity(n);
-        for _ in 0..n {
-            inodes.push(read_slot(&mut r, &self.paged, self.spill_threshold)?);
+        if r.get_u32().map_err(bad)? as usize != STORE_SHARDS {
+            return Err(VfsError::InvalidArgument);
         }
-        let fcount = r.get_u32().map_err(bad)? as usize;
-        let mut free = Vec::with_capacity(fcount);
-        for _ in 0..fcount {
-            free.push(InodeId(r.get_u64().map_err(bad)?));
+        let mut parsed: Vec<Shard> = Vec::with_capacity(STORE_SHARDS);
+        for idx in 0..STORE_SHARDS {
+            let n = r.get_u32().map_err(bad)? as usize;
+            let mut slots = Vec::with_capacity(n);
+            for _ in 0..n {
+                slots.push(read_slot(&mut r, &self.paged, self.spill_threshold)?);
+            }
+            let fcount = r.get_u32().map_err(bad)? as usize;
+            let mut free = Vec::with_capacity(fcount);
+            for _ in 0..fcount {
+                free.push(InodeId(r.get_u64().map_err(bad)?));
+            }
+            // Wholesale replacement: every slot is "dirty" relative to any
+            // delta taken earlier.
+            let dirty = (0..slots.len()).map(|l| global_id(idx, l).0).collect();
+            parsed.push(Shard { slots, free, dirty });
         }
         // The old tree is being replaced wholesale: release its extents.
-        for slot in self.inodes.iter().flatten() {
-            if let Inode::File { data, .. } = slot {
-                fd_free(&self.paged, data);
+        for sh in guards.iter() {
+            for slot in sh.slots.iter().flatten() {
+                if let Inode::File { data, .. } = slot {
+                    fd_free(&self.paged, data);
+                }
             }
         }
-        self.inodes = inodes;
-        self.free = free;
-        self.root = root;
-        self.clock = clock;
-        // Wholesale replacement: every slot is "dirty" relative to any
-        // delta taken earlier, and anything resolved before is suspect.
-        self.dirty = (0..self.inodes.len() as u64).collect();
-        self.bump_visibility();
+        for (sh, new) in guards.iter_mut().zip(parsed) {
+            **sh = new;
+        }
+        self.root.store(root, Ordering::Relaxed);
+        self.clock.store(clock, Ordering::Relaxed);
+        drop(guards);
+        self.bump_all();
         Ok(())
     }
 
@@ -1047,7 +1520,7 @@ impl Store {
     /// replayed store matches on contents and metadata, not on clock.
     pub fn dump_tree(&self) -> BTreeMap<String, (bool, Vec<u8>, u32, u8)> {
         let mut out = BTreeMap::new();
-        self.dump_into(self.root, &VPath::root(), &mut out);
+        self.dump_into(self.root(), &VPath::root(), &mut out);
         out
     }
 
@@ -1057,22 +1530,35 @@ impl Store {
         path: &VPath,
         out: &mut BTreeMap<String, (bool, Vec<u8>, u32, u8)>,
     ) {
-        match self.get(id) {
-            Ok(Inode::File { data, owner, mode, .. }) => {
-                out.insert(
-                    path.as_str().to_string(),
-                    (false, fd_load(&self.paged, data), owner.0, mode.to_bits()),
-                );
+        enum Node {
+            File(Vec<u8>, u32, u8),
+            Dir(Vec<(String, InodeId)>, u32, u8),
+        }
+        let node = match self.with_inode(id, |ino| match ino {
+            Inode::File { data, owner, mode, .. } => {
+                Node::File(fd_load(&self.paged, data), owner.0, mode.to_bits())
             }
-            Ok(Inode::Dir { entries, owner, mode, .. }) => {
-                out.insert(path.as_str().to_string(), (true, Vec::new(), owner.0, mode.to_bits()));
-                for (name, child) in entries {
-                    if let Ok(p) = path.join(name) {
-                        self.dump_into(*child, &p, out);
+            Inode::Dir { entries, owner, mode, .. } => Node::Dir(
+                entries.iter().map(|(n, i)| (n.clone(), *i)).collect(),
+                owner.0,
+                mode.to_bits(),
+            ),
+        }) {
+            Ok(n) => n,
+            Err(_) => return,
+        };
+        match node {
+            Node::File(data, owner, mode) => {
+                out.insert(path.as_str().to_string(), (false, data, owner, mode));
+            }
+            Node::Dir(children, owner, mode) => {
+                out.insert(path.as_str().to_string(), (true, Vec::new(), owner, mode));
+                for (name, child) in children {
+                    if let Ok(p) = path.join(&name) {
+                        self.dump_into(child, &p, out);
                     }
                 }
             }
-            Err(_) => {}
         }
     }
 }
@@ -1163,7 +1649,7 @@ mod tests {
     use crate::path::vpath;
 
     fn store_with(paths: &[(&str, &str)]) -> Store {
-        let mut s = Store::new();
+        let s = Store::new();
         for (p, content) in paths {
             let vp = vpath(p);
             s.mkdir_all(&vp.parent().unwrap(), Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1181,7 +1667,7 @@ mod tests {
 
     #[test]
     fn append_extends() {
-        let mut s = store_with(&[("/f", "ab")]);
+        let s = store_with(&[("/f", "ab")]);
         s.append(&vpath("/f"), b"cd").unwrap();
         assert_eq!(s.read(&vpath("/f")).unwrap(), b"abcd");
         assert_eq!(s.append(&vpath("/g"), b"x").err(), Some(VfsError::NotFound));
@@ -1189,7 +1675,7 @@ mod tests {
 
     #[test]
     fn mkdir_semantics() {
-        let mut s = Store::new();
+        let s = Store::new();
         s.mkdir(&vpath("/d"), Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(
             s.mkdir(&vpath("/d"), Uid::ROOT, Mode::PUBLIC).err(),
@@ -1205,7 +1691,7 @@ mod tests {
 
     #[test]
     fn unlink_and_rmdir() {
-        let mut s = store_with(&[("/d/f", "x")]);
+        let s = store_with(&[("/d/f", "x")]);
         assert_eq!(s.rmdir(&vpath("/d")).err(), Some(VfsError::NotEmpty));
         assert_eq!(s.unlink(&vpath("/d")).err(), Some(VfsError::IsADirectory));
         s.unlink(&vpath("/d/f")).unwrap();
@@ -1215,7 +1701,7 @@ mod tests {
 
     #[test]
     fn remove_all_recurses() {
-        let mut s = store_with(&[("/t/a/f1", "1"), ("/t/a/b/f2", "2"), ("/t/f3", "3")]);
+        let s = store_with(&[("/t/a/f1", "1"), ("/t/a/b/f2", "2"), ("/t/f3", "3")]);
         let before = s.inode_count();
         s.remove_all(&vpath("/t")).unwrap();
         assert!(!s.exists(&vpath("/t")));
@@ -1224,7 +1710,7 @@ mod tests {
 
     #[test]
     fn rename_moves_and_replaces() {
-        let mut s = store_with(&[("/a/f", "new"), ("/b/g", "old")]);
+        let s = store_with(&[("/a/f", "new"), ("/b/g", "old")]);
         s.rename(&vpath("/a/f"), &vpath("/b/g")).unwrap();
         assert_eq!(s.read(&vpath("/b/g")).unwrap(), b"new");
         assert!(!s.exists(&vpath("/a/f")));
@@ -1234,7 +1720,7 @@ mod tests {
 
     #[test]
     fn copy_all_preserves_tree() {
-        let mut s = store_with(&[("/src/a/f", "1"), ("/src/g", "2")]);
+        let s = store_with(&[("/src/a/f", "1"), ("/src/g", "2")]);
         s.copy_all(&vpath("/src"), &vpath("/dst")).unwrap();
         assert_eq!(s.read(&vpath("/dst/a/f")).unwrap(), b"1");
         assert_eq!(s.read(&vpath("/dst/g")).unwrap(), b"2");
@@ -1244,7 +1730,7 @@ mod tests {
 
     #[test]
     fn stat_reports_size_and_mtime_order() {
-        let mut s = Store::new();
+        let s = Store::new();
         s.write(&vpath("/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
         let m1 = s.stat(&vpath("/f")).unwrap();
         assert_eq!(m1.size, 3);
@@ -1258,7 +1744,7 @@ mod tests {
     fn journal_replay_rebuilds_identical_tree() {
         use maxoid_journal::{committed_records, read_records, JournalHandle, Record};
         let h = JournalHandle::with_batch(1);
-        let mut s = Store::new();
+        let s = Store::new();
         s.set_journal(h.sink());
         s.mkdir_all(&vpath("/data/app"), Uid(10_001), Mode::PRIVATE).unwrap();
         s.write(&vpath("/data/app/f"), b"v1", Uid(10_001), Mode::PRIVATE).unwrap();
@@ -1272,7 +1758,7 @@ mod tests {
         // Failed ops advance the clock but must not be journaled.
         assert!(s.mkdir(&vpath("/data/app"), Uid::ROOT, Mode::PUBLIC).is_err());
 
-        let mut replayed = Store::new();
+        let replayed = Store::new();
         for rec in committed_records(&read_records(&h.bytes())) {
             if let Record::Vfs(v) = rec {
                 replayed.apply_journal_record(&v).unwrap();
@@ -1284,10 +1770,10 @@ mod tests {
 
     #[test]
     fn snapshot_image_roundtrip_is_exact() {
-        let mut s = store_with(&[("/a/f", "1"), ("/b/g", "2")]);
+        let s = store_with(&[("/a/f", "1"), ("/b/g", "2")]);
         s.unlink(&vpath("/a/f")).unwrap(); // leave a hole in the inode table
         let image = s.snapshot_image();
-        let mut restored = Store::new();
+        let restored = Store::new();
         restored.restore_image(&image).unwrap();
         assert_eq!(restored.dump_tree(), s.dump_tree());
         // Allocation state is preserved: the next alloc reuses the hole in
@@ -1302,7 +1788,7 @@ mod tests {
     fn overwrites_are_delta_logged_and_replay_exactly() {
         use maxoid_journal::{committed_records, read_records, JournalHandle, Record};
         let h = JournalHandle::with_batch(1);
-        let mut s = Store::new();
+        let s = Store::new();
         s.set_journal(h.sink());
         let mut base = vec![0u8; 4096];
         s.write(&vpath("/f"), &base, Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1336,7 +1822,7 @@ mod tests {
             .collect();
         assert_eq!(kinds, vec!["write", "delta", "write", "inode-delta"]);
 
-        let mut replayed = Store::new();
+        let replayed = Store::new();
         for rec in recs {
             if let Record::Vfs(v) = rec {
                 replayed.apply_journal_record(&v).unwrap();
@@ -1347,8 +1833,8 @@ mod tests {
 
     #[test]
     fn dirty_image_chain_matches_full_snapshot() {
-        let mut s = store_with(&[("/a/f", "1"), ("/b/g", "2")]);
-        let mut shadow = Store::new();
+        let s = store_with(&[("/a/f", "1"), ("/b/g", "2")]);
+        let shadow = Store::new();
         shadow.apply_dirty_image(&s.take_dirty_image()).unwrap();
         assert_eq!(shadow.dump_tree(), s.dump_tree());
         // Mutations between takes produce a small delta that catches the
@@ -1369,7 +1855,7 @@ mod tests {
 
     #[test]
     fn restore_image_rejects_garbage() {
-        let mut s = Store::new();
+        let s = Store::new();
         assert_eq!(s.restore_image(&[1, 2, 3]).err(), Some(VfsError::InvalidArgument));
     }
 
@@ -1379,7 +1865,7 @@ mod tests {
 
     #[test]
     fn paged_store_spills_and_reads_back() {
-        let mut s = paged_store(8, 64);
+        let s = paged_store(8, 64);
         let small = vec![1u8; 64];
         let big = vec![2u8; 10_000];
         s.write(&vpath("/small"), &small, Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1395,7 +1881,7 @@ mod tests {
 
     #[test]
     fn paged_append_migrates_across_threshold() {
-        let mut s = paged_store(8, 100);
+        let s = paged_store(8, 100);
         s.write(&vpath("/f"), &[7u8; 90], Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(s.stats().resident_files, 1);
         s.append(&vpath("/f"), &[8u8; 90]).unwrap();
@@ -1409,7 +1895,7 @@ mod tests {
 
     #[test]
     fn unlink_releases_sectors_for_reuse() {
-        let mut s = paged_store(4, 0);
+        let s = paged_store(4, 0);
         let payload = vec![3u8; 4096 * 3];
         s.write(&vpath("/a"), &payload, Uid::ROOT, Mode::PUBLIC).unwrap();
         s.unlink(&vpath("/a")).unwrap();
@@ -1422,7 +1908,7 @@ mod tests {
 
     #[test]
     fn spill_after_churn_gets_contiguous_run() {
-        let mut s = paged_store(4, 0);
+        let s = paged_store(4, 0);
         // Six one-page files take sectors 0..6; unlinking f1, f2, f4
         // fragments the free list into runs {1..3} and {4..5}.
         for i in 0..6u8 {
@@ -1450,7 +1936,7 @@ mod tests {
         // 4 pages of cache, 32 spilled files of a page each: 8x the
         // budget. Every file reads back exactly; memory for content is
         // the 4-page budget plus the tiny inode table.
-        let mut s = paged_store(4, 0);
+        let s = paged_store(4, 0);
         for i in 0..32 {
             let body = vec![i as u8; 4096];
             s.write(&vpath(&format!("/f{i}")), &body, Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1470,9 +1956,9 @@ mod tests {
     fn snapshot_images_identical_across_backends() {
         let script: &[(&str, &[u8])] =
             &[("/a/f", &[1u8; 5000]), ("/a/g", b"tiny"), ("/b/h", &[9u8; 12_345])];
-        let mut resident = Store::new();
-        let mut paged = paged_store(8, 64);
-        for s in [&mut resident, &mut paged] {
+        let resident = Store::new();
+        let paged = paged_store(8, 64);
+        for s in [&resident, &paged] {
             for (p, body) in script {
                 let vp = vpath(p);
                 s.mkdir_all(&vp.parent().unwrap(), Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1483,7 +1969,7 @@ mod tests {
         assert_eq!(resident.dump_tree(), paged.dump_tree());
         // Restoring a resident image into a paged store spills by
         // threshold and still reads back identically.
-        let mut restored = paged_store(8, 64);
+        let restored = paged_store(8, 64);
         restored.restore_image(&resident.snapshot_image()).unwrap();
         assert_eq!(restored.dump_tree(), resident.dump_tree());
         assert!(restored.stats().spilled_files >= 2);
@@ -1491,11 +1977,137 @@ mod tests {
 
     #[test]
     fn inode_reuse_after_dealloc() {
-        let mut s = Store::new();
+        let s = Store::new();
         s.write(&vpath("/f"), b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
         let count = s.inode_count();
         s.unlink(&vpath("/f")).unwrap();
         s.write(&vpath("/g"), b"y", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(s.inode_count(), count);
     }
+
+    // ----- sharding-specific coverage -----
+
+    #[test]
+    fn allocation_is_deterministic_across_stores() {
+        // Two stores running the same op sequence hand out identical
+        // inode ids — the property journal replay depends on.
+        let run = |s: &Store| -> Vec<InodeId> {
+            let mut ids = Vec::new();
+            s.mkdir_all(&vpath("/data/app/pkg"), Uid::ROOT, Mode::PUBLIC).unwrap();
+            for i in 0..32 {
+                let p = vpath(&format!("/data/app/pkg/f{i}"));
+                ids.push(s.write(&p, b"x", Uid::ROOT, Mode::PUBLIC).unwrap());
+            }
+            for i in (0..32).step_by(3) {
+                s.unlink(&vpath(&format!("/data/app/pkg/f{i}"))).unwrap();
+            }
+            for i in 0..16 {
+                let p = vpath(&format!("/data/app/pkg/g{i}"));
+                ids.push(s.write(&p, b"y", Uid::ROOT, Mode::PUBLIC).unwrap());
+            }
+            ids
+        };
+        let (a, b) = (Store::new(), Store::new());
+        assert_eq!(run(&a), run(&b));
+        assert_eq!(a.dump_tree(), b.dump_tree());
+    }
+
+    #[test]
+    fn creations_allocate_in_their_path_shard() {
+        let s = Store::new();
+        let p = vpath("/file-abc");
+        let id = s.write(&p, b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(shard_of(id), shard_of_path(&p));
+        let d = vpath("/dir-q");
+        let id = s.mkdir(&d, Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_eq!(shard_of(id), shard_of_path(&d));
+    }
+
+    #[test]
+    fn vis_stamps_are_prefix_local() {
+        let s = Store::new();
+        // Pick two top-level trees whose visibility shards differ (and
+        // whose depth-2 creation paths do not collide with the other's
+        // branch shard), so the isolation assertion is meaningful.
+        let mut pair = None;
+        'outer: for i in 0..64 {
+            for j in 0..64 {
+                if i == j {
+                    continue;
+                }
+                let (pa, pb) = (vpath(&format!("/t{i}")), vpath(&format!("/t{j}")));
+                let (sa, sb) = (
+                    Store::vis_branch_shard(&pa).unwrap(),
+                    Store::vis_branch_shard(&pb).unwrap(),
+                );
+                let deep = Store::vis_branch_shard(&pa.join("f").unwrap()).unwrap();
+                if sa != sb && deep != sb {
+                    pair = Some((pa, pb, sa, sb));
+                    break 'outer;
+                }
+            }
+        }
+        let (pa, pb, sa, sb) = pair.expect("some pair of paths must land in distinct vis shards");
+        s.mkdir(&pa, Uid::ROOT, Mode::PUBLIC).unwrap();
+        s.mkdir(&pb, Uid::ROOT, Mode::PUBLIC).unwrap();
+        let (stamp_a, stamp_b) = (s.vis_stamp(&[sa]), s.vis_stamp(&[sb]));
+        // A creation under pa bumps pa's branch counter but not pb's.
+        s.write(&pa.join("f").unwrap(), b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        assert_ne!(s.vis_stamp(&[sa]), stamp_a, "own branch stamp must advance");
+        assert_eq!(s.vis_stamp(&[sb]), stamp_b, "unrelated branch stamp must not move");
+        // Content-only writes never bump any stamp.
+        let quiet = s.vis_stamp(&[sa]);
+        s.write(&pa.join("f").unwrap(), b"y", Uid::ROOT, Mode::PUBLIC).unwrap();
+        s.append(&pa.join("f").unwrap(), b"z").unwrap();
+        assert_eq!(s.vis_stamp(&[sa]), quiet);
+    }
+
+    #[test]
+    fn dir_rename_bumps_every_vis_shard() {
+        let s = Store::new();
+        s.mkdir_all(&vpath("/a/sub"), Uid::ROOT, Mode::PUBLIC).unwrap();
+        s.mkdir(&vpath("/b"), Uid::ROOT, Mode::PUBLIC).unwrap();
+        let before: Vec<u64> = (0..VIS_SHARDS).map(|i| s.vis_stamp(&[i])).collect();
+        s.rename(&vpath("/a/sub"), &vpath("/b/sub")).unwrap();
+        for (i, b) in before.iter().enumerate() {
+            assert_ne!(s.vis_stamp(&[i]), *b, "dir rename must invalidate every prefix shard");
+        }
+    }
+
+    #[test]
+    fn concurrent_writers_in_disjoint_trees() {
+        use std::sync::Arc;
+        let s = Arc::new(Store::new());
+        for t in 0..8 {
+            s.mkdir_all(&vpath(&format!("/tenant{t}")), Uid::ROOT, Mode::PUBLIC).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let p = vpath(&format!("/tenant{t}/f{i}"));
+                    s.write(&p, format!("{t}:{i}").as_bytes(), Uid(t), Mode::PUBLIC).unwrap();
+                    if i % 5 == 0 {
+                        s.unlink(&p).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u32 {
+            for i in 0..50 {
+                let p = vpath(&format!("/tenant{t}/f{i}"));
+                if i % 5 == 0 {
+                    assert!(!s.exists(&p));
+                } else {
+                    assert_eq!(s.read(&p).unwrap(), format!("{t}:{i}").as_bytes());
+                }
+            }
+        }
+    }
 }
+
+

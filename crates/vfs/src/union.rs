@@ -86,6 +86,11 @@ pub struct Union {
     /// Memoized path resolutions, validated against the store's
     /// visibility generation.
     cache: ResolveCache,
+    /// The store visibility-generation shards covering this union's
+    /// branch hosts (sorted, deduped). Cache validation stamps only these
+    /// counters, so namespace churn in other tenants' branches never
+    /// invalidates this union's resolutions.
+    gen_shards: Vec<usize>,
 }
 
 /// Entry cap for the resolution cache; cleared wholesale when full.
@@ -207,11 +212,26 @@ impl Union {
         for (i, b) in branches.iter().enumerate() {
             assert!(i == 0 || !b.writable, "only the top branch may be writable");
         }
+        // A branch rooted at the store root can see mutations under any
+        // prefix, so it must validate against every generation shard.
+        let mut gen_shards: Vec<usize> = Vec::new();
+        for b in &branches {
+            match Store::vis_branch_shard(&b.host) {
+                Some(sh) => gen_shards.push(sh),
+                None => {
+                    gen_shards = (0..crate::store::VIS_SHARDS).collect();
+                    break;
+                }
+            }
+        }
+        gen_shards.sort_unstable();
+        gen_shards.dedup();
         Union {
             branches,
             maxoid_access,
             granularity: CopyUpGranularity::File,
             cache: ResolveCache::default(),
+            gen_shards,
         }
     }
 
@@ -271,7 +291,7 @@ impl Union {
 
     /// Removes a stale append-delta (called when the file is rewritten,
     /// unlinked, or fully copied up).
-    fn clear_delta(&self, store: &mut Store, rel: &str) -> VfsResult<()> {
+    fn clear_delta(&self, store: &Store, rel: &str) -> VfsResult<()> {
         if self.granularity != CopyUpGranularity::Block {
             return Ok(());
         }
@@ -330,7 +350,7 @@ impl Union {
     /// the branch walk and its whiteout probes entirely.
     pub fn effective(&self, store: &Store, rel: &str) -> Option<Located> {
         maxoid_obs::counter_add("vfs.union.lookups", 1);
-        let gen = store.visibility_gen();
+        let gen = store.vis_stamp(&self.gen_shards);
         if let Some(cached) = self.cache.lookup(rel, gen) {
             let depth = match &cached {
                 Some(loc) => loc.branch as u64 + 1,
@@ -395,7 +415,7 @@ impl Union {
 
     /// Ensures all ancestor directories of `rel` exist in the top branch,
     /// mirroring metadata from the visible version where available.
-    fn ensure_parents(&self, store: &mut Store, rel: &str, owner: Uid) -> VfsResult<()> {
+    fn ensure_parents(&self, store: &Store, rel: &str, owner: Uid) -> VfsResult<()> {
         let top = self.top()?.host.clone();
         let (parent, _) = split_rel(rel);
         if parent.is_empty() {
@@ -426,7 +446,7 @@ impl Union {
     }
 
     /// Removes a whiteout marker for `rel` from the top branch, if present.
-    fn clear_whiteout(&self, store: &mut Store, rel: &str) -> VfsResult<()> {
+    fn clear_whiteout(&self, store: &Store, rel: &str) -> VfsResult<()> {
         let top = self.top()?.host.clone();
         let (parent, name) = split_rel(rel);
         let wh = join_rel(&top, parent)?.join(&whiteout_name(name))?;
@@ -440,7 +460,7 @@ impl Union {
     /// branch (copy-on-write shadowing of lower versions).
     pub fn write(
         &self,
-        store: &mut Store,
+        store: &Store,
         rel: &str,
         data: &[u8],
         owner: Uid,
@@ -470,7 +490,7 @@ impl Union {
     /// version lives in a lower branch. This is the paper's worst case —
     /// unless the union runs in [`CopyUpGranularity::Block`] mode, where
     /// only the appended bytes are written to a per-file delta.
-    pub fn append(&self, store: &mut Store, rel: &str, data: &[u8]) -> VfsResult<()> {
+    pub fn append(&self, store: &Store, rel: &str, data: &[u8]) -> VfsResult<()> {
         let mut sp = maxoid_obs::span("vfs.union.append");
         sp.field_with("rel", || rel.to_string());
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
@@ -515,7 +535,7 @@ impl Union {
     /// Copies the visible version of `rel` into the writable branch and
     /// returns its host path. No-op if it is already there. In block mode
     /// any append-delta is folded into the materialized copy.
-    pub fn copy_up(&self, store: &mut Store, rel: &str) -> VfsResult<VPath> {
+    pub fn copy_up(&self, store: &Store, rel: &str) -> VfsResult<VPath> {
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
         let top_host = join_rel(&self.top()?.host, rel)?;
         if loc.branch == 0 {
@@ -542,7 +562,7 @@ impl Union {
 
     /// Deletes a file: removed from the top branch and/or hidden from lower
     /// branches with a whiteout.
-    pub fn unlink(&self, store: &mut Store, rel: &str) -> VfsResult<()> {
+    pub fn unlink(&self, store: &Store, rel: &str) -> VfsResult<()> {
         let mut sp = maxoid_obs::span("vfs.union.unlink");
         sp.field_with("rel", || rel.to_string());
         let loc = self.effective(store, rel).ok_or(VfsError::NotFound)?;
@@ -573,7 +593,7 @@ impl Union {
     }
 
     /// Creates a directory in the top branch.
-    pub fn mkdir(&self, store: &mut Store, rel: &str, owner: Uid, mode: Mode) -> VfsResult<()> {
+    pub fn mkdir(&self, store: &Store, rel: &str, owner: Uid, mode: Mode) -> VfsResult<()> {
         if rel.is_empty() {
             return Err(VfsError::AlreadyExists);
         }
@@ -588,7 +608,7 @@ impl Union {
     }
 
     /// Creates a directory and all missing ancestors in the top branch.
-    pub fn mkdir_all(&self, store: &mut Store, rel: &str, owner: Uid, mode: Mode) -> VfsResult<()> {
+    pub fn mkdir_all(&self, store: &Store, rel: &str, owner: Uid, mode: Mode) -> VfsResult<()> {
         if rel.is_empty() {
             return Ok(());
         }
@@ -609,7 +629,7 @@ impl Union {
     }
 
     /// Removes an (effectively) empty directory.
-    pub fn rmdir(&self, store: &mut Store, rel: &str) -> VfsResult<()> {
+    pub fn rmdir(&self, store: &Store, rel: &str) -> VfsResult<()> {
         if rel.is_empty() {
             return Err(VfsError::InvalidArgument);
         }
@@ -718,7 +738,7 @@ impl Union {
     /// Renames within the union by copy + unlink (cross-branch safe).
     pub fn rename(
         &self,
-        store: &mut Store,
+        store: &Store,
         from: &str,
         to: &str,
         owner: Uid,
@@ -738,7 +758,7 @@ mod tests {
     /// Builds a store with `lower` and `upper` branch dirs and some files
     /// in the lower branch.
     fn setup(lower_files: &[(&str, &str)]) -> (Store, Union) {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         for (p, c) in lower_files {
@@ -760,8 +780,8 @@ mod tests {
 
     #[test]
     fn writes_shadow_lower_copy() {
-        let (mut store, u) = setup(&[("d/f.txt", "lower")]);
-        u.write(&mut store, "d/f.txt", b"upper", Uid(10_001), Mode::PUBLIC).unwrap();
+        let (store, u) = setup(&[("d/f.txt", "lower")]);
+        u.write(&store, "d/f.txt", b"upper", Uid(10_001), Mode::PUBLIC).unwrap();
         // Union view sees the new version.
         assert_eq!(u.read(&store, "d/f.txt").unwrap(), b"upper");
         // The lower branch still holds the original.
@@ -772,44 +792,44 @@ mod tests {
 
     #[test]
     fn append_copies_up_whole_file() {
-        let (mut store, u) = setup(&[("f", "abc")]);
-        u.append(&mut store, "f", b"def").unwrap();
+        let (store, u) = setup(&[("f", "abc")]);
+        u.append(&store, "f", b"def").unwrap();
         assert_eq!(u.read(&store, "f").unwrap(), b"abcdef");
         assert_eq!(store.read(&vpath("/b/lower/f")).unwrap(), b"abc");
         assert_eq!(store.read(&vpath("/b/upper/f")).unwrap(), b"abcdef");
         // A second append mutates the top copy in place.
-        u.append(&mut store, "f", b"!").unwrap();
+        u.append(&store, "f", b"!").unwrap();
         assert_eq!(store.read(&vpath("/b/upper/f")).unwrap(), b"abcdef!");
     }
 
     #[test]
     fn unlink_lower_creates_whiteout() {
-        let (mut store, u) = setup(&[("d/f", "x")]);
-        u.unlink(&mut store, "d/f").unwrap();
+        let (store, u) = setup(&[("d/f", "x")]);
+        u.unlink(&store, "d/f").unwrap();
         assert!(!u.exists(&store, "d/f"));
         // Lower file untouched; whiteout marker present in upper.
         assert!(store.exists(&vpath("/b/lower/d/f")));
         assert!(store.exists(&vpath("/b/upper/d/.wh.f")));
         // Re-creating the file clears the whiteout.
-        u.write(&mut store, "d/f", b"new", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.write(&store, "d/f", b"new", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(u.read(&store, "d/f").unwrap(), b"new");
         assert!(!store.exists(&vpath("/b/upper/d/.wh.f")));
     }
 
     #[test]
     fn unlink_shadowed_file_removes_both_layers_view() {
-        let (mut store, u) = setup(&[("f", "lower")]);
-        u.write(&mut store, "f", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
-        u.unlink(&mut store, "f").unwrap();
+        let (store, u) = setup(&[("f", "lower")]);
+        u.write(&store, "f", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.unlink(&store, "f").unwrap();
         assert!(!u.exists(&store, "f"));
         assert!(store.exists(&vpath("/b/upper/.wh.f")));
     }
 
     #[test]
     fn readdir_merges_and_hides() {
-        let (mut store, u) = setup(&[("d/a", "1"), ("d/b", "2")]);
-        u.write(&mut store, "d/c", b"3", Uid::ROOT, Mode::PUBLIC).unwrap();
-        u.unlink(&mut store, "d/a").unwrap();
+        let (store, u) = setup(&[("d/a", "1"), ("d/b", "2")]);
+        u.write(&store, "d/c", b"3", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.unlink(&store, "d/a").unwrap();
         let names: Vec<String> =
             u.read_dir(&store, "d").unwrap().into_iter().map(|e| e.name).collect();
         assert_eq!(names, vec!["b".to_string(), "c".to_string()]);
@@ -819,8 +839,8 @@ mod tests {
 
     #[test]
     fn readdir_shadowed_entry_listed_once() {
-        let (mut store, u) = setup(&[("d/a", "lower")]);
-        u.write(&mut store, "d/a", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let (store, u) = setup(&[("d/a", "lower")]);
+        u.write(&store, "d/a", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
         let entries = u.read_dir(&store, "d").unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].name, "a");
@@ -828,43 +848,43 @@ mod tests {
 
     #[test]
     fn whiteout_hides_ancestors_children() {
-        let (mut store, u) = setup(&[("d/sub/f", "x")]);
+        let (store, u) = setup(&[("d/sub/f", "x")]);
         // White out the whole directory `d/sub`.
-        u.rmdir(&mut store, "d/sub").err(); // Non-empty: fails.
-        u.unlink(&mut store, "d/sub/f").unwrap();
-        u.rmdir(&mut store, "d/sub").unwrap();
+        u.rmdir(&store, "d/sub").err(); // Non-empty: fails.
+        u.unlink(&store, "d/sub/f").unwrap();
+        u.rmdir(&store, "d/sub").unwrap();
         assert!(!u.exists(&store, "d/sub"));
         assert!(!u.exists(&store, "d/sub/f"));
     }
 
     #[test]
     fn mkdir_and_rmdir_roundtrip() {
-        let (mut store, u) = setup(&[]);
-        u.mkdir_all(&mut store, "x/y", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let (store, u) = setup(&[]);
+        u.mkdir_all(&store, "x/y", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert!(u.stat(&store, "x/y").unwrap().is_dir);
         assert_eq!(
-            u.mkdir(&mut store, "x/y", Uid::ROOT, Mode::PUBLIC).err(),
+            u.mkdir(&store, "x/y", Uid::ROOT, Mode::PUBLIC).err(),
             Some(VfsError::AlreadyExists)
         );
-        u.rmdir(&mut store, "x/y").unwrap();
+        u.rmdir(&store, "x/y").unwrap();
         assert!(!u.exists(&store, "x/y"));
     }
 
     #[test]
     fn read_only_union_rejects_writes() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/ro"), Uid::ROOT, Mode::PUBLIC).unwrap();
         let u = Union::new(vec![Branch::ro(vpath("/ro"))], false);
         assert_eq!(
-            u.write(&mut store, "f", b"x", Uid::ROOT, Mode::PUBLIC).err(),
+            u.write(&store, "f", b"x", Uid::ROOT, Mode::PUBLIC).err(),
             Some(VfsError::ReadOnly)
         );
     }
 
     #[test]
     fn rename_within_union() {
-        let (mut store, u) = setup(&[("a", "data")]);
-        u.rename(&mut store, "a", "b", Uid::ROOT, Mode::PUBLIC).unwrap();
+        let (store, u) = setup(&[("a", "data")]);
+        u.rename(&store, "a", "b", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert!(!u.exists(&store, "a"));
         assert_eq!(u.read(&store, "b").unwrap(), b"data");
         // Lower branch's original survives under its old name, hidden.
@@ -873,13 +893,13 @@ mod tests {
 
     #[test]
     fn copy_up_preserves_metadata() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/f"), b"secret", Uid(10_050), Mode::PRIVATE).unwrap();
         let u =
             Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], true);
-        let host = u.copy_up(&mut store, "f").unwrap();
+        let host = u.copy_up(&store, "f").unwrap();
         let meta = store.stat(&host).unwrap();
         assert_eq!(meta.owner, Uid(10_050));
         assert_eq!(meta.mode, Mode::PRIVATE);
@@ -893,7 +913,7 @@ mod tests {
 
     #[test]
     fn three_branch_priority() {
-        let mut store = Store::new();
+        let store = Store::new();
         for b in ["/b0", "/b1", "/b2"] {
             store.mkdir_all(&vpath(b), Uid::ROOT, Mode::PUBLIC).unwrap();
         }
@@ -904,20 +924,20 @@ mod tests {
             false,
         );
         assert_eq!(u.read(&store, "f").unwrap(), b"mid");
-        u.write(&mut store, "f", b"top", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.write(&store, "f", b"top", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(u.read(&store, "f").unwrap(), b"top");
     }
     #[test]
     fn block_mode_append_writes_only_delta() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/log"), b"base|", Uid::ROOT, Mode::PUBLIC).unwrap();
         let u =
             Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
                 .with_granularity(CopyUpGranularity::Block);
-        u.append(&mut store, "log", b"l1").unwrap();
-        u.append(&mut store, "log", b"|l2").unwrap();
+        u.append(&store, "log", b"l1").unwrap();
+        u.append(&store, "log", b"|l2").unwrap();
         // Reads and stat merge base + delta.
         assert_eq!(u.read(&store, "log").unwrap(), b"base|l1|l2");
         assert_eq!(u.stat(&store, "log").unwrap().size, 10);
@@ -934,46 +954,46 @@ mod tests {
 
     #[test]
     fn block_mode_write_and_unlink_clear_delta() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
         let u =
             Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
                 .with_granularity(CopyUpGranularity::Block);
-        u.append(&mut store, "f", b"def").unwrap();
+        u.append(&store, "f", b"def").unwrap();
         // A truncating write replaces everything, delta included.
-        u.write(&mut store, "f", b"xyz", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.write(&store, "f", b"xyz", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(u.read(&store, "f").unwrap(), b"xyz");
         assert!(!store.exists(&vpath("/b/upper/.ad.f")));
         // Unlink from fresh delta state also clears it.
-        u.unlink(&mut store, "f").unwrap();
-        u.write(&mut store, "f", b"v2", Uid::ROOT, Mode::PUBLIC).unwrap();
-        u.unlink(&mut store, "f").unwrap();
+        u.unlink(&store, "f").unwrap();
+        u.write(&store, "f", b"v2", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.unlink(&store, "f").unwrap();
         assert!(!u.exists(&store, "f"));
     }
 
     #[test]
     fn block_mode_copy_up_folds_delta() {
-        let mut store = Store::new();
+        let store = Store::new();
         store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
         store.write(&vpath("/b/lower/f"), b"abc", Uid::ROOT, Mode::PUBLIC).unwrap();
         let u =
             Union::new(vec![Branch::rw(vpath("/b/upper")), Branch::ro(vpath("/b/lower"))], false)
                 .with_granularity(CopyUpGranularity::Block);
-        u.append(&mut store, "f", b"def").unwrap();
-        let host = u.copy_up(&mut store, "f").unwrap();
+        u.append(&store, "f", b"def").unwrap();
+        let host = u.copy_up(&store, "f").unwrap();
         assert_eq!(store.read(&host).unwrap(), b"abcdef");
         assert!(!store.exists(&vpath("/b/upper/.ad.f")));
         // Further appends now mutate the materialized copy in place.
-        u.append(&mut store, "f", b"!").unwrap();
+        u.append(&store, "f", b"!").unwrap();
         assert_eq!(store.read(&host).unwrap(), b"abcdef!");
     }
 
     #[test]
     fn resolve_cache_hits_and_invalidates() {
-        let (mut store, u) = setup(&[("d/f", "lower")]);
+        let (store, u) = setup(&[("d/f", "lower")]);
         assert!(u.resolve_cache_enabled());
         assert_eq!(u.read(&store, "d/f").unwrap(), b"lower");
         assert_eq!(u.read(&store, "d/f").unwrap(), b"lower");
@@ -981,28 +1001,28 @@ mod tests {
         assert!(h1 >= 1, "repeated read should hit, stats {:?}", u.resolve_cache_stats());
         // Shadowing write bumps the store generation; the next read must
         // resolve to the top branch, not the cached lower location.
-        u.write(&mut store, "d/f", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.write(&store, "d/f", b"upper", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert_eq!(u.read(&store, "d/f").unwrap(), b"upper");
         // Negative results are cached too...
         assert!(!u.exists(&store, "d/none"));
         assert!(!u.exists(&store, "d/none"));
         // ...and creation invalidates them.
-        u.write(&mut store, "d/none", b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
+        u.write(&store, "d/none", b"x", Uid::ROOT, Mode::PUBLIC).unwrap();
         assert!(u.exists(&store, "d/none"));
         // Whiteouts invalidate positive resolutions.
-        u.unlink(&mut store, "d/f").unwrap();
+        u.unlink(&store, "d/f").unwrap();
         assert!(!u.exists(&store, "d/f"));
     }
 
     #[test]
     fn append_after_copy_up_stays_cached() {
-        let (mut store, u) = setup(&[("f", "abc")]);
-        u.append(&mut store, "f", b"1").unwrap(); // whole-file copy-up
+        let (store, u) = setup(&[("f", "abc")]);
+        u.append(&store, "f", b"1").unwrap(); // whole-file copy-up
         let (h0, _) = u.resolve_cache_stats();
         // Appends to the copied-up file change content, not visibility:
         // the resolution caches and subsequent appends skip the walk.
-        u.append(&mut store, "f", b"2").unwrap();
-        u.append(&mut store, "f", b"3").unwrap();
+        u.append(&store, "f", b"2").unwrap();
+        u.append(&store, "f", b"3").unwrap();
         let (h1, _) = u.resolve_cache_stats();
         assert!(h1 > h0, "appends after copy-up should hit the resolve cache");
         assert_eq!(u.read(&store, "f").unwrap(), b"abc123");
@@ -1011,12 +1031,12 @@ mod tests {
     #[test]
     fn resolve_cache_disabled_matches_enabled() {
         let run = |cached: bool| -> Vec<Vec<u8>> {
-            let (mut store, u) = setup(&[("d/a", "A"), ("d/b", "B")]);
+            let (store, u) = setup(&[("d/a", "A"), ("d/b", "B")]);
             let u = u.with_resolve_cache(cached);
             assert_eq!(u.resolve_cache_enabled(), cached);
-            u.append(&mut store, "d/a", b"+").unwrap();
-            u.unlink(&mut store, "d/b").unwrap();
-            u.write(&mut store, "d/c", b"C", Uid::ROOT, Mode::PUBLIC).unwrap();
+            u.append(&store, "d/a", b"+").unwrap();
+            u.unlink(&store, "d/b").unwrap();
+            u.write(&store, "d/c", b"C", Uid::ROOT, Mode::PUBLIC).unwrap();
             let mut out = Vec::new();
             for rel in ["d/a", "d/b", "d/c"] {
                 out.push(u.read(&store, rel).unwrap_or_default());
@@ -1041,7 +1061,7 @@ mod tests {
     fn block_and_file_modes_agree_on_view() {
         // The two granularities must be observationally identical.
         for granularity in [CopyUpGranularity::File, CopyUpGranularity::Block] {
-            let mut store = Store::new();
+            let store = Store::new();
             store.mkdir_all(&vpath("/b/upper"), Uid::ROOT, Mode::PUBLIC).unwrap();
             store.mkdir_all(&vpath("/b/lower"), Uid::ROOT, Mode::PUBLIC).unwrap();
             store.write(&vpath("/b/lower/f"), b"seed", Uid::ROOT, Mode::PUBLIC).unwrap();
@@ -1050,8 +1070,8 @@ mod tests {
                 false,
             )
             .with_granularity(granularity);
-            u.append(&mut store, "f", b"+1").unwrap();
-            u.append(&mut store, "f", b"+2").unwrap();
+            u.append(&store, "f", b"+1").unwrap();
+            u.append(&store, "f", b"+2").unwrap();
             assert_eq!(u.read(&store, "f").unwrap(), b"seed+1+2", "{granularity:?}");
             assert_eq!(u.stat(&store, "f").unwrap().size, 8, "{granularity:?}");
             assert_eq!(

@@ -36,7 +36,7 @@ fn fname(n: u8) -> String {
 /// Builds a store with `lower_seed` files in the lower branch and an
 /// empty writable upper branch.
 fn setup(lower_seed: &[(u8, Vec<u8>)]) -> (Store, Union, BTreeMap<u8, Vec<u8>>) {
-    let mut store = Store::new();
+    let store = Store::new();
     store.mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC).unwrap();
     store.mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC).unwrap();
     let mut model = BTreeMap::new();
@@ -60,7 +60,7 @@ proptest! {
         seed in proptest::collection::vec((0..6u8, proptest::collection::vec(any::<u8>(), 0..16)), 0..4),
         ops in proptest::collection::vec(op(), 1..40),
     ) {
-        let (mut store, union, mut model) = setup(&seed);
+        let (store, union, mut model) = setup(&seed);
         let lower_before: Vec<(String, Vec<u8>)> = store
             .read_dir(&vpath("/low"))
             .unwrap()
@@ -74,11 +74,11 @@ proptest! {
         for o in &ops {
             match o {
                 Op::Write(n, data) => {
-                    union.write(&mut store, &fname(*n), data, Uid::ROOT, Mode::PUBLIC).unwrap();
+                    union.write(&store, &fname(*n), data, Uid::ROOT, Mode::PUBLIC).unwrap();
                     model.insert(*n, data.clone());
                 }
                 Op::Append(n, data) => {
-                    let result = union.append(&mut store, &fname(*n), data);
+                    let result = union.append(&store, &fname(*n), data);
                     match model.get_mut(n) {
                         Some(cur) => {
                             prop_assert!(result.is_ok());
@@ -88,7 +88,7 @@ proptest! {
                     }
                 }
                 Op::Unlink(n) => {
-                    let result = union.unlink(&mut store, &fname(*n));
+                    let result = union.unlink(&store, &fname(*n));
                     if model.remove(n).is_some() {
                         prop_assert!(result.is_ok());
                     } else {
@@ -152,10 +152,10 @@ proptest! {
         content in proptest::collection::vec(any::<u8>(), 1..16),
         recreated in proptest::collection::vec(any::<u8>(), 0..16),
     ) {
-        let (mut store, union, _) = setup(&[(0, content.clone())]);
-        union.unlink(&mut store, "f0.dat").unwrap();
+        let (store, union, _) = setup(&[(0, content.clone())]);
+        union.unlink(&store, "f0.dat").unwrap();
         prop_assert!(union.read(&store, "f0.dat").is_err());
-        union.write(&mut store, "f0.dat", &recreated, Uid::ROOT, Mode::PUBLIC).unwrap();
+        union.write(&store, "f0.dat", &recreated, Uid::ROOT, Mode::PUBLIC).unwrap();
         prop_assert_eq!(union.read(&store, "f0.dat").unwrap(), recreated);
         // The lower copy still holds the original.
         prop_assert_eq!(store.read(&vpath("/low/f0.dat")).unwrap(), content);

@@ -6,15 +6,16 @@
 //! is ignored, matching parking_lot's poison-free semantics: a panicked
 //! holder does not wedge later accessors.
 
-use std::sync::{
-    Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock, RwLockReadGuard,
-    RwLockWriteGuard,
-};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, RwLock as StdRwLock};
 use std::time::Duration;
 
 /// Guard type returned by [`Mutex::lock`] (std's guard; the poison-free
 /// behaviour lives in the lock methods, not the guard).
 pub use std::sync::MutexGuard;
+
+/// Guard types returned by [`RwLock::read`] / [`RwLock::write`] (std's
+/// guards, re-exported so callers can name them in struct fields).
+pub use std::sync::{RwLockReadGuard, RwLockWriteGuard};
 
 /// Mutual exclusion lock with parking_lot's panic-free API.
 #[derive(Debug, Default)]

@@ -409,3 +409,223 @@ fn lock_order_smoke() {
         Err(_) => panic!("lock-order smoke test timed out: suspected lock-order inversion"),
     }
 }
+
+/// Cross-shard pairwise leak sweep: 16 initiator/delegate pairs — enough
+/// that their pids cover every process-table shard and their backing
+/// paths scatter over the VFS store shards — hammer one shared system
+/// with mixed traffic (private writes, redirected public writes,
+/// provider COW updates, interleaved commit gestures), then the full
+/// S1–S4 invariant matrix is checked across every pair. Any sharding bug
+/// that lets an op land in the wrong shard or skip a lock shows up here
+/// as cross-tenant leakage.
+#[test]
+fn cross_shard_pairwise_leak_sweep() {
+    const N: usize = 16;
+    const ROUNDS: usize = 8;
+    let sys = MaxoidSystem::boot().unwrap();
+    let words = Uri::parse("content://user_dictionary/words").unwrap();
+
+    sys.install("bystander", vec![], MaxoidManifest::new()).unwrap();
+    let x = sys.launch("bystander").unwrap();
+    for i in 0..N {
+        sys.cp_insert(x, &words, &ContentValues::new().put("word", format!("pub{i}").as_str()))
+            .unwrap();
+        sys.install(&format!("ini{i}"), vec![], MaxoidManifest::new()).unwrap();
+        sys.install(&format!("del{i}"), vec![], MaxoidManifest::new()).unwrap();
+    }
+
+    let results = thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|i| {
+                let sys = &sys;
+                let words = words.clone();
+                scope.spawn(move |_| {
+                    let init = format!("ini{i}");
+                    let del = format!("del{i}");
+                    let a = sys.launch(&init).unwrap();
+                    let secret = vpath(&format!("/data/data/{init}/secret.txt"));
+                    sys.kernel
+                        .write(a, &secret, format!("priv({init})").as_bytes(), Mode::PRIVATE)
+                        .unwrap();
+                    let d = sys.launch_as_delegate(&del, &init).unwrap();
+                    let fork = vpath(&format!("/data/data/{del}/fork.db"));
+                    let public = vpath(&format!("/storage/sdcard/out{i}.txt"));
+                    for r in 0..ROUNDS {
+                        assert_eq!(
+                            sys.kernel.read(d, &secret).unwrap(),
+                            format!("priv({init})").as_bytes()
+                        );
+                        sys.kernel
+                            .write(d, &fork, format!("fork{i}r{r}").as_bytes(), Mode::PRIVATE)
+                            .unwrap();
+                        sys.kernel
+                            .write(d, &public, format!("vol{i}r{r}").as_bytes(), Mode::PUBLIC)
+                            .unwrap();
+                        let id = i as i64 + 1;
+                        sys.cp_update(
+                            d,
+                            &words.with_id(id),
+                            &ContentValues::new().put("word", format!("cow{i}r{r}").as_str()),
+                            &QueryArgs::default(),
+                        )
+                        .unwrap();
+                        if r % 4 == 3 {
+                            sys.commit_vol(&init, &VolCommitPlan::default()).unwrap();
+                        }
+                    }
+                    (a, d, secret, fork)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect::<Vec<_>>()
+    })
+    .expect("threads join");
+
+    // Distinct pids must actually cover several process-table shards —
+    // otherwise this sweep isn't testing cross-shard behaviour at all.
+    let shards: std::collections::BTreeSet<usize> =
+        results.iter().flat_map(|(a, d, ..)| [*a, *d]).map(maxoid_kernel::proc_shard_of).collect();
+    assert!(shards.len() >= 8, "tenant pids only covered {} proc shards", shards.len());
+
+    for (i, (a_i, _d_i, secret_i, fork_i)) in results.iter().enumerate() {
+        assert!(sys.kernel.read(*a_i, fork_i).is_err(), "S3 violated for ini{i}");
+        assert!(sys.kernel.read(x, secret_i).is_err(), "S1 violated: bystander read ini{i}");
+        assert!(!sys.kernel.exists(x, &vpath(&format!("/storage/sdcard/out{i}.txt"))));
+        for (j, (a_j, d_j, ..)) in results.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            assert!(sys.kernel.read(*d_j, secret_i).is_err(), "S1 violated: del{j} read ini{i}");
+            assert!(sys.kernel.read(*a_j, secret_i).is_err(), "S1 violated: ini{j} read ini{i}");
+            assert!(
+                !sys.kernel.exists(*a_j, &vpath(&format!("/storage/sdcard/tmp/out{i}.txt"))),
+                "Vol leaked: ini{j} sees out{i}"
+            );
+            let rs =
+                sys.cp_query(*d_j, &words.with_id(i as i64 + 1), &QueryArgs::default()).unwrap();
+            let col = rs.column_index("word").unwrap();
+            assert_eq!(rs.rows[0][col].to_string(), format!("pub{i}"), "COW leaked across pairs");
+        }
+    }
+    for (i, (.., fork_i)) in results.iter().enumerate() {
+        let b = sys.launch(&format!("del{i}")).unwrap();
+        assert!(!sys.kernel.exists(b, fork_i), "S4 violated: fork{i} reached Priv(del{i})");
+    }
+}
+
+/// Rename and copy-up that deliberately span two VFS store shards: the
+/// union's compound ops must take both shards through the ordered
+/// multi-shard lock path and end with exact contents on both sides.
+#[test]
+fn rename_and_copy_up_span_two_vfs_shards() {
+    use maxoid_vfs::{shard_of_path, Branch, Store, Union};
+    let store = Store::new();
+    store.mkdir_all(&vpath("/up"), Uid::ROOT, Mode::PUBLIC).unwrap();
+    store.mkdir_all(&vpath("/low"), Uid::ROOT, Mode::PUBLIC).unwrap();
+    let u = Union::new(vec![Branch::rw(vpath("/up")), Branch::ro(vpath("/low"))], false);
+
+    // Pick two file names whose *upper-branch host paths* hash to
+    // different store shards, so the rename's write+unlink touches two
+    // shards, and one whose lower host path differs in shard from its
+    // upper host path, so copy-up crosses shards too.
+    let shard_up = |n: &str| shard_of_path(&vpath("/up").join(n).unwrap());
+    let names: Vec<String> = (0..256).map(|i| format!("f{i}.dat")).collect();
+    let from = names[0].clone();
+    let to = names
+        .iter()
+        .skip(1)
+        .find(|n| shard_up(n) != shard_up(&from))
+        .expect("256 names must cover more than one shard")
+        .clone();
+    let crosser = names
+        .iter()
+        .filter(|n| **n != from && **n != to)
+        .find(|n| shard_of_path(&vpath("/low").join(n).unwrap()) != shard_up(n))
+        .expect("some lower/upper host pair must differ in shard")
+        .clone();
+
+    // Cross-shard rename through the union (copy + whiteout of a
+    // lower-branch original).
+    store.write(&vpath("/low").join(&from).unwrap(), b"payload", Uid::ROOT, Mode::PUBLIC).unwrap();
+    u.rename(&store, &from, &to, Uid::ROOT, Mode::PUBLIC).unwrap();
+    assert_eq!(u.read(&store, &to).unwrap(), b"payload");
+    assert!(u.read(&store, &from).is_err(), "source must be whited out");
+    // The lower original is untouched (COW semantics).
+    assert_eq!(store.read(&vpath("/low").join(&from).unwrap()).unwrap(), b"payload");
+
+    // Cross-shard copy-up: lower host and upper host live in different
+    // shards; the copied-up file must be byte-exact in the upper branch.
+    store
+        .write(&vpath("/low").join(&crosser).unwrap(), b"lower bytes", Uid::ROOT, Mode::PUBLIC)
+        .unwrap();
+    let host = u.copy_up(&store, &crosser).unwrap();
+    assert_eq!(host, vpath("/up").join(&crosser).unwrap());
+    assert_eq!(store.read(&host).unwrap(), b"lower bytes");
+    assert_eq!(store.read(&vpath("/low").join(&crosser).unwrap()).unwrap(), b"lower bytes");
+}
+
+/// 10k one-shot tenants must not pin 10k gesture-lock entries: the
+/// soft-cap sweep keeps the map bounded, and idle-tenant eviction
+/// reclaims volatile state (while committed private state survives).
+#[test]
+fn one_shot_tenants_do_not_accrete_lock_entries() {
+    let sys = MaxoidSystem::boot().unwrap();
+    for i in 0..10_000 {
+        // Each "tenant" performs one gesture and never returns.
+        sys.commit_vol(&format!("oneshot{i}"), &VolCommitPlan::default()).unwrap();
+    }
+    let retained = sys.init_lock_count();
+    assert!(
+        retained <= maxoid::INIT_LOCK_SOFT_CAP + 1,
+        "10k one-shot tenants retained {retained} gesture-lock entries"
+    );
+}
+
+/// Tenant accounting sees a delegate's COW state, and the idle evictor
+/// reclaims the volatile portion without touching committed state.
+#[test]
+fn tenant_stats_and_idle_eviction() {
+    let sys = MaxoidSystem::boot().unwrap();
+    let words = Uri::parse("content://user_dictionary/words").unwrap();
+    sys.install("owner", vec![], MaxoidManifest::new()).unwrap();
+    sys.install("tool", vec![], MaxoidManifest::new()).unwrap();
+    let a = sys.launch("owner").unwrap();
+    sys.cp_insert(a, &words, &ContentValues::new().put("word", "base")).unwrap();
+    let secret = vpath("/data/data/owner/keep.txt");
+    sys.kernel.write(a, &secret, b"committed", Mode::PRIVATE).unwrap();
+
+    let d = sys.launch_as_delegate("tool", "owner").unwrap();
+    sys.kernel.write(d, &vpath("/storage/sdcard/draft.txt"), b"volatile!", Mode::PUBLIC).unwrap();
+    sys.kernel.write(d, &vpath("/data/data/tool/scratch.db"), b"forked", Mode::PRIVATE).unwrap();
+    sys.cp_update(
+        d,
+        &words.with_id(1),
+        &ContentValues::new().put("word", "cow"),
+        &QueryArgs::default(),
+    )
+    .unwrap();
+
+    let stats = sys.tenant_stats("owner").unwrap();
+    assert!(stats.volatile_files >= 1, "draft.txt must show as volatile");
+    assert!(stats.volatile_bytes >= 9);
+    assert!(stats.delta_rows >= 1, "the COW update must show as a delta row");
+    assert!(stats.cow_files >= 1, "the delegate fork must show as COW state");
+
+    // A tenant with zero idle ticks is not evicted; after enough other
+    // activity it is. (The delegate's gesture lock is unreferenced once
+    // launch_as_delegate returned.)
+    sys.commit_vol("busy", &VolCommitPlan::default()).unwrap();
+    let report = sys.evict_idle_tenants(u64::MAX).unwrap();
+    assert_eq!(report.tenants, 0, "nothing is that idle");
+    let report = sys.evict_idle_tenants(0).unwrap();
+    assert!(report.tenants >= 1, "owner (and busy) are idle now");
+
+    let after = sys.tenant_stats("owner").unwrap();
+    assert_eq!(after.volatile_files, 0, "volatile files must be reclaimed");
+    assert_eq!(after.delta_rows, 0, "delta rows must be reclaimed");
+    // Committed state survives eviction.
+    assert_eq!(sys.kernel.read(a, &secret).unwrap(), b"committed");
+    let rs = sys.cp_query(a, &words.with_id(1), &QueryArgs::default()).unwrap();
+    let col = rs.column_index("word").unwrap();
+    assert_eq!(rs.rows[0][col].to_string(), "base");
+}
